@@ -1,0 +1,93 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * initialization — random assignment (the paper) vs k-shape++ seeding,
+//! * centroid refinements per k-DBA iteration — 1 (the paper's default)
+//!   vs 5 (its footnote 8 reports +4% Rand for +30% runtime),
+//! * LB_Keogh cascading for cDTW 1-NN search on/off.
+
+use bench::ecg_dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kshape::init::InitStrategy;
+use kshape::{KShape, KShapeConfig};
+use tscluster::dba::{kdba, KDbaConfig};
+use tsdata::collection::split_alternating;
+use tsdata::dataset::Dataset;
+use tsdist::dtw::Dtw;
+use tsdist::nn::{one_nn_accuracy, one_nn_accuracy_lb};
+
+fn bench_init(c: &mut Criterion) {
+    let (series, _) = ecg_dataset(30, 128, 33);
+    let mut group = c.benchmark_group("ablation_init");
+    group.bench_function("random_init", |b| {
+        b.iter(|| {
+            KShape::new(KShapeConfig {
+                k: 2,
+                max_iter: 30,
+                seed: 2,
+                init: InitStrategy::Random,
+                ..Default::default()
+            })
+            .fit(black_box(&series))
+        })
+    });
+    group.bench_function("plus_plus_init", |b| {
+        b.iter(|| {
+            KShape::new(KShapeConfig {
+                k: 2,
+                max_iter: 30,
+                seed: 2,
+                init: InitStrategy::PlusPlus,
+                ..Default::default()
+            })
+            .fit(black_box(&series))
+        })
+    });
+    group.finish();
+}
+
+fn bench_dba_refinements(c: &mut Criterion) {
+    let (series, _) = ecg_dataset(20, 96, 34);
+    let mut group = c.benchmark_group("ablation_dba_refinements");
+    group.sample_size(10);
+    for refinements in [1usize, 5] {
+        group.bench_function(format!("refinements_{refinements}"), |b| {
+            b.iter(|| {
+                kdba(
+                    black_box(&series),
+                    &KDbaConfig {
+                        k: 2,
+                        max_iter: 15,
+                        seed: 3,
+                        refinements_per_iter: refinements,
+                        window: None,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lb_cascade(c: &mut Criterion) {
+    let (series, labels) = ecg_dataset(30, 128, 35);
+    let data = Dataset::new("bench", series, labels);
+    let split = split_alternating(data);
+    let w = 6;
+    let mut group = c.benchmark_group("ablation_lb_keogh");
+    group.bench_function("cdtw_plain", |b| {
+        b.iter(|| one_nn_accuracy(&Dtw::with_window(w), black_box(&split.train), &split.test))
+    });
+    group.bench_function("cdtw_lb_cascade", |b| {
+        b.iter(|| one_nn_accuracy_lb(Some(w), black_box(&split.train), &split.test))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_init, bench_dba_refinements, bench_lb_cascade
+}
+criterion_main!(benches);

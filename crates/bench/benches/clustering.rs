@@ -1,0 +1,90 @@
+//! Table 3 runtime column, as a benchmark: full clustering runs of each
+//! scalable method on a fixed ECG-like dataset.
+//!
+//! Paper expectations: k-AVG+ED fastest; k-Shape within roughly an order
+//! of magnitude; KSC slower; k-DBA (full DTW paths every iteration) and
+//! anything assigning with unconstrained DTW slowest.
+
+use bench::ecg_dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kshape::{KShape, KShapeConfig};
+use tscluster::dba::{kdba, KDbaConfig};
+use tscluster::kmeans::{kmeans, KMeansConfig};
+use tscluster::ksc::{ksc, KscConfig};
+use tscluster::matrix::DissimilarityMatrix;
+use tscluster::pam::pam;
+use tsdist::dtw::Dtw;
+use tsdist::EuclideanDistance;
+
+fn bench_clustering(c: &mut Criterion) {
+    let (series, _) = ecg_dataset(30, 128, 21);
+    let max_iter = 20;
+
+    let mut group = c.benchmark_group("clustering_full_fit");
+    group.bench_function("k-AVG+ED", |b| {
+        b.iter(|| {
+            kmeans(
+                black_box(&series),
+                &EuclideanDistance,
+                &KMeansConfig {
+                    k: 2,
+                    max_iter,
+                    seed: 1,
+                },
+            )
+        })
+    });
+    group.bench_function("k-Shape", |b| {
+        b.iter(|| {
+            KShape::new(KShapeConfig {
+                k: 2,
+                max_iter,
+                seed: 1,
+                ..Default::default()
+            })
+            .fit(black_box(&series))
+        })
+    });
+    group.bench_function("KSC", |b| {
+        b.iter(|| {
+            ksc(
+                black_box(&series),
+                &KscConfig {
+                    k: 2,
+                    max_iter,
+                    seed: 1,
+                },
+            )
+        })
+    });
+    group.bench_function("k-DBA", |b| {
+        b.iter(|| {
+            kdba(
+                black_box(&series),
+                &KDbaConfig {
+                    k: 2,
+                    max_iter,
+                    seed: 1,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("PAM+cDTW(matrix+swap)", |b| {
+        // The paper's point about PAM: the dissimilarity matrix dominates.
+        b.iter(|| {
+            let matrix = DissimilarityMatrix::compute(black_box(&series), &Dtw::with_window(6));
+            pam(&matrix, 2, max_iter)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_clustering
+}
+criterion_main!(benches);

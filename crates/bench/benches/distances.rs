@@ -1,0 +1,72 @@
+//! Table 2 runtime column, as a microbenchmark: per-pair cost of each
+//! distance measure across series lengths.
+//!
+//! Paper expectations: ED fastest; SBD a small factor slower; SBD-NoPow2
+//! slower than SBD; SBD-NoFFT and DTW quadratic (their gap to SBD widens
+//! with `m`); cDTW between ED and DTW.
+
+use bench::random_series;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kshape::sbd::{sbd_with, CorrMethod, SbdPlan};
+use tsdist::dtw::dtw_distance;
+use tsdist::ed::euclidean;
+use tsdist::erp::erp_distance;
+use tsdist::lcss::lcss_length;
+use tsdist::msm::msm_distance;
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_per_pair");
+    for &m in &[64usize, 256, 1024] {
+        let x = random_series(m, 1);
+        let y = random_series(m, 2);
+
+        group.bench_with_input(BenchmarkId::new("ED", m), &m, |b, _| {
+            b.iter(|| euclidean(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("SBD", m), &m, |b, _| {
+            b.iter(|| sbd_with(black_box(&x), black_box(&y), CorrMethod::FftPow2).dist)
+        });
+        group.bench_with_input(BenchmarkId::new("SBD-planned", m), &m, |b, _| {
+            // The hot-path variant used inside k-Shape: plan + reference
+            // spectrum amortized.
+            let plan = SbdPlan::new(m);
+            let prepared = plan.prepare(&x);
+            b.iter(|| plan.sbd_prepared(black_box(&prepared), black_box(&y)).dist)
+        });
+        group.bench_with_input(BenchmarkId::new("SBD-NoPow2", m), &m, |b, _| {
+            b.iter(|| sbd_with(black_box(&x), black_box(&y), CorrMethod::FftExact).dist)
+        });
+        group.bench_with_input(BenchmarkId::new("SBD-NoFFT", m), &m, |b, _| {
+            b.iter(|| sbd_with(black_box(&x), black_box(&y), CorrMethod::Naive).dist)
+        });
+        group.bench_with_input(BenchmarkId::new("cDTW-5", m), &m, |b, _| {
+            let w = (0.05 * m as f64).round() as usize;
+            b.iter(|| dtw_distance(black_box(&x), black_box(&y), Some(w)))
+        });
+        if m <= 256 {
+            group.bench_with_input(BenchmarkId::new("DTW", m), &m, |b, _| {
+                b.iter(|| dtw_distance(black_box(&x), black_box(&y), None))
+            });
+            // Elastic extensions share DTW's quadratic DP shape.
+            group.bench_with_input(BenchmarkId::new("ERP", m), &m, |b, _| {
+                b.iter(|| erp_distance(black_box(&x), black_box(&y), 0.0))
+            });
+            group.bench_with_input(BenchmarkId::new("MSM", m), &m, |b, _| {
+                b.iter(|| msm_distance(black_box(&x), black_box(&y), 0.5))
+            });
+            group.bench_with_input(BenchmarkId::new("LCSS", m), &m, |b, _| {
+                b.iter(|| lcss_length(black_box(&x), black_box(&y), 0.25, None))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_distances
+}
+criterion_main!(benches);

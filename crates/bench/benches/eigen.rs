@@ -1,0 +1,75 @@
+//! Eigensolver microbenchmarks: Householder+QL vs cyclic Jacobi vs power
+//! iteration on random symmetric matrices.
+//!
+//! Shape extraction needs only the dominant eigenpair of a PSD matrix, so
+//! power iteration's advantage over the full solvers is the headroom the
+//! `EigenMethod::Power` fast path exploits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tslinalg::eigen::symmetric_eigen;
+use tslinalg::jacobi::jacobi_eigen;
+use tslinalg::matrix::Matrix;
+use tslinalg::power::power_iteration;
+
+fn random_symmetric(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.max(1);
+    let mut m = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..=r {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            m[(r, c)] = v;
+            m[(c, r)] = v;
+        }
+    }
+    m
+}
+
+/// A PSD Gram matrix (the shape-extraction case).
+fn random_psd(n: usize, rank: usize, seed: u64) -> Matrix {
+    let mut state = seed.max(1);
+    let mut m = Matrix::zeros(n, n);
+    for _ in 0..rank {
+        let x: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        m.rank_one_update(&x, 1.0);
+    }
+    m
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_eigen");
+    for &n in &[16usize, 64, 128] {
+        let a = random_symmetric(n, 3);
+        group.bench_with_input(BenchmarkId::new("householder_ql", n), &n, |b, _| {
+            b.iter(|| symmetric_eigen(black_box(&a)))
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("jacobi", n), &n, |b, _| {
+                b.iter(|| jacobi_eigen(black_box(&a)))
+            });
+        }
+        let psd = random_psd(n, 8, 4);
+        group.bench_with_input(BenchmarkId::new("power_iteration_psd", n), &n, |b, _| {
+            b.iter(|| power_iteration(black_box(&psd), 200, 1e-12))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_eigen
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! FFT substrate microbenchmarks: radix-2 vs Bluestein vs naive DFT, and
+//! the three cross-correlation strategies of Section 3.1.
+//!
+//! Quantifies the paper's claims that the convolution-theorem path turns
+//! O(m²) correlation into O(m log m), and that power-of-two padding beats
+//! an exact-size transform.
+
+use bench::random_series;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tsfft::bluestein::BluesteinFft;
+use tsfft::complex::Complex;
+use tsfft::correlate::{cross_correlate_bluestein, cross_correlate_fft, cross_correlate_naive};
+use tsfft::dft::dft;
+use tsfft::fft::Radix2Fft;
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_transform");
+    for &n in &[256usize, 1024, 4096] {
+        let signal: Vec<Complex> = random_series(n, 7)
+            .into_iter()
+            .map(Complex::from_real)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            let plan = Radix2Fft::new(n);
+            b.iter(|| plan.forward_vec(black_box(signal.clone())))
+        });
+        // Bluestein at the awkward size n - 1 (never a power of two here).
+        let odd: Vec<Complex> = signal[..n - 1].to_vec();
+        group.bench_with_input(BenchmarkId::new("bluestein", n - 1), &n, |b, _| {
+            let plan = BluesteinFft::new(n - 1);
+            b.iter(|| plan.forward(black_box(&odd)))
+        });
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("naive_dft", n), &n, |b, _| {
+                b.iter(|| dft(black_box(&signal)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_correlation");
+    for &m in &[64usize, 256, 1024] {
+        let x = random_series(m, 1);
+        let y = random_series(m, 2);
+        group.bench_with_input(BenchmarkId::new("fft_pow2", m), &m, |b, _| {
+            b.iter(|| cross_correlate_fft(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("bluestein_exact", m), &m, |b, _| {
+            b.iter(|| cross_correlate_bluestein(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, _| {
+            b.iter(|| cross_correlate_naive(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("length_reduction");
+    for &m in &[512usize, 2048] {
+        let x = random_series(m, 19);
+        group.bench_with_input(BenchmarkId::new("paa_to_128", m), &m, |b, _| {
+            b.iter(|| tsdata::reduce::paa(black_box(&x), 128))
+        });
+        group.bench_with_input(BenchmarkId::new("haar_reduce_128", m), &m, |b, _| {
+            b.iter(|| tsdata::reduce::haar_reduce(black_box(&x), 128))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_transforms, bench_correlation, bench_reduction
+}
+criterion_main!(benches);

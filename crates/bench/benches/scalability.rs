@@ -1,0 +1,87 @@
+//! Figure 12 as a benchmark: k-Shape and k-AVG+ED full fits on CBF while
+//! (a) the number of series `n` grows at fixed `m = 128`, and (b) the
+//! series length `m` grows at fixed `n`.
+//!
+//! Paper expectations: both methods linear in `n`; k-Shape's refinement is
+//! O(m²)/O(m³) so its `m`-scaling is steeper.
+
+use bench::cbf_series;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use kshape::{KShape, KShapeConfig};
+use tscluster::kmeans::{kmeans, KMeansConfig};
+use tsdist::EuclideanDistance;
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_vs_n_m128");
+    for &n in &[150usize, 300, 600, 1200] {
+        let series = cbf_series(n, 128, 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("k-Shape", n), &n, |b, _| {
+            b.iter(|| {
+                KShape::new(KShapeConfig {
+                    k: 3,
+                    max_iter: 10,
+                    seed: 1,
+                    ..Default::default()
+                })
+                .fit(black_box(&series))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("k-AVG+ED", n), &n, |b, _| {
+            b.iter(|| {
+                kmeans(
+                    black_box(&series),
+                    &EuclideanDistance,
+                    &KMeansConfig {
+                        k: 3,
+                        max_iter: 10,
+                        seed: 1,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_vs_m_n300");
+    for &m in &[64usize, 128, 256, 512] {
+        let series = cbf_series(300, m, 5);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("k-Shape", m), &m, |b, _| {
+            b.iter(|| {
+                KShape::new(KShapeConfig {
+                    k: 3,
+                    max_iter: 10,
+                    seed: 1,
+                    ..Default::default()
+                })
+                .fit(black_box(&series))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("k-AVG+ED", m), &m, |b, _| {
+            b.iter(|| {
+                kmeans(
+                    black_box(&series),
+                    &EuclideanDistance,
+                    &KMeansConfig {
+                        k: 3,
+                        max_iter: 10,
+                        seed: 1,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vs_n, bench_vs_m
+}
+criterion_main!(benches);

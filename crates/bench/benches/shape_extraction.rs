@@ -1,0 +1,56 @@
+//! Shape-extraction ablation bench (DESIGN.md design-choice list): the
+//! full Householder+QL eigensolver vs power iteration as the
+//! dominant-eigenvector backend, across cluster sizes and series lengths.
+//!
+//! Both backends return the same centroid (tested in `kshape`); this bench
+//! quantifies the speed difference, including the dual-space shortcut that
+//! kicks in when a cluster has fewer members than time points.
+
+use bench::cbf_series;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kshape::extraction::{shape_extraction, EigenMethod};
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shape_extraction");
+    for &(n, m) in &[(10usize, 128usize), (50, 128), (10, 512), (200, 128)] {
+        let series = cbf_series(n, m, 11);
+        let members: Vec<&[f64]> = series.iter().map(Vec::as_slice).collect();
+        let reference = series[0].clone();
+        group.bench_with_input(
+            BenchmarkId::new("full_eigen", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    shape_extraction(
+                        black_box(&members),
+                        black_box(&reference),
+                        EigenMethod::Full,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("power_iteration", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    shape_extraction(
+                        black_box(&members),
+                        black_box(&reference),
+                        EigenMethod::Power,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_extraction
+}
+criterion_main!(benches);

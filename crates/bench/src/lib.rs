@@ -1,0 +1,77 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdata::generators::{cbf, GenParams};
+use tsdata::normalize::z_normalize_in_place;
+
+/// A deterministic z-normalized pseudo-random series of length `m`.
+#[must_use]
+pub fn random_series(m: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut s: Vec<f64> = (0..m)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+        .collect();
+    z_normalize_in_place(&mut s);
+    s
+}
+
+/// A z-normalized CBF dataset: `n` series of length `m` over 3 classes.
+#[must_use]
+pub fn cbf_series(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut s = cbf::generate_one(i % 3, m, &mut rng);
+        z_normalize_in_place(&mut s);
+        out.push(s);
+    }
+    out
+}
+
+/// An ECG-like two-class dataset, z-normalized, for clustering benches.
+#[must_use]
+pub fn ecg_dataset(n_per_class: usize, m: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let params = GenParams {
+        n_per_class,
+        len: m,
+        noise: 0.25,
+        max_shift_frac: 0.2,
+        amp_jitter: 1.3,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = tsdata::generators::ecg::generate(&params, &mut rng);
+    d.z_normalize();
+    (d.series, d.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{cbf_series, ecg_dataset, random_series};
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(random_series(32, 1), random_series(32, 1));
+        assert_eq!(cbf_series(6, 64, 2), cbf_series(6, 64, 2));
+        let (a, la) = ecg_dataset(4, 64, 3);
+        let (b, lb) = ecg_dataset(4, 64, 3);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn fixtures_have_requested_shapes() {
+        assert_eq!(random_series(100, 5).len(), 100);
+        let series = cbf_series(10, 48, 1);
+        assert_eq!(series.len(), 10);
+        assert!(series.iter().all(|s| s.len() == 48));
+        let (s, l) = ecg_dataset(5, 32, 1);
+        assert_eq!(s.len(), 10);
+        assert_eq!(l.len(), 10);
+    }
+}

@@ -1,0 +1,374 @@
+//! The k-Shape clustering algorithm (Section 3.3, Algorithm 3).
+//!
+//! k-Shape is an iterative refinement procedure in the mold of k-means but
+//! with SBD as the distance and shape extraction as the centroid method.
+//! Every iteration:
+//!
+//! 1. **refinement** — each cluster centroid is recomputed with
+//!    [`crate::extraction::shape_extraction`] against the previous
+//!    centroid,
+//! 2. **assignment** — every series moves to the cluster of its
+//!    SBD-nearest centroid.
+//!
+//! Iteration stops when memberships stop changing or `max_iter` (100 in the
+//! paper) is reached. Complexity per iteration is
+//! `O(max{n·k·m·log m, n·m², k·m³})`, linear in the number of series `n`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::extraction::{shape_extraction, EigenMethod};
+use crate::init::{plus_plus_assignment, random_assignment, InitStrategy};
+use crate::sbd::SbdPlan;
+
+/// Configuration for a k-Shape run.
+#[derive(Debug, Clone, Copy)]
+pub struct KShapeConfig {
+    /// Number of clusters to produce.
+    pub k: usize,
+    /// Maximum refinement iterations (the paper uses 100).
+    pub max_iter: usize,
+    /// RNG seed for the initial assignment.
+    pub seed: u64,
+    /// Initialization strategy.
+    pub init: InitStrategy,
+    /// Dominant-eigenvector method for shape extraction.
+    pub eigen: EigenMethod,
+}
+
+impl Default for KShapeConfig {
+    fn default() -> Self {
+        KShapeConfig {
+            k: 2,
+            max_iter: 100,
+            seed: 0,
+            init: InitStrategy::Random,
+            eigen: EigenMethod::Full,
+        }
+    }
+}
+
+/// The outcome of a k-Shape run.
+#[derive(Debug, Clone)]
+pub struct KShapeResult {
+    /// Cluster index per input series.
+    pub labels: Vec<usize>,
+    /// One z-normalized centroid per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed before convergence or the cap.
+    pub iterations: usize,
+    /// Whether memberships converged before `max_iter`.
+    pub converged: bool,
+    /// Final sum of squared SBD distances of members to their centroids
+    /// (the Equation 1 objective under SBD).
+    pub inertia: f64,
+}
+
+/// The k-Shape clustering algorithm.
+#[derive(Debug, Clone)]
+pub struct KShape {
+    config: KShapeConfig,
+}
+
+impl KShape {
+    /// Creates a k-Shape instance with the given configuration.
+    #[must_use]
+    pub fn new(config: KShapeConfig) -> Self {
+        KShape { config }
+    }
+
+    /// Convenience constructor with default settings.
+    #[must_use]
+    pub fn with_k(k: usize) -> Self {
+        KShape::new(KShapeConfig {
+            k,
+            ..Default::default()
+        })
+    }
+
+    /// Borrow the configuration.
+    #[must_use]
+    pub fn config(&self) -> &KShapeConfig {
+        &self.config
+    }
+
+    /// Clusters `series` into `k` groups (Algorithm 3).
+    ///
+    /// Inputs are expected to be z-normalized (the paper z-normalizes all
+    /// data up front); the algorithm still works on raw data because SBD
+    /// itself is scale invariant, but centroids assume centered members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty, ragged, or `k` is 0 or exceeds the
+    /// number of series.
+    #[must_use]
+    pub fn fit(&self, series: &[Vec<f64>]) -> KShapeResult {
+        let cfg = &self.config;
+        let n = series.len();
+        assert!(n > 0, "k-Shape requires at least one series");
+        assert!(cfg.k > 0, "k must be positive");
+        assert!(cfg.k <= n, "k must not exceed the number of series");
+        let m = series[0].len();
+        assert!(m > 0, "series must be non-empty");
+        assert!(
+            series.iter().all(|s| s.len() == m),
+            "all series must have equal length"
+        );
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut labels = match cfg.init {
+            InitStrategy::Random => random_assignment(n, cfg.k, &mut rng),
+            InitStrategy::PlusPlus => plus_plus_assignment(series, cfg.k, &mut rng),
+        };
+        let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; cfg.k];
+        let plan = SbdPlan::new(m);
+
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut dists = vec![0.0f64; n];
+        while iterations < cfg.max_iter {
+            iterations += 1;
+
+            // ----- Refinement step: recompute centroids. -----
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..cfg.k {
+                let members: Vec<&[f64]> = labels
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| l == j)
+                    .map(|(i, _)| series[i].as_slice())
+                    .collect();
+                if members.is_empty() {
+                    // Re-seed an empty cluster with the series that is
+                    // currently worst-served by its own centroid.
+                    let worst = dists
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                        .map_or(0, |(i, _)| i);
+                    labels[worst] = j;
+                    centroids[j] = tsdata::normalize::z_normalize(&series[worst]);
+                    continue;
+                }
+                centroids[j] = shape_extraction(&members, &centroids[j], cfg.eigen);
+            }
+
+            // ----- Assignment step: move to nearest centroid. -----
+            let prepared: Vec<_> = centroids.iter().map(|c| plan.prepare(c)).collect();
+            let mut changed = false;
+            for (i, s) in series.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                let mut best_j = labels[i];
+                for (j, p) in prepared.iter().enumerate() {
+                    let d = plan.sbd_prepared(p, s).dist;
+                    if d < best {
+                        best = d;
+                        best_j = j;
+                    }
+                }
+                dists[i] = best;
+                if best_j != labels[i] {
+                    labels[i] = best_j;
+                    changed = true;
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+
+        let inertia = dists.iter().map(|d| d * d).sum();
+        KShapeResult {
+            labels,
+            centroids,
+            iterations,
+            converged,
+            inertia,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{KShape, KShapeConfig, KShapeResult};
+    use crate::extraction::EigenMethod;
+    use crate::init::InitStrategy;
+    use tsdata::normalize::z_normalize;
+
+    fn bump(m: usize, center: f64, width: f64) -> Vec<f64> {
+        (0..m)
+            .map(|i| (-((i as f64 - center) / width).powi(2)).exp())
+            .collect()
+    }
+
+    /// Two shape classes — a narrow early bump and a wide double bump —
+    /// with per-member phase jitter.
+    fn two_class_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let m = 64;
+        let mut series = Vec::new();
+        let mut truth = Vec::new();
+        for j in 0..6 {
+            let shift = j as f64 * 2.0 - 5.0;
+            let a: Vec<f64> = (0..m)
+                .map(|i| (-((i as f64 - 20.0 - shift) / 2.5).powi(2)).exp())
+                .collect();
+            let b: Vec<f64> = bump(m, 18.0 + shift, 6.0)
+                .iter()
+                .zip(bump(m, 42.0 + shift, 6.0).iter())
+                .map(|(x, y)| x - y)
+                .collect();
+            series.push(z_normalize(&a));
+            truth.push(0);
+            series.push(z_normalize(&b));
+            truth.push(1);
+        }
+        (series, truth)
+    }
+
+    fn cluster_agreement(result: &KShapeResult, truth: &[usize]) -> bool {
+        // Check whether labels equal truth up to cluster renaming (k=2).
+        let direct = result.labels.iter().zip(truth.iter()).all(|(a, b)| a == b);
+        let flipped = result
+            .labels
+            .iter()
+            .zip(truth.iter())
+            .all(|(a, b)| *a == 1 - *b);
+        direct || flipped
+    }
+
+    #[test]
+    fn recovers_two_shape_classes() {
+        let (series, truth) = two_class_data();
+        let result = KShape::new(KShapeConfig {
+            k: 2,
+            seed: 7,
+            ..Default::default()
+        })
+        .fit(&series);
+        assert!(result.converged, "did not converge");
+        assert!(
+            cluster_agreement(&result, &truth),
+            "labels {:?} vs truth {truth:?}",
+            result.labels
+        );
+    }
+
+    #[test]
+    fn result_invariants() {
+        let (series, _) = two_class_data();
+        let result = KShape::with_k(2).fit(&series);
+        assert_eq!(result.labels.len(), series.len());
+        assert_eq!(result.centroids.len(), 2);
+        assert!(result.labels.iter().all(|&l| l < 2));
+        assert!(result.inertia >= 0.0);
+        assert!(result.iterations >= 1);
+        for c in &result.centroids {
+            assert_eq!(c.len(), 64);
+            let mean: f64 = c.iter().sum::<f64>() / 64.0;
+            assert!(mean.abs() < 1e-9, "centroid not centered");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (series, _) = two_class_data();
+        let a = KShape::new(KShapeConfig {
+            k: 2,
+            seed: 3,
+            ..Default::default()
+        })
+        .fit(&series);
+        let b = KShape::new(KShapeConfig {
+            k: 2,
+            seed: 3,
+            ..Default::default()
+        })
+        .fit(&series);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn k_equals_n_puts_every_series_alone() {
+        let (series, _) = two_class_data();
+        let n = series.len();
+        let result = KShape::new(KShapeConfig {
+            k: n,
+            seed: 1,
+            ..Default::default()
+        })
+        .fit(&series);
+        let mut sorted = result.labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "expected n singleton clusters");
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    fn k_equals_one_is_single_cluster() {
+        let (series, _) = two_class_data();
+        let result = KShape::with_k(1).fit(&series);
+        assert!(result.labels.iter().all(|&l| l == 0));
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn plus_plus_init_also_recovers_classes() {
+        let (series, truth) = two_class_data();
+        let result = KShape::new(KShapeConfig {
+            k: 2,
+            seed: 11,
+            init: InitStrategy::PlusPlus,
+            ..Default::default()
+        })
+        .fit(&series);
+        assert!(cluster_agreement(&result, &truth));
+    }
+
+    #[test]
+    fn power_eigen_matches_full_on_easy_data() {
+        let (series, truth) = two_class_data();
+        let result = KShape::new(KShapeConfig {
+            k: 2,
+            seed: 7,
+            eigen: EigenMethod::Power,
+            ..Default::default()
+        })
+        .fit(&series);
+        assert!(cluster_agreement(&result, &truth));
+    }
+
+    #[test]
+    fn max_iter_one_terminates_unconverged_or_lucky() {
+        let (series, _) = two_class_data();
+        let result = KShape::new(KShapeConfig {
+            k: 2,
+            seed: 5,
+            max_iter: 1,
+            ..Default::default()
+        })
+        .fit(&series);
+        assert_eq!(result.iterations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed")]
+    fn rejects_k_larger_than_n() {
+        let _ = KShape::with_k(5).fit(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn rejects_empty_input() {
+        let _ = KShape::with_k(1).fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_ragged_input() {
+        let _ = KShape::with_k(1).fit(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+}

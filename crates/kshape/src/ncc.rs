@@ -1,0 +1,203 @@
+//! Normalized cross-correlation sequences (Equation 8 of the paper).
+//!
+//! Given the raw cross-correlation sequence `CC_w(x, y)` (2m−1 values over
+//! lags `−(m−1)..=(m−1)`), three normalizations are defined:
+//!
+//! * `NCCb` — the *biased* estimator: divide by `m`,
+//! * `NCCu` — the *unbiased* estimator: divide by `m − |lag|`,
+//! * `NCCc` — *coefficient* normalization: divide by
+//!   `√(R₀(x,x) · R₀(y,y))`, bounding values to `[−1, 1]`.
+//!
+//! The paper's Figure 3 shows how the choice of normalization (together
+//! with z-normalization of the data) changes where the sequence peaks;
+//! Appendix A shows `NCCc` (the basis of SBD) is the most robust.
+
+use tsfft::correlate::{autocorr0, cross_correlate_fft};
+
+/// Which cross-correlation normalization to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NccVariant {
+    /// Biased estimator `CC_w / m`.
+    Biased,
+    /// Unbiased estimator `CC_w / (m − |lag|)`.
+    Unbiased,
+    /// Coefficient normalization `CC_w / √(R₀(x,x)·R₀(y,y))`.
+    Coefficient,
+}
+
+impl NccVariant {
+    /// Short name matching the paper's notation.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NccVariant::Biased => "NCCb",
+            NccVariant::Unbiased => "NCCu",
+            NccVariant::Coefficient => "NCCc",
+        }
+    }
+}
+
+/// Computes the normalized cross-correlation sequence of `x` and `y`
+/// (length `2m − 1`, lags `−(m−1)..=(m−1)`).
+///
+/// For [`NccVariant::Coefficient`] with a zero-energy input the sequence is
+/// all zeros (no direction is more similar than another).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn ncc(x: &[f64], y: &[f64], variant: NccVariant) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "NCC requires equal-length sequences");
+    let m = x.len();
+    let mut cc = cross_correlate_fft(x, y);
+    match variant {
+        NccVariant::Biased => {
+            let inv = 1.0 / m as f64;
+            for v in &mut cc {
+                *v *= inv;
+            }
+        }
+        NccVariant::Unbiased => {
+            for (i, v) in cc.iter_mut().enumerate() {
+                let lag = i as isize - (m as isize - 1);
+                let denom = (m as isize - lag.abs()) as f64;
+                *v /= denom;
+            }
+        }
+        NccVariant::Coefficient => {
+            let denom = (autocorr0(x) * autocorr0(y)).sqrt();
+            if denom > 0.0 {
+                let inv = 1.0 / denom;
+                for v in &mut cc {
+                    *v *= inv;
+                }
+            } else {
+                cc.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+    }
+    cc
+}
+
+/// Returns `(max value, lag)` of the normalized cross-correlation — the
+/// peak the SBD distance and alignment are derived from.
+///
+/// # Panics
+///
+/// Panics if the inputs are empty or of differing lengths.
+#[must_use]
+pub fn ncc_max(x: &[f64], y: &[f64], variant: NccVariant) -> (f64, isize) {
+    let seq = ncc(x, y, variant);
+    assert!(!seq.is_empty(), "NCC of empty sequences has no maximum");
+    let m = x.len() as isize;
+    let (idx, &val) = seq
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in NCC sequence"))
+        .expect("non-empty");
+    (val, idx as isize - (m - 1))
+}
+
+/// Distance induced by an NCC variant: `1 − max_w NCC_w(x, y)`.
+///
+/// Only [`NccVariant::Coefficient`] guarantees a range of `[0, 2]` (that is
+/// SBD); the others are exposed for the Appendix A comparison (Figures 10
+/// and 11).
+#[must_use]
+pub fn ncc_distance(x: &[f64], y: &[f64], variant: NccVariant) -> f64 {
+    1.0 - ncc_max(x, y, variant).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{ncc, ncc_distance, ncc_max, NccVariant};
+
+    #[test]
+    fn names() {
+        assert_eq!(NccVariant::Biased.name(), "NCCb");
+        assert_eq!(NccVariant::Unbiased.name(), "NCCu");
+        assert_eq!(NccVariant::Coefficient.name(), "NCCc");
+    }
+
+    #[test]
+    fn coefficient_bounded_in_unit_interval() {
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i as f64 * 0.11).cos() * 2.0).collect();
+        for v in ncc(&x, &y, NccVariant::Coefficient) {
+            assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn self_correlation_peaks_at_one_lag_zero() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.5).sin()).collect();
+        let (val, lag) = ncc_max(&x, &x, NccVariant::Coefficient);
+        assert!((val - 1.0).abs() < 1e-9);
+        assert_eq!(lag, 0);
+    }
+
+    #[test]
+    fn shifted_copy_peaks_at_the_shift() {
+        let m = 64;
+        let base: Vec<f64> = (0..m)
+            .map(|i| (-((i as f64 - 20.0) / 3.0).powi(2)).exp())
+            .collect();
+        let mut delayed = vec![0.0; m];
+        delayed[5..m].copy_from_slice(&base[..m - 5]);
+        // R_k(base, delayed) peaks where base[l+k] ≈ delayed[l] = base[l-5],
+        // i.e. at lag k = −5.
+        let (_, lag) = ncc_max(&base, &delayed, NccVariant::Coefficient);
+        assert_eq!(lag, -5);
+        // And symmetrically the other way round.
+        let (_, lag) = ncc_max(&delayed, &base, NccVariant::Coefficient);
+        assert_eq!(lag, 5);
+    }
+
+    #[test]
+    fn biased_divides_by_m() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        let raw = tsfft::correlate::cross_correlate_naive(&x, &y);
+        let b = ncc(&x, &y, NccVariant::Biased);
+        for (r, nb) in raw.iter().zip(b.iter()) {
+            assert!((r / 3.0 - nb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unbiased_divides_by_overlap() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        let raw = tsfft::correlate::cross_correlate_naive(&x, &y);
+        let u = ncc(&x, &y, NccVariant::Unbiased);
+        let overlaps = [1.0, 2.0, 3.0, 2.0, 1.0];
+        for ((r, nu), ov) in raw.iter().zip(u.iter()).zip(overlaps.iter()) {
+            assert!((r / ov - nu).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_energy_coefficient_is_all_zeros() {
+        let z = [0.0; 8];
+        let x = [1.0; 8];
+        assert!(ncc(&z, &x, NccVariant::Coefficient)
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn coefficient_distance_scale_invariant() {
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3 + 1.0).sin()).collect();
+        let y_scaled: Vec<f64> = y.iter().map(|v| 7.5 * v).collect();
+        let d1 = ncc_distance(&x, &y, NccVariant::Coefficient);
+        let d2 = ncc_distance(&x, &y_scaled, NccVariant::Coefficient);
+        assert!((d1 - d2).abs() < 1e-9);
+        // The biased variant is NOT scale invariant — that is the point of
+        // coefficient normalization.
+        let b1 = ncc_distance(&x, &y, NccVariant::Biased);
+        let b2 = ncc_distance(&x, &y_scaled, NccVariant::Biased);
+        assert!((b1 - b2).abs() > 1e-3);
+    }
+}

@@ -1,0 +1,481 @@
+//! The shape-based distance SBD (Equation 9, Algorithm 1).
+//!
+//! `SBD(x, y) = 1 − max_w NCCc_w(x, y)`, taking values in `[0, 2]` with 0
+//! meaning identical shape. Alongside the distance, Algorithm 1 returns the
+//! copy of `y` optimally aligned (shifted with zero padding) toward `x`,
+//! which shape extraction relies on.
+//!
+//! Three computation strategies mirror the Table 2 ablation:
+//!
+//! * [`CorrMethod::FftPow2`] — FFT padded to the next power of two after
+//!   `2m − 1` (the production `SBD`),
+//! * [`CorrMethod::FftExact`] — Bluestein FFT at exactly `2m − 1`
+//!   (`SBD-NoPow2`),
+//! * [`CorrMethod::Naive`] — direct O(m²) correlation (`SBD-NoFFT`).
+
+use std::sync::{Arc, Mutex};
+
+use tsdist::Distance;
+use tsfft::bluestein::BluesteinFft;
+use tsfft::correlate::{
+    autocorr0, cross_correlate_bluestein, cross_correlate_fft, cross_correlate_naive,
+};
+use tsfft::fft::Radix2Fft;
+use tsfft::next_pow2;
+use tsfft::real::pad_to_complex;
+
+/// Cross-correlation computation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorrMethod {
+    /// Power-of-two padded FFT (Algorithm 1; the fast default).
+    #[default]
+    FftPow2,
+    /// Bluestein FFT at exact length `2m − 1` (`SBD-NoPow2`).
+    FftExact,
+    /// Direct O(m²) summation (`SBD-NoFFT`).
+    Naive,
+}
+
+impl CorrMethod {
+    /// The paper's name for the resulting SBD variant.
+    #[must_use]
+    pub fn sbd_name(self) -> &'static str {
+        match self {
+            CorrMethod::FftPow2 => "SBD",
+            CorrMethod::FftExact => "SBD-NoPow2",
+            CorrMethod::Naive => "SBD-NoFFT",
+        }
+    }
+}
+
+/// Output of one SBD computation (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct SbdResult {
+    /// `1 − max NCCc`, in `[0, 2]`.
+    pub dist: f64,
+    /// Optimal lag of `y` relative to `x` (positive = `y` delayed).
+    pub shift: isize,
+    /// `y` shifted by `shift` with zero padding (Equation 5).
+    pub aligned: Vec<f64>,
+}
+
+/// Computes SBD with the default power-of-two FFT strategy.
+///
+/// # Example
+///
+/// ```
+/// use kshape::sbd::sbd;
+///
+/// let x = [0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+/// let y = [0.0, 0.0, 0.0, 1.0, 0.0, 0.0]; // same spike, delayed by 2
+/// let r = sbd(&x, &y);
+/// assert!(r.dist < 1e-9);      // identical shape …
+/// assert_eq!(r.shift, -2);     // … y must be advanced by 2 to match x
+/// assert_eq!(r.aligned, x);    // y realigned onto x
+/// ```
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the inputs are empty.
+#[must_use]
+pub fn sbd(x: &[f64], y: &[f64]) -> SbdResult {
+    sbd_with(x, y, CorrMethod::FftPow2)
+}
+
+/// Computes SBD with an explicit correlation strategy.
+///
+/// Zero-energy edge cases: if both inputs are all-zero the distance is 0
+/// (identical); if exactly one is all-zero the distance is 1 (the NCCc
+/// sequence is identically zero).
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the inputs are empty.
+#[must_use]
+pub fn sbd_with(x: &[f64], y: &[f64], method: CorrMethod) -> SbdResult {
+    assert_eq!(x.len(), y.len(), "SBD requires equal-length sequences");
+    assert!(!x.is_empty(), "SBD requires non-empty sequences");
+    let denom = (autocorr0(x) * autocorr0(y)).sqrt();
+    if denom == 0.0 {
+        let both_zero = autocorr0(x) == 0.0 && autocorr0(y) == 0.0;
+        return SbdResult {
+            dist: if both_zero { 0.0 } else { 1.0 },
+            shift: 0,
+            aligned: y.to_vec(),
+        };
+    }
+    let cc = match method {
+        CorrMethod::FftPow2 => cross_correlate_fft(x, y),
+        CorrMethod::FftExact => cross_correlate_bluestein(x, y),
+        CorrMethod::Naive => cross_correlate_naive(x, y),
+    };
+    finish(x.len(), y, &cc, denom)
+}
+
+/// Shared tail of Algorithm 1: normalize, find the peak, align `y`.
+fn finish(m: usize, y: &[f64], cc: &[f64], denom: f64) -> SbdResult {
+    let mut best_idx = 0usize;
+    let mut best = f64::NEG_INFINITY;
+    for (i, &v) in cc.iter().enumerate() {
+        if v > best {
+            best = v;
+            best_idx = i;
+        }
+    }
+    let value = best / denom;
+    let shift = best_idx as isize - (m as isize - 1);
+    SbdResult {
+        dist: 1.0 - value,
+        shift,
+        aligned: tsdata::distort::shift_zero_pad(y, shift),
+    }
+}
+
+/// A reusable SBD computation plan for a fixed series length.
+///
+/// Caches the FFT plan and the transforms of a reference series so that
+/// comparing one reference against many candidates (the k-Shape assignment
+/// step, 1-NN search) pays the planning and one of the two forward
+/// transforms only once.
+#[derive(Debug)]
+pub struct SbdPlan {
+    m: usize,
+    padded: usize,
+    plan: Radix2Fft,
+}
+
+impl SbdPlan {
+    /// Creates a plan for series of length `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "SBD plan requires a positive length");
+        let padded = next_pow2(2 * m - 1);
+        SbdPlan {
+            m,
+            padded,
+            plan: Radix2Fft::new(padded),
+        }
+    }
+
+    /// The series length this plan serves.
+    #[inline]
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.m
+    }
+
+    /// Precomputes the spectrum and energy of a reference series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan length.
+    #[must_use]
+    pub fn prepare(&self, x: &[f64]) -> PreparedSeries {
+        assert_eq!(x.len(), self.m, "series length must match plan");
+        let mut buf = pad_to_complex(x, self.padded);
+        self.plan.forward(&mut buf);
+        PreparedSeries {
+            spectrum: buf,
+            energy: autocorr0(x),
+        }
+    }
+
+    /// SBD between a prepared reference `x` and a raw candidate `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the plan length.
+    #[must_use]
+    pub fn sbd_prepared(&self, x: &PreparedSeries, y: &[f64]) -> SbdResult {
+        assert_eq!(y.len(), self.m, "series length must match plan");
+        let denom = (x.energy * autocorr0(y)).sqrt();
+        if denom == 0.0 {
+            let both_zero = x.energy == 0.0 && autocorr0(y) == 0.0;
+            return SbdResult {
+                dist: if both_zero { 0.0 } else { 1.0 },
+                shift: 0,
+                aligned: y.to_vec(),
+            };
+        }
+        let mut fy = pad_to_complex(y, self.padded);
+        self.plan.forward(&mut fy);
+        for (a, b) in fy.iter_mut().zip(x.spectrum.iter()) {
+            // F(x)·conj(F(y)) — note the argument order.
+            *a = *b * a.conj();
+        }
+        self.plan.inverse(&mut fy);
+        // Unwrap circular buffer into lag order −(m−1)..=(m−1).
+        let m = self.m;
+        let n = self.padded;
+        let mut cc = Vec::with_capacity(2 * m - 1);
+        cc.extend((1..m).rev().map(|k| fy[n - k].re));
+        cc.extend(fy[..m].iter().map(|z| z.re));
+        finish(m, y, &cc, denom)
+    }
+}
+
+/// A reference series preprocessed by [`SbdPlan::prepare`].
+#[derive(Debug, Clone)]
+pub struct PreparedSeries {
+    spectrum: Vec<tsfft::Complex>,
+    energy: f64,
+}
+
+/// SBD as a [`Distance`] implementation, pluggable into the generic 1-NN
+/// and clustering machinery.
+///
+/// Internally caches one FFT plan per observed length behind a mutex; plan
+/// construction is cheap relative to a transform but not free, and the
+/// clustering hot paths reuse lengths heavily. The Bluestein variant
+/// caches its chirp plan the same way — without it, per-call plan setup
+/// would dominate and distort the Table 2 runtime ratios.
+#[derive(Debug, Default)]
+pub struct Sbd {
+    method: CorrMethod,
+    cached: Mutex<Option<Arc<SbdPlan>>>,
+    cached_bluestein: Mutex<Option<Arc<BluesteinFft>>>,
+}
+
+impl Sbd {
+    /// SBD with the default power-of-two FFT strategy.
+    #[must_use]
+    pub fn new() -> Self {
+        Sbd::default()
+    }
+
+    /// SBD with an explicit correlation strategy (for the Table 2
+    /// ablations).
+    #[must_use]
+    pub fn with_method(method: CorrMethod) -> Self {
+        Sbd {
+            method,
+            cached: Mutex::new(None),
+            cached_bluestein: Mutex::new(None),
+        }
+    }
+
+    /// Bluestein-based SBD with a cached chirp plan (the `SBD-NoPow2`
+    /// hot path).
+    fn dist_bluestein(&self, x: &[f64], y: &[f64]) -> f64 {
+        let m = x.len();
+        let denom = (autocorr0(x) * autocorr0(y)).sqrt();
+        if denom == 0.0 || m == 0 {
+            return sbd_with(x, y, CorrMethod::FftExact).dist;
+        }
+        let n = 2 * m - 1;
+        let plan = {
+            let mut guard = self
+                .cached_bluestein
+                .lock()
+                .expect("Bluestein plan lock poisoned");
+            if guard.as_ref().map(|p| p.len()) != Some(n) {
+                *guard = Some(Arc::new(BluesteinFft::new(n)));
+            }
+            Arc::clone(guard.as_ref().expect("plan just installed"))
+        };
+        let fx = plan.forward(&pad_to_complex(x, n));
+        let fy = plan.forward(&pad_to_complex(y, n));
+        let prod: Vec<tsfft::Complex> = fx
+            .iter()
+            .zip(fy.iter())
+            .map(|(a, b)| *a * b.conj())
+            .collect();
+        let c = plan.inverse(&prod);
+        let mut cc = Vec::with_capacity(2 * m - 1);
+        cc.extend((1..m).rev().map(|k| c[n - k].re));
+        cc.extend(c[..m].iter().map(|z| z.re));
+        finish(m, y, &cc, denom).dist
+    }
+}
+
+impl Distance for Sbd {
+    fn name(&self) -> String {
+        self.method.sbd_name().into()
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        match self.method {
+            CorrMethod::FftPow2 => {
+                // Hand an Arc to the caller and release the lock before the
+                // FFT work so concurrent dissimilarity-matrix workers are
+                // not serialized on the plan cache.
+                let plan = {
+                    let mut guard = self.cached.lock().expect("SBD plan lock poisoned");
+                    match guard.as_ref() {
+                        Some(p) if p.series_len() == x.len() => Arc::clone(p),
+                        _ => {
+                            let p = Arc::new(SbdPlan::new(x.len()));
+                            *guard = Some(Arc::clone(&p));
+                            p
+                        }
+                    }
+                };
+                let prepared = plan.prepare(x);
+                plan.sbd_prepared(&prepared, y).dist
+            }
+            CorrMethod::FftExact => self.dist_bluestein(x, y),
+            CorrMethod::Naive => sbd_with(x, y, CorrMethod::Naive).dist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{sbd, sbd_with, CorrMethod, Sbd, SbdPlan};
+    use tsdata::normalize::z_normalize;
+    use tsdist::Distance;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    fn identical_series_distance_zero() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let r = sbd(&x, &x);
+        assert!(r.dist.abs() < 1e-9);
+        assert_eq!(r.shift, 0);
+        assert_eq!(r.aligned, x);
+    }
+
+    #[test]
+    fn distance_in_range_zero_two() {
+        let mut next = lcg(3);
+        for _ in 0..30 {
+            let x: Vec<f64> = (0..40).map(|_| next()).collect();
+            let y: Vec<f64> = (0..40).map(|_| next()).collect();
+            let d = sbd(&x, &y).dist;
+            assert!((0.0..=2.0 + 1e-12).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn negation_increases_distance() {
+        // Negating a shape can never look *more* similar than the shape
+        // itself, and the worst case (m = 1, where no shift can help)
+        // reaches the upper bound of 2.
+        let bump: Vec<f64> = (0..32)
+            .map(|i| (-((i as f64 - 16.0) / 2.0).powi(2)).exp())
+            .collect();
+        let centered = z_normalize(&bump);
+        let neg: Vec<f64> = centered.iter().map(|v| -v).collect();
+        let d_self = sbd(&centered, &centered).dist;
+        let d_neg = sbd(&centered, &neg).dist;
+        assert!(d_neg > d_self + 0.5, "self {d_self}, negated {d_neg}");
+        // Single-sample worst case: NCC has one lag with value −1.
+        assert!((sbd(&[1.0], &[-1.0]).dist - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.17).sin()).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i as f64 * 0.17 + 0.4).cos()).collect();
+        let y5: Vec<f64> = y.iter().map(|v| 5.0 * v).collect();
+        assert!((sbd(&x, &y).dist - sbd(&x, &y5).dist).abs() < 1e-10);
+    }
+
+    #[test]
+    fn shift_recovery_and_alignment() {
+        let m = 64;
+        let base: Vec<f64> = (0..m)
+            .map(|i| (-((i as f64 - 25.0) / 4.0).powi(2)).exp())
+            .collect();
+        let delayed = tsdata::distort::shift_zero_pad(&base, 7);
+        // Aligning `delayed` toward `base` must undo the delay.
+        let r = sbd(&base, &delayed);
+        assert_eq!(r.shift, -7);
+        assert!(r.dist < 0.05, "dist {}", r.dist);
+        // The aligned copy should now be very close to base.
+        let resid: f64 = r
+            .aligned
+            .iter()
+            .zip(base.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(resid < 1e-6, "resid {resid}");
+    }
+
+    #[test]
+    fn all_methods_agree() {
+        let mut next = lcg(12);
+        for &m in &[3usize, 8, 17, 33, 64] {
+            let x: Vec<f64> = (0..m).map(|_| next()).collect();
+            let y: Vec<f64> = (0..m).map(|_| next()).collect();
+            let a = sbd_with(&x, &y, CorrMethod::FftPow2);
+            let b = sbd_with(&x, &y, CorrMethod::FftExact);
+            let c = sbd_with(&x, &y, CorrMethod::Naive);
+            assert!((a.dist - b.dist).abs() < 1e-8, "m={m}");
+            assert!((a.dist - c.dist).abs() < 1e-8, "m={m}");
+            assert_eq!(a.shift, c.shift, "m={m}");
+        }
+    }
+
+    #[test]
+    fn plan_matches_direct_computation() {
+        let mut next = lcg(9);
+        let m = 48;
+        let plan = SbdPlan::new(m);
+        let x: Vec<f64> = (0..m).map(|_| next()).collect();
+        let prepared = plan.prepare(&x);
+        for _ in 0..10 {
+            let y: Vec<f64> = (0..m).map(|_| next()).collect();
+            let fast = plan.sbd_prepared(&prepared, &y);
+            let slow = sbd(&x, &y);
+            assert!((fast.dist - slow.dist).abs() < 1e-9);
+            assert_eq!(fast.shift, slow.shift);
+        }
+    }
+
+    #[test]
+    fn zero_energy_edge_cases() {
+        let z = vec![0.0; 8];
+        let x = vec![1.0; 8];
+        assert_eq!(sbd(&z, &z).dist, 0.0);
+        assert_eq!(sbd(&z, &x).dist, 1.0);
+        assert_eq!(sbd(&x, &z).dist, 1.0);
+    }
+
+    #[test]
+    fn symmetry_of_distance() {
+        let mut next = lcg(77);
+        for _ in 0..10 {
+            let x: Vec<f64> = (0..30).map(|_| next()).collect();
+            let y: Vec<f64> = (0..30).map(|_| next()).collect();
+            assert!((sbd(&x, &y).dist - sbd(&y, &x).dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distance_trait_caches_plan_across_lengths() {
+        let d = Sbd::new();
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..16).map(|i| (16 - i) as f64).collect();
+        let d1 = d.dist(&x, &y);
+        // Different length invalidates the cache and must still work.
+        let a: Vec<f64> = (0..24).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..24).map(|i| (i as f64).cos()).collect();
+        let d2 = d.dist(&a, &b);
+        assert!((0.0..=2.0).contains(&d1));
+        assert!((0.0..=2.0).contains(&d2));
+        // And back to the original length.
+        let d3 = d.dist(&x, &y);
+        assert!((d1 - d3).abs() < 1e-12);
+        assert_eq!(d.name(), "SBD");
+        assert_eq!(Sbd::with_method(CorrMethod::Naive).name(), "SBD-NoFFT");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = sbd(&[], &[]);
+    }
+}

@@ -1,0 +1,173 @@
+//! SBD for sequences of different lengths.
+//!
+//! The paper restricts the exposition to equal lengths "for simplicity"
+//! (footnote 3) but the measure itself needs no such restriction: the
+//! cross-correlation sequence simply spans lags `−(|y|−1)..=(|x|−1)` and
+//! the coefficient normalization is unchanged. The aligned copy of `y` is
+//! placed into a buffer of `x`'s length so downstream consumers (shape
+//! extraction, plotting) receive comparable arrays.
+//!
+//! For the *uniform scaling* invariance of Section 2.2 (sequences that
+//! differ in sampling duration), [`sbd_rescaled`] first stretches the
+//! shorter sequence to the longer one's length and then applies the
+//! equal-length SBD.
+
+use tsdata::distort::resample;
+use tsfft::correlate::autocorr0;
+use tsfft::unequal::cross_correlate_unequal_fft;
+
+use crate::sbd::{sbd, SbdResult};
+
+/// SBD between sequences of possibly different lengths.
+///
+/// The distance is still `1 − max NCCc ∈ [0, 2]`; `aligned` has `x`'s
+/// length, with `y` shifted by the optimal lag and zero-padded/truncated.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty.
+#[must_use]
+pub fn sbd_unequal(x: &[f64], y: &[f64]) -> SbdResult {
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "SBD requires non-empty sequences"
+    );
+    if x.len() == y.len() {
+        return sbd(x, y);
+    }
+    let denom = (autocorr0(x) * autocorr0(y)).sqrt();
+    if denom == 0.0 {
+        let both_zero = autocorr0(x) == 0.0 && autocorr0(y) == 0.0;
+        let mut aligned = y.to_vec();
+        aligned.resize(x.len(), 0.0);
+        return SbdResult {
+            dist: if both_zero { 0.0 } else { 1.0 },
+            shift: 0,
+            aligned,
+        };
+    }
+    let cc = cross_correlate_unequal_fft(x, y);
+    let (best_idx, best) = cc
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in correlation"))
+        .expect("non-empty correlation");
+    let shift = best_idx as isize - (y.len() as isize - 1);
+    // Place y into an x-length frame at offset `shift`.
+    let mut aligned = vec![0.0; x.len()];
+    for (l, &v) in y.iter().enumerate() {
+        let t = l as isize + shift;
+        if (0..x.len() as isize).contains(&t) {
+            aligned[t as usize] = v;
+        }
+    }
+    SbdResult {
+        dist: 1.0 - best / denom,
+        shift,
+        aligned,
+    }
+}
+
+/// Uniform-scaling SBD: stretches the shorter sequence to the longer
+/// length with linear interpolation (Section 2.2's "uniform scaling
+/// invariance"), then compares with the equal-length SBD.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty.
+#[must_use]
+pub fn sbd_rescaled(x: &[f64], y: &[f64]) -> SbdResult {
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "SBD requires non-empty sequences"
+    );
+    let target = x.len().max(y.len());
+    let xs;
+    let ys;
+    let (xr, yr): (&[f64], &[f64]) = if x.len() == target {
+        ys = resample(y, target);
+        (x, &ys)
+    } else {
+        xs = resample(x, target);
+        (&xs, y)
+    };
+    sbd(xr, yr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{sbd_rescaled, sbd_unequal};
+    use crate::sbd::sbd;
+    use tsdata::distort::resample;
+    use tsdata::normalize::z_normalize;
+
+    fn bump(m: usize, center: f64, width: f64) -> Vec<f64> {
+        (0..m)
+            .map(|i| (-((i as f64 - center) / width).powi(2)).exp())
+            .collect()
+    }
+
+    #[test]
+    fn equal_lengths_delegate_to_plain_sbd() {
+        let x = bump(32, 12.0, 3.0);
+        let y = bump(32, 18.0, 3.0);
+        let a = sbd_unequal(&x, &y);
+        let b = sbd(&x, &y);
+        assert!((a.dist - b.dist).abs() < 1e-12);
+        assert_eq!(a.shift, b.shift);
+    }
+
+    #[test]
+    fn finds_sub_sequence() {
+        // y is a clean window of x: distance near the window's share of
+        // energy, shift recovering the window offset.
+        let x = bump(64, 30.0, 4.0);
+        let y = x[22..46].to_vec();
+        let r = sbd_unequal(&x, &y);
+        assert_eq!(r.shift, 22);
+        assert!(r.dist < 0.05, "dist {}", r.dist);
+        assert_eq!(r.aligned.len(), 64);
+        // The aligned copy overlays the original window.
+        for (t, &v) in r.aligned.iter().enumerate() {
+            if (22..46).contains(&t) {
+                assert!((v - x[t]).abs() < 1e-12);
+            } else {
+                assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_range_holds() {
+        let x = bump(40, 10.0, 2.0);
+        let y: Vec<f64> = (0..23).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let d = sbd_unequal(&x, &y).dist;
+        assert!((0.0..=2.0 + 1e-9).contains(&d));
+        // Swapped arguments give the same distance (negated lags).
+        let d2 = sbd_unequal(&y, &x).dist;
+        assert!((d - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescaled_recognizes_uniformly_stretched_copy() {
+        // y is x at 2x the sampling rate: uniform scaling invariance.
+        let x = z_normalize(&bump(48, 20.0, 4.0));
+        let y = resample(&x, 96);
+        let r = sbd_rescaled(&x, &y);
+        assert!(r.dist < 0.01, "dist {}", r.dist);
+    }
+
+    #[test]
+    fn zero_energy_edge_cases() {
+        let z = vec![0.0; 8];
+        let x = bump(12, 6.0, 2.0);
+        assert_eq!(sbd_unequal(&z, &x).dist, 1.0);
+        assert_eq!(sbd_unequal(&z, &[0.0; 5]).dist, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = sbd_unequal(&[], &[1.0]);
+    }
+}

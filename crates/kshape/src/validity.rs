@@ -1,0 +1,195 @@
+//! Selecting the number of clusters `k` with intrinsic criteria.
+//!
+//! The paper takes `k` as given (the class count) and notes in footnote 2
+//! that without a gold standard one "can do so by varying k and evaluating
+//! clustering quality with criteria that capture information intrinsic to
+//! the data alone". This module implements that sweep for k-Shape:
+//!
+//! * the **silhouette coefficient** under SBD (peaks at the natural k),
+//! * the **inertia** curve (monotone decreasing; its elbow marks k).
+//!
+//! The pairwise SBD matrix is computed once and reused across all k.
+
+use tseval::silhouette::silhouette_score;
+
+use crate::algorithm::{KShape, KShapeConfig, KShapeResult};
+use crate::multi::fit_best;
+use crate::sbd::SbdPlan;
+
+/// Evaluation of one candidate cluster count.
+#[derive(Debug, Clone)]
+pub struct KCandidate {
+    /// The candidate number of clusters.
+    pub k: usize,
+    /// Mean silhouette coefficient under SBD (higher is better).
+    pub silhouette: f64,
+    /// Best-of-restarts k-Shape objective (Σ SBD² to centroids).
+    pub inertia: f64,
+    /// The clustering that produced these scores.
+    pub result: KShapeResult,
+}
+
+/// Sweeps `k` over `k_range`, fitting k-Shape with `restarts` restarts per
+/// candidate, and returns one [`KCandidate`] per k in ascending order.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or ragged, the range is empty, or any
+/// candidate `k` is 0 or exceeds the number of series.
+#[must_use]
+pub fn sweep_k(
+    series: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    restarts: usize,
+    seed: u64,
+) -> Vec<KCandidate> {
+    assert!(!series.is_empty(), "k selection requires data");
+    assert!(!k_range.is_empty(), "k range must be non-empty");
+    let m = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == m),
+        "all series must have equal length"
+    );
+
+    // Pairwise SBD matrix, computed once: prepare each series' spectrum,
+    // then fill the upper triangle.
+    let n = series.len();
+    let plan = SbdPlan::new(m);
+    let prepared: Vec<_> = series.iter().map(|s| plan.prepare(s)).collect();
+    let mut dmat = vec![0.0; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = plan.sbd_prepared(&prepared[i], &series[j]).dist;
+            dmat[i * n + j] = d;
+            dmat[j * n + i] = d;
+        }
+    }
+
+    k_range
+        .map(|k| {
+            let cfg = KShapeConfig {
+                k,
+                seed: seed.wrapping_add(k as u64 * 7919),
+                ..Default::default()
+            };
+            let result = if restarts > 1 {
+                fit_best(&cfg, series, restarts)
+            } else {
+                KShape::new(cfg).fit(series)
+            };
+            let silhouette = silhouette_score(&result.labels, |i, j| dmat[i * n + j]);
+            KCandidate {
+                k,
+                silhouette,
+                inertia: result.inertia,
+                result,
+            }
+        })
+        .collect()
+}
+
+/// Picks the candidate with the highest silhouette from a sweep.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+#[must_use]
+pub fn best_by_silhouette(candidates: &[KCandidate]) -> &KCandidate {
+    candidates
+        .iter()
+        .max_by(|a, b| {
+            a.silhouette
+                .partial_cmp(&b.silhouette)
+                .expect("NaN silhouette")
+        })
+        .expect("at least one candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{best_by_silhouette, sweep_k};
+    use tsdata::normalize::z_normalize;
+
+    /// Three well-separated shape classes with mild phase jitter.
+    fn three_class_series() -> Vec<Vec<f64>> {
+        let m = 64usize;
+        let mut out = Vec::new();
+        for j in 0..6 {
+            let shift = j as f64 - 2.5;
+            // Narrow early bump.
+            out.push(z_normalize(
+                &(0..m)
+                    .map(|i| (-((i as f64 - 14.0 - shift) / 2.0).powi(2)).exp())
+                    .collect::<Vec<_>>(),
+            ));
+            // Negative wide late bump.
+            out.push(z_normalize(
+                &(0..m)
+                    .map(|i| -(-((i as f64 - 44.0 - shift) / 5.0).powi(2)).exp())
+                    .collect::<Vec<_>>(),
+            ));
+            // Two-bump pattern.
+            out.push(z_normalize(
+                &(0..m)
+                    .map(|i| {
+                        (-((i as f64 - 16.0 - shift) / 3.0).powi(2)).exp()
+                            + (-((i as f64 - 46.0 - shift) / 3.0).powi(2)).exp()
+                    })
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_recovers_true_k() {
+        let series = three_class_series();
+        let candidates = sweep_k(&series, 2..=5, 3, 11);
+        assert_eq!(candidates.len(), 4);
+        let best = best_by_silhouette(&candidates);
+        assert_eq!(
+            best.k,
+            3,
+            "silhouettes: {:?}",
+            candidates
+                .iter()
+                .map(|c| (c.k, c.silhouette))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let series = three_class_series();
+        let candidates = sweep_k(&series, 2..=6, 2, 3);
+        for w in candidates.windows(2) {
+            assert!(
+                w[1].inertia <= w[0].inertia + 0.15,
+                "inertia should broadly decrease: k={} {:.3} -> k={} {:.3}",
+                w[0].k,
+                w[0].inertia,
+                w[1].k,
+                w[1].inertia
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_carry_consistent_results() {
+        let series = three_class_series();
+        let candidates = sweep_k(&series, 2..=3, 1, 5);
+        for c in &candidates {
+            assert_eq!(c.result.labels.len(), series.len());
+            assert!(c.result.labels.iter().all(|&l| l < c.k));
+            assert!((-1.0..=1.0).contains(&c.silhouette));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_range() {
+        let series = three_class_series();
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = sweep_k(&series, 5..=2, 1, 0);
+    }
+}

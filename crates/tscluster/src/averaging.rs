@@ -1,0 +1,227 @@
+//! Time-series averaging techniques reviewed in paper Section 2.5.
+//!
+//! Besides DBA (in [`crate::dba`]), the paper surveys two earlier
+//! DTW-based averaging schemes; both are implemented here so the averaging
+//! design space the paper describes is fully exercised by the ablation
+//! bench and tests:
+//!
+//! * **NLAAF** (Gupta et al., 1996) — nonlinear alignment and averaging
+//!   filters: average *pairs* of sequences by taking the midpoint of each
+//!   DTW-coupled coordinate pair, resampling back to length `m`, and apply
+//!   this pairwise reduction sequentially until one sequence remains.
+//! * **PSA** (Niennattrakul & Ratanamahatana, 2009) — prioritized shape
+//!   averaging: a hierarchical (guide-tree) variant where each averaged
+//!   node carries a weight equal to the number of sequences it represents
+//!   and coupled coordinates are combined as the weighted center.
+
+use tsdata::distort::resample;
+use tsdist::dtw::{dtw_distance, dtw_path};
+
+/// DTW-couples `a` and `b` and returns the weighted-center sequence of the
+/// coupling, resampled back to the common length.
+///
+/// With `wa = wb` this is NLAAF's midpoint average; with unequal weights it
+/// is PSA's weighted center.
+///
+/// # Panics
+///
+/// Panics if lengths differ, inputs are empty, or weights are not positive.
+#[must_use]
+pub fn pairwise_average(a: &[f64], b: &[f64], wa: f64, wb: f64, window: Option<usize>) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "averaging requires equal lengths");
+    assert!(!a.is_empty(), "averaging requires non-empty sequences");
+    assert!(wa > 0.0 && wb > 0.0, "weights must be positive");
+    let (_, path) = dtw_path(a, b, window);
+    // One averaged value per coupled pair; the path has between m and 2m-1
+    // entries, so resample back to m afterwards.
+    let coupled: Vec<f64> = path
+        .iter()
+        .map(|&(i, j)| (wa * a[i] + wb * b[j]) / (wa + wb))
+        .collect();
+    resample(&coupled, a.len())
+}
+
+/// NLAAF: sequential pairwise averaging. The running average is combined
+/// with each sequence in turn with equal pair weights, as in the original
+/// tournament formulation applied left-to-right.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or ragged.
+#[must_use]
+pub fn nlaaf(members: &[&[f64]], window: Option<usize>) -> Vec<f64> {
+    assert!(!members.is_empty(), "NLAAF requires at least one sequence");
+    let m = members[0].len();
+    assert!(
+        members.iter().all(|s| s.len() == m),
+        "all sequences must have equal length"
+    );
+    let mut avg = members[0].to_vec();
+    for member in &members[1..] {
+        avg = pairwise_average(&avg, member, 1.0, 1.0, window);
+    }
+    avg
+}
+
+/// PSA: hierarchical weighted averaging. Sequences start with weight 1;
+/// the two *closest* (under DTW) items are merged into a weighted average
+/// whose weight is the sum, until one remains — a greedy guide tree.
+///
+/// # Panics
+///
+/// Panics if `members` is empty or ragged.
+#[must_use]
+pub fn psa(members: &[&[f64]], window: Option<usize>) -> Vec<f64> {
+    assert!(!members.is_empty(), "PSA requires at least one sequence");
+    let m = members[0].len();
+    assert!(
+        members.iter().all(|s| s.len() == m),
+        "all sequences must have equal length"
+    );
+    let mut pool: Vec<(Vec<f64>, f64)> = members.iter().map(|s| (s.to_vec(), 1.0)).collect();
+    while pool.len() > 1 {
+        // Find the closest pair under DTW.
+        let mut best = f64::INFINITY;
+        let mut pair = (0usize, 1usize);
+        for i in 0..pool.len() {
+            for j in i + 1..pool.len() {
+                let d = dtw_distance(&pool[i].0, &pool[j].0, window);
+                if d < best {
+                    best = d;
+                    pair = (i, j);
+                }
+            }
+        }
+        let (i, j) = pair;
+        let merged = pairwise_average(&pool[i].0, &pool[j].0, pool[i].1, pool[j].1, window);
+        let weight = pool[i].1 + pool[j].1;
+        // Remove j first (j > i) to keep indices valid.
+        pool.swap_remove(j);
+        pool[i] = (merged, weight);
+        // swap_remove may have moved an element into j; if it moved into i
+        // that cannot happen since j != i and j was the removed slot.
+    }
+    pool.pop().expect("one sequence remains").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{nlaaf, pairwise_average, psa};
+    use tsdist::dtw::dtw_distance;
+
+    fn bump(m: usize, center: f64) -> Vec<f64> {
+        (0..m)
+            .map(|i| (-((i as f64 - center) / 2.5).powi(2)).exp())
+            .collect()
+    }
+
+    #[test]
+    fn pairwise_average_of_identical_is_identity() {
+        let x = bump(32, 16.0);
+        let avg = pairwise_average(&x, &x, 1.0, 1.0, None);
+        for (a, b) in avg.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_center_respects_weights() {
+        let a = vec![0.0; 16];
+        let b = vec![4.0; 16];
+        // Flat sequences couple diagonally; weight 3:1 → value 1.0.
+        let avg = pairwise_average(&a, &b, 3.0, 1.0, None);
+        for v in &avg {
+            assert!((v - 1.0).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn nlaaf_of_copies_is_the_copy() {
+        let x = bump(24, 10.0);
+        let members: Vec<&[f64]> = vec![&x, &x, &x, &x];
+        let avg = nlaaf(&members, None);
+        for (a, b) in avg.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn psa_of_copies_is_the_copy() {
+        let x = bump(24, 10.0);
+        let members: Vec<&[f64]> = vec![&x, &x, &x];
+        let avg = psa(&members, None);
+        for (a, b) in avg.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn averages_stay_representative_under_dtw() {
+        // A DTW-aware average of phase-shifted bumps should represent the
+        // members (in total DTW cost) at least as well as the arithmetic
+        // mean, which smears the bump into a plateau.
+        let members_owned: Vec<Vec<f64>> =
+            [10.0, 16.0, 22.0].iter().map(|&c| bump(48, c)).collect();
+        let members: Vec<&[f64]> = members_owned.iter().map(Vec::as_slice).collect();
+        let mut mean = vec![0.0; 48];
+        for s in &members {
+            for (a, v) in mean.iter_mut().zip(s.iter()) {
+                *a += v / members.len() as f64;
+            }
+        }
+        let cost =
+            |avg: &[f64]| -> f64 { members.iter().map(|s| dtw_distance(avg, s, None)).sum() };
+        let mean_cost = cost(&mean);
+        for avg in [nlaaf(&members, None), psa(&members, None)] {
+            assert_eq!(avg.len(), 48);
+            let c = cost(&avg);
+            assert!(
+                c <= mean_cost + 1e-9,
+                "DTW average cost {c} vs arithmetic mean {mean_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn dba_beats_nlaaf_and_psa_on_shifted_bumps() {
+        // The paper: "DBA seems to be the most efficient and accurate
+        // averaging approach when DTW is used" — verify the accuracy half
+        // on a case with enough members for the order-dependence of
+        // NLAAF/PSA to hurt.
+        let members_owned: Vec<Vec<f64>> = [10.0, 13.0, 16.0, 19.0, 22.0]
+            .iter()
+            .map(|&c| bump(48, c))
+            .collect();
+        let members: Vec<&[f64]> = members_owned.iter().map(Vec::as_slice).collect();
+        let cost = |avg: &[f64]| -> f64 {
+            members
+                .iter()
+                .map(|s| dtw_distance(avg, s, None).powi(2))
+                .sum()
+        };
+        let mut mean = vec![0.0; 48];
+        for s in &members {
+            for (a, v) in mean.iter_mut().zip(s.iter()) {
+                *a += v / members.len() as f64;
+            }
+        }
+        let dba = crate::dba::dba_average(&members, &mean, 10, None);
+        let c_dba = cost(&dba);
+        let c_nlaaf = cost(&nlaaf(&members, None));
+        let c_psa = cost(&psa(&members, None));
+        assert!(c_dba <= c_nlaaf + 1e-9, "DBA {c_dba} vs NLAAF {c_nlaaf}");
+        assert!(c_dba <= c_psa + 1e-9, "DBA {c_dba} vs PSA {c_psa}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn nlaaf_rejects_empty() {
+        let _ = nlaaf(&[], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn pairwise_rejects_bad_weights() {
+        let _ = pairwise_average(&[1.0], &[2.0], 0.0, 1.0, None);
+    }
+}

@@ -1,0 +1,313 @@
+//! DTW Barycenter Averaging (Petitjean et al., 2011) and the k-DBA
+//! clustering algorithm (Section 2.5 and the `k-DBA` rows of Table 3).
+//!
+//! DBA iteratively refines an average sequence under DTW: every member is
+//! aligned to the current average via the optimal warping path, each
+//! average coordinate collects the member coordinates mapped onto it, and
+//! the coordinate is replaced by their barycenter (mean).
+//!
+//! k-DBA is k-means with DTW assignment and DBA refinement. Following the
+//! paper's protocol, each clustering iteration performs **one** DBA
+//! refinement of the previous centroid (footnote 8 examines doing five).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kshape::init::random_assignment;
+use tsdist::dtw::{dtw_distance, dtw_path};
+
+/// One DBA refinement: realigns all members to `average` and replaces each
+/// coordinate with the barycenter of its associated member coordinates.
+///
+/// Coordinates that receive no association (impossible with full DTW but
+/// kept defensive for banded paths) retain their previous value.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `members` is empty.
+#[must_use]
+pub fn dba_refine(members: &[&[f64]], average: &[f64], window: Option<usize>) -> Vec<f64> {
+    assert!(!members.is_empty(), "DBA requires at least one member");
+    let m = average.len();
+    let mut sums = vec![0.0; m];
+    let mut counts = vec![0usize; m];
+    for member in members {
+        assert_eq!(member.len(), m, "member length must match the average");
+        let (_, path) = dtw_path(average, member, window);
+        for (ai, mi) in path {
+            sums[ai] += member[mi];
+            counts[ai] += 1;
+        }
+    }
+    sums.iter()
+        .zip(counts.iter())
+        .zip(average.iter())
+        .map(|((&s, &c), &prev)| if c > 0 { s / c as f64 } else { prev })
+        .collect()
+}
+
+/// Full DBA: starts from `initial` and applies `refinements` refinement
+/// passes.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `members` is empty.
+#[must_use]
+pub fn dba_average(
+    members: &[&[f64]],
+    initial: &[f64],
+    refinements: usize,
+    window: Option<usize>,
+) -> Vec<f64> {
+    let mut avg = initial.to_vec();
+    for _ in 0..refinements {
+        avg = dba_refine(members, &avg, window);
+    }
+    avg
+}
+
+/// Configuration for k-DBA.
+#[derive(Debug, Clone, Copy)]
+pub struct KDbaConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum clustering iterations.
+    pub max_iter: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// DBA refinements per clustering iteration (the paper's default is 1).
+    pub refinements_per_iter: usize,
+    /// Optional Sakoe–Chiba window for all DTW computations.
+    pub window: Option<usize>,
+}
+
+impl Default for KDbaConfig {
+    fn default() -> Self {
+        KDbaConfig {
+            k: 2,
+            max_iter: 100,
+            seed: 0,
+            refinements_per_iter: 1,
+            window: None,
+        }
+    }
+}
+
+/// Outcome of a k-DBA run.
+#[derive(Debug, Clone)]
+pub struct KDbaResult {
+    /// Cluster index per series.
+    pub labels: Vec<usize>,
+    /// DBA centroid per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether memberships converged before the cap.
+    pub converged: bool,
+    /// Final sum of squared DTW assignment distances.
+    pub inertia: f64,
+}
+
+/// Runs k-DBA: k-means with DTW assignment and DBA centroid refinement.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or ragged, `k == 0`, or `k > n`.
+#[must_use]
+pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
+    let n = series.len();
+    assert!(n > 0, "k-DBA requires at least one series");
+    assert!(config.k > 0, "k must be positive");
+    assert!(config.k <= n, "k must not exceed the number of series");
+    let m = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == m),
+        "all series must have equal length"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut labels = random_assignment(n, config.k, &mut rng);
+    // Initialize centroids as the arithmetic means of the random clusters.
+    let mut centroids = vec![vec![0.0; m]; config.k];
+    let mut dists = vec![0.0f64; n];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iter {
+        iterations += 1;
+
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..config.k {
+            let members: Vec<&[f64]> = series
+                .iter()
+                .zip(labels.iter())
+                .filter(|&(_, &l)| l == j)
+                .map(|(s, _)| s.as_slice())
+                .collect();
+            if members.is_empty() {
+                let worst = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                    .map_or(0, |(i, _)| i);
+                labels[worst] = j;
+                centroids[j] = series[worst].clone();
+                continue;
+            }
+            if iterations == 1 {
+                // First pass: seed with the arithmetic mean, then refine.
+                let mut mean = vec![0.0; m];
+                for s in &members {
+                    for (a, v) in mean.iter_mut().zip(s.iter()) {
+                        *a += v / members.len() as f64;
+                    }
+                }
+                centroids[j] = mean;
+            }
+            centroids[j] = dba_average(
+                &members,
+                &centroids[j],
+                config.refinements_per_iter,
+                config.window,
+            );
+        }
+
+        let mut changed = false;
+        for (i, s) in series.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut best_j = labels[i];
+            for (j, c) in centroids.iter().enumerate() {
+                let d = dtw_distance(s, c, config.window);
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            dists[i] = best;
+            if best_j != labels[i] {
+                labels[i] = best_j;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    KDbaResult {
+        labels,
+        centroids,
+        iterations,
+        converged,
+        inertia: dists.iter().map(|d| d * d).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{dba_average, dba_refine, kdba, KDbaConfig};
+    use tsdist::dtw::dtw_distance;
+
+    fn bump(m: usize, center: f64) -> Vec<f64> {
+        (0..m)
+            .map(|i| (-((i as f64 - center) / 2.5).powi(2)).exp())
+            .collect()
+    }
+
+    #[test]
+    fn dba_of_identical_members_is_the_member() {
+        let x = bump(32, 16.0);
+        let members: Vec<&[f64]> = vec![&x, &x, &x];
+        let avg = dba_average(&members, &x, 3, None);
+        for (a, b) in avg.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dba_reduces_average_dtw_distance() {
+        // Members are phase-shifted bumps; DBA should beat the arithmetic
+        // mean as a DTW representative.
+        let members_owned: Vec<Vec<f64>> = [12.0, 14.0, 16.0, 18.0, 20.0]
+            .iter()
+            .map(|&c| bump(48, c))
+            .collect();
+        let members: Vec<&[f64]> = members_owned.iter().map(Vec::as_slice).collect();
+        let mut mean = vec![0.0; 48];
+        for s in &members {
+            for (a, v) in mean.iter_mut().zip(s.iter()) {
+                *a += v / members.len() as f64;
+            }
+        }
+        let refined = dba_average(&members, &mean, 10, None);
+        let cost = |c: &[f64]| -> f64 {
+            members
+                .iter()
+                .map(|s| dtw_distance(c, s, None).powi(2))
+                .sum()
+        };
+        assert!(
+            cost(&refined) < cost(&mean),
+            "DBA {} vs mean {}",
+            cost(&refined),
+            cost(&mean)
+        );
+    }
+
+    #[test]
+    fn refine_is_a_fixed_point_for_singleton() {
+        let x = bump(24, 10.0);
+        let members: Vec<&[f64]> = vec![&x];
+        let out = dba_refine(&members, &x, None);
+        for (a, b) in out.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kdba_separates_shifted_shape_classes() {
+        let mut series = Vec::new();
+        for j in 0..5 {
+            series.push(bump(40, 10.0 + j as f64));
+            let neg: Vec<f64> = bump(40, 28.0 + j as f64).iter().map(|v| -v).collect();
+            series.push(neg);
+        }
+        let r = kdba(
+            &series,
+            &KDbaConfig {
+                k: 2,
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        for i in (0..series.len()).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0], "labels {:?}", r.labels);
+            assert_eq!(r.labels[i + 1], r.labels[1], "labels {:?}", r.labels);
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn kdba_respects_window_config() {
+        let series: Vec<Vec<f64>> = (0..6).map(|j| bump(32, 12.0 + j as f64)).collect();
+        let r = kdba(
+            &series,
+            &KDbaConfig {
+                k: 2,
+                seed: 1,
+                window: Some(3),
+                max_iter: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.labels.len(), 6);
+        assert!(r.iterations <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn dba_rejects_empty_members() {
+        let _ = dba_refine(&[], &[1.0, 2.0], None);
+    }
+}

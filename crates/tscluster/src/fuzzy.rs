@@ -1,0 +1,293 @@
+//! Fuzzy c-means clustering with a pluggable distance.
+//!
+//! The paper's related work (Section 6) cites Golay et al. [28], who used a
+//! cross-correlation distance with arithmetic-mean centroids for *fuzzy*
+//! clustering of fMRI series. This module provides that family: fuzzy
+//! c-means (Bezdek) with soft memberships
+//!
+//! ```text
+//! u_ij = 1 / Σ_l (d(x_i, c_j) / d(x_i, c_l))^{2/(fuzz−1)}
+//! c_j  = Σ_i u_ij^fuzz · x_i / Σ_i u_ij^fuzz
+//! ```
+//!
+//! and any [`Distance`] (ED reproduces classic FCM; SBD reproduces the
+//! Golay-style correlation variant).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tsdist::Distance;
+
+/// Configuration for fuzzy c-means.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzyConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Fuzzifier `m > 1`; 2.0 is the classic choice.
+    pub fuzziness: f64,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the maximum membership change.
+    pub tol: f64,
+    /// RNG seed for the initial memberships.
+    pub seed: u64,
+}
+
+impl Default for FuzzyConfig {
+    fn default() -> Self {
+        FuzzyConfig {
+            k: 2,
+            fuzziness: 2.0,
+            max_iter: 100,
+            tol: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a fuzzy c-means run.
+#[derive(Debug, Clone)]
+pub struct FuzzyResult {
+    /// Membership matrix: `memberships[i][j]` is series `i`'s degree in
+    /// cluster `j`; each row sums to 1.
+    pub memberships: Vec<Vec<f64>>,
+    /// Hardened labels (argmax membership per series).
+    pub labels: Vec<usize>,
+    /// Weighted-mean centroid per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the membership change dropped below tolerance.
+    pub converged: bool,
+}
+
+/// Runs fuzzy c-means.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or ragged, `k` is 0 or exceeds `n`, or
+/// `fuzziness <= 1`.
+#[must_use]
+pub fn fuzzy_cmeans<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    config: &FuzzyConfig,
+) -> FuzzyResult {
+    let n = series.len();
+    assert!(n > 0, "fuzzy c-means requires at least one series");
+    assert!(config.k > 0 && config.k <= n, "k must be in 1..=n");
+    assert!(config.fuzziness > 1.0, "fuzziness must exceed 1");
+    let m = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == m),
+        "all series must have equal length"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Random row-stochastic membership matrix.
+    let mut u: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let mut row: Vec<f64> = (0..config.k).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let s: f64 = row.iter().sum();
+            row.iter_mut().for_each(|v| *v /= s);
+            row
+        })
+        .collect();
+    let mut centroids = vec![vec![0.0; m]; config.k];
+    let exponent = 2.0 / (config.fuzziness - 1.0);
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iter {
+        iterations += 1;
+
+        // Centroids: fuzzified weighted means.
+        for (j, c) in centroids.iter_mut().enumerate() {
+            let mut weight_sum = 0.0;
+            c.iter_mut().for_each(|v| *v = 0.0);
+            for (row, s) in u.iter().zip(series.iter()) {
+                let w = row[j].powf(config.fuzziness);
+                weight_sum += w;
+                for (acc, v) in c.iter_mut().zip(s.iter()) {
+                    *acc += w * v;
+                }
+            }
+            if weight_sum > 0.0 {
+                c.iter_mut().for_each(|v| *v /= weight_sum);
+            }
+        }
+
+        // Memberships from distances.
+        let mut max_delta = 0.0f64;
+        for (i, s) in series.iter().enumerate() {
+            let ds: Vec<f64> = centroids.iter().map(|c| dist.dist(s, c)).collect();
+            // Exact-hit handling: all membership on the zero-distance
+            // centroids.
+            let zeros: Vec<usize> = ds
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d <= 0.0)
+                .map(|(j, _)| j)
+                .collect();
+            let new_row: Vec<f64> = if zeros.is_empty() {
+                (0..config.k)
+                    .map(|j| {
+                        let denom: f64 = ds.iter().map(|&dl| (ds[j] / dl).powf(exponent)).sum();
+                        1.0 / denom
+                    })
+                    .collect()
+            } else {
+                let share = 1.0 / zeros.len() as f64;
+                (0..config.k)
+                    .map(|j| if zeros.contains(&j) { share } else { 0.0 })
+                    .collect()
+            };
+            for (old, new) in u[i].iter().zip(new_row.iter()) {
+                max_delta = max_delta.max((old - new).abs());
+            }
+            u[i] = new_row;
+        }
+        if max_delta < config.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    let labels = u
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN membership"))
+                .map_or(0, |(j, _)| j)
+        })
+        .collect();
+    FuzzyResult {
+        memberships: u,
+        labels,
+        centroids,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{fuzzy_cmeans, FuzzyConfig};
+    use kshape::sbd::Sbd;
+    use tsdist::EuclideanDistance;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for j in 0..5 {
+            out.push(vec![0.0 + j as f64 * 0.05, 0.2]);
+            out.push(vec![8.0 - j as f64 * 0.05, 7.8]);
+        }
+        out
+    }
+
+    #[test]
+    fn memberships_are_row_stochastic() {
+        let r = fuzzy_cmeans(&blobs(), &EuclideanDistance, &FuzzyConfig::default());
+        for row in &r.memberships {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row sum {s}");
+            for &v in row {
+                assert!((0.0..=1.0 + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn hardened_labels_separate_blobs() {
+        let r = fuzzy_cmeans(
+            &blobs(),
+            &EuclideanDistance,
+            &FuzzyConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        assert!(r.converged);
+        for i in (0..10).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0]);
+            assert_eq!(r.labels[i + 1], r.labels[1]);
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn memberships_are_confident_on_separated_data() {
+        let r = fuzzy_cmeans(
+            &blobs(),
+            &EuclideanDistance,
+            &FuzzyConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        for (row, &l) in r.memberships.iter().zip(r.labels.iter()) {
+            assert!(row[l] > 0.9, "weak membership {row:?}");
+        }
+    }
+
+    #[test]
+    fn midpoint_gets_split_membership() {
+        // A point exactly between two clusters ends with ~50/50 membership.
+        let mut series = blobs();
+        series.push(vec![4.0, 4.0]);
+        let r = fuzzy_cmeans(
+            &series,
+            &EuclideanDistance,
+            &FuzzyConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        let mid = r.memberships.last().unwrap();
+        assert!((mid[0] - 0.5).abs() < 0.1, "{mid:?}");
+    }
+
+    #[test]
+    fn sbd_variant_clusters_shifted_shapes() {
+        // Golay-style: SBD + soft memberships on phase-shifted bumps.
+        let bump = |c: f64| -> Vec<f64> {
+            (0..48)
+                .map(|i| (-((i as f64 - c) / 2.5).powi(2)).exp())
+                .collect()
+        };
+        let mut series = Vec::new();
+        for j in 0..5 {
+            series.push(tsdata::normalize::z_normalize(&bump(12.0 + j as f64)));
+            let neg: Vec<f64> = bump(32.0 + j as f64).iter().map(|v| -v).collect();
+            series.push(tsdata::normalize::z_normalize(&neg));
+        }
+        let r = fuzzy_cmeans(
+            &series,
+            &Sbd::new(),
+            &FuzzyConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        for i in (0..10).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0], "{:?}", r.labels);
+            assert_eq!(r.labels[i + 1], r.labels[1], "{:?}", r.labels);
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fuzziness must exceed 1")]
+    fn rejects_bad_fuzzifier() {
+        let _ = fuzzy_cmeans(
+            &blobs(),
+            &EuclideanDistance,
+            &FuzzyConfig {
+                fuzziness: 1.0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Agglomerative hierarchical clustering with single, average, and
+//! complete linkage — the `H-S`, `H-A`, `H-C` baselines of Table 4.
+//!
+//! Starts from singleton clusters and repeatedly merges the closest pair
+//! under the chosen linkage, updating inter-cluster distances with the
+//! Lance–Williams recurrences. The resulting dendrogram is cut at the
+//! minimum height producing exactly `k` clusters, as the paper does.
+
+use crate::matrix::DissimilarityMatrix;
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+    /// Maximum pairwise distance between members.
+    Complete,
+}
+
+impl Linkage {
+    /// Short name matching the paper's table labels.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Linkage::Single => "H-S",
+            Linkage::Average => "H-A",
+            Linkage::Complete => "H-C",
+        }
+    }
+}
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, Copy)]
+pub struct Merge {
+    /// First merged cluster id (ids `0..n` are leaves, `n..2n−1` merges).
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+}
+
+/// A full agglomeration history over `n` items.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of leaves.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if there are no leaves.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge steps, in the order performed (heights are
+    /// non-decreasing for complete/average linkage on a metric; single
+    /// linkage is always non-decreasing).
+    #[must_use]
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram to exactly `k` clusters: applies the first
+    /// `n − k` merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    #[must_use]
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k > 0, "k must be positive");
+        assert!(k <= self.n, "k must not exceed the number of items");
+        // Union-find over leaves; apply the first n - k merges.
+        let mut parent: Vec<usize> = (0..2 * self.n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, merge) in self.merges.iter().enumerate() {
+            if step >= self.n - k {
+                break;
+            }
+            let ra = find(&mut parent, merge.a);
+            let rb = find(&mut parent, merge.b);
+            let id = self.n + step;
+            parent[ra] = id;
+            parent[rb] = id;
+        }
+        // Densify root ids to 0..k.
+        let mut roots: Vec<usize> = Vec::new();
+        (0..self.n)
+            .map(|i| {
+                let r = find(&mut parent, i);
+                match roots.iter().position(|&x| x == r) {
+                    Some(p) => p,
+                    None => {
+                        roots.push(r);
+                        roots.len() - 1
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Builds the dendrogram for a dissimilarity matrix under `linkage`.
+///
+/// O(n³) naive agglomeration — adequate for the non-scalable baselines
+/// whose cost is dominated by the distance matrix anyway.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+#[must_use]
+pub fn agglomerate(matrix: &DissimilarityMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    assert!(n > 0, "cannot agglomerate an empty matrix");
+
+    // Working distance matrix between active clusters.
+    let mut d: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| matrix.get(i, j)).collect())
+        .collect();
+    // active[i]: cluster id (leaf or merge id) currently in slot i; sizes
+    // for average linkage.
+    let mut id: Vec<usize> = (0..n).collect();
+    let mut size: Vec<usize> = vec![1; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair.
+        let mut best = f64::INFINITY;
+        let mut pair = (0, 0);
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in i + 1..n {
+                if !alive[j] {
+                    continue;
+                }
+                if d[i][j] < best {
+                    best = d[i][j];
+                    pair = (i, j);
+                }
+            }
+        }
+        let (i, j) = pair;
+        merges.push(Merge {
+            a: id[i],
+            b: id[j],
+            height: best,
+        });
+
+        // Merge j into i with Lance–Williams updates.
+        for l in 0..n {
+            if !alive[l] || l == i || l == j {
+                continue;
+            }
+            let dil = d[i][l];
+            let djl = d[j][l];
+            let new = match linkage {
+                Linkage::Single => dil.min(djl),
+                Linkage::Complete => dil.max(djl),
+                Linkage::Average => {
+                    let si = size[i] as f64;
+                    let sj = size[j] as f64;
+                    (si * dil + sj * djl) / (si + sj)
+                }
+            };
+            d[i][l] = new;
+            d[l][i] = new;
+        }
+        size[i] += size[j];
+        alive[j] = false;
+        id[i] = n + step;
+    }
+
+    Dendrogram { n, merges }
+}
+
+/// Convenience: agglomerates and cuts to `k` clusters in one call.
+#[must_use]
+pub fn hierarchical_cluster(
+    matrix: &DissimilarityMatrix,
+    linkage: Linkage,
+    k: usize,
+) -> Vec<usize> {
+    agglomerate(matrix, linkage).cut(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{agglomerate, hierarchical_cluster, Linkage};
+    use crate::matrix::DissimilarityMatrix;
+    use tsdist::EuclideanDistance;
+
+    fn line_points(values: &[f64]) -> DissimilarityMatrix {
+        let series: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        DissimilarityMatrix::compute(&series, &EuclideanDistance)
+    }
+
+    #[test]
+    fn merges_closest_first() {
+        let m = line_points(&[0.0, 0.1, 5.0, 9.0]);
+        let dendro = agglomerate(&m, Linkage::Single);
+        let first = dendro.merges()[0];
+        assert!((first.height - 0.1).abs() < 1e-12);
+        assert!(
+            (first.a == 0 && first.b == 1) || (first.a == 1 && first.b == 0),
+            "first merge {first:?}"
+        );
+    }
+
+    #[test]
+    fn cut_to_two_separates_groups() {
+        let m = line_points(&[0.0, 0.2, 0.4, 10.0, 10.2, 10.4]);
+        for linkage in [Linkage::Single, Linkage::Average, Linkage::Complete] {
+            let labels = hierarchical_cluster(&m, linkage, 2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_eq!(labels[4], labels[5]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn cut_k_one_and_k_n() {
+        let m = line_points(&[1.0, 2.0, 3.0]);
+        let dendro = agglomerate(&m, Linkage::Average);
+        assert!(dendro.cut(1).iter().all(|&l| l == 0));
+        let all = dendro.cut(3);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_linkage_chains_but_complete_does_not() {
+        // A chain of points: 0, 1, 2, ..., 7 spaced 1 apart, plus a pair
+        // far away. Single linkage keeps the chain together at k=2;
+        // complete linkage may split it, but the far pair is always apart.
+        let m = line_points(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 100.0, 101.0]);
+        let single = hierarchical_cluster(&m, Linkage::Single, 2);
+        assert!(single[..6].iter().all(|&l| l == single[0]));
+        assert_eq!(single[6], single[7]);
+        assert_ne!(single[0], single[6]);
+    }
+
+    #[test]
+    fn average_linkage_heights_nondecreasing() {
+        let m = line_points(&[0.0, 0.5, 1.8, 4.0, 8.5, 9.0]);
+        let dendro = agglomerate(&m, Linkage::Average);
+        let heights: Vec<f64> = dendro.merges().iter().map(|mg| mg.height).collect();
+        for w in heights.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "{heights:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = line_points(&[3.0, 1.0, 4.0, 1.5, 9.0, 2.6]);
+        let a = hierarchical_cluster(&m, Linkage::Complete, 3);
+        let b = hierarchical_cluster(&m, Linkage::Complete, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn singleton_input() {
+        let m = line_points(&[42.0]);
+        let dendro = agglomerate(&m, Linkage::Single);
+        assert!(dendro.merges().is_empty());
+        assert_eq!(dendro.cut(1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed")]
+    fn cut_rejects_large_k() {
+        let m = line_points(&[1.0, 2.0]);
+        let _ = agglomerate(&m, Linkage::Single).cut(3);
+    }
+}

@@ -1,0 +1,288 @@
+//! Generic k-means (the k-AVG family of the paper).
+//!
+//! The classic Lloyd iteration with a *pluggable distance* for assignment
+//! and the *arithmetic mean* for centroid refinement. With ED this is the
+//! paper's robust `k-AVG+ED` baseline; swapping in SBD or DTW gives
+//! `k-AVG+SBD` and `k-AVG+DTW` — the Table 3 rows showing that changing the
+//! distance without changing the centroid method can *hurt*.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kshape::init::random_assignment;
+use tsdist::Distance;
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations (the paper uses 100).
+    pub max_iter: usize,
+    /// RNG seed for the initial random assignment.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 2,
+            max_iter: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per series.
+    pub labels: Vec<usize>,
+    /// Arithmetic-mean centroid per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether memberships converged before the cap.
+    pub converged: bool,
+    /// Final sum of squared assignment distances.
+    pub inertia: f64,
+}
+
+/// Runs k-means with arithmetic-mean centroids and the given assignment
+/// distance.
+///
+/// # Example
+///
+/// ```
+/// use tscluster::kmeans::{kmeans, KMeansConfig};
+/// use tsdist::EuclideanDistance;
+///
+/// let series = vec![
+///     vec![0.0, 0.1], vec![0.1, 0.0],   // cluster A
+///     vec![9.0, 9.1], vec![9.1, 9.0],   // cluster B
+/// ];
+/// let r = kmeans(&series, &EuclideanDistance,
+///                &KMeansConfig { k: 2, seed: 1, ..Default::default() });
+/// assert_eq!(r.labels[0], r.labels[1]);
+/// assert_ne!(r.labels[0], r.labels[2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `series` is empty or ragged, `k == 0`, or `k > n`.
+#[must_use]
+pub fn kmeans<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    config: &KMeansConfig,
+) -> KMeansResult {
+    let n = series.len();
+    assert!(n > 0, "k-means requires at least one series");
+    assert!(config.k > 0, "k must be positive");
+    assert!(config.k <= n, "k must not exceed the number of series");
+    let m = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == m),
+        "all series must have equal length"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut labels = random_assignment(n, config.k, &mut rng);
+    let mut centroids = vec![vec![0.0; m]; config.k];
+    let mut dists = vec![0.0f64; n];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iter {
+        iterations += 1;
+
+        // Refinement: arithmetic means.
+        let mut counts = vec![0usize; config.k];
+        for c in &mut centroids {
+            c.iter_mut().for_each(|v| *v = 0.0);
+        }
+        for (s, &l) in series.iter().zip(labels.iter()) {
+            counts[l] += 1;
+            for (acc, v) in centroids[l].iter_mut().zip(s.iter()) {
+                *acc += v;
+            }
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if counts[j] == 0 {
+                // Re-seed an empty cluster with the worst-served series.
+                let worst = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                    .map_or(0, |(i, _)| i);
+                c.copy_from_slice(&series[worst]);
+                labels[worst] = j;
+            } else {
+                let inv = 1.0 / counts[j] as f64;
+                c.iter_mut().for_each(|v| *v *= inv);
+            }
+        }
+
+        // Assignment.
+        let mut changed = false;
+        for (i, s) in series.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut best_j = labels[i];
+            for (j, c) in centroids.iter().enumerate() {
+                let d = dist.dist(s, c);
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            dists[i] = best;
+            if best_j != labels[i] {
+                labels[i] = best_j;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    KMeansResult {
+        labels,
+        centroids,
+        iterations,
+        converged,
+        inertia: dists.iter().map(|d| d * d).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{kmeans, KMeansConfig};
+    use tsdist::EuclideanDistance;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for j in 0..6 {
+            let eps = j as f64 * 0.01;
+            out.push(vec![0.0 + eps, 0.0, 0.1]);
+            out.push(vec![9.0 - eps, 9.0, 9.1]);
+        }
+        out
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let series = two_blobs();
+        let r = kmeans(
+            &series,
+            &EuclideanDistance,
+            &KMeansConfig {
+                k: 2,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        assert!(r.converged);
+        // Even/odd indices belong to opposite clusters.
+        for i in (0..series.len()).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0]);
+            assert_eq!(r.labels[i + 1], r.labels[1]);
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn centroids_are_means_of_members() {
+        let series = two_blobs();
+        let r = kmeans(
+            &series,
+            &EuclideanDistance,
+            &KMeansConfig {
+                k: 2,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        for j in 0..2 {
+            let members: Vec<&Vec<f64>> = series
+                .iter()
+                .zip(r.labels.iter())
+                .filter(|&(_, &l)| l == j)
+                .map(|(s, _)| s)
+                .collect();
+            for d in 0..3 {
+                let mean: f64 = members.iter().map(|s| s[d]).sum::<f64>() / members.len() as f64;
+                assert!((r.centroids[j][d] - mean).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let series = two_blobs();
+        let r1 = kmeans(
+            &series,
+            &EuclideanDistance,
+            &KMeansConfig {
+                k: 1,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let r2 = kmeans(
+            &series,
+            &EuclideanDistance,
+            &KMeansConfig {
+                k: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert!(r2.inertia < r1.inertia);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let series = two_blobs();
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = kmeans(&series, &EuclideanDistance, &cfg);
+        let b = kmeans(&series, &EuclideanDistance, &cfg);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let series = two_blobs();
+        let r = kmeans(
+            &series,
+            &EuclideanDistance,
+            &KMeansConfig {
+                k: series.len(),
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        let mut labels = r.labels.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), series.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed")]
+    fn rejects_k_too_large() {
+        let _ = kmeans(
+            &[vec![1.0]],
+            &EuclideanDistance,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+    }
+}

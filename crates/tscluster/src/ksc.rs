@@ -1,0 +1,423 @@
+//! K-Spectral Centroid clustering (Yang & Leskovec, WSDM 2011) — the `KSC`
+//! baseline of Table 3.
+//!
+//! KSC uses a distance invariant to *pairwise scaling and shifting*:
+//!
+//! ```text
+//! d̂(x, y) = min_{α, q} ‖x − α·y_(q)‖ / ‖x‖
+//! ```
+//!
+//! where `y_(q)` is `y` shifted by `q` with zero padding and the optimal
+//! scaling for a fixed shift is `α* = xᵀy_(q) / ‖y_(q)‖²`. Its centroid is
+//! the eigenvector of the *smallest* eigenvalue of
+//! `M = Σᵢ (I − bᵢbᵢᵀ)` with `bᵢ = xᵢ' / ‖xᵢ'‖` over aligned members —
+//! matrix-decomposition-based like k-Shape's, but minimizing a different
+//! objective.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kshape::init::random_assignment;
+use tsdata::distort::shift_zero_pad;
+use tsdist::Distance;
+use tslinalg::eigen::symmetric_eigen;
+use tslinalg::matrix::Matrix;
+
+/// The KSC scale-and-shift-invariant distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KscDistance;
+
+impl KscDistance {
+    /// Computes `d̂(x, y)` together with the optimal shift of `y`.
+    ///
+    /// Efficient form: the dot products `xᵀy_(q)` over *all* zero-padded
+    /// shifts are exactly the cross-correlation sequence of `x` and `y`
+    /// (computed with one FFT), and the shifted norms `‖y_(q)‖²` are prefix
+    /// and suffix sums of `y²` — so the full shift scan costs
+    /// O(m log m) instead of O(m²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or inputs are empty.
+    #[must_use]
+    pub fn dist_shift(x: &[f64], y: &[f64]) -> (f64, isize) {
+        assert_eq!(x.len(), y.len(), "KSC requires equal-length sequences");
+        assert!(!x.is_empty(), "KSC requires non-empty sequences");
+        let m = x.len();
+        let nx2: f64 = x.iter().map(|v| v * v).sum();
+        if nx2 == 0.0 {
+            // ‖x‖ = 0: conventionally distance 0 to everything scalable to 0.
+            return (0.0, 0);
+        }
+        // cc[m-1+k] = Σ_l x[l+k]·y[l] = xᵀ y_(k) for lag k.
+        let cc = tsfft::correlate::cross_correlate_fft(x, y);
+        // prefix[t] = Σ_{l<t} y[l]².
+        let mut prefix = vec![0.0; m + 1];
+        for (i, v) in y.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + v * v;
+        }
+        let total = prefix[m];
+        let mut best = f64::INFINITY;
+        let mut best_shift = 0isize;
+        for q in -(m as isize - 1)..m as isize {
+            // ‖y_(q)‖²: shift right by q keeps y[0..m-q]; shift left by |q|
+            // keeps y[|q|..m].
+            let ny2 = if q >= 0 {
+                prefix[m - q as usize]
+            } else {
+                total - prefix[(-q) as usize]
+            };
+            // Shifts that retain essentially no energy of `y` are
+            // meaningless and numerically treacherous: the FFT dot product
+            // carries absolute noise ~1e-15 which would divide by the tiny
+            // retained energy and fake a perfect correlation.
+            let d2 = if ny2 <= total * 1e-9 {
+                1.0
+            } else {
+                let dot = cc[(m as isize - 1 + q) as usize];
+                // ‖x − α*y_q‖²/‖x‖² = 1 − dot²/(‖x‖²‖y_q‖²)
+                (1.0 - (dot * dot / (nx2 * ny2)).min(1.0)).max(0.0)
+            };
+            if d2 < best {
+                best = d2;
+                best_shift = q;
+            }
+        }
+        (best.sqrt(), best_shift)
+    }
+}
+
+impl Distance for KscDistance {
+    fn name(&self) -> String {
+        "KSC-dist".into()
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        Self::dist_shift(x, y).0
+    }
+}
+
+/// Computes the KSC centroid of aligned members: the eigenvector of the
+/// smallest eigenvalue of `M = Σ (I − bbᵀ)`, oriented toward the members.
+///
+/// Members are aligned toward `reference` first (unless it is all-zero).
+///
+/// # Panics
+///
+/// Panics if member lengths differ from the reference.
+#[must_use]
+pub fn ksc_centroid(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
+    let m = reference.len();
+    if members.is_empty() || m == 0 {
+        return reference.to_vec();
+    }
+    let ref_is_zero = reference.iter().all(|&v| v == 0.0);
+
+    // M = Σᵢ (I − bᵢbᵢᵀ) = n·I − G with G = BᵀB over the unit-normalized
+    // aligned members. The smallest eigenvector of M is the dominant
+    // eigenvector of G; when n < m we obtain it from the n×n dual Gram
+    // matrix BBᵀ (u dominant there ⇒ Bᵀu dominant for G) — identical
+    // result, O(n²m + n³) instead of O(m³).
+    let n = members.len();
+    let mut b = Matrix::zeros(n, m);
+    let mut aligned_sum = vec![0.0; m];
+    for (r, member) in members.iter().enumerate() {
+        assert_eq!(member.len(), m, "member length must match the reference");
+        let aligned = if ref_is_zero {
+            member.to_vec()
+        } else {
+            let (_, shift) = KscDistance::dist_shift(reference, member);
+            // dist_shift aligns `member` toward `reference` by shift `q`.
+            shift_zero_pad(member, shift)
+        };
+        let norm: f64 = aligned.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            let row = b.row_mut(r);
+            for (o, v) in row.iter_mut().zip(aligned.iter()) {
+                *o = v / norm;
+            }
+        }
+        for (acc, v) in aligned_sum.iter_mut().zip(aligned.iter()) {
+            *acc += v;
+        }
+    }
+
+    let mut centroid = if n < m {
+        let mut dual = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..=r {
+                let d = tslinalg::matrix::dot(b.row(r), b.row(c));
+                dual[(r, c)] = d;
+                dual[(c, r)] = d;
+            }
+        }
+        let u = symmetric_eigen(&dual).dominant_vector();
+        let mut v = vec![0.0; m];
+        for (r, &ur) in u.iter().enumerate() {
+            if ur != 0.0 {
+                for (o, x) in v.iter_mut().zip(b.row(r).iter()) {
+                    *o += ur * x;
+                }
+            }
+        }
+        tslinalg::matrix::normalize(&mut v);
+        v
+    } else {
+        let mut g = Matrix::zeros(m, m);
+        for r in 0..n {
+            g.rank_one_update(b.row(r), 1.0);
+        }
+        symmetric_eigen(&g).dominant_vector()
+    };
+    let dot: f64 = centroid
+        .iter()
+        .zip(aligned_sum.iter())
+        .map(|(a, b)| a * b)
+        .sum();
+    if dot < 0.0 {
+        centroid.iter_mut().for_each(|v| *v = -*v);
+    }
+    centroid
+}
+
+/// Configuration for KSC clustering.
+#[derive(Debug, Clone, Copy)]
+pub struct KscConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KscConfig {
+    fn default() -> Self {
+        KscConfig {
+            k: 2,
+            max_iter: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a KSC run.
+#[derive(Debug, Clone)]
+pub struct KscResult {
+    /// Cluster index per series.
+    pub labels: Vec<usize>,
+    /// Spectral centroid per cluster (unit norm).
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether memberships converged before the cap.
+    pub converged: bool,
+    /// Final sum of squared KSC assignment distances.
+    pub inertia: f64,
+}
+
+/// Runs K-Spectral Centroid clustering.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or ragged, `k == 0`, or `k > n`.
+#[must_use]
+pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
+    let n = series.len();
+    assert!(n > 0, "KSC requires at least one series");
+    assert!(config.k > 0, "k must be positive");
+    assert!(config.k <= n, "k must not exceed the number of series");
+    let m = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == m),
+        "all series must have equal length"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut labels = random_assignment(n, config.k, &mut rng);
+    let mut centroids = vec![vec![0.0; m]; config.k];
+    let mut dists = vec![0.0f64; n];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iter {
+        iterations += 1;
+
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..config.k {
+            let members: Vec<&[f64]> = series
+                .iter()
+                .zip(labels.iter())
+                .filter(|&(_, &l)| l == j)
+                .map(|(s, _)| s.as_slice())
+                .collect();
+            if members.is_empty() {
+                let worst = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                    .map_or(0, |(i, _)| i);
+                labels[worst] = j;
+                centroids[j] = series[worst].clone();
+                continue;
+            }
+            centroids[j] = ksc_centroid(&members, &centroids[j]);
+        }
+
+        let mut changed = false;
+        for (i, s) in series.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut best_j = labels[i];
+            for (j, c) in centroids.iter().enumerate() {
+                // KSC assigns by d̂(series, centroid).
+                let (d, _) = KscDistance::dist_shift(s, c);
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            dists[i] = best;
+            if best_j != labels[i] {
+                labels[i] = best_j;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    KscResult {
+        labels,
+        centroids,
+        iterations,
+        converged,
+        inertia: dists.iter().map(|d| d * d).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{ksc, ksc_centroid, KscConfig, KscDistance};
+    use tsdist::Distance;
+
+    fn bump(m: usize, center: f64) -> Vec<f64> {
+        (0..m)
+            .map(|i| (-((i as f64 - center) / 2.5).powi(2)).exp())
+            .collect()
+    }
+
+    #[test]
+    fn distance_zero_for_scaled_copy() {
+        let x = bump(32, 16.0);
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v).collect();
+        let (d, shift) = KscDistance::dist_shift(&x, &y);
+        assert!(d < 1e-6, "{d}");
+        assert_eq!(shift, 0);
+    }
+
+    #[test]
+    fn distance_small_for_shifted_copy() {
+        let x = bump(48, 20.0);
+        let y = tsdata::distort::shift_zero_pad(&x, 6);
+        let (d, shift) = KscDistance::dist_shift(&x, &y);
+        assert!(d < 1e-6, "{d}");
+        assert_eq!(shift, -6);
+    }
+
+    #[test]
+    fn distance_bounded_by_one() {
+        let x = bump(24, 8.0);
+        let y: Vec<f64> = (0..24).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let d = KscDistance.dist(&x, &y);
+        assert!((0.0..=1.0 + 1e-12).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn centroid_of_identical_members_is_parallel() {
+        let x = bump(24, 12.0);
+        let members: Vec<&[f64]> = vec![&x, &x];
+        let c = ksc_centroid(&members, &x);
+        // Centroid is unit norm, parallel to x.
+        let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let dot: f64 = c.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f64>() / nx;
+        assert!((dot.abs() - 1.0).abs() < 1e-8, "cosine {dot}");
+        assert!(dot > 0.0, "orientation flipped");
+    }
+
+    #[test]
+    fn clusters_scaled_and_shifted_families() {
+        let mut series = Vec::new();
+        for j in 0..5 {
+            let a = tsdata::distort::shift_zero_pad(&bump(40, 12.0), j as isize - 2);
+            let scaled: Vec<f64> = a.iter().map(|v| v * (1.0 + j as f64 * 0.3)).collect();
+            series.push(scaled);
+            let b: Vec<f64> = (0..40)
+                .map(|i| ((i as f64) * 0.4).sin() * (1.0 + j as f64 * 0.2))
+                .collect();
+            series.push(b);
+        }
+        let r = ksc(
+            &series,
+            &KscConfig {
+                k: 2,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        for i in (0..series.len()).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0], "labels {:?}", r.labels);
+            assert_eq!(r.labels[i + 1], r.labels[1], "labels {:?}", r.labels);
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn fft_shift_scan_matches_brute_force() {
+        use tsdata::distort::shift_zero_pad;
+        let mut state = 41u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for trial in 0..10 {
+            let m = 20 + trial;
+            let x: Vec<f64> = (0..m).map(|_| next()).collect();
+            let y: Vec<f64> = (0..m).map(|_| next()).collect();
+            let (fast, _) = KscDistance::dist_shift(&x, &y);
+            // Brute force over all zero-padded shifts.
+            let nx2: f64 = x.iter().map(|v| v * v).sum();
+            let mut best = f64::INFINITY;
+            for q in -(m as isize - 1)..m as isize {
+                let yq = shift_zero_pad(&y, q);
+                let ny2: f64 = yq.iter().map(|v| v * v).sum();
+                let d2 = if ny2 == 0.0 {
+                    1.0
+                } else {
+                    let dot: f64 = x.iter().zip(yq.iter()).map(|(a, b)| a * b).sum();
+                    (1.0 - dot * dot / (nx2 * ny2)).max(0.0)
+                };
+                best = best.min(d2);
+            }
+            assert!(
+                (fast - best.sqrt()).abs() < 1e-9,
+                "trial {trial}: fast {fast} vs brute {}",
+                best.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_query_has_zero_distance() {
+        let z = vec![0.0; 8];
+        let x = bump(8, 4.0);
+        assert_eq!(KscDistance.dist(&z, &x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rejects_mismatch() {
+        let _ = KscDistance::dist_shift(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Baseline clustering algorithms for the k-Shape evaluation
+//! (Sections 2.4, 4, and 5 of the paper).
+//!
+//! Scalable baselines (Table 3):
+//!
+//! * [`kmeans`] — the k-means / k-AVG family with a pluggable distance and
+//!   arithmetic-mean centroids (`k-AVG+ED`, `k-AVG+SBD`, `k-AVG+DTW`),
+//! * [`dba`] — DTW Barycenter Averaging and the `k-DBA` algorithm,
+//! * [`ksc`] — K-Spectral Centroid clustering (Yang & Leskovec).
+//!
+//! Non-scalable baselines (Table 4):
+//!
+//! * [`pam`] — Partitioning Around Medoids (k-medoids),
+//! * [`hierarchical`] — agglomerative clustering with single / average /
+//!   complete linkage,
+//! * [`spectral`] — normalized spectral clustering (Ng–Jordan–Weiss).
+//!
+//! [`averaging`] adds the earlier DTW averaging schemes the paper reviews
+//! in Section 2.5 (NLAAF, PSA) so the averaging design space is complete;
+//! [`fuzzy`] adds the Golay-style fuzzy c-means the related work cites
+//! ([28]), parameterized by any distance.
+//!
+//! [`matrix`] computes the full dissimilarity matrices the non-scalable
+//! methods require — the very cost that makes them impractical, which the
+//! runtime experiments quantify.
+
+#![warn(missing_docs)]
+
+pub mod averaging;
+pub mod dba;
+pub mod fuzzy;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod ksc;
+pub mod matrix;
+pub mod pam;
+pub mod spectral;
+
+pub use hierarchical::Linkage;
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

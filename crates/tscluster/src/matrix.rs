@@ -1,0 +1,193 @@
+//! Pairwise dissimilarity matrices.
+//!
+//! PAM, hierarchical, and spectral clustering all need the full `n × n`
+//! dissimilarity matrix — `n(n−1)/2` distance evaluations. This quadratic
+//! cost is exactly why the paper calls these methods non-scalable; the
+//! experiments measure it, so it is implemented honestly rather than
+//! approximated. Rows are computed in parallel with scoped threads.
+
+use tsdist::Distance;
+
+/// A symmetric dissimilarity matrix with zero diagonal.
+#[derive(Debug, Clone)]
+pub struct DissimilarityMatrix {
+    n: usize,
+    /// Row-major full storage (kept simple; n is small for these methods).
+    data: Vec<f64>,
+}
+
+impl DissimilarityMatrix {
+    /// Number of items.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if empty.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Builds the matrix serially.
+    #[must_use]
+    pub fn compute<D: Distance + ?Sized>(series: &[Vec<f64>], dist: &D) -> Self {
+        let n = series.len();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = dist.dist(&series[i], &series[j]);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DissimilarityMatrix { n, data }
+    }
+
+    /// Builds the matrix with `threads` worker threads (row-striped).
+    ///
+    /// Falls back to the serial path for `threads <= 1` or tiny inputs.
+    #[must_use]
+    pub fn compute_parallel<D: Distance + ?Sized>(
+        series: &[Vec<f64>],
+        dist: &D,
+        threads: usize,
+    ) -> Self {
+        let n = series.len();
+        if threads <= 1 || n < 16 {
+            return Self::compute(series, dist);
+        }
+        let mut data = vec![0.0; n * n];
+        // Each worker fills complete rows (upper triangle only), striped by
+        // row index so the long early rows are spread across workers.
+        let rows: Vec<&mut [f64]> = data.chunks_mut(n).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for (t, stripe) in stripes(rows, threads).into_iter().enumerate() {
+                handles.push(scope.spawn(move || {
+                    for (i, row) in stripe {
+                        for (j, s) in series.iter().enumerate().skip(i + 1) {
+                            row[j] = dist.dist(&series[i], s);
+                        }
+                    }
+                    t
+                }));
+            }
+            for h in handles {
+                h.join().expect("distance worker panicked");
+            }
+        });
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in i + 1..n {
+                data[j * n + i] = data[i * n + j];
+            }
+        }
+        DissimilarityMatrix { n, data }
+    }
+
+    /// Builds directly from a precomputed full matrix (for tests and for
+    /// adapting external data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    #[must_use]
+    pub fn from_full(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix buffer must be n*n");
+        DissimilarityMatrix { n, data }
+    }
+
+    /// Maximum absolute asymmetry — should be 0 by construction.
+    #[must_use]
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for j in 0..i {
+                worst = worst.max((self.get(i, j) - self.get(j, i)).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Distributes `(index, row)` pairs round-robin over `k` stripes.
+fn stripes<T>(rows: Vec<T>, k: usize) -> Vec<Vec<(usize, T)>> {
+    let mut out: Vec<Vec<(usize, T)>> = (0..k).map(|_| Vec::new()).collect();
+    for (i, r) in rows.into_iter().enumerate() {
+        out[i % k].push((i, r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DissimilarityMatrix;
+    use tsdist::EuclideanDistance;
+
+    fn toy_series(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..m).map(|j| ((i * 31 + j * 7) % 13) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn symmetric_zero_diagonal() {
+        let s = toy_series(10, 8);
+        let d = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.asymmetry(), 0.0);
+        for i in 0..10 {
+            assert_eq!(d.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn matches_direct_distance() {
+        let s = toy_series(6, 5);
+        let d = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let expect = tsdist::ed::euclidean(&s[1], &s[4]);
+        assert!((d.get(1, 4) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let s = toy_series(40, 16);
+        let serial = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let parallel = DissimilarityMatrix::compute_parallel(&s, &EuclideanDistance, 4);
+        for i in 0..40 {
+            for j in 0..40 {
+                assert!((serial.get(i, j) - parallel.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back() {
+        let s = toy_series(4, 4);
+        let d = DissimilarityMatrix::compute_parallel(&s, &EuclideanDistance, 8);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = DissimilarityMatrix::compute(&[], &EuclideanDistance);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn from_full_roundtrip() {
+        let d = DissimilarityMatrix::from_full(2, vec![0.0, 3.0, 3.0, 0.0]);
+        assert_eq!(d.get(0, 1), 3.0);
+    }
+}

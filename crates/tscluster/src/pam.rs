@@ -1,0 +1,272 @@
+//! Partitioning Around Medoids (Kaufman & Rousseeuw) — the k-medoids
+//! baseline of Table 4 (`PAM+ED`, `PAM+cDTW`, `PAM+SBD`).
+//!
+//! PAM works on a precomputed dissimilarity matrix and uses *actual series*
+//! as cluster centers (medoids), which lets any distance plug in without a
+//! centroid method — but costs the full O(n²) matrix, the reason the paper
+//! classifies it as non-scalable. The classic two phases:
+//!
+//! * **BUILD** — greedily seed k medoids minimizing total distance,
+//! * **SWAP** — repeatedly exchange a medoid with a non-medoid when the
+//!   exchange lowers the total cost, until no improving swap exists.
+
+use crate::matrix::DissimilarityMatrix;
+
+/// Outcome of a PAM run.
+#[derive(Debug, Clone)]
+pub struct PamResult {
+    /// Cluster index per item.
+    pub labels: Vec<usize>,
+    /// Index of the medoid item for each cluster.
+    pub medoids: Vec<usize>,
+    /// Total distance of items to their medoids (the PAM objective).
+    pub cost: f64,
+    /// SWAP iterations executed.
+    pub iterations: usize,
+    /// Whether SWAP reached a local optimum before the cap.
+    pub converged: bool,
+}
+
+/// Runs PAM on a dissimilarity matrix.
+///
+/// Deterministic: BUILD greedily selects seeds, SWAP applies best-improving
+/// exchanges. `max_iter` caps SWAP passes (the paper uses 100).
+///
+/// # Example
+///
+/// ```
+/// use tscluster::matrix::DissimilarityMatrix;
+/// use tscluster::pam::pam;
+/// use tsdist::EuclideanDistance;
+///
+/// let series = vec![vec![0.0], vec![0.5], vec![10.0], vec![10.5]];
+/// let matrix = DissimilarityMatrix::compute(&series, &EuclideanDistance);
+/// let r = pam(&matrix, 2, 100);
+/// assert_eq!(r.labels[0], r.labels[1]);
+/// assert_ne!(r.labels[0], r.labels[2]);
+/// // Medoids are actual input items.
+/// assert!(r.medoids.iter().all(|&m| m < 4));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+#[must_use]
+pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult {
+    let n = matrix.len();
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "k must not exceed the number of items");
+
+    // ---- BUILD ----
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    // First medoid: the item minimizing total distance to all others.
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|j| matrix.get(a, j)).sum();
+            let cb: f64 = (0..n).map(|j| matrix.get(b, j)).sum();
+            ca.partial_cmp(&cb).expect("NaN distance")
+        })
+        .expect("non-empty matrix");
+    medoids.push(first);
+    // nearest[i] = distance of i to its closest chosen medoid.
+    let mut nearest: Vec<f64> = (0..n).map(|i| matrix.get(i, first)).collect();
+    while medoids.len() < k {
+        // Pick the candidate whose addition reduces total cost the most.
+        let mut best_gain = f64::NEG_INFINITY;
+        let mut best_c = usize::MAX;
+        for c in 0..n {
+            if medoids.contains(&c) {
+                continue;
+            }
+            let gain: f64 = (0..n)
+                .map(|i| (nearest[i] - matrix.get(i, c)).max(0.0))
+                .sum();
+            if gain > best_gain {
+                best_gain = gain;
+                best_c = c;
+            }
+        }
+        medoids.push(best_c);
+        for (i, nv) in nearest.iter_mut().enumerate() {
+            *nv = nv.min(matrix.get(i, best_c));
+        }
+    }
+
+    // ---- SWAP ----
+    let cost_of = |meds: &[usize]| -> f64 {
+        (0..n)
+            .map(|i| {
+                meds.iter()
+                    .map(|&mi| matrix.get(i, mi))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum()
+    };
+    let mut cost = cost_of(&medoids);
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iter {
+        iterations += 1;
+        let mut best_delta = -1e-12;
+        let mut best_swap: Option<(usize, usize)> = None;
+        for (mi, &med) in medoids.iter().enumerate() {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[mi] = cand;
+                let delta = cost_of(&trial) - cost;
+                if delta < best_delta {
+                    best_delta = delta;
+                    best_swap = Some((mi, cand));
+                }
+                let _ = med;
+            }
+        }
+        match best_swap {
+            Some((mi, cand)) => {
+                medoids[mi] = cand;
+                // Re-derive exactly rather than accumulating best_delta,
+                // to avoid floating-point drift over many swaps.
+                cost = cost_of(&medoids);
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    // Final assignment.
+    let labels = (0..n)
+        .map(|i| {
+            medoids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    matrix
+                        .get(i, *a.1)
+                        .partial_cmp(&matrix.get(i, *b.1))
+                        .expect("NaN distance")
+                })
+                .map_or(0, |(j, _)| j)
+        })
+        .collect();
+
+    PamResult {
+        labels,
+        medoids,
+        cost,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pam;
+    use crate::matrix::DissimilarityMatrix;
+    use tsdist::EuclideanDistance;
+
+    fn blob_series() -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for j in 0..5 {
+            out.push(vec![0.0 + j as f64 * 0.1, 0.0]);
+            out.push(vec![10.0 - j as f64 * 0.1, 10.0]);
+        }
+        out
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let s = blob_series();
+        let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let r = pam(&m, 2, 100);
+        assert!(r.converged);
+        for i in (0..s.len()).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0]);
+            assert_eq!(r.labels[i + 1], r.labels[1]);
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn medoids_are_members_of_their_clusters() {
+        let s = blob_series();
+        let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let r = pam(&m, 2, 100);
+        for (j, &med) in r.medoids.iter().enumerate() {
+            assert_eq!(r.labels[med], j, "medoid {med} not in its own cluster");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_cost() {
+        let s = blob_series();
+        let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let r = pam(&m, s.len(), 100);
+        assert!(r.cost < 1e-12);
+    }
+
+    #[test]
+    fn k_one_picks_most_central_item() {
+        // Points on a line; the median point is the 1-medoid.
+        let s: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64]).collect();
+        let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let r = pam(&m, 1, 100);
+        assert_eq!(r.medoids, vec![3]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = blob_series();
+        let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let a = pam(&m, 2, 100);
+        let b = pam(&m, 2, 100);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.medoids, b.medoids);
+    }
+
+    #[test]
+    fn swap_improves_over_build_when_possible() {
+        // Construct a case where greedy BUILD is suboptimal: three groups,
+        // k = 2; cost after PAM must be a local optimum (no single swap
+        // improves), verified by exhaustive check.
+        let s: Vec<Vec<f64>> = vec![
+            vec![0.0],
+            vec![0.5],
+            vec![1.0],
+            vec![5.0],
+            vec![5.5],
+            vec![9.0],
+            vec![9.5],
+            vec![10.0],
+        ];
+        let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let r = pam(&m, 2, 100);
+        assert!(r.converged);
+        // Exhaustive: no pair of medoids beats the found cost.
+        let n = s.len();
+        let mut best = f64::INFINITY;
+        for a in 0..n {
+            for b in a + 1..n {
+                let cost: f64 = (0..n).map(|i| m.get(i, a).min(m.get(i, b))).sum();
+                best = best.min(cost);
+            }
+        }
+        assert!(
+            (r.cost - best).abs() < 1e-9,
+            "PAM {} vs optimal {}",
+            r.cost,
+            best
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed")]
+    fn rejects_k_too_large() {
+        let m = DissimilarityMatrix::compute(&[vec![1.0]], &EuclideanDistance);
+        let _ = pam(&m, 2, 10);
+    }
+}

@@ -1,0 +1,320 @@
+//! Normalized spectral clustering (Ng, Jordan & Weiss, NIPS 2002) — the
+//! `S+ED`, `S+cDTW`, `S+SBD` baselines of Table 4.
+//!
+//! Pipeline:
+//!
+//! 1. Gaussian affinity `A_ij = exp(−d_ij² / (2σ²))` with `A_ii = 0`,
+//!    `σ` set by the median-distance heuristic (no per-dataset tuning, in
+//!    keeping with the paper's unsupervised setting),
+//! 2. symmetric normalized Laplacian `L = D^{-1/2} A D^{-1/2}`,
+//! 3. top-`k` eigenvectors of `L` (via the `tslinalg` symmetric solver),
+//! 4. row normalization of the spectral embedding,
+//! 5. k-means (Euclidean) on the embedded rows.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kshape::init::random_assignment;
+use tslinalg::eigen::symmetric_eigen;
+use tslinalg::matrix::Matrix;
+
+use crate::matrix::DissimilarityMatrix;
+
+/// Configuration for spectral clustering.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralConfig {
+    /// Number of clusters (and of spectral embedding dimensions).
+    pub k: usize,
+    /// Maximum k-means iterations on the embedding.
+    pub max_iter: usize,
+    /// RNG seed for the embedding k-means.
+    pub seed: u64,
+    /// Optional kernel bandwidth; `None` uses the median-distance
+    /// heuristic.
+    pub sigma: Option<f64>,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        SpectralConfig {
+            k: 2,
+            max_iter: 100,
+            seed: 0,
+            sigma: None,
+        }
+    }
+}
+
+/// Median of the strictly-positive off-diagonal distances; 1.0 when all
+/// distances are zero (degenerate input).
+#[must_use]
+pub fn median_bandwidth(matrix: &DissimilarityMatrix) -> f64 {
+    let n = matrix.len();
+    let mut ds: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = matrix.get(i, j);
+            if d > 0.0 {
+                ds.push(d);
+            }
+        }
+    }
+    if ds.is_empty() {
+        return 1.0;
+    }
+    ds.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    ds[ds.len() / 2]
+}
+
+/// Builds the spectral embedding: rows are the row-normalized coordinates
+/// of the top-`k` eigenvectors of the normalized Laplacian.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or `k` is 0 or exceeds `n`.
+#[must_use]
+pub fn spectral_embedding(
+    matrix: &DissimilarityMatrix,
+    k: usize,
+    sigma: Option<f64>,
+) -> Vec<Vec<f64>> {
+    let n = matrix.len();
+    assert!(n > 0, "cannot embed an empty matrix");
+    assert!(k > 0 && k <= n, "k must be in 1..=n");
+    let sigma = sigma.unwrap_or_else(|| median_bandwidth(matrix));
+    let denom = 2.0 * sigma * sigma;
+
+    // Affinity with zero diagonal.
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let d = matrix.get(i, j);
+                a[(i, j)] = (-d * d / denom).exp();
+            }
+        }
+    }
+    // L = D^{-1/2} A D^{-1/2}.
+    let deg: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| a[(i, j)])
+                .sum::<f64>()
+                .max(f64::MIN_POSITIVE)
+        })
+        .collect();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            l[(i, j)] = a[(i, j)] / (deg[i] * deg[j]).sqrt();
+        }
+    }
+
+    // Top-k eigenvectors (largest eigenvalues of L).
+    let eig = symmetric_eigen(&l);
+    let mut rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..k).map(|c| eig.vectors[(i, c)]).collect())
+        .collect();
+    // Row normalization.
+    for row in &mut rows {
+        let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            row.iter_mut().for_each(|v| *v /= norm);
+        }
+    }
+    rows
+}
+
+/// Outcome of a spectral clustering run.
+#[derive(Debug, Clone)]
+pub struct SpectralResult {
+    /// Cluster index per item.
+    pub labels: Vec<usize>,
+    /// Whether the embedding k-means converged.
+    pub converged: bool,
+    /// Kernel bandwidth actually used.
+    pub sigma: f64,
+}
+
+/// Runs normalized spectral clustering on a dissimilarity matrix.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or `k` is 0 or exceeds `n`.
+#[must_use]
+pub fn spectral_cluster(matrix: &DissimilarityMatrix, config: &SpectralConfig) -> SpectralResult {
+    let sigma = config.sigma.unwrap_or_else(|| median_bandwidth(matrix));
+    let embedding = spectral_embedding(matrix, config.k, Some(sigma));
+    let (labels, converged) = embedding_kmeans(&embedding, config.k, config.max_iter, config.seed);
+    SpectralResult {
+        labels,
+        converged,
+        sigma,
+    }
+}
+
+/// Plain Euclidean k-means on embedding rows (kept local: the rows are
+/// points, not time series, so the tsdist machinery is not needed).
+fn embedding_kmeans(rows: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> (Vec<usize>, bool) {
+    let n = rows.len();
+    let dim = rows[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = random_assignment(n, k, &mut rng);
+    let mut centroids = vec![vec![0.0; dim]; k];
+    let mut dists = vec![0.0f64; n];
+    for _ in 0..max_iter {
+        let mut counts = vec![0usize; k];
+        for c in &mut centroids {
+            c.iter_mut().for_each(|v| *v = 0.0);
+        }
+        for (row, &l) in rows.iter().zip(labels.iter()) {
+            counts[l] += 1;
+            for (acc, v) in centroids[l].iter_mut().zip(row.iter()) {
+                *acc += v;
+            }
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if counts[j] == 0 {
+                let worst = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
+                    .map_or(0, |(i, _)| i);
+                c.copy_from_slice(&rows[worst]);
+                labels[worst] = j;
+            } else {
+                let inv = 1.0 / counts[j] as f64;
+                c.iter_mut().for_each(|v| *v *= inv);
+            }
+        }
+        let mut changed = false;
+        for (i, row) in rows.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut best_j = labels[i];
+            for (j, c) in centroids.iter().enumerate() {
+                let d: f64 = row
+                    .iter()
+                    .zip(c.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            dists[i] = best;
+            if best_j != labels[i] {
+                labels[i] = best_j;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (labels, true);
+        }
+    }
+    (labels, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{median_bandwidth, spectral_cluster, spectral_embedding, SpectralConfig};
+    use crate::matrix::DissimilarityMatrix;
+    use tsdist::EuclideanDistance;
+
+    fn two_blob_matrix() -> DissimilarityMatrix {
+        let mut series = Vec::new();
+        for j in 0..6 {
+            series.push(vec![0.0 + j as f64 * 0.05, 0.0]);
+            series.push(vec![8.0 - j as f64 * 0.05, 8.0]);
+        }
+        DissimilarityMatrix::compute(&series, &EuclideanDistance)
+    }
+
+    #[test]
+    fn median_bandwidth_positive() {
+        let m = two_blob_matrix();
+        let s = median_bandwidth(&m);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn median_bandwidth_degenerate() {
+        let m = DissimilarityMatrix::from_full(2, vec![0.0; 4]);
+        assert_eq!(median_bandwidth(&m), 1.0);
+    }
+
+    #[test]
+    fn embedding_rows_unit_norm() {
+        let m = two_blob_matrix();
+        let emb = spectral_embedding(&m, 2, None);
+        for row in &emb {
+            let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let m = two_blob_matrix();
+        let r = spectral_cluster(
+            &m,
+            &SpectralConfig {
+                k: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        for i in (0..12).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0]);
+            assert_eq!(r.labels[i + 1], r.labels[1]);
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn detects_non_convex_rings() {
+        // Two concentric rings — the canonical case where spectral beats
+        // centroid methods.
+        let mut series = Vec::new();
+        for i in 0..16 {
+            let theta = i as f64 * std::f64::consts::TAU / 16.0;
+            series.push(vec![theta.cos(), theta.sin()]);
+            series.push(vec![6.0 * theta.cos(), 6.0 * theta.sin()]);
+        }
+        let m = DissimilarityMatrix::compute(&series, &EuclideanDistance);
+        let r = spectral_cluster(
+            &m,
+            &SpectralConfig {
+                k: 2,
+                seed: 3,
+                sigma: Some(0.8),
+                ..Default::default()
+            },
+        );
+        for i in (0..series.len()).step_by(2) {
+            assert_eq!(r.labels[i], r.labels[0], "inner ring split");
+            assert_eq!(r.labels[i + 1], r.labels[1], "outer ring split");
+        }
+        assert_ne!(r.labels[0], r.labels[1]);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let m = two_blob_matrix();
+        let cfg = SpectralConfig {
+            k: 2,
+            seed: 5,
+            ..Default::default()
+        };
+        let a = spectral_cluster(&m, &cfg);
+        let b = spectral_cluster(&m, &cfg);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn rejects_bad_k() {
+        let m = two_blob_matrix();
+        let _ = spectral_embedding(&m, 0, None);
+    }
+}

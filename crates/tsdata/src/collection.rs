@@ -1,0 +1,243 @@
+//! The 48-dataset synthetic collection standing in for the UCR archive.
+//!
+//! The paper evaluates every distance measure and clustering method on the
+//! 48 class-labeled datasets of the UCR collection. That archive cannot be
+//! redistributed here, so [`synthetic_collection`] deterministically builds
+//! 48 datasets from the eight shape families in [`crate::generators`], six
+//! variants per family, varying `n`, `m`, `k`, noise, and shift magnitude.
+//! Each dataset is split into train/test halves (as UCR ships them) and
+//! z-normalized, matching the paper's preprocessing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dataset::{Dataset, SplitDataset};
+use crate::generators::{
+    cbf, chirps, ecg, seasonal, sines, trends, two_patterns, warped, GenParams,
+};
+
+/// Knobs for building the collection.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionSpec {
+    /// Base RNG seed; the collection is fully determined by it.
+    pub seed: u64,
+    /// Global multiplier on per-class series counts (1.0 = default sizes).
+    /// Lets tests run on tiny collections and benches on larger ones.
+    pub size_factor: f64,
+}
+
+impl Default for CollectionSpec {
+    fn default() -> Self {
+        CollectionSpec {
+            seed: 0x5ADE,
+            size_factor: 1.0,
+        }
+    }
+}
+
+/// Per-variant parameter tweaks applied on top of each family's defaults.
+struct Variant {
+    n_per_class: usize,
+    len: usize,
+    noise: f64,
+    max_shift_frac: f64,
+}
+
+/// Six variants reused by every family: small/clean, small/noisy,
+/// medium/shifted, medium/long, large/clean, large/noisy-shifted.
+const VARIANTS: [Variant; 6] = [
+    Variant {
+        n_per_class: 12,
+        len: 64,
+        noise: 0.15,
+        max_shift_frac: 0.05,
+    },
+    Variant {
+        n_per_class: 12,
+        len: 64,
+        noise: 0.50,
+        max_shift_frac: 0.05,
+    },
+    Variant {
+        n_per_class: 20,
+        len: 128,
+        noise: 0.25,
+        max_shift_frac: 0.20,
+    },
+    Variant {
+        n_per_class: 12,
+        len: 512,
+        noise: 0.25,
+        max_shift_frac: 0.10,
+    },
+    Variant {
+        n_per_class: 30,
+        len: 96,
+        noise: 0.15,
+        max_shift_frac: 0.10,
+    },
+    Variant {
+        n_per_class: 24,
+        len: 128,
+        noise: 0.45,
+        max_shift_frac: 0.25,
+    },
+];
+
+/// Builds the full 48-dataset collection, z-normalized and split.
+#[must_use]
+pub fn synthetic_collection(spec: &CollectionSpec) -> Vec<SplitDataset> {
+    let mut out = Vec::with_capacity(48);
+    for (vi, variant) in VARIANTS.iter().enumerate() {
+        let n_per_class = ((variant.n_per_class as f64 * spec.size_factor).round() as usize).max(4);
+        let params = GenParams {
+            n_per_class,
+            len: variant.len,
+            noise: variant.noise,
+            max_shift_frac: variant.max_shift_frac,
+            amp_jitter: 1.5,
+        };
+        for family in 0..8 {
+            // One independent deterministic stream per (family, variant).
+            let seed = spec
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((family * 131 + vi) as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = match family {
+                0 => cbf::generate(&params, &mut rng),
+                1 => two_patterns::generate(&params, &mut rng),
+                2 => ecg::generate(&params, &mut rng),
+                3 => sines::generate(2 + vi % 3, 2.0 + vi as f64, &params, &mut rng),
+                4 => trends::generate(3 + vi % 3, &params, &mut rng),
+                5 => seasonal::generate(2 + vi % 3, 2.0, &params, &mut rng),
+                6 => warped::generate(2 + vi % 3, &params, &mut rng),
+                _ => chirps::generate(2 + vi % 3, 3.0 + vi as f64, &params, &mut rng),
+            };
+            d.name = format!("{}-{:02}", d.name, vi);
+            let mut split = split_alternating(d);
+            split.z_normalize();
+            out.push(split);
+        }
+    }
+    out
+}
+
+/// Splits a dataset into train/test halves by alternating within each
+/// class, preserving class balance in both halves.
+#[must_use]
+pub fn split_alternating(d: Dataset) -> SplitDataset {
+    let mut train_series = Vec::new();
+    let mut train_labels = Vec::new();
+    let mut test_series = Vec::new();
+    let mut test_labels = Vec::new();
+    let mut seen_per_class = vec![0usize; d.n_classes()];
+    for (s, &l) in d.series.iter().zip(d.labels.iter()) {
+        let seen = &mut seen_per_class[l];
+        if (*seen).is_multiple_of(2) {
+            train_series.push(s.clone());
+            train_labels.push(l);
+        } else {
+            test_series.push(s.clone());
+            test_labels.push(l);
+        }
+        *seen += 1;
+    }
+    SplitDataset {
+        train: Dataset::new(d.name.clone(), train_series, train_labels),
+        test: Dataset::new(d.name, test_series, test_labels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{split_alternating, synthetic_collection, CollectionSpec};
+    use crate::dataset::Dataset;
+
+    fn tiny_spec() -> CollectionSpec {
+        CollectionSpec {
+            seed: 7,
+            size_factor: 0.34, // minimum sizes, fast tests
+        }
+    }
+
+    #[test]
+    fn collection_has_48_datasets() {
+        let c = synthetic_collection(&tiny_spec());
+        assert_eq!(c.len(), 48);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = synthetic_collection(&tiny_spec());
+        let mut names: Vec<&str> = c.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 48);
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let a = synthetic_collection(&tiny_spec());
+        let b = synthetic_collection(&tiny_spec());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.train.series, y.train.series);
+            assert_eq!(x.test.labels, y.test.labels);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthetic_collection(&tiny_spec());
+        let b = synthetic_collection(&CollectionSpec {
+            seed: 8,
+            size_factor: 0.34,
+        });
+        assert_ne!(a[0].train.series, b[0].train.series);
+    }
+
+    #[test]
+    fn every_dataset_is_z_normalized() {
+        let c = synthetic_collection(&tiny_spec());
+        for split in &c {
+            for s in split.train.series.iter().chain(split.test.series.iter()) {
+                let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+                assert!(mean.abs() < 1e-9, "{}: mean {mean}", split.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_dataset_has_multiple_classes_and_members() {
+        let c = synthetic_collection(&tiny_spec());
+        for split in &c {
+            assert!(split.n_classes() >= 2, "{}", split.name());
+            assert!(split.train.n_series() >= 4, "{}", split.name());
+            assert!(split.test.n_series() >= 4, "{}", split.name());
+        }
+    }
+
+    #[test]
+    fn split_preserves_class_balance() {
+        let d = Dataset::new(
+            "t",
+            (0..10).map(|i| vec![i as f64; 4]).collect(),
+            vec![0, 0, 0, 0, 1, 1, 1, 1, 1, 1],
+        );
+        let split = split_alternating(d);
+        assert_eq!(split.train.class_indices(0).len(), 2);
+        assert_eq!(split.test.class_indices(0).len(), 2);
+        assert_eq!(split.train.class_indices(1).len(), 3);
+        assert_eq!(split.test.class_indices(1).len(), 3);
+    }
+
+    #[test]
+    fn size_factor_scales_counts() {
+        let small = synthetic_collection(&tiny_spec());
+        let big = synthetic_collection(&CollectionSpec {
+            seed: 7,
+            size_factor: 1.0,
+        });
+        assert!(big[0].train.n_series() > small[0].train.n_series());
+    }
+}

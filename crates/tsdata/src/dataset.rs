@@ -1,0 +1,230 @@
+//! Dataset containers.
+//!
+//! A [`Dataset`] is a set of equal-length, class-labeled time series — the
+//! unit of evaluation in the paper. A [`SplitDataset`] carries the
+//! train/test split used for 1-NN distance-measure evaluation (Table 2);
+//! clustering experiments fuse the two halves, as the paper does.
+
+use crate::normalize::z_normalize_in_place;
+
+/// A set of equal-length, labeled time series.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"cbf-03"`).
+    pub name: String,
+    /// The series, each of length `self.len()`.
+    pub series: Vec<Vec<f64>>,
+    /// Class label per series, in `0..self.n_classes()`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shape invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` and `labels` disagree in length or the series are
+    /// not all the same length.
+    #[must_use]
+    pub fn new(name: impl Into<String>, series: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
+        assert_eq!(series.len(), labels.len(), "one label per series required");
+        if let Some(first) = series.first() {
+            let m = first.len();
+            assert!(
+                series.iter().all(|s| s.len() == m),
+                "all series must have equal length"
+            );
+        }
+        Dataset {
+            name: name.into(),
+            series,
+            labels,
+        }
+    }
+
+    /// Number of series.
+    #[inline]
+    #[must_use]
+    pub fn n_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Length of each series (0 for an empty dataset).
+    #[inline]
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series.first().map_or(0, Vec::len)
+    }
+
+    /// Number of distinct classes (`max label + 1`).
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Returns true if the dataset has no series.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// z-normalizes every series in place (zero mean, unit variance).
+    ///
+    /// The paper z-normalizes all datasets before any experiment.
+    pub fn z_normalize(&mut self) {
+        for s in &mut self.series {
+            z_normalize_in_place(s);
+        }
+    }
+
+    /// Returns the indices of the series in class `label`.
+    #[must_use]
+    pub fn class_indices(&self, label: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == label).then_some(i))
+            .collect()
+    }
+
+    /// Appends all series of `other` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series lengths differ.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        if !self.is_empty() && !other.is_empty() {
+            assert_eq!(
+                self.series_len(),
+                other.series_len(),
+                "cannot fuse datasets with different series lengths"
+            );
+        }
+        self.series.extend(other.series.iter().cloned());
+        self.labels.extend_from_slice(&other.labels);
+    }
+}
+
+/// A dataset with a train/test split, mirroring the UCR archive layout.
+#[derive(Debug, Clone)]
+pub struct SplitDataset {
+    /// Training half (used for 1-NN references and cDTW window tuning).
+    pub train: Dataset,
+    /// Test half (used for 1-NN accuracy).
+    pub test: Dataset,
+}
+
+impl SplitDataset {
+    /// Shared dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.train.name
+    }
+
+    /// Fuses train and test into one dataset, as the paper does for
+    /// clustering experiments ("over the fused training and test sets").
+    #[must_use]
+    pub fn fused(&self) -> Dataset {
+        let mut d = self.train.clone();
+        d.extend_from(&self.test);
+        d
+    }
+
+    /// Number of classes across both halves.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.train.n_classes().max(self.test.n_classes())
+    }
+
+    /// z-normalizes both halves in place.
+    pub fn z_normalize(&mut self) {
+        self.train.z_normalize();
+        self.test.z_normalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Dataset, SplitDataset};
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                vec![1.0, 2.0, 3.0],
+                vec![2.0, 4.0, 6.0],
+                vec![0.0, 0.0, 1.0],
+            ],
+            vec![0, 0, 1],
+        )
+    }
+
+    #[test]
+    fn basic_shape_accessors() {
+        let d = toy();
+        assert_eq!(d.n_series(), 3);
+        assert_eq!(d.series_len(), 3);
+        assert_eq!(d.n_classes(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new("empty", vec![], vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.series_len(), 0);
+        assert_eq!(d.n_classes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per series")]
+    fn rejects_label_mismatch() {
+        let _ = Dataset::new("bad", vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_ragged_series() {
+        let _ = Dataset::new("bad", vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn class_indices() {
+        let d = toy();
+        assert_eq!(d.class_indices(0), vec![0, 1]);
+        assert_eq!(d.class_indices(1), vec![2]);
+        assert!(d.class_indices(2).is_empty());
+    }
+
+    #[test]
+    fn z_normalize_gives_zero_mean_unit_std() {
+        let mut d = toy();
+        d.z_normalize();
+        for s in &d.series {
+            let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+            assert!(mean.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_split_concatenates() {
+        let split = SplitDataset {
+            train: toy(),
+            test: Dataset::new("toy", vec![vec![5.0, 5.0, 5.0]], vec![1]),
+        };
+        let fused = split.fused();
+        assert_eq!(fused.n_series(), 4);
+        assert_eq!(fused.labels, vec![0, 0, 1, 1]);
+        assert_eq!(split.n_classes(), 2);
+        assert_eq!(split.name(), "toy");
+    }
+
+    #[test]
+    #[should_panic(expected = "different series lengths")]
+    fn extend_rejects_length_mismatch() {
+        let mut d = toy();
+        let other = Dataset::new("other", vec![vec![1.0, 2.0]], vec![0]);
+        d.extend_from(&other);
+    }
+}

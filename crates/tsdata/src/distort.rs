@@ -1,0 +1,261 @@
+//! Distortion operators implementing the invariance taxonomy of paper
+//! Section 2.2.
+//!
+//! The synthetic generators compose these distortions so that each dataset
+//! exercises the invariances the distance measures are supposed to provide:
+//! scaling/translation (handled by z-normalization), shift (handled by SBD
+//! and DTW), warping (handled by DTW), noise, and occlusion.
+
+use rand::Rng;
+
+/// Applies amplitude scaling and offset translation: `x' = a·x + b`.
+pub fn scale_translate(x: &mut [f64], a: f64, b: f64) {
+    for v in x.iter_mut() {
+        *v = a * *v + b;
+    }
+}
+
+/// Shifts a sequence by `s` positions, zero-padding the vacated region —
+/// exactly Equation 5 of the paper. Positive `s` delays the sequence
+/// (pads zeros at the front).
+#[must_use]
+pub fn shift_zero_pad(x: &[f64], s: isize) -> Vec<f64> {
+    let m = x.len();
+    let mut out = vec![0.0; m];
+    if s >= 0 {
+        let s = (s as usize).min(m);
+        out[s..].copy_from_slice(&x[..m - s]);
+    } else {
+        let s = ((-s) as usize).min(m);
+        out[..m - s].copy_from_slice(&x[s..]);
+    }
+    out
+}
+
+/// Circularly rotates a sequence by `s` positions (positive = delay).
+///
+/// Used by generators to create out-of-phase class members without edge
+/// artifacts.
+#[must_use]
+pub fn shift_circular(x: &[f64], s: isize) -> Vec<f64> {
+    let m = x.len() as isize;
+    if m == 0 {
+        return Vec::new();
+    }
+    let s = ((s % m) + m) % m;
+    let mut out = Vec::with_capacity(m as usize);
+    for i in 0..m {
+        out.push(x[((i - s + m) % m) as usize]);
+    }
+    out
+}
+
+/// Adds i.i.d. Gaussian noise with standard deviation `sigma`.
+pub fn add_noise<R: Rng>(x: &mut [f64], sigma: f64, rng: &mut R) {
+    if sigma <= 0.0 {
+        return;
+    }
+    for v in x.iter_mut() {
+        *v += sigma * gaussian(rng);
+    }
+}
+
+/// Samples a standard normal variate via Box–Muller.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.gen::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Applies a smooth local time warping: resamples `x` at positions
+/// `t + amp·sin(2π·freq·t/m)` with linear interpolation.
+///
+/// `amp` is measured in samples; `amp = 0` returns a copy.
+#[must_use]
+pub fn warp_local(x: &[f64], amp: f64, freq: f64) -> Vec<f64> {
+    let m = x.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(m);
+    for t in 0..m {
+        let pos = t as f64 + amp * (2.0 * std::f64::consts::PI * freq * t as f64 / m as f64).sin();
+        out.push(sample_linear(x, pos));
+    }
+    out
+}
+
+/// Uniform scaling: stretches or shrinks `x` to `new_len` samples with
+/// linear interpolation (paper's "uniform scaling invariance").
+#[must_use]
+pub fn resample(x: &[f64], new_len: usize) -> Vec<f64> {
+    let m = x.len();
+    if m == 0 || new_len == 0 {
+        return vec![0.0; new_len];
+    }
+    if m == 1 {
+        return vec![x[0]; new_len];
+    }
+    let scale = (m - 1) as f64 / (new_len - 1).max(1) as f64;
+    (0..new_len)
+        .map(|i| sample_linear(x, i as f64 * scale))
+        .collect()
+}
+
+/// Occludes (zeroes) a window `[start, start + len)`, clamped to bounds
+/// (paper's "occlusion invariance" distortion).
+pub fn occlude(x: &mut [f64], start: usize, len: usize) {
+    let m = x.len();
+    let end = start.saturating_add(len).min(m);
+    for v in &mut x[start.min(m)..end] {
+        *v = 0.0;
+    }
+}
+
+/// Linear interpolation into `x` at fractional position `pos`, clamped to
+/// the valid range.
+fn sample_linear(x: &[f64], pos: f64) -> f64 {
+    let m = x.len();
+    let pos = pos.clamp(0.0, (m - 1) as f64);
+    let lo = pos.floor() as usize;
+    let hi = (lo + 1).min(m - 1);
+    let frac = pos - lo as f64;
+    x[lo] * (1.0 - frac) + x[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{
+        add_noise, gaussian, occlude, resample, scale_translate, shift_circular, shift_zero_pad,
+        warp_local,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scale_translate_affine() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        scale_translate(&mut x, 2.0, 1.0);
+        assert_eq!(x, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn zero_pad_shift_right() {
+        let y = shift_zero_pad(&[1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(y, vec![0.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_pad_shift_left() {
+        let y = shift_zero_pad(&[1.0, 2.0, 3.0, 4.0], -1);
+        assert_eq!(y, vec![2.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_pad_shift_saturates() {
+        let y = shift_zero_pad(&[1.0, 2.0], 10);
+        assert_eq!(y, vec![0.0, 0.0]);
+        let y = shift_zero_pad(&[1.0, 2.0], -10);
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn circular_shift_wraps() {
+        let y = shift_circular(&[1.0, 2.0, 3.0, 4.0], 1);
+        assert_eq!(y, vec![4.0, 1.0, 2.0, 3.0]);
+        let y = shift_circular(&[1.0, 2.0, 3.0, 4.0], -1);
+        assert_eq!(y, vec![2.0, 3.0, 4.0, 1.0]);
+        let y = shift_circular(&[1.0, 2.0, 3.0, 4.0], 4);
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = shift_circular(&[1.0, 2.0, 3.0], -7);
+        assert_eq!(y, shift_circular(&[1.0, 2.0, 3.0], -1));
+        assert!(shift_circular(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn noise_with_zero_sigma_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = vec![1.0, 2.0];
+        add_noise(&mut x, 0.0, &mut rng);
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn warp_zero_amplitude_is_identity() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).sin()).collect();
+        let w = warp_local(&x, 0.0, 2.0);
+        for (a, b) in x.iter().zip(w.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn warp_preserves_length_and_range() {
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).cos()).collect();
+        let w = warp_local(&x, 3.0, 1.5);
+        assert_eq!(w.len(), x.len());
+        let (min, max) = crate::normalize::min_max(&x);
+        for &v in &w {
+            assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_identity_when_same_length() {
+        let x = vec![1.0, 3.0, 2.0, 5.0];
+        let y = resample(&x, 4);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_stretch_preserves_endpoints() {
+        let x = vec![0.0, 1.0, 4.0];
+        let y = resample(&x, 7);
+        assert_eq!(y.len(), 7);
+        assert!((y[0] - 0.0).abs() < 1e-12);
+        assert!((y[6] - 4.0).abs() < 1e-12);
+        // Monotone input stays monotone under linear interpolation.
+        for w in y.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_edge_cases() {
+        assert_eq!(resample(&[], 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(resample(&[2.5], 3), vec![2.5, 2.5, 2.5]);
+        assert!(resample(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn occlusion_zeroes_window() {
+        let mut x = vec![1.0; 6];
+        occlude(&mut x, 2, 3);
+        assert_eq!(x, vec![1.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        // Clamped beyond the end.
+        let mut y = vec![1.0; 3];
+        occlude(&mut y, 2, 100);
+        assert_eq!(y, vec![1.0, 1.0, 0.0]);
+        // Start beyond the end is a no-op.
+        let mut z = vec![1.0; 2];
+        occlude(&mut z, 5, 2);
+        assert_eq!(z, vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,354 @@
+//! Statistical feature extraction — the *feature-based* and *model-based*
+//! clustering paradigms of paper Section 2.4.
+//!
+//! The paper contrasts raw-based clustering (its choice) with approaches
+//! that first summarize each series by descriptive statistics
+//! (characteristic-based clustering, reference [82]) or by fitted model
+//! coefficients (ARIMA-based distances, reference [38]). This module
+//! provides both representations so the `feature_based` experiment can
+//! test the paper's §2.4 argument — that feature/model pipelines are
+//! domain-sensitive — on the same collection:
+//!
+//! * [`feature_vector`] — a fixed battery of distribution, dependence, and
+//!   spectral statistics,
+//! * [`ar_coefficients`] — AR(p) model coefficients fitted with
+//!   Levinson–Durbin recursion on the sample autocorrelations,
+//! * [`standardize_features`] — per-dimension z-scoring across a dataset
+//!   so Euclidean clustering of feature vectors is scale-free.
+
+use crate::normalize::{mean, std_dev};
+
+/// Sample autocorrelation of `x` at `lag` (biased estimator, the standard
+/// choice for Levinson–Durbin). Returns 0 for degenerate inputs.
+#[must_use]
+pub fn autocorrelation(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if n == 0 || lag >= n {
+        return 0.0;
+    }
+    let mu = mean(x);
+    let denom: f64 = x.iter().map(|v| (v - mu) * (v - mu)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag).map(|t| (x[t] - mu) * (x[t + lag] - mu)).sum();
+    num / denom
+}
+
+/// Sample skewness (0 for degenerate inputs).
+#[must_use]
+pub fn skewness(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mu = mean(x);
+    let sigma = std_dev(x);
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    x.iter().map(|v| ((v - mu) / sigma).powi(3)).sum::<f64>() / n as f64
+}
+
+/// Sample excess kurtosis (0 for degenerate inputs; 0 for a Gaussian).
+#[must_use]
+pub fn kurtosis(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mu = mean(x);
+    let sigma = std_dev(x);
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    x.iter().map(|v| ((v - mu) / sigma).powi(4)).sum::<f64>() / n as f64 - 3.0
+}
+
+/// Least-squares linear trend slope per unit time.
+#[must_use]
+pub fn trend_slope(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let tmean = (n - 1) as f64 / 2.0;
+    let xmean = mean(x);
+    let mut num = 0.0;
+    let mut denom = 0.0;
+    for (t, &v) in x.iter().enumerate() {
+        let dt = t as f64 - tmean;
+        num += dt * (v - xmean);
+        denom += dt * dt;
+    }
+    if denom == 0.0 {
+        0.0
+    } else {
+        num / denom
+    }
+}
+
+/// Fits AR(`order`) coefficients with the Levinson–Durbin recursion on the
+/// sample autocorrelations (the model-based representation of [38]).
+///
+/// Returns `order` coefficients `φ₁..φ_p` such that
+/// `x[t] ≈ Σ φ_k x[t−k]`. Degenerate inputs yield all zeros.
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+#[must_use]
+pub fn ar_coefficients(x: &[f64], order: usize) -> Vec<f64> {
+    assert!(order > 0, "AR order must be positive");
+    let r: Vec<f64> = (0..=order).map(|k| autocorrelation(x, k)).collect();
+    if r[0] == 0.0 {
+        return vec![0.0; order];
+    }
+    // Levinson–Durbin.
+    let mut phi = vec![0.0; order];
+    let mut prev = vec![0.0; order];
+    let mut err = r[0];
+    for k in 0..order {
+        let mut acc = r[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * r[k - j];
+        }
+        if err.abs() < 1e-300 {
+            break;
+        }
+        let reflection = acc / err;
+        phi[..k].copy_from_slice(&prev[..k]);
+        for j in 0..k {
+            phi[j] = prev[j] - reflection * prev[k - 1 - j];
+        }
+        phi[k] = reflection;
+        err *= 1.0 - reflection * reflection;
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    phi
+}
+
+/// Spectral entropy of the series: Shannon entropy of the normalized
+/// power spectrum, scaled to `[0, 1]` (1 = white noise, 0 = pure tone).
+#[must_use]
+pub fn spectral_entropy(x: &[f64]) -> f64 {
+    let m = x.len();
+    if m < 4 {
+        return 0.0;
+    }
+    let n = tsfft::next_pow2(m);
+    let plan = tsfft::Radix2Fft::new(n);
+    let spec = plan.forward_vec(tsfft::real::pad_to_complex(x, n));
+    // One-sided power spectrum, DC excluded (dominated by the mean).
+    let powers: Vec<f64> = spec[1..n / 2].iter().map(|z| z.norm_sqr()).collect();
+    let total: f64 = powers.iter().sum();
+    // A single usable bin carries no distributional information, and the
+    // normalizer ln(len) would be zero.
+    if total <= 0.0 || powers.len() < 2 {
+        return 0.0;
+    }
+    let entropy: f64 = powers
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| {
+            let q = p / total;
+            -q * q.ln()
+        })
+        .sum();
+    entropy / (powers.len() as f64).ln()
+}
+
+/// Names of the dimensions produced by [`feature_vector`], in order.
+pub const FEATURE_NAMES: [&str; 10] = [
+    "mean",
+    "std",
+    "skewness",
+    "kurtosis",
+    "trend",
+    "acf1",
+    "acf2",
+    "acf_season",
+    "spectral_entropy",
+    "turning_rate",
+];
+
+/// Extracts the 10-dimensional characteristic feature vector of a series.
+#[must_use]
+pub fn feature_vector(x: &[f64]) -> Vec<f64> {
+    let m = x.len();
+    // Turning points: local extrema rate, a classic complexity feature.
+    let turning = if m >= 3 {
+        x.windows(3)
+            .filter(|w| (w[1] > w[0] && w[1] > w[2]) || (w[1] < w[0] && w[1] < w[2]))
+            .count() as f64
+            / (m - 2) as f64
+    } else {
+        0.0
+    };
+    let season_lag = (m / 8).max(3).min(m.saturating_sub(1).max(1));
+    vec![
+        mean(x),
+        std_dev(x),
+        skewness(x),
+        kurtosis(x),
+        trend_slope(x),
+        autocorrelation(x, 1),
+        autocorrelation(x, 2),
+        autocorrelation(x, season_lag),
+        spectral_entropy(x),
+        turning,
+    ]
+}
+
+/// z-scores each feature dimension across the dataset (mean 0, std 1 per
+/// column), leaving constant columns at zero.
+#[must_use]
+pub fn standardize_features(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let dims = rows[0].len();
+    let n = rows.len() as f64;
+    let mut out = rows.to_vec();
+    for d in 0..dims {
+        let col_mean: f64 = rows.iter().map(|r| r[d]).sum::<f64>() / n;
+        let col_var: f64 = rows.iter().map(|r| (r[d] - col_mean).powi(2)).sum::<f64>() / n;
+        let col_std = col_var.sqrt();
+        for row in &mut out {
+            row[d] = if col_std > 0.0 {
+                (row[d] - col_mean) / col_std
+            } else {
+                0.0
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{
+        ar_coefficients, autocorrelation, feature_vector, kurtosis, skewness, spectral_entropy,
+        standardize_features, trend_slope, FEATURE_NAMES,
+    };
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    fn autocorrelation_basics() {
+        // Lag 0 is always 1 for non-degenerate series.
+        let x = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert!((autocorrelation(&x, 0) - 1.0).abs() < 1e-12);
+        // Alternating series has strongly negative lag-1 ACF.
+        let alt: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(autocorrelation(&alt, 1) < -0.9);
+        // Degenerate cases.
+        assert_eq!(autocorrelation(&[], 1), 0.0);
+        assert_eq!(autocorrelation(&[2.0, 2.0], 1), 0.0);
+    }
+
+    #[test]
+    fn skewness_and_kurtosis_signatures() {
+        // Symmetric data: ~0 skewness.
+        let sym: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.2).sin()).collect();
+        assert!(skewness(&sym).abs() < 0.2);
+        // Right-skewed data: positive skewness.
+        let skewed: Vec<f64> = (0..100)
+            .map(|i| if i % 10 == 0 { 10.0 } else { 0.0 })
+            .collect();
+        assert!(skewness(&skewed) > 1.0);
+        // Two-point distribution has minimal kurtosis (-2).
+        let binary: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!((kurtosis(&binary) + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_slope_recovers_linear() {
+        let x: Vec<f64> = (0..30).map(|i| 3.0 + 0.7 * i as f64).collect();
+        assert!((trend_slope(&x) - 0.7).abs() < 1e-9);
+        let flat = vec![2.0; 10];
+        assert_eq!(trend_slope(&flat), 0.0);
+    }
+
+    #[test]
+    fn ar1_coefficient_recovered() {
+        // Simulate AR(1) with φ = 0.8.
+        let mut next = lcg(5);
+        let mut x = vec![0.0];
+        for _ in 0..5000 {
+            let prev = *x.last().unwrap();
+            x.push(0.8 * prev + next());
+        }
+        let phi = ar_coefficients(&x, 1);
+        assert!((phi[0] - 0.8).abs() < 0.05, "phi {phi:?}");
+    }
+
+    #[test]
+    fn ar2_coefficients_recovered() {
+        // AR(2): x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + noise.
+        let mut next = lcg(9);
+        let mut x = vec![0.0, 0.0];
+        for _ in 0..20000 {
+            let n = x.len();
+            x.push(0.5 * x[n - 1] + 0.3 * x[n - 2] + next());
+        }
+        let phi = ar_coefficients(&x, 2);
+        assert!((phi[0] - 0.5).abs() < 0.05, "{phi:?}");
+        assert!((phi[1] - 0.3).abs() < 0.05, "{phi:?}");
+    }
+
+    #[test]
+    fn ar_degenerate_input_is_zero() {
+        assert_eq!(ar_coefficients(&[1.0; 10], 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn spectral_entropy_separates_tone_from_noise() {
+        let tone: Vec<f64> = (0..256)
+            .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / 256.0).sin())
+            .collect();
+        let mut next = lcg(11);
+        let noise: Vec<f64> = (0..256).map(|_| next()).collect();
+        let se_tone = spectral_entropy(&tone);
+        let se_noise = spectral_entropy(&noise);
+        assert!(se_tone < 0.4, "tone {se_tone}");
+        assert!(se_noise > 0.8, "noise {se_noise}");
+        assert!((0.0..=1.0).contains(&se_tone) && (0.0..=1.0 + 1e-9).contains(&se_noise));
+    }
+
+    #[test]
+    fn feature_vector_dimensions_match_names() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).cos()).collect();
+        let f = feature_vector(&x);
+        assert_eq!(f.len(), FEATURE_NAMES.len());
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn standardize_features_column_stats() {
+        let rows = vec![
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+        ];
+        let std = standardize_features(&rows);
+        for d in 0..2 {
+            let mean: f64 = std.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = std.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+        // Constant column zeroed.
+        assert!(std.iter().all(|r| r[2] == 0.0));
+    }
+}

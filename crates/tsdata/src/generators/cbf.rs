@@ -1,0 +1,158 @@
+//! Cylinder–Bell–Funnel generator (Saito 1994).
+//!
+//! The paper uses CBF for its scalability study (Appendix B, Figure 12)
+//! because `n` and `m` can be varied freely without changing the nature of
+//! the data. The three classes are:
+//!
+//! ```text
+//! cylinder: c(t) = (6 + η) · χ_[a,b](t)                 + ε(t)
+//! bell:     b(t) = (6 + η) · χ_[a,b](t) · (t−a)/(b−a)   + ε(t)
+//! funnel:   f(t) = (6 + η) · χ_[a,b](t) · (b−t)/(b−a)   + ε(t)
+//! ```
+//!
+//! with `η, ε(t) ~ N(0, 1)` and random breakpoints `a < b`. The classic
+//! parameters for `m = 128` (`a ∈ [16, 32]`, `b − a ∈ [32, 96]`) are scaled
+//! proportionally for other lengths.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::distort::gaussian;
+use crate::generators::GenParams;
+
+/// CBF class identifiers.
+pub const CLASSES: [&str; 3] = ["cylinder", "bell", "funnel"];
+
+/// Generates one CBF series of class `class` (0 = cylinder, 1 = bell,
+/// 2 = funnel) and length `m`.
+///
+/// # Panics
+///
+/// Panics if `class > 2` or `m < 8`.
+#[must_use]
+pub fn generate_one<R: Rng>(class: usize, m: usize, rng: &mut R) -> Vec<f64> {
+    assert!(class < 3, "CBF has exactly 3 classes");
+    assert!(m >= 8, "CBF series must have at least 8 samples");
+    let scale = m as f64 / 128.0;
+    let a_lo = (16.0 * scale).round() as usize;
+    let a_hi = (32.0 * scale).round() as usize;
+    let w_lo = (32.0 * scale).round().max(2.0) as usize;
+    let w_hi = (96.0 * scale).round() as usize;
+
+    let a = rng.gen_range(a_lo..=a_hi.max(a_lo + 1));
+    let width = rng.gen_range(w_lo..=w_hi.max(w_lo + 1));
+    let b = (a + width).min(m - 1);
+    let eta = gaussian(rng);
+    let level = 6.0 + eta;
+    let denom = (b - a).max(1) as f64;
+
+    (0..m)
+        .map(|t| {
+            let noise = gaussian(rng);
+            if t < a || t > b {
+                return noise;
+            }
+            let shape = match class {
+                0 => 1.0,
+                1 => (t - a) as f64 / denom,
+                _ => (b - t) as f64 / denom,
+            };
+            level * shape + noise
+        })
+        .collect()
+}
+
+/// Generates a CBF dataset with `n_per_class` members of each class.
+#[must_use]
+pub fn generate<R: Rng>(params: &GenParams, rng: &mut R) -> Dataset {
+    // CBF defines its own noise model, so bypass the shared distortions and
+    // use the generator's ε(t) directly; shifts are inherent in the random
+    // breakpoints.
+    let total = 3 * params.n_per_class;
+    let mut series = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for class in 0..3 {
+        for _ in 0..params.n_per_class {
+            series.push(generate_one(class, params.len, rng));
+            labels.push(class);
+        }
+    }
+    Dataset::new("cbf", series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{generate, generate_one};
+    use crate::generators::GenParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn series_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &m in &[8usize, 64, 128, 512, 1000] {
+            assert_eq!(generate_one(0, m, &mut rng).len(), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3 classes")]
+    fn rejects_bad_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = generate_one(3, 128, &mut rng);
+    }
+
+    #[test]
+    fn cylinder_has_plateau_energy() {
+        // Averaged over noise, a cylinder's mid-section should be well
+        // above the baseline.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut acc = vec![0.0; 128];
+        for _ in 0..50 {
+            let s = generate_one(0, 128, &mut rng);
+            for (a, v) in acc.iter_mut().zip(s.iter()) {
+                *a += v;
+            }
+        }
+        let mid = acc[40..70].iter().sum::<f64>() / 30.0 / 50.0;
+        let head = acc[..10].iter().sum::<f64>() / 10.0 / 50.0;
+        assert!(mid > head + 2.0, "mid {mid} vs head {head}");
+    }
+
+    #[test]
+    fn bell_rises_and_funnel_falls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 80;
+        let (mut bell_slope, mut funnel_slope) = (0.0, 0.0);
+        for _ in 0..trials {
+            let b = generate_one(1, 128, &mut rng);
+            let f = generate_one(2, 128, &mut rng);
+            // Compare mean of second half of the active region (roughly
+            // 32..96) against the first half.
+            let early: f64 = b[24..56].iter().sum::<f64>() / 32.0;
+            let late: f64 = b[56..88].iter().sum::<f64>() / 32.0;
+            bell_slope += late - early;
+            let early: f64 = f[24..56].iter().sum::<f64>() / 32.0;
+            let late: f64 = f[56..88].iter().sum::<f64>() / 32.0;
+            funnel_slope += late - early;
+        }
+        bell_slope /= trials as f64;
+        funnel_slope /= trials as f64;
+        assert!(bell_slope > 0.3, "bell slope {bell_slope}");
+        assert!(funnel_slope < -0.3, "funnel slope {funnel_slope}");
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let params = GenParams {
+            n_per_class: 7,
+            len: 96,
+            ..GenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = generate(&params, &mut rng);
+        assert_eq!(d.n_series(), 21);
+        assert_eq!(d.series_len(), 96);
+        assert_eq!(d.n_classes(), 3);
+    }
+}

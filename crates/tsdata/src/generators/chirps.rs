@@ -1,0 +1,123 @@
+//! Chirp generator: classes are frequency-modulated sweeps with different
+//! modulation profiles (constant, rising, falling, parabolic).
+//!
+//! Chirps change their local frequency over time, so neither a global phase
+//! shift nor a small warp maps one class onto another — a hard, structured
+//! family that keeps the clustering benchmarks honest.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::generators::{build_dataset, GenParams};
+
+/// Maximum number of chirp classes.
+pub const MAX_CLASSES: usize = 4;
+
+/// Instantaneous frequency profile (cycles over the whole series) for
+/// `class` at normalized time `t`.
+fn freq_profile(class: usize, t: f64, base: f64) -> f64 {
+    match class {
+        0 => base,                                       // constant tone
+        1 => base * (0.5 + 1.5 * t),                     // rising chirp
+        2 => base * (2.0 - 1.5 * t),                     // falling chirp
+        _ => base * (0.5 + 3.0 * (t - 0.5) * (t - 0.5)), // parabolic
+    }
+}
+
+/// Generates the chirp prototype for `class` with base frequency `base`
+/// (in cycles over the series).
+///
+/// # Panics
+///
+/// Panics if `class >= MAX_CLASSES`.
+#[must_use]
+pub fn prototype(class: usize, m: usize, base: f64) -> Vec<f64> {
+    assert!(class < MAX_CLASSES, "chirp class out of range");
+    // Integrate the instantaneous frequency to get the phase.
+    let mut phase = 0.0;
+    let dt = 1.0 / m as f64;
+    (0..m)
+        .map(|i| {
+            let t = i as f64 * dt;
+            phase += 2.0 * std::f64::consts::PI * freq_profile(class, t, base) * dt;
+            phase.sin()
+        })
+        .collect()
+}
+
+/// Generates a chirp dataset with `n_classes ≤ 4` classes.
+///
+/// # Panics
+///
+/// Panics if `n_classes` is 0 or exceeds [`MAX_CLASSES`].
+#[must_use]
+pub fn generate<R: Rng>(n_classes: usize, base: f64, params: &GenParams, rng: &mut R) -> Dataset {
+    assert!(
+        (1..=MAX_CLASSES).contains(&n_classes),
+        "n_classes must be in 1..=4"
+    );
+    build_dataset("chirps", n_classes, params, rng, |class, _| {
+        prototype(class, params.len, base)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{generate, prototype, MAX_CLASSES};
+    use crate::generators::GenParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Counts zero crossings — a cheap proxy for average frequency.
+    fn zero_crossings(s: &[f64]) -> usize {
+        s.windows(2)
+            .filter(|w| w[0].signum() != w[1].signum())
+            .count()
+    }
+
+    #[test]
+    fn constant_tone_matches_expected_crossings() {
+        let p = prototype(0, 512, 4.0);
+        // 4 cycles → ~8 zero crossings.
+        let zc = zero_crossings(&p);
+        assert!((7..=9).contains(&zc), "crossings {zc}");
+    }
+
+    #[test]
+    fn rising_chirp_accelerates() {
+        let p = prototype(1, 1024, 6.0);
+        let early = zero_crossings(&p[..512]);
+        let late = zero_crossings(&p[512..]);
+        assert!(late > early, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn falling_chirp_decelerates() {
+        let p = prototype(2, 1024, 6.0);
+        let early = zero_crossings(&p[..512]);
+        let late = zero_crossings(&p[512..]);
+        assert!(late < early, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn amplitudes_bounded() {
+        for class in 0..MAX_CLASSES {
+            for &v in &prototype(class, 256, 5.0) {
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let params = GenParams {
+            n_per_class: 6,
+            len: 128,
+            ..GenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let d = generate(3, 4.0, &params, &mut rng);
+        assert_eq!(d.n_series(), 18);
+        assert_eq!(d.n_classes(), 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic shape-family generators.
+//!
+//! Each family produces a class-labeled [`crate::dataset::Dataset`] whose
+//! classes differ in *shape* while individual members are distorted with the
+//! operators of [`crate::distort`] — amplitude scaling, offset, phase shift,
+//! local warping, and additive noise. Together the families stand in for the
+//! UCR archive (see `DESIGN.md` for the substitution rationale).
+//!
+//! Families:
+//!
+//! * [`cbf`] — Cylinder–Bell–Funnel (Saito 1994), the paper's scalability
+//!   workload (Appendix B),
+//! * [`two_patterns`] — step-event combinations (four classes),
+//! * [`ecg`] — two-class ECG-like beats mirroring Figure 1,
+//! * [`sines`] — waveform families with random phase,
+//! * [`trends`] — trend + random-walk classes,
+//! * [`seasonal`] — harmonic-mixture classes,
+//! * [`warped`] — Gaussian-bump arrangements under local warping,
+//! * [`chirps`] — frequency-modulated classes.
+
+pub mod cbf;
+pub mod chirps;
+pub mod ecg;
+pub mod seasonal;
+pub mod sines;
+pub mod trends;
+pub mod two_patterns;
+pub mod warped;
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::distort::{add_noise, scale_translate, shift_circular};
+
+/// Common knobs shared by all family generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GenParams {
+    /// Series generated per class.
+    pub n_per_class: usize,
+    /// Series length `m`.
+    pub len: usize,
+    /// Standard deviation of additive Gaussian noise.
+    pub noise: f64,
+    /// Maximum circular phase shift as a fraction of `m` (0 disables).
+    pub max_shift_frac: f64,
+    /// Maximum random amplitude factor applied per series (1 disables; a
+    /// factor is drawn from `[1/a, a]`).
+    pub amp_jitter: f64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            n_per_class: 20,
+            len: 128,
+            noise: 0.3,
+            max_shift_frac: 0.15,
+            amp_jitter: 1.5,
+        }
+    }
+}
+
+impl GenParams {
+    /// Applies the common per-member distortions (shift, amplitude/offset
+    /// jitter, noise) to a class prototype.
+    pub fn distort<R: Rng>(&self, prototype: &[f64], rng: &mut R) -> Vec<f64> {
+        let m = prototype.len();
+        let max_shift = ((m as f64) * self.max_shift_frac) as isize;
+        let shift = if max_shift > 0 {
+            rng.gen_range(-max_shift..=max_shift)
+        } else {
+            0
+        };
+        let mut series = shift_circular(prototype, shift);
+        if self.amp_jitter > 1.0 {
+            let a = rng.gen_range(1.0 / self.amp_jitter..self.amp_jitter);
+            let b = rng.gen_range(-1.0..1.0);
+            scale_translate(&mut series, a, b);
+        }
+        add_noise(&mut series, self.noise, rng);
+        series
+    }
+}
+
+/// Builds a dataset by drawing `params.n_per_class` members from each class
+/// prototype function.
+///
+/// `prototype(class, rng)` returns a fresh prototype of length `params.len`
+/// for the given class (it may itself be randomized, e.g. CBF's random
+/// breakpoints).
+pub fn build_dataset<R, F>(
+    name: &str,
+    n_classes: usize,
+    params: &GenParams,
+    rng: &mut R,
+    mut prototype: F,
+) -> Dataset
+where
+    R: Rng,
+    F: FnMut(usize, &mut R) -> Vec<f64>,
+{
+    let total = n_classes * params.n_per_class;
+    let mut series = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for class in 0..n_classes {
+        for _ in 0..params.n_per_class {
+            let proto = prototype(class, rng);
+            debug_assert_eq!(proto.len(), params.len);
+            series.push(params.distort(&proto, rng));
+            labels.push(class);
+        }
+    }
+    Dataset::new(name, series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{build_dataset, GenParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn build_dataset_shape() {
+        let params = GenParams {
+            n_per_class: 5,
+            len: 32,
+            noise: 0.1,
+            max_shift_frac: 0.1,
+            amp_jitter: 1.2,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = build_dataset("toy", 3, &params, &mut rng, |class, _| {
+            vec![class as f64; 32]
+        });
+        assert_eq!(d.n_series(), 15);
+        assert_eq!(d.series_len(), 32);
+        assert_eq!(d.n_classes(), 3);
+        for class in 0..3 {
+            assert_eq!(d.class_indices(class).len(), 5);
+        }
+    }
+
+    #[test]
+    fn distort_is_deterministic_given_seed() {
+        let params = GenParams::default();
+        let proto: Vec<f64> = (0..128).map(|i| (i as f64 * 0.1).sin()).collect();
+        let a = params.distort(&proto, &mut StdRng::seed_from_u64(42));
+        let b = params.distort(&proto, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_distortion_params_reproduce_prototype() {
+        let params = GenParams {
+            n_per_class: 1,
+            len: 16,
+            noise: 0.0,
+            max_shift_frac: 0.0,
+            amp_jitter: 1.0,
+        };
+        let proto: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = params.distort(&proto, &mut rng);
+        assert_eq!(out, proto);
+    }
+}

@@ -1,0 +1,114 @@
+//! Seasonal-mixture generator: classes are different mixtures of two
+//! harmonics of a base frequency.
+//!
+//! Models the "seasonal variations in currency values" motivation of the
+//! paper's Section 2.2: members share a fundamental period but classes
+//! differ in harmonic content, and members are phase-shifted and
+//! amplitude-scaled (as inflation would).
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::generators::{build_dataset, GenParams};
+
+/// Maximum number of harmonic-mixture classes.
+pub const MAX_CLASSES: usize = 4;
+
+/// Mixture weights `(fundamental, 2nd harmonic, 3rd harmonic)` per class.
+const WEIGHTS: [(f64, f64, f64); MAX_CLASSES] = [
+    (1.0, 0.0, 0.0),
+    (0.6, 0.8, 0.0),
+    (0.6, 0.0, 0.8),
+    (0.5, 0.5, 0.7),
+];
+
+/// Generates the prototype for `class` with `cycles` fundamental periods.
+///
+/// # Panics
+///
+/// Panics if `class >= MAX_CLASSES`.
+#[must_use]
+pub fn prototype(class: usize, m: usize, cycles: f64) -> Vec<f64> {
+    assert!(class < MAX_CLASSES, "seasonal class out of range");
+    let (w1, w2, w3) = WEIGHTS[class];
+    let tau = 2.0 * std::f64::consts::PI * cycles;
+    (0..m)
+        .map(|i| {
+            let t = i as f64 / m as f64;
+            w1 * (tau * t).sin() + w2 * (2.0 * tau * t).sin() + w3 * (3.0 * tau * t).sin()
+        })
+        .collect()
+}
+
+/// Generates a seasonal dataset with `n_classes ≤ 4` classes.
+///
+/// # Panics
+///
+/// Panics if `n_classes` is 0 or exceeds [`MAX_CLASSES`].
+#[must_use]
+pub fn generate<R: Rng>(n_classes: usize, cycles: f64, params: &GenParams, rng: &mut R) -> Dataset {
+    assert!(
+        (1..=MAX_CLASSES).contains(&n_classes),
+        "n_classes must be in 1..=4"
+    );
+    build_dataset("seasonal", n_classes, params, rng, |class, _| {
+        prototype(class, params.len, cycles)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{generate, prototype, MAX_CLASSES};
+    use crate::generators::GenParams;
+    use crate::normalize::z_normalize;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prototypes_distinct_pairwise() {
+        for a in 0..MAX_CLASSES {
+            for b in a + 1..MAX_CLASSES {
+                let pa = z_normalize(&prototype(a, 128, 2.0));
+                let pb = z_normalize(&prototype(b, 128, 2.0));
+                let d: f64 = pa
+                    .iter()
+                    .zip(pb.iter())
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(d > 1.0, "classes {a} and {b} too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fundamental_only_class_is_pure_sine() {
+        let p = prototype(0, 64, 1.0);
+        for (i, &v) in p.iter().enumerate() {
+            let expect = (2.0 * std::f64::consts::PI * i as f64 / 64.0).sin();
+            assert!((v - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prototypes_have_zero_mean_over_full_cycles() {
+        for class in 0..MAX_CLASSES {
+            let p = prototype(class, 200, 2.0);
+            let mean: f64 = p.iter().sum::<f64>() / 200.0;
+            assert!(mean.abs() < 1e-10, "class {class} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let params = GenParams {
+            n_per_class: 5,
+            len: 96,
+            ..GenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = generate(4, 3.0, &params, &mut rng);
+        assert_eq!(d.n_series(), 20);
+        assert_eq!(d.n_classes(), 4);
+    }
+}

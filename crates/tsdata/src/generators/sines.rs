@@ -1,0 +1,134 @@
+//! Waveform-family generator: classes are distinct periodic waveforms
+//! (sine, square, sawtooth, triangle) at a common base frequency, with the
+//! per-member phase randomized by the shared shift distortion.
+//!
+//! These datasets isolate the *shift invariance* requirement: after
+//! z-normalization all members have identical amplitude, so only phase and
+//! waveform shape distinguish them.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::generators::{build_dataset, GenParams};
+
+/// Number of waveform classes available.
+pub const MAX_CLASSES: usize = 4;
+
+/// Evaluates waveform `class` at phase `p` (in cycles, `p ∈ [0, 1)`).
+fn waveform(class: usize, p: f64) -> f64 {
+    let p = p - p.floor();
+    match class {
+        0 => (2.0 * std::f64::consts::PI * p).sin(),
+        1 => {
+            // Square wave.
+            if p < 0.5 {
+                1.0
+            } else {
+                -1.0
+            }
+        }
+        2 => 2.0 * p - 1.0, // Sawtooth.
+        _ => {
+            // Triangle.
+            if p < 0.5 {
+                4.0 * p - 1.0
+            } else {
+                3.0 - 4.0 * p
+            }
+        }
+    }
+}
+
+/// Generates the prototype for `class` with `cycles` full periods over `m`
+/// samples.
+///
+/// # Panics
+///
+/// Panics if `class >= MAX_CLASSES`.
+#[must_use]
+pub fn prototype(class: usize, m: usize, cycles: f64) -> Vec<f64> {
+    assert!(class < MAX_CLASSES, "waveform class out of range");
+    (0..m)
+        .map(|i| waveform(class, cycles * i as f64 / m as f64))
+        .collect()
+}
+
+/// Generates a waveform dataset with `n_classes ≤ 4` classes.
+///
+/// # Panics
+///
+/// Panics if `n_classes` is 0 or exceeds [`MAX_CLASSES`].
+#[must_use]
+pub fn generate<R: Rng>(n_classes: usize, cycles: f64, params: &GenParams, rng: &mut R) -> Dataset {
+    assert!(
+        (1..=MAX_CLASSES).contains(&n_classes),
+        "n_classes must be in 1..=4"
+    );
+    build_dataset("sines", n_classes, params, rng, |class, _| {
+        prototype(class, params.len, cycles)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{generate, prototype, waveform, MAX_CLASSES};
+    use crate::generators::GenParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn waveforms_bounded() {
+        for class in 0..MAX_CLASSES {
+            for i in 0..1000 {
+                let v = waveform(class, i as f64 / 333.0);
+                assert!((-1.0..=1.0).contains(&v), "class {class}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sine_prototype_hits_expected_values() {
+        let p = prototype(0, 8, 1.0);
+        assert!(p[0].abs() < 1e-12);
+        assert!((p[2] - 1.0).abs() < 1e-12);
+        assert!((p[6] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_has_two_levels() {
+        let p = prototype(1, 100, 1.0);
+        for &v in &p {
+            assert!(v == 1.0 || v == -1.0);
+        }
+    }
+
+    #[test]
+    fn prototypes_are_periodic() {
+        for class in 0..MAX_CLASSES {
+            let p = prototype(class, 120, 3.0);
+            for i in 0..40 {
+                assert!((p[i] - p[i + 40]).abs() < 1e-9, "class {class} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_shapes() {
+        let params = GenParams {
+            n_per_class: 6,
+            len: 64,
+            ..GenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = generate(3, 2.0, &params, &mut rng);
+        assert_eq!(d.n_series(), 18);
+        assert_eq!(d.n_classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn rejects_too_many_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = generate(5, 2.0, &GenParams::default(), &mut rng);
+    }
+}

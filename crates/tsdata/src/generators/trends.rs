@@ -1,0 +1,140 @@
+//! Trend-family generator: classes are distinct global trend shapes riding
+//! on a shared random-walk component.
+//!
+//! z-normalization removes level and scale, so classes must differ in the
+//! *functional form* of the trend — linear up, linear down, quadratic
+//! valley, quadratic hill, and S-curve.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::distort::gaussian;
+use crate::generators::GenParams;
+
+/// Maximum number of trend classes.
+pub const MAX_CLASSES: usize = 5;
+
+/// Evaluates trend `class` at normalized time `t ∈ [0, 1]`.
+fn trend(class: usize, t: f64) -> f64 {
+    match class {
+        0 => t,                                       // linear up
+        1 => -t,                                      // linear down
+        2 => (2.0 * t - 1.0).powi(2),                 // valley
+        3 => -(2.0 * t - 1.0).powi(2),                // hill
+        _ => 1.0 / (1.0 + (-12.0 * (t - 0.5)).exp()), // S-curve
+    }
+}
+
+/// Generates one series: `amplitude · trend(t) + random walk`.
+///
+/// # Panics
+///
+/// Panics if `class >= MAX_CLASSES`.
+#[must_use]
+pub fn generate_one<R: Rng>(class: usize, m: usize, walk_sigma: f64, rng: &mut R) -> Vec<f64> {
+    assert!(class < MAX_CLASSES, "trend class out of range");
+    let amplitude = 6.0;
+    let mut walk = 0.0;
+    (0..m)
+        .map(|i| {
+            walk += walk_sigma * gaussian(rng);
+            let t = if m > 1 {
+                i as f64 / (m - 1) as f64
+            } else {
+                0.0
+            };
+            amplitude * trend(class, t) + walk
+        })
+        .collect()
+}
+
+/// Generates a trend dataset with `n_classes ≤ 5` classes.
+///
+/// The shared shift distortion is *not* applied (trends are anchored in
+/// absolute time); noise enters through the random walk instead.
+///
+/// # Panics
+///
+/// Panics if `n_classes` is 0 or exceeds [`MAX_CLASSES`].
+#[must_use]
+pub fn generate<R: Rng>(n_classes: usize, params: &GenParams, rng: &mut R) -> Dataset {
+    assert!(
+        (1..=MAX_CLASSES).contains(&n_classes),
+        "n_classes must be in 1..=5"
+    );
+    let total = n_classes * params.n_per_class;
+    let mut series = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for class in 0..n_classes {
+        for _ in 0..params.n_per_class {
+            series.push(generate_one(class, params.len, params.noise, rng));
+            labels.push(class);
+        }
+    }
+    Dataset::new("trends", series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{generate, generate_one, trend};
+    use crate::generators::GenParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trend_shapes() {
+        assert_eq!(trend(0, 0.0), 0.0);
+        assert_eq!(trend(0, 1.0), 1.0);
+        assert_eq!(trend(1, 1.0), -1.0);
+        assert_eq!(trend(2, 0.5), 0.0);
+        assert_eq!(trend(2, 0.0), 1.0);
+        assert_eq!(trend(3, 0.0), -1.0);
+        assert!(trend(4, 0.0) < 0.01);
+        assert!(trend(4, 1.0) > 0.99);
+    }
+
+    #[test]
+    fn noiseless_linear_up_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = generate_one(0, 50, 0.0, &mut rng);
+        for w in s.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn up_and_down_classes_anticorrelate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let up = generate_one(0, 100, 0.05, &mut rng);
+        let down = generate_one(1, 100, 0.05, &mut rng);
+        let mu = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let (mu_u, mu_d) = (mu(&up), mu(&down));
+        let corr: f64 = up
+            .iter()
+            .zip(down.iter())
+            .map(|(a, b)| (a - mu_u) * (b - mu_d))
+            .sum();
+        assert!(corr < 0.0);
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let params = GenParams {
+            n_per_class: 4,
+            len: 80,
+            noise: 0.1,
+            ..GenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = generate(5, &params, &mut rng);
+        assert_eq!(d.n_series(), 20);
+        assert_eq!(d.n_classes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn rejects_too_many_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = generate(6, &GenParams::default(), &mut rng);
+    }
+}

@@ -1,0 +1,136 @@
+//! Two-Patterns-style generator: four classes defined by the *order* of two
+//! step events (up–up, up–down, down–up, down–down) placed at random
+//! positions on a noisy baseline.
+//!
+//! Because the event positions vary per member, the classes are only
+//! separable by measures that tolerate phase variation — the same property
+//! the original Two Patterns dataset stresses.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::generators::GenParams;
+
+/// The four event-order classes.
+pub const CLASSES: [&str; 4] = ["up-up", "up-down", "down-up", "down-down"];
+
+/// Generates one series of length `m` for class `class ∈ 0..4`.
+///
+/// Class bits: bit 1 = first event direction, bit 0 = second event
+/// direction (0 = up, 1 = down).
+///
+/// # Panics
+///
+/// Panics if `class > 3` or `m < 32`.
+#[must_use]
+pub fn generate_one<R: Rng>(class: usize, m: usize, noise: f64, rng: &mut R) -> Vec<f64> {
+    assert!(class < 4, "two-patterns has exactly 4 classes");
+    assert!(m >= 32, "two-patterns series must have at least 32 samples");
+    let first_down = (class & 0b10) != 0;
+    let second_down = (class & 0b01) != 0;
+
+    let event_len = m / 8;
+    // First event in the first third, second event in the last third, so
+    // order is preserved while positions jitter.
+    let p1 = rng.gen_range(m / 16..m / 3 - event_len / 2);
+    let p2 = rng.gen_range(m / 2..m - event_len - 1);
+
+    let mut s = vec![0.0; m];
+    place_step(&mut s[p1..p1 + event_len], first_down);
+    place_step(&mut s[p2..p2 + event_len], second_down);
+    if noise > 0.0 {
+        crate::distort::add_noise(&mut s, noise, rng);
+    }
+    s
+}
+
+/// Writes a ±step pulse into `window`: a ramp up to the level then back.
+fn place_step(window: &mut [f64], down: bool) {
+    let level = if down { -5.0 } else { 5.0 };
+    let n = window.len();
+    for (i, v) in window.iter_mut().enumerate() {
+        // Trapezoid: rise over first quarter, hold, fall over last quarter.
+        let q = n / 4;
+        let shape = if i < q {
+            i as f64 / q.max(1) as f64
+        } else if i >= n - q {
+            (n - 1 - i) as f64 / q.max(1) as f64
+        } else {
+            1.0
+        };
+        *v += level * shape;
+    }
+}
+
+/// Generates a four-class Two-Patterns dataset.
+#[must_use]
+pub fn generate<R: Rng>(params: &GenParams, rng: &mut R) -> Dataset {
+    let total = 4 * params.n_per_class;
+    let mut series = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for class in 0..4 {
+        for _ in 0..params.n_per_class {
+            series.push(generate_one(class, params.len, params.noise, rng));
+            labels.push(class);
+        }
+    }
+    Dataset::new("two-patterns", series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{generate, generate_one};
+    use crate::generators::GenParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in 0..4 {
+            assert_eq!(generate_one(class, 64, 0.0, &mut rng).len(), 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "4 classes")]
+    fn rejects_bad_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = generate_one(4, 64, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn event_signs_match_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            // Class 0 (up-up): noiseless series must be non-negative.
+            let s = generate_one(0, 128, 0.0, &mut rng);
+            assert!(s.iter().all(|&v| v >= -1e-12));
+            // Class 3 (down-down): non-positive.
+            let s = generate_one(3, 128, 0.0, &mut rng);
+            assert!(s.iter().all(|&v| v <= 1e-12));
+            // Class 1 (up-down): positive mass first, negative later.
+            let s = generate_one(1, 128, 0.0, &mut rng);
+            let first_half: f64 = s[..64].iter().sum();
+            let second_half: f64 = s[64..].iter().sum();
+            assert!(first_half > 0.0 && second_half < 0.0);
+        }
+    }
+
+    #[test]
+    fn dataset_is_balanced() {
+        let params = GenParams {
+            n_per_class: 9,
+            len: 96,
+            noise: 0.2,
+            ..GenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = generate(&params, &mut rng);
+        assert_eq!(d.n_series(), 36);
+        assert_eq!(d.n_classes(), 4);
+        for class in 0..4 {
+            assert_eq!(d.class_indices(class).len(), 9);
+        }
+    }
+}

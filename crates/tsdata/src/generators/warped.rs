@@ -1,0 +1,127 @@
+//! Warped-bump generator: classes are arrangements of Gaussian bumps, and
+//! each member is passed through a random *local* (non-linear) time
+//! warping.
+//!
+//! This family stresses exactly the invariance where DTW should shine and
+//! linear-drift measures (ED, SBD) struggle — the counterpart of the
+//! phase-shift-dominated ECG family. Having both in the collection lets the
+//! experiments reproduce the paper's observation that no measure dominates
+//! on every dataset (Figure 5 has points on both sides of the diagonal).
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::distort::warp_local;
+use crate::generators::GenParams;
+
+/// Maximum number of bump-arrangement classes.
+pub const MAX_CLASSES: usize = 4;
+
+/// Bump centers (normalized time) and signs per class.
+const ARRANGEMENTS: [&[(f64, f64)]; MAX_CLASSES] = [
+    &[(0.3, 1.0), (0.7, 1.0)],
+    &[(0.3, 1.0), (0.7, -1.0)],
+    &[(0.2, -1.0), (0.5, 1.0), (0.8, -1.0)],
+    &[(0.5, 1.0)],
+];
+
+/// Generates the undistorted prototype for `class`.
+///
+/// # Panics
+///
+/// Panics if `class >= MAX_CLASSES`.
+#[must_use]
+pub fn prototype(class: usize, m: usize) -> Vec<f64> {
+    assert!(class < MAX_CLASSES, "warped class out of range");
+    let width = 0.06;
+    (0..m)
+        .map(|i| {
+            let t = i as f64 / m as f64;
+            ARRANGEMENTS[class]
+                .iter()
+                .map(|&(c, sign)| sign * (-((t - c) / width).powi(2)).exp())
+                .sum()
+        })
+        .collect()
+}
+
+/// Generates a warped-bump dataset: each member is the class prototype
+/// under a random local warp plus the shared distortions.
+///
+/// # Panics
+///
+/// Panics if `n_classes` is 0 or exceeds [`MAX_CLASSES`].
+#[must_use]
+pub fn generate<R: Rng>(n_classes: usize, params: &GenParams, rng: &mut R) -> Dataset {
+    assert!(
+        (1..=MAX_CLASSES).contains(&n_classes),
+        "n_classes must be in 1..=4"
+    );
+    let total = n_classes * params.n_per_class;
+    let mut series = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    let max_warp = params.len as f64 * 0.05;
+    for class in 0..n_classes {
+        let proto = prototype(class, params.len);
+        for _ in 0..params.n_per_class {
+            let amp = rng.gen_range(0.0..max_warp);
+            let freq = rng.gen_range(0.5..2.5);
+            let warped = warp_local(&proto, amp, freq);
+            series.push(params.distort(&warped, rng));
+            labels.push(class);
+        }
+    }
+    Dataset::new("warped", series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{generate, prototype, MAX_CLASSES};
+    use crate::generators::GenParams;
+    use crate::normalize::z_normalize;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prototypes_distinct() {
+        for a in 0..MAX_CLASSES {
+            for b in a + 1..MAX_CLASSES {
+                let pa = z_normalize(&prototype(a, 100));
+                let pb = z_normalize(&prototype(b, 100));
+                let d: f64 = pa
+                    .iter()
+                    .zip(pb.iter())
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(d > 1.0, "classes {a},{b}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bump_class_has_one_extremum() {
+        let p = prototype(3, 200);
+        let peak = p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((peak - 1.0).abs() < 0.01);
+        // Count strict local maxima above 0.5 — exactly one.
+        let count = p
+            .windows(3)
+            .filter(|w| w[1] > w[0] && w[1] > w[2] && w[1] > 0.5)
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let params = GenParams {
+            n_per_class: 5,
+            len: 120,
+            ..GenParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = generate(4, &params, &mut rng);
+        assert_eq!(d.n_series(), 20);
+        assert_eq!(d.series_len(), 120);
+    }
+}

@@ -1,0 +1,32 @@
+//! Time-series datasets, normalizations, distortions, and synthetic
+//! generators.
+//!
+//! This crate is the data substrate of the k-Shape reproduction. The paper
+//! evaluates on the UCR archive — 48 class-labeled datasets — which is not
+//! redistributable here, so [`collection`] builds a deterministic synthetic
+//! stand-in: 48 labeled datasets spanning eight shape families, each
+//! exercising the distortions of Section 2.2 of the paper (amplitude
+//! scaling, offset translation, phase shift, local warping, noise,
+//! occlusion). The UCR text format is supported by [`ucr`] so real archives
+//! drop in when available.
+
+//! For the rare `m ≫ n` regime, [`reduce`] provides the PAA and Haar-DWT
+//! length reductions the paper points to (Section 3.3, reference [10]);
+//! [`features`] provides the characteristic-statistics and AR-coefficient
+//! representations of the feature-/model-based paradigms the paper's
+//! Section 2.4 contrasts with raw-based clustering (references [82], [38]).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod dataset;
+pub mod distort;
+pub mod features;
+pub mod generators;
+pub mod normalize;
+pub mod reduce;
+pub mod ucr;
+
+pub use collection::{synthetic_collection, CollectionSpec};
+pub use dataset::{Dataset, SplitDataset};
+pub use normalize::z_normalize;

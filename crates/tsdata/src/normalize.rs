@@ -1,0 +1,211 @@
+//! Time-series normalizations (paper Sections 2.2, 3.1, and Appendix A).
+//!
+//! * **z-normalization** removes amplitude (scaling) and offset
+//!   (translation) distortions and is applied to every dataset before any
+//!   experiment.
+//! * **ValuesBetween0-1** rescales into the unit interval (Appendix A).
+//! * **OptimalScaling** computes the least-squares scaling coefficient
+//!   `c = x·yᵀ / y·yᵀ` used for pairwise comparisons in Appendix A.
+
+/// Mean of a slice (0 for an empty slice).
+#[inline]
+#[must_use]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice (0 for an empty slice).
+///
+/// The paper's MATLAB implementation uses the population form (divide by
+/// `m`) inside z-normalization; we match it.
+#[must_use]
+pub fn std_dev(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mu = mean(x);
+    (x.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// z-normalizes in place: zero mean, unit (population) standard deviation.
+///
+/// A constant sequence has zero variance; it is mapped to all zeros rather
+/// than dividing by zero.
+pub fn z_normalize_in_place(x: &mut [f64]) {
+    let mu = mean(x);
+    let sigma = std_dev(x);
+    if sigma > 0.0 {
+        for v in x.iter_mut() {
+            *v = (*v - mu) / sigma;
+        }
+    } else {
+        for v in x.iter_mut() {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Returns a z-normalized copy of `x`.
+///
+/// # Example
+///
+/// ```
+/// use tsdata::normalize::z_normalize;
+///
+/// let z = z_normalize(&[10.0, 20.0, 30.0]);
+/// let mean: f64 = z.iter().sum::<f64>() / 3.0;
+/// assert!(mean.abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn z_normalize(x: &[f64]) -> Vec<f64> {
+    let mut out = x.to_vec();
+    z_normalize_in_place(&mut out);
+    out
+}
+
+/// Rescales `x` into `[0, 1]` (`ValuesBetween0-1` of Appendix A).
+///
+/// A constant sequence maps to all zeros.
+#[must_use]
+pub fn values_between_0_1(x: &[f64]) -> Vec<f64> {
+    let (min, max) = min_max(x);
+    let range = max - min;
+    if range > 0.0 {
+        x.iter().map(|v| (v - min) / range).collect()
+    } else {
+        vec![0.0; x.len()]
+    }
+}
+
+/// Least-squares optimal scaling coefficient `c = (x·y) / (y·y)`
+/// (`OptimalScaling` of Appendix A): `c·y` is the best scalar multiple of
+/// `y` approximating `x`.
+///
+/// Returns 0 when `y` is the zero vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn optimal_scaling_coefficient(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sequences must have equal length");
+    let denom: f64 = y.iter().map(|v| v * v).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+    num / denom
+}
+
+/// Returns `(min, max)` of a slice; `(0, 0)` when empty.
+#[must_use]
+pub fn min_max(x: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in x {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if x.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{
+        mean, min_max, optimal_scaling_coefficient, std_dev, values_between_0_1, z_normalize,
+        z_normalize_in_place,
+    };
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert!((std_dev(&[2.0, 2.0, 2.0])).abs() < 1e-12);
+        // Population std of [1,2,3] is sqrt(2/3).
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalization_properties() {
+        let z = z_normalize(&[3.0, 7.0, 11.0, 2.0, 9.0]);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalization_is_idempotent() {
+        let z1 = z_normalize(&[5.0, -2.0, 8.0, 1.0]);
+        let z2 = z_normalize(&z1);
+        for (a, b) in z1.iter().zip(z2.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn z_normalization_removes_scale_and_offset() {
+        let x = [1.0, 5.0, 2.0, 8.0];
+        let transformed: Vec<f64> = x.iter().map(|v| 3.5 * v - 100.0).collect();
+        let zx = z_normalize(&x);
+        let zt = z_normalize(&transformed);
+        for (a, b) in zx.iter().zip(zt.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_series_maps_to_zeros() {
+        let mut x = vec![4.0; 5];
+        z_normalize_in_place(&mut x);
+        assert!(x.iter().all(|&v| v == 0.0));
+        assert!(values_between_0_1(&[7.0; 3]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unit_interval_rescaling() {
+        let y = values_between_0_1(&[10.0, 20.0, 15.0]);
+        assert!((y[0]).abs() < 1e-12);
+        assert!((y[1] - 1.0).abs() < 1e-12);
+        assert!((y[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_scaling_recovers_known_factor() {
+        let y = [1.0, 2.0, 3.0];
+        let x: Vec<f64> = y.iter().map(|v| 2.5 * v).collect();
+        assert!((optimal_scaling_coefficient(&x, &y) - 2.5).abs() < 1e-12);
+        assert_eq!(optimal_scaling_coefficient(&[1.0, 1.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn optimal_scaling_minimizes_residual() {
+        let x = [1.0, 4.0, -2.0, 3.0];
+        let y = [0.5, 2.5, -1.0, 1.0];
+        let c = optimal_scaling_coefficient(&x, &y);
+        let resid = |cc: f64| -> f64 {
+            x.iter()
+                .zip(y.iter())
+                .map(|(a, b)| (a - cc * b) * (a - cc * b))
+                .sum()
+        };
+        let base = resid(c);
+        for delta in [-0.1, -0.01, 0.01, 0.1] {
+            assert!(resid(c + delta) >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_max_edges() {
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+        assert_eq!(min_max(&[3.0]), (3.0, 3.0));
+        assert_eq!(min_max(&[-1.0, 4.0, 0.0]), (-1.0, 4.0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Dimensionality reduction for long series.
+//!
+//! The paper notes (end of Section 3.3) that in the rare `m ≫ n` regime,
+//! "segmentation or dimensionality reduction approaches can be used to
+//! sufficiently reduce the length of the sequences", citing Haar wavelets
+//! (Chan & Fu — reference [10]) among others. This module provides the two
+//! standard reducers:
+//!
+//! * [`paa`] — Piecewise Aggregate Approximation: mean per segment,
+//! * [`haar_transform`] / [`haar_reduce`] — the orthonormal Haar discrete
+//!   wavelet transform and coefficient-truncation reduction, which
+//!   preserves Euclidean distances up to the discarded detail energy.
+
+/// Piecewise Aggregate Approximation: reduces `x` to `segments` values,
+/// each the mean of (an equal share of) the original samples.
+///
+/// Sample `i` is assigned to segment `i * segments / m`, which handles
+/// lengths that are not multiples of `segments`.
+///
+/// # Panics
+///
+/// Panics if `segments` is 0 or exceeds `x.len()` (for non-empty `x`).
+#[must_use]
+pub fn paa(x: &[f64], segments: usize) -> Vec<f64> {
+    assert!(segments > 0, "PAA needs at least one segment");
+    if x.is_empty() {
+        return vec![0.0; segments];
+    }
+    let m = x.len();
+    assert!(segments <= m, "cannot expand with PAA ({segments} > {m})");
+    let mut sums = vec![0.0; segments];
+    let mut counts = vec![0usize; segments];
+    for (i, &v) in x.iter().enumerate() {
+        let s = i * segments / m;
+        sums[s] += v;
+        counts[s] += 1;
+    }
+    sums.iter()
+        .zip(counts.iter())
+        .map(|(&s, &c)| s / c.max(1) as f64)
+        .collect()
+}
+
+/// Forward orthonormal Haar DWT. Input length must be a power of two.
+///
+/// Output layout: `[approximation, detail_level_1, detail_level_2, …]`
+/// with the single overall approximation coefficient first. The transform
+/// is orthonormal, so Euclidean norms are preserved exactly.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+#[must_use]
+pub fn haar_transform(x: &[f64]) -> Vec<f64> {
+    let m = x.len();
+    assert!(
+        m.is_power_of_two(),
+        "Haar DWT requires a power-of-two length"
+    );
+    let mut data = x.to_vec();
+    let mut out = vec![0.0; m];
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut len = m;
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            out[i] = (data[2 * i] + data[2 * i + 1]) * inv_sqrt2;
+            out[half + i] = (data[2 * i] - data[2 * i + 1]) * inv_sqrt2;
+        }
+        data[..len].copy_from_slice(&out[..len]);
+        len = half;
+    }
+    data
+}
+
+/// Inverse of [`haar_transform`].
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+#[must_use]
+pub fn haar_inverse(coeffs: &[f64]) -> Vec<f64> {
+    let m = coeffs.len();
+    assert!(
+        m.is_power_of_two(),
+        "Haar DWT requires a power-of-two length"
+    );
+    let mut data = coeffs.to_vec();
+    let mut tmp = vec![0.0; m];
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut len = 2;
+    while len <= m {
+        let half = len / 2;
+        for i in 0..half {
+            tmp[2 * i] = (data[i] + data[half + i]) * inv_sqrt2;
+            tmp[2 * i + 1] = (data[i] - data[half + i]) * inv_sqrt2;
+        }
+        data[..len].copy_from_slice(&tmp[..len]);
+        len *= 2;
+    }
+    data
+}
+
+/// Haar reduction: transforms, keeps the first `keep` coefficients (the
+/// coarsest approximations), and returns them. Distances in the reduced
+/// space lower-bound the original Euclidean distances (the GEMINI
+/// property exploited by wavelet indexing).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or `keep` is 0 or exceeds
+/// the length.
+#[must_use]
+pub fn haar_reduce(x: &[f64], keep: usize) -> Vec<f64> {
+    assert!(keep > 0 && keep <= x.len(), "keep must be in 1..=len");
+    let mut coeffs = haar_transform(x);
+    coeffs.truncate(keep);
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{haar_inverse, haar_reduce, haar_transform, paa};
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    fn paa_exact_segments() {
+        let x = [1.0, 3.0, 5.0, 7.0];
+        assert_eq!(paa(&x, 2), vec![2.0, 6.0]);
+        assert_eq!(paa(&x, 4), x.to_vec());
+        assert_eq!(paa(&x, 1), vec![4.0]);
+    }
+
+    #[test]
+    fn paa_uneven_lengths() {
+        let x = [2.0, 2.0, 2.0, 8.0, 8.0];
+        let r = paa(&x, 2);
+        assert_eq!(r.len(), 2);
+        // Segment boundaries: i*2/5 -> [0,0,0 -> seg 0? i=0,1,2 -> 0; i=3,4 -> 1]
+        assert!((r[0] - 2.0).abs() < 1e-12);
+        assert!((r[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paa_preserves_mean() {
+        let mut next = lcg(2);
+        let x: Vec<f64> = (0..60).map(|_| next()).collect();
+        let r = paa(&x, 6);
+        // Equal segments: mean of PAA = mean of x.
+        let mx: f64 = x.iter().sum::<f64>() / 60.0;
+        let mr: f64 = r.iter().sum::<f64>() / 6.0;
+        assert!((mx - mr).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot expand")]
+    fn paa_rejects_expansion() {
+        let _ = paa(&[1.0, 2.0], 3);
+    }
+
+    #[test]
+    fn haar_roundtrip() {
+        let mut next = lcg(7);
+        for &m in &[2usize, 8, 64, 256] {
+            let x: Vec<f64> = (0..m).map(|_| next()).collect();
+            let back = haar_inverse(&haar_transform(&x));
+            for (a, b) in x.iter().zip(back.iter()) {
+                assert!((a - b).abs() < 1e-10, "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn haar_is_orthonormal() {
+        let mut next = lcg(11);
+        let x: Vec<f64> = (0..128).map(|_| next()).collect();
+        let c = haar_transform(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-9, "energy {ex} vs {ec}");
+    }
+
+    #[test]
+    fn first_coefficient_is_scaled_mean() {
+        let x = [3.0; 16];
+        let c = haar_transform(&x);
+        // Orthonormal Haar: c[0] = mean * sqrt(m).
+        assert!((c[0] - 3.0 * 4.0).abs() < 1e-12);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncated_distance_lower_bounds_euclidean() {
+        let mut next = lcg(13);
+        for _ in 0..20 {
+            let x: Vec<f64> = (0..64).map(|_| next()).collect();
+            let y: Vec<f64> = (0..64).map(|_| next()).collect();
+            let full: f64 = x
+                .iter()
+                .zip(y.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            for keep in [1usize, 4, 16, 64] {
+                let rx = haar_reduce(&x, keep);
+                let ry = haar_reduce(&y, keep);
+                let red: f64 = rx
+                    .iter()
+                    .zip(ry.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(red <= full + 1e-9, "keep={keep}: {red} > {full}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn haar_rejects_non_power_of_two() {
+        let _ = haar_transform(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! UCR text-format I/O.
+//!
+//! The UCR archive ships each dataset half as a text file with one series
+//! per line: the class label first, then the values, separated by commas
+//! (older releases use whitespace). This module reads and writes that
+//! format so a real UCR download can replace the synthetic collection
+//! without code changes.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::dataset::{Dataset, SplitDataset};
+
+/// Errors from parsing UCR text data.
+#[derive(Debug)]
+pub enum UcrError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Series lengths differ across lines.
+    RaggedSeries {
+        /// 1-based line number of the first mismatching line.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for UcrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UcrError::Io(e) => write!(f, "I/O error: {e}"),
+            UcrError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            UcrError::RaggedSeries { line } => {
+                write!(f, "series on line {line} has a different length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UcrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UcrError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for UcrError {
+    fn from(e: io::Error) -> Self {
+        UcrError::Io(e)
+    }
+}
+
+/// Parses UCR text content into a dataset.
+///
+/// Labels may be arbitrary integers (UCR uses 1-based and sometimes
+/// negative labels); they are remapped densely to `0..k` in order of first
+/// appearance. Empty lines are skipped. Fields may be separated by commas
+/// or whitespace.
+pub fn parse(name: &str, content: &str) -> Result<Dataset, UcrError> {
+    let mut series = Vec::new();
+    let mut labels_raw: Vec<i64> = Vec::new();
+    let mut expected_len: Option<usize> = None;
+
+    for (idx, raw_line) in content.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|f| !f.is_empty())
+            .collect();
+        if fields.len() < 2 {
+            return Err(UcrError::Parse {
+                line: idx + 1,
+                reason: "need a label and at least one value".into(),
+            });
+        }
+        let label: i64 = fields[0]
+            .parse::<f64>()
+            .map_err(|e| UcrError::Parse {
+                line: idx + 1,
+                reason: format!("bad label {:?}: {e}", fields[0]),
+            })?
+            .round() as i64;
+        let values: Result<Vec<f64>, _> = fields[1..]
+            .iter()
+            .map(|f| {
+                f.parse::<f64>().map_err(|e| UcrError::Parse {
+                    line: idx + 1,
+                    reason: format!("bad value {f:?}: {e}"),
+                })
+            })
+            .collect();
+        let values = values?;
+        match expected_len {
+            None => expected_len = Some(values.len()),
+            Some(m) if m != values.len() => return Err(UcrError::RaggedSeries { line: idx + 1 }),
+            _ => {}
+        }
+        series.push(values);
+        labels_raw.push(label);
+    }
+
+    // Remap labels densely in order of first appearance.
+    let mut mapping: Vec<i64> = Vec::new();
+    let labels = labels_raw
+        .into_iter()
+        .map(|l| match mapping.iter().position(|&m| m == l) {
+            Some(i) => i,
+            None => {
+                mapping.push(l);
+                mapping.len() - 1
+            }
+        })
+        .collect();
+
+    Ok(Dataset::new(name, series, labels))
+}
+
+/// Serializes a dataset in UCR comma-separated format.
+#[must_use]
+pub fn serialize(d: &Dataset) -> String {
+    let mut out = String::new();
+    for (s, &l) in d.series.iter().zip(d.labels.iter()) {
+        // UCR labels are conventionally 1-based.
+        write!(out, "{}", l + 1).unwrap();
+        for v in s {
+            write!(out, ",{v}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Loads a UCR-style `<name>_TRAIN` / `<name>_TEST` pair from a directory.
+pub fn load_split(dir: &Path, name: &str) -> Result<SplitDataset, UcrError> {
+    let train = parse(
+        name,
+        &fs::read_to_string(dir.join(format!("{name}_TRAIN")))?,
+    )?;
+    let test = parse(name, &fs::read_to_string(dir.join(format!("{name}_TEST")))?)?;
+    Ok(SplitDataset { train, test })
+}
+
+/// Writes a `SplitDataset` as a UCR-style `<name>_TRAIN` / `<name>_TEST`
+/// pair into a directory.
+pub fn save_split(dir: &Path, split: &SplitDataset) -> Result<(), UcrError> {
+    fs::create_dir_all(dir)?;
+    let name = split.name().to_owned();
+    fs::write(dir.join(format!("{name}_TRAIN")), serialize(&split.train))?;
+    fs::write(dir.join(format!("{name}_TEST")), serialize(&split.test))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{load_split, parse, save_split, serialize, UcrError};
+    use crate::dataset::{Dataset, SplitDataset};
+
+    #[test]
+    fn parses_comma_separated() {
+        let d = parse("t", "1,0.5,1.5,2.5\n2,3.0,4.0,5.0\n").unwrap();
+        assert_eq!(d.n_series(), 2);
+        assert_eq!(d.series_len(), 3);
+        assert_eq!(d.labels, vec![0, 1]);
+        assert_eq!(d.series[0], vec![0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn parses_whitespace_separated() {
+        let d = parse("t", " 1  0.5 1.5\n 1  2.0 3.0\n").unwrap();
+        assert_eq!(d.n_series(), 2);
+        assert_eq!(d.labels, vec![0, 0]);
+    }
+
+    #[test]
+    fn skips_empty_lines() {
+        let d = parse("t", "\n1,1.0,2.0\n\n2,3.0,4.0\n\n").unwrap();
+        assert_eq!(d.n_series(), 2);
+    }
+
+    #[test]
+    fn remaps_arbitrary_labels_densely() {
+        let d = parse("t", "-1,1.0\n3,2.0\n-1,3.0\n7,4.0\n").unwrap();
+        assert_eq!(d.labels, vec![0, 1, 0, 2]);
+        assert_eq!(d.n_classes(), 3);
+    }
+
+    #[test]
+    fn rejects_ragged_lines() {
+        let err = parse("t", "1,1.0,2.0\n1,3.0\n").unwrap_err();
+        assert!(matches!(err, UcrError::RaggedSeries { line: 2 }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = parse("t", "1,abc\n").unwrap_err();
+        assert!(matches!(err, UcrError::Parse { line: 1, .. }));
+        let err = parse("t", "1\n").unwrap_err();
+        assert!(matches!(err, UcrError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_serialization() {
+        let d = Dataset::new("rt", vec![vec![1.5, -2.0], vec![0.0, 3.25]], vec![0, 1]);
+        let text = serialize(&d);
+        let back = parse("rt", &text).unwrap();
+        assert_eq!(back.series, d.series);
+        assert_eq!(back.labels, d.labels);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ucr-test-{}", std::process::id()));
+        let split = SplitDataset {
+            train: Dataset::new("demo", vec![vec![1.0, 2.0]], vec![0]),
+            test: Dataset::new("demo", vec![vec![3.0, 4.0]], vec![0]),
+        };
+        save_split(&dir, &split).unwrap();
+        let back = load_split(&dir, "demo").unwrap();
+        assert_eq!(back.train.series, split.train.series);
+        assert_eq!(back.test.series, split.test.series);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse("t", "1,oops\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

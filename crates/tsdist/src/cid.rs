@@ -1,0 +1,142 @@
+//! Complexity-Invariant Distance (CID; Batista et al., cited as [7] in the
+//! paper).
+//!
+//! Section 2.2 lists *complexity invariance* among the distortions a
+//! distance may need to tolerate: sequences with similar shape but
+//! different complexities (e.g. an indoor vs outdoor audio recording,
+//! where one is noisier). CID corrects ED by a complexity factor:
+//!
+//! ```text
+//! CE(x)     = √ Σᵢ (x[i+1] − x[i])²          (complexity estimate)
+//! CID(x, y) = ED(x, y) · max(CE(x), CE(y)) / min(CE(x), CE(y))
+//! ```
+//!
+//! Included as an extension so the invariance taxonomy of the paper's
+//! preliminaries is fully exercised by the test suite.
+
+use crate::ed::euclidean;
+use crate::Distance;
+
+/// The complexity estimate `CE(x)`: length of the first-difference curve.
+#[must_use]
+pub fn complexity_estimate(x: &[f64]) -> f64 {
+    x.windows(2)
+        .map(|w| (w[1] - w[0]) * (w[1] - w[0]))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Computes the complexity-invariant distance.
+///
+/// When both complexity estimates are zero (two constant sequences) the
+/// correction factor is 1 and CID degenerates to ED.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn cid(x: &[f64], y: &[f64]) -> f64 {
+    let ce_x = complexity_estimate(x);
+    let ce_y = complexity_estimate(y);
+    let (hi, lo) = if ce_x >= ce_y {
+        (ce_x, ce_y)
+    } else {
+        (ce_y, ce_x)
+    };
+    let factor = if lo > 0.0 {
+        hi / lo
+    } else if hi > 0.0 {
+        // One flat, one complex: maximally penalized. Use the complexity
+        // itself as the factor so the penalty grows with the mismatch.
+        1.0 + hi
+    } else {
+        1.0
+    };
+    euclidean(x, y) * factor
+}
+
+/// CID as a [`Distance`] implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComplexityInvariantDistance;
+
+impl Distance for ComplexityInvariantDistance {
+    fn name(&self) -> String {
+        "CID".into()
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        cid(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{cid, complexity_estimate, ComplexityInvariantDistance};
+    use crate::ed::euclidean;
+    use crate::Distance;
+
+    #[test]
+    fn complexity_estimate_basics() {
+        assert_eq!(complexity_estimate(&[]), 0.0);
+        assert_eq!(complexity_estimate(&[5.0]), 0.0);
+        assert_eq!(complexity_estimate(&[1.0, 1.0, 1.0]), 0.0);
+        // Line with slope 1 over 4 steps: CE = sqrt(4).
+        assert!((complexity_estimate(&[0.0, 1.0, 2.0, 3.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisier_series_has_higher_complexity() {
+        let smooth: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).sin()).collect();
+        let noisy: Vec<f64> = smooth
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        assert!(complexity_estimate(&noisy) > complexity_estimate(&smooth));
+    }
+
+    #[test]
+    fn equal_complexity_reduces_to_ed() {
+        let x = [1.0, 3.0, 2.0, 4.0];
+        let y = [2.0, 4.0, 3.0, 5.0]; // same differences, hence same CE
+        assert!((cid(&x, &y) - euclidean(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complexity_mismatch_inflates_distance() {
+        let smooth: Vec<f64> = (0..40).map(|i| (i as f64 * 0.15).sin()).collect();
+        let complex: Vec<f64> = (0..40).map(|i| (i as f64 * 1.9).sin()).collect();
+        assert!(cid(&smooth, &complex) > euclidean(&smooth, &complex));
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let x = [0.5, -1.0, 2.0, 0.0];
+        let y = [1.0, 0.0, -2.0, 1.5];
+        assert_eq!(cid(&x, &x), 0.0);
+        assert!((cid(&x, &y) - cid(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_constants_fall_back_to_ed() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [4.0, 4.0, 4.0];
+        assert!((cid(&x, &y) - euclidean(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_vs_complex_is_heavily_penalized() {
+        let flat = [0.0; 16];
+        let busy: Vec<f64> = (0..16)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(cid(&flat, &busy) > euclidean(&flat, &busy));
+    }
+
+    #[test]
+    fn distance_trait() {
+        let d = ComplexityInvariantDistance;
+        assert_eq!(d.name(), "CID");
+        assert!(d.dist(&[1.0, 2.0], &[1.0, 2.0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Dynamic Time Warping and its Sakoe–Chiba constrained variant
+//! (Equation 4 and Figure 2 of the paper).
+//!
+//! The DP recurrence is
+//! `γ(i, j) = d(i, j) + min{γ(i−1, j−1), γ(i−1, j), γ(i, j−1)}`
+//! over squared point distances, with the final distance being `√γ(m, m)`.
+//! The constrained variant restricts `|i − j|` to a Sakoe–Chiba band of a
+//! given half-width (the *warping window*).
+//!
+//! [`dtw_distance`] uses two rolling rows — O(m·w) time, O(m) space — and
+//! is the hot path for Tables 2–4. [`dtw_path`] keeps the full matrix to
+//! recover the warping path, which DBA averaging and the Figure 2
+//! reproduction need.
+
+use crate::Distance;
+
+/// DTW distance measure with an optional Sakoe–Chiba warping window.
+#[derive(Debug, Clone, Copy)]
+pub struct Dtw {
+    /// Sakoe–Chiba half-width in samples; `None` means unconstrained.
+    pub window: Option<usize>,
+}
+
+impl Dtw {
+    /// Unconstrained DTW.
+    #[must_use]
+    pub fn unconstrained() -> Self {
+        Dtw { window: None }
+    }
+
+    /// cDTW with an absolute window of `w` samples.
+    #[must_use]
+    pub fn with_window(w: usize) -> Self {
+        Dtw { window: Some(w) }
+    }
+
+    /// cDTW with a window that is `fraction` of the series length `m`,
+    /// rounded to the nearest sample — the paper's `cDTW5` (5%) and
+    /// `cDTW10` (10%) variants.
+    #[must_use]
+    pub fn with_window_fraction(fraction: f64, m: usize) -> Self {
+        let w = (fraction * m as f64).round() as usize;
+        Dtw { window: Some(w) }
+    }
+}
+
+impl Distance for Dtw {
+    fn name(&self) -> String {
+        match self.window {
+            None => "DTW".into(),
+            Some(w) => format!("cDTW(w={w})"),
+        }
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        dtw_distance(x, y, self.window)
+    }
+}
+
+/// Computes the DTW distance with an optional Sakoe–Chiba window,
+/// in O(m·w) time and O(m) space.
+///
+/// A window of 0 degenerates to Euclidean alignment (the diagonal path).
+///
+/// # Example
+///
+/// ```
+/// use tsdist::dtw::dtw_distance;
+///
+/// let x = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0];
+/// let y = [0.0, 1.0, 2.0, 1.0, 0.0, 0.0]; // same hump, one step early
+/// // DTW warps the hump onto itself; ED cannot.
+/// assert!(dtw_distance(&x, &y, None) < 1e-9);
+/// assert!(dtw_distance(&x, &y, Some(0)) > 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn dtw_distance(x: &[f64], y: &[f64], window: Option<usize>) -> f64 {
+    assert_eq!(x.len(), y.len(), "DTW requires equal-length sequences");
+    let m = x.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let w = window.unwrap_or(m).min(m);
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    for i in 1..=m {
+        curr.fill(f64::INFINITY);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        // γ(i, 0) is only reachable when the band touches column 0.
+        if i == 1 {
+            // handled through prev[0]
+        }
+        for j in lo..=hi {
+            let d = (x[i - 1] - y[j - 1]) * (x[i - 1] - y[j - 1]);
+            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+            curr[j] = d + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+/// A warping path: pairs of 0-based indices `(i, j)` from `(0, 0)` to
+/// `(m−1, m−1)`, monotone in both coordinates.
+pub type WarpingPath = Vec<(usize, usize)>;
+
+/// Computes the DTW distance *and* the optimal warping path, keeping the
+/// full O(m²) matrix.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or either input is empty.
+#[must_use]
+pub fn dtw_path(x: &[f64], y: &[f64], window: Option<usize>) -> (f64, WarpingPath) {
+    assert_eq!(x.len(), y.len(), "DTW requires equal-length sequences");
+    let m = x.len();
+    assert!(m > 0, "DTW path requires non-empty sequences");
+    let w = window.unwrap_or(m).min(m);
+
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    let mut cost = vec![f64::INFINITY; (m + 1) * (m + 1)];
+    cost[idx(0, 0)] = 0.0;
+    for i in 1..=m {
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(m);
+        for j in lo..=hi {
+            let d = (x[i - 1] - y[j - 1]) * (x[i - 1] - y[j - 1]);
+            let best = cost[idx(i - 1, j - 1)]
+                .min(cost[idx(i - 1, j)])
+                .min(cost[idx(i, j - 1)]);
+            cost[idx(i, j)] = d + best;
+        }
+    }
+
+    // Backtrack from (m, m).
+    let mut path = Vec::with_capacity(2 * m);
+    let (mut i, mut j) = (m, m);
+    while i > 0 && j > 0 {
+        path.push((i - 1, j - 1));
+        let diag = cost[idx(i - 1, j - 1)];
+        let up = cost[idx(i - 1, j)];
+        let left = cost[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    (cost[idx(m, m)].sqrt(), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{dtw_distance, dtw_path, Dtw};
+    use crate::ed::euclidean;
+    use crate::Distance;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let x = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw_distance(&x, &x, None), 0.0);
+        assert_eq!(dtw_distance(&x, &x, Some(1)), 0.0);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        assert_eq!(dtw_distance(&[], &[], None), 0.0);
+    }
+
+    #[test]
+    fn window_zero_equals_euclidean() {
+        let x = [1.0, 5.0, -2.0, 4.0];
+        let y = [0.0, 2.0, 3.0, -1.0];
+        let d0 = dtw_distance(&x, &y, Some(0));
+        assert!((d0 - euclidean(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean() {
+        let mut state = 9u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..20 {
+            let x: Vec<f64> = (0..30).map(|_| next()).collect();
+            let y: Vec<f64> = (0..30).map(|_| next()).collect();
+            assert!(dtw_distance(&x, &y, None) <= euclidean(&x, &y) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn wider_windows_never_increase_distance() {
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..40).map(|i| ((i as f64 + 4.0) * 0.3).sin()).collect();
+        let mut last = f64::INFINITY;
+        for w in [0usize, 1, 2, 4, 8, 16, 40] {
+            let d = dtw_distance(&x, &y, Some(w));
+            assert!(d <= last + 1e-12, "w={w}: {d} > {last}");
+            last = d;
+        }
+        // Unconstrained equals the full window.
+        assert!((dtw_distance(&x, &y, None) - last).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorbs_phase_shift_that_defeats_ed() {
+        let m = 64;
+        let x: Vec<f64> = (0..m)
+            .map(|i| (-((i as f64 - 20.0) / 4.0).powi(2)).exp())
+            .collect();
+        let y: Vec<f64> = (0..m)
+            .map(|i| (-((i as f64 - 26.0) / 4.0).powi(2)).exp())
+            .collect();
+        let dtw = dtw_distance(&x, &y, None);
+        let ed = euclidean(&x, &y);
+        assert!(dtw < 0.2 * ed, "dtw {dtw} vs ed {ed}");
+    }
+
+    #[test]
+    fn known_small_case() {
+        // x = [0, 1], y = [1, 1]: optimal alignment matches x[1] to both
+        // y's; cost = (0-1)^2 = 1, distance 1.
+        let d = dtw_distance(&[0.0, 1.0], &[1.0, 1.0], None);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_endpoints_and_monotonicity() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.4).cos()).collect();
+        let y: Vec<f64> = (0..20).map(|i| ((i as f64 - 2.0) * 0.4).cos()).collect();
+        let (d, path) = dtw_path(&x, &y, None);
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (19, 19));
+        for w in path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0);
+            assert!(i1 - i0 <= 1 && j1 - j0 <= 1);
+            assert!(i1 + j1 > i0 + j0);
+        }
+        // Path cost equals the rolling-row distance.
+        assert!((d - dtw_distance(&x, &y, None)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_respects_band() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..30).map(|i| 29.0 - i as f64).collect();
+        let w = 3;
+        let (_, path) = dtw_path(&x, &y, Some(w));
+        for (i, j) in path {
+            assert!(i.abs_diff(j) <= w, "({i},{j}) outside band {w}");
+        }
+    }
+
+    #[test]
+    fn path_cost_matches_summed_point_costs() {
+        let x = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let (d, path) = dtw_path(&x, &y, None);
+        let sum: f64 = path
+            .iter()
+            .map(|&(i, j)| (x[i] - y[j]) * (x[i] - y[j]))
+            .sum();
+        assert!((d * d - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_trait_names() {
+        assert_eq!(Dtw::unconstrained().name(), "DTW");
+        assert_eq!(Dtw::with_window(5).name(), "cDTW(w=5)");
+        let d = Dtw::with_window_fraction(0.05, 100);
+        assert_eq!(d.window, Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rejects_mismatch() {
+        let _ = dtw_distance(&[1.0], &[1.0, 2.0], None);
+    }
+}

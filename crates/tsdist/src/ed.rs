@@ -1,0 +1,84 @@
+//! Euclidean distance (Equation 3 of the paper).
+
+use crate::Distance;
+
+/// The plain Euclidean distance between equal-length sequences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EuclideanDistance;
+
+/// Computes `√Σ (xᵢ − yᵢ)²`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[inline]
+#[must_use]
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ED requires equal-length sequences");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance — avoids the square root on hot paths that
+/// only compare distances (e.g. k-means assignment).
+#[inline]
+#[must_use]
+pub fn euclidean_sq(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ED requires equal-length sequences");
+    x.iter().zip(y.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+impl Distance for EuclideanDistance {
+    fn name(&self) -> String {
+        "ED".into()
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        euclidean(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{euclidean, euclidean_sq, EuclideanDistance};
+    use crate::Distance;
+
+    #[test]
+    fn known_values() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(euclidean(&[], &[]), 0.0);
+        assert!((euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let x = [1.0, -2.0, 3.5];
+        let y = [0.5, 4.0, -1.0];
+        assert_eq!(euclidean(&x, &x), 0.0);
+        assert!((euclidean(&x, &y) - euclidean(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 0.0, -2.0];
+        let z = [0.0, 1.0, 1.0];
+        assert!(euclidean(&x, &z) <= euclidean(&x, &y) + euclidean(&y, &z) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rejects_mismatch() {
+        let _ = euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn trait_impl() {
+        let d = EuclideanDistance;
+        assert_eq!(d.name(), "ED");
+        assert!((d.dist(&[0.0], &[2.0]) - 2.0).abs() < 1e-12);
+    }
+}

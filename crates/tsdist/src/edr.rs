@@ -1,0 +1,149 @@
+//! Edit Distance on Real sequences (EDR; Chen, Özsu & Oria, SIGMOD 2005 —
+//! the paper's reference [12], "robust and fast similarity search for
+//! moving object trajectories").
+//!
+//! EDR quantizes real-valued matches with a tolerance ε: a pair within ε
+//! costs 0, anything else costs 1 (substitution, insertion, or deletion):
+//!
+//! ```text
+//! subcost  = 0 if |xᵢ − yⱼ| ≤ ε else 1
+//! dp[i][j] = min(dp[i-1][j-1] + subcost, dp[i-1][j] + 1, dp[i][j-1] + 1)
+//! ```
+//!
+//! The hard threshold gives robustness to outliers (one wild sample costs
+//! at most 1) at the price of losing metricity.
+
+use crate::Distance;
+
+/// EDR distance with a configurable match tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct Edr {
+    /// Match tolerance ε; 0.25 of a standard deviation is the customary
+    /// default for z-normalized series.
+    pub epsilon: f64,
+}
+
+impl Default for Edr {
+    fn default() -> Self {
+        Edr { epsilon: 0.25 }
+    }
+}
+
+/// Computes the (raw, unnormalized) EDR edit count.
+#[must_use]
+pub fn edr_distance(x: &[f64], y: &[f64], epsilon: f64) -> f64 {
+    let (nx, ny) = (x.len(), y.len());
+    if nx == 0 {
+        return ny as f64;
+    }
+    if ny == 0 {
+        return nx as f64;
+    }
+    let mut prev: Vec<f64> = (0..=ny).map(|j| j as f64).collect();
+    let mut curr = vec![0.0; ny + 1];
+    for i in 1..=nx {
+        curr[0] = i as f64;
+        for j in 1..=ny {
+            let subcost = if (x[i - 1] - y[j - 1]).abs() <= epsilon {
+                0.0
+            } else {
+                1.0
+            };
+            curr[j] = (prev[j - 1] + subcost)
+                .min(prev[j] + 1.0)
+                .min(curr[j - 1] + 1.0);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[ny]
+}
+
+/// EDR normalized by the longer length, in `[0, 1]`.
+#[must_use]
+pub fn edr_normalized(x: &[f64], y: &[f64], epsilon: f64) -> f64 {
+    let denom = x.len().max(y.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    edr_distance(x, y, epsilon) / denom as f64
+}
+
+impl Distance for Edr {
+    fn name(&self) -> String {
+        "EDR".into()
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        edr_normalized(x, y, self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{edr_distance, edr_normalized, Edr};
+    use crate::Distance;
+
+    #[test]
+    fn identical_within_tolerance_is_zero() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.1, 2.1, 2.9];
+        assert_eq!(edr_distance(&x, &y, 0.2), 0.0);
+    }
+
+    #[test]
+    fn each_mismatch_costs_one() {
+        let x = [0.0, 0.0, 0.0];
+        let y = [0.0, 5.0, 0.0];
+        assert_eq!(edr_distance(&x, &y, 0.1), 1.0);
+        let y = [5.0, 5.0, 5.0];
+        assert_eq!(edr_distance(&x, &y, 0.1), 3.0);
+    }
+
+    #[test]
+    fn reduces_to_edit_distance_on_symbols() {
+        // Map symbols to well-separated reals: EDR = Levenshtein.
+        // "kitten" -> "sitting" has edit distance 3.
+        let enc = |s: &str| -> Vec<f64> { s.bytes().map(|b| b as f64 * 10.0).collect() };
+        let d = edr_distance(&enc("kitten"), &enc("sitting"), 0.5);
+        assert_eq!(d, 3.0);
+    }
+
+    #[test]
+    fn outlier_costs_at_most_one() {
+        // EDR's robustness claim: one wild sample adds at most 1.
+        let x = [0.0; 10];
+        let mut y = [0.0; 10];
+        y[4] = 1e9;
+        assert_eq!(edr_distance(&x, &y, 0.1), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [1.0, 4.0, 2.0, 8.0];
+        let y = [0.0, 4.5, 2.0, 7.0];
+        assert_eq!(edr_distance(&x, &y, 0.6), edr_distance(&y, &x, 0.6));
+    }
+
+    #[test]
+    fn empty_sequences() {
+        assert_eq!(edr_distance(&[], &[], 0.1), 0.0);
+        assert_eq!(edr_distance(&[], &[1.0, 2.0], 0.1), 2.0);
+        assert_eq!(edr_normalized(&[], &[], 0.1), 0.0);
+    }
+
+    #[test]
+    fn normalized_in_unit_interval() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [9.0, 9.0, 9.0, 9.0];
+        let d = edr_normalized(&x, &y, 0.1);
+        assert!((0.0..=1.0).contains(&d));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn distance_trait() {
+        let e = Edr::default();
+        assert_eq!(e.name(), "EDR");
+        assert_eq!(e.dist(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Edit distance with Real Penalty (ERP; Chen & Ng, VLDB 2004 — the
+//! paper's reference [11], "on the marriage of Lp-norms and edit
+//! distance").
+//!
+//! ERP is an *elastic* measure like DTW but, unlike DTW, a true metric: a
+//! gap aligned against element `v` costs `|v − g|` for a fixed gap value
+//! `g` (conventionally 0 on z-normalized data), and matched elements cost
+//! `|xᵢ − yⱼ|`:
+//!
+//! ```text
+//! dp[i][j] = min( dp[i-1][j-1] + |xᵢ − yⱼ|,     match
+//!                 dp[i-1][j]   + |xᵢ − g|,      gap in y
+//!                 dp[i][j-1]   + |yⱼ − g| )     gap in x
+//! ```
+
+use crate::Distance;
+
+/// ERP distance with a configurable gap value.
+#[derive(Debug, Clone, Copy)]
+pub struct Erp {
+    /// Gap element `g`; 0 is the standard choice for z-normalized series.
+    pub gap: f64,
+}
+
+impl Default for Erp {
+    fn default() -> Self {
+        Erp { gap: 0.0 }
+    }
+}
+
+/// Computes the ERP distance between two sequences (lengths may differ).
+///
+/// Uses two rolling rows: O(|x|·|y|) time, O(|y|) space.
+#[must_use]
+pub fn erp_distance(x: &[f64], y: &[f64], gap: f64) -> f64 {
+    let (nx, ny) = (x.len(), y.len());
+    if nx == 0 {
+        return y.iter().map(|v| (v - gap).abs()).sum();
+    }
+    if ny == 0 {
+        return x.iter().map(|v| (v - gap).abs()).sum();
+    }
+    let mut prev = vec![0.0; ny + 1];
+    let mut curr = vec![0.0; ny + 1];
+    // First row: everything in y matched against gaps.
+    for j in 1..=ny {
+        prev[j] = prev[j - 1] + (y[j - 1] - gap).abs();
+    }
+    for i in 1..=nx {
+        curr[0] = prev[0] + (x[i - 1] - gap).abs();
+        for j in 1..=ny {
+            let matched = prev[j - 1] + (x[i - 1] - y[j - 1]).abs();
+            let gap_y = prev[j] + (x[i - 1] - gap).abs();
+            let gap_x = curr[j - 1] + (y[j - 1] - gap).abs();
+            curr[j] = matched.min(gap_y).min(gap_x);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[ny]
+}
+
+impl Distance for Erp {
+    fn name(&self) -> String {
+        "ERP".into()
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        erp_distance(x, y, self.gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{erp_distance, Erp};
+    use crate::Distance;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let mut next = lcg(1);
+        let x: Vec<f64> = (0..20).map(|_| next()).collect();
+        let y: Vec<f64> = (0..20).map(|_| next()).collect();
+        assert_eq!(erp_distance(&x, &x, 0.0), 0.0);
+        assert!((erp_distance(&x, &y, 0.0) - erp_distance(&y, &x, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        // ERP is a metric; spot-check the triangle inequality on random
+        // triples (this is where DTW fails).
+        let mut next = lcg(5);
+        for _ in 0..50 {
+            let a: Vec<f64> = (0..12).map(|_| next()).collect();
+            let b: Vec<f64> = (0..12).map(|_| next()).collect();
+            let c: Vec<f64> = (0..12).map(|_| next()).collect();
+            let ab = erp_distance(&a, &b, 0.0);
+            let bc = erp_distance(&b, &c, 0.0);
+            let ac = erp_distance(&a, &c, 0.0);
+            assert!(ac <= ab + bc + 1e-9, "{ac} > {ab} + {bc}");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_costs_gap_alignment() {
+        let y = [1.0, -2.0, 3.0];
+        assert!((erp_distance(&[], &y, 0.0) - 6.0).abs() < 1e-12);
+        assert!((erp_distance(&y, &[], 0.0) - 6.0).abs() < 1e-12);
+        assert_eq!(erp_distance(&[], &[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // x = [0], y = [0, 5], g = 0: match 0-0 (cost 0) + gap for 5
+        // (cost 5) = 5.
+        assert!((erp_distance(&[0.0], &[0.0, 5.0], 0.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_lengths_supported() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 3.0];
+        let d = erp_distance(&x, &y, 0.0);
+        assert!(d > 0.0 && d.is_finite());
+    }
+
+    #[test]
+    fn absorbs_insertion_cheaper_than_ed_mismatch() {
+        // Insert one near-gap element: ERP charges ~|v - g| for it while
+        // the rest matches perfectly.
+        let x = [1.0, 5.0, 1.0, 1.0];
+        let y = [1.0, 0.1, 5.0, 1.0]; // 0.1 inserted, tail shifted
+        let d = erp_distance(&x, &y, 0.0);
+        assert!(d <= 0.1 + 1.0 + 1e-9, "ERP {d}");
+    }
+
+    #[test]
+    fn distance_trait() {
+        let e = Erp::default();
+        assert_eq!(e.name(), "ERP");
+        assert_eq!(e.dist(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+}

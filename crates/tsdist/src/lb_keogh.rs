@@ -1,0 +1,206 @@
+//! The LB_Keogh lower bound for constrained DTW (Keogh & Ratanamahatana,
+//! 2005), used by the `DTW_LB` / `cDTW_LB` rows of Table 2 to prune 1-NN
+//! candidates.
+//!
+//! For a candidate `y` with warping window `w`, build the envelope
+//! `L[i] = min(y[i−w..=i+w])`, `U[i] = max(y[i−w..=i+w])`. Then for any
+//! query `x`,
+//!
+//! ```text
+//! LB_Keogh(x, y) = √ Σᵢ  (x[i] − U[i])²  if x[i] > U[i]
+//!                        (L[i] − x[i])²  if x[i] < L[i]
+//!                        0               otherwise
+//! ```
+//!
+//! satisfies `LB_Keogh(x, y) ≤ cDTW_w(x, y)`, so any candidate whose bound
+//! already exceeds the best distance found can be skipped without running
+//! the DP.
+
+/// Upper/lower envelope of a sequence under a warping window.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Pointwise lower envelope.
+    pub lower: Vec<f64>,
+    /// Pointwise upper envelope.
+    pub upper: Vec<f64>,
+}
+
+impl Envelope {
+    /// Builds the envelope of `y` for window half-width `w`.
+    ///
+    /// Uses the monotonic-deque algorithm (Lemire 2009): O(m) regardless of
+    /// window size.
+    #[must_use]
+    pub fn new(y: &[f64], w: usize) -> Self {
+        let m = y.len();
+        let mut lower = vec![0.0; m];
+        let mut upper = vec![0.0; m];
+        if m == 0 {
+            return Envelope { lower, upper };
+        }
+        // Deques of indices; front is the current extremum.
+        let mut max_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut min_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+        for i in 0..m + w {
+            if i < m {
+                while let Some(&b) = max_dq.back() {
+                    if y[b] <= y[i] {
+                        max_dq.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                max_dq.push_back(i);
+                while let Some(&b) = min_dq.back() {
+                    if y[b] >= y[i] {
+                        min_dq.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                min_dq.push_back(i);
+            }
+            // Window for output position `o = i - w` covers [o-w, o+w];
+            // it is complete once i reaches o + w.
+            if i >= w {
+                let o = i - w;
+                while let Some(&f) = max_dq.front() {
+                    if f + w < o {
+                        max_dq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                while let Some(&f) = min_dq.front() {
+                    if f + w < o {
+                        min_dq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                upper[o] = y[*max_dq.front().expect("non-empty window")];
+                lower[o] = y[*min_dq.front().expect("non-empty window")];
+            }
+        }
+        Envelope { lower, upper }
+    }
+}
+
+/// Computes the LB_Keogh lower bound of `x` against the envelope of a
+/// candidate.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn lb_keogh(x: &[f64], env: &Envelope) -> f64 {
+    assert_eq!(x.len(), env.lower.len(), "LB_Keogh requires equal lengths");
+    let mut acc = 0.0;
+    for ((&v, &lo), &hi) in x.iter().zip(env.lower.iter()).zip(env.upper.iter()) {
+        if v > hi {
+            acc += (v - hi) * (v - hi);
+        } else if v < lo {
+            acc += (lo - v) * (lo - v);
+        }
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{lb_keogh, Envelope};
+    use crate::dtw::dtw_distance;
+
+    #[allow(clippy::needless_range_loop)]
+    fn brute_envelope(y: &[f64], w: usize) -> Envelope {
+        let m = y.len();
+        let mut lower = vec![0.0; m];
+        let mut upper = vec![0.0; m];
+        for i in 0..m {
+            let lo = i.saturating_sub(w);
+            let hi = (i + w).min(m - 1);
+            lower[i] = y[lo..=hi].iter().copied().fold(f64::INFINITY, f64::min);
+            upper[i] = y[lo..=hi].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        }
+        Envelope { lower, upper }
+    }
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn deque_envelope_matches_brute_force() {
+        let mut next = lcg(17);
+        for &w in &[0usize, 1, 3, 7, 50] {
+            let y: Vec<f64> = (0..37).map(|_| next()).collect();
+            let fast = Envelope::new(&y, w);
+            let slow = brute_envelope(&y, w);
+            for i in 0..y.len() {
+                assert!((fast.lower[i] - slow.lower[i]).abs() < 1e-12, "w={w} i={i}");
+                assert!((fast.upper[i] - slow.upper[i]).abs() < 1e-12, "w={w} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_window_zero_is_identity() {
+        let y = vec![3.0, -1.0, 4.0];
+        let env = Envelope::new(&y, 0);
+        assert_eq!(env.lower, y);
+        assert_eq!(env.upper, y);
+    }
+
+    #[test]
+    fn envelope_contains_sequence() {
+        let mut next = lcg(5);
+        let y: Vec<f64> = (0..50).map(|_| next()).collect();
+        let env = Envelope::new(&y, 4);
+        for ((&lo, &v), &hi) in env.lower.iter().zip(y.iter()).zip(env.upper.iter()) {
+            assert!(lo <= v && v <= hi);
+        }
+    }
+
+    #[test]
+    fn lb_is_zero_for_sequence_inside_envelope() {
+        let mut next = lcg(11);
+        let y: Vec<f64> = (0..40).map(|_| next()).collect();
+        let env = Envelope::new(&y, 3);
+        assert_eq!(lb_keogh(&y, &env), 0.0);
+    }
+
+    #[test]
+    fn lower_bounds_cdtw() {
+        let mut next = lcg(23);
+        for trial in 0..30 {
+            let m = 48;
+            let w = 1 + trial % 8;
+            let x: Vec<f64> = (0..m).map(|_| next()).collect();
+            let y: Vec<f64> = (0..m).map(|_| next()).collect();
+            let env = Envelope::new(&y, w);
+            let lb = lb_keogh(&x, &env);
+            let d = dtw_distance(&x, &y, Some(w));
+            assert!(lb <= d + 1e-9, "trial {trial}: LB {lb} > cDTW {d}");
+        }
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let env = Envelope::new(&[], 3);
+        assert!(env.lower.is_empty());
+        assert_eq!(lb_keogh(&[], &env), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn rejects_mismatch() {
+        let env = Envelope::new(&[1.0, 2.0], 1);
+        let _ = lb_keogh(&[1.0], &env);
+    }
+}

@@ -1,0 +1,151 @@
+//! Longest Common SubSequence similarity (LCSS; Vlachos, Kollios &
+//! Gunopulos, ICDE 2002 — the paper's reference [78], "discovering similar
+//! multidimensional trajectories").
+//!
+//! LCSS counts how many samples can be matched within a value tolerance ε
+//! and an optional temporal window δ, *ignoring* everything that does not
+//! match — which provides the "occlusion invariance" of the paper's
+//! Section 2.2 taxonomy (missing subsequences are simply skipped):
+//!
+//! ```text
+//! lcss[i][j] = lcss[i-1][j-1] + 1        if |xᵢ − yⱼ| ≤ ε and |i − j| ≤ δ
+//!              max(lcss[i-1][j], lcss[i][j-1])   otherwise
+//! dist(x, y) = 1 − lcss / min(|x|, |y|)
+//! ```
+
+use crate::Distance;
+
+/// LCSS-derived distance with tolerance ε and optional window δ.
+#[derive(Debug, Clone, Copy)]
+pub struct Lcss {
+    /// Value-match tolerance ε.
+    pub epsilon: f64,
+    /// Temporal matching window δ (`None` = unconstrained).
+    pub delta: Option<usize>,
+}
+
+impl Default for Lcss {
+    fn default() -> Self {
+        Lcss {
+            epsilon: 0.25,
+            delta: None,
+        }
+    }
+}
+
+/// Length of the longest common subsequence under `(epsilon, delta)`.
+#[must_use]
+pub fn lcss_length(x: &[f64], y: &[f64], epsilon: f64, delta: Option<usize>) -> usize {
+    let (nx, ny) = (x.len(), y.len());
+    if nx == 0 || ny == 0 {
+        return 0;
+    }
+    let mut prev = vec![0usize; ny + 1];
+    let mut curr = vec![0usize; ny + 1];
+    for i in 1..=nx {
+        curr[0] = 0;
+        for j in 1..=ny {
+            let in_window = delta.is_none_or(|d| i.abs_diff(j) <= d);
+            if in_window && (x[i - 1] - y[j - 1]).abs() <= epsilon {
+                curr[j] = prev[j - 1] + 1;
+            } else {
+                curr[j] = prev[j].max(curr[j - 1]);
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[ny]
+}
+
+/// LCSS distance `1 − lcss/min(|x|,|y|)`, in `[0, 1]`.
+///
+/// Two empty sequences are defined as distance 0.
+#[must_use]
+pub fn lcss_distance(x: &[f64], y: &[f64], epsilon: f64, delta: Option<usize>) -> f64 {
+    let denom = x.len().min(y.len());
+    if denom == 0 {
+        return if x.len() == y.len() { 0.0 } else { 1.0 };
+    }
+    1.0 - lcss_length(x, y, epsilon, delta) as f64 / denom as f64
+}
+
+impl Distance for Lcss {
+    fn name(&self) -> String {
+        "LCSS".into()
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        lcss_distance(x, y, self.epsilon, self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{lcss_distance, lcss_length, Lcss};
+    use crate::Distance;
+
+    #[test]
+    fn identical_sequences_full_match() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lcss_length(&x, &x, 0.01, None), 4);
+        assert_eq!(lcss_distance(&x, &x, 0.01, None), 0.0);
+    }
+
+    #[test]
+    fn classic_string_lcs() {
+        // "ABCBDAB" vs "BDCABA" has LCS length 4 (e.g. BCAB).
+        let enc = |s: &str| -> Vec<f64> { s.bytes().map(|b| b as f64 * 10.0).collect() };
+        assert_eq!(lcss_length(&enc("ABCBDAB"), &enc("BDCABA"), 0.5, None), 4);
+    }
+
+    #[test]
+    fn occlusion_is_skipped_not_punished() {
+        // y is x with a chunk zeroed (occluded); the remaining samples
+        // still match, so the distance stays moderate.
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.4).sin() + 2.0).collect();
+        let mut y = x.clone();
+        for v in &mut y[5..10] {
+            *v = 0.0;
+        }
+        let d = lcss_distance(&x, &y, 0.05, None);
+        assert!((d - 5.0 / 20.0).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn temporal_window_restricts_matching() {
+        // Same values but shifted by 3; an unconstrained LCSS matches most
+        // of them, a δ = 1 window cannot.
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..16).map(|i| i as f64 + 3.0).collect();
+        let free = lcss_length(&x, &y, 0.01, None);
+        let tight = lcss_length(&x, &y, 0.01, Some(1));
+        assert_eq!(free, 13);
+        assert!(tight < free, "tight {tight} vs free {free}");
+    }
+
+    #[test]
+    fn distance_bounds() {
+        let x = [0.0, 0.0];
+        let y = [100.0, 100.0];
+        assert_eq!(lcss_distance(&x, &y, 0.1, None), 1.0);
+        assert_eq!(lcss_distance(&[], &[], 0.1, None), 0.0);
+        assert_eq!(lcss_distance(&[], &[1.0], 0.1, None), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [1.0, 5.0, 2.0, 4.0, 3.0];
+        let y = [2.0, 5.0, 1.0, 3.0, 4.0];
+        assert_eq!(
+            lcss_length(&x, &y, 0.6, Some(2)),
+            lcss_length(&y, &x, 0.6, Some(2))
+        );
+    }
+
+    #[test]
+    fn distance_trait() {
+        let l = Lcss::default();
+        assert_eq!(l.name(), "LCSS");
+        assert_eq!(l.dist(&[1.0], &[1.0]), 0.0);
+    }
+}

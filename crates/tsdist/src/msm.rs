@@ -1,0 +1,164 @@
+//! Move-Split-Merge distance (MSM; Stefan, Athitsos & Das, TKDE 2013 —
+//! the paper's reference [75]).
+//!
+//! MSM edits one series into the other with three operations: **move**
+//! (change a value; costs the change), **split** (duplicate a value), and
+//! **merge** (collapse two equal-ish values) — split/merge cost a constant
+//! `c`, plus a penalty when the inserted value lies outside the interval
+//! of its neighbors. MSM is a metric.
+//!
+//! ```text
+//! dp[i][j] = min( dp[i-1][j-1] + |xᵢ − yⱼ|,
+//!                 dp[i-1][j]   + C(xᵢ, xᵢ₋₁, yⱼ),
+//!                 dp[i][j-1]   + C(yⱼ, xᵢ, yⱼ₋₁) )
+//! C(new, a, b) = c                                if a ≤ new ≤ b or a ≥ new ≥ b
+//!                c + min(|new − a|, |new − b|)    otherwise
+//! ```
+
+use crate::Distance;
+
+/// MSM distance with a configurable split/merge cost.
+#[derive(Debug, Clone, Copy)]
+pub struct Msm {
+    /// Split/merge base cost `c` (0.5 is a common default on z-normalized
+    /// data).
+    pub cost: f64,
+}
+
+impl Default for Msm {
+    fn default() -> Self {
+        Msm { cost: 0.5 }
+    }
+}
+
+/// The split/merge cost `C(new, a, b)`.
+#[inline]
+fn edit_cost(new: f64, a: f64, b: f64, c: f64) -> f64 {
+    if (a <= new && new <= b) || (a >= new && new >= b) {
+        c
+    } else {
+        c + (new - a).abs().min((new - b).abs())
+    }
+}
+
+/// Computes the MSM distance (lengths may differ; both must be non-empty).
+///
+/// # Panics
+///
+/// Panics if either sequence is empty.
+#[must_use]
+pub fn msm_distance(x: &[f64], y: &[f64], c: f64) -> f64 {
+    let (nx, ny) = (x.len(), y.len());
+    assert!(nx > 0 && ny > 0, "MSM requires non-empty sequences");
+    let mut prev = vec![0.0; ny];
+    let mut curr = vec![0.0; ny];
+    prev[0] = (x[0] - y[0]).abs();
+    for j in 1..ny {
+        prev[j] = prev[j - 1] + edit_cost(y[j], y[j - 1], x[0], c);
+    }
+    for i in 1..nx {
+        curr[0] = prev[0] + edit_cost(x[i], x[i - 1], y[0], c);
+        for j in 1..ny {
+            let matched = prev[j - 1] + (x[i] - y[j]).abs();
+            let split_x = prev[j] + edit_cost(x[i], x[i - 1], y[j], c);
+            let split_y = curr[j - 1] + edit_cost(y[j], x[i], y[j - 1], c);
+            curr[j] = matched.min(split_x).min(split_y);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[ny - 1]
+}
+
+impl Distance for Msm {
+    fn name(&self) -> String {
+        "MSM".into()
+    }
+
+    fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        msm_distance(x, y, self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{msm_distance, Msm};
+    use crate::Distance;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let mut next = lcg(3);
+        let x: Vec<f64> = (0..16).map(|_| next()).collect();
+        let y: Vec<f64> = (0..16).map(|_| next()).collect();
+        assert_eq!(msm_distance(&x, &x, 0.5), 0.0);
+        assert!((msm_distance(&x, &y, 0.5) - msm_distance(&y, &x, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut next = lcg(9);
+        for _ in 0..50 {
+            let a: Vec<f64> = (0..10).map(|_| next()).collect();
+            let b: Vec<f64> = (0..10).map(|_| next()).collect();
+            let c: Vec<f64> = (0..10).map(|_| next()).collect();
+            let ab = msm_distance(&a, &b, 0.5);
+            let bc = msm_distance(&b, &c, 0.5);
+            let ac = msm_distance(&a, &c, 0.5);
+            assert!(ac <= ab + bc + 1e-9, "{ac} > {ab} + {bc}");
+        }
+    }
+
+    #[test]
+    fn pure_move_costs_the_value_change() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.5, 3.0];
+        assert!((msm_distance(&x, &y, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_costs_c_when_value_between_neighbors() {
+        // y duplicates x's middle value: one split at cost c.
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        let c = 0.37;
+        assert!((msm_distance(&x, &y, c) - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_interval_insertion_pays_extra() {
+        // The inserted 10 is far outside its neighbors' interval.
+        let x = [1.0, 2.0];
+        let y = [1.0, 10.0, 2.0];
+        let c = 0.5;
+        let d = msm_distance(&x, &y, c);
+        assert!(d > c + 5.0, "{d}");
+    }
+
+    #[test]
+    fn unequal_lengths_supported() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 5.0];
+        let d = msm_distance(&x, &y, 0.5);
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = msm_distance(&[], &[1.0], 0.5);
+    }
+
+    #[test]
+    fn distance_trait() {
+        let m = Msm::default();
+        assert_eq!(m.name(), "MSM");
+        assert_eq!(m.dist(&[2.0, 2.0], &[2.0, 2.0]), 0.0);
+    }
+}

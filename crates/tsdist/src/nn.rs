@@ -1,0 +1,167 @@
+//! 1-NN classification, the paper's protocol for evaluating distance
+//! measures (Table 2): every test series is assigned the label of its
+//! nearest training series, and accuracy is the fraction classified
+//! correctly. The 1-NN classifier is parameter-free and deterministic,
+//! which is why the paper (following Ding et al.) uses it.
+
+use tsdata::dataset::Dataset;
+
+use crate::dtw::dtw_distance;
+use crate::lb_keogh::{lb_keogh, Envelope};
+use crate::Distance;
+
+/// Classifies one query by scanning all training series with `dist`.
+///
+/// Returns the predicted label, or `None` when the training set is empty.
+#[must_use]
+pub fn classify_one<D: Distance + ?Sized>(
+    dist: &D,
+    train: &Dataset,
+    query: &[f64],
+) -> Option<usize> {
+    let mut best = f64::INFINITY;
+    let mut label = None;
+    for (s, &l) in train.series.iter().zip(train.labels.iter()) {
+        let d = dist.dist(query, s);
+        if d < best {
+            best = d;
+            label = Some(l);
+        }
+    }
+    label
+}
+
+/// 1-NN classification accuracy of `dist` over a train/test split.
+///
+/// Returns 0 when the test set is empty.
+#[must_use]
+pub fn one_nn_accuracy<D: Distance + ?Sized>(dist: &D, train: &Dataset, test: &Dataset) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let correct = test
+        .series
+        .iter()
+        .zip(test.labels.iter())
+        .filter(|(s, &l)| classify_one(dist, train, s) == Some(l))
+        .count();
+    correct as f64 / test.n_series() as f64
+}
+
+/// 1-NN accuracy for cDTW with LB_Keogh cascading (the `cDTW_LB` rows of
+/// Table 2): training envelopes are precomputed, candidates whose lower
+/// bound exceeds the best-so-far distance are pruned without running the
+/// DP.
+///
+/// `window = None` runs unconstrained DTW with a full-width envelope
+/// (`DTW_LB`). Returns `(accuracy, pruned_fraction)` so experiments can
+/// report the pruning effectiveness.
+#[must_use]
+pub fn one_nn_accuracy_lb(window: Option<usize>, train: &Dataset, test: &Dataset) -> (f64, f64) {
+    if test.is_empty() || train.is_empty() {
+        return (0.0, 0.0);
+    }
+    let m = train.series_len();
+    let w = window.unwrap_or(m).min(m);
+    let envelopes: Vec<Envelope> = train.series.iter().map(|s| Envelope::new(s, w)).collect();
+
+    let mut pruned = 0usize;
+    let mut evaluated = 0usize;
+    let mut correct = 0usize;
+    for (q, &ql) in test.series.iter().zip(test.labels.iter()) {
+        let mut best = f64::INFINITY;
+        let mut label = None;
+        for ((s, &l), env) in train
+            .series
+            .iter()
+            .zip(train.labels.iter())
+            .zip(envelopes.iter())
+        {
+            evaluated += 1;
+            if lb_keogh(q, env) >= best {
+                pruned += 1;
+                continue;
+            }
+            let d = dtw_distance(q, s, window);
+            if d < best {
+                best = d;
+                label = Some(l);
+            }
+        }
+        if label == Some(ql) {
+            correct += 1;
+        }
+    }
+    (
+        correct as f64 / test.n_series() as f64,
+        pruned as f64 / evaluated.max(1) as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{classify_one, one_nn_accuracy, one_nn_accuracy_lb};
+    use crate::ed::EuclideanDistance;
+    use tsdata::dataset::Dataset;
+
+    fn toy_split() -> (Dataset, Dataset) {
+        // Two well-separated classes: low values vs high values.
+        let train = Dataset::new(
+            "train",
+            vec![
+                vec![0.0, 0.1, 0.0],
+                vec![0.1, 0.0, 0.1],
+                vec![5.0, 5.1, 5.0],
+                vec![5.1, 5.0, 5.1],
+            ],
+            vec![0, 0, 1, 1],
+        );
+        let test = Dataset::new(
+            "test",
+            vec![vec![0.05, 0.05, 0.05], vec![5.05, 5.05, 5.05]],
+            vec![0, 1],
+        );
+        (train, test)
+    }
+
+    #[test]
+    fn perfect_separation_gives_full_accuracy() {
+        let (train, test) = toy_split();
+        assert_eq!(one_nn_accuracy(&EuclideanDistance, &train, &test), 1.0);
+    }
+
+    #[test]
+    fn wrong_labels_give_zero_accuracy() {
+        let (train, mut test) = toy_split();
+        test.labels = vec![1, 0];
+        assert_eq!(one_nn_accuracy(&EuclideanDistance, &train, &test), 0.0);
+    }
+
+    #[test]
+    fn classify_one_empty_train() {
+        let train = Dataset::new("e", vec![], vec![]);
+        assert_eq!(classify_one(&EuclideanDistance, &train, &[1.0]), None);
+    }
+
+    #[test]
+    fn empty_test_set() {
+        let (train, _) = toy_split();
+        let test = Dataset::new("e", vec![], vec![]);
+        assert_eq!(one_nn_accuracy(&EuclideanDistance, &train, &test), 0.0);
+    }
+
+    #[test]
+    fn lb_cascade_matches_plain_cdtw_accuracy() {
+        let (train, test) = toy_split();
+        let plain = one_nn_accuracy(&crate::dtw::Dtw::with_window(1), &train, &test);
+        let (lb, _) = one_nn_accuracy_lb(Some(1), &train, &test);
+        assert_eq!(plain, lb);
+    }
+
+    #[test]
+    fn lb_cascade_prunes_something_on_separated_data() {
+        let (train, test) = toy_split();
+        let (_, pruned) = one_nn_accuracy_lb(Some(1), &train, &test);
+        assert!(pruned > 0.0, "expected some pruning, got {pruned}");
+    }
+}

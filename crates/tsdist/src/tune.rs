@@ -1,0 +1,142 @@
+//! Warping-window tuning for cDTW (the paper's `cDTW-opt`).
+//!
+//! The paper computes the optimal window "by performing a leave-one-out
+//! classification step over the training set of each dataset": for each
+//! candidate window, classify every training series against the remaining
+//! ones and keep the window with the highest accuracy. Ties break toward
+//! the *smaller* window (cheaper and, per the paper, small windows — ~4.5%
+//! on average — win).
+
+use tsdata::dataset::Dataset;
+
+use crate::dtw::dtw_distance;
+
+/// Leave-one-out 1-NN accuracy of cDTW with window `w` on `train`.
+#[must_use]
+pub fn loo_accuracy(train: &Dataset, window: usize) -> f64 {
+    let n = train.n_series();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..n {
+        let mut best = f64::INFINITY;
+        let mut label = None;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = dtw_distance(&train.series[i], &train.series[j], Some(window));
+            if d < best {
+                best = d;
+                label = Some(train.labels[j]);
+            }
+        }
+        if label == Some(train.labels[i]) {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+/// Selects the best warping window from `candidates` by leave-one-out
+/// accuracy on the training set. Returns `(window, accuracy)`.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+#[must_use]
+pub fn tune_window(train: &Dataset, candidates: &[usize]) -> (usize, f64) {
+    assert!(!candidates.is_empty(), "need at least one candidate window");
+    let mut best_w = candidates[0];
+    let mut best_acc = -1.0;
+    for &w in candidates {
+        let acc = loo_accuracy(train, w);
+        // Strict improvement required, so ties keep the smaller window
+        // (candidates are conventionally passed in ascending order).
+        if acc > best_acc {
+            best_acc = acc;
+            best_w = w;
+        }
+    }
+    (best_w, best_acc)
+}
+
+/// Default candidate windows: 0%..=20% of the series length in 1% steps,
+/// deduplicated. Matches the granularity the paper's `cDTW-opt` sweeps.
+#[must_use]
+pub fn default_candidates(series_len: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = (0..=20)
+        .map(|pct| (pct as f64 / 100.0 * series_len as f64).round() as usize)
+        .collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{default_candidates, loo_accuracy, tune_window};
+    use tsdata::dataset::Dataset;
+
+    /// Two classes of gaussian bumps whose positions jitter by ±3 samples;
+    /// a window of ~3 is needed to classify them reliably.
+    fn shifted_bumps() -> Dataset {
+        let m = 40;
+        let bump = |center: f64| -> Vec<f64> {
+            (0..m)
+                .map(|i| (-((i as f64 - center) / 2.0).powi(2)).exp())
+                .collect()
+        };
+        let mut series = Vec::new();
+        let mut labels = Vec::new();
+        for j in 0..5 {
+            // Class 0: bump near 10; class 1: bump near 28.
+            series.push(bump(10.0 + j as f64 - 2.0));
+            labels.push(0);
+            series.push(bump(28.0 + j as f64 - 2.0));
+            labels.push(1);
+        }
+        Dataset::new("bumps", series, labels)
+    }
+
+    #[test]
+    fn loo_accuracy_perfect_on_separable_data() {
+        let d = shifted_bumps();
+        assert_eq!(loo_accuracy(&d, 5), 1.0);
+    }
+
+    #[test]
+    fn loo_accuracy_tiny_dataset() {
+        let d = Dataset::new("one", vec![vec![1.0, 2.0]], vec![0]);
+        assert_eq!(loo_accuracy(&d, 1), 0.0);
+    }
+
+    #[test]
+    fn tuning_picks_smallest_tied_window() {
+        let d = shifted_bumps();
+        // All windows ≥ some small value achieve 1.0; ties must break low.
+        let (w, acc) = tune_window(&d, &[0, 1, 2, 4, 8]);
+        assert_eq!(acc, 1.0);
+        // The data is separable even at w=0 (bumps are far apart), so the
+        // tie-break must select 0.
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn default_candidates_are_ascending_and_deduped() {
+        let c = default_candidates(128);
+        assert_eq!(c[0], 0);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*c.last().unwrap(), 26); // 20% of 128 ≈ 26
+                                            // Short series collapse many percentages onto the same window.
+        let c = default_candidates(10);
+        assert!(c.len() <= 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn rejects_empty_candidates() {
+        let d = shifted_bumps();
+        let _ = tune_window(&d, &[]);
+    }
+}

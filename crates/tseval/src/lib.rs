@@ -1,0 +1,26 @@
+//! Evaluation metrics and statistical machinery for the k-Shape
+//! experiments.
+//!
+//! * [`rand_index`] — the Rand index (the paper's clustering accuracy
+//!   metric) and the Adjusted Rand Index,
+//! * [`nmi`] — normalized mutual information and purity (extensions),
+//! * [`silhouette`] — the silhouette coefficient, the intrinsic criterion
+//!   behind `kshape::validity`'s k-selection (paper footnote 2),
+//! * [`stats`] — the Wilcoxon signed-rank test (99% confidence pairwise
+//!   comparisons), the Friedman test, and the Nemenyi post-hoc critical
+//!   difference, exactly the analysis protocol of Section 4,
+//! * [`special`] — the error-function / incomplete-gamma kernels backing
+//!   the p-values,
+//! * [`tables`] — plain-text table formatting for the experiment binaries.
+
+#![warn(missing_docs)]
+
+pub mod nmi;
+pub mod rand_index;
+pub mod silhouette;
+pub mod special;
+pub mod stats;
+pub mod tables;
+
+pub use rand_index::{adjusted_rand_index, rand_index};
+pub use stats::{friedman_test, nemenyi_critical_difference, wilcoxon_signed_rank};

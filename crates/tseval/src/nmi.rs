@@ -1,0 +1,133 @@
+//! Normalized mutual information and purity — complementary clustering
+//! quality metrics beyond the paper's Rand index (extension noted in
+//! DESIGN.md; useful for sanity-checking that Rand-index conclusions are
+//! not metric artifacts).
+
+/// Builds the contingency table between predicted clusters and true
+/// classes.
+fn contingency(pred: &[usize], truth: &[usize]) -> Vec<Vec<f64>> {
+    assert_eq!(pred.len(), truth.len(), "label vectors must align");
+    let kp = pred.iter().copied().max().map_or(0, |m| m + 1);
+    let kt = truth.iter().copied().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0.0; kt]; kp];
+    for (&p, &t) in pred.iter().zip(truth.iter()) {
+        table[p][t] += 1.0;
+    }
+    table
+}
+
+/// Shannon entropy of a discrete distribution given as counts.
+fn entropy(counts: &[f64], n: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .map(|&c| {
+            let p = c / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Normalized mutual information in `[0, 1]` (arithmetic-mean
+/// normalization). Returns 1 when both partitions are identical and, by
+/// convention, 1 when both entropies are zero (single cluster vs single
+/// class).
+#[must_use]
+pub fn normalized_mutual_information(pred: &[usize], truth: &[usize]) -> f64 {
+    let n = pred.len() as f64;
+    if pred.is_empty() {
+        return 1.0;
+    }
+    let table = contingency(pred, truth);
+    let row_sums: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let kt = table.first().map_or(0, Vec::len);
+    let col_sums: Vec<f64> = (0..kt).map(|t| table.iter().map(|r| r[t]).sum()).collect();
+    let hp = entropy(&row_sums, n);
+    let ht = entropy(&col_sums, n);
+    if hp == 0.0 && ht == 0.0 {
+        return 1.0;
+    }
+    let mut mi = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c > 0.0 {
+                let pij = c / n;
+                mi += pij * (pij / (row_sums[i] / n * (col_sums[j] / n))).ln();
+            }
+        }
+    }
+    (2.0 * mi / (hp + ht)).clamp(0.0, 1.0)
+}
+
+/// Purity: each cluster votes for its majority class; purity is the
+/// fraction of items covered by those majorities. In `[0, 1]`, biased
+/// upward with many clusters (which is why it complements, not replaces,
+/// Rand/NMI).
+#[must_use]
+pub fn purity(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 1.0;
+    }
+    let table = contingency(pred, truth);
+    let majority_total: f64 = table
+        .iter()
+        .map(|row| row.iter().copied().fold(0.0, f64::max))
+        .sum();
+    majority_total / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{normalized_mutual_information, purity};
+
+    #[test]
+    fn perfect_clustering() {
+        let l = vec![0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&l, &l) - 1.0).abs() < 1e-12);
+        assert!((purity(&l, &l) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_labels_are_perfect() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![1, 1, 0, 0];
+        assert!((normalized_mutual_information(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((purity(&pred, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_prediction_has_low_nmi() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![0; 6];
+        let nmi = normalized_mutual_information(&pred, &truth);
+        assert!(nmi < 1e-9, "NMI {nmi}");
+        // Purity degenerates to the largest class share.
+        assert!((purity(&pred, &truth) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons_have_perfect_purity_but_not_nmi() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 2, 3];
+        assert!((purity(&pred, &truth) - 1.0).abs() < 1e-12);
+        let nmi = normalized_mutual_information(&pred, &truth);
+        assert!(nmi < 1.0, "NMI should penalize over-clustering: {nmi}");
+    }
+
+    #[test]
+    fn half_right_clustering() {
+        // One cluster pure, one mixed.
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 0, 0, 1, 1];
+        let p = purity(&pred, &truth);
+        assert!((p - 5.0 / 6.0).abs() < 1e-12);
+        let nmi = normalized_mutual_information(&pred, &truth);
+        assert!(nmi > 0.0 && nmi < 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+        assert_eq!(purity(&[], &[]), 1.0);
+    }
+}

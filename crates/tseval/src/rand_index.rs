@@ -1,0 +1,176 @@
+//! The Rand index (Rand 1971) and Adjusted Rand Index.
+//!
+//! The paper evaluates clustering accuracy with the Rand index:
+//! `R = (TP + TN) / (TP + TN + FP + FN)` over all pairs of series, where a
+//! "positive" is a pair placed in the same cluster and the ground truth is
+//! the class annotation.
+
+/// Counts the pair-confusion entries `(tp, tn, fp, fn)` between a predicted
+/// clustering and ground-truth classes.
+///
+/// # Panics
+///
+/// Panics if the label vectors differ in length.
+#[must_use]
+pub fn pair_confusion(pred: &[usize], truth: &[usize]) -> (u64, u64, u64, u64) {
+    assert_eq!(pred.len(), truth.len(), "label vectors must align");
+    let n = pred.len();
+    let (mut tp, mut tn, mut fp, mut fn_) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..n {
+        for j in i + 1..n {
+            let same_cluster = pred[i] == pred[j];
+            let same_class = truth[i] == truth[j];
+            match (same_cluster, same_class) {
+                (true, true) => tp += 1,
+                (false, false) => tn += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+            }
+        }
+    }
+    (tp, tn, fp, fn_)
+}
+
+/// Rand index in `[0, 1]`; 1 for a perfect clustering. Defined as 1 for
+/// inputs with fewer than two items (no pairs to get wrong).
+///
+/// # Example
+///
+/// ```
+/// use tseval::rand_index::rand_index;
+///
+/// // Cluster names don't matter, only the grouping does.
+/// assert_eq!(rand_index(&[1, 1, 0, 0], &[0, 0, 1, 1]), 1.0);
+/// assert!(rand_index(&[0, 1, 0, 1], &[0, 0, 1, 1]) < 1.0);
+/// ```
+#[must_use]
+pub fn rand_index(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.len() < 2 {
+        return 1.0;
+    }
+    let (tp, tn, fp, fn_) = pair_confusion(pred, truth);
+    (tp + tn) as f64 / (tp + tn + fp + fn_) as f64
+}
+
+/// Adjusted Rand Index: chance-corrected, ~0 for random labelings, 1 for a
+/// perfect clustering. Defined as 1 for degenerate inputs where both
+/// partitions are single-cluster or all-singletons.
+#[must_use]
+pub fn adjusted_rand_index(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label vectors must align");
+    let n = pred.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let kp = pred.iter().copied().max().unwrap_or(0) + 1;
+    let kt = truth.iter().copied().max().unwrap_or(0) + 1;
+    let mut contingency = vec![vec![0u64; kt]; kp];
+    for (&p, &t) in pred.iter().zip(truth.iter()) {
+        contingency[p][t] += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_ij: f64 = contingency
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let a: Vec<u64> = contingency
+        .iter()
+        .map(|row| row.iter().sum::<u64>())
+        .collect();
+    let b: Vec<u64> = (0..kt)
+        .map(|t| contingency.iter().map(|row| row[t]).sum::<u64>())
+        .collect();
+    let sum_a: f64 = a.iter().map(|&x| choose2(x)).sum();
+    let sum_b: f64 = b.iter().map(|&x| choose2(x)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{adjusted_rand_index, pair_confusion, rand_index};
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(rand_index(&labels, &labels), 1.0);
+        assert_eq!(adjusted_rand_index(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![1, 1, 0, 0];
+        assert_eq!(rand_index(&pred, &truth), 1.0);
+        assert_eq!(adjusted_rand_index(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_confusion() {
+        // truth: {a,b} {c}; pred: {a} {b,c}
+        // pairs: (a,b): split but same class -> FN
+        //        (a,c): split, diff class -> TN
+        //        (b,c): together, diff class -> FP
+        let truth = vec![0, 0, 1];
+        let pred = vec![0, 1, 1];
+        let (tp, tn, fp, fn_) = pair_confusion(&pred, &truth);
+        assert_eq!((tp, tn, fp, fn_), (0, 1, 1, 1));
+        assert!((rand_index(&pred, &truth) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rand_index_bounds() {
+        let truth = vec![0, 1, 0, 1, 0, 1];
+        let preds = [
+            vec![0, 0, 0, 0, 0, 0],
+            vec![0, 1, 2, 3, 4, 5],
+            vec![1, 0, 1, 0, 1, 0],
+        ];
+        for p in &preds {
+            let r = rand_index(p, &truth);
+            assert!((0.0..=1.0).contains(&r), "{r}");
+        }
+    }
+
+    #[test]
+    fn ari_near_zero_for_random_assignment() {
+        // Deterministic pseudo-random labels over many items.
+        let n = 400;
+        let truth: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        let pred: Vec<usize> = (0..n).map(|i| (i * 7919 + 13) % 997 % 4).collect();
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari.abs() < 0.06, "ARI {ari} not near zero");
+        // Plain Rand is NOT near zero for random labels — the reason ARI
+        // exists.
+        let r = rand_index(&pred, &truth);
+        assert!(r > 0.5);
+    }
+
+    #[test]
+    fn single_cluster_prediction() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 0];
+        // TP = 2 (the two same-class pairs), FP = 4, TN = 0, FN = 0.
+        assert!((rand_index(&pred, &truth) - 2.0 / 6.0).abs() < 1e-12);
+        assert!(adjusted_rand_index(&pred, &truth) <= 0.0 + 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(rand_index(&[], &[]), 1.0);
+        assert_eq!(rand_index(&[0], &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn rejects_mismatched_lengths() {
+        let _ = rand_index(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Silhouette analysis — an *intrinsic* clustering-quality criterion.
+//!
+//! The paper assumes the target number of clusters `k` is given, noting
+//! (footnote 2) that k can otherwise be chosen "by varying k and evaluating
+//! clustering quality with criteria that capture information intrinsic to
+//! the data alone". The silhouette coefficient (Rousseeuw 1987) is the
+//! classic such criterion; `kshape::validity` builds the k-selection sweep
+//! on top of it.
+//!
+//! For item `i` with mean intra-cluster distance `a(i)` and smallest mean
+//! distance to another cluster `b(i)`:
+//!
+//! ```text
+//! s(i) = (b(i) − a(i)) / max(a(i), b(i)) ∈ [−1, 1]
+//! ```
+//!
+//! Singleton clusters score 0 by convention.
+
+/// Mean silhouette coefficient of a labeling under a pairwise distance
+/// oracle `dist(i, j)`.
+///
+/// Returns 0 for degenerate inputs (fewer than 2 items or a single
+/// cluster), where the silhouette is undefined.
+///
+/// # Panics
+///
+/// Panics if any label is `>= k` where `k = max label + 1` is inconsistent
+/// with the data (labels are assumed dense, `0..k`).
+#[must_use]
+pub fn silhouette_score<D>(labels: &[usize], dist: D) -> f64
+where
+    D: Fn(usize, usize) -> f64,
+{
+    let n = labels.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let li = labels[i];
+        if counts[li] <= 1 {
+            // Singleton: s(i) = 0 by convention.
+            continue;
+        }
+        // Mean distance from i to every cluster.
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(i, j);
+            }
+        }
+        let a = sums[li] / (counts[li] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != li && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+        }
+    }
+    total / n as f64
+}
+
+/// Per-item silhouette values (same conventions as [`silhouette_score`]).
+#[must_use]
+pub fn silhouette_samples<D>(labels: &[usize], dist: D) -> Vec<f64>
+where
+    D: Fn(usize, usize) -> f64,
+{
+    let n = labels.len();
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut out = vec![0.0; n];
+    if n < 2 || k < 2 {
+        return out;
+    }
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    for i in 0..n {
+        let li = labels[i];
+        if counts[li] <= 1 {
+            continue;
+        }
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(i, j);
+            }
+        }
+        let a = sums[li] / (counts[li] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != li && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            let denom = a.max(b);
+            if denom > 0.0 {
+                out[i] = (b - a) / denom;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{silhouette_samples, silhouette_score};
+
+    /// 1-D points with a distance oracle.
+    fn points_dist(points: &[f64]) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |i, j| (points[i] - points[j]).abs()
+    }
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let pts = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let s = silhouette_score(&labels, points_dist(&pts));
+        assert!(s > 0.9, "{s}");
+    }
+
+    #[test]
+    fn wrong_split_scores_low() {
+        let pts = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        // Mix the blobs across clusters.
+        let labels = [0, 1, 0, 1, 0, 1];
+        let s = silhouette_score(&labels, points_dist(&pts));
+        assert!(s < 0.1, "{s}");
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let pts = [1.0, 2.0, 3.0];
+        assert_eq!(silhouette_score(&[0, 0, 0], points_dist(&pts)), 0.0);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_zero() {
+        let pts = [1.0];
+        assert_eq!(silhouette_score(&[0], points_dist(&pts)), 0.0);
+        assert_eq!(silhouette_score(&[], |_, _| 0.0), 0.0);
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let pts = [0.0, 0.1, 50.0];
+        let labels = [0, 0, 1];
+        let samples = silhouette_samples(&labels, points_dist(&pts));
+        assert_eq!(samples[2], 0.0);
+        assert!(samples[0] > 0.9);
+    }
+
+    #[test]
+    fn samples_mean_equals_score() {
+        let pts = [0.0, 0.4, 0.8, 5.0, 5.5, 9.0, 9.9];
+        let labels = [0, 0, 0, 1, 1, 2, 2];
+        let samples = silhouette_samples(&labels, points_dist(&pts));
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let score = silhouette_score(&labels, points_dist(&pts));
+        assert!((mean - score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_bounded() {
+        let pts = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let labels = [0, 1, 0, 1, 0, 1];
+        for s in silhouette_samples(&labels, points_dist(&pts)) {
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn correct_k_scores_best_across_candidates() {
+        // Three clear blobs; labelings with k = 2, 3, 6 — k = 3 must win.
+        let pts = [0.0, 0.2, 5.0, 5.2, 10.0, 10.2];
+        let k2 = [0, 0, 0, 0, 1, 1];
+        let k3 = [0, 0, 1, 1, 2, 2];
+        let k6 = [0, 1, 2, 3, 4, 5];
+        let s2 = silhouette_score(&k2, points_dist(&pts));
+        let s3 = silhouette_score(&k3, points_dist(&pts));
+        let s6 = silhouette_score(&k6, points_dist(&pts));
+        assert!(s3 > s2, "{s3} vs {s2}");
+        assert!(s3 > s6, "{s3} vs {s6}");
+    }
+}

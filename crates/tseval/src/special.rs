@@ -1,0 +1,200 @@
+//! Special functions backing the statistical tests: the error function,
+//! the standard normal CDF, the log-gamma function, and the regularized
+//! incomplete gamma (for chi-square p-values).
+//!
+//! Implementations follow the classical numerical recipes (Abramowitz &
+//! Stegun 7.1.26 for `erf`, Lanczos for `ln Γ`, series/continued-fraction
+//! for `P(a, x)`), accurate to far beyond what hypothesis testing needs.
+
+/// Error function, |error| < 1.5e-7 (A&S 7.1.26).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+#[must_use]
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value for a standard normal statistic.
+#[must_use]
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    (2.0 * (1.0 - standard_normal_cdf(z.abs()))).clamp(0.0, 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x)/Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+#[must_use]
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series: P(a,x) = e^{-x} x^a / Γ(a) · Σ x^n / (a(a+1)…(a+n)).
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x) (Lentz's algorithm).
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: `P(X > x)`.
+///
+/// # Panics
+///
+/// Panics if `df == 0` or `x < 0`.
+#[must_use]
+pub fn chi_square_sf(x: f64, df: usize) -> f64 {
+    assert!(df > 0, "chi-square needs at least one degree of freedom");
+    (1.0 - gamma_p(df as f64 / 2.0, x / 2.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{chi_square_sf, erf, gamma_p, ln_gamma, normal_two_sided_p, standard_normal_cdf};
+
+    #[test]
+    fn erf_reference_values() {
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(5.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.959_963_985) - 0.975).abs() < 1e-4);
+        assert!((standard_normal_cdf(-2.575_829_3) - 0.005).abs() < 1e-4);
+    }
+
+    #[test]
+    fn two_sided_p_values() {
+        assert!((normal_two_sided_p(1.959_963_985) - 0.05).abs() < 1e-3);
+        assert!((normal_two_sided_p(2.575_829_3) - 0.01).abs() < 1e-3);
+        assert!(normal_two_sided_p(0.0) > 0.999);
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n) = (n-1)!
+        let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let lg = ln_gamma((n + 1) as f64);
+            assert!((lg - f.ln()).abs() < 1e-10, "n={n}");
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        assert_eq!(gamma_p(2.5, 0.0), 0.0);
+        assert!((gamma_p(1.0, 50.0) - 1.0).abs() < 1e-12);
+        // P(1, x) = 1 - e^{-x}.
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn chi_square_reference_values() {
+        // Critical values: P(X > 3.841) = 0.05 for df=1;
+        // P(X > 5.991) = 0.05 for df=2; P(X > 11.070) = 0.05 for df=5.
+        assert!((chi_square_sf(3.841, 1) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(5.991, 2) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(11.070, 5) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(0.0, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_monotone_decreasing() {
+        let mut last = 1.0;
+        for i in 0..20 {
+            let p = chi_square_sf(i as f64, 4);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+}

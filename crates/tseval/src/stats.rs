@@ -1,0 +1,365 @@
+//! Non-parametric statistical tests, following the analysis protocol of the
+//! paper's Section 4 (and Demšar 2006):
+//!
+//! * pairwise algorithm comparisons over multiple datasets use the
+//!   **Wilcoxon signed-rank test** (the paper uses a 99% confidence level),
+//! * comparisons of several algorithms at once use the **Friedman test**
+//!   followed by the post-hoc **Nemenyi test**, reporting average ranks and
+//!   the critical difference (Figures 6, 8, 9).
+
+use crate::special::{chi_square_sf, normal_two_sided_p};
+
+/// Outcome of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences (`a > b`).
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Number of non-zero differences actually ranked.
+    pub n_effective: usize,
+    /// Normal-approximation z statistic (tie-corrected).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl WilcoxonResult {
+    /// Returns true when the test is significant at confidence `conf`
+    /// (e.g. 0.99 for the paper's level).
+    #[must_use]
+    pub fn significant(&self, conf: f64) -> bool {
+        self.p_value < 1.0 - conf
+    }
+}
+
+/// Wilcoxon signed-rank test on paired samples `a` vs `b`.
+///
+/// Zero differences are dropped (Wilcoxon's original treatment); tied
+/// absolute differences receive average ranks, and the z statistic uses the
+/// tie-corrected variance. With fewer than 2 effective pairs the result is
+/// `p = 1`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "paired samples must align");
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 2 {
+        return WilcoxonResult {
+            w_plus: 0.0,
+            w_minus: 0.0,
+            n_effective: n,
+            z: 0.0,
+            p_value: 1.0,
+        };
+    }
+    // Rank |d| ascending with average ranks for ties.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        diffs[i]
+            .abs()
+            .partial_cmp(&diffs[j].abs())
+            .expect("NaN difference")
+    });
+    let mut ranks = vec![0.0; n];
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && (diffs[order[j + 1]].abs() - diffs[order[i]].abs()).abs() < 1e-12 {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0; // ranks are 1-based
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let w_minus: f64 = diffs
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(d, _)| **d < 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    let w = w_plus.min(w_minus);
+    let z = if var > 0.0 {
+        (w - mean) / var.sqrt()
+    } else {
+        0.0
+    };
+    let _ = diffs.drain(..);
+    WilcoxonResult {
+        w_plus,
+        w_minus,
+        n_effective: n,
+        z,
+        p_value: normal_two_sided_p(z),
+    }
+}
+
+/// Outcome of a Friedman test over `k` algorithms and `n` datasets.
+#[derive(Debug, Clone)]
+pub struct FriedmanResult {
+    /// Average rank per algorithm (lower = better); order matches the
+    /// input rows.
+    pub average_ranks: Vec<f64>,
+    /// Friedman chi-square statistic (tie-adjusted ranks, classic form).
+    pub chi_square: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: usize,
+    /// p-value from the chi-square approximation.
+    pub p_value: f64,
+}
+
+/// Friedman test. `scores[alg][dataset]` holds a *higher-is-better* score
+/// (accuracy, Rand index); ranks are assigned per dataset with rank 1 for
+/// the best algorithm and average ranks on ties.
+///
+/// # Panics
+///
+/// Panics with fewer than 2 algorithms, zero datasets, or ragged rows.
+#[must_use]
+pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
+    let k = scores.len();
+    assert!(k >= 2, "Friedman test needs at least 2 algorithms");
+    let n = scores[0].len();
+    assert!(n >= 1, "Friedman test needs at least 1 dataset");
+    assert!(
+        scores.iter().all(|row| row.len() == n),
+        "all algorithms must cover the same datasets"
+    );
+
+    let mut rank_sums = vec![0.0; k];
+    #[allow(clippy::needless_range_loop)]
+    for d in 0..n {
+        // Rank algorithms on dataset d: best (highest score) gets rank 1.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&i, &j| scores[j][d].partial_cmp(&scores[i][d]).expect("NaN score"));
+        let mut i = 0;
+        while i < k {
+            let mut j = i;
+            while j + 1 < k && (scores[order[j + 1]][d] - scores[order[i]][d]).abs() < 1e-12 {
+                j += 1;
+            }
+            let avg_rank = (i + j + 2) as f64 / 2.0;
+            for &alg in &order[i..=j] {
+                rank_sums[alg] += avg_rank;
+            }
+            i = j + 1;
+        }
+    }
+    let average_ranks: Vec<f64> = rank_sums.iter().map(|s| s / n as f64).collect();
+
+    let kf = k as f64;
+    let nf = n as f64;
+    let sum_r2: f64 = average_ranks.iter().map(|r| r * r).sum();
+    let chi_square = 12.0 * nf / (kf * (kf + 1.0)) * (sum_r2 - kf * (kf + 1.0) * (kf + 1.0) / 4.0);
+    let df = k - 1;
+    FriedmanResult {
+        average_ranks,
+        chi_square,
+        df,
+        p_value: chi_square_sf(chi_square.max(0.0), df),
+    }
+}
+
+/// Critical values `q_0.05` of the studentized range statistic divided by
+/// √2, for `k = 2..=10` algorithms (Demšar 2006, Table 5a).
+const NEMENYI_Q05: [f64; 9] = [
+    1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+];
+
+/// Nemenyi critical difference at the 95% confidence level: two algorithms
+/// differ significantly when their average ranks differ by at least
+/// `CD = q_α √(k(k+1)/(6n))`.
+///
+/// # Panics
+///
+/// Panics for `k < 2`, `k > 10`, or `n == 0`.
+#[must_use]
+pub fn nemenyi_critical_difference(k: usize, n: usize) -> f64 {
+    assert!((2..=10).contains(&k), "Nemenyi table covers k in 2..=10");
+    assert!(n > 0, "need at least one dataset");
+    let q = NEMENYI_Q05[k - 2];
+    q * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
+}
+
+/// Groups algorithms whose average ranks are NOT significantly different —
+/// the "wiggly line" of Figures 6/8/9. Returns, for the rank-sorted order,
+/// index sets of maximal cliques within one critical difference.
+#[must_use]
+pub fn nemenyi_groups(average_ranks: &[f64], cd: f64) -> Vec<Vec<usize>> {
+    let k = average_ranks.len();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&i, &j| {
+        average_ranks[i]
+            .partial_cmp(&average_ranks[j])
+            .expect("NaN rank")
+    });
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for start in 0..k {
+        let lo = average_ranks[order[start]];
+        let mut group = vec![order[start]];
+        for &idx in order.iter().skip(start + 1) {
+            if average_ranks[idx] - lo <= cd {
+                group.push(idx);
+            } else {
+                break;
+            }
+        }
+        // Keep only maximal groups.
+        if group.len() > 1 {
+            let redundant = groups.iter().any(|g| group.iter().all(|x| g.contains(x)));
+            if !redundant {
+                groups.push(group);
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{friedman_test, nemenyi_critical_difference, nemenyi_groups, wilcoxon_signed_rank};
+
+    #[test]
+    fn wilcoxon_detects_consistent_improvement() {
+        // a beats b on every one of 20 datasets by a varying margin.
+        let b: Vec<f64> = (0..20).map(|i| 0.5 + 0.01 * i as f64).collect();
+        let a: Vec<f64> = b
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.02 + 0.001 * i as f64)
+            .collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert_eq!(r.n_effective, 20);
+        assert_eq!(r.w_minus, 0.0);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert!(r.significant(0.99));
+    }
+
+    #[test]
+    fn wilcoxon_no_difference() {
+        let a = vec![0.5, 0.6, 0.7, 0.8];
+        let r = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(r.n_effective, 0);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant(0.95));
+    }
+
+    #[test]
+    fn wilcoxon_symmetric_in_argument_order() {
+        let a = vec![1.0, 3.0, 2.0, 5.0, 4.0, 6.5, 0.5, 2.5];
+        let b = vec![2.0, 1.0, 4.0, 3.0, 6.0, 5.0, 1.5, 2.0];
+        let r1 = wilcoxon_signed_rank(&a, &b);
+        let r2 = wilcoxon_signed_rank(&b, &a);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+        assert!((r1.w_plus - r2.w_minus).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilcoxon_known_example() {
+        // Classic textbook example (n = 10, no ties):
+        // differences ±: W- should be small for a strong effect.
+        let a = vec![
+            125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0,
+        ];
+        let b = vec![
+            110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0,
+        ];
+        let r = wilcoxon_signed_rank(&a, &b);
+        // One zero difference dropped -> n = 9.
+        assert_eq!(r.n_effective, 9);
+        assert_eq!(r.w_plus + r.w_minus, 45.0); // 1+2+…+9
+    }
+
+    #[test]
+    fn friedman_clear_ranking() {
+        // Three algorithms; alg 0 always best, alg 2 always worst.
+        let scores = vec![
+            (0..12).map(|i| 0.9 + 0.001 * i as f64).collect::<Vec<_>>(),
+            (0..12).map(|i| 0.7 + 0.001 * i as f64).collect(),
+            (0..12).map(|i| 0.5 + 0.001 * i as f64).collect(),
+        ];
+        let r = friedman_test(&scores);
+        assert!((r.average_ranks[0] - 1.0).abs() < 1e-12);
+        assert!((r.average_ranks[1] - 2.0).abs() < 1e-12);
+        assert!((r.average_ranks[2] - 3.0).abs() < 1e-12);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn friedman_ties_share_ranks() {
+        let scores = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        let r = friedman_test(&scores);
+        assert!((r.average_ranks[0] - 1.5).abs() < 1e-12);
+        assert!((r.average_ranks[1] - 1.5).abs() < 1e-12);
+        assert!(r.p_value > 0.9);
+    }
+
+    #[test]
+    fn friedman_rank_sum_invariant() {
+        // Average ranks must sum to k(k+1)/2.
+        let scores = vec![
+            vec![0.3, 0.9, 0.1, 0.7],
+            vec![0.6, 0.2, 0.8, 0.4],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.1, 0.8, 0.2, 0.9],
+        ];
+        let r = friedman_test(&scores);
+        let sum: f64 = r.average_ranks.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn nemenyi_cd_reference_value() {
+        // Demšar's example: k = 4, n = 14 → CD ≈ 1.25 at α = 0.05.
+        let cd = nemenyi_critical_difference(4, 14);
+        assert!((cd - 1.25).abs() < 0.02, "{cd}");
+        // More datasets shrink the CD.
+        assert!(nemenyi_critical_difference(4, 48) < cd);
+    }
+
+    #[test]
+    fn nemenyi_groups_connect_close_ranks() {
+        // ranks: A=1.2, B=1.8, C=3.5; CD = 1.0 → {A,B} grouped, C alone.
+        let groups = nemenyi_groups(&[1.2, 1.8, 3.5], 1.0);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![0, 1]);
+        // CD large enough to join everything.
+        let groups = nemenyi_groups(&[1.2, 1.8, 3.5], 5.0);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 algorithms")]
+    fn friedman_rejects_single_algorithm() {
+        let _ = friedman_test(&[vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k in 2..=10")]
+    fn nemenyi_rejects_out_of_table() {
+        let _ = nemenyi_critical_difference(11, 5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal plain-text table rendering for the experiment binaries, so the
+//! regenerated Tables 2–4 print in a shape directly comparable with the
+//! paper.
+
+/// A column-aligned plain-text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len().max(row.len()), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders to a string with column alignment and a separator under the
+    /// header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < cols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimal places — the paper's accuracy precision.
+#[must_use]
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a runtime ratio like the paper's "12.4x".
+#[must_use]
+pub fn fmt_ratio(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{fmt3, fmt_ratio, TextTable};
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.add_row(vec!["short", "1"]);
+        t.add_row(vec!["a-much-longer-name", "2.345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Values align at the same column.
+        let col1 = lines[2].find('1').unwrap();
+        let col2 = lines[3].find('2').unwrap();
+        assert_eq!(col1, col2);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt_ratio(4.42), "4.4x");
+        assert_eq!(fmt_ratio(1558.0), "1558x");
+    }
+}

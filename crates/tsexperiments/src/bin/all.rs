@@ -1,0 +1,75 @@
+//! Runs the entire experiment suite and writes each artifact's output into
+//! a results directory (default `results/`, override with the first CLI
+//! argument) — the one-command reproduction driver behind
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p tsexperiments --bin all [RESULTS_DIR]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+const BINARIES: [&str; 16] = [
+    "table2",
+    "table3",
+    "table4",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10_11",
+    "fig12",
+    "headline",
+    "extended_measures",
+    "feature_based",
+];
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".into())
+        .into();
+    fs::create_dir_all(&out_dir).expect("cannot create results directory");
+
+    // Sibling binaries live next to this driver.
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        let started = Instant::now();
+        eprint!("running {name:<18}… ");
+        let output = Command::new(bin_dir.join(name))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .output();
+        match output {
+            Ok(out) if out.status.success() => {
+                fs::write(out_dir.join(format!("{name}.txt")), &out.stdout).expect("write stdout");
+                fs::write(out_dir.join(format!("{name}.log")), &out.stderr).expect("write stderr");
+                eprintln!("ok ({:.1}s)", started.elapsed().as_secs_f64());
+            }
+            Ok(out) => {
+                eprintln!("FAILED (exit {:?})", out.status.code());
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("FAILED to launch: {e}");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nall artifacts written to {}", out_dir.display());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Extended distance-measure comparison, in the spirit of the broader
+//! evaluations the paper builds on (Ding et al. [19] / Wang et al. [81]:
+//! "9 measures and their variants"; Giusti & Batista [26]: 48 measures).
+//!
+//! Runs 1-NN classification with every measure implemented in this
+//! workspace — ED, DTW, cDTW-5, SBD, plus the elastic/robust extensions
+//! ERP, EDR, LCSS, MSM, and CID — and ranks them with the Friedman/Nemenyi
+//! machinery.
+//!
+//! Expected shape (matching the literature): the elastic measures and SBD
+//! cluster at the top well ahead of ED; no single elastic measure
+//! dominates all others.
+
+use kshape::sbd::Sbd;
+use tsdist::cid::ComplexityInvariantDistance;
+use tsdist::dtw::Dtw;
+use tsdist::edr::Edr;
+use tsdist::erp::Erp;
+use tsdist::lcss::Lcss;
+use tsdist::msm::Msm;
+use tseval::stats::{friedman_test, nemenyi_critical_difference, nemenyi_groups};
+use tseval::tables::{fmt3, TextTable};
+use tsexperiments::dist_eval::{
+    compare_to_baseline, eval_fraction_cdtw, eval_measure, MeasureEval,
+};
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!("extended_measures: {} datasets", collection.len());
+
+    let rows: Vec<MeasureEval> = vec![
+        eval_measure(&collection, &tsdist::EuclideanDistance),
+        eval_measure(&collection, &Dtw::unconstrained()),
+        eval_fraction_cdtw(&collection, 0.05, "cDTW-5"),
+        eval_measure(&collection, &Sbd::new()),
+        eval_measure(&collection, &Erp::default()),
+        eval_measure(&collection, &Edr::default()),
+        eval_measure(&collection, &Lcss::default()),
+        eval_measure(&collection, &Msm::default()),
+        eval_measure(&collection, &ComplexityInvariantDistance),
+    ];
+
+    let ed = rows[0].clone();
+    let mut table = TextTable::new(vec!["Measure", ">", "=", "<", "vs ED", "Avg Accuracy"]);
+    for row in &rows {
+        if row.name == ed.name {
+            table.add_row(vec![
+                row.name.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "baseline".into(),
+                fmt3(row.mean_accuracy()),
+            ]);
+            continue;
+        }
+        let cmp = compare_to_baseline(&row.accuracies, &ed.accuracies);
+        table.add_row(vec![
+            row.name.clone(),
+            cmp.wins.to_string(),
+            cmp.ties.to_string(),
+            cmp.losses.to_string(),
+            if cmp.better {
+                "better"
+            } else if cmp.worse {
+                "worse"
+            } else {
+                "ns"
+            }
+            .to_string(),
+            fmt3(row.mean_accuracy()),
+        ]);
+    }
+    println!("Extended 1-NN comparison over all implemented measures");
+    println!("{}", table.render());
+
+    // Friedman/Nemenyi over the full panel.
+    let names: Vec<String> = rows.iter().map(|r| r.name.clone()).collect();
+    let scores: Vec<Vec<f64>> = rows.iter().map(|r| r.accuracies.clone()).collect();
+    let fr = friedman_test(&scores);
+    let cd = nemenyi_critical_difference(rows.len(), collection.len());
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| {
+        fr.average_ranks[a]
+            .partial_cmp(&fr.average_ranks[b])
+            .unwrap()
+    });
+    println!("Average ranks (lower is better; Nemenyi CD = {cd:.3}):");
+    for &i in &order {
+        println!("  {:<8} {:.2}", names[i], fr.average_ranks[i]);
+    }
+    for group in nemenyi_groups(&fr.average_ranks, cd) {
+        let members: Vec<&str> = group.iter().map(|&i| names[i].as_str()).collect();
+        println!("  not significantly different: {}", members.join(" ~ "));
+    }
+}

@@ -1,0 +1,156 @@
+//! Raw-based vs feature-based vs model-based clustering — the Section 2.4
+//! taxonomy put to the test.
+//!
+//! The paper argues for *raw-based* methods because "feature- and
+//! model-based approaches are usually domain-dependent and applications on
+//! different domains require that we modify the features or models". This
+//! experiment clusters every dataset of the collection three ways:
+//!
+//! * **raw**: k-Shape on the z-normalized series,
+//! * **feature-based**: k-means (ED) on standardized characteristic
+//!   feature vectors (reference [82]'s paradigm),
+//! * **model-based**: k-means (ED) on AR(8) coefficient vectors
+//!   (reference [38]'s paradigm),
+//!
+//! and compares the Rand indices. Expected shape: the fixed feature/model
+//! batteries work on *some* families and collapse on others, while
+//! raw-based k-Shape is consistent — which is exactly the
+//! domain-dependence argument.
+
+use tscluster::kmeans::{kmeans, KMeansConfig};
+use tsdata::features::{ar_coefficients, feature_vector, standardize_features};
+use tsdist::EuclideanDistance;
+use tseval::rand_index::rand_index;
+use tseval::tables::{fmt3, TextTable};
+use tsexperiments::cluster_eval::{evaluate_method, Method};
+use tsexperiments::dist_eval::compare_to_baseline;
+use tsexperiments::ExperimentConfig;
+
+fn cluster_on_vectors(
+    vectors: &[Vec<f64>],
+    truth: &[usize],
+    k: usize,
+    cfg: &ExperimentConfig,
+) -> f64 {
+    let mut acc = 0.0;
+    for r in 0..cfg.runs {
+        let seed = cfg.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9);
+        let result = kmeans(
+            vectors,
+            &EuclideanDistance,
+            &KMeansConfig {
+                k,
+                max_iter: cfg.max_iter,
+                seed,
+            },
+        );
+        acc += rand_index(&result.labels, truth);
+    }
+    acc / cfg.runs as f64
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!(
+        "feature_based: {} datasets, {} runs",
+        collection.len(),
+        cfg.runs
+    );
+
+    let raw = evaluate_method(Method::KShape, &collection, &cfg);
+    eprintln!("  k-Shape done in {:.1}s", raw.seconds);
+
+    let mut feat_scores = Vec::with_capacity(collection.len());
+    let mut model_scores = Vec::with_capacity(collection.len());
+    for split in &collection {
+        let fused = split.fused();
+        let k = split.n_classes().max(1).min(fused.n_series());
+        let features = standardize_features(
+            &fused
+                .series
+                .iter()
+                .map(|s| feature_vector(s))
+                .collect::<Vec<_>>(),
+        );
+        feat_scores.push(cluster_on_vectors(&features, &fused.labels, k, &cfg));
+        let models = standardize_features(
+            &fused
+                .series
+                .iter()
+                .map(|s| ar_coefficients(s, 8))
+                .collect::<Vec<_>>(),
+        );
+        model_scores.push(cluster_on_vectors(&models, &fused.labels, k, &cfg));
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mut table = TextTable::new(vec![
+        "Approach",
+        "Rand Index",
+        ">raw",
+        "=",
+        "<raw",
+        "verdict",
+    ]);
+    table.add_row(vec![
+        "raw (k-Shape)".to_string(),
+        fmt3(raw.mean_rand()),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "baseline".into(),
+    ]);
+    for (name, scores) in [
+        ("feature-based (stats)", &feat_scores),
+        ("model-based (AR(8))", &model_scores),
+    ] {
+        let cmp = compare_to_baseline(scores, &raw.rand_indices);
+        table.add_row(vec![
+            name.to_string(),
+            fmt3(mean(scores)),
+            cmp.wins.to_string(),
+            cmp.ties.to_string(),
+            cmp.losses.to_string(),
+            if cmp.worse {
+                "significantly worse"
+            } else if cmp.better {
+                "significantly better"
+            } else {
+                "not significant"
+            }
+            .to_string(),
+        ]);
+    }
+    println!("Raw-based vs feature-based vs model-based clustering (paper §2.4)");
+    println!("{}", table.render());
+
+    // Per-family breakdown exposing the domain dependence.
+    println!("Per-family mean Rand (feature-based) — the domain-dependence signature:");
+    let mut families: Vec<&str> = Vec::new();
+    for d in &collection {
+        let family = d.name().split('-').next().unwrap_or("");
+        if !families.contains(&family) {
+            families.push(family);
+        }
+    }
+    for family in families {
+        let scores: Vec<f64> = collection
+            .iter()
+            .zip(feat_scores.iter())
+            .filter(|(d, _)| d.name().starts_with(family))
+            .map(|(_, &s)| s)
+            .collect();
+        let raw_scores: Vec<f64> = collection
+            .iter()
+            .zip(raw.rand_indices.iter())
+            .filter(|(d, _)| d.name().starts_with(family))
+            .map(|(_, &s)| s)
+            .collect();
+        println!(
+            "  {family:<13} features {:.3}   raw {:.3}",
+            mean(&scores),
+            mean(&raw_scores)
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Regenerates **Figure 12** (Appendix B): runtime of k-Shape vs k-AVG+ED
+//! on the CBF dataset, (a) varying the number of series `n` at fixed
+//! length `m = 128`, and (b) varying `m` at fixed `n`.
+//!
+//! Paper expectations: both methods scale linearly in `n` (k-Shape staying
+//! within a constant factor, helped by needing fewer iterations); k-Shape's
+//! O(m²)/O(m³) centroid cost shows once `m` grows toward `n`.
+//!
+//! Scales are reduced from the paper's 100k×128 to laptop sizes; override
+//! with `KSHAPE_FIG12_MAX_N` / `KSHAPE_FIG12_N` if desired.
+
+use std::time::Instant;
+
+use kshape::{KShape, KShapeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tscluster::kmeans::{kmeans, KMeansConfig};
+use tsdata::generators::cbf;
+use tsdata::normalize::z_normalize_in_place;
+use tsdist::EuclideanDistance;
+use tseval::tables::TextTable;
+
+fn cbf_series(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_class = n.div_ceil(3);
+    let mut out = Vec::with_capacity(n);
+    'outer: for class in 0..3 {
+        for _ in 0..per_class {
+            if out.len() == n {
+                break 'outer;
+            }
+            let mut s = cbf::generate_one(class, m, &mut rng);
+            z_normalize_in_place(&mut s);
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn time_methods(series: &[Vec<f64>], max_iter: usize) -> (f64, f64) {
+    let t = Instant::now();
+    let _ = kmeans(
+        series,
+        &EuclideanDistance,
+        &KMeansConfig {
+            k: 3,
+            max_iter,
+            seed: 1,
+        },
+    );
+    let kavg = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _ = KShape::new(KShapeConfig {
+        k: 3,
+        max_iter,
+        seed: 1,
+        ..Default::default()
+    })
+    .fit(series);
+    let kshape = t.elapsed().as_secs_f64();
+    (kavg, kshape)
+}
+
+fn env(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let max_iter = env("KSHAPE_MAX_ITER", 30);
+    let max_n = env("KSHAPE_FIG12_MAX_N", 9000);
+    let fixed_n = env("KSHAPE_FIG12_N", 1800);
+
+    println!("Figure 12(a) — runtime vs number of series (m = 128, k = 3)");
+    let mut table = TextTable::new(vec!["n", "k-AVG+ED (s)", "k-Shape (s)", "ratio"]);
+    let mut n = max_n / 10;
+    while n <= max_n {
+        let series = cbf_series(n, 128, 7);
+        let (kavg, kshape) = time_methods(&series, max_iter);
+        table.add_row(vec![
+            n.to_string(),
+            format!("{kavg:.3}"),
+            format!("{kshape:.3}"),
+            format!("{:.1}x", kshape / kavg.max(1e-9)),
+        ]);
+        eprintln!("  n = {n} done");
+        n += max_n / 10;
+    }
+    println!("{}", table.render());
+
+    println!("Figure 12(b) — runtime vs series length (n = {fixed_n}, k = 3)");
+    let mut table = TextTable::new(vec!["m", "k-AVG+ED (s)", "k-Shape (s)", "ratio"]);
+    for m in [64usize, 128, 256, 512, 1024] {
+        let series = cbf_series(fixed_n, m, 7);
+        let (kavg, kshape) = time_methods(&series, max_iter);
+        table.add_row(vec![
+            m.to_string(),
+            format!("{kavg:.3}"),
+            format!("{kshape:.3}"),
+            format!("{:.1}x", kshape / kavg.max(1e-9)),
+        ]);
+        eprintln!("  m = {m} done");
+    }
+    println!("{}", table.render());
+    println!("Expected shape: linear growth in n for both; super-linear in m for k-Shape");
+    println!("(its refinement step is O(m^2)/O(m^3)) once m approaches n.");
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Figure 3**: how the cross-correlation normalizations
+//! (`NCCb` without z-normalization, `NCCu` and `NCCc` with it) change where
+//! the cross-correlation sequence of two *aligned* series peaks.
+//!
+//! The paper's example uses m = 1024 aligned sequences; the correct answer
+//! is "no shifting required", i.e. a peak at lag 0 (index 1024 in the
+//! paper's 1-based indexing). NCCb without z-normalization is dragged off
+//! by amplitude/offset, NCCu is dragged off by its small-overlap edge
+//! amplification, and only NCCc with z-normalization finds lag 0.
+
+use kshape::ncc::{ncc, NccVariant};
+use tsdata::normalize::z_normalize;
+
+fn peak(seq: &[f64], m: usize) -> (isize, f64) {
+    let (idx, &val) = seq
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
+        .expect("non-empty");
+    (idx as isize - (m as isize - 1), val)
+}
+
+fn main() {
+    let m = 1024usize;
+    // Shared shape with a negative baseline; x and y are aligned but differ
+    // in amplitude and offset plus independent measurement noise — exactly
+    // the distortions z-normalization is meant to remove.
+    let mut state = 0x5ADE_u64;
+    let mut noise = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.2
+    };
+    let shape: Vec<f64> = (0..m)
+        .map(|i| {
+            let t = i as f64 / m as f64;
+            (2.0 * std::f64::consts::TAU * t).sin() + 0.4 * (5.0 * std::f64::consts::TAU * t).sin()
+        })
+        .collect();
+    let x: Vec<f64> = shape.iter().map(|v| 0.5 * v - 2.0 + noise()).collect();
+    let y: Vec<f64> = shape.iter().map(|v| 6.0 * v + 30.0 + noise()).collect();
+
+    let zx = z_normalize(&x);
+    let zy = z_normalize(&y);
+
+    println!("Figure 3 — cross-correlation normalizations (m = {m}, sequences aligned)");
+    println!("correct answer: peak at lag 0 (paper's index {m})\n");
+
+    let (lag_b, val) = peak(&ncc(&x, &y, NccVariant::Biased), m);
+    println!(
+        "(b) NCCb, no z-normalization:  peak at lag {lag_b:+5} (index {:4}), value {val:10.3}",
+        lag_b + m as isize
+    );
+    let (lag_u, val) = peak(&ncc(&zx, &zy, NccVariant::Unbiased), m);
+    println!(
+        "(c) NCCu, z-normalized:        peak at lag {lag_u:+5} (index {:4}), value {val:10.3}",
+        lag_u + m as isize
+    );
+    let (lag_c, val) = peak(&ncc(&zx, &zy, NccVariant::Coefficient), m);
+    println!(
+        "(d) NCCc, z-normalized:        peak at lag {lag_c:+5} (index {:4}), value {val:10.3}",
+        lag_c + m as isize
+    );
+    assert_eq!(lag_c, 0, "NCCc must locate the true (zero) shift");
+    println!();
+    if lag_b != 0 {
+        println!("NCCb without z-normalization mislocated the shift by {lag_b} samples.");
+    }
+    if lag_u != 0 {
+        println!("NCCu mislocated the shift by {lag_u} samples (edge-overlap amplification).");
+    }
+    println!("NCCc (the SBD normalization) is bounded in [-1, 1] and recovers the alignment.");
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Figure 5**: per-dataset scatter of SBD's 1-NN accuracy
+//! against (a) ED and (b) DTW. Points above the diagonal favor SBD.
+
+use kshape::sbd::Sbd;
+use tsdist::dtw::Dtw;
+use tseval::tables::TextTable;
+use tsexperiments::dist_eval::eval_measure;
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!("fig5: {} datasets", collection.len());
+
+    let ed = eval_measure(&collection, &tsdist::EuclideanDistance);
+    let dtw = eval_measure(&collection, &Dtw::unconstrained());
+    let sbd = eval_measure(&collection, &Sbd::new());
+
+    let mut table = TextTable::new(vec!["dataset", "ED", "DTW", "SBD", "SBD>ED", "SBD>DTW"]);
+    let (mut above_ed, mut above_dtw) = (0usize, 0usize);
+    for (i, split) in collection.iter().enumerate() {
+        let (e, d, s) = (ed.accuracies[i], dtw.accuracies[i], sbd.accuracies[i]);
+        if s > e {
+            above_ed += 1;
+        }
+        if s > d {
+            above_dtw += 1;
+        }
+        table.add_row(vec![
+            split.name().to_string(),
+            format!("{e:.3}"),
+            format!("{d:.3}"),
+            format!("{s:.3}"),
+            if s > e {
+                "+"
+            } else if s < e {
+                "-"
+            } else {
+                "="
+            }
+            .to_string(),
+            if s > d {
+                "+"
+            } else if s < d {
+                "-"
+            } else {
+                "="
+            }
+            .to_string(),
+        ]);
+    }
+    println!("Figure 5 — per-dataset 1-NN accuracy scatter data");
+    println!("{}", table.render());
+    println!(
+        "(a) SBD above the ED diagonal on {above_ed}/{} datasets",
+        collection.len()
+    );
+    println!(
+        "(b) SBD above the DTW diagonal on {above_dtw}/{} datasets",
+        collection.len()
+    );
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Figure 6**: average rank of ED, SBD, cDTW-5, and cDTW-opt
+//! across datasets, with the Friedman test and the Nemenyi critical
+//! difference (the "wiggly line" connects measures that do not differ
+//! significantly).
+//!
+//! Paper expectation: cDTW-opt ranks first (~1.96 there), cDTW-5 and SBD
+//! follow within one critical difference of each other, and ED ranks last
+//! and significantly worse.
+
+use tseval::stats::{friedman_test, nemenyi_critical_difference, nemenyi_groups};
+use tsexperiments::dist_eval::{eval_cdtw_opt, eval_fraction_cdtw, eval_measure};
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!("fig6: {} datasets", collection.len());
+
+    let ed = eval_measure(&collection, &tsdist::EuclideanDistance);
+    let sbd = eval_measure(&collection, &kshape::sbd::Sbd::new());
+    let cdtw5 = eval_fraction_cdtw(&collection, 0.05, "cDTW-5");
+    let (cdtw_opt, windows, _) = eval_cdtw_opt(&collection, false);
+
+    let names = ["cDTW-opt", "cDTW-5", "SBD", "ED"];
+    let scores = vec![
+        cdtw_opt.accuracies.clone(),
+        cdtw5.accuracies.clone(),
+        sbd.accuracies.clone(),
+        ed.accuracies.clone(),
+    ];
+    let fr = friedman_test(&scores);
+    let cd = nemenyi_critical_difference(names.len(), collection.len());
+
+    println!("Figure 6 — ranking of distance measures");
+    let mut order: Vec<usize> = (0..names.len()).collect();
+    order.sort_by(|&a, &b| {
+        fr.average_ranks[a]
+            .partial_cmp(&fr.average_ranks[b])
+            .unwrap()
+    });
+    for &i in &order {
+        println!("  {:<9} average rank {:.2}", names[i], fr.average_ranks[i]);
+    }
+    println!(
+        "Friedman chi2 = {:.2} (df {}), p = {:.4}",
+        fr.chi_square, fr.df, fr.p_value
+    );
+    println!("Nemenyi critical difference (alpha 0.05): {cd:.3}");
+    for group in nemenyi_groups(&fr.average_ranks, cd) {
+        let members: Vec<&str> = group.iter().map(|&i| names[i]).collect();
+        println!("  not significantly different: {}", members.join(" ~ "));
+    }
+    let mean_window_pct: f64 = collection
+        .iter()
+        .zip(windows.iter())
+        .map(|(split, &w)| 100.0 * w as f64 / split.train.series_len() as f64)
+        .sum::<f64>()
+        / collection.len() as f64;
+    println!(
+        "average tuned warping window: {mean_window_pct:.1}% of series length \
+         (paper: 4.5%)"
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Figure 7**: per-dataset scatter of k-Shape's Rand index
+//! against (a) KSC and (b) k-DBA. Points above the diagonal favor k-Shape.
+
+use tseval::tables::TextTable;
+use tsexperiments::cluster_eval::{evaluate_method, Method};
+use tsexperiments::dist_eval::compare_to_baseline;
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!("fig7: {} datasets, {} runs", collection.len(), cfg.runs);
+
+    let kshape = evaluate_method(Method::KShape, &collection, &cfg);
+    eprintln!("  k-Shape done in {:.1}s", kshape.seconds);
+    let ksc = evaluate_method(Method::Ksc, &collection, &cfg);
+    eprintln!("  KSC done in {:.1}s", ksc.seconds);
+    let kdba = evaluate_method(Method::KDba, &collection, &cfg);
+    eprintln!("  k-DBA done in {:.1}s", kdba.seconds);
+
+    let mut table = TextTable::new(vec!["dataset", "KSC", "k-DBA", "k-Shape"]);
+    let (mut above_ksc, mut above_kdba) = (0usize, 0usize);
+    for (i, split) in collection.iter().enumerate() {
+        if kshape.rand_indices[i] > ksc.rand_indices[i] {
+            above_ksc += 1;
+        }
+        if kshape.rand_indices[i] > kdba.rand_indices[i] {
+            above_kdba += 1;
+        }
+        table.add_row(vec![
+            split.name().to_string(),
+            format!("{:.3}", ksc.rand_indices[i]),
+            format!("{:.3}", kdba.rand_indices[i]),
+            format!("{:.3}", kshape.rand_indices[i]),
+        ]);
+    }
+    println!("Figure 7 — per-dataset Rand index scatter data");
+    println!("{}", table.render());
+    println!(
+        "(a) k-Shape above the KSC diagonal on {above_ksc}/{} datasets",
+        collection.len()
+    );
+    println!(
+        "(b) k-Shape above the k-DBA diagonal on {above_kdba}/{} datasets",
+        collection.len()
+    );
+    let vs_ksc = compare_to_baseline(&kshape.rand_indices, &ksc.rand_indices);
+    let vs_kdba = compare_to_baseline(&kshape.rand_indices, &kdba.rand_indices);
+    println!(
+        "Wilcoxon: k-Shape vs KSC p = {:.4} (better: {}); vs k-DBA p = {:.4} (better: {})",
+        vs_ksc.p_value, vs_ksc.better, vs_kdba.p_value, vs_kdba.better
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Figure 8**: average ranks of the k-means variants
+//! (k-Shape, k-AVG+ED, KSC, k-DBA) with the Nemenyi critical difference.
+//!
+//! Paper expectation: k-Shape ranks first (~1.89 there) and is
+//! significantly better; KSC, k-DBA, and k-AVG+ED share a group.
+
+use tseval::stats::{friedman_test, nemenyi_critical_difference, nemenyi_groups};
+use tsexperiments::cluster_eval::{evaluate_method, DistKind, Method};
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!("fig8: {} datasets, {} runs", collection.len(), cfg.runs);
+
+    let methods = [
+        Method::KShape,
+        Method::KAvg(DistKind::Ed),
+        Method::Ksc,
+        Method::KDba,
+    ];
+    let names: Vec<String> = methods.iter().map(|m| m.label()).collect();
+    let scores: Vec<Vec<f64>> = methods
+        .iter()
+        .map(|&m| {
+            let e = evaluate_method(m, &collection, &cfg);
+            eprintln!("  {} done in {:.1}s", e.name, e.seconds);
+            e.rand_indices
+        })
+        .collect();
+
+    let fr = friedman_test(&scores);
+    let cd = nemenyi_critical_difference(methods.len(), collection.len());
+
+    println!("Figure 8 — ranking of k-means variants");
+    let mut order: Vec<usize> = (0..methods.len()).collect();
+    order.sort_by(|&a, &b| {
+        fr.average_ranks[a]
+            .partial_cmp(&fr.average_ranks[b])
+            .unwrap()
+    });
+    for &i in &order {
+        println!("  {:<10} average rank {:.2}", names[i], fr.average_ranks[i]);
+    }
+    println!(
+        "Friedman chi2 = {:.2} (df {}), p = {:.4}",
+        fr.chi_square, fr.df, fr.p_value
+    );
+    println!("Nemenyi critical difference (alpha 0.05): {cd:.3}");
+    for group in nemenyi_groups(&fr.average_ranks, cd) {
+        let members: Vec<&str> = group.iter().map(|&i| names[i].as_str()).collect();
+        println!("  not significantly different: {}", members.join(" ~ "));
+    }
+}

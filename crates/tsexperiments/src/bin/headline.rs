@@ -1,0 +1,80 @@
+//! Regenerates the paper's **§1 / §5.1 ECG headline anecdote**: on the
+//! phase-shift-dominated ECG dataset,
+//!
+//! * SBD's 1-NN accuracy beats cDTW's decisively (paper: 98.9% vs 79.7%),
+//! * k-Shape's Rand index beats PAM+cDTW's decisively (paper: 84% vs 53%).
+//!
+//! The synthetic ECG family reproduces that regime: two beat morphologies
+//! whose members differ mainly by a global phase shift.
+
+use kshape::sbd::Sbd;
+use kshape::{KShape, KShapeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tscluster::matrix::DissimilarityMatrix;
+use tscluster::pam::pam;
+use tsdata::collection::split_alternating;
+use tsdata::generators::{ecg, GenParams};
+use tsdist::dtw::Dtw;
+use tsdist::nn::one_nn_accuracy;
+use tseval::rand_index::rand_index;
+
+fn main() {
+    // Strongly out-of-phase ECG data, the paper's motivating regime.
+    let params = GenParams {
+        n_per_class: 40,
+        len: 128,
+        noise: 0.25,
+        max_shift_frac: 0.3,
+        amp_jitter: 1.4,
+    };
+    let mut rng = StdRng::seed_from_u64(0xEC6);
+    let mut data = ecg::generate(&params, &mut rng);
+    data.z_normalize();
+    let mut split = split_alternating(data);
+    split.z_normalize();
+
+    println!("ECG headline experiment (phase-shifted two-class beats)\n");
+
+    // --- distance measures: 1-NN accuracy ---
+    let sbd_acc = one_nn_accuracy(&Sbd::new(), &split.train, &split.test);
+    let w = (0.05 * params.len as f64).round() as usize;
+    let cdtw_acc = one_nn_accuracy(&Dtw::with_window(w), &split.train, &split.test);
+    println!(
+        "1-NN accuracy:  SBD {:.1}%   cDTW-5 {:.1}%   (paper: 98.9% vs 79.7%)",
+        100.0 * sbd_acc,
+        100.0 * cdtw_acc
+    );
+    assert!(
+        sbd_acc >= cdtw_acc,
+        "SBD must not lose to cDTW on phase-shifted ECG data"
+    );
+
+    // --- clustering: k-Shape vs PAM+cDTW ---
+    let fused = split.fused();
+    let kshape = KShape::new(KShapeConfig {
+        k: 2,
+        seed: 0xEC6,
+        max_iter: 50,
+        ..Default::default()
+    })
+    .fit(&fused.series);
+    let kshape_rand = rand_index(&kshape.labels, &fused.labels);
+
+    let matrix = DissimilarityMatrix::compute(&fused.series, &Dtw::with_window(w));
+    let pam_result = pam(&matrix, 2, 100);
+    let pam_rand = rand_index(&pam_result.labels, &fused.labels);
+
+    println!(
+        "Rand index:     k-Shape {:.1}%   PAM+cDTW {:.1}%   (paper: 84% vs 53%)",
+        100.0 * kshape_rand,
+        100.0 * pam_rand
+    );
+    assert!(
+        kshape_rand >= pam_rand,
+        "k-Shape must not lose to PAM+cDTW on phase-shifted ECG data"
+    );
+    println!("\nBoth headline comparisons reproduce: SBD/k-Shape dominate on");
+    println!("similar-but-out-of-phase sequences, where a linear drift beats an");
+    println!("expensive non-linear alignment.");
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Table 2**: 1-NN accuracy and runtime of every distance
+//! measure against the ED baseline over the 48-dataset collection.
+//!
+//! Paper expectations to check against the output:
+//! * every measure beats ED with statistical significance except that
+//!   SBD/ED margins can be narrow on warped families,
+//! * constrained DTW ≥ unconstrained DTW,
+//! * SBD runs within a small factor of ED while DTW variants are orders of
+//!   magnitude slower, and `SBD-NoFFT` ≫ `SBD-NoPow2` ≥ `SBD`.
+
+use tseval::tables::{fmt3, fmt_ratio, TextTable};
+use tsexperiments::dist_eval::{compare_to_baseline, table2_sweep};
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!(
+        "table2: {} datasets, size_factor {}",
+        collection.len(),
+        cfg.size_factor
+    );
+
+    let (rows, ed_index) = table2_sweep(&collection);
+    let ed = rows[ed_index].clone();
+
+    let mut table = TextTable::new(vec![
+        "Distance Measure",
+        ">",
+        "=",
+        "<",
+        "Better",
+        "Avg Accuracy",
+        "Runtime vs ED",
+    ]);
+    for row in &rows {
+        if row.name == ed.name {
+            table.add_row(vec![
+                row.name.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                fmt3(row.mean_accuracy()),
+                "1.0x".into(),
+            ]);
+            continue;
+        }
+        let cmp = compare_to_baseline(&row.accuracies, &ed.accuracies);
+        table.add_row(vec![
+            row.name.clone(),
+            cmp.wins.to_string(),
+            cmp.ties.to_string(),
+            cmp.losses.to_string(),
+            if cmp.better {
+                "yes".to_string()
+            } else if cmp.worse {
+                "WORSE".to_string()
+            } else {
+                "no".to_string()
+            },
+            fmt3(row.mean_accuracy()),
+            fmt_ratio(row.seconds / ed.seconds.max(1e-9)),
+        ]);
+    }
+    println!("Table 2 — comparison of distance measures (baseline: ED)");
+    println!("{}", table.render());
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Table 3**: Rand index and runtime of the scalable
+//! k-means-family methods against the `k-AVG+ED` baseline.
+//!
+//! Paper expectations: only k-Shape beats k-AVG+ED with significance;
+//! k-AVG+DTW is significantly *worse*; k-Shape stays within ~an order of
+//! magnitude of k-AVG+ED while k-DBA and KSC are far slower.
+
+use tseval::tables::{fmt3, fmt_ratio, TextTable};
+use tsexperiments::cluster_eval::{evaluate_method, table3_methods};
+use tsexperiments::dist_eval::compare_to_baseline;
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!(
+        "table3: {} datasets, {} runs, max_iter {}",
+        collection.len(),
+        cfg.runs,
+        cfg.max_iter
+    );
+
+    let methods = table3_methods();
+    let evals: Vec<_> = methods
+        .iter()
+        .map(|&m| {
+            let e = evaluate_method(m, &collection, &cfg);
+            eprintln!("  {} done in {:.1}s", e.name, e.seconds);
+            e
+        })
+        .collect();
+    let baseline = evals
+        .iter()
+        .find(|e| e.name == "k-AVG+ED")
+        .expect("baseline present")
+        .clone();
+
+    let mut table = TextTable::new(vec![
+        "Algorithm",
+        ">",
+        "=",
+        "<",
+        "Better",
+        "Worse",
+        "Rand Index",
+        "Runtime vs k-AVG+ED",
+    ]);
+    for e in &evals {
+        if e.name == baseline.name {
+            table.add_row(vec![
+                e.name.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                fmt3(e.mean_rand()),
+                "1.0x".into(),
+            ]);
+            continue;
+        }
+        let cmp = compare_to_baseline(&e.rand_indices, &baseline.rand_indices);
+        table.add_row(vec![
+            e.name.clone(),
+            cmp.wins.to_string(),
+            cmp.ties.to_string(),
+            cmp.losses.to_string(),
+            if cmp.better { "yes" } else { "no" }.to_string(),
+            if cmp.worse { "yes" } else { "no" }.to_string(),
+            fmt3(e.mean_rand()),
+            fmt_ratio(e.seconds / baseline.seconds.max(1e-9)),
+        ]);
+    }
+    println!("Table 3 — k-means variants vs k-AVG+ED");
+    println!("{}", table.render());
+}

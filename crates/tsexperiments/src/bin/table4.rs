@@ -1,0 +1,56 @@
+//! Regenerates **Table 4**: Rand index of the non-scalable methods
+//! (hierarchical, spectral, PAM) against the `k-AVG+ED` baseline.
+//!
+//! Paper expectations: all hierarchical variants and S+ED/S+cDTW lose to
+//! k-AVG+ED with significance; PAM+cDTW, PAM+SBD, and S+SBD beat it;
+//! k-Shape remains the reference point (printed last for context).
+
+use tseval::tables::{fmt3, TextTable};
+use tsexperiments::cluster_eval::{evaluate_method, table4_methods, DistKind, Method};
+use tsexperiments::dist_eval::compare_to_baseline;
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let collection = cfg.collection();
+    eprintln!(
+        "table4: {} datasets, {} runs (stochastic methods), {} threads",
+        collection.len(),
+        cfg.runs,
+        cfg.threads
+    );
+
+    let baseline = evaluate_method(Method::KAvg(DistKind::Ed), &collection, &cfg);
+    let kshape = evaluate_method(Method::KShape, &collection, &cfg);
+
+    let mut table = TextTable::new(vec![
+        "Algorithm",
+        ">",
+        "=",
+        "<",
+        "Better",
+        "Worse",
+        "Rand Index",
+    ]);
+    for method in table4_methods() {
+        let e = evaluate_method(method, &collection, &cfg);
+        eprintln!("  {} done in {:.1}s", e.name, e.seconds);
+        let cmp = compare_to_baseline(&e.rand_indices, &baseline.rand_indices);
+        table.add_row(vec![
+            e.name.clone(),
+            cmp.wins.to_string(),
+            cmp.ties.to_string(),
+            cmp.losses.to_string(),
+            if cmp.better { "yes" } else { "no" }.to_string(),
+            if cmp.worse { "yes" } else { "no" }.to_string(),
+            fmt3(e.mean_rand()),
+        ]);
+    }
+    println!("Table 4 — hierarchical, spectral, and k-medoids variants vs k-AVG+ED");
+    println!("{}", table.render());
+    println!(
+        "Context: k-AVG+ED Rand {}  |  k-Shape Rand {}",
+        fmt3(baseline.mean_rand()),
+        fmt3(kshape.mean_rand())
+    );
+}

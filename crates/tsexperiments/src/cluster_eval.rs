@@ -1,0 +1,349 @@
+//! Clustering evaluation machinery (Tables 3–4, Figures 7, 8, 9).
+//!
+//! Every method clusters the *fused* train+test half of each dataset with
+//! `k` set to the true class count (the paper's protocol) and is scored
+//! with the Rand index. Stochastic methods average over several random
+//! restarts; hierarchical and PAM are deterministic and run once.
+
+use std::time::Instant;
+
+use kshape::sbd::Sbd;
+use kshape::{KShape, KShapeConfig};
+use tscluster::dba::{kdba, KDbaConfig};
+use tscluster::hierarchical::{hierarchical_cluster, Linkage};
+use tscluster::kmeans::{kmeans, KMeansConfig};
+use tscluster::ksc::{ksc, KscConfig};
+use tscluster::matrix::DissimilarityMatrix;
+use tscluster::pam::pam;
+use tscluster::spectral::{spectral_cluster, SpectralConfig};
+use tsdata::dataset::SplitDataset;
+use tsdist::dtw::Dtw;
+use tsdist::Distance;
+use tseval::rand_index::rand_index;
+
+use crate::config::ExperimentConfig;
+use crate::variants::kshape_dtw;
+
+/// Distance choices shared by several method families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistKind {
+    /// Euclidean distance.
+    Ed,
+    /// Constrained DTW with a 5% Sakoe–Chiba window (the paper's choice
+    /// for non-scalable methods; see Table 1's footnote).
+    Cdtw5,
+    /// Unconstrained DTW.
+    Dtw,
+    /// Shape-based distance.
+    Sbd,
+}
+
+impl DistKind {
+    /// Table label fragment.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DistKind::Ed => "ED",
+            DistKind::Cdtw5 => "cDTW",
+            DistKind::Dtw => "DTW",
+            DistKind::Sbd => "SBD",
+        }
+    }
+
+    fn make(self, series_len: usize) -> Box<dyn Distance> {
+        match self {
+            DistKind::Ed => Box::new(tsdist::EuclideanDistance),
+            DistKind::Cdtw5 => Box::new(Dtw::with_window_fraction(0.05, series_len)),
+            DistKind::Dtw => Box::new(Dtw::unconstrained()),
+            DistKind::Sbd => Box::new(Sbd::new()),
+        }
+    }
+}
+
+/// Every clustering method of Tables 3 and 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// k-means with arithmetic-mean centroids and the given distance.
+    KAvg(DistKind),
+    /// The paper's k-Shape.
+    KShape,
+    /// k-Shape with DTW assignment (ablation row of Table 3).
+    KShapeDtw,
+    /// k-means with DTW + DBA centroids.
+    KDba,
+    /// K-Spectral Centroid clustering.
+    Ksc,
+    /// Partitioning Around Medoids with the given distance.
+    Pam(DistKind),
+    /// Agglomerative hierarchical clustering.
+    Hierarchical(Linkage, DistKind),
+    /// Normalized spectral clustering.
+    Spectral(DistKind),
+}
+
+impl Method {
+    /// Table label, matching the paper's naming.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Method::KAvg(d) => format!("k-AVG+{}", d.label()),
+            Method::KShape => "k-Shape".into(),
+            Method::KShapeDtw => "k-Shape+DTW".into(),
+            Method::KDba => "k-DBA".into(),
+            Method::Ksc => "KSC".into(),
+            Method::Pam(d) => format!("PAM+{}", d.label()),
+            Method::Hierarchical(l, d) => format!("{}+{}", l.short_name(), d.label()),
+            Method::Spectral(d) => format!("S+{}", d.label()),
+        }
+    }
+
+    /// Whether repeated runs differ (stochastic initialization).
+    #[must_use]
+    pub fn stochastic(self) -> bool {
+        !matches!(self, Method::Pam(_) | Method::Hierarchical(_, _))
+    }
+}
+
+/// Per-method evaluation outcome across the collection.
+#[derive(Debug, Clone)]
+pub struct MethodEval {
+    /// Method label.
+    pub name: String,
+    /// Mean Rand index per dataset (averaged over restarts where
+    /// stochastic).
+    pub rand_indices: Vec<f64>,
+    /// Total CPU seconds across the collection and restarts.
+    pub seconds: f64,
+}
+
+impl MethodEval {
+    /// Mean Rand index across datasets (the "Rand Index" column).
+    #[must_use]
+    pub fn mean_rand(&self) -> f64 {
+        if self.rand_indices.is_empty() {
+            return 0.0;
+        }
+        self.rand_indices.iter().sum::<f64>() / self.rand_indices.len() as f64
+    }
+}
+
+/// Runs one method over the whole collection.
+#[must_use]
+pub fn evaluate_method(
+    method: Method,
+    collection: &[SplitDataset],
+    cfg: &ExperimentConfig,
+) -> MethodEval {
+    let start = Instant::now();
+    let runs = if method.stochastic() { cfg.runs } else { 1 };
+    let rand_indices = collection
+        .iter()
+        .map(|split| {
+            let fused = split.fused();
+            let k = split.n_classes().max(1).min(fused.n_series());
+            let mut acc = 0.0;
+            for r in 0..runs {
+                let seed = cfg.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9);
+                let labels = run_method(method, &fused.series, k, cfg, seed);
+                acc += rand_index(&labels, &fused.labels);
+            }
+            acc / runs as f64
+        })
+        .collect();
+    MethodEval {
+        name: method.label(),
+        rand_indices,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Dispatches one clustering run and returns the labels.
+#[must_use]
+pub fn run_method(
+    method: Method,
+    series: &[Vec<f64>],
+    k: usize,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> Vec<usize> {
+    let m = series.first().map_or(0, Vec::len);
+    match method {
+        Method::KAvg(d) => {
+            let dist = d.make(m);
+            kmeans(
+                series,
+                dist.as_ref(),
+                &KMeansConfig {
+                    k,
+                    max_iter: cfg.max_iter,
+                    seed,
+                },
+            )
+            .labels
+        }
+        Method::KShape => {
+            KShape::new(KShapeConfig {
+                k,
+                max_iter: cfg.max_iter,
+                seed,
+                ..Default::default()
+            })
+            .fit(series)
+            .labels
+        }
+        Method::KShapeDtw => kshape_dtw(series, k, cfg.max_iter, seed).labels,
+        Method::KDba => {
+            kdba(
+                series,
+                &KDbaConfig {
+                    k,
+                    max_iter: cfg.max_iter,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .labels
+        }
+        Method::Ksc => {
+            ksc(
+                series,
+                &KscConfig {
+                    k,
+                    max_iter: cfg.max_iter,
+                    seed,
+                },
+            )
+            .labels
+        }
+        Method::Pam(d) => {
+            let dist = d.make(m);
+            let matrix = DissimilarityMatrix::compute_parallel(series, dist.as_ref(), cfg.threads);
+            pam(&matrix, k, cfg.max_iter).labels
+        }
+        Method::Hierarchical(linkage, d) => {
+            let dist = d.make(m);
+            let matrix = DissimilarityMatrix::compute_parallel(series, dist.as_ref(), cfg.threads);
+            hierarchical_cluster(&matrix, linkage, k)
+        }
+        Method::Spectral(d) => {
+            let dist = d.make(m);
+            let matrix = DissimilarityMatrix::compute_parallel(series, dist.as_ref(), cfg.threads);
+            spectral_cluster(
+                &matrix,
+                &SpectralConfig {
+                    k,
+                    max_iter: cfg.max_iter,
+                    seed,
+                    sigma: None,
+                },
+            )
+            .labels
+        }
+    }
+}
+
+/// The scalable-method rows of Table 3, in the paper's order, ending with
+/// the `k-AVG+ED` baseline appended last for ratio reporting.
+#[must_use]
+pub fn table3_methods() -> Vec<Method> {
+    vec![
+        Method::KAvg(DistKind::Sbd),
+        Method::KAvg(DistKind::Dtw),
+        Method::Ksc,
+        Method::KDba,
+        Method::KShapeDtw,
+        Method::KShape,
+        Method::KAvg(DistKind::Ed),
+    ]
+}
+
+/// The non-scalable-method rows of Table 4, in the paper's order.
+#[must_use]
+pub fn table4_methods() -> Vec<Method> {
+    let mut rows = Vec::new();
+    for linkage in [Linkage::Single, Linkage::Average, Linkage::Complete] {
+        for d in [DistKind::Ed, DistKind::Cdtw5, DistKind::Sbd] {
+            rows.push(Method::Hierarchical(linkage, d));
+        }
+    }
+    for d in [DistKind::Ed, DistKind::Cdtw5, DistKind::Sbd] {
+        rows.push(Method::Spectral(d));
+    }
+    for d in [DistKind::Ed, DistKind::Cdtw5, DistKind::Sbd] {
+        rows.push(Method::Pam(d));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{evaluate_method, table3_methods, table4_methods, DistKind, Method};
+    use crate::config::ExperimentConfig;
+    use tscluster::hierarchical::Linkage;
+    use tsdata::collection::{synthetic_collection, CollectionSpec};
+
+    fn tiny() -> (Vec<tsdata::dataset::SplitDataset>, ExperimentConfig) {
+        let collection = synthetic_collection(&CollectionSpec {
+            seed: 5,
+            size_factor: 0.34,
+        });
+        let cfg = ExperimentConfig {
+            size_factor: 0.34,
+            runs: 1,
+            max_iter: 10,
+            seed: 5,
+            threads: 2,
+        };
+        (collection, cfg)
+    }
+
+    #[test]
+    fn labels_match_paper_naming() {
+        assert_eq!(Method::KAvg(DistKind::Ed).label(), "k-AVG+ED");
+        assert_eq!(Method::KShape.label(), "k-Shape");
+        assert_eq!(Method::Pam(DistKind::Cdtw5).label(), "PAM+cDTW");
+        assert_eq!(
+            Method::Hierarchical(Linkage::Average, DistKind::Sbd).label(),
+            "H-A+SBD"
+        );
+        assert_eq!(Method::Spectral(DistKind::Ed).label(), "S+ED");
+    }
+
+    #[test]
+    fn method_lists_cover_the_tables() {
+        assert_eq!(table3_methods().len(), 7);
+        assert_eq!(table4_methods().len(), 15);
+    }
+
+    #[test]
+    fn stochasticity_flags() {
+        assert!(Method::KShape.stochastic());
+        assert!(!Method::Pam(DistKind::Ed).stochastic());
+        assert!(!Method::Hierarchical(Linkage::Single, DistKind::Ed).stochastic());
+        assert!(Method::Spectral(DistKind::Ed).stochastic());
+    }
+
+    #[test]
+    fn kavg_ed_scores_reasonably_on_two_datasets() {
+        let (collection, cfg) = tiny();
+        let eval = evaluate_method(Method::KAvg(DistKind::Ed), &collection[..2], &cfg);
+        assert_eq!(eval.rand_indices.len(), 2);
+        for &r in &eval.rand_indices {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn kshape_scores_on_ecg_dataset() {
+        let (collection, cfg) = tiny();
+        // Dataset index 2 of the first variant block is the ECG family.
+        let ecg: Vec<_> = collection
+            .iter()
+            .filter(|d| d.name().starts_with("ecg"))
+            .take(1)
+            .cloned()
+            .collect();
+        let eval = evaluate_method(Method::KShape, &ecg, &cfg);
+        assert!(eval.rand_indices[0] > 0.5, "Rand {}", eval.rand_indices[0]);
+    }
+}

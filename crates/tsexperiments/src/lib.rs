@@ -1,0 +1,38 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Sections 4–5 and Appendices A–B).
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | binary     | paper artifact |
+//! |------------|----------------|
+//! | `table2`   | Table 2 — distance-measure 1-NN accuracy & runtime |
+//! | `table3`   | Table 3 — scalable clustering (k-means variants) |
+//! | `table4`   | Table 4 — non-scalable clustering |
+//! | `fig2`     | Figure 2 — ED vs DTW alignment, Sakoe–Chiba path |
+//! | `fig3`     | Figure 3 — NCC normalizations |
+//! | `fig4`     | Figure 4 — arithmetic mean vs shape extraction |
+//! | `fig5`     | Figure 5 — SBD vs ED / DTW scatter |
+//! | `fig6`     | Figure 6 — distance-measure rank + Nemenyi CD |
+//! | `fig7`     | Figure 7 — k-Shape vs KSC / k-DBA scatter |
+//! | `fig8`     | Figure 8 — k-means-variant rank + CD |
+//! | `fig9`     | Figure 9 — methods beating k-AVG+ED, rank + CD |
+//! | `fig10_11` | Figures 10–11 — NCC variants under normalizations |
+//! | `fig12`    | Figure 12 — scalability in n and m (CBF) |
+//! | `headline` | §5.1/§1 ECG anecdote — SBD vs cDTW, k-Shape vs PAM+cDTW |
+//! | `extended_measures` | elastic-measure panel in the spirit of refs [19]/[26] |
+//! | `feature_based` | raw vs feature-based vs model-based clustering (§2.4) |
+//! | `all`      | driver: runs everything into a results directory |
+//!
+//! Knobs come from the environment (see [`config`]): collection size
+//! factor, number of random restarts, and iteration caps, so the full
+//! suite finishes in minutes on a laptop while keeping the paper's
+//! comparative structure.
+
+#![warn(missing_docs)]
+
+pub mod cluster_eval;
+pub mod config;
+pub mod dist_eval;
+pub mod variants;
+
+pub use config::ExperimentConfig;

@@ -1,0 +1,130 @@
+//! Algorithm variants that only the evaluation needs.
+//!
+//! The main one is **k-Shape+DTW** (Table 3): k-Shape with its assignment
+//! distance replaced by DTW while keeping shape extraction for centroids.
+//! The paper includes it to show that grafting an "obviously good" distance
+//! onto k-Shape *hurts* — the distance and the centroid method must match.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kshape::extraction::{shape_extraction, EigenMethod};
+use kshape::init::random_assignment;
+use tsdist::dtw::dtw_distance;
+
+/// Result of a k-Shape+DTW run (labels plus bookkeeping).
+#[derive(Debug, Clone)]
+pub struct KShapeDtwResult {
+    /// Cluster index per series.
+    pub labels: Vec<usize>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether memberships converged before the cap.
+    pub converged: bool,
+}
+
+/// k-Shape with DTW as the assignment distance (Table 3's `k-Shape+DTW`).
+///
+/// Refinement still uses shape extraction (Algorithm 2) so only the
+/// distance measure differs from the real k-Shape.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or ragged, `k == 0`, or `k > n`.
+#[must_use]
+pub fn kshape_dtw(series: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KShapeDtwResult {
+    let n = series.len();
+    assert!(n > 0, "k-Shape+DTW requires at least one series");
+    assert!(k > 0 && k <= n, "k must be in 1..=n");
+    let m = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == m),
+        "all series must have equal length"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = random_assignment(n, k, &mut rng);
+    let mut centroids = vec![vec![0.0; m]; k];
+    let mut dists = vec![0.0f64; n];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iter {
+        iterations += 1;
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..k {
+            let members: Vec<&[f64]> = series
+                .iter()
+                .zip(labels.iter())
+                .filter(|&(_, &l)| l == j)
+                .map(|(s, _)| s.as_slice())
+                .collect();
+            if members.is_empty() {
+                let worst = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                    .map_or(0, |(i, _)| i);
+                labels[worst] = j;
+                centroids[j] = tsdata::normalize::z_normalize(&series[worst]);
+                continue;
+            }
+            centroids[j] = shape_extraction(&members, &centroids[j], EigenMethod::Full);
+        }
+        let mut changed = false;
+        for (i, s) in series.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut best_j = labels[i];
+            for (j, c) in centroids.iter().enumerate() {
+                let d = dtw_distance(s, c, None);
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            dists[i] = best;
+            if best_j != labels[i] {
+                labels[i] = best_j;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    KShapeDtwResult {
+        labels,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::kshape_dtw;
+    use tsdata::normalize::z_normalize;
+
+    #[test]
+    fn runs_and_produces_valid_labels() {
+        let mut series = Vec::new();
+        for j in 0..4 {
+            let up: Vec<f64> = (0..32).map(|i| (i + j) as f64).collect();
+            let bump: Vec<f64> = (0..32)
+                .map(|i| (-((i as f64 - 12.0 - j as f64) / 3.0).powi(2)).exp())
+                .collect();
+            series.push(z_normalize(&up));
+            series.push(z_normalize(&bump));
+        }
+        let r = kshape_dtw(&series, 2, 30, 1);
+        assert_eq!(r.labels.len(), 8);
+        assert!(r.labels.iter().all(|&l| l < 2));
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=n")]
+    fn rejects_bad_k() {
+        let _ = kshape_dtw(&[vec![1.0, 2.0]], 2, 10, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Arbitrary-size FFT via Bluestein's chirp-z transform.
+//!
+//! The paper's `SBD-NoPow2` ablation (Table 2) computes the FFT at exactly
+//! length `2m − 1` instead of padding to the next power of two. MATLAB/FFTW
+//! support arbitrary sizes natively; we reproduce that capability with the
+//! Bluestein algorithm, which reduces an arbitrary-size DFT to a circular
+//! convolution of power-of-two size.
+
+use crate::complex::Complex;
+use crate::fft::Radix2Fft;
+use crate::next_pow2;
+
+/// A reusable plan for DFTs of arbitrary (not necessarily power-of-two) size.
+#[derive(Debug, Clone)]
+pub struct BluesteinFft {
+    n: usize,
+    /// Chirp factors `w[k] = e^{-iπ k² / n}`.
+    chirp: Vec<Complex>,
+    /// Pre-transformed conjugate-chirp filter of length `m`.
+    filter_spec: Vec<Complex>,
+    inner: Radix2Fft,
+    m: usize,
+}
+
+impl BluesteinFft {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Bluestein FFT size must be positive");
+        let m = next_pow2(2 * n - 1);
+        let inner = Radix2Fft::new(m);
+
+        // chirp[k] = e^{-iπ k² / n}; compute k² mod 2n to keep angles small.
+        let mut chirp = Vec::with_capacity(n);
+        for k in 0..n {
+            let k2 = (k * k) % (2 * n);
+            chirp.push(Complex::cis(-std::f64::consts::PI * k2 as f64 / n as f64));
+        }
+
+        // The convolution filter is conj(chirp) wrapped circularly so that
+        // index j and index m - j both hold b[j] for j in 1..n.
+        let mut filter = vec![Complex::ZERO; m];
+        for k in 0..n {
+            let b = chirp[k].conj();
+            filter[k] = b;
+            if k > 0 {
+                filter[m - k] = b;
+            }
+        }
+        let filter_spec = inner.forward_vec(filter);
+
+        BluesteinFft {
+            n,
+            chirp,
+            filter_spec,
+            inner,
+            m,
+        }
+    }
+
+    /// The transform size this plan was built for.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true when the plan size is zero (never, by construction).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DFT of `data` (length `n`), returning a new buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    #[must_use]
+    pub fn forward(&self, data: &[Complex]) -> Vec<Complex> {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        let mut a = vec![Complex::ZERO; self.m];
+        for k in 0..self.n {
+            a[k] = data[k] * self.chirp[k];
+        }
+        self.inner.forward(&mut a);
+        for (z, f) in a.iter_mut().zip(self.filter_spec.iter()) {
+            *z *= *f;
+        }
+        self.inner.inverse(&mut a);
+        (0..self.n).map(|k| a[k] * self.chirp[k]).collect()
+    }
+
+    /// Inverse DFT of `data` (length `n`), including `1/n` normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    #[must_use]
+    pub fn inverse(&self, data: &[Complex]) -> Vec<Complex> {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        let conj: Vec<Complex> = data.iter().map(|z| z.conj()).collect();
+        let spec = self.forward(&conj);
+        let scale = 1.0 / self.n as f64;
+        spec.into_iter().map(|z| z.conj().scale(scale)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BluesteinFft;
+    use crate::complex::Complex;
+    use crate::dft::dft;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "mismatch at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_size() {
+        let _ = BluesteinFft::new(0);
+    }
+
+    #[test]
+    fn matches_naive_dft_on_awkward_sizes() {
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        // Primes, prime powers, highly composite, and 2m-1 style sizes.
+        for &n in &[1usize, 2, 3, 5, 7, 9, 12, 17, 31, 60, 119, 127, 255] {
+            let x: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+            let plan = BluesteinFft::new(n);
+            let fast = plan.forward(&x);
+            let slow = dft(&x);
+            assert_close(&fast, &slow, 1e-7 * (n.max(8)) as f64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_size() {
+        for &n in &[3usize, 11, 23, 100, 121] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+                .collect();
+            let plan = BluesteinFft::new(n);
+            let back = plan.inverse(&plan.forward(&x));
+            assert_close(&back, &x, 1e-8);
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_on_power_of_two() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real((i as f64 * 0.2).sin()))
+            .collect();
+        let blue = BluesteinFft::new(n).forward(&x);
+        let rad = crate::fft::Radix2Fft::new(n).forward_vec(x);
+        assert_close(&blue, &rad, 1e-8);
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let n = 13;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::from_real(i as f64)).collect();
+        let spec = BluesteinFft::new(n).forward(&x);
+        let sum: f64 = (0..n).map(|i| i as f64).sum();
+        assert!((spec[0].re - sum).abs() < 1e-8);
+        assert!(spec[0].im.abs() < 1e-8);
+    }
+}

@@ -1,0 +1,232 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! Only the operations needed by the FFT and correlation kernels are
+//! provided; this is deliberately not a general complex-number library.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    #[must_use]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        let (sin, cos) = theta.sin_cos();
+        Complex { re: cos, im: sin }
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Returns the squared magnitude `re² + im²`.
+    #[inline]
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the magnitude `|z|`.
+    #[inline]
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Complex;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert!(close(z + Complex::ZERO, z));
+        assert!(close(z * Complex::ONE, z));
+        assert!(close(z - z, Complex::ZERO));
+        assert!(close(z + (-z), Complex::ZERO));
+    }
+
+    #[test]
+    fn multiplication_and_division_roundtrip() {
+        let a = Complex::new(1.5, 2.5);
+        let b = Complex::new(-0.75, 4.0);
+        let c = a * b;
+        assert!(close(c / b, a));
+        assert!(close(c / a, b));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::I * Complex::I, Complex::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex::new(2.0, 7.0);
+        assert!(close(z.conj().conj(), z));
+        // z * conj(z) = |z|^2
+        let p = z * z.conj();
+        assert!((p.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(p.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn abs_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!(close(z, Complex::I));
+        let z = Complex::cis(std::f64::consts::PI);
+        assert!((z.re + 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        // |cis θ| = 1 for arbitrary θ.
+        for k in 0..16 {
+            let theta = 0.39 * k as f64;
+            assert!((Complex::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_matches_real_multiplication() {
+        let z = Complex::new(-2.0, 6.0);
+        assert!(close(z.scale(2.5), Complex::new(-5.0, 15.0)));
+        assert!(close(z.scale(2.5), z * Complex::from_real(2.5)));
+    }
+
+    #[test]
+    fn from_real_conversion() {
+        let z: Complex = 4.25_f64.into();
+        assert_eq!(z, Complex::new(4.25, 0.0));
+    }
+}

@@ -1,0 +1,251 @@
+//! Full cross-correlation sequences (Equations 6, 7, 12 of the paper).
+//!
+//! For two length-`m` sequences the cross-correlation sequence
+//! `CC_w(x, y) = R_{w-m}(x, y)` has `2m − 1` entries indexed by the lag
+//! `k = w − m ∈ [−(m−1), m−1]`:
+//!
+//! ```text
+//! R_k(x, y) = Σ_{l=0}^{m-k-1} x[l + k] · y[l]   for k ≥ 0
+//! R_k(x, y) = R_{-k}(y, x)                      for k < 0
+//! ```
+//!
+//! Three implementations are provided, matching the SBD variants the paper
+//! benchmarks in Table 2:
+//!
+//! * [`cross_correlate_naive`] — direct O(m²) summation (`SBD-NoFFT`),
+//! * [`cross_correlate_fft`] — power-of-two padded FFT (`SBD`, Algorithm 1),
+//! * [`cross_correlate_bluestein`] — FFT at exact length `2m − 1`
+//!   (`SBD-NoPow2`).
+
+use crate::bluestein::BluesteinFft;
+use crate::complex::Complex;
+use crate::fft::Radix2Fft;
+use crate::next_pow2;
+use crate::real::pad_to_complex;
+
+/// Direct O(m²) cross-correlation (Equations 6 and 7).
+///
+/// Returns the `2m − 1` values `[R_{-(m-1)}, …, R_0, …, R_{m-1}]`; an empty
+/// vector when either input is empty.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+#[must_use]
+pub fn cross_correlate_naive(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sequences must have equal length");
+    let m = x.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(2 * m - 1);
+    // Negative lags: R_{-k}(x, y) = R_k(y, x).
+    for k in (1..m).rev() {
+        let mut acc = 0.0;
+        for l in 0..m - k {
+            acc += y[l + k] * x[l];
+        }
+        out.push(acc);
+    }
+    // Non-negative lags.
+    for k in 0..m {
+        let mut acc = 0.0;
+        for l in 0..m - k {
+            acc += x[l + k] * y[l];
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// FFT-based cross-correlation padded to the next power of two after
+/// `2m − 1` (Equation 12 plus the padding optimization of Section 3.1).
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+#[must_use]
+pub fn cross_correlate_fft(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sequences must have equal length");
+    let m = x.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let n = next_pow2(2 * m - 1);
+    let plan = Radix2Fft::new(n);
+    let mut fx = pad_to_complex(x, n);
+    let mut fy = pad_to_complex(y, n);
+    plan.forward(&mut fx);
+    plan.forward(&mut fy);
+    for (a, b) in fx.iter_mut().zip(fy.iter()) {
+        *a *= b.conj();
+    }
+    plan.inverse(&mut fx);
+    unwrap_circular(&fx, m, n)
+}
+
+/// FFT-based cross-correlation at exactly length `2m − 1` using the
+/// Bluestein chirp-z transform (the `SBD-NoPow2` ablation).
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+#[must_use]
+pub fn cross_correlate_bluestein(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sequences must have equal length");
+    let m = x.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let n = 2 * m - 1;
+    let plan = BluesteinFft::new(n);
+    let fx = plan.forward(&pad_to_complex(x, n));
+    let fy = plan.forward(&pad_to_complex(y, n));
+    let prod: Vec<Complex> = fx
+        .iter()
+        .zip(fy.iter())
+        .map(|(a, b)| *a * b.conj())
+        .collect();
+    let c = plan.inverse(&prod);
+    unwrap_circular(&c, m, n)
+}
+
+/// Reorders the circular correlation buffer `c` (length `n ≥ 2m − 1`) into
+/// the linear lag order `[R_{-(m-1)}, …, R_{m-1}]`.
+///
+/// With zero padding, `c[k] = R_k` for `k ∈ [0, m-1]` and
+/// `c[n − k] = R_{-k}` for `k ∈ [1, m-1]`.
+fn unwrap_circular(c: &[Complex], m: usize, n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(2 * m - 1);
+    out.extend((1..m).rev().map(|k| c[n - k].re));
+    out.extend(c[..m].iter().map(|z| z.re));
+    out
+}
+
+/// Computes the inner product `R_0(x, x) = Σ x_i²` (the autocorrelation at
+/// lag zero), used by the coefficient normalization of SBD.
+#[inline]
+#[must_use]
+pub fn autocorr0(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{autocorr0, cross_correlate_bluestein, cross_correlate_fft, cross_correlate_naive};
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < tol, "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(cross_correlate_naive(&[], &[]).is_empty());
+        assert!(cross_correlate_fft(&[], &[]).is_empty());
+        assert!(cross_correlate_bluestein(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let cc = cross_correlate_naive(&[3.0], &[4.0]);
+        assert_eq!(cc, vec![12.0]);
+        assert_close(&cross_correlate_fft(&[3.0], &[4.0]), &cc, 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_small_case() {
+        // x = [1, 2], y = [3, 4]
+        // R_{-1} = R_1(y, x) = y[1]*x[0] = 4
+        // R_0 = 1*3 + 2*4 = 11
+        // R_1 = x[1]*y[0] = 6
+        let expect = vec![4.0, 11.0, 6.0];
+        assert_close(
+            &cross_correlate_naive(&[1.0, 2.0], &[3.0, 4.0]),
+            &expect,
+            1e-12,
+        );
+        assert_close(
+            &cross_correlate_fft(&[1.0, 2.0], &[3.0, 4.0]),
+            &expect,
+            1e-9,
+        );
+        assert_close(
+            &cross_correlate_bluestein(&[1.0, 2.0], &[3.0, 4.0]),
+            &expect,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn lag_zero_is_dot_product() {
+        let x = [1.0, -2.0, 3.0, 0.5];
+        let y = [0.25, 4.0, -1.0, 2.0];
+        let cc = cross_correlate_naive(&x, &y);
+        let dot: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        assert!((cc[x.len() - 1] - dot).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_three_implementations_agree() {
+        let mut state = 77_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for &m in &[2usize, 3, 7, 16, 33, 100, 128] {
+            let x: Vec<f64> = (0..m).map(|_| next()).collect();
+            let y: Vec<f64> = (0..m).map(|_| next()).collect();
+            let a = cross_correlate_naive(&x, &y);
+            let b = cross_correlate_fft(&x, &y);
+            let c = cross_correlate_bluestein(&x, &y);
+            assert_close(&a, &b, 1e-7 * m as f64);
+            assert_close(&a, &c, 1e-7 * m as f64);
+        }
+    }
+
+    #[test]
+    fn shifted_identical_sequences_peak_at_shift() {
+        // y is x delayed by 3 samples; the peak of CC must sit at lag +3
+        // or -3 depending on orientation — verify it is at |lag| = 3.
+        let m = 32;
+        let base: Vec<f64> = (0..m)
+            .map(|i| (-((i as f64 - 8.0) / 3.0).powi(2)).exp())
+            .collect();
+        let mut shifted = vec![0.0; m];
+        shifted[3..m].copy_from_slice(&base[..m - 3]);
+        let cc = cross_correlate_naive(&base, &shifted);
+        let (arg, _) = cc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let lag = arg as isize - (m as isize - 1);
+        assert_eq!(lag.unsigned_abs(), 3);
+    }
+
+    #[test]
+    fn symmetric_in_argument_swap() {
+        // CC(x, y) reversed equals CC(y, x).
+        let x = [1.0, 4.0, -2.0, 0.5, 3.0];
+        let y = [2.0, -1.0, 0.0, 5.0, 1.0];
+        let a = cross_correlate_naive(&x, &y);
+        let mut b = cross_correlate_naive(&y, &x);
+        b.reverse();
+        assert_close(&a, &b, 1e-12);
+    }
+
+    #[test]
+    fn autocorr0_is_energy() {
+        assert!((autocorr0(&[3.0, 4.0]) - 25.0).abs() < 1e-12);
+        assert_eq!(autocorr0(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        let _ = cross_correlate_fft(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Naive O(n²) discrete Fourier transform.
+//!
+//! Used as the correctness oracle for the fast transforms and for the
+//! `SBD-NoFFT` ablation of Table 2. Implements Equations 10 and 11 of the
+//! paper directly.
+
+use crate::complex::Complex;
+
+/// Computes the forward DFT of `input` by direct summation (Equation 10).
+///
+/// `F(x_k) = Σ_r x_r · e^{-2πi rk / n}`
+#[must_use]
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n);
+    let step = -2.0 * std::f64::consts::PI / n as f64;
+    for k in 0..n {
+        let mut acc = Complex::ZERO;
+        for (r, &x) in input.iter().enumerate() {
+            // r * k can exceed n; reduce to keep the angle well conditioned.
+            let phase = step * ((r * k) % n) as f64;
+            acc += x * Complex::cis(phase);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Computes the inverse DFT of `input` by direct summation (Equation 11).
+///
+/// `F⁻¹(x_r) = (1/n) Σ_k X_k · e^{2πi rk / n}`
+#[must_use]
+pub fn idft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let step = 2.0 * std::f64::consts::PI / n as f64;
+    let scale = 1.0 / n as f64;
+    let mut out = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut acc = Complex::ZERO;
+        for (k, &x) in input.iter().enumerate() {
+            let phase = step * ((r * k) % n) as f64;
+            acc += x * Complex::cis(phase);
+        }
+        out.push(acc.scale(scale));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{dft, idft};
+    use crate::complex::Complex;
+
+    fn reals(v: &[f64]) -> Vec<Complex> {
+        v.iter().copied().map(Complex::from_real).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dft(&[]).is_empty());
+        assert!(idft(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let x = [Complex::new(3.0, -1.0)];
+        assert_eq!(dft(&x)[0], x[0]);
+        let y = idft(&x);
+        assert!((y[0].re - 3.0).abs() < 1e-12 && (y[0].im + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let x = reals(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let spec = dft(&x);
+        assert!((spec[0].re - 15.0).abs() < 1e-10);
+        assert!(spec[0].im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        for bin in dft(&x) {
+            assert!((bin.re - 1.0).abs() < 1e-12);
+            assert!(bin.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_hits_one_bin() {
+        let n = 16;
+        let freq = 3;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| {
+                Complex::from_real(
+                    (2.0 * std::f64::consts::PI * freq as f64 * t as f64 / n as f64).cos(),
+                )
+            })
+            .collect();
+        let spec = dft(&x);
+        for (k, bin) in spec.iter().enumerate() {
+            let mag = bin.abs();
+            if k == freq || k == n - freq {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-9, "bin {k}: {mag}");
+            } else {
+                assert!(mag < 1e-9, "bin {k}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_non_power_of_two() {
+        let x = reals(&[0.5, -1.25, 3.75, 2.0, -0.125, 7.5, -3.25]);
+        let back = idft(&dft(&x));
+        for (a, b) in x.iter().zip(back.iter()) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!(b.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let x = reals(&[1.0, 2.0, 3.0, 4.0]);
+        let y = reals(&[-2.0, 0.5, 1.5, -1.0]);
+        let sum: Vec<Complex> = x.iter().zip(y.iter()).map(|(&a, &b)| a + b).collect();
+        let fx = dft(&x);
+        let fy = dft(&y);
+        let fsum = dft(&sum);
+        for i in 0..4 {
+            let expect = fx[i] + fy[i];
+            assert!((fsum[i].re - expect.re).abs() < 1e-10);
+            assert!((fsum[i].im - expect.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let x = reals(&[1.0, -2.0, 3.5, 0.25, -4.75, 2.0]);
+        let spec = dft(&x);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+}

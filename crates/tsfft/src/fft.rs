@@ -1,0 +1,270 @@
+//! Iterative radix-2 Cooley–Tukey FFT with precomputed twiddle factors.
+//!
+//! The plan ([`Radix2Fft`]) is constructed once per size and reused across
+//! transforms, mirroring the planner style of FFTW that the paper's MATLAB
+//! implementation relies on. Transform cost is O(n log n); plan construction
+//! is O(n).
+
+use crate::complex::Complex;
+
+/// A reusable plan for power-of-two FFTs of a fixed size.
+///
+/// # Example
+///
+/// ```
+/// use tsfft::{Complex, Radix2Fft};
+///
+/// let plan = Radix2Fft::new(8);
+/// let signal: Vec<Complex> = (0..8).map(|i| Complex::from_real(i as f64)).collect();
+/// let back = plan.inverse_vec(plan.forward_vec(signal.clone()));
+/// for (a, b) in signal.iter().zip(back.iter()) {
+///     assert!((a.re - b.re).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Radix2Fft {
+    n: usize,
+    /// Forward twiddles: `w[k] = e^{-2πik/n}` for `k in 0..n/2`.
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation for the input ordering.
+    rev: Vec<u32>,
+}
+
+impl Radix2Fft {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "radix-2 FFT size must be a power of two, got {n}"
+        );
+        let half = n / 2;
+        let mut twiddles = Vec::with_capacity(half.max(1));
+        let step = -2.0 * std::f64::consts::PI / n as f64;
+        for k in 0..half.max(1) {
+            twiddles.push(Complex::cis(step * k as f64));
+        }
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        if bits > 0 {
+            for (i, r) in rev.iter_mut().enumerate() {
+                *r = (i as u32).reverse_bits() >> (32 - bits);
+            }
+        }
+        Radix2Fft { n, twiddles, rev }
+    }
+
+    /// The transform size this plan was built for.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true when the plan size is zero (never, by construction).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        if self.n <= 1 {
+            return;
+        }
+        self.permute(data);
+        self.butterflies(data);
+    }
+
+    /// In-place inverse FFT, including the `1/n` normalization.
+    ///
+    /// Uses the conjugation identity `ifft(x) = conj(fft(conj(x))) / n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        if self.n <= 1 {
+            return;
+        }
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+        self.permute(data);
+        self.butterflies(data);
+        let scale = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.conj().scale(scale);
+        }
+    }
+
+    /// Convenience: forward transform of an owned buffer.
+    #[must_use]
+    pub fn forward_vec(&self, mut data: Vec<Complex>) -> Vec<Complex> {
+        self.forward(&mut data);
+        data
+    }
+
+    /// Convenience: inverse transform of an owned buffer.
+    #[must_use]
+    pub fn inverse_vec(&self, mut data: Vec<Complex>) -> Vec<Complex> {
+        self.inverse(&mut data);
+        data
+    }
+
+    fn permute(&self, data: &mut [Complex]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex]) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Radix2Fft;
+    use crate::complex::Complex;
+    use crate::dft::{dft, idft};
+
+    fn reals(v: &[f64]) -> Vec<Complex> {
+        v.iter().copied().map(Complex::from_real).collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "mismatch at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Radix2Fft::new(6);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = Radix2Fft::new(1);
+        let mut x = [Complex::new(2.5, -1.0)];
+        plan.forward(&mut x);
+        assert_eq!(x[0], Complex::new(2.5, -1.0));
+        plan.inverse(&mut x);
+        assert_eq!(x[0], Complex::new(2.5, -1.0));
+    }
+
+    #[test]
+    fn size_two() {
+        let plan = Radix2Fft::new(2);
+        let mut x = reals(&[1.0, 2.0]);
+        plan.forward(&mut x);
+        assert!((x[0].re - 3.0).abs() < 1e-12);
+        assert!((x[1].re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_dft_across_sizes() {
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for &n in &[2usize, 4, 8, 16, 64, 256] {
+            let x: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+            let plan = Radix2Fft::new(n);
+            let fast = plan.forward_vec(x.clone());
+            let slow = dft(&x);
+            assert_close(&fast, &slow, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_idft() {
+        let x = reals(&[1.0, -2.0, 3.0, -4.0, 5.0, -6.0, 7.0, -8.0]);
+        let plan = Radix2Fft::new(8);
+        let fast = plan.inverse_vec(x.clone());
+        let slow = idft(&x);
+        assert_close(&fast, &slow, 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_large() {
+        let n = 4096;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let plan = Radix2Fft::new(n);
+        let back = plan.inverse_vec(plan.forward_vec(x.clone()));
+        assert_close(&back, &x, 1e-9);
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 512;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real(((i * i) % 97) as f64 / 97.0 - 0.5))
+            .collect();
+        let plan = Radix2Fft::new(n);
+        let spec = plan.forward_vec(x.clone());
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((te - fe).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "match plan size")]
+    fn rejects_wrong_buffer_length() {
+        let plan = Radix2Fft::new(8);
+        let mut x = reals(&[1.0; 4]);
+        plan.forward(&mut x);
+    }
+
+    #[test]
+    fn plan_is_reusable() {
+        let plan = Radix2Fft::new(16);
+        for trial in 0..4 {
+            let x: Vec<Complex> = (0..16)
+                .map(|i| Complex::from_real((i + trial) as f64))
+                .collect();
+            let back = plan.inverse_vec(plan.forward_vec(x.clone()));
+            assert_close(&back, &x, 1e-10);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Fast Fourier transforms and FFT-based cross-correlation.
+//!
+//! This crate is the signal-processing substrate of the k-Shape reproduction
+//! (Paparrizos & Gravano, SIGMOD 2015). It provides, with no external
+//! dependencies:
+//!
+//! * [`Complex`] — a minimal double-precision complex number,
+//! * [`Radix2Fft`] — an iterative, in-place radix-2 Cooley–Tukey FFT with a
+//!   precomputed twiddle table (power-of-two sizes),
+//! * [`BluesteinFft`] — an arbitrary-size FFT via the chirp-z transform,
+//!   used by the `SBD-NoPow2` ablation of Table 2,
+//! * [`real`] — a real-input FFT that halves the complex transform size,
+//! * [`correlate`] — full cross-correlation sequences (Equation 6 of the
+//!   paper) computed either naively in O(m²) or via the convolution theorem
+//!   in O(m log m) (Equation 12),
+//! * [`unequal`] — cross-correlation of different-length sequences (the
+//!   paper's footnote 3).
+//!
+//! # Example
+//!
+//! ```
+//! use tsfft::correlate::{cross_correlate_fft, cross_correlate_naive};
+//!
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let y = [4.0, 3.0, 2.0, 1.0];
+//! let fast = cross_correlate_fft(&x, &y);
+//! let slow = cross_correlate_naive(&x, &y);
+//! assert_eq!(fast.len(), 2 * x.len() - 1);
+//! for (a, b) in fast.iter().zip(slow.iter()) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bluestein;
+pub mod complex;
+pub mod correlate;
+pub mod dft;
+pub mod fft;
+pub mod real;
+pub mod unequal;
+
+pub use bluestein::BluesteinFft;
+pub use complex::Complex;
+pub use fft::Radix2Fft;
+
+/// Returns the smallest power of two that is greater than or equal to `n`.
+///
+/// `next_pow2(0)` is defined as 1 so the result is always a valid FFT size.
+///
+/// # Panics
+///
+/// Panics if the result would overflow `usize`.
+#[must_use]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1)
+        .checked_next_power_of_two()
+        .expect("FFT size overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::next_pow2;
+
+    #[test]
+    fn next_pow2_basics() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 4);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn next_pow2_matches_paper_padding() {
+        // The paper pads to the next power of two after 2m - 1.
+        let m = 1024;
+        assert_eq!(next_pow2(2 * m - 1), 2048);
+        let m = 60;
+        assert_eq!(next_pow2(2 * m - 1), 128);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-correlation of sequences of *different* lengths.
+//!
+//! The paper computes SBD on equal-length sequences "for simplicity" but
+//! notes (footnote 3) that "cross-correlation can be computed on sequences
+//! of different length". For `|x| = nx` and `|y| = ny` the full sequence
+//! covers lags `k ∈ [−(ny−1), nx−1]` (`nx + ny − 1` values):
+//!
+//! ```text
+//! R_k(x, y) = Σ_l x[l + k] · y[l]   over all l with both indices valid
+//! ```
+
+use crate::complex::Complex;
+use crate::fft::Radix2Fft;
+use crate::next_pow2;
+use crate::real::pad_to_complex;
+
+/// Direct O(nx·ny) cross-correlation of unequal-length sequences.
+///
+/// Returns `nx + ny − 1` values ordered from lag `−(ny−1)` to `nx−1`;
+/// empty if either input is empty.
+#[must_use]
+pub fn cross_correlate_unequal_naive(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let (nx, ny) = (x.len(), y.len());
+    if nx == 0 || ny == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(nx + ny - 1);
+    for k in -(ny as isize - 1)..nx as isize {
+        let mut acc = 0.0;
+        for (l, &yv) in y.iter().enumerate() {
+            let xi = l as isize + k;
+            if (0..nx as isize).contains(&xi) {
+                acc += x[xi as usize] * yv;
+            }
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// FFT-based cross-correlation of unequal-length sequences, padded to the
+/// next power of two after `nx + ny − 1`.
+#[must_use]
+pub fn cross_correlate_unequal_fft(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let (nx, ny) = (x.len(), y.len());
+    if nx == 0 || ny == 0 {
+        return Vec::new();
+    }
+    let n = next_pow2(nx + ny - 1);
+    let plan = Radix2Fft::new(n);
+    let mut fx = pad_to_complex(x, n);
+    let mut fy = pad_to_complex(y, n);
+    plan.forward(&mut fx);
+    plan.forward(&mut fy);
+    for (a, b) in fx.iter_mut().zip(fy.iter()) {
+        *a *= b.conj();
+    }
+    plan.inverse(&mut fx);
+    unwrap(&fx, nx, ny, n)
+}
+
+/// Reorders the circular buffer into lag order `−(ny−1)..=(nx−1)`.
+fn unwrap(c: &[Complex], nx: usize, ny: usize, n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(nx + ny - 1);
+    out.extend((1..ny).rev().map(|k| c[n - k].re));
+    out.extend(c[..nx].iter().map(|z| z.re));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{cross_correlate_unequal_fft, cross_correlate_unequal_naive};
+    use crate::correlate::cross_correlate_naive;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < tol, "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_equal_length_path() {
+        let x = [1.0, -2.0, 3.0, 0.5, 4.0];
+        let y = [0.25, 4.0, -1.0, 2.0, 1.0];
+        let equal = cross_correlate_naive(&x, &y);
+        let unequal = cross_correlate_unequal_naive(&x, &y);
+        assert_close(&equal, &unequal, 1e-12);
+    }
+
+    #[test]
+    fn fft_matches_naive_on_unequal_lengths() {
+        let mut state = 4u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for &(nx, ny) in &[(3usize, 7usize), (7, 3), (1, 5), (16, 9), (33, 64)] {
+            let x: Vec<f64> = (0..nx).map(|_| next()).collect();
+            let y: Vec<f64> = (0..ny).map(|_| next()).collect();
+            let fast = cross_correlate_unequal_fft(&x, &y);
+            let slow = cross_correlate_unequal_naive(&x, &y);
+            assert_eq!(fast.len(), nx + ny - 1);
+            assert_close(&fast, &slow, 1e-8);
+        }
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // x = [1, 2, 3], y = [4, 5]: lags -1..=2.
+        // R_{-1} = x[0]*y[1] = 5
+        // R_0    = 1*4 + 2*5 = 14
+        // R_1    = 2*4 + 3*5 = 23
+        // R_2    = 3*4 = 12
+        let cc = cross_correlate_unequal_naive(&[1.0, 2.0, 3.0], &[4.0, 5.0]);
+        assert_close(&cc, &[5.0, 14.0, 23.0, 12.0], 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(cross_correlate_unequal_naive(&[], &[1.0]).is_empty());
+        assert!(cross_correlate_unequal_fft(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn sub_sequence_peak_locates_the_match() {
+        // y is a window of x starting at offset 6: the peak must sit at
+        // lag +6.
+        let x: Vec<f64> = (0..32)
+            .map(|i| (-((i as f64 - 9.0) / 2.0).powi(2)).exp())
+            .collect();
+        let y = x[6..14].to_vec();
+        let cc = cross_correlate_unequal_fft(&x, &y);
+        let (arg, _) = cc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let lag = arg as isize - (y.len() as isize - 1);
+        assert_eq!(lag, 6);
+    }
+}

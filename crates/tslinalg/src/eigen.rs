@@ -1,0 +1,376 @@
+//! Symmetric eigendecomposition via Householder tridiagonalization followed
+//! by implicit-shift QL iteration.
+//!
+//! This is the classical `tred2` / `tqli` pair (Golub & Van Loan; Numerical
+//! Recipes). It is O(n³), numerically robust for real symmetric input, and
+//! returns all eigenpairs with eigenvectors accumulated through both stages.
+
+use crate::matrix::Matrix;
+
+/// A full symmetric eigendecomposition.
+///
+/// Eigenvalues are sorted in **descending** order; `vectors.col(i)` is the
+/// unit-norm eigenvector for `values[i]`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, largest first.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Returns the eigenvector for the largest eigenvalue.
+    #[must_use]
+    pub fn dominant_vector(&self) -> Vec<f64> {
+        self.vectors.col(0)
+    }
+
+    /// Returns the eigenvector for the smallest eigenvalue.
+    #[must_use]
+    pub fn smallest_vector(&self) -> Vec<f64> {
+        self.vectors.col(self.values.len() - 1)
+    }
+
+    /// Maximum residual `‖A v − λ v‖∞` over all eigenpairs; a quality check.
+    #[must_use]
+    pub fn max_residual(&self, a: &Matrix) -> f64 {
+        let n = self.values.len();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let v = self.vectors.col(i);
+            let av = a.matvec(&v);
+            for (x, y) in av.iter().zip(v.iter()) {
+                worst = worst.max((x - self.values[i] * y).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Computes the full eigendecomposition of a real symmetric matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not square, or if the QL iteration fails to converge
+/// (more than 50 sweeps for one eigenvalue — practically unreachable for
+/// symmetric input).
+#[must_use]
+pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition requires a square matrix"
+    );
+    let n = a.rows();
+    if n == 0 {
+        return SymmetricEigen {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        };
+    }
+
+    let mut z = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    tred2(&mut z, &mut d, &mut e);
+    tqli(&mut d, &mut e, &mut z);
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = z[(r, old_c)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form.
+///
+/// On exit, `d` holds the diagonal, `e` the sub-diagonal (with `e[0] = 0`),
+/// and `z` the accumulated orthogonal transformation.
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in j + 1..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let upd = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= upd;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let upd = g * z[(k, i)];
+                    z[(k, j)] -= upd;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// `sqrt(a² + b²)` without destructive overflow.
+#[inline]
+fn pythag(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+/// QL iteration with implicit shifts on a symmetric tridiagonal matrix,
+/// accumulating the rotations into `z`.
+fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) {
+    let n = d.len();
+    if n <= 1 {
+        return;
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split the matrix.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "QL iteration failed to converge");
+            // Form the implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = pythag(g, 1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = pythag(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::symmetric_eigen;
+    use crate::matrix::Matrix;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..=r {
+                let v = next();
+                m[(r, c)] = v;
+                m[(c, r)] = v;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let eig = symmetric_eigen(&Matrix::zeros(0, 0));
+        assert!(eig.values.is_empty());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let eig = symmetric_eigen(&Matrix::from_rows(&[&[4.5]]));
+        assert!((eig.values[0] - 4.5).abs() < 1e-12);
+        assert!((eig.vectors[(0, 0)].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = symmetric_eigen(&a);
+        assert!((eig.values[0] - 3.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+        // Dominant eigenvector is (1,1)/√2 up to sign.
+        let v = eig.dominant_vector();
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v[0] - v[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_sorted_diagonal() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]);
+        let eig = symmetric_eigen(&a);
+        assert!((eig.values[0] - 5.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+        assert!((eig.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residuals_small_on_random_matrices() {
+        for (n, seed) in [(2, 1u64), (3, 2), (5, 3), (10, 4), (25, 5), (50, 6)] {
+            let a = random_symmetric(n, seed);
+            let eig = symmetric_eigen(&a);
+            let res = eig.max_residual(&a);
+            assert!(res < 1e-9 * (n as f64), "n={n}: residual {res}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(12, 99);
+        let eig = symmetric_eigen(&a);
+        let n = 12;
+        for i in 0..n {
+            for j in 0..n {
+                let vi = eig.vectors.col(i);
+                let vj = eig.vectors.col(j);
+                let d: f64 = vi.iter().zip(vj.iter()).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-9, "({i},{j}): {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_symmetric(20, 7);
+        let eig = symmetric_eigen(&a);
+        let trace: f64 = (0..20).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positive_semidefinite_gram_matrix() {
+        // Gram matrices (as used by shape extraction) must have
+        // non-negative eigenvalues.
+        let mut g = Matrix::zeros(6, 6);
+        let mut state = 5u64;
+        for _ in 0..4 {
+            let x: Vec<f64> = (0..6)
+                .map(|_| {
+                    state = state.wrapping_mul(48271).wrapping_add(11);
+                    (state % 1000) as f64 / 500.0 - 1.0
+                })
+                .collect();
+            g.rank_one_update(&x, 1.0);
+        }
+        let eig = symmetric_eigen(&g);
+        for &v in &eig.values {
+            assert!(v > -1e-9, "negative eigenvalue {v} for PSD matrix");
+        }
+        // Rank is at most 4, so the two smallest eigenvalues are ~0.
+        assert!(eig.values[4].abs() < 1e-9);
+        assert!(eig.values[5].abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_repeated_eigenvalues() {
+        let a = Matrix::identity(5);
+        let eig = symmetric_eigen(&a);
+        for &v in &eig.values {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        assert!(eig.max_residual(&a) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular() {
+        let _ = symmetric_eigen(&Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,190 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! Slower than the Householder/QL pipeline in [`crate::eigen`] but extremely
+//! simple and independently derived — we use it as a cross-check in tests
+//! and expose it for callers who prefer its unconditional robustness on
+//! small matrices.
+
+use crate::eigen::SymmetricEigen;
+use crate::matrix::Matrix;
+
+/// Maximum number of full sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the full eigendecomposition of a real symmetric matrix using
+/// cyclic Jacobi rotations.
+///
+/// Eigenvalues are returned in descending order, matching
+/// [`crate::eigen::symmetric_eigen`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square or the sweep limit is exceeded (practically
+/// unreachable: Jacobi converges quadratically for symmetric input).
+#[must_use]
+pub fn jacobi_eigen(a: &Matrix) -> SymmetricEigen {
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition requires a square matrix"
+    );
+    let n = a.rows();
+    if n == 0 {
+        return SymmetricEigen {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        };
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let mut sweeps = 0;
+    loop {
+        let off: f64 = off_diagonal_norm(&m);
+        if off < 1e-13 * (1.0 + m.frobenius_norm()) {
+            break;
+        }
+        sweeps += 1;
+        assert!(sweeps <= MAX_SWEEPS, "Jacobi failed to converge");
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for r in 0..n {
+        for c in r + 1..n {
+            s += 2.0 * m[(r, c)] * m[(r, c)];
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies one Jacobi rotation annihilating `m[(p, q)]`.
+fn rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    if apq.abs() < 1e-300 {
+        return;
+    }
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let theta = (aqq - app) / (2.0 * apq);
+    // Choose the smaller rotation for stability.
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+    let n = m.rows();
+
+    for k in 0..n {
+        let mkp = m[(k, p)];
+        let mkq = m[(k, q)];
+        m[(k, p)] = c * mkp - s * mkq;
+        m[(k, q)] = s * mkp + c * mkq;
+    }
+    for k in 0..n {
+        let mpk = m[(p, k)];
+        let mqk = m[(q, k)];
+        m[(p, k)] = c * mpk - s * mqk;
+        m[(q, k)] = s * mpk + c * mqk;
+    }
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::jacobi_eigen;
+    use crate::eigen::symmetric_eigen;
+    use crate::matrix::Matrix;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..=r {
+                let v = next();
+                m[(r, c)] = v;
+                m[(c, r)] = v;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = jacobi_eigen(&a);
+        assert!((eig.values[0] - 3.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residuals_small() {
+        for (n, seed) in [(3usize, 11u64), (6, 12), (12, 13), (20, 14)] {
+            let a = random_symmetric(n, seed);
+            let eig = jacobi_eigen(&a);
+            assert!(eig.max_residual(&a) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_householder_ql() {
+        for (n, seed) in [(4usize, 21u64), (9, 22), (16, 23)] {
+            let a = random_symmetric(n, seed);
+            let e1 = jacobi_eigen(&a);
+            let e2 = symmetric_eigen(&a);
+            for (v1, v2) in e1.values.iter().zip(e2.values.iter()) {
+                assert!((v1 - v2).abs() < 1e-8, "n={n}: {v1} vs {v2}");
+            }
+            // Eigenvectors agree up to sign.
+            for i in 0..n {
+                let u = e1.vectors.col(i);
+                let w = e2.vectors.col(i);
+                let d: f64 = u.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+                assert!(
+                    (d.abs() - 1.0).abs() < 1e-6,
+                    "n={n} vec {i}: |<u,w>| = {}",
+                    d.abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let eig = jacobi_eigen(&Matrix::zeros(4, 4));
+        for &v in &eig.values {
+            assert_eq!(v, 0.0);
+        }
+    }
+}

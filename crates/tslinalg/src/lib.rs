@@ -1,0 +1,38 @@
+//! Dense matrices and symmetric eigensolvers.
+//!
+//! This crate is the linear-algebra substrate of the k-Shape reproduction.
+//! k-Shape's shape extraction (Section 3.2 of the paper) maximizes a
+//! Rayleigh quotient, which requires the dominant eigenvector of a real
+//! symmetric matrix; spectral clustering and KSC need full symmetric
+//! eigendecompositions. Everything here is implemented from scratch:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix,
+//! * [`eigen::symmetric_eigen`] — Householder tridiagonalization followed by
+//!   implicit-shift QL iteration (the workhorse solver),
+//! * [`jacobi::jacobi_eigen`] — a cyclic Jacobi solver used as an
+//!   independent cross-check,
+//! * [`power::power_iteration`] — fast dominant-eigenvector extraction for
+//!   positive semi-definite matrices (the hot path of shape extraction).
+//!
+//! # Example
+//!
+//! ```
+//! use tslinalg::{Matrix, eigen::symmetric_eigen};
+//!
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+//! let eig = symmetric_eigen(&a);
+//! // Eigenvalues of [[2,1],[1,2]] are 3 and 1, sorted descending.
+//! assert!((eig.values[0] - 3.0).abs() < 1e-10);
+//! assert!((eig.values[1] - 1.0).abs() < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eigen;
+pub mod jacobi;
+pub mod matrix;
+pub mod power;
+
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use matrix::Matrix;
+pub use power::power_iteration;

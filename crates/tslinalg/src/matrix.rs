@@ -1,0 +1,389 @@
+//! A row-major dense matrix of `f64`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense matrix stored in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer size must equal rows * cols"
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns true if the matrix has no entries.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `r` as a slice.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    #[must_use]
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Borrows the underlying row-major buffer.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix–matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(orow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    #[must_use]
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v.iter()).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Adds `alpha · x xᵀ` to the matrix (rank-one update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the (square) dimension.
+    pub fn rank_one_update(&mut self, x: &[f64], alpha: f64) {
+        assert_eq!(
+            self.rows, self.cols,
+            "rank-one update requires a square matrix"
+        );
+        assert_eq!(x.len(), self.rows, "vector length must equal dimension");
+        for r in 0..self.rows {
+            let xr = alpha * x[r];
+            let row = self.row_mut(r);
+            for (o, &xc) in row.iter_mut().zip(x.iter()) {
+                *o += xr * xc;
+            }
+        }
+    }
+
+    /// Returns the maximum absolute asymmetry `max |A_ij − A_ji|`.
+    #[must_use]
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for r in 0..self.rows {
+            for c in 0..r.min(self.cols) {
+                worst = worst.max((self[(r, c)] - self[(c, r)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Returns true when the matrix is square and symmetric within `tol`.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.rows == self.cols && self.asymmetry() <= tol
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Euclidean norm of a vector.
+#[inline]
+#[must_use]
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Normalizes `v` to unit Euclidean norm in place. Leaves zero vectors
+/// untouched and returns the original norm.
+pub fn normalize(v: &mut [f64]) -> f64 {
+    let n = norm2(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{dot, norm2, normalize, Matrix};
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i = Matrix::identity(4);
+        let v = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(i.matvec(&v), v);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c[(0, 0)], 7.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn rank_one_update_builds_gram_matrix() {
+        let mut m = Matrix::zeros(3, 3);
+        m.rank_one_update(&[1.0, 2.0, 3.0], 1.0);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m[(2, 2)], 9.0);
+        assert!(m.is_symmetric(0.0));
+        // Accumulation: adding 2·uuᵀ with u = (1, 0, −1) changes (0,2) by −2.
+        m.rank_one_update(&[1.0, 0.0, -1.0], 2.0);
+        assert_eq!(m[(0, 2)], 3.0 - 2.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn rank_one_update_matches_outer_product() {
+        let x = [1.5, -2.0, 0.5];
+        let mut m = Matrix::zeros(3, 3);
+        m.rank_one_update(&x, 2.0);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((m[(r, c)] - 2.0 * x[r] * x[c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let mut m = Matrix::identity(3);
+        assert!(m.is_symmetric(0.0));
+        m[(0, 2)] = 0.5;
+        assert!(!m.is_symmetric(1e-9));
+        assert!((m.asymmetry() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
+        let mut v = vec![0.0, 3.0, 4.0];
+        let n = normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Power iteration for the dominant eigenvector.
+//!
+//! Shape extraction (paper Section 3.2) only needs the eigenvector of the
+//! largest eigenvalue of a positive semi-definite matrix `M = QᵀSQ`. Power
+//! iteration finds it in O(n² · iters) instead of the O(n³) of a full
+//! decomposition, and is exposed as a fast-path option the ablation bench
+//! compares against the full solver.
+
+use crate::matrix::{normalize, Matrix};
+
+/// Result of a power-iteration run.
+#[derive(Debug, Clone)]
+pub struct PowerResult {
+    /// Estimated dominant eigenvalue (Rayleigh quotient at convergence).
+    pub value: f64,
+    /// Unit-norm estimate of the dominant eigenvector.
+    pub vector: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the convergence tolerance was met.
+    pub converged: bool,
+}
+
+/// Runs power iteration on a square matrix.
+///
+/// Intended for positive semi-definite matrices, where the dominant
+/// eigenvalue is also the largest in magnitude. For general symmetric
+/// matrices a large negative eigenvalue would win instead; callers that
+/// cannot guarantee PSD input should use [`crate::eigen::symmetric_eigen`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square or is empty.
+#[must_use]
+pub fn power_iteration(a: &Matrix, max_iter: usize, tol: f64) -> PowerResult {
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "power iteration requires a square matrix"
+    );
+    let n = a.rows();
+    assert!(n > 0, "power iteration requires a non-empty matrix");
+
+    // Deterministic non-degenerate start vector.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + (i as f64 * 0.7391).sin() * 0.5)
+        .collect();
+    normalize(&mut v);
+
+    let mut value = 0.0;
+    for it in 1..=max_iter {
+        let mut w = a.matvec(&v);
+        let norm = normalize(&mut w);
+        if norm == 0.0 {
+            // v is in the null space; the dominant eigenvalue is 0 (PSD).
+            return PowerResult {
+                value: 0.0,
+                vector: v,
+                iterations: it,
+                converged: true,
+            };
+        }
+        // Rayleigh quotient λ = vᵀAv for the normalized iterate.
+        let av = a.matvec(&w);
+        value = w.iter().zip(av.iter()).map(|(x, y)| x * y).sum();
+        // Convergence: direction change below tolerance (sign-insensitive).
+        let dot: f64 = v.iter().zip(w.iter()).map(|(x, y)| x * y).sum();
+        let delta = 1.0 - dot.abs();
+        v = w;
+        if delta < tol {
+            return PowerResult {
+                value,
+                vector: v,
+                iterations: it,
+                converged: true,
+            };
+        }
+    }
+    PowerResult {
+        value,
+        vector: v,
+        iterations: max_iter,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::power_iteration;
+    use crate::eigen::symmetric_eigen;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn diagonal_dominant_eigenpair() {
+        let a = Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[0.0, 2.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let r = power_iteration(&a, 500, 1e-14);
+        assert!(r.converged);
+        assert!((r.value - 5.0).abs() < 1e-8);
+        assert!((r.vector[0].abs() - 1.0).abs() < 1e-6);
+        assert!(r.vector[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_full_solver_on_gram_matrix() {
+        // Build a PSD Gram matrix from a few random vectors.
+        let mut g = Matrix::zeros(8, 8);
+        let mut state = 3u64;
+        for _ in 0..5 {
+            let x: Vec<f64> = (0..8)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(2862933555777941757)
+                        .wrapping_add(3037000493);
+                    ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+                .collect();
+            g.rank_one_update(&x, 1.0);
+        }
+        let full = symmetric_eigen(&g);
+        let fast = power_iteration(&g, 2000, 1e-14);
+        assert!(fast.converged);
+        assert!((fast.value - full.values[0]).abs() < 1e-6);
+        let dv = full.dominant_vector();
+        let dot: f64 = dv.iter().zip(fast.vector.iter()).map(|(a, b)| a * b).sum();
+        assert!((dot.abs() - 1.0).abs() < 1e-5, "|<u,v>| = {}", dot.abs());
+    }
+
+    #[test]
+    fn zero_matrix_converges_to_zero_eigenvalue() {
+        let a = Matrix::zeros(4, 4);
+        let r = power_iteration(&a, 10, 1e-12);
+        assert!(r.converged);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn reports_nonconvergence_with_tiny_budget() {
+        // Two nearly equal eigenvalues converge slowly.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.999999]]);
+        let r = power_iteration(&a, 1, 1e-16);
+        assert_eq!(r.iterations, 1);
+        // value is still a sensible Rayleigh quotient.
+        assert!(r.value > 0.9 && r.value <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_matrix() {
+        let _ = power_iteration(&Matrix::zeros(0, 0), 10, 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! ECG clustering: the paper's motivating scenario (Figure 1).
+//!
+//! Two heartbeat morphologies recorded out of phase ("depending on when we
+//! start taking the measurements"). A shape-based method must group them by
+//! morphology regardless of the phase. We compare k-Shape against k-means
+//! with Euclidean distance and print the recovered centroids next to the
+//! true class prototypes.
+//!
+//! ```text
+//! cargo run --release --example ecg_clustering
+//! ```
+
+use kshape::sbd::sbd;
+use kshape::{KShape, KShapeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tscluster::kmeans::{kmeans, KMeansConfig};
+use tsdata::generators::{ecg, GenParams};
+use tsdata::normalize::z_normalize;
+use tsdist::EuclideanDistance;
+use tseval::rand_index::rand_index;
+
+fn main() {
+    let params = GenParams {
+        n_per_class: 30,
+        len: 96,
+        noise: 0.2,
+        max_shift_frac: 0.25, // heartbeats out of phase
+        amp_jitter: 1.4,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut data = ecg::generate(&params, &mut rng);
+    data.z_normalize();
+
+    println!(
+        "ECG dataset: {} beats of length {}, two morphologies, strong phase jitter\n",
+        data.n_series(),
+        data.series_len()
+    );
+
+    // --- k-means with ED: phase jitter defeats the one-to-one alignment ---
+    let km = kmeans(
+        &data.series,
+        &EuclideanDistance,
+        &KMeansConfig {
+            k: 2,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let km_rand = rand_index(&km.labels, &data.labels);
+
+    // --- k-Shape: SBD realigns members before comparing ---
+    let ks = KShape::new(KShapeConfig {
+        k: 2,
+        seed: 7,
+        ..Default::default()
+    })
+    .fit(&data.series);
+    let ks_rand = rand_index(&ks.labels, &data.labels);
+
+    println!("Rand index:  k-AVG+ED {km_rand:.3}   k-Shape {ks_rand:.3}");
+    assert!(
+        ks_rand >= km_rand,
+        "k-Shape should not lose on out-of-phase ECG"
+    );
+
+    // --- how close are the recovered centroids to the true prototypes? ---
+    println!("\nSBD from each k-Shape centroid to the closest class prototype:");
+    for (j, c) in ks.centroids.iter().enumerate() {
+        let best: f64 = (0..2)
+            .map(|class| sbd(&z_normalize(&ecg::prototype(class, params.len)), c).dist)
+            .fold(f64::INFINITY, f64::min);
+        println!("  centroid {j}: SBD {best:.4}");
+    }
+    println!("\nk-Shape recovers the beat morphologies despite the phase shifts;");
+    println!("plain k-means mixes them because ED compares index-to-index.");
+}

@@ -1,0 +1,82 @@
+//! Clustering very long series via dimensionality reduction.
+//!
+//! The paper notes (Section 3.3) that k-Shape's per-iteration cost is
+//! dominated by the series length `m` and, in the rare `m ≫ n` regime,
+//! recommends "segmentation or dimensionality reduction approaches … to
+//! sufficiently reduce the length of the sequences". This example clusters
+//! length-2048 series directly and after PAA / Haar reduction to 128
+//! samples, comparing wall time and Rand index.
+//!
+//! ```text
+//! cargo run --release --example long_series
+//! ```
+
+use std::time::Instant;
+
+use kshape::{KShape, KShapeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdata::generators::{seasonal, GenParams};
+use tsdata::normalize::z_normalize;
+use tsdata::reduce::{haar_reduce, paa};
+use tseval::rand_index::rand_index;
+
+fn cluster(series: &[Vec<f64>], truth: &[usize], label: &str) {
+    let t = Instant::now();
+    let r = KShape::new(KShapeConfig {
+        k: 3,
+        seed: 9,
+        max_iter: 50,
+        ..Default::default()
+    })
+    .fit(series);
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "{label:<22} m = {:>4}   Rand {:.3}   {:.2}s",
+        series[0].len(),
+        rand_index(&r.labels, truth),
+        secs
+    );
+}
+
+fn main() {
+    let m = 2048usize;
+    let params = GenParams {
+        n_per_class: 12,
+        len: m,
+        noise: 0.3,
+        max_shift_frac: 0.05,
+        amp_jitter: 1.3,
+    };
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut data = seasonal::generate(3, 4.0, &params, &mut rng);
+    data.z_normalize();
+    println!(
+        "{} series of length {m}, 3 seasonal classes\n",
+        data.n_series()
+    );
+
+    cluster(&data.series, &data.labels, "full resolution");
+
+    let target = 128usize;
+    let paa_series: Vec<Vec<f64>> = data
+        .series
+        .iter()
+        .map(|s| z_normalize(&paa(s, target)))
+        .collect();
+    cluster(&paa_series, &data.labels, "PAA to 128");
+
+    let haar_series: Vec<Vec<f64>> = data
+        .series
+        .iter()
+        .map(|s| z_normalize(&haar_reduce(s, target)))
+        .collect();
+    cluster(&haar_series, &data.labels, "Haar (128 coeffs)");
+
+    println!("\nPAA preserves the cluster structure at a fraction of the cost — the");
+    println!("mitigation the paper prescribes for m >> n. Note the trade-off: PAA");
+    println!("keeps the time axis, so SBD's shift handling still works; the Haar");
+    println!("coefficient space scrambles time, so phase-shifted members stop");
+    println!("aligning and accuracy can drop. Prefer PAA (or any segmentation)");
+    println!("before a shift-invariant method.");
+}

@@ -1,0 +1,14 @@
+//! Facade crate for the k-Shape reproduction workspace.
+//!
+//! Re-exports every sub-crate so examples and integration tests can depend
+//! on a single package.
+
+#![warn(missing_docs)]
+
+pub use kshape;
+pub use tscluster;
+pub use tsdata;
+pub use tsdist;
+pub use tseval;
+pub use tsfft;
+pub use tslinalg;

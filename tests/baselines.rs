@@ -1,0 +1,152 @@
+//! Cross-crate tests of the baseline clustering algorithms on generated
+//! shape data — each baseline must behave as the paper characterizes it.
+
+use kshape::sbd::Sbd;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tscluster::dba::{kdba, KDbaConfig};
+use tscluster::hierarchical::{hierarchical_cluster, Linkage};
+use tscluster::ksc::{ksc, KscConfig};
+use tscluster::matrix::DissimilarityMatrix;
+use tscluster::pam::pam;
+use tscluster::spectral::{spectral_cluster, SpectralConfig};
+use tsdata::generators::{seasonal, GenParams};
+use tsdist::dtw::Dtw;
+use tsdist::EuclideanDistance;
+use tseval::rand_index::rand_index;
+
+fn waveform_data(noise: f64, shift: f64) -> tsdata::Dataset {
+    let params = GenParams {
+        n_per_class: 10,
+        len: 80,
+        noise,
+        max_shift_frac: shift,
+        amp_jitter: 1.3,
+    };
+    let mut rng = StdRng::seed_from_u64(31);
+    // Harmonic-mixture classes: near-orthogonal shapes, so a shift- and
+    // scale-invariant measure separates them cleanly.
+    let mut d = seasonal::generate(3, 2.0, &params, &mut rng);
+    d.z_normalize();
+    d
+}
+
+#[test]
+fn pam_with_sbd_clusters_shifted_waveforms() {
+    let data = waveform_data(0.1, 0.25);
+    let matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
+    let r = pam(&matrix, 3, 100);
+    let rand = rand_index(&r.labels, &data.labels);
+    assert!(rand > 0.9, "PAM+SBD Rand {rand}");
+}
+
+#[test]
+fn pam_with_ed_struggles_on_the_same_shifted_data() {
+    let data = waveform_data(0.1, 0.25);
+    let sbd_matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
+    let ed_matrix = DissimilarityMatrix::compute(&data.series, &EuclideanDistance);
+    let r_sbd = rand_index(&pam(&sbd_matrix, 3, 100).labels, &data.labels);
+    let r_ed = rand_index(&pam(&ed_matrix, 3, 100).labels, &data.labels);
+    assert!(
+        r_sbd > r_ed,
+        "shift-invariant distance must help PAM: SBD {r_sbd} vs ED {r_ed}"
+    );
+}
+
+#[test]
+fn hierarchical_with_sbd_handles_shifted_waveforms() {
+    let data = waveform_data(0.08, 0.2);
+    let matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
+    let labels = hierarchical_cluster(&matrix, Linkage::Complete, 3);
+    let rand = rand_index(&labels, &data.labels);
+    assert!(rand > 0.8, "H-C+SBD Rand {rand}");
+}
+
+#[test]
+fn spectral_with_sbd_handles_shifted_waveforms() {
+    let data = waveform_data(0.08, 0.2);
+    let matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
+    let r = spectral_cluster(
+        &matrix,
+        &SpectralConfig {
+            k: 3,
+            seed: 2,
+            ..Default::default()
+        },
+    );
+    let rand = rand_index(&r.labels, &data.labels);
+    assert!(rand > 0.8, "S+SBD Rand {rand}");
+}
+
+#[test]
+fn kdba_handles_small_shifts_within_warping_reach() {
+    // DTW-based methods are at their best when phase shifts are small —
+    // exactly the regime the paper contrasts with SBD's global alignment.
+    let data = waveform_data(0.08, 0.04);
+    let r = kdba(
+        &data.series,
+        &KDbaConfig {
+            k: 3,
+            seed: 6,
+            max_iter: 30,
+            ..Default::default()
+        },
+    );
+    let rand = rand_index(&r.labels, &data.labels);
+    assert!(rand > 0.7, "k-DBA Rand {rand}");
+}
+
+#[test]
+fn dtw_methods_degrade_on_large_shifts_where_sbd_does_not() {
+    // The paper's central contrast: global phase shifts defeat banded DTW
+    // but not SBD.
+    let data = waveform_data(0.08, 0.25);
+    let w = (0.05 * 80.0) as usize;
+    let cdtw_matrix = DissimilarityMatrix::compute(&data.series, &Dtw::with_window(w));
+    let sbd_matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
+    let r_cdtw = rand_index(&pam(&cdtw_matrix, 3, 100).labels, &data.labels);
+    let r_sbd = rand_index(&pam(&sbd_matrix, 3, 100).labels, &data.labels);
+    assert!(
+        r_sbd > r_cdtw,
+        "PAM+SBD {r_sbd} must beat PAM+cDTW {r_cdtw} on strongly shifted data"
+    );
+}
+
+#[test]
+fn ksc_handles_scaled_and_shifted_waveforms() {
+    let data = waveform_data(0.08, 0.2);
+    let r = ksc(
+        &data.series,
+        &KscConfig {
+            k: 3,
+            seed: 9,
+            max_iter: 50,
+        },
+    );
+    let rand = rand_index(&r.labels, &data.labels);
+    assert!(rand > 0.7, "KSC Rand {rand}");
+}
+
+#[test]
+fn pam_cdtw_matches_paper_role_of_strong_competitor() {
+    // With shifts inside the warping window, PAM+cDTW is the strong
+    // competitor of the paper.
+    let data = waveform_data(0.1, 0.04);
+    let w = (0.05 * 80.0) as usize;
+    let matrix = DissimilarityMatrix::compute(&data.series, &Dtw::with_window(w));
+    let r = pam(&matrix, 3, 100);
+    let rand = rand_index(&r.labels, &data.labels);
+    assert!(rand > 0.7, "PAM+cDTW Rand {rand}");
+}
+
+#[test]
+fn dissimilarity_matrix_parallel_equals_serial_for_sbd() {
+    let data = waveform_data(0.1, 0.1);
+    let serial = DissimilarityMatrix::compute(&data.series, &Sbd::new());
+    let parallel = DissimilarityMatrix::compute_parallel(&data.series, &Sbd::new(), 4);
+    for i in 0..serial.len() {
+        for j in 0..serial.len() {
+            assert!((serial.get(i, j) - parallel.get(i, j)).abs() < 1e-9);
+        }
+    }
+}

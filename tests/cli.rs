@@ -1,0 +1,115 @@
+//! End-to-end tests of the `kshape-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kshape-cli"))
+}
+
+fn write_toy_file(tag: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("kshape-cli-test-{}-{tag}.txt", std::process::id()));
+    // Two obvious classes: rising vs falling ramps, slightly jittered.
+    let mut content = String::new();
+    for j in 0..4 {
+        let eps = j as f64 * 0.01;
+        content.push_str(&format!(
+            "1,{},{},{},{}\n",
+            eps,
+            1.0 + eps,
+            2.0 + eps,
+            3.0 + eps
+        ));
+        content.push_str(&format!(
+            "2,{},{},{},{}\n",
+            3.0 - eps,
+            2.0 - eps,
+            1.0 - eps,
+            -eps
+        ));
+    }
+    std::fs::write(&path, content).expect("write toy file");
+    path
+}
+
+#[test]
+fn clusters_a_ucr_file_perfectly() {
+    let path = write_toy_file("clusters");
+    let out = cli()
+        .arg(&path)
+        .args(["--k", "2", "--restarts", "3"])
+        .output()
+        .expect("run cli");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // One label per input line, exactly two clusters, alternating.
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let labels: Vec<&str> = stdout.lines().collect();
+    assert_eq!(labels.len(), 8);
+    for pair in labels.chunks(2) {
+        assert_eq!(pair[0], labels[0]);
+        assert_eq!(pair[1], labels[1]);
+    }
+    assert_ne!(labels[0], labels[1]);
+
+    // The scoring line reports a perfect Rand index.
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("Rand index vs file labels: 1.0000"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn reports_centroids_and_silhouette_when_asked() {
+    let path = write_toy_file("centroids");
+    let out = cli()
+        .arg(&path)
+        .args(["--k", "2", "--centroids", "--silhouette"])
+        .output()
+        .expect("run cli");
+    std::fs::remove_file(&path).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(stdout.matches("# centroid").count(), 2);
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("silhouette (SBD):"), "{stderr}");
+}
+
+#[test]
+fn missing_k_is_a_usage_error() {
+    let path = write_toy_file("missing_k");
+    let out = cli().arg(&path).output().expect("run cli");
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unreadable_file_is_an_error() {
+    let out = cli()
+        .args(["/nonexistent/kshape-input.txt", "--k", "2"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn k_larger_than_file_is_rejected() {
+    let path = write_toy_file("k_large");
+    let out = cli()
+        .arg(&path)
+        .args(["--k", "99"])
+        .output()
+        .expect("run cli");
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("--k must be in"), "{stderr}");
+}

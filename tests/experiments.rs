@@ -1,0 +1,114 @@
+//! Integration tests of the experiment harness itself: the machinery that
+//! regenerates the paper's tables must behave sensibly on a small slice of
+//! the collection.
+
+use tsdata::collection::{synthetic_collection, CollectionSpec};
+use tsexperiments::cluster_eval::{evaluate_method, DistKind, Method};
+use tsexperiments::dist_eval::{compare_to_baseline, eval_cdtw_opt, eval_measure, table2_sweep};
+use tsexperiments::ExperimentConfig;
+
+fn tiny_collection() -> Vec<tsdata::dataset::SplitDataset> {
+    synthetic_collection(&CollectionSpec {
+        seed: 41,
+        size_factor: 0.34,
+    })
+}
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        size_factor: 0.34,
+        runs: 1,
+        max_iter: 8,
+        seed: 41,
+        threads: 2,
+    }
+}
+
+#[test]
+fn table2_sweep_produces_all_rows() {
+    // Two datasets only — exercise the full sweep end to end.
+    let collection = &tiny_collection()[..2];
+    let (rows, ed_index) = table2_sweep(collection);
+    assert_eq!(rows.len(), 12, "one row per Table 2 measure");
+    assert_eq!(rows[ed_index].name, "ED");
+    for row in &rows {
+        assert_eq!(row.accuracies.len(), 2, "{}", row.name);
+        for &a in &row.accuracies {
+            assert!((0.0..=1.0).contains(&a), "{}: {a}", row.name);
+        }
+        assert!(row.seconds >= 0.0);
+    }
+    // The three SBD variants compute the same distances, hence identical
+    // accuracies.
+    let sbd_rows: Vec<_> = rows.iter().filter(|r| r.name.starts_with("SBD")).collect();
+    assert_eq!(sbd_rows.len(), 3);
+    for r in &sbd_rows[1..] {
+        assert_eq!(r.accuracies, sbd_rows[0].accuracies);
+    }
+}
+
+#[test]
+fn cdtw_opt_tunes_reasonable_windows() {
+    let collection = &tiny_collection()[..3];
+    let (eval, windows, tuning_seconds) = eval_cdtw_opt(collection, false);
+    assert_eq!(eval.accuracies.len(), 3);
+    assert_eq!(windows.len(), 3);
+    assert!(tuning_seconds >= 0.0);
+    for (split, &w) in collection.iter().zip(windows.iter()) {
+        let m = split.train.series_len();
+        assert!(w <= m / 5, "window {w} too wide for m = {m}");
+    }
+}
+
+#[test]
+fn sbd_beats_ed_on_the_shifted_slice() {
+    // The high-shift variant (index 2 block) is where SBD must win.
+    let collection = tiny_collection();
+    let shifted: Vec<_> = collection
+        .iter()
+        .filter(|d| d.name().ends_with("-05"))
+        .cloned()
+        .collect();
+    assert_eq!(shifted.len(), 8);
+    let ed = eval_measure(&shifted, &tsdist::EuclideanDistance);
+    let sbd = eval_measure(&shifted, &kshape::sbd::Sbd::new());
+    let cmp = compare_to_baseline(&sbd.accuracies, &ed.accuracies);
+    assert!(
+        cmp.wins > cmp.losses,
+        "SBD should win on shifted data: {} vs {}",
+        cmp.wins,
+        cmp.losses
+    );
+}
+
+#[test]
+fn cluster_eval_runs_every_method_kind() {
+    let collection = &tiny_collection()[..1];
+    let cfg = tiny_cfg();
+    for method in [
+        Method::KAvg(DistKind::Ed),
+        Method::KShape,
+        Method::Ksc,
+        Method::Pam(DistKind::Sbd),
+        Method::Hierarchical(tscluster::hierarchical::Linkage::Complete, DistKind::Ed),
+        Method::Spectral(DistKind::Ed),
+    ] {
+        let eval = evaluate_method(method, collection, &cfg);
+        assert_eq!(eval.rand_indices.len(), 1, "{}", eval.name);
+        assert!(
+            (0.0..=1.0).contains(&eval.rand_indices[0]),
+            "{}: {}",
+            eval.name,
+            eval.rand_indices[0]
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    let collection = &tiny_collection()[..2];
+    let cfg = tiny_cfg();
+    let a = evaluate_method(Method::KShape, collection, &cfg);
+    let b = evaluate_method(Method::KShape, collection, &cfg);
+    assert_eq!(a.rand_indices, b.rand_indices);
+}

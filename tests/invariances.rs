@@ -1,0 +1,185 @@
+//! Cross-crate invariance tests: each distortion of paper Section 2.2 is
+//! produced by `tsdata::distort` and must be absorbed by the measure that
+//! claims the corresponding invariance.
+
+use kshape::sbd::sbd;
+use proptest::prelude::*;
+use tsdata::distort::{shift_zero_pad, warp_local};
+use tsdata::normalize::z_normalize;
+use tsdist::dtw::dtw_distance;
+use tsdist::ed::euclidean;
+
+fn wavy(m: usize, f: f64, phase: f64) -> Vec<f64> {
+    (0..m)
+        .map(|i| (f * i as f64 / m as f64 * std::f64::consts::TAU + phase).sin())
+        .collect()
+}
+
+#[test]
+fn sbd_absorbs_scaling_and_translation_after_znorm() {
+    let x = wavy(64, 2.0, 0.3);
+    let distorted: Vec<f64> = x.iter().map(|v| 5.0 * v + 100.0).collect();
+    // z-normalization (the paper's preprocessing) plus SBD's own
+    // coefficient normalization make the pair indistinguishable.
+    let d = sbd(&z_normalize(&x), &z_normalize(&distorted)).dist;
+    assert!(d < 1e-9, "{d}");
+}
+
+#[test]
+fn sbd_absorbs_global_phase_shift_but_ed_does_not() {
+    let x = z_normalize(
+        &(0..96)
+            .map(|i| (-((i as f64 - 30.0) / 5.0).powi(2)).exp())
+            .collect::<Vec<_>>(),
+    );
+    let shifted = shift_zero_pad(&x, 12);
+    let d_sbd = sbd(&x, &shifted).dist;
+    let d_ed = euclidean(&x, &shifted);
+    assert!(d_sbd < 0.1, "SBD {d_sbd}");
+    assert!(d_ed > 5.0, "ED should be large: {d_ed}");
+}
+
+#[test]
+fn dtw_absorbs_local_warping_better_than_ed_and_sbd() {
+    let x = z_normalize(&wavy(128, 3.0, 0.0));
+    let warped = z_normalize(&warp_local(&x, 4.0, 1.3));
+    let d_dtw = dtw_distance(&x, &warped, None);
+    let d_ed = euclidean(&x, &warped);
+    assert!(
+        d_dtw < 0.5 * d_ed,
+        "DTW {d_dtw} should absorb the warp, ED {d_ed}"
+    );
+    // SBD's single linear drift cannot fully undo a non-linear warp.
+    let d_sbd = sbd(&x, &warped).dist;
+    assert!(d_sbd > 1e-3, "warping is not a pure shift: SBD {d_sbd}");
+}
+
+#[test]
+fn cdtw_interpolates_between_ed_and_dtw() {
+    let x = z_normalize(&wavy(64, 2.0, 0.0));
+    let y = z_normalize(&wavy(64, 2.0, 0.8));
+    let full = dtw_distance(&x, &y, None);
+    let ed = euclidean(&x, &y);
+    let mut last = ed;
+    for w in [0usize, 2, 4, 8, 16, 64] {
+        let d = dtw_distance(&x, &y, Some(w));
+        assert!(d <= last + 1e-12, "window {w}");
+        assert!(d >= full - 1e-12, "window {w}");
+        last = d;
+    }
+}
+
+#[test]
+fn lcss_provides_occlusion_invariance_that_ed_lacks() {
+    // Occlude a chunk of the series: LCSS skips it, ED pays full price.
+    let x = z_normalize(&wavy(60, 2.0, 0.0));
+    let mut y = x.clone();
+    for v in &mut y[20..30] {
+        *v = 0.0;
+    }
+    let d_lcss = tsdist::lcss::lcss_distance(&x, &y, 0.05, None);
+    // Exactly the occluded fraction is unmatched.
+    assert!(d_lcss <= 10.0 / 60.0 + 1e-9, "LCSS {d_lcss}");
+    let d_ed = euclidean(&x, &y);
+    assert!(d_ed > 1.0, "ED should be heavily affected: {d_ed}");
+}
+
+#[test]
+fn cid_separates_complexity_that_ed_conflates() {
+    // Two pairs at the same ED, one with matched complexity and one with
+    // mismatched complexity: CID must rank the mismatched pair farther.
+    let smooth = z_normalize(&wavy(64, 1.0, 0.0));
+    let smooth_shifted = z_normalize(&wavy(64, 1.0, 0.3));
+    let busy = z_normalize(&wavy(64, 11.0, 0.0));
+    let ed_like = euclidean(&smooth, &smooth_shifted);
+    let ed_busy = euclidean(&smooth, &busy);
+    let cid_like = tsdist::cid::cid(&smooth, &smooth_shifted);
+    let cid_busy = tsdist::cid::cid(&smooth, &busy);
+    // CID inflates the complexity-mismatched pair much more.
+    assert!(
+        cid_busy / ed_busy > cid_like / ed_like + 0.5,
+        "CID factors: like {} vs busy {}",
+        cid_like / ed_like,
+        cid_busy / ed_busy
+    );
+}
+
+#[test]
+fn erp_and_msm_are_metrics_where_dtw_is_not() {
+    // A classic DTW triangle-inequality violation pattern: constant,
+    // impulse, and double-impulse sequences.
+    let a = vec![0.0; 8];
+    let mut b = vec![0.0; 8];
+    b[3] = 4.0;
+    let mut c = vec![0.0; 8];
+    c[2] = 4.0;
+    c[5] = 4.0;
+    // Metric measures must satisfy the triangle inequality on this triple.
+    let erp = |x: &[f64], y: &[f64]| tsdist::erp::erp_distance(x, y, 0.0);
+    assert!(erp(&a, &c) <= erp(&a, &b) + erp(&b, &c) + 1e-9);
+    let msm = |x: &[f64], y: &[f64]| tsdist::msm::msm_distance(x, y, 0.5);
+    assert!(msm(&a, &c) <= msm(&a, &b) + msm(&b, &c) + 1e-9);
+}
+
+#[test]
+fn uniform_scaling_handled_by_rescaled_sbd() {
+    // Heartbeats "with measurement periods of different duration"
+    // (Section 2.2): the same beat sampled at half the rate.
+    let long = z_normalize(&wavy(128, 3.0, 0.4));
+    let short = tsdata::distort::resample(&long, 64);
+    let r = kshape::sbd_unequal::sbd_rescaled(&long, &short);
+    assert!(r.dist < 0.01, "rescaled SBD {}", r.dist);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sbd_range_and_identity(
+        sig in prop::collection::vec(-50.0f64..50.0, 4..48),
+    ) {
+        let z = z_normalize(&sig);
+        // A constant input z-normalizes to all zeros; SBD defines that
+        // case as distance 0 to itself.
+        let d_self = sbd(&z, &z).dist;
+        prop_assert!(d_self.abs() < 1e-9);
+        let rev: Vec<f64> = z.iter().rev().copied().collect();
+        let d = sbd(&z, &rev).dist;
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&d));
+    }
+
+    #[test]
+    fn sbd_scale_invariance_property(
+        sig in prop::collection::vec(-50.0f64..50.0, 4..48),
+        scale in 0.01f64..100.0,
+    ) {
+        let other: Vec<f64> = sig.iter().enumerate().map(|(i, v)| v + (i as f64).sin()).collect();
+        let scaled: Vec<f64> = other.iter().map(|v| scale * v).collect();
+        let d1 = sbd(&sig, &other).dist;
+        let d2 = sbd(&sig, &scaled).dist;
+        prop_assert!((d1 - d2).abs() < 1e-7, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn dtw_upper_bounded_by_ed_property(
+        sig in prop::collection::vec(-50.0f64..50.0, 2..40),
+    ) {
+        let m = sig.len();
+        let other: Vec<f64> = (0..m).map(|i| sig[m - 1 - i] * 0.5 + 1.0).collect();
+        prop_assert!(dtw_distance(&sig, &other, None) <= euclidean(&sig, &other) + 1e-9);
+    }
+
+    #[test]
+    fn znorm_then_sbd_invariant_to_affine_distortion(
+        sig in prop::collection::vec(-50.0f64..50.0, 8..40),
+        a in 0.1f64..20.0,
+        b in -100.0f64..100.0,
+    ) {
+        // Skip degenerate constant inputs.
+        let z = z_normalize(&sig);
+        prop_assume!(z.iter().any(|&v| v.abs() > 1e-9));
+        let affine: Vec<f64> = sig.iter().map(|v| a * v + b).collect();
+        let d = sbd(&z, &z_normalize(&affine)).dist;
+        prop_assert!(d < 1e-7, "{d}");
+    }
+}
