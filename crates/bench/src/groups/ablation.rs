@@ -1,0 +1,82 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * initialization — random assignment (the paper) vs k-shape++ seeding,
+//! * centroid refinements per k-DBA iteration — 1 (the paper's default)
+//!   vs 5 (its footnote 8 reports +4% Rand for +30% runtime),
+//! * LB_Keogh cascading for cDTW 1-NN search on/off.
+
+use std::hint::black_box;
+use tsbench::Group;
+
+use crate::ecg_dataset;
+use kshape::init::InitStrategy;
+use kshape::{KShape, KShapeConfig};
+use tscluster::dba::{kdba, KDbaConfig};
+use tsdata::collection::split_alternating;
+use tsdata::dataset::Dataset;
+use tsdist::dtw::Dtw;
+use tsdist::nn::{one_nn_accuracy, one_nn_accuracy_lb};
+
+/// Runs the `ablation` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("ablation").with_config(super::macro_config(quick));
+
+    // Initialization strategies.
+    let (n_per_class, m, max_iter) = if quick { (8, 48, 6) } else { (30, 128, 30) };
+    let (series, _) = ecg_dataset(n_per_class, m, 33);
+    for (name, init) in [
+        ("init/random", InitStrategy::Random),
+        ("init/plus_plus", InitStrategy::PlusPlus),
+    ] {
+        g.bench(name, || {
+            KShape::new(KShapeConfig {
+                k: 2,
+                max_iter,
+                seed: 2,
+                init,
+                ..Default::default()
+            })
+            .fit(black_box(&series))
+        });
+    }
+
+    // DBA refinements per iteration.
+    let (dba_series, _) = if quick {
+        ecg_dataset(5, 32, 34)
+    } else {
+        ecg_dataset(20, 96, 34)
+    };
+    let dba_iter = if quick { 3 } else { 15 };
+    for refinements in [1usize, 5] {
+        g.bench(&format!("dba_refinements/{refinements}"), || {
+            kdba(
+                black_box(&dba_series),
+                &KDbaConfig {
+                    k: 2,
+                    max_iter: dba_iter,
+                    seed: 3,
+                    refinements_per_iter: refinements,
+                    window: None,
+                },
+            )
+        });
+    }
+
+    // LB_Keogh cascade for cDTW 1-NN.
+    let (nn_series, nn_labels) = if quick {
+        ecg_dataset(8, 48, 35)
+    } else {
+        ecg_dataset(30, 128, 35)
+    };
+    let data = Dataset::new("bench", nn_series, nn_labels);
+    let split = split_alternating(data);
+    let w = 6;
+    g.bench("lb_keogh/cdtw_plain", || {
+        one_nn_accuracy(&Dtw::with_window(w), black_box(&split.train), &split.test)
+    });
+    g.bench("lb_keogh/cdtw_lb_cascade", || {
+        one_nn_accuracy_lb(Some(w), black_box(&split.train), &split.test)
+    });
+    g
+}

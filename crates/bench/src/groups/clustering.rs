@@ -1,0 +1,75 @@
+//! Table 3 runtime column, as a benchmark: full clustering runs of each
+//! scalable method on a fixed ECG-like dataset.
+//!
+//! Paper expectations: k-AVG+ED fastest; k-Shape within roughly an order
+//! of magnitude; KSC slower; k-DBA (full DTW paths every iteration) and
+//! anything assigning with unconstrained DTW slowest.
+
+use std::hint::black_box;
+use tsbench::Group;
+
+use crate::ecg_dataset;
+use kshape::{KShape, KShapeConfig};
+use tscluster::dba::{kdba, KDbaConfig};
+use tscluster::kmeans::{kmeans, KMeansConfig};
+use tscluster::ksc::{ksc, KscConfig};
+use tscluster::matrix::DissimilarityMatrix;
+use tscluster::pam::pam;
+use tsdist::dtw::Dtw;
+use tsdist::EuclideanDistance;
+
+/// Runs the `clustering` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("clustering").with_config(super::macro_config(quick));
+    let (n_per_class, m, max_iter) = if quick { (8, 48, 5) } else { (30, 128, 20) };
+    let (series, _) = ecg_dataset(n_per_class, m, 21);
+
+    g.bench("k-AVG+ED", || {
+        kmeans(
+            black_box(&series),
+            &EuclideanDistance,
+            &KMeansConfig {
+                k: 2,
+                max_iter,
+                seed: 1,
+            },
+        )
+    });
+    g.bench("k-Shape", || {
+        KShape::new(KShapeConfig {
+            k: 2,
+            max_iter,
+            seed: 1,
+            ..Default::default()
+        })
+        .fit(black_box(&series))
+    });
+    g.bench("KSC", || {
+        ksc(
+            black_box(&series),
+            &KscConfig {
+                k: 2,
+                max_iter,
+                seed: 1,
+            },
+        )
+    });
+    g.bench("k-DBA", || {
+        kdba(
+            black_box(&series),
+            &KDbaConfig {
+                k: 2,
+                max_iter,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+    });
+    g.bench("PAM+cDTW(matrix+swap)", || {
+        // The paper's point about PAM: the dissimilarity matrix dominates.
+        let matrix = DissimilarityMatrix::compute(black_box(&series), &Dtw::with_window(6));
+        pam(&matrix, 2, max_iter)
+    });
+    g
+}

@@ -1,0 +1,70 @@
+//! Table 2 runtime column, as a microbenchmark: per-pair cost of each
+//! distance measure across series lengths.
+//!
+//! Paper expectations: ED fastest; SBD a small factor slower; SBD-NoPow2
+//! slower than SBD; SBD-NoFFT and DTW quadratic (their gap to SBD widens
+//! with `m`); cDTW between ED and DTW.
+
+use std::hint::black_box;
+use tsbench::Group;
+
+use crate::random_series;
+use kshape::sbd::{sbd_with, CorrMethod, SbdPlan};
+use tsdist::dtw::dtw_distance;
+use tsdist::ed::euclidean;
+use tsdist::erp::erp_distance;
+use tsdist::lcss::lcss_length;
+use tsdist::msm::msm_distance;
+
+/// Runs the `distances` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("distances").with_config(super::micro_config(quick));
+    let lengths: &[usize] = if quick { &[64] } else { &[64, 256, 1024] };
+    for &m in lengths {
+        let x = random_series(m, 1);
+        let y = random_series(m, 2);
+
+        g.bench(&format!("ED/{m}"), || {
+            euclidean(black_box(&x), black_box(&y))
+        });
+        g.bench(&format!("SBD/{m}"), || {
+            sbd_with(black_box(&x), black_box(&y), CorrMethod::FftPow2).dist
+        });
+        {
+            // The hot-path variant used inside k-Shape: plan + reference
+            // spectrum amortized.
+            let plan = SbdPlan::new(m);
+            let prepared = plan.prepare(&x);
+            g.bench(&format!("SBD-planned/{m}"), || {
+                plan.sbd_prepared(black_box(&prepared), black_box(&y)).dist
+            });
+        }
+        g.bench(&format!("SBD-NoPow2/{m}"), || {
+            sbd_with(black_box(&x), black_box(&y), CorrMethod::FftExact).dist
+        });
+        g.bench(&format!("SBD-NoFFT/{m}"), || {
+            sbd_with(black_box(&x), black_box(&y), CorrMethod::Naive).dist
+        });
+        let w = (0.05 * m as f64).round() as usize;
+        g.bench(&format!("cDTW-5/{m}"), || {
+            dtw_distance(black_box(&x), black_box(&y), Some(w))
+        });
+        if m <= 256 {
+            g.bench(&format!("DTW/{m}"), || {
+                dtw_distance(black_box(&x), black_box(&y), None)
+            });
+            // Elastic extensions share DTW's quadratic DP shape.
+            g.bench(&format!("ERP/{m}"), || {
+                erp_distance(black_box(&x), black_box(&y), 0.0)
+            });
+            g.bench(&format!("MSM/{m}"), || {
+                msm_distance(black_box(&x), black_box(&y), 0.5)
+            });
+            g.bench(&format!("LCSS/{m}"), || {
+                lcss_length(black_box(&x), black_box(&y), 0.25, None)
+            });
+        }
+    }
+    g
+}

@@ -1,0 +1,60 @@
+//! Eigensolver microbenchmarks: Householder+QL vs cyclic Jacobi vs power
+//! iteration on random symmetric matrices.
+//!
+//! Shape extraction needs only the dominant eigenpair of a PSD matrix, so
+//! power iteration's advantage over the full solvers is the headroom the
+//! `EigenMethod::Power` fast path exploits.
+
+use std::hint::black_box;
+use tsbench::Group;
+
+use tslinalg::eigen::symmetric_eigen;
+use tslinalg::jacobi::jacobi_eigen;
+use tslinalg::matrix::Matrix;
+use tslinalg::power::power_iteration;
+use tsrand::{Rng, StdRng};
+
+fn random_symmetric(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..=r {
+            let v = rng.gen_range(-1.0..1.0);
+            m[(r, c)] = v;
+            m[(c, r)] = v;
+        }
+    }
+    m
+}
+
+/// A PSD Gram matrix (the shape-extraction case).
+fn random_psd(n: usize, rank: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, n);
+    for _ in 0..rank {
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        m.rank_one_update(&x, 1.0);
+    }
+    m
+}
+
+/// Runs the `eigen` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("eigen").with_config(super::micro_config(quick));
+    let sizes: &[usize] = if quick { &[16] } else { &[16, 64, 128] };
+    for &n in sizes {
+        let a = random_symmetric(n, 3);
+        g.bench(&format!("householder_ql/{n}"), || {
+            symmetric_eigen(black_box(&a))
+        });
+        if n <= 64 {
+            g.bench(&format!("jacobi/{n}"), || jacobi_eigen(black_box(&a)));
+        }
+        let psd = random_psd(n, 8, 4);
+        g.bench(&format!("power_iteration_psd/{n}"), || {
+            power_iteration(black_box(&psd), 200, 1e-12)
+        });
+    }
+    g
+}

@@ -1,0 +1,77 @@
+//! FFT substrate microbenchmarks: radix-2 vs Bluestein vs naive DFT, the
+//! three cross-correlation strategies of Section 3.1, and length
+//! reduction.
+//!
+//! Quantifies the paper's claims that the convolution-theorem path turns
+//! O(m²) correlation into O(m log m), and that power-of-two padding beats
+//! an exact-size transform.
+
+use std::hint::black_box;
+use tsbench::Group;
+
+use crate::random_series;
+use tsfft::bluestein::BluesteinFft;
+use tsfft::complex::Complex;
+use tsfft::correlate::{cross_correlate_bluestein, cross_correlate_fft, cross_correlate_naive};
+use tsfft::dft::dft;
+use tsfft::fft::Radix2Fft;
+
+/// Runs the `fft` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("fft").with_config(super::micro_config(quick));
+
+    let transform_sizes: &[usize] = if quick { &[256] } else { &[256, 1024, 4096] };
+    for &n in transform_sizes {
+        let signal: Vec<Complex> = random_series(n, 7)
+            .into_iter()
+            .map(Complex::from_real)
+            .collect();
+        {
+            let plan = Radix2Fft::new(n);
+            g.bench(&format!("transform/radix2/{n}"), || {
+                plan.forward_vec(black_box(signal.clone()))
+            });
+        }
+        // Bluestein at the awkward size n - 1 (never a power of two here).
+        let odd: Vec<Complex> = signal[..n - 1].to_vec();
+        {
+            let plan = BluesteinFft::new(n - 1);
+            g.bench(&format!("transform/bluestein/{}", n - 1), || {
+                plan.forward(black_box(&odd))
+            });
+        }
+        if n <= 1024 {
+            g.bench(&format!("transform/naive_dft/{n}"), || {
+                dft(black_box(&signal))
+            });
+        }
+    }
+
+    let corr_sizes: &[usize] = if quick { &[64] } else { &[64, 256, 1024] };
+    for &m in corr_sizes {
+        let x = random_series(m, 1);
+        let y = random_series(m, 2);
+        g.bench(&format!("correlation/fft_pow2/{m}"), || {
+            cross_correlate_fft(black_box(&x), black_box(&y))
+        });
+        g.bench(&format!("correlation/bluestein_exact/{m}"), || {
+            cross_correlate_bluestein(black_box(&x), black_box(&y))
+        });
+        g.bench(&format!("correlation/naive/{m}"), || {
+            cross_correlate_naive(black_box(&x), black_box(&y))
+        });
+    }
+
+    let reduce_sizes: &[usize] = if quick { &[512] } else { &[512, 2048] };
+    for &m in reduce_sizes {
+        let x = random_series(m, 19);
+        g.bench(&format!("reduction/paa_to_128/{m}"), || {
+            tsdata::reduce::paa(black_box(&x), 128)
+        });
+        g.bench(&format!("reduction/haar_reduce_128/{m}"), || {
+            tsdata::reduce::haar_reduce(black_box(&x), 128)
+        });
+    }
+    g
+}

@@ -1,0 +1,64 @@
+//! The `kshape` headline group — the repo's perf trajectory anchor.
+//!
+//! Two claims from the paper, tracked as timings in `BENCH_kshape.json`
+//! from this PR onward:
+//!
+//! * **SBD vs naive NCC** (Section 3.1): the convolution-theorem SBD with
+//!   power-of-two padding vs the O(m²) naive cross-correlation, at the
+//!   paper's canonical lengths. The ratio is the speedup Figure 4 plots.
+//! * **k-Shape fit** (Algorithm 3): a full fit on a CBF workload, the
+//!   end-to-end number every future optimization PR must not regress.
+
+use std::hint::black_box;
+use tsbench::Group;
+
+use crate::{cbf_series, random_series};
+use kshape::sbd::{sbd_with, CorrMethod, SbdPlan};
+use kshape::{KShape, KShapeConfig};
+
+/// Runs the `kshape` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("kshape").with_config(super::macro_config(quick));
+
+    // SBD (FFT, pow2 padding) vs naive NCC, per pair.
+    let lengths: &[usize] = if quick { &[64] } else { &[128, 512, 1024] };
+    for &m in lengths {
+        let x = random_series(m, 1);
+        let y = random_series(m, 2);
+        g.bench(&format!("sbd_fft/{m}"), || {
+            sbd_with(black_box(&x), black_box(&y), CorrMethod::FftPow2).dist
+        });
+        {
+            let plan = SbdPlan::new(m);
+            let prepared = plan.prepare(&x);
+            g.bench(&format!("sbd_planned/{m}"), || {
+                plan.sbd_prepared(black_box(&prepared), black_box(&y)).dist
+            });
+        }
+        g.bench(&format!("ncc_naive/{m}"), || {
+            sbd_with(black_box(&x), black_box(&y), CorrMethod::Naive).dist
+        });
+    }
+
+    // Full k-Shape fits.
+    let fits: &[(usize, usize)] = if quick {
+        &[(30, 48)]
+    } else {
+        &[(90, 128), (300, 128)]
+    };
+    let max_iter = if quick { 3 } else { 10 };
+    for &(n, m) in fits {
+        let series = cbf_series(n, m, 5);
+        g.bench(&format!("kshape_fit/n{n}_m{m}"), || {
+            KShape::new(KShapeConfig {
+                k: 3,
+                max_iter,
+                seed: 1,
+                ..Default::default()
+            })
+            .fit(black_box(&series))
+        });
+    }
+    g
+}

@@ -1,0 +1,97 @@
+//! tsbench benchmark groups, one per former Criterion bench target plus
+//! the `kshape` headline group that seeds the repo's perf trajectory.
+//!
+//! Every group is a function `run(quick: bool) -> tsbench::Group`; the
+//! `bench` binary dispatches on the group name and writes
+//! `BENCH_<group>.json`. `quick` trims workload sizes and sample counts
+//! so the full suite can double as a smoke test.
+
+pub mod ablation;
+pub mod clustering;
+pub mod distances;
+pub mod eigen;
+pub mod fft;
+pub mod kshape_group;
+pub mod scalability;
+pub mod shape_extraction;
+
+use tsbench::{Config, Group};
+
+/// All group names, in suggested run order.
+pub const GROUP_NAMES: &[&str] = &[
+    "distances",
+    "fft",
+    "eigen",
+    "shape_extraction",
+    "clustering",
+    "scalability",
+    "ablation",
+    "kshape",
+];
+
+/// Dispatches a group by name.
+#[must_use]
+pub fn run_group(name: &str, quick: bool) -> Option<Group> {
+    match name {
+        "distances" => Some(distances::run(quick)),
+        "fft" => Some(fft::run(quick)),
+        "eigen" => Some(eigen::run(quick)),
+        "shape_extraction" => Some(shape_extraction::run(quick)),
+        "clustering" => Some(clustering::run(quick)),
+        "scalability" => Some(scalability::run(quick)),
+        "ablation" => Some(ablation::run(quick)),
+        "kshape" => Some(kshape_group::run(quick)),
+        _ => None,
+    }
+}
+
+/// Config for micro-benchmarks (sub-microsecond bodies): auto-batched.
+pub(crate) fn micro_config(quick: bool) -> Config {
+    if quick {
+        Config::quick()
+    } else {
+        Config::default()
+    }
+}
+
+/// Config for macro-benchmarks (full clustering fits): one fit per
+/// sample, fewer samples.
+pub(crate) fn macro_config(quick: bool) -> Config {
+    if quick {
+        Config {
+            samples: 2,
+            warmup_batches: 0,
+            min_batch_ns: 0,
+        }
+    } else {
+        Config {
+            samples: 10,
+            warmup_batches: 1,
+            min_batch_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{run_group, GROUP_NAMES};
+
+    #[test]
+    fn unknown_group_is_none() {
+        assert!(run_group("nope", true).is_none());
+    }
+
+    #[test]
+    fn every_listed_group_dispatches_quick() {
+        // Smoke: every group runs end-to-end in quick mode and yields
+        // at least one record with positive timings.
+        for name in GROUP_NAMES {
+            let g = run_group(name, true).expect(name);
+            assert!(!g.records().is_empty(), "group {name} recorded nothing");
+            for r in g.records() {
+                assert!(r.median_ns > 0.0, "{name}/{} has zero median", r.name);
+                assert!(r.p95_ns >= r.median_ns);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 12 as a benchmark: k-Shape and k-AVG+ED full fits on CBF while
+//! (a) the number of series `n` grows at fixed `m = 128`, and (b) the
+//! series length `m` grows at fixed `n`.
+//!
+//! Paper expectations: both methods linear in `n`; k-Shape's refinement is
+//! O(m²)/O(m³) so its `m`-scaling is steeper.
+
+use std::hint::black_box;
+use tsbench::Group;
+
+use crate::cbf_series;
+use kshape::{KShape, KShapeConfig};
+use tscluster::kmeans::{kmeans, KMeansConfig};
+use tsdist::EuclideanDistance;
+
+fn fit_kshape(series: &[Vec<f64>], max_iter: usize) -> kshape::KShapeResult {
+    KShape::new(KShapeConfig {
+        k: 3,
+        max_iter,
+        seed: 1,
+        ..Default::default()
+    })
+    .fit(series)
+}
+
+/// Runs the `scalability` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("scalability").with_config(super::macro_config(quick));
+    let max_iter = if quick { 3 } else { 10 };
+
+    let n_sizes: &[usize] = if quick { &[60] } else { &[150, 300, 600, 1200] };
+    for &n in n_sizes {
+        let series = cbf_series(n, if quick { 48 } else { 128 }, 5);
+        g.bench(&format!("vs_n/k-Shape/n{n}"), || {
+            fit_kshape(black_box(&series), max_iter)
+        });
+        g.bench(&format!("vs_n/k-AVG+ED/n{n}"), || {
+            kmeans(
+                black_box(&series),
+                &EuclideanDistance,
+                &KMeansConfig {
+                    k: 3,
+                    max_iter,
+                    seed: 1,
+                },
+            )
+        });
+    }
+
+    let m_sizes: &[usize] = if quick { &[64] } else { &[64, 128, 256, 512] };
+    let n_fixed = if quick { 60 } else { 300 };
+    for &m in m_sizes {
+        let series = cbf_series(n_fixed, m, 5);
+        g.bench(&format!("vs_m/k-Shape/m{m}"), || {
+            fit_kshape(black_box(&series), max_iter)
+        });
+        g.bench(&format!("vs_m/k-AVG+ED/m{m}"), || {
+            kmeans(
+                black_box(&series),
+                &EuclideanDistance,
+                &KMeansConfig {
+                    k: 3,
+                    max_iter,
+                    seed: 1,
+                },
+            )
+        });
+    }
+    g
+}

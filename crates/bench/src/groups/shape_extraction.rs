@@ -1,0 +1,45 @@
+//! Shape-extraction bench: the full Householder+QL eigensolver vs power
+//! iteration as the dominant-eigenvector backend, across cluster sizes
+//! and series lengths.
+//!
+//! Both backends return the same centroid (tested in `kshape`); this
+//! bench quantifies the speed difference, including the dual-space
+//! shortcut that kicks in when a cluster has fewer members than time
+//! points.
+
+use std::hint::black_box;
+use tsbench::Group;
+
+use crate::cbf_series;
+use kshape::extraction::{shape_extraction, EigenMethod};
+
+/// Runs the `shape_extraction` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("shape_extraction").with_config(super::macro_config(quick));
+    let shapes: &[(usize, usize)] = if quick {
+        &[(10, 64)]
+    } else {
+        &[(10, 128), (50, 128), (10, 512), (200, 128)]
+    };
+    for &(n, m) in shapes {
+        let series = cbf_series(n, m, 11);
+        let members: Vec<&[f64]> = series.iter().map(Vec::as_slice).collect();
+        let reference = series[0].clone();
+        g.bench(&format!("full_eigen/n{n}_m{m}"), || {
+            shape_extraction(
+                black_box(&members),
+                black_box(&reference),
+                EigenMethod::Full,
+            )
+        });
+        g.bench(&format!("power_iteration/n{n}_m{m}"), || {
+            shape_extraction(
+                black_box(&members),
+                black_box(&reference),
+                EigenMethod::Power,
+            )
+        });
+    }
+    g
+}

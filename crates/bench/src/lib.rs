@@ -1,9 +1,10 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures for the tsbench benchmark groups.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsdata::generators::{cbf, GenParams};
 use tsdata::normalize::z_normalize_in_place;
+use tsrand::StdRng;
+
+pub mod groups;
 
 /// A deterministic z-normalized pseudo-random series of length `m`.
 #[must_use]

@@ -1,0 +1,91 @@
+//! The `bench` binary: runs tsbench groups and writes `BENCH_<group>.json`.
+//!
+//! ```text
+//! cargo run -p bench --release -- <group>... [--quick] [--out <dir>]
+//! cargo run -p bench --release -- all
+//! cargo run -p bench --release -- --list
+//! ```
+//!
+//! Groups: distances, fft, eigen, shape_extraction, clustering,
+//! scalability, ablation, kshape. JSON files land in `--out` (default:
+//! the current directory) with one file per group, schema:
+//!
+//! ```json
+//! { "group": "...", "samples": 30, "warmup_batches": 3,
+//!   "benchmarks": [ { "name": "...", "batch": 1, "median_ns": 0.0,
+//!                     "p95_ns": 0.0, "mean_ns": 0.0, "min_ns": 0.0 } ] }
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::groups::{run_group, GROUP_NAMES};
+
+fn usage() -> String {
+    format!(
+        "usage: bench <group>... [--quick] [--out <dir>]\n\
+         groups: {} | all",
+        GROUP_NAMES.join(" | ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut groups: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut out_dir = PathBuf::from(".");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for name in GROUP_NAMES {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "all" => groups.extend(GROUP_NAMES.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => groups.push(other.to_string()),
+        }
+    }
+
+    if groups.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    groups.dedup();
+
+    #[cfg(debug_assertions)]
+    eprintln!("warning: running benchmarks without --release; timings will be misleading");
+
+    for name in &groups {
+        println!("group {name}{}", if quick { " (quick)" } else { "" });
+        let Some(group) = run_group(name, quick) else {
+            eprintln!("unknown group `{name}`\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        match group.write_json(&out_dir) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write JSON for {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

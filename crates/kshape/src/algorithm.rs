@@ -14,8 +14,7 @@
 //! paper) is reached. Complexity per iteration is
 //! `O(max{n·k·m·log m, n·m², k·m³})`, linear in the number of series `n`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tsrand::StdRng;
 
 use crate::extraction::{shape_extraction, EigenMethod};
 use crate::init::{plus_plus_assignment, random_assignment, InitStrategy};

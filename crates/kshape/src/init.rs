@@ -7,7 +7,7 @@
 //! centroids and assigns members to the nearest one, which typically
 //! reduces the restarts needed.
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::sbd::SbdPlan;
 
@@ -81,22 +81,12 @@ pub fn plus_plus_assignment<R: Rng>(series: &[Vec<f64>], k: usize, rng: &mut R) 
             let d = plan.sbd_prepared(&prepared, s).dist;
             min_d2[i] = min_d2[i].min(d * d);
         }
-        // Sample proportionally to min_d2 (the ++ rule).
-        let total: f64 = min_d2.iter().sum();
-        let next = if total <= 0.0 {
-            rng.gen_range(0..n)
-        } else {
-            let mut target = rng.gen_range(0.0..total);
-            let mut chosen = n - 1;
-            for (i, &d2) in min_d2.iter().enumerate() {
-                if target < d2 {
-                    chosen = i;
-                    break;
-                }
-                target -= d2;
-            }
-            chosen
-        };
+        // Sample proportionally to min_d2 (the ++ rule); when all
+        // remaining distances are zero (duplicate-heavy data) fall back
+        // to a uniform pick.
+        let next = rng
+            .choose_weighted_index(&min_d2)
+            .unwrap_or_else(|| rng.gen_range(0..n));
         seeds.push(next);
     }
 
@@ -122,8 +112,7 @@ pub fn plus_plus_assignment<R: Rng>(series: &[Vec<f64>], k: usize, rng: &mut R) 
 #[cfg(test)]
 mod tests {
     use super::{plus_plus_assignment, random_assignment, InitStrategy};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn random_assignment_covers_all_clusters() {

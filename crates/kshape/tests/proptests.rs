@@ -1,110 +1,109 @@
-//! Property-based tests for SBD, shape extraction, and k-Shape.
+//! Property-based tests for SBD, shape extraction, and k-Shape (tscheck
+//! harness).
 
 use kshape::extraction::{shape_extraction, EigenMethod};
 use kshape::sbd::{sbd, sbd_with, CorrMethod, SbdPlan};
 use kshape::{KShape, KShapeConfig};
-use proptest::prelude::*;
+use tscheck::Gen;
 use tsdata::normalize::z_normalize;
 
-fn pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (2usize..40).prop_flat_map(|m| {
-        (
-            prop::collection::vec(-100.0f64..100.0, m..=m),
-            prop::collection::vec(-100.0f64..100.0, m..=m),
-        )
-    })
+fn pair(g: &mut Gen) -> (Vec<f64>, Vec<f64>) {
+    g.pair_f64(2..40, -100.0..100.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sbd_range_symmetry_identity((x, y) in pair()) {
+tscheck::props! {
+    #[cases(48)]
+    fn sbd_range_symmetry_identity(g) {
+        let (x, y) = pair(g);
         let d = sbd(&x, &y).dist;
-        prop_assert!((-1e-9..=2.0 + 1e-9).contains(&d));
-        prop_assert!((d - sbd(&y, &x).dist).abs() < 1e-9);
-        prop_assert!(sbd(&x, &x).dist.abs() < 1e-9);
+        assert!((-1e-9..=2.0 + 1e-9).contains(&d));
+        assert!((d - sbd(&y, &x).dist).abs() < 1e-9);
+        assert!(sbd(&x, &x).dist.abs() < 1e-9);
     }
 
-    #[test]
-    fn sbd_methods_agree((x, y) in pair()) {
+    #[cases(48)]
+    fn sbd_methods_agree(g) {
+        let (x, y) = pair(g);
         let a = sbd_with(&x, &y, CorrMethod::FftPow2);
         let b = sbd_with(&x, &y, CorrMethod::FftExact);
         let c = sbd_with(&x, &y, CorrMethod::Naive);
-        prop_assert!((a.dist - b.dist).abs() < 1e-7);
-        prop_assert!((a.dist - c.dist).abs() < 1e-7);
+        assert!((a.dist - b.dist).abs() < 1e-7);
+        assert!((a.dist - c.dist).abs() < 1e-7);
     }
 
-    #[test]
-    fn sbd_plan_matches_direct((x, y) in pair()) {
+    #[cases(48)]
+    fn sbd_plan_matches_direct(g) {
+        let (x, y) = pair(g);
         let plan = SbdPlan::new(x.len());
         let prepared = plan.prepare(&x);
         let fast = plan.sbd_prepared(&prepared, &y);
         let slow = sbd(&x, &y);
-        prop_assert!((fast.dist - slow.dist).abs() < 1e-9);
-        prop_assert_eq!(fast.shift, slow.shift);
+        assert!((fast.dist - slow.dist).abs() < 1e-9);
+        assert_eq!(fast.shift, slow.shift);
     }
 
-    #[test]
-    fn sbd_scale_invariance((x, y) in pair(), a in 0.001f64..1000.0) {
+    #[cases(48)]
+    fn sbd_scale_invariance(g) {
+        let (x, y) = pair(g);
+        let a = g.f64_in(0.001..1000.0);
         let ys: Vec<f64> = y.iter().map(|v| a * v).collect();
         let d1 = sbd(&x, &y).dist;
         let d2 = sbd(&x, &ys).dist;
-        prop_assert!((d1 - d2).abs() < 1e-7);
+        assert!((d1 - d2).abs() < 1e-7);
     }
 
-    #[test]
-    fn sbd_alignment_never_increases_pointwise_mismatch((x, y) in pair()) {
+    #[cases(48)]
+    fn sbd_alignment_never_increases_pointwise_mismatch(g) {
         // After alignment, the NCCc at lag 0 of (x, aligned) must equal
         // the peak NCCc of (x, y): aligning by the reported shift is
         // exactly what the peak promised.
+        let (x, y) = pair(g);
         let zx = z_normalize(&x);
         let zy = z_normalize(&y);
-        prop_assume!(zx.iter().any(|&v| v != 0.0) && zy.iter().any(|&v| v != 0.0));
+        tscheck::assume!(zx.iter().any(|&v| v != 0.0) && zy.iter().any(|&v| v != 0.0));
         let r = sbd(&zx, &zy);
         let dot: f64 = zx.iter().zip(r.aligned.iter()).map(|(a, b)| a * b).sum();
         let ex: f64 = zx.iter().map(|v| v * v).sum::<f64>();
         let ey: f64 = zy.iter().map(|v| v * v).sum::<f64>();
         let ncc0 = dot / (ex * ey).sqrt();
-        prop_assert!(((1.0 - ncc0) - r.dist).abs() < 1e-7,
+        assert!(((1.0 - ncc0) - r.dist).abs() < 1e-7,
             "dist {} vs 1-ncc0 {}", r.dist, 1.0 - ncc0);
     }
 
-    #[test]
-    fn extraction_output_is_z_normalized(
-        (x, y) in pair(),
-    ) {
+    #[cases(48)]
+    fn extraction_output_is_z_normalized(g) {
+        let (x, y) = pair(g);
         let zx = z_normalize(&x);
         let zy = z_normalize(&y);
-        prop_assume!(zx.iter().any(|&v| v != 0.0) && zy.iter().any(|&v| v != 0.0));
+        tscheck::assume!(zx.iter().any(|&v| v != 0.0) && zy.iter().any(|&v| v != 0.0));
         let members: Vec<&[f64]> = vec![&zx, &zy];
         let c = shape_extraction(&members, &zx, EigenMethod::Full);
         let m = c.len() as f64;
         let mean: f64 = c.iter().sum::<f64>() / m;
         let var: f64 = c.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / m;
-        prop_assert!(mean.abs() < 1e-7);
-        prop_assert!((var - 1.0).abs() < 1e-7 || c.iter().all(|&v| v == 0.0));
+        assert!(mean.abs() < 1e-7);
+        assert!((var - 1.0).abs() < 1e-7 || c.iter().all(|&v| v == 0.0));
     }
 
-    #[test]
-    fn extraction_eigen_backends_agree((x, y) in pair()) {
+    #[cases(48)]
+    fn extraction_eigen_backends_agree(g) {
+        let (x, y) = pair(g);
         let zx = z_normalize(&x);
         let zy = z_normalize(&y);
-        prop_assume!(zx.iter().any(|&v| v != 0.0) && zy.iter().any(|&v| v != 0.0));
+        tscheck::assume!(zx.iter().any(|&v| v != 0.0) && zy.iter().any(|&v| v != 0.0));
         let members: Vec<&[f64]> = vec![&zx, &zy];
         let full = shape_extraction(&members, &zx, EigenMethod::Full);
         let power = shape_extraction(&members, &zx, EigenMethod::Power);
         // Same subspace up to numerical tolerance: SBD between them ~ 0.
         let d = sbd(&full, &power).dist;
-        prop_assert!(d < 1e-5, "backends disagree: SBD {d}");
+        assert!(d < 1e-5, "backends disagree: SBD {d}");
     }
 
-    #[test]
-    fn kshape_labels_always_valid(
-        seed in 0u64..1000,
-        k in 1usize..4,
-    ) {
+    #[cases(48)]
+    fn kshape_labels_always_valid(g) {
         // Small fixed dataset; fuzz seeds and k.
+        let seed = g.u64_in(0..1000);
+        let k = g.usize_in(1..4);
         let series: Vec<Vec<f64>> = (0..8)
             .map(|i| {
                 z_normalize(
@@ -116,13 +115,13 @@ proptest! {
             .collect();
         let r = KShape::new(KShapeConfig { k, seed, max_iter: 20, ..Default::default() })
             .fit(&series);
-        prop_assert_eq!(r.labels.len(), 8);
-        prop_assert!(r.labels.iter().all(|&l| l < k));
-        prop_assert!(r.inertia >= -1e-9);
+        assert_eq!(r.labels.len(), 8);
+        assert!(r.labels.iter().all(|&l| l < k));
+        assert!(r.inertia >= -1e-9);
         // Every cluster in 0..k is non-empty (the algorithm re-seeds).
         for j in 0..k {
-            prop_assert!(r.labels.contains(&j), "cluster {j} empty");
+            assert!(r.labels.contains(&j), "cluster {j} empty");
         }
-        prop_assert_eq!(r.centroids.len(), k);
+        assert_eq!(r.centroids.len(), k);
     }
 }

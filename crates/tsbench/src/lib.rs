@@ -1,0 +1,403 @@
+//! In-tree micro-benchmark harness.
+//!
+//! A hermetic replacement for the slice of `criterion` the workspace
+//! used: named benchmarks inside named groups, warmup, repeated timed
+//! samples, robust summary statistics (min / mean / median / p95), a
+//! human-readable table on stdout, and machine-readable JSON written to
+//! `BENCH_<group>.json` so the repository can track a performance
+//! trajectory across PRs.
+//!
+//! # Methodology
+//!
+//! Each benchmark is auto-calibrated: the closure is run in batches whose
+//! size is chosen so one batch lasts ≳ [`Config::min_batch_ns`] (default
+//! 2 ms), which keeps `Instant::now` overhead and timer granularity below
+//! ~0.1% of the measurement. After [`Config::warmup_batches`] discarded
+//! warmup batches, [`Config::samples`] batch timings are recorded; each
+//! sample is the mean per-iteration time of its batch. Median and p95
+//! over samples are reported — median for the headline (robust to OS
+//! noise spikes), p95 for the tail.
+//!
+//! # Usage
+//!
+//! ```
+//! use tsbench::Group;
+//!
+//! let mut g = Group::new("demo").quick(); // .quick() trims counts for tests
+//! g.bench("push_pop", || {
+//!     let mut v = vec![0u64; 16];
+//!     v.push(1);
+//!     v.pop()
+//! });
+//! let report = g.finish_to_string();
+//! assert!(report.contains("push_pop"));
+//! ```
+//!
+//! The closure's return value is passed through [`std::hint::black_box`],
+//! so benchmarked code cannot be optimized away; use `black_box` on
+//! inputs captured by the closure as needed.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Tuning knobs for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Recorded batch samples per benchmark.
+    pub samples: u32,
+    /// Discarded warmup batches per benchmark.
+    pub warmup_batches: u32,
+    /// Target minimum wall-clock per batch, in nanoseconds.
+    pub min_batch_ns: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            samples: 30,
+            warmup_batches: 3,
+            min_batch_ns: 2_000_000, // 2 ms
+        }
+    }
+}
+
+impl Config {
+    /// A drastically trimmed configuration for smoke tests and `--quick`
+    /// runs: single-iteration batches, few samples.
+    #[must_use]
+    pub fn quick() -> Self {
+        Config {
+            samples: 5,
+            warmup_batches: 1,
+            min_batch_ns: 0,
+        }
+    }
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark name within its group.
+    pub name: String,
+    /// Iterations per recorded batch.
+    pub batch: u64,
+    /// Recorded samples (mean ns/iter of each batch), sorted ascending.
+    pub samples_ns: Vec<f64>,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Median over samples — the headline number.
+    pub median_ns: f64,
+    /// 95th percentile over samples.
+    pub p95_ns: f64,
+}
+
+impl Record {
+    fn from_samples(name: &str, batch: u64, mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "no samples recorded");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        Record {
+            name: name.to_string(),
+            batch,
+            min_ns: samples[0],
+            mean_ns: mean,
+            median_ns: percentile(&samples, 50.0),
+            p95_ns: percentile(&samples, 95.0),
+            samples_ns: samples,
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A named collection of benchmarks that reports together.
+pub struct Group {
+    name: String,
+    config: Config,
+    records: Vec<Record>,
+}
+
+impl Group {
+    /// Creates a group with the default [`Config`].
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            config: Config::default(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Replaces the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Switches to [`Config::quick`].
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.config = Config::quick();
+        self
+    }
+
+    /// The group name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs one benchmark: calibrates a batch size, warms up, records
+    /// samples, and stores the summary. Prints one table row to stdout.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        let batch = calibrate(&mut f, self.config.min_batch_ns);
+        for _ in 0..self.config.warmup_batches {
+            time_batch(&mut f, batch);
+        }
+        let samples: Vec<f64> = (0..self.config.samples.max(1))
+            .map(|_| time_batch(&mut f, batch))
+            .collect();
+        let rec = Record::from_samples(name, batch, samples);
+        println!(
+            "  {:<32} median {:>12}  p95 {:>12}  min {:>12}  ({} samples × {} iters)",
+            rec.name,
+            fmt_ns(rec.median_ns),
+            fmt_ns(rec.p95_ns),
+            fmt_ns(rec.min_ns),
+            rec.samples_ns.len(),
+            rec.batch,
+        );
+        self.records.push(rec);
+    }
+
+    /// The records collected so far.
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Serializes the group to the `BENCH_*.json` schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"group\": {},", json_string(&self.name));
+        let _ = writeln!(
+            out,
+            "  \"samples\": {}, \"warmup_batches\": {},",
+            self.config.samples, self.config.warmup_batches
+        );
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"batch\": {}, \"median_ns\": {:.1}, \
+                 \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}",
+                json_string(&r.name),
+                r.batch,
+                r.median_ns,
+                r.p95_ns,
+                r.mean_ns,
+                r.min_ns
+            );
+            out.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<group>.json` into `dir` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Renders the human-readable summary (also printed incrementally by
+    /// [`Group::bench`]).
+    #[must_use]
+    pub fn finish_to_string(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "group {}", self.name);
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "  {:<32} median {:>12}  p95 {:>12}",
+                r.name,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.p95_ns)
+            );
+        }
+        out
+    }
+}
+
+/// Picks a batch size so one batch lasts at least `min_batch_ns`.
+fn calibrate<T, F: FnMut() -> T>(f: &mut F, min_batch_ns: u64) -> u64 {
+    if min_batch_ns == 0 {
+        return 1;
+    }
+    let mut batch: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        if elapsed >= min_batch_ns {
+            return batch;
+        }
+        // Grow geometrically toward the target, capped to avoid overshoot
+        // on the next probe.
+        let factor = if elapsed == 0 {
+            16
+        } else {
+            ((min_batch_ns / elapsed.max(1)) + 1).clamp(2, 16)
+        };
+        batch = batch.saturating_mul(factor).min(1 << 30);
+    }
+}
+
+/// Times one batch, returning mean ns/iter.
+fn time_batch<T, F: FnMut() -> T>(f: &mut F, batch: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..batch {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / batch as f64
+}
+
+/// Escapes a string as a JSON literal (the only JSON we produce needs
+/// this one escape path, so no serializer dependency).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:7.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:7.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:7.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:7.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{percentile, Config, Group, Record};
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert!((percentile(&s, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn record_statistics_are_order_independent() {
+        let r = Record::from_samples("x", 10, vec![3.0, 1.0, 2.0]);
+        assert_eq!(r.min_ns, 1.0);
+        assert!((r.mean_ns - 2.0).abs() < 1e-12);
+        assert_eq!(r.median_ns, 2.0);
+        assert_eq!(r.samples_ns, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bench_records_and_reports() {
+        let mut g = Group::new("unit").quick();
+        g.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(g.records().len(), 1);
+        let r = &g.records()[0];
+        assert!(r.median_ns > 0.0);
+        assert!(r.p95_ns >= r.median_ns);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(g.finish_to_string().contains("spin"));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut g = Group::new("j\"son").quick();
+        g.bench("noop", || 1u8);
+        g.bench("noop2", || 2u8);
+        let j = g.to_json();
+        // Structural spot checks (no JSON parser in-tree by design).
+        assert!(j.contains("\"group\": \"j\\\"son\""));
+        assert!(j.contains("\"name\": \"noop\""));
+        assert!(j.contains("\"median_ns\""));
+        assert_eq!(j.matches("{\"name\"").count(), 2);
+        assert!(j.trim_end().ends_with('}'));
+        // Balanced braces/brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join(format!("tsbench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut g = Group::new("demo").quick();
+        g.bench("noop", || ());
+        let path = g.write_json(&dir).unwrap();
+        assert!(path.ends_with("BENCH_demo.json"));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("\"group\": \"demo\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quick_config_minimizes_work() {
+        let c = Config::quick();
+        assert!(c.samples <= 10);
+        assert_eq!(c.min_batch_ns, 0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Minimal property-testing harness for the workspace.
+//!
+//! A hermetic, ~300-line replacement for the subset of `proptest` the
+//! workspace used: run a predicate over many pseudo-randomly generated
+//! cases, and on failure report a **replay seed** that reproduces the
+//! exact failing case. There is no shrinking — cases here are small
+//! enough (vectors of ≤ 128 floats) that replaying the failing seed under
+//! a debugger is the faster workflow, and dropping shrinking removes the
+//! one genuinely hairy part of a property-testing engine.
+//!
+//! # Usage
+//!
+//! ```
+//! tscheck::props! {
+//!     #[cases(64)]
+//!     fn addition_commutes(g) {
+//!         let a = g.f64_in(-1e6..1e6);
+//!         let b = g.f64_in(-1e6..1e6);
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+//!
+//! Each generated function is a regular `#[test]`. Inside the body, `g`
+//! is a [`Gen`]: it implements [`tsrand::Rng`] (so it can be handed to
+//! any workspace API expecting a generator) and adds vector/scalar
+//! helpers. Failures are ordinary panics (`assert!`, `assert_eq!`, ...);
+//! the harness catches them and re-panics with the case number and
+//! replay seed. Use [`assume!`] to discard degenerate cases.
+//!
+//! # Reproducing failures
+//!
+//! A failure prints `replay with TSCHECK_SEED=0x…`. Running the same
+//! test binary with that environment variable set executes *only* the
+//! failing case:
+//!
+//! ```text
+//! TSCHECK_SEED=0xdeadbeef cargo test -p tsfft fft_roundtrip
+//! ```
+//!
+//! `TSCHECK_CASES=n` globally overrides the per-property case count
+//! (e.g. a nightly job may crank it to 10 000).
+//!
+//! # Determinism
+//!
+//! The base seed of every property is the FNV-1a hash of its name, so
+//! runs are identical across machines and invocations — a red test stays
+//! red. Case seeds are drawn from a [`tsrand::SplitMix64`] stream over
+//! the base seed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tsrand::{Rng, SampleRange, SplitMix64, StdRng};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-property configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases (overridable via `TSCHECK_CASES`).
+    pub cases: u32,
+    /// Base seed; `None` derives it from the property name.
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+            seed: None,
+        }
+    }
+}
+
+/// The per-case value source handed to property bodies.
+///
+/// Implements [`tsrand::Rng`], so it can be passed directly to workspace
+/// APIs that take `&mut R where R: Rng`.
+pub struct Gen {
+    rng: StdRng,
+    case_seed: u64,
+}
+
+impl Gen {
+    /// Builds the generator for a single case seed (exposed for replay
+    /// tooling; property bodies receive a ready-made `Gen`).
+    #[must_use]
+    pub fn from_case_seed(case_seed: u64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(case_seed),
+            case_seed,
+        }
+    }
+
+    /// The seed that reproduces this case.
+    #[must_use]
+    pub fn case_seed(&self) -> u64 {
+        self.case_seed
+    }
+
+    /// Uniform `f64` in the given range.
+    pub fn f64_in<S: SampleRange<f64>>(&mut self, range: S) -> f64 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `usize` in the given range.
+    pub fn usize_in<S: SampleRange<usize>>(&mut self, range: S) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `isize` in the given range.
+    pub fn isize_in<S: SampleRange<isize>>(&mut self, range: S) -> isize {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `u64` in the given range.
+    pub fn u64_in<S: SampleRange<u64>>(&mut self, range: S) -> u64 {
+        self.rng.gen_range(range)
+    }
+
+    /// A vector of uniform `f64`s; length drawn from `len`, values from
+    /// `vals`.
+    pub fn vec_f64<L, V>(&mut self, len: L, vals: V) -> Vec<f64>
+    where
+        L: SampleRange<usize>,
+        V: SampleRange<f64> + Clone,
+    {
+        let n = self.rng.gen_range(len);
+        (0..n).map(|_| self.rng.gen_range(vals.clone())).collect()
+    }
+
+    /// A vector of uniform `usize`s (e.g. cluster labelings); length drawn
+    /// from `len`, values from `vals`.
+    pub fn vec_usize<L, V>(&mut self, len: L, vals: V) -> Vec<usize>
+    where
+        L: SampleRange<usize>,
+        V: SampleRange<usize> + Clone,
+    {
+        let n = self.rng.gen_range(len);
+        (0..n).map(|_| self.rng.gen_range(vals.clone())).collect()
+    }
+
+    /// Two equal-length vectors of uniform `f64`s — the ubiquitous
+    /// "pair of series" fixture.
+    pub fn pair_f64<L, V>(&mut self, len: L, vals: V) -> (Vec<f64>, Vec<f64>)
+    where
+        L: SampleRange<usize>,
+        V: SampleRange<f64> + Clone,
+    {
+        let n = self.rng.gen_range(len);
+        let a = (0..n).map(|_| self.rng.gen_range(vals.clone())).collect();
+        let b = (0..n).map(|_| self.rng.gen_range(vals.clone())).collect();
+        (a, b)
+    }
+}
+
+impl Rng for Gen {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// FNV-1a over the property name: a stable, platform-independent base
+/// seed.
+#[must_use]
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("could not parse {var}={raw} as a u64"),
+    }
+}
+
+/// Runs `body` over `config.cases` generated cases, panicking with a
+/// replay seed on the first failure. This is the engine behind
+/// [`props!`]; call it directly for programmatic properties.
+pub fn run<F>(name: &str, config: Config, body: F)
+where
+    F: Fn(&mut Gen),
+{
+    // Replay mode: run exactly one case.
+    if let Some(case_seed) = env_u64("TSCHECK_SEED") {
+        let mut g = Gen::from_case_seed(case_seed);
+        body(&mut g);
+        return;
+    }
+
+    let cases = env_u64("TSCHECK_CASES")
+        .map(|c| u32::try_from(c).expect("TSCHECK_CASES too large"))
+        .unwrap_or(config.cases);
+    let base = config.seed.unwrap_or_else(|| seed_from_name(name));
+    let mut seeder = SplitMix64::new(base);
+
+    for case in 0..cases {
+        let case_seed = seeder.next_u64();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Gen::from_case_seed(case_seed);
+            body(&mut g);
+        }));
+        if let Err(payload) = outcome {
+            let detail = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!(
+                "property `{name}` failed at case {case}/{cases}: {detail}\n\
+                 replay with TSCHECK_SEED={case_seed:#x}"
+            );
+        }
+    }
+}
+
+/// Declares property tests. Each item becomes a `#[test]` function whose
+/// body runs once per generated case with `g: &mut Gen` in scope.
+///
+/// ```
+/// tscheck::props! {
+///     /// Optional doc comment.
+///     #[cases(32)]
+///     fn length_is_respected(g) {
+///         let v = g.vec_f64(1..=16, -1.0..1.0);
+///         assert!((1..=16).contains(&v.len()));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! props {
+    () => {};
+    (
+        $(#[doc = $doc:expr])*
+        #[cases($cases:expr)]
+        fn $name:ident($g:ident) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            $crate::run(
+                stringify!($name),
+                $crate::Config { cases: $cases, ..Default::default() },
+                |$g: &mut $crate::Gen| $body,
+            );
+        }
+        $crate::props! { $($rest)* }
+    };
+    (
+        $(#[doc = $doc:expr])*
+        fn $name:ident($g:ident) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::props! {
+            $(#[doc = $doc])*
+            #[cases($crate::DEFAULT_CASES)]
+            fn $name($g) $body
+            $($rest)*
+        }
+    };
+}
+
+/// Discards the current case when a precondition fails (the `prop_assume!`
+/// analogue): the case simply returns without testing anything.
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{run, seed_from_name, Config, Gen};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use tsrand::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        // Count via interior mutability through a Cell-free trick: Fn is
+        // required, so use an atomic.
+        let counter = std::sync::atomic::AtomicU32::new(0);
+        run(
+            "counting",
+            Config {
+                cases: 17,
+                seed: Some(1),
+            },
+            |_g| {
+                counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            },
+        );
+        count += counter.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_replay_seed() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "always_fails",
+                Config {
+                    cases: 5,
+                    seed: Some(2),
+                },
+                |_g| panic!("boom"),
+            );
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("TSCHECK_SEED=0x"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let collect = |name: &str| {
+            let seeds = std::sync::Mutex::new(Vec::new());
+            run(
+                name,
+                Config {
+                    cases: 4,
+                    seed: None,
+                },
+                |g| {
+                    seeds.lock().unwrap().push(g.case_seed());
+                },
+            );
+            seeds.into_inner().unwrap()
+        };
+        assert_eq!(collect("prop_a"), collect("prop_a"));
+        assert_ne!(collect("prop_a"), collect("prop_b"));
+    }
+
+    #[test]
+    fn gen_helpers_respect_bounds() {
+        let mut g = Gen::from_case_seed(42);
+        for _ in 0..200 {
+            let v = g.vec_f64(2..=8, -3.0..3.0);
+            assert!((2..=8).contains(&v.len()));
+            assert!(v.iter().all(|x| (-3.0..3.0).contains(x)));
+            let (a, b) = g.pair_f64(4..=4, 0.0..1.0);
+            assert_eq!(a.len(), 4);
+            assert_eq!(b.len(), 4);
+            let ls = g.vec_usize(1..=5, 0..3);
+            assert!(ls.iter().all(|&l| l < 3));
+        }
+    }
+
+    #[test]
+    fn gen_is_an_rng() {
+        let mut g = Gen::from_case_seed(7);
+        let x = g.next_u64();
+        let mut g2 = Gen::from_case_seed(7);
+        assert_eq!(x, g2.next_u64());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so property base seeds never drift silently.
+        assert_eq!(seed_from_name(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(seed_from_name("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    props! {
+        fn macro_declared_property(g) {
+            let n = g.usize_in(1..10);
+            crate::assume!(n > 1);
+            assert!((2..10).contains(&n));
+        }
+
+        #[cases(8)]
+        fn macro_with_case_count(g) {
+            let v = g.f64_in(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

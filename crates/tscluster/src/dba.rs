@@ -10,8 +10,7 @@
 //! paper's protocol, each clustering iteration performs **one** DBA
 //! refinement of the previous centroid (footnote 8 examines doing five).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tsrand::StdRng;
 
 use kshape::init::random_assignment;
 use tsdist::dtw::{dtw_distance, dtw_path};

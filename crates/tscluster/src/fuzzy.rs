@@ -13,9 +13,8 @@
 //! and any [`Distance`] (ED reproduces classic FCM; SBD reproduces the
 //! Golay-style correlation variant).
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use tsrand::Rng;
+use tsrand::StdRng;
 
 use tsdist::Distance;
 

@@ -6,8 +6,7 @@
 //! `k-AVG+SBD` and `k-AVG+DTW` — the Table 3 rows showing that changing the
 //! distance without changing the centroid method can *hurt*.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tsrand::StdRng;
 
 use kshape::init::random_assignment;
 use tsdist::Distance;

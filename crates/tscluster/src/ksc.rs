@@ -14,8 +14,7 @@
 //! matrix-decomposition-based like k-Shape's, but minimizing a different
 //! objective.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tsrand::StdRng;
 
 use kshape::init::random_assignment;
 use tsdata::distort::shift_zero_pad;

@@ -11,8 +11,7 @@
 //! 4. row normalization of the spectral embedding,
 //! 5. k-means (Euclidean) on the embedded rows.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tsrand::StdRng;
 
 use kshape::init::random_assignment;
 use tslinalg::eigen::symmetric_eigen;

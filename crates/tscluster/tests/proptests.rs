@@ -1,6 +1,7 @@
-//! Property-based tests for the baseline clustering algorithms.
+//! Property-based tests for the baseline clustering algorithms (tscheck
+//! harness).
 
-use proptest::prelude::*;
+use tscheck::Gen;
 use tscluster::hierarchical::{agglomerate, Linkage};
 use tscluster::kmeans::{kmeans, KMeansConfig};
 use tscluster::ksc::KscDistance;
@@ -8,43 +9,46 @@ use tscluster::matrix::DissimilarityMatrix;
 use tscluster::pam::pam;
 use tsdist::EuclideanDistance;
 
-fn dataset() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    (3usize..12, 2usize..12).prop_flat_map(|(n, m)| {
-        prop::collection::vec(prop::collection::vec(-50.0f64..50.0, m..=m), n..=n)
-    })
+fn dataset(g: &mut Gen) -> Vec<Vec<f64>> {
+    let n = g.usize_in(3..12);
+    let m = g.usize_in(2..12);
+    (0..n).map(|_| g.vec_f64(m..=m, -50.0..50.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn kmeans_invariants(series in dataset(), seed in 0u64..100, k in 1usize..4) {
-        let k = k.min(series.len());
+tscheck::props! {
+    #[cases(40)]
+    fn kmeans_invariants(g) {
+        let series = dataset(g);
+        let seed = g.u64_in(0..100);
+        let k = g.usize_in(1..4).min(series.len());
         let r = kmeans(&series, &EuclideanDistance, &KMeansConfig { k, seed, max_iter: 30 });
-        prop_assert_eq!(r.labels.len(), series.len());
-        prop_assert!(r.labels.iter().all(|&l| l < k));
-        prop_assert!(r.inertia >= 0.0);
+        assert_eq!(r.labels.len(), series.len());
+        assert!(r.labels.iter().all(|&l| l < k));
+        assert!(r.inertia >= 0.0);
         for j in 0..k {
-            prop_assert!(r.labels.contains(&j), "cluster {j} empty");
+            assert!(r.labels.contains(&j), "cluster {j} empty");
         }
     }
 
-    #[test]
-    fn kmeans_inertia_monotone_in_k(series in dataset(), seed in 0u64..50) {
+    #[cases(40)]
+    fn kmeans_inertia_monotone_in_k(g) {
+        let series = dataset(g);
+        let seed = g.u64_in(0..50);
         let n = series.len();
         let r1 = kmeans(&series, &EuclideanDistance, &KMeansConfig { k: 1, seed, max_iter: 50 });
         let rn = kmeans(&series, &EuclideanDistance, &KMeansConfig { k: n, seed, max_iter: 50 });
         // k = n puts every point alone: inertia 0; k = 1 is an upper bound.
-        prop_assert!(rn.inertia <= r1.inertia + 1e-9);
-        prop_assert!(rn.inertia < 1e-9);
+        assert!(rn.inertia <= r1.inertia + 1e-9);
+        assert!(rn.inertia < 1e-9);
     }
 
-    #[test]
-    fn pam_cost_is_local_optimum(series in dataset()) {
+    #[cases(40)]
+    fn pam_cost_is_local_optimum(g) {
+        let series = dataset(g);
         let matrix = DissimilarityMatrix::compute(&series, &EuclideanDistance);
         let n = series.len();
         let r = pam(&matrix, 2.min(n), 100);
-        prop_assert!(r.converged);
+        assert!(r.converged);
         // No single medoid replacement improves the cost.
         let cost_of = |meds: &[usize]| -> f64 {
             (0..n)
@@ -58,40 +62,43 @@ proptest! {
                 }
                 let mut trial = r.medoids.clone();
                 trial[slot] = cand;
-                prop_assert!(cost_of(&trial) >= r.cost - 1e-7);
+                assert!(cost_of(&trial) >= r.cost - 1e-7);
             }
         }
     }
 
-    #[test]
-    fn dendrogram_cut_counts_are_exact(series in dataset(), k in 1usize..6) {
+    #[cases(40)]
+    fn dendrogram_cut_counts_are_exact(g) {
+        let series = dataset(g);
+        let k = g.usize_in(1..6).min(series.len());
         let matrix = DissimilarityMatrix::compute(&series, &EuclideanDistance);
         let dendro = agglomerate(&matrix, Linkage::Average);
-        let k = k.min(series.len());
         let labels = dendro.cut(k);
         let mut distinct = labels.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert_eq!(distinct.len(), k);
-        prop_assert!(labels.iter().all(|&l| l < k));
+        assert_eq!(distinct.len(), k);
+        assert!(labels.iter().all(|&l| l < k));
     }
 
-    #[test]
-    fn single_linkage_heights_nondecreasing(series in dataset()) {
+    #[cases(40)]
+    fn single_linkage_heights_nondecreasing(g) {
+        let series = dataset(g);
         let matrix = DissimilarityMatrix::compute(&series, &EuclideanDistance);
         let dendro = agglomerate(&matrix, Linkage::Single);
         let heights: Vec<f64> = dendro.merges().iter().map(|m| m.height).collect();
         for w in heights.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-9);
+            assert!(w[1] >= w[0] - 1e-9);
         }
     }
 
-    #[test]
-    fn linkage_height_ordering(series in dataset()) {
+    #[cases(40)]
+    fn linkage_height_ordering(g) {
         // For the same data, single-linkage merge heights never exceed
         // complete-linkage heights at the same step count... that is not
         // true step-by-step in general, but the FINAL merge height is
         // ordered: single <= average <= complete.
+        let series = dataset(g);
         let matrix = DissimilarityMatrix::compute(&series, &EuclideanDistance);
         let last = |l: Linkage| -> f64 {
             agglomerate(&matrix, l).merges().last().map_or(0.0, |m| m.height)
@@ -99,18 +106,19 @@ proptest! {
         let s = last(Linkage::Single);
         let a = last(Linkage::Average);
         let c = last(Linkage::Complete);
-        prop_assert!(s <= a + 1e-9, "single {s} vs average {a}");
-        prop_assert!(a <= c + 1e-9, "average {a} vs complete {c}");
+        assert!(s <= a + 1e-9, "single {s} vs average {a}");
+        assert!(a <= c + 1e-9, "average {a} vs complete {c}");
     }
 
-    #[test]
-    fn ksc_distance_range_and_identity(series in dataset()) {
+    #[cases(40)]
+    fn ksc_distance_range_and_identity(g) {
+        let series = dataset(g);
         let x = &series[0];
         let y = &series[1];
         let (d, _) = KscDistance::dist_shift(x, y);
-        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&d));
+        assert!((-1e-9..=1.0 + 1e-9).contains(&d));
         let (d_self, shift) = KscDistance::dist_shift(x, x);
-        prop_assert!(d_self < 1e-6);
-        prop_assert_eq!(shift, 0);
+        assert!(d_self < 1e-6);
+        assert_eq!(shift, 0);
     }
 }

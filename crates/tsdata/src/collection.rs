@@ -8,8 +8,7 @@
 //! Each dataset is split into train/test halves (as UCR ships them) and
 //! z-normalized, matching the paper's preprocessing.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tsrand::StdRng;
 
 use crate::dataset::{Dataset, SplitDataset};
 use crate::generators::{

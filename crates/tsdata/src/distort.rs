@@ -6,7 +6,7 @@
 //! scaling/translation (handled by z-normalization), shift (handled by SBD
 //! and DTW), warping (handled by DTW), noise, and occlusion.
 
-use rand::Rng;
+use tsrand::Rng;
 
 /// Applies amplitude scaling and offset translation: `x' = a·x + b`.
 pub fn scale_translate(x: &mut [f64], a: f64, b: f64) {
@@ -60,15 +60,11 @@ pub fn add_noise<R: Rng>(x: &mut [f64], sigma: f64, rng: &mut R) {
     }
 }
 
-/// Samples a standard normal variate via Box–Muller.
+/// Samples a standard normal variate via Box–Muller (delegates to
+/// [`tsrand::normal::standard_normal`], the single in-tree Gaussian
+/// source).
 pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.gen::<f64>();
-        if u1 > f64::MIN_POSITIVE {
-            let u2: f64 = rng.gen::<f64>();
-            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        }
-    }
+    tsrand::normal::standard_normal(rng)
 }
 
 /// Applies a smooth local time warping: resamples `x` at positions
@@ -133,8 +129,7 @@ mod tests {
         add_noise, gaussian, occlude, resample, scale_translate, shift_circular, shift_zero_pad,
         warp_local,
     };
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn scale_translate_affine() {

@@ -14,7 +14,7 @@
 //! parameters for `m = 128` (`a ∈ [16, 32]`, `b − a ∈ [32, 96]`) are scaled
 //! proportionally for other lengths.
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::distort::gaussian;
@@ -84,8 +84,7 @@ pub fn generate<R: Rng>(params: &GenParams, rng: &mut R) -> Dataset {
 mod tests {
     use super::{generate, generate_one};
     use crate::generators::GenParams;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn series_has_requested_length() {

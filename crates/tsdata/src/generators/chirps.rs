@@ -5,7 +5,7 @@
 //! shift nor a small warp maps one class onto another — a hard, structured
 //! family that keeps the clustering benchmarks honest.
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::generators::{build_dataset, GenParams};
@@ -65,8 +65,7 @@ pub fn generate<R: Rng>(n_classes: usize, base: f64, params: &GenParams, rng: &m
 mod tests {
     use super::{generate, prototype, MAX_CLASSES};
     use crate::generators::GenParams;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     /// Counts zero crossings — a cheap proxy for average frequency.
     fn zero_crossings(s: &[f64]) -> usize {

@@ -11,7 +11,7 @@
 //! the regime where SBD/k-Shape should dominate cDTW/k-medoids — the paper's
 //! headline anecdote (98.9% vs 79.7% 1-NN accuracy; 84% vs 53% Rand index).
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::generators::{build_dataset, GenParams};
@@ -70,8 +70,7 @@ mod tests {
     use super::{generate, prototype};
     use crate::generators::GenParams;
     use crate::normalize::z_normalize;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn prototypes_have_requested_length() {

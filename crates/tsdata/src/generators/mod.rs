@@ -27,7 +27,7 @@ pub mod trends;
 pub mod two_patterns;
 pub mod warped;
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::distort::{add_noise, scale_translate, shift_circular};
@@ -116,8 +116,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::{build_dataset, GenParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn build_dataset_shape() {

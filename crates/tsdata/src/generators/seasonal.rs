@@ -6,7 +6,7 @@
 //! differ in harmonic content, and members are phase-shifted and
 //! amplitude-scaled (as inflation would).
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::generators::{build_dataset, GenParams};
@@ -61,8 +61,7 @@ mod tests {
     use super::{generate, prototype, MAX_CLASSES};
     use crate::generators::GenParams;
     use crate::normalize::z_normalize;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn prototypes_distinct_pairwise() {

@@ -6,7 +6,7 @@
 //! z-normalization all members have identical amplitude, so only phase and
 //! waveform shape distinguish them.
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::generators::{build_dataset, GenParams};
@@ -73,8 +73,7 @@ pub fn generate<R: Rng>(n_classes: usize, cycles: f64, params: &GenParams, rng: 
 mod tests {
     use super::{generate, prototype, waveform, MAX_CLASSES};
     use crate::generators::GenParams;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn waveforms_bounded() {

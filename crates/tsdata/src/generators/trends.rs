@@ -5,7 +5,7 @@
 //! *functional form* of the trend — linear up, linear down, quadratic
 //! valley, quadratic hill, and S-curve.
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::distort::gaussian;
@@ -78,8 +78,7 @@ pub fn generate<R: Rng>(n_classes: usize, params: &GenParams, rng: &mut R) -> Da
 mod tests {
     use super::{generate, generate_one, trend};
     use crate::generators::GenParams;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn trend_shapes() {

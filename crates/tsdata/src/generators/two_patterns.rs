@@ -6,7 +6,7 @@
 //! separable by measures that tolerate phase variation — the same property
 //! the original Two Patterns dataset stresses.
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::generators::GenParams;
@@ -81,8 +81,7 @@ pub fn generate<R: Rng>(params: &GenParams, rng: &mut R) -> Dataset {
 mod tests {
     use super::{generate, generate_one};
     use crate::generators::GenParams;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn lengths_and_classes() {

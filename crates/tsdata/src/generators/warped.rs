@@ -8,7 +8,7 @@
 //! experiments reproduce the paper's observation that no measure dominates
 //! on every dataset (Figure 5 has points on both sides of the diagonal).
 
-use rand::Rng;
+use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::distort::warp_local;
@@ -79,8 +79,7 @@ mod tests {
     use super::{generate, prototype, MAX_CLASSES};
     use crate::generators::GenParams;
     use crate::normalize::z_normalize;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tsrand::StdRng;
 
     #[test]
     fn prototypes_distinct() {

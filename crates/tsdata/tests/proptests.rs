@@ -1,132 +1,144 @@
-//! Property-based tests for normalizations and distortions.
+//! Property-based tests for normalizations, distortions, reductions, and
+//! features (tscheck harness).
 
-use proptest::prelude::*;
+use tscheck::Gen;
 use tsdata::distort::{resample, shift_circular, shift_zero_pad, warp_local};
 use tsdata::normalize::{
     mean, optimal_scaling_coefficient, std_dev, values_between_0_1, z_normalize,
 };
 
-fn signal() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1000.0f64..1000.0, 2..64)
+fn signal(g: &mut Gen) -> Vec<f64> {
+    g.vec_f64(2..64, -1000.0..1000.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn z_normalize_zero_mean_unit_std_or_zero(sig in signal()) {
+tscheck::props! {
+    #[cases(64)]
+    fn z_normalize_zero_mean_unit_std_or_zero(g) {
+        let sig = signal(g);
         let z = z_normalize(&sig);
-        prop_assert!(mean(&z).abs() < 1e-8);
+        assert!(mean(&z).abs() < 1e-8);
         let s = std_dev(&z);
         // Either unit std or the degenerate all-zero output.
-        prop_assert!((s - 1.0).abs() < 1e-8 || z.iter().all(|&v| v == 0.0));
+        assert!((s - 1.0).abs() < 1e-8 || z.iter().all(|&v| v == 0.0));
     }
 
-    #[test]
-    fn z_normalize_idempotent(sig in signal()) {
+    #[cases(64)]
+    fn z_normalize_idempotent(g) {
+        let sig = signal(g);
         let z1 = z_normalize(&sig);
         let z2 = z_normalize(&z1);
         for (a, b) in z1.iter().zip(z2.iter()) {
-            prop_assert!((a - b).abs() < 1e-8);
+            assert!((a - b).abs() < 1e-8);
         }
     }
 
-    #[test]
-    fn z_normalize_kills_affine(sig in signal(), a in 0.001f64..1000.0, b in -1e4f64..1e4) {
+    #[cases(64)]
+    fn z_normalize_kills_affine(g) {
+        let sig = signal(g);
+        let a = g.f64_in(0.001..1000.0);
+        let b = g.f64_in(-1e4..1e4);
         let t: Vec<f64> = sig.iter().map(|v| a * v + b).collect();
         let z1 = z_normalize(&sig);
         let z2 = z_normalize(&t);
         for (x, y) in z1.iter().zip(z2.iter()) {
-            prop_assert!((x - y).abs() < 1e-6);
+            assert!((x - y).abs() < 1e-6);
         }
     }
 
-    #[test]
-    fn unit_interval_bounds(sig in signal()) {
+    #[cases(64)]
+    fn unit_interval_bounds(g) {
+        let sig = signal(g);
         for v in values_between_0_1(&sig) {
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v));
         }
     }
 
-    #[test]
-    fn optimal_scaling_residual_is_minimal(sig in signal()) {
+    #[cases(64)]
+    fn optimal_scaling_residual_is_minimal(g) {
+        let sig = signal(g);
         let y: Vec<f64> = sig.iter().enumerate().map(|(i, v)| v * 0.5 + (i as f64).cos()).collect();
-        prop_assume!(y.iter().any(|&v| v != 0.0));
+        tscheck::assume!(y.iter().any(|&v| v != 0.0));
         let c = optimal_scaling_coefficient(&sig, &y);
         let resid = |cc: f64| -> f64 {
             sig.iter().zip(y.iter()).map(|(a, b)| (a - cc * b).powi(2)).sum()
         };
         let base = resid(c);
         for eps in [-0.01, 0.01] {
-            prop_assert!(resid(c + eps) >= base - 1e-6);
+            assert!(resid(c + eps) >= base - 1e-6);
         }
     }
 
-    #[test]
-    fn circular_shift_is_a_permutation(sig in signal(), s in -100isize..100) {
+    #[cases(64)]
+    fn circular_shift_is_a_permutation(g) {
+        let sig = signal(g);
+        let s = g.isize_in(-100..100);
         let shifted = shift_circular(&sig, s);
         let mut a = sig.clone();
         let mut b = shifted.clone();
         a.sort_by(|x, y| x.partial_cmp(y).unwrap());
         b.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 
-    #[test]
-    fn circular_shift_roundtrip(sig in signal(), s in -100isize..100) {
+    #[cases(64)]
+    fn circular_shift_roundtrip(g) {
+        let sig = signal(g);
+        let s = g.isize_in(-100..100);
         let back = shift_circular(&shift_circular(&sig, s), -s);
-        prop_assert_eq!(back, sig);
+        assert_eq!(back, sig);
     }
 
-    #[test]
-    fn zero_pad_shift_preserves_length_and_zeroes_pad(sig in signal(), s in -100isize..100) {
+    #[cases(64)]
+    fn zero_pad_shift_preserves_length_and_zeroes_pad(g) {
+        let sig = signal(g);
+        let s = g.isize_in(-100..100);
         let shifted = shift_zero_pad(&sig, s);
-        prop_assert_eq!(shifted.len(), sig.len());
+        assert_eq!(shifted.len(), sig.len());
         let m = sig.len() as isize;
         if s >= 0 {
             for v in &shifted[..(s.min(m)) as usize] {
-                prop_assert_eq!(*v, 0.0);
+                assert_eq!(*v, 0.0);
             }
         } else {
             let keep = (m + s.max(-m)) as usize;
             for v in &shifted[keep..] {
-                prop_assert_eq!(*v, 0.0);
+                assert_eq!(*v, 0.0);
             }
         }
     }
 
-    #[test]
-    fn resample_bounds_within_input_range(sig in signal(), new_len in 1usize..128) {
+    #[cases(64)]
+    fn resample_bounds_within_input_range(g) {
+        let sig = signal(g);
+        let new_len = g.usize_in(1..128);
         let out = resample(&sig, new_len);
-        prop_assert_eq!(out.len(), new_len);
+        assert_eq!(out.len(), new_len);
         let lo = sig.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = sig.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for v in out {
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }
     }
 
-    #[test]
-    fn warp_bounds_within_input_range(sig in signal(), amp in 0.0f64..5.0, freq in 0.1f64..3.0) {
+    #[cases(64)]
+    fn warp_bounds_within_input_range(g) {
+        let sig = signal(g);
+        let amp = g.f64_in(0.0..5.0);
+        let freq = g.f64_in(0.1..3.0);
         let out = warp_local(&sig, amp, freq);
-        prop_assert_eq!(out.len(), sig.len());
+        assert_eq!(out.len(), sig.len());
         let lo = sig.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = sig.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for v in out {
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }
     }
-}
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn paa_preserves_mean_on_divisible_lengths(
-        base in prop::collection::vec(-100.0f64..100.0, 1..16),
-        reps in 1usize..8,
-    ) {
+    #[cases(48)]
+    fn paa_preserves_mean_on_divisible_lengths(g) {
         // Build a series whose length is an exact multiple of `segments`.
+        let base = g.vec_f64(1..16, -100.0..100.0);
+        let reps = g.usize_in(1..8);
         let segments = base.len();
         let x: Vec<f64> = base
             .iter()
@@ -135,13 +147,12 @@ proptest! {
         let r = tsdata::reduce::paa(&x, segments);
         let mx: f64 = x.iter().sum::<f64>() / x.len() as f64;
         let mr: f64 = r.iter().sum::<f64>() / segments as f64;
-        prop_assert!((mx - mr).abs() < 1e-9 * (1.0 + mx.abs()));
+        assert!((mx - mr).abs() < 1e-9 * (1.0 + mx.abs()));
     }
 
-    #[test]
-    fn haar_roundtrip_and_energy(
-        sig in prop::collection::vec(-100.0f64..100.0, 1..64),
-    ) {
+    #[cases(48)]
+    fn haar_roundtrip_and_energy(g) {
+        let sig = g.vec_f64(1..64, -100.0..100.0);
         let n = sig.len().next_power_of_two();
         let mut x = sig.clone();
         x.resize(n, 0.0);
@@ -149,43 +160,40 @@ proptest! {
         // Orthonormal: energy preserved.
         let ex: f64 = x.iter().map(|v| v * v).sum();
         let ec: f64 = c.iter().map(|v| v * v).sum();
-        prop_assert!((ex - ec).abs() < 1e-6 * (1.0 + ex));
+        assert!((ex - ec).abs() < 1e-6 * (1.0 + ex));
         // Exact inverse.
         let back = tsdata::reduce::haar_inverse(&c);
         for (a, b) in x.iter().zip(back.iter()) {
-            prop_assert!((a - b).abs() < 1e-8);
+            assert!((a - b).abs() < 1e-8);
         }
     }
 
-    #[test]
-    fn feature_vector_is_finite_and_fixed_size(
-        sig in prop::collection::vec(-1000.0f64..1000.0, 3..128),
-    ) {
+    #[cases(48)]
+    fn feature_vector_is_finite_and_fixed_size(g) {
+        let sig = g.vec_f64(3..128, -1000.0..1000.0);
         let f = tsdata::features::feature_vector(&sig);
-        prop_assert_eq!(f.len(), tsdata::features::FEATURE_NAMES.len());
+        assert_eq!(f.len(), tsdata::features::FEATURE_NAMES.len());
         for v in &f {
-            prop_assert!(v.is_finite());
+            assert!(v.is_finite());
         }
     }
 
-    #[test]
-    fn autocorrelation_bounded(
-        sig in prop::collection::vec(-100.0f64..100.0, 2..64),
-        lag in 0usize..16,
-    ) {
+    #[cases(48)]
+    fn autocorrelation_bounded(g) {
+        let sig = g.vec_f64(2..64, -100.0..100.0);
+        let lag = g.usize_in(0..16);
         let r = tsdata::features::autocorrelation(&sig, lag);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "{r}");
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "{r}");
     }
 
-    #[test]
-    fn ar_coefficients_are_finite(
-        sig in prop::collection::vec(-100.0f64..100.0, 4..64),
-        order in 1usize..6,
-    ) {
+    #[cases(48)]
+    fn ar_coefficients_are_finite(g) {
+        let sig = g.vec_f64(4..64, -100.0..100.0);
+        let order = g.usize_in(1..6);
         let phi = tsdata::features::ar_coefficients(&sig, order);
-        prop_assert_eq!(phi.len(), order);
+        assert_eq!(phi.len(), order);
         for v in &phi {
-            prop_assert!(v.is_finite());
+            assert!(v.is_finite());
         }
     }
 }
@@ -193,15 +201,14 @@ proptest! {
 #[test]
 fn ucr_roundtrip_property() {
     // A deterministic fuzz of the UCR serializer/parser pair.
-    let mut state = 1u64;
-    let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-    };
+    use tsrand::{Rng, StdRng};
+    let mut rng = StdRng::seed_from_u64(1);
     for trial in 0..20 {
         let n = 1 + trial % 7;
         let m = 1 + trial % 11;
-        let series: Vec<Vec<f64>> = (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+        let series: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
         let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
         let d = tsdata::Dataset::new(format!("t{trial}"), series, labels);
         let back = tsdata::ucr::parse(&d.name, &tsdata::ucr::serialize(&d)).unwrap();

@@ -1,80 +1,85 @@
-//! Property-based tests for the distance measures.
+//! Property-based tests for the distance measures (tscheck harness).
 
-use proptest::prelude::*;
+use tscheck::Gen;
 use tsdist::cid::cid;
 use tsdist::dtw::{dtw_distance, dtw_path};
 use tsdist::ed::euclidean;
 use tsdist::lb_keogh::{lb_keogh, Envelope};
 
-fn pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (2usize..48).prop_flat_map(|m| {
-        (
-            prop::collection::vec(-100.0f64..100.0, m..=m),
-            prop::collection::vec(-100.0f64..100.0, m..=m),
-        )
-    })
+fn pair(g: &mut Gen) -> (Vec<f64>, Vec<f64>) {
+    g.pair_f64(2..48, -100.0..100.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ed_metric_axioms((x, y) in pair()) {
-        prop_assert!(euclidean(&x, &x).abs() < 1e-12);
-        prop_assert!((euclidean(&x, &y) - euclidean(&y, &x)).abs() < 1e-9);
-        prop_assert!(euclidean(&x, &y) >= 0.0);
+tscheck::props! {
+    #[cases(64)]
+    fn ed_metric_axioms(g) {
+        let (x, y) = pair(g);
+        assert!(euclidean(&x, &x).abs() < 1e-12);
+        assert!((euclidean(&x, &y) - euclidean(&y, &x)).abs() < 1e-9);
+        assert!(euclidean(&x, &y) >= 0.0);
     }
 
-    #[test]
-    fn dtw_identity_symmetry_nonneg((x, y) in pair()) {
-        prop_assert!(dtw_distance(&x, &x, None).abs() < 1e-12);
+    #[cases(64)]
+    fn dtw_identity_symmetry_nonneg(g) {
+        let (x, y) = pair(g);
+        assert!(dtw_distance(&x, &x, None).abs() < 1e-12);
         let a = dtw_distance(&x, &y, None);
         let b = dtw_distance(&y, &x, None);
-        prop_assert!((a - b).abs() < 1e-9);
-        prop_assert!(a >= 0.0);
+        assert!((a - b).abs() < 1e-9);
+        assert!(a >= 0.0);
     }
 
-    #[test]
-    fn dtw_bounded_by_ed((x, y) in pair()) {
-        prop_assert!(dtw_distance(&x, &y, None) <= euclidean(&x, &y) + 1e-9);
+    #[cases(64)]
+    fn dtw_bounded_by_ed(g) {
+        let (x, y) = pair(g);
+        assert!(dtw_distance(&x, &y, None) <= euclidean(&x, &y) + 1e-9);
     }
 
-    #[test]
-    fn dtw_monotone_in_window((x, y) in pair(), w1 in 0usize..8, w2 in 8usize..64) {
+    #[cases(64)]
+    fn dtw_monotone_in_window(g) {
+        let (x, y) = pair(g);
+        let w1 = g.usize_in(0..8);
+        let w2 = g.usize_in(8..64);
         let d1 = dtw_distance(&x, &y, Some(w1));
         let d2 = dtw_distance(&x, &y, Some(w2));
-        prop_assert!(d2 <= d1 + 1e-9, "w1={w1} {d1} vs w2={w2} {d2}");
+        assert!(d2 <= d1 + 1e-9, "w1={w1} {d1} vs w2={w2} {d2}");
     }
 
-    #[test]
-    fn dtw_path_cost_matches_distance((x, y) in pair()) {
+    #[cases(64)]
+    fn dtw_path_cost_matches_distance(g) {
+        let (x, y) = pair(g);
         let (d, path) = dtw_path(&x, &y, None);
         let sum: f64 = path.iter().map(|&(i, j)| (x[i] - y[j]).powi(2)).sum();
-        prop_assert!((d * d - sum).abs() < 1e-6 * (1.0 + sum));
-        prop_assert_eq!(*path.first().unwrap(), (0, 0));
-        prop_assert_eq!(*path.last().unwrap(), (x.len() - 1, y.len() - 1));
+        assert!((d * d - sum).abs() < 1e-6 * (1.0 + sum));
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (x.len() - 1, y.len() - 1));
     }
 
-    #[test]
-    fn lb_keogh_lower_bounds_cdtw((x, y) in pair(), w in 0usize..10) {
+    #[cases(64)]
+    fn lb_keogh_lower_bounds_cdtw(g) {
+        let (x, y) = pair(g);
+        let w = g.usize_in(0..10);
         let env = Envelope::new(&y, w);
         let lb = lb_keogh(&x, &env);
         let d = dtw_distance(&x, &y, Some(w));
-        prop_assert!(lb <= d + 1e-9, "LB {lb} > cDTW {d} (w={w})");
+        assert!(lb <= d + 1e-9, "LB {lb} > cDTW {d} (w={w})");
     }
 
-    #[test]
-    fn lb_keogh_shrinks_with_window((x, y) in pair(), w in 0usize..10) {
+    #[cases(64)]
+    fn lb_keogh_shrinks_with_window(g) {
+        let (x, y) = pair(g);
+        let w = g.usize_in(0..10);
         let lb_small = lb_keogh(&x, &Envelope::new(&y, w));
         let lb_large = lb_keogh(&x, &Envelope::new(&y, w + 5));
-        prop_assert!(lb_large <= lb_small + 1e-9);
+        assert!(lb_large <= lb_small + 1e-9);
     }
 
-    #[test]
-    fn cid_dominates_ed_and_is_symmetric((x, y) in pair()) {
+    #[cases(64)]
+    fn cid_dominates_ed_and_is_symmetric(g) {
+        let (x, y) = pair(g);
         let c = cid(&x, &y);
-        prop_assert!(c >= euclidean(&x, &y) - 1e-9);
-        prop_assert!((c - cid(&y, &x)).abs() < 1e-9);
-        prop_assert!(cid(&x, &x).abs() < 1e-12);
+        assert!(c >= euclidean(&x, &y) - 1e-9);
+        assert!((c - cid(&y, &x)).abs() < 1e-9);
+        assert!(cid(&x, &x).abs() < 1e-12);
     }
 }

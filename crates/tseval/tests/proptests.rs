@@ -1,100 +1,114 @@
-//! Property-based tests for evaluation metrics and statistics.
+//! Property-based tests for evaluation metrics and statistics (tscheck
+//! harness).
 
-use proptest::prelude::*;
+use tscheck::Gen;
 use tseval::nmi::{normalized_mutual_information, purity};
 use tseval::rand_index::{adjusted_rand_index, rand_index};
 use tseval::silhouette::silhouette_score;
 use tseval::special::{chi_square_sf, gamma_p, standard_normal_cdf};
 use tseval::stats::{friedman_test, wilcoxon_signed_rank};
 
-fn labeling() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
-    (2usize..40).prop_flat_map(|n| {
-        (
-            prop::collection::vec(0usize..4, n..=n),
-            prop::collection::vec(0usize..4, n..=n),
-        )
-    })
+fn labeling(g: &mut Gen) -> (Vec<usize>, Vec<usize>) {
+    let n = g.usize_in(2..40);
+    let pred = g.vec_usize(n..=n, 0..4);
+    let truth = g.vec_usize(n..=n, 0..4);
+    (pred, truth)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn rand_index_bounds_and_identity((pred, truth) in labeling()) {
+tscheck::props! {
+    #[cases(64)]
+    fn rand_index_bounds_and_identity(g) {
+        let (pred, truth) = labeling(g);
         let r = rand_index(&pred, &truth);
-        prop_assert!((0.0..=1.0).contains(&r));
-        prop_assert_eq!(rand_index(&truth, &truth), 1.0);
+        assert!((0.0..=1.0).contains(&r));
+        assert_eq!(rand_index(&truth, &truth), 1.0);
         // Symmetric in its arguments.
-        prop_assert!((r - rand_index(&truth, &pred)).abs() < 1e-12);
+        assert!((r - rand_index(&truth, &pred)).abs() < 1e-12);
     }
 
-    #[test]
-    fn rand_index_invariant_to_label_permutation((pred, truth) in labeling()) {
+    #[cases(64)]
+    fn rand_index_invariant_to_label_permutation(g) {
+        let (pred, truth) = labeling(g);
         // Relabel clusters 0<->3, 1<->2.
         let perm: Vec<usize> = pred.iter().map(|&l| 3 - l).collect();
-        prop_assert!((rand_index(&pred, &truth) - rand_index(&perm, &truth)).abs() < 1e-12);
+        assert!((rand_index(&pred, &truth) - rand_index(&perm, &truth)).abs() < 1e-12);
     }
 
-    #[test]
-    fn ari_upper_bound_and_perfect_case((pred, truth) in labeling()) {
+    #[cases(64)]
+    fn ari_upper_bound_and_perfect_case(g) {
+        let (pred, truth) = labeling(g);
         let a = adjusted_rand_index(&pred, &truth);
-        prop_assert!(a <= 1.0 + 1e-12);
-        prop_assert!((adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-12);
+        assert!(a <= 1.0 + 1e-12);
+        assert!((adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-12);
     }
 
-    #[test]
-    fn nmi_and_purity_bounds((pred, truth) in labeling()) {
+    #[cases(64)]
+    fn nmi_and_purity_bounds(g) {
+        let (pred, truth) = labeling(g);
         let nmi = normalized_mutual_information(&pred, &truth);
-        prop_assert!((0.0..=1.0).contains(&nmi));
+        assert!((0.0..=1.0).contains(&nmi));
         let p = purity(&pred, &truth);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p));
         // Purity of the identity labeling is 1.
-        prop_assert_eq!(purity(&truth, &truth), 1.0);
+        assert_eq!(purity(&truth, &truth), 1.0);
     }
 
-    #[test]
-    fn wilcoxon_p_value_valid(a in prop::collection::vec(0.0f64..1.0, 3..30)) {
-        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + ((i % 3) as f64 - 1.0) * 0.01).collect();
+    #[cases(64)]
+    fn wilcoxon_p_value_valid(g) {
+        let a = g.vec_f64(3..30, 0.0..1.0);
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + ((i % 3) as f64 - 1.0) * 0.01)
+            .collect();
         let r = wilcoxon_signed_rank(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        assert!((0.0..=1.0).contains(&r.p_value));
         // Rank sum identity: W+ + W- = n(n+1)/2 over effective pairs.
         let n = r.n_effective as f64;
-        prop_assert!((r.w_plus + r.w_minus - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        assert!((r.w_plus + r.w_minus - n * (n + 1.0) / 2.0).abs() < 1e-9);
     }
 
-    #[test]
-    fn friedman_rank_sum_invariant(
-        scores in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 5), 2..5)
-    ) {
+    #[cases(64)]
+    fn friedman_rank_sum_invariant(g) {
+        let k = g.usize_in(2..5);
+        let scores: Vec<Vec<f64>> = (0..k).map(|_| g.vec_f64(5..=5, 0.0..1.0)).collect();
         let r = friedman_test(&scores);
         let k = scores.len() as f64;
         let total: f64 = r.average_ranks.iter().sum();
-        prop_assert!((total - k * (k + 1.0) / 2.0).abs() < 1e-9);
-        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        assert!((total - k * (k + 1.0) / 2.0).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&r.p_value));
     }
 
-    #[test]
-    fn normal_cdf_monotone(z1 in -5.0f64..5.0, z2 in -5.0f64..5.0) {
+    #[cases(64)]
+    fn normal_cdf_monotone(g) {
+        let z1 = g.f64_in(-5.0..5.0);
+        let z2 = g.f64_in(-5.0..5.0);
         let (lo, hi) = if z1 <= z2 { (z1, z2) } else { (z2, z1) };
-        prop_assert!(standard_normal_cdf(lo) <= standard_normal_cdf(hi) + 1e-12);
+        assert!(standard_normal_cdf(lo) <= standard_normal_cdf(hi) + 1e-12);
     }
 
-    #[test]
-    fn gamma_p_monotone_in_x(a in 0.5f64..10.0, x1 in 0.0f64..20.0, x2 in 0.0f64..20.0) {
+    #[cases(64)]
+    fn gamma_p_monotone_in_x(g) {
+        let a = g.f64_in(0.5..10.0);
+        let x1 = g.f64_in(0.0..20.0);
+        let x2 = g.f64_in(0.0..20.0);
         let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
-        prop_assert!(gamma_p(a, lo) <= gamma_p(a, hi) + 1e-9);
+        assert!(gamma_p(a, lo) <= gamma_p(a, hi) + 1e-9);
     }
 
-    #[test]
-    fn chi_square_sf_valid(x in 0.0f64..100.0, df in 1usize..20) {
+    #[cases(64)]
+    fn chi_square_sf_valid(g) {
+        let x = g.f64_in(0.0..100.0);
+        let df = g.usize_in(1..20);
         let p = chi_square_sf(x, df);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p));
     }
 
-    #[test]
-    fn silhouette_bounds(labels in prop::collection::vec(0usize..3, 4..20)) {
+    #[cases(64)]
+    fn silhouette_bounds(g) {
+        let labels = g.vec_usize(4..20, 0..3);
         // Distance oracle: index difference — arbitrary but symmetric.
         let s = silhouette_score(&labels, |i, j| (i as f64 - j as f64).abs());
-        prop_assert!((-1.0..=1.0).contains(&s));
+        assert!((-1.0..=1.0).contains(&s));
     }
 }

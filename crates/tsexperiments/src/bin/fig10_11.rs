@@ -12,14 +12,13 @@
 //! OptimalScaling / ValuesBetween0-1 / z-normalization there.
 
 use kshape::ncc::NccVariant;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
 use tsdata::dataset::{Dataset, SplitDataset};
 use tsdata::normalize::{values_between_0_1, z_normalize};
 use tseval::tables::{fmt3, TextTable};
 use tsexperiments::dist_eval::{compare_to_baseline, eval_measure, DataNorm, NormalizedNcc};
 use tsexperiments::ExperimentConfig;
+use tsrand::Rng;
+use tsrand::StdRng;
 
 /// Multiplies every series by a random positive amplitude, undoing the
 /// collection's z-normalization so the normalization scenarios differ.

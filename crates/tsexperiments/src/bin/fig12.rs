@@ -12,13 +12,12 @@
 use std::time::Instant;
 
 use kshape::{KShape, KShapeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tscluster::kmeans::{kmeans, KMeansConfig};
 use tsdata::generators::cbf;
 use tsdata::normalize::z_normalize_in_place;
 use tsdist::EuclideanDistance;
 use tseval::tables::TextTable;
+use tsrand::StdRng;
 
 fn cbf_series(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -9,11 +9,10 @@
 
 use kshape::extraction::{shape_extraction, EigenMethod};
 use kshape::sbd::sbd;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsdata::generators::ecg;
 use tsdata::generators::GenParams;
 use tsdata::normalize::z_normalize;
+use tsrand::StdRng;
 
 fn main() {
     let params = GenParams {

@@ -9,8 +9,6 @@
 
 use kshape::sbd::Sbd;
 use kshape::{KShape, KShapeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tscluster::matrix::DissimilarityMatrix;
 use tscluster::pam::pam;
 use tsdata::collection::split_alternating;
@@ -18,6 +16,7 @@ use tsdata::generators::{ecg, GenParams};
 use tsdist::dtw::Dtw;
 use tsdist::nn::one_nn_accuracy;
 use tseval::rand_index::rand_index;
+use tsrand::StdRng;
 
 fn main() {
     // Strongly out-of-phase ECG data, the paper's motivating regime.

@@ -5,8 +5,7 @@
 //! The paper includes it to show that grafting an "obviously good" distance
 //! onto k-Shape *hurts* — the distance and the centroid method must match.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tsrand::StdRng;
 
 use kshape::extraction::{shape_extraction, EigenMethod};
 use kshape::init::random_assignment;

@@ -1,33 +1,37 @@
-//! Property-based tests for the FFT substrate.
+//! Property-based tests for the FFT substrate (tscheck harness).
 
-use proptest::prelude::*;
+use tscheck::Gen;
 use tsfft::complex::Complex;
 use tsfft::correlate::{cross_correlate_fft, cross_correlate_naive};
 use tsfft::fft::Radix2Fft;
 use tsfft::next_pow2;
 
-fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-100.0f64..100.0, 1..=max_len)
+fn finite_signal(g: &mut Gen, max_len: usize) -> Vec<f64> {
+    g.vec_f64(1..=max_len, -100.0..100.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn same_len_pair(g: &mut Gen, max_len: usize) -> (Vec<f64>, Vec<f64>) {
+    g.pair_f64(1..=max_len, -100.0..100.0)
+}
 
-    #[test]
-    fn fft_roundtrip_recovers_signal(sig in finite_signal(64)) {
+tscheck::props! {
+    #[cases(64)]
+    fn fft_roundtrip_recovers_signal(g) {
+        let sig = finite_signal(g, 64);
         let n = next_pow2(sig.len());
         let mut buf: Vec<Complex> = sig.iter().copied().map(Complex::from_real).collect();
         buf.resize(n, Complex::ZERO);
         let plan = Radix2Fft::new(n);
         let back = plan.inverse_vec(plan.forward_vec(buf.clone()));
         for (a, b) in buf.iter().zip(back.iter()) {
-            prop_assert!((a.re - b.re).abs() < 1e-6);
-            prop_assert!((a.im - b.im).abs() < 1e-6);
+            assert!((a.re - b.re).abs() < 1e-6);
+            assert!((a.im - b.im).abs() < 1e-6);
         }
     }
 
-    #[test]
-    fn parseval_energy_conservation(sig in finite_signal(64)) {
+    #[cases(64)]
+    fn parseval_energy_conservation(g) {
+        let sig = finite_signal(g, 64);
         let n = next_pow2(sig.len());
         let mut buf: Vec<Complex> = sig.iter().copied().map(Complex::from_real).collect();
         buf.resize(n, Complex::ZERO);
@@ -35,46 +39,39 @@ proptest! {
         let te: f64 = buf.iter().map(|z| z.norm_sqr()).sum();
         let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
         let scale = te.abs().max(1.0);
-        prop_assert!((te - fe).abs() / scale < 1e-9);
+        assert!((te - fe).abs() / scale < 1e-9);
     }
 
-    #[test]
-    fn fft_correlation_matches_naive(
-        (x, y) in finite_signal(48).prop_flat_map(|x| {
-            let m = x.len();
-            (Just(x), prop::collection::vec(-100.0f64..100.0, m..=m))
-        })
-    ) {
+    #[cases(64)]
+    fn fft_correlation_matches_naive(g) {
+        let (x, y) = same_len_pair(g, 48);
         let fast = cross_correlate_fft(&x, &y);
         let slow = cross_correlate_naive(&x, &y);
-        prop_assert_eq!(fast.len(), 2 * x.len() - 1);
+        assert_eq!(fast.len(), 2 * x.len() - 1);
         let scale: f64 = slow.iter().map(|v| v.abs()).fold(1.0, f64::max);
         for (a, b) in fast.iter().zip(slow.iter()) {
-            prop_assert!((a - b).abs() / scale < 1e-9);
+            assert!((a - b).abs() / scale < 1e-9);
         }
     }
 
-    #[test]
-    fn correlation_peak_bounded_by_cauchy_schwarz(
-        (x, y) in finite_signal(48).prop_flat_map(|x| {
-            let m = x.len();
-            (Just(x), prop::collection::vec(-100.0f64..100.0, m..=m))
-        })
-    ) {
+    #[cases(64)]
+    fn correlation_peak_bounded_by_cauchy_schwarz(g) {
+        let (x, y) = same_len_pair(g, 48);
         let cc = cross_correlate_naive(&x, &y);
         let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         let ny: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
         for &c in &cc {
-            prop_assert!(c.abs() <= nx * ny + 1e-7 * (1.0 + nx * ny));
+            assert!(c.abs() <= nx * ny + 1e-7 * (1.0 + nx * ny));
         }
     }
 
-    #[test]
-    fn autocorrelation_peaks_at_zero_lag(x in finite_signal(48)) {
+    #[cases(64)]
+    fn autocorrelation_peaks_at_zero_lag(g) {
+        let x = finite_signal(g, 48);
         let cc = cross_correlate_naive(&x, &x);
         let mid = x.len() - 1;
         for &c in &cc {
-            prop_assert!(c <= cc[mid] + 1e-9 * (1.0 + cc[mid].abs()));
+            assert!(c <= cc[mid] + 1e-9 * (1.0 + cc[mid].abs()));
         }
     }
 }

@@ -1,87 +1,86 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Property-based tests for the linear-algebra substrate (tscheck
+//! harness).
 
-use proptest::prelude::*;
+use tscheck::Gen;
 use tslinalg::eigen::symmetric_eigen;
 use tslinalg::jacobi::jacobi_eigen;
 use tslinalg::matrix::Matrix;
 
-/// Strategy producing a random symmetric matrix of side 1..=8.
-fn symmetric_matrix() -> impl Strategy<Value = Matrix> {
-    (1usize..=8).prop_flat_map(|n| {
-        prop::collection::vec(-10.0f64..10.0, n * (n + 1) / 2).prop_map(move |tri| {
-            let mut m = Matrix::zeros(n, n);
-            let mut it = tri.into_iter();
-            for r in 0..n {
-                for c in 0..=r {
-                    let v = it.next().unwrap();
-                    m[(r, c)] = v;
-                    m[(c, r)] = v;
-                }
-            }
-            m
-        })
-    })
+/// A random symmetric matrix of side 1..=8.
+fn symmetric_matrix(g: &mut Gen) -> Matrix {
+    let n = g.usize_in(1..=8);
+    let mut m = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..=r {
+            let v = g.f64_in(-10.0..10.0);
+            m[(r, c)] = v;
+            m[(c, r)] = v;
+        }
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn ql_residuals_are_small(a in symmetric_matrix()) {
+tscheck::props! {
+    #[cases(48)]
+    fn ql_residuals_are_small(g) {
+        let a = symmetric_matrix(g);
         let eig = symmetric_eigen(&a);
         let scale = 1.0 + a.frobenius_norm();
-        prop_assert!(eig.max_residual(&a) / scale < 1e-9);
+        assert!(eig.max_residual(&a) / scale < 1e-9);
     }
 
-    #[test]
-    fn ql_eigenvalues_sorted_descending(a in symmetric_matrix()) {
+    #[cases(48)]
+    fn ql_eigenvalues_sorted_descending(g) {
+        let a = symmetric_matrix(g);
         let eig = symmetric_eigen(&a);
         for w in eig.values.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-12);
+            assert!(w[0] >= w[1] - 1e-12);
         }
     }
 
-    #[test]
-    fn trace_matches_eigenvalue_sum(a in symmetric_matrix()) {
+    #[cases(48)]
+    fn trace_matches_eigenvalue_sum(g) {
+        let a = symmetric_matrix(g);
         let eig = symmetric_eigen(&a);
         let trace: f64 = (0..a.rows()).map(|i| a[(i, i)]).sum();
         let sum: f64 = eig.values.iter().sum();
         let scale = 1.0 + trace.abs();
-        prop_assert!((trace - sum).abs() / scale < 1e-9);
+        assert!((trace - sum).abs() / scale < 1e-9);
     }
 
-    #[test]
-    fn jacobi_and_ql_agree_on_spectra(a in symmetric_matrix()) {
+    #[cases(48)]
+    fn jacobi_and_ql_agree_on_spectra(g) {
+        let a = symmetric_matrix(g);
         let e1 = symmetric_eigen(&a);
         let e2 = jacobi_eigen(&a);
         let scale = 1.0 + a.frobenius_norm();
         for (v1, v2) in e1.values.iter().zip(e2.values.iter()) {
-            prop_assert!((v1 - v2).abs() / scale < 1e-8);
+            assert!((v1 - v2).abs() / scale < 1e-8);
         }
     }
 
-    #[test]
-    fn eigenvectors_unit_norm(a in symmetric_matrix()) {
+    #[cases(48)]
+    fn eigenvectors_unit_norm(g) {
+        let a = symmetric_matrix(g);
         let eig = symmetric_eigen(&a);
         for i in 0..a.rows() {
             let v = eig.vectors.col(i);
             let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-            prop_assert!((n - 1.0).abs() < 1e-9);
+            assert!((n - 1.0).abs() < 1e-9);
         }
     }
 
-    #[test]
-    fn matmul_associativity(
-        a in prop::collection::vec(-5.0f64..5.0, 9),
-        b in prop::collection::vec(-5.0f64..5.0, 9),
-        v in prop::collection::vec(-5.0f64..5.0, 3),
-    ) {
+    #[cases(48)]
+    fn matmul_associativity(g) {
+        let a = g.vec_f64(9..=9, -5.0..5.0);
+        let b = g.vec_f64(9..=9, -5.0..5.0);
+        let v = g.vec_f64(3..=3, -5.0..5.0);
         let ma = Matrix::from_vec(3, 3, a);
         let mb = Matrix::from_vec(3, 3, b);
         let left = ma.matmul(&mb).matvec(&v);
         let right = ma.matvec(&mb.matvec(&v));
         for (x, y) in left.iter().zip(right.iter()) {
-            prop_assert!((x - y).abs() < 1e-8 * (1.0 + x.abs()));
+            assert!((x - y).abs() < 1e-8 * (1.0 + x.abs()));
         }
     }
 }

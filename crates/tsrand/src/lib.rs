@@ -1,0 +1,75 @@
+//! Deterministic, in-tree pseudo-random number generation.
+//!
+//! This crate replaces the external `rand` crate throughout the workspace
+//! so that (a) the workspace builds hermetically with no registry access,
+//! and (b) every sampled stream is *bit-reproducible by construction*:
+//! the generator is specified here, in ~300 lines of audited code, rather
+//! than delegated to a dependency whose stream may change across versions.
+//! Reproducibility of seeded runs is what makes every number in
+//! `EXPERIMENTS.md` and every golden-snapshot test meaningful.
+//!
+//! # Generators
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood (OOPSLA 2014). Used to expand a
+//!   single `u64` seed into full generator state; every bit pattern of the
+//!   seed is acceptable (including zero).
+//! * [`Xoshiro256PlusPlus`] — Blackman & Vigna (2019), `xoshiro256++`.
+//!   The workspace workhorse: 256-bit state, period 2^256 − 1, passes
+//!   BigCrush, and is trivially portable (three rotations and an add).
+//!
+//! The alias [`StdRng`] names the workspace-default generator so call
+//! sites read the same as they did under `rand` (`StdRng::seed_from_u64`).
+//! **The stream differs from `rand::rngs::StdRng`** (which is ChaCha12);
+//! see DESIGN.md for why that preserves the paper's claims.
+//!
+//! # Sampling
+//!
+//! The [`Rng`] trait provides the sampling surface the workspace needs:
+//! `next_u64`, `f64_unit`, `gen_range` (integer ranges are debiased with
+//! Lemire's multiply-shift rejection; float ranges are half-open),
+//! `shuffle` (Fisher–Yates), `choose`, `choose_weighted_index`, and
+//! `gen_bool`. [`Normal`] supplies Gaussian variates via Box–Muller.
+//!
+//! # Example
+//!
+//! ```
+//! use tsrand::{Rng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! let u = rng.f64_unit();
+//! assert!((0.0..1.0).contains(&u));
+//! // Same seed, same stream — always.
+//! assert_eq!(
+//!     StdRng::seed_from_u64(7).next_u64(),
+//!     StdRng::seed_from_u64(7).next_u64(),
+//! );
+//! ```
+
+pub mod normal;
+pub mod rng;
+pub mod splitmix;
+pub mod xoshiro;
+
+pub use normal::Normal;
+pub use rng::{Rng, SampleRange};
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256PlusPlus;
+
+/// The workspace-default generator (currently [`Xoshiro256PlusPlus`]).
+///
+/// Named `StdRng` so call sites migrated from the `rand` crate keep their
+/// shape, but the stream is **not** the `rand::rngs::StdRng` stream.
+pub type StdRng = Xoshiro256PlusPlus;
+
+/// Seeding interface mirroring the subset of `rand::SeedableRng` the
+/// workspace uses.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds a generator from a single `u64` seed.
+    ///
+    /// All seeds are valid, including 0: the seed is expanded through
+    /// [`SplitMix64`] so that even pathological inputs yield well-mixed
+    /// state.
+    fn seed_from_u64(seed: u64) -> Self;
+}

@@ -1,0 +1,115 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! Box & Muller (1958): if `u1, u2` are independent uniforms on `(0, 1]`
+//! then `sqrt(-2 ln u1) · cos(2π u2)` is a standard normal variate. The
+//! transform is branch-light, needs no tables, and — unlike ziggurat
+//! implementations — is trivially portable and auditable, which matches
+//! this crate's reproducibility-first charter. Each sample consumes
+//! exactly two generator outputs (the sine branch is discarded), keeping
+//! the stream advance rate fixed and easy to reason about.
+
+use crate::rng::Rng;
+
+/// A normal (Gaussian) distribution parameterized by mean and standard
+/// deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be finite and non-negative, got {std_dev}"
+        );
+        Normal { mean, std_dev }
+    }
+
+    /// The standard normal: mean 0, standard deviation 1.
+    #[must_use]
+    pub fn standard() -> Self {
+        Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Draws one variate.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Draws a standard normal variate (mean 0, variance 1) via Box–Muller.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 must be bounded away from 0 for ln(u1); map [0,1) to (0,1].
+    let u1 = 1.0 - rng.f64_unit();
+    let u2 = rng.f64_unit();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{standard_normal, Normal};
+    use crate::StdRng;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+        // Skewness of a symmetric distribution ~ 0.
+        let skew: f64 =
+            samples.iter().map(|v| (v - mean).powi(3)).sum::<f64>() / (n as f64 * var.powf(1.5));
+        assert!(skew.abs() < 0.05, "skew {skew}");
+    }
+
+    #[test]
+    fn parameterized_normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dist = Normal::new(10.0, 0.5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dist = Normal::new(3.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(dist.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn samples_are_always_finite() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..1_000_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_dev_rejected() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+}

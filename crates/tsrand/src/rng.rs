@@ -1,0 +1,357 @@
+//! The sampling trait: everything the workspace draws from a generator.
+//!
+//! Design notes:
+//!
+//! * **Integer ranges are exactly uniform.** `gen_range` debiases with
+//!   Lemire's multiply-shift rejection (Lemire, "Fast Random Integer
+//!   Generation in an Interval", TOMACS 2019): one 64×64→128 multiply per
+//!   draw, with a rare rejection loop only when the range does not divide
+//!   2^64.
+//! * **`f64_unit` uses the top 53 bits**, yielding uniform multiples of
+//!   2^-53 in `[0, 1)` — the same construction `rand` uses, so downstream
+//!   numerics keep their distributional assumptions.
+//! * **Everything is deterministic given the generator state**; no method
+//!   touches ambient entropy.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic source of pseudo-random bits plus the derived sampling
+/// methods the workspace uses. Implementors only provide [`Rng::next_u64`].
+pub trait Rng {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns 32 pseudo-random bits (the high half of [`Rng::next_u64`],
+    /// which carries the best-mixed bits in `++`-scrambled generators).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)`: a 53-bit mantissa scaled by 2^-53.
+    #[inline]
+    fn f64_unit(&mut self) -> f64 {
+        // 2^-53 = 1.1102230246251565e-16
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, n)` via Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    fn u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            // Rejection zone: 2^64 mod n values at the bottom are biased.
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = u128::from(self.next_u64()) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform sample from `range`. Implemented for half-open (`a..b`) and
+    /// inclusive (`a..=b`) ranges over the primitive integers, and for
+    /// half-open and inclusive `f64` ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.u64_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chooses an element; `None` on an empty slice.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T>
+    where
+        Self: Sized,
+    {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.u64_below(slice.len() as u64) as usize])
+        }
+    }
+
+    /// Chooses an index with probability proportional to `weights[i]`.
+    ///
+    /// Non-finite and negative weights are treated as zero. Returns `None`
+    /// when the weights are empty or sum to zero — callers typically fall
+    /// back to uniform choice (the k-means++ degenerate case).
+    fn choose_weighted_index(&mut self, weights: &[f64]) -> Option<usize>
+    where
+        Self: Sized,
+    {
+        let clean = |w: f64| if w.is_finite() && w > 0.0 { w } else { 0.0 };
+        let total: f64 = weights.iter().map(|&w| clean(w)).sum();
+        if total <= 0.0 || total.is_nan() {
+            return None;
+        }
+        let mut target = self.f64_unit() * total;
+        let mut last_positive = None;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = clean(w);
+            if w > 0.0 {
+                if target < w {
+                    return Some(i);
+                }
+                target -= w;
+                last_positive = Some(i);
+            }
+        }
+        // Floating-point shortfall: land on the last positive weight.
+        last_positive
+    }
+}
+
+/// A range that can produce a uniform sample of `T`. The `gen_range`
+/// counterpart of `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end,
+            "empty f64 range {}..{}",
+            self.start,
+            self.end
+        );
+        let v = self.start + (self.end - self.start) * rng.f64_unit();
+        // Guard against round-up to `end` when the span is huge.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty f64 range {lo}..={hi}");
+        lo + (hi - lo) * rng.f64_unit()
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.u64_below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + rng.u64_below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.u64_below(span) as i64) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return (lo as i64).wrapping_add(rng.next_u64() as i64) as $t;
+                }
+                (lo as i64).wrapping_add(rng.u64_below(span + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::Rng;
+    use crate::StdRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn f64_unit_in_half_open_interval() {
+        let mut g = rng(1);
+        for _ in 0..10_000 {
+            let v = g.f64_unit();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn u64_below_covers_small_range_exactly() {
+        let mut g = rng(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[g.u64_below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn u64_below_zero_panics() {
+        rng(1).u64_below(0);
+    }
+
+    #[test]
+    fn gen_range_respects_integer_bounds() {
+        let mut g = rng(3);
+        for _ in 0..5_000 {
+            let a = g.gen_range(3usize..17);
+            assert!((3..17).contains(&a));
+            let b = g.gen_range(-5isize..=5);
+            assert!((-5..=5).contains(&b));
+            let c = g.gen_range(-100i64..-90);
+            assert!((-100..-90).contains(&c));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_both_endpoints() {
+        let mut g = rng(4);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..500 {
+            match g.gen_range(0u32..=1) {
+                0 => lo = true,
+                1 => hi = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn gen_range_float_stays_in_bounds() {
+        let mut g = rng(5);
+        for _ in 0..10_000 {
+            let v = g.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&v), "{v}");
+            let w = g.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&w), "{w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty integer range")]
+    fn empty_integer_range_panics() {
+        rng(1).gen_range(5usize..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty f64 range")]
+    fn empty_float_range_panics() {
+        rng(1).gen_range(1.0..1.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = rng(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "50 elements staying put is astronomically unlikely"
+        );
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut g = rng(7);
+        assert_eq!(g.choose::<u8>(&[]), None);
+        assert_eq!(g.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn choose_weighted_tracks_weights() {
+        let mut g = rng(8);
+        let weights = [0.0, 9.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[g.choose_weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((6.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn choose_weighted_degenerate_cases() {
+        let mut g = rng(9);
+        assert_eq!(g.choose_weighted_index(&[]), None);
+        assert_eq!(g.choose_weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(g.choose_weighted_index(&[f64::NAN, -3.0]), None);
+        assert_eq!(g.choose_weighted_index(&[0.0, 2.0, 0.0]), Some(1));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut g = rng(10);
+        assert!(!g.gen_bool(0.0));
+        assert!(g.gen_bool(1.0));
+    }
+}

@@ -12,9 +12,8 @@
 //! ```
 
 use kshape::validity::{best_by_silhouette, sweep_k};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsdata::generators::{warped, GenParams};
+use tsrand::StdRng;
 
 fn main() {
     let true_k = 4;

@@ -11,14 +11,13 @@
 use std::time::Instant;
 
 use kshape::sbd::Sbd;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsdata::collection::split_alternating;
 use tsdata::generators::{two_patterns, GenParams};
 use tsdist::dtw::Dtw;
 use tsdist::nn::{one_nn_accuracy, one_nn_accuracy_lb};
 use tsdist::tune::{default_candidates, tune_window};
 use tsdist::{Distance, EuclideanDistance};
+use tsrand::StdRng;
 
 fn timed<D: Distance>(d: &D, train: &tsdata::Dataset, test: &tsdata::Dataset) -> (f64, f64) {
     let t = Instant::now();

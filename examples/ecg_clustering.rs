@@ -12,13 +12,12 @@
 
 use kshape::sbd::sbd;
 use kshape::{KShape, KShapeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tscluster::kmeans::{kmeans, KMeansConfig};
 use tsdata::generators::{ecg, GenParams};
 use tsdata::normalize::z_normalize;
 use tsdist::EuclideanDistance;
 use tseval::rand_index::rand_index;
+use tsrand::StdRng;
 
 fn main() {
     let params = GenParams {

@@ -14,12 +14,11 @@
 use std::time::Instant;
 
 use kshape::{KShape, KShapeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsdata::generators::{seasonal, GenParams};
 use tsdata::normalize::z_normalize;
 use tsdata::reduce::{haar_reduce, paa};
 use tseval::rand_index::rand_index;
+use tsrand::StdRng;
 
 fn cluster(series: &[Vec<f64>], truth: &[usize], label: &str) {
     let t = Instant::now();

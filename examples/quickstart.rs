@@ -9,11 +9,10 @@
 //! ```
 
 use kshape::{KShape, KShapeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tsdata::generators::cbf;
 use tsdata::normalize::z_normalize_in_place;
 use tseval::rand_index::{adjusted_rand_index, rand_index};
+use tsrand::StdRng;
 
 fn main() {
     // 1. Generate 60 labeled series: cylinder / bell / funnel, length 128.

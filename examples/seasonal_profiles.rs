@@ -14,8 +14,6 @@
 
 use kshape::sbd::Sbd;
 use kshape::{KShape, KShapeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tscluster::hierarchical::{hierarchical_cluster, Linkage};
 use tscluster::matrix::DissimilarityMatrix;
 use tscluster::pam::pam;
@@ -23,6 +21,7 @@ use tsdata::generators::{seasonal, GenParams};
 use tsdist::dtw::Dtw;
 use tseval::nmi::normalized_mutual_information;
 use tseval::rand_index::rand_index;
+use tsrand::StdRng;
 
 fn main() {
     let params = GenParams {

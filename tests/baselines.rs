@@ -2,8 +2,6 @@
 //! shape data — each baseline must behave as the paper characterizes it.
 
 use kshape::sbd::Sbd;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tscluster::dba::{kdba, KDbaConfig};
 use tscluster::hierarchical::{hierarchical_cluster, Linkage};
 use tscluster::ksc::{ksc, KscConfig};
@@ -14,6 +12,7 @@ use tsdata::generators::{seasonal, GenParams};
 use tsdist::dtw::Dtw;
 use tsdist::EuclideanDistance;
 use tseval::rand_index::rand_index;
+use tsrand::StdRng;
 
 fn waveform_data(noise: f64, shift: f64) -> tsdata::Dataset {
     let params = GenParams {

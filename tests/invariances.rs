@@ -3,7 +3,6 @@
 //! claims the corresponding invariance.
 
 use kshape::sbd::sbd;
-use proptest::prelude::*;
 use tsdata::distort::{shift_zero_pad, warp_local};
 use tsdata::normalize::z_normalize;
 use tsdist::dtw::dtw_distance;
@@ -131,55 +130,49 @@ fn uniform_scaling_handled_by_rescaled_sbd() {
     assert!(r.dist < 0.01, "rescaled SBD {}", r.dist);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn sbd_range_and_identity(
-        sig in prop::collection::vec(-50.0f64..50.0, 4..48),
-    ) {
+tscheck::props! {
+    #[cases(32)]
+    fn sbd_range_and_identity(g) {
+        let sig = g.vec_f64(4..48, -50.0..50.0);
         let z = z_normalize(&sig);
         // A constant input z-normalizes to all zeros; SBD defines that
         // case as distance 0 to itself.
         let d_self = sbd(&z, &z).dist;
-        prop_assert!(d_self.abs() < 1e-9);
+        assert!(d_self.abs() < 1e-9);
         let rev: Vec<f64> = z.iter().rev().copied().collect();
         let d = sbd(&z, &rev).dist;
-        prop_assert!((0.0..=2.0 + 1e-9).contains(&d));
+        assert!((0.0..=2.0 + 1e-9).contains(&d));
     }
 
-    #[test]
-    fn sbd_scale_invariance_property(
-        sig in prop::collection::vec(-50.0f64..50.0, 4..48),
-        scale in 0.01f64..100.0,
-    ) {
+    #[cases(32)]
+    fn sbd_scale_invariance_property(g) {
+        let sig = g.vec_f64(4..48, -50.0..50.0);
+        let scale = g.f64_in(0.01..100.0);
         let other: Vec<f64> = sig.iter().enumerate().map(|(i, v)| v + (i as f64).sin()).collect();
         let scaled: Vec<f64> = other.iter().map(|v| scale * v).collect();
         let d1 = sbd(&sig, &other).dist;
         let d2 = sbd(&sig, &scaled).dist;
-        prop_assert!((d1 - d2).abs() < 1e-7, "{d1} vs {d2}");
+        assert!((d1 - d2).abs() < 1e-7, "{d1} vs {d2}");
     }
 
-    #[test]
-    fn dtw_upper_bounded_by_ed_property(
-        sig in prop::collection::vec(-50.0f64..50.0, 2..40),
-    ) {
+    #[cases(32)]
+    fn dtw_upper_bounded_by_ed_property(g) {
+        let sig = g.vec_f64(2..40, -50.0..50.0);
         let m = sig.len();
         let other: Vec<f64> = (0..m).map(|i| sig[m - 1 - i] * 0.5 + 1.0).collect();
-        prop_assert!(dtw_distance(&sig, &other, None) <= euclidean(&sig, &other) + 1e-9);
+        assert!(dtw_distance(&sig, &other, None) <= euclidean(&sig, &other) + 1e-9);
     }
 
-    #[test]
-    fn znorm_then_sbd_invariant_to_affine_distortion(
-        sig in prop::collection::vec(-50.0f64..50.0, 8..40),
-        a in 0.1f64..20.0,
-        b in -100.0f64..100.0,
-    ) {
+    #[cases(32)]
+    fn znorm_then_sbd_invariant_to_affine_distortion(g) {
+        let sig = g.vec_f64(8..40, -50.0..50.0);
+        let a = g.f64_in(0.1..20.0);
+        let b = g.f64_in(-100.0..100.0);
         // Skip degenerate constant inputs.
         let z = z_normalize(&sig);
-        prop_assume!(z.iter().any(|&v| v.abs() > 1e-9));
+        tscheck::assume!(z.iter().any(|&v| v.abs() > 1e-9));
         let affine: Vec<f64> = sig.iter().map(|v| a * v + b).collect();
         let d = sbd(&z, &z_normalize(&affine)).dist;
-        prop_assert!(d < 1e-7, "{d}");
+        assert!(d < 1e-7, "{d}");
     }
 }

@@ -2,13 +2,12 @@
 //! generate → normalize → cluster → score.
 
 use kshape::{KShape, KShapeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tscluster::kmeans::{kmeans, KMeansConfig};
 use tsdata::collection::{synthetic_collection, CollectionSpec};
 use tsdata::generators::{cbf, ecg, seasonal, sines, GenParams};
 use tsdist::EuclideanDistance;
 use tseval::rand_index::rand_index;
+use tsrand::StdRng;
 
 fn small_params(len: usize) -> GenParams {
     GenParams {
