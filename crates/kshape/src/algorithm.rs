@@ -14,9 +14,10 @@
 //! paper) is reached. Complexity per iteration is
 //! `O(max{n·k·m·log m, n·m², k·m³})`, linear in the number of series `n`.
 
+use tserror::{ensure_k, validate_series_set, TsError, TsResult};
 use tsrand::StdRng;
 
-use crate::extraction::{shape_extraction, EigenMethod};
+use crate::extraction::{try_shape_extraction, EigenMethod};
 use crate::init::{plus_plus_assignment, random_assignment, InitStrategy};
 use crate::sbd::SbdPlan;
 
@@ -99,21 +100,47 @@ impl KShape {
     ///
     /// # Panics
     ///
-    /// Panics if `series` is empty, ragged, or `k` is 0 or exceeds the
-    /// number of series.
+    /// Panics if `series` is empty, ragged, contains non-finite samples,
+    /// or `k` is 0 or exceeds the number of series. Use [`KShape::try_fit`]
+    /// to receive these conditions as typed [`TsError`]s instead.
     #[must_use]
     pub fn fit(&self, series: &[Vec<f64>]) -> KShapeResult {
+        self.fit_core(series).unwrap_or_else(|e| panic!("{e}")).0
+    }
+
+    /// Fallible variant of [`KShape::fit`]: validates the input once up
+    /// front and never panics.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsError::EmptyInput`], [`TsError::LengthMismatch`], or
+    ///   [`TsError::NonFinite`] for malformed `series`;
+    /// * [`TsError::InvalidK`] unless `1 <= k <= series.len()`;
+    /// * [`TsError::NotConverged`] when memberships are still changing at
+    ///   `max_iter` — the error carries the final labeling, the iteration
+    ///   count, and how many series shifted cluster in the last iteration,
+    ///   so callers can still consume the best-effort result.
+    pub fn try_fit(&self, series: &[Vec<f64>]) -> TsResult<KShapeResult> {
+        let (result, shifted) = self.fit_core(series)?;
+        if result.converged {
+            Ok(result)
+        } else {
+            Err(TsError::NotConverged {
+                labels: result.labels,
+                iterations: result.iterations,
+                shifted,
+            })
+        }
+    }
+
+    /// Validated k-Shape refinement loop shared by [`KShape::fit`] and
+    /// [`KShape::try_fit`]. Returns the result plus the number of series
+    /// that changed cluster in the final iteration (0 when converged).
+    pub(crate) fn fit_core(&self, series: &[Vec<f64>]) -> TsResult<(KShapeResult, usize)> {
         let cfg = &self.config;
         let n = series.len();
-        assert!(n > 0, "k-Shape requires at least one series");
-        assert!(cfg.k > 0, "k must be positive");
-        assert!(cfg.k <= n, "k must not exceed the number of series");
-        let m = series[0].len();
-        assert!(m > 0, "series must be non-empty");
-        assert!(
-            series.iter().all(|s| s.len() == m),
-            "all series must have equal length"
-        );
+        let m = validate_series_set(series)?;
+        ensure_k(cfg.k, n)?;
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut labels = match cfg.init {
@@ -126,6 +153,7 @@ impl KShape {
         let mut iterations = 0;
         let mut converged = false;
         let mut dists = vec![0.0f64; n];
+        let mut shifted = 0usize;
         while iterations < cfg.max_iter {
             iterations += 1;
 
@@ -144,18 +172,18 @@ impl KShape {
                     let worst = dists
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map_or(0, |(i, _)| i);
                     labels[worst] = j;
                     centroids[j] = tsdata::normalize::z_normalize(&series[worst]);
                     continue;
                 }
-                centroids[j] = shape_extraction(&members, &centroids[j], cfg.eigen);
+                centroids[j] = try_shape_extraction(&members, &centroids[j], cfg.eigen)?;
             }
 
             // ----- Assignment step: move to nearest centroid. -----
             let prepared: Vec<_> = centroids.iter().map(|c| plan.prepare(c)).collect();
-            let mut changed = false;
+            let mut changed = 0usize;
             for (i, s) in series.iter().enumerate() {
                 let mut best = f64::INFINITY;
                 let mut best_j = labels[i];
@@ -169,23 +197,27 @@ impl KShape {
                 dists[i] = best;
                 if best_j != labels[i] {
                     labels[i] = best_j;
-                    changed = true;
+                    changed += 1;
                 }
             }
-            if !changed {
+            shifted = changed;
+            if changed == 0 {
                 converged = true;
                 break;
             }
         }
 
         let inertia = dists.iter().map(|d| d * d).sum();
-        KShapeResult {
-            labels,
-            centroids,
-            iterations,
-            converged,
-            inertia,
-        }
+        Ok((
+            KShapeResult {
+                labels,
+                centroids,
+                iterations,
+                converged,
+                inertia,
+            },
+            shifted,
+        ))
     }
 }
 
@@ -369,5 +401,71 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn rejects_ragged_input() {
         let _ = KShape::with_k(1).fit(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn try_fit_matches_fit_on_clean_data() {
+        let (series, _) = two_class_data();
+        let cfg = KShapeConfig {
+            k: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = KShape::new(cfg).fit(&series);
+        let b = KShape::new(cfg).try_fit(&series).expect("clean data");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn try_fit_reports_typed_errors() {
+        use tserror::TsError;
+        let ks = KShape::with_k(3);
+        assert!(matches!(ks.try_fit(&[]), Err(TsError::EmptyInput)));
+        assert!(matches!(
+            ks.try_fit(&[vec![1.0, 2.0], vec![2.0, 1.0]]),
+            Err(TsError::InvalidK { k: 3, n: 2 })
+        ));
+        assert!(matches!(
+            KShape::with_k(1).try_fit(&[vec![1.0, 2.0], vec![1.0]]),
+            Err(TsError::LengthMismatch {
+                expected: 2,
+                found: 1,
+                series: 1
+            })
+        ));
+        assert!(matches!(
+            KShape::with_k(1).try_fit(&[vec![1.0, f64::NAN]]),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn try_fit_reports_not_converged_with_diagnostics() {
+        use tserror::TsError;
+        let (series, _) = two_class_data();
+        // max_iter 0 can never converge; the diagnostics still carry a
+        // full labeling.
+        let err = KShape::new(KShapeConfig {
+            k: 2,
+            seed: 5,
+            max_iter: 0,
+            ..Default::default()
+        })
+        .try_fit(&series)
+        .expect_err("cannot converge in zero iterations");
+        match err {
+            TsError::NotConverged {
+                labels, iterations, ..
+            } => {
+                assert_eq!(labels.len(), series.len());
+                assert_eq!(iterations, 0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

@@ -17,7 +17,8 @@
 //! members, and z-normalize the result.
 
 use tsdata::normalize::z_normalize_in_place;
-use tslinalg::eigen::symmetric_eigen;
+use tserror::{ensure_finite, TsError, TsResult};
+use tslinalg::eigen::try_symmetric_eigen;
 use tslinalg::matrix::Matrix;
 use tslinalg::power::power_iteration;
 
@@ -64,15 +65,50 @@ pub enum EigenMethod {
 ///
 /// # Panics
 ///
-/// Panics if member lengths differ from the reference length.
+/// Panics if member lengths differ from the reference length or any sample
+/// is non-finite (see [`try_shape_extraction`] for the fallible variant).
 #[must_use]
 pub fn shape_extraction(members: &[&[f64]], reference: &[f64], method: EigenMethod) -> Vec<f64> {
+    try_shape_extraction(members, reference, method)
+        .unwrap_or_else(|e| panic!("member lengths must match the reference: {e}"))
+}
+
+/// Fallible shape extraction: validates member lengths and finiteness up
+/// front and recovers deterministically from degenerate eigenvectors.
+///
+/// When the extracted eigenvector is numerically degenerate — all-zero
+/// (e.g. every member constant, so the centered matrix `B` vanishes) or
+/// non-finite — the centroid falls back to the **SBD-medoid** of the
+/// cluster: the z-normalized member minimizing the total SBD to the other
+/// members, ties broken by the lowest index. On clean, non-degenerate data
+/// this fallback never triggers and the result is bit-identical to the
+/// panicking [`shape_extraction`].
+///
+/// # Errors
+///
+/// * [`TsError::LengthMismatch`] if a member's length differs from the
+///   reference length;
+/// * [`TsError::NonFinite`] if the reference or any member contains a NaN
+///   or infinite sample.
+pub fn try_shape_extraction(
+    members: &[&[f64]],
+    reference: &[f64],
+    method: EigenMethod,
+) -> TsResult<Vec<f64>> {
     let m = reference.len();
     if members.is_empty() || m == 0 {
-        return reference.to_vec();
+        return Ok(reference.to_vec());
     }
-    for s in members {
-        assert_eq!(s.len(), m, "member length must match the reference");
+    ensure_finite(reference, 0)?;
+    for (i, s) in members.iter().enumerate() {
+        if s.len() != m {
+            return Err(TsError::LengthMismatch {
+                expected: m,
+                found: s.len(),
+                series: i,
+            });
+        }
+        ensure_finite(s, i)?;
     }
 
     let ref_is_zero = reference.iter().all(|&v| v == 0.0);
@@ -115,7 +151,10 @@ pub fn shape_extraction(members: &[&[f64]], reference: &[f64], method: EigenMeth
             }
         }
         let u = match method {
-            EigenMethod::Full => symmetric_eigen(&dual).dominant_vector(),
+            // A QL non-convergence produces a NaN vector here, which the
+            // medoid fallback below converts into a usable centroid.
+            EigenMethod::Full => try_symmetric_eigen(&dual)
+                .map_or_else(|_| vec![f64::NAN; n], |e| e.dominant_vector()),
             EigenMethod::Power => power_iteration(&dual, 200, 1e-12).vector,
         };
         // v = Bᵀ u.
@@ -135,7 +174,8 @@ pub fn shape_extraction(members: &[&[f64]], reference: &[f64], method: EigenMeth
             mat.rank_one_update(b.row(r), 1.0);
         }
         match method {
-            EigenMethod::Full => symmetric_eigen(&mat).dominant_vector(),
+            EigenMethod::Full => try_symmetric_eigen(&mat)
+                .map_or_else(|_| vec![f64::NAN; m], |e| e.dominant_vector()),
             EigenMethod::Power => power_iteration(&mat, 200, 1e-12).vector,
         }
     };
@@ -153,7 +193,40 @@ pub fn shape_extraction(members: &[&[f64]], reference: &[f64], method: EigenMeth
     }
 
     z_normalize_in_place(&mut centroid);
-    centroid
+
+    // Degenerate-eigenvector recovery: if the extracted shape collapsed to
+    // a non-finite or all-zero vector (zero centered matrix, repeated
+    // eigenvalues with cancelling components, …), fall back to the
+    // SBD-medoid of the cluster. Deterministic, and unreachable on clean
+    // non-degenerate data.
+    if centroid.iter().any(|v| !v.is_finite()) || centroid.iter().all(|&v| v == 0.0) {
+        centroid = sbd_medoid(members, &plan);
+    }
+    Ok(centroid)
+}
+
+/// The z-normalized member minimizing total SBD to the other members
+/// (ties: lowest index). Used as the deterministic fallback centroid when
+/// eigen-based shape extraction degenerates.
+fn sbd_medoid(members: &[&[f64]], plan: &SbdPlan) -> Vec<f64> {
+    let mut best_idx = 0usize;
+    let mut best_total = f64::INFINITY;
+    for (i, mi) in members.iter().enumerate() {
+        let prepared = plan.prepare(mi);
+        let total: f64 = members
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, mj)| plan.sbd_prepared(&prepared, mj).dist)
+            .sum();
+        if total.total_cmp(&best_total) == std::cmp::Ordering::Less {
+            best_total = total;
+            best_idx = i;
+        }
+    }
+    let mut c = members[best_idx].to_vec();
+    z_normalize_in_place(&mut c);
+    c
 }
 
 #[cfg(test)]
@@ -259,5 +332,57 @@ mod tests {
         let a = vec![1.0, 2.0];
         let members: Vec<&[f64]> = vec![&a];
         let _ = shape_extraction(&members, &[1.0, 2.0, 3.0], EigenMethod::Full);
+    }
+
+    #[test]
+    fn try_rejects_mismatched_lengths_and_nan() {
+        use super::try_shape_extraction;
+        use tserror::TsError;
+        let a = vec![1.0, 2.0];
+        let members: Vec<&[f64]> = vec![&a];
+        assert!(matches!(
+            try_shape_extraction(&members, &[1.0, 2.0, 3.0], EigenMethod::Full),
+            Err(TsError::LengthMismatch {
+                expected: 3,
+                found: 2,
+                series: 0
+            })
+        ));
+        let bad = vec![1.0, f64::NAN];
+        let members: Vec<&[f64]> = vec![&bad];
+        assert!(matches!(
+            try_shape_extraction(&members, &[1.0, 2.0], EigenMethod::Full),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn degenerate_members_fall_back_to_finite_medoid() {
+        // All-constant members: after centering, B = 0 and the eigenvector
+        // is degenerate; the SBD-medoid fallback must keep the result
+        // finite rather than emitting NaN.
+        let a = vec![3.0; 16];
+        let members: Vec<&[f64]> = vec![&a, &a, &a];
+        let c = shape_extraction(&members, &[0.0; 16], EigenMethod::Full);
+        assert_eq!(c.len(), 16);
+        assert!(c.iter().all(|v| v.is_finite()), "{c:?}");
+    }
+
+    #[test]
+    fn medoid_fallback_is_deterministic() {
+        // Distinct constant levels all center to zero rows, so extraction
+        // degenerates for every eigen method; the medoid fallback must be
+        // finite and identical across repeated calls and methods.
+        let a = vec![1.0; 24];
+        let b = vec![2.0; 24];
+        let c = vec![5.0; 24];
+        let members: Vec<&[f64]> = vec![&a, &b, &c];
+        let c1 = shape_extraction(&members, &[0.0; 24], EigenMethod::Full);
+        let c2 = shape_extraction(&members, &[0.0; 24], EigenMethod::Power);
+        assert_eq!(c1, c2);
+        assert!(c1.iter().all(|v| v.is_finite()));
     }
 }

@@ -52,5 +52,6 @@ pub mod sbd_unequal;
 pub mod validity;
 
 pub use algorithm::{KShape, KShapeConfig, KShapeResult};
-pub use extraction::shape_extraction;
-pub use sbd::{sbd, Sbd, SbdResult};
+pub use extraction::{shape_extraction, try_shape_extraction};
+pub use sbd::{sbd, try_sbd, Sbd, SbdResult};
+pub use tserror::{TsError, TsResult};

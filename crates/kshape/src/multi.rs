@@ -6,6 +6,8 @@
 //! module provides both: run `n_restarts` independent fits and either keep
 //! the lowest-inertia result or return all of them.
 
+use tserror::{TsError, TsResult};
+
 use crate::algorithm::{KShape, KShapeConfig, KShapeResult};
 
 /// Runs k-Shape `n_restarts` times with seeds `base_seed..base_seed + r`
@@ -22,13 +24,34 @@ pub fn fit_restarts(
     n_restarts: usize,
 ) -> Vec<KShapeResult> {
     assert!(n_restarts > 0, "need at least one restart");
+    try_fit_restarts(config, series, n_restarts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible multi-restart driver: validates once and never panics.
+///
+/// Individual restarts that stop at `max_iter` without converging are
+/// *not* an error here — the per-run `converged` flag reports them — so
+/// the restart sweep can still pick the best local optimum.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`] when `n_restarts == 0`, plus every validation
+/// error of [`KShape::try_fit`].
+pub fn try_fit_restarts(
+    config: &KShapeConfig,
+    series: &[Vec<f64>],
+    n_restarts: usize,
+) -> TsResult<Vec<KShapeResult>> {
+    if n_restarts == 0 {
+        return Err(TsError::EmptyInput);
+    }
     (0..n_restarts)
         .map(|r| {
             let cfg = KShapeConfig {
                 seed: config.seed.wrapping_add(r as u64),
                 ..*config
             };
-            KShape::new(cfg).fit(series)
+            KShape::new(cfg).fit_core(series).map(|(result, _)| result)
         })
         .collect()
 }
@@ -41,10 +64,24 @@ pub fn fit_restarts(
 /// Panics if `n_restarts == 0` or on invalid clustering input.
 #[must_use]
 pub fn fit_best(config: &KShapeConfig, series: &[Vec<f64>], n_restarts: usize) -> KShapeResult {
-    fit_restarts(config, series, n_restarts)
+    assert!(n_restarts > 0, "need at least one restart");
+    try_fit_best(config, series, n_restarts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible best-of-restarts driver.
+///
+/// # Errors
+///
+/// Same as [`try_fit_restarts`].
+pub fn try_fit_best(
+    config: &KShapeConfig,
+    series: &[Vec<f64>],
+    n_restarts: usize,
+) -> TsResult<KShapeResult> {
+    try_fit_restarts(config, series, n_restarts)?
         .into_iter()
-        .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).expect("NaN inertia"))
-        .expect("at least one restart")
+        .min_by(|a, b| a.inertia.total_cmp(&b.inertia))
+        .ok_or(TsError::EmptyInput)
 }
 
 #[cfg(test)]
@@ -119,6 +156,30 @@ mod tests {
             assert_eq!(r.labels.len(), 10);
         }
         let _ = any_different;
+    }
+
+    #[test]
+    fn try_variants_match_panicking_ones() {
+        use super::{try_fit_best, try_fit_restarts};
+        use tserror::TsError;
+        let cfg = KShapeConfig {
+            k: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let series = data();
+        let a = fit_best(&cfg, &series, 3);
+        let b = try_fit_best(&cfg, &series, 3).expect("clean data");
+        assert_eq!(a.labels, b.labels);
+        assert!((a.inertia - b.inertia).abs() < 1e-15);
+        assert!(matches!(
+            try_fit_restarts(&cfg, &series, 0),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_fit_best(&cfg, &[], 2),
+            Err(TsError::EmptyInput)
+        ));
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn ncc_max(x: &[f64], y: &[f64], variant: NccVariant) -> (f64, isize) {
     let (idx, &val) = seq
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in NCC sequence"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty");
     (val, idx as isize - (m - 1))
 }

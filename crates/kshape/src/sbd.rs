@@ -13,9 +13,10 @@
 //!   (`SBD-NoPow2`),
 //! * [`CorrMethod::Naive`] — direct O(m²) correlation (`SBD-NoFFT`).
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use tsdist::Distance;
+use tserror::{validate_nonempty_pair, TsError, TsResult};
 use tsfft::bluestein::BluesteinFft;
 use tsfft::correlate::{
     autocorr0, cross_correlate_bluestein, cross_correlate_fft, cross_correlate_naive,
@@ -76,10 +77,21 @@ pub struct SbdResult {
 ///
 /// # Panics
 ///
-/// Panics if the lengths differ or the inputs are empty.
+/// Panics if the lengths differ, the inputs are empty, or a sample is
+/// non-finite. See [`try_sbd`] for the fallible variant.
 #[must_use]
 pub fn sbd(x: &[f64], y: &[f64]) -> SbdResult {
     sbd_with(x, y, CorrMethod::FftPow2)
+}
+
+/// Fallible SBD with the default power-of-two FFT strategy.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`], or
+/// [`TsError::NonFinite`] describing the first violation.
+pub fn try_sbd(x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
+    try_sbd_with(x, y, CorrMethod::FftPow2)
 }
 
 /// Computes SBD with an explicit correlation strategy.
@@ -90,26 +102,39 @@ pub fn sbd(x: &[f64], y: &[f64]) -> SbdResult {
 ///
 /// # Panics
 ///
-/// Panics if the lengths differ or the inputs are empty.
+/// Panics if the lengths differ, the inputs are empty, or a sample is
+/// non-finite. See [`try_sbd_with`] for the fallible variant.
 #[must_use]
 pub fn sbd_with(x: &[f64], y: &[f64], method: CorrMethod) -> SbdResult {
     assert_eq!(x.len(), y.len(), "SBD requires equal-length sequences");
     assert!(!x.is_empty(), "SBD requires non-empty sequences");
+    try_sbd_with(x, y, method).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible SBD with an explicit correlation strategy: validates once up
+/// front and never panics.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`], or
+/// [`TsError::NonFinite`] describing the first violation.
+pub fn try_sbd_with(x: &[f64], y: &[f64], method: CorrMethod) -> TsResult<SbdResult> {
+    validate_nonempty_pair(x, y)?;
     let denom = (autocorr0(x) * autocorr0(y)).sqrt();
     if denom == 0.0 {
         let both_zero = autocorr0(x) == 0.0 && autocorr0(y) == 0.0;
-        return SbdResult {
+        return Ok(SbdResult {
             dist: if both_zero { 0.0 } else { 1.0 },
             shift: 0,
             aligned: y.to_vec(),
-        };
+        });
     }
     let cc = match method {
         CorrMethod::FftPow2 => cross_correlate_fft(x, y),
         CorrMethod::FftExact => cross_correlate_bluestein(x, y),
         CorrMethod::Naive => cross_correlate_naive(x, y),
     };
-    finish(x.len(), y, &cc, denom)
+    Ok(finish(x.len(), y, &cc, denom))
 }
 
 /// Shared tail of Algorithm 1: normalize, find the peak, align `y`.
@@ -159,6 +184,18 @@ impl SbdPlan {
             padded,
             plan: Radix2Fft::new(padded),
         }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::EmptyInput`] when `m == 0`.
+    pub fn try_new(m: usize) -> TsResult<Self> {
+        if m == 0 {
+            return Err(TsError::EmptyInput);
+        }
+        Ok(SbdPlan::new(m))
     }
 
     /// The series length this plan serves.
@@ -240,6 +277,27 @@ pub struct Sbd {
     cached_bluestein: Mutex<Option<Arc<BluesteinFft>>>,
 }
 
+/// Locks a plan-cache mutex, recovering from poisoning.
+///
+/// A panic in another thread while it held the cache lock (e.g. an
+/// assertion inside plan construction) poisons the mutex. The cached plan
+/// is a pure performance artifact — it can always be rebuilt from scratch
+/// — so instead of propagating the poison panic we clear the poison flag,
+/// drop whatever half-installed plan the dead writer left behind, and let
+/// the caller rebuild. Deterministic and lossless: the next access pays
+/// one extra plan construction.
+fn lock_plan_cache<T>(cache: &Mutex<Option<T>>) -> MutexGuard<'_, Option<T>> {
+    match cache.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            cache.clear_poison();
+            let mut guard = poisoned.into_inner();
+            *guard = None;
+            guard
+        }
+    }
+}
+
 impl Sbd {
     /// SBD with the default power-of-two FFT strategy.
     #[must_use]
@@ -268,10 +326,7 @@ impl Sbd {
         }
         let n = 2 * m - 1;
         let plan = {
-            let mut guard = self
-                .cached_bluestein
-                .lock()
-                .expect("Bluestein plan lock poisoned");
+            let mut guard = lock_plan_cache(&self.cached_bluestein);
             if guard.as_ref().map(|p| p.len()) != Some(n) {
                 *guard = Some(Arc::new(BluesteinFft::new(n)));
             }
@@ -304,7 +359,7 @@ impl Distance for Sbd {
                 // FFT work so concurrent dissimilarity-matrix workers are
                 // not serialized on the plan cache.
                 let plan = {
-                    let mut guard = self.cached.lock().expect("SBD plan lock poisoned");
+                    let mut guard = lock_plan_cache(&self.cached);
                     match guard.as_ref() {
                         Some(p) if p.series_len() == x.len() => Arc::clone(p),
                         _ => {
@@ -477,5 +532,81 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn rejects_empty() {
         let _ = sbd(&[], &[]);
+    }
+
+    #[test]
+    fn try_sbd_reports_typed_errors_and_matches_sbd() {
+        use super::{try_sbd, try_sbd_with, SbdPlan};
+        use tserror::TsError;
+        assert!(matches!(try_sbd(&[], &[]), Err(TsError::EmptyInput)));
+        assert!(matches!(
+            try_sbd(&[1.0], &[1.0, 2.0]),
+            Err(TsError::LengthMismatch {
+                expected: 1,
+                found: 2,
+                series: 1
+            })
+        ));
+        assert!(matches!(
+            try_sbd(&[f64::NAN, 1.0], &[1.0, 2.0]),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 0
+            })
+        ));
+        assert!(matches!(SbdPlan::try_new(0), Err(TsError::EmptyInput)));
+        assert_eq!(SbdPlan::try_new(5).map(|p| p.series_len()), Ok(5));
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2).sin()).collect();
+        let y: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2 + 0.7).cos()).collect();
+        let a = sbd(&x, &y);
+        let b = try_sbd(&x, &y).expect("clean data");
+        assert!((a.dist - b.dist).abs() < 1e-15);
+        assert_eq!(a.shift, b.shift);
+        for method in [CorrMethod::FftPow2, CorrMethod::FftExact, CorrMethod::Naive] {
+            let c = try_sbd_with(&x, &y, method).expect("clean data");
+            assert!((a.dist - c.dist).abs() < 1e-8);
+        }
+    }
+
+    /// Regression test for the cached-plan lock poisoning: a thread that
+    /// panics while holding the cache lock must not take every future
+    /// `Sbd::dist` call down with it — the cache is rebuilt instead.
+    #[test]
+    fn recovers_from_poisoned_plan_caches() {
+        use std::sync::Arc;
+
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3 + 0.5).cos()).collect();
+
+        // Pow2 plan cache.
+        let d = Arc::new(Sbd::new());
+        let before = d.dist(&x, &y); // install a plan
+        let d2 = Arc::clone(&d);
+        let handle = std::thread::spawn(move || {
+            let _guard = d2.cached.lock().unwrap();
+            panic!("poisoning the SBD plan lock on purpose");
+        });
+        assert!(handle.join().is_err(), "the poisoner must have panicked");
+        assert!(d.cached.is_poisoned(), "lock should be poisoned");
+        let after = d.dist(&x, &y);
+        assert!(
+            (before - after).abs() < 1e-15,
+            "distance must survive poisoning"
+        );
+        assert!(!d.cached.is_poisoned(), "poison flag should be cleared");
+
+        // Bluestein chirp-plan cache.
+        let b = Arc::new(Sbd::with_method(CorrMethod::FftExact));
+        let before = b.dist(&x, &y);
+        let b2 = Arc::clone(&b);
+        let handle = std::thread::spawn(move || {
+            let _guard = b2.cached_bluestein.lock().unwrap();
+            panic!("poisoning the Bluestein plan lock on purpose");
+        });
+        assert!(handle.join().is_err());
+        assert!(b.cached_bluestein.is_poisoned());
+        let after = b.dist(&x, &y);
+        assert!((before - after).abs() < 1e-15);
+        assert!(!b.cached_bluestein.is_poisoned());
     }
 }

@@ -13,10 +13,11 @@
 //! equal-length SBD.
 
 use tsdata::distort::resample;
+use tserror::{ensure_finite, TsError, TsResult};
 use tsfft::correlate::autocorr0;
 use tsfft::unequal::cross_correlate_unequal_fft;
 
-use crate::sbd::{sbd, SbdResult};
+use crate::sbd::{try_sbd, SbdResult};
 
 /// SBD between sequences of possibly different lengths.
 ///
@@ -25,32 +26,48 @@ use crate::sbd::{sbd, SbdResult};
 ///
 /// # Panics
 ///
-/// Panics if either sequence is empty.
+/// Panics if either sequence is empty or contains non-finite samples. See
+/// [`try_sbd_unequal`] for the fallible variant.
 #[must_use]
 pub fn sbd_unequal(x: &[f64], y: &[f64]) -> SbdResult {
     assert!(
         !x.is_empty() && !y.is_empty(),
         "SBD requires non-empty sequences"
     );
+    try_sbd_unequal(x, y).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible unequal-length SBD: validates once up front, never panics.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`] when either sequence is empty,
+/// [`TsError::NonFinite`] on NaN/infinite samples.
+pub fn try_sbd_unequal(x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
+    if x.is_empty() || y.is_empty() {
+        return Err(TsError::EmptyInput);
+    }
+    ensure_finite(x, 0)?;
+    ensure_finite(y, 1)?;
     if x.len() == y.len() {
-        return sbd(x, y);
+        return try_sbd(x, y);
     }
     let denom = (autocorr0(x) * autocorr0(y)).sqrt();
     if denom == 0.0 {
         let both_zero = autocorr0(x) == 0.0 && autocorr0(y) == 0.0;
         let mut aligned = y.to_vec();
         aligned.resize(x.len(), 0.0);
-        return SbdResult {
+        return Ok(SbdResult {
             dist: if both_zero { 0.0 } else { 1.0 },
             shift: 0,
             aligned,
-        };
+        });
     }
     let cc = cross_correlate_unequal_fft(x, y);
     let (best_idx, best) = cc
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in correlation"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty correlation");
     let shift = best_idx as isize - (y.len() as isize - 1);
     // Place y into an x-length frame at offset `shift`.
@@ -61,11 +78,11 @@ pub fn sbd_unequal(x: &[f64], y: &[f64]) -> SbdResult {
             aligned[t as usize] = v;
         }
     }
-    SbdResult {
+    Ok(SbdResult {
         dist: 1.0 - best / denom,
         shift,
         aligned,
-    }
+    })
 }
 
 /// Uniform-scaling SBD: stretches the shorter sequence to the longer
@@ -74,13 +91,28 @@ pub fn sbd_unequal(x: &[f64], y: &[f64]) -> SbdResult {
 ///
 /// # Panics
 ///
-/// Panics if either sequence is empty.
+/// Panics if either sequence is empty or contains non-finite samples. See
+/// [`try_sbd_rescaled`] for the fallible variant.
 #[must_use]
 pub fn sbd_rescaled(x: &[f64], y: &[f64]) -> SbdResult {
     assert!(
         !x.is_empty() && !y.is_empty(),
         "SBD requires non-empty sequences"
     );
+    try_sbd_rescaled(x, y).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible uniform-scaling SBD.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`] or [`TsError::NonFinite`].
+pub fn try_sbd_rescaled(x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
+    if x.is_empty() || y.is_empty() {
+        return Err(TsError::EmptyInput);
+    }
+    ensure_finite(x, 0)?;
+    ensure_finite(y, 1)?;
     let target = x.len().max(y.len());
     let xs;
     let ys;
@@ -91,7 +123,7 @@ pub fn sbd_rescaled(x: &[f64], y: &[f64]) -> SbdResult {
         xs = resample(x, target);
         (&xs, y)
     };
-    sbd(xr, yr)
+    try_sbd(xr, yr)
 }
 
 #[cfg(test)]
@@ -169,5 +201,39 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn rejects_empty() {
         let _ = sbd_unequal(&[], &[1.0]);
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors_and_match() {
+        use super::{try_sbd_rescaled, try_sbd_unequal};
+        use tserror::TsError;
+        assert!(matches!(
+            try_sbd_unequal(&[], &[1.0]),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_sbd_rescaled(&[1.0], &[]),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_sbd_unequal(&[1.0, f64::NAN], &[1.0]),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        ));
+        assert!(matches!(
+            try_sbd_rescaled(&[1.0, 2.0], &[1.0, f64::INFINITY, 3.0]),
+            Err(TsError::NonFinite {
+                series: 1,
+                index: 1
+            })
+        ));
+        let x = bump(64, 30.0, 4.0);
+        let y = x[22..46].to_vec();
+        let a = sbd_unequal(&x, &y);
+        let b = try_sbd_unequal(&x, &y).expect("clean data");
+        assert_eq!(a.shift, b.shift);
+        assert!((a.dist - b.dist).abs() < 1e-15);
     }
 }

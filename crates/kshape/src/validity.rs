@@ -10,10 +10,11 @@
 //!
 //! The pairwise SBD matrix is computed once and reused across all k.
 
+use tserror::{validate_series_set, TsError, TsResult};
 use tseval::silhouette::silhouette_score;
 
 use crate::algorithm::{KShape, KShapeConfig, KShapeResult};
-use crate::multi::fit_best;
+use crate::multi::try_fit_best;
 use crate::sbd::SbdPlan;
 
 /// Evaluation of one candidate cluster count.
@@ -35,7 +36,8 @@ pub struct KCandidate {
 /// # Panics
 ///
 /// Panics if `series` is empty or ragged, the range is empty, or any
-/// candidate `k` is 0 or exceeds the number of series.
+/// candidate `k` is 0 or exceeds the number of series. See [`try_sweep_k`]
+/// for the fallible variant.
 #[must_use]
 pub fn sweep_k(
     series: &[Vec<f64>],
@@ -43,13 +45,27 @@ pub fn sweep_k(
     restarts: usize,
     seed: u64,
 ) -> Vec<KCandidate> {
-    assert!(!series.is_empty(), "k selection requires data");
-    assert!(!k_range.is_empty(), "k range must be non-empty");
-    let m = series[0].len();
-    assert!(
-        series.iter().all(|s| s.len() == m),
-        "all series must have equal length"
-    );
+    try_sweep_k(series, k_range, restarts, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible k-sweep: validates input once up front and never panics.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`] for an empty series set or empty `k_range`,
+/// [`TsError::LengthMismatch`]/[`TsError::NonFinite`] for malformed
+/// series, and [`TsError::InvalidK`] when a candidate `k` exceeds the
+/// number of series.
+pub fn try_sweep_k(
+    series: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    restarts: usize,
+    seed: u64,
+) -> TsResult<Vec<KCandidate>> {
+    let m = validate_series_set(series)?;
+    if k_range.is_empty() {
+        return Err(TsError::EmptyInput);
+    }
 
     // Pairwise SBD matrix, computed once: prepare each series' spectrum,
     // then fill the upper triangle.
@@ -73,17 +89,17 @@ pub fn sweep_k(
                 ..Default::default()
             };
             let result = if restarts > 1 {
-                fit_best(&cfg, series, restarts)
+                try_fit_best(&cfg, series, restarts)?
             } else {
-                KShape::new(cfg).fit(series)
+                KShape::new(cfg).fit_core(series)?.0
             };
             let silhouette = silhouette_score(&result.labels, |i, j| dmat[i * n + j]);
-            KCandidate {
+            Ok(KCandidate {
                 k,
                 silhouette,
                 inertia: result.inertia,
                 result,
-            }
+            })
         })
         .collect()
 }
@@ -95,14 +111,19 @@ pub fn sweep_k(
 /// Panics if `candidates` is empty.
 #[must_use]
 pub fn best_by_silhouette(candidates: &[KCandidate]) -> &KCandidate {
+    try_best_by_silhouette(candidates).unwrap_or_else(|e| panic!("{e}: at least one candidate"))
+}
+
+/// Fallible counterpart of [`best_by_silhouette`].
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`] when `candidates` is empty.
+pub fn try_best_by_silhouette(candidates: &[KCandidate]) -> TsResult<&KCandidate> {
     candidates
         .iter()
-        .max_by(|a, b| {
-            a.silhouette
-                .partial_cmp(&b.silhouette)
-                .expect("NaN silhouette")
-        })
-        .expect("at least one candidate")
+        .max_by(|a, b| a.silhouette.total_cmp(&b.silhouette))
+        .ok_or(TsError::EmptyInput)
 }
 
 #[cfg(test)]
@@ -182,6 +203,33 @@ mod tests {
             assert_eq!(c.result.labels.len(), series.len());
             assert!(c.result.labels.iter().all(|&l| l < c.k));
             assert!((-1.0..=1.0).contains(&c.silhouette));
+        }
+    }
+
+    #[test]
+    fn try_sweep_reports_typed_errors() {
+        use super::{try_best_by_silhouette, try_sweep_k};
+        use tserror::TsError;
+        assert!(matches!(
+            try_sweep_k(&[], 2..=3, 1, 0),
+            Err(TsError::EmptyInput)
+        ));
+        let series = three_class_series();
+        #[allow(clippy::reversed_empty_ranges)]
+        let empty_range = try_sweep_k(&series, 5..=2, 1, 0);
+        assert!(matches!(empty_range, Err(TsError::EmptyInput)));
+        let too_many = try_sweep_k(&series, 2..=series.len() + 1, 1, 0);
+        assert!(matches!(too_many, Err(TsError::InvalidK { .. })));
+        assert!(matches!(
+            try_best_by_silhouette(&[]),
+            Err(TsError::EmptyInput)
+        ));
+        // Clean sweep agrees with the panicking API.
+        let a = sweep_k(&series, 2..=3, 2, 11);
+        let b = try_sweep_k(&series, 2..=3, 2, 11).expect("clean data");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.result.labels, y.result.labels);
         }
     }
 

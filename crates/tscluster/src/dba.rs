@@ -14,6 +14,7 @@ use tsrand::StdRng;
 
 use kshape::init::random_assignment;
 use tsdist::dtw::{dtw_distance, dtw_path};
+use tserror::{ensure_finite, ensure_k, validate_series_set, TsError, TsResult};
 
 /// One DBA refinement: realigns all members to `average` and replaces each
 /// coordinate with the barycenter of its associated member coordinates.
@@ -23,15 +24,36 @@ use tsdist::dtw::{dtw_distance, dtw_path};
 ///
 /// # Panics
 ///
-/// Panics if lengths differ or `members` is empty.
+/// Panics if lengths differ, `members` is empty, or samples are
+/// non-finite. See [`try_dba_refine`] for the fallible variant.
 #[must_use]
 pub fn dba_refine(members: &[&[f64]], average: &[f64], window: Option<usize>) -> Vec<f64> {
     assert!(!members.is_empty(), "DBA requires at least one member");
+    try_dba_refine(members, average, window)
+        .unwrap_or_else(|e| panic!("member length must match the average: {e}"))
+}
+
+/// Fallible DBA refinement: validates once up front, never panics.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`] (no members or an empty average),
+/// [`TsError::LengthMismatch`], or [`TsError::NonFinite`].
+pub fn try_dba_refine(
+    members: &[&[f64]],
+    average: &[f64],
+    window: Option<usize>,
+) -> TsResult<Vec<f64>> {
+    validate_dba_inputs(members, average)?;
+    Ok(dba_refine_unchecked(members, average, window))
+}
+
+/// The refinement pass itself, with preconditions already established.
+fn dba_refine_unchecked(members: &[&[f64]], average: &[f64], window: Option<usize>) -> Vec<f64> {
     let m = average.len();
     let mut sums = vec![0.0; m];
     let mut counts = vec![0usize; m];
     for member in members {
-        assert_eq!(member.len(), m, "member length must match the average");
         let (_, path) = dtw_path(average, member, window);
         for (ai, mi) in path {
             sums[ai] += member[mi];
@@ -45,12 +67,33 @@ pub fn dba_refine(members: &[&[f64]], average: &[f64], window: Option<usize>) ->
         .collect()
 }
 
+/// Checks the shared DBA preconditions: at least one member, non-empty
+/// average, member lengths equal to the average, finite samples.
+fn validate_dba_inputs(members: &[&[f64]], average: &[f64]) -> TsResult<()> {
+    if members.is_empty() || average.is_empty() {
+        return Err(TsError::EmptyInput);
+    }
+    ensure_finite(average, 0)?;
+    for (i, member) in members.iter().enumerate() {
+        if member.len() != average.len() {
+            return Err(TsError::LengthMismatch {
+                expected: average.len(),
+                found: member.len(),
+                series: i,
+            });
+        }
+        ensure_finite(member, i)?;
+    }
+    Ok(())
+}
+
 /// Full DBA: starts from `initial` and applies `refinements` refinement
 /// passes.
 ///
 /// # Panics
 ///
-/// Panics if lengths differ or `members` is empty.
+/// Panics if lengths differ, `members` is empty, or samples are
+/// non-finite. See [`try_dba_average`] for the fallible variant.
 #[must_use]
 pub fn dba_average(
     members: &[&[f64]],
@@ -58,11 +101,29 @@ pub fn dba_average(
     refinements: usize,
     window: Option<usize>,
 ) -> Vec<f64> {
+    assert!(!members.is_empty(), "DBA requires at least one member");
+    try_dba_average(members, initial, refinements, window)
+        .unwrap_or_else(|e| panic!("member length must match the average: {e}"))
+}
+
+/// Fallible full DBA: validates once, then runs all refinement passes
+/// without re-validating (means of finite samples stay finite).
+///
+/// # Errors
+///
+/// Same as [`try_dba_refine`].
+pub fn try_dba_average(
+    members: &[&[f64]],
+    initial: &[f64],
+    refinements: usize,
+    window: Option<usize>,
+) -> TsResult<Vec<f64>> {
+    validate_dba_inputs(members, initial)?;
     let mut avg = initial.to_vec();
     for _ in 0..refinements {
-        avg = dba_refine(members, &avg, window);
+        avg = dba_refine_unchecked(members, &avg, window);
     }
-    avg
+    Ok(avg)
 }
 
 /// Configuration for k-DBA.
@@ -111,18 +172,43 @@ pub struct KDbaResult {
 ///
 /// # Panics
 ///
-/// Panics if `series` is empty or ragged, `k == 0`, or `k > n`.
+/// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
+/// `k > n`. See [`try_kdba`] for the fallible variant.
 #[must_use]
 pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
+    kdba_core(series, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
+}
+
+/// Fallible k-DBA: validates once up front and reports a typed error
+/// instead of panicking. Hitting the iteration cap without membership
+/// convergence is reported as [`TsError::NotConverged`].
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
+/// [`TsError::NotConverged`].
+pub fn try_kdba(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<KDbaResult> {
+    let (result, shifted) = kdba_core(series, config)?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
+}
+
+/// Shared k-DBA iteration: returns the result plus the number of series
+/// that changed cluster in the final iteration.
+fn kdba_core(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<(KDbaResult, usize)> {
     let n = series.len();
-    assert!(n > 0, "k-DBA requires at least one series");
-    assert!(config.k > 0, "k must be positive");
-    assert!(config.k <= n, "k must not exceed the number of series");
-    let m = series[0].len();
-    assert!(
-        series.iter().all(|s| s.len() == m),
-        "all series must have equal length"
-    );
+    let m = validate_series_set(series)?;
+    ensure_k(config.k, n)?;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut labels = random_assignment(n, config.k, &mut rng);
@@ -132,6 +218,7 @@ pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut shifted = 0usize;
     while iterations < config.max_iter {
         iterations += 1;
 
@@ -147,7 +234,7 @@ pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
                 let worst = dists
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map_or(0, |(i, _)| i);
                 labels[worst] = j;
                 centroids[j] = series[worst].clone();
@@ -163,15 +250,14 @@ pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
                 }
                 centroids[j] = mean;
             }
-            centroids[j] = dba_average(
-                &members,
-                &centroids[j],
-                config.refinements_per_iter,
-                config.window,
-            );
+            // Preconditions hold: series were validated and DBA barycenters
+            // of finite members stay finite.
+            for _ in 0..config.refinements_per_iter {
+                centroids[j] = dba_refine_unchecked(&members, &centroids[j], config.window);
+            }
         }
 
-        let mut changed = false;
+        let mut changed = 0usize;
         for (i, s) in series.iter().enumerate() {
             let mut best = f64::INFINITY;
             let mut best_j = labels[i];
@@ -185,22 +271,26 @@ pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
             dists[i] = best;
             if best_j != labels[i] {
                 labels[i] = best_j;
-                changed = true;
+                changed += 1;
             }
         }
-        if !changed {
+        shifted = changed;
+        if changed == 0 {
             converged = true;
             break;
         }
     }
 
-    KDbaResult {
-        labels,
-        centroids,
-        iterations,
-        converged,
-        inertia: dists.iter().map(|d| d * d).sum(),
-    }
+    Ok((
+        KDbaResult {
+            labels,
+            centroids,
+            iterations,
+            converged,
+            inertia: dists.iter().map(|d| d * d).sum(),
+        },
+        shifted,
+    ))
 }
 
 #[cfg(test)]
@@ -308,5 +398,61 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn dba_rejects_empty_members() {
         let _ = dba_refine(&[], &[1.0, 2.0], None);
+    }
+
+    #[test]
+    fn try_variants_match_and_report_typed_errors() {
+        use super::{try_dba_average, try_dba_refine, try_kdba};
+        use tserror::TsError;
+        let x = bump(24, 10.0);
+        let members: Vec<&[f64]> = vec![&x];
+        let a = dba_refine(&members, &x, None);
+        let b = try_dba_refine(&members, &x, None).expect("clean data");
+        assert_eq!(a, b);
+        assert!(matches!(
+            try_dba_refine(&[], &[1.0], None),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_dba_average(&members, &[1.0], 2, None),
+            Err(TsError::LengthMismatch { series: 0, .. })
+        ));
+        let bad = [1.0, f64::NAN];
+        assert!(matches!(
+            try_dba_refine(&[&bad], &[1.0, 2.0], None),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        ));
+        assert!(matches!(
+            try_kdba(&[], &KDbaConfig::default()),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_kdba(
+                std::slice::from_ref(&x),
+                &KDbaConfig {
+                    k: 3,
+                    ..Default::default()
+                }
+            ),
+            Err(TsError::InvalidK { k: 3, n: 1 })
+        ));
+        // Clean, separable data converges and matches the panicking API.
+        let mut series = Vec::new();
+        for j in 0..4 {
+            series.push(bump(32, 10.0 + j as f64));
+            let neg: Vec<f64> = bump(32, 22.0 + j as f64).iter().map(|v| -v).collect();
+            series.push(neg);
+        }
+        let cfg = KDbaConfig {
+            k: 2,
+            seed: 4,
+            ..Default::default()
+        };
+        let p = kdba(&series, &cfg);
+        let t = try_kdba(&series, &cfg).expect("clean data converges");
+        assert_eq!(p.labels, t.labels);
     }
 }

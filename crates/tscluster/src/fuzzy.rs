@@ -17,6 +17,7 @@ use tsrand::Rng;
 use tsrand::StdRng;
 
 use tsdist::Distance;
+use tserror::{ensure_k, validate_series_set, TsError, TsResult};
 
 /// Configuration for fuzzy c-means.
 #[derive(Debug, Clone, Copy)]
@@ -65,23 +66,63 @@ pub struct FuzzyResult {
 ///
 /// # Panics
 ///
-/// Panics if `series` is empty or ragged, `k` is 0 or exceeds `n`, or
-/// `fuzziness <= 1`.
+/// Panics if `series` is empty, ragged, or non-finite, `k` is 0 or
+/// exceeds `n`, or `fuzziness <= 1`. See [`try_fuzzy_cmeans`] for the
+/// fallible variant.
 #[must_use]
 pub fn fuzzy_cmeans<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &FuzzyConfig,
 ) -> FuzzyResult {
+    fuzzy_core(series, dist, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
+}
+
+/// Fallible fuzzy c-means: validates once up front and reports a typed
+/// error instead of panicking. Hitting the iteration cap while the
+/// membership change stays above tolerance is reported as
+/// [`TsError::NotConverged`] carrying the hardened labels.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+/// [`TsError::NonFinite`], [`TsError::InvalidK`],
+/// [`TsError::NumericalFailure`] (a fuzzifier `<= 1`), or
+/// [`TsError::NotConverged`].
+pub fn try_fuzzy_cmeans<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    config: &FuzzyConfig,
+) -> TsResult<FuzzyResult> {
+    let (result, shifted) = fuzzy_core(series, dist, config)?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
+}
+
+/// Shared iteration: returns the result plus the number of series whose
+/// membership row still moved by at least `tol` in the final iteration.
+fn fuzzy_core<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    config: &FuzzyConfig,
+) -> TsResult<(FuzzyResult, usize)> {
     let n = series.len();
-    assert!(n > 0, "fuzzy c-means requires at least one series");
-    assert!(config.k > 0 && config.k <= n, "k must be in 1..=n");
-    assert!(config.fuzziness > 1.0, "fuzziness must exceed 1");
-    let m = series[0].len();
-    assert!(
-        series.iter().all(|s| s.len() == m),
-        "all series must have equal length"
-    );
+    let m = validate_series_set(series)?;
+    ensure_k(config.k, n)?;
+    if !(config.fuzziness.is_finite() && config.fuzziness > 1.0) {
+        return Err(TsError::NumericalFailure {
+            context: format!("fuzziness must exceed 1 (got {})", config.fuzziness),
+        });
+    }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Random row-stochastic membership matrix.
@@ -98,6 +139,7 @@ pub fn fuzzy_cmeans<D: Distance + ?Sized>(
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut shifted = 0usize;
     while iterations < config.max_iter {
         iterations += 1;
 
@@ -119,6 +161,7 @@ pub fn fuzzy_cmeans<D: Distance + ?Sized>(
 
         // Memberships from distances.
         let mut max_delta = 0.0f64;
+        let mut moved = 0usize;
         for (i, s) in series.iter().enumerate() {
             let ds: Vec<f64> = centroids.iter().map(|c| dist.dist(s, c)).collect();
             // Exact-hit handling: all membership on the zero-distance
@@ -142,33 +185,43 @@ pub fn fuzzy_cmeans<D: Distance + ?Sized>(
                     .map(|j| if zeros.contains(&j) { share } else { 0.0 })
                     .collect()
             };
-            for (old, new) in u[i].iter().zip(new_row.iter()) {
-                max_delta = max_delta.max((old - new).abs());
+            let row_delta = u[i]
+                .iter()
+                .zip(new_row.iter())
+                .map(|(old, new)| (old - new).abs())
+                .fold(0.0f64, f64::max);
+            if row_delta >= config.tol {
+                moved += 1;
             }
+            max_delta = max_delta.max(row_delta);
             u[i] = new_row;
         }
+        shifted = moved;
         if max_delta < config.tol {
             converged = true;
             break;
         }
     }
 
-    let labels = u
+    let labels: Vec<usize> = u
         .iter()
         .map(|row| {
             row.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN membership"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map_or(0, |(j, _)| j)
         })
         .collect();
-    FuzzyResult {
-        memberships: u,
-        labels,
-        centroids,
-        iterations,
-        converged,
-    }
+    Ok((
+        FuzzyResult {
+            memberships: u,
+            labels,
+            centroids,
+            iterations,
+            converged,
+        },
+        shifted,
+    ))
 }
 
 #[cfg(test)]
@@ -288,5 +341,52 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn try_variant_matches_and_reports_typed_errors() {
+        use super::try_fuzzy_cmeans;
+        use tserror::TsError;
+        let series = blobs();
+        let cfg = FuzzyConfig {
+            seed: 3,
+            ..Default::default()
+        };
+        let a = fuzzy_cmeans(&series, &EuclideanDistance, &cfg);
+        let b = try_fuzzy_cmeans(&series, &EuclideanDistance, &cfg).expect("clean data");
+        assert_eq!(a.labels, b.labels);
+        assert!(matches!(
+            try_fuzzy_cmeans(&[], &EuclideanDistance, &cfg),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_fuzzy_cmeans(
+                &series,
+                &EuclideanDistance,
+                &FuzzyConfig {
+                    fuzziness: 1.0,
+                    ..Default::default()
+                }
+            ),
+            Err(TsError::NumericalFailure { .. })
+        ));
+        assert!(matches!(
+            try_fuzzy_cmeans(
+                &series,
+                &EuclideanDistance,
+                &FuzzyConfig {
+                    k: series.len() + 1,
+                    ..Default::default()
+                }
+            ),
+            Err(TsError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            try_fuzzy_cmeans(&[vec![1.0, f64::NAN]], &EuclideanDistance, &cfg),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        ));
     }
 }

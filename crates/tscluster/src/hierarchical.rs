@@ -7,6 +7,7 @@
 //! minimum height producing exactly `k` clusters, as the paper does.
 
 use crate::matrix::DissimilarityMatrix;
+use tserror::{ensure_k, TsError, TsResult};
 
 /// Linkage criterion for merging clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,11 +78,20 @@ impl Dendrogram {
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0` or `k > n`.
+    /// Panics if `k == 0` or `k > n`. See [`Dendrogram::try_cut`] for the
+    /// fallible variant.
     #[must_use]
     pub fn cut(&self, k: usize) -> Vec<usize> {
-        assert!(k > 0, "k must be positive");
-        assert!(k <= self.n, "k must not exceed the number of items");
+        self.try_cut(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible cut: validates `k` up front, never panics.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::InvalidK`] when `k == 0` or `k > n`.
+    pub fn try_cut(&self, k: usize) -> TsResult<Vec<usize>> {
+        ensure_k(k, self.n)?;
         // Union-find over leaves; apply the first n - k merges.
         let mut parent: Vec<usize> = (0..2 * self.n).collect();
         fn find(parent: &mut [usize], mut x: usize) -> usize {
@@ -103,7 +113,7 @@ impl Dendrogram {
         }
         // Densify root ids to 0..k.
         let mut roots: Vec<usize> = Vec::new();
-        (0..self.n)
+        Ok((0..self.n)
             .map(|i| {
                 let r = find(&mut parent, i);
                 match roots.iter().position(|&x| x == r) {
@@ -114,7 +124,7 @@ impl Dendrogram {
                     }
                 }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -125,11 +135,27 @@ impl Dendrogram {
 ///
 /// # Panics
 ///
-/// Panics if the matrix is empty.
+/// Panics if the matrix is empty or holds non-finite entries. See
+/// [`try_agglomerate`] for the fallible variant.
 #[must_use]
 pub fn agglomerate(matrix: &DissimilarityMatrix, linkage: Linkage) -> Dendrogram {
+    assert!(!matrix.is_empty(), "cannot agglomerate an empty matrix");
+    try_agglomerate(matrix, linkage).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible agglomeration: validates the matrix once up front, never
+/// panics.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`] or [`TsError::NonFinite`] (a corrupt matrix
+/// entry).
+pub fn try_agglomerate(matrix: &DissimilarityMatrix, linkage: Linkage) -> TsResult<Dendrogram> {
     let n = matrix.len();
-    assert!(n > 0, "cannot agglomerate an empty matrix");
+    if n == 0 {
+        return Err(TsError::EmptyInput);
+    }
+    matrix.validate_finite()?;
 
     // Working distance matrix between active clusters.
     let mut d: Vec<Vec<f64>> = (0..n)
@@ -191,10 +217,15 @@ pub fn agglomerate(matrix: &DissimilarityMatrix, linkage: Linkage) -> Dendrogram
         id[i] = n + step;
     }
 
-    Dendrogram { n, merges }
+    Ok(Dendrogram { n, merges })
 }
 
 /// Convenience: agglomerates and cuts to `k` clusters in one call.
+///
+/// # Panics
+///
+/// Panics on the same inputs as [`agglomerate`] and [`Dendrogram::cut`].
+/// See [`try_hierarchical_cluster`] for the fallible variant.
 #[must_use]
 pub fn hierarchical_cluster(
     matrix: &DissimilarityMatrix,
@@ -202,6 +233,20 @@ pub fn hierarchical_cluster(
     k: usize,
 ) -> Vec<usize> {
     agglomerate(matrix, linkage).cut(k)
+}
+
+/// Fallible convenience: agglomerates and cuts in one call, never panics.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::NonFinite`], or
+/// [`TsError::InvalidK`].
+pub fn try_hierarchical_cluster(
+    matrix: &DissimilarityMatrix,
+    linkage: Linkage,
+    k: usize,
+) -> TsResult<Vec<usize>> {
+    try_agglomerate(matrix, linkage)?.try_cut(k)
 }
 
 #[cfg(test)]
@@ -294,5 +339,36 @@ mod tests {
     fn cut_rejects_large_k() {
         let m = line_points(&[1.0, 2.0]);
         let _ = agglomerate(&m, Linkage::Single).cut(3);
+    }
+
+    #[test]
+    fn try_variants_match_and_report_typed_errors() {
+        use super::{try_agglomerate, try_hierarchical_cluster};
+        use tserror::TsError;
+        let m = line_points(&[0.0, 0.2, 10.0, 10.2]);
+        let a = hierarchical_cluster(&m, Linkage::Average, 2);
+        let b = try_hierarchical_cluster(&m, Linkage::Average, 2).expect("clean matrix");
+        assert_eq!(a, b);
+        assert!(matches!(
+            try_agglomerate(&DissimilarityMatrix::from_full(0, vec![]), Linkage::Single),
+            Err(TsError::EmptyInput)
+        ));
+        let corrupt = DissimilarityMatrix::from_full(2, vec![0.0, f64::INFINITY, 1.0, 0.0]);
+        assert!(matches!(
+            try_agglomerate(&corrupt, Linkage::Complete),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        ));
+        let dendro = try_agglomerate(&m, Linkage::Single).expect("clean matrix");
+        assert!(matches!(
+            dendro.try_cut(0),
+            Err(TsError::InvalidK { k: 0, .. })
+        ));
+        assert!(matches!(
+            dendro.try_cut(5),
+            Err(TsError::InvalidK { k: 5, n: 4 })
+        ));
     }
 }

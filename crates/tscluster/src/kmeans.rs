@@ -10,6 +10,7 @@ use tsrand::StdRng;
 
 use kshape::init::random_assignment;
 use tsdist::Distance;
+use tserror::{ensure_k, validate_series_set, TsError, TsResult};
 
 /// Configuration for a k-means run.
 #[derive(Debug, Clone, Copy)]
@@ -68,22 +69,56 @@ pub struct KMeansResult {
 ///
 /// # Panics
 ///
-/// Panics if `series` is empty or ragged, `k == 0`, or `k > n`.
+/// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
+/// `k > n`. See [`try_kmeans`] for the fallible variant.
 #[must_use]
 pub fn kmeans<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &KMeansConfig,
 ) -> KMeansResult {
+    kmeans_core(series, dist, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
+}
+
+/// Fallible k-means: validates once up front and reports a typed error
+/// instead of panicking. Hitting the iteration cap without membership
+/// convergence is reported as [`TsError::NotConverged`] carrying the final
+/// labeling.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
+/// [`TsError::NotConverged`].
+pub fn try_kmeans<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    config: &KMeansConfig,
+) -> TsResult<KMeansResult> {
+    let (result, shifted) = kmeans_core(series, dist, config)?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
+}
+
+/// Shared Lloyd iteration: returns the result plus the number of series
+/// that changed cluster in the final iteration.
+fn kmeans_core<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    config: &KMeansConfig,
+) -> TsResult<(KMeansResult, usize)> {
     let n = series.len();
-    assert!(n > 0, "k-means requires at least one series");
-    assert!(config.k > 0, "k must be positive");
-    assert!(config.k <= n, "k must not exceed the number of series");
-    let m = series[0].len();
-    assert!(
-        series.iter().all(|s| s.len() == m),
-        "all series must have equal length"
-    );
+    let m = validate_series_set(series)?;
+    ensure_k(config.k, n)?;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut labels = random_assignment(n, config.k, &mut rng);
@@ -92,6 +127,7 @@ pub fn kmeans<D: Distance + ?Sized>(
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut shifted = 0usize;
     while iterations < config.max_iter {
         iterations += 1;
 
@@ -112,7 +148,7 @@ pub fn kmeans<D: Distance + ?Sized>(
                 let worst = dists
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map_or(0, |(i, _)| i);
                 c.copy_from_slice(&series[worst]);
                 labels[worst] = j;
@@ -123,7 +159,7 @@ pub fn kmeans<D: Distance + ?Sized>(
         }
 
         // Assignment.
-        let mut changed = false;
+        let mut changed = 0usize;
         for (i, s) in series.iter().enumerate() {
             let mut best = f64::INFINITY;
             let mut best_j = labels[i];
@@ -137,22 +173,26 @@ pub fn kmeans<D: Distance + ?Sized>(
             dists[i] = best;
             if best_j != labels[i] {
                 labels[i] = best_j;
-                changed = true;
+                changed += 1;
             }
         }
-        if !changed {
+        shifted = changed;
+        if changed == 0 {
             converged = true;
             break;
         }
     }
 
-    KMeansResult {
-        labels,
-        centroids,
-        iterations,
-        converged,
-        inertia: dists.iter().map(|d| d * d).sum(),
-    }
+    Ok((
+        KMeansResult {
+            labels,
+            centroids,
+            iterations,
+            converged,
+            inertia: dists.iter().map(|d| d * d).sum(),
+        },
+        shifted,
+    ))
 }
 
 #[cfg(test)]
@@ -283,5 +323,72 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn try_kmeans_matches_fit_on_clean_data() {
+        use super::try_kmeans;
+        let series = two_blobs();
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = kmeans(&series, &EuclideanDistance, &cfg);
+        let b = try_kmeans(&series, &EuclideanDistance, &cfg).expect("clean data converges");
+        assert_eq!(a.labels, b.labels);
+        assert!((a.inertia - b.inertia).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_kmeans_reports_typed_errors() {
+        use super::try_kmeans;
+        use tserror::TsError;
+        let cfg = KMeansConfig::default();
+        assert!(matches!(
+            try_kmeans(&[], &EuclideanDistance, &cfg),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_kmeans(&[vec![1.0], vec![1.0, 2.0]], &EuclideanDistance, &cfg),
+            Err(TsError::LengthMismatch { series: 1, .. })
+        ));
+        assert!(matches!(
+            try_kmeans(&[vec![1.0, f64::NAN]], &EuclideanDistance, &cfg),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        ));
+        assert!(matches!(
+            try_kmeans(
+                &[vec![1.0]],
+                &EuclideanDistance,
+                &KMeansConfig {
+                    k: 2,
+                    ..Default::default()
+                }
+            ),
+            Err(TsError::InvalidK { k: 2, n: 1 })
+        ));
+        // Iteration cap of zero can never converge.
+        let series = two_blobs();
+        match try_kmeans(
+            &series,
+            &EuclideanDistance,
+            &KMeansConfig {
+                k: 2,
+                max_iter: 0,
+                seed: 3,
+            },
+        ) {
+            Err(TsError::NotConverged {
+                labels, iterations, ..
+            }) => {
+                assert_eq!(labels.len(), series.len());
+                assert_eq!(iterations, 0);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
     }
 }

@@ -19,7 +19,9 @@ use tsrand::StdRng;
 use kshape::init::random_assignment;
 use tsdata::distort::shift_zero_pad;
 use tsdist::Distance;
-use tslinalg::eigen::symmetric_eigen;
+use tserror::{ensure_finite, ensure_k, validate_nonempty_pair, validate_series_set};
+use tserror::{TsError, TsResult};
+use tslinalg::eigen::try_symmetric_eigen;
 use tslinalg::matrix::Matrix;
 
 /// The KSC scale-and-shift-invariant distance.
@@ -37,11 +39,27 @@ impl KscDistance {
     ///
     /// # Panics
     ///
-    /// Panics if lengths differ or inputs are empty.
+    /// Panics if lengths differ, inputs are empty, or samples are
+    /// non-finite. See [`KscDistance::try_dist_shift`] for the fallible
+    /// variant.
     #[must_use]
     pub fn dist_shift(x: &[f64], y: &[f64]) -> (f64, isize) {
-        assert_eq!(x.len(), y.len(), "KSC requires equal-length sequences");
-        assert!(!x.is_empty(), "KSC requires non-empty sequences");
+        Self::try_dist_shift(x, y).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible `d̂(x, y)`: validates once up front, never panics.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::EmptyInput`], [`TsError::LengthMismatch`], or
+    /// [`TsError::NonFinite`].
+    pub fn try_dist_shift(x: &[f64], y: &[f64]) -> TsResult<(f64, isize)> {
+        validate_nonempty_pair(x, y)?;
+        Ok(Self::dist_shift_unchecked(x, y))
+    }
+
+    /// The shift scan itself, with preconditions already established.
+    fn dist_shift_unchecked(x: &[f64], y: &[f64]) -> (f64, isize) {
         let m = x.len();
         let nx2: f64 = x.iter().map(|v| v * v).sum();
         if nx2 == 0.0 {
@@ -103,12 +121,36 @@ impl Distance for KscDistance {
 ///
 /// # Panics
 ///
-/// Panics if member lengths differ from the reference.
+/// Panics if member lengths differ from the reference or samples are
+/// non-finite. See [`try_ksc_centroid`] for the fallible variant.
 #[must_use]
 pub fn ksc_centroid(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
+    try_ksc_centroid(members, reference)
+        .unwrap_or_else(|e| panic!("member length must match the reference: {e}"))
+}
+
+/// Fallible KSC centroid: validates once up front, never panics, and
+/// guarantees a finite result (falling back to the normalized aligned mean
+/// when the eigen decomposition degenerates, e.g. for all-zero members).
+///
+/// # Errors
+///
+/// [`TsError::LengthMismatch`] or [`TsError::NonFinite`].
+pub fn try_ksc_centroid(members: &[&[f64]], reference: &[f64]) -> TsResult<Vec<f64>> {
     let m = reference.len();
+    ensure_finite(reference, 0)?;
+    for (i, member) in members.iter().enumerate() {
+        if member.len() != m {
+            return Err(TsError::LengthMismatch {
+                expected: m,
+                found: member.len(),
+                series: i,
+            });
+        }
+        ensure_finite(member, i)?;
+    }
     if members.is_empty() || m == 0 {
-        return reference.to_vec();
+        return Ok(reference.to_vec());
     }
     let ref_is_zero = reference.iter().all(|&v| v == 0.0);
 
@@ -121,11 +163,10 @@ pub fn ksc_centroid(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
     let mut b = Matrix::zeros(n, m);
     let mut aligned_sum = vec![0.0; m];
     for (r, member) in members.iter().enumerate() {
-        assert_eq!(member.len(), m, "member length must match the reference");
         let aligned = if ref_is_zero {
             member.to_vec()
         } else {
-            let (_, shift) = KscDistance::dist_shift(reference, member);
+            let (_, shift) = KscDistance::dist_shift_unchecked(reference, member);
             // dist_shift aligns `member` toward `reference` by shift `q`.
             shift_zero_pad(member, shift)
         };
@@ -150,24 +191,46 @@ pub fn ksc_centroid(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
                 dual[(c, r)] = d;
             }
         }
-        let u = symmetric_eigen(&dual).dominant_vector();
-        let mut v = vec![0.0; m];
-        for (r, &ur) in u.iter().enumerate() {
-            if ur != 0.0 {
-                for (o, x) in v.iter_mut().zip(b.row(r).iter()) {
-                    *o += ur * x;
+        match try_symmetric_eigen(&dual) {
+            Ok(eig) => {
+                let u = eig.dominant_vector();
+                let mut v = vec![0.0; m];
+                for (r, &ur) in u.iter().enumerate() {
+                    if ur != 0.0 {
+                        for (o, x) in v.iter_mut().zip(b.row(r).iter()) {
+                            *o += ur * x;
+                        }
+                    }
                 }
+                tslinalg::matrix::normalize(&mut v);
+                v
             }
+            // Eigensolver refused (QL non-convergence on a pathological
+            // Gram matrix): route into the degenerate fallback below.
+            Err(_) => vec![f64::NAN; m],
         }
-        tslinalg::matrix::normalize(&mut v);
-        v
     } else {
         let mut g = Matrix::zeros(m, m);
         for r in 0..n {
             g.rank_one_update(b.row(r), 1.0);
         }
-        symmetric_eigen(&g).dominant_vector()
+        match try_symmetric_eigen(&g) {
+            Ok(eig) => eig.dominant_vector(),
+            Err(_) => vec![f64::NAN; m],
+        }
     };
+    if centroid.iter().any(|v| !v.is_finite()) {
+        // Degenerate decomposition (e.g. every member has zero energy):
+        // fall back to the unit-normalized aligned mean, or zeros when even
+        // that has no energy. Unreachable on clean, non-degenerate data.
+        let norm: f64 = aligned_sum.iter().map(|v| v * v).sum::<f64>().sqrt();
+        centroid = if norm > 0.0 && norm.is_finite() {
+            aligned_sum.iter().map(|v| v / norm).collect()
+        } else {
+            vec![0.0; m]
+        };
+        return Ok(centroid);
+    }
     let dot: f64 = centroid
         .iter()
         .zip(aligned_sum.iter())
@@ -176,7 +239,7 @@ pub fn ksc_centroid(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
     if dot < 0.0 {
         centroid.iter_mut().for_each(|v| *v = -*v);
     }
-    centroid
+    Ok(centroid)
 }
 
 /// Configuration for KSC clustering.
@@ -219,18 +282,41 @@ pub struct KscResult {
 ///
 /// # Panics
 ///
-/// Panics if `series` is empty or ragged, `k == 0`, or `k > n`.
+/// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
+/// `k > n`. See [`try_ksc`] for the fallible variant.
 #[must_use]
 pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
+    ksc_core(series, config).unwrap_or_else(|e| panic!("{e}")).0
+}
+
+/// Fallible KSC clustering: validates once up front and reports a typed
+/// error instead of panicking. Hitting the iteration cap without
+/// membership convergence is reported as [`TsError::NotConverged`].
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
+/// [`TsError::NotConverged`].
+pub fn try_ksc(series: &[Vec<f64>], config: &KscConfig) -> TsResult<KscResult> {
+    let (result, shifted) = ksc_core(series, config)?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
+}
+
+/// Shared KSC iteration: returns the result plus the number of series that
+/// changed cluster in the final iteration.
+fn ksc_core(series: &[Vec<f64>], config: &KscConfig) -> TsResult<(KscResult, usize)> {
     let n = series.len();
-    assert!(n > 0, "KSC requires at least one series");
-    assert!(config.k > 0, "k must be positive");
-    assert!(config.k <= n, "k must not exceed the number of series");
-    let m = series[0].len();
-    assert!(
-        series.iter().all(|s| s.len() == m),
-        "all series must have equal length"
-    );
+    let m = validate_series_set(series)?;
+    ensure_k(config.k, n)?;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut labels = random_assignment(n, config.k, &mut rng);
@@ -239,6 +325,7 @@ pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut shifted = 0usize;
     while iterations < config.max_iter {
         iterations += 1;
 
@@ -254,22 +341,23 @@ pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
                 let worst = dists
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN distance"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map_or(0, |(i, _)| i);
                 labels[worst] = j;
                 centroids[j] = series[worst].clone();
                 continue;
             }
-            centroids[j] = ksc_centroid(&members, &centroids[j]);
+            centroids[j] = try_ksc_centroid(&members, &centroids[j])?;
         }
 
-        let mut changed = false;
+        let mut changed = 0usize;
         for (i, s) in series.iter().enumerate() {
             let mut best = f64::INFINITY;
             let mut best_j = labels[i];
             for (j, c) in centroids.iter().enumerate() {
-                // KSC assigns by d̂(series, centroid).
-                let (d, _) = KscDistance::dist_shift(s, c);
+                // KSC assigns by d̂(series, centroid). Preconditions hold:
+                // the series were validated and centroids stay finite.
+                let (d, _) = KscDistance::dist_shift_unchecked(s, c);
                 if d < best {
                     best = d;
                     best_j = j;
@@ -278,22 +366,26 @@ pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
             dists[i] = best;
             if best_j != labels[i] {
                 labels[i] = best_j;
-                changed = true;
+                changed += 1;
             }
         }
-        if !changed {
+        shifted = changed;
+        if changed == 0 {
             converged = true;
             break;
         }
     }
 
-    KscResult {
-        labels,
-        centroids,
-        iterations,
-        converged,
-        inertia: dists.iter().map(|d| d * d).sum(),
-    }
+    Ok((
+        KscResult {
+            labels,
+            centroids,
+            iterations,
+            converged,
+            inertia: dists.iter().map(|d| d * d).sum(),
+        },
+        shifted,
+    ))
 }
 
 #[cfg(test)]
@@ -418,5 +510,59 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn rejects_mismatch() {
         let _ = KscDistance::dist_shift(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_variants_match_and_report_typed_errors() {
+        use super::{try_ksc, try_ksc_centroid};
+        use tserror::TsError;
+        let x = bump(32, 16.0);
+        let y = tsdata::distort::shift_zero_pad(&x, 3);
+        let (d, s) = KscDistance::dist_shift(&x, &y);
+        let (td, ts) = KscDistance::try_dist_shift(&x, &y).expect("clean data");
+        assert_eq!(s, ts);
+        assert!((d - td).abs() < 1e-15);
+        assert!(matches!(
+            KscDistance::try_dist_shift(&[], &[]),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            KscDistance::try_dist_shift(&[1.0], &[1.0, 2.0]),
+            Err(TsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            KscDistance::try_dist_shift(&[f64::NAN], &[1.0]),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 0
+            })
+        ));
+        assert!(matches!(
+            try_ksc_centroid(&[&x], &[1.0]),
+            Err(TsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            try_ksc(
+                std::slice::from_ref(&x),
+                &KscConfig {
+                    k: 2,
+                    ..Default::default()
+                }
+            ),
+            Err(TsError::InvalidK { k: 2, n: 1 })
+        ));
+        assert!(matches!(
+            try_ksc(&[], &KscConfig::default()),
+            Err(TsError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn centroid_of_zero_members_stays_finite() {
+        let z = vec![0.0; 16];
+        let members: Vec<&[f64]> = vec![&z, &z];
+        let c = super::try_ksc_centroid(&members, &z).expect("valid input");
+        assert_eq!(c.len(), 16);
+        assert!(c.iter().all(|v| v.is_finite()));
     }
 }

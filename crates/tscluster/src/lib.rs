@@ -23,6 +23,13 @@
 //! [`matrix`] computes the full dissimilarity matrices the non-scalable
 //! methods require — the very cost that makes them impractical, which the
 //! runtime experiments quantify.
+//!
+//! Every clusterer ships a fallible `try_*` twin (`try_kmeans`,
+//! `try_kdba`, `try_ksc`, `try_pam`, `try_hierarchical_cluster`,
+//! `try_spectral_cluster`, `try_fuzzy_cmeans`) that validates inputs once
+//! up front and returns a typed [`tserror::TsError`] instead of
+//! panicking; the panicking entry points are thin wrappers kept for
+//! backward compatibility.
 
 #![warn(missing_docs)]
 
@@ -37,4 +44,5 @@ pub mod pam;
 pub mod spectral;
 
 pub use hierarchical::Linkage;
-pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use kmeans::{kmeans, try_kmeans, KMeansConfig, KMeansResult};
+pub use tserror::{TsError, TsResult};

@@ -7,6 +7,7 @@
 //! approximated. Rows are computed in parallel with scoped threads.
 
 use tsdist::Distance;
+use tserror::{TsError, TsResult};
 
 /// A symmetric dissimilarity matrix with zero diagonal.
 #[derive(Debug, Clone)]
@@ -105,6 +106,25 @@ impl DissimilarityMatrix {
     pub fn from_full(n: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), n * n, "matrix buffer must be n*n");
         DissimilarityMatrix { n, data }
+    }
+
+    /// Checks that every entry is finite — the precondition of the
+    /// fallible matrix-based clusterers (`try_pam`, `try_agglomerate`,
+    /// `try_spectral_cluster`). A NaN sneaks in when the matrix was built
+    /// from corrupted series with a panicking-free distance.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::NonFinite`] reporting the first offending `(row, col)`
+    /// as `(series, index)`.
+    pub fn validate_finite(&self) -> TsResult<()> {
+        match self.data.iter().position(|v| !v.is_finite()) {
+            Some(flat) => Err(TsError::NonFinite {
+                series: flat / self.n,
+                index: flat % self.n,
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Maximum absolute asymmetry — should be 0 by construction.

@@ -11,6 +11,7 @@
 //!   exchange lowers the total cost, until no improving swap exists.
 
 use crate::matrix::DissimilarityMatrix;
+use tserror::{ensure_k, TsError, TsResult};
 
 /// Outcome of a PAM run.
 #[derive(Debug, Clone)]
@@ -50,12 +51,46 @@ pub struct PamResult {
 ///
 /// # Panics
 ///
-/// Panics if `k == 0` or `k > n`.
+/// Panics if `k == 0`, `k > n`, or the matrix holds non-finite entries.
+/// See [`try_pam`] for the fallible variant.
 #[must_use]
 pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult {
+    pam_core(matrix, k, max_iter)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
+}
+
+/// Fallible PAM: validates the matrix once up front and reports a typed
+/// error instead of panicking. Hitting the SWAP cap while improving swaps
+/// remain is reported as [`TsError::NotConverged`].
+///
+/// # Errors
+///
+/// [`TsError::InvalidK`], [`TsError::NonFinite`] (a corrupt matrix entry),
+/// or [`TsError::NotConverged`].
+pub fn try_pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> TsResult<PamResult> {
+    let (result, shifted) = pam_core(matrix, k, max_iter)?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
+}
+
+/// Shared BUILD + SWAP: returns the result plus a non-convergence measure
+/// (1 when an improving swap was still pending at the cap, else 0).
+fn pam_core(
+    matrix: &DissimilarityMatrix,
+    k: usize,
+    max_iter: usize,
+) -> TsResult<(PamResult, usize)> {
     let n = matrix.len();
-    assert!(k > 0, "k must be positive");
-    assert!(k <= n, "k must not exceed the number of items");
+    ensure_k(k, n)?;
+    matrix.validate_finite()?;
 
     // ---- BUILD ----
     let mut medoids: Vec<usize> = Vec::with_capacity(k);
@@ -64,7 +99,7 @@ pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult
         .min_by(|&a, &b| {
             let ca: f64 = (0..n).map(|j| matrix.get(a, j)).sum();
             let cb: f64 = (0..n).map(|j| matrix.get(b, j)).sum();
-            ca.partial_cmp(&cb).expect("NaN distance")
+            ca.total_cmp(&cb)
         })
         .expect("non-empty matrix");
     medoids.push(first);
@@ -144,23 +179,21 @@ pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult
             medoids
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    matrix
-                        .get(i, *a.1)
-                        .partial_cmp(&matrix.get(i, *b.1))
-                        .expect("NaN distance")
-                })
+                .min_by(|a, b| matrix.get(i, *a.1).total_cmp(&matrix.get(i, *b.1)))
                 .map_or(0, |(j, _)| j)
         })
         .collect();
 
-    PamResult {
-        labels,
-        medoids,
-        cost,
-        iterations,
-        converged,
-    }
+    Ok((
+        PamResult {
+            labels,
+            medoids,
+            cost,
+            iterations,
+            converged,
+        },
+        usize::from(!converged),
+    ))
 }
 
 #[cfg(test)]
@@ -268,5 +301,43 @@ mod tests {
     fn rejects_k_too_large() {
         let m = DissimilarityMatrix::compute(&[vec![1.0]], &EuclideanDistance);
         let _ = pam(&m, 2, 10);
+    }
+
+    #[test]
+    fn try_pam_matches_and_reports_typed_errors() {
+        use super::try_pam;
+        use tserror::TsError;
+        let s = blob_series();
+        let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let a = pam(&m, 2, 100);
+        let b = try_pam(&m, 2, 100).expect("clean matrix converges");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.medoids, b.medoids);
+        assert!(matches!(
+            try_pam(&m, 0, 100),
+            Err(TsError::InvalidK { k: 0, .. })
+        ));
+        assert!(matches!(
+            try_pam(&m, s.len() + 1, 100),
+            Err(TsError::InvalidK { .. })
+        ));
+        let corrupt = DissimilarityMatrix::from_full(2, vec![0.0, f64::NAN, f64::NAN, 0.0]);
+        assert!(matches!(
+            try_pam(&corrupt, 1, 100),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        ));
+        // A SWAP cap of zero cannot certify a local optimum.
+        match try_pam(&m, 2, 0) {
+            Err(TsError::NotConverged {
+                labels, iterations, ..
+            }) => {
+                assert_eq!(labels.len(), s.len());
+                assert_eq!(iterations, 0);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
     }
 }

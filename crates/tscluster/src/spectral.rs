@@ -14,7 +14,8 @@
 use tsrand::StdRng;
 
 use kshape::init::random_assignment;
-use tslinalg::eigen::symmetric_eigen;
+use tserror::{ensure_k, TsError, TsResult};
+use tslinalg::eigen::try_symmetric_eigen;
 use tslinalg::matrix::Matrix;
 
 use crate::matrix::DissimilarityMatrix;
@@ -61,7 +62,7 @@ pub fn median_bandwidth(matrix: &DissimilarityMatrix) -> f64 {
     if ds.is_empty() {
         return 1.0;
     }
-    ds.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    ds.sort_by(f64::total_cmp);
     ds[ds.len() / 2]
 }
 
@@ -70,17 +71,63 @@ pub fn median_bandwidth(matrix: &DissimilarityMatrix) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if the matrix is empty or `k` is 0 or exceeds `n`.
+/// Panics if the matrix is empty or non-finite, `k` is 0 or exceeds `n`,
+/// or `sigma` is not strictly positive. See [`try_spectral_embedding`] for
+/// the fallible variant.
 #[must_use]
 pub fn spectral_embedding(
     matrix: &DissimilarityMatrix,
     k: usize,
     sigma: Option<f64>,
 ) -> Vec<Vec<f64>> {
+    assert!(!matrix.is_empty(), "cannot embed an empty matrix");
+    try_spectral_embedding(matrix, k, sigma).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible spectral embedding: validates once up front, never panics,
+/// and guarantees finite rows.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::InvalidK`], [`TsError::NonFinite`]
+/// (a corrupt matrix entry), or [`TsError::NumericalFailure`] (a
+/// non-positive bandwidth or a degenerate eigen decomposition).
+pub fn try_spectral_embedding(
+    matrix: &DissimilarityMatrix,
+    k: usize,
+    sigma: Option<f64>,
+) -> TsResult<Vec<Vec<f64>>> {
     let n = matrix.len();
-    assert!(n > 0, "cannot embed an empty matrix");
-    assert!(k > 0 && k <= n, "k must be in 1..=n");
+    if n == 0 {
+        return Err(TsError::EmptyInput);
+    }
+    ensure_k(k, n)?;
+    matrix.validate_finite()?;
     let sigma = sigma.unwrap_or_else(|| median_bandwidth(matrix));
+    if !(sigma.is_finite() && sigma > 0.0) {
+        return Err(TsError::NumericalFailure {
+            context: format!("spectral bandwidth sigma must be finite and positive, got {sigma}"),
+        });
+    }
+    let rows = spectral_embedding_unchecked(matrix, k, sigma)?;
+    if rows.iter().any(|row| row.iter().any(|v| !v.is_finite())) {
+        return Err(TsError::NumericalFailure {
+            context: "spectral embedding produced non-finite coordinates".into(),
+        });
+    }
+    Ok(rows)
+}
+
+/// The embedding pipeline itself, with input preconditions already
+/// established. Still fallible: the eigensolver can refuse to converge on
+/// pathologically scaled affinities, which surfaces as
+/// [`TsError::NumericalFailure`] rather than a panic.
+fn spectral_embedding_unchecked(
+    matrix: &DissimilarityMatrix,
+    k: usize,
+    sigma: f64,
+) -> TsResult<Vec<Vec<f64>>> {
+    let n = matrix.len();
     let denom = 2.0 * sigma * sigma;
 
     // Affinity with zero diagonal.
@@ -110,7 +157,7 @@ pub fn spectral_embedding(
     }
 
     // Top-k eigenvectors (largest eigenvalues of L).
-    let eig = symmetric_eigen(&l);
+    let eig = try_symmetric_eigen(&l)?;
     let mut rows: Vec<Vec<f64>> = (0..n)
         .map(|i| (0..k).map(|c| eig.vectors[(i, c)]).collect())
         .collect();
@@ -121,7 +168,7 @@ pub fn spectral_embedding(
             row.iter_mut().for_each(|v| *v /= norm);
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Outcome of a spectral clustering run.
@@ -139,28 +186,75 @@ pub struct SpectralResult {
 ///
 /// # Panics
 ///
-/// Panics if the matrix is empty or `k` is 0 or exceeds `n`.
+/// Panics if the matrix is empty or non-finite, or `k` is 0 or exceeds
+/// `n`. See [`try_spectral_cluster`] for the fallible variant.
 #[must_use]
 pub fn spectral_cluster(matrix: &DissimilarityMatrix, config: &SpectralConfig) -> SpectralResult {
-    let sigma = config.sigma.unwrap_or_else(|| median_bandwidth(matrix));
-    let embedding = spectral_embedding(matrix, config.k, Some(sigma));
-    let (labels, converged) = embedding_kmeans(&embedding, config.k, config.max_iter, config.seed);
-    SpectralResult {
-        labels,
-        converged,
-        sigma,
+    spectral_core(matrix, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
+}
+
+/// Fallible spectral clustering: validates once up front and reports a
+/// typed error instead of panicking. A non-converged embedding k-means is
+/// reported as [`TsError::NotConverged`].
+///
+/// # Errors
+///
+/// Everything [`try_spectral_embedding`] reports, plus
+/// [`TsError::NotConverged`].
+pub fn try_spectral_cluster(
+    matrix: &DissimilarityMatrix,
+    config: &SpectralConfig,
+) -> TsResult<SpectralResult> {
+    let (result, shifted) = spectral_core(matrix, config)?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: config.max_iter,
+            shifted,
+        })
     }
+}
+
+/// Shared pipeline: returns the result plus the number of rows that
+/// changed cluster in the final embedding k-means iteration.
+fn spectral_core(
+    matrix: &DissimilarityMatrix,
+    config: &SpectralConfig,
+) -> TsResult<(SpectralResult, usize)> {
+    let sigma = config.sigma.unwrap_or_else(|| median_bandwidth(matrix));
+    let embedding = try_spectral_embedding(matrix, config.k, Some(sigma))?;
+    let (labels, converged, shifted) =
+        embedding_kmeans(&embedding, config.k, config.max_iter, config.seed);
+    Ok((
+        SpectralResult {
+            labels,
+            converged,
+            sigma,
+        },
+        shifted,
+    ))
 }
 
 /// Plain Euclidean k-means on embedding rows (kept local: the rows are
 /// points, not time series, so the tsdist machinery is not needed).
-fn embedding_kmeans(rows: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> (Vec<usize>, bool) {
+/// Returns `(labels, converged, changes in the final iteration)`.
+fn embedding_kmeans(
+    rows: &[Vec<f64>],
+    k: usize,
+    max_iter: usize,
+    seed: u64,
+) -> (Vec<usize>, bool, usize) {
     let n = rows.len();
     let dim = rows[0].len();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut labels = random_assignment(n, k, &mut rng);
     let mut centroids = vec![vec![0.0; dim]; k];
     let mut dists = vec![0.0f64; n];
+    let mut shifted = 0usize;
     for _ in 0..max_iter {
         let mut counts = vec![0usize; k];
         for c in &mut centroids {
@@ -177,7 +271,7 @@ fn embedding_kmeans(rows: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> 
                 let worst = dists
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map_or(0, |(i, _)| i);
                 c.copy_from_slice(&rows[worst]);
                 labels[worst] = j;
@@ -186,7 +280,7 @@ fn embedding_kmeans(rows: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> 
                 c.iter_mut().for_each(|v| *v *= inv);
             }
         }
-        let mut changed = false;
+        let mut changed = 0usize;
         for (i, row) in rows.iter().enumerate() {
             let mut best = f64::INFINITY;
             let mut best_j = labels[i];
@@ -204,14 +298,15 @@ fn embedding_kmeans(rows: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> 
             dists[i] = best;
             if best_j != labels[i] {
                 labels[i] = best_j;
-                changed = true;
+                changed += 1;
             }
         }
-        if !changed {
-            return (labels, true);
+        shifted = changed;
+        if changed == 0 {
+            return (labels, true, 0);
         }
     }
-    (labels, false)
+    (labels, false, shifted)
 }
 
 #[cfg(test)]
@@ -315,5 +410,47 @@ mod tests {
     fn rejects_bad_k() {
         let m = two_blob_matrix();
         let _ = spectral_embedding(&m, 0, None);
+    }
+
+    #[test]
+    fn try_variants_match_and_report_typed_errors() {
+        use super::{try_spectral_cluster, try_spectral_embedding};
+        use tserror::TsError;
+        let m = two_blob_matrix();
+        let cfg = SpectralConfig {
+            k: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let a = spectral_cluster(&m, &cfg);
+        let b = try_spectral_cluster(&m, &cfg).expect("clean matrix converges");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.sigma, b.sigma);
+        assert!(matches!(
+            try_spectral_embedding(&m, 0, None),
+            Err(TsError::InvalidK { k: 0, .. })
+        ));
+        assert!(matches!(
+            try_spectral_embedding(&DissimilarityMatrix::from_full(0, vec![]), 1, None),
+            Err(TsError::EmptyInput)
+        ));
+        let corrupt = DissimilarityMatrix::from_full(2, vec![0.0, 1.0, 1.0, f64::NAN]);
+        assert!(matches!(
+            try_spectral_cluster(
+                &corrupt,
+                &SpectralConfig {
+                    k: 1,
+                    ..Default::default()
+                }
+            ),
+            Err(TsError::NonFinite {
+                series: 1,
+                index: 1
+            })
+        ));
+        assert!(matches!(
+            try_spectral_embedding(&m, 2, Some(0.0)),
+            Err(TsError::NumericalFailure { .. })
+        ));
     }
 }

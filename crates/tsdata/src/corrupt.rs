@@ -1,0 +1,331 @@
+//! Fault injection for robustness testing (the chaos suite).
+//!
+//! Real deployments feed clustering pipelines data that the UCR archive
+//! never shows: sensors drop out (NaN runs), loggers skip samples
+//! (missing-value gaps), transducers stick (flatline segments), amplifiers
+//! glitch (amplitude spikes), and transfers truncate (short series). This
+//! module injects those faults *deterministically* — every operator draws
+//! from a caller-supplied [`tsrand::Rng`] — so the chaos suite
+//! (`tests/chaos.rs`) can replay any failing corruption by seed.
+//!
+//! Faults split into two families the fallible APIs must treat
+//! differently:
+//!
+//! * **Invalidating** faults ([`FaultKind::NanRun`],
+//!   [`FaultKind::MissingGap`], [`FaultKind::Truncate`]) make the input
+//!   violate an API contract (finite values, equal lengths). Every `try_*`
+//!   entry point must return a *typed error* — never panic, never emit
+//!   NaN.
+//! * **Degrading** faults ([`FaultKind::Flatline`], [`FaultKind::Spike`])
+//!   keep the input contract-valid but degenerate. Every `try_*` entry
+//!   point must return `Ok` with *finite* outputs.
+
+use tsrand::Rng;
+
+/// The fault taxonomy injected by [`corrupt_series`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A contiguous run of NaN samples (sensor dropout).
+    NanRun,
+    /// Scattered individual NaN samples (missing values).
+    MissingGap,
+    /// A segment held at a constant value (stuck transducer).
+    Flatline,
+    /// A single sample multiplied into an extreme — but finite — spike.
+    Spike,
+    /// The series is cut short (partial transfer / length mismatch).
+    Truncate,
+}
+
+impl FaultKind {
+    /// All fault kinds, for exhaustive sweeps.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::NanRun,
+        FaultKind::MissingGap,
+        FaultKind::Flatline,
+        FaultKind::Spike,
+        FaultKind::Truncate,
+    ];
+
+    /// Whether the fault breaks an input contract (non-finite values or
+    /// shortened length), so fallible APIs must answer with a typed error.
+    /// The complement — a *degrading* fault — leaves the input finite and
+    /// full-length, so fallible APIs must succeed with finite outputs.
+    #[must_use]
+    pub fn invalidates(self) -> bool {
+        matches!(
+            self,
+            FaultKind::NanRun | FaultKind::MissingGap | FaultKind::Truncate
+        )
+    }
+}
+
+/// Injects a contiguous NaN run of 1..=`max_len` samples at a random
+/// offset. No-op on an empty series.
+pub fn nan_run<R: Rng>(x: &mut [f64], max_len: usize, rng: &mut R) {
+    let m = x.len();
+    if m == 0 {
+        return;
+    }
+    let len = rng.gen_range(1..=max_len.clamp(1, m));
+    let start = rng.gen_range(0..=m - len);
+    for v in &mut x[start..start + len] {
+        *v = f64::NAN;
+    }
+}
+
+/// Replaces `count` samples at random positions with NaN (missing
+/// values). Positions may repeat; at least one sample is hit when the
+/// series is non-empty.
+pub fn missing_gap<R: Rng>(x: &mut [f64], count: usize, rng: &mut R) {
+    let m = x.len();
+    if m == 0 {
+        return;
+    }
+    for _ in 0..count.max(1) {
+        let i = rng.gen_range(0..m);
+        x[i] = f64::NAN;
+    }
+}
+
+/// Holds a random segment of 2..=`max_len` samples at the segment's first
+/// value (stuck sensor). No-op on series shorter than 2.
+pub fn flatline<R: Rng>(x: &mut [f64], max_len: usize, rng: &mut R) {
+    let m = x.len();
+    if m < 2 {
+        return;
+    }
+    let len = rng.gen_range(2..=max_len.clamp(2, m));
+    let start = rng.gen_range(0..=m - len);
+    let held = x[start];
+    for v in &mut x[start..start + len] {
+        *v = held;
+    }
+}
+
+/// Multiplies one random sample by a large finite factor in
+/// `[magnitude, 2·magnitude)`, with random sign — an amplitude glitch.
+/// Injects an additive spike when the chosen sample is (near) zero so the
+/// fault is never a silent no-op.
+pub fn spike<R: Rng>(x: &mut [f64], magnitude: f64, rng: &mut R) {
+    let m = x.len();
+    if m == 0 {
+        return;
+    }
+    let i = rng.gen_range(0..m);
+    let factor = rng.gen_range(magnitude..magnitude * 2.0);
+    let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+    if x[i].abs() > 1e-9 {
+        x[i] *= sign * factor;
+    } else {
+        x[i] = sign * factor;
+    }
+}
+
+/// Truncates the series to a random strictly shorter length (at least 1
+/// sample survives). No-op on series shorter than 2.
+pub fn truncate<R: Rng>(x: &mut Vec<f64>, rng: &mut R) {
+    let m = x.len();
+    if m < 2 {
+        return;
+    }
+    let new_len = rng.gen_range(1..m);
+    x.truncate(new_len);
+}
+
+/// Applies one fault of the given kind to `x` with default severities.
+pub fn corrupt_series<R: Rng>(x: &mut Vec<f64>, kind: FaultKind, rng: &mut R) {
+    let m = x.len();
+    match kind {
+        FaultKind::NanRun => nan_run(x, (m / 4).max(1), rng),
+        FaultKind::MissingGap => missing_gap(x, (m / 8).max(1), rng),
+        FaultKind::Flatline => flatline(x, (m / 2).max(2), rng),
+        FaultKind::Spike => spike(x, 1e6, rng),
+        FaultKind::Truncate => truncate(x, rng),
+    }
+}
+
+/// Corrupts a random subset of a series collection in place: each series
+/// is hit with probability `p`, drawing its fault uniformly from `kinds`.
+///
+/// Returns the indices of the corrupted series (possibly empty), so tests
+/// can assert errors point at actually-corrupted inputs.
+pub fn corrupt_collection<R: Rng>(
+    series: &mut [Vec<f64>],
+    kinds: &[FaultKind],
+    p: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut hit = Vec::new();
+    if kinds.is_empty() {
+        return hit;
+    }
+    for (i, s) in series.iter_mut().enumerate() {
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            corrupt_series(s, kind, rng);
+            hit.push(i);
+        }
+    }
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{
+        corrupt_collection, corrupt_series, flatline, missing_gap, nan_run, spike, truncate,
+        FaultKind,
+    };
+    use tsrand::StdRng;
+
+    fn ramp(m: usize) -> Vec<f64> {
+        (0..m).map(|i| i as f64 * 0.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn nan_run_is_contiguous() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let mut x = ramp(32);
+            nan_run(&mut x, 8, &mut rng);
+            let nan_idx: Vec<usize> = (0..x.len()).filter(|&i| x[i].is_nan()).collect();
+            assert!(!nan_idx.is_empty() && nan_idx.len() <= 8);
+            for w in nan_idx.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "run must be contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_gap_hits_at_least_one_sample() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut x = ramp(16);
+        missing_gap(&mut x, 3, &mut rng);
+        assert!(x.iter().any(|v| v.is_nan()));
+        assert_eq!(x.len(), 16);
+    }
+
+    #[test]
+    fn flatline_keeps_values_finite_and_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut x = ramp(24);
+            flatline(&mut x, 12, &mut rng);
+            assert_eq!(x.len(), 24);
+            assert!(x.iter().all(|v| v.is_finite()));
+            // Some adjacent pair must now be equal (the held segment).
+            assert!(x.windows(2).any(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn spike_is_finite_and_extreme() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let mut x = ramp(16);
+            spike(&mut x, 1e6, &mut rng);
+            assert!(x.iter().all(|v| v.is_finite()));
+            assert!(x.iter().any(|v| v.abs() >= 1e5), "no spike landed: {x:?}");
+        }
+        // Spiking an all-zero series still injects a fault.
+        let mut zeros = vec![0.0; 8];
+        spike(&mut zeros, 1e6, &mut rng);
+        assert!(zeros.iter().any(|v| v.abs() >= 1e5));
+    }
+
+    #[test]
+    fn truncate_shortens_but_never_empties() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let mut x = ramp(10);
+            truncate(&mut x, &mut rng);
+            assert!(!x.is_empty() && x.len() < 10);
+        }
+    }
+
+    #[test]
+    fn operators_are_noops_on_tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut empty: Vec<f64> = vec![];
+        nan_run(&mut empty, 4, &mut rng);
+        missing_gap(&mut empty, 4, &mut rng);
+        flatline(&mut empty, 4, &mut rng);
+        spike(&mut empty, 1e6, &mut rng);
+        truncate(&mut empty, &mut rng);
+        assert!(empty.is_empty());
+        let mut one = vec![2.0];
+        flatline(&mut one, 4, &mut rng);
+        truncate(&mut one, &mut rng);
+        assert_eq!(one, vec![2.0]);
+    }
+
+    #[test]
+    fn fault_kinds_classify_contract_violations() {
+        assert!(FaultKind::NanRun.invalidates());
+        assert!(FaultKind::MissingGap.invalidates());
+        assert!(FaultKind::Truncate.invalidates());
+        assert!(!FaultKind::Flatline.invalidates());
+        assert!(!FaultKind::Spike.invalidates());
+        assert_eq!(FaultKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_by_seed() {
+        let run = |seed: u64| -> (Vec<Vec<f64>>, Vec<usize>) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut series: Vec<Vec<f64>> = (0..12).map(|_| ramp(20)).collect();
+            let hit = corrupt_collection(&mut series, &FaultKind::ALL, 0.5, &mut rng);
+            (series, hit)
+        };
+        let (s1, h1) = run(99);
+        let (s2, h2) = run(99);
+        assert_eq!(h1, h2);
+        assert_eq!(s1.len(), s2.len());
+        for (a, b) in s1.iter().zip(s2.iter()) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(x.to_bits() == y.to_bits(), "streams diverged");
+            }
+        }
+        let (_, h3) = run(100);
+        assert!(h1 != h3 || run(100).0 != run(99).0, "seed must matter");
+    }
+
+    #[test]
+    fn corrupt_collection_reports_hit_indices() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut series: Vec<Vec<f64>> = (0..20).map(|_| ramp(16)).collect();
+        let clean = series.clone();
+        let hit = corrupt_collection(&mut series, &[FaultKind::Spike], 0.5, &mut rng);
+        assert!(!hit.is_empty(), "p=0.5 over 20 series should hit some");
+        for i in 0..series.len() {
+            if hit.contains(&i) {
+                assert_ne!(series[i], clean[i], "series {i} reported hit but unchanged");
+            } else {
+                assert_eq!(series[i], clean[i], "series {i} changed but not reported");
+            }
+        }
+        // p = 0 never corrupts.
+        let none = corrupt_collection(&mut series, &FaultKind::ALL, 0.0, &mut rng);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn corrupt_series_dispatches_every_kind() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for kind in FaultKind::ALL {
+            let mut x = ramp(16);
+            corrupt_series(&mut x, kind, &mut rng);
+            match kind {
+                FaultKind::NanRun | FaultKind::MissingGap => {
+                    assert!(x.iter().any(|v| v.is_nan()), "{kind:?}");
+                }
+                FaultKind::Flatline | FaultKind::Spike => {
+                    assert!(x.iter().all(|v| v.is_finite()), "{kind:?}");
+                    assert_eq!(x.len(), 16);
+                }
+                FaultKind::Truncate => assert!(x.len() < 16, "{kind:?}"),
+            }
+        }
+    }
+}

@@ -5,7 +5,27 @@
 //! train/test split used for 1-NN distance-measure evaluation (Table 2);
 //! clustering experiments fuse the two halves, as the paper does.
 
-use crate::normalize::z_normalize_in_place;
+use crate::normalize::{try_z_normalize_series, z_normalize_in_place};
+use tserror::{TsError, TsResult};
+
+/// Tally of per-series outcomes from [`Dataset::try_z_normalize`], so
+/// loaders can surface how many series in a dataset were degenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NormalizeReport {
+    /// Series that z-normalized cleanly.
+    pub normalized: usize,
+    /// Constant (zero-variance) series, zero-filled instead of normalized.
+    pub constant: usize,
+}
+
+impl NormalizeReport {
+    /// Merges another report into this one (used to combine train/test
+    /// halves).
+    pub fn absorb(&mut self, other: NormalizeReport) {
+        self.normalized += other.normalized;
+        self.constant += other.constant;
+    }
+}
 
 /// A set of equal-length, labeled time series.
 #[derive(Debug, Clone)]
@@ -78,6 +98,42 @@ impl Dataset {
         }
     }
 
+    /// z-normalizes every series while *accounting for* degenerate ones.
+    ///
+    /// Constant (zero-variance) series have no well-defined z-score; they
+    /// are zero-filled — exactly what [`Dataset::z_normalize`] does — but
+    /// the count is surfaced in the returned [`NormalizeReport`] so data
+    /// loaders can warn about corrupt or flatlined series instead of
+    /// silently absorbing them.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::NonFinite`] naming the first series containing a
+    /// NaN/infinite sample. The dataset may be partially normalized when
+    /// an error is returned.
+    pub fn try_z_normalize(&mut self) -> TsResult<NormalizeReport> {
+        let mut report = NormalizeReport::default();
+        if self.series_len() == 0 {
+            return Ok(report);
+        }
+        for (i, s) in self.series.iter_mut().enumerate() {
+            match try_z_normalize_series(s, i) {
+                Ok(z) => {
+                    *s = z;
+                    report.normalized += 1;
+                }
+                Err(TsError::ConstantSeries { .. }) => {
+                    for v in s.iter_mut() {
+                        *v = 0.0;
+                    }
+                    report.constant += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
     /// Returns the indices of the series in class `label`.
     #[must_use]
     pub fn class_indices(&self, label: usize) -> Vec<usize> {
@@ -142,11 +198,25 @@ impl SplitDataset {
         self.train.z_normalize();
         self.test.z_normalize();
     }
+
+    /// Checked z-normalization of both halves, combining their
+    /// [`NormalizeReport`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::NonFinite`] from whichever half first contains a
+    /// NaN/infinite sample (train is processed first).
+    pub fn try_z_normalize(&mut self) -> TsResult<NormalizeReport> {
+        let mut report = self.train.try_z_normalize()?;
+        report.absorb(self.test.try_z_normalize()?);
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{Dataset, SplitDataset};
+    use super::{Dataset, NormalizeReport, SplitDataset};
+    use tserror::TsError;
 
     fn toy() -> Dataset {
         Dataset::new(
@@ -205,6 +275,63 @@ mod tests {
             let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
             assert!(mean.abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn checked_normalization_counts_constant_series() {
+        let mut d = Dataset::new(
+            "mixed",
+            vec![
+                vec![1.0, 2.0, 3.0],
+                vec![5.0, 5.0, 5.0], // flatlined sensor
+                vec![0.0, 1.0, 0.0],
+            ],
+            vec![0, 0, 1],
+        );
+        let mut plain = d.clone();
+        plain.z_normalize();
+        let report = d.try_z_normalize().unwrap();
+        assert_eq!(
+            report,
+            NormalizeReport {
+                normalized: 2,
+                constant: 1
+            }
+        );
+        // Checked and unchecked normalization agree series-for-series.
+        for (a, b) in d.series.iter().zip(plain.series.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn checked_normalization_rejects_nan_with_series_index() {
+        let mut d = Dataset::new("bad", vec![vec![1.0, 2.0], vec![f64::NAN, 0.0]], vec![0, 1]);
+        assert_eq!(
+            d.try_z_normalize(),
+            Err(TsError::NonFinite {
+                series: 1,
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn checked_normalization_on_split_merges_reports() {
+        let mut split = SplitDataset {
+            train: Dataset::new("s", vec![vec![1.0, 2.0], vec![3.0, 3.0]], vec![0, 1]),
+            test: Dataset::new("s", vec![vec![4.0, 4.0]], vec![0]),
+        };
+        let report = split.try_z_normalize().unwrap();
+        assert_eq!(
+            report,
+            NormalizeReport {
+                normalized: 1,
+                constant: 2
+            }
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod collection;
+pub mod corrupt;
 pub mod dataset;
 pub mod distort;
 pub mod features;
@@ -28,5 +29,5 @@ pub mod reduce;
 pub mod ucr;
 
 pub use collection::{synthetic_collection, CollectionSpec};
-pub use dataset::{Dataset, SplitDataset};
-pub use normalize::z_normalize;
+pub use dataset::{Dataset, NormalizeReport, SplitDataset};
+pub use normalize::{try_z_normalize, z_normalize};

@@ -7,6 +7,8 @@
 //! * **OptimalScaling** computes the least-squares scaling coefficient
 //!   `c = x·yᵀ / y·yᵀ` used for pairwise comparisons in Appendix A.
 
+use tserror::{ensure_finite, TsError, TsResult};
+
 /// Mean of a slice (0 for an empty slice).
 #[inline]
 #[must_use]
@@ -67,6 +69,41 @@ pub fn z_normalize(x: &[f64]) -> Vec<f64> {
     out
 }
 
+/// Fallible z-normalization that *distinguishes* the degenerate cases the
+/// infallible [`z_normalize`] silently maps to zeros.
+///
+/// Shorthand for [`try_z_normalize_series`] with series index 0.
+///
+/// # Errors
+///
+/// * [`TsError::EmptyInput`] for an empty slice,
+/// * [`TsError::NonFinite`] at the first NaN/infinite sample,
+/// * [`TsError::ConstantSeries`] for zero variance (no well-defined
+///   z-score exists; callers decide whether to zero-fill, drop, or abort).
+pub fn try_z_normalize(x: &[f64]) -> TsResult<Vec<f64>> {
+    try_z_normalize_series(x, 0)
+}
+
+/// [`try_z_normalize`] with an explicit series index, so collection-level
+/// callers (dataset loaders, the chaos suite) can report *which* series
+/// was degenerate.
+///
+/// # Errors
+///
+/// Same as [`try_z_normalize`], with `series` embedded in the error.
+pub fn try_z_normalize_series(x: &[f64], series: usize) -> TsResult<Vec<f64>> {
+    if x.is_empty() {
+        return Err(TsError::EmptyInput);
+    }
+    ensure_finite(x, series)?;
+    let sigma = std_dev(x);
+    if sigma <= 0.0 {
+        return Err(TsError::ConstantSeries { series });
+    }
+    let mu = mean(x);
+    Ok(x.iter().map(|v| (v - mu) / sigma).collect())
+}
+
 /// Rescales `x` into `[0, 1]` (`ValuesBetween0-1` of Appendix A).
 ///
 /// A constant sequence maps to all zeros.
@@ -120,9 +157,10 @@ pub fn min_max(x: &[f64]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::{
-        mean, min_max, optimal_scaling_coefficient, std_dev, values_between_0_1, z_normalize,
-        z_normalize_in_place,
+        mean, min_max, optimal_scaling_coefficient, std_dev, try_z_normalize,
+        try_z_normalize_series, values_between_0_1, z_normalize, z_normalize_in_place,
     };
+    use tserror::TsError;
 
     #[test]
     fn mean_and_std() {
@@ -167,6 +205,40 @@ mod tests {
         z_normalize_in_place(&mut x);
         assert!(x.iter().all(|&v| v == 0.0));
         assert!(values_between_0_1(&[7.0; 3]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn try_z_normalize_matches_on_clean_data() {
+        let x = [3.0, 7.0, 11.0, 2.0, 9.0];
+        assert_eq!(try_z_normalize(&x), Ok(z_normalize(&x)));
+    }
+
+    #[test]
+    fn try_z_normalize_distinguishes_degenerate_cases() {
+        assert_eq!(try_z_normalize(&[]), Err(TsError::EmptyInput));
+        assert_eq!(
+            try_z_normalize(&[1.0, f64::NAN]),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        );
+        assert_eq!(
+            try_z_normalize(&[4.0, 4.0, 4.0]),
+            Err(TsError::ConstantSeries { series: 0 })
+        );
+        // The series index threads through to the error.
+        assert_eq!(
+            try_z_normalize_series(&[4.0, 4.0], 7),
+            Err(TsError::ConstantSeries { series: 7 })
+        );
+        assert_eq!(
+            try_z_normalize_series(&[f64::INFINITY], 3),
+            Err(TsError::NonFinite {
+                series: 3,
+                index: 0
+            })
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::dataset::{Dataset, SplitDataset};
+use crate::dataset::{Dataset, NormalizeReport, SplitDataset};
+use tserror::TsError;
 
 /// Errors from parsing UCR text data.
 #[derive(Debug)]
@@ -30,6 +31,8 @@ pub enum UcrError {
         /// 1-based line number of the first mismatching line.
         line: usize,
     },
+    /// The file parsed but its values are unusable (NaN/infinity).
+    Data(TsError),
 }
 
 impl std::fmt::Display for UcrError {
@@ -40,6 +43,7 @@ impl std::fmt::Display for UcrError {
             UcrError::RaggedSeries { line } => {
                 write!(f, "series on line {line} has a different length")
             }
+            UcrError::Data(e) => write!(f, "corrupt data: {e}"),
         }
     }
 }
@@ -48,6 +52,7 @@ impl std::error::Error for UcrError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             UcrError::Io(e) => Some(e),
+            UcrError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -56,6 +61,12 @@ impl std::error::Error for UcrError {
 impl From<io::Error> for UcrError {
     fn from(e: io::Error) -> Self {
         UcrError::Io(e)
+    }
+}
+
+impl From<TsError> for UcrError {
+    fn from(e: TsError) -> Self {
+        UcrError::Data(e)
     }
 }
 
@@ -152,6 +163,25 @@ pub fn load_split(dir: &Path, name: &str) -> Result<SplitDataset, UcrError> {
     Ok(SplitDataset { train, test })
 }
 
+/// Loads a UCR split and z-normalizes it with degenerate-series
+/// accounting: constant series are zero-filled and counted in the
+/// returned [`NormalizeReport`], while NaN/infinite values become a typed
+/// [`UcrError::Data`] naming the offending series — corruption is
+/// surfaced at load time instead of poisoning distances downstream.
+///
+/// # Errors
+///
+/// Any [`UcrError`] from [`load_split`], plus [`UcrError::Data`] for
+/// non-finite values.
+pub fn load_split_normalized(
+    dir: &Path,
+    name: &str,
+) -> Result<(SplitDataset, NormalizeReport), UcrError> {
+    let mut split = load_split(dir, name)?;
+    let report = split.try_z_normalize()?;
+    Ok((split, report))
+}
+
 /// Writes a `SplitDataset` as a UCR-style `<name>_TRAIN` / `<name>_TEST`
 /// pair into a directory.
 pub fn save_split(dir: &Path, split: &SplitDataset) -> Result<(), UcrError> {
@@ -164,8 +194,9 @@ pub fn save_split(dir: &Path, split: &SplitDataset) -> Result<(), UcrError> {
 
 #[cfg(test)]
 mod tests {
-    use super::{load_split, parse, save_split, serialize, UcrError};
+    use super::{load_split, load_split_normalized, parse, save_split, serialize, UcrError};
     use crate::dataset::{Dataset, SplitDataset};
+    use tserror::TsError;
 
     #[test]
     fn parses_comma_separated() {
@@ -230,6 +261,47 @@ mod tests {
         let back = load_split(&dir, "demo").unwrap();
         assert_eq!(back.train.series, split.train.series);
         assert_eq!(back.test.series, split.test.series);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn normalized_loading_surfaces_degenerate_series() {
+        let dir = std::env::temp_dir().join(format!("ucr-norm-test-{}", std::process::id()));
+        let split = SplitDataset {
+            train: Dataset::new(
+                "demo",
+                vec![vec![1.0, 2.0, 4.0], vec![3.0, 3.0, 3.0]],
+                vec![0, 1],
+            ),
+            test: Dataset::new("demo", vec![vec![5.0, 1.0, 2.0]], vec![0]),
+        };
+        save_split(&dir, &split).unwrap();
+        let (loaded, report) = load_split_normalized(&dir, "demo").unwrap();
+        assert_eq!(report.normalized, 2);
+        assert_eq!(report.constant, 1);
+        // The flatlined series is zero-filled, matching z_normalize.
+        assert!(loaded.train.series[1].iter().all(|&v| v == 0.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn normalized_loading_rejects_nan_values() {
+        let dir = std::env::temp_dir().join(format!("ucr-nan-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("demo_TRAIN"), "1,1.0,NaN,2.0\n").unwrap();
+        std::fs::write(dir.join("demo_TEST"), "1,1.0,2.0,3.0\n").unwrap();
+        let err = load_split_normalized(&dir, "demo").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                UcrError::Data(TsError::NonFinite {
+                    series: 0,
+                    index: 1
+                })
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("corrupt data"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

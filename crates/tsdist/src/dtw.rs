@@ -13,6 +13,7 @@
 //! reproduction need.
 
 use crate::Distance;
+use tserror::{validate_nonempty_pair, validate_pair, TsResult};
 
 /// DTW distance measure with an optional Sakoe–Chiba warping window.
 #[derive(Debug, Clone, Copy)]
@@ -76,10 +77,28 @@ impl Distance for Dtw {
 ///
 /// # Panics
 ///
-/// Panics if the lengths differ.
+/// Panics if the lengths differ or samples are non-finite. See
+/// [`try_dtw_distance`] for the fallible variant.
 #[must_use]
 pub fn dtw_distance(x: &[f64], y: &[f64], window: Option<usize>) -> f64 {
     assert_eq!(x.len(), y.len(), "DTW requires equal-length sequences");
+    try_dtw_distance(x, y, window).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible DTW distance: validates once up front, never panics. Empty
+/// inputs have distance 0 (matching the panicking variant).
+///
+/// # Errors
+///
+/// [`tserror::TsError::LengthMismatch`] or
+/// [`tserror::TsError::NonFinite`].
+pub fn try_dtw_distance(x: &[f64], y: &[f64], window: Option<usize>) -> TsResult<f64> {
+    validate_pair(x, y)?;
+    Ok(dtw_distance_unchecked(x, y, window))
+}
+
+/// The rolling-row DP itself, with preconditions already established.
+pub(crate) fn dtw_distance_unchecked(x: &[f64], y: &[f64], window: Option<usize>) -> f64 {
     let m = x.len();
     if m == 0 {
         return 0.0;
@@ -117,12 +136,26 @@ pub type WarpingPath = Vec<(usize, usize)>;
 ///
 /// # Panics
 ///
-/// Panics if the lengths differ or either input is empty.
+/// Panics if the lengths differ, either input is empty, or samples are
+/// non-finite. See [`try_dtw_path`] for the fallible variant.
 #[must_use]
 pub fn dtw_path(x: &[f64], y: &[f64], window: Option<usize>) -> (f64, WarpingPath) {
     assert_eq!(x.len(), y.len(), "DTW requires equal-length sequences");
+    assert!(!x.is_empty(), "DTW path requires non-empty sequences");
+    try_dtw_path(x, y, window).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible DTW distance + warping path: validates once up front, never
+/// panics.
+///
+/// # Errors
+///
+/// [`tserror::TsError::EmptyInput`],
+/// [`tserror::TsError::LengthMismatch`], or
+/// [`tserror::TsError::NonFinite`].
+pub fn try_dtw_path(x: &[f64], y: &[f64], window: Option<usize>) -> TsResult<(f64, WarpingPath)> {
+    validate_nonempty_pair(x, y)?;
     let m = x.len();
-    assert!(m > 0, "DTW path requires non-empty sequences");
     let w = window.unwrap_or(m).min(m);
 
     let idx = |i: usize, j: usize| i * (m + 1) + j;
@@ -158,7 +191,7 @@ pub fn dtw_path(x: &[f64], y: &[f64], window: Option<usize>) -> (f64, WarpingPat
         }
     }
     path.reverse();
-    (cost[idx(m, m)].sqrt(), path)
+    Ok((cost[idx(m, m)].sqrt(), path))
 }
 
 #[cfg(test)]
@@ -290,5 +323,43 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn rejects_mismatch() {
         let _ = dtw_distance(&[1.0], &[1.0, 2.0], None);
+    }
+
+    #[test]
+    fn try_variants_match_and_report_typed_errors() {
+        use super::{try_dtw_distance, try_dtw_path};
+        use tserror::TsError;
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4).sin()).collect();
+        let y: Vec<f64> = (0..24).map(|i| ((i as f64 + 3.0) * 0.4).sin()).collect();
+        let d = dtw_distance(&x, &y, Some(4));
+        let td = try_dtw_distance(&x, &y, Some(4)).expect("clean data");
+        assert!((d - td).abs() < 1e-15);
+        let (pd, path) = dtw_path(&x, &y, None);
+        let (tpd, tpath) = try_dtw_path(&x, &y, None).expect("clean data");
+        assert_eq!(path, tpath);
+        assert!((pd - tpd).abs() < 1e-15);
+        assert_eq!(try_dtw_distance(&[], &[], None), Ok(0.0));
+        assert!(matches!(
+            try_dtw_distance(&[1.0], &[1.0, 2.0], None),
+            Err(TsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            try_dtw_distance(&[f64::NAN], &[1.0], None),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 0
+            })
+        ));
+        assert!(matches!(
+            try_dtw_path(&[], &[], None),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_dtw_path(&[1.0], &[f64::INFINITY], None),
+            Err(TsError::NonFinite {
+                series: 1,
+                index: 0
+            })
+        ));
     }
 }

@@ -16,6 +16,8 @@
 //! already exceeds the best distance found can be skipped without running
 //! the DP.
 
+use tserror::{ensure_finite, TsError, TsResult};
+
 /// Upper/lower envelope of a sequence under a warping window.
 #[derive(Debug, Clone)]
 pub struct Envelope {
@@ -26,6 +28,18 @@ pub struct Envelope {
 }
 
 impl Envelope {
+    /// Fallible envelope construction: rejects non-finite samples (whose
+    /// ordering under the deque algorithm is meaningless) with a typed
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::NonFinite`] at the first NaN/infinite sample.
+    pub fn try_new(y: &[f64], w: usize) -> TsResult<Self> {
+        ensure_finite(y, 0)?;
+        Ok(Self::new(y, w))
+    }
+
     /// Builds the envelope of `y` for window half-width `w`.
     ///
     /// Uses the monotonic-deque algorithm (Lemire 2009): O(m) regardless of
@@ -92,10 +106,29 @@ impl Envelope {
 ///
 /// # Panics
 ///
-/// Panics if the lengths differ.
+/// Panics if the lengths differ or the query is non-finite. See
+/// [`try_lb_keogh`] for the fallible variant.
 #[must_use]
 pub fn lb_keogh(x: &[f64], env: &Envelope) -> f64 {
     assert_eq!(x.len(), env.lower.len(), "LB_Keogh requires equal lengths");
+    try_lb_keogh(x, env).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible LB_Keogh: validates once up front, never panics.
+///
+/// # Errors
+///
+/// [`TsError::LengthMismatch`] when the query length differs from the
+/// envelope's, or [`TsError::NonFinite`] on a NaN/infinite query sample.
+pub fn try_lb_keogh(x: &[f64], env: &Envelope) -> TsResult<f64> {
+    if x.len() != env.lower.len() {
+        return Err(TsError::LengthMismatch {
+            expected: env.lower.len(),
+            found: x.len(),
+            series: 0,
+        });
+    }
+    ensure_finite(x, 0)?;
     let mut acc = 0.0;
     for ((&v, &lo), &hi) in x.iter().zip(env.lower.iter()).zip(env.upper.iter()) {
         if v > hi {
@@ -104,13 +137,14 @@ pub fn lb_keogh(x: &[f64], env: &Envelope) -> f64 {
             acc += (lo - v) * (lo - v);
         }
     }
-    acc.sqrt()
+    Ok(acc.sqrt())
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{lb_keogh, Envelope};
+    use super::{lb_keogh, try_lb_keogh, Envelope};
     use crate::dtw::dtw_distance;
+    use tserror::TsError;
 
     #[allow(clippy::needless_range_loop)]
     fn brute_envelope(y: &[f64], w: usize) -> Envelope {
@@ -195,6 +229,37 @@ mod tests {
         let env = Envelope::new(&[], 3);
         assert!(env.lower.is_empty());
         assert_eq!(lb_keogh(&[], &env), 0.0);
+    }
+
+    #[test]
+    fn try_variants_match_and_report_typed_errors() {
+        let y = vec![1.0, 2.0, 3.0, 2.0];
+        let env = Envelope::try_new(&y, 1).expect("finite input");
+        let x = vec![0.0, 4.0, 1.0, 2.0];
+        assert_eq!(try_lb_keogh(&x, &env), Ok(lb_keogh(&x, &env)));
+
+        assert_eq!(
+            Envelope::try_new(&[1.0, f64::NAN], 1).unwrap_err(),
+            TsError::NonFinite {
+                series: 0,
+                index: 1
+            }
+        );
+        assert_eq!(
+            try_lb_keogh(&[1.0], &env),
+            Err(TsError::LengthMismatch {
+                expected: 4,
+                found: 1,
+                series: 0
+            })
+        );
+        assert_eq!(
+            try_lb_keogh(&[1.0, f64::INFINITY, 0.0, 0.0], &env),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        );
     }
 
     #[test]

@@ -5,10 +5,31 @@
 //! which is why the paper (following Ding et al.) uses it.
 
 use tsdata::dataset::Dataset;
+use tserror::{ensure_finite, validate_series_set, TsError, TsResult};
 
 use crate::dtw::dtw_distance;
 use crate::lb_keogh::{lb_keogh, Envelope};
 use crate::Distance;
+
+/// Validates a train/test pair once up front: both series sets must be
+/// internally consistent (finite, equal-length) and, when both are
+/// non-empty, their series lengths must agree.
+fn validate_split(train: &Dataset, test: &Dataset) -> TsResult<()> {
+    if !train.is_empty() {
+        validate_series_set(&train.series)?;
+    }
+    if !test.is_empty() {
+        validate_series_set(&test.series)?;
+    }
+    if !train.is_empty() && !test.is_empty() && train.series_len() != test.series_len() {
+        return Err(TsError::LengthMismatch {
+            expected: train.series_len(),
+            found: test.series_len(),
+            series: 0,
+        });
+    }
+    Ok(())
+}
 
 /// Classifies one query by scanning all training series with `dist`.
 ///
@@ -31,6 +52,37 @@ pub fn classify_one<D: Distance + ?Sized>(
     label
 }
 
+/// Fallible [`classify_one`]: validates the training set and query once
+/// before scanning.
+///
+/// Returns `Ok(None)` for an empty training set, matching the panicking
+/// variant's semantics.
+///
+/// # Errors
+///
+/// [`TsError::NonFinite`] on a NaN/infinite sample, or
+/// [`TsError::LengthMismatch`] when the query length differs from the
+/// training series length.
+pub fn try_classify_one<D: Distance + ?Sized>(
+    dist: &D,
+    train: &Dataset,
+    query: &[f64],
+) -> TsResult<Option<usize>> {
+    if train.is_empty() {
+        return Ok(None);
+    }
+    validate_series_set(&train.series)?;
+    ensure_finite(query, 0)?;
+    if query.len() != train.series_len() {
+        return Err(TsError::LengthMismatch {
+            expected: train.series_len(),
+            found: query.len(),
+            series: 0,
+        });
+    }
+    Ok(classify_one(dist, train, query))
+}
+
 /// 1-NN classification accuracy of `dist` over a train/test split.
 ///
 /// Returns 0 when the test set is empty.
@@ -46,6 +98,21 @@ pub fn one_nn_accuracy<D: Distance + ?Sized>(dist: &D, train: &Dataset, test: &D
         .filter(|(s, &l)| classify_one(dist, train, s) == Some(l))
         .count();
     correct as f64 / test.n_series() as f64
+}
+
+/// Fallible [`one_nn_accuracy`]: validates both splits once up front.
+///
+/// # Errors
+///
+/// [`TsError::NonFinite`] or [`TsError::LengthMismatch`] when either
+/// split contains corrupt or inconsistently sized series.
+pub fn try_one_nn_accuracy<D: Distance + ?Sized>(
+    dist: &D,
+    train: &Dataset,
+    test: &Dataset,
+) -> TsResult<f64> {
+    validate_split(train, test)?;
+    Ok(one_nn_accuracy(dist, train, test))
 }
 
 /// 1-NN accuracy for cDTW with LB_Keogh cascading (the `cDTW_LB` rows of
@@ -98,11 +165,31 @@ pub fn one_nn_accuracy_lb(window: Option<usize>, train: &Dataset, test: &Dataset
     )
 }
 
+/// Fallible [`one_nn_accuracy_lb`]: validates both splits once up front so
+/// the envelope construction and the DP never see NaN.
+///
+/// # Errors
+///
+/// [`TsError::NonFinite`] or [`TsError::LengthMismatch`] when either
+/// split contains corrupt or inconsistently sized series.
+pub fn try_one_nn_accuracy_lb(
+    window: Option<usize>,
+    train: &Dataset,
+    test: &Dataset,
+) -> TsResult<(f64, f64)> {
+    validate_split(train, test)?;
+    Ok(one_nn_accuracy_lb(window, train, test))
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{classify_one, one_nn_accuracy, one_nn_accuracy_lb};
+    use super::{
+        classify_one, one_nn_accuracy, one_nn_accuracy_lb, try_classify_one, try_one_nn_accuracy,
+        try_one_nn_accuracy_lb,
+    };
     use crate::ed::EuclideanDistance;
     use tsdata::dataset::Dataset;
+    use tserror::TsError;
 
     fn toy_split() -> (Dataset, Dataset) {
         // Two well-separated classes: low values vs high values.
@@ -156,6 +243,69 @@ mod tests {
         let plain = one_nn_accuracy(&crate::dtw::Dtw::with_window(1), &train, &test);
         let (lb, _) = one_nn_accuracy_lb(Some(1), &train, &test);
         assert_eq!(plain, lb);
+    }
+
+    #[test]
+    fn try_variants_match_and_report_typed_errors() {
+        let (train, test) = toy_split();
+        assert_eq!(
+            try_one_nn_accuracy(&EuclideanDistance, &train, &test),
+            Ok(one_nn_accuracy(&EuclideanDistance, &train, &test))
+        );
+        assert_eq!(
+            try_one_nn_accuracy_lb(Some(1), &train, &test),
+            Ok(one_nn_accuracy_lb(Some(1), &train, &test))
+        );
+        assert_eq!(
+            try_classify_one(&EuclideanDistance, &train, &[0.0, 0.0, 0.0]),
+            Ok(classify_one(&EuclideanDistance, &train, &[0.0, 0.0, 0.0]))
+        );
+
+        // Empty train keeps the `None` contract.
+        let empty = Dataset::new("e", vec![], vec![]);
+        assert_eq!(
+            try_classify_one(&EuclideanDistance, &empty, &[1.0]),
+            Ok(None)
+        );
+        assert_eq!(
+            try_one_nn_accuracy(&EuclideanDistance, &train, &empty),
+            Ok(0.0)
+        );
+
+        // NaN in a training series is a typed error.
+        let bad = Dataset::new("bad", vec![vec![0.0, f64::NAN, 0.0]], vec![0]);
+        assert_eq!(
+            try_one_nn_accuracy(&EuclideanDistance, &bad, &test),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
+        );
+        assert!(matches!(
+            try_one_nn_accuracy_lb(Some(1), &bad, &test),
+            Err(TsError::NonFinite { .. })
+        ));
+
+        // Query of the wrong length is a typed mismatch, not a bogus answer.
+        assert_eq!(
+            try_classify_one(&EuclideanDistance, &train, &[1.0]),
+            Err(TsError::LengthMismatch {
+                expected: 3,
+                found: 1,
+                series: 0
+            })
+        );
+
+        // Cross-split length disagreement is detected up front.
+        let short = Dataset::new("short", vec![vec![0.0, 1.0]], vec![0]);
+        assert_eq!(
+            try_one_nn_accuracy(&EuclideanDistance, &train, &short),
+            Err(TsError::LengthMismatch {
+                expected: 3,
+                found: 2,
+                series: 0
+            })
+        );
     }
 
     #[test]

@@ -2,12 +2,37 @@
 
 use tscheck::Gen;
 use tsdist::cid::cid;
-use tsdist::dtw::{dtw_distance, dtw_path};
+use tsdist::dtw::{dtw_distance, dtw_path, try_dtw_distance};
 use tsdist::ed::euclidean;
-use tsdist::lb_keogh::{lb_keogh, Envelope};
+use tsdist::lb_keogh::{lb_keogh, try_lb_keogh, Envelope};
 
 fn pair(g: &mut Gen) -> (Vec<f64>, Vec<f64>) {
     g.pair_f64(2..48, -100.0..100.0)
+}
+
+/// Runs every distance kernel over a degenerate pair and asserts the
+/// results are finite and non-negative — degenerate inputs must never
+/// poison a kernel with NaN.
+fn assert_kernels_finite(x: &[f64], y: &[f64], w: usize) {
+    for d in [
+        euclidean(x, y),
+        dtw_distance(x, y, None),
+        dtw_distance(x, y, Some(w)),
+        cid(x, y),
+        lb_keogh(x, &Envelope::new(y, w)),
+    ] {
+        assert!(
+            d.is_finite() && d >= 0.0,
+            "kernel emitted {d} on degenerate input"
+        );
+    }
+    // The fallible twins agree with the panicking kernels on clean data.
+    assert_eq!(
+        try_dtw_distance(x, y, Some(w)),
+        Ok(dtw_distance(x, y, Some(w)))
+    );
+    let env = Envelope::try_new(y, w).expect("finite envelope input");
+    assert_eq!(try_lb_keogh(x, &env), Ok(lb_keogh(x, &env)));
 }
 
 tscheck::props! {
@@ -81,5 +106,55 @@ tscheck::props! {
         assert!(c >= euclidean(&x, &y) - 1e-9);
         assert!((c - cid(&y, &x)).abs() < 1e-9);
         assert!(cid(&x, &x).abs() < 1e-12);
+    }
+
+    #[cases(64)]
+    fn constant_series_keep_kernels_finite(g) {
+        // Constant (zero-variance) series: z-normalization would reject
+        // them, but the raw kernels must still produce finite distances.
+        let m = g.usize_in(2..48);
+        let a = g.f64_in(-100.0..100.0);
+        let b = g.f64_in(-100.0..100.0);
+        let w = g.usize_in(0..8);
+        let x = vec![a; m];
+        let y = vec![b; m];
+        assert_kernels_finite(&x, &y, w);
+        // Against an ordinary series too.
+        let (z, _) = g.pair_f64(m..m + 1, -100.0..100.0);
+        assert_kernels_finite(&x, &z, w);
+    }
+
+    #[cases(64)]
+    fn single_element_series_keep_kernels_finite(g) {
+        let x = vec![g.f64_in(-100.0..100.0)];
+        let y = vec![g.f64_in(-100.0..100.0)];
+        let w = g.usize_in(0..4);
+        assert_kernels_finite(&x, &y, w);
+    }
+
+    #[cases(64)]
+    fn zero_series_keep_kernels_finite(g) {
+        // A constant series z-normalizes to all zeros; kernels must treat
+        // the all-zero vector without NaN (e.g. CID's complexity ratio).
+        let m = g.usize_in(2..48);
+        let w = g.usize_in(0..8);
+        let zeros = vec![0.0; m];
+        assert_kernels_finite(&zeros, &zeros, w);
+        let (y, _) = g.pair_f64(m..m + 1, -100.0..100.0);
+        assert_kernels_finite(&zeros, &y, w);
+    }
+
+    #[cases(32)]
+    fn non_finite_inputs_yield_typed_errors(g) {
+        // Fallible kernels reject NaN/infinity with a typed error rather
+        // than emitting NaN distances.
+        let (mut x, y) = pair(g);
+        let idx = g.usize_in(0..x.len());
+        x[idx] = if g.usize_in(0..2) == 0 { f64::NAN } else { f64::INFINITY };
+        let w = g.usize_in(0..8);
+        assert!(try_dtw_distance(&x, &y, Some(w)).is_err());
+        assert!(Envelope::try_new(&x, w).is_err());
+        let env = Envelope::try_new(&y, w).expect("finite envelope input");
+        assert!(try_lb_keogh(&x, &env).is_err());
     }
 }

@@ -1,0 +1,357 @@
+//! Typed errors and input validation for the workspace's fallible
+//! (`try_*`) clustering and distance APIs.
+//!
+//! Every public entry point of the clustering stack historically panicked
+//! on malformed input — NaN samples, empty datasets, ragged series,
+//! `k > n` — which is disqualifying for a service handling arbitrary user
+//! traffic. This crate provides the shared [`TsError`] taxonomy that the
+//! `try_*` variants across `kshape`, `tscluster`, `tsdist`, and `tsdata`
+//! return instead, plus the validation helpers they call so that every
+//! algorithm performs *identical* checks in *identical* order.
+//!
+//! Design rules (see CONTRIBUTING.md, "Error handling policy"):
+//!
+//! * `try_*` functions validate once, up front, and never panic on any
+//!   input;
+//! * the legacy panicking functions are thin wrappers that
+//!   `unwrap_or_else(|e| panic!("{e}"))` the fallible core, so their panic
+//!   messages are exactly the [`std::fmt::Display`] strings below — those
+//!   strings deliberately contain the historical assertion phrases
+//!   (`"at least one series"`, `"equal length"`, `"k must not exceed"`,
+//!   …) so existing `#[should_panic]` expectations keep matching;
+//! * [`TsError::NotConverged`] carries the last labeling and iteration
+//!   diagnostics so callers can still consume a best-effort result.
+
+#![warn(missing_docs)]
+
+/// The shared error taxonomy for fallible time-series clustering APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsError {
+    /// A sample was NaN or infinite.
+    NonFinite {
+        /// Index of the offending series in the input collection
+        /// (0 for single-series APIs).
+        series: usize,
+        /// Index of the offending sample within the series.
+        index: usize,
+    },
+    /// The input collection, series, or range was empty.
+    EmptyInput,
+    /// Series lengths disagree (ragged input or query/plan mismatch).
+    LengthMismatch {
+        /// Expected length (from the first series or the plan).
+        expected: usize,
+        /// Offending length actually found.
+        found: usize,
+        /// Index of the offending series in the input collection.
+        series: usize,
+    },
+    /// A series has zero variance, so it cannot be z-normalized and has
+    /// no shape information.
+    ConstantSeries {
+        /// Index of the constant series in the input collection.
+        series: usize,
+    },
+    /// The requested number of clusters is impossible for this input.
+    InvalidK {
+        /// Requested cluster count.
+        k: usize,
+        /// Number of items available.
+        n: usize,
+    },
+    /// A numerical routine produced a non-finite or otherwise unusable
+    /// intermediate (degenerate eigenvector, zero denominator, …).
+    NumericalFailure {
+        /// Human-readable description of where and what failed.
+        context: String,
+    },
+    /// The iterative refinement hit its iteration cap without the
+    /// memberships (or soft memberships) stabilizing.
+    NotConverged {
+        /// Labeling at the final iteration — still a valid best-effort
+        /// clustering.
+        labels: Vec<usize>,
+        /// Iterations executed (equals the configured cap).
+        iterations: usize,
+        /// Number of series that changed cluster in the final iteration
+        /// (a measure of how far from a fixed point the run stopped).
+        shifted: usize,
+    },
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::NonFinite { series, index } => write!(
+                f,
+                "non-finite value (NaN or infinity) at series {series}, index {index}"
+            ),
+            TsError::EmptyInput => write!(
+                f,
+                "empty input: at least one series with non-empty values is required"
+            ),
+            TsError::LengthMismatch {
+                expected,
+                found,
+                series,
+            } => write!(
+                f,
+                "length mismatch at series {series}: expected {expected}, found {found}; \
+                 inputs must be equal-length (all series must have equal length)"
+            ),
+            TsError::ConstantSeries { series } => write!(
+                f,
+                "constant series at index {series}: zero variance, cannot z-normalize"
+            ),
+            TsError::InvalidK { k: 0, n } => {
+                write!(f, "invalid k: k must be positive (k must be in 1..={n})")
+            }
+            TsError::InvalidK { k, n } => write!(
+                f,
+                "invalid k={k}: k must not exceed the number of series \
+                 (k must be in 1..={n})"
+            ),
+            TsError::NumericalFailure { context } => {
+                write!(f, "numerical failure: {context}")
+            }
+            TsError::NotConverged {
+                iterations,
+                shifted,
+                ..
+            } => write!(
+                f,
+                "did not converge within {iterations} iterations \
+                 ({shifted} series still changing cluster)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+/// Convenience alias used by every `try_*` API in the workspace.
+pub type TsResult<T> = Result<T, TsError>;
+
+/// Checks that every sample of `x` is finite, reporting the first
+/// offender as series `series_idx`.
+///
+/// # Errors
+///
+/// [`TsError::NonFinite`] at the first NaN/infinite sample.
+pub fn ensure_finite(x: &[f64], series_idx: usize) -> TsResult<()> {
+    match x.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(TsError::NonFinite {
+            series: series_idx,
+            index,
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Checks `1 <= k <= n`.
+///
+/// # Errors
+///
+/// [`TsError::InvalidK`] when `k == 0` or `k > n`.
+pub fn ensure_k(k: usize, n: usize) -> TsResult<()> {
+    if k == 0 || k > n {
+        Err(TsError::InvalidK { k, n })
+    } else {
+        Ok(())
+    }
+}
+
+/// Validates a collection of series for clustering: non-empty, every
+/// series non-empty and of equal length, every sample finite. Returns the
+/// common series length `m`.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`], or
+/// [`TsError::NonFinite`] describing the first violation encountered, in
+/// that order of precedence per series.
+pub fn validate_series_set(series: &[Vec<f64>]) -> TsResult<usize> {
+    let first = series.first().ok_or(TsError::EmptyInput)?;
+    let m = first.len();
+    if m == 0 {
+        return Err(TsError::EmptyInput);
+    }
+    for (i, s) in series.iter().enumerate() {
+        if s.len() != m {
+            return Err(TsError::LengthMismatch {
+                expected: m,
+                found: s.len(),
+                series: i,
+            });
+        }
+        ensure_finite(s, i)?;
+    }
+    Ok(m)
+}
+
+/// Validates a pair of series for a distance kernel: equal lengths and
+/// finite samples. Zero-length pairs are accepted (individual kernels
+/// decide whether empty input is meaningful).
+///
+/// # Errors
+///
+/// [`TsError::LengthMismatch`] (reporting the second series) or
+/// [`TsError::NonFinite`].
+pub fn validate_pair(x: &[f64], y: &[f64]) -> TsResult<()> {
+    if x.len() != y.len() {
+        return Err(TsError::LengthMismatch {
+            expected: x.len(),
+            found: y.len(),
+            series: 1,
+        });
+    }
+    ensure_finite(x, 0)?;
+    ensure_finite(y, 1)
+}
+
+/// Validates a pair that must additionally be non-empty.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`] plus everything [`validate_pair`] reports.
+pub fn validate_nonempty_pair(x: &[f64], y: &[f64]) -> TsResult<()> {
+    if x.is_empty() || y.is_empty() {
+        return Err(TsError::EmptyInput);
+    }
+    validate_pair(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{
+        ensure_finite, ensure_k, validate_nonempty_pair, validate_pair, validate_series_set,
+        TsError,
+    };
+
+    #[test]
+    fn finite_ok_and_first_offender_reported() {
+        assert!(ensure_finite(&[1.0, -2.0, 0.0], 0).is_ok());
+        assert_eq!(
+            ensure_finite(&[1.0, f64::NAN, f64::INFINITY], 3),
+            Err(TsError::NonFinite {
+                series: 3,
+                index: 1
+            })
+        );
+        assert_eq!(
+            ensure_finite(&[f64::NEG_INFINITY], 0),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn k_bounds() {
+        assert!(ensure_k(1, 1).is_ok());
+        assert!(ensure_k(3, 10).is_ok());
+        assert_eq!(ensure_k(0, 5), Err(TsError::InvalidK { k: 0, n: 5 }));
+        assert_eq!(ensure_k(6, 5), Err(TsError::InvalidK { k: 6, n: 5 }));
+    }
+
+    #[test]
+    fn series_set_validation() {
+        assert_eq!(validate_series_set(&[]), Err(TsError::EmptyInput));
+        assert_eq!(validate_series_set(&[vec![]]), Err(TsError::EmptyInput));
+        assert_eq!(
+            validate_series_set(&[vec![1.0, 2.0], vec![3.0, 4.0]]),
+            Ok(2)
+        );
+        assert_eq!(
+            validate_series_set(&[vec![1.0, 2.0], vec![3.0]]),
+            Err(TsError::LengthMismatch {
+                expected: 2,
+                found: 1,
+                series: 1
+            })
+        );
+        assert_eq!(
+            validate_series_set(&[vec![1.0], vec![f64::NAN]]),
+            Err(TsError::NonFinite {
+                series: 1,
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn pair_validation() {
+        assert!(validate_pair(&[1.0], &[2.0]).is_ok());
+        assert!(validate_pair(&[], &[]).is_ok());
+        assert_eq!(validate_nonempty_pair(&[], &[]), Err(TsError::EmptyInput));
+        assert!(matches!(
+            validate_pair(&[1.0], &[1.0, 2.0]),
+            Err(TsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            validate_pair(&[1.0], &[f64::NAN]),
+            Err(TsError::NonFinite {
+                series: 1,
+                index: 0
+            })
+        ));
+    }
+
+    /// The Display strings double as panic messages for the legacy
+    /// wrappers; these substrings are load-bearing for `#[should_panic]`
+    /// expectations across the workspace. Do not reword without checking.
+    #[test]
+    fn display_keeps_historical_assertion_phrases() {
+        let cases: Vec<(TsError, &[&str])> = vec![
+            (TsError::EmptyInput, &["at least one series", "non-empty"]),
+            (
+                TsError::LengthMismatch {
+                    expected: 4,
+                    found: 2,
+                    series: 1,
+                },
+                &["equal length", "equal-length"],
+            ),
+            (
+                TsError::InvalidK { k: 5, n: 2 },
+                &["k must not exceed", "k must be in"],
+            ),
+            (
+                TsError::InvalidK { k: 0, n: 2 },
+                &["k must be positive", "k must be in"],
+            ),
+            (
+                TsError::NonFinite {
+                    series: 0,
+                    index: 3,
+                },
+                &["non-finite", "NaN"],
+            ),
+            (
+                TsError::ConstantSeries { series: 2 },
+                &["constant series", "zero variance"],
+            ),
+            (
+                TsError::NotConverged {
+                    labels: vec![0, 1],
+                    iterations: 100,
+                    shifted: 3,
+                },
+                &["did not converge", "100", "3"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let msg = err.to_string();
+            for needle in needles {
+                assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(TsError::EmptyInput);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -6,6 +6,7 @@
 //! returns all eigenpairs with eigenvectors accumulated through both stages.
 
 use crate::matrix::Matrix;
+use tserror::{TsError, TsResult};
 
 /// A full symmetric eigendecomposition.
 ///
@@ -62,23 +63,59 @@ pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
         a.cols(),
         "eigendecomposition requires a square matrix"
     );
+    try_symmetric_eigen(a).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible eigendecomposition: validates the input once and reports a
+/// typed error instead of panicking.
+///
+/// # Errors
+///
+/// * [`TsError::LengthMismatch`] for a non-square matrix,
+/// * [`TsError::NonFinite`] at the first NaN/infinite entry (row as
+///   `series`, column as `index`),
+/// * [`TsError::NumericalFailure`] when the QL iteration fails to
+///   converge within 50 sweeps for some eigenvalue — reachable only for
+///   pathological (e.g. enormously ill-scaled) inputs, but a typed error
+///   beats an abort when it happens.
+pub fn try_symmetric_eigen(a: &Matrix) -> TsResult<SymmetricEigen> {
+    if a.rows() != a.cols() {
+        return Err(TsError::LengthMismatch {
+            expected: a.rows(),
+            found: a.cols(),
+            series: 0,
+        });
+    }
     let n = a.rows();
     if n == 0 {
-        return SymmetricEigen {
+        return Ok(SymmetricEigen {
             values: Vec::new(),
             vectors: Matrix::zeros(0, 0),
-        };
+        });
+    }
+    if let Some(flat) = a.as_slice().iter().position(|v| !v.is_finite()) {
+        return Err(TsError::NonFinite {
+            series: flat / n,
+            index: flat % n,
+        });
     }
 
     let mut z = a.clone();
     let mut d = vec![0.0; n];
     let mut e = vec![0.0; n];
     tred2(&mut z, &mut d, &mut e);
-    tqli(&mut d, &mut e, &mut z);
+    let converged = tqli(&mut d, &mut e, &mut z);
+    if !converged {
+        return Err(TsError::NumericalFailure {
+            context: "QL iteration failed to converge".into(),
+        });
+    }
 
-    // Sort eigenpairs by descending eigenvalue.
+    // Sort eigenpairs by descending eigenvalue. The input was validated
+    // finite, so `total_cmp` orders identically to `partial_cmp` here
+    // while staying total by construction.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| d[j].total_cmp(&d[i]));
     let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_c, &old_c) in order.iter().enumerate() {
@@ -86,7 +123,7 @@ pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
             vectors[(r, new_c)] = z[(r, old_c)];
         }
     }
-    SymmetricEigen { values, vectors }
+    Ok(SymmetricEigen { values, vectors })
 }
 
 /// Householder reduction of a real symmetric matrix to tridiagonal form.
@@ -173,10 +210,14 @@ fn pythag(a: f64, b: f64) -> f64 {
 
 /// QL iteration with implicit shifts on a symmetric tridiagonal matrix,
 /// accumulating the rotations into `z`.
-fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) {
+///
+/// Returns `false` when some eigenvalue fails to converge within 50
+/// sweeps (the caller reports a typed error instead of aborting).
+#[must_use]
+fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> bool {
     let n = d.len();
     if n <= 1 {
-        return;
+        return true;
     }
     for i in 1..n {
         e[i - 1] = e[i];
@@ -198,7 +239,9 @@ fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) {
                 break;
             }
             iter += 1;
-            assert!(iter <= 50, "QL iteration failed to converge");
+            if iter > 50 {
+                return false;
+            }
             // Form the implicit shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
             let mut r = pythag(g, 1.0);
@@ -239,6 +282,7 @@ fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) {
             e[m] = 0.0;
         }
     }
+    true
 }
 
 #[cfg(test)]

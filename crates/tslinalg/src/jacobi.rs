@@ -54,7 +54,7 @@ pub fn jacobi_eigen(a: &Matrix) -> SymmetricEigen {
     }
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_c, &old_c) in order.iter().enumerate() {

@@ -33,6 +33,6 @@ pub mod jacobi;
 pub mod matrix;
 pub mod power;
 
-pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use eigen::{symmetric_eigen, try_symmetric_eigen, SymmetricEigen};
 pub use matrix::Matrix;
 pub use power::power_iteration;

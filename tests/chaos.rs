@@ -1,0 +1,401 @@
+//! Fault-injection chaos suite: every fallible (`try_*`) entry point in
+//! the workspace is fed deterministically corrupted inputs and must
+//! either return `Ok` with fully finite outputs or a typed
+//! [`tserror::TsError`] — **never** panic, and **never** leak NaN into
+//! labels, centroids, memberships, or distances.
+//!
+//! Faults come from `tsdata::corrupt` ([`FaultKind`]): NaN runs, missing
+//! values, flatlines, amplitude spikes, and truncation. Invalidating
+//! faults (non-finite values, ragged lengths) must surface as typed
+//! errors; degrading-but-valid faults (flatline, spike) must still
+//! produce finite results.
+//!
+//! Driven by `tscheck`: rerun a failing case with
+//! `TSCHECK_SEED=0x... cargo test --test chaos`. CI pins three seeds so
+//! the corruption space is explored beyond the default stream.
+
+use tscheck::Gen;
+use tsdata::corrupt::{corrupt_collection, FaultKind};
+use tsdata::dataset::Dataset;
+use tsdata::normalize::{try_z_normalize, z_normalize};
+use tserror::{TsError, TsResult};
+use tsrand::StdRng;
+
+/// A clean, clusterable dataset: `n` z-normalized sines with random
+/// phase/frequency per series.
+fn clean_series(g: &mut Gen, n: usize, m: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            let freq = g.f64_in(0.15..0.9);
+            let phase = g.f64_in(0.0..std::f64::consts::TAU);
+            let amp = g.f64_in(0.5..2.0);
+            z_normalize(
+                &(0..m)
+                    .map(|t| amp * (t as f64 * freq + phase).sin())
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect()
+}
+
+/// Corrupts a series set in place with faults drawn from `kinds`,
+/// returning `(any_non_finite, any_ragged)` so properties can decide what
+/// outcome the fallible APIs owe them.
+fn inject(g: &mut Gen, series: &mut [Vec<f64>], kinds: &[FaultKind]) -> (bool, bool) {
+    let mut rng = StdRng::seed_from_u64(g.u64_in(0..u64::MAX));
+    let p = g.f64_in(0.1..0.9);
+    corrupt_collection(series, kinds, p, &mut rng);
+    let non_finite = series.iter().any(|s| s.iter().any(|v| !v.is_finite()));
+    let m0 = series.first().map_or(0, Vec::len);
+    let ragged = series.iter().any(|s| s.len() != m0);
+    (non_finite, ragged)
+}
+
+/// The chaos contract for a clustering result: on `Ok`, labels index a
+/// real cluster and centroids are entirely finite; on `Err`, the error is
+/// typed (trivially true) and a `NotConverged` still carries one valid
+/// label per series. Corrupt (non-finite / ragged) input must never
+/// produce `Ok`.
+fn assert_clustering_contract(
+    outcome: &TsResult<(Vec<usize>, Vec<Vec<f64>>)>,
+    n: usize,
+    k: usize,
+    corrupt: bool,
+) {
+    match outcome {
+        Ok((labels, centroids)) => {
+            assert!(!corrupt, "corrupt input must not cluster successfully");
+            assert_eq!(labels.len(), n);
+            assert!(labels.iter().all(|&l| l < k), "label out of range");
+            for c in centroids {
+                assert!(c.iter().all(|v| v.is_finite()), "NaN leaked into centroid");
+            }
+        }
+        Err(TsError::NotConverged { labels, .. }) => {
+            assert!(!corrupt, "corrupt input must fail validation, not converge");
+            assert_eq!(labels.len(), n);
+            assert!(labels.iter().all(|&l| l < k));
+        }
+        Err(_) => {} // typed error: acceptable for any input
+    }
+}
+
+tscheck::props! {
+    #[cases(24)]
+    fn kshape_fit_survives_chaos(g) {
+        let n = g.usize_in(5..12);
+        let m = g.usize_in(8..24);
+        let mut series = clean_series(g, n, m);
+        let (nf, ragged) = inject(g, &mut series, &FaultKind::ALL);
+        let k = g.usize_in(1..5);
+        let config = kshape::KShapeConfig { k, max_iter: 15, seed: g.u64_in(0..1 << 32), ..Default::default() };
+        let outcome = kshape::KShape::new(config)
+            .try_fit(&series)
+            .map(|r| (r.labels, r.centroids));
+        assert_clustering_contract(&outcome, n, k, nf || ragged);
+    }
+
+    #[cases(12)]
+    fn kshape_restarts_and_sweep_survive_chaos(g) {
+        let n = g.usize_in(6..10);
+        let m = g.usize_in(8..16);
+        let mut series = clean_series(g, n, m);
+        let (nf, ragged) = inject(g, &mut series, &FaultKind::ALL);
+        let corrupt = nf || ragged;
+        let config = kshape::KShapeConfig { k: 2, max_iter: 10, ..Default::default() };
+        let best = kshape::multi::try_fit_best(&config, &series, 2)
+            .map(|r| (r.labels, r.centroids));
+        assert_clustering_contract(&best, n, 2, corrupt);
+        if let Ok(cands) = kshape::validity::try_sweep_k(&series, 2..=3, 1, 7) {
+            assert!(!corrupt);
+            for c in &cands {
+                assert!(c.silhouette.is_finite(), "NaN silhouette for k={}", c.k);
+                assert!(c.inertia.is_finite());
+            }
+        }
+    }
+
+    #[cases(32)]
+    fn sbd_kernels_survive_chaos(g) {
+        let m = g.usize_in(4..32);
+        let mut series = clean_series(g, 2, m);
+        let _ = inject(g, &mut series, &FaultKind::ALL);
+        let (x, y) = (series[0].clone(), series[1].clone());
+        let outcomes = [
+            kshape::sbd::try_sbd(&x, &y),
+            kshape::sbd_unequal::try_sbd_unequal(&x, &y),
+            kshape::sbd_unequal::try_sbd_rescaled(&x, &y),
+        ];
+        for res in outcomes.into_iter().flatten() {
+            assert!(res.dist.is_finite(), "SBD emitted non-finite distance");
+            assert!(res.dist >= -1e-9);
+            assert!(res.aligned.iter().all(|v| v.is_finite()));
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            assert!(kshape::sbd::try_sbd(&x, &y).is_err());
+            assert!(kshape::sbd_unequal::try_sbd_unequal(&x, &y).is_err());
+        }
+    }
+
+    #[cases(24)]
+    fn kmeans_and_fuzzy_survive_chaos(g) {
+        let n = g.usize_in(5..12);
+        let m = g.usize_in(6..20);
+        let mut series = clean_series(g, n, m);
+        let (nf, ragged) = inject(g, &mut series, &FaultKind::ALL);
+        let corrupt = nf || ragged;
+        let k = g.usize_in(1..4);
+        let seed = g.u64_in(0..1 << 32);
+
+        let km = tscluster::try_kmeans(
+            &series,
+            &tsdist::EuclideanDistance,
+            &tscluster::KMeansConfig { k, max_iter: 15, seed },
+        )
+        .map(|r| (r.labels, r.centroids));
+        assert_clustering_contract(&km, n, k, corrupt);
+
+        let fz = tscluster::fuzzy::try_fuzzy_cmeans(
+            &series,
+            &tsdist::EuclideanDistance,
+            &tscluster::fuzzy::FuzzyConfig { k, fuzziness: 2.0, max_iter: 15, tol: 1e-6, seed },
+        );
+        match fz {
+            Ok(r) => {
+                assert!(!corrupt);
+                assert!(r.labels.iter().all(|&l| l < k));
+                for row in &r.memberships {
+                    assert!(row.iter().all(|v| v.is_finite()), "NaN membership");
+                }
+                for c in &r.centroids {
+                    assert!(c.iter().all(|v| v.is_finite()));
+                }
+            }
+            Err(TsError::NotConverged { labels, .. }) => {
+                assert!(!corrupt);
+                assert_eq!(labels.len(), n);
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[cases(12)]
+    fn ksc_and_kdba_survive_chaos(g) {
+        let n = g.usize_in(5..9);
+        let m = g.usize_in(6..14);
+        let mut series = clean_series(g, n, m);
+        let (nf, ragged) = inject(g, &mut series, &FaultKind::ALL);
+        let corrupt = nf || ragged;
+        let k = g.usize_in(1..4);
+        let seed = g.u64_in(0..1 << 32);
+
+        let ksc = tscluster::ksc::try_ksc(
+            &series,
+            &tscluster::ksc::KscConfig { k, max_iter: 8, seed },
+        )
+        .map(|r| (r.labels, r.centroids));
+        assert_clustering_contract(&ksc, n, k, corrupt);
+
+        let kdba = tscluster::dba::try_kdba(
+            &series,
+            &tscluster::dba::KDbaConfig {
+                k,
+                max_iter: 5,
+                seed,
+                refinements_per_iter: 1,
+                window: Some(3),
+            },
+        )
+        .map(|r| (r.labels, r.centroids));
+        assert_clustering_contract(&kdba, n, k, corrupt);
+    }
+
+    #[cases(16)]
+    fn matrix_baselines_survive_chaos(g) {
+        // PAM / hierarchical / spectral run on a dissimilarity matrix; a
+        // corrupted series poisons the matrix with NaN, which the
+        // fallible entry points must reject (validate_finite), not
+        // propagate.
+        let n = g.usize_in(4..10);
+        let m = g.usize_in(6..16);
+        let mut series = clean_series(g, n, m);
+        // Keep lengths equal so the distance matrix itself is computable.
+        let kinds = [FaultKind::NanRun, FaultKind::MissingGap, FaultKind::Flatline, FaultKind::Spike];
+        let (nf, _) = inject(g, &mut series, &kinds);
+        let matrix = tscluster::matrix::DissimilarityMatrix::compute(
+            &series,
+            &tsdist::EuclideanDistance,
+        );
+        let k = g.usize_in(1..4);
+
+        if let Ok(r) = tscluster::pam::try_pam(&matrix, k, 10) {
+            assert!(!nf, "NaN matrix must not PAM-cluster");
+            assert!(r.labels.iter().all(|&l| l < k));
+            assert_eq!(r.medoids.len(), k);
+        }
+
+        if let Ok(labels) = tscluster::hierarchical::try_hierarchical_cluster(
+            &matrix,
+            tscluster::Linkage::Average,
+            k,
+        ) {
+            assert!(!nf);
+            assert!(labels.iter().all(|&l| l < k));
+        }
+
+        let sp = tscluster::spectral::try_spectral_cluster(
+            &matrix,
+            &tscluster::spectral::SpectralConfig {
+                k,
+                max_iter: 10,
+                seed: g.u64_in(0..1 << 32),
+                sigma: None,
+            },
+        );
+        match sp {
+            Ok(r) => {
+                assert!(!nf);
+                assert!(r.labels.iter().all(|&l| l < k));
+            }
+            Err(TsError::NotConverged { labels, .. }) => {
+                assert!(!nf);
+                assert!(labels.iter().all(|&l| l < k));
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[cases(32)]
+    fn distance_kernels_survive_chaos(g) {
+        let m = g.usize_in(2..32);
+        let mut series = clean_series(g, 2, m);
+        let (nf, ragged) = inject(g, &mut series, &FaultKind::ALL);
+        let (x, y) = (series[0].clone(), series[1].clone());
+        let w = g.usize_in(0..6);
+
+        let d = tsdist::dtw::try_dtw_distance(&x, &y, Some(w));
+        let p = tsdist::dtw::try_dtw_path(&x, &y, Some(w));
+        if let (Ok(dv), Ok((pv, path))) = (&d, &p) {
+            assert!(!nf && !ragged);
+            assert!(dv.is_finite() && pv.is_finite());
+            assert!(!path.is_empty());
+        }
+        if nf || ragged {
+            assert!(d.is_err(), "corrupt pair must not yield a DTW distance");
+        }
+
+        match tsdist::lb_keogh::Envelope::try_new(&y, w) {
+            Ok(env) => {
+                let lb = tsdist::lb_keogh::try_lb_keogh(&x, &env);
+                match lb {
+                    Ok(v) => assert!(v.is_finite() && v >= 0.0),
+                    Err(_) => assert!(nf || ragged),
+                }
+            }
+            Err(_) => assert!(nf, "envelope rejected a finite candidate"),
+        }
+
+        if let Ok((v, _)) = tscluster::ksc::KscDistance::try_dist_shift(&x, &y) {
+            assert!(!nf && !ragged);
+            assert!(v.is_finite() && v >= -1e-9);
+        }
+    }
+
+    #[cases(16)]
+    fn one_nn_pipeline_survives_chaos(g) {
+        let n_train = g.usize_in(3..8);
+        let n_test = g.usize_in(2..5);
+        let m = g.usize_in(6..20);
+        let mut all = clean_series(g, n_train + n_test, m);
+        let (nf, ragged) = inject(g, &mut all, &FaultKind::ALL);
+        let corrupt = nf || ragged;
+        let test_series = all.split_off(n_train);
+        // Bypass Dataset::new's panicking invariants via direct struct
+        // construction — the chaos suite must reach the try_* validators.
+        let train = Dataset {
+            name: "chaos-train".into(),
+            labels: (0..all.len()).map(|i| i % 2).collect(),
+            series: all,
+        };
+        let test = Dataset {
+            name: "chaos-test".into(),
+            labels: (0..test_series.len()).map(|i| i % 2).collect(),
+            series: test_series,
+        };
+        match tsdist::nn::try_one_nn_accuracy(&tsdist::EuclideanDistance, &train, &test) {
+            Ok(acc) => {
+                assert!(!corrupt);
+                assert!((0.0..=1.0).contains(&acc));
+            }
+            Err(_) => assert!(corrupt, "clean split must classify"),
+        }
+        match tsdist::nn::try_one_nn_accuracy_lb(Some(2), &train, &test) {
+            Ok((acc, pruned)) => {
+                assert!(!corrupt);
+                assert!((0.0..=1.0).contains(&acc) && (0.0..=1.0).contains(&pruned));
+            }
+            Err(_) => assert!(corrupt),
+        }
+        // classify_one only validates the training set and its one query,
+        // so judge it on exactly that scope (other test series may be
+        // corrupt without affecting it).
+        let m_train = train.series[0].len();
+        let train_bad = train
+            .series
+            .iter()
+            .any(|s| s.len() != m_train || s.iter().any(|v| !v.is_finite()));
+        let q = &test.series[0];
+        let q_bad = q.len() != m_train || q.iter().any(|v| !v.is_finite());
+        match tsdist::nn::try_classify_one(&tsdist::EuclideanDistance, &train, q) {
+            Ok(Some(l)) => {
+                assert!(!(train_bad || q_bad));
+                assert!(l < 2);
+            }
+            Ok(None) => {}
+            Err(_) => assert!(train_bad || q_bad),
+        }
+    }
+
+    #[cases(32)]
+    fn normalization_survives_chaos(g) {
+        let n = g.usize_in(2..8);
+        let m = g.usize_in(2..24);
+        let mut series = clean_series(g, n, m);
+        let (nf, _) = inject(g, &mut series, &FaultKind::ALL);
+        for s in &series {
+            match try_z_normalize(s) {
+                Ok(z) => assert!(z.iter().all(|v| v.is_finite()), "NaN after z-norm"),
+                Err(TsError::NonFinite { .. }) => {
+                    assert!(s.iter().any(|v| !v.is_finite()));
+                }
+                Err(TsError::ConstantSeries { .. }) => {
+                    assert!(s.iter().all(|v| v.is_finite()));
+                }
+                Err(TsError::EmptyInput) => assert!(s.is_empty()),
+                Err(e) => panic!("unexpected error from try_z_normalize: {e}"),
+            }
+        }
+        // Dataset-level accounting: equal-length corrupted set.
+        let m0 = series[0].len();
+        let equal: Vec<Vec<f64>> = series.iter().filter(|s| s.len() == m0).cloned().collect();
+        let n_eq = equal.len();
+        let mut d = Dataset {
+            name: "chaos-norm".into(),
+            labels: vec![0; n_eq],
+            series: equal,
+        };
+        match d.try_z_normalize() {
+            Ok(report) => {
+                assert!(report.normalized + report.constant == n_eq);
+                for s in &d.series {
+                    assert!(s.iter().all(|v| v.is_finite()));
+                }
+            }
+            Err(TsError::NonFinite { series: idx, .. }) => {
+                assert!(nf);
+                assert!(idx < n_eq);
+            }
+            Err(e) => panic!("unexpected dataset normalization error: {e}"),
+        }
+    }
+}
