@@ -14,6 +14,7 @@ pub mod fft;
 pub mod kshape_group;
 pub mod scalability;
 pub mod shape_extraction;
+pub mod tsrun_group;
 
 use tsbench::{Config, Group};
 
@@ -27,6 +28,7 @@ pub const GROUP_NAMES: &[&str] = &[
     "scalability",
     "ablation",
     "kshape",
+    "tsrun",
 ];
 
 /// Dispatches a group by name.
@@ -41,6 +43,7 @@ pub fn run_group(name: &str, quick: bool) -> Option<Group> {
         "scalability" => Some(scalability::run(quick)),
         "ablation" => Some(ablation::run(quick)),
         "kshape" => Some(kshape_group::run(quick)),
+        "tsrun" => Some(tsrun_group::run(quick)),
         _ => None,
     }
 }

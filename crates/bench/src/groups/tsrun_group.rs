@@ -1,0 +1,91 @@
+//! The `tsrun` group — cancellation-poll overhead on the hot loops.
+//!
+//! The execution-control layer promises "pay only when armed": legacy
+//! entry points delegate to their `*_with_control` twins with
+//! `RunControl::unlimited()`, whose poll points are a single branch, and
+//! even an *armed* control reads the wall clock only once per
+//! `DEFAULT_CLOCK_STRIDE` cost units (CAS-elected, so one syscall per
+//! stride window even under contention). This group pins the promise as
+//! numbers in `BENCH_tsrun.json`:
+//!
+//! * `kshape_fit_plain` vs `kshape_fit_armed` — a full k-Shape fit with
+//!   the passive control vs one with a far-future deadline, a live
+//!   cancel token, and cost accounting all armed. **Target: armed stays
+//!   within 2% of plain** (the ISSUE acceptance bar for poll overhead on
+//!   the k-Shape hot loop); regressions here mean a poll point landed in
+//!   an inner loop it should not have.
+//! * `charge_passive_x1024` / `charge_armed_x1024` — the raw per-poll
+//!   cost of 1024 `charge()` calls on each path.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use tsbench::Group;
+use tsrun::{Budget, CancelToken, RunControl};
+
+use crate::cbf_series;
+use kshape::{KShape, KShapeConfig};
+
+/// A fully armed control that will never actually trip: hour-long
+/// deadline, huge cost quota, un-fired cancel token. Every poll point
+/// takes its slow path; nothing stops.
+fn armed_control() -> RunControl {
+    RunControl::new(
+        Budget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .with_cost_cap(u64::MAX / 2)
+            .with_iteration_cap(usize::MAX),
+        Some(CancelToken::new()),
+    )
+}
+
+/// Runs the `tsrun` group.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("tsrun").with_config(super::macro_config(quick));
+
+    // Poll overhead on the k-Shape hot loop (assignment distances +
+    // refinement), measured end-to-end on a CBF workload.
+    let (n, m) = if quick { (30, 48) } else { (90, 128) };
+    let series = cbf_series(n, m, 5);
+    let config = KShapeConfig {
+        k: 3,
+        max_iter: if quick { 3 } else { 10 },
+        seed: 1,
+        ..Default::default()
+    };
+    g.bench(&format!("kshape_fit_plain/n{n}_m{m}"), || {
+        KShape::new(config)
+            .try_fit(black_box(&series))
+            .map(|r| r.iterations)
+    });
+    g.bench(&format!("kshape_fit_armed/n{n}_m{m}"), || {
+        KShape::new(config)
+            .try_fit_with_control(black_box(&series), &armed_control())
+            .map(|r| r.iterations)
+    });
+
+    // Raw per-poll cost: 1024 charges on the passive vs the armed path.
+    let passive = RunControl::unlimited();
+    g.bench("charge_passive_x1024", || {
+        let mut ok = 0u64;
+        for i in 0..1024u64 {
+            if passive.charge(black_box(i & 7)).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    });
+    let armed = armed_control();
+    g.bench("charge_armed_x1024", || {
+        let mut ok = 0u64;
+        for i in 0..1024u64 {
+            if armed.charge(black_box(i & 7)).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    });
+
+    g
+}

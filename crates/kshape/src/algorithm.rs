@@ -16,6 +16,7 @@
 
 use tserror::{ensure_k, validate_series_set, TsError, TsResult};
 use tsrand::StdRng;
+use tsrun::RunControl;
 
 use crate::extraction::{try_shape_extraction, EigenMethod};
 use crate::init::{plus_plus_assignment, random_assignment, InitStrategy};
@@ -105,7 +106,9 @@ impl KShape {
     /// to receive these conditions as typed [`TsError`]s instead.
     #[must_use]
     pub fn fit(&self, series: &[Vec<f64>]) -> KShapeResult {
-        self.fit_core(series).unwrap_or_else(|e| panic!("{e}")).0
+        self.fit_core(series, &RunControl::unlimited())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .0
     }
 
     /// Fallible variant of [`KShape::fit`]: validates the input once up
@@ -121,7 +124,28 @@ impl KShape {
     ///   count, and how many series shifted cluster in the last iteration,
     ///   so callers can still consume the best-effort result.
     pub fn try_fit(&self, series: &[Vec<f64>]) -> TsResult<KShapeResult> {
-        let (result, shifted) = self.fit_core(series)?;
+        self.try_fit_with_control(series, &RunControl::unlimited())
+    }
+
+    /// Budget- and cancellation-aware variant of [`KShape::try_fit`].
+    ///
+    /// The refinement loop polls `ctrl` once per outer iteration
+    /// ([`RunControl::check_iteration`]) and charges cost proportional to
+    /// the SBD work of every assignment sweep, so a wall-clock deadline is
+    /// detected mid-fit rather than after the fact.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`KShape::try_fit`] reports, plus
+    /// [`TsError::Stopped`] carrying the best labeling so far, the
+    /// iterations completed, and the [`tserror::StopReason`] when the
+    /// budget trips or the token is cancelled.
+    pub fn try_fit_with_control(
+        &self,
+        series: &[Vec<f64>],
+        ctrl: &RunControl,
+    ) -> TsResult<KShapeResult> {
+        let (result, shifted) = self.fit_core(series, ctrl)?;
         if result.converged {
             Ok(result)
         } else {
@@ -136,7 +160,11 @@ impl KShape {
     /// Validated k-Shape refinement loop shared by [`KShape::fit`] and
     /// [`KShape::try_fit`]. Returns the result plus the number of series
     /// that changed cluster in the final iteration (0 when converged).
-    pub(crate) fn fit_core(&self, series: &[Vec<f64>]) -> TsResult<(KShapeResult, usize)> {
+    pub(crate) fn fit_core(
+        &self,
+        series: &[Vec<f64>],
+        ctrl: &RunControl,
+    ) -> TsResult<(KShapeResult, usize)> {
         let cfg = &self.config;
         let n = series.len();
         let m = validate_series_set(series)?;
@@ -155,11 +183,22 @@ impl KShape {
         let mut dists = vec![0.0f64; n];
         let mut shifted = 0usize;
         while iterations < cfg.max_iter {
+            // Outer-loop poll point: cancellation, deadline, and the
+            // budget's own iteration cap (independent of cfg.max_iter).
+            if let Err(reason) = ctrl.check_iteration(iterations) {
+                return Err(RunControl::stop_error(labels, iterations, reason));
+            }
             iterations += 1;
 
             // ----- Refinement step: recompute centroids. -----
             #[allow(clippy::needless_range_loop)]
             for j in 0..cfg.k {
+                // Shape extraction builds and decomposes an m×m matrix —
+                // an expensive indivisible step, so poll before it and
+                // charge its O(m²)-per-member + O(m³) eigen cost after.
+                if let Err(reason) = ctrl.poll() {
+                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
+                }
                 let members: Vec<&[f64]> = labels
                     .iter()
                     .enumerate()
@@ -178,7 +217,11 @@ impl KShape {
                     centroids[j] = tsdata::normalize::z_normalize(&series[worst]);
                     continue;
                 }
+                let members_len = members.len();
                 centroids[j] = try_shape_extraction(&members, &centroids[j], cfg.eigen)?;
+                if let Err(reason) = ctrl.charge((members_len * m + m * m) as u64) {
+                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
+                }
             }
 
             // ----- Assignment step: move to nearest centroid. -----
@@ -198,6 +241,10 @@ impl KShape {
                 if best_j != labels[i] {
                     labels[i] = best_j;
                     changed += 1;
+                }
+                // One NCC sweep against every centroid ≈ k · m log m work.
+                if let Err(reason) = ctrl.charge((cfg.k * m) as u64) {
+                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
                 }
             }
             shifted = changed;

@@ -7,6 +7,7 @@
 //! the lowest-inertia result or return all of them.
 
 use tserror::{TsError, TsResult};
+use tsrun::RunControl;
 
 use crate::algorithm::{KShape, KShapeConfig, KShapeResult};
 
@@ -42,6 +43,23 @@ pub fn try_fit_restarts(
     series: &[Vec<f64>],
     n_restarts: usize,
 ) -> TsResult<Vec<KShapeResult>> {
+    try_fit_restarts_with_control(config, series, n_restarts, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware variant of [`try_fit_restarts`]: every
+/// restart polls the same shared `ctrl`, so one deadline bounds the whole
+/// sweep.
+///
+/// # Errors
+///
+/// Same as [`try_fit_restarts`], plus [`TsError::Stopped`] (carrying the
+/// interrupted restart's best labels) when the control trips.
+pub fn try_fit_restarts_with_control(
+    config: &KShapeConfig,
+    series: &[Vec<f64>],
+    n_restarts: usize,
+    ctrl: &RunControl,
+) -> TsResult<Vec<KShapeResult>> {
     if n_restarts == 0 {
         return Err(TsError::EmptyInput);
     }
@@ -51,7 +69,9 @@ pub fn try_fit_restarts(
                 seed: config.seed.wrapping_add(r as u64),
                 ..*config
             };
-            KShape::new(cfg).fit_core(series).map(|(result, _)| result)
+            KShape::new(cfg)
+                .fit_core(series, ctrl)
+                .map(|(result, _)| result)
         })
         .collect()
 }
@@ -78,7 +98,21 @@ pub fn try_fit_best(
     series: &[Vec<f64>],
     n_restarts: usize,
 ) -> TsResult<KShapeResult> {
-    try_fit_restarts(config, series, n_restarts)?
+    try_fit_best_with_control(config, series, n_restarts, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware variant of [`try_fit_best`].
+///
+/// # Errors
+///
+/// Same as [`try_fit_restarts_with_control`].
+pub fn try_fit_best_with_control(
+    config: &KShapeConfig,
+    series: &[Vec<f64>],
+    n_restarts: usize,
+    ctrl: &RunControl,
+) -> TsResult<KShapeResult> {
+    try_fit_restarts_with_control(config, series, n_restarts, ctrl)?
         .into_iter()
         .min_by(|a, b| a.inertia.total_cmp(&b.inertia))
         .ok_or(TsError::EmptyInput)

@@ -262,37 +262,98 @@ pub struct PreparedSeries {
     energy: f64,
 }
 
+/// Maximum number of per-length FFT plans each [`Sbd`] instance keeps.
+///
+/// Multi-length workloads (the unequal-length SBD paths, mixed-archive
+/// sweeps) would otherwise grow the plan cache without bound — one
+/// `Radix2Fft` per distinct length, each holding O(padded) twiddle
+/// tables. Eight lengths cover every workload in the evaluation while
+/// bounding worst-case memory; eviction is most-recently-used-first, so
+/// the lengths a clustering loop is actively cycling through stay warm.
+pub const SBD_PLAN_CACHE_CAP: usize = 8;
+
+/// A bounded most-recently-used plan cache keyed by length.
+///
+/// Entry 0 is the most recently used; inserts beyond
+/// [`SBD_PLAN_CACHE_CAP`] evict from the tail (the least recently used
+/// length). Plans are handed out as `Arc`s so the lock is released before
+/// any FFT work and concurrent dissimilarity-matrix workers are never
+/// serialized on the cache.
+#[derive(Debug)]
+struct PlanCache<T> {
+    entries: Mutex<Vec<(usize, Arc<T>)>>,
+}
+
+impl<T> Default for PlanCache<T> {
+    fn default() -> Self {
+        PlanCache {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T> PlanCache<T> {
+    /// Fetches the plan for `key`, building and installing it on a miss.
+    fn get_or_insert(&self, key: usize, build: impl FnOnce() -> T) -> Arc<T> {
+        let mut guard = lock_plan_cache(&self.entries);
+        if let Some(pos) = guard.iter().position(|(k, _)| *k == key) {
+            let entry = guard.remove(pos);
+            let plan = Arc::clone(&entry.1);
+            guard.insert(0, entry);
+            return plan;
+        }
+        let plan = Arc::new(build());
+        guard.insert(0, (key, Arc::clone(&plan)));
+        guard.truncate(SBD_PLAN_CACHE_CAP);
+        plan
+    }
+
+    /// Number of cached plans (test/diagnostic hook).
+    fn len(&self) -> usize {
+        lock_plan_cache(&self.entries).len()
+    }
+
+    /// Whether `key` currently has a cached plan (test/diagnostic hook).
+    fn contains(&self, key: usize) -> bool {
+        lock_plan_cache(&self.entries)
+            .iter()
+            .any(|(k, _)| *k == key)
+    }
+}
+
 /// SBD as a [`Distance`] implementation, pluggable into the generic 1-NN
 /// and clustering machinery.
 ///
-/// Internally caches one FFT plan per observed length behind a mutex; plan
+/// Internally caches FFT plans per observed length behind a mutex; plan
 /// construction is cheap relative to a transform but not free, and the
 /// clustering hot paths reuse lengths heavily. The Bluestein variant
-/// caches its chirp plan the same way — without it, per-call plan setup
-/// would dominate and distort the Table 2 runtime ratios.
+/// caches its chirp plans the same way — without it, per-call plan setup
+/// would dominate and distort the Table 2 runtime ratios. Both caches are
+/// bounded to [`SBD_PLAN_CACHE_CAP`] distinct lengths with
+/// most-recently-used retention.
 #[derive(Debug, Default)]
 pub struct Sbd {
     method: CorrMethod,
-    cached: Mutex<Option<Arc<SbdPlan>>>,
-    cached_bluestein: Mutex<Option<Arc<BluesteinFft>>>,
+    cached: PlanCache<SbdPlan>,
+    cached_bluestein: PlanCache<BluesteinFft>,
 }
 
 /// Locks a plan-cache mutex, recovering from poisoning.
 ///
 /// A panic in another thread while it held the cache lock (e.g. an
-/// assertion inside plan construction) poisons the mutex. The cached plan
-/// is a pure performance artifact — it can always be rebuilt from scratch
-/// — so instead of propagating the poison panic we clear the poison flag,
-/// drop whatever half-installed plan the dead writer left behind, and let
-/// the caller rebuild. Deterministic and lossless: the next access pays
-/// one extra plan construction.
-fn lock_plan_cache<T>(cache: &Mutex<Option<T>>) -> MutexGuard<'_, Option<T>> {
+/// assertion inside plan construction) poisons the mutex. The cached plans
+/// are pure performance artifacts — they can always be rebuilt from
+/// scratch — so instead of propagating the poison panic we clear the
+/// poison flag, drop whatever half-installed plans the dead writer left
+/// behind, and let the caller rebuild. Deterministic and lossless: the
+/// next access pays one extra plan construction.
+fn lock_plan_cache<T>(cache: &Mutex<Vec<T>>) -> MutexGuard<'_, Vec<T>> {
     match cache.lock() {
         Ok(guard) => guard,
         Err(poisoned) => {
             cache.clear_poison();
             let mut guard = poisoned.into_inner();
-            *guard = None;
+            guard.clear();
             guard
         }
     }
@@ -311,9 +372,22 @@ impl Sbd {
     pub fn with_method(method: CorrMethod) -> Self {
         Sbd {
             method,
-            cached: Mutex::new(None),
-            cached_bluestein: Mutex::new(None),
+            ..Sbd::default()
         }
+    }
+
+    /// Number of distinct series lengths with a cached plan (across both
+    /// the power-of-two and Bluestein caches). Never exceeds
+    /// `2 * SBD_PLAN_CACHE_CAP`.
+    #[must_use]
+    pub fn cached_plan_count(&self) -> usize {
+        self.cached.len() + self.cached_bluestein.len()
+    }
+
+    /// Whether series length `m` currently has a cached plan.
+    #[must_use]
+    pub fn has_cached_plan_for(&self, m: usize) -> bool {
+        self.cached.contains(m) || (m > 0 && self.cached_bluestein.contains(2 * m - 1))
     }
 
     /// Bluestein-based SBD with a cached chirp plan (the `SBD-NoPow2`
@@ -325,13 +399,9 @@ impl Sbd {
             return sbd_with(x, y, CorrMethod::FftExact).dist;
         }
         let n = 2 * m - 1;
-        let plan = {
-            let mut guard = lock_plan_cache(&self.cached_bluestein);
-            if guard.as_ref().map(|p| p.len()) != Some(n) {
-                *guard = Some(Arc::new(BluesteinFft::new(n)));
-            }
-            Arc::clone(guard.as_ref().expect("plan just installed"))
-        };
+        let plan = self
+            .cached_bluestein
+            .get_or_insert(n, || BluesteinFft::new(n));
         let fx = plan.forward(&pad_to_complex(x, n));
         let fy = plan.forward(&pad_to_complex(y, n));
         let prod: Vec<tsfft::Complex> = fx
@@ -355,20 +425,10 @@ impl Distance for Sbd {
     fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
         match self.method {
             CorrMethod::FftPow2 => {
-                // Hand an Arc to the caller and release the lock before the
-                // FFT work so concurrent dissimilarity-matrix workers are
-                // not serialized on the plan cache.
-                let plan = {
-                    let mut guard = lock_plan_cache(&self.cached);
-                    match guard.as_ref() {
-                        Some(p) if p.series_len() == x.len() => Arc::clone(p),
-                        _ => {
-                            let p = Arc::new(SbdPlan::new(x.len()));
-                            *guard = Some(Arc::clone(&p));
-                            p
-                        }
-                    }
-                };
+                // The cache hands back an Arc with the lock already
+                // released, so concurrent dissimilarity-matrix workers are
+                // not serialized on the plan cache during FFT work.
+                let plan = self.cached.get_or_insert(x.len(), || SbdPlan::new(x.len()));
                 let prepared = plan.prepare(x);
                 plan.sbd_prepared(&prepared, y).dist
             }
@@ -583,30 +643,77 @@ mod tests {
         let before = d.dist(&x, &y); // install a plan
         let d2 = Arc::clone(&d);
         let handle = std::thread::spawn(move || {
-            let _guard = d2.cached.lock().unwrap();
+            let _guard = d2.cached.entries.lock().unwrap();
             panic!("poisoning the SBD plan lock on purpose");
         });
         assert!(handle.join().is_err(), "the poisoner must have panicked");
-        assert!(d.cached.is_poisoned(), "lock should be poisoned");
+        assert!(d.cached.entries.is_poisoned(), "lock should be poisoned");
         let after = d.dist(&x, &y);
         assert!(
             (before - after).abs() < 1e-15,
             "distance must survive poisoning"
         );
-        assert!(!d.cached.is_poisoned(), "poison flag should be cleared");
+        assert!(
+            !d.cached.entries.is_poisoned(),
+            "poison flag should be cleared"
+        );
 
         // Bluestein chirp-plan cache.
         let b = Arc::new(Sbd::with_method(CorrMethod::FftExact));
         let before = b.dist(&x, &y);
         let b2 = Arc::clone(&b);
         let handle = std::thread::spawn(move || {
-            let _guard = b2.cached_bluestein.lock().unwrap();
+            let _guard = b2.cached_bluestein.entries.lock().unwrap();
             panic!("poisoning the Bluestein plan lock on purpose");
         });
         assert!(handle.join().is_err());
-        assert!(b.cached_bluestein.is_poisoned());
+        assert!(b.cached_bluestein.entries.is_poisoned());
         let after = b.dist(&x, &y);
         assert!((before - after).abs() < 1e-15);
-        assert!(!b.cached_bluestein.is_poisoned());
+        assert!(!b.cached_bluestein.entries.is_poisoned());
+    }
+
+    /// Regression test for the bounded plan cache: feeding many distinct
+    /// lengths through one `Sbd` must never grow the cache past
+    /// [`super::SBD_PLAN_CACHE_CAP`], and the most recently used lengths
+    /// must be the ones retained.
+    #[test]
+    fn plan_cache_is_bounded_with_mru_retention() {
+        use super::SBD_PLAN_CACHE_CAP;
+
+        let d = Sbd::new();
+        let lengths: Vec<usize> = (4..4 + 3 * SBD_PLAN_CACHE_CAP).collect();
+        for &m in &lengths {
+            let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.31).sin()).collect();
+            let y: Vec<f64> = (0..m).map(|i| (i as f64 * 0.31 + 0.4).cos()).collect();
+            let dist = d.dist(&x, &y);
+            assert!((0.0..=2.0 + 1e-12).contains(&dist));
+            assert!(
+                d.cached_plan_count() <= SBD_PLAN_CACHE_CAP,
+                "cache grew to {} (cap {})",
+                d.cached_plan_count(),
+                SBD_PLAN_CACHE_CAP
+            );
+        }
+        // The last CAP lengths are exactly the retained ones.
+        for &m in &lengths[lengths.len() - SBD_PLAN_CACHE_CAP..] {
+            assert!(d.has_cached_plan_for(m), "recent length {m} evicted");
+        }
+        assert!(!d.has_cached_plan_for(lengths[0]), "oldest length retained");
+
+        // Re-touching an old length reinstalls it at the front …
+        let m0 = lengths[0];
+        let x: Vec<f64> = (0..m0).map(|i| i as f64).collect();
+        let _ = d.dist(&x, &x);
+        assert!(d.has_cached_plan_for(m0));
+        assert!(d.cached_plan_count() <= SBD_PLAN_CACHE_CAP);
+
+        // … and the Bluestein cache obeys the same cap.
+        let b = Sbd::with_method(CorrMethod::FftExact);
+        for &m in &lengths {
+            let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.17).sin()).collect();
+            let _ = b.dist(&x, &x);
+            assert!(b.cached_plan_count() <= SBD_PLAN_CACHE_CAP);
+        }
     }
 }

@@ -91,7 +91,9 @@ pub fn try_sweep_k(
             let result = if restarts > 1 {
                 try_fit_best(&cfg, series, restarts)?
             } else {
-                KShape::new(cfg).fit_core(series)?.0
+                KShape::new(cfg)
+                    .fit_core(series, &tsrun::RunControl::unlimited())?
+                    .0
             };
             let silhouette = silhouette_score(&result.labels, |i, j| dmat[i * n + j]);
             Ok(KCandidate {

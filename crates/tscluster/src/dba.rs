@@ -14,7 +14,9 @@ use tsrand::StdRng;
 
 use kshape::init::random_assignment;
 use tsdist::dtw::{dtw_distance, dtw_path};
+use tsdist::Distance;
 use tserror::{ensure_finite, ensure_k, validate_series_set, TsError, TsResult};
+use tsrun::RunControl;
 
 /// One DBA refinement: realigns all members to `average` and replaces each
 /// coordinate with the barycenter of its associated member coordinates.
@@ -176,7 +178,7 @@ pub struct KDbaResult {
 /// `k > n`. See [`try_kdba`] for the fallible variant.
 #[must_use]
 pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
-    kdba_core(series, config)
+    kdba_core(series, config, &RunControl::unlimited())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -191,7 +193,24 @@ pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
 /// [`TsError::NonFinite`], [`TsError::InvalidK`], or
 /// [`TsError::NotConverged`].
 pub fn try_kdba(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<KDbaResult> {
-    let (result, shifted) = kdba_core(series, config)?;
+    try_kdba_with_control(series, config, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware [`try_kdba`]: every DTW computation
+/// (both the DBA alignments and the assignment sweep) charges the banded
+/// DTW cost, so a deadline on a large dataset trips within a bounded
+/// amount of quadratic work.
+///
+/// # Errors
+///
+/// Everything [`try_kdba`] reports, plus [`TsError::Stopped`] carrying
+/// the current labeling and completed iteration count.
+pub fn try_kdba_with_control(
+    series: &[Vec<f64>],
+    config: &KDbaConfig,
+    ctrl: &RunControl,
+) -> TsResult<KDbaResult> {
+    let (result, shifted) = kdba_core(series, config, ctrl)?;
     if result.converged {
         Ok(result)
     } else {
@@ -205,7 +224,11 @@ pub fn try_kdba(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<KDbaResult
 
 /// Shared k-DBA iteration: returns the result plus the number of series
 /// that changed cluster in the final iteration.
-fn kdba_core(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<(KDbaResult, usize)> {
+fn kdba_core(
+    series: &[Vec<f64>],
+    config: &KDbaConfig,
+    ctrl: &RunControl,
+) -> TsResult<(KDbaResult, usize)> {
     let n = series.len();
     let m = validate_series_set(series)?;
     ensure_k(config.k, n)?;
@@ -219,7 +242,14 @@ fn kdba_core(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<(KDbaResult, 
     let mut iterations = 0;
     let mut converged = false;
     let mut shifted = 0usize;
+    let dtw_cost = tsdist::dtw::Dtw {
+        window: config.window,
+    }
+    .cost_hint(m);
     while iterations < config.max_iter {
+        if let Err(reason) = ctrl.check_iteration(iterations) {
+            return Err(RunControl::stop_error(labels, iterations, reason));
+        }
         iterations += 1;
 
         #[allow(clippy::needless_range_loop)]
@@ -253,12 +283,19 @@ fn kdba_core(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<(KDbaResult, 
             // Preconditions hold: series were validated and DBA barycenters
             // of finite members stay finite.
             for _ in 0..config.refinements_per_iter {
+                // One DTW alignment per member per refinement pass.
+                if let Err(reason) = ctrl.charge(members.len() as u64 * dtw_cost) {
+                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
+                }
                 centroids[j] = dba_refine_unchecked(&members, &centroids[j], config.window);
             }
         }
 
         let mut changed = 0usize;
         for (i, s) in series.iter().enumerate() {
+            if let Err(reason) = ctrl.charge(config.k as u64 * dtw_cost) {
+                return Err(RunControl::stop_error(labels, iterations - 1, reason));
+            }
             let mut best = f64::INFINITY;
             let mut best_j = labels[i];
             for (j, c) in centroids.iter().enumerate() {

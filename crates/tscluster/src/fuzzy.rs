@@ -18,6 +18,7 @@ use tsrand::StdRng;
 
 use tsdist::Distance;
 use tserror::{ensure_k, validate_series_set, TsError, TsResult};
+use tsrun::RunControl;
 
 /// Configuration for fuzzy c-means.
 #[derive(Debug, Clone, Copy)]
@@ -75,7 +76,7 @@ pub fn fuzzy_cmeans<D: Distance + ?Sized>(
     dist: &D,
     config: &FuzzyConfig,
 ) -> FuzzyResult {
-    fuzzy_core(series, dist, config)
+    fuzzy_core(series, dist, config, &RunControl::unlimited())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -96,7 +97,27 @@ pub fn try_fuzzy_cmeans<D: Distance + ?Sized>(
     dist: &D,
     config: &FuzzyConfig,
 ) -> TsResult<FuzzyResult> {
-    let (result, shifted) = fuzzy_core(series, dist, config)?;
+    try_fuzzy_cmeans_with_control(series, dist, config, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware [`try_fuzzy_cmeans`]: the previously
+/// unbounded-feeling refinement loop polls `ctrl` once per iteration and
+/// charges [`Distance::cost_hint`] per centroid comparison in the
+/// membership update.
+///
+/// # Errors
+///
+/// Everything [`try_fuzzy_cmeans`] reports, plus [`TsError::Stopped`]
+/// when the control trips; the error carries labels hardened from the
+/// *current* membership matrix (argmax per row) and the completed
+/// iteration count.
+pub fn try_fuzzy_cmeans_with_control<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    config: &FuzzyConfig,
+    ctrl: &RunControl,
+) -> TsResult<FuzzyResult> {
+    let (result, shifted) = fuzzy_core(series, dist, config, ctrl)?;
     if result.converged {
         Ok(result)
     } else {
@@ -108,12 +129,25 @@ pub fn try_fuzzy_cmeans<D: Distance + ?Sized>(
     }
 }
 
+/// Hardens a membership matrix: argmax membership per row.
+fn harden(u: &[Vec<f64>]) -> Vec<usize> {
+    u.iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(j, _)| j)
+        })
+        .collect()
+}
+
 /// Shared iteration: returns the result plus the number of series whose
 /// membership row still moved by at least `tol` in the final iteration.
 fn fuzzy_core<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &FuzzyConfig,
+    ctrl: &RunControl,
 ) -> TsResult<(FuzzyResult, usize)> {
     let n = series.len();
     let m = validate_series_set(series)?;
@@ -140,7 +174,11 @@ fn fuzzy_core<D: Distance + ?Sized>(
     let mut iterations = 0;
     let mut converged = false;
     let mut shifted = 0usize;
+    let pair_cost = dist.cost_hint(m);
     while iterations < config.max_iter {
+        if let Err(reason) = ctrl.check_iteration(iterations) {
+            return Err(RunControl::stop_error(harden(&u), iterations, reason));
+        }
         iterations += 1;
 
         // Centroids: fuzzified weighted means.
@@ -163,6 +201,9 @@ fn fuzzy_core<D: Distance + ?Sized>(
         let mut max_delta = 0.0f64;
         let mut moved = 0usize;
         for (i, s) in series.iter().enumerate() {
+            if let Err(reason) = ctrl.charge(config.k as u64 * pair_cost) {
+                return Err(RunControl::stop_error(harden(&u), iterations - 1, reason));
+            }
             let ds: Vec<f64> = centroids.iter().map(|c| dist.dist(s, c)).collect();
             // Exact-hit handling: all membership on the zero-distance
             // centroids.
@@ -203,15 +244,7 @@ fn fuzzy_core<D: Distance + ?Sized>(
         }
     }
 
-    let labels: Vec<usize> = u
-        .iter()
-        .map(|row| {
-            row.iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map_or(0, |(j, _)| j)
-        })
-        .collect();
+    let labels = harden(&u);
     Ok((
         FuzzyResult {
             memberships: u,

@@ -8,6 +8,7 @@
 
 use crate::matrix::DissimilarityMatrix;
 use tserror::{ensure_k, TsError, TsResult};
+use tsrun::RunControl;
 
 /// Linkage criterion for merging clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +152,24 @@ pub fn agglomerate(matrix: &DissimilarityMatrix, linkage: Linkage) -> Dendrogram
 /// [`TsError::EmptyInput`] or [`TsError::NonFinite`] (a corrupt matrix
 /// entry).
 pub fn try_agglomerate(matrix: &DissimilarityMatrix, linkage: Linkage) -> TsResult<Dendrogram> {
+    try_agglomerate_with_control(matrix, linkage, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware [`try_agglomerate`]: every merge step
+/// charges its O(n²) closest-pair scan, so a deadline on a large matrix
+/// trips after a bounded number of merges.
+///
+/// # Errors
+///
+/// Everything [`try_agglomerate`] reports, plus [`TsError::Stopped`]
+/// when the control trips; since a partial dendrogram has no meaningful
+/// flat labeling, the error carries empty labels and `iterations` = the
+/// number of merges completed.
+pub fn try_agglomerate_with_control(
+    matrix: &DissimilarityMatrix,
+    linkage: Linkage,
+    ctrl: &RunControl,
+) -> TsResult<Dendrogram> {
     let n = matrix.len();
     if n == 0 {
         return Err(TsError::EmptyInput);
@@ -168,7 +187,14 @@ pub fn try_agglomerate(matrix: &DissimilarityMatrix, linkage: Linkage) -> TsResu
     let mut alive: Vec<bool> = vec![true; n];
     let mut merges = Vec::with_capacity(n.saturating_sub(1));
 
+    let scan_cost = (n as u64).saturating_mul(n as u64).max(1);
     for step in 0..n.saturating_sub(1) {
+        if let Err(reason) = ctrl.check_iteration(step) {
+            return Err(RunControl::stop_error(Vec::new(), step, reason));
+        }
+        if let Err(reason) = ctrl.charge(scan_cost) {
+            return Err(RunControl::stop_error(Vec::new(), step, reason));
+        }
         // Find the closest active pair.
         let mut best = f64::INFINITY;
         let mut pair = (0, 0);
@@ -247,6 +273,21 @@ pub fn try_hierarchical_cluster(
     k: usize,
 ) -> TsResult<Vec<usize>> {
     try_agglomerate(matrix, linkage)?.try_cut(k)
+}
+
+/// Budget- and cancellation-aware [`try_hierarchical_cluster`].
+///
+/// # Errors
+///
+/// Everything [`try_hierarchical_cluster`] reports, plus
+/// [`TsError::Stopped`] from [`try_agglomerate_with_control`].
+pub fn try_hierarchical_cluster_with_control(
+    matrix: &DissimilarityMatrix,
+    linkage: Linkage,
+    k: usize,
+    ctrl: &RunControl,
+) -> TsResult<Vec<usize>> {
+    try_agglomerate_with_control(matrix, linkage, ctrl)?.try_cut(k)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use tsrand::StdRng;
 use kshape::init::random_assignment;
 use tsdist::Distance;
 use tserror::{ensure_k, validate_series_set, TsError, TsResult};
+use tsrun::RunControl;
 
 /// Configuration for a k-means run.
 #[derive(Debug, Clone, Copy)]
@@ -77,7 +78,7 @@ pub fn kmeans<D: Distance + ?Sized>(
     dist: &D,
     config: &KMeansConfig,
 ) -> KMeansResult {
-    kmeans_core(series, dist, config)
+    kmeans_core(series, dist, config, &RunControl::unlimited())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -97,7 +98,25 @@ pub fn try_kmeans<D: Distance + ?Sized>(
     dist: &D,
     config: &KMeansConfig,
 ) -> TsResult<KMeansResult> {
-    let (result, shifted) = kmeans_core(series, dist, config)?;
+    try_kmeans_with_control(series, dist, config, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware [`try_kmeans`]: the Lloyd loop polls
+/// `ctrl` once per iteration and charges [`Distance::cost_hint`] per
+/// centroid comparison in the assignment sweep.
+///
+/// # Errors
+///
+/// Everything [`try_kmeans`] reports, plus [`TsError::Stopped`] when the
+/// control trips; the error carries the current labeling and the number
+/// of completed iterations.
+pub fn try_kmeans_with_control<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    config: &KMeansConfig,
+    ctrl: &RunControl,
+) -> TsResult<KMeansResult> {
+    let (result, shifted) = kmeans_core(series, dist, config, ctrl)?;
     if result.converged {
         Ok(result)
     } else {
@@ -111,10 +130,11 @@ pub fn try_kmeans<D: Distance + ?Sized>(
 
 /// Shared Lloyd iteration: returns the result plus the number of series
 /// that changed cluster in the final iteration.
-fn kmeans_core<D: Distance + ?Sized>(
+pub(crate) fn kmeans_core<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &KMeansConfig,
+    ctrl: &RunControl,
 ) -> TsResult<(KMeansResult, usize)> {
     let n = series.len();
     let m = validate_series_set(series)?;
@@ -128,7 +148,11 @@ fn kmeans_core<D: Distance + ?Sized>(
     let mut iterations = 0;
     let mut converged = false;
     let mut shifted = 0usize;
+    let pair_cost = dist.cost_hint(m);
     while iterations < config.max_iter {
+        if let Err(reason) = ctrl.check_iteration(iterations) {
+            return Err(RunControl::stop_error(labels, iterations, reason));
+        }
         iterations += 1;
 
         // Refinement: arithmetic means.
@@ -161,6 +185,9 @@ fn kmeans_core<D: Distance + ?Sized>(
         // Assignment.
         let mut changed = 0usize;
         for (i, s) in series.iter().enumerate() {
+            if let Err(reason) = ctrl.charge(config.k as u64 * pair_cost) {
+                return Err(RunControl::stop_error(labels, iterations - 1, reason));
+            }
             let mut best = f64::INFINITY;
             let mut best_j = labels[i];
             for (j, c) in centroids.iter().enumerate() {

@@ -23,6 +23,7 @@ use tserror::{ensure_finite, ensure_k, validate_nonempty_pair, validate_series_s
 use tserror::{TsError, TsResult};
 use tslinalg::eigen::try_symmetric_eigen;
 use tslinalg::matrix::Matrix;
+use tsrun::RunControl;
 
 /// The KSC scale-and-shift-invariant distance.
 #[derive(Debug, Clone, Copy, Default)]
@@ -286,7 +287,9 @@ pub struct KscResult {
 /// `k > n`. See [`try_ksc`] for the fallible variant.
 #[must_use]
 pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
-    ksc_core(series, config).unwrap_or_else(|e| panic!("{e}")).0
+    ksc_core(series, config, &RunControl::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
 }
 
 /// Fallible KSC clustering: validates once up front and reports a typed
@@ -299,7 +302,24 @@ pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
 /// [`TsError::NonFinite`], [`TsError::InvalidK`], or
 /// [`TsError::NotConverged`].
 pub fn try_ksc(series: &[Vec<f64>], config: &KscConfig) -> TsResult<KscResult> {
-    let (result, shifted) = ksc_core(series, config)?;
+    try_ksc_with_control(series, config, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware [`try_ksc`]: the refinement loop polls
+/// `ctrl` per iteration, charges the O(m log m + m) shift-scan cost per
+/// assignment comparison, and charges the eigen-decomposition work per
+/// centroid extraction.
+///
+/// # Errors
+///
+/// Everything [`try_ksc`] reports, plus [`TsError::Stopped`] carrying the
+/// current labeling and completed iteration count.
+pub fn try_ksc_with_control(
+    series: &[Vec<f64>],
+    config: &KscConfig,
+    ctrl: &RunControl,
+) -> TsResult<KscResult> {
+    let (result, shifted) = ksc_core(series, config, ctrl)?;
     if result.converged {
         Ok(result)
     } else {
@@ -313,7 +333,11 @@ pub fn try_ksc(series: &[Vec<f64>], config: &KscConfig) -> TsResult<KscResult> {
 
 /// Shared KSC iteration: returns the result plus the number of series that
 /// changed cluster in the final iteration.
-fn ksc_core(series: &[Vec<f64>], config: &KscConfig) -> TsResult<(KscResult, usize)> {
+fn ksc_core(
+    series: &[Vec<f64>],
+    config: &KscConfig,
+    ctrl: &RunControl,
+) -> TsResult<(KscResult, usize)> {
     let n = series.len();
     let m = validate_series_set(series)?;
     ensure_k(config.k, n)?;
@@ -326,7 +350,12 @@ fn ksc_core(series: &[Vec<f64>], config: &KscConfig) -> TsResult<(KscResult, usi
     let mut iterations = 0;
     let mut converged = false;
     let mut shifted = 0usize;
+    // Shift scan is FFT-based: O(m log m) with a generous constant.
+    let scan_cost = (m as u64).saturating_mul((m.max(2) as u64).ilog2() as u64 + 1);
     while iterations < config.max_iter {
+        if let Err(reason) = ctrl.check_iteration(iterations) {
+            return Err(RunControl::stop_error(labels, iterations, reason));
+        }
         iterations += 1;
 
         #[allow(clippy::needless_range_loop)]
@@ -347,11 +376,21 @@ fn ksc_core(series: &[Vec<f64>], config: &KscConfig) -> TsResult<(KscResult, usi
                 centroids[j] = series[worst].clone();
                 continue;
             }
+            // Alignment scan per member plus the dual-Gram eigensolve.
+            let eig_dim = members.len().min(m) as u64;
+            let extraction_cost = (members.len() as u64).saturating_mul(scan_cost)
+                + eig_dim.saturating_mul(eig_dim).saturating_mul(eig_dim);
+            if let Err(reason) = ctrl.charge(extraction_cost) {
+                return Err(RunControl::stop_error(labels, iterations - 1, reason));
+            }
             centroids[j] = try_ksc_centroid(&members, &centroids[j])?;
         }
 
         let mut changed = 0usize;
         for (i, s) in series.iter().enumerate() {
+            if let Err(reason) = ctrl.charge(config.k as u64 * scan_cost) {
+                return Err(RunControl::stop_error(labels, iterations - 1, reason));
+            }
             let mut best = f64::INFINITY;
             let mut best_j = labels[i];
             for (j, c) in centroids.iter().enumerate() {

@@ -1,0 +1,319 @@
+//! Degradation ladder: k-Shape with graceful fallback.
+//!
+//! Production pipelines would rather get *a* clustering than a
+//! [`TsError::NumericalFailure`]. The ladder runs the paper's preferred
+//! method first and, only when it fails numerically after bounded
+//! retry-with-reseed, descends to a simpler rung:
+//!
+//! 1. [`LadderRung::KShape`] — the full algorithm (SBD + shape
+//!    extraction),
+//! 2. [`LadderRung::SbdMedoid`] — SBD dissimilarity matrix + PAM, which
+//!    keeps the paper's distance but swaps the eigen-decomposition
+//!    centroid for a medoid (no linear algebra to degenerate),
+//! 3. [`LadderRung::KAvg`] — plain k-means with Euclidean distance, the
+//!    `k-AVG+ED` baseline that cannot fail numerically on finite input.
+//!
+//! Semantics, deliberately narrow:
+//!
+//! * each rung is retried with [`tsrun::retry_with_reseed`] (derived
+//!   seeds, capped attempts) before the ladder descends;
+//! * [`TsError::NotConverged`] is *not* a failure — the labels are
+//!   usable, the outcome records `converged: false`;
+//! * [`TsError::Stopped`] and input errors ([`TsError::EmptyInput`],
+//!   [`TsError::LengthMismatch`], [`TsError::NonFinite`],
+//!   [`TsError::InvalidK`]) propagate immediately: a deadline or a
+//!   corrupt input will not improve on a lower rung;
+//! * only [`TsError::NumericalFailure`] (after retries) triggers a
+//!   descent, and every abandoned rung is recorded in
+//!   [`LadderOutcome::descents`] for observability.
+
+use kshape::sbd::Sbd;
+use kshape::{KShape, KShapeConfig};
+use tsdist::EuclideanDistance;
+use tserror::{TsError, TsResult};
+use tsrun::{retry_with_reseed, RunControl};
+
+use crate::kmeans::{try_kmeans_with_control, KMeansConfig};
+use crate::matrix::DissimilarityMatrix;
+use crate::pam::try_pam_with_control;
+
+/// One rung of the degradation ladder, ordered from most to least
+/// sophisticated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderRung {
+    /// Full k-Shape (SBD assignment + shape extraction).
+    KShape,
+    /// SBD dissimilarity matrix + PAM medoids.
+    SbdMedoid,
+    /// k-means with Euclidean distance (`k-AVG+ED`).
+    KAvg,
+}
+
+impl LadderRung {
+    /// The next rung down, or `None` at the bottom.
+    #[must_use]
+    pub fn next(self) -> Option<LadderRung> {
+        match self {
+            LadderRung::KShape => Some(LadderRung::SbdMedoid),
+            LadderRung::SbdMedoid => Some(LadderRung::KAvg),
+            LadderRung::KAvg => None,
+        }
+    }
+
+    /// Human-readable rung name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderRung::KShape => "k-Shape",
+            LadderRung::SbdMedoid => "SBD-medoid",
+            LadderRung::KAvg => "k-AVG+ED",
+        }
+    }
+}
+
+/// Configuration for a ladder run.
+#[derive(Debug, Clone, Copy)]
+pub struct LadderConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap handed to every rung.
+    pub max_iter: usize,
+    /// Base RNG seed; retries derive fresh seeds from it.
+    pub seed: u64,
+    /// Retry attempts per rung before descending (>= 1).
+    pub max_attempts_per_rung: u32,
+    /// Rung to start from (lets callers skip straight to a fallback).
+    pub start: LadderRung,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            k: 2,
+            max_iter: 100,
+            seed: 0,
+            max_attempts_per_rung: 3,
+            start: LadderRung::KShape,
+        }
+    }
+}
+
+/// A rung the ladder abandoned, with the error that evicted it.
+#[derive(Debug)]
+pub struct Descent {
+    /// The rung that failed.
+    pub rung: LadderRung,
+    /// Its final (post-retry) numerical failure.
+    pub error: TsError,
+    /// Attempts spent on the rung before giving up.
+    pub attempts: u32,
+}
+
+/// Outcome of a ladder run.
+#[derive(Debug)]
+pub struct LadderOutcome {
+    /// Cluster index per series.
+    pub labels: Vec<usize>,
+    /// The rung that produced the labels.
+    pub rung: LadderRung,
+    /// Whether that rung's refinement converged before its cap.
+    pub converged: bool,
+    /// Every rung abandoned on the way down (empty on first-rung success).
+    pub descents: Vec<Descent>,
+}
+
+/// Labels + convergence flag from one rung attempt.
+type RungLabels = (Vec<usize>, bool);
+
+/// Maps a rung result into usable labels: convergence-cap outcomes carry
+/// their labels and are accepted, everything else stays an error.
+fn accept_not_converged(res: TsResult<RungLabels>) -> TsResult<RungLabels> {
+    match res {
+        Err(TsError::NotConverged { labels, .. }) => Ok((labels, false)),
+        other => other,
+    }
+}
+
+/// Runs the degradation ladder under an execution control.
+///
+/// # Errors
+///
+/// [`TsError::Stopped`] when `ctrl` trips (propagated from whichever rung
+/// was running), input errors from validation, or the *last* rung's
+/// [`TsError::NumericalFailure`] when even `k-AVG+ED` failed — which on
+/// finite input does not happen.
+pub fn cluster_with_ladder(
+    series: &[Vec<f64>],
+    config: &LadderConfig,
+    ctrl: &RunControl,
+) -> TsResult<LadderOutcome> {
+    let mut rung = config.start;
+    let mut descents = Vec::new();
+    loop {
+        let report = retry_with_reseed(
+            config.seed,
+            config.max_attempts_per_rung.max(1),
+            tsrun::default_retryable,
+            |seed| run_rung(rung, series, config, seed, ctrl),
+        );
+        match report.outcome {
+            Ok((labels, converged)) => {
+                return Ok(LadderOutcome {
+                    labels,
+                    rung,
+                    converged,
+                    descents,
+                });
+            }
+            Err(err @ TsError::NumericalFailure { .. }) => match rung.next() {
+                Some(lower) => {
+                    descents.push(Descent {
+                        rung,
+                        error: err,
+                        attempts: report.attempts,
+                    });
+                    rung = lower;
+                }
+                None => return Err(err),
+            },
+            // Stopped, EmptyInput, NonFinite, ... — descending cannot help.
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Executes one rung attempt with the given derived seed.
+fn run_rung(
+    rung: LadderRung,
+    series: &[Vec<f64>],
+    config: &LadderConfig,
+    seed: u64,
+    ctrl: &RunControl,
+) -> TsResult<RungLabels> {
+    match rung {
+        LadderRung::KShape => {
+            let ks = KShape::new(KShapeConfig {
+                k: config.k,
+                max_iter: config.max_iter,
+                seed,
+                ..KShapeConfig::default()
+            });
+            accept_not_converged(
+                ks.try_fit_with_control(series, ctrl)
+                    .map(|r| (r.labels, true)),
+            )
+        }
+        LadderRung::SbdMedoid => {
+            let matrix = DissimilarityMatrix::try_compute_with_control(series, &Sbd::new(), ctrl)?;
+            accept_not_converged(
+                try_pam_with_control(&matrix, config.k, config.max_iter, ctrl)
+                    .map(|r| (r.labels, true)),
+            )
+        }
+        LadderRung::KAvg => {
+            let cfg = KMeansConfig {
+                k: config.k,
+                max_iter: config.max_iter,
+                seed,
+            };
+            accept_not_converged(
+                try_kmeans_with_control(series, &EuclideanDistance, &cfg, ctrl)
+                    .map(|r| (r.labels, true)),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{cluster_with_ladder, LadderConfig, LadderRung};
+    use tsrun::{Budget, CancelToken, RunControl};
+
+    fn bump(m: usize, center: f64) -> Vec<f64> {
+        (0..m)
+            .map(|i| (-((i as f64 - center) / 2.5).powi(2)).exp())
+            .collect()
+    }
+
+    fn two_class_series() -> Vec<Vec<f64>> {
+        let mut series = Vec::new();
+        for j in 0..5 {
+            series.push(tsdata::normalize::z_normalize(&bump(48, 12.0 + j as f64)));
+            let neg: Vec<f64> = bump(48, 32.0 + j as f64).iter().map(|v| -v).collect();
+            series.push(tsdata::normalize::z_normalize(&neg));
+        }
+        series
+    }
+
+    #[test]
+    fn top_rung_succeeds_on_clean_data() {
+        let series = two_class_series();
+        let out = cluster_with_ladder(
+            &series,
+            &LadderConfig {
+                seed: 3,
+                ..Default::default()
+            },
+            &RunControl::unlimited(),
+        )
+        .expect("clean data clusters");
+        assert_eq!(out.rung, LadderRung::KShape);
+        assert!(out.descents.is_empty());
+        assert_eq!(out.labels.len(), series.len());
+        assert!(out.labels.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn start_rung_is_respected() {
+        let series = two_class_series();
+        for start in [LadderRung::SbdMedoid, LadderRung::KAvg] {
+            let out = cluster_with_ladder(
+                &series,
+                &LadderConfig {
+                    seed: 1,
+                    start,
+                    ..Default::default()
+                },
+                &RunControl::unlimited(),
+            )
+            .expect("fallback rungs cluster");
+            assert_eq!(out.rung, start);
+        }
+    }
+
+    #[test]
+    fn input_errors_propagate_without_descending() {
+        let err = cluster_with_ladder(&[], &LadderConfig::default(), &RunControl::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, tserror::TsError::EmptyInput), "{err:?}");
+    }
+
+    #[test]
+    fn cancellation_propagates_immediately() {
+        let series = two_class_series();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctrl = RunControl::new(Budget::unlimited(), Some(token));
+        let err = cluster_with_ladder(&series, &LadderConfig::default(), &ctrl).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                tserror::TsError::Stopped {
+                    reason: tserror::StopReason::Cancelled,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rung_ordering_and_names() {
+        assert_eq!(LadderRung::KShape.next(), Some(LadderRung::SbdMedoid));
+        assert_eq!(LadderRung::SbdMedoid.next(), Some(LadderRung::KAvg));
+        assert_eq!(LadderRung::KAvg.next(), None);
+        assert_eq!(LadderRung::KShape.name(), "k-Shape");
+        assert_eq!(LadderRung::SbdMedoid.name(), "SBD-medoid");
+        assert_eq!(LadderRung::KAvg.name(), "k-AVG+ED");
+    }
+}

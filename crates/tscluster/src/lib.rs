@@ -30,6 +30,14 @@
 //! up front and returns a typed [`tserror::TsError`] instead of
 //! panicking; the panicking entry points are thin wrappers kept for
 //! backward compatibility.
+//!
+//! Every iterative loop additionally ships a `*_with_control` variant
+//! that threads a [`tsrun::RunControl`] through the refinement, the
+//! pairwise-matrix builders, and the hierarchical merging: deadlines,
+//! iteration caps, cost quotas, and cooperative cancellation all surface
+//! as a typed [`tserror::TsError::Stopped`] carrying the best labels so
+//! far. [`ladder`] composes these into a degradation ladder
+//! (k-Shape → SBD-medoid → k-AVG) with retry-with-reseed per rung.
 
 #![warn(missing_docs)]
 
@@ -39,10 +47,12 @@ pub mod fuzzy;
 pub mod hierarchical;
 pub mod kmeans;
 pub mod ksc;
+pub mod ladder;
 pub mod matrix;
 pub mod pam;
 pub mod spectral;
 
 pub use hierarchical::Linkage;
 pub use kmeans::{kmeans, try_kmeans, KMeansConfig, KMeansResult};
+pub use ladder::{cluster_with_ladder, LadderConfig, LadderOutcome, LadderRung};
 pub use tserror::{TsError, TsResult};

@@ -7,7 +7,8 @@
 //! approximated. Rows are computed in parallel with scoped threads.
 
 use tsdist::Distance;
-use tserror::{TsError, TsResult};
+use tserror::{StopReason, TsError, TsResult};
+use tsrun::RunControl;
 
 /// A symmetric dissimilarity matrix with zero diagonal.
 #[derive(Debug, Clone)]
@@ -94,6 +95,106 @@ impl DissimilarityMatrix {
             }
         }
         DissimilarityMatrix { n, data }
+    }
+
+    /// Budget- and cancellation-aware serial build: every pair charges
+    /// [`Distance::cost_hint`], so a wall-clock deadline on a quadratic
+    /// measure (DTW over thousands of series) trips within a bounded
+    /// amount of *work*, not after the whole triangle completes.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::Stopped`] when the control trips; the error carries
+    /// empty labels (a partial matrix has no labeling) and `iterations` =
+    /// the number of pairs completed.
+    pub fn try_compute_with_control<D: Distance + ?Sized>(
+        series: &[Vec<f64>],
+        dist: &D,
+        ctrl: &RunControl,
+    ) -> TsResult<Self> {
+        let n = series.len();
+        let pair_cost = dist.cost_hint(series.first().map_or(1, Vec::len));
+        let mut data = vec![0.0; n * n];
+        let mut done = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                if let Err(reason) = ctrl.charge(pair_cost) {
+                    return Err(RunControl::stop_error(Vec::new(), done, reason));
+                }
+                let d = dist.dist(&series[i], &series[j]);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+                done += 1;
+            }
+        }
+        Ok(DissimilarityMatrix { n, data })
+    }
+
+    /// Budget- and cancellation-aware parallel build: all workers charge
+    /// the shared control, and the first tripped reason wins (cancellation
+    /// takes precedence over a deadline).
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::Stopped`] as in [`Self::try_compute_with_control`],
+    /// with `iterations` = the total pairs completed across workers.
+    pub fn try_compute_parallel_with_control<D: Distance + ?Sized>(
+        series: &[Vec<f64>],
+        dist: &D,
+        threads: usize,
+        ctrl: &RunControl,
+    ) -> TsResult<Self> {
+        let n = series.len();
+        if threads <= 1 || n < 16 {
+            return Self::try_compute_with_control(series, dist, ctrl);
+        }
+        let pair_cost = dist.cost_hint(series.first().map_or(1, Vec::len));
+        let mut data = vec![0.0; n * n];
+        let rows: Vec<&mut [f64]> = data.chunks_mut(n).collect();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let mut tripped: Vec<Option<StopReason>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for stripe in stripes(rows, threads) {
+                let done = &done;
+                handles.push(scope.spawn(move || -> Option<StopReason> {
+                    for (i, row) in stripe {
+                        for (j, s) in series.iter().enumerate().skip(i + 1) {
+                            if let Err(reason) = ctrl.charge(pair_cost) {
+                                return Some(reason);
+                            }
+                            row[j] = dist.dist(&series[i], s);
+                            done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                    None
+                }));
+            }
+            for h in handles {
+                tripped.push(h.join().expect("distance worker panicked"));
+            }
+        });
+        let reason = tripped.iter().flatten().copied().fold(None, |acc, r| {
+            // Cancellation dominates; otherwise keep the first reason seen.
+            match (acc, r) {
+                (_, StopReason::Cancelled) => Some(StopReason::Cancelled),
+                (None, r) => Some(r),
+                (acc, _) => acc,
+            }
+        });
+        if let Some(reason) = reason {
+            return Err(RunControl::stop_error(
+                Vec::new(),
+                done.load(std::sync::atomic::Ordering::Relaxed),
+                reason,
+            ));
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                data[j * n + i] = data[i * n + j];
+            }
+        }
+        Ok(DissimilarityMatrix { n, data })
     }
 
     /// Builds directly from a precomputed full matrix (for tests and for

@@ -12,6 +12,7 @@
 
 use crate::matrix::DissimilarityMatrix;
 use tserror::{ensure_k, TsError, TsResult};
+use tsrun::RunControl;
 
 /// Outcome of a PAM run.
 #[derive(Debug, Clone)]
@@ -55,7 +56,7 @@ pub struct PamResult {
 /// See [`try_pam`] for the fallible variant.
 #[must_use]
 pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult {
-    pam_core(matrix, k, max_iter)
+    pam_core(matrix, k, max_iter, &RunControl::unlimited())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -69,7 +70,26 @@ pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult
 /// [`TsError::InvalidK`], [`TsError::NonFinite`] (a corrupt matrix entry),
 /// or [`TsError::NotConverged`].
 pub fn try_pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> TsResult<PamResult> {
-    let (result, shifted) = pam_core(matrix, k, max_iter)?;
+    try_pam_with_control(matrix, k, max_iter, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware [`try_pam`]: BUILD polls `ctrl` per
+/// greedy seed (charging the O(n²) candidate scan) and each SWAP sweep
+/// counts as one iteration charging its O(k²n²) exchange evaluation.
+///
+/// # Errors
+///
+/// Everything [`try_pam`] reports, plus [`TsError::Stopped`] when the
+/// control trips; the error carries the nearest-medoid labels for the
+/// medoids chosen so far (empty during the first BUILD step) and the
+/// completed SWAP iteration count.
+pub fn try_pam_with_control(
+    matrix: &DissimilarityMatrix,
+    k: usize,
+    max_iter: usize,
+    ctrl: &RunControl,
+) -> TsResult<PamResult> {
+    let (result, shifted) = pam_core(matrix, k, max_iter, ctrl)?;
     if result.converged {
         Ok(result)
     } else {
@@ -81,12 +101,29 @@ pub fn try_pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> TsRes
     }
 }
 
+/// Nearest-chosen-medoid assignment for a (possibly partial) medoid set.
+fn assign_to_medoids(matrix: &DissimilarityMatrix, n: usize, medoids: &[usize]) -> Vec<usize> {
+    if medoids.is_empty() {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|i| {
+            medoids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| matrix.get(i, *a.1).total_cmp(&matrix.get(i, *b.1)))
+                .map_or(0, |(j, _)| j)
+        })
+        .collect()
+}
+
 /// Shared BUILD + SWAP: returns the result plus a non-convergence measure
 /// (1 when an improving swap was still pending at the cap, else 0).
 fn pam_core(
     matrix: &DissimilarityMatrix,
     k: usize,
     max_iter: usize,
+    ctrl: &RunControl,
 ) -> TsResult<(PamResult, usize)> {
     let n = matrix.len();
     ensure_k(k, n)?;
@@ -105,7 +142,13 @@ fn pam_core(
     medoids.push(first);
     // nearest[i] = distance of i to its closest chosen medoid.
     let mut nearest: Vec<f64> = (0..n).map(|i| matrix.get(i, first)).collect();
+    let n2 = (n as u64).saturating_mul(n as u64);
     while medoids.len() < k {
+        // Each greedy BUILD step scans all candidates against all items.
+        if let Err(reason) = ctrl.charge(n2) {
+            let labels = assign_to_medoids(matrix, n, &medoids);
+            return Err(RunControl::stop_error(labels, 0, reason));
+        }
         // Pick the candidate whose addition reduces total cost the most.
         let mut best_gain = f64::NEG_INFINITY;
         let mut best_c = usize::MAX;
@@ -140,7 +183,21 @@ fn pam_core(
     let mut cost = cost_of(&medoids);
     let mut iterations = 0;
     let mut converged = false;
+    // One SWAP sweep evaluates k·(n−k) exchanges, each re-costed in
+    // O(n·k): charge the dominant k²·n² term (saturating).
+    let sweep_cost = (k as u64)
+        .saturating_mul(k as u64)
+        .saturating_mul(n2)
+        .max(1);
     while iterations < max_iter {
+        if let Err(reason) = ctrl.check_iteration(iterations) {
+            let labels = assign_to_medoids(matrix, n, &medoids);
+            return Err(RunControl::stop_error(labels, iterations, reason));
+        }
+        if let Err(reason) = ctrl.charge(sweep_cost) {
+            let labels = assign_to_medoids(matrix, n, &medoids);
+            return Err(RunControl::stop_error(labels, iterations, reason));
+        }
         iterations += 1;
         let mut best_delta = -1e-12;
         let mut best_swap: Option<(usize, usize)> = None;
@@ -174,15 +231,7 @@ fn pam_core(
     }
 
     // Final assignment.
-    let labels = (0..n)
-        .map(|i| {
-            medoids
-                .iter()
-                .enumerate()
-                .min_by(|a, b| matrix.get(i, *a.1).total_cmp(&matrix.get(i, *b.1)))
-                .map_or(0, |(j, _)| j)
-        })
-        .collect();
+    let labels = assign_to_medoids(matrix, n, &medoids);
 
     Ok((
         PamResult {

@@ -17,6 +17,7 @@ use kshape::init::random_assignment;
 use tserror::{ensure_k, TsError, TsResult};
 use tslinalg::eigen::try_symmetric_eigen;
 use tslinalg::matrix::Matrix;
+use tsrun::RunControl;
 
 use crate::matrix::DissimilarityMatrix;
 
@@ -190,7 +191,7 @@ pub struct SpectralResult {
 /// `n`. See [`try_spectral_cluster`] for the fallible variant.
 #[must_use]
 pub fn spectral_cluster(matrix: &DissimilarityMatrix, config: &SpectralConfig) -> SpectralResult {
-    spectral_core(matrix, config)
+    spectral_core(matrix, config, &RunControl::unlimited())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -207,7 +208,26 @@ pub fn try_spectral_cluster(
     matrix: &DissimilarityMatrix,
     config: &SpectralConfig,
 ) -> TsResult<SpectralResult> {
-    let (result, shifted) = spectral_core(matrix, config)?;
+    try_spectral_cluster_with_control(matrix, config, &RunControl::unlimited())
+}
+
+/// Budget- and cancellation-aware [`try_spectral_cluster`]: the control
+/// is polled before the O(n³) eigen decomposition (charging its cost) and
+/// once per embedding k-means iteration, replacing the previously
+/// uncontrolled refinement loop.
+///
+/// # Errors
+///
+/// Everything [`try_spectral_cluster`] reports, plus [`TsError::Stopped`]
+/// when the control trips; the error carries the current embedding
+/// labeling (empty if stopped before the embedding was built) and the
+/// completed k-means iteration count.
+pub fn try_spectral_cluster_with_control(
+    matrix: &DissimilarityMatrix,
+    config: &SpectralConfig,
+    ctrl: &RunControl,
+) -> TsResult<SpectralResult> {
+    let (result, shifted) = spectral_core(matrix, config, ctrl)?;
     if result.converged {
         Ok(result)
     } else {
@@ -224,11 +244,18 @@ pub fn try_spectral_cluster(
 fn spectral_core(
     matrix: &DissimilarityMatrix,
     config: &SpectralConfig,
+    ctrl: &RunControl,
 ) -> TsResult<(SpectralResult, usize)> {
     let sigma = config.sigma.unwrap_or_else(|| median_bandwidth(matrix));
+    // The eigensolve is the expensive, non-interruptible block: charge its
+    // O(n³) cost up front so a tight deadline refuses before entering it.
+    let n = matrix.len() as u64;
+    if let Err(reason) = ctrl.charge(n.saturating_mul(n).saturating_mul(n)) {
+        return Err(RunControl::stop_error(Vec::new(), 0, reason));
+    }
     let embedding = try_spectral_embedding(matrix, config.k, Some(sigma))?;
     let (labels, converged, shifted) =
-        embedding_kmeans(&embedding, config.k, config.max_iter, config.seed);
+        embedding_kmeans(&embedding, config.k, config.max_iter, config.seed, ctrl)?;
     Ok((
         SpectralResult {
             labels,
@@ -242,12 +269,17 @@ fn spectral_core(
 /// Plain Euclidean k-means on embedding rows (kept local: the rows are
 /// points, not time series, so the tsdist machinery is not needed).
 /// Returns `(labels, converged, changes in the final iteration)`.
+///
+/// Budget-polled: one [`RunControl::check_iteration`] per Lloyd pass plus
+/// an O(n·k·dim) charge, so the stage participates in deadlines instead
+/// of running uncontrolled.
 fn embedding_kmeans(
     rows: &[Vec<f64>],
     k: usize,
     max_iter: usize,
     seed: u64,
-) -> (Vec<usize>, bool, usize) {
+    ctrl: &RunControl,
+) -> TsResult<(Vec<usize>, bool, usize)> {
     let n = rows.len();
     let dim = rows[0].len();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -255,7 +287,16 @@ fn embedding_kmeans(
     let mut centroids = vec![vec![0.0; dim]; k];
     let mut dists = vec![0.0f64; n];
     let mut shifted = 0usize;
-    for _ in 0..max_iter {
+    let pass_cost = (n as u64)
+        .saturating_mul(k as u64)
+        .saturating_mul(dim.max(1) as u64);
+    for iter in 0..max_iter {
+        if let Err(reason) = ctrl.check_iteration(iter) {
+            return Err(RunControl::stop_error(labels, iter, reason));
+        }
+        if let Err(reason) = ctrl.charge(pass_cost) {
+            return Err(RunControl::stop_error(labels, iter, reason));
+        }
         let mut counts = vec![0usize; k];
         for c in &mut centroids {
             c.iter_mut().for_each(|v| *v = 0.0);
@@ -303,10 +344,10 @@ fn embedding_kmeans(
         }
         shifted = changed;
         if changed == 0 {
-            return (labels, true, 0);
+            return Ok((labels, true, 0));
         }
     }
-    (labels, false, shifted)
+    Ok((labels, false, shifted))
 }
 
 #[cfg(test)]

@@ -145,6 +145,28 @@ pub fn corrupt_series<R: Rng>(x: &mut Vec<f64>, kind: FaultKind, rng: &mut R) {
     }
 }
 
+/// Byte-level truncation of a serialized checkpoint (or any on-disk
+/// artifact): keeps a strictly shorter *prefix* of the bytes, exactly what
+/// a `kill -9` mid-`write(2)` leaves behind when the writer is not atomic.
+///
+/// The cut point is drawn uniformly from `1..len`, so the survivor is a
+/// valid UTF-8-prefix of valid JSON often enough to stress the parser's
+/// truncation detection (a cut can land mid-number, mid-string, or right
+/// before the closing brace). Returns the number of bytes removed; series
+/// shorter than 2 bytes are left alone (0 removed).
+///
+/// Used by the resume tests: a quarantining loader must classify every
+/// possible prefix as corrupt — never as a shorter-but-valid cell.
+pub fn truncate_checkpoint<R: Rng>(bytes: &mut Vec<u8>, rng: &mut R) -> usize {
+    let n = bytes.len();
+    if n < 2 {
+        return 0;
+    }
+    let keep = rng.gen_range(1..n);
+    bytes.truncate(keep);
+    n - keep
+}
+
 /// Corrupts a random subset of a series collection in place: each series
 /// is hit with probability `p`, drawing its fault uniformly from `kinds`.
 ///
@@ -174,7 +196,7 @@ pub fn corrupt_collection<R: Rng>(
 mod tests {
     use super::{
         corrupt_collection, corrupt_series, flatline, missing_gap, nan_run, spike, truncate,
-        FaultKind,
+        truncate_checkpoint, FaultKind,
     };
     use tsrand::StdRng;
 
@@ -308,6 +330,26 @@ mod tests {
         // p = 0 never corrupts.
         let none = corrupt_collection(&mut series, &FaultKind::ALL, 0.0, &mut rng);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn truncate_checkpoint_keeps_a_strict_prefix() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let original = b"{\"method\":\"m\",\"dataset\":\"d\",\"rand_index\":0.5}\n".to_vec();
+        for _ in 0..100 {
+            let mut bytes = original.clone();
+            let removed = truncate_checkpoint(&mut bytes, &mut rng);
+            assert!(removed >= 1, "must remove at least one byte");
+            assert!(!bytes.is_empty(), "must keep at least one byte");
+            assert_eq!(bytes.len() + removed, original.len());
+            assert_eq!(&original[..bytes.len()], &bytes[..], "must be a prefix");
+        }
+        // Tiny inputs are left alone.
+        let mut one = vec![b'{'];
+        assert_eq!(truncate_checkpoint(&mut one, &mut rng), 0);
+        assert_eq!(one, vec![b'{']);
+        let mut empty: Vec<u8> = vec![];
+        assert_eq!(truncate_checkpoint(&mut empty, &mut rng), 0);
     }
 
     #[test]

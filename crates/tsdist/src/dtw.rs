@@ -56,6 +56,19 @@ impl Distance for Dtw {
     fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
         dtw_distance(x, y, self.window)
     }
+
+    /// DTW's DP visits `m·(2w+1)` cells (all `m²` when unconstrained), so
+    /// the cost hint is quadratic in the band — this is what makes a
+    /// 50 ms deadline on a large DTW matrix trip *during* the first pairs
+    /// rather than after the row completes.
+    fn cost_hint(&self, m: usize) -> u64 {
+        let m = m.max(1) as u64;
+        let band = match self.window {
+            Some(w) => (2 * w as u64 + 1).min(m),
+            None => m,
+        };
+        m.saturating_mul(band)
+    }
 }
 
 /// Computes the DTW distance with an optional Sakoe–Chiba window,

@@ -67,6 +67,12 @@ impl Distance for Erp {
     fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
         erp_distance(x, y, self.gap)
     }
+
+    /// O(m²) DP — quadratic cost hint for budget-aware loops.
+    fn cost_hint(&self, m: usize) -> u64 {
+        let m = m.max(1) as u64;
+        m.saturating_mul(m)
+    }
 }
 
 #[cfg(test)]

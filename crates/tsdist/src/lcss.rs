@@ -77,6 +77,12 @@ impl Distance for Lcss {
     fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
         lcss_distance(x, y, self.epsilon, self.delta)
     }
+
+    /// O(m²) DP — quadratic cost hint for budget-aware loops.
+    fn cost_hint(&self, m: usize) -> u64 {
+        let m = m.max(1) as u64;
+        m.saturating_mul(m)
+    }
 }
 
 #[cfg(test)]

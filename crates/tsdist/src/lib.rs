@@ -59,6 +59,20 @@ pub trait Distance: Send + Sync {
     ///
     /// Implementations may panic if `x.len() != y.len()`.
     fn dist(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// Approximate cost, in execution-control units (≈ one unit per
+    /// sample of floating-point work), of one `dist` call on series of
+    /// length `m`.
+    ///
+    /// Budget-aware loops charge this per pair so wall-clock deadline
+    /// detection latency is bounded by *work*, not by call count: a
+    /// quadratic kernel like unconstrained DTW reports `m²` and therefore
+    /// reads the strided clock every pair, while a linear kernel batches
+    /// several pairs per clock read. The default of `m` suits every
+    /// linear/log-linear measure (ED, SBD, LB_Keogh).
+    fn cost_hint(&self, m: usize) -> u64 {
+        m.max(1) as u64
+    }
 }
 
 impl<D: Distance + ?Sized> Distance for &D {
@@ -67,5 +81,8 @@ impl<D: Distance + ?Sized> Distance for &D {
     }
     fn dist(&self, x: &[f64], y: &[f64]) -> f64 {
         (**self).dist(x, y)
+    }
+    fn cost_hint(&self, m: usize) -> u64 {
+        (**self).cost_hint(m)
     }
 }

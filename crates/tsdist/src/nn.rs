@@ -115,6 +115,55 @@ pub fn try_one_nn_accuracy<D: Distance + ?Sized>(
     Ok(one_nn_accuracy(dist, train, test))
 }
 
+/// Budget- and cancellation-aware 1-NN accuracy.
+///
+/// The scan charges [`Distance::cost_hint`] per train/test comparison, so
+/// a wall-clock deadline on a quadratic measure (DTW over thousands of
+/// series) is detected within a bounded amount of *work* rather than
+/// after a full test row completes.
+///
+/// # Errors
+///
+/// Everything [`try_one_nn_accuracy`] reports, plus
+/// [`TsError::Stopped`] when the control trips; the error carries the
+/// predicted labels of the queries classified so far and the count of
+/// completed queries as `iterations`.
+pub fn try_one_nn_accuracy_with_control<D: Distance + ?Sized>(
+    dist: &D,
+    train: &Dataset,
+    test: &Dataset,
+    ctrl: &tsrun::RunControl,
+) -> TsResult<f64> {
+    validate_split(train, test)?;
+    if test.is_empty() {
+        return Ok(0.0);
+    }
+    let m = train.series_len();
+    let pair_cost = dist.cost_hint(m);
+    let mut predicted = Vec::with_capacity(test.n_series());
+    let mut correct = 0usize;
+    for (q, &ql) in test.series.iter().zip(test.labels.iter()) {
+        let mut best = f64::INFINITY;
+        let mut label = None;
+        for (s, &l) in train.series.iter().zip(train.labels.iter()) {
+            if let Err(reason) = ctrl.charge(pair_cost) {
+                let done = predicted.len();
+                return Err(tsrun::RunControl::stop_error(predicted, done, reason));
+            }
+            let d = dist.dist(q, s);
+            if d < best {
+                best = d;
+                label = Some(l);
+            }
+        }
+        predicted.push(label.unwrap_or(0));
+        if label == Some(ql) {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / test.n_series() as f64)
+}
+
 /// 1-NN accuracy for cDTW with LB_Keogh cascading (the `cDTW_LB` rows of
 /// Table 2): training envelopes are precomputed, candidates whose lower
 /// bound exceeds the best-so-far distance are pruned without running the

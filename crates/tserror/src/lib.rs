@@ -24,6 +24,47 @@
 
 #![warn(missing_docs)]
 
+/// Why execution control stopped a run before natural convergence.
+///
+/// Produced by the `tsrun` crate's `Budget` / `CancelToken` machinery and
+/// carried inside [`TsError::Stopped`]. Lives here (rather than in
+/// `tsrun`) so that the error taxonomy stays the single shared vocabulary
+/// of every crate in the workspace without dependency cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The wall-clock deadline of the budget elapsed.
+    Deadline,
+    /// A cooperating [`CancelToken`](TsError) was triggered by the caller.
+    Cancelled,
+    /// The budget's iteration cap was reached (distinct from an
+    /// algorithm's own `max_iter`, which reports
+    /// [`TsError::NotConverged`]).
+    IterationCap,
+    /// The budget's cost-step quota was exhausted.
+    CostCap,
+}
+
+impl StopReason {
+    /// All reasons, for exhaustive sweeps in tests.
+    pub const ALL: [StopReason; 4] = [
+        StopReason::Deadline,
+        StopReason::Cancelled,
+        StopReason::IterationCap,
+        StopReason::CostCap,
+    ];
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Deadline => write!(f, "deadline exceeded"),
+            StopReason::Cancelled => write!(f, "cancelled by caller"),
+            StopReason::IterationCap => write!(f, "iteration cap reached"),
+            StopReason::CostCap => write!(f, "cost quota exhausted"),
+        }
+    }
+}
+
 /// The shared error taxonomy for fallible time-series clustering APIs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TsError {
@@ -77,6 +118,45 @@ pub enum TsError {
         /// (a measure of how far from a fixed point the run stopped).
         shifted: usize,
     },
+    /// Execution control (a `tsrun` budget or cancel token) stopped the
+    /// run before it finished. This is a *partial result*, not a crash:
+    /// the best labeling observed so far and the amount of work done ride
+    /// along so callers can degrade gracefully.
+    Stopped {
+        /// Best-effort labeling at the stop point. Empty when the stopped
+        /// computation has no labeling (e.g. a pairwise dissimilarity
+        /// matrix or a dendrogram).
+        labels: Vec<usize>,
+        /// Iterations (or completed work units, for non-iterative paths)
+        /// executed before the stop.
+        iterations: usize,
+        /// What tripped: deadline, cancellation, iteration cap, or cost
+        /// quota.
+        reason: StopReason,
+    },
+}
+
+impl TsError {
+    /// Convenience constructor for [`TsError::Stopped`].
+    #[must_use]
+    pub fn stopped(labels: Vec<usize>, iterations: usize, reason: StopReason) -> Self {
+        TsError::Stopped {
+            labels,
+            iterations,
+            reason,
+        }
+    }
+
+    /// Whether this error carries a usable partial labeling
+    /// ([`TsError::NotConverged`] or a non-empty [`TsError::Stopped`]).
+    #[must_use]
+    pub fn partial_labels(&self) -> Option<&[usize]> {
+        match self {
+            TsError::NotConverged { labels, .. } => Some(labels),
+            TsError::Stopped { labels, .. } if !labels.is_empty() => Some(labels),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for TsError {
@@ -122,6 +202,12 @@ impl std::fmt::Display for TsError {
                 f,
                 "did not converge within {iterations} iterations \
                  ({shifted} series still changing cluster)"
+            ),
+            TsError::Stopped {
+                iterations, reason, ..
+            } => write!(
+                f,
+                "stopped by execution control after {iterations} iterations: {reason}"
             ),
         }
     }
@@ -346,6 +432,39 @@ mod tests {
             for needle in needles {
                 assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
             }
+        }
+    }
+
+    #[test]
+    fn stopped_carries_partial_result_and_reason() {
+        use super::StopReason;
+        for reason in StopReason::ALL {
+            let e = TsError::stopped(vec![0, 1, 0], 7, reason);
+            let msg = e.to_string();
+            assert!(msg.contains("stopped by execution control"), "{msg}");
+            assert!(msg.contains("7"), "{msg}");
+            assert!(msg.contains(&reason.to_string()), "{msg}");
+            assert_eq!(e.partial_labels(), Some(&[0, 1, 0][..]));
+        }
+        // Empty labels (matrix/dendrogram stops) expose no partial labels.
+        let e = TsError::stopped(vec![], 3, StopReason::Deadline);
+        assert_eq!(e.partial_labels(), None);
+        // NotConverged also exposes its labels.
+        let nc = TsError::NotConverged {
+            labels: vec![1],
+            iterations: 5,
+            shifted: 1,
+        };
+        assert_eq!(nc.partial_labels(), Some(&[1][..]));
+        assert_eq!(TsError::EmptyInput.partial_labels(), None);
+    }
+
+    #[test]
+    fn stop_reason_display_is_distinct() {
+        use super::StopReason;
+        let mut seen = std::collections::HashSet::new();
+        for reason in StopReason::ALL {
+            assert!(seen.insert(reason.to_string()), "duplicate display");
         }
     }
 

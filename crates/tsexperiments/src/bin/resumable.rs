@@ -1,0 +1,50 @@
+//! Interruptible, resumable clustering sweep.
+//!
+//! Runs the scalable (Table 3) method set over the synthetic collection
+//! with per-`(method, dataset)` checkpointing, then prints a fully
+//! deterministic result table to stdout: every Rand index is serialized
+//! with shortest round-trip float formatting and **no wall-clock values
+//! appear in the output**, so
+//!
+//! ```text
+//! KSHAPE_CHECKPOINT_DIR=ck resumable > a.txt     # killed half-way
+//! KSHAPE_CHECKPOINT_DIR=ck resumable > a.txt     # resumed
+//! resumable > b.txt                              # uninterrupted
+//! diff a.txt b.txt                               # byte-identical
+//! ```
+//!
+//! holds on a pinned seed. CI runs exactly this protocol (see the
+//! `resume` job). Progress goes to stderr, which is not compared.
+//!
+//! Environment: the usual `KSHAPE_*` knobs ([`ExperimentConfig`]) plus
+//! `KSHAPE_CHECKPOINT_DIR` to enable checkpointing.
+
+use tsexperiments::checkpoint::CheckpointStore;
+use tsexperiments::cluster_eval::{evaluate_method_checkpointed, table3_methods};
+use tsexperiments::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let store = CheckpointStore::from_env();
+    let collection = cfg.collection();
+    eprintln!(
+        "resumable: {} datasets, {} methods, checkpoints {}",
+        collection.len(),
+        table3_methods().len(),
+        if store.is_enabled() { "on" } else { "off" },
+    );
+
+    println!(
+        "resumable sweep (seed={}, size_factor={:?}, runs={}, max_iter={})",
+        cfg.seed, cfg.size_factor, cfg.runs, cfg.max_iter
+    );
+    println!("method\tdataset\trand_index");
+    for method in table3_methods() {
+        let eval = evaluate_method_checkpointed(method, &collection, &cfg, &store);
+        eprintln!("  {} done in {:.1}s", eval.name, eval.seconds);
+        for (split, ri) in collection.iter().zip(eval.rand_indices.iter()) {
+            println!("{}\t{}\t{ri:?}", eval.name, split.name());
+        }
+        println!("MEAN\t{}\t{:?}", eval.name, eval.mean_rand());
+    }
+}

@@ -1,0 +1,405 @@
+//! Checkpoint/resume for long experiment sweeps.
+//!
+//! The paper's full evaluation ran for weeks; even the scaled-down
+//! harness can be killed by a CI timeout or a laptop lid. This module
+//! makes sweeps restartable at per-`(method, dataset)` granularity:
+//!
+//! * every finished cell is written to `<dir>/<method>__<dataset>.json`
+//!   **atomically** (write to a `.tmp` sibling, then rename — a kill
+//!   mid-write can never leave a half-written checkpoint under the
+//!   final name);
+//! * a restarted run loads each cell, validates it (parsable, matching
+//!   method/dataset/config tag, Rand index finite and in `[0, 1]`) and
+//!   recomputes only the missing cells;
+//! * an unreadable or invalid file is **quarantined** — renamed to
+//!   `<name>.corrupt` so the evidence survives — and its cell is
+//!   recomputed;
+//! * a *stale* cell (valid JSON from a different seed/size/iteration
+//!   configuration) is silently ignored and overwritten.
+//!
+//! The format is a single flat JSON object written and parsed in-tree
+//! (the workspace is hermetic — no serde). Floats are serialized with
+//! Rust's shortest round-trip formatting, so a resumed sweep reproduces
+//! *byte-identical* aggregate output to an uninterrupted one.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::ExperimentConfig;
+
+/// One finished experiment cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointCell {
+    /// Method label (e.g. `k-Shape`, `PAM+cDTW`).
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Configuration tag; cells from other configurations are stale.
+    pub config_tag: String,
+    /// Mean Rand index for the cell.
+    pub rand_index: f64,
+}
+
+impl CheckpointCell {
+    /// Serializes to the flat JSON object format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"method\":\"{}\",\"dataset\":\"{}\",\"config\":\"{}\",\"rand_index\":{:?}}}\n",
+            escape(&self.method),
+            escape(&self.dataset),
+            escape(&self.config_tag),
+            self.rand_index,
+        )
+    }
+
+    /// Parses the flat JSON object format. Returns `None` on anything
+    /// malformed — the caller treats that as corruption.
+    #[must_use]
+    pub fn from_json(text: &str) -> Option<CheckpointCell> {
+        // A truncated write loses the closing brace; reject it up front so
+        // byte-level corruption cannot masquerade as a shorter-but-valid
+        // cell (e.g. a number cut after its first decimal digit).
+        let trimmed = text.trim();
+        if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+            return None;
+        }
+        let method = json_str_field(text, "method")?;
+        let dataset = json_str_field(text, "dataset")?;
+        let config_tag = json_str_field(text, "config")?;
+        let rand_index = json_f64_field(text, "rand_index")?;
+        if !rand_index.is_finite() || !(0.0..=1.0).contains(&rand_index) {
+            return None;
+        }
+        Some(CheckpointCell {
+            method,
+            dataset,
+            config_tag,
+            rand_index,
+        })
+    }
+}
+
+/// Outcome of one checkpoint lookup, for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// No checkpoint file existed.
+    Miss,
+    /// A valid, matching cell was loaded.
+    Hit,
+    /// A valid cell from another configuration was ignored.
+    Stale,
+    /// An unparsable/invalid file was renamed to `.corrupt`.
+    Quarantined,
+}
+
+/// A directory of per-cell checkpoints; `disabled()` turns every
+/// operation into a no-op so callers need no branching.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: Option<PathBuf>,
+}
+
+impl CheckpointStore {
+    /// Store rooted at `dir` (created on first write).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointStore {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// A store that never loads or saves anything.
+    #[must_use]
+    pub fn disabled() -> Self {
+        CheckpointStore { dir: None }
+    }
+
+    /// Reads `KSHAPE_CHECKPOINT_DIR`; unset or empty disables
+    /// checkpointing.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("KSHAPE_CHECKPOINT_DIR") {
+            Ok(dir) if !dir.is_empty() => CheckpointStore::new(dir),
+            _ => CheckpointStore::disabled(),
+        }
+    }
+
+    /// Whether this store persists anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The checkpoint path for a cell.
+    fn path_for(&self, method: &str, dataset: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}__{}.json", sanitize(method), sanitize(dataset))))
+    }
+
+    /// Loads the cell for `(method, dataset)` if present, valid, and
+    /// matching `config_tag`. Corrupt files are quarantined to
+    /// `<name>.corrupt`; stale ones are left for overwrite.
+    pub fn load(
+        &self,
+        method: &str,
+        dataset: &str,
+        config_tag: &str,
+    ) -> (Option<CheckpointCell>, LoadOutcome) {
+        let Some(path) = self.path_for(method, dataset) else {
+            return (None, LoadOutcome::Miss);
+        };
+        let Ok(text) = fs::read_to_string(&path) else {
+            return (None, LoadOutcome::Miss);
+        };
+        match CheckpointCell::from_json(&text) {
+            Some(cell) if cell.method == method && cell.dataset == dataset => {
+                if cell.config_tag == config_tag {
+                    (Some(cell), LoadOutcome::Hit)
+                } else {
+                    (None, LoadOutcome::Stale)
+                }
+            }
+            // Unparsable, out-of-range, or labeled for a different cell:
+            // quarantine the evidence and recompute.
+            _ => {
+                quarantine(&path);
+                (None, LoadOutcome::Quarantined)
+            }
+        }
+    }
+
+    /// Atomically persists a cell: write `<name>.json.tmp`, then rename
+    /// over `<name>.json`. No-op when disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (directory creation, write, rename).
+    pub fn store(&self, cell: &CheckpointCell) -> io::Result<()> {
+        let Some(path) = self.path_for(&cell.method, &cell.dataset) else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, cell.to_json())?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+/// Builds the configuration tag that binds checkpoints to the knobs that
+/// change results. `threads` is deliberately excluded: it changes wall
+/// time, never labels.
+#[must_use]
+pub fn config_tag(cfg: &ExperimentConfig) -> String {
+    format!(
+        "seed={};size_factor={:?};runs={};max_iter={}",
+        cfg.seed, cfg.size_factor, cfg.runs, cfg.max_iter
+    )
+}
+
+/// Renames a corrupt checkpoint to `<name>.corrupt` (replacing any
+/// previous quarantine of the same cell). Falls back to deletion when the
+/// rename itself fails, so the sweep never loops on a bad file.
+fn quarantine(path: &Path) {
+    let mut q = path.as_os_str().to_owned();
+    q.push(".corrupt");
+    if fs::rename(path, PathBuf::from(&q)).is_err() {
+        let _ = fs::remove_file(path);
+    }
+}
+
+/// Replaces filesystem-hostile characters so any method/dataset label
+/// maps to a portable file name.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Minimal JSON string escaping for the two characters our writer could
+/// ever need to protect.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extracts `"key":"value"` from a flat JSON object, handling escaped
+/// quotes/backslashes inside the value.
+fn json_str_field(text: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = text.find(&marker)? + marker.len();
+    let rest = &text[start..];
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    Some(unescape(&rest[..end?]))
+}
+
+/// Extracts `"key":<number>` from a flat JSON object.
+fn json_f64_field(text: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = text.find(&marker)? + marker.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{config_tag, CheckpointCell, CheckpointStore, LoadOutcome};
+    use crate::config::ExperimentConfig;
+
+    fn cell() -> CheckpointCell {
+        CheckpointCell {
+            method: "PAM+cDTW".into(),
+            dataset: "ecg_warped".into(),
+            config_tag: "seed=1;size_factor=0.5;runs=3;max_iter=30".into(),
+            rand_index: 0.8765432109876543,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsexp_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let c = cell();
+        let parsed = CheckpointCell::from_json(&c.to_json()).expect("round trip");
+        assert_eq!(parsed, c);
+        // Bit-exact float round trip, not approximate.
+        assert_eq!(parsed.rand_index.to_bits(), c.rand_index.to_bits());
+    }
+
+    #[test]
+    fn store_load_hit_and_miss() {
+        let dir = temp_dir("hit");
+        let store = CheckpointStore::new(&dir);
+        let c = cell();
+        assert!(matches!(
+            store.load(&c.method, &c.dataset, &c.config_tag),
+            (None, LoadOutcome::Miss)
+        ));
+        store.store(&c).expect("store");
+        let (loaded, outcome) = store.load(&c.method, &c.dataset, &c.config_tag);
+        assert_eq!(outcome, LoadOutcome::Hit);
+        assert_eq!(loaded.expect("hit"), c);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_config_is_ignored_not_quarantined() {
+        let dir = temp_dir("stale");
+        let store = CheckpointStore::new(&dir);
+        let c = cell();
+        store.store(&c).expect("store");
+        let (loaded, outcome) = store.load(&c.method, &c.dataset, "seed=2;other");
+        assert_eq!(outcome, LoadOutcome::Stale);
+        assert!(loaded.is_none());
+        // The original file is still there for overwrite.
+        assert!(dir.join("PAM_cDTW__ecg_warped.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_quarantined() {
+        let dir = temp_dir("corrupt");
+        let store = CheckpointStore::new(&dir);
+        let c = cell();
+        store.store(&c).expect("store");
+        let path = dir.join("PAM_cDTW__ecg_warped.json");
+        // Truncate mid-number: unparsable.
+        std::fs::write(&path, "{\"method\":\"PAM+cDTW\",\"dataset\":\"ecg_warped\",\"config\":\"x\",\"rand_index\":0.8").expect("write");
+        let (loaded, outcome) = store.load(&c.method, &c.dataset, &c.config_tag);
+        assert_eq!(outcome, LoadOutcome::Quarantined);
+        assert!(loaded.is_none());
+        assert!(!path.exists(), "corrupt file left in place");
+        assert!(
+            dir.join("PAM_cDTW__ecg_warped.json.corrupt").exists(),
+            "quarantine file missing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_range_rand_index_is_rejected() {
+        assert!(CheckpointCell::from_json(
+            "{\"method\":\"m\",\"dataset\":\"d\",\"config\":\"c\",\"rand_index\":1.5}"
+        )
+        .is_none());
+        assert!(CheckpointCell::from_json(
+            "{\"method\":\"m\",\"dataset\":\"d\",\"config\":\"c\",\"rand_index\":NaN}"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn disabled_store_is_inert() {
+        let store = CheckpointStore::disabled();
+        assert!(!store.is_enabled());
+        store.store(&cell()).expect("no-op");
+        assert!(matches!(
+            store.load("m", "d", "c"),
+            (None, LoadOutcome::Miss)
+        ));
+    }
+
+    #[test]
+    fn config_tag_covers_result_affecting_knobs() {
+        let a = config_tag(&ExperimentConfig::default());
+        let b = config_tag(&ExperimentConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+        // Threads change wall time only, never results.
+        let c = config_tag(&ExperimentConfig {
+            threads: 99,
+            ..Default::default()
+        });
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let c = CheckpointCell {
+            method: "we\"ird\\name".into(),
+            dataset: "d".into(),
+            config_tag: "c".into(),
+            rand_index: 0.5,
+        };
+        let parsed = CheckpointCell::from_json(&c.to_json()).expect("round trip");
+        assert_eq!(parsed.method, c.method);
+    }
+}

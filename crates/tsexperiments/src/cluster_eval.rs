@@ -21,6 +21,7 @@ use tsdist::dtw::Dtw;
 use tsdist::Distance;
 use tseval::rand_index::rand_index;
 
+use crate::checkpoint::{config_tag, CheckpointCell, CheckpointStore};
 use crate::config::ExperimentConfig;
 use crate::variants::kshape_dtw;
 
@@ -134,11 +135,35 @@ pub fn evaluate_method(
     collection: &[SplitDataset],
     cfg: &ExperimentConfig,
 ) -> MethodEval {
+    evaluate_method_checkpointed(method, collection, cfg, &CheckpointStore::disabled())
+}
+
+/// [`evaluate_method`] with per-`(method, dataset)` checkpointing: cells
+/// already present in `store` (same configuration tag) are reused
+/// verbatim, missing ones are computed and persisted atomically right
+/// after they finish — so a killed sweep resumes where it died and, on a
+/// pinned seed, reproduces byte-identical Rand indices.
+///
+/// Checkpoint I/O failures are deliberately non-fatal (the sweep result
+/// matters more than the cache); a failed write only costs a recompute
+/// on the next resume.
+#[must_use]
+pub fn evaluate_method_checkpointed(
+    method: Method,
+    collection: &[SplitDataset],
+    cfg: &ExperimentConfig,
+    store: &CheckpointStore,
+) -> MethodEval {
     let start = Instant::now();
     let runs = if method.stochastic() { cfg.runs } else { 1 };
+    let tag = config_tag(cfg);
+    let name = method.label();
     let rand_indices = collection
         .iter()
         .map(|split| {
+            if let (Some(cell), _) = store.load(&name, split.name(), &tag) {
+                return cell.rand_index;
+            }
             let fused = split.fused();
             let k = split.n_classes().max(1).min(fused.n_series());
             let mut acc = 0.0;
@@ -147,11 +172,18 @@ pub fn evaluate_method(
                 let labels = run_method(method, &fused.series, k, cfg, seed);
                 acc += rand_index(&labels, &fused.labels);
             }
-            acc / runs as f64
+            let ri = acc / runs as f64;
+            let _ = store.store(&CheckpointCell {
+                method: name.clone(),
+                dataset: split.name().to_string(),
+                config_tag: tag.clone(),
+                rand_index: ri,
+            });
+            ri
         })
         .collect();
     MethodEval {
-        name: method.label(),
+        name,
         rand_indices,
         seconds: start.elapsed().as_secs_f64(),
     }

@@ -30,9 +30,11 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cluster_eval;
 pub mod config;
 pub mod dist_eval;
 pub mod variants;
 
+pub use checkpoint::CheckpointStore;
 pub use config::ExperimentConfig;

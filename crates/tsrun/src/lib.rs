@@ -1,0 +1,656 @@
+//! Execution control for the workspace's long-running paths.
+//!
+//! k-Shape's outer refinement loop and the O(n²) DTW/SBD baseline
+//! matrices are the dominant costs of the paper's evaluation (§4.2.2,
+//! Fig. 7); a service cannot let either run unbounded. This crate
+//! provides the shared control plane every iterative and quadratic path
+//! polls at cheap checkpoints:
+//!
+//! * [`Budget`] — a declarative limit: wall-clock deadline, iteration
+//!   cap, and/or cost-step quota;
+//! * [`CancelToken`] — a shareable, clone-cheap cooperative cancellation
+//!   flag (one relaxed atomic load per poll);
+//! * [`RunControl`] — an armed budget + optional token that loops poll
+//!   via [`RunControl::check_iteration`] (outer loops) and
+//!   [`RunControl::charge`] (inner work, cost-proportional with a strided
+//!   clock so `Instant::now()` stays off the hot path);
+//! * [`retry_with_reseed`] — re-runs a fallible seeded fit with derived
+//!   seeds on retryable failures (numerical blow-ups, empty-cluster
+//!   collapse), recording every attempt's error.
+//!
+//! Tripping a budget or a cancel never panics and never silently
+//! truncates: the caller receives [`tserror::TsError::Stopped`] carrying
+//! the best labels so far, the iterations done, and the
+//! [`StopReason`]. The degradation ladder built on top of this lives in
+//! `tscluster::ladder` (it needs the clusterers); checkpoint/resume for
+//! the experiment harness lives in `tsexperiments::checkpoint`.
+//!
+//! # Overhead contract
+//!
+//! An *unlimited* control ([`RunControl::unlimited`]) with no token short
+//! circuits to a single branch per poll, and an armed control reads the
+//! clock only once per [`RunControl::clock_stride`] cost units — the
+//! `BENCH_tsrun.json` bench group holds the k-Shape hot loop to < 2%
+//! poll overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use tsrun::{Budget, CancelToken, RunControl};
+//!
+//! let token = CancelToken::new();
+//! let ctrl = RunControl::new(
+//!     Budget::unlimited().with_iteration_cap(100),
+//!     Some(token.clone()),
+//! );
+//! assert!(ctrl.check_iteration(0).is_ok());
+//! token.cancel();
+//! assert!(ctrl.check_iteration(1).is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use tserror::StopReason;
+use tserror::{TsError, TsResult};
+
+/// A shareable cooperative cancellation flag.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same
+/// flag, so a caller can hand a token into a long-running fit on a worker
+/// thread and trip it from a request handler. Polling is a single relaxed
+/// atomic load. Cancellation is sticky: once cancelled, always cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the flag. Every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled.
+    #[inline]
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A declarative execution budget: any combination of a wall-clock
+/// deadline, an iteration cap, and a cost-step quota. `None` fields are
+/// unlimited.
+///
+/// Budgets are inert descriptions; arm one with [`RunControl::new`],
+/// which starts the clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum wall-clock time from the moment the control is armed.
+    pub wall: Option<Duration>,
+    /// Maximum outer-loop iterations (checked by
+    /// [`RunControl::check_iteration`]).
+    pub max_iterations: Option<usize>,
+    /// Maximum cost units (checked by [`RunControl::charge`]; loops
+    /// charge units roughly proportional to floating-point work).
+    pub max_cost: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits at all.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Adds a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, wall: Duration) -> Self {
+        self.wall = Some(wall);
+        self
+    }
+
+    /// Adds an outer-iteration cap.
+    #[must_use]
+    pub fn with_iteration_cap(mut self, iterations: usize) -> Self {
+        self.max_iterations = Some(iterations);
+        self
+    }
+
+    /// Adds a cost-step quota.
+    #[must_use]
+    pub fn with_cost_cap(mut self, cost: u64) -> Self {
+        self.max_cost = Some(cost);
+        self
+    }
+
+    /// True when no limit is set.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.wall.is_none() && self.max_iterations.is_none() && self.max_cost.is_none()
+    }
+}
+
+/// Default cost units between clock reads for armed deadlines.
+///
+/// One unit ≈ one sample of floating-point work, so 1024 units keep the
+/// `Instant::now()` syscall below ~0.1% of even the cheapest kernels
+/// while bounding deadline-detection latency to about a microsecond of
+/// work on the serial paths (quadratic kernels like DTW charge `m²` per
+/// pair and therefore hit the clock every pair).
+pub const DEFAULT_CLOCK_STRIDE: u64 = 1024;
+
+/// An armed [`Budget`] plus optional [`CancelToken`], shared by reference
+/// into the loops it governs.
+///
+/// Thread-safe: counters are atomics, so the parallel dissimilarity-matrix
+/// workers poll the same control. All orderings are relaxed — an extra
+/// pair of work after a stop is benign and determinism of *successful*
+/// results is never affected (controls only decide when to stop).
+///
+/// Poll points return `Result<(), StopReason>`; convert into the shared
+/// error taxonomy with [`TsError::stopped`] (or [`RunControl::stop_error`])
+/// so callers always receive a typed partial result.
+#[derive(Debug)]
+pub struct RunControl {
+    started: Instant,
+    deadline: Option<Instant>,
+    max_iterations: Option<usize>,
+    max_cost: Option<u64>,
+    cancel: Option<CancelToken>,
+    /// Total cost units charged so far.
+    cost: AtomicU64,
+    /// Cost level at which the next deadline clock read happens.
+    next_clock: AtomicU64,
+    clock_stride: u64,
+    /// Fast path: true when charge() can return immediately.
+    passive: bool,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl::unlimited()
+    }
+}
+
+impl RunControl {
+    /// Arms a budget, starting its wall clock now.
+    #[must_use]
+    pub fn new(budget: Budget, cancel: Option<CancelToken>) -> Self {
+        let started = Instant::now();
+        let passive = budget.wall.is_none() && budget.max_cost.is_none() && cancel.is_none();
+        RunControl {
+            started,
+            deadline: budget.wall.map(|w| started + w),
+            max_iterations: budget.max_iterations,
+            max_cost: budget.max_cost,
+            cancel,
+            cost: AtomicU64::new(0),
+            next_clock: AtomicU64::new(0),
+            clock_stride: DEFAULT_CLOCK_STRIDE,
+            passive,
+        }
+    }
+
+    /// A control that never stops anything — the default threaded through
+    /// every legacy entry point. Polls are a single branch.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        RunControl::new(Budget::unlimited(), None)
+    }
+
+    /// Overrides the cost stride between deadline clock reads (default
+    /// [`DEFAULT_CLOCK_STRIDE`]). Smaller strides trade overhead for
+    /// deadline-detection latency.
+    #[must_use]
+    pub fn with_clock_stride(mut self, stride: u64) -> Self {
+        self.clock_stride = stride.max(1);
+        self
+    }
+
+    /// Total cost units charged so far.
+    #[must_use]
+    pub fn cost_spent(&self) -> u64 {
+        self.cost.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the control was armed.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Checks cancellation and the deadline without charging cost. Used
+    /// before expensive indivisible steps (an eigendecomposition, a
+    /// checkpoint write).
+    ///
+    /// # Errors
+    ///
+    /// The tripped [`StopReason`].
+    #[inline]
+    pub fn poll(&self) -> Result<(), StopReason> {
+        if self.passive {
+            return Ok(());
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(StopReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(StopReason::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Outer-loop poll point: checks cancellation, the deadline, and the
+    /// budget's iteration cap against `completed` finished iterations.
+    ///
+    /// # Errors
+    ///
+    /// The tripped [`StopReason`] (cancellation wins over deadline wins
+    /// over the cap, so a cancelled run is always reported as cancelled).
+    #[inline]
+    pub fn check_iteration(&self, completed: usize) -> Result<(), StopReason> {
+        self.poll()?;
+        match self.max_iterations {
+            Some(cap) if completed >= cap => Err(StopReason::IterationCap),
+            _ => Ok(()),
+        }
+    }
+
+    /// Inner-loop poll point: charges `units` of work, checks
+    /// cancellation and the cost quota, and reads the clock whenever the
+    /// accumulated cost crosses the stride. Loops charge units roughly
+    /// proportional to floating-point work (e.g. `m` per Euclidean pair,
+    /// `m²` per unconstrained DTW pair) so the deadline-detection latency
+    /// is bounded by work, not by call counts.
+    ///
+    /// # Errors
+    ///
+    /// The tripped [`StopReason`].
+    #[inline]
+    pub fn charge(&self, units: u64) -> Result<(), StopReason> {
+        if self.passive && self.max_iterations.is_none() {
+            return Ok(());
+        }
+        let total = self.cost.fetch_add(units, Ordering::Relaxed) + units;
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(StopReason::Cancelled);
+            }
+        }
+        if let Some(cap) = self.max_cost {
+            if total > cap {
+                return Err(StopReason::CostCap);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            // Strided clock: only one thread wins the CAS per stride
+            // window, so the syscall stays rare even under contention.
+            let next = self.next_clock.load(Ordering::Relaxed);
+            if total >= next
+                && self
+                    .next_clock
+                    .compare_exchange(
+                        next,
+                        total + self.clock_stride,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                && Instant::now() >= deadline
+            {
+                return Err(StopReason::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the typed partial-result error for a tripped control.
+    #[must_use]
+    pub fn stop_error(labels: Vec<usize>, iterations: usize, reason: StopReason) -> TsError {
+        TsError::stopped(labels, iterations, reason)
+    }
+}
+
+/// Derives the seed for retry `attempt` from `base`: attempt 0 is the
+/// base seed itself (so a retry-wrapped call is bit-identical to the
+/// unwrapped call when the first attempt succeeds), later attempts are
+/// drawn from a SplitMix64 stream over the base.
+#[must_use]
+pub fn derive_seed(base: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return base;
+    }
+    let mut sm = tsrand::SplitMix64::new(base ^ 0x9E37_79B9_7F4A_7C15);
+    let mut seed = 0;
+    for _ in 0..attempt {
+        seed = sm.next_u64();
+    }
+    seed
+}
+
+/// One failed attempt inside [`retry_with_reseed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryFailure {
+    /// Zero-based attempt index.
+    pub attempt: u32,
+    /// Seed the attempt ran with.
+    pub seed: u64,
+    /// The typed error it produced.
+    pub error: TsError,
+}
+
+/// The full record of a [`retry_with_reseed`] run: final outcome plus
+/// every attempt's error (kept even when the final outcome is `Ok`, so
+/// flaky seeds are observable).
+#[derive(Debug, Clone)]
+pub struct RetryReport<T> {
+    /// `Ok(value)` from the first successful attempt, or the error of the
+    /// last attempt (which may be non-retryable).
+    pub outcome: TsResult<T>,
+    /// Attempts actually executed (1..=`max_attempts`).
+    pub attempts: u32,
+    /// Seed of the final attempt.
+    pub seed_used: u64,
+    /// Every failed attempt, in order.
+    pub failures: Vec<RetryFailure>,
+}
+
+impl<T> RetryReport<T> {
+    /// True when an attempt succeeded.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// The default retry predicate: numerical failures (degenerate
+/// eigenproblems, zero denominators, empty-cluster collapse surfaced as
+/// `NumericalFailure`) are worth a reseed; everything else — malformed
+/// input, budget stops, plain non-convergence — is not.
+#[must_use]
+pub fn default_retryable(error: &TsError) -> bool {
+    matches!(error, TsError::NumericalFailure { .. })
+}
+
+/// Re-runs a fallible seeded computation with derived seeds until it
+/// succeeds, a non-retryable error appears, or `max_attempts` is
+/// exhausted. Deterministic: the attempt-seed sequence is a pure function
+/// of `base_seed` (see [`derive_seed`]).
+///
+/// `retryable` decides which errors earn another attempt
+/// ([`default_retryable`] covers the common case); every failed attempt
+/// is recorded in the returned [`RetryReport`].
+pub fn retry_with_reseed<T, R, F>(
+    base_seed: u64,
+    max_attempts: u32,
+    retryable: R,
+    mut run: F,
+) -> RetryReport<T>
+where
+    R: Fn(&TsError) -> bool,
+    F: FnMut(u64) -> TsResult<T>,
+{
+    let max_attempts = max_attempts.max(1);
+    let mut failures = Vec::new();
+    let mut attempt = 0;
+    loop {
+        let seed = derive_seed(base_seed, attempt);
+        match run(seed) {
+            Ok(value) => {
+                return RetryReport {
+                    outcome: Ok(value),
+                    attempts: attempt + 1,
+                    seed_used: seed,
+                    failures,
+                };
+            }
+            Err(error) => {
+                let stop = attempt + 1 >= max_attempts || !retryable(&error);
+                failures.push(RetryFailure {
+                    attempt,
+                    seed,
+                    error: error.clone(),
+                });
+                if stop {
+                    return RetryReport {
+                        outcome: Err(error),
+                        attempts: attempt + 1,
+                        seed_used: seed,
+                        failures,
+                    };
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{
+        default_retryable, derive_seed, retry_with_reseed, Budget, CancelToken, RunControl,
+        StopReason,
+    };
+    use std::time::Duration;
+    use tserror::TsError;
+
+    #[test]
+    fn unlimited_control_never_stops() {
+        let ctrl = RunControl::unlimited();
+        for i in 0..10_000 {
+            assert!(ctrl.check_iteration(i).is_ok());
+            assert!(ctrl.charge(1 << 20).is_ok());
+            assert!(ctrl.poll().is_ok());
+        }
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        let ctrl = RunControl::new(Budget::unlimited(), Some(a));
+        assert_eq!(ctrl.poll(), Err(StopReason::Cancelled));
+        assert_eq!(ctrl.charge(1), Err(StopReason::Cancelled));
+        assert_eq!(ctrl.check_iteration(0), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn iteration_cap_trips_exactly_at_cap() {
+        let ctrl = RunControl::new(Budget::unlimited().with_iteration_cap(3), None);
+        assert!(ctrl.check_iteration(0).is_ok());
+        assert!(ctrl.check_iteration(2).is_ok());
+        assert_eq!(ctrl.check_iteration(3), Err(StopReason::IterationCap));
+        // charge() is unaffected by the iteration cap.
+        assert!(ctrl.charge(1_000_000).is_ok());
+    }
+
+    #[test]
+    fn cost_cap_trips_after_quota() {
+        let ctrl = RunControl::new(Budget::unlimited().with_cost_cap(100), None);
+        assert!(ctrl.charge(60).is_ok());
+        assert!(ctrl.charge(40).is_ok()); // exactly at the cap: still fine
+        assert_eq!(ctrl.charge(1), Err(StopReason::CostCap));
+        assert_eq!(ctrl.cost_spent(), 101);
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let ctrl = RunControl::new(Budget::unlimited().with_deadline(Duration::ZERO), None)
+            .with_clock_stride(1);
+        assert_eq!(ctrl.poll(), Err(StopReason::Deadline));
+        assert_eq!(ctrl.charge(1), Err(StopReason::Deadline));
+    }
+
+    #[test]
+    fn deadline_detected_within_stride_under_spin() {
+        let ctrl = RunControl::new(
+            Budget::unlimited().with_deadline(Duration::from_millis(5)),
+            None,
+        );
+        let start = std::time::Instant::now();
+        let reason = loop {
+            if let Err(r) = ctrl.charge(64) {
+                break r;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "deadline never detected"
+            );
+        };
+        assert_eq!(reason, StopReason::Deadline);
+    }
+
+    #[test]
+    fn cancellation_beats_other_reasons() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctrl = RunControl::new(
+            Budget::unlimited()
+                .with_deadline(Duration::ZERO)
+                .with_iteration_cap(0)
+                .with_cost_cap(0),
+            Some(token),
+        );
+        assert_eq!(ctrl.check_iteration(99), Err(StopReason::Cancelled));
+        assert_eq!(ctrl.charge(99), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn control_is_shareable_across_threads() {
+        let token = CancelToken::new();
+        let ctrl = RunControl::new(Budget::unlimited(), Some(token.clone()));
+        std::thread::scope(|scope| {
+            let c = &ctrl;
+            let worker = scope.spawn(move || {
+                let mut stopped = false;
+                for _ in 0..1_000_000 {
+                    if c.charge(8).is_err() {
+                        stopped = true;
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                stopped
+            });
+            token.cancel();
+            assert!(
+                worker.join().expect("worker"),
+                "worker never observed cancel"
+            );
+        });
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let b = Budget::unlimited()
+            .with_deadline(Duration::from_secs(1))
+            .with_iteration_cap(5)
+            .with_cost_cap(10);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_iterations, Some(5));
+        assert_eq!(b.max_cost, Some(10));
+        assert!(Budget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_attempt_zero_is_identity() {
+        assert_eq!(derive_seed(42, 0), 42);
+        assert_eq!(derive_seed(42, 3), derive_seed(42, 3));
+        let seeds: Vec<u64> = (0..5).map(|a| derive_seed(7, a)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "derived seeds collide: {seeds:?}");
+        assert_ne!(derive_seed(7, 1), derive_seed(8, 1));
+    }
+
+    #[test]
+    fn retry_succeeds_on_later_attempt_and_records_failures() {
+        let report = retry_with_reseed(11, 5, default_retryable, |seed| {
+            if seed == derive_seed(11, 2) {
+                Ok(seed)
+            } else {
+                Err(TsError::NumericalFailure {
+                    context: format!("seed {seed} refused"),
+                })
+            }
+        });
+        assert!(report.succeeded());
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.seed_used, derive_seed(11, 2));
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.failures[0].seed, 11);
+        assert_eq!(report.failures[1].seed, derive_seed(11, 1));
+    }
+
+    #[test]
+    fn retry_stops_on_non_retryable_error() {
+        let mut calls = 0;
+        let report: super::RetryReport<()> = retry_with_reseed(3, 10, default_retryable, |_seed| {
+            calls += 1;
+            Err(TsError::EmptyInput)
+        });
+        assert_eq!(calls, 1, "non-retryable error must not be retried");
+        assert!(!report.succeeded());
+        assert!(matches!(report.outcome, Err(TsError::EmptyInput)));
+        assert_eq!(report.failures.len(), 1);
+    }
+
+    #[test]
+    fn retry_exhausts_attempts_and_keeps_every_error() {
+        let report: super::RetryReport<()> = retry_with_reseed(9, 4, default_retryable, |seed| {
+            Err(TsError::NumericalFailure {
+                context: format!("always fails (seed {seed})"),
+            })
+        });
+        assert!(!report.succeeded());
+        assert_eq!(report.attempts, 4);
+        assert_eq!(report.failures.len(), 4);
+        let seeds: Vec<u64> = report.failures.iter().map(|f| f.seed).collect();
+        assert_eq!(seeds, (0..4).map(|a| derive_seed(9, a)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retry_default_predicate_classification() {
+        assert!(default_retryable(&TsError::NumericalFailure {
+            context: "x".into()
+        }));
+        assert!(!default_retryable(&TsError::EmptyInput));
+        assert!(!default_retryable(&TsError::NotConverged {
+            labels: vec![],
+            iterations: 1,
+            shifted: 1
+        }));
+        assert!(!default_retryable(&TsError::stopped(
+            vec![],
+            0,
+            StopReason::Deadline
+        )));
+    }
+
+    #[test]
+    fn max_attempts_zero_is_clamped_to_one() {
+        let report = retry_with_reseed(1, 0, default_retryable, Ok::<u64, TsError>);
+        assert!(report.succeeded());
+        assert_eq!(report.attempts, 1);
+    }
+}

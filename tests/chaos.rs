@@ -399,3 +399,302 @@ tscheck::props! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Execution-control chaos: random budgets and cancellation against every
+// `*_with_control` entry point. The contract: any outcome is either
+// in-range labels or a typed error whose partial labels are themselves
+// in range — never a panic, never an out-of-range label.
+// ---------------------------------------------------------------------------
+
+use std::time::Duration;
+use tsrun::{retry_with_reseed, Budget, CancelToken, RunControl};
+
+/// Draws a random execution control: any combination of a microsecond
+/// deadline, a tiny iteration cap, a small cost quota, and a (possibly
+/// already fired) cancel token. Stride 1 so the deadline clock is
+/// consulted on every poll — maximally hostile.
+fn random_control(g: &mut Gen) -> RunControl {
+    let mut budget = Budget::unlimited();
+    if g.f64_in(0.0..1.0) < 0.4 {
+        budget = budget.with_deadline(Duration::from_micros(g.u64_in(0..800)));
+    }
+    if g.f64_in(0.0..1.0) < 0.4 {
+        budget = budget.with_iteration_cap(g.usize_in(0..6));
+    }
+    if g.f64_in(0.0..1.0) < 0.4 {
+        budget = budget.with_cost_cap(g.u64_in(0..20_000));
+    }
+    let cancel = if g.f64_in(0.0..1.0) < 0.3 {
+        let token = CancelToken::new();
+        if g.f64_in(0.0..1.0) < 0.5 {
+            token.cancel();
+        }
+        Some(token)
+    } else {
+        None
+    };
+    RunControl::new(budget, cancel).with_clock_stride(1)
+}
+
+/// The stop contract shared by every budgeted clusterer.
+fn assert_stop_contract(outcome: TsResult<Vec<usize>>, n: usize, k: usize, what: &str) {
+    match outcome {
+        Ok(labels) => {
+            assert_eq!(labels.len(), n, "{what}: wrong label count");
+            assert!(labels.iter().all(|&l| l < k), "{what}: label out of range");
+        }
+        Err(TsError::Stopped { labels, .. }) => {
+            assert!(
+                labels.is_empty() || labels.len() == n,
+                "{what}: partial labeling must be empty or complete"
+            );
+            assert!(
+                labels.iter().all(|&l| l < k),
+                "{what}: partial label out of range"
+            );
+        }
+        Err(TsError::NotConverged { labels, .. }) => {
+            assert_eq!(labels.len(), n, "{what}: NotConverged label count");
+            assert!(
+                labels.iter().all(|&l| l < k),
+                "{what}: NotConverged label range"
+            );
+        }
+        Err(_) => {} // any other typed error is acceptable
+    }
+}
+
+tscheck::props! {
+    #[cases(16)]
+    fn budgets_and_cancellation_never_panic(g) {
+        let n = g.usize_in(6..12);
+        let m = g.usize_in(8..20);
+        let series = clean_series(g, n, m);
+        let k = g.usize_in(2..4);
+        let seed = g.u64_in(0..1 << 32);
+
+        assert_stop_contract(
+            kshape::KShape::new(kshape::KShapeConfig {
+                k, max_iter: 10, seed, ..Default::default()
+            })
+            .try_fit_with_control(&series, &random_control(g))
+            .map(|r| r.labels),
+            n, k, "k-Shape",
+        );
+        assert_stop_contract(
+            tscluster::kmeans::try_kmeans_with_control(
+                &series,
+                &tsdist::EuclideanDistance,
+                &tscluster::KMeansConfig { k, max_iter: 10, seed },
+                &random_control(g),
+            )
+            .map(|r| r.labels),
+            n, k, "k-AVG",
+        );
+        assert_stop_contract(
+            tscluster::dba::try_kdba_with_control(
+                &series,
+                &tscluster::dba::KDbaConfig {
+                    k, max_iter: 5, seed, refinements_per_iter: 1, window: Some(m / 4),
+                },
+                &random_control(g),
+            )
+            .map(|r| r.labels),
+            n, k, "k-DBA",
+        );
+        assert_stop_contract(
+            tscluster::ksc::try_ksc_with_control(
+                &series,
+                &tscluster::ksc::KscConfig { k, max_iter: 5, seed },
+                &random_control(g),
+            )
+            .map(|r| r.labels),
+            n, k, "KSC",
+        );
+        assert_stop_contract(
+            tscluster::fuzzy::try_fuzzy_cmeans_with_control(
+                &series,
+                &tsdist::EuclideanDistance,
+                &tscluster::fuzzy::FuzzyConfig {
+                    k, fuzziness: 2.0, max_iter: 10, tol: 1e-4, seed,
+                },
+                &random_control(g),
+            )
+            .map(|r| r.labels),
+            n, k, "fuzzy c-means",
+        );
+    }
+
+    #[cases(12)]
+    fn budgeted_matrix_methods_never_panic(g) {
+        let n = g.usize_in(6..12);
+        let m = g.usize_in(8..16);
+        let series = clean_series(g, n, m);
+        let k = g.usize_in(2..4);
+        let seed = g.u64_in(0..1 << 32);
+
+        // The matrix build itself is budgeted…
+        let build = tscluster::matrix::DissimilarityMatrix::try_compute_with_control(
+            &series,
+            &tsdist::EuclideanDistance,
+            &random_control(g),
+        );
+        match build {
+            Ok(matrix) => {
+                // …and so is everything consuming it.
+                assert_stop_contract(
+                    tscluster::pam::try_pam_with_control(&matrix, k, 10, &random_control(g))
+                        .map(|r| r.labels),
+                    n, k, "PAM",
+                );
+                assert_stop_contract(
+                    tscluster::spectral::try_spectral_cluster_with_control(
+                        &matrix,
+                        &tscluster::spectral::SpectralConfig {
+                            k, max_iter: 10, seed, sigma: None,
+                        },
+                        &random_control(g),
+                    )
+                    .map(|r| r.labels),
+                    n, k, "spectral",
+                );
+                assert_stop_contract(
+                    tscluster::hierarchical::try_hierarchical_cluster_with_control(
+                        &matrix,
+                        tscluster::Linkage::Average,
+                        k,
+                        &random_control(g),
+                    ),
+                    n, k, "hierarchical",
+                );
+            }
+            Err(TsError::Stopped { labels, .. }) => {
+                assert!(labels.is_empty(), "a matrix build has no labeling");
+            }
+            Err(e) => panic!("unexpected matrix error on clean input: {e}"),
+        }
+    }
+
+    #[cases(12)]
+    fn ladder_survives_chaos_and_budgets(g) {
+        let n = g.usize_in(6..12);
+        let m = g.usize_in(8..16);
+        let mut series = clean_series(g, n, m);
+        let (nf, ragged) = inject(g, &mut series, &FaultKind::ALL);
+        let k = 2;
+        let config = tscluster::LadderConfig {
+            k,
+            max_iter: 10,
+            seed: g.u64_in(0..1 << 32),
+            max_attempts_per_rung: 2,
+            ..Default::default()
+        };
+        match tscluster::cluster_with_ladder(&series, &config, &random_control(g)) {
+            Ok(outcome) => {
+                assert!(!(nf || ragged), "corrupt input must not cluster");
+                assert_eq!(outcome.labels.len(), n);
+                assert!(outcome.labels.iter().all(|&l| l < k));
+            }
+            Err(TsError::Stopped { labels, .. }) => {
+                assert!(labels.is_empty() || labels.len() == n);
+                assert!(labels.iter().all(|&l| l < k));
+            }
+            Err(_) => {} // typed error: acceptable for any input
+        }
+    }
+
+    #[cases(16)]
+    fn retry_with_reseed_is_deterministic(g) {
+        let base_seed = g.u64_in(0..u64::MAX);
+        let max_attempts = g.u64_in(1..5) as u32;
+        // Fail the first `fail_below` attempts with a retryable error,
+        // then succeed returning the seed that was actually used.
+        let fail_below = g.usize_in(0..6);
+        let run_once = || {
+            let mut calls = 0usize;
+            let report = retry_with_reseed(base_seed, max_attempts, tsrun::default_retryable, |seed| {
+                calls += 1;
+                if calls <= fail_below {
+                    Err(TsError::NumericalFailure {
+                        context: format!("synthetic failure #{calls}"),
+                    })
+                } else {
+                    Ok(seed)
+                }
+            });
+            (report.outcome, report.attempts, report.seed_used, report.failures.len())
+        };
+        let (o1, a1, s1, f1) = run_once();
+        let (o2, a2, s2, f2) = run_once();
+        assert_eq!(a1, a2, "attempt count must be deterministic");
+        assert_eq!(s1, s2, "seed schedule must be deterministic");
+        assert_eq!(f1, f2, "failure log must be deterministic");
+        match (o1, o2) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x, y, "derived seed must be deterministic");
+                assert_eq!(f1, fail_below, "every failed attempt must be recorded");
+                assert!(fail_below < max_attempts as usize);
+            }
+            (Err(_), Err(_)) => {
+                assert!(
+                    fail_below >= max_attempts as usize,
+                    "must only exhaust when all attempts fail"
+                );
+                assert_eq!(a1, max_attempts);
+                assert_eq!(f1, max_attempts as usize, "every failed attempt must be recorded");
+            }
+            _ => panic!("outcomes diverged between identical runs"),
+        }
+        // Attempt 0 always uses the base seed verbatim.
+        if fail_below == 0 {
+            assert_eq!(s1, base_seed);
+        }
+    }
+
+    #[cases(16)]
+    fn truncated_checkpoints_are_quarantined_never_trusted(g) {
+        use tsexperiments::checkpoint::{CheckpointCell, CheckpointStore, LoadOutcome};
+        let cell = CheckpointCell {
+            method: "k-Shape".into(),
+            dataset: format!("chaos_{}", g.u64_in(0..1 << 20)),
+            config_tag: "seed=0;size_factor=0.1;runs=1;max_iter=5".into(),
+            rand_index: g.f64_in(0.0..1.0),
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "tsexp_chaos_{}_{}",
+            std::process::id(),
+            g.case_seed(),
+        ));
+        let store = CheckpointStore::new(&dir);
+        store.store(&cell).expect("store");
+        // Byte-truncate the on-disk checkpoint the way a kill -9 would.
+        let path = {
+            let mut it = std::fs::read_dir(&dir).expect("dir");
+            it.next().expect("one file").expect("entry").path()
+        };
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mut rng = StdRng::seed_from_u64(g.u64_in(0..u64::MAX));
+        let removed = tsdata::corrupt::truncate_checkpoint(&mut bytes, &mut rng);
+        assert!(removed > 0);
+        std::fs::write(&path, &bytes).expect("write truncated");
+        // Every prefix must be classified corrupt and quarantined.
+        let (loaded, outcome) = store.load(&cell.method, &cell.dataset, &cell.config_tag);
+        assert!(loaded.is_none(), "truncated checkpoint must never load");
+        assert_eq!(outcome, LoadOutcome::Quarantined);
+        // The quarantined evidence survives; the original name is free.
+        assert!(!path.exists());
+        let corrupt: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "corrupt"))
+            .collect();
+        assert_eq!(corrupt.len(), 1, "quarantine file missing");
+        // A fresh store of the same cell resumes cleanly.
+        store.store(&cell).expect("re-store");
+        let (reloaded, outcome) = store.load(&cell.method, &cell.dataset, &cell.config_tag);
+        assert_eq!(outcome, LoadOutcome::Hit);
+        assert_eq!(reloaded.expect("hit").rand_index.to_bits(), cell.rand_index.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

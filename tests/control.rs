@@ -1,0 +1,229 @@
+//! Acceptance tests for the execution-control layer (`tsrun`) and the
+//! checkpoint/resume harness (`tsexperiments::checkpoint`).
+//!
+//! Two properties are load-bearing enough to assert end-to-end:
+//!
+//! 1. **Bounded stop latency.** A 50 ms deadline on a dissimilarity-matrix
+//!    build that would otherwise run for seconds must return a typed
+//!    [`TsError::Stopped`] partial result in under 2× the deadline — the
+//!    work-proportional `charge()` points bound detection latency by
+//!    floating-point work, not by call counts.
+//!
+//! 2. **Byte-identical resume.** A sweep that is interrupted (and even has
+//!    a checkpoint byte-truncated, as a `kill -9` mid-write would) and then
+//!    resumed must produce output byte-identical to an uninterrupted sweep
+//!    on the same pinned seed. CI runs the same protocol out-of-process via
+//!    the `resumable` binary; this test keeps it hermetic and fast.
+
+use std::time::{Duration, Instant};
+
+use tscluster::matrix::DissimilarityMatrix;
+use tsdata::dataset::SplitDataset;
+use tserror::{StopReason, TsError};
+use tsexperiments::checkpoint::CheckpointStore;
+use tsexperiments::cluster_eval::{evaluate_method_checkpointed, DistKind, Method};
+use tsexperiments::ExperimentConfig;
+use tsrun::{Budget, CancelToken, RunControl};
+
+/// Deterministic sine collection big enough that an unconstrained DTW
+/// matrix takes well over any deadline used below.
+fn big_series(n: usize, m: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let freq = 0.1 + 0.01 * (i % 17) as f64;
+            let phase = 0.37 * i as f64;
+            (0..m).map(|t| (t as f64 * freq + phase).sin()).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn deadline_on_large_dtw_matrix_trips_within_two_x() {
+    // 96 series, 320 samples: 4560 unconstrained DTW pairs ≈ 4.7e8 DP
+    // cells — seconds of work, far beyond the 50 ms budget.
+    let series = big_series(96, 320);
+    let deadline = Duration::from_millis(50);
+    let ctrl = RunControl::new(Budget::unlimited().with_deadline(deadline), None);
+
+    let start = Instant::now();
+    let result = DissimilarityMatrix::try_compute_with_control(
+        &series,
+        &tsdist::Dtw::unconstrained(),
+        &ctrl,
+    );
+    let elapsed = start.elapsed();
+
+    match result {
+        Err(TsError::Stopped {
+            labels,
+            iterations,
+            reason,
+        }) => {
+            assert_eq!(reason, StopReason::Deadline);
+            assert!(labels.is_empty(), "a matrix build has no labeling");
+            let total_pairs = 96 * 95 / 2;
+            assert!(
+                iterations < total_pairs,
+                "claimed to finish {iterations}/{total_pairs} pairs under a 50 ms deadline"
+            );
+        }
+        Ok(_) => {
+            panic!("4560 unconstrained DTW pairs finished inside 50 ms — deadline never polled")
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+    // The acceptance bound: typed partial result in < 2× the deadline.
+    assert!(
+        elapsed < deadline * 2,
+        "stop latency {elapsed:?} exceeded 2x the {deadline:?} deadline"
+    );
+}
+
+#[test]
+fn pre_cancelled_token_stops_before_any_work() {
+    let series = big_series(64, 256);
+    let token = CancelToken::new();
+    token.cancel();
+    let ctrl = RunControl::new(Budget::unlimited(), Some(token));
+    let start = Instant::now();
+    let result = DissimilarityMatrix::try_compute_with_control(
+        &series,
+        &tsdist::Dtw::unconstrained(),
+        &ctrl,
+    );
+    let elapsed = start.elapsed();
+    match result {
+        Err(TsError::Stopped {
+            iterations, reason, ..
+        }) => {
+            assert_eq!(reason, StopReason::Cancelled);
+            assert_eq!(iterations, 0, "work done after cancellation");
+        }
+        other => panic!("expected immediate Cancelled stop, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_millis(100),
+        "cancellation took {elapsed:?}"
+    );
+}
+
+/// Renders the sweep exactly like the `resumable` binary's stdout rows:
+/// shortest round-trip float formatting, no wall-clock values.
+fn render_sweep(
+    methods: &[Method],
+    collection: &[SplitDataset],
+    cfg: &ExperimentConfig,
+    store: &CheckpointStore,
+) -> String {
+    let mut out = String::new();
+    for &method in methods {
+        let eval = evaluate_method_checkpointed(method, collection, cfg, store);
+        for (split, ri) in collection.iter().zip(eval.rand_indices.iter()) {
+            out.push_str(&format!("{}\t{}\t{ri:?}\n", eval.name, split.name()));
+        }
+        out.push_str(&format!("MEAN\t{}\t{:?}\n", eval.name, eval.mean_rand()));
+    }
+    out
+}
+
+#[test]
+fn interrupted_then_resumed_sweep_is_byte_identical() {
+    let cfg = ExperimentConfig {
+        size_factor: 0.2,
+        runs: 2,
+        max_iter: 10,
+        seed: 0xC0FFEE,
+        threads: 1,
+    };
+    let mut collection = cfg.collection();
+    collection.truncate(3); // keep the test fast; determinism is per-cell
+    let methods = [Method::KAvg(DistKind::Ed), Method::KShape];
+
+    // Ground truth: one uninterrupted sweep, no checkpointing at all.
+    let uninterrupted = render_sweep(&methods, &collection, &cfg, &CheckpointStore::disabled());
+
+    // Interrupted run: finish only the first method, then "die".
+    let dir = std::env::temp_dir().join(format!("tsexp_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir);
+    let _ = render_sweep(&methods[..1], &collection, &cfg, &store);
+    let written = std::fs::read_dir(&dir).expect("checkpoint dir").count();
+    assert_eq!(written, 3, "one checkpoint per finished dataset");
+
+    // Worse: one of the surviving checkpoints was byte-truncated by the
+    // kill (simulating a non-atomic writer / torn page).
+    let victim = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .next()
+        .expect("a checkpoint to corrupt");
+    let mut bytes = std::fs::read(&victim).expect("read victim");
+    let mut rng = tsrand::StdRng::seed_from_u64(42);
+    assert!(tsdata::corrupt::truncate_checkpoint(&mut bytes, &mut rng) > 0);
+    std::fs::write(&victim, &bytes).expect("write truncated");
+
+    // Resume: the full sweep over the same store. Valid cells are reused,
+    // the corrupt one is quarantined and recomputed, the missing method
+    // is computed fresh — and the output is byte-identical.
+    let resumed = render_sweep(&methods, &collection, &cfg, &store);
+    assert_eq!(
+        resumed, uninterrupted,
+        "resumed sweep diverged from uninterrupted sweep"
+    );
+
+    // The quarantined evidence survives on disk.
+    let corrupt_files = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "corrupt"))
+        .count();
+    assert_eq!(corrupt_files, 1, "quarantine file missing after resume");
+
+    // And a second resumed sweep — now fully checkpoint-backed — is still
+    // byte-identical (every cell served from disk through the float
+    // round-trip).
+    let cached = render_sweep(&methods, &collection, &cfg, &store);
+    assert_eq!(cached, uninterrupted, "cache round-trip changed bytes");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_checkpoints_from_another_config_are_recomputed() {
+    let cfg_a = ExperimentConfig {
+        size_factor: 0.2,
+        runs: 1,
+        max_iter: 8,
+        seed: 1,
+        threads: 1,
+    };
+    let cfg_b = ExperimentConfig { seed: 2, ..cfg_a };
+    let mut collection = cfg_a.collection();
+    collection.truncate(1);
+    let methods = [Method::KAvg(DistKind::Ed)];
+
+    let dir = std::env::temp_dir().join(format!("tsexp_stale_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir);
+
+    // Populate the store under config A…
+    let _ = render_sweep(&methods, &collection, &cfg_a, &store);
+    // …then sweep config B against the same directory. The stale cell
+    // must not leak: B's output must match B computed without any store.
+    let collection_b = {
+        let mut c = cfg_b.collection();
+        c.truncate(1);
+        c
+    };
+    let fresh_b = render_sweep(
+        &methods,
+        &collection_b,
+        &cfg_b,
+        &CheckpointStore::disabled(),
+    );
+    let stored_b = render_sweep(&methods, &collection_b, &cfg_b, &store);
+    assert_eq!(stored_b, fresh_b, "stale checkpoint leaked across configs");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
