@@ -10,8 +10,9 @@ use tsbench::Group;
 
 use crate::ecg_dataset;
 use kshape::init::InitStrategy;
-use kshape::{KShape, KShapeConfig};
-use tscluster::dba::{kdba, KDbaConfig};
+use kshape::{KShape, KShapeOptions};
+use tscluster::dba::KDbaConfig;
+use tscluster::{kdba_with, KDbaOptions};
 use tsdata::collection::split_alternating;
 use tsdata::dataset::Dataset;
 use tsdist::dtw::Dtw;
@@ -29,15 +30,12 @@ pub fn run(quick: bool) -> Group {
         ("init/random", InitStrategy::Random),
         ("init/plus_plus", InitStrategy::PlusPlus),
     ] {
+        let opts = KShapeOptions::new(2)
+            .with_seed(2)
+            .with_max_iter(max_iter)
+            .with_init(init);
         g.bench(name, || {
-            KShape::new(KShapeConfig {
-                k: 2,
-                max_iter,
-                seed: 2,
-                init,
-                ..Default::default()
-            })
-            .fit(black_box(&series))
+            KShape::fit_with(black_box(&series), &opts).map(|r| r.iterations)
         });
     }
 
@@ -49,17 +47,15 @@ pub fn run(quick: bool) -> Group {
     };
     let dba_iter = if quick { 3 } else { 15 };
     for refinements in [1usize, 5] {
+        let opts = KDbaOptions::from(KDbaConfig {
+            k: 2,
+            max_iter: dba_iter,
+            seed: 3,
+            refinements_per_iter: refinements,
+            window: None,
+        });
         g.bench(&format!("dba_refinements/{refinements}"), || {
-            kdba(
-                black_box(&dba_series),
-                &KDbaConfig {
-                    k: 2,
-                    max_iter: dba_iter,
-                    seed: 3,
-                    refinements_per_iter: refinements,
-                    window: None,
-                },
-            )
+            kdba_with(black_box(&dba_series), &opts).map(|r| r.iterations)
         });
     }
 

@@ -9,12 +9,11 @@ use std::hint::black_box;
 use tsbench::Group;
 
 use crate::ecg_dataset;
-use kshape::{KShape, KShapeConfig};
-use tscluster::dba::{kdba, KDbaConfig};
-use tscluster::kmeans::{kmeans, KMeansConfig};
-use tscluster::ksc::{ksc, KscConfig};
-use tscluster::matrix::DissimilarityMatrix;
-use tscluster::pam::pam;
+use kshape::{KShape, KShapeOptions};
+use tscluster::{
+    kdba_with, kmeans_with, ksc_with, pam_with, DissimilarityMatrix, KDbaOptions, KMeansOptions,
+    KscOptions, PamOptions,
+};
 use tsdist::dtw::Dtw;
 use tsdist::EuclideanDistance;
 
@@ -25,51 +24,27 @@ pub fn run(quick: bool) -> Group {
     let (n_per_class, m, max_iter) = if quick { (8, 48, 5) } else { (30, 128, 20) };
     let (series, _) = ecg_dataset(n_per_class, m, 21);
 
+    let kmeans_opts = KMeansOptions::new(2).with_seed(1).with_max_iter(max_iter);
     g.bench("k-AVG+ED", || {
-        kmeans(
-            black_box(&series),
-            &EuclideanDistance,
-            &KMeansConfig {
-                k: 2,
-                max_iter,
-                seed: 1,
-            },
-        )
+        kmeans_with(black_box(&series), &EuclideanDistance, &kmeans_opts).map(|r| r.iterations)
     });
+    let kshape_opts = KShapeOptions::new(2).with_seed(1).with_max_iter(max_iter);
     g.bench("k-Shape", || {
-        KShape::new(KShapeConfig {
-            k: 2,
-            max_iter,
-            seed: 1,
-            ..Default::default()
-        })
-        .fit(black_box(&series))
+        KShape::fit_with(black_box(&series), &kshape_opts).map(|r| r.iterations)
     });
+    let ksc_opts = KscOptions::new(2).with_seed(1).with_max_iter(max_iter);
     g.bench("KSC", || {
-        ksc(
-            black_box(&series),
-            &KscConfig {
-                k: 2,
-                max_iter,
-                seed: 1,
-            },
-        )
+        ksc_with(black_box(&series), &ksc_opts).map(|r| r.iterations)
     });
+    let kdba_opts = KDbaOptions::new(2).with_seed(1).with_max_iter(max_iter);
     g.bench("k-DBA", || {
-        kdba(
-            black_box(&series),
-            &KDbaConfig {
-                k: 2,
-                max_iter,
-                seed: 1,
-                ..Default::default()
-            },
-        )
+        kdba_with(black_box(&series), &kdba_opts).map(|r| r.iterations)
     });
+    let pam_opts = PamOptions::new(2).with_max_iter(max_iter);
     g.bench("PAM+cDTW(matrix+swap)", || {
         // The paper's point about PAM: the dissimilarity matrix dominates.
         let matrix = DissimilarityMatrix::compute(black_box(&series), &Dtw::with_window(6));
-        pam(&matrix, 2, max_iter)
+        pam_with(&matrix, &pam_opts).map(|r| r.labels.len())
     });
     g
 }

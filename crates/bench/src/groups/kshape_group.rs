@@ -14,7 +14,7 @@ use tsbench::Group;
 
 use crate::{cbf_series, random_series};
 use kshape::sbd::{sbd_with, CorrMethod, SbdPlan};
-use kshape::{KShape, KShapeConfig};
+use kshape::{KShape, KShapeOptions};
 
 /// Runs the `kshape` group.
 #[must_use]
@@ -50,14 +50,9 @@ pub fn run(quick: bool) -> Group {
     let max_iter = if quick { 3 } else { 10 };
     for &(n, m) in fits {
         let series = cbf_series(n, m, 5);
-        g.bench(&format!("kshape_fit/n{n}_m{m}"), || {
-            KShape::new(KShapeConfig {
-                k: 3,
-                max_iter,
-                seed: 1,
-                ..Default::default()
-            })
-            .fit(black_box(&series))
+        let opts = KShapeOptions::new(3).with_seed(1).with_max_iter(max_iter);
+        g.bench(&format!("kshape_fit/n{n}_m{m}"), move || {
+            KShape::fit_with(black_box(&series), &opts).map(|r| r.iterations)
         });
     }
     g

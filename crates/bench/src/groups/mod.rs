@@ -14,6 +14,7 @@ pub mod fft;
 pub mod kshape_group;
 pub mod scalability;
 pub mod shape_extraction;
+pub mod tsobs_group;
 pub mod tsrun_group;
 
 use tsbench::{Config, Group};
@@ -29,6 +30,7 @@ pub const GROUP_NAMES: &[&str] = &[
     "ablation",
     "kshape",
     "tsrun",
+    "tsobs",
 ];
 
 /// Dispatches a group by name.
@@ -44,6 +46,7 @@ pub fn run_group(name: &str, quick: bool) -> Option<Group> {
         "ablation" => Some(ablation::run(quick)),
         "kshape" => Some(kshape_group::run(quick)),
         "tsrun" => Some(tsrun_group::run(quick)),
+        "tsobs" => Some(tsobs_group::run(quick)),
         _ => None,
     }
 }

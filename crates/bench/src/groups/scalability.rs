@@ -9,18 +9,15 @@ use std::hint::black_box;
 use tsbench::Group;
 
 use crate::cbf_series;
-use kshape::{KShape, KShapeConfig};
-use tscluster::kmeans::{kmeans, KMeansConfig};
+use kshape::{KShape, KShapeOptions};
+use tscluster::{kmeans_with, KMeansOptions};
 use tsdist::EuclideanDistance;
 
-fn fit_kshape(series: &[Vec<f64>], max_iter: usize) -> kshape::KShapeResult {
-    KShape::new(KShapeConfig {
-        k: 3,
-        max_iter,
-        seed: 1,
-        ..Default::default()
-    })
-    .fit(series)
+fn fit_kshape(series: &[Vec<f64>], max_iter: usize) -> usize {
+    let opts = KShapeOptions::new(3).with_seed(1).with_max_iter(max_iter);
+    KShape::fit_with(series, &opts)
+        .expect("bench series are clean")
+        .iterations
 }
 
 /// Runs the `scalability` group.
@@ -35,16 +32,9 @@ pub fn run(quick: bool) -> Group {
         g.bench(&format!("vs_n/k-Shape/n{n}"), || {
             fit_kshape(black_box(&series), max_iter)
         });
-        g.bench(&format!("vs_n/k-AVG+ED/n{n}"), || {
-            kmeans(
-                black_box(&series),
-                &EuclideanDistance,
-                &KMeansConfig {
-                    k: 3,
-                    max_iter,
-                    seed: 1,
-                },
-            )
+        let opts = KMeansOptions::new(3).with_seed(1).with_max_iter(max_iter);
+        g.bench(&format!("vs_n/k-AVG+ED/n{n}"), move || {
+            kmeans_with(black_box(&series), &EuclideanDistance, &opts).map(|r| r.iterations)
         });
     }
 
@@ -55,16 +45,9 @@ pub fn run(quick: bool) -> Group {
         g.bench(&format!("vs_m/k-Shape/m{m}"), || {
             fit_kshape(black_box(&series), max_iter)
         });
-        g.bench(&format!("vs_m/k-AVG+ED/m{m}"), || {
-            kmeans(
-                black_box(&series),
-                &EuclideanDistance,
-                &KMeansConfig {
-                    k: 3,
-                    max_iter,
-                    seed: 1,
-                },
-            )
+        let opts = KMeansOptions::new(3).with_seed(1).with_max_iter(max_iter);
+        g.bench(&format!("vs_m/k-AVG+ED/m{m}"), move || {
+            kmeans_with(black_box(&series), &EuclideanDistance, &opts).map(|r| r.iterations)
         });
     }
     g

@@ -1,9 +1,9 @@
 //! The `tsrun` group — cancellation-poll overhead on the hot loops.
 //!
-//! The execution-control layer promises "pay only when armed": legacy
-//! entry points delegate to their `*_with_control` twins with
-//! `RunControl::unlimited()`, whose poll points are a single branch, and
-//! even an *armed* control reads the wall clock only once per
+//! The execution-control layer promises "pay only when armed": options
+//! objects without a budget or cancel token build a passive
+//! `RunControl` whose poll points are a single branch, and even an
+//! *armed* control reads the wall clock only once per
 //! `DEFAULT_CLOCK_STRIDE` cost units (CAS-elected, so one syscall per
 //! stride window even under contention). This group pins the promise as
 //! numbers in `BENCH_tsrun.json`:
@@ -24,19 +24,16 @@ use tsbench::Group;
 use tsrun::{Budget, CancelToken, RunControl};
 
 use crate::cbf_series;
-use kshape::{KShape, KShapeConfig};
+use kshape::{KShape, KShapeConfig, KShapeOptions};
 
-/// A fully armed control that will never actually trip: hour-long
-/// deadline, huge cost quota, un-fired cancel token. Every poll point
-/// takes its slow path; nothing stops.
-fn armed_control() -> RunControl {
-    RunControl::new(
-        Budget::unlimited()
-            .with_deadline(Duration::from_secs(3600))
-            .with_cost_cap(u64::MAX / 2)
-            .with_iteration_cap(usize::MAX),
-        Some(CancelToken::new()),
-    )
+/// A budget that will never actually trip: hour-long deadline, huge
+/// cost quota. Combined with a live (un-fired) cancel token it arms
+/// every poll point's slow path; nothing stops.
+fn armed_budget() -> Budget {
+    Budget::unlimited()
+        .with_deadline(Duration::from_secs(3600))
+        .with_cost_cap(u64::MAX / 2)
+        .with_iteration_cap(usize::MAX)
 }
 
 /// Runs the `tsrun` group.
@@ -54,15 +51,15 @@ pub fn run(quick: bool) -> Group {
         seed: 1,
         ..Default::default()
     };
+    let plain_opts = KShapeOptions::from(config);
     g.bench(&format!("kshape_fit_plain/n{n}_m{m}"), || {
-        KShape::new(config)
-            .try_fit(black_box(&series))
-            .map(|r| r.iterations)
+        KShape::fit_with(black_box(&series), &plain_opts).map(|r| r.iterations)
     });
+    let armed_opts = KShapeOptions::from(config)
+        .with_budget(armed_budget())
+        .with_cancel(CancelToken::new());
     g.bench(&format!("kshape_fit_armed/n{n}_m{m}"), || {
-        KShape::new(config)
-            .try_fit_with_control(black_box(&series), &armed_control())
-            .map(|r| r.iterations)
+        KShape::fit_with(black_box(&series), &armed_opts).map(|r| r.iterations)
     });
 
     // Raw per-poll cost: 1024 charges on the passive vs the armed path.
@@ -76,7 +73,7 @@ pub fn run(quick: bool) -> Group {
         }
         ok
     });
-    let armed = armed_control();
+    let armed = RunControl::new(armed_budget(), Some(CancelToken::new()));
     g.bench("charge_armed_x1024", || {
         let mut ok = 0u64;
         for i in 0..1024u64 {

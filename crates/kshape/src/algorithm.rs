@@ -15,8 +15,9 @@
 //! `O(max{n·k·m·log m, n·m², k·m³})`, linear in the number of series `n`.
 
 use tserror::{ensure_k, validate_series_set, TsError, TsResult};
+use tsobs::{IterationEvent, Obs, Recorder};
 use tsrand::StdRng;
-use tsrun::RunControl;
+use tsrun::{Budget, CancelToken, RunControl};
 
 use crate::extraction::{try_shape_extraction, EigenMethod};
 use crate::init::{plus_plus_assignment, random_assignment, InitStrategy};
@@ -46,6 +47,124 @@ impl Default for KShapeConfig {
             init: InitStrategy::Random,
             eigen: EigenMethod::Full,
         }
+    }
+}
+
+/// Unified options for [`KShape::fit_with`] — the single entry point
+/// that replaces the `fit` / `try_fit` / `try_fit_with_control` triplet.
+///
+/// Algorithm knobs mirror [`KShapeConfig`]; execution control
+/// ([`Budget`], [`CancelToken`]) and telemetry ([`Recorder`]) ride along
+/// so call sites no longer choose between three function variants:
+///
+/// ```
+/// use kshape::{KShape, KShapeOptions};
+/// let series = vec![vec![0.0, 1.0, 0.0, -1.0], vec![1.0, 0.0, -1.0, 0.0]];
+/// let opts = KShapeOptions::new(2).with_seed(7);
+/// let fit = KShape::fit_with(&series, &opts).expect("clean input");
+/// assert_eq!(fit.labels.len(), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct KShapeOptions<'a> {
+    /// Algorithm configuration (k, seed, iteration cap, init, eigen).
+    pub config: KShapeConfig,
+    /// Optional execution budget (deadline / iteration cap / cost cap).
+    pub budget: Option<Budget>,
+    /// Optional cooperative cancellation token.
+    pub cancel: Option<CancelToken>,
+    /// Optional telemetry recorder; `None` keeps the hot loop disarmed.
+    pub recorder: Option<&'a dyn Recorder>,
+}
+
+impl std::fmt::Debug for KShapeOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KShapeOptions")
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl From<KShapeConfig> for KShapeOptions<'_> {
+    fn from(config: KShapeConfig) -> Self {
+        KShapeOptions {
+            config,
+            ..KShapeOptions::default()
+        }
+    }
+}
+
+impl<'a> KShapeOptions<'a> {
+    /// Default options for `k` clusters.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        KShapeOptions::from(KShapeConfig {
+            k,
+            ..KShapeConfig::default()
+        })
+    }
+
+    /// Sets the RNG seed for the initial assignment.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the refinement iteration cap.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.config.max_iter = max_iter;
+        self
+    }
+
+    /// Sets the initialization strategy.
+    #[must_use]
+    pub fn with_init(mut self, init: InitStrategy) -> Self {
+        self.config.init = init;
+        self
+    }
+
+    /// Sets the dominant-eigenvector method for shape extraction.
+    #[must_use]
+    pub fn with_eigen(mut self, eigen: EigenMethod) -> Self {
+        self.config.eigen = eigen;
+        self
+    }
+
+    /// Attaches an execution budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Arms a [`RunControl`] from the budget/cancel fields.
+    #[must_use]
+    pub fn control(&self) -> RunControl {
+        RunControl::from_parts(self.budget, self.cancel.clone())
+    }
+
+    /// The observability handle for this run.
+    #[must_use]
+    pub fn obs(&self) -> Obs<'a> {
+        Obs::from_option(self.recorder)
     }
 }
 
@@ -102,13 +221,43 @@ impl KShape {
     /// # Panics
     ///
     /// Panics if `series` is empty, ragged, contains non-finite samples,
-    /// or `k` is 0 or exceeds the number of series. Use [`KShape::try_fit`]
-    /// to receive these conditions as typed [`TsError`]s instead.
+    /// or `k` is 0 or exceeds the number of series. Use
+    /// [`KShape::fit_with`] to receive these conditions as typed
+    /// [`TsError`]s instead.
+    #[deprecated(since = "0.1.0", note = "use KShape::fit_with with KShapeOptions")]
     #[must_use]
     pub fn fit(&self, series: &[Vec<f64>]) -> KShapeResult {
-        self.fit_core(series, &RunControl::unlimited())
+        self.fit_core(series, &RunControl::unlimited(), Obs::none())
             .unwrap_or_else(|e| panic!("{e}"))
             .0
+    }
+
+    /// Clusters `series` under a unified options object (Algorithm 3) —
+    /// the single entry point replacing the deprecated
+    /// [`KShape::fit`] / [`KShape::try_fit`] /
+    /// [`KShape::try_fit_with_control`] triplet.
+    ///
+    /// Unlike `try_fit`, hitting the iteration cap is *not* an error
+    /// here: the returned [`KShapeResult`] carries `converged: false`
+    /// and the best-effort labeling, which is what nearly every caller
+    /// of the old API reconstructed from the [`TsError::NotConverged`]
+    /// payload anyway.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsError::EmptyInput`], [`TsError::LengthMismatch`], or
+    ///   [`TsError::NonFinite`] for malformed `series`;
+    /// * [`TsError::InvalidK`] unless `1 <= k <= series.len()`;
+    /// * [`TsError::Stopped`] when the options' budget trips or the
+    ///   token is cancelled (carrying the best labeling so far);
+    /// * [`TsError::NumericalFailure`] from a degenerate shape
+    ///   extraction.
+    pub fn fit_with(series: &[Vec<f64>], opts: &KShapeOptions<'_>) -> TsResult<KShapeResult> {
+        let ctrl = opts.control();
+        let obs = opts.obs();
+        let (result, _shifted) = KShape::new(opts.config).fit_core(series, &ctrl, obs)?;
+        ctrl.report_cost(obs);
+        Ok(result)
     }
 
     /// Fallible variant of [`KShape::fit`]: validates the input once up
@@ -123,7 +272,9 @@ impl KShape {
     ///   `max_iter` — the error carries the final labeling, the iteration
     ///   count, and how many series shifted cluster in the last iteration,
     ///   so callers can still consume the best-effort result.
+    #[deprecated(since = "0.1.0", note = "use KShape::fit_with with KShapeOptions")]
     pub fn try_fit(&self, series: &[Vec<f64>]) -> TsResult<KShapeResult> {
+        #[allow(deprecated)]
         self.try_fit_with_control(series, &RunControl::unlimited())
     }
 
@@ -140,12 +291,16 @@ impl KShape {
     /// [`TsError::Stopped`] carrying the best labeling so far, the
     /// iterations completed, and the [`tserror::StopReason`] when the
     /// budget trips or the token is cancelled.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use KShape::fit_with with KShapeOptions { budget, cancel, .. }"
+    )]
     pub fn try_fit_with_control(
         &self,
         series: &[Vec<f64>],
         ctrl: &RunControl,
     ) -> TsResult<KShapeResult> {
-        let (result, shifted) = self.fit_core(series, ctrl)?;
+        let (result, shifted) = self.fit_core(series, ctrl, Obs::none())?;
         if result.converged {
             Ok(result)
         } else {
@@ -157,18 +312,26 @@ impl KShape {
         }
     }
 
-    /// Validated k-Shape refinement loop shared by [`KShape::fit`] and
-    /// [`KShape::try_fit`]. Returns the result plus the number of series
-    /// that changed cluster in the final iteration (0 when converged).
+    /// Validated k-Shape refinement loop shared by [`KShape::fit_with`]
+    /// and the deprecated wrappers. Returns the result plus the number of
+    /// series that changed cluster in the final iteration (0 when
+    /// converged).
+    ///
+    /// Telemetry contract: everything recorded through `obs` is
+    /// read-only — an armed recorder never changes labels, centroids, or
+    /// iteration counts (`tests/observability.rs` enforces this against
+    /// the golden hashes).
     pub(crate) fn fit_core(
         &self,
         series: &[Vec<f64>],
         ctrl: &RunControl,
+        obs: Obs<'_>,
     ) -> TsResult<(KShapeResult, usize)> {
         let cfg = &self.config;
         let n = series.len();
         let m = validate_series_set(series)?;
         ensure_k(cfg.k, n)?;
+        let fit_span = obs.span("kshape.fit");
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut labels = match cfg.init {
@@ -189,8 +352,16 @@ impl KShape {
                 return Err(RunControl::stop_error(labels, iterations, reason));
             }
             iterations += 1;
+            // Armed-only: snapshot the centroids so the iteration event
+            // can report how far they moved this round.
+            let prev_centroids = if obs.is_armed() {
+                Some(centroids.clone())
+            } else {
+                None
+            };
 
             // ----- Refinement step: recompute centroids. -----
+            let refine_span = obs.span("kshape.refinement");
             #[allow(clippy::needless_range_loop)]
             for j in 0..cfg.k {
                 // Shape extraction builds and decomposes an m×m matrix —
@@ -215,6 +386,7 @@ impl KShape {
                         .map_or(0, |(i, _)| i);
                     labels[worst] = j;
                     centroids[j] = tsdata::normalize::z_normalize(&series[worst]);
+                    obs.counter("kshape.empty_cluster_reseeds", 1);
                     continue;
                 }
                 let members_len = members.len();
@@ -223,8 +395,10 @@ impl KShape {
                     return Err(RunControl::stop_error(labels, iterations - 1, reason));
                 }
             }
+            refine_span.end();
 
             // ----- Assignment step: move to nearest centroid. -----
+            let assign_span = obs.span("kshape.assignment");
             let prepared: Vec<_> = centroids.iter().map(|c| plan.prepare(c)).collect();
             let mut changed = 0usize;
             for (i, s) in series.iter().enumerate() {
@@ -247,12 +421,30 @@ impl KShape {
                     return Err(RunControl::stop_error(labels, iterations - 1, reason));
                 }
             }
+            assign_span.end();
             shifted = changed;
+            if obs.is_armed() {
+                // All armed-only reads: nothing here feeds back into the
+                // refinement state.
+                let inertia_now: f64 = dists.iter().map(|d| d * d).sum();
+                let shift = prev_centroids
+                    .as_deref()
+                    .map_or(f64::NAN, |prev| centroid_shift(prev, &centroids));
+                obs.iteration(&IterationEvent {
+                    algorithm: "kshape",
+                    iter: iterations - 1,
+                    inertia: inertia_now,
+                    moved: changed,
+                    centroid_shift: shift,
+                });
+            }
             if changed == 0 {
                 converged = true;
                 break;
             }
         }
+        obs.counter("kshape.iterations", iterations as u64);
+        fit_span.end();
 
         let inertia = dists.iter().map(|d| d * d).sum();
         Ok((
@@ -268,9 +460,27 @@ impl KShape {
     }
 }
 
+/// Aggregate L2 distance between two centroid sets — telemetry only,
+/// computed exclusively on the armed path.
+fn centroid_shift(prev: &[Vec<f64>], next: &[Vec<f64>]) -> f64 {
+    prev.iter()
+        .zip(next.iter())
+        .map(|(a, b)| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{KShape, KShapeConfig, KShapeResult};
+    // The deprecated triplet stays covered until it is removed.
+    #![allow(deprecated)]
+
+    use super::{KShape, KShapeConfig, KShapeOptions, KShapeResult};
     use crate::extraction::EigenMethod;
     use crate::init::InitStrategy;
     use tsdata::normalize::z_normalize;
@@ -514,5 +724,106 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn fit_with_matches_deprecated_fit() {
+        let (series, _) = two_class_data();
+        let cfg = KShapeConfig {
+            k: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let old = KShape::new(cfg).fit(&series);
+        let new = KShape::fit_with(&series, &KShapeOptions::from(cfg)).expect("clean data");
+        assert_eq!(old.labels, new.labels);
+        assert_eq!(old.iterations, new.iterations);
+        assert_eq!(old.centroids, new.centroids);
+        assert_eq!(old.inertia.to_bits(), new.inertia.to_bits());
+    }
+
+    #[test]
+    fn fit_with_returns_unconverged_result_instead_of_error() {
+        let (series, _) = two_class_data();
+        let opts = KShapeOptions::new(2).with_seed(5).with_max_iter(0);
+        let fit = KShape::fit_with(&series, &opts).expect("cap is not an error");
+        assert!(!fit.converged);
+        assert_eq!(fit.iterations, 0);
+        assert_eq!(fit.labels.len(), series.len());
+    }
+
+    #[test]
+    fn fit_with_reports_typed_errors() {
+        use tserror::TsError;
+        let opts = KShapeOptions::new(3);
+        assert!(matches!(
+            KShape::fit_with(&[], &opts),
+            Err(TsError::EmptyInput)
+        ));
+        assert!(matches!(
+            KShape::fit_with(&[vec![1.0, 2.0], vec![2.0, 1.0]], &opts),
+            Err(TsError::InvalidK { k: 3, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn fit_with_stops_on_cancellation() {
+        use tsrun::CancelToken;
+        let (series, _) = two_class_data();
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = KShapeOptions::new(2).with_cancel(token);
+        let err = KShape::fit_with(&series, &opts).expect_err("cancelled up front");
+        assert!(matches!(err, tserror::TsError::Stopped { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fit_with_emits_convergence_telemetry() {
+        let (series, _) = two_class_data();
+        let sink = tsobs::MemorySink::new();
+        // A (huge) cost cap arms the control's cost accounting; a fully
+        // passive control skips the counter entirely.
+        let opts = KShapeOptions::new(2)
+            .with_seed(7)
+            .with_budget(tsrun::Budget::unlimited().with_cost_cap(u64::MAX))
+            .with_recorder(&sink);
+        let fit = KShape::fit_with(&series, &opts).expect("clean data");
+
+        let iters = sink.iteration_events();
+        assert_eq!(iters.len(), fit.iterations);
+        assert!(iters.iter().all(|e| e.algorithm == "kshape"));
+        assert!(iters.iter().all(|e| e.inertia.is_finite()));
+        assert!(iters.iter().all(|e| e.centroid_shift.is_finite()));
+        // Converged: the last iteration moved nothing and its inertia is
+        // the result's inertia.
+        let last = iters.last().expect("at least one iteration");
+        assert_eq!(last.moved, 0);
+        assert_eq!(last.inertia.to_bits(), fit.inertia.to_bits());
+
+        assert_eq!(sink.span_count("kshape.fit"), 1);
+        assert_eq!(sink.span_count("kshape.refinement"), fit.iterations);
+        assert_eq!(sink.span_count("kshape.assignment"), fit.iterations);
+        assert_eq!(
+            sink.counter_total("kshape.iterations"),
+            fit.iterations as u64
+        );
+        assert!(sink.counter_total(tsrun::COST_COUNTER) > 0);
+    }
+
+    #[test]
+    fn armed_recorder_never_changes_the_fit() {
+        let (series, _) = two_class_data();
+        let plain = KShape::fit_with(&series, &KShapeOptions::new(2).with_seed(3)).expect("clean");
+        let sink = tsobs::MemorySink::new();
+        let armed = KShape::fit_with(
+            &series,
+            &KShapeOptions::new(2).with_seed(3).with_recorder(&sink),
+        )
+        .expect("clean");
+        assert_eq!(plain.labels, armed.labels);
+        assert_eq!(plain.iterations, armed.iterations);
+        assert_eq!(plain.centroids, armed.centroids);
+        assert_eq!(plain.inertia.to_bits(), armed.inertia.to_bits());
+        assert!(!sink.is_empty());
     }
 }

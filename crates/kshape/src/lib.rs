@@ -22,7 +22,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use kshape::{KShape, KShapeConfig};
+//! use kshape::{KShape, KShapeOptions};
 //!
 //! // Two obvious shape classes: rising and falling ramps, with phase jitter.
 //! let mut series = Vec::new();
@@ -32,13 +32,17 @@
 //!     series.push(up);
 //!     series.push(down);
 //! }
-//! let result = KShape::new(KShapeConfig { k: 2, seed: 42, ..Default::default() })
-//!     .fit(&series);
+//! let result = KShape::fit_with(&series, &KShapeOptions::new(2).with_seed(42))
+//!     .expect("clean input");
 //! assert_eq!(result.labels.len(), 8);
 //! // Members 0,2,4,... share one cluster and 1,3,5,... the other.
 //! assert_eq!(result.labels[0], result.labels[2]);
 //! assert_ne!(result.labels[0], result.labels[1]);
 //! ```
+//!
+//! Budgets, cancellation, and telemetry all ride on the same options
+//! object (see [`KShapeOptions`]); the `fit` / `try_fit` /
+//! `try_fit_with_control` triplet is deprecated in its favor.
 
 #![warn(missing_docs)]
 
@@ -51,7 +55,7 @@ pub mod sbd;
 pub mod sbd_unequal;
 pub mod validity;
 
-pub use algorithm::{KShape, KShapeConfig, KShapeResult};
+pub use algorithm::{KShape, KShapeConfig, KShapeOptions, KShapeResult};
 pub use extraction::{shape_extraction, try_shape_extraction};
-pub use sbd::{sbd, try_sbd, Sbd, SbdResult};
+pub use sbd::{sbd, try_sbd, CacheStats, Sbd, SbdResult};
 pub use tserror::{TsError, TsResult};

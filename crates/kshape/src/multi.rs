@@ -70,7 +70,7 @@ pub fn try_fit_restarts_with_control(
                 ..*config
             };
             KShape::new(cfg)
-                .fit_core(series, ctrl)
+                .fit_core(series, ctrl, tsobs::Obs::none())
                 .map(|(result, _)| result)
         })
         .collect()

@@ -13,6 +13,7 @@
 //!   (`SBD-NoPow2`),
 //! * [`CorrMethod::Naive`] — direct O(m²) correlation (`SBD-NoFFT`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use tsdist::Distance;
@@ -282,12 +283,18 @@ pub const SBD_PLAN_CACHE_CAP: usize = 8;
 #[derive(Debug)]
 struct PlanCache<T> {
     entries: Mutex<Vec<(usize, Arc<T>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<T> Default for PlanCache<T> {
     fn default() -> Self {
         PlanCache {
             entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 }
@@ -300,11 +307,17 @@ impl<T> PlanCache<T> {
             let entry = guard.remove(pos);
             let plan = Arc::clone(&entry.1);
             guard.insert(0, entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return plan;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(build());
         guard.insert(0, (key, Arc::clone(&plan)));
-        guard.truncate(SBD_PLAN_CACHE_CAP);
+        if guard.len() > SBD_PLAN_CACHE_CAP {
+            let evicted = guard.len() - SBD_PLAN_CACHE_CAP;
+            guard.truncate(SBD_PLAN_CACHE_CAP);
+            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
         plan
     }
 
@@ -318,6 +331,70 @@ impl<T> PlanCache<T> {
         lock_plan_cache(&self.entries)
             .iter()
             .any(|(k, _)| *k == key)
+    }
+
+    /// Snapshot of the cache's lifetime counters and current size.
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+        }
+    }
+}
+
+/// Lifetime statistics of a bounded-MRU plan cache, exposed via
+/// [`Sbd::cache_stats`].
+///
+/// Before this accessor existed, the PR 3 cache behaviour (bounded size,
+/// MRU retention) was only testable through timing side effects; these
+/// counters make hit rates a first-class, assertable quantity and feed
+/// the `sbd.cache.*` telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a new plan.
+    pub misses: u64,
+    /// Plans evicted by the bounded-MRU policy.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Folds another snapshot into this one (summing counters and sizes).
+    #[must_use]
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            len: self.len + other.len,
+        }
+    }
+
+    /// Hit fraction of all lookups so far (0 when none happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Emits the snapshot as `sbd.cache.{hits,misses,evictions,len}`
+    /// telemetry counters. Counters are monotonic, so call this once per
+    /// distinct `Sbd` instance (e.g. after a matrix build), not per
+    /// lookup.
+    pub fn emit(&self, obs: tsobs::Obs<'_>) {
+        obs.counter("sbd.cache.hits", self.hits);
+        obs.counter("sbd.cache.misses", self.misses);
+        obs.counter("sbd.cache.evictions", self.evictions);
+        obs.counter("sbd.cache.len", self.len as u64);
     }
 }
 
@@ -388,6 +465,13 @@ impl Sbd {
     #[must_use]
     pub fn has_cached_plan_for(&self, m: usize) -> bool {
         self.cached.contains(m) || (m > 0 && self.cached_bluestein.contains(2 * m - 1))
+    }
+
+    /// Combined hit/miss/eviction statistics of the power-of-two and
+    /// Bluestein plan caches since this `Sbd` was created.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cached.stats().merged(self.cached_bluestein.stats())
     }
 
     /// Bluestein-based SBD with a cached chirp plan (the `SBD-NoPow2`
@@ -715,5 +799,48 @@ mod tests {
             let _ = b.dist(&x, &x);
             assert!(b.cached_plan_count() <= SBD_PLAN_CACHE_CAP);
         }
+    }
+
+    /// The `CacheStats` accessor makes hit/miss/eviction behaviour
+    /// directly assertable instead of inferable from timing.
+    #[test]
+    fn cache_stats_count_hits_misses_and_evictions() {
+        use super::{CacheStats, SBD_PLAN_CACHE_CAP};
+
+        let d = Sbd::new();
+        assert_eq!(d.cache_stats(), CacheStats::default());
+        assert_eq!(d.cache_stats().hit_rate(), 0.0);
+
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3 + 0.5).cos()).collect();
+
+        // First call on a fresh length: one miss, no hit, no eviction.
+        let _ = d.dist(&x, &y);
+        let s = d.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (0, 1, 0, 1));
+
+        // Same length again: pure hits from here on.
+        let _ = d.dist(&x, &y);
+        let _ = d.dist(&y, &x);
+        let s = d.cache_stats();
+        assert_eq!((s.hits, s.misses, s.len), (2, 1, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+
+        // Overflow the cache: evictions become observable.
+        for m in 4..(4 + 2 * SBD_PLAN_CACHE_CAP) {
+            let z: Vec<f64> = (0..m).map(|i| (i as f64 * 0.21).sin()).collect();
+            let _ = d.dist(&z, &z);
+        }
+        let s = d.cache_stats();
+        assert!(s.evictions > 0, "expected evictions, got {s:?}");
+        assert!(s.len <= SBD_PLAN_CACHE_CAP);
+
+        // Stats emit as telemetry counters under the sbd.cache.* names.
+        let sink = tsobs::MemorySink::new();
+        s.emit(tsobs::Obs::new(&sink));
+        assert_eq!(sink.counter_total("sbd.cache.hits"), s.hits);
+        assert_eq!(sink.counter_total("sbd.cache.misses"), s.misses);
+        assert_eq!(sink.counter_total("sbd.cache.evictions"), s.evictions);
+        assert_eq!(sink.counter_total("sbd.cache.len"), s.len as u64);
     }
 }

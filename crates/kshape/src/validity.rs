@@ -92,7 +92,7 @@ pub fn try_sweep_k(
                 try_fit_best(&cfg, series, restarts)?
             } else {
                 KShape::new(cfg)
-                    .fit_core(series, &tsrun::RunControl::unlimited())?
+                    .fit_core(series, &tsrun::RunControl::unlimited(), tsobs::Obs::none())?
                     .0
             };
             let silhouette = silhouette_score(&result.labels, |i, j| dmat[i * n + j]);

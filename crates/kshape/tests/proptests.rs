@@ -3,7 +3,7 @@
 
 use kshape::extraction::{shape_extraction, EigenMethod};
 use kshape::sbd::{sbd, sbd_with, CorrMethod, SbdPlan};
-use kshape::{KShape, KShapeConfig};
+use kshape::{KShape, KShapeConfig, KShapeOptions};
 use tscheck::Gen;
 use tsdata::normalize::z_normalize;
 
@@ -113,8 +113,8 @@ tscheck::props! {
                 )
             })
             .collect();
-        let r = KShape::new(KShapeConfig { k, seed, max_iter: 20, ..Default::default() })
-            .fit(&series);
+        let opts = KShapeOptions::from(KShapeConfig { k, seed, max_iter: 20, ..Default::default() });
+        let r = KShape::fit_with(&series, &opts).expect("generated data is clean");
         assert_eq!(r.labels.len(), 8);
         assert!(r.labels.iter().all(|&l| l < k));
         assert!(r.inertia >= -1e-9);

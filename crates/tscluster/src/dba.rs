@@ -16,7 +16,11 @@ use kshape::init::random_assignment;
 use tsdist::dtw::{dtw_distance, dtw_path};
 use tsdist::Distance;
 use tserror::{ensure_finite, ensure_k, validate_series_set, TsError, TsResult};
+use tsobs::{IterationEvent, Obs};
 use tsrun::RunControl;
+
+use crate::options::centroid_shift;
+pub use crate::options::KDbaOptions;
 
 /// One DBA refinement: realigns all members to `average` and replaces each
 /// coordinate with the barycenter of its associated member coordinates.
@@ -170,15 +174,37 @@ pub struct KDbaResult {
     pub inertia: f64,
 }
 
+/// Runs k-DBA through the unified options object: DTW assignment, DBA
+/// centroid refinement, and optional budget / cancellation / telemetry
+/// riding on [`KDbaOptions`].
+///
+/// Unlike the deprecated [`try_kdba`], hitting the iteration cap is
+/// *not* an error: the returned [`KDbaResult`] carries
+/// `converged: false`.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
+/// [`TsError::Stopped`] when the attached budget or cancellation trips.
+pub fn kdba_with(series: &[Vec<f64>], opts: &KDbaOptions<'_>) -> TsResult<KDbaResult> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let (result, _shifted) = kdba_core(series, &opts.config, &ctrl, obs)?;
+    ctrl.report_cost(obs);
+    Ok(result)
+}
+
 /// Runs k-DBA: k-means with DTW assignment and DBA centroid refinement.
 ///
 /// # Panics
 ///
 /// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
-/// `k > n`. See [`try_kdba`] for the fallible variant.
+/// `k > n`. See [`kdba_with`] for the fallible options-based variant.
+#[deprecated(since = "0.1.0", note = "use kdba_with with KDbaOptions")]
 #[must_use]
 pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
-    kdba_core(series, config, &RunControl::unlimited())
+    kdba_core(series, config, &RunControl::unlimited(), Obs::none())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -192,7 +218,9 @@ pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
 /// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
 /// [`TsError::NonFinite`], [`TsError::InvalidK`], or
 /// [`TsError::NotConverged`].
+#[deprecated(since = "0.1.0", note = "use kdba_with with KDbaOptions")]
 pub fn try_kdba(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<KDbaResult> {
+    #[allow(deprecated)]
     try_kdba_with_control(series, config, &RunControl::unlimited())
 }
 
@@ -205,12 +233,13 @@ pub fn try_kdba(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<KDbaResult
 ///
 /// Everything [`try_kdba`] reports, plus [`TsError::Stopped`] carrying
 /// the current labeling and completed iteration count.
+#[deprecated(since = "0.1.0", note = "use kdba_with with KDbaOptions")]
 pub fn try_kdba_with_control(
     series: &[Vec<f64>],
     config: &KDbaConfig,
     ctrl: &RunControl,
 ) -> TsResult<KDbaResult> {
-    let (result, shifted) = kdba_core(series, config, ctrl)?;
+    let (result, shifted) = kdba_core(series, config, ctrl, Obs::none())?;
     if result.converged {
         Ok(result)
     } else {
@@ -228,10 +257,13 @@ fn kdba_core(
     series: &[Vec<f64>],
     config: &KDbaConfig,
     ctrl: &RunControl,
+    obs: Obs<'_>,
 ) -> TsResult<(KDbaResult, usize)> {
     let n = series.len();
     let m = validate_series_set(series)?;
     ensure_k(config.k, n)?;
+    let fit_span = obs.span(KDbaOptions::FIT_SPAN);
+    let mut prev_centroids: Vec<Vec<f64>> = Vec::new();
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut labels = random_assignment(n, config.k, &mut rng);
@@ -251,6 +283,9 @@ fn kdba_core(
             return Err(RunControl::stop_error(labels, iterations, reason));
         }
         iterations += 1;
+        if obs.is_armed() {
+            prev_centroids = centroids.clone();
+        }
 
         #[allow(clippy::needless_range_loop)]
         for j in 0..config.k {
@@ -261,6 +296,7 @@ fn kdba_core(
                 .map(|(s, _)| s.as_slice())
                 .collect();
             if members.is_empty() {
+                obs.counter("kdba.empty_cluster_reseeds", 1);
                 let worst = dists
                     .iter()
                     .enumerate()
@@ -312,12 +348,23 @@ fn kdba_core(
             }
         }
         shifted = changed;
+        if obs.is_armed() {
+            obs.iteration(&IterationEvent {
+                algorithm: "kdba",
+                iter: iterations - 1,
+                inertia: dists.iter().map(|d| d * d).sum(),
+                moved: changed,
+                centroid_shift: centroid_shift(&prev_centroids, &centroids),
+            });
+        }
         if changed == 0 {
             converged = true;
             break;
         }
     }
 
+    obs.counter("kdba.iterations", iterations as u64);
+    fit_span.end();
     Ok((
         KDbaResult {
             labels,
@@ -332,7 +379,9 @@ fn kdba_core(
 
 #[cfg(test)]
 mod tests {
-    use super::{dba_average, dba_refine, kdba, KDbaConfig};
+    // The deprecated triplet stays covered on purpose until removal.
+    #![allow(deprecated)]
+    use super::{dba_average, dba_refine, kdba, kdba_with, KDbaConfig, KDbaOptions};
     use tsdist::dtw::dtw_distance;
 
     fn bump(m: usize, center: f64) -> Vec<f64> {
@@ -491,5 +540,33 @@ mod tests {
         let p = kdba(&series, &cfg);
         let t = try_kdba(&series, &cfg).expect("clean data converges");
         assert_eq!(p.labels, t.labels);
+    }
+
+    #[test]
+    fn kdba_with_matches_and_emits_telemetry() {
+        let mut series = Vec::new();
+        for j in 0..5 {
+            series.push(bump(40, 10.0 + j as f64));
+            let neg: Vec<f64> = bump(40, 28.0 + j as f64).iter().map(|v| -v).collect();
+            series.push(neg);
+        }
+        let cfg = KDbaConfig {
+            k: 2,
+            seed: 4,
+            ..Default::default()
+        };
+        let old = kdba(&series, &cfg);
+        let sink = tsobs::MemorySink::new();
+        let new =
+            kdba_with(&series, &KDbaOptions::from(cfg).with_recorder(&sink)).expect("clean input");
+        assert_eq!(old.labels, new.labels);
+        let events = sink.iteration_events();
+        assert_eq!(events.len(), new.iterations);
+        assert!(events.iter().all(|e| e.algorithm == "kdba"));
+        assert_eq!(sink.span_count(KDbaOptions::FIT_SPAN), 1);
+        // Unconverged runs return Ok under the options API.
+        let capped = kdba_with(&series, &KDbaOptions::from(cfg).with_max_iter(0))
+            .expect("cap is not an error");
+        assert!(!capped.converged);
     }
 }

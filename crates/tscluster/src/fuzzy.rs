@@ -18,7 +18,11 @@ use tsrand::StdRng;
 
 use tsdist::Distance;
 use tserror::{ensure_k, validate_series_set, TsError, TsResult};
+use tsobs::{IterationEvent, Obs};
 use tsrun::RunControl;
+
+use crate::options::centroid_shift;
+pub use crate::options::FuzzyOptions;
 
 /// Configuration for fuzzy c-means.
 #[derive(Debug, Clone, Copy)]
@@ -63,20 +67,46 @@ pub struct FuzzyResult {
     pub converged: bool,
 }
 
+/// Runs fuzzy c-means through the unified options object, with optional
+/// budget / cancellation / telemetry riding on [`FuzzyOptions`].
+///
+/// Unlike the deprecated [`try_fuzzy_cmeans`], hitting the iteration
+/// cap is *not* an error: the returned [`FuzzyResult`] carries
+/// `converged: false`.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+/// [`TsError::NonFinite`], [`TsError::InvalidK`],
+/// [`TsError::NumericalFailure`] (a fuzzifier `<= 1`), or
+/// [`TsError::Stopped`] when the attached budget or cancellation trips.
+pub fn fuzzy_cmeans_with<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    opts: &FuzzyOptions<'_>,
+) -> TsResult<FuzzyResult> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let (result, _shifted) = fuzzy_core(series, dist, &opts.config, &ctrl, obs)?;
+    ctrl.report_cost(obs);
+    Ok(result)
+}
+
 /// Runs fuzzy c-means.
 ///
 /// # Panics
 ///
 /// Panics if `series` is empty, ragged, or non-finite, `k` is 0 or
-/// exceeds `n`, or `fuzziness <= 1`. See [`try_fuzzy_cmeans`] for the
-/// fallible variant.
+/// exceeds `n`, or `fuzziness <= 1`. See [`fuzzy_cmeans_with`] for the
+/// fallible options-based variant.
+#[deprecated(since = "0.1.0", note = "use fuzzy_cmeans_with with FuzzyOptions")]
 #[must_use]
 pub fn fuzzy_cmeans<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &FuzzyConfig,
 ) -> FuzzyResult {
-    fuzzy_core(series, dist, config, &RunControl::unlimited())
+    fuzzy_core(series, dist, config, &RunControl::unlimited(), Obs::none())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -92,11 +122,13 @@ pub fn fuzzy_cmeans<D: Distance + ?Sized>(
 /// [`TsError::NonFinite`], [`TsError::InvalidK`],
 /// [`TsError::NumericalFailure`] (a fuzzifier `<= 1`), or
 /// [`TsError::NotConverged`].
+#[deprecated(since = "0.1.0", note = "use fuzzy_cmeans_with with FuzzyOptions")]
 pub fn try_fuzzy_cmeans<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &FuzzyConfig,
 ) -> TsResult<FuzzyResult> {
+    #[allow(deprecated)]
     try_fuzzy_cmeans_with_control(series, dist, config, &RunControl::unlimited())
 }
 
@@ -111,13 +143,14 @@ pub fn try_fuzzy_cmeans<D: Distance + ?Sized>(
 /// when the control trips; the error carries labels hardened from the
 /// *current* membership matrix (argmax per row) and the completed
 /// iteration count.
+#[deprecated(since = "0.1.0", note = "use fuzzy_cmeans_with with FuzzyOptions")]
 pub fn try_fuzzy_cmeans_with_control<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &FuzzyConfig,
     ctrl: &RunControl,
 ) -> TsResult<FuzzyResult> {
-    let (result, shifted) = fuzzy_core(series, dist, config, ctrl)?;
+    let (result, shifted) = fuzzy_core(series, dist, config, ctrl, Obs::none())?;
     if result.converged {
         Ok(result)
     } else {
@@ -148,6 +181,7 @@ fn fuzzy_core<D: Distance + ?Sized>(
     dist: &D,
     config: &FuzzyConfig,
     ctrl: &RunControl,
+    obs: Obs<'_>,
 ) -> TsResult<(FuzzyResult, usize)> {
     let n = series.len();
     let m = validate_series_set(series)?;
@@ -157,6 +191,8 @@ fn fuzzy_core<D: Distance + ?Sized>(
             context: format!("fuzziness must exceed 1 (got {})", config.fuzziness),
         });
     }
+    let fit_span = obs.span(FuzzyOptions::FIT_SPAN);
+    let mut prev_centroids: Vec<Vec<f64>> = Vec::new();
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Random row-stochastic membership matrix.
@@ -180,6 +216,9 @@ fn fuzzy_core<D: Distance + ?Sized>(
             return Err(RunControl::stop_error(harden(&u), iterations, reason));
         }
         iterations += 1;
+        if obs.is_armed() {
+            prev_centroids = centroids.clone();
+        }
 
         // Centroids: fuzzified weighted means.
         for (j, c) in centroids.iter_mut().enumerate() {
@@ -200,11 +239,17 @@ fn fuzzy_core<D: Distance + ?Sized>(
         // Memberships from distances.
         let mut max_delta = 0.0f64;
         let mut moved = 0usize;
+        // Telemetry-only: hardened (nearest-centroid) inertia proxy.
+        let mut inertia_now = 0.0f64;
         for (i, s) in series.iter().enumerate() {
             if let Err(reason) = ctrl.charge(config.k as u64 * pair_cost) {
                 return Err(RunControl::stop_error(harden(&u), iterations - 1, reason));
             }
             let ds: Vec<f64> = centroids.iter().map(|c| dist.dist(s, c)).collect();
+            if obs.is_armed() {
+                let best = ds.iter().copied().fold(f64::INFINITY, f64::min);
+                inertia_now += best * best;
+            }
             // Exact-hit handling: all membership on the zero-distance
             // centroids.
             let zeros: Vec<usize> = ds
@@ -238,12 +283,23 @@ fn fuzzy_core<D: Distance + ?Sized>(
             u[i] = new_row;
         }
         shifted = moved;
+        if obs.is_armed() {
+            obs.iteration(&IterationEvent {
+                algorithm: "fuzzy_cmeans",
+                iter: iterations - 1,
+                inertia: inertia_now,
+                moved,
+                centroid_shift: centroid_shift(&prev_centroids, &centroids),
+            });
+        }
         if max_delta < config.tol {
             converged = true;
             break;
         }
     }
 
+    obs.counter("fuzzy_cmeans.iterations", iterations as u64);
+    fit_span.end();
     let labels = harden(&u);
     Ok((
         FuzzyResult {
@@ -259,7 +315,9 @@ fn fuzzy_core<D: Distance + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    use super::{fuzzy_cmeans, FuzzyConfig};
+    // The deprecated triplet stays covered on purpose until removal.
+    #![allow(deprecated)]
+    use super::{fuzzy_cmeans, fuzzy_cmeans_with, FuzzyConfig, FuzzyOptions};
     use kshape::sbd::Sbd;
     use tsdist::EuclideanDistance;
 
@@ -421,5 +479,34 @@ mod tests {
                 index: 1
             })
         ));
+    }
+
+    #[test]
+    fn fuzzy_with_matches_and_emits_telemetry() {
+        let series = blobs();
+        let cfg = FuzzyConfig {
+            seed: 3,
+            ..Default::default()
+        };
+        let old = fuzzy_cmeans(&series, &EuclideanDistance, &cfg);
+        let sink = tsobs::MemorySink::new();
+        let new = fuzzy_cmeans_with(
+            &series,
+            &EuclideanDistance,
+            &FuzzyOptions::from(cfg).with_recorder(&sink),
+        )
+        .expect("clean input");
+        assert_eq!(old.labels, new.labels);
+        let events = sink.iteration_events();
+        assert_eq!(events.len(), new.iterations);
+        assert!(events.iter().all(|e| e.algorithm == "fuzzy_cmeans"));
+        assert_eq!(sink.span_count(FuzzyOptions::FIT_SPAN), 1);
+        let capped = fuzzy_cmeans_with(
+            &series,
+            &EuclideanDistance,
+            &FuzzyOptions::from(cfg).with_max_iter(0),
+        )
+        .expect("cap is Ok");
+        assert!(!capped.converged);
     }
 }

@@ -10,6 +10,8 @@ use crate::matrix::DissimilarityMatrix;
 use tserror::{ensure_k, TsError, TsResult};
 use tsrun::RunControl;
 
+pub use crate::options::HierarchicalOptions;
+
 /// Linkage criterion for merging clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Linkage {
@@ -29,6 +31,25 @@ impl Linkage {
             Linkage::Single => "H-S",
             Linkage::Average => "H-A",
             Linkage::Complete => "H-C",
+        }
+    }
+}
+
+/// Configuration for [`hierarchical_cluster_with`]: the number of flat
+/// clusters to cut and the linkage criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchicalConfig {
+    /// Number of clusters after cutting the dendrogram.
+    pub k: usize,
+    /// Linkage criterion used while merging.
+    pub linkage: Linkage,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        HierarchicalConfig {
+            k: 2,
+            linkage: Linkage::Average,
         }
     }
 }
@@ -246,12 +267,59 @@ pub fn try_agglomerate_with_control(
     Ok(Dendrogram { n, merges })
 }
 
+/// Agglomerates and cuts to `config.k` flat clusters in one call, with
+/// optional budget, cancellation, and observability carried by
+/// [`HierarchicalOptions`].
+///
+/// Emits a `hierarchical.fit` span and a `hierarchical.merges` counter
+/// when a recorder is attached; the clustering itself is bit-identical
+/// armed or disarmed.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::NonFinite`],
+/// [`TsError::InvalidK`], or [`TsError::Stopped`] when the attached
+/// control trips.
+///
+/// # Examples
+///
+/// ```
+/// use tscluster::hierarchical::{hierarchical_cluster_with, HierarchicalOptions, Linkage};
+/// use tscluster::matrix::DissimilarityMatrix;
+/// use tsdist::EuclideanDistance;
+///
+/// let series: Vec<Vec<f64>> = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+/// let matrix = DissimilarityMatrix::compute(&series, &EuclideanDistance);
+/// let opts = HierarchicalOptions::new(2).with_linkage(Linkage::Single);
+/// let labels = hierarchical_cluster_with(&matrix, &opts).unwrap();
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+pub fn hierarchical_cluster_with(
+    matrix: &DissimilarityMatrix,
+    opts: &HierarchicalOptions<'_>,
+) -> TsResult<Vec<usize>> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let fit_span = obs.span(HierarchicalOptions::FIT_SPAN);
+    let dendro = try_agglomerate_with_control(matrix, opts.config.linkage, &ctrl)?;
+    obs.counter("hierarchical.merges", dendro.merges().len() as u64);
+    let labels = dendro.try_cut(opts.config.k)?;
+    fit_span.end();
+    ctrl.report_cost(obs);
+    Ok(labels)
+}
+
 /// Convenience: agglomerates and cuts to `k` clusters in one call.
 ///
 /// # Panics
 ///
 /// Panics on the same inputs as [`agglomerate`] and [`Dendrogram::cut`].
 /// See [`try_hierarchical_cluster`] for the fallible variant.
+#[deprecated(
+    since = "0.1.0",
+    note = "use hierarchical_cluster_with with HierarchicalOptions"
+)]
 #[must_use]
 pub fn hierarchical_cluster(
     matrix: &DissimilarityMatrix,
@@ -267,6 +335,10 @@ pub fn hierarchical_cluster(
 ///
 /// [`TsError::EmptyInput`], [`TsError::NonFinite`], or
 /// [`TsError::InvalidK`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use hierarchical_cluster_with with HierarchicalOptions"
+)]
 pub fn try_hierarchical_cluster(
     matrix: &DissimilarityMatrix,
     linkage: Linkage,
@@ -281,6 +353,10 @@ pub fn try_hierarchical_cluster(
 ///
 /// Everything [`try_hierarchical_cluster`] reports, plus
 /// [`TsError::Stopped`] from [`try_agglomerate_with_control`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use hierarchical_cluster_with with HierarchicalOptions"
+)]
 pub fn try_hierarchical_cluster_with_control(
     matrix: &DissimilarityMatrix,
     linkage: Linkage,
@@ -292,7 +368,11 @@ pub fn try_hierarchical_cluster_with_control(
 
 #[cfg(test)]
 mod tests {
-    use super::{agglomerate, hierarchical_cluster, Linkage};
+    // The deprecated triplet stays covered on purpose until removal.
+    #![allow(deprecated)]
+    use super::{
+        agglomerate, hierarchical_cluster, hierarchical_cluster_with, HierarchicalOptions, Linkage,
+    };
     use crate::matrix::DissimilarityMatrix;
     use tsdist::EuclideanDistance;
 
@@ -411,5 +491,23 @@ mod tests {
             dendro.try_cut(5),
             Err(TsError::InvalidK { k: 5, n: 4 })
         ));
+    }
+
+    #[test]
+    fn hierarchical_with_matches_and_emits_telemetry() {
+        let m = line_points(&[0.0, 0.2, 0.4, 10.0, 10.2, 10.4]);
+        for linkage in [Linkage::Single, Linkage::Average, Linkage::Complete] {
+            let old = hierarchical_cluster(&m, linkage, 2);
+            let sink = tsobs::MemorySink::new();
+            let opts = HierarchicalOptions::new(2)
+                .with_linkage(linkage)
+                .with_recorder(&sink);
+            let new = hierarchical_cluster_with(&m, &opts).expect("clean matrix");
+            assert_eq!(old, new, "{linkage:?}");
+            assert_eq!(sink.span_count(HierarchicalOptions::FIT_SPAN), 1);
+            assert_eq!(sink.counter_total("hierarchical.merges"), 5);
+        }
+        let bad = HierarchicalOptions::new(0);
+        assert!(hierarchical_cluster_with(&m, &bad).is_err());
     }
 }

@@ -11,7 +11,11 @@ use tsrand::StdRng;
 use kshape::init::random_assignment;
 use tsdist::Distance;
 use tserror::{ensure_k, validate_series_set, TsError, TsResult};
+use tsobs::{IterationEvent, Obs};
 use tsrun::RunControl;
+
+use crate::options::centroid_shift;
+pub use crate::options::KMeansOptions;
 
 /// Configuration for a k-means run.
 #[derive(Debug, Clone, Copy)]
@@ -49,36 +53,63 @@ pub struct KMeansResult {
     pub inertia: f64,
 }
 
-/// Runs k-means with arithmetic-mean centroids and the given assignment
-/// distance.
+/// Runs k-means through the unified options object: arithmetic-mean
+/// centroids, the given assignment distance, and optional budget /
+/// cancellation / telemetry riding on [`KMeansOptions`].
+///
+/// Unlike the deprecated [`try_kmeans`], hitting the iteration cap is
+/// *not* an error: the returned [`KMeansResult`] carries
+/// `converged: false` and the caller inspects the flag.
 ///
 /// # Example
 ///
 /// ```
-/// use tscluster::kmeans::{kmeans, KMeansConfig};
+/// use tscluster::kmeans::{kmeans_with, KMeansOptions};
 /// use tsdist::EuclideanDistance;
 ///
 /// let series = vec![
 ///     vec![0.0, 0.1], vec![0.1, 0.0],   // cluster A
 ///     vec![9.0, 9.1], vec![9.1, 9.0],   // cluster B
 /// ];
-/// let r = kmeans(&series, &EuclideanDistance,
-///                &KMeansConfig { k: 2, seed: 1, ..Default::default() });
+/// let r = kmeans_with(&series, &EuclideanDistance,
+///                     &KMeansOptions::new(2).with_seed(1))
+///     .expect("clean input");
 /// assert_eq!(r.labels[0], r.labels[1]);
 /// assert_ne!(r.labels[0], r.labels[2]);
 /// ```
 ///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
+/// [`TsError::Stopped`] when the attached budget or cancellation trips.
+pub fn kmeans_with<D: Distance + ?Sized>(
+    series: &[Vec<f64>],
+    dist: &D,
+    opts: &KMeansOptions<'_>,
+) -> TsResult<KMeansResult> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let (result, _shifted) = kmeans_core(series, dist, &opts.config, &ctrl, obs)?;
+    ctrl.report_cost(obs);
+    Ok(result)
+}
+
+/// Runs k-means with arithmetic-mean centroids and the given assignment
+/// distance.
+///
 /// # Panics
 ///
 /// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
-/// `k > n`. See [`try_kmeans`] for the fallible variant.
+/// `k > n`. See [`kmeans_with`] for the fallible options-based variant.
+#[deprecated(since = "0.1.0", note = "use kmeans_with with KMeansOptions")]
 #[must_use]
 pub fn kmeans<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &KMeansConfig,
 ) -> KMeansResult {
-    kmeans_core(series, dist, config, &RunControl::unlimited())
+    kmeans_core(series, dist, config, &RunControl::unlimited(), Obs::none())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -93,11 +124,13 @@ pub fn kmeans<D: Distance + ?Sized>(
 /// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
 /// [`TsError::NonFinite`], [`TsError::InvalidK`], or
 /// [`TsError::NotConverged`].
+#[deprecated(since = "0.1.0", note = "use kmeans_with with KMeansOptions")]
 pub fn try_kmeans<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &KMeansConfig,
 ) -> TsResult<KMeansResult> {
+    #[allow(deprecated)]
     try_kmeans_with_control(series, dist, config, &RunControl::unlimited())
 }
 
@@ -110,13 +143,14 @@ pub fn try_kmeans<D: Distance + ?Sized>(
 /// Everything [`try_kmeans`] reports, plus [`TsError::Stopped`] when the
 /// control trips; the error carries the current labeling and the number
 /// of completed iterations.
+#[deprecated(since = "0.1.0", note = "use kmeans_with with KMeansOptions")]
 pub fn try_kmeans_with_control<D: Distance + ?Sized>(
     series: &[Vec<f64>],
     dist: &D,
     config: &KMeansConfig,
     ctrl: &RunControl,
 ) -> TsResult<KMeansResult> {
-    let (result, shifted) = kmeans_core(series, dist, config, ctrl)?;
+    let (result, shifted) = kmeans_core(series, dist, config, ctrl, Obs::none())?;
     if result.converged {
         Ok(result)
     } else {
@@ -135,15 +169,20 @@ pub(crate) fn kmeans_core<D: Distance + ?Sized>(
     dist: &D,
     config: &KMeansConfig,
     ctrl: &RunControl,
+    obs: Obs<'_>,
 ) -> TsResult<(KMeansResult, usize)> {
     let n = series.len();
     let m = validate_series_set(series)?;
     ensure_k(config.k, n)?;
+    let fit_span = obs.span(KMeansOptions::FIT_SPAN);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut labels = random_assignment(n, config.k, &mut rng);
     let mut centroids = vec![vec![0.0; m]; config.k];
     let mut dists = vec![0.0f64; n];
+    // Telemetry-only snapshot of the previous centroids; empty while
+    // disarmed so the armed path never changes the clustering.
+    let mut prev_centroids: Vec<Vec<f64>> = Vec::new();
 
     let mut iterations = 0;
     let mut converged = false;
@@ -154,6 +193,9 @@ pub(crate) fn kmeans_core<D: Distance + ?Sized>(
             return Err(RunControl::stop_error(labels, iterations, reason));
         }
         iterations += 1;
+        if obs.is_armed() {
+            prev_centroids = centroids.clone();
+        }
 
         // Refinement: arithmetic means.
         let mut counts = vec![0usize; config.k];
@@ -169,6 +211,7 @@ pub(crate) fn kmeans_core<D: Distance + ?Sized>(
         for (j, c) in centroids.iter_mut().enumerate() {
             if counts[j] == 0 {
                 // Re-seed an empty cluster with the worst-served series.
+                obs.counter("kmeans.empty_cluster_reseeds", 1);
                 let worst = dists
                     .iter()
                     .enumerate()
@@ -204,12 +247,23 @@ pub(crate) fn kmeans_core<D: Distance + ?Sized>(
             }
         }
         shifted = changed;
+        if obs.is_armed() {
+            obs.iteration(&IterationEvent {
+                algorithm: "kmeans",
+                iter: iterations - 1,
+                inertia: dists.iter().map(|d| d * d).sum(),
+                moved: changed,
+                centroid_shift: centroid_shift(&prev_centroids, &centroids),
+            });
+        }
         if changed == 0 {
             converged = true;
             break;
         }
     }
 
+    obs.counter("kmeans.iterations", iterations as u64);
+    fit_span.end();
     Ok((
         KMeansResult {
             labels,
@@ -224,7 +278,9 @@ pub(crate) fn kmeans_core<D: Distance + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    use super::{kmeans, KMeansConfig};
+    // The deprecated triplet stays covered on purpose until removal.
+    #![allow(deprecated)]
+    use super::{kmeans, kmeans_with, KMeansConfig, KMeansOptions};
     use tsdist::EuclideanDistance;
 
     fn two_blobs() -> Vec<Vec<f64>> {
@@ -417,5 +473,59 @@ mod tests {
             }
             other => panic!("expected NotConverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn kmeans_with_matches_deprecated_api() {
+        let series = two_blobs();
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let old = kmeans(&series, &EuclideanDistance, &cfg);
+        let new = kmeans_with(&series, &EuclideanDistance, &KMeansOptions::from(cfg))
+            .expect("clean input");
+        assert_eq!(old.labels, new.labels);
+        assert_eq!(old.iterations, new.iterations);
+        assert!(new.converged);
+    }
+
+    #[test]
+    fn kmeans_with_returns_ok_when_unconverged() {
+        let series = two_blobs();
+        let r = kmeans_with(
+            &series,
+            &EuclideanDistance,
+            &KMeansOptions::new(2).with_seed(3).with_max_iter(0),
+        )
+        .expect("cap is not an error under the options API");
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn kmeans_with_emits_convergence_telemetry() {
+        let series = two_blobs();
+        let sink = tsobs::MemorySink::new();
+        let opts = KMeansOptions::new(2).with_seed(3).with_recorder(&sink);
+        let r = kmeans_with(&series, &EuclideanDistance, &opts).expect("clean input");
+        let events = sink.iteration_events();
+        assert_eq!(events.len(), r.iterations);
+        let last = events.last().expect("at least one iteration");
+        assert_eq!(last.algorithm, "kmeans");
+        assert_eq!(last.moved, 0, "final iteration has no reassignments");
+        assert_eq!(last.inertia.to_bits(), r.inertia.to_bits());
+        assert_eq!(sink.span_count(KMeansOptions::FIT_SPAN), 1);
+        assert_eq!(sink.counter_total("kmeans.iterations"), r.iterations as u64);
+        // Telemetry never changes the fit.
+        let plain = kmeans_with(
+            &series,
+            &EuclideanDistance,
+            &KMeansOptions::new(2).with_seed(3),
+        )
+        .expect("clean input");
+        assert_eq!(plain.labels, r.labels);
+        assert_eq!(plain.inertia.to_bits(), r.inertia.to_bits());
     }
 }

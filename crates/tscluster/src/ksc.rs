@@ -23,7 +23,11 @@ use tserror::{ensure_finite, ensure_k, validate_nonempty_pair, validate_series_s
 use tserror::{TsError, TsResult};
 use tslinalg::eigen::try_symmetric_eigen;
 use tslinalg::matrix::Matrix;
+use tsobs::{IterationEvent, Obs};
 use tsrun::RunControl;
+
+use crate::options::centroid_shift;
+pub use crate::options::KscOptions;
 
 /// The KSC scale-and-shift-invariant distance.
 #[derive(Debug, Clone, Copy, Default)]
@@ -279,15 +283,37 @@ pub struct KscResult {
     pub inertia: f64,
 }
 
+/// Runs K-Spectral Centroid clustering through the unified options
+/// object, with optional budget / cancellation / telemetry riding on
+/// [`KscOptions`].
+///
+/// Unlike the deprecated [`try_ksc`], hitting the iteration cap is
+/// *not* an error: the returned [`KscResult`] carries
+/// `converged: false`.
+///
+/// # Errors
+///
+/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
+/// [`TsError::Stopped`] when the attached budget or cancellation trips.
+pub fn ksc_with(series: &[Vec<f64>], opts: &KscOptions<'_>) -> TsResult<KscResult> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let (result, _shifted) = ksc_core(series, &opts.config, &ctrl, obs)?;
+    ctrl.report_cost(obs);
+    Ok(result)
+}
+
 /// Runs K-Spectral Centroid clustering.
 ///
 /// # Panics
 ///
 /// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
-/// `k > n`. See [`try_ksc`] for the fallible variant.
+/// `k > n`. See [`ksc_with`] for the fallible options-based variant.
+#[deprecated(since = "0.1.0", note = "use ksc_with with KscOptions")]
 #[must_use]
 pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
-    ksc_core(series, config, &RunControl::unlimited())
+    ksc_core(series, config, &RunControl::unlimited(), Obs::none())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -301,7 +327,9 @@ pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
 /// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
 /// [`TsError::NonFinite`], [`TsError::InvalidK`], or
 /// [`TsError::NotConverged`].
+#[deprecated(since = "0.1.0", note = "use ksc_with with KscOptions")]
 pub fn try_ksc(series: &[Vec<f64>], config: &KscConfig) -> TsResult<KscResult> {
+    #[allow(deprecated)]
     try_ksc_with_control(series, config, &RunControl::unlimited())
 }
 
@@ -314,12 +342,13 @@ pub fn try_ksc(series: &[Vec<f64>], config: &KscConfig) -> TsResult<KscResult> {
 ///
 /// Everything [`try_ksc`] reports, plus [`TsError::Stopped`] carrying the
 /// current labeling and completed iteration count.
+#[deprecated(since = "0.1.0", note = "use ksc_with with KscOptions")]
 pub fn try_ksc_with_control(
     series: &[Vec<f64>],
     config: &KscConfig,
     ctrl: &RunControl,
 ) -> TsResult<KscResult> {
-    let (result, shifted) = ksc_core(series, config, ctrl)?;
+    let (result, shifted) = ksc_core(series, config, ctrl, Obs::none())?;
     if result.converged {
         Ok(result)
     } else {
@@ -337,10 +366,13 @@ fn ksc_core(
     series: &[Vec<f64>],
     config: &KscConfig,
     ctrl: &RunControl,
+    obs: Obs<'_>,
 ) -> TsResult<(KscResult, usize)> {
     let n = series.len();
     let m = validate_series_set(series)?;
     ensure_k(config.k, n)?;
+    let fit_span = obs.span(KscOptions::FIT_SPAN);
+    let mut prev_centroids: Vec<Vec<f64>> = Vec::new();
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut labels = random_assignment(n, config.k, &mut rng);
@@ -357,6 +389,9 @@ fn ksc_core(
             return Err(RunControl::stop_error(labels, iterations, reason));
         }
         iterations += 1;
+        if obs.is_armed() {
+            prev_centroids = centroids.clone();
+        }
 
         #[allow(clippy::needless_range_loop)]
         for j in 0..config.k {
@@ -367,6 +402,7 @@ fn ksc_core(
                 .map(|(s, _)| s.as_slice())
                 .collect();
             if members.is_empty() {
+                obs.counter("ksc.empty_cluster_reseeds", 1);
                 let worst = dists
                     .iter()
                     .enumerate()
@@ -409,12 +445,23 @@ fn ksc_core(
             }
         }
         shifted = changed;
+        if obs.is_armed() {
+            obs.iteration(&IterationEvent {
+                algorithm: "ksc",
+                iter: iterations - 1,
+                inertia: dists.iter().map(|d| d * d).sum(),
+                moved: changed,
+                centroid_shift: centroid_shift(&prev_centroids, &centroids),
+            });
+        }
         if changed == 0 {
             converged = true;
             break;
         }
     }
 
+    obs.counter("ksc.iterations", iterations as u64);
+    fit_span.end();
     Ok((
         KscResult {
             labels,
@@ -429,7 +476,9 @@ fn ksc_core(
 
 #[cfg(test)]
 mod tests {
-    use super::{ksc, ksc_centroid, KscConfig, KscDistance};
+    // The deprecated triplet stays covered on purpose until removal.
+    #![allow(deprecated)]
+    use super::{ksc, ksc_centroid, ksc_with, KscConfig, KscDistance, KscOptions};
     use tsdist::Distance;
 
     fn bump(m: usize, center: f64) -> Vec<f64> {
@@ -594,6 +643,33 @@ mod tests {
             try_ksc(&[], &KscConfig::default()),
             Err(TsError::EmptyInput)
         ));
+    }
+
+    #[test]
+    fn ksc_with_matches_and_emits_telemetry() {
+        let mut series = Vec::new();
+        for j in 0..5 {
+            let a = tsdata::distort::shift_zero_pad(&bump(40, 12.0), j as isize - 2);
+            series.push(a);
+            let b: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.4).sin()).collect();
+            series.push(b);
+        }
+        let cfg = KscConfig {
+            k: 2,
+            seed: 2,
+            ..Default::default()
+        };
+        let old = ksc(&series, &cfg);
+        let sink = tsobs::MemorySink::new();
+        let new =
+            ksc_with(&series, &KscOptions::from(cfg).with_recorder(&sink)).expect("clean input");
+        assert_eq!(old.labels, new.labels);
+        let events = sink.iteration_events();
+        assert_eq!(events.len(), new.iterations);
+        assert!(events.iter().all(|e| e.algorithm == "ksc"));
+        assert_eq!(sink.span_count(KscOptions::FIT_SPAN), 1);
+        let capped = ksc_with(&series, &KscOptions::from(cfg).with_max_iter(0)).expect("cap is Ok");
+        assert!(!capped.converged);
     }
 
     #[test]

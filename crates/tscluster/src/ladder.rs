@@ -33,8 +33,13 @@ use tsdist::EuclideanDistance;
 use tserror::{TsError, TsResult};
 use tsrun::{retry_with_reseed, RunControl};
 
-use crate::kmeans::{try_kmeans_with_control, KMeansConfig};
+// The deprecated `_with_control` entry points are imported deliberately:
+// see the note on `run_rung` below.
+#[allow(deprecated)]
+use crate::kmeans::try_kmeans_with_control;
+use crate::kmeans::KMeansConfig;
 use crate::matrix::DissimilarityMatrix;
+#[allow(deprecated)]
 use crate::pam::try_pam_with_control;
 
 /// One rung of the degradation ladder, ordered from most to least
@@ -183,6 +188,11 @@ pub fn cluster_with_ladder(
 }
 
 /// Executes one rung attempt with the given derived seed.
+// The ladder shares one externally-armed RunControl across every rung so
+// the whole descent spends a single budget; the options-object API owns
+// its control per call and cannot express that, so the `_with_control`
+// entry points remain the right tool here.
+#[allow(deprecated)]
 fn run_rung(
     rung: LadderRung,
     series: &[Vec<f64>],

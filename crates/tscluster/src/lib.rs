@@ -31,12 +31,31 @@
 //! panicking; the panicking entry points are thin wrappers kept for
 //! backward compatibility.
 //!
-//! Every iterative loop additionally ships a `*_with_control` variant
-//! that threads a [`tsrun::RunControl`] through the refinement, the
-//! pairwise-matrix builders, and the hierarchical merging: deadlines,
-//! iteration caps, cost quotas, and cooperative cancellation all surface
-//! as a typed [`tserror::TsError::Stopped`] carrying the best labels so
-//! far. [`ladder`] composes these into a degradation ladder
+//! The preferred entry point for every algorithm is its `*_with`
+//! function taking an options object from [`options`]: the algorithm
+//! configuration plus an optional [`tsrun::Budget`], an optional
+//! [`tsrun::CancelToken`], and an optional [`tsobs::Recorder`] for
+//! structured telemetry (spans, counters, per-iteration convergence
+//! events). Hitting the iteration cap is an `Ok` result with
+//! `converged: false`; errors are reserved for invalid inputs, tripped
+//! controls ([`tserror::TsError::Stopped`]), and numerical failure.
+//!
+//! ```
+//! use tscluster::kmeans::{kmeans_with, KMeansOptions};
+//! use tsdist::EuclideanDistance;
+//!
+//! let series: Vec<Vec<f64>> = vec![vec![0.0, 0.1], vec![0.1, 0.0], vec![9.0, 9.1]];
+//! let opts = KMeansOptions::new(2).with_seed(7);
+//! let result = kmeans_with(&series, &EuclideanDistance, &opts).unwrap();
+//! assert_eq!(result.labels.len(), 3);
+//! ```
+//!
+//! The earlier panicking / `try_*` / `*_with_control` triplets are kept
+//! as deprecated wrappers. The lower-level primitives (matrix builders,
+//! `agglomerate`, `spectral_embedding`, DBA averaging) stay supported —
+//! they are building blocks, not redundant spellings of a fit.
+//!
+//! [`ladder`] composes the control-aware cores into a degradation ladder
 //! (k-Shape → SBD-medoid → k-AVG) with retry-with-reseed per rung.
 
 #![warn(missing_docs)]
@@ -49,10 +68,24 @@ pub mod kmeans;
 pub mod ksc;
 pub mod ladder;
 pub mod matrix;
+pub mod options;
 pub mod pam;
 pub mod spectral;
 
-pub use hierarchical::Linkage;
-pub use kmeans::{kmeans, try_kmeans, KMeansConfig, KMeansResult};
+pub use dba::{kdba_with, KDbaConfig, KDbaResult};
+pub use fuzzy::{fuzzy_cmeans_with, FuzzyConfig, FuzzyResult};
+pub use hierarchical::{hierarchical_cluster_with, HierarchicalConfig, Linkage};
+pub use kmeans::{kmeans_with, KMeansConfig, KMeansResult};
+pub use ksc::{ksc_with, KscConfig, KscResult};
 pub use ladder::{cluster_with_ladder, LadderConfig, LadderOutcome, LadderRung};
+pub use matrix::{DissimilarityMatrix, MatrixConfig};
+pub use options::{
+    FuzzyOptions, HierarchicalOptions, KDbaOptions, KMeansOptions, KscOptions, MatrixOptions,
+    PamOptions, SpectralOptions,
+};
+pub use pam::{pam_with, PamConfig, PamResult};
+pub use spectral::{spectral_cluster_with, SpectralConfig, SpectralResult};
 pub use tserror::{TsError, TsResult};
+
+#[allow(deprecated)]
+pub use kmeans::{kmeans, try_kmeans};

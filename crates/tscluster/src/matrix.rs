@@ -10,6 +10,21 @@ use tsdist::Distance;
 use tserror::{StopReason, TsError, TsResult};
 use tsrun::RunControl;
 
+pub use crate::options::MatrixOptions;
+
+/// Configuration for [`DissimilarityMatrix::compute_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixConfig {
+    /// Worker threads for the build; `1` keeps it serial.
+    pub threads: usize,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        MatrixConfig { threads: 1 }
+    }
+}
+
 /// A symmetric dissimilarity matrix with zero diagonal.
 #[derive(Debug, Clone)]
 pub struct DissimilarityMatrix {
@@ -197,6 +212,55 @@ impl DissimilarityMatrix {
         Ok(DissimilarityMatrix { n, data })
     }
 
+    /// Builds the matrix with optional budget, cancellation, and
+    /// observability carried by [`MatrixOptions`].
+    ///
+    /// Dispatches to the parallel path when `threads > 1`. Emits a
+    /// `matrix.build` span plus `matrix.rows` / `matrix.pairs` counters
+    /// when a recorder is attached; the matrix itself is bit-identical
+    /// armed or disarmed.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::Stopped`] when the attached control trips.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tscluster::matrix::{DissimilarityMatrix, MatrixOptions};
+    /// use tsdist::EuclideanDistance;
+    ///
+    /// let series: Vec<Vec<f64>> = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![4.0, 4.0]];
+    /// let m = DissimilarityMatrix::compute_with(
+    ///     &series,
+    ///     &EuclideanDistance,
+    ///     &MatrixOptions::default(),
+    /// )
+    /// .unwrap();
+    /// assert_eq!(m.len(), 3);
+    /// assert_eq!(m.asymmetry(), 0.0);
+    /// ```
+    pub fn compute_with<D: Distance + ?Sized>(
+        series: &[Vec<f64>],
+        dist: &D,
+        opts: &MatrixOptions<'_>,
+    ) -> TsResult<Self> {
+        let ctrl = opts.control();
+        let obs = opts.obs();
+        let build_span = obs.span("matrix.build");
+        let result = if opts.config.threads > 1 {
+            Self::try_compute_parallel_with_control(series, dist, opts.config.threads, &ctrl)
+        } else {
+            Self::try_compute_with_control(series, dist, &ctrl)
+        }?;
+        let n = result.len() as u64;
+        obs.counter("matrix.rows", n);
+        obs.counter("matrix.pairs", n.saturating_mul(n.saturating_sub(1)) / 2);
+        build_span.end();
+        ctrl.report_cost(obs);
+        Ok(result)
+    }
+
     /// Builds directly from a precomputed full matrix (for tests and for
     /// adapting external data).
     ///
@@ -310,5 +374,28 @@ mod tests {
     fn from_full_roundtrip() {
         let d = DissimilarityMatrix::from_full(2, vec![0.0, 3.0, 3.0, 0.0]);
         assert_eq!(d.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn compute_with_matches_and_emits_telemetry() {
+        use super::MatrixOptions;
+        let s = toy_series(20, 8);
+        let plain = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let sink = tsobs::MemorySink::new();
+        for threads in [1, 4] {
+            let opts = MatrixOptions::default()
+                .with_threads(threads)
+                .with_recorder(&sink);
+            let built = DissimilarityMatrix::compute_with(&s, &EuclideanDistance, &opts)
+                .expect("clean series");
+            for i in 0..20 {
+                for j in 0..20 {
+                    assert_eq!(plain.get(i, j).to_bits(), built.get(i, j).to_bits());
+                }
+            }
+        }
+        assert_eq!(sink.span_count("matrix.build"), 2);
+        assert_eq!(sink.counter_total("matrix.rows"), 40);
+        assert_eq!(sink.counter_total("matrix.pairs"), 2 * (20 * 19 / 2));
     }
 }

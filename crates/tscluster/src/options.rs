@@ -1,0 +1,347 @@
+//! Unified options objects for every tscluster algorithm.
+//!
+//! Each clusterer historically grew a triplet — the panicking entry
+//! point, a fallible `try_*`, and a budget-aware `try_*_with_control` —
+//! and PR 5 adds telemetry as a fourth orthogonal concern. Instead of a
+//! fourth positional parameter, every algorithm now takes one borrowed
+//! options object bundling its configuration with the three optional
+//! execution concerns:
+//!
+//! * `budget` — a [`tsrun::Budget`] (deadline, iteration cap, cost cap),
+//! * `cancel` — a [`tsrun::CancelToken`] for cooperative cancellation,
+//! * `recorder` — a [`tsobs::Recorder`] for spans, counters, and
+//!   per-iteration convergence telemetry; `None` keeps telemetry
+//!   statically disarmed at near-zero cost.
+//!
+//! The `*_with` entry points built on these objects return `Ok` with a
+//! `converged: false` result when the iteration cap is hit (the caller
+//! inspects the flag), reserving `Err` for validation errors,
+//! [`tserror::TsError::Stopped`], and numerical failures. The old
+//! triplets survive as thin deprecated wrappers with their historical
+//! `NotConverged`-as-error behavior.
+
+use crate::dba::KDbaConfig;
+use crate::fuzzy::FuzzyConfig;
+use crate::hierarchical::HierarchicalConfig;
+use crate::kmeans::KMeansConfig;
+use crate::ksc::KscConfig;
+use crate::matrix::MatrixConfig;
+use crate::pam::PamConfig;
+use crate::spectral::SpectralConfig;
+
+/// Generates one options struct: the algorithm configuration plus the
+/// three optional execution concerns (budget, cancellation, telemetry),
+/// with builders, `From<Config>`, and the internal `control()` / `obs()`
+/// accessors the entry points use.
+macro_rules! cluster_options {
+    (
+        $(#[$outer:meta])*
+        $name:ident, $config:ident, $fit:literal,
+        { $($(#[$mdoc:meta])* fn $method:ident($field:ident: $fty:ty);)* }
+    ) => {
+        $(#[$outer])*
+        #[derive(Clone, Default)]
+        pub struct $name<'a> {
+            /// Algorithm configuration (cluster count, seed, caps, ...).
+            pub config: $config,
+            /// Optional execution budget; `None` means unlimited.
+            pub budget: Option<tsrun::Budget>,
+            /// Optional cooperative cancellation token.
+            pub cancel: Option<tsrun::CancelToken>,
+            /// Optional telemetry recorder; `None` keeps telemetry
+            /// disarmed (no clock reads, no allocations).
+            pub recorder: Option<&'a dyn tsobs::Recorder>,
+        }
+
+        impl std::fmt::Debug for $name<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name))
+                    .field("config", &self.config)
+                    .field("budget", &self.budget)
+                    .field("cancel", &self.cancel.is_some())
+                    .field("recorder", &self.recorder.is_some())
+                    .finish()
+            }
+        }
+
+        impl From<$config> for $name<'_> {
+            fn from(config: $config) -> Self {
+                Self {
+                    config,
+                    ..Default::default()
+                }
+            }
+        }
+
+        impl<'a> $name<'a> {
+            /// Default configuration with the given cluster count `k`.
+            #[must_use]
+            pub fn new(k: usize) -> Self {
+                let mut config = $config::default();
+                config.k = k;
+                Self {
+                    config,
+                    ..Default::default()
+                }
+            }
+
+            $(
+                $(#[$mdoc])*
+                #[must_use]
+                pub fn $method(mut self, $field: $fty) -> Self {
+                    self.config.$field = $field;
+                    self
+                }
+            )*
+
+            /// Attaches an execution budget.
+            #[must_use]
+            pub fn with_budget(mut self, budget: tsrun::Budget) -> Self {
+                self.budget = Some(budget);
+                self
+            }
+
+            /// Attaches a cancellation token.
+            #[must_use]
+            pub fn with_cancel(mut self, cancel: tsrun::CancelToken) -> Self {
+                self.cancel = Some(cancel);
+                self
+            }
+
+            /// Attaches a telemetry recorder. Recorders only *observe*:
+            /// an armed run produces bit-identical results to a disarmed
+            /// one.
+            #[must_use]
+            pub fn with_recorder(mut self, recorder: &'a dyn tsobs::Recorder) -> Self {
+                self.recorder = Some(recorder);
+                self
+            }
+
+            /// Builds the run control from the budget and cancel fields.
+            #[must_use]
+            pub(crate) fn control(&self) -> tsrun::RunControl {
+                tsrun::RunControl::from_parts(self.budget, self.cancel.clone())
+            }
+
+            /// The (possibly disarmed) observation handle.
+            pub(crate) fn obs(&self) -> tsobs::Obs<'a> {
+                tsobs::Obs::from_option(self.recorder)
+            }
+        }
+
+        impl $name<'_> {
+            /// Span name the algorithm's fit entry point records under.
+            pub const FIT_SPAN: &'static str = $fit;
+        }
+    };
+}
+
+cluster_options!(
+    /// Options for [`crate::kmeans::kmeans_with`] (the k-AVG family).
+    KMeansOptions, KMeansConfig, "kmeans.fit",
+    {
+        /// Sets the RNG seed for the initial assignment.
+        fn with_seed(seed: u64);
+        /// Sets the Lloyd iteration cap.
+        fn with_max_iter(max_iter: usize);
+    }
+);
+
+cluster_options!(
+    /// Options for [`crate::dba::kdba_with`] (k-DBA).
+    KDbaOptions, KDbaConfig, "kdba.fit",
+    {
+        /// Sets the RNG seed for the initial assignment.
+        fn with_seed(seed: u64);
+        /// Sets the clustering iteration cap.
+        fn with_max_iter(max_iter: usize);
+        /// Sets the Sakoe–Chiba window for all DTW computations.
+        fn with_window(window: Option<usize>);
+    }
+);
+
+cluster_options!(
+    /// Options for [`crate::ksc::ksc_with`] (K-Spectral Centroid).
+    KscOptions, KscConfig, "ksc.fit",
+    {
+        /// Sets the RNG seed for the initial assignment.
+        fn with_seed(seed: u64);
+        /// Sets the refinement iteration cap.
+        fn with_max_iter(max_iter: usize);
+    }
+);
+
+cluster_options!(
+    /// Options for [`crate::fuzzy::fuzzy_cmeans_with`] (fuzzy c-means).
+    FuzzyOptions, FuzzyConfig, "fuzzy_cmeans.fit",
+    {
+        /// Sets the RNG seed for the initial memberships.
+        fn with_seed(seed: u64);
+        /// Sets the refinement iteration cap.
+        fn with_max_iter(max_iter: usize);
+        /// Sets the fuzzifier `m > 1`.
+        fn with_fuzziness(fuzziness: f64);
+        /// Sets the convergence tolerance on membership change.
+        fn with_tol(tol: f64);
+    }
+);
+
+cluster_options!(
+    /// Options for [`crate::pam::pam_with`] (Partitioning Around
+    /// Medoids).
+    PamOptions, PamConfig, "pam.fit",
+    {
+        /// Sets the SWAP sweep cap.
+        fn with_max_iter(max_iter: usize);
+    }
+);
+
+cluster_options!(
+    /// Options for [`crate::spectral::spectral_cluster_with`].
+    SpectralOptions, SpectralConfig, "spectral.fit",
+    {
+        /// Sets the RNG seed for the embedding k-means.
+        fn with_seed(seed: u64);
+        /// Sets the embedding k-means iteration cap.
+        fn with_max_iter(max_iter: usize);
+        /// Sets the kernel bandwidth (`None` = median heuristic).
+        fn with_sigma(sigma: Option<f64>);
+    }
+);
+
+cluster_options!(
+    /// Options for [`crate::hierarchical::hierarchical_cluster_with`].
+    HierarchicalOptions, HierarchicalConfig, "hierarchical.fit",
+    {
+        /// Sets the linkage criterion.
+        fn with_linkage(linkage: crate::hierarchical::Linkage);
+    }
+);
+
+/// Options for [`crate::matrix::DissimilarityMatrix::compute_with`].
+///
+/// The matrix builder has no cluster count; its "configuration" is the
+/// worker thread count. Use `MatrixOptions::default()` for a serial
+/// build, or [`MatrixOptions::with_threads`] for a row-striped parallel
+/// one.
+#[derive(Clone, Default)]
+pub struct MatrixOptions<'a> {
+    /// Build configuration (worker thread count).
+    pub config: MatrixConfig,
+    /// Optional execution budget; `None` means unlimited.
+    pub budget: Option<tsrun::Budget>,
+    /// Optional cooperative cancellation token.
+    pub cancel: Option<tsrun::CancelToken>,
+    /// Optional telemetry recorder; `None` keeps telemetry disarmed.
+    pub recorder: Option<&'a dyn tsobs::Recorder>,
+}
+
+impl std::fmt::Debug for MatrixOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatrixOptions")
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel.is_some())
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl<'a> MatrixOptions<'a> {
+    /// Sets the worker thread count (`<= 1` builds serially).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Attaches an execution budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: tsrun::Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: tsrun::CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn tsobs::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds the run control from the budget and cancel fields.
+    #[must_use]
+    pub(crate) fn control(&self) -> tsrun::RunControl {
+        tsrun::RunControl::from_parts(self.budget, self.cancel.clone())
+    }
+
+    /// The (possibly disarmed) observation handle.
+    pub(crate) fn obs(&self) -> tsobs::Obs<'a> {
+        tsobs::Obs::from_option(self.recorder)
+    }
+}
+
+/// Root-mean-square style centroid movement between two refinement
+/// rounds: `sqrt(Σ_j Σ_t (prev[j][t] − next[j][t])²)`. Telemetry-only —
+/// callers compute it exclusively when a recorder is armed.
+pub(crate) fn centroid_shift(prev: &[Vec<f64>], next: &[Vec<f64>]) -> f64 {
+    prev.iter()
+        .zip(next.iter())
+        .flat_map(|(p, n)| p.iter().zip(n.iter()))
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{centroid_shift, KMeansOptions, MatrixOptions, PamOptions};
+
+    #[test]
+    fn builders_compose() {
+        let token = tsrun::CancelToken::new();
+        let opts = KMeansOptions::new(3)
+            .with_seed(7)
+            .with_max_iter(5)
+            .with_budget(tsrun::Budget::unlimited().with_iteration_cap(9))
+            .with_cancel(token);
+        assert_eq!(opts.config.k, 3);
+        assert_eq!(opts.config.seed, 7);
+        assert_eq!(opts.config.max_iter, 5);
+        assert!(opts.budget.is_some());
+        assert!(opts.cancel.is_some());
+        assert!(opts.recorder.is_none());
+        let dbg = format!("{opts:?}");
+        assert!(dbg.contains("recorder: false"), "{dbg}");
+    }
+
+    #[test]
+    fn from_config_round_trips() {
+        let cfg = crate::pam::PamConfig { k: 4, max_iter: 17 };
+        let opts = PamOptions::from(cfg);
+        assert_eq!(opts.config.k, 4);
+        assert_eq!(opts.config.max_iter, 17);
+    }
+
+    #[test]
+    fn matrix_options_default_is_serial() {
+        let opts = MatrixOptions::default();
+        assert_eq!(opts.config.threads, 1);
+        assert!(!format!("{opts:?}").is_empty());
+    }
+
+    #[test]
+    fn centroid_shift_is_euclidean() {
+        let a = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let b = vec![vec![3.0, 4.0], vec![1.0, 1.0]];
+        assert!((centroid_shift(&a, &b) - 5.0).abs() < 1e-12);
+        assert_eq!(centroid_shift(&a, &a), 0.0);
+    }
+}

@@ -12,7 +12,29 @@
 
 use crate::matrix::DissimilarityMatrix;
 use tserror::{ensure_k, TsError, TsResult};
+use tsobs::{IterationEvent, Obs};
 use tsrun::RunControl;
+
+pub use crate::options::PamOptions;
+
+/// Configuration for a PAM run (bundled by [`PamOptions`]; the
+/// deprecated entry points take `k` and `max_iter` positionally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PamConfig {
+    /// Number of medoids.
+    pub k: usize,
+    /// Maximum SWAP sweeps (the paper uses 100).
+    pub max_iter: usize,
+}
+
+impl Default for PamConfig {
+    fn default() -> Self {
+        PamConfig {
+            k: 2,
+            max_iter: 100,
+        }
+    }
+}
 
 /// Outcome of a PAM run.
 #[derive(Debug, Clone)]
@@ -29,34 +51,54 @@ pub struct PamResult {
     pub converged: bool,
 }
 
-/// Runs PAM on a dissimilarity matrix.
+/// Runs PAM through the unified options object, with optional budget /
+/// cancellation / telemetry riding on [`PamOptions`].
 ///
-/// Deterministic: BUILD greedily selects seeds, SWAP applies best-improving
-/// exchanges. `max_iter` caps SWAP passes (the paper uses 100).
+/// Unlike the deprecated [`try_pam`], hitting the SWAP cap is *not* an
+/// error: the returned [`PamResult`] carries `converged: false`.
 ///
 /// # Example
 ///
 /// ```
 /// use tscluster::matrix::DissimilarityMatrix;
-/// use tscluster::pam::pam;
+/// use tscluster::pam::{pam_with, PamOptions};
 /// use tsdist::EuclideanDistance;
 ///
 /// let series = vec![vec![0.0], vec![0.5], vec![10.0], vec![10.5]];
 /// let matrix = DissimilarityMatrix::compute(&series, &EuclideanDistance);
-/// let r = pam(&matrix, 2, 100);
+/// let r = pam_with(&matrix, &PamOptions::new(2)).expect("clean matrix");
 /// assert_eq!(r.labels[0], r.labels[1]);
 /// assert_ne!(r.labels[0], r.labels[2]);
 /// // Medoids are actual input items.
 /// assert!(r.medoids.iter().all(|&m| m < 4));
 /// ```
 ///
+/// # Errors
+///
+/// [`TsError::InvalidK`], [`TsError::NonFinite`] (a corrupt matrix
+/// entry), or [`TsError::Stopped`] when the attached budget or
+/// cancellation trips.
+pub fn pam_with(matrix: &DissimilarityMatrix, opts: &PamOptions<'_>) -> TsResult<PamResult> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let (result, _shifted) = pam_core(matrix, opts.config.k, opts.config.max_iter, &ctrl, obs)?;
+    ctrl.report_cost(obs);
+    Ok(result)
+}
+
+/// Runs PAM on a dissimilarity matrix.
+///
+/// Deterministic: BUILD greedily selects seeds, SWAP applies best-improving
+/// exchanges. `max_iter` caps SWAP passes (the paper uses 100).
+///
 /// # Panics
 ///
 /// Panics if `k == 0`, `k > n`, or the matrix holds non-finite entries.
-/// See [`try_pam`] for the fallible variant.
+/// See [`pam_with`] for the fallible options-based variant.
+#[deprecated(since = "0.1.0", note = "use pam_with with PamOptions")]
 #[must_use]
 pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult {
-    pam_core(matrix, k, max_iter, &RunControl::unlimited())
+    pam_core(matrix, k, max_iter, &RunControl::unlimited(), Obs::none())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -69,7 +111,9 @@ pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult
 ///
 /// [`TsError::InvalidK`], [`TsError::NonFinite`] (a corrupt matrix entry),
 /// or [`TsError::NotConverged`].
+#[deprecated(since = "0.1.0", note = "use pam_with with PamOptions")]
 pub fn try_pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> TsResult<PamResult> {
+    #[allow(deprecated)]
     try_pam_with_control(matrix, k, max_iter, &RunControl::unlimited())
 }
 
@@ -83,13 +127,14 @@ pub fn try_pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> TsRes
 /// control trips; the error carries the nearest-medoid labels for the
 /// medoids chosen so far (empty during the first BUILD step) and the
 /// completed SWAP iteration count.
+#[deprecated(since = "0.1.0", note = "use pam_with with PamOptions")]
 pub fn try_pam_with_control(
     matrix: &DissimilarityMatrix,
     k: usize,
     max_iter: usize,
     ctrl: &RunControl,
 ) -> TsResult<PamResult> {
-    let (result, shifted) = pam_core(matrix, k, max_iter, ctrl)?;
+    let (result, shifted) = pam_core(matrix, k, max_iter, ctrl, Obs::none())?;
     if result.converged {
         Ok(result)
     } else {
@@ -124,10 +169,12 @@ fn pam_core(
     k: usize,
     max_iter: usize,
     ctrl: &RunControl,
+    obs: Obs<'_>,
 ) -> TsResult<(PamResult, usize)> {
     let n = matrix.len();
     ensure_k(k, n)?;
     matrix.validate_finite()?;
+    let fit_span = obs.span(PamOptions::FIT_SPAN);
 
     // ---- BUILD ----
     let mut medoids: Vec<usize> = Vec::with_capacity(k);
@@ -218,18 +265,41 @@ fn pam_core(
         }
         match best_swap {
             Some((mi, cand)) => {
+                let prev_cost = cost;
                 medoids[mi] = cand;
                 // Re-derive exactly rather than accumulating best_delta,
                 // to avoid floating-point drift over many swaps.
                 cost = cost_of(&medoids);
+                if obs.is_armed() {
+                    // For PAM the "centroid shift" is the objective
+                    // improvement the applied swap bought this sweep.
+                    obs.iteration(&IterationEvent {
+                        algorithm: "pam",
+                        iter: iterations - 1,
+                        inertia: cost,
+                        moved: 1,
+                        centroid_shift: prev_cost - cost,
+                    });
+                }
             }
             None => {
+                if obs.is_armed() {
+                    obs.iteration(&IterationEvent {
+                        algorithm: "pam",
+                        iter: iterations - 1,
+                        inertia: cost,
+                        moved: 0,
+                        centroid_shift: 0.0,
+                    });
+                }
                 converged = true;
                 break;
             }
         }
     }
 
+    obs.counter("pam.iterations", iterations as u64);
+    fit_span.end();
     // Final assignment.
     let labels = assign_to_medoids(matrix, n, &medoids);
 
@@ -247,7 +317,9 @@ fn pam_core(
 
 #[cfg(test)]
 mod tests {
-    use super::pam;
+    // The deprecated triplet stays covered on purpose until removal.
+    #![allow(deprecated)]
+    use super::{pam, pam_with, PamOptions};
     use crate::matrix::DissimilarityMatrix;
     use tsdist::EuclideanDistance;
 
@@ -388,5 +460,29 @@ mod tests {
             }
             other => panic!("expected NotConverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pam_with_matches_and_emits_telemetry() {
+        let s = blob_series();
+        let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
+        let old = pam(&m, 2, 100);
+        let sink = tsobs::MemorySink::new();
+        let new = pam_with(&m, &PamOptions::new(2).with_recorder(&sink)).expect("clean matrix");
+        assert_eq!(old.labels, new.labels);
+        assert_eq!(old.medoids, new.medoids);
+        assert!(new.converged);
+        // One event per SWAP sweep; the last sweep found no improving
+        // swap, so it reports moved = 0 at the final cost.
+        let events = sink.iteration_events();
+        assert_eq!(events.len(), new.iterations);
+        let last = events.last().expect("at least one sweep");
+        assert_eq!(last.algorithm, "pam");
+        assert_eq!(last.moved, 0);
+        assert_eq!(last.inertia.to_bits(), new.cost.to_bits());
+        assert_eq!(sink.span_count(PamOptions::FIT_SPAN), 1);
+        // Unconverged runs return Ok under the options API.
+        let capped = pam_with(&m, &PamOptions::new(2).with_max_iter(0)).expect("cap is Ok");
+        assert!(!capped.converged);
     }
 }

@@ -17,9 +17,12 @@ use kshape::init::random_assignment;
 use tserror::{ensure_k, TsError, TsResult};
 use tslinalg::eigen::try_symmetric_eigen;
 use tslinalg::matrix::Matrix;
+use tsobs::{IterationEvent, Obs};
 use tsrun::RunControl;
 
 use crate::matrix::DissimilarityMatrix;
+use crate::options::centroid_shift;
+pub use crate::options::SpectralOptions;
 
 /// Configuration for spectral clustering.
 #[derive(Debug, Clone, Copy)]
@@ -183,15 +186,43 @@ pub struct SpectralResult {
     pub sigma: f64,
 }
 
+/// Runs normalized spectral clustering through the unified options
+/// object, with optional budget / cancellation / telemetry riding on
+/// [`SpectralOptions`].
+///
+/// Unlike the deprecated [`try_spectral_cluster`], a non-converged
+/// embedding k-means is *not* an error: the returned [`SpectralResult`]
+/// carries `converged: false`.
+///
+/// # Errors
+///
+/// Everything [`try_spectral_embedding`] reports, plus
+/// [`TsError::Stopped`] when the attached budget or cancellation trips.
+pub fn spectral_cluster_with(
+    matrix: &DissimilarityMatrix,
+    opts: &SpectralOptions<'_>,
+) -> TsResult<SpectralResult> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let (result, _shifted) = spectral_core(matrix, &opts.config, &ctrl, obs)?;
+    ctrl.report_cost(obs);
+    Ok(result)
+}
+
 /// Runs normalized spectral clustering on a dissimilarity matrix.
 ///
 /// # Panics
 ///
 /// Panics if the matrix is empty or non-finite, or `k` is 0 or exceeds
-/// `n`. See [`try_spectral_cluster`] for the fallible variant.
+/// `n`. See [`spectral_cluster_with`] for the fallible options-based
+/// variant.
+#[deprecated(
+    since = "0.1.0",
+    note = "use spectral_cluster_with with SpectralOptions"
+)]
 #[must_use]
 pub fn spectral_cluster(matrix: &DissimilarityMatrix, config: &SpectralConfig) -> SpectralResult {
-    spectral_core(matrix, config, &RunControl::unlimited())
+    spectral_core(matrix, config, &RunControl::unlimited(), Obs::none())
         .unwrap_or_else(|e| panic!("{e}"))
         .0
 }
@@ -204,10 +235,15 @@ pub fn spectral_cluster(matrix: &DissimilarityMatrix, config: &SpectralConfig) -
 ///
 /// Everything [`try_spectral_embedding`] reports, plus
 /// [`TsError::NotConverged`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use spectral_cluster_with with SpectralOptions"
+)]
 pub fn try_spectral_cluster(
     matrix: &DissimilarityMatrix,
     config: &SpectralConfig,
 ) -> TsResult<SpectralResult> {
+    #[allow(deprecated)]
     try_spectral_cluster_with_control(matrix, config, &RunControl::unlimited())
 }
 
@@ -222,12 +258,16 @@ pub fn try_spectral_cluster(
 /// when the control trips; the error carries the current embedding
 /// labeling (empty if stopped before the embedding was built) and the
 /// completed k-means iteration count.
+#[deprecated(
+    since = "0.1.0",
+    note = "use spectral_cluster_with with SpectralOptions"
+)]
 pub fn try_spectral_cluster_with_control(
     matrix: &DissimilarityMatrix,
     config: &SpectralConfig,
     ctrl: &RunControl,
 ) -> TsResult<SpectralResult> {
-    let (result, shifted) = spectral_core(matrix, config, ctrl)?;
+    let (result, shifted) = spectral_core(matrix, config, ctrl, Obs::none())?;
     if result.converged {
         Ok(result)
     } else {
@@ -245,7 +285,9 @@ fn spectral_core(
     matrix: &DissimilarityMatrix,
     config: &SpectralConfig,
     ctrl: &RunControl,
+    obs: Obs<'_>,
 ) -> TsResult<(SpectralResult, usize)> {
+    let fit_span = obs.span(SpectralOptions::FIT_SPAN);
     let sigma = config.sigma.unwrap_or_else(|| median_bandwidth(matrix));
     // The eigensolve is the expensive, non-interruptible block: charge its
     // O(n³) cost up front so a tight deadline refuses before entering it.
@@ -253,9 +295,18 @@ fn spectral_core(
     if let Err(reason) = ctrl.charge(n.saturating_mul(n).saturating_mul(n)) {
         return Err(RunControl::stop_error(Vec::new(), 0, reason));
     }
+    let embed_span = obs.span("spectral.embed");
     let embedding = try_spectral_embedding(matrix, config.k, Some(sigma))?;
-    let (labels, converged, shifted) =
-        embedding_kmeans(&embedding, config.k, config.max_iter, config.seed, ctrl)?;
+    embed_span.end();
+    let (labels, converged, shifted) = embedding_kmeans(
+        &embedding,
+        config.k,
+        config.max_iter,
+        config.seed,
+        ctrl,
+        obs,
+    )?;
+    fit_span.end();
     Ok((
         SpectralResult {
             labels,
@@ -279,6 +330,7 @@ fn embedding_kmeans(
     max_iter: usize,
     seed: u64,
     ctrl: &RunControl,
+    obs: Obs<'_>,
 ) -> TsResult<(Vec<usize>, bool, usize)> {
     let n = rows.len();
     let dim = rows[0].len();
@@ -287,6 +339,7 @@ fn embedding_kmeans(
     let mut centroids = vec![vec![0.0; dim]; k];
     let mut dists = vec![0.0f64; n];
     let mut shifted = 0usize;
+    let mut prev_centroids: Vec<Vec<f64>> = Vec::new();
     let pass_cost = (n as u64)
         .saturating_mul(k as u64)
         .saturating_mul(dim.max(1) as u64);
@@ -296,6 +349,9 @@ fn embedding_kmeans(
         }
         if let Err(reason) = ctrl.charge(pass_cost) {
             return Err(RunControl::stop_error(labels, iter, reason));
+        }
+        if obs.is_armed() {
+            prev_centroids = centroids.clone();
         }
         let mut counts = vec![0usize; k];
         for c in &mut centroids {
@@ -309,6 +365,7 @@ fn embedding_kmeans(
         }
         for (j, c) in centroids.iter_mut().enumerate() {
             if counts[j] == 0 {
+                obs.counter("spectral.empty_cluster_reseeds", 1);
                 let worst = dists
                     .iter()
                     .enumerate()
@@ -343,16 +400,32 @@ fn embedding_kmeans(
             }
         }
         shifted = changed;
+        if obs.is_armed() {
+            obs.iteration(&IterationEvent {
+                algorithm: "spectral",
+                iter,
+                inertia: dists.iter().map(|d| d * d).sum(),
+                moved: changed,
+                centroid_shift: centroid_shift(&prev_centroids, &centroids),
+            });
+        }
         if changed == 0 {
+            obs.counter("spectral.iterations", iter as u64 + 1);
             return Ok((labels, true, 0));
         }
     }
+    obs.counter("spectral.iterations", max_iter as u64);
     Ok((labels, false, shifted))
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{median_bandwidth, spectral_cluster, spectral_embedding, SpectralConfig};
+    // The deprecated triplet stays covered on purpose until removal.
+    #![allow(deprecated)]
+    use super::{
+        median_bandwidth, spectral_cluster, spectral_cluster_with, spectral_embedding,
+        SpectralConfig, SpectralOptions,
+    };
     use crate::matrix::DissimilarityMatrix;
     use tsdist::EuclideanDistance;
 
@@ -493,5 +566,33 @@ mod tests {
             try_spectral_embedding(&m, 2, Some(0.0)),
             Err(TsError::NumericalFailure { .. })
         ));
+    }
+
+    #[test]
+    fn spectral_with_matches_and_emits_telemetry() {
+        let m = two_blob_matrix();
+        let cfg = SpectralConfig {
+            k: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let old = spectral_cluster(&m, &cfg);
+        let sink = tsobs::MemorySink::new();
+        let new = spectral_cluster_with(&m, &SpectralOptions::from(cfg).with_recorder(&sink))
+            .expect("clean matrix");
+        assert_eq!(old.labels, new.labels);
+        assert_eq!(old.sigma.to_bits(), new.sigma.to_bits());
+        let events = sink.iteration_events();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.algorithm == "spectral"));
+        assert_eq!(
+            events.len() as u64,
+            sink.counter_total("spectral.iterations")
+        );
+        assert_eq!(sink.span_count(SpectralOptions::FIT_SPAN), 1);
+        assert_eq!(sink.span_count("spectral.embed"), 1);
+        let capped = spectral_cluster_with(&m, &SpectralOptions::from(cfg).with_max_iter(0))
+            .expect("cap is Ok");
+        assert!(!capped.converged);
     }
 }

@@ -3,10 +3,10 @@
 
 use tscheck::Gen;
 use tscluster::hierarchical::{agglomerate, Linkage};
-use tscluster::kmeans::{kmeans, KMeansConfig};
 use tscluster::ksc::KscDistance;
-use tscluster::matrix::DissimilarityMatrix;
-use tscluster::pam::pam;
+use tscluster::{
+    kmeans_with, pam_with, DissimilarityMatrix, KMeansConfig, KMeansOptions, PamOptions,
+};
 use tsdist::EuclideanDistance;
 
 fn dataset(g: &mut Gen) -> Vec<Vec<f64>> {
@@ -21,7 +21,8 @@ tscheck::props! {
         let series = dataset(g);
         let seed = g.u64_in(0..100);
         let k = g.usize_in(1..4).min(series.len());
-        let r = kmeans(&series, &EuclideanDistance, &KMeansConfig { k, seed, max_iter: 30 });
+        let opts = KMeansOptions::from(KMeansConfig { k, seed, max_iter: 30 });
+        let r = kmeans_with(&series, &EuclideanDistance, &opts).expect("generated data is clean");
         assert_eq!(r.labels.len(), series.len());
         assert!(r.labels.iter().all(|&l| l < k));
         assert!(r.inertia >= 0.0);
@@ -35,8 +36,10 @@ tscheck::props! {
         let series = dataset(g);
         let seed = g.u64_in(0..50);
         let n = series.len();
-        let r1 = kmeans(&series, &EuclideanDistance, &KMeansConfig { k: 1, seed, max_iter: 50 });
-        let rn = kmeans(&series, &EuclideanDistance, &KMeansConfig { k: n, seed, max_iter: 50 });
+        let opts1 = KMeansOptions::from(KMeansConfig { k: 1, seed, max_iter: 50 });
+        let r1 = kmeans_with(&series, &EuclideanDistance, &opts1).expect("generated data is clean");
+        let optsn = KMeansOptions::from(KMeansConfig { k: n, seed, max_iter: 50 });
+        let rn = kmeans_with(&series, &EuclideanDistance, &optsn).expect("generated data is clean");
         // k = n puts every point alone: inertia 0; k = 1 is an upper bound.
         assert!(rn.inertia <= r1.inertia + 1e-9);
         assert!(rn.inertia < 1e-9);
@@ -47,7 +50,8 @@ tscheck::props! {
         let series = dataset(g);
         let matrix = DissimilarityMatrix::compute(&series, &EuclideanDistance);
         let n = series.len();
-        let r = pam(&matrix, 2.min(n), 100);
+        let r = pam_with(&matrix, &PamOptions::new(2.min(n)).with_max_iter(100))
+            .expect("finite matrix");
         assert!(r.converged);
         // No single medoid replacement improves the cost.
         let cost_of = |meds: &[usize]| -> f64 {

@@ -11,6 +11,69 @@ use crate::dtw::dtw_distance;
 use crate::lb_keogh::{lb_keogh, Envelope};
 use crate::Distance;
 
+/// Options for [`one_nn_accuracy_with`]: optional budget, cancellation,
+/// and observability for the 1-NN scan.
+///
+/// The 1-NN protocol itself is parameter-free, so unlike the clustering
+/// options objects there is no algorithm config — only the control and
+/// telemetry surface.
+#[derive(Clone, Default)]
+pub struct NnOptions<'a> {
+    /// Optional execution budget (deadline / iteration cap / cost quota).
+    pub budget: Option<tsrun::Budget>,
+    /// Optional cooperative cancellation token.
+    pub cancel: Option<tsrun::CancelToken>,
+    /// Optional telemetry recorder.
+    pub recorder: Option<&'a dyn tsobs::Recorder>,
+}
+
+impl std::fmt::Debug for NnOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NnOptions")
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel.is_some())
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl<'a> NnOptions<'a> {
+    /// Options with no budget, no cancellation, and no recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        NnOptions::default()
+    }
+
+    /// Attaches an execution budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: tsrun::Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: tsrun::CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn tsobs::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    fn control(&self) -> tsrun::RunControl {
+        tsrun::RunControl::from_parts(self.budget, self.cancel.clone())
+    }
+
+    fn obs(&self) -> tsobs::Obs<'a> {
+        tsobs::Obs::from_option(self.recorder)
+    }
+}
+
 /// Validates a train/test pair once up front: both series sets must be
 /// internally consistent (finite, equal-length) and, when both are
 /// non-empty, their series lengths must agree.
@@ -115,12 +178,14 @@ pub fn try_one_nn_accuracy<D: Distance + ?Sized>(
     Ok(one_nn_accuracy(dist, train, test))
 }
 
-/// Budget- and cancellation-aware 1-NN accuracy.
+/// Budget-, cancellation-, and observability-aware 1-NN accuracy.
 ///
 /// The scan charges [`Distance::cost_hint`] per train/test comparison, so
 /// a wall-clock deadline on a quadratic measure (DTW over thousands of
 /// series) is detected within a bounded amount of *work* rather than
-/// after a full test row completes.
+/// after a full test row completes. With a recorder attached it emits an
+/// `nn.one_nn` span plus `nn.queries` and `nn.comparisons` counters; the
+/// accuracy itself is bit-identical armed or disarmed.
 ///
 /// # Errors
 ///
@@ -128,11 +193,61 @@ pub fn try_one_nn_accuracy<D: Distance + ?Sized>(
 /// [`TsError::Stopped`] when the control trips; the error carries the
 /// predicted labels of the queries classified so far and the count of
 /// completed queries as `iterations`.
+///
+/// # Examples
+///
+/// ```
+/// use tsdist::nn::{one_nn_accuracy_with, NnOptions};
+/// use tsdist::EuclideanDistance;
+/// use tsdata::dataset::Dataset;
+///
+/// let train = Dataset::new(
+///     "train",
+///     vec![vec![0.0, 0.0], vec![5.0, 5.0]],
+///     vec![0, 1],
+/// );
+/// let test = Dataset::new("test", vec![vec![0.1, 0.1]], vec![0]);
+/// let acc = one_nn_accuracy_with(&EuclideanDistance, &train, &test, &NnOptions::new()).unwrap();
+/// assert_eq!(acc, 1.0);
+/// ```
+pub fn one_nn_accuracy_with<D: Distance + ?Sized>(
+    dist: &D,
+    train: &Dataset,
+    test: &Dataset,
+    opts: &NnOptions<'_>,
+) -> TsResult<f64> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let scan_span = obs.span("nn.one_nn");
+    let acc = one_nn_core(dist, train, test, &ctrl, obs)?;
+    scan_span.end();
+    ctrl.report_cost(obs);
+    Ok(acc)
+}
+
+/// Budget- and cancellation-aware 1-NN accuracy.
+///
+/// # Errors
+///
+/// As [`one_nn_accuracy_with`].
+#[deprecated(since = "0.1.0", note = "use one_nn_accuracy_with with NnOptions")]
 pub fn try_one_nn_accuracy_with_control<D: Distance + ?Sized>(
     dist: &D,
     train: &Dataset,
     test: &Dataset,
     ctrl: &tsrun::RunControl,
+) -> TsResult<f64> {
+    one_nn_core(dist, train, test, ctrl, tsobs::Obs::none())
+}
+
+/// Shared instrumented scan behind [`one_nn_accuracy_with`] and the
+/// deprecated control-only wrapper.
+fn one_nn_core<D: Distance + ?Sized>(
+    dist: &D,
+    train: &Dataset,
+    test: &Dataset,
+    ctrl: &tsrun::RunControl,
+    obs: tsobs::Obs<'_>,
 ) -> TsResult<f64> {
     validate_split(train, test)?;
     if test.is_empty() {
@@ -142,15 +257,19 @@ pub fn try_one_nn_accuracy_with_control<D: Distance + ?Sized>(
     let pair_cost = dist.cost_hint(m);
     let mut predicted = Vec::with_capacity(test.n_series());
     let mut correct = 0usize;
+    let mut comparisons = 0u64;
     for (q, &ql) in test.series.iter().zip(test.labels.iter()) {
         let mut best = f64::INFINITY;
         let mut label = None;
         for (s, &l) in train.series.iter().zip(train.labels.iter()) {
             if let Err(reason) = ctrl.charge(pair_cost) {
                 let done = predicted.len();
+                obs.counter("nn.queries", done as u64);
+                obs.counter("nn.comparisons", comparisons);
                 return Err(tsrun::RunControl::stop_error(predicted, done, reason));
             }
             let d = dist.dist(q, s);
+            comparisons += 1;
             if d < best {
                 best = d;
                 label = Some(l);
@@ -161,6 +280,8 @@ pub fn try_one_nn_accuracy_with_control<D: Distance + ?Sized>(
             correct += 1;
         }
     }
+    obs.counter("nn.queries", predicted.len() as u64);
+    obs.counter("nn.comparisons", comparisons);
     Ok(correct as f64 / test.n_series() as f64)
 }
 
@@ -362,5 +483,32 @@ mod tests {
         let (train, test) = toy_split();
         let (_, pruned) = one_nn_accuracy_lb(Some(1), &train, &test);
         assert!(pruned > 0.0, "expected some pruning, got {pruned}");
+    }
+
+    #[test]
+    fn one_nn_with_matches_and_emits_telemetry() {
+        use super::{one_nn_accuracy_with, NnOptions};
+        let (train, test) = toy_split();
+        let plain = one_nn_accuracy(&EuclideanDistance, &train, &test);
+        let sink = tsobs::MemorySink::new();
+        let armed = one_nn_accuracy_with(
+            &EuclideanDistance,
+            &train,
+            &test,
+            &NnOptions::new().with_recorder(&sink),
+        )
+        .expect("clean split");
+        assert_eq!(plain.to_bits(), armed.to_bits());
+        assert_eq!(sink.span_count("nn.one_nn"), 1);
+        assert_eq!(sink.counter_total("nn.queries"), 2);
+        assert_eq!(sink.counter_total("nn.comparisons"), 8);
+
+        // A tripped budget still reports the partial scan counters.
+        let sink2 = tsobs::MemorySink::new();
+        let starved = NnOptions::new()
+            .with_budget(tsrun::Budget::unlimited().with_cost_cap(1))
+            .with_recorder(&sink2);
+        assert!(one_nn_accuracy_with(&EuclideanDistance, &train, &test, &starved).is_err());
+        assert_eq!(sink2.counter_total("nn.queries"), 0);
     }
 }

@@ -17,7 +17,7 @@
 //! raw-based k-Shape is consistent — which is exactly the
 //! domain-dependence argument.
 
-use tscluster::kmeans::{kmeans, KMeansConfig};
+use tscluster::kmeans::{kmeans_with, KMeansOptions};
 use tsdata::features::{ar_coefficients, feature_vector, standardize_features};
 use tsdist::EuclideanDistance;
 use tseval::rand_index::rand_index;
@@ -35,15 +35,11 @@ fn cluster_on_vectors(
     let mut acc = 0.0;
     for r in 0..cfg.runs {
         let seed = cfg.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9);
-        let result = kmeans(
-            vectors,
-            &EuclideanDistance,
-            &KMeansConfig {
-                k,
-                max_iter: cfg.max_iter,
-                seed,
-            },
-        );
+        let opts = KMeansOptions::new(k)
+            .with_seed(seed)
+            .with_max_iter(cfg.max_iter);
+        let result =
+            kmeans_with(vectors, &EuclideanDistance, &opts).expect("feature vectors are finite");
         acc += rand_index(&result.labels, truth);
     }
     acc / cfg.runs as f64

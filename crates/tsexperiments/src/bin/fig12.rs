@@ -11,8 +11,8 @@
 
 use std::time::Instant;
 
-use kshape::{KShape, KShapeConfig};
-use tscluster::kmeans::{kmeans, KMeansConfig};
+use kshape::{KShape, KShapeOptions};
+use tscluster::kmeans::{kmeans_with, KMeansOptions};
 use tsdata::generators::cbf;
 use tsdata::normalize::z_normalize_in_place;
 use tsdist::EuclideanDistance;
@@ -38,24 +38,12 @@ fn cbf_series(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
 
 fn time_methods(series: &[Vec<f64>], max_iter: usize) -> (f64, f64) {
     let t = Instant::now();
-    let _ = kmeans(
-        series,
-        &EuclideanDistance,
-        &KMeansConfig {
-            k: 3,
-            max_iter,
-            seed: 1,
-        },
-    );
+    let kavg_opts = KMeansOptions::new(3).with_seed(1).with_max_iter(max_iter);
+    let _ = kmeans_with(series, &EuclideanDistance, &kavg_opts).expect("CBF series are clean");
     let kavg = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let _ = KShape::new(KShapeConfig {
-        k: 3,
-        max_iter,
-        seed: 1,
-        ..Default::default()
-    })
-    .fit(series);
+    let ks_opts = KShapeOptions::new(3).with_seed(1).with_max_iter(max_iter);
+    let _ = KShape::fit_with(series, &ks_opts).expect("CBF series are clean");
     let kshape = t.elapsed().as_secs_f64();
     (kavg, kshape)
 }

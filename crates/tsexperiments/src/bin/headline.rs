@@ -8,9 +8,9 @@
 //! whose members differ mainly by a global phase shift.
 
 use kshape::sbd::Sbd;
-use kshape::{KShape, KShapeConfig};
+use kshape::{KShape, KShapeOptions};
 use tscluster::matrix::DissimilarityMatrix;
-use tscluster::pam::pam;
+use tscluster::pam::{pam_with, PamOptions};
 use tsdata::collection::split_alternating;
 use tsdata::generators::{ecg, GenParams};
 use tsdist::dtw::Dtw;
@@ -51,17 +51,13 @@ fn main() {
 
     // --- clustering: k-Shape vs PAM+cDTW ---
     let fused = split.fused();
-    let kshape = KShape::new(KShapeConfig {
-        k: 2,
-        seed: 0xEC6,
-        max_iter: 50,
-        ..Default::default()
-    })
-    .fit(&fused.series);
+    let ks_opts = KShapeOptions::new(2).with_seed(0xEC6).with_max_iter(50);
+    let kshape = KShape::fit_with(&fused.series, &ks_opts).expect("ECG series are clean");
     let kshape_rand = rand_index(&kshape.labels, &fused.labels);
 
     let matrix = DissimilarityMatrix::compute(&fused.series, &Dtw::with_window(w));
-    let pam_result = pam(&matrix, 2, 100);
+    let pam_opts = PamOptions::new(2).with_max_iter(100);
+    let pam_result = pam_with(&matrix, &pam_opts).expect("ECG matrix is finite");
     let pam_rand = rand_index(&pam_result.labels, &fused.labels);
 
     println!(

@@ -1,0 +1,77 @@
+//! Captures a structured telemetry stream from a small clustering sweep.
+//!
+//! Runs a handful of Table 3/4 methods over a reduced synthetic
+//! collection with a JSONL recorder attached and writes every event to
+//! the path given as the first argument (default `telemetry.jsonl`).
+//! CI pipes the output through `tsobs-validate` to keep the event schema
+//! honest; locally the file is grep-able evidence of what the harness
+//! actually did (`"type":"iteration"` lines show convergence per run).
+
+use std::process::ExitCode;
+
+use tscluster::hierarchical::Linkage;
+use tsexperiments::checkpoint::CheckpointStore;
+use tsexperiments::cluster_eval::{evaluate_method_observed, DistKind, Method};
+use tsexperiments::ExperimentConfig;
+use tsobs::JsonlSink;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "telemetry.jsonl".to_string());
+    let sink = match JsonlSink::to_file(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("telemetry: cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = ExperimentConfig {
+        size_factor: 0.3,
+        runs: 1,
+        max_iter: 20,
+        seed: 11,
+        threads: 2,
+    };
+    let collection = cfg.collection();
+    let subset = &collection[..collection.len().min(3)];
+
+    let methods = [
+        Method::KShape,
+        Method::KAvg(DistKind::Ed),
+        Method::Ksc,
+        Method::Pam(DistKind::Sbd),
+        Method::Hierarchical(Linkage::Average, DistKind::Ed),
+        Method::Spectral(DistKind::Ed),
+    ];
+    for method in methods {
+        let eval = evaluate_method_observed(
+            method,
+            subset,
+            &cfg,
+            &CheckpointStore::disabled(),
+            Some(&sink),
+        );
+        eprintln!(
+            "telemetry: {:<12} mean Rand {:.3} in {:.2}s",
+            eval.name,
+            eval.mean_rand(),
+            eval.seconds
+        );
+    }
+
+    if let Err(e) = sink.flush() {
+        eprintln!("telemetry: flush failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if sink.dropped_writes() > 0 {
+        eprintln!(
+            "telemetry: {} events dropped by the sink",
+            sink.dropped_writes()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("telemetry: events written to {path}");
+    ExitCode::SUCCESS
+}

@@ -8,18 +8,19 @@
 use std::time::Instant;
 
 use kshape::sbd::Sbd;
-use kshape::{KShape, KShapeConfig};
-use tscluster::dba::{kdba, KDbaConfig};
-use tscluster::hierarchical::{hierarchical_cluster, Linkage};
-use tscluster::kmeans::{kmeans, KMeansConfig};
-use tscluster::ksc::{ksc, KscConfig};
-use tscluster::matrix::DissimilarityMatrix;
-use tscluster::pam::pam;
-use tscluster::spectral::{spectral_cluster, SpectralConfig};
+use kshape::{KShape, KShapeConfig, KShapeOptions};
+use tscluster::dba::{kdba_with, KDbaConfig, KDbaOptions};
+use tscluster::hierarchical::{hierarchical_cluster_with, HierarchicalOptions, Linkage};
+use tscluster::kmeans::{kmeans_with, KMeansConfig, KMeansOptions};
+use tscluster::ksc::{ksc_with, KscConfig, KscOptions};
+use tscluster::matrix::{DissimilarityMatrix, MatrixOptions};
+use tscluster::pam::{pam_with, PamOptions};
+use tscluster::spectral::{spectral_cluster_with, SpectralConfig, SpectralOptions};
 use tsdata::dataset::SplitDataset;
 use tsdist::dtw::Dtw;
 use tsdist::Distance;
 use tseval::rand_index::rand_index;
+use tsobs::{Obs, Recorder};
 
 use crate::checkpoint::{config_tag, CheckpointCell, CheckpointStore};
 use crate::config::ExperimentConfig;
@@ -154,14 +155,39 @@ pub fn evaluate_method_checkpointed(
     cfg: &ExperimentConfig,
     store: &CheckpointStore,
 ) -> MethodEval {
+    evaluate_method_observed(method, collection, cfg, store, None)
+}
+
+/// [`evaluate_method_checkpointed`] with an optional telemetry recorder.
+///
+/// With a recorder attached, every `(method, dataset)` cell is wrapped
+/// in a `cell.<method>.<dataset>` span (so per-cell wall time lands in
+/// the event stream), checkpoint reuse shows up as `checkpoint.hits`,
+/// persisted cells as `checkpoint.stores`, and the recorder is threaded
+/// into every clustering run so algorithm-level iteration events carry
+/// through. Disarmed (`recorder = None`) it is exactly
+/// [`evaluate_method_checkpointed`].
+#[must_use]
+pub fn evaluate_method_observed(
+    method: Method,
+    collection: &[SplitDataset],
+    cfg: &ExperimentConfig,
+    store: &CheckpointStore,
+    recorder: Option<&dyn Recorder>,
+) -> MethodEval {
     let start = Instant::now();
     let runs = if method.stochastic() { cfg.runs } else { 1 };
     let tag = config_tag(cfg);
     let name = method.label();
+    let obs = Obs::from_option(recorder);
     let rand_indices = collection
         .iter()
         .map(|split| {
+            let cell_label = format!("cell.{}.{}", name, split.name());
+            let cell_span = obs.span(&cell_label);
             if let (Some(cell), _) = store.load(&name, split.name(), &tag) {
+                obs.counter("checkpoint.hits", 1);
+                cell_span.end();
                 return cell.rand_index;
             }
             let fused = split.fused();
@@ -169,16 +195,20 @@ pub fn evaluate_method_checkpointed(
             let mut acc = 0.0;
             for r in 0..runs {
                 let seed = cfg.seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9);
-                let labels = run_method(method, &fused.series, k, cfg, seed);
+                let labels = run_method_observed(method, &fused.series, k, cfg, seed, recorder);
                 acc += rand_index(&labels, &fused.labels);
             }
             let ri = acc / runs as f64;
-            let _ = store.store(&CheckpointCell {
+            let stored = store.store(&CheckpointCell {
                 method: name.clone(),
                 dataset: split.name().to_string(),
                 config_tag: tag.clone(),
                 rand_index: ri,
             });
+            if store.is_enabled() && stored.is_ok() {
+                obs.counter("checkpoint.stores", 1);
+            }
+            cell_span.end();
             ri
         })
         .collect();
@@ -198,78 +228,111 @@ pub fn run_method(
     cfg: &ExperimentConfig,
     seed: u64,
 ) -> Vec<usize> {
+    run_method_observed(method, series, k, cfg, seed, None)
+}
+
+/// [`run_method`] with an optional telemetry recorder threaded into the
+/// underlying algorithm, so its spans, counters, and per-iteration
+/// convergence events land in the caller's sink.
+///
+/// # Panics
+///
+/// Panics when a method rejects the input (empty, non-finite, bad `k`) —
+/// the experiment harness validates its synthetic collections up front,
+/// so a rejection here is a harness bug, not an operational error.
+#[must_use]
+pub fn run_method_observed(
+    method: Method,
+    series: &[Vec<f64>],
+    k: usize,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    recorder: Option<&dyn Recorder>,
+) -> Vec<usize> {
     let m = series.first().map_or(0, Vec::len);
+    let matrix_for = |d: DistKind| {
+        let dist = d.make(m);
+        let mut mopts = MatrixOptions::default().with_threads(cfg.threads);
+        mopts.recorder = recorder;
+        DissimilarityMatrix::compute_with(series, dist.as_ref(), &mopts)
+            .expect("harness input must build a finite matrix")
+    };
     match method {
         Method::KAvg(d) => {
             let dist = d.make(m);
-            kmeans(
-                series,
-                dist.as_ref(),
-                &KMeansConfig {
-                    k,
-                    max_iter: cfg.max_iter,
-                    seed,
-                },
-            )
-            .labels
+            let mut opts = KMeansOptions::from(KMeansConfig {
+                k,
+                max_iter: cfg.max_iter,
+                seed,
+            });
+            opts.recorder = recorder;
+            kmeans_with(series, dist.as_ref(), &opts)
+                .expect("harness input must be valid for k-means")
+                .labels
         }
         Method::KShape => {
-            KShape::new(KShapeConfig {
+            let mut opts = KShapeOptions::from(KShapeConfig {
                 k,
                 max_iter: cfg.max_iter,
                 seed,
                 ..Default::default()
-            })
-            .fit(series)
-            .labels
+            });
+            opts.recorder = recorder;
+            KShape::fit_with(series, &opts)
+                .expect("harness input must be valid for k-Shape")
+                .labels
         }
         Method::KShapeDtw => kshape_dtw(series, k, cfg.max_iter, seed).labels,
         Method::KDba => {
-            kdba(
-                series,
-                &KDbaConfig {
-                    k,
-                    max_iter: cfg.max_iter,
-                    seed,
-                    ..Default::default()
-                },
-            )
-            .labels
+            let mut opts = KDbaOptions::from(KDbaConfig {
+                k,
+                max_iter: cfg.max_iter,
+                seed,
+                ..Default::default()
+            });
+            opts.recorder = recorder;
+            kdba_with(series, &opts)
+                .expect("harness input must be valid for k-DBA")
+                .labels
         }
         Method::Ksc => {
-            ksc(
-                series,
-                &KscConfig {
-                    k,
-                    max_iter: cfg.max_iter,
-                    seed,
-                },
-            )
-            .labels
+            let mut opts = KscOptions::from(KscConfig {
+                k,
+                max_iter: cfg.max_iter,
+                seed,
+            });
+            opts.recorder = recorder;
+            ksc_with(series, &opts)
+                .expect("harness input must be valid for KSC")
+                .labels
         }
         Method::Pam(d) => {
-            let dist = d.make(m);
-            let matrix = DissimilarityMatrix::compute_parallel(series, dist.as_ref(), cfg.threads);
-            pam(&matrix, k, cfg.max_iter).labels
+            let matrix = matrix_for(d);
+            let mut opts = PamOptions::new(k).with_max_iter(cfg.max_iter);
+            opts.recorder = recorder;
+            pam_with(&matrix, &opts)
+                .expect("harness matrix must be valid for PAM")
+                .labels
         }
         Method::Hierarchical(linkage, d) => {
-            let dist = d.make(m);
-            let matrix = DissimilarityMatrix::compute_parallel(series, dist.as_ref(), cfg.threads);
-            hierarchical_cluster(&matrix, linkage, k)
+            let matrix = matrix_for(d);
+            let mut opts = HierarchicalOptions::new(k).with_linkage(linkage);
+            opts.recorder = recorder;
+            hierarchical_cluster_with(&matrix, &opts)
+                .expect("harness matrix must be valid for hierarchical clustering")
         }
         Method::Spectral(d) => {
-            let dist = d.make(m);
-            let matrix = DissimilarityMatrix::compute_parallel(series, dist.as_ref(), cfg.threads);
-            spectral_cluster(
-                &matrix,
-                &SpectralConfig {
-                    k,
-                    max_iter: cfg.max_iter,
-                    seed,
-                    sigma: None,
-                },
-            )
-            .labels
+            let matrix = matrix_for(d);
+            let mut opts = SpectralOptions::from(SpectralConfig {
+                k,
+                max_iter: cfg.max_iter,
+                seed,
+                sigma: None,
+            });
+            opts.recorder = recorder;
+            spectral_cluster_with(&matrix, &opts)
+                .expect("harness matrix must be valid for spectral clustering")
+                .labels
         }
     }
 }

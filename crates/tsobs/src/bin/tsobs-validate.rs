@@ -1,0 +1,56 @@
+//! JSONL telemetry-schema validator.
+//!
+//! Reads one or more JSONL run artifacts (or stdin when no paths are
+//! given), validates every line against the tsobs event schema
+//! (DESIGN.md §7), and exits non-zero on the first violation. CI replays
+//! a captured run through this binary so schema drift is caught before
+//! any downstream tooling parses a broken artifact.
+//!
+//! Usage: `tsobs-validate [FILE ...]`
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn validate_source(name: &str, text: &str) -> Result<usize, String> {
+    tsobs::validate_jsonl(text).map_err(|e| format!("{name}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut total = 0usize;
+
+    if paths.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("tsobs-validate: stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        match validate_source("<stdin>", &text) {
+            Ok(n) => total += n,
+            Err(e) => {
+                eprintln!("tsobs-validate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tsobs-validate: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_source(path, &text) {
+            Ok(n) => total += n,
+            Err(e) => {
+                eprintln!("tsobs-validate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("tsobs-validate: {total} events OK");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,163 @@
+//! Log2-bucketed histogram: fixed memory, no allocation per sample.
+//!
+//! Bucket `b` holds samples whose value has bit length `b` — i.e.
+//! bucket 0 is exactly `{0}`, bucket 1 is `{1}`, bucket 2 is `{2, 3}`,
+//! bucket 11 is `{1024..=2047}`, and so on up to bucket 64 for the top
+//! of the `u64` range. That gives a ~2x relative-error summary of span
+//! durations or cost magnitudes at 65 words of state, which is all the
+//! convergence-telemetry use cases need.
+
+/// Number of buckets in a [`Histogram`] (bit lengths 0..=64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The log2 bucket index for a value: its bit length.
+#[must_use]
+pub fn log2_bucket(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// A fixed-size log2 histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[log2_bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of samples in bucket `bucket` (see [`log2_bucket`]).
+    ///
+    /// # Panics
+    ///
+    /// When `bucket >= HISTOGRAM_BUCKETS`.
+    #[must_use]
+    pub fn bucket_count(&self, bucket: usize) -> u64 {
+        self.buckets[bucket]
+    }
+
+    /// The buckets as a slice, index = bit length of the sample.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(1023), 10);
+        assert_eq!(log2_bucket(1024), 11);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_and_summary() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 2);
+        assert_eq!(h.bucket_count(11), 1);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new();
+        a.record(7);
+        let mut b = Histogram::new();
+        b.record(9);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.bucket_count(3), 1); // 7
+        assert_eq!(a.bucket_count(4), 1); // 9
+        assert_eq!(a.bucket_count(64), 1);
+    }
+
+    #[test]
+    fn saturating_sum_does_not_wrap() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+}

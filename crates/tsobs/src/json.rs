@@ -1,0 +1,537 @@
+//! A minimal JSON parser and the JSONL telemetry-schema validator.
+//!
+//! The workspace is hermetic (no serde), so the validator binary and the
+//! schema tests carry their own ~150-line recursive-descent parser. It
+//! accepts exactly RFC 8259 JSON values; numbers are parsed as `f64`.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order (duplicate keys are rejected).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, when it is one exactly.
+    #[must_use]
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(63) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos -= usize::from(self.pos > 0);
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", JsonValue::Null),
+            Some(b't') => self.expect_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.expect_literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate pairs are not needed by our emitter;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences: the input
+                    // was a &str, so the bytes are valid UTF-8.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.pos = start + len;
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(JsonValue::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, JsonValue)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key \"{key}\"")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(JsonValue::Obj(fields)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document; trailing content is an error.
+///
+/// # Errors
+///
+/// A human-readable message with the byte offset of the first problem.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after value"));
+    }
+    Ok(v)
+}
+
+fn require_uint(obj: &JsonValue, key: &str) -> Result<(), String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing field \"{key}\""))?
+        .as_uint()
+        .map(|_| ())
+        .ok_or_else(|| format!("field \"{key}\" must be a non-negative integer"))
+}
+
+fn require_str(obj: &JsonValue, key: &str) -> Result<(), String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing field \"{key}\""))?
+        .as_str()
+        .map(|_| ())
+        .ok_or_else(|| format!("field \"{key}\" must be a string"))
+}
+
+fn require_num_or_null(obj: &JsonValue, key: &str) -> Result<(), String> {
+    match obj.get(key) {
+        None => Err(format!("missing field \"{key}\"")),
+        Some(JsonValue::Null | JsonValue::Num(_)) => Ok(()),
+        Some(_) => Err(format!("field \"{key}\" must be a number or null")),
+    }
+}
+
+fn require_exact_fields(obj: &JsonValue, expected: &[&str]) -> Result<(), String> {
+    if let JsonValue::Obj(fields) = obj {
+        for (k, _) in fields {
+            if !expected.contains(&k.as_str()) {
+                return Err(format!("unexpected field \"{k}\""));
+            }
+        }
+        Ok(())
+    } else {
+        Err("event must be a JSON object".into())
+    }
+}
+
+/// Validates one JSONL telemetry line against the event schema
+/// (DESIGN.md §7).
+///
+/// # Errors
+///
+/// A message describing the first schema violation.
+pub fn validate_event_line(line: &str) -> Result<(), String> {
+    let v = parse_json(line)?;
+    let ty = v
+        .get("type")
+        .ok_or_else(|| "missing field \"type\"".to_string())?
+        .as_str()
+        .ok_or_else(|| "field \"type\" must be a string".to_string())?
+        .to_owned();
+    match ty.as_str() {
+        "counter" => {
+            require_exact_fields(&v, &["type", "name", "delta"])?;
+            require_str(&v, "name")?;
+            require_uint(&v, "delta")
+        }
+        "histogram" => {
+            require_exact_fields(&v, &["type", "name", "value", "bucket"])?;
+            require_str(&v, "name")?;
+            require_uint(&v, "value")?;
+            require_uint(&v, "bucket")?;
+            let value = v.get("value").and_then(JsonValue::as_uint).unwrap_or(0);
+            let bucket = v.get("bucket").and_then(JsonValue::as_uint).unwrap_or(0);
+            if bucket != crate::log2_bucket(value) as u64 {
+                return Err(format!(
+                    "bucket {bucket} does not match log2_bucket({value}) = {}",
+                    crate::log2_bucket(value)
+                ));
+            }
+            Ok(())
+        }
+        "span" => {
+            require_exact_fields(&v, &["type", "name", "ns"])?;
+            require_str(&v, "name")?;
+            require_uint(&v, "ns")
+        }
+        "iteration" => {
+            require_exact_fields(
+                &v,
+                &[
+                    "type",
+                    "algorithm",
+                    "iter",
+                    "inertia",
+                    "moved",
+                    "centroid_shift",
+                ],
+            )?;
+            require_str(&v, "algorithm")?;
+            require_uint(&v, "iter")?;
+            require_uint(&v, "moved")?;
+            require_num_or_null(&v, "inertia")?;
+            require_num_or_null(&v, "centroid_shift")
+        }
+        other => Err(format!("unknown event type \"{other}\"")),
+    }
+}
+
+/// Validates a whole JSONL document (one event per non-empty line).
+///
+/// Returns the number of validated events.
+///
+/// # Errors
+///
+/// The 1-based line number and message of the first invalid line.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_event_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Zeroes the timing payload of every span event in a JSONL document so
+/// two captures of the same seeded run can be compared byte-for-byte.
+///
+/// `ns` is the schema's only wall-clock field; counters, histograms and
+/// iteration events are required to be deterministic as-is.
+#[must_use]
+pub fn strip_timing(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            out.push('\n');
+            continue;
+        }
+        match find_ns_payload(line) {
+            Some((start, end)) => {
+                out.push_str(&line[..start]);
+                out.push('0');
+                out.push_str(&line[end..]);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Locates the digits of a `"ns":<digits>` payload in a canonical span
+/// line, returning their byte range. `None` for non-span events.
+fn find_ns_payload(line: &str) -> Option<(usize, usize)> {
+    if parse_json(line).ok()?.get("type")?.as_str()? != "span" {
+        return None;
+    }
+    let key = "\"ns\":";
+    let at = line.find(key)?;
+    let start = at + key.len();
+    let end = start + line[start..].bytes().take_while(u8::is_ascii_digit).count();
+    Some((start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null"), Ok(JsonValue::Null));
+        assert_eq!(parse_json("true"), Ok(JsonValue::Bool(true)));
+        assert_eq!(parse_json("false"), Ok(JsonValue::Bool(false)));
+        assert_eq!(parse_json("3.5"), Ok(JsonValue::Num(3.5)));
+        assert_eq!(parse_json("-2e3"), Ok(JsonValue::Num(-2000.0)));
+        assert_eq!(parse_json("\"hi\""), Ok(JsonValue::Str("hi".into())));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse_json("{\"a\":[1,2,{\"b\":null}],\"c\":\"x\\ny\"}").expect("parses");
+        assert_eq!(
+            v.get("a").and_then(|a| match a {
+                JsonValue::Arr(items) => items.first().cloned(),
+                _ => None,
+            }),
+            Some(JsonValue::Num(1.0))
+        );
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x\ny"));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = parse_json("\"\\u0041\\t\\\"\\\\ é\"").expect("parses");
+        assert_eq!(v.as_str(), Some("A\t\"\\ é"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":1,\"a\":2}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "\u{1}",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validates_all_event_shapes() {
+        for good in [
+            "{\"type\":\"counter\",\"name\":\"c\",\"delta\":1}",
+            "{\"type\":\"histogram\",\"name\":\"h\",\"value\":1024,\"bucket\":11}",
+            "{\"type\":\"span\",\"name\":\"s\",\"ns\":0}",
+            "{\"type\":\"iteration\",\"algorithm\":\"kshape\",\"iter\":0,\
+             \"inertia\":1.5,\"moved\":2,\"centroid_shift\":null}",
+        ] {
+            validate_event_line(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for bad in [
+            "{\"type\":\"counter\",\"name\":\"c\"}", // missing delta
+            "{\"type\":\"counter\",\"name\":\"c\",\"delta\":-1}", // negative
+            "{\"type\":\"counter\",\"name\":\"c\",\"delta\":1,\"x\":2}", // extra field
+            "{\"type\":\"histogram\",\"name\":\"h\",\"value\":1024,\"bucket\":3}", // wrong bucket
+            "{\"type\":\"span\",\"name\":\"s\",\"ns\":1.5}", // fractional ns
+            "{\"type\":\"iteration\",\"algorithm\":\"a\",\"iter\":0,\
+             \"inertia\":\"x\",\"moved\":0,\"centroid_shift\":0}", // string inertia
+            "{\"type\":\"nope\"}",                   // unknown type
+            "{\"name\":\"c\",\"delta\":1}",          // no type
+            "[1,2,3]",                               // not an object
+        ] {
+            assert!(validate_event_line(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn validates_whole_documents_with_line_numbers() {
+        let good = "{\"type\":\"span\",\"name\":\"s\",\"ns\":5}\n\n\
+                    {\"type\":\"counter\",\"name\":\"c\",\"delta\":1}\n";
+        assert_eq!(validate_jsonl(good), Ok(2));
+        let bad = "{\"type\":\"span\",\"name\":\"s\",\"ns\":5}\nnot json\n";
+        let err = validate_jsonl(bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn strip_timing_zeroes_only_span_ns() {
+        let doc = "{\"type\":\"span\",\"name\":\"s\",\"ns\":123456}\n\
+                   {\"type\":\"counter\",\"name\":\"ns\",\"delta\":7}\n";
+        let stripped = strip_timing(doc);
+        assert!(stripped.contains("\"ns\":0"), "{stripped}");
+        assert!(stripped.contains("\"delta\":7"), "{stripped}");
+        // Two captures differing only in span timing strip identically.
+        let other = "{\"type\":\"span\",\"name\":\"s\",\"ns\":999}\n\
+                     {\"type\":\"counter\",\"name\":\"ns\",\"delta\":7}\n";
+        assert_eq!(stripped, strip_timing(other));
+        // The stripped document still validates.
+        assert_eq!(validate_jsonl(&stripped), Ok(2));
+    }
+}

@@ -1,0 +1,290 @@
+//! Structured observability for the k-Shape workspace.
+//!
+//! The paper's headline claim is *efficiency* — rank-1 accuracy at an
+//! order of magnitude less compute than k-DBA (PAPER §6) — yet wall-clock
+//! benches only observe that from the outside. This crate records what
+//! happens *inside* the hot loops: per-iteration convergence telemetry,
+//! scoped timers around refinement vs. assignment, plan-cache hit rates,
+//! and where execution-control cost units are actually charged.
+//!
+//! Three pieces:
+//!
+//! * [`Recorder`] — the object-safe sink trait. Implementations receive
+//!   monotonic counter increments, log2-bucketable histogram samples,
+//!   span durations, and typed [`IterationEvent`]s. All methods take
+//!   `&self` and the trait requires `Sync`, so one recorder can be shared
+//!   by the parallel dissimilarity-matrix workers.
+//! * [`Obs`] — a `Copy` handle over `Option<&dyn Recorder>` that hot
+//!   loops thread through their cores. Disarmed ([`Obs::none`]) every
+//!   method is a single branch on a `None`; no clock is read, no
+//!   allocation happens, no virtual call is made. The `tsobs` bench
+//!   group and CI gate pin this at < 1% overhead on the k-Shape fit.
+//! * Sinks — [`NullRecorder`] (explicit no-op), [`MemorySink`] (buffers
+//!   typed [`Event`]s for tests), and [`JsonlSink`] (streams one JSON
+//!   object per line for the experiment harness; schema in DESIGN.md §7
+//!   and enforced by the `tsobs-validate` binary).
+//!
+//! # Determinism contract
+//!
+//! Recording is strictly read-only with respect to the algorithms: an
+//! armed recorder must never change labels, centroids, iteration counts,
+//! or any other result bit. `tests/determinism.rs` and
+//! `tests/observability.rs` in the workspace root enforce this by
+//! comparing golden hashes with and without a live JSONL sink, and by
+//! diffing two identically seeded event streams modulo timing fields
+//! (see [`strip_timing`]).
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod json;
+mod sinks;
+
+pub use histogram::{log2_bucket, Histogram, HISTOGRAM_BUCKETS};
+pub use json::{parse_json, strip_timing, validate_event_line, validate_jsonl, JsonValue};
+pub use sinks::{Event, JsonlSink, MemorySink, NullRecorder, SharedBuf};
+
+use std::time::Instant;
+
+/// One outer refinement iteration of a clustering algorithm.
+///
+/// Every iterative clusterer in the workspace (k-Shape, k-means, k-DBA,
+/// KSC, PAM, spectral's embedded k-means, fuzzy c-means) emits one of
+/// these per outer iteration; CONTRIBUTING.md makes that a rule for new
+/// loops. Fields that a given algorithm cannot compute cheaply without
+/// perturbing its arithmetic are reported as `f64::NAN` (serialized as
+/// JSON `null` by the JSONL sink).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationEvent {
+    /// Algorithm identifier, e.g. `"kshape"`, `"kmeans"`, `"pam"`.
+    pub algorithm: &'static str,
+    /// Zero-based outer iteration index.
+    pub iter: usize,
+    /// Sum of (squared) assignment distances after this iteration, or
+    /// NaN when the algorithm does not track it.
+    pub inertia: f64,
+    /// Number of series that changed cluster membership this iteration.
+    pub moved: usize,
+    /// Aggregate L2 shift of the centroids/medoids relative to the
+    /// previous iteration, or NaN when not applicable.
+    pub centroid_shift: f64,
+}
+
+/// Object-safe telemetry sink.
+///
+/// All methods take `&self`: sinks serialize internally (atomics or a
+/// mutex), which lets a single recorder be shared across the scoped
+/// threads of a parallel matrix build. Names are plain `&str` so call
+/// sites may use either static labels (`"kshape.assignment"`) or
+/// formatted ones (`"cell.k-Shape.synthetic-00"`); sinks own any copies
+/// they keep.
+pub trait Recorder: Sync {
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter(&self, name: &str, delta: u64);
+    /// Records one sample into the histogram `name`. Sinks bucket by
+    /// [`log2_bucket`]; the raw value is also retained where the sink
+    /// format allows.
+    fn histogram(&self, name: &str, value: u64);
+    /// Records a completed span `name` that took `nanos` nanoseconds.
+    fn span(&self, name: &str, nanos: u64);
+    /// Records one typed per-iteration convergence event.
+    fn iteration(&self, event: &IterationEvent);
+}
+
+/// Copyable handle the hot loops carry: either disarmed (`None`, the
+/// default everywhere) or armed with a borrowed [`Recorder`].
+///
+/// The disarmed fast path is a branch on a `None` option — no clock
+/// read, no virtual dispatch. See the `tsobs` bench group for the
+/// measured cost on the k-Shape fit loop.
+#[derive(Clone, Copy, Default)]
+pub struct Obs<'a> {
+    recorder: Option<&'a dyn Recorder>,
+}
+
+impl std::fmt::Debug for Obs<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("armed", &self.is_armed())
+            .finish()
+    }
+}
+
+impl<'a> Obs<'a> {
+    /// A disarmed handle: every recording method is a no-op.
+    #[must_use]
+    pub fn none() -> Self {
+        Obs { recorder: None }
+    }
+
+    /// Arms the handle with a recorder.
+    #[must_use]
+    pub fn new(recorder: &'a dyn Recorder) -> Self {
+        Obs {
+            recorder: Some(recorder),
+        }
+    }
+
+    /// Arms the handle when `recorder` is `Some`, mirroring the
+    /// `recorder: Option<&dyn Recorder>` field of the options structs.
+    #[must_use]
+    pub fn from_option(recorder: Option<&'a dyn Recorder>) -> Self {
+        Obs { recorder }
+    }
+
+    /// Whether a recorder is attached.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Adds `delta` to counter `name` (no-op when disarmed).
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(r) = self.recorder {
+            r.counter(name, delta);
+        }
+    }
+
+    /// Records a histogram sample (no-op when disarmed).
+    #[inline]
+    pub fn histogram(&self, name: &str, value: u64) {
+        if let Some(r) = self.recorder {
+            r.histogram(name, value);
+        }
+    }
+
+    /// Emits a per-iteration convergence event (no-op when disarmed).
+    #[inline]
+    pub fn iteration(&self, event: &IterationEvent) {
+        if let Some(r) = self.recorder {
+            r.iteration(event);
+        }
+    }
+
+    /// Opens a scoped timer that records a span on drop.
+    ///
+    /// Disarmed, the returned guard holds nothing and the clock is never
+    /// read. `name` is borrowed for the guard's lifetime so formatted
+    /// names need only outlive the scope they time.
+    #[inline]
+    #[must_use]
+    pub fn span<'n>(&self, name: &'n str) -> SpanGuard<'a, 'n> {
+        SpanGuard {
+            inner: self.recorder.map(|r| (r, name, Instant::now())),
+        }
+    }
+
+    /// Runs `f` only when armed — for telemetry whose *computation* (not
+    /// just its recording) should stay off the disarmed path, e.g. the
+    /// per-iteration centroid-shift norm in the k-Shape loop.
+    #[inline]
+    pub fn when_armed(&self, f: impl FnOnce(&dyn Recorder)) {
+        if let Some(r) = self.recorder {
+            f(r);
+        }
+    }
+}
+
+/// Guard returned by [`Obs::span`]; records the elapsed nanoseconds into
+/// the recorder when dropped (armed handles only).
+pub struct SpanGuard<'a, 'n> {
+    inner: Option<(&'a dyn Recorder, &'n str, Instant)>,
+}
+
+impl SpanGuard<'_, '_> {
+    /// Ends the span early, recording its duration now instead of at
+    /// scope exit.
+    pub fn end(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some((recorder, name, started)) = self.inner.take() {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            recorder.span(name, nanos);
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_obs_is_inert() {
+        let obs = Obs::none();
+        assert!(!obs.is_armed());
+        obs.counter("c", 1);
+        obs.histogram("h", 2);
+        obs.iteration(&IterationEvent {
+            algorithm: "t",
+            iter: 0,
+            inertia: 0.0,
+            moved: 0,
+            centroid_shift: 0.0,
+        });
+        let span = obs.span("s");
+        drop(span);
+        let mut ran = false;
+        obs.when_armed(|_| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn armed_obs_routes_to_recorder() {
+        let sink = MemorySink::new();
+        let obs = Obs::new(&sink);
+        assert!(obs.is_armed());
+        obs.counter("c", 3);
+        obs.counter("c", 4);
+        obs.histogram("h", 1024);
+        {
+            let _g = obs.span("s");
+        }
+        obs.span("early").end();
+        obs.iteration(&IterationEvent {
+            algorithm: "t",
+            iter: 1,
+            inertia: 2.5,
+            moved: 3,
+            centroid_shift: 0.5,
+        });
+        let mut ran = false;
+        obs.when_armed(|_| ran = true);
+        assert!(ran);
+
+        assert_eq!(sink.counter_total("c"), 7);
+        assert_eq!(sink.counter_total("missing"), 0);
+        let spans: Vec<Event> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::Span { .. }))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let iters = sink.iteration_events();
+        assert_eq!(iters.len(), 1);
+        assert_eq!(iters[0].moved, 3);
+    }
+
+    #[test]
+    fn from_option_matches_armed_state() {
+        let sink = MemorySink::new();
+        assert!(Obs::from_option(Some(&sink as &dyn Recorder)).is_armed());
+        assert!(!Obs::from_option(None).is_armed());
+        assert!(!Obs::default().is_armed());
+    }
+
+    #[test]
+    fn debug_formats_armed_state() {
+        let sink = MemorySink::new();
+        assert_eq!(format!("{:?}", Obs::new(&sink)), "Obs { armed: true }");
+        assert_eq!(format!("{:?}", Obs::none()), "Obs { armed: false }");
+    }
+}

@@ -1,0 +1,566 @@
+//! Recorder implementations: no-op, in-memory (tests), and JSONL
+//! (experiment harness).
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::{Histogram, IterationEvent, Recorder};
+
+/// Recovers a usable guard from a poisoned mutex: telemetry state is
+/// plain data, so observing a panicking thread's partial write is
+/// strictly better than cascading the poison into every later record.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Escapes `s` as the body of a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes an f64 as a JSON value: finite numbers verbatim, everything
+/// else (`NaN`, infinities — "not tracked" markers in events) as `null`.
+fn push_json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Rust's Display for f64 is a shortest round-trip decimal,
+        // which is a valid JSON number.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// One recorded telemetry event, as buffered by [`MemorySink`] and
+/// serialized by [`JsonlSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A monotonic counter increment.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Increment amount.
+        delta: u64,
+    },
+    /// A histogram sample.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// Raw sample value.
+        value: u64,
+        /// Its [`crate::log2_bucket`] index.
+        bucket: usize,
+    },
+    /// A completed scoped timer.
+    Span {
+        /// Span name.
+        name: String,
+        /// Wall-clock duration in nanoseconds. This is the only timing
+        /// field in the schema; [`crate::strip_timing`] zeroes it for
+        /// determinism comparisons.
+        ns: u64,
+    },
+    /// A typed per-iteration convergence event.
+    Iteration(IterationEvent),
+}
+
+impl Event {
+    /// Serializes the event as one JSONL line (no trailing newline).
+    ///
+    /// Schema (DESIGN.md §7, enforced by [`crate::validate_event_line`]):
+    ///
+    /// ```json
+    /// {"type":"counter","name":"...","delta":N}
+    /// {"type":"histogram","name":"...","value":N,"bucket":B}
+    /// {"type":"span","name":"...","ns":N}
+    /// {"type":"iteration","algorithm":"...","iter":N,"inertia":F|null,
+    ///  "moved":N,"centroid_shift":F|null}
+    /// ```
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        match self {
+            Event::Counter { name, delta } => {
+                out.push_str("{\"type\":\"counter\",\"name\":\"");
+                escape_json(name, &mut out);
+                out.push_str(&format!("\",\"delta\":{delta}}}"));
+            }
+            Event::Histogram {
+                name,
+                value,
+                bucket,
+            } => {
+                out.push_str("{\"type\":\"histogram\",\"name\":\"");
+                escape_json(name, &mut out);
+                out.push_str(&format!("\",\"value\":{value},\"bucket\":{bucket}}}"));
+            }
+            Event::Span { name, ns } => {
+                out.push_str("{\"type\":\"span\",\"name\":\"");
+                escape_json(name, &mut out);
+                out.push_str(&format!("\",\"ns\":{ns}}}"));
+            }
+            Event::Iteration(ev) => {
+                out.push_str("{\"type\":\"iteration\",\"algorithm\":\"");
+                escape_json(ev.algorithm, &mut out);
+                out.push_str(&format!("\",\"iter\":{},\"inertia\":", ev.iter));
+                push_json_f64(ev.inertia, &mut out);
+                out.push_str(&format!(",\"moved\":{},\"centroid_shift\":", ev.moved));
+                push_json_f64(ev.centroid_shift, &mut out);
+                out.push('}');
+            }
+        }
+        out
+    }
+}
+
+/// The explicit no-op recorder: every method does nothing.
+///
+/// Prefer [`crate::Obs::none`] in APIs — a disarmed handle skips even
+/// the virtual call — but a `NullRecorder` is useful where a concrete
+/// `&dyn Recorder` is required.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn histogram(&self, _name: &str, _value: u64) {}
+    fn span(&self, _name: &str, _nanos: u64) {}
+    fn iteration(&self, _event: &IterationEvent) {}
+}
+
+/// Buffers every event in memory, in arrival order. The test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// All recorded events, in arrival order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        lock_unpoisoned(&self.events).clone()
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.events).len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        lock_unpoisoned(&self.events).clear();
+    }
+
+    /// Sum of all increments to counter `name`.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        lock_unpoisoned(&self.events)
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { name: n, delta } if n == name => Some(*delta),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// All [`IterationEvent`]s, in arrival order.
+    #[must_use]
+    pub fn iteration_events(&self) -> Vec<IterationEvent> {
+        lock_unpoisoned(&self.events)
+            .iter()
+            .filter_map(|e| match e {
+                Event::Iteration(ev) => Some(*ev),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Aggregates every sample of histogram `name` into a [`Histogram`].
+    #[must_use]
+    pub fn histogram_of(&self, name: &str) -> Histogram {
+        let mut h = Histogram::new();
+        for e in lock_unpoisoned(&self.events).iter() {
+            if let Event::Histogram { name: n, value, .. } = e {
+                if n == name {
+                    h.record(*value);
+                }
+            }
+        }
+        h
+    }
+
+    /// Total nanoseconds across all spans named `name`.
+    #[must_use]
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        lock_unpoisoned(&self.events)
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { name: n, ns } if n == name => Some(*ns),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of spans named `name`.
+    #[must_use]
+    pub fn span_count(&self, name: &str) -> usize {
+        lock_unpoisoned(&self.events)
+            .iter()
+            .filter(|e| matches!(e, Event::Span { name: n, .. } if n == name))
+            .count()
+    }
+
+    fn push(&self, event: Event) {
+        lock_unpoisoned(&self.events).push(event);
+    }
+}
+
+impl Recorder for MemorySink {
+    fn counter(&self, name: &str, delta: u64) {
+        self.push(Event::Counter {
+            name: name.to_owned(),
+            delta,
+        });
+    }
+
+    fn histogram(&self, name: &str, value: u64) {
+        self.push(Event::Histogram {
+            name: name.to_owned(),
+            value,
+            bucket: crate::log2_bucket(value),
+        });
+    }
+
+    fn span(&self, name: &str, nanos: u64) {
+        self.push(Event::Span {
+            name: name.to_owned(),
+            ns: nanos,
+        });
+    }
+
+    fn iteration(&self, event: &IterationEvent) {
+        self.push(Event::Iteration(*event));
+    }
+}
+
+/// A clonable in-memory byte buffer implementing [`Write`], for routing
+/// a [`JsonlSink`] into memory (determinism tests compare two captured
+/// streams).
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuf {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedBuf::default()
+    }
+
+    /// A copy of the bytes written so far.
+    #[must_use]
+    pub fn contents(&self) -> Vec<u8> {
+        lock_unpoisoned(&self.bytes).clone()
+    }
+
+    /// The written bytes as UTF-8 (JSONL output always is).
+    #[must_use]
+    pub fn as_string(&self) -> String {
+        String::from_utf8_lossy(&self.contents()).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        lock_unpoisoned(&self.bytes).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams events as one JSON object per line to any `Write + Send`
+/// destination — a file for the experiment harness, a [`SharedBuf`] for
+/// tests, or [`std::io::sink`] for overhead benches.
+///
+/// Write errors never panic and never reach the algorithm being
+/// observed; they are counted and exposed via
+/// [`JsonlSink::dropped_writes`].
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("dropped_writes", &self.dropped_writes())
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    #[must_use]
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams events to it, buffered.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from creating the file.
+    pub fn to_file<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(BufWriter::new(file))))
+    }
+
+    /// Streams into a [`SharedBuf`] whose handle the caller keeps.
+    #[must_use]
+    pub fn to_shared_buf(buf: &SharedBuf) -> Self {
+        JsonlSink::new(Box::new(buf.clone()))
+    }
+
+    /// Number of events lost to write errors.
+    #[must_use]
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from the writer's flush.
+    pub fn flush(&self) -> std::io::Result<()> {
+        lock_unpoisoned(&self.out).flush()
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = lock_unpoisoned(&self.out);
+        if out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn counter(&self, name: &str, delta: u64) {
+        self.write_line(
+            &Event::Counter {
+                name: name.to_owned(),
+                delta,
+            }
+            .to_json_line(),
+        );
+    }
+
+    fn histogram(&self, name: &str, value: u64) {
+        self.write_line(
+            &Event::Histogram {
+                name: name.to_owned(),
+                value,
+                bucket: crate::log2_bucket(value),
+            }
+            .to_json_line(),
+        );
+    }
+
+    fn span(&self, name: &str, nanos: u64) {
+        self.write_line(
+            &Event::Span {
+                name: name.to_owned(),
+                ns: nanos,
+            }
+            .to_json_line(),
+        );
+    }
+
+    fn iteration(&self, event: &IterationEvent) {
+        self.write_line(&Event::Iteration(*event).to_json_line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_iteration() -> IterationEvent {
+        IterationEvent {
+            algorithm: "kshape",
+            iter: 2,
+            inertia: 3.5,
+            moved: 4,
+            centroid_shift: 0.25,
+        }
+    }
+
+    #[test]
+    fn event_json_lines_are_stable() {
+        assert_eq!(
+            Event::Counter {
+                name: "sbd.cache.hits".into(),
+                delta: 3
+            }
+            .to_json_line(),
+            "{\"type\":\"counter\",\"name\":\"sbd.cache.hits\",\"delta\":3}"
+        );
+        assert_eq!(
+            Event::Histogram {
+                name: "h".into(),
+                value: 1024,
+                bucket: 11
+            }
+            .to_json_line(),
+            "{\"type\":\"histogram\",\"name\":\"h\",\"value\":1024,\"bucket\":11}"
+        );
+        assert_eq!(
+            Event::Span {
+                name: "kshape.fit".into(),
+                ns: 42
+            }
+            .to_json_line(),
+            "{\"type\":\"span\",\"name\":\"kshape.fit\",\"ns\":42}"
+        );
+        assert_eq!(
+            Event::Iteration(sample_iteration()).to_json_line(),
+            "{\"type\":\"iteration\",\"algorithm\":\"kshape\",\"iter\":2,\
+             \"inertia\":3.5,\"moved\":4,\"centroid_shift\":0.25}"
+        );
+    }
+
+    #[test]
+    fn nan_serializes_as_null() {
+        let line = Event::Iteration(IterationEvent {
+            inertia: f64::NAN,
+            centroid_shift: f64::INFINITY,
+            ..sample_iteration()
+        })
+        .to_json_line();
+        assert!(line.contains("\"inertia\":null"), "{line}");
+        assert!(line.contains("\"centroid_shift\":null"), "{line}");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let line = Event::Counter {
+            name: "we\"ird\\n\name".into(),
+            delta: 1,
+        }
+        .to_json_line();
+        assert!(line.contains("we\\\"ird\\\\n\\name"), "{line}");
+        crate::validate_event_line(&line).expect("escaped line validates");
+    }
+
+    #[test]
+    fn memory_sink_aggregations() {
+        let sink = MemorySink::new();
+        sink.counter("c", 2);
+        sink.counter("c", 3);
+        sink.counter("other", 10);
+        sink.histogram("h", 0);
+        sink.histogram("h", 1024);
+        sink.span("s", 5);
+        sink.span("s", 7);
+        sink.iteration(&sample_iteration());
+
+        assert_eq!(sink.len(), 8);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.counter_total("c"), 5);
+        assert_eq!(sink.counter_total("other"), 10);
+        assert_eq!(sink.span_total_ns("s"), 12);
+        assert_eq!(sink.span_count("s"), 2);
+        let h = sink.histogram_of("h");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(11), 1);
+        assert_eq!(sink.iteration_events(), vec![sample_iteration()]);
+
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let buf = SharedBuf::new();
+        let sink = JsonlSink::to_shared_buf(&buf);
+        sink.counter("c", 1);
+        sink.histogram("h", 3);
+        sink.span("s", 9);
+        sink.iteration(&sample_iteration());
+        sink.flush().expect("flush in-memory");
+        assert_eq!(sink.dropped_writes(), 0);
+
+        let text = buf.as_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            crate::validate_event_line(line).expect("line validates");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_dropped_writes() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(FailingWriter));
+        sink.counter("c", 1);
+        sink.span("s", 2);
+        assert_eq!(sink.dropped_writes(), 2);
+    }
+
+    #[test]
+    fn null_recorder_accepts_everything() {
+        let r = NullRecorder;
+        r.counter("c", 1);
+        r.histogram("h", 2);
+        r.span("s", 3);
+        r.iteration(&sample_iteration());
+    }
+}

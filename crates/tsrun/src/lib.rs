@@ -151,6 +151,10 @@ impl Budget {
 /// pair and therefore hit the clock every pair).
 pub const DEFAULT_CLOCK_STRIDE: u64 = 1024;
 
+/// Telemetry counter name under which [`RunControl::report_cost`] emits
+/// charged cost units.
+pub const COST_COUNTER: &str = "tsrun.cost";
+
 /// An armed [`Budget`] plus optional [`CancelToken`], shared by reference
 /// into the loops it governs.
 ///
@@ -208,6 +212,29 @@ impl RunControl {
     #[must_use]
     pub fn unlimited() -> Self {
         RunControl::new(Budget::unlimited(), None)
+    }
+
+    /// Arms a control from the optional budget/cancel fields of an
+    /// options object (`None`/`None` yields [`RunControl::unlimited`]).
+    ///
+    /// This is the constructor behind every `*Options` entry point
+    /// (`KShapeOptions`, `KMeansOptions`, ...): options carry
+    /// `Option<Budget>` and `Option<CancelToken>` so the common
+    /// "no limits" case costs nothing to spell.
+    #[must_use]
+    pub fn from_parts(budget: Option<Budget>, cancel: Option<CancelToken>) -> Self {
+        RunControl::new(budget.unwrap_or_else(Budget::unlimited), cancel)
+    }
+
+    /// Reports the cost charged so far as one increment of the
+    /// [`COST_COUNTER`] telemetry counter.
+    ///
+    /// Cost accounting stays in the relaxed atomic that [`RunControl::charge`]
+    /// already maintains — the hot path is untouched — and algorithm
+    /// cores call this once when a fit completes (or stops), so a JSONL
+    /// run artifact shows where every cost unit went.
+    pub fn report_cost(&self, obs: tsobs::Obs<'_>) {
+        obs.counter(COST_COUNTER, self.cost_spent());
     }
 
     /// Overrides the cost stride between deadline clock reads (default

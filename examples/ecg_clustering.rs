@@ -10,12 +10,9 @@
 //! cargo run --release --example ecg_clustering
 //! ```
 
-use kshape::sbd::sbd;
-use kshape::{KShape, KShapeConfig};
-use tscluster::kmeans::{kmeans, KMeansConfig};
+use kshape_repro::prelude::*;
 use tsdata::generators::{ecg, GenParams};
 use tsdata::normalize::z_normalize;
-use tsdist::EuclideanDistance;
 use tseval::rand_index::rand_index;
 use tsrand::StdRng;
 
@@ -38,24 +35,17 @@ fn main() {
     );
 
     // --- k-means with ED: phase jitter defeats the one-to-one alignment ---
-    let km = kmeans(
+    let km = kmeans_with(
         &data.series,
         &EuclideanDistance,
-        &KMeansConfig {
-            k: 2,
-            seed: 7,
-            ..Default::default()
-        },
-    );
+        &KMeansOptions::new(2).with_seed(7),
+    )
+    .expect("ECG series are clean");
     let km_rand = rand_index(&km.labels, &data.labels);
 
     // --- k-Shape: SBD realigns members before comparing ---
-    let ks = KShape::new(KShapeConfig {
-        k: 2,
-        seed: 7,
-        ..Default::default()
-    })
-    .fit(&data.series);
+    let ks = KShape::fit_with(&data.series, &KShapeOptions::new(2).with_seed(7))
+        .expect("ECG series are clean");
     let ks_rand = rand_index(&ks.labels, &data.labels);
 
     println!("Rand index:  k-AVG+ED {km_rand:.3}   k-Shape {ks_rand:.3}");

@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use kshape::{KShape, KShapeConfig};
+use kshape_repro::prelude::*;
 use tsdata::generators::{seasonal, GenParams};
 use tsdata::normalize::z_normalize;
 use tsdata::reduce::{haar_reduce, paa};
@@ -22,13 +22,8 @@ use tsrand::StdRng;
 
 fn cluster(series: &[Vec<f64>], truth: &[usize], label: &str) {
     let t = Instant::now();
-    let r = KShape::new(KShapeConfig {
-        k: 3,
-        seed: 9,
-        max_iter: 50,
-        ..Default::default()
-    })
-    .fit(series);
+    let opts = KShapeOptions::new(3).with_seed(9).with_max_iter(50);
+    let r = KShape::fit_with(series, &opts).expect("seasonal series are clean");
     let secs = t.elapsed().as_secs_f64();
     println!(
         "{label:<22} m = {:>4}   Rand {:.3}   {:.2}s",

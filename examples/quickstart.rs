@@ -8,7 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use kshape::{KShape, KShapeConfig};
+use kshape_repro::prelude::*;
 use tsdata::generators::cbf;
 use tsdata::normalize::z_normalize_in_place;
 use tseval::rand_index::{adjusted_rand_index, rand_index};
@@ -31,12 +31,8 @@ fn main() {
     }
 
     // 3. Cluster with k-Shape.
-    let result = KShape::new(KShapeConfig {
-        k: 3,
-        seed: 42,
-        ..Default::default()
-    })
-    .fit(&series);
+    let result = KShape::fit_with(&series, &KShapeOptions::new(3).with_seed(42))
+        .expect("CBF series are clean");
 
     // 4. Score against the generating classes.
     println!("k-Shape on CBF (n = {}, m = 128, k = 3)", series.len());

@@ -12,11 +12,7 @@
 //! cargo run --release --example seasonal_profiles
 //! ```
 
-use kshape::sbd::Sbd;
-use kshape::{KShape, KShapeConfig};
-use tscluster::hierarchical::{hierarchical_cluster, Linkage};
-use tscluster::matrix::DissimilarityMatrix;
-use tscluster::pam::pam;
+use kshape_repro::prelude::*;
 use tsdata::generators::{seasonal, GenParams};
 use tsdist::dtw::Dtw;
 use tseval::nmi::normalized_mutual_information;
@@ -44,23 +40,20 @@ fn main() {
     );
 
     // k-Shape.
-    let ks = KShape::new(KShapeConfig {
-        k,
-        seed: 1,
-        ..Default::default()
-    })
-    .fit(&data.series);
+    let ks = KShape::fit_with(&data.series, &KShapeOptions::new(k).with_seed(1))
+        .expect("seasonal series are clean");
     report("k-Shape", &ks.labels, &data.labels);
 
     // PAM with cDTW-5 — the strongest non-scalable competitor.
     let w = (0.05 * params.len as f64).round() as usize;
     let matrix = DissimilarityMatrix::compute(&data.series, &Dtw::with_window(w));
-    let pm = pam(&matrix, k, 100);
+    let pm = pam_with(&matrix, &PamOptions::new(k).with_max_iter(100)).expect("finite matrix");
     report("PAM+cDTW", &pm.labels, &data.labels);
 
     // Hierarchical (complete linkage) over SBD.
     let sbd_matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
-    let hc = hierarchical_cluster(&sbd_matrix, Linkage::Complete, k);
+    let hc_opts = HierarchicalOptions::new(k).with_linkage(Linkage::Complete);
+    let hc = hierarchical_cluster_with(&sbd_matrix, &hc_opts).expect("finite matrix");
     report("H-C+SBD", &hc, &data.labels);
 
     // Show what each k-Shape cluster's prototype looks like: dominant

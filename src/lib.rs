@@ -1,7 +1,10 @@
 //! Facade crate for the k-Shape reproduction workspace.
 //!
 //! Re-exports every sub-crate so examples and integration tests can depend
-//! on a single package.
+//! on a single package, and bundles the everyday surface into
+//! [`prelude`]: one `use kshape_repro::prelude::*;` brings in the fitting
+//! entry points, their options objects, the execution-control types, and
+//! the telemetry sinks.
 
 #![warn(missing_docs)]
 
@@ -9,6 +12,52 @@ pub use kshape;
 pub use tscluster;
 pub use tsdata;
 pub use tsdist;
+pub use tserror;
 pub use tseval;
 pub use tsfft;
 pub use tslinalg;
+pub use tsobs;
+pub use tsrand;
+pub use tsrun;
+
+/// The everyday surface of the workspace in one import.
+///
+/// Brings in the options-object entry points (`fit_with`, `kmeans_with`,
+/// …), their configuration types, the error/result aliases, execution
+/// control ([`tsrun::Budget`], [`tsrun::CancelToken`]), and the
+/// observability layer ([`tsobs::Recorder`] and its sinks).
+///
+/// ```
+/// use kshape_repro::prelude::*;
+///
+/// let series: Vec<Vec<f64>> = vec![vec![0.0, 1.0, 0.0], vec![0.1, 1.1, 0.1]];
+/// let sink = MemorySink::new();
+/// let opts = KShapeOptions::new(1).with_seed(42).with_recorder(&sink);
+/// let fit = KShape::fit_with(&series, &opts).unwrap();
+/// assert_eq!(fit.labels.len(), 2);
+/// assert!(sink.span_count("kshape.fit") >= 1);
+/// ```
+pub mod prelude {
+    pub use kshape::sbd::{sbd, Sbd, SbdPlan, SbdResult};
+    pub use kshape::{KShape, KShapeConfig, KShapeOptions, KShapeResult};
+    pub use tscluster::dba::{kdba_with, KDbaConfig, KDbaOptions, KDbaResult};
+    pub use tscluster::fuzzy::{fuzzy_cmeans_with, FuzzyConfig, FuzzyOptions, FuzzyResult};
+    pub use tscluster::hierarchical::{
+        hierarchical_cluster_with, HierarchicalConfig, HierarchicalOptions, Linkage,
+    };
+    pub use tscluster::kmeans::{kmeans_with, KMeansConfig, KMeansOptions, KMeansResult};
+    pub use tscluster::ksc::{ksc_with, KscConfig, KscOptions, KscResult};
+    pub use tscluster::ladder::{cluster_with_ladder, LadderConfig, LadderOutcome, LadderRung};
+    pub use tscluster::matrix::{DissimilarityMatrix, MatrixConfig, MatrixOptions};
+    pub use tscluster::pam::{pam_with, PamConfig, PamOptions, PamResult};
+    pub use tscluster::spectral::{
+        spectral_cluster_with, SpectralConfig, SpectralOptions, SpectralResult,
+    };
+    pub use tsdist::nn::{one_nn_accuracy_with, NnOptions};
+    pub use tsdist::{Distance, EuclideanDistance};
+    pub use tserror::{StopReason, TsError, TsResult};
+    pub use tsobs::{
+        Event, IterationEvent, JsonlSink, MemorySink, NullRecorder, Obs, Recorder, SharedBuf,
+    };
+    pub use tsrun::{Budget, CancelToken, RunControl};
+}

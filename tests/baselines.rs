@@ -1,13 +1,7 @@
 //! Cross-crate tests of the baseline clustering algorithms on generated
 //! shape data — each baseline must behave as the paper characterizes it.
 
-use kshape::sbd::Sbd;
-use tscluster::dba::{kdba, KDbaConfig};
-use tscluster::hierarchical::{hierarchical_cluster, Linkage};
-use tscluster::ksc::{ksc, KscConfig};
-use tscluster::matrix::DissimilarityMatrix;
-use tscluster::pam::pam;
-use tscluster::spectral::{spectral_cluster, SpectralConfig};
+use kshape_repro::prelude::*;
 use tsdata::generators::{seasonal, GenParams};
 use tsdist::dtw::Dtw;
 use tsdist::EuclideanDistance;
@@ -34,7 +28,7 @@ fn waveform_data(noise: f64, shift: f64) -> tsdata::Dataset {
 fn pam_with_sbd_clusters_shifted_waveforms() {
     let data = waveform_data(0.1, 0.25);
     let matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
-    let r = pam(&matrix, 3, 100);
+    let r = pam_with(&matrix, &PamOptions::new(3).with_max_iter(100)).expect("finite matrix");
     let rand = rand_index(&r.labels, &data.labels);
     assert!(rand > 0.9, "PAM+SBD Rand {rand}");
 }
@@ -44,8 +38,15 @@ fn pam_with_ed_struggles_on_the_same_shifted_data() {
     let data = waveform_data(0.1, 0.25);
     let sbd_matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
     let ed_matrix = DissimilarityMatrix::compute(&data.series, &EuclideanDistance);
-    let r_sbd = rand_index(&pam(&sbd_matrix, 3, 100).labels, &data.labels);
-    let r_ed = rand_index(&pam(&ed_matrix, 3, 100).labels, &data.labels);
+    let opts = PamOptions::new(3).with_max_iter(100);
+    let r_sbd = rand_index(
+        &pam_with(&sbd_matrix, &opts).expect("finite matrix").labels,
+        &data.labels,
+    );
+    let r_ed = rand_index(
+        &pam_with(&ed_matrix, &opts).expect("finite matrix").labels,
+        &data.labels,
+    );
     assert!(
         r_sbd > r_ed,
         "shift-invariant distance must help PAM: SBD {r_sbd} vs ED {r_ed}"
@@ -56,7 +57,11 @@ fn pam_with_ed_struggles_on_the_same_shifted_data() {
 fn hierarchical_with_sbd_handles_shifted_waveforms() {
     let data = waveform_data(0.08, 0.2);
     let matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
-    let labels = hierarchical_cluster(&matrix, Linkage::Complete, 3);
+    let labels = hierarchical_cluster_with(
+        &matrix,
+        &HierarchicalOptions::new(3).with_linkage(Linkage::Complete),
+    )
+    .expect("finite matrix");
     let rand = rand_index(&labels, &data.labels);
     assert!(rand > 0.8, "H-C+SBD Rand {rand}");
 }
@@ -65,14 +70,8 @@ fn hierarchical_with_sbd_handles_shifted_waveforms() {
 fn spectral_with_sbd_handles_shifted_waveforms() {
     let data = waveform_data(0.08, 0.2);
     let matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
-    let r = spectral_cluster(
-        &matrix,
-        &SpectralConfig {
-            k: 3,
-            seed: 2,
-            ..Default::default()
-        },
-    );
+    let r = spectral_cluster_with(&matrix, &SpectralOptions::new(3).with_seed(2))
+        .expect("finite matrix");
     let rand = rand_index(&r.labels, &data.labels);
     assert!(rand > 0.8, "S+SBD Rand {rand}");
 }
@@ -82,15 +81,11 @@ fn kdba_handles_small_shifts_within_warping_reach() {
     // DTW-based methods are at their best when phase shifts are small —
     // exactly the regime the paper contrasts with SBD's global alignment.
     let data = waveform_data(0.08, 0.04);
-    let r = kdba(
+    let r = kdba_with(
         &data.series,
-        &KDbaConfig {
-            k: 3,
-            seed: 6,
-            max_iter: 30,
-            ..Default::default()
-        },
-    );
+        &KDbaOptions::new(3).with_seed(6).with_max_iter(30),
+    )
+    .expect("clean series");
     let rand = rand_index(&r.labels, &data.labels);
     assert!(rand > 0.7, "k-DBA Rand {rand}");
 }
@@ -103,8 +98,15 @@ fn dtw_methods_degrade_on_large_shifts_where_sbd_does_not() {
     let w = (0.05 * 80.0) as usize;
     let cdtw_matrix = DissimilarityMatrix::compute(&data.series, &Dtw::with_window(w));
     let sbd_matrix = DissimilarityMatrix::compute(&data.series, &Sbd::new());
-    let r_cdtw = rand_index(&pam(&cdtw_matrix, 3, 100).labels, &data.labels);
-    let r_sbd = rand_index(&pam(&sbd_matrix, 3, 100).labels, &data.labels);
+    let opts = PamOptions::new(3).with_max_iter(100);
+    let r_cdtw = rand_index(
+        &pam_with(&cdtw_matrix, &opts).expect("finite matrix").labels,
+        &data.labels,
+    );
+    let r_sbd = rand_index(
+        &pam_with(&sbd_matrix, &opts).expect("finite matrix").labels,
+        &data.labels,
+    );
     assert!(
         r_sbd > r_cdtw,
         "PAM+SBD {r_sbd} must beat PAM+cDTW {r_cdtw} on strongly shifted data"
@@ -114,14 +116,11 @@ fn dtw_methods_degrade_on_large_shifts_where_sbd_does_not() {
 #[test]
 fn ksc_handles_scaled_and_shifted_waveforms() {
     let data = waveform_data(0.08, 0.2);
-    let r = ksc(
+    let r = ksc_with(
         &data.series,
-        &KscConfig {
-            k: 3,
-            seed: 9,
-            max_iter: 50,
-        },
-    );
+        &KscOptions::new(3).with_seed(9).with_max_iter(50),
+    )
+    .expect("clean series");
     let rand = rand_index(&r.labels, &data.labels);
     assert!(rand > 0.7, "KSC Rand {rand}");
 }
@@ -133,7 +132,7 @@ fn pam_cdtw_matches_paper_role_of_strong_competitor() {
     let data = waveform_data(0.1, 0.04);
     let w = (0.05 * 80.0) as usize;
     let matrix = DissimilarityMatrix::compute(&data.series, &Dtw::with_window(w));
-    let r = pam(&matrix, 3, 100);
+    let r = pam_with(&matrix, &PamOptions::new(3).with_max_iter(100)).expect("finite matrix");
     let rand = rand_index(&r.labels, &data.labels);
     assert!(rand > 0.7, "PAM+cDTW Rand {rand}");
 }

@@ -14,6 +14,11 @@
 //! `TSCHECK_SEED=0x... cargo test --test chaos`. CI pins three seeds so
 //! the corruption space is explored beyond the default stream.
 
+// This suite deliberately keeps hammering the deprecated `try_*` /
+// `*_with_control` wrappers: they stay public until removal, so they
+// must stay panic-free under corruption too.
+#![allow(deprecated)]
+
 use tscheck::Gen;
 use tsdata::corrupt::{corrupt_collection, FaultKind};
 use tsdata::dataset::Dataset;

@@ -6,9 +6,9 @@
 //! generator (seeding, integer-range sampling, Gaussian draws) shows up
 //! here before it silently shifts experiment tables.
 
-use kshape::{KShape, KShapeConfig};
-use tscluster::kmeans::{kmeans, KMeansConfig};
-use tscluster::ksc::{ksc, KscConfig};
+use kshape::{KShape, KShapeConfig, KShapeOptions};
+use tscluster::kmeans::{kmeans_with, KMeansConfig, KMeansOptions};
+use tscluster::ksc::{ksc_with, KscConfig, KscOptions};
 use tsdata::collection::{synthetic_collection, CollectionSpec};
 use tsdata::normalize::z_normalize;
 use tsdist::EuclideanDistance;
@@ -47,8 +47,9 @@ fn kshape_fit_is_deterministic_for_fixed_seed() {
         max_iter: 50,
         ..Default::default()
     };
-    let a = KShape::new(cfg).fit(&series);
-    let b = KShape::new(cfg).fit(&series);
+    let opts = KShapeOptions::from(cfg);
+    let a = KShape::fit_with(&series, &opts).expect("clean series");
+    let b = KShape::fit_with(&series, &opts).expect("clean series");
     assert_eq!(a.labels, b.labels);
     assert_eq!(a.iterations, b.iterations);
     assert_eq!(a.centroids.len(), b.centroids.len());
@@ -69,8 +70,9 @@ fn kmeans_is_deterministic_for_fixed_seed() {
         seed: 7,
         max_iter: 50,
     };
-    let a = kmeans(&series, &EuclideanDistance, &cfg);
-    let b = kmeans(&series, &EuclideanDistance, &cfg);
+    let opts = KMeansOptions::from(cfg);
+    let a = kmeans_with(&series, &EuclideanDistance, &opts).expect("clean series");
+    let b = kmeans_with(&series, &EuclideanDistance, &opts).expect("clean series");
     assert_eq!(a.labels, b.labels);
     assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
     for (ca, cb) in a.centroids.iter().zip(b.centroids.iter()) {
@@ -88,8 +90,9 @@ fn ksc_is_deterministic_for_fixed_seed() {
         seed: 13,
         max_iter: 50,
     };
-    let a = ksc(&series, &cfg);
-    let b = ksc(&series, &cfg);
+    let opts = KscOptions::from(cfg);
+    let a = ksc_with(&series, &opts).expect("clean series");
+    let b = ksc_with(&series, &opts).expect("clean series");
     assert_eq!(a.labels, b.labels);
     assert_eq!(a.iterations, b.iterations);
     assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());

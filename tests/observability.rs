@@ -1,0 +1,167 @@
+//! Observability invariants: arming a recorder must never change a
+//! result, and the event stream itself must be deterministic.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Zero observer effect** — every fit is bit-identical with a JSONL
+//!    recorder armed vs fully disarmed (telemetry derives from the
+//!    computation, never feeds back into it).
+//! 2. **Deterministic streams** — two identically seeded runs emit
+//!    identical event streams once span timings are stripped
+//!    ([`tsobs::strip_timing`]); counters, iteration events, and event
+//!    order are part of the reproducibility surface.
+//! 3. **Golden snapshot holds under telemetry** — the pinned collection
+//!    hash of `tests/determinism.rs` still matches while a recorder is
+//!    armed, so telemetry cannot perturb the `tsrand` stream.
+
+use kshape_repro::prelude::*;
+use kshape_repro::tsobs;
+use tsdata::collection::{synthetic_collection, CollectionSpec};
+use tsdata::normalize::z_normalize;
+
+/// Same deterministic dataset as `tests/determinism.rs`.
+fn sine_dataset() -> Vec<Vec<f64>> {
+    (0..10)
+        .map(|i| {
+            z_normalize(
+                &(0..32)
+                    .map(|t| ((t + i * 3) as f64 * 0.35).sin() + (i % 2) as f64 * 0.8)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// FNV-1a over the exact bit patterns of a float slice.
+fn hash_f64s(acc: u64, xs: &[f64]) -> u64 {
+    let mut h = acc;
+    for &x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn result_hash(labels: &[usize], inertia: f64, centroids: &[Vec<f64>]) -> u64 {
+    let mut h = hash_f64s(0xCBF2_9CE4_8422_2325, &[inertia]);
+    h = hash_f64s(h, &labels.iter().map(|&l| l as f64).collect::<Vec<_>>());
+    for c in centroids {
+        h = hash_f64s(h, c);
+    }
+    h
+}
+
+#[test]
+fn armed_jsonl_recorder_never_changes_results() {
+    let series = sine_dataset();
+
+    // k-Shape: disarmed vs armed into a JSONL sink.
+    let opts = KShapeOptions::new(3).with_seed(42).with_max_iter(50);
+    let plain = KShape::fit_with(&series, &opts).expect("clean series");
+    let buf = SharedBuf::new();
+    let sink = JsonlSink::to_shared_buf(&buf);
+    let armed =
+        KShape::fit_with(&series, &opts.clone().with_recorder(&sink)).expect("clean series");
+    assert_eq!(
+        result_hash(&plain.labels, plain.inertia, &plain.centroids),
+        result_hash(&armed.labels, armed.inertia, &armed.centroids),
+        "k-Shape result drifted when the recorder was armed"
+    );
+    sink.flush().expect("in-memory sink");
+    let n_events = tsobs::validate_jsonl(&buf.as_string()).expect("stream must be schema-valid");
+    assert!(n_events > 0, "armed run must emit events");
+
+    // k-means: same contract.
+    let kopts = KMeansOptions::new(3).with_seed(7).with_max_iter(50);
+    let plain = kmeans_with(&series, &EuclideanDistance, &kopts).expect("clean series");
+    let sink = MemorySink::new();
+    let armed = kmeans_with(
+        &series,
+        &EuclideanDistance,
+        &kopts.clone().with_recorder(&sink),
+    )
+    .expect("clean series");
+    assert_eq!(
+        result_hash(&plain.labels, plain.inertia, &plain.centroids),
+        result_hash(&armed.labels, armed.inertia, &armed.centroids),
+        "k-means result drifted when the recorder was armed"
+    );
+    assert!(!sink.iteration_events().is_empty());
+}
+
+#[test]
+fn identically_seeded_runs_emit_identical_streams_modulo_timing() {
+    let series = sine_dataset();
+    let capture = |seed: u64| {
+        let buf = SharedBuf::new();
+        let sink = JsonlSink::to_shared_buf(&buf);
+        let opts = KShapeOptions::new(3)
+            .with_seed(seed)
+            .with_max_iter(50)
+            .with_recorder(&sink);
+        let fit = KShape::fit_with(&series, &opts).expect("clean series");
+        sink.flush().expect("in-memory sink");
+        (fit.inertia, buf.as_string())
+    };
+
+    let (inertia_a, stream_a) = capture(42);
+    let (inertia_b, stream_b) = capture(42);
+    assert_eq!(inertia_a.to_bits(), inertia_b.to_bits());
+    assert!(!stream_a.is_empty());
+    assert_eq!(
+        tsobs::strip_timing(&stream_a),
+        tsobs::strip_timing(&stream_b),
+        "same seed must produce the same event stream up to span timings"
+    );
+
+    // A different seed is allowed to (and here does) change the stream.
+    let (_, stream_c) = capture(43);
+    assert_ne!(
+        tsobs::strip_timing(&stream_a),
+        tsobs::strip_timing(&stream_c),
+        "different seeds should explore different refinement paths here"
+    );
+}
+
+/// Mirror of the pinned snapshot in `tests/determinism.rs` — update both
+/// together, and only with a documented generator change.
+const GOLDEN_N: usize = 12;
+const GOLDEN_M: usize = 64;
+const GOLDEN_HASH: u64 = 0x4A37_6DE9_30F8_0B25;
+
+#[test]
+fn golden_snapshot_holds_while_recorder_is_armed() {
+    let buf = SharedBuf::new();
+    let sink = JsonlSink::to_shared_buf(&buf);
+
+    let collection = synthetic_collection(&CollectionSpec {
+        seed: 0x5ADE,
+        size_factor: 0.34,
+    });
+    let d = &collection[0];
+    let fused = d.fused();
+
+    // Cluster the golden dataset with telemetry armed…
+    let opts = KShapeOptions::new(d.n_classes().max(1))
+        .with_seed(0x5ADE)
+        .with_recorder(&sink);
+    let _ = KShape::fit_with(&fused.series, &opts).expect("golden dataset is clean");
+
+    // …and verify the pinned content hash is untouched.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for s in d.train.series.iter().chain(d.test.series.iter()) {
+        h = hash_f64s(h, s);
+    }
+    for &l in d.train.labels.iter().chain(d.test.labels.iter()) {
+        h = hash_f64s(h, &[l as f64]);
+    }
+    let n = d.train.series.len() + d.test.series.len();
+    let m = d.train.series[0].len();
+    assert_eq!((n, m), (GOLDEN_N, GOLDEN_M));
+    assert_eq!(h, GOLDEN_HASH, "golden hash drifted with telemetry armed");
+
+    sink.flush().expect("in-memory sink");
+    assert!(tsobs::validate_jsonl(&buf.as_string()).expect("valid stream") > 0);
+}

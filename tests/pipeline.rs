@@ -1,8 +1,7 @@
 //! End-to-end pipelines spanning the whole workspace:
 //! generate → normalize → cluster → score.
 
-use kshape::{KShape, KShapeConfig};
-use tscluster::kmeans::{kmeans, KMeansConfig};
+use kshape_repro::prelude::*;
 use tsdata::collection::{synthetic_collection, CollectionSpec};
 use tsdata::generators::{cbf, ecg, seasonal, sines, GenParams};
 use tsdist::EuclideanDistance;
@@ -24,21 +23,14 @@ fn kshape_beats_kavg_ed_on_phase_shifted_ecg() {
     let mut rng = StdRng::seed_from_u64(99);
     let mut data = ecg::generate(&small_params(96), &mut rng);
     data.z_normalize();
-    let ks = KShape::new(KShapeConfig {
-        k: 2,
-        seed: 3,
-        ..Default::default()
-    })
-    .fit(&data.series);
-    let km = kmeans(
+    let ks =
+        KShape::fit_with(&data.series, &KShapeOptions::new(2).with_seed(3)).expect("clean series");
+    let km = kmeans_with(
         &data.series,
         &EuclideanDistance,
-        &KMeansConfig {
-            k: 2,
-            seed: 3,
-            ..Default::default()
-        },
-    );
+        &KMeansOptions::new(2).with_seed(3),
+    )
+    .expect("clean series");
     let ks_rand = rand_index(&ks.labels, &data.labels);
     let km_rand = rand_index(&km.labels, &data.labels);
     assert!(
@@ -58,12 +50,8 @@ fn kshape_recovers_cbf_classes_reasonably() {
     };
     let mut data = cbf::generate(&params, &mut rng);
     data.z_normalize();
-    let ks = KShape::new(KShapeConfig {
-        k: 3,
-        seed: 1,
-        ..Default::default()
-    })
-    .fit(&data.series);
+    let ks =
+        KShape::fit_with(&data.series, &KShapeOptions::new(3).with_seed(1)).expect("clean series");
     let r = rand_index(&ks.labels, &data.labels);
     assert!(r > 0.6, "Rand {r} too low on CBF");
 }
@@ -82,12 +70,8 @@ fn kshape_perfect_on_clean_waveforms() {
     // k-Shape should solve essentially perfectly.
     let mut data = seasonal::generate(3, 2.0, &params, &mut rng);
     data.z_normalize();
-    let ks = KShape::new(KShapeConfig {
-        k: 3,
-        seed: 2,
-        ..Default::default()
-    })
-    .fit(&data.series);
+    let ks =
+        KShape::fit_with(&data.series, &KShapeOptions::new(3).with_seed(2)).expect("clean series");
     let r = rand_index(&ks.labels, &data.labels);
     assert!(r > 0.95, "Rand {r} on nearly clean waveforms");
     // Waveform families (sine vs square vs sawtooth) share their
@@ -96,12 +80,8 @@ fn kshape_perfect_on_clean_waveforms() {
     let mut rng = StdRng::seed_from_u64(8);
     let mut hard = sines::generate(3, 3.0, &params, &mut rng);
     hard.z_normalize();
-    let ks = KShape::new(KShapeConfig {
-        k: 3,
-        seed: 2,
-        ..Default::default()
-    })
-    .fit(&hard.series);
+    let ks =
+        KShape::fit_with(&hard.series, &KShapeOptions::new(3).with_seed(2)).expect("clean series");
     let r = rand_index(&ks.labels, &hard.labels);
     assert!(r > 0.5, "Rand {r} on waveform families");
 }
@@ -116,7 +96,7 @@ fn multi_restart_never_hurts_best_objective() {
         seed: 50,
         ..Default::default()
     };
-    let single = KShape::new(cfg).fit(&data.series);
+    let single = KShape::fit_with(&data.series, &KShapeOptions::from(cfg)).expect("clean series");
     let best = kshape::multi::fit_best(&cfg, &data.series, 4);
     assert!(best.inertia <= single.inertia + 1e-9);
 }
@@ -133,13 +113,11 @@ fn collection_pipeline_clusters_every_dataset() {
     for split in collection.iter().step_by(7) {
         let fused = split.fused();
         let k = split.n_classes();
-        let ks = KShape::new(KShapeConfig {
-            k,
-            seed: 4,
-            max_iter: 15,
-            ..Default::default()
-        })
-        .fit(&fused.series);
+        let ks = KShape::fit_with(
+            &fused.series,
+            &KShapeOptions::new(k).with_seed(4).with_max_iter(15),
+        )
+        .expect("clean series");
         assert_eq!(ks.labels.len(), fused.n_series());
         assert!(ks.labels.iter().all(|&l| l < k), "{}", split.name());
         let r = rand_index(&ks.labels, &fused.labels);
@@ -160,17 +138,12 @@ fn ucr_roundtrip_preserves_clustering_input() {
     let reloaded = tsdata::ucr::load_split(&dir, split.name()).expect("load");
     std::fs::remove_dir_all(&dir).ok();
 
-    let a = KShape::new(KShapeConfig {
-        k: 2,
-        seed: 1,
-        ..Default::default()
-    })
-    .fit(&split.fused().series);
-    let b = KShape::new(KShapeConfig {
-        k: 2,
-        seed: 1,
-        ..Default::default()
-    })
-    .fit(&reloaded.fused().series);
+    let a = KShape::fit_with(&split.fused().series, &KShapeOptions::new(2).with_seed(1))
+        .expect("clean series");
+    let b = KShape::fit_with(
+        &reloaded.fused().series,
+        &KShapeOptions::new(2).with_seed(1),
+    )
+    .expect("clean series");
     assert_eq!(a.labels, b.labels);
 }
