@@ -1,0 +1,41 @@
+//! Thread-matrix determinism probe for CI.
+//!
+//! Runs one k-Shape fit on the bench harness's CBF workload with the
+//! worker count left to `KSHAPE_THREADS` (via `resolve_threads(0)`), and
+//! prints labels, per-centroid bit hashes, and the inertia bit pattern.
+//! CI runs this under `KSHAPE_THREADS=1` and `KSHAPE_THREADS=4` and
+//! diffs the outputs: the parallel sweep's determinism contract
+//! (DESIGN.md §4b) says they must be byte-identical.
+
+use kshape::{KShape, KShapeOptions};
+
+/// FNV-1a over the exact bit patterns of a float slice.
+fn hash_f64s(xs: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let series = bench::cbf_series(300, 128, 5);
+    let opts = KShapeOptions::new(3).with_seed(1).with_max_iter(10);
+    let fit = KShape::fit_with(&series, &opts).expect("CBF workload is clean");
+    println!("iterations {}", fit.iterations);
+    println!(
+        "labels {}",
+        fit.labels
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for (j, c) in fit.centroids.iter().enumerate() {
+        println!("centroid {j} {:016x}", hash_f64s(c));
+    }
+    println!("inertia {:016x}", fit.inertia.to_bits());
+}

@@ -13,7 +13,8 @@ use std::hint::black_box;
 use tsbench::Group;
 
 use crate::{cbf_series, random_series};
-use kshape::sbd::{sbd_with, CorrMethod, SbdPlan};
+use kshape::ncc::{ncc_max_prepared, NccVariant};
+use kshape::sbd::{sbd_with, CorrMethod, SbdPlan, SbdScratch};
 use kshape::{KShape, KShapeOptions};
 
 /// Runs the `kshape` group.
@@ -36,9 +37,41 @@ pub fn run(quick: bool) -> Group {
                 plan.sbd_prepared(black_box(&prepared), black_box(&y)).dist
             });
         }
+        {
+            // The batched-sweep kernel: both spectra cached, no forward
+            // transforms — the per-pair cost inside assignment and the
+            // dissimilarity matrix.
+            let plan = SbdPlan::new(m);
+            let px = plan.prepare(&x);
+            let py = plan.prepare(&y);
+            let mut scratch = SbdScratch::default();
+            g.bench(&format!("sbd_batched/{m}"), move || {
+                plan.sbd_spectra(black_box(&px), black_box(&py), &mut scratch)
+                    .0
+            });
+        }
         g.bench(&format!("ncc_naive/{m}"), || {
             sbd_with(black_box(&x), black_box(&y), CorrMethod::Naive).dist
         });
+        {
+            // Planned NCC over cached spectra, the batched counterpart of
+            // ncc_naive: the ncc_naive/ncc_planned ratio is the Figure 4
+            // speedup computable from this one file.
+            let plan = SbdPlan::new(m);
+            let px = plan.prepare(&x);
+            let py = plan.prepare(&y);
+            let mut scratch = SbdScratch::default();
+            g.bench(&format!("ncc_planned/{m}"), move || {
+                ncc_max_prepared(
+                    &plan,
+                    black_box(&px),
+                    black_box(&py),
+                    NccVariant::Coefficient,
+                    &mut scratch,
+                )
+                .0
+            });
+        }
     }
 
     // Full k-Shape fits.
@@ -52,6 +85,17 @@ pub fn run(quick: bool) -> Group {
         let series = cbf_series(n, m, 5);
         let opts = KShapeOptions::new(3).with_seed(1).with_max_iter(max_iter);
         g.bench(&format!("kshape_fit/n{n}_m{m}"), move || {
+            KShape::fit_with(black_box(&series), &opts).map(|r| r.iterations)
+        });
+        // The same fit with a 4-worker thread pool: on multi-core hosts
+        // this tracks the scaling of the deterministic parallel sweep; on
+        // single-core CI it doubles as a thread-overhead regression check.
+        let series = cbf_series(n, m, 5);
+        let opts = KShapeOptions::new(3)
+            .with_seed(1)
+            .with_max_iter(max_iter)
+            .with_threads(4);
+        g.bench(&format!("kshape_fit_parallel/n{n}_m{m}"), move || {
             KShape::fit_with(black_box(&series), &opts).map(|r| r.iterations)
         });
     }

@@ -70,6 +70,11 @@ fn main() -> ExitCode {
     }
     groups.dedup();
 
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create output directory {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
     #[cfg(debug_assertions)]
     eprintln!("warning: running benchmarks without --release; timings will be misleading");
 

@@ -14,14 +14,14 @@
 //! paper) is reached. Complexity per iteration is
 //! `O(max{n·k·m·log m, n·m², k·m³})`, linear in the number of series `n`.
 
-use tserror::{ensure_k, validate_series_set, TsError, TsResult};
+use tserror::{ensure_k, validate_series_set, StopReason, TsError, TsResult};
 use tsobs::{IterationEvent, Obs, Recorder};
 use tsrand::StdRng;
 use tsrun::{Budget, CancelToken, RunControl};
 
-use crate::extraction::{try_shape_extraction, EigenMethod};
-use crate::init::{plus_plus_assignment, random_assignment, InitStrategy};
-use crate::sbd::SbdPlan;
+use crate::extraction::{extract_aligned, EigenMethod};
+use crate::init::{plus_plus_assignment_spectra, random_assignment, InitStrategy};
+use crate::spectra::{resolve_threads, SpectraEngine};
 
 /// Configuration for a k-Shape run.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +36,11 @@ pub struct KShapeConfig {
     pub init: InitStrategy,
     /// Dominant-eigenvector method for shape extraction.
     pub eigen: EigenMethod,
+    /// Worker threads for the batched sweeps: `0` = auto (the
+    /// `KSHAPE_THREADS` environment variable, else the host parallelism).
+    /// Results are bit-identical for every value — see
+    /// [`crate::spectra`] for the determinism contract.
+    pub threads: usize,
 }
 
 impl Default for KShapeConfig {
@@ -46,6 +51,7 @@ impl Default for KShapeConfig {
             seed: 0,
             init: InitStrategy::Random,
             eigen: EigenMethod::Full,
+            threads: 0,
         }
     }
 }
@@ -131,6 +137,14 @@ impl<'a> KShapeOptions<'a> {
     #[must_use]
     pub fn with_eigen(mut self, eigen: EigenMethod) -> Self {
         self.config.eigen = eigen;
+        self
+    }
+
+    /// Sets the worker-thread count for the batched sweeps (`0` = auto).
+    /// The fit is bit-identical for every value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
         self
     }
 
@@ -249,9 +263,7 @@ impl KShape {
     ///   [`TsError::NonFinite`] for malformed `series`;
     /// * [`TsError::InvalidK`] unless `1 <= k <= series.len()`;
     /// * [`TsError::Stopped`] when the options' budget trips or the
-    ///   token is cancelled (carrying the best labeling so far);
-    /// * [`TsError::NumericalFailure`] from a degenerate shape
-    ///   extraction.
+    ///   token is cancelled (carrying the best labeling so far).
     pub fn fit_with(series: &[Vec<f64>], opts: &KShapeOptions<'_>) -> TsResult<KShapeResult> {
         let ctrl = opts.control();
         let obs = opts.obs();
@@ -333,17 +345,29 @@ impl KShape {
         ensure_k(cfg.k, n)?;
         let fit_span = obs.span("kshape.fit");
 
+        // Spectrum cache: every series is FFT'd exactly once per fit; all
+        // SBD work below consumes the cached half-spectra.
+        let threads = resolve_threads(cfg.threads);
+        let engine = SpectraEngine::from_validated(series, m, threads);
+        obs.counter("sbd.spectra.series_ffts", n as u64);
+        obs.counter("kshape.parallel.threads", threads as u64);
+        obs.counter("kshape.parallel.chunks", engine.chunk_count() as u64);
+
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut labels = match cfg.init {
             InitStrategy::Random => random_assignment(n, cfg.k, &mut rng),
-            InitStrategy::PlusPlus => plus_plus_assignment(series, cfg.k, &mut rng),
+            InitStrategy::PlusPlus => plus_plus_assignment_spectra(&engine, cfg.k, &mut rng),
         };
         let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; cfg.k];
-        let plan = SbdPlan::new(m);
 
         let mut iterations = 0;
         let mut converged = false;
         let mut dists = vec![0.0f64; n];
+        // Per-series alignment shift toward its nearest centroid, written
+        // by the assignment sweep. The next refinement reuses it instead
+        // of re-running SBD per member: the shift was computed against
+        // exactly the centroid that refinement aligns the member to.
+        let mut shifts = vec![0isize; n];
         let mut shifted = 0usize;
         while iterations < cfg.max_iter {
             // Outer-loop poll point: cancellation, deadline, and the
@@ -362,65 +386,32 @@ impl KShape {
 
             // ----- Refinement step: recompute centroids. -----
             let refine_span = obs.span("kshape.refinement");
-            #[allow(clippy::needless_range_loop)]
-            for j in 0..cfg.k {
-                // Shape extraction builds and decomposes an m×m matrix —
-                // an expensive indivisible step, so poll before it and
-                // charge its O(m²)-per-member + O(m³) eigen cost after.
-                if let Err(reason) = ctrl.poll() {
-                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
-                }
-                let members: Vec<&[f64]> = labels
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &l)| l == j)
-                    .map(|(i, _)| series[i].as_slice())
-                    .collect();
-                if members.is_empty() {
-                    // Re-seed an empty cluster with the series that is
-                    // currently worst-served by its own centroid.
-                    let worst = dists
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.total_cmp(b.1))
-                        .map_or(0, |(i, _)| i);
-                    labels[worst] = j;
-                    centroids[j] = tsdata::normalize::z_normalize(&series[worst]);
-                    obs.counter("kshape.empty_cluster_reseeds", 1);
-                    continue;
-                }
-                let members_len = members.len();
-                centroids[j] = try_shape_extraction(&members, &centroids[j], cfg.eigen)?;
-                if let Err(reason) = ctrl.charge((members_len * m + m * m) as u64) {
-                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
-                }
+            if let Err(reason) = self.refine(
+                &engine,
+                series,
+                &mut labels,
+                &mut centroids,
+                &dists,
+                &shifts,
+                ctrl,
+                obs,
+            ) {
+                return Err(RunControl::stop_error(labels, iterations - 1, reason));
             }
             refine_span.end();
 
             // ----- Assignment step: move to nearest centroid. -----
+            // One conjugate-multiply + inverse rFFT per (series, centroid)
+            // pair over the cached spectra; each centroid is transformed
+            // exactly once per iteration.
             let assign_span = obs.span("kshape.assignment");
-            let prepared: Vec<_> = centroids.iter().map(|c| plan.prepare(c)).collect();
-            let mut changed = 0usize;
-            for (i, s) in series.iter().enumerate() {
-                let mut best = f64::INFINITY;
-                let mut best_j = labels[i];
-                for (j, p) in prepared.iter().enumerate() {
-                    let d = plan.sbd_prepared(p, s).dist;
-                    if d < best {
-                        best = d;
-                        best_j = j;
-                    }
-                }
-                dists[i] = best;
-                if best_j != labels[i] {
-                    labels[i] = best_j;
-                    changed += 1;
-                }
-                // One NCC sweep against every centroid ≈ k · m log m work.
-                if let Err(reason) = ctrl.charge((cfg.k * m) as u64) {
-                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
-                }
-            }
+            let cents = engine.prepare_centroids(&centroids);
+            obs.counter("sbd.spectra.centroid_ffts", cfg.k as u64);
+            let changed = match engine.assign(&cents, &mut labels, &mut dists, &mut shifts, ctrl) {
+                Ok(changed) => changed,
+                Err(reason) => return Err(RunControl::stop_error(labels, iterations - 1, reason)),
+            };
+            obs.counter("sbd.spectra.pair_sweeps", (n * cfg.k) as u64);
             assign_span.end();
             shifted = changed;
             if obs.is_armed() {
@@ -458,6 +449,157 @@ impl KShape {
             shifted,
         ))
     }
+
+    /// One refinement pass: recompute every cluster centroid via shape
+    /// extraction, reusing the alignment shifts found by the previous
+    /// assignment sweep, and reseed empty clusters.
+    ///
+    /// The serial path keeps the historical interleaving (poll → members →
+    /// reseed-or-extract → charge, cluster by cluster). The parallel path
+    /// splits it in two: a sequential pass snapshots member lists and
+    /// performs reseeds in ascending cluster order (reseeds only touch
+    /// *empty* clusters, disjoint from every extraction target, so the
+    /// snapshots equal the serial path's), then extractions run on worker
+    /// threads writing disjoint `centroids[j]` slots, and costs are
+    /// charged in cluster order after the join. Non-tripped runs are
+    /// bit-identical across thread counts; only the budget-trip
+    /// granularity is coarser in parallel.
+    #[allow(clippy::too_many_arguments)]
+    fn refine(
+        &self,
+        engine: &SpectraEngine<'_>,
+        series: &[Vec<f64>],
+        labels: &mut [usize],
+        centroids: &mut [Vec<f64>],
+        dists: &[f64],
+        shifts: &[isize],
+        ctrl: &RunControl,
+        obs: Obs<'_>,
+    ) -> Result<(), StopReason> {
+        let cfg = &self.config;
+        let m = series[0].len();
+        let k = cfg.k;
+        // Shape extraction builds and decomposes a Gram matrix — an
+        // expensive indivisible step, so poll before each cluster and
+        // charge its O(m)-per-member + O(m²) cost after.
+        if engine.threads() <= 1 || k < 2 {
+            for j in 0..k {
+                ctrl.poll()?;
+                match refinement_task(j, series, labels, centroids, dists, shifts, obs) {
+                    None => continue,
+                    Some((members, member_shifts)) => {
+                        let members_len = members.len();
+                        centroids[j] = extract_aligned(
+                            &members,
+                            member_shifts.as_deref(),
+                            cfg.eigen,
+                            engine.plan(),
+                        );
+                        ctrl.charge((members_len * m + m * m) as u64)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Pass A (sequential): reseeds and member-list snapshots, in the
+        // exact order the serial path would visit them.
+        let mut tasks: Vec<(usize, RefinementTask<'_>)> = Vec::with_capacity(k);
+        for j in 0..k {
+            ctrl.poll()?;
+            if let Some(task) = refinement_task(j, series, labels, centroids, dists, shifts, obs) {
+                tasks.push((j, task));
+            }
+        }
+        // Pass B (parallel): extractions striped round-robin over workers,
+        // each writing its own cluster's centroid; collected in task order.
+        let workers = engine.threads().min(tasks.len().max(1));
+        let mut extracted: Vec<Vec<(usize, usize, Vec<f64>)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let tasks = &tasks;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        tasks
+                            .iter()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(j, (members, member_shifts))| {
+                                let c = extract_aligned(
+                                    members,
+                                    member_shifts.as_deref(),
+                                    cfg.eigen,
+                                    engine.plan(),
+                                );
+                                (*j, members.len(), c)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                extracted.push(h.join().expect("refinement worker panicked"));
+            }
+        });
+        let mut charges: Vec<(usize, u64)> = Vec::with_capacity(tasks.len());
+        for (j, members_len, centroid) in extracted.into_iter().flatten() {
+            centroids[j] = centroid;
+            charges.push((j, (members_len * m + m * m) as u64));
+        }
+        charges.sort_unstable_by_key(|&(j, _)| j);
+        for (_, cost) in charges {
+            ctrl.charge(cost)?;
+        }
+        Ok(())
+    }
+}
+
+/// One cluster's pending extraction: the member slices plus their cached
+/// alignment shifts (`None` for an all-zero centroid, which skips
+/// alignment).
+type RefinementTask<'s> = (Vec<&'s [f64]>, Option<Vec<isize>>);
+
+/// The refinement work for cluster `j`: `None` when the cluster was empty
+/// (reseeded in place, historical side effects preserved), otherwise the
+/// member snapshot plus their cached alignment shifts (`None` shifts for an
+/// all-zero centroid — the initial state — which skips alignment).
+fn refinement_task<'s>(
+    j: usize,
+    series: &'s [Vec<f64>],
+    labels: &mut [usize],
+    centroids: &mut [Vec<f64>],
+    dists: &[f64],
+    shifts: &[isize],
+    obs: Obs<'_>,
+) -> Option<RefinementTask<'s>> {
+    let idx: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l == j)
+        .map(|(i, _)| i)
+        .collect();
+    if idx.is_empty() {
+        // Re-seed an empty cluster with the series that is currently
+        // worst-served by its own centroid.
+        let worst = dists
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
+        labels[worst] = j;
+        centroids[j] = tsdata::normalize::z_normalize(&series[worst]);
+        obs.counter("kshape.empty_cluster_reseeds", 1);
+        return None;
+    }
+    let members: Vec<&[f64]> = idx.iter().map(|&i| series[i].as_slice()).collect();
+    // An all-zero centroid (the k-Shape initial state, or a degenerate
+    // z-normalization) skips alignment, as the reference implementation
+    // does; otherwise the assignment sweep's shifts align members toward
+    // exactly this centroid.
+    let member_shifts = centroids[j]
+        .iter()
+        .any(|&v| v != 0.0)
+        .then(|| idx.iter().map(|&i| shifts[i]).collect::<Vec<isize>>());
+    Some((members, member_shifts))
 }
 
 /// Aggregate L2 distance between two centroid sets — telemetry only,

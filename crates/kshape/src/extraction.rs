@@ -16,13 +16,14 @@
 //! reference implementation we keep the orientation closer to the cluster
 //! members, and z-normalize the result.
 
+use tsdata::distort::shift_zero_pad;
 use tsdata::normalize::z_normalize_in_place;
 use tserror::{ensure_finite, TsError, TsResult};
-use tslinalg::eigen::try_symmetric_eigen;
-use tslinalg::matrix::Matrix;
+use tslinalg::dominant::try_dominant_symmetric_eigen;
+use tslinalg::matrix::{dot_unrolled, Matrix};
 use tslinalg::power::power_iteration;
 
-use crate::sbd::SbdPlan;
+use crate::sbd::{SbdPlan, SbdScratch};
 
 /// How the dominant eigenvector of `M` is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,16 +114,49 @@ pub fn try_shape_extraction(
 
     let ref_is_zero = reference.iter().all(|&v| v == 0.0);
     let plan = SbdPlan::new(m);
-    let prepared = (!ref_is_zero).then(|| plan.prepare(reference));
+    // Alignment shifts of every member toward the reference, via the cached
+    // reference spectrum — one forward rFFT per member plus one batched
+    // kernel, instead of a full pairwise SBD. An all-zero reference (the
+    // k-Shape initial state) skips alignment entirely.
+    let shifts: Option<Vec<isize>> = (!ref_is_zero).then(|| {
+        let mut fft_scratch = Vec::new();
+        let mut scratch = SbdScratch::default();
+        let p = plan.prepare_with(reference, &mut fft_scratch);
+        members
+            .iter()
+            .map(|member| {
+                let pm = plan.prepare_with(member, &mut fft_scratch);
+                plan.sbd_spectra(&p, &pm, &mut scratch).1
+            })
+            .collect()
+    });
+    Ok(extract_aligned(members, shifts.as_deref(), method, &plan))
+}
+
+/// Shape extraction over pre-computed alignment shifts — the hot-path core
+/// shared with the k-Shape refinement step, which reuses the shifts already
+/// found by the previous batched assignment sweep instead of re-running SBD
+/// per member.
+///
+/// `shifts[r]` aligns `members[r]` toward the reference the shifts were
+/// computed against; `None` skips alignment (the all-zero-reference case).
+/// Inputs must be validated (equal lengths, finite, non-empty, `m > 0`).
+pub(crate) fn extract_aligned(
+    members: &[&[f64]],
+    shifts: Option<&[isize]>,
+    method: EigenMethod,
+    plan: &SbdPlan,
+) -> Vec<f64> {
+    let n = members.len();
+    let m = members[0].len();
 
     // Aligned, row-centered member matrix B = X'·Q, where Q = I − (1/m)·O
     // simply removes each row's mean. Then M = Qᵀ S Q = Bᵀ B.
-    let n = members.len();
     let mut b = Matrix::zeros(n, m);
     let mut aligned_sum = vec![0.0; m];
     for (r, member) in members.iter().enumerate() {
-        let aligned = match &prepared {
-            Some(p) => plan.sbd_prepared(p, member).aligned,
+        let aligned = match shifts {
+            Some(sh) => shift_zero_pad(member, sh[r]),
             None => member.to_vec(),
         };
         for (acc, v) in aligned_sum.iter_mut().zip(aligned.iter()) {
@@ -141,44 +175,46 @@ pub fn try_shape_extraction(
     // Gram matrix BBᵀ: if u is the dominant eigenvector of BBᵀ, then
     // Bᵀu (normalized) is the dominant eigenvector of BᵀB. Identical
     // result, O(n²m + n³) instead of O(nm² + m³).
-    let mut centroid = if n < m {
-        let mut dual = Matrix::zeros(n, n);
-        for r in 0..n {
-            for c in 0..=r {
-                let d = tslinalg::matrix::dot(b.row(r), b.row(c));
-                dual[(r, c)] = d;
-                dual[(c, r)] = d;
-            }
-        }
-        let u = match method {
-            // A QL non-convergence produces a NaN vector here, which the
-            // medoid fallback below converts into a usable centroid.
-            EigenMethod::Full => try_symmetric_eigen(&dual)
-                .map_or_else(|_| vec![f64::NAN; n], |e| e.dominant_vector()),
-            EigenMethod::Power => power_iteration(&dual, 200, 1e-12).vector,
-        };
-        // v = Bᵀ u.
-        let mut v = vec![0.0; m];
-        for (r, &ur) in u.iter().enumerate() {
-            if ur != 0.0 {
-                for (o, x) in v.iter_mut().zip(b.row(r).iter()) {
-                    *o += ur * x;
+    let mut centroid =
+        if n < m {
+            let mut dual = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..=r {
+                    let d = dot_unrolled(b.row(r), b.row(c));
+                    dual[(r, c)] = d;
+                    dual[(c, r)] = d;
                 }
             }
-        }
-        v
-    } else {
-        // Primal path: form M = BᵀB explicitly.
-        let mut mat = Matrix::zeros(m, m);
-        for r in 0..n {
-            mat.rank_one_update(b.row(r), 1.0);
-        }
-        match method {
-            EigenMethod::Full => try_symmetric_eigen(&mat)
-                .map_or_else(|_| vec![f64::NAN; m], |e| e.dominant_vector()),
-            EigenMethod::Power => power_iteration(&mat, 200, 1e-12).vector,
-        }
-    };
+            let u = match method {
+                // Lanczos for the single dominant pair (the paper's Eig(M, 1));
+                // a solver failure produces a NaN vector here, which the medoid
+                // fallback below converts into a usable centroid.
+                EigenMethod::Full => try_dominant_symmetric_eigen(&dual)
+                    .map_or_else(|_| vec![f64::NAN; n], |e| e.vector),
+                EigenMethod::Power => power_iteration(&dual, 200, 1e-12).vector,
+            };
+            // v = Bᵀ u.
+            let mut v = vec![0.0; m];
+            for (r, &ur) in u.iter().enumerate() {
+                if ur != 0.0 {
+                    for (o, x) in v.iter_mut().zip(b.row(r).iter()) {
+                        *o += ur * x;
+                    }
+                }
+            }
+            v
+        } else {
+            // Primal path: form M = BᵀB explicitly.
+            let mut mat = Matrix::zeros(m, m);
+            for r in 0..n {
+                mat.rank_one_update(b.row(r), 1.0);
+            }
+            match method {
+                EigenMethod::Full => try_dominant_symmetric_eigen(&mat)
+                    .map_or_else(|_| vec![f64::NAN; m], |e| e.vector),
+                EigenMethod::Power => power_iteration(&mat, 200, 1e-12).vector,
+            }
+        };
 
     // Resolve the sign ambiguity: orient toward the aligned members.
     let dot: f64 = centroid
@@ -200,9 +236,9 @@ pub fn try_shape_extraction(
     // SBD-medoid of the cluster. Deterministic, and unreachable on clean
     // non-degenerate data.
     if centroid.iter().any(|v| !v.is_finite()) || centroid.iter().all(|&v| v == 0.0) {
-        centroid = sbd_medoid(members, &plan);
+        centroid = sbd_medoid(members, plan);
     }
-    Ok(centroid)
+    centroid
 }
 
 /// The z-normalized member minimizing total SBD to the other members

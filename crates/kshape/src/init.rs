@@ -9,7 +9,7 @@
 
 use tsrand::Rng;
 
-use crate::sbd::SbdPlan;
+use crate::spectra::SpectraEngine;
 
 /// Initialization strategy for [`crate::algorithm::KShape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,20 +66,33 @@ pub fn random_assignment<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> 
 pub fn plus_plus_assignment<R: Rng>(series: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<usize> {
     assert!(k > 0, "k must be positive");
     assert!(!series.is_empty(), "need at least one series");
-    let n = series.len();
-    let m = series[0].len();
-    let plan = SbdPlan::new(m);
+    let engine = SpectraEngine::from_validated(series, series[0].len(), 1);
+    plus_plus_assignment_spectra(&engine, k, rng)
+}
+
+/// [`plus_plus_assignment`] over an existing spectrum cache: every seeding
+/// sweep is a batched kernel pass, with no per-pair FFTs. Distances come
+/// from the same kernel as the pairwise path, so the sampled seeds — and
+/// the RNG stream — are bit-identical to [`plus_plus_assignment`].
+pub(crate) fn plus_plus_assignment_spectra<R: Rng>(
+    engine: &SpectraEngine<'_>,
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    let n = engine.len();
+    assert!(n > 0, "need at least one series");
 
     let mut seeds: Vec<usize> = Vec::with_capacity(k);
     seeds.push(rng.gen_range(0..n));
     // min squared SBD to the chosen seeds so far.
     let mut min_d2 = vec![f64::INFINITY; n];
+    let mut d = vec![0.0f64; n];
     while seeds.len() < k {
         let last = *seeds.last().expect("non-empty");
-        let prepared = plan.prepare(&series[last]);
-        for (i, s) in series.iter().enumerate() {
-            let d = plan.sbd_prepared(&prepared, s).dist;
-            min_d2[i] = min_d2[i].min(d * d);
+        engine.distances_to(engine.spectrum(last), &mut d);
+        for (acc, &di) in min_d2.iter_mut().zip(d.iter()) {
+            *acc = acc.min(di * di);
         }
         // Sample proportionally to min_d2 (the ++ rule); when all
         // remaining distances are zero (duplicate-heavy data) fall back
@@ -91,22 +104,18 @@ pub fn plus_plus_assignment<R: Rng>(series: &[Vec<f64>], k: usize, rng: &mut R) 
     }
 
     // Assign to the nearest seed.
-    let prepared: Vec<_> = seeds.iter().map(|&s| plan.prepare(&series[s])).collect();
-    series
-        .iter()
-        .map(|s| {
-            let mut best = f64::INFINITY;
-            let mut label = 0;
-            for (j, p) in prepared.iter().enumerate() {
-                let d = plan.sbd_prepared(p, s).dist;
-                if d < best {
-                    best = d;
-                    label = j;
-                }
+    let mut labels = vec![0usize; n];
+    let mut best = vec![f64::INFINITY; n];
+    for (j, &seed) in seeds.iter().enumerate() {
+        engine.distances_to(engine.spectrum(seed), &mut d);
+        for i in 0..n {
+            if d[i] < best[i] {
+                best[i] = d[i];
+                labels[i] = j;
             }
-            label
-        })
-        .collect()
+        }
+    }
+    labels
 }
 
 #[cfg(test)]

@@ -53,9 +53,11 @@ pub mod multi;
 pub mod ncc;
 pub mod sbd;
 pub mod sbd_unequal;
+pub mod spectra;
 pub mod validity;
 
 pub use algorithm::{KShape, KShapeConfig, KShapeOptions, KShapeResult};
 pub use extraction::{shape_extraction, try_shape_extraction};
 pub use sbd::{sbd, try_sbd, CacheStats, Sbd, SbdResult};
+pub use spectra::SpectraEngine;
 pub use tserror::{TsError, TsResult};

@@ -14,6 +14,8 @@
 
 use tsfft::correlate::{autocorr0, cross_correlate_fft};
 
+use crate::sbd::{PreparedSeries, SbdPlan, SbdScratch};
+
 /// Which cross-correlation normalization to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NccVariant {
@@ -49,12 +51,19 @@ impl NccVariant {
 #[must_use]
 pub fn ncc(x: &[f64], y: &[f64], variant: NccVariant) -> Vec<f64> {
     assert_eq!(x.len(), y.len(), "NCC requires equal-length sequences");
-    let m = x.len();
     let mut cc = cross_correlate_fft(x, y);
+    normalize_cc(&mut cc, x.len(), variant, autocorr0(x), autocorr0(y));
+    cc
+}
+
+/// Applies one NCC normalization to a raw cross-correlation sequence in
+/// place. `ex`/`ey` are the series energies `R₀(·,·)`, only consulted for
+/// [`NccVariant::Coefficient`].
+fn normalize_cc(cc: &mut [f64], m: usize, variant: NccVariant, ex: f64, ey: f64) {
     match variant {
         NccVariant::Biased => {
             let inv = 1.0 / m as f64;
-            for v in &mut cc {
+            for v in cc.iter_mut() {
                 *v *= inv;
             }
         }
@@ -66,10 +75,10 @@ pub fn ncc(x: &[f64], y: &[f64], variant: NccVariant) -> Vec<f64> {
             }
         }
         NccVariant::Coefficient => {
-            let denom = (autocorr0(x) * autocorr0(y)).sqrt();
+            let denom = (ex * ey).sqrt();
             if denom > 0.0 {
                 let inv = 1.0 / denom;
-                for v in &mut cc {
+                for v in cc.iter_mut() {
                     *v *= inv;
                 }
             } else {
@@ -77,7 +86,47 @@ pub fn ncc(x: &[f64], y: &[f64], variant: NccVariant) -> Vec<f64> {
             }
         }
     }
+}
+
+/// [`ncc`] over cached spectra: the normalized cross-correlation sequence
+/// of two series already prepared on `plan`, with no forward transforms —
+/// one conjugate multiply and one half-size inverse rFFT per call.
+///
+/// Matches [`ncc`] on the same inputs (energies are captured at
+/// preparation time, so the [`NccVariant::Coefficient`] denominator is
+/// identical).
+#[must_use]
+pub fn ncc_prepared(
+    plan: &SbdPlan,
+    x: &PreparedSeries,
+    y: &PreparedSeries,
+    variant: NccVariant,
+    scratch: &mut SbdScratch,
+) -> Vec<f64> {
+    let mut cc = Vec::new();
+    plan.cross_correlate_prepared(x, y, &mut cc, scratch);
+    normalize_cc(&mut cc, plan.series_len(), variant, x.energy(), y.energy());
     cc
+}
+
+/// [`ncc_max`] over cached spectra: `(max value, lag)` of the normalized
+/// cross-correlation of two prepared series.
+#[must_use]
+pub fn ncc_max_prepared(
+    plan: &SbdPlan,
+    x: &PreparedSeries,
+    y: &PreparedSeries,
+    variant: NccVariant,
+    scratch: &mut SbdScratch,
+) -> (f64, isize) {
+    let seq = ncc_prepared(plan, x, y, variant, scratch);
+    let m = plan.series_len() as isize;
+    let (idx, &val) = seq
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("plan length is positive, so the sequence is non-empty");
+    (val, idx as isize - (m - 1))
 }
 
 /// Returns `(max value, lag)` of the normalized cross-correlation — the
@@ -184,6 +233,49 @@ mod tests {
         assert!(ncc(&z, &x, NccVariant::Coefficient)
             .iter()
             .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn prepared_variants_match_pairwise() {
+        use super::{ncc_max_prepared, ncc_prepared};
+        use crate::sbd::{SbdPlan, SbdScratch};
+        let m = 48;
+        let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.23).sin()).collect();
+        let y: Vec<f64> = (0..m)
+            .map(|i| (i as f64 * 0.31 + 0.9).cos() * 1.7)
+            .collect();
+        let plan = SbdPlan::new(m);
+        let px = plan.prepare(&x);
+        let py = plan.prepare(&y);
+        let mut scratch = SbdScratch::default();
+        for variant in [
+            NccVariant::Biased,
+            NccVariant::Unbiased,
+            NccVariant::Coefficient,
+        ] {
+            let direct = ncc(&x, &y, variant);
+            let batched = ncc_prepared(&plan, &px, &py, variant, &mut scratch);
+            assert_eq!(direct.len(), batched.len());
+            for (a, b) in direct.iter().zip(batched.iter()) {
+                assert!((a - b).abs() < 1e-9, "{} ({a} vs {b})", variant.name());
+            }
+            let (v1, l1) = ncc_max(&x, &y, variant);
+            let (v2, l2) = ncc_max_prepared(&plan, &px, &py, variant, &mut scratch);
+            assert!((v1 - v2).abs() < 1e-9);
+            assert_eq!(l1, l2);
+        }
+    }
+
+    #[test]
+    fn prepared_zero_energy_coefficient_is_all_zeros() {
+        use super::ncc_prepared;
+        use crate::sbd::{SbdPlan, SbdScratch};
+        let plan = SbdPlan::new(8);
+        let pz = plan.prepare(&[0.0; 8]);
+        let px = plan.prepare(&[1.0; 8]);
+        let mut scratch = SbdScratch::default();
+        let seq = ncc_prepared(&plan, &pz, &px, NccVariant::Coefficient, &mut scratch);
+        assert!(seq.iter().all(|&v| v == 0.0), "{seq:?}");
     }
 
     #[test]

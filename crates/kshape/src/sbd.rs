@@ -22,9 +22,10 @@ use tsfft::bluestein::BluesteinFft;
 use tsfft::correlate::{
     autocorr0, cross_correlate_bluestein, cross_correlate_fft, cross_correlate_naive,
 };
-use tsfft::fft::Radix2Fft;
 use tsfft::next_pow2;
 use tsfft::real::pad_to_complex;
+use tsfft::real_plan::RealFftPlan;
+use tsfft::Complex;
 
 /// Cross-correlation computation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -159,15 +160,28 @@ fn finish(m: usize, y: &[f64], cc: &[f64], denom: f64) -> SbdResult {
 
 /// A reusable SBD computation plan for a fixed series length.
 ///
-/// Caches the FFT plan and the transforms of a reference series so that
-/// comparing one reference against many candidates (the k-Shape assignment
-/// step, 1-NN search) pays the planning and one of the two forward
-/// transforms only once.
+/// Caches the real-input FFT plan ([`RealFftPlan`]) so that comparing one
+/// reference against many candidates (the k-Shape assignment step, 1-NN
+/// search) pays the planning and one of the two forward transforms only
+/// once. Spectra are stored as packed half-spectra (`padded/2 + 1` bins):
+/// real inputs have conjugate-symmetric spectra, and the conjugate product
+/// of two such spectra stays conjugate symmetric, so the whole SBD pipeline
+/// is closed over half-spectra at half the transform cost.
 #[derive(Debug)]
 pub struct SbdPlan {
     m: usize,
     padded: usize,
-    plan: Radix2Fft,
+    plan: RealFftPlan,
+}
+
+/// Reusable buffers for the allocation-free pair kernel
+/// [`SbdPlan::sbd_spectra`].
+///
+/// One scratch per worker thread; the shared [`SbdPlan`] stays immutable.
+#[derive(Debug, Default, Clone)]
+pub struct SbdScratch {
+    corr: Vec<f64>,
+    fft: Vec<Complex>,
 }
 
 impl SbdPlan {
@@ -179,11 +193,13 @@ impl SbdPlan {
     #[must_use]
     pub fn new(m: usize) -> Self {
         assert!(m > 0, "SBD plan requires a positive length");
-        let padded = next_pow2(2 * m - 1);
+        // `2 * m - 1` correlation lags; `max(2)` keeps the m = 1 edge case
+        // on a valid (trivial) real-FFT size.
+        let padded = next_pow2(2 * m - 1).max(2);
         SbdPlan {
             m,
             padded,
-            plan: Radix2Fft::new(padded),
+            plan: RealFftPlan::new(padded),
         }
     }
 
@@ -206,20 +222,107 @@ impl SbdPlan {
         self.m
     }
 
-    /// Precomputes the spectrum and energy of a reference series.
+    /// The padded FFT length backing this plan.
+    #[inline]
+    #[must_use]
+    pub fn padded_len(&self) -> usize {
+        self.padded
+    }
+
+    /// Precomputes the half-spectrum and energy of a reference series.
     ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the plan length.
     #[must_use]
     pub fn prepare(&self, x: &[f64]) -> PreparedSeries {
+        let mut scratch = Vec::new();
+        self.prepare_with(x, &mut scratch)
+    }
+
+    /// [`Self::prepare`] with a caller-supplied FFT scratch buffer, for
+    /// batch spectrum-cache construction without per-series allocation
+    /// beyond the cached spectrum itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan length.
+    #[must_use]
+    pub fn prepare_with(&self, x: &[f64], scratch: &mut Vec<Complex>) -> PreparedSeries {
         assert_eq!(x.len(), self.m, "series length must match plan");
-        let mut buf = pad_to_complex(x, self.padded);
-        self.plan.forward(&mut buf);
+        let mut spectrum = vec![Complex::ZERO; self.plan.spectrum_len()];
+        self.plan.rfft_into(x, &mut spectrum, scratch);
         PreparedSeries {
-            spectrum: buf,
+            spectrum,
             energy: autocorr0(x),
         }
+    }
+
+    /// Precomputes the half-spectrum of a series *no longer than* the plan
+    /// length, zero-padded on the right — the unequal-length counterpart
+    /// of [`Self::prepare`].
+    ///
+    /// A plan for the longer of two lengths always has enough padding for
+    /// their full linear cross-correlation (`padded ≥ 2·m − 1 ≥ nx + ny − 1`
+    /// whenever both lengths are at most `m`), so mixed-length workloads
+    /// share plans — and the spectrum cache — with the equal-length hot
+    /// path at the reference length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or longer than the plan length.
+    #[must_use]
+    pub fn prepare_padded(&self, x: &[f64]) -> PreparedSeries {
+        assert!(
+            !x.is_empty() && x.len() <= self.m,
+            "series length {} outside plan range 1..={}",
+            x.len(),
+            self.m
+        );
+        let mut spectrum = vec![Complex::ZERO; self.plan.spectrum_len()];
+        let mut scratch = Vec::new();
+        self.plan.rfft_into(x, &mut spectrum, &mut scratch);
+        PreparedSeries {
+            spectrum,
+            energy: autocorr0(x),
+        }
+    }
+
+    /// Cross-correlation of two padded-prepared series of original lengths
+    /// `nx` and `ny`, written to `out` in lag order `−(ny−1)..=(nx−1)`
+    /// (`nx + ny − 1` values) — the unequal-length counterpart of
+    /// [`Self::cross_correlate_prepared`], sharing the plan's FFT and
+    /// both cached spectra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length is zero or exceeds the plan length.
+    pub fn cross_correlate_padded(
+        &self,
+        x: &PreparedSeries,
+        nx: usize,
+        y: &PreparedSeries,
+        ny: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut SbdScratch,
+    ) {
+        assert!(
+            (1..=self.m).contains(&nx) && (1..=self.m).contains(&ny),
+            "series lengths ({nx}, {ny}) outside plan range 1..={}",
+            self.m
+        );
+        scratch.corr.resize(self.padded, 0.0);
+        self.plan.correlate_spectra_into(
+            &x.spectrum,
+            &y.spectrum,
+            &mut scratch.corr,
+            &mut scratch.fft,
+        );
+        let n = self.padded;
+        out.clear();
+        out.reserve(nx + ny - 1);
+        out.extend((1..ny).rev().map(|k| scratch.corr[n - k]));
+        out.extend_from_slice(&scratch.corr[..nx]);
     }
 
     /// SBD between a prepared reference `x` and a raw candidate `y`.
@@ -230,37 +333,108 @@ impl SbdPlan {
     #[must_use]
     pub fn sbd_prepared(&self, x: &PreparedSeries, y: &[f64]) -> SbdResult {
         assert_eq!(y.len(), self.m, "series length must match plan");
-        let denom = (x.energy * autocorr0(y)).sqrt();
+        let prepared_y = self.prepare(y);
+        let mut scratch = SbdScratch::default();
+        let (dist, shift) = self.sbd_spectra(x, &prepared_y, &mut scratch);
+        SbdResult {
+            dist,
+            shift,
+            aligned: tsdata::distort::shift_zero_pad(y, shift),
+        }
+    }
+
+    /// Distance and optimal shift between two *prepared* series — the
+    /// allocation-free kernel of the batched frequency-domain sweep.
+    ///
+    /// The cost per call is one conjugate multiply over `padded/2 + 1`
+    /// bins, one half-size inverse FFT, and one peak scan; neither forward
+    /// transform is repeated. Results are bit-identical to
+    /// [`Self::sbd_prepared`] on the same inputs.
+    #[must_use]
+    pub fn sbd_spectra(
+        &self,
+        x: &PreparedSeries,
+        y: &PreparedSeries,
+        scratch: &mut SbdScratch,
+    ) -> (f64, isize) {
+        let denom = (x.energy * y.energy).sqrt();
         if denom == 0.0 {
-            let both_zero = x.energy == 0.0 && autocorr0(y) == 0.0;
-            return SbdResult {
-                dist: if both_zero { 0.0 } else { 1.0 },
-                shift: 0,
-                aligned: y.to_vec(),
-            };
+            let both_zero = x.energy == 0.0 && y.energy == 0.0;
+            return (if both_zero { 0.0 } else { 1.0 }, 0);
         }
-        let mut fy = pad_to_complex(y, self.padded);
-        self.plan.forward(&mut fy);
-        for (a, b) in fy.iter_mut().zip(x.spectrum.iter()) {
-            // F(x)·conj(F(y)) — note the argument order.
-            *a = *b * a.conj();
+        scratch.corr.resize(self.padded, 0.0);
+        self.plan.correlate_spectra_into(
+            &x.spectrum,
+            &y.spectrum,
+            &mut scratch.corr,
+            &mut scratch.fft,
+        );
+        // Peak scan in unwrapped lag order −(m−1)..=(m−1), i.e. the
+        // circular tail `corr[n−(m−1)..]` followed by the head
+        // `corr[..m]`, with the same first-maximum tie-breaking as the
+        // unplanned path.
+        let (m, n) = (self.m, self.padded);
+        let mut best = f64::NEG_INFINITY;
+        let mut best_idx = 0usize;
+        for (i, &v) in scratch.corr[n - (m - 1)..].iter().enumerate() {
+            if v > best {
+                best = v;
+                best_idx = i;
+            }
         }
-        self.plan.inverse(&mut fy);
-        // Unwrap circular buffer into lag order −(m−1)..=(m−1).
-        let m = self.m;
-        let n = self.padded;
-        let mut cc = Vec::with_capacity(2 * m - 1);
-        cc.extend((1..m).rev().map(|k| fy[n - k].re));
-        cc.extend(fy[..m].iter().map(|z| z.re));
-        finish(m, y, &cc, denom)
+        for (i, &v) in scratch.corr[..m].iter().enumerate() {
+            if v > best {
+                best = v;
+                best_idx = i + (m - 1);
+            }
+        }
+        let shift = best_idx as isize - (m as isize - 1);
+        (1.0 - best / denom, shift)
+    }
+
+    /// Raw cross-correlation sequence `CC_w(x, y)` of two prepared series,
+    /// written to `out` in unwrapped lag order `−(m−1)..=(m−1)` (length
+    /// `2m − 1`) — the batched counterpart of
+    /// [`tsfft::correlate::cross_correlate_fft`], sharing both forward
+    /// transforms through the spectrum cache. Backs [`crate::ncc`]'s
+    /// `*_prepared` entry points.
+    pub fn cross_correlate_prepared(
+        &self,
+        x: &PreparedSeries,
+        y: &PreparedSeries,
+        out: &mut Vec<f64>,
+        scratch: &mut SbdScratch,
+    ) {
+        scratch.corr.resize(self.padded, 0.0);
+        self.plan.correlate_spectra_into(
+            &x.spectrum,
+            &y.spectrum,
+            &mut scratch.corr,
+            &mut scratch.fft,
+        );
+        let (m, n) = (self.m, self.padded);
+        out.clear();
+        out.reserve(2 * m - 1);
+        out.extend_from_slice(&scratch.corr[n - (m - 1)..]);
+        out.extend_from_slice(&scratch.corr[..m]);
     }
 }
 
-/// A reference series preprocessed by [`SbdPlan::prepare`].
+/// A reference series preprocessed by [`SbdPlan::prepare`]: the packed
+/// half-spectrum of the zero-padded series plus its energy `R₀(x, x)`.
 #[derive(Debug, Clone)]
 pub struct PreparedSeries {
-    spectrum: Vec<tsfft::Complex>,
+    spectrum: Vec<Complex>,
     energy: f64,
+}
+
+impl PreparedSeries {
+    /// The series energy `R₀(x, x) = Σ x_i²` captured at preparation time.
+    #[inline]
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
 }
 
 /// Maximum number of per-length FFT plans each [`Sbd`] instance keeps.
@@ -472,6 +646,33 @@ impl Sbd {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.cached.stats().merged(self.cached_bluestein.stats())
+    }
+
+    /// Unequal-length SBD through the bounded plan cache.
+    ///
+    /// Plans are keyed by the *longer* input's length (whose padding
+    /// covers the full `nx + ny − 1` lag range), so repeated queries
+    /// against a fixed-length reference set — 1-NN over a mixed archive,
+    /// sub-sequence search — hit the same cached plans as the
+    /// equal-length hot path. Always uses the power-of-two real-FFT
+    /// pipeline regardless of the configured [`CorrMethod`].
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::EmptyInput`] when either sequence is empty,
+    /// [`TsError::NonFinite`] on NaN/infinite samples.
+    pub fn try_sbd_unequal(&self, x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
+        if x.is_empty() || y.is_empty() {
+            return Err(TsError::EmptyInput);
+        }
+        tserror::ensure_finite(x, 0)?;
+        tserror::ensure_finite(y, 1)?;
+        let m = x.len().max(y.len());
+        let plan = self.cached.get_or_insert(m, || SbdPlan::new(m));
+        if x.len() == y.len() {
+            return Ok(plan.sbd_prepared(&plan.prepare(x), y));
+        }
+        Ok(crate::sbd_unequal::unequal_with_plan(&plan, x, y))
     }
 
     /// Bluestein-based SBD with a cached chirp plan (the `SBD-NoPow2`

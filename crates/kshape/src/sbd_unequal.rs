@@ -7,6 +7,13 @@
 //! placed into a buffer of `x`'s length so downstream consumers (shape
 //! extraction, plotting) receive comparable arrays.
 //!
+//! All transform work routes through [`SbdPlan`]: a plan for the longer
+//! input always has enough power-of-two padding for the full
+//! `nx + ny − 1` lag range, so unequal-length queries share plans — and,
+//! via [`crate::sbd::Sbd::try_sbd_unequal`], the bounded plan cache —
+//! with the equal-length hot path instead of maintaining a private
+//! pad-and-transform pipeline.
+//!
 //! For the *uniform scaling* invariance of Section 2.2 (sequences that
 //! differ in sampling duration), [`sbd_rescaled`] first stretches the
 //! shorter sequence to the longer one's length and then applies the
@@ -15,9 +22,8 @@
 use tsdata::distort::resample;
 use tserror::{ensure_finite, TsError, TsResult};
 use tsfft::correlate::autocorr0;
-use tsfft::unequal::cross_correlate_unequal_fft;
 
-use crate::sbd::{try_sbd, SbdResult};
+use crate::sbd::{try_sbd, SbdPlan, SbdResult, SbdScratch};
 
 /// SBD between sequences of possibly different lengths.
 ///
@@ -52,37 +58,51 @@ pub fn try_sbd_unequal(x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
     if x.len() == y.len() {
         return try_sbd(x, y);
     }
+    Ok(unequal_with_plan(&SbdPlan::new(x.len().max(y.len())), x, y))
+}
+
+/// Shared core of the free and plan-cached unequal-length SBD paths.
+///
+/// Inputs are validated (non-empty, finite) and `plan` serves the longer
+/// length, so its padding covers the full `nx + ny − 1` lag range. All
+/// transform work routes through the plan's real-FFT spectrum machinery —
+/// there is no private pad-and-transform path left in this module.
+pub(crate) fn unequal_with_plan(plan: &SbdPlan, x: &[f64], y: &[f64]) -> SbdResult {
     let denom = (autocorr0(x) * autocorr0(y)).sqrt();
     if denom == 0.0 {
         let both_zero = autocorr0(x) == 0.0 && autocorr0(y) == 0.0;
         let mut aligned = y.to_vec();
         aligned.resize(x.len(), 0.0);
-        return Ok(SbdResult {
+        return SbdResult {
             dist: if both_zero { 0.0 } else { 1.0 },
             shift: 0,
             aligned,
-        });
+        };
     }
-    let cc = cross_correlate_unequal_fft(x, y);
+    let (nx, ny) = (x.len(), y.len());
+    let (px, py) = (plan.prepare_padded(x), plan.prepare_padded(y));
+    let mut scratch = SbdScratch::default();
+    let mut cc = Vec::new();
+    plan.cross_correlate_padded(&px, nx, &py, ny, &mut cc, &mut scratch);
     let (best_idx, best) = cc
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty correlation");
-    let shift = best_idx as isize - (y.len() as isize - 1);
+    let shift = best_idx as isize - (ny as isize - 1);
     // Place y into an x-length frame at offset `shift`.
-    let mut aligned = vec![0.0; x.len()];
+    let mut aligned = vec![0.0; nx];
     for (l, &v) in y.iter().enumerate() {
         let t = l as isize + shift;
-        if (0..x.len() as isize).contains(&t) {
+        if (0..nx as isize).contains(&t) {
             aligned[t as usize] = v;
         }
     }
-    Ok(SbdResult {
+    SbdResult {
         dist: 1.0 - best / denom,
         shift,
         aligned,
-    })
+    }
 }
 
 /// Uniform-scaling SBD: stretches the shorter sequence to the longer
@@ -201,6 +221,49 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn rejects_empty() {
         let _ = sbd_unequal(&[], &[1.0]);
+    }
+
+    #[test]
+    fn cached_sbd_matches_free_function_and_shares_plans() {
+        use crate::sbd::Sbd;
+        let x = bump(64, 30.0, 4.0);
+        let y = x[22..46].to_vec();
+        let sbd_cached = Sbd::new();
+        let a = sbd_cached.try_sbd_unequal(&x, &y).expect("clean data");
+        let b = sbd_unequal(&x, &y);
+        assert_eq!(a.shift, b.shift);
+        assert!((a.dist - b.dist).abs() < 1e-15);
+        assert_eq!(a.aligned, b.aligned);
+        // The plan is cached under the longer length — the same key the
+        // equal-length hot path uses for length-64 series.
+        assert!(sbd_cached.has_cached_plan_for(64));
+        assert_eq!(sbd_cached.cache_stats().misses, 1);
+        let _ = sbd_cached.try_sbd_unequal(&x, &y).expect("clean data");
+        assert_eq!(sbd_cached.cache_stats().hits, 1);
+        // Equal lengths through the cached entry agree with `sbd`.
+        let z = bump(64, 40.0, 5.0);
+        let eq = sbd_cached.try_sbd_unequal(&x, &z).expect("clean data");
+        let plain = sbd(&x, &z);
+        assert_eq!(eq.shift, plain.shift);
+        assert!((eq.dist - plain.dist).abs() < 1e-15);
+    }
+
+    #[test]
+    fn padded_plan_correlation_matches_naive() {
+        use crate::sbd::{SbdPlan, SbdScratch};
+        use tsfft::unequal::cross_correlate_unequal_naive;
+        let x = bump(40, 10.0, 2.0);
+        let y: Vec<f64> = (0..23).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let plan = SbdPlan::new(40);
+        let (px, py) = (plan.prepare_padded(&x), plan.prepare_padded(&y));
+        let mut cc = Vec::new();
+        let mut scratch = SbdScratch::default();
+        plan.cross_correlate_padded(&px, 40, &py, 23, &mut cc, &mut scratch);
+        let naive = cross_correlate_unequal_naive(&x, &y);
+        assert_eq!(cc.len(), naive.len());
+        for (i, (a, b)) in cc.iter().zip(naive.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-9, "lag {i}: {a} vs {b}");
+        }
     }
 
     #[test]

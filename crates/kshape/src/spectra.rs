@@ -1,0 +1,596 @@
+//! The batched frequency-domain engine behind the k-Shape hot path.
+//!
+//! Every SBD evaluation factors into three parts: two forward FFTs (one
+//! per series) and one conjugate-multiply + inverse FFT + peak scan per
+//! *pair*. The pairwise [`crate::sbd::sbd`] entry point pays all three on
+//! every call; a k-Shape fit, however, compares the same `n` series
+//! against the same `k` centroids over and over. This module restructures
+//! that work around the [`SbdPlan`] spectrum cache:
+//!
+//! * each input series is transformed **once per fit** ([`SpectraEngine::new`]),
+//! * each centroid is transformed **once per iteration**
+//!   ([`SpectraEngine::prepare_centroids`]),
+//! * assignment is a sweep of [`SbdPlan::sbd_spectra`] kernels — one
+//!   conjugate multiply and one half-size inverse real FFT per (series,
+//!   centroid) pair — over the cached spectra.
+//!
+//! # Determinism contract
+//!
+//! All batched sweeps are embarrassingly parallel over *disjoint output
+//! slots*: series `i`'s label/distance/shift (assignment) or row `i`
+//! (matrix build) is computed from immutable inputs by exactly one
+//! worker, with a per-worker scratch buffer and no shared accumulator.
+//! Work is distributed by fixed contiguous chunking (assignment) or fixed
+//! round-robin striping (matrix rows), and reductions (changed-count
+//! sums, stop-reason merging, row mirroring) happen on the calling thread
+//! in index order after the join. Results are therefore **bit-identical
+//! for every thread count**, including the serial path. The only
+//! thread-count-visible behaviour is execution-control granularity: with
+//! more than one worker a budget trip can leave a different partial
+//! prefix computed, exactly as in `tscluster::matrix`.
+
+use tserror::{validate_series_set, StopReason, TsResult};
+use tsrun::RunControl;
+
+use crate::sbd::{PreparedSeries, SbdPlan, SbdScratch};
+
+/// Below this many independent work items the engine stays serial even
+/// when more threads were requested: spawn cost would dominate.
+const MIN_PARALLEL_ITEMS: usize = 32;
+
+/// Resolves a requested worker count to an effective one.
+///
+/// `0` means *auto*: the `KSHAPE_THREADS` environment variable if set to
+/// a positive integer, otherwise [`std::thread::available_parallelism`].
+/// Any positive request is taken literally.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("KSHAPE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Per-fit spectrum cache plus the batched sweeps that consume it.
+///
+/// Borrowing the series keeps the engine allocation-light: the only owned
+/// state is one packed half-spectrum ([`PreparedSeries`]) per series and
+/// the shared [`SbdPlan`].
+#[derive(Debug)]
+pub struct SpectraEngine<'a> {
+    plan: SbdPlan,
+    series: &'a [Vec<f64>],
+    spectra: Vec<PreparedSeries>,
+    threads: usize,
+}
+
+impl<'a> SpectraEngine<'a> {
+    /// Validates `series` and builds the cache with `threads` workers
+    /// (`0` = auto, see [`resolve_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// [`tserror::TsError::EmptyInput`], [`tserror::TsError::LengthMismatch`],
+    /// or [`tserror::TsError::NonFinite`] for malformed `series`.
+    pub fn new(series: &'a [Vec<f64>], threads: usize) -> TsResult<Self> {
+        let m = validate_series_set(series)?;
+        Ok(Self::from_validated(series, m, resolve_threads(threads)))
+    }
+
+    /// Builds the cache for already-validated series of length `m`,
+    /// transforming every series exactly once.
+    pub(crate) fn from_validated(series: &'a [Vec<f64>], m: usize, threads: usize) -> Self {
+        let plan = SbdPlan::new(m);
+        let n = series.len();
+        let workers = worker_count(threads, n);
+        let mut spectra = Vec::with_capacity(n);
+        if workers <= 1 {
+            let mut scratch = Vec::new();
+            spectra.extend(series.iter().map(|s| plan.prepare_with(s, &mut scratch)));
+        } else {
+            // Fixed contiguous chunks, joined back in chunk order: the
+            // cache layout is independent of the worker count.
+            let chunk = n.div_ceil(workers);
+            let plan_ref = &plan;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = series
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let mut scratch = Vec::new();
+                            part.iter()
+                                .map(|s| plan_ref.prepare_with(s, &mut scratch))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    spectra.extend(h.join().expect("spectrum worker panicked"));
+                }
+            });
+        }
+        SpectraEngine {
+            plan,
+            series,
+            spectra,
+            threads,
+        }
+    }
+
+    /// Number of cached series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The shared SBD plan (series length, padded FFT size).
+    #[must_use]
+    pub fn plan(&self) -> &SbdPlan {
+        &self.plan
+    }
+
+    /// The effective worker count this engine was built with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker chunks an `n`-item assignment sweep is split into (1 on the
+    /// serial path) — telemetry material for `kshape.parallel.chunks`.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        worker_count(self.threads, self.series.len())
+    }
+
+    /// The cached half-spectrum of series `i`.
+    #[must_use]
+    pub fn spectrum(&self, i: usize) -> &PreparedSeries {
+        &self.spectra[i]
+    }
+
+    /// Transforms one centroid set — `k` forward rFFTs, once per
+    /// iteration. `k` is small, so this stays serial.
+    #[must_use]
+    pub fn prepare_centroids(&self, centroids: &[Vec<f64>]) -> Vec<PreparedSeries> {
+        let mut scratch = Vec::new();
+        centroids
+            .iter()
+            .map(|c| self.plan.prepare_with(c, &mut scratch))
+            .collect()
+    }
+
+    /// Nearest centroid of series `i`: `(distance, centroid index,
+    /// alignment shift)`, first minimum winning ties.
+    fn nearest(
+        &self,
+        cents: &[PreparedSeries],
+        i: usize,
+        scratch: &mut SbdScratch,
+    ) -> (f64, usize, isize) {
+        let sp = &self.spectra[i];
+        let mut best = f64::INFINITY;
+        let mut best_j = 0usize;
+        let mut best_shift = 0isize;
+        for (j, c) in cents.iter().enumerate() {
+            // Argument order matters: x = centroid, y = series, so the
+            // shift aligns the series *toward* the centroid — exactly
+            // what the next refinement's shape extraction consumes.
+            let (d, s) = self.plan.sbd_spectra(c, sp, scratch);
+            if d < best {
+                best = d;
+                best_j = j;
+                best_shift = s;
+            }
+        }
+        (best, best_j, best_shift)
+    }
+
+    /// Batched assignment sweep: for every series, the SBD-nearest
+    /// centroid. Writes each series' label, distance, and alignment shift
+    /// to its slot and returns how many labels changed.
+    ///
+    /// Charges `ctrl` one `k·m` unit per series, like the pairwise loop
+    /// it replaces.
+    ///
+    /// # Errors
+    ///
+    /// The [`StopReason`] when the control trips mid-sweep (cancellation
+    /// wins over other reasons when workers trip concurrently); the slots
+    /// already written stay written.
+    pub(crate) fn assign(
+        &self,
+        cents: &[PreparedSeries],
+        labels: &mut [usize],
+        dists: &mut [f64],
+        shifts: &mut [isize],
+        ctrl: &RunControl,
+    ) -> Result<usize, StopReason> {
+        let n = self.series.len();
+        let pair_cost = (cents.len() * self.plan.series_len()) as u64;
+        let workers = worker_count(self.threads, n);
+        if workers <= 1 {
+            let mut scratch = SbdScratch::default();
+            let mut changed = 0usize;
+            for i in 0..n {
+                let (best, best_j, best_shift) = self.nearest(cents, i, &mut scratch);
+                dists[i] = best;
+                shifts[i] = best_shift;
+                if best_j != labels[i] {
+                    labels[i] = best_j;
+                    changed += 1;
+                }
+                ctrl.charge(pair_cost)?;
+            }
+            return Ok(changed);
+        }
+        let chunk = n.div_ceil(workers);
+        let mut changed_total = 0usize;
+        let mut tripped: Vec<Option<StopReason>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let parts = labels
+                .chunks_mut(chunk)
+                .zip(dists.chunks_mut(chunk))
+                .zip(shifts.chunks_mut(chunk));
+            for (t, ((lc, dc), sc)) in parts.enumerate() {
+                handles.push(scope.spawn(move || {
+                    let mut scratch = SbdScratch::default();
+                    let mut changed = 0usize;
+                    for (o, ((lab, d), sh)) in lc
+                        .iter_mut()
+                        .zip(dc.iter_mut())
+                        .zip(sc.iter_mut())
+                        .enumerate()
+                    {
+                        let (best, best_j, best_shift) =
+                            self.nearest(cents, t * chunk + o, &mut scratch);
+                        *d = best;
+                        *sh = best_shift;
+                        if best_j != *lab {
+                            *lab = best_j;
+                            changed += 1;
+                        }
+                        if let Err(reason) = ctrl.charge(pair_cost) {
+                            return (changed, Some(reason));
+                        }
+                    }
+                    (changed, None)
+                }));
+            }
+            for h in handles {
+                let (c, r) = h.join().expect("assignment worker panicked");
+                changed_total += c;
+                tripped.push(r);
+            }
+        });
+        match merge_reasons(&tripped) {
+            Some(reason) => Err(reason),
+            None => Ok(changed_total),
+        }
+    }
+
+    /// Distances of every series to one prepared reference, written to
+    /// `out` — the k-shape++ seeding sweep over cached spectra.
+    pub(crate) fn distances_to(&self, reference: &PreparedSeries, out: &mut [f64]) {
+        let n = self.series.len();
+        let workers = worker_count(self.threads, n);
+        if workers <= 1 {
+            let mut scratch = SbdScratch::default();
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self
+                    .plan
+                    .sbd_spectra(reference, &self.spectra[i], &mut scratch)
+                    .0;
+            }
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (t, part) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let mut scratch = SbdScratch::default();
+                    for (o, slot) in part.iter_mut().enumerate() {
+                        *slot = self
+                            .plan
+                            .sbd_spectra(reference, &self.spectra[t * chunk + o], &mut scratch)
+                            .0;
+                    }
+                });
+            }
+        });
+    }
+
+    /// Full pairwise SBD matrix (row-major `n × n`, symmetric, zero
+    /// diagonal) over the cached spectra: each of the `n(n−1)/2` pairs
+    /// costs one batched kernel instead of a fresh pair of FFTs.
+    ///
+    /// Rows are round-robin striped over workers (early rows hold more
+    /// pairs); the lower triangle is mirrored on the calling thread, so
+    /// the matrix is bit-identical for every thread count. Charges `ctrl`
+    /// one `m` unit per pair, matching the [`tsdist::Distance::cost_hint`]
+    /// of the pairwise SBD it replaces.
+    ///
+    /// # Errors
+    ///
+    /// [`tserror::TsError::Stopped`] when the control trips, with
+    /// `iterations` = pairs completed (empty labels: a partial matrix has
+    /// no labeling).
+    pub fn try_matrix_with_control(&self, ctrl: &RunControl) -> TsResult<Vec<f64>> {
+        let n = self.series.len();
+        let pair_cost = self.plan.series_len() as u64;
+        let mut data = vec![0.0f64; n * n];
+        let workers = worker_count(self.threads, n);
+        let mut done = 0usize;
+        let mut tripped: Vec<Option<StopReason>> = Vec::with_capacity(workers.max(1));
+        if workers <= 1 {
+            let mut scratch = SbdScratch::default();
+            for i in 0..n {
+                for j in i + 1..n {
+                    if let Err(reason) = ctrl.charge(pair_cost) {
+                        return Err(RunControl::stop_error(Vec::new(), done, reason));
+                    }
+                    data[i * n + j] = self
+                        .plan
+                        .sbd_spectra(&self.spectra[i], &self.spectra[j], &mut scratch)
+                        .0;
+                    done += 1;
+                }
+            }
+        } else {
+            let rows: Vec<&mut [f64]> = data.chunks_mut(n).collect();
+            let counted = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for stripe in stripes(rows, workers) {
+                    let counted = &counted;
+                    handles.push(scope.spawn(move || -> Option<StopReason> {
+                        let mut scratch = SbdScratch::default();
+                        for (i, row) in stripe {
+                            for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+                                if let Err(reason) = ctrl.charge(pair_cost) {
+                                    return Some(reason);
+                                }
+                                *slot = self
+                                    .plan
+                                    .sbd_spectra(&self.spectra[i], &self.spectra[j], &mut scratch)
+                                    .0;
+                                counted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                        None
+                    }));
+                }
+                for h in handles {
+                    tripped.push(h.join().expect("matrix worker panicked"));
+                }
+            });
+            done = counted.load(std::sync::atomic::Ordering::Relaxed);
+        }
+        if let Some(reason) = merge_reasons(&tripped) {
+            return Err(RunControl::stop_error(Vec::new(), done, reason));
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                data[j * n + i] = data[i * n + j];
+            }
+        }
+        Ok(data)
+    }
+
+    /// [`Self::try_matrix_with_control`] without execution control.
+    #[must_use]
+    pub fn matrix(&self) -> Vec<f64> {
+        self.try_matrix_with_control(&RunControl::unlimited())
+            .expect("unlimited control cannot trip")
+    }
+}
+
+/// Convenience wrapper for callers without a standing engine (the
+/// `tscluster` SBD-medoid ladder rung): builds the spectrum cache once
+/// and returns the pairwise SBD matrix as a row-major `n × n` buffer.
+///
+/// # Errors
+///
+/// Input-validation errors from [`SpectraEngine::new`] plus
+/// [`tserror::TsError::Stopped`] when `ctrl` trips.
+pub fn try_sbd_matrix_with_control(
+    series: &[Vec<f64>],
+    threads: usize,
+    ctrl: &RunControl,
+) -> TsResult<Vec<f64>> {
+    SpectraEngine::new(series, threads)?.try_matrix_with_control(ctrl)
+}
+
+/// Effective worker count for `items` independent slots.
+fn worker_count(threads: usize, items: usize) -> usize {
+    if threads <= 1 || items < MIN_PARALLEL_ITEMS {
+        1
+    } else {
+        threads.min(items)
+    }
+}
+
+/// First tripped reason in worker order, with cancellation dominating —
+/// the same merge rule as the `tscluster` parallel matrix build.
+fn merge_reasons(tripped: &[Option<StopReason>]) -> Option<StopReason> {
+    tripped
+        .iter()
+        .flatten()
+        .copied()
+        .fold(None, |acc, r| match (acc, r) {
+            (_, StopReason::Cancelled) => Some(StopReason::Cancelled),
+            (None, r) => Some(r),
+            (acc, _) => acc,
+        })
+}
+
+/// Distributes `(index, row)` pairs round-robin over `k` stripes.
+fn stripes<T>(rows: Vec<T>, k: usize) -> Vec<Vec<(usize, T)>> {
+    let mut out: Vec<Vec<(usize, T)>> = (0..k).map(|_| Vec::new()).collect();
+    for (i, r) in rows.into_iter().enumerate() {
+        out[i % k].push((i, r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{resolve_threads, SpectraEngine};
+    use crate::sbd::sbd;
+    use tsrun::RunControl;
+
+    fn toy_series(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|t| ((i * 7 + t) as f64 * 0.37).sin() + (i as f64) * 0.01)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matrix_matches_pairwise_sbd() {
+        let series = toy_series(12, 24);
+        let engine = SpectraEngine::new(&series, 1).expect("clean series");
+        let mat = engine.matrix();
+        for i in 0..12 {
+            for j in 0..12 {
+                let expect = if i == j {
+                    0.0
+                } else {
+                    sbd(&series[i], &series[j]).dist
+                };
+                assert!(
+                    (mat[i * 12 + j] - expect).abs() < 1e-12,
+                    "({i},{j}): {} vs {expect}",
+                    mat[i * 12 + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_across_thread_counts() {
+        let series = toy_series(40, 32);
+        let serial = SpectraEngine::new(&series, 1).unwrap().matrix();
+        for threads in [2, 4, 7] {
+            let par = SpectraEngine::new(&series, threads).unwrap().matrix();
+            let a: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    /// Snapshot of one assignment sweep: labels, distance bits, shifts,
+    /// and the changed count.
+    type AssignSnapshot = (Vec<usize>, Vec<u64>, Vec<isize>, usize);
+
+    #[test]
+    fn assignment_is_bit_identical_across_thread_counts() {
+        let series = toy_series(50, 32);
+        let centroids = vec![series[0].clone(), series[25].clone(), series[49].clone()];
+        let ctrl = RunControl::unlimited();
+        let mut reference: Option<AssignSnapshot> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let engine = SpectraEngine::new(&series, threads).unwrap();
+            let cents = engine.prepare_centroids(&centroids);
+            let mut labels = vec![0usize; 50];
+            let mut dists = vec![0.0f64; 50];
+            let mut shifts = vec![0isize; 50];
+            let changed = engine
+                .assign(&cents, &mut labels, &mut dists, &mut shifts, &ctrl)
+                .expect("unlimited control");
+            let bits: Vec<u64> = dists.iter().map(|v| v.to_bits()).collect();
+            match &reference {
+                None => reference = Some((labels, bits, shifts, changed)),
+                Some((l, d, s, c)) => {
+                    assert_eq!(&labels, l, "threads={threads}");
+                    assert_eq!(&bits, d, "threads={threads}");
+                    assert_eq!(&shifts, s, "threads={threads}");
+                    assert_eq!(&changed, c, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_matches_pairwise_nearest() {
+        let series = toy_series(20, 24);
+        let centroids = vec![series[3].clone(), series[17].clone()];
+        let engine = SpectraEngine::new(&series, 1).unwrap();
+        let cents = engine.prepare_centroids(&centroids);
+        let mut labels = vec![0usize; 20];
+        let mut dists = vec![0.0f64; 20];
+        let mut shifts = vec![0isize; 20];
+        engine
+            .assign(
+                &cents,
+                &mut labels,
+                &mut dists,
+                &mut shifts,
+                &RunControl::unlimited(),
+            )
+            .unwrap();
+        for i in 0..20 {
+            let d0 = sbd(&centroids[0], &series[i]);
+            let d1 = sbd(&centroids[1], &series[i]);
+            let (expect_l, expect_d, expect_s) = if d1.dist < d0.dist {
+                (1, d1.dist, d1.shift)
+            } else {
+                (0, d0.dist, d0.shift)
+            };
+            assert_eq!(labels[i], expect_l, "series {i}");
+            assert!((dists[i] - expect_d).abs() < 1e-12, "series {i}");
+            assert_eq!(shifts[i], expect_s, "series {i}");
+        }
+    }
+
+    #[test]
+    fn matrix_build_respects_cost_cap() {
+        use tsrun::Budget;
+        let series = toy_series(20, 16);
+        let engine = SpectraEngine::new(&series, 1).unwrap();
+        // Enough for a handful of pairs only.
+        let ctrl = RunControl::from_parts(Some(Budget::unlimited().with_cost_cap(5 * 16)), None);
+        let err = engine
+            .try_matrix_with_control(&ctrl)
+            .expect_err("cap must trip");
+        assert!(matches!(err, tserror::TsError::Stopped { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn engine_validates_input() {
+        use tserror::TsError;
+        assert!(matches!(
+            SpectraEngine::new(&[], 1),
+            Err(TsError::EmptyInput)
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            SpectraEngine::new(&ragged, 1),
+            Err(TsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_threads_honours_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        // 0 = auto: positive, whatever the host reports.
+        assert!(resolve_threads(0) >= 1);
+    }
+}

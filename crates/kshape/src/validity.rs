@@ -15,7 +15,7 @@ use tseval::silhouette::silhouette_score;
 
 use crate::algorithm::{KShape, KShapeConfig, KShapeResult};
 use crate::multi::try_fit_best;
-use crate::sbd::SbdPlan;
+use crate::spectra::{resolve_threads, SpectraEngine};
 
 /// Evaluation of one candidate cluster count.
 #[derive(Debug, Clone)]
@@ -67,19 +67,10 @@ pub fn try_sweep_k(
         return Err(TsError::EmptyInput);
     }
 
-    // Pairwise SBD matrix, computed once: prepare each series' spectrum,
-    // then fill the upper triangle.
+    // Pairwise SBD matrix, computed once over the spectrum cache: one
+    // forward rFFT per series, one batched kernel per pair.
     let n = series.len();
-    let plan = SbdPlan::new(m);
-    let prepared: Vec<_> = series.iter().map(|s| plan.prepare(s)).collect();
-    let mut dmat = vec![0.0; n * n];
-    for i in 0..n {
-        for j in i + 1..n {
-            let d = plan.sbd_prepared(&prepared[i], &series[j]).dist;
-            dmat[i * n + j] = d;
-            dmat[j * n + i] = d;
-        }
-    }
+    let dmat = SpectraEngine::from_validated(series, m, resolve_threads(0)).matrix();
 
     k_range
         .map(|k| {

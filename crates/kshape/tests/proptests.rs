@@ -2,7 +2,9 @@
 //! harness).
 
 use kshape::extraction::{shape_extraction, EigenMethod};
-use kshape::sbd::{sbd, sbd_with, CorrMethod, SbdPlan};
+use kshape::ncc::{ncc, ncc_max, ncc_max_prepared, ncc_prepared, NccVariant};
+use kshape::sbd::{sbd, sbd_with, CorrMethod, SbdPlan, SbdScratch};
+use kshape::sbd_unequal::sbd_unequal;
 use kshape::{KShape, KShapeConfig, KShapeOptions};
 use tscheck::Gen;
 use tsdata::normalize::z_normalize;
@@ -123,5 +125,54 @@ tscheck::props! {
             assert!(r.labels.contains(&j), "cluster {j} empty");
         }
         assert_eq!(r.centroids.len(), k);
+    }
+
+    #[cases(48)]
+    fn batched_ncc_matches_pairwise(g) {
+        // Every variant of the cached-spectra NCC agrees with the direct
+        // pairwise path to 1e-9: the batched sweep may never change what
+        // the distance measures.
+        let (x, y) = pair(g);
+        let plan = SbdPlan::new(x.len());
+        let (px, py) = (plan.prepare(&x), plan.prepare(&y));
+        let mut scratch = SbdScratch::default();
+        for variant in [NccVariant::Coefficient, NccVariant::Biased, NccVariant::Unbiased] {
+            let batched = ncc_prepared(&plan, &px, &py, variant, &mut scratch);
+            let pairwise = ncc(&x, &y, variant);
+            assert_eq!(batched.len(), pairwise.len());
+            let scale: f64 = pairwise.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            for (i, (a, b)) in batched.iter().zip(pairwise.iter()).enumerate() {
+                assert!((a - b).abs() / scale < 1e-9, "{variant:?} lag {i}: {a} vs {b}");
+            }
+            let (bv, bl) = ncc_max_prepared(&plan, &px, &py, variant, &mut scratch);
+            let (pv, pl) = ncc_max(&x, &y, variant);
+            assert!((bv - pv).abs() < 1e-9);
+            assert_eq!(bl, pl);
+        }
+    }
+
+    #[cases(48)]
+    fn spectra_kernel_matches_pairwise_sbd(g) {
+        // The allocation-free batched kernel (both spectra cached) is
+        // bit-compatible with the pairwise path on distance and shift.
+        let (x, y) = pair(g);
+        let plan = SbdPlan::new(x.len());
+        let (px, py) = (plan.prepare(&x), plan.prepare(&y));
+        let mut scratch = SbdScratch::default();
+        let (dist, shift) = plan.sbd_spectra(&px, &py, &mut scratch);
+        let direct = sbd(&x, &y);
+        assert_eq!(dist.to_bits(), direct.dist.to_bits());
+        assert_eq!(shift, direct.shift);
+    }
+
+    #[cases(32)]
+    fn unequal_plan_path_is_symmetric_and_bounded(g) {
+        let x = g.vec_f64(2..40, -100.0..100.0);
+        let y = g.vec_f64(2..40, -100.0..100.0);
+        let d = sbd_unequal(&x, &y);
+        assert!((-1e-9..=2.0 + 1e-9).contains(&d.dist));
+        assert_eq!(d.aligned.len(), x.len());
+        let d2 = sbd_unequal(&y, &x);
+        assert!((d.dist - d2.dist).abs() < 1e-9);
     }
 }

@@ -27,7 +27,6 @@
 //!   descent, and every abandoned rung is recorded in
 //!   [`LadderOutcome::descents`] for observability.
 
-use kshape::sbd::Sbd;
 use kshape::{KShape, KShapeConfig};
 use tsdist::EuclideanDistance;
 use tserror::{TsError, TsResult};
@@ -214,7 +213,16 @@ fn run_rung(
             )
         }
         LadderRung::SbdMedoid => {
-            let matrix = DissimilarityMatrix::try_compute_with_control(series, &Sbd::new(), ctrl)?;
+            // Batched frequency-domain matrix build: every series is
+            // FFT'd once into the spectrum cache and pairs are swept over
+            // cached spectra, instead of re-transforming both sides of
+            // every pair through the generic `Distance` path.
+            let data = kshape::spectra::try_sbd_matrix_with_control(
+                series,
+                kshape::spectra::resolve_threads(0),
+                ctrl,
+            )?;
+            let matrix = DissimilarityMatrix::from_full(series.len(), data);
             accept_not_converged(
                 try_pam_with_control(&matrix, config.k, config.max_iter, ctrl)
                     .map(|r| (r.labels, true)),

@@ -19,9 +19,9 @@
 
 use crate::bluestein::BluesteinFft;
 use crate::complex::Complex;
-use crate::fft::Radix2Fft;
 use crate::next_pow2;
 use crate::real::pad_to_complex;
+use crate::real_plan::RealFftPlan;
 
 /// Direct O(m²) cross-correlation (Equations 6 and 7).
 ///
@@ -71,17 +71,14 @@ pub fn cross_correlate_fft(x: &[f64], y: &[f64]) -> Vec<f64> {
     if m == 0 {
         return Vec::new();
     }
-    let n = next_pow2(2 * m - 1);
-    let plan = Radix2Fft::new(n);
-    let mut fx = pad_to_complex(x, n);
-    let mut fy = pad_to_complex(y, n);
-    plan.forward(&mut fx);
-    plan.forward(&mut fy);
-    for (a, b) in fx.iter_mut().zip(fy.iter()) {
-        *a *= b.conj();
+    if m == 1 {
+        return vec![x[0] * y[0]];
     }
-    plan.inverse(&mut fx);
-    unwrap_circular(&fx, m, n)
+    let n = next_pow2(2 * m - 1);
+    let plan = RealFftPlan::new(n);
+    let (mut c, mut scratch) = (vec![0.0; n], Vec::new());
+    plan.correlate_spectra_into(&plan.rfft(x), &plan.rfft(y), &mut c, &mut scratch);
+    unwrap_circular_real(&c, m, n)
 }
 
 /// FFT-based cross-correlation at exactly length `2m − 1` using the
@@ -119,6 +116,15 @@ fn unwrap_circular(c: &[Complex], m: usize, n: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(2 * m - 1);
     out.extend((1..m).rev().map(|k| c[n - k].re));
     out.extend(c[..m].iter().map(|z| z.re));
+    out
+}
+
+/// [`unwrap_circular`] for an already-real circular correlation buffer, as
+/// produced by the half-spectrum path.
+fn unwrap_circular_real(c: &[f64], m: usize, n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(2 * m - 1);
+    out.extend((1..m).rev().map(|k| c[n - k]));
+    out.extend(&c[..m]);
     out
 }
 

@@ -26,8 +26,10 @@ pub struct Radix2Fft {
     n: usize,
     /// Forward twiddles: `w[k] = e^{-2πik/n}` for `k in 0..n/2`.
     twiddles: Vec<Complex>,
-    /// Bit-reversal permutation for the input ordering.
-    rev: Vec<u32>,
+    /// Index pairs `(i, j)` with `i < j = bitrev(i)`: the swaps that
+    /// realize the bit-reversal permutation, precomputed so the per-call
+    /// pass is branch-free.
+    swaps: Vec<(u32, u32)>,
 }
 
 impl Radix2Fft {
@@ -49,13 +51,16 @@ impl Radix2Fft {
             twiddles.push(Complex::cis(step * k as f64));
         }
         let bits = n.trailing_zeros();
-        let mut rev = vec![0u32; n];
+        let mut swaps = Vec::new();
         if bits > 0 {
-            for (i, r) in rev.iter_mut().enumerate() {
-                *r = (i as u32).reverse_bits() >> (32 - bits);
+            for i in 0..n as u32 {
+                let j = i.reverse_bits() >> (32 - bits);
+                if i < j {
+                    swaps.push((i, j));
+                }
             }
         }
-        Radix2Fft { n, twiddles, rev }
+        Radix2Fft { n, twiddles, swaps }
     }
 
     /// The transform size this plan was built for.
@@ -124,27 +129,37 @@ impl Radix2Fft {
     }
 
     fn permute(&self, data: &mut [Complex]) {
-        for i in 0..self.n {
-            let j = self.rev[i] as usize;
-            if i < j {
-                data.swap(i, j);
-            }
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
         }
     }
 
     fn butterflies(&self, data: &mut [Complex]) {
         let n = self.n;
-        let mut len = 2;
+        // First stage: every twiddle is unity, so it reduces to a plain
+        // add/sub sweep over adjacent pairs.
+        for pair in data.chunks_exact_mut(2) {
+            let (a, b) = (pair[0], pair[1]);
+            pair[0] = a + b;
+            pair[1] = a - b;
+        }
+        let mut len = 4;
         while len <= n {
             let half = len / 2;
             let stride = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
+            for block in data.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                // k = 0 carries the unity twiddle; skip the multiply. The
+                // rest zips slices so the loop carries no bounds checks.
+                let (a, b) = (lo[0], hi[0]);
+                lo[0] = a + b;
+                hi[0] = a - b;
+                for k in 1..half {
                     let w = self.twiddles[k * stride];
-                    let a = data[start + k];
-                    let b = data[start + k + half] * w;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
+                    let a = lo[k];
+                    let b = hi[k] * w;
+                    lo[k] = a + b;
+                    hi[k] = a - b;
                 }
             }
             len <<= 1;

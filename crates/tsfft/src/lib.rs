@@ -10,6 +10,8 @@
 //! * [`BluesteinFft`] — an arbitrary-size FFT via the chirp-z transform,
 //!   used by the `SBD-NoPow2` ablation of Table 2,
 //! * [`real`] — a real-input FFT that halves the complex transform size,
+//! * [`RealFftPlan`] — a *planned* real-input FFT over packed half-spectra,
+//!   the per-pair kernel behind the batched SBD sweep in `kshape`,
 //! * [`correlate`] — full cross-correlation sequences (Equation 6 of the
 //!   paper) computed either naively in O(m²) or via the convolution theorem
 //!   in O(m log m) (Equation 12),
@@ -39,11 +41,13 @@ pub mod correlate;
 pub mod dft;
 pub mod fft;
 pub mod real;
+pub mod real_plan;
 pub mod unequal;
 
 pub use bluestein::BluesteinFft;
 pub use complex::Complex;
 pub use fft::Radix2Fft;
+pub use real_plan::RealFftPlan;
 
 /// Returns the smallest power of two that is greater than or equal to `n`.
 ///

@@ -1,0 +1,405 @@
+//! Planned real-input FFT with packed half-spectra.
+//!
+//! The correlation kernels only ever transform *real* sequences, whose
+//! spectra carry the conjugate symmetry `X[n−k] = conj(X[k])`. Storing the
+//! full `n`-point complex spectrum is therefore redundant: the `n/2 + 1`
+//! leading bins determine the rest. [`RealFftPlan`] exploits this twice:
+//!
+//! * the forward transform packs the even/odd samples of a real signal into
+//!   a complex buffer of length `n/2` and runs a **half-size** [`Radix2Fft`],
+//!   roughly halving the transform cost relative to a complex FFT of the
+//!   padded signal;
+//! * the half-spectrum representation halves the memory held by spectrum
+//!   caches (one cached spectrum per series for a whole k-Shape fit).
+//!
+//! Cross-correlation stays closed over half-spectra: the product
+//! `X·conj(Y)` of two conjugate-symmetric spectra is itself conjugate
+//! symmetric, so the correlation sequence comes back through a single
+//! half-size inverse transform ([`RealFftPlan::correlate_spectra_into`]).
+//!
+//! All methods take an explicit scratch buffer so a shared plan can be used
+//! from many threads without interior mutability or per-call allocation.
+
+use crate::complex::Complex;
+use crate::fft::Radix2Fft;
+
+/// A reusable plan for real-input FFTs of a fixed power-of-two size `n ≥ 2`.
+///
+/// The spectrum representation is the *packed half-spectrum*: the
+/// `n/2 + 1` complex bins `X[0] ..= X[n/2]` of the full `n`-point DFT.
+/// `X[0]` and `X[n/2]` are purely real for real input.
+///
+/// # Example
+///
+/// ```
+/// use tsfft::RealFftPlan;
+///
+/// let plan = RealFftPlan::new(8);
+/// let x = [1.0, -2.0, 3.0, 0.5, -1.5, 2.0, 0.0, 4.0];
+/// let back = plan.irfft(&plan.rfft(&x));
+/// for (a, b) in x.iter().zip(back.iter()) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFftPlan {
+    n: usize,
+    /// Complex plan of half size; does the actual O(n log n) work.
+    half: Radix2Fft,
+    /// Unpack twiddles `w[k] = e^{-2πik/n}` for `k in 0..n/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl RealFftPlan {
+    /// Creates a plan for real transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n` is not a power of two.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "real FFT size must be a power of two >= 2, got {n}"
+        );
+        let h = n / 2;
+        let step = -2.0 * std::f64::consts::PI / n as f64;
+        let twiddles = (0..h).map(|k| Complex::cis(step * k as f64)).collect();
+        RealFftPlan {
+            n,
+            half: Radix2Fft::new(h),
+            twiddles,
+        }
+    }
+
+    /// The real transform size `n` this plan was built for.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true when the plan size is zero (never, by construction).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of bins in the packed half-spectrum: `n/2 + 1`.
+    #[inline]
+    #[must_use]
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward real FFT of `signal` (zero-padded on the right to `n`) into
+    /// the packed half-spectrum `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() > n` or `out.len() != n/2 + 1`.
+    pub fn rfft_into(&self, signal: &[f64], out: &mut [Complex], scratch: &mut Vec<Complex>) {
+        let h = self.n / 2;
+        assert!(
+            signal.len() <= self.n,
+            "signal longer than the plan size: {} > {}",
+            signal.len(),
+            self.n
+        );
+        assert_eq!(out.len(), h + 1, "spectrum buffer must hold n/2 + 1 bins");
+
+        // Pack even samples into the real lane, odd samples into the
+        // imaginary lane of a half-length complex signal; the zero padding
+        // beyond the signal becomes trailing zero bins.
+        scratch.clear();
+        scratch.extend(signal.chunks_exact(2).map(|p| Complex::new(p[0], p[1])));
+        if signal.len() % 2 == 1 {
+            scratch.push(Complex::new(signal[signal.len() - 1], 0.0));
+        }
+        scratch.resize(h, Complex::ZERO);
+        self.half.forward(scratch);
+
+        // Split the packed spectrum into even/odd subsequence spectra and
+        // recombine with the decimation butterfly.
+        let z0 = scratch[0];
+        out[0] = Complex::new(z0.re + z0.im, 0.0);
+        out[h] = Complex::new(z0.re - z0.im, 0.0);
+        for k in 1..h {
+            let a = scratch[k];
+            let b = scratch[h - k].conj();
+            let even = (a + b).scale(0.5);
+            let odd = (a - b) * Complex::new(0.0, -0.5);
+            out[k] = even + self.twiddles[k] * odd;
+        }
+    }
+
+    /// Forward real FFT returning a freshly allocated packed half-spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() > n`.
+    #[must_use]
+    pub fn rfft(&self, signal: &[f64]) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; self.spectrum_len()];
+        let mut scratch = Vec::with_capacity(self.n / 2);
+        self.rfft_into(signal, &mut out, &mut scratch);
+        out
+    }
+
+    /// Inverse real FFT: recovers the length-`n` real signal from a packed
+    /// half-spectrum (including the `1/n` normalization).
+    ///
+    /// The imaginary parts of `spectrum[0]` and `spectrum[n/2]` are ignored
+    /// (they are zero for any spectrum of a real signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != n/2 + 1` or `out.len() != n`.
+    pub fn irfft_into(&self, spectrum: &[Complex], out: &mut [f64], scratch: &mut Vec<Complex>) {
+        let h = self.n / 2;
+        assert_eq!(
+            spectrum.len(),
+            h + 1,
+            "spectrum buffer must hold n/2 + 1 bins"
+        );
+        assert_eq!(out.len(), self.n, "output buffer must hold n samples");
+
+        // Invert the unpack butterfly: rebuild the half-size spectrum
+        // z[k] = E[k] + i·O[k] from X[k] = E[k] + w^k·O[k] and the
+        // conjugate-symmetry identity X[k + n/2] = conj(X[n/2 − k]).
+        //
+        // The half-size inverse transform is inlined through the identity
+        // `ifft(z) = conj(fft(conj(z))) / h`: the input conjugation is
+        // folded into this rebuild (the imaginary lane is written negated)
+        // and the output conjugation and `1/h` scale are folded into the
+        // interleaved copy-out, saving two extra passes over the buffer.
+        scratch.clear();
+        scratch.push(repack_edges(spectrum[0], spectrum[h]));
+        for k in 1..h {
+            scratch.push(repack_bin(spectrum[k], spectrum[h - k], self.twiddles[k]));
+        }
+        self.finish_half_inverse(scratch, out);
+    }
+
+    /// Shared tail of the inverse paths: half-size transform of the
+    /// conjugated rebuilt spectrum, then the conjugate-and-scale copy-out.
+    fn finish_half_inverse(&self, scratch: &mut [Complex], out: &mut [f64]) {
+        self.half.forward(scratch);
+        let scale = 1.0 / (self.n / 2) as f64;
+        for (pair, z) in out.chunks_exact_mut(2).zip(scratch.iter()) {
+            pair[0] = z.re * scale;
+            pair[1] = -z.im * scale;
+        }
+    }
+
+    /// Inverse real FFT returning a freshly allocated signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != n/2 + 1`.
+    #[must_use]
+    pub fn irfft(&self, spectrum: &[Complex]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        let mut scratch = Vec::with_capacity(self.n / 2);
+        self.irfft_into(spectrum, &mut out, &mut scratch);
+        out
+    }
+
+    /// Circular cross-correlation from two packed half-spectra:
+    /// `out[t] = Σ_l x[(l + t) mod n] · y[l]`, i.e. the inverse transform of
+    /// `X·conj(Y)`.
+    ///
+    /// The conjugate product of two conjugate-symmetric spectra is itself
+    /// conjugate symmetric, so a single half-size inverse transform
+    /// suffices — this is the per-pair kernel of the batched SBD sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either spectrum is not `n/2 + 1` bins or `out.len() != n`.
+    pub fn correlate_spectra_into(
+        &self,
+        x: &[Complex],
+        y: &[Complex],
+        out: &mut [f64],
+        scratch: &mut Vec<Complex>,
+    ) {
+        let h = self.n / 2;
+        assert_eq!(x.len(), h + 1, "x spectrum must hold n/2 + 1 bins");
+        assert_eq!(y.len(), h + 1, "y spectrum must hold n/2 + 1 bins");
+        assert_eq!(out.len(), self.n, "output buffer must hold n samples");
+
+        // Fused product + inverse rebuild: each product bin
+        // `P[k] = X[k]·conj(Y[k])` is consumed by exactly two rebuilt bins
+        // (`k` and `n/2 − k`), so walking the symmetric pairs computes every
+        // product once without materializing the product spectrum.
+        scratch.clear();
+        scratch.resize(h, Complex::ZERO);
+        let s = &mut scratch[..h];
+        s[0] = repack_edges(x[0] * y[0].conj(), x[h] * y[h].conj());
+        if h >= 2 {
+            // Walk the symmetric bin pairs (k, n/2 − k): each product bin
+            // is computed exactly once and feeds both rebuilt bins.
+            let mid = h / 2;
+            for k in 1..mid {
+                let pk = x[k] * y[k].conj();
+                let pmk = x[h - k] * y[h - k].conj();
+                s[k] = repack_bin(pk, pmk, self.twiddles[k]);
+                s[h - k] = repack_bin(pmk, pk, self.twiddles[h - k]);
+            }
+            let pm = x[mid] * y[mid].conj();
+            s[mid] = repack_bin(pm, pm, self.twiddles[mid]);
+        }
+        self.finish_half_inverse(s, out);
+    }
+}
+
+/// Rebuilds (conjugated) bin `k` of the half-size spectrum from bins
+/// `a = X[k]` and `b_src = X[n/2 − k]` of the packed half-spectrum, where
+/// `w` is the unpack twiddle `e^{-2πik/n}`.
+#[inline]
+fn repack_bin(a: Complex, b_src: Complex, w: Complex) -> Complex {
+    let b = b_src.conj();
+    let even = (a + b).scale(0.5);
+    let odd = (a - b).scale(0.5) * w.conj();
+    // conj(z[k]) for z[k] = E[k] + i·O[k].
+    Complex::new(even.re - odd.im, -(even.im + odd.re))
+}
+
+/// Rebuilds (conjugated) bin 0 of the half-size spectrum from the two
+/// purely structural edge bins `X[0]` and `X[n/2]`.
+#[inline]
+fn repack_edges(sp0: Complex, sph: Complex) -> Complex {
+    Complex::new(
+        0.5 * (sp0.re + sph.re) - 0.5 * (sp0.im + sph.im),
+        -(0.5 * (sp0.re - sph.re) + 0.5 * (sp0.im - sph.im)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RealFftPlan;
+    use crate::complex::Complex;
+    use crate::fft::Radix2Fft;
+    use crate::real::pad_to_complex;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = RealFftPlan::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_size_one() {
+        let _ = RealFftPlan::new(1);
+    }
+
+    #[test]
+    fn matches_full_complex_fft_on_leading_bins() {
+        let mut next = lcg(11);
+        for &n in &[2usize, 4, 8, 64, 256, 1024] {
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let plan = RealFftPlan::new(n);
+            let packed = plan.rfft(&x);
+            assert_eq!(packed.len(), n / 2 + 1);
+            let full = Radix2Fft::new(n).forward_vec(pad_to_complex(&x, n));
+            for (k, (a, b)) in packed.iter().zip(full.iter()).enumerate() {
+                assert!(
+                    (a.re - b.re).abs() < 1e-9 * n as f64 && (a.im - b.im).abs() < 1e-9 * n as f64,
+                    "n={n} bin {k}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_bins_are_real() {
+        let mut next = lcg(5);
+        let x: Vec<f64> = (0..64).map(|_| next()).collect();
+        let spec = RealFftPlan::new(64).rfft(&x);
+        assert_eq!(spec[0].im, 0.0);
+        assert_eq!(spec[32].im, 0.0);
+    }
+
+    #[test]
+    fn roundtrip_across_sizes() {
+        let mut next = lcg(23);
+        for &n in &[2usize, 4, 16, 128, 512] {
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let plan = RealFftPlan::new(n);
+            let back = plan.irfft(&plan.rfft(&x));
+            for (i, (a, b)) in x.iter().zip(back.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-10, "n={n} sample {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pads_short_signals() {
+        let plan = RealFftPlan::new(16);
+        let spec_short = plan.rfft(&[1.0, -2.0, 3.0]);
+        let spec_padded = plan.rfft(&[
+            1.0, -2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+        ]);
+        for (a, b) in spec_short.iter().zip(spec_padded.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn correlate_matches_complex_path() {
+        let mut next = lcg(31);
+        for &n in &[4usize, 16, 256] {
+            let x: Vec<f64> = (0..n).map(|_| next()).collect();
+            let y: Vec<f64> = (0..n).map(|_| next()).collect();
+            let plan = RealFftPlan::new(n);
+
+            let (mut out, mut scratch) = (vec![0.0; n], Vec::new());
+            plan.correlate_spectra_into(&plan.rfft(&x), &plan.rfft(&y), &mut out, &mut scratch);
+
+            let full = Radix2Fft::new(n);
+            let fx = full.forward_vec(pad_to_complex(&x, n));
+            let fy = full.forward_vec(pad_to_complex(&y, n));
+            let prod: Vec<Complex> = fx
+                .iter()
+                .zip(fy.iter())
+                .map(|(a, b)| *a * b.conj())
+                .collect();
+            let c = full.inverse_vec(prod);
+            for (t, (a, b)) in out.iter().zip(c.iter()).enumerate() {
+                assert!((a - b.re).abs() < 1e-9, "n={n} t={t}: {a} vs {}", b.re);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable_and_deterministic() {
+        let plan = RealFftPlan::new(32);
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin()).collect();
+        let a = plan.rfft(&x);
+        let b = plan.rfft(&x);
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits());
+            assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "signal longer")]
+    fn rejects_oversized_signal() {
+        let plan = RealFftPlan::new(4);
+        let _ = plan.rfft(&[0.0; 5]);
+    }
+}

@@ -9,10 +9,8 @@
 //! R_k(x, y) = Σ_l x[l + k] · y[l]   over all l with both indices valid
 //! ```
 
-use crate::complex::Complex;
-use crate::fft::Radix2Fft;
 use crate::next_pow2;
-use crate::real::pad_to_complex;
+use crate::real_plan::RealFftPlan;
 
 /// Direct O(nx·ny) cross-correlation of unequal-length sequences.
 ///
@@ -46,24 +44,21 @@ pub fn cross_correlate_unequal_fft(x: &[f64], y: &[f64]) -> Vec<f64> {
     if nx == 0 || ny == 0 {
         return Vec::new();
     }
-    let n = next_pow2(nx + ny - 1);
-    let plan = Radix2Fft::new(n);
-    let mut fx = pad_to_complex(x, n);
-    let mut fy = pad_to_complex(y, n);
-    plan.forward(&mut fx);
-    plan.forward(&mut fy);
-    for (a, b) in fx.iter_mut().zip(fy.iter()) {
-        *a *= b.conj();
+    if nx == 1 && ny == 1 {
+        return vec![x[0] * y[0]];
     }
-    plan.inverse(&mut fx);
-    unwrap(&fx, nx, ny, n)
+    let n = next_pow2(nx + ny - 1);
+    let plan = RealFftPlan::new(n);
+    let (mut c, mut scratch) = (vec![0.0; n], Vec::new());
+    plan.correlate_spectra_into(&plan.rfft(x), &plan.rfft(y), &mut c, &mut scratch);
+    unwrap(&c, nx, ny, n)
 }
 
 /// Reorders the circular buffer into lag order `−(ny−1)..=(nx−1)`.
-fn unwrap(c: &[Complex], nx: usize, ny: usize, n: usize) -> Vec<f64> {
+fn unwrap(c: &[f64], nx: usize, ny: usize, n: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(nx + ny - 1);
-    out.extend((1..ny).rev().map(|k| c[n - k].re));
-    out.extend(c[..nx].iter().map(|z| z.re));
+    out.extend((1..ny).rev().map(|k| c[n - k]));
+    out.extend(&c[..nx]);
     out
 }
 

@@ -5,6 +5,7 @@ use tsfft::complex::Complex;
 use tsfft::correlate::{cross_correlate_fft, cross_correlate_naive};
 use tsfft::fft::Radix2Fft;
 use tsfft::next_pow2;
+use tsfft::real_plan::RealFftPlan;
 
 fn finite_signal(g: &mut Gen, max_len: usize) -> Vec<f64> {
     g.vec_f64(1..=max_len, -100.0..100.0)
@@ -72,6 +73,75 @@ tscheck::props! {
         let mid = x.len() - 1;
         for &c in &cc {
             assert!(c <= cc[mid] + 1e-9 * (1.0 + cc[mid].abs()));
+        }
+    }
+
+    #[cases(64)]
+    fn rfft_roundtrip_recovers_signal_power_of_two(g) {
+        // Exact power-of-two lengths: the plan size equals the signal
+        // length, no padding involved.
+        let exp = g.usize_in(1..8);
+        let n = 1usize << exp;
+        let sig = g.vec_f64(n..=n, -100.0..100.0);
+        let plan = RealFftPlan::new(n);
+        let back = plan.irfft(&plan.rfft(&sig));
+        assert_eq!(back.len(), n);
+        let scale: f64 = sig.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (i, (a, b)) in sig.iter().zip(back.iter()).enumerate() {
+            assert!((a - b).abs() / scale < 1e-10, "n={n} sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[cases(64)]
+    fn rfft_roundtrip_recovers_padded_arbitrary_length(g) {
+        // Arbitrary lengths zero-padded into the next power-of-two plan —
+        // the correlation pipeline's padding regime.
+        let sig = finite_signal(g, 100);
+        let n = next_pow2(sig.len()).max(2);
+        let plan = RealFftPlan::new(n);
+        let back = plan.irfft(&plan.rfft(&sig));
+        let scale: f64 = sig.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (i, b) in back.iter().enumerate() {
+            let a = sig.get(i).copied().unwrap_or(0.0);
+            assert!((a - b).abs() / scale < 1e-10, "n={n} sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[cases(64)]
+    fn rfft_agrees_with_complex_fft_on_half_spectrum(g) {
+        let sig = finite_signal(g, 100);
+        let n = next_pow2(sig.len()).max(2);
+        let packed = RealFftPlan::new(n).rfft(&sig);
+        assert_eq!(packed.len(), n / 2 + 1);
+        let mut buf: Vec<Complex> = sig.iter().copied().map(Complex::from_real).collect();
+        buf.resize(n, Complex::ZERO);
+        let full = Radix2Fft::new(n).forward_vec(buf);
+        let scale: f64 = full.iter().map(|z| z.re.abs().max(z.im.abs())).fold(1.0, f64::max);
+        for (k, (a, b)) in packed.iter().zip(full.iter()).enumerate() {
+            assert!(
+                (a.re - b.re).abs() / scale < 1e-10 && (a.im - b.im).abs() / scale < 1e-10,
+                "n={n} bin {k}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[cases(64)]
+    fn spectra_correlation_matches_naive(g) {
+        // The fused conjugate-multiply + half-size inverse kernel agrees
+        // with direct O(m^2) correlation for any same-length pair.
+        let (x, y) = same_len_pair(g, 48);
+        let n = next_pow2(2 * x.len() - 1).max(2);
+        let plan = RealFftPlan::new(n);
+        let (mut circ, mut scratch) = (vec![0.0; n], Vec::new());
+        plan.correlate_spectra_into(&plan.rfft(&x), &plan.rfft(&y), &mut circ, &mut scratch);
+        let slow = cross_correlate_naive(&x, &y);
+        let scale: f64 = slow.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        // Unwrap circular lags: negative lags live at the tail.
+        let m = x.len();
+        for (i, &expect) in slow.iter().enumerate() {
+            let lag = i as isize - (m as isize - 1);
+            let got = if lag < 0 { circ[n - lag.unsigned_abs()] } else { circ[lag as usize] };
+            assert!((got - expect).abs() / scale < 1e-9, "lag {lag}: {got} vs {expect}");
         }
     }
 }

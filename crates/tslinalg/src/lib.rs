@@ -12,7 +12,10 @@
 //! * [`jacobi::jacobi_eigen`] — a cyclic Jacobi solver used as an
 //!   independent cross-check,
 //! * [`power::power_iteration`] — fast dominant-eigenvector extraction for
-//!   positive semi-definite matrices (the hot path of shape extraction).
+//!   positive semi-definite matrices,
+//! * [`dominant::try_dominant_symmetric_eigen`] — validated Lanczos solver
+//!   for the single dominant eigenpair with a dense fallback (the hot path
+//!   of shape extraction).
 //!
 //! # Example
 //!
@@ -28,11 +31,13 @@
 
 #![warn(missing_docs)]
 
+pub mod dominant;
 pub mod eigen;
 pub mod jacobi;
 pub mod matrix;
 pub mod power;
 
+pub use dominant::{try_dominant_symmetric_eigen, DominantEigen};
 pub use eigen::{symmetric_eigen, try_symmetric_eigen, SymmetricEigen};
 pub use matrix::Matrix;
 pub use power::power_iteration;

@@ -63,6 +63,41 @@ fn kshape_fit_is_deterministic_for_fixed_seed() {
 }
 
 #[test]
+fn kshape_fit_is_thread_count_invariant() {
+    // The parallel sweep uses fixed chunking with an ordered reduction, so
+    // the worker count must never change a single bit of the output: the
+    // contract the DESIGN.md "Hot path" section documents and the CI
+    // thread matrix (KSHAPE_THREADS=1,4) enforces end to end.
+    let series = sine_dataset();
+    let base = KShapeConfig {
+        k: 3,
+        seed: 42,
+        max_iter: 50,
+        ..Default::default()
+    };
+    let single = KShape::fit_with(&series, &KShapeOptions::from(base).with_threads(1))
+        .expect("clean series");
+    for threads in [2usize, 4, 7] {
+        let opts = KShapeOptions::from(base).with_threads(threads);
+        let multi = KShape::fit_with(&series, &opts).expect("clean series");
+        assert_eq!(single.labels, multi.labels, "threads={threads}");
+        assert_eq!(single.iterations, multi.iterations, "threads={threads}");
+        let mut ha = 0xcbf2_9ce4_8422_2325;
+        let mut hb = 0xcbf2_9ce4_8422_2325;
+        for (ca, cb) in single.centroids.iter().zip(multi.centroids.iter()) {
+            ha = hash_f64s(ha, ca);
+            hb = hash_f64s(hb, cb);
+        }
+        assert_eq!(ha, hb, "centroid bits differ at threads={threads}");
+        assert_eq!(
+            single.inertia.to_bits(),
+            multi.inertia.to_bits(),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn kmeans_is_deterministic_for_fixed_seed() {
     let series = sine_dataset();
     let cfg = KMeansConfig {
