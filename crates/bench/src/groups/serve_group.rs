@@ -1,0 +1,154 @@
+//! The `serve` group — end-to-end latency, throughput, and shedding
+//! behaviour of the `tsserve` clustering server, committed to
+//! `BENCH_serve.json` and gated in CI.
+//!
+//! Unlike the micro groups this one measures whole HTTP round trips
+//! over loopback: the in-process server is booted once, a model is
+//! fitted, and the load generator drives it with concurrent clients.
+//! Latency records are built from per-request samples
+//! ([`tsbench::Record::from_latency_samples`]) so `p99_ns` is a true
+//! per-event percentile — the CI gate reads exactly that field.
+//!
+//! Scalars (unit in the name, per the tsbench convention):
+//!
+//! * `assign_throughput_rps` — completed assigns/s under 4 clients,
+//! * `overload_shed_rate` — fraction of a deliberate burst shed with
+//!   503 by the 1-worker overload server (must be > 0: proof the
+//!   bounded queue rejects instead of buffering),
+//! * `overload_error_rate` — non-shed failures during that burst
+//!   (gated near zero in CI).
+
+use std::time::Duration;
+
+use tsbench::{Group, Record};
+use tsserve::loadgen::{self, http_request, LoadSpec};
+use tsserve::{ServeConfig, Server};
+
+/// Serializes a two-cluster series payload.
+fn series_rows(n_per: usize, m: usize) -> String {
+    let mut rows = Vec::new();
+    for i in 0..n_per {
+        let phase = 0.2 * i as f64;
+        let sine: Vec<String> = (0..m)
+            .map(|t| format!("{:?}", (t as f64 * 0.3 + phase).sin()))
+            .collect();
+        rows.push(format!("[{}]", sine.join(",")));
+        let pulse: Vec<String> = (0..m)
+            .map(|t| {
+                let x = if (t + i) % 8 < 2 { 3.0 } else { -0.5 };
+                format!("{x:?}")
+            })
+            .collect();
+        rows.push(format!("[{}]", pulse.join(",")));
+    }
+    rows.join(",")
+}
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Runs the `serve` group.
+///
+/// # Panics
+///
+/// Panics when the server fails to bind or the warm-up fit fails —
+/// a broken server must fail the bench run loudly.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("serve");
+
+    let (n_per, m) = if quick { (6, 32) } else { (12, 64) };
+    let (clients, reqs) = if quick { (2, 15) } else { (4, 60) };
+
+    let server = Server::bind(ServeConfig::default()).expect("bind").spawn();
+    let addr = server.addr();
+
+    // Warm-up fit: the model every assign below runs against.
+    let fit_body = format!(
+        "{{\"series\":[{}],\"k\":2,\"seed\":7,\"deadline_ms\":20000}}",
+        series_rows(n_per, m)
+    );
+    let (status, body) = http_request(addr, "POST", "/v1/models/bench/fit", &fit_body, TIMEOUT)
+        .expect("fit round trip");
+    assert_eq!(status, 200, "warm-up fit failed: {body}");
+
+    // Assign latency + throughput: concurrent clients, small batches —
+    // the serving hot path (parse, z-normalize, cached-spectra SBD).
+    let assign_body = format!("{{\"series\":[{}]}}", series_rows(2, m));
+    let assign = loadgen::drive(&LoadSpec {
+        addr,
+        clients,
+        requests_per_client: reqs,
+        method: "POST".into(),
+        path: "/v1/models/bench/assign".into(),
+        body: assign_body,
+        timeout: TIMEOUT,
+    });
+    assert_eq!(assign.error_rate(), 0.0, "assign errors: {assign:?}");
+    g.push_record(Record::from_latency_samples(
+        &format!("assign_latency/4x{m}"),
+        assign.latencies_ns.clone(),
+    ));
+    g.push_record(Record::from_scalar(
+        "assign_throughput_rps",
+        assign.throughput_rps(),
+    ));
+
+    // Health-endpoint latency: the floor of the HTTP stack itself.
+    let health = loadgen::drive(&LoadSpec {
+        addr,
+        clients,
+        requests_per_client: reqs,
+        method: "GET".into(),
+        path: "/healthz".into(),
+        body: String::new(),
+        timeout: TIMEOUT,
+    });
+    g.push_record(Record::from_latency_samples(
+        "healthz_latency",
+        health.latencies_ns.clone(),
+    ));
+
+    // Fit latency: sequential, few samples — each is a real cluster.
+    let fit_samples: Vec<f64> = (0..if quick { 3 } else { 8 })
+        .map(|i| {
+            let t0 = std::time::Instant::now();
+            let path = format!("/v1/models/bench_fit_{i}/fit");
+            let (status, _) = http_request(addr, "POST", &path, &fit_body, TIMEOUT).unwrap();
+            assert_eq!(status, 200);
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    g.push_record(Record::from_latency_samples(
+        &format!("fit_latency/{}x{m}", 2 * n_per),
+        fit_samples,
+    ));
+    server.drain_and_join().expect("drain");
+
+    // Overload behaviour: a deliberately tiny server (1 worker, queue
+    // of 2) hit by a wide burst. The bounded queue must shed rather
+    // than buffer: shed_rate > 0, and everything not shed succeeds.
+    let small = Server::bind(ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind overload server")
+    .spawn();
+    let burst = loadgen::drive(&LoadSpec {
+        addr: small.addr(),
+        clients: if quick { 8 } else { 16 },
+        requests_per_client: if quick { 5 } else { 10 },
+        method: "GET".into(),
+        path: "/healthz".into(),
+        body: String::new(),
+        timeout: TIMEOUT,
+    });
+    g.push_record(Record::from_scalar("overload_shed_rate", burst.shed_rate()));
+    g.push_record(Record::from_scalar(
+        "overload_error_rate",
+        burst.error_rate(),
+    ));
+    small.drain_and_join().expect("drain overload server");
+
+    g
+}

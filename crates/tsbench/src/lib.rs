@@ -92,6 +92,10 @@ pub struct Record {
     pub median_ns: f64,
     /// 95th percentile over samples.
     pub p95_ns: f64,
+    /// 99th percentile over samples — the tail-latency gate for serving
+    /// benchmarks (meaningful only with enough samples; equals the max
+    /// for small sample counts).
+    pub p99_ns: f64,
 }
 
 impl Record {
@@ -107,8 +111,32 @@ impl Record {
             mean_ns: mean,
             median_ns: percentile(&samples, 50.0),
             p95_ns: percentile(&samples, 95.0),
+            p99_ns: percentile(&samples, 99.0),
             samples_ns: samples,
         }
+    }
+
+    /// Builds a record from externally measured per-event durations
+    /// (e.g. per-request latencies from a load generator), in
+    /// nanoseconds. Each sample is one event (`batch == 1`), so the
+    /// percentiles are true tail latencies over events rather than over
+    /// batch means.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples_ns` is empty or contains non-finite values.
+    #[must_use]
+    pub fn from_latency_samples(name: &str, samples_ns: Vec<f64>) -> Self {
+        Record::from_samples(name, 1, samples_ns)
+    }
+
+    /// Builds a single-sample record carrying a scalar metric (a
+    /// throughput, a rate) in the `*_ns` fields. The JSON schema stays
+    /// uniform; the metric's unit is part of its name (e.g.
+    /// `throughput_rps`).
+    #[must_use]
+    pub fn from_scalar(name: &str, value: f64) -> Self {
+        Record::from_samples(name, 1, vec![value])
     }
 }
 
@@ -186,6 +214,21 @@ impl Group {
         self.records.push(rec);
     }
 
+    /// Adds an externally built record (see
+    /// [`Record::from_latency_samples`]) and prints its table row, so
+    /// load-generator style benchmarks report through the same schema.
+    pub fn push_record(&mut self, rec: Record) {
+        println!(
+            "  {:<32} median {:>12}  p95 {:>12}  p99 {:>12}  ({} samples)",
+            rec.name,
+            fmt_ns(rec.median_ns),
+            fmt_ns(rec.p95_ns),
+            fmt_ns(rec.p99_ns),
+            rec.samples_ns.len(),
+        );
+        self.records.push(rec);
+    }
+
     /// The records collected so far.
     #[must_use]
     pub fn records(&self) -> &[Record] {
@@ -207,11 +250,12 @@ impl Group {
             let _ = write!(
                 out,
                 "    {{\"name\": {}, \"batch\": {}, \"median_ns\": {:.1}, \
-                 \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}",
+                 \"p95_ns\": {:.1}, \"p99_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}",
                 json_string(&r.name),
                 r.batch,
                 r.median_ns,
                 r.p95_ns,
+                r.p99_ns,
                 r.mean_ns,
                 r.min_ns
             );
@@ -343,7 +387,27 @@ mod tests {
         assert_eq!(r.min_ns, 1.0);
         assert!((r.mean_ns - 2.0).abs() < 1e-12);
         assert_eq!(r.median_ns, 2.0);
+        assert!(r.p99_ns >= r.p95_ns);
         assert_eq!(r.samples_ns, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn latency_records_report_event_percentiles() {
+        // 100 events: 99 fast, one slow outlier — p99 must see the tail.
+        let mut samples: Vec<f64> = vec![100.0; 99];
+        samples.push(10_000.0);
+        let r = Record::from_latency_samples("req", samples);
+        assert_eq!(r.batch, 1);
+        assert_eq!(r.median_ns, 100.0);
+        assert!(r.p99_ns > r.p95_ns, "p99 {} missed the tail", r.p99_ns);
+        let s = Record::from_scalar("throughput_rps", 1234.5);
+        assert_eq!(s.median_ns, 1234.5);
+        let mut g = Group::new("serve-unit").quick();
+        g.push_record(r);
+        g.push_record(s);
+        let j = g.to_json();
+        assert!(j.contains("\"p99_ns\""));
+        assert!(j.contains("\"throughput_rps\""));
     }
 
     #[test]

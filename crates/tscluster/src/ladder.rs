@@ -17,29 +17,41 @@
 //!
 //! * each rung is retried with [`tsrun::retry_with_reseed`] (derived
 //!   seeds, capped attempts) before the ladder descends;
-//! * [`TsError::NotConverged`] is *not* a failure — the labels are
-//!   usable, the outcome records `converged: false`;
-//! * [`TsError::Stopped`] and input errors ([`TsError::EmptyInput`],
-//!   [`TsError::LengthMismatch`], [`TsError::NonFinite`],
-//!   [`TsError::InvalidK`]) propagate immediately: a deadline or a
-//!   corrupt input will not improve on a lower rung;
-//! * only [`TsError::NumericalFailure`] (after retries) triggers a
-//!   descent, and every abandoned rung is recorded in
+//! * a rung that hits its iteration cap is *not* a failure — the labels
+//!   are usable, the outcome records `converged: false`;
+//! * input errors ([`TsError::EmptyInput`], [`TsError::LengthMismatch`],
+//!   [`TsError::NonFinite`], [`TsError::InvalidK`]) and cancellation
+//!   propagate immediately: neither improves on a lower rung;
+//! * [`TsError::NumericalFailure`] (after retries) always triggers a
+//!   descent; budget trips ([`TsError::Stopped`] on a deadline /
+//!   cost-cap / iteration-cap) additionally descend when
+//!   [`LadderConfig::descend_on_stop`] is set — the mode `tsserve` runs
+//!   under pressure, where a cheaper answer inside the deadline beats a
+//!   partial one. Every abandoned rung is recorded in
 //!   [`LadderOutcome::descents`] for observability.
+//!
+//! # Budget semantics
+//!
+//! The ladder takes one [`LadderOptions`] (the workspace options-object
+//! idiom). A wall-clock budget is a *whole-ladder* deadline: the ladder
+//! stamps the deadline when it starts and each rung is armed with the
+//! time still remaining (under [`LadderConfig::descend_on_stop`], a
+//! non-final rung gets [`LadderConfig::rung_wall_fraction`] of the
+//! remainder so a descent still has time to run). Iteration and cost
+//! caps apply *per rung attempt* — each attempt arms a fresh control, so
+//! a quota describes one fit, not the whole descent.
 
-use kshape::{KShape, KShapeConfig};
+use std::time::Instant;
+
+use kshape::{KShapeOptions, KShapeResult};
 use tsdist::EuclideanDistance;
-use tserror::{TsError, TsResult};
-use tsrun::{retry_with_reseed, RunControl};
+use tserror::{StopReason, TsError, TsResult};
+use tsrun::{retry_with_reseed, Budget, CancelToken, RunControl};
 
-// The deprecated `_with_control` entry points are imported deliberately:
-// see the note on `run_rung` below.
-#[allow(deprecated)]
-use crate::kmeans::try_kmeans_with_control;
-use crate::kmeans::KMeansConfig;
+use crate::kmeans::kmeans_with;
 use crate::matrix::DissimilarityMatrix;
-#[allow(deprecated)]
-use crate::pam::try_pam_with_control;
+use crate::options::{KMeansOptions, PamOptions};
+use crate::pam::pam_with;
 
 /// One rung of the degradation ladder, ordered from most to least
 /// sophisticated.
@@ -73,6 +85,18 @@ impl LadderRung {
             LadderRung::KAvg => "k-AVG+ED",
         }
     }
+
+    /// Parses a rung from its [`LadderRung::name`] (for serialized
+    /// models and request payloads).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<LadderRung> {
+        match name {
+            "k-Shape" => Some(LadderRung::KShape),
+            "SBD-medoid" => Some(LadderRung::SbdMedoid),
+            "k-AVG+ED" => Some(LadderRung::KAvg),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration for a ladder run.
@@ -88,6 +112,17 @@ pub struct LadderConfig {
     pub max_attempts_per_rung: u32,
     /// Rung to start from (lets callers skip straight to a fallback).
     pub start: LadderRung,
+    /// Also descend when a rung trips its budget (deadline, cost cap,
+    /// iteration cap) instead of propagating [`TsError::Stopped`].
+    /// Cancellation always propagates — the caller is gone.
+    pub descend_on_stop: bool,
+    /// Under [`LadderConfig::descend_on_stop`], the fraction of the
+    /// remaining wall budget a non-final rung may spend (the final rung
+    /// always gets the full remainder). `1.0` gives every rung the full
+    /// remainder, which means a deadline-tripped top rung leaves nothing
+    /// for the fallbacks; `tsserve` runs at `0.5` so half the deadline
+    /// survives each descent. Clamped to `(0, 1]`.
+    pub rung_wall_fraction: f64,
 }
 
 impl Default for LadderConfig {
@@ -98,7 +133,106 @@ impl Default for LadderConfig {
             seed: 0,
             max_attempts_per_rung: 3,
             start: LadderRung::KShape,
+            descend_on_stop: false,
+            rung_wall_fraction: 1.0,
         }
+    }
+}
+
+/// Options for [`cluster_with_ladder`]: the ladder configuration plus
+/// the three optional execution concerns (budget, cancellation,
+/// telemetry), following the workspace options-object idiom.
+#[derive(Clone, Default)]
+pub struct LadderOptions<'a> {
+    /// Ladder configuration (cluster count, rungs, retries, ...).
+    pub config: LadderConfig,
+    /// Optional whole-ladder execution budget; `None` means unlimited.
+    /// See the module docs for how the wall clock is shared across rungs.
+    pub budget: Option<Budget>,
+    /// Optional cooperative cancellation token (shared by every rung).
+    pub cancel: Option<CancelToken>,
+    /// Optional telemetry recorder; `None` keeps telemetry disarmed.
+    pub recorder: Option<&'a dyn tsobs::Recorder>,
+}
+
+impl std::fmt::Debug for LadderOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LadderOptions")
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel.is_some())
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl From<LadderConfig> for LadderOptions<'_> {
+    fn from(config: LadderConfig) -> Self {
+        Self {
+            config,
+            ..Default::default()
+        }
+    }
+}
+
+impl<'a> LadderOptions<'a> {
+    /// Default configuration with the given cluster count `k`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        LadderOptions::from(LadderConfig {
+            k,
+            ..LadderConfig::default()
+        })
+    }
+
+    /// Sets the base RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the per-rung iteration cap.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.config.max_iter = max_iter;
+        self
+    }
+
+    /// Sets the rung to start from.
+    #[must_use]
+    pub fn with_start(mut self, start: LadderRung) -> Self {
+        self.config.start = start;
+        self
+    }
+
+    /// Enables descending on budget trips (see
+    /// [`LadderConfig::descend_on_stop`]).
+    #[must_use]
+    pub fn with_descend_on_stop(mut self, descend: bool) -> Self {
+        self.config.descend_on_stop = descend;
+        self
+    }
+
+    /// Attaches a whole-ladder execution budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn tsobs::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 }
 
@@ -107,7 +241,8 @@ impl Default for LadderConfig {
 pub struct Descent {
     /// The rung that failed.
     pub rung: LadderRung,
-    /// Its final (post-retry) numerical failure.
+    /// Its final (post-retry) error: a numerical failure, or a budget
+    /// trip under [`LadderConfig::descend_on_stop`].
     pub error: TsError,
     /// Attempts spent on the rung before giving up.
     pub attempts: u32,
@@ -118,6 +253,11 @@ pub struct Descent {
 pub struct LadderOutcome {
     /// Cluster index per series.
     pub labels: Vec<usize>,
+    /// One centroid per cluster, from the rung that produced the labels
+    /// (shape centroids, medoid series, or arithmetic means).
+    pub centroids: Vec<Vec<f64>>,
+    /// Refinement iterations the winning rung executed.
+    pub iterations: usize,
     /// The rung that produced the labels.
     pub rung: LadderRung,
     /// Whether that rung's refinement converged before its cap.
@@ -126,51 +266,101 @@ pub struct LadderOutcome {
     pub descents: Vec<Descent>,
 }
 
-/// Labels + convergence flag from one rung attempt.
-type RungLabels = (Vec<usize>, bool);
+/// Labels + centroids + convergence from one rung attempt.
+struct RungFit {
+    labels: Vec<usize>,
+    centroids: Vec<Vec<f64>>,
+    iterations: usize,
+    converged: bool,
+}
 
-/// Maps a rung result into usable labels: convergence-cap outcomes carry
-/// their labels and are accepted, everything else stays an error.
-fn accept_not_converged(res: TsResult<RungLabels>) -> TsResult<RungLabels> {
-    match res {
-        Err(TsError::NotConverged { labels, .. }) => Ok((labels, false)),
-        other => other,
+impl From<KShapeResult> for RungFit {
+    fn from(r: KShapeResult) -> Self {
+        RungFit {
+            labels: r.labels,
+            centroids: r.centroids,
+            iterations: r.iterations,
+            converged: r.converged,
+        }
     }
 }
 
-/// Runs the degradation ladder under an execution control.
+/// Whether `err` sends the ladder down a rung instead of out.
+fn descends(err: &TsError, descend_on_stop: bool) -> bool {
+    match err {
+        TsError::NumericalFailure { .. } => true,
+        TsError::Stopped { reason, .. } => descend_on_stop && *reason != StopReason::Cancelled,
+        _ => false,
+    }
+}
+
+/// The budget a rung attempt is armed with *right now*: iteration/cost
+/// caps pass through verbatim, the wall clock becomes the time remaining
+/// until the whole-ladder deadline (scaled by `rung_wall_fraction` for
+/// non-final rungs under descend-on-stop, so a descent still has time).
+fn rung_budget(
+    base: Option<Budget>,
+    deadline: Option<Instant>,
+    config: &LadderConfig,
+    is_last_rung: bool,
+) -> Option<Budget> {
+    let mut budget = base?;
+    if let Some(deadline) = deadline {
+        let mut remaining = deadline.saturating_duration_since(Instant::now());
+        if config.descend_on_stop && !is_last_rung {
+            remaining = remaining.mul_f64(config.rung_wall_fraction.clamp(0.01, 1.0));
+        }
+        budget.wall = Some(remaining);
+    }
+    Some(budget)
+}
+
+/// Runs the degradation ladder.
 ///
 /// # Errors
 ///
-/// [`TsError::Stopped`] when `ctrl` trips (propagated from whichever rung
-/// was running), input errors from validation, or the *last* rung's
+/// [`TsError::Stopped`] when the budget or cancellation trips (from
+/// whichever rung was running; under
+/// [`LadderConfig::descend_on_stop`] only after the *bottom* rung also
+/// tripped), input errors from validation, or the last rung's
 /// [`TsError::NumericalFailure`] when even `k-AVG+ED` failed — which on
 /// finite input does not happen.
 pub fn cluster_with_ladder(
     series: &[Vec<f64>],
-    config: &LadderConfig,
-    ctrl: &RunControl,
+    opts: &LadderOptions<'_>,
 ) -> TsResult<LadderOutcome> {
+    let config = opts.config;
+    let obs = tsobs::Obs::from_option(opts.recorder);
+    // The whole-ladder deadline is stamped once, up front: every rung
+    // (and every retry) spends from the same clock.
+    let deadline = opts.budget.and_then(|b| b.wall).map(|w| Instant::now() + w);
     let mut rung = config.start;
     let mut descents = Vec::new();
     loop {
+        let is_last = rung.next().is_none();
         let report = retry_with_reseed(
             config.seed,
             config.max_attempts_per_rung.max(1),
             tsrun::default_retryable,
-            |seed| run_rung(rung, series, config, seed, ctrl),
+            |seed| {
+                let budget = rung_budget(opts.budget, deadline, &config, is_last);
+                run_rung(rung, series, &config, seed, budget, deadline, opts)
+            },
         );
         match report.outcome {
-            Ok((labels, converged)) => {
+            Ok(fit) => {
                 return Ok(LadderOutcome {
-                    labels,
+                    labels: fit.labels,
+                    centroids: fit.centroids,
+                    iterations: fit.iterations,
                     rung,
-                    converged,
+                    converged: fit.converged,
                     descents,
                 });
             }
-            Err(err @ TsError::NumericalFailure { .. }) => match rung.next() {
+            Err(err) if descends(&err, config.descend_on_stop) => match rung.next() {
                 Some(lower) => {
+                    obs.counter("ladder.descents", 1);
                     descents.push(Descent {
                         rung,
                         error: err,
@@ -180,72 +370,81 @@ pub fn cluster_with_ladder(
                 }
                 None => return Err(err),
             },
-            // Stopped, EmptyInput, NonFinite, ... — descending cannot help.
+            // Cancellation, EmptyInput, NonFinite, ... — descending
+            // cannot help.
             Err(err) => return Err(err),
         }
     }
 }
 
-/// Executes one rung attempt with the given derived seed.
-// The ladder shares one externally-armed RunControl across every rung so
-// the whole descent spends a single budget; the options-object API owns
-// its control per call and cannot express that, so the `_with_control`
-// entry points remain the right tool here.
-#[allow(deprecated)]
+/// Executes one rung attempt with the given derived seed and budget.
 fn run_rung(
     rung: LadderRung,
     series: &[Vec<f64>],
     config: &LadderConfig,
     seed: u64,
-    ctrl: &RunControl,
-) -> TsResult<RungLabels> {
+    budget: Option<Budget>,
+    deadline: Option<Instant>,
+    opts: &LadderOptions<'_>,
+) -> TsResult<RungFit> {
     match rung {
         LadderRung::KShape => {
-            let ks = KShape::new(KShapeConfig {
-                k: config.k,
-                max_iter: config.max_iter,
-                seed,
-                ..KShapeConfig::default()
-            });
-            accept_not_converged(
-                ks.try_fit_with_control(series, ctrl)
-                    .map(|r| (r.labels, true)),
-            )
+            let mut ks = KShapeOptions::new(config.k)
+                .with_seed(seed)
+                .with_max_iter(config.max_iter);
+            ks.budget = budget;
+            ks.cancel = opts.cancel.clone();
+            ks.recorder = opts.recorder;
+            kshape::KShape::fit_with(series, &ks).map(RungFit::from)
         }
         LadderRung::SbdMedoid => {
             // Batched frequency-domain matrix build: every series is
             // FFT'd once into the spectrum cache and pairs are swept over
             // cached spectra, instead of re-transforming both sides of
             // every pair through the generic `Distance` path.
+            let ctrl = RunControl::from_parts(budget, opts.cancel.clone());
             let data = kshape::spectra::try_sbd_matrix_with_control(
                 series,
                 kshape::spectra::resolve_threads(0),
-                ctrl,
+                &ctrl,
             )?;
             let matrix = DissimilarityMatrix::from_full(series.len(), data);
-            accept_not_converged(
-                try_pam_with_control(&matrix, config.k, config.max_iter, ctrl)
-                    .map(|r| (r.labels, true)),
-            )
+            // The matrix build spent part of this rung's wall budget;
+            // re-derive the remainder for the PAM sweep.
+            let is_last = rung.next().is_none();
+            let mut pam = PamOptions::new(config.k).with_max_iter(config.max_iter);
+            pam.budget = rung_budget(opts.budget, deadline, config, is_last);
+            pam.cancel = opts.cancel.clone();
+            pam.recorder = opts.recorder;
+            pam_with(&matrix, &pam).map(|r| RungFit {
+                centroids: r.medoids.iter().map(|&i| series[i].clone()).collect(),
+                labels: r.labels,
+                iterations: r.iterations,
+                converged: r.converged,
+            })
         }
         LadderRung::KAvg => {
-            let cfg = KMeansConfig {
-                k: config.k,
-                max_iter: config.max_iter,
-                seed,
-            };
-            accept_not_converged(
-                try_kmeans_with_control(series, &EuclideanDistance, &cfg, ctrl)
-                    .map(|r| (r.labels, true)),
-            )
+            let mut km = KMeansOptions::new(config.k)
+                .with_seed(seed)
+                .with_max_iter(config.max_iter);
+            km.budget = budget;
+            km.cancel = opts.cancel.clone();
+            km.recorder = opts.recorder;
+            kmeans_with(series, &EuclideanDistance, &km).map(|r| RungFit {
+                labels: r.labels,
+                centroids: r.centroids,
+                iterations: r.iterations,
+                converged: r.converged,
+            })
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{cluster_with_ladder, LadderConfig, LadderRung};
-    use tsrun::{Budget, CancelToken, RunControl};
+    use super::{cluster_with_ladder, LadderConfig, LadderOptions, LadderRung};
+    use std::time::Duration;
+    use tsrun::{Budget, CancelToken};
 
     fn bump(m: usize, center: f64) -> Vec<f64> {
         (0..m)
@@ -266,19 +465,14 @@ mod tests {
     #[test]
     fn top_rung_succeeds_on_clean_data() {
         let series = two_class_series();
-        let out = cluster_with_ladder(
-            &series,
-            &LadderConfig {
-                seed: 3,
-                ..Default::default()
-            },
-            &RunControl::unlimited(),
-        )
-        .expect("clean data clusters");
+        let out = cluster_with_ladder(&series, &LadderOptions::new(2).with_seed(3))
+            .expect("clean data clusters");
         assert_eq!(out.rung, LadderRung::KShape);
         assert!(out.descents.is_empty());
         assert_eq!(out.labels.len(), series.len());
         assert!(out.labels.iter().all(|&l| l < 2));
+        assert_eq!(out.centroids.len(), 2);
+        assert!(out.centroids.iter().all(|c| c.len() == 48));
     }
 
     #[test]
@@ -287,22 +481,17 @@ mod tests {
         for start in [LadderRung::SbdMedoid, LadderRung::KAvg] {
             let out = cluster_with_ladder(
                 &series,
-                &LadderConfig {
-                    seed: 1,
-                    start,
-                    ..Default::default()
-                },
-                &RunControl::unlimited(),
+                &LadderOptions::new(2).with_seed(1).with_start(start),
             )
             .expect("fallback rungs cluster");
             assert_eq!(out.rung, start);
+            assert_eq!(out.centroids.len(), 2);
         }
     }
 
     #[test]
     fn input_errors_propagate_without_descending() {
-        let err = cluster_with_ladder(&[], &LadderConfig::default(), &RunControl::unlimited())
-            .unwrap_err();
+        let err = cluster_with_ladder(&[], &LadderOptions::new(2)).unwrap_err();
         assert!(matches!(err, tserror::TsError::EmptyInput), "{err:?}");
     }
 
@@ -311,8 +500,11 @@ mod tests {
         let series = two_class_series();
         let token = CancelToken::new();
         token.cancel();
-        let ctrl = RunControl::new(Budget::unlimited(), Some(token));
-        let err = cluster_with_ladder(&series, &LadderConfig::default(), &ctrl).unwrap_err();
+        // Even with descend_on_stop: the caller is gone, do not descend.
+        let opts = LadderOptions::new(2)
+            .with_cancel(token)
+            .with_descend_on_stop(true);
+        let err = cluster_with_ladder(&series, &opts).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -326,6 +518,75 @@ mod tests {
     }
 
     #[test]
+    fn deadline_stop_propagates_by_default() {
+        let series = two_class_series();
+        let opts =
+            LadderOptions::new(2).with_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+        let err = cluster_with_ladder(&series, &opts).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                tserror::TsError::Stopped {
+                    reason: tserror::StopReason::Deadline,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn descend_on_stop_bottoms_out_bounded() {
+        let series = two_class_series();
+        let opts = LadderOptions::new(2)
+            .with_budget(Budget::unlimited().with_deadline(Duration::ZERO))
+            .with_descend_on_stop(true);
+        let start = std::time::Instant::now();
+        let err = cluster_with_ladder(&series, &opts).unwrap_err();
+        assert!(
+            matches!(err, tserror::TsError::Stopped { .. }),
+            "expired deadline must surface as Stopped even after descending: {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "descent must stay bounded"
+        );
+    }
+
+    #[test]
+    fn descend_on_stop_lands_on_a_cheaper_rung_given_time() {
+        // A deadline long enough for the cheap rungs but tripped by the
+        // top rung's per-rung fraction is timing-dependent; instead pin
+        // the deterministic contract: a per-rung cost cap that k-Shape
+        // exhausts immediately still yields labels from a lower rung,
+        // because each rung arms a fresh quota.
+        let series = two_class_series();
+        let opts = LadderOptions::new(2)
+            .with_budget(Budget::unlimited().with_cost_cap(200_000))
+            .with_descend_on_stop(true);
+        match cluster_with_ladder(&series, &opts) {
+            Ok(out) => {
+                assert_eq!(out.labels.len(), series.len());
+                if out.rung == LadderRung::KShape {
+                    assert!(out.descents.is_empty());
+                } else {
+                    assert!(
+                        !out.descents.is_empty(),
+                        "landed on {:?} with no record",
+                        out.rung
+                    );
+                }
+            }
+            Err(err) => {
+                assert!(
+                    matches!(err, tserror::TsError::Stopped { .. }),
+                    "only a budget stop may escape: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn rung_ordering_and_names() {
         assert_eq!(LadderRung::KShape.next(), Some(LadderRung::SbdMedoid));
         assert_eq!(LadderRung::SbdMedoid.next(), Some(LadderRung::KAvg));
@@ -333,5 +594,29 @@ mod tests {
         assert_eq!(LadderRung::KShape.name(), "k-Shape");
         assert_eq!(LadderRung::SbdMedoid.name(), "SBD-medoid");
         assert_eq!(LadderRung::KAvg.name(), "k-AVG+ED");
+        for rung in [LadderRung::KShape, LadderRung::SbdMedoid, LadderRung::KAvg] {
+            assert_eq!(LadderRung::from_name(rung.name()), Some(rung));
+        }
+        assert_eq!(LadderRung::from_name("nope"), None);
+    }
+
+    #[test]
+    fn options_builders_compose() {
+        let opts = LadderOptions::new(4)
+            .with_seed(9)
+            .with_max_iter(7)
+            .with_start(LadderRung::KAvg)
+            .with_descend_on_stop(true)
+            .with_budget(Budget::unlimited().with_iteration_cap(3));
+        assert_eq!(opts.config.k, 4);
+        assert_eq!(opts.config.seed, 9);
+        assert_eq!(opts.config.max_iter, 7);
+        assert_eq!(opts.config.start, LadderRung::KAvg);
+        assert!(opts.config.descend_on_stop);
+        assert!(opts.budget.is_some());
+        let cfg = LadderConfig::default();
+        let from_cfg = LadderOptions::from(cfg);
+        assert_eq!(from_cfg.config.k, cfg.k);
+        assert!(format!("{from_cfg:?}").contains("LadderOptions"));
     }
 }

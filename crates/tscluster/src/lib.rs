@@ -77,7 +77,9 @@ pub use fuzzy::{fuzzy_cmeans_with, FuzzyConfig, FuzzyResult};
 pub use hierarchical::{hierarchical_cluster_with, HierarchicalConfig, Linkage};
 pub use kmeans::{kmeans_with, KMeansConfig, KMeansResult};
 pub use ksc::{ksc_with, KscConfig, KscResult};
-pub use ladder::{cluster_with_ladder, LadderConfig, LadderOutcome, LadderRung};
+pub use ladder::{
+    cluster_with_ladder, Descent, LadderConfig, LadderOptions, LadderOutcome, LadderRung,
+};
 pub use matrix::{DissimilarityMatrix, MatrixConfig};
 pub use options::{
     FuzzyOptions, HierarchicalOptions, KDbaOptions, KMeansOptions, KscOptions, MatrixOptions,

@@ -145,6 +145,97 @@ pub fn corrupt_series<R: Rng>(x: &mut Vec<f64>, kind: FaultKind, rng: &mut R) {
     }
 }
 
+/// The byte-stream fault taxonomy injected by [`corrupt_bytes`].
+///
+/// Where [`FaultKind`] corrupts *decoded samples*, these corrupt the
+/// *bytes in flight or at rest* — the faults a serialized checkpoint or
+/// an HTTP request body actually suffers. Shared by the checkpoint chaos
+/// tests (kill mid-write) and the socket chaos tests (`tsserve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteFault {
+    /// Keep a strictly shorter prefix — a `kill -9` mid-`write(2)` on a
+    /// non-atomic writer, or a connection dropped mid-body.
+    Truncate,
+    /// Flip a handful of random bits in place — disk rot, a faulty NIC,
+    /// a bad cable. Length is preserved; content is subtly wrong.
+    BitFlip,
+    /// Prepend random garbage bytes — protocol desync, a stale buffer
+    /// replayed, a client speaking the wrong protocol.
+    GarbagePrefix,
+    /// The bytes themselves are untouched; instead a split point is
+    /// reported where a slow-loris writer stalls mid-stream. Drivers
+    /// send `bytes[..stall_at]`, hold the connection open, and (maybe)
+    /// never send the rest.
+    MidStreamStall,
+}
+
+impl ByteFault {
+    /// All byte faults, for exhaustive sweeps.
+    pub const ALL: [ByteFault; 4] = [
+        ByteFault::Truncate,
+        ByteFault::BitFlip,
+        ByteFault::GarbagePrefix,
+        ByteFault::MidStreamStall,
+    ];
+}
+
+/// What [`corrupt_bytes`] actually did, so tests can assert the fault
+/// landed and drivers know where to stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteFaultReport {
+    /// The fault applied.
+    pub kind: ByteFault,
+    /// Bytes removed ([`ByteFault::Truncate`]), bits flipped
+    /// ([`ByteFault::BitFlip`]), or bytes prepended
+    /// ([`ByteFault::GarbagePrefix`]). 0 for stalls and no-ops.
+    pub affected: usize,
+    /// For [`ByteFault::MidStreamStall`]: the split point (strictly
+    /// inside the stream) after which the writer stalls.
+    pub stall_at: Option<usize>,
+}
+
+/// Injects one byte-stream fault into `bytes` (see [`ByteFault`]).
+/// Deterministic via the caller's RNG, like every operator in this
+/// module. Inputs shorter than 2 bytes are left alone (an empty report
+/// with `affected == 0`).
+pub fn corrupt_bytes<R: Rng>(bytes: &mut Vec<u8>, kind: ByteFault, rng: &mut R) -> ByteFaultReport {
+    let n = bytes.len();
+    let mut report = ByteFaultReport {
+        kind,
+        affected: 0,
+        stall_at: None,
+    };
+    if n < 2 {
+        return report;
+    }
+    match kind {
+        ByteFault::Truncate => {
+            let keep = rng.gen_range(1..n);
+            bytes.truncate(keep);
+            report.affected = n - keep;
+        }
+        ByteFault::BitFlip => {
+            let flips = rng.gen_range(1..=8usize.min(n));
+            for _ in 0..flips {
+                let i = rng.gen_range(0..n);
+                let bit = rng.gen_range(0..8u32);
+                bytes[i] ^= 1 << bit;
+            }
+            report.affected = flips;
+        }
+        ByteFault::GarbagePrefix => {
+            let len = rng.gen_range(1..=16usize);
+            let garbage: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            bytes.splice(0..0, garbage);
+            report.affected = len;
+        }
+        ByteFault::MidStreamStall => {
+            report.stall_at = Some(rng.gen_range(1..n));
+        }
+    }
+    report
+}
+
 /// Byte-level truncation of a serialized checkpoint (or any on-disk
 /// artifact): keeps a strictly shorter *prefix* of the bytes, exactly what
 /// a `kill -9` mid-`write(2)` leaves behind when the writer is not atomic.
@@ -152,19 +243,16 @@ pub fn corrupt_series<R: Rng>(x: &mut Vec<f64>, kind: FaultKind, rng: &mut R) {
 /// The cut point is drawn uniformly from `1..len`, so the survivor is a
 /// valid UTF-8-prefix of valid JSON often enough to stress the parser's
 /// truncation detection (a cut can land mid-number, mid-string, or right
-/// before the closing brace). Returns the number of bytes removed; series
+/// before the closing brace). Returns the number of bytes removed; inputs
 /// shorter than 2 bytes are left alone (0 removed).
 ///
 /// Used by the resume tests: a quarantining loader must classify every
-/// possible prefix as corrupt — never as a shorter-but-valid cell.
+/// possible prefix as corrupt — never as a shorter-but-valid cell. This is
+/// [`corrupt_bytes`] with [`ByteFault::Truncate`], kept as a named entry
+/// point because "what a kill leaves behind" is the fault the checkpoint
+/// tests care about.
 pub fn truncate_checkpoint<R: Rng>(bytes: &mut Vec<u8>, rng: &mut R) -> usize {
-    let n = bytes.len();
-    if n < 2 {
-        return 0;
-    }
-    let keep = rng.gen_range(1..n);
-    bytes.truncate(keep);
-    n - keep
+    corrupt_bytes(bytes, ByteFault::Truncate, rng).affected
 }
 
 /// Corrupts a random subset of a series collection in place: each series
@@ -195,8 +283,8 @@ pub fn corrupt_collection<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::{
-        corrupt_collection, corrupt_series, flatline, missing_gap, nan_run, spike, truncate,
-        truncate_checkpoint, FaultKind,
+        corrupt_bytes, corrupt_collection, corrupt_series, flatline, missing_gap, nan_run, spike,
+        truncate, truncate_checkpoint, ByteFault, FaultKind,
     };
     use tsrand::StdRng;
 
@@ -350,6 +438,70 @@ mod tests {
         assert_eq!(one, vec![b'{']);
         let mut empty: Vec<u8> = vec![];
         assert_eq!(truncate_checkpoint(&mut empty, &mut rng), 0);
+    }
+
+    #[test]
+    fn corrupt_bytes_covers_every_fault() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let original =
+            b"POST /v1/models/a/fit HTTP/1.1\r\nContent-Length: 20\r\n\r\n{\"series\":[[1,2,3]]}"
+                .to_vec();
+        for _ in 0..100 {
+            for kind in ByteFault::ALL {
+                let mut bytes = original.clone();
+                let report = corrupt_bytes(&mut bytes, kind, &mut rng);
+                assert_eq!(report.kind, kind);
+                match kind {
+                    ByteFault::Truncate => {
+                        assert!(report.affected >= 1);
+                        assert_eq!(bytes.len() + report.affected, original.len());
+                        assert_eq!(&original[..bytes.len()], &bytes[..]);
+                    }
+                    ByteFault::BitFlip => {
+                        assert_eq!(bytes.len(), original.len());
+                        assert!((1..=8).contains(&report.affected));
+                        // Flips can cancel pairwise, but an odd count
+                        // always leaves at least one byte changed.
+                        if report.affected % 2 == 1 {
+                            assert_ne!(bytes, original);
+                        }
+                    }
+                    ByteFault::GarbagePrefix => {
+                        assert!((1..=16).contains(&report.affected));
+                        assert_eq!(bytes.len(), original.len() + report.affected);
+                        assert_eq!(&bytes[report.affected..], &original[..]);
+                    }
+                    ByteFault::MidStreamStall => {
+                        assert_eq!(bytes, original, "stall must not mutate bytes");
+                        let at = report.stall_at.expect("stall point");
+                        assert!(at >= 1 && at < original.len());
+                    }
+                }
+            }
+        }
+        // Tiny inputs are no-ops for every fault.
+        for kind in ByteFault::ALL {
+            let mut one = vec![b'x'];
+            let report = corrupt_bytes(&mut one, kind, &mut rng);
+            assert_eq!(one, vec![b'x']);
+            assert_eq!(report.affected, 0);
+            assert_eq!(report.stall_at, None);
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_is_deterministic_by_seed() {
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut bytes = (0u8..=255).collect::<Vec<u8>>();
+            let mut reports = Vec::new();
+            for kind in ByteFault::ALL {
+                reports.push(corrupt_bytes(&mut bytes, kind, &mut rng));
+            }
+            (bytes, reports)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
     }
 
     #[test]

@@ -132,11 +132,96 @@ impl CheckpointStore {
         self.dir.is_some()
     }
 
-    /// The checkpoint path for a cell.
-    fn path_for(&self, method: &str, dataset: &str) -> Option<PathBuf> {
+    /// The directory this store persists into (`None` when disabled).
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The checkpoint path for a named artifact.
+    fn path_for_name(&self, name: &str) -> Option<PathBuf> {
         self.dir
             .as_ref()
-            .map(|d| d.join(format!("{}__{}.json", sanitize(method), sanitize(dataset))))
+            .map(|d| d.join(format!("{}.json", sanitize(name))))
+    }
+
+    /// Loads a named artifact, validating its bytes with `parse`. A file
+    /// whose contents `parse` rejects (returns `None`) is **quarantined**
+    /// to `<name>.json.corrupt` — the evidence survives, the caller
+    /// recomputes. Callers own any staleness policy on the parsed value
+    /// (see [`CheckpointStore::load`]).
+    ///
+    /// This is the substrate under both the experiment-cell API and
+    /// `tsserve` model persistence: anything that must survive a `kill
+    /// -9` goes through the same atomic-write / quarantine discipline.
+    pub fn load_named<T>(
+        &self,
+        name: &str,
+        parse: impl FnOnce(&str) -> Option<T>,
+    ) -> (Option<T>, LoadOutcome) {
+        let Some(path) = self.path_for_name(name) else {
+            return (None, LoadOutcome::Miss);
+        };
+        let Ok(text) = fs::read_to_string(&path) else {
+            return (None, LoadOutcome::Miss);
+        };
+        match parse(&text) {
+            Some(value) => (Some(value), LoadOutcome::Hit),
+            None => {
+                quarantine(&path);
+                (None, LoadOutcome::Quarantined)
+            }
+        }
+    }
+
+    /// Atomically persists a named artifact: write `<name>.json.tmp`,
+    /// then rename over `<name>.json` — a kill mid-write can never leave
+    /// a half-written artifact under the final name. No-op when disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (directory creation, write, rename).
+    pub fn store_named(&self, name: &str, payload: &str) -> io::Result<()> {
+        let Some(path) = self.path_for_name(name) else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, payload)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Names (sanitized file stems) of every persisted artifact whose
+    /// name starts with `prefix`. Quarantined and temporary files are
+    /// excluded. Empty when disabled or the directory does not exist.
+    #[must_use]
+    pub fn list_named(&self, prefix: &str) -> Vec<String> {
+        let Some(dir) = self.dir.as_ref() else {
+            return Vec::new();
+        };
+        let Ok(entries) = fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().and_then(|x| x.to_str()) != Some("json") {
+                    return None;
+                }
+                let stem = path.file_stem()?.to_str()?;
+                stem.starts_with(prefix).then(|| stem.to_string())
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The sanitized artifact name for an experiment cell.
+    fn cell_name(method: &str, dataset: &str) -> String {
+        format!("{}__{}", sanitize(method), sanitize(dataset))
     }
 
     /// Loads the cell for `(method, dataset)` if present, valid, and
@@ -148,45 +233,27 @@ impl CheckpointStore {
         dataset: &str,
         config_tag: &str,
     ) -> (Option<CheckpointCell>, LoadOutcome) {
-        let Some(path) = self.path_for(method, dataset) else {
-            return (None, LoadOutcome::Miss);
-        };
-        let Ok(text) = fs::read_to_string(&path) else {
-            return (None, LoadOutcome::Miss);
-        };
-        match CheckpointCell::from_json(&text) {
-            Some(cell) if cell.method == method && cell.dataset == dataset => {
-                if cell.config_tag == config_tag {
-                    (Some(cell), LoadOutcome::Hit)
-                } else {
-                    (None, LoadOutcome::Stale)
-                }
-            }
-            // Unparsable, out-of-range, or labeled for a different cell:
-            // quarantine the evidence and recompute.
-            _ => {
-                quarantine(&path);
-                (None, LoadOutcome::Quarantined)
-            }
+        let (cell, outcome) = self.load_named(&Self::cell_name(method, dataset), |text| {
+            // Unparsable, out-of-range, or labeled for a different cell
+            // counts as corruption; a mismatched config tag does not.
+            CheckpointCell::from_json(text).filter(|c| c.method == method && c.dataset == dataset)
+        });
+        match cell {
+            Some(c) if c.config_tag != config_tag => (None, LoadOutcome::Stale),
+            other => (other, outcome),
         }
     }
 
-    /// Atomically persists a cell: write `<name>.json.tmp`, then rename
-    /// over `<name>.json`. No-op when disabled.
+    /// Atomically persists a cell (see [`CheckpointStore::store_named`]).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors (directory creation, write, rename).
     pub fn store(&self, cell: &CheckpointCell) -> io::Result<()> {
-        let Some(path) = self.path_for(&cell.method, &cell.dataset) else {
-            return Ok(());
-        };
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        let tmp = path.with_extension("json.tmp");
-        fs::write(&tmp, cell.to_json())?;
-        fs::rename(&tmp, &path)
+        self.store_named(
+            &Self::cell_name(&cell.method, &cell.dataset),
+            &cell.to_json(),
+        )
     }
 }
 
@@ -389,6 +456,50 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn named_artifacts_roundtrip_list_and_quarantine() {
+        let dir = temp_dir("named");
+        let store = CheckpointStore::new(&dir);
+        assert_eq!(store.dir(), Some(dir.as_path()));
+        store
+            .store_named("model__alpha", "{\"k\":2}")
+            .expect("store");
+        store
+            .store_named("model__beta", "{\"k\":3}")
+            .expect("store");
+        store.store_named("other", "{}").expect("store");
+        assert_eq!(
+            store.list_named("model__"),
+            vec!["model__alpha".to_string(), "model__beta".to_string()]
+        );
+        let (payload, outcome) = store.load_named("model__alpha", |t| Some(t.to_string()));
+        assert_eq!(outcome, LoadOutcome::Hit);
+        assert_eq!(payload.as_deref(), Some("{\"k\":2}"));
+        // A parse rejection quarantines the file.
+        let (none, outcome) = store.load_named("model__beta", |_| None::<()>);
+        assert!(none.is_none());
+        assert_eq!(outcome, LoadOutcome::Quarantined);
+        assert!(dir.join("model__beta.json.corrupt").exists());
+        assert_eq!(
+            store.list_named("model__"),
+            vec!["model__alpha".to_string()]
+        );
+        // Missing artifacts and disabled stores are misses.
+        assert!(matches!(
+            store.load_named("model__gone", |t| Some(t.len())),
+            (None, LoadOutcome::Miss)
+        ));
+        let off = CheckpointStore::disabled();
+        assert!(off.dir().is_none());
+        assert!(off.list_named("").is_empty());
+        assert!(matches!(
+            off.load_named("x", |t| Some(t.len())),
+            (None, LoadOutcome::Miss)
+        ));
+        off.store_named("x", "{}").expect("no-op");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -28,10 +28,15 @@
 //! # Overhead contract
 //!
 //! An *unlimited* control ([`RunControl::unlimited`]) with no token short
-//! circuits to a single branch per poll, and an armed control reads the
-//! clock only once per [`RunControl::clock_stride`] cost units — the
-//! `BENCH_tsrun.json` bench group holds the k-Shape hot loop to < 2%
-//! poll overhead.
+//! circuits to a single branch per poll, and an armed control's
+//! [`RunControl::charge`] fast path is one relaxed `fetch_add` plus one
+//! relaxed load: the cancellation/cost/deadline checks (and the
+//! `Instant::now()` syscall) all run once per [`RunControl::clock_stride`]
+//! cost units behind a single strided boundary — the `BENCH_tsrun.json`
+//! bench group holds the k-Shape hot loop to < 2% poll overhead.
+//! [`RunControl::poll`] and [`RunControl::check_iteration`] still check
+//! the token and the clock on every call, so outer loops detect
+//! cancellation immediately.
 //!
 //! # Example
 //!
@@ -142,13 +147,14 @@ impl Budget {
     }
 }
 
-/// Default cost units between clock reads for armed deadlines.
+/// Default cost units between slow-path checks (cancellation, cost
+/// quota, deadline clock read) in [`RunControl::charge`].
 ///
 /// One unit ≈ one sample of floating-point work, so 1024 units keep the
 /// `Instant::now()` syscall below ~0.1% of even the cheapest kernels
-/// while bounding deadline-detection latency to about a microsecond of
+/// while bounding stop-detection latency to about a microsecond of
 /// work on the serial paths (quadratic kernels like DTW charge `m²` per
-/// pair and therefore hit the clock every pair).
+/// pair and therefore hit the checks every pair).
 pub const DEFAULT_CLOCK_STRIDE: u64 = 1024;
 
 /// Telemetry counter name under which [`RunControl::report_cost`] emits
@@ -175,8 +181,12 @@ pub struct RunControl {
     cancel: Option<CancelToken>,
     /// Total cost units charged so far.
     cost: AtomicU64,
-    /// Cost level at which the next deadline clock read happens.
-    next_clock: AtomicU64,
+    /// Cost level at which the next slow-path check (cancellation, cost
+    /// quota, deadline clock read) happens. Starts at 0 so the very first
+    /// charge always takes the slow path — a pre-cancelled token or an
+    /// already-expired deadline is detected on the first poll, not after
+    /// a full stride of work.
+    next_check: AtomicU64,
     clock_stride: u64,
     /// Fast path: true when charge() can return immediately.
     passive: bool,
@@ -201,7 +211,7 @@ impl RunControl {
             max_cost: budget.max_cost,
             cancel,
             cost: AtomicU64::new(0),
-            next_clock: AtomicU64::new(0),
+            next_check: AtomicU64::new(0),
             clock_stride: DEFAULT_CLOCK_STRIDE,
             passive,
         }
@@ -237,9 +247,10 @@ impl RunControl {
         obs.counter(COST_COUNTER, self.cost_spent());
     }
 
-    /// Overrides the cost stride between deadline clock reads (default
+    /// Overrides the cost stride between slow-path checks — cancellation,
+    /// cost quota, and the deadline clock read (default
     /// [`DEFAULT_CLOCK_STRIDE`]). Smaller strides trade overhead for
-    /// deadline-detection latency.
+    /// stop-detection latency; a stride of 1 checks on every charge.
     #[must_use]
     pub fn with_clock_stride(mut self, stride: u64) -> Self {
         self.clock_stride = stride.max(1);
@@ -299,12 +310,20 @@ impl RunControl {
         }
     }
 
-    /// Inner-loop poll point: charges `units` of work, checks
-    /// cancellation and the cost quota, and reads the clock whenever the
-    /// accumulated cost crosses the stride. Loops charge units roughly
+    /// Inner-loop poll point: charges `units` of work, and once per
+    /// [`RunControl::clock_stride`] cost units checks cancellation, the
+    /// cost quota, and the deadline clock. Loops charge units roughly
     /// proportional to floating-point work (e.g. `m` per Euclidean pair,
-    /// `m²` per unconstrained DTW pair) so the deadline-detection latency
-    /// is bounded by work, not by call counts.
+    /// `m²` per unconstrained DTW pair) so the detection latency of every
+    /// stop reason is bounded by work, not by call counts.
+    ///
+    /// The fast path is one relaxed `fetch_add` plus one relaxed load:
+    /// cancellation/cost/deadline checks all live behind a single strided
+    /// boundary. The boundary is clamped to the cost cap so a quota still
+    /// trips on exactly the first charge that exceeds it; cancellation
+    /// detection through `charge` is stride-bounded (use
+    /// [`RunControl::poll`] or [`RunControl::check_iteration`] where
+    /// immediate detection matters — both check the token on every call).
     ///
     /// # Errors
     ///
@@ -315,6 +334,17 @@ impl RunControl {
             return Ok(());
         }
         let total = self.cost.fetch_add(units, Ordering::Relaxed) + units;
+        if total < self.next_check.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        self.charge_slow(total)
+    }
+
+    /// Slow path of [`RunControl::charge`]: runs at most once per stride
+    /// window (plus races). Kept out of line so the fast path inlines to
+    /// two atomic ops and a branch.
+    #[cold]
+    fn charge_slow(&self, total: u64) -> Result<(), StopReason> {
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
                 return Err(StopReason::Cancelled);
@@ -325,23 +355,26 @@ impl RunControl {
                 return Err(StopReason::CostCap);
             }
         }
-        if let Some(deadline) = self.deadline {
-            // Strided clock: only one thread wins the CAS per stride
-            // window, so the syscall stays rare even under contention.
-            let next = self.next_clock.load(Ordering::Relaxed);
-            if total >= next
-                && self
-                    .next_clock
-                    .compare_exchange(
-                        next,
-                        total + self.clock_stride,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    )
-                    .is_ok()
-                && Instant::now() >= deadline
+        // Advance the boundary with a CAS: only one thread wins per
+        // stride window, so the clock syscall stays rare even under
+        // contention. The boundary never skips past `max_cost + 1` —
+        // the quota check above must see the first over-cap charge.
+        let next = self.next_check.load(Ordering::Relaxed);
+        if total >= next {
+            let mut boundary = total.saturating_add(self.clock_stride);
+            if let Some(cap) = self.max_cost {
+                boundary = boundary.min(cap.saturating_add(1));
+            }
+            if self
+                .next_check
+                .compare_exchange(next, boundary, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
             {
-                return Err(StopReason::Deadline);
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(StopReason::Deadline);
+                    }
+                }
             }
         }
         Ok(())
@@ -584,6 +617,28 @@ mod tests {
                 "worker never observed cancel"
             );
         });
+    }
+
+    #[test]
+    fn midstream_cancel_is_detected_within_one_stride_of_charges() {
+        let token = CancelToken::new();
+        let ctrl = RunControl::new(Budget::unlimited(), Some(token.clone()));
+        // First charge takes the slow path and arms the stride window.
+        assert!(ctrl.charge(1).is_ok());
+        token.cancel();
+        // poll() sees the cancel immediately; charge() within one stride.
+        assert_eq!(ctrl.poll(), Err(StopReason::Cancelled));
+        let mut charges = 0u64;
+        let detected = loop {
+            charges += 1;
+            if ctrl.charge(1).is_err() {
+                break true;
+            }
+            if charges > super::DEFAULT_CLOCK_STRIDE + 1 {
+                break false;
+            }
+        };
+        assert!(detected, "cancel not seen within a stride of unit charges");
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Admission accounting: in-flight load, shed/error counters, service
+//! EWMA, and the pressure signal that picks the ladder's starting rung.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Coarse load level derived from in-flight requests vs capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pressure {
+    /// Below half capacity: serve the full k-Shape rung.
+    Normal,
+    /// Above half capacity: still k-Shape, but budget trips will walk
+    /// the ladder down instead of erroring.
+    Elevated,
+    /// Near saturation: start fits at the cheapest rung (k-AVG) so
+    /// latency stays bounded while the burst lasts.
+    High,
+}
+
+impl Pressure {
+    /// Stable lowercase name for telemetry and response payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pressure::Normal => "normal",
+            Pressure::Elevated => "elevated",
+            Pressure::High => "high",
+        }
+    }
+}
+
+/// Shared request accounting. All counters are relaxed — they feed
+/// telemetry and heuristics, not synchronization.
+#[derive(Debug)]
+pub struct Gate {
+    capacity: usize,
+    inflight: AtomicUsize,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    ewma_service_ns: AtomicU64,
+}
+
+impl Gate {
+    /// A gate sized to `capacity` concurrent requests (workers + queue).
+    pub fn new(capacity: usize) -> Gate {
+        Gate {
+            capacity: capacity.max(1),
+            inflight: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            ewma_service_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records an accepted connection entering the system.
+    pub fn admit(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request leaving the system (after its response).
+    pub fn depart(&self, service_ns: u64, errored: bool) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if errored {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // EWMA with alpha = 1/8; seeded by the first observation.
+        let prev = self.ewma_service_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            service_ns
+        } else {
+            prev - prev / 8 + service_ns / 8
+        };
+        self.ewma_service_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// Records a shed connection (503, never entered the pool).
+    pub fn record_shed(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a contained worker panic.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current load level.
+    pub fn pressure(&self) -> Pressure {
+        let inflight = self.inflight.load(Ordering::Relaxed);
+        if inflight * 2 < self.capacity {
+            Pressure::Normal
+        } else if inflight * 8 < self.capacity * 7 {
+            Pressure::Elevated
+        } else {
+            Pressure::High
+        }
+    }
+
+    /// `Retry-After` hint for shed responses: the EWMA service time
+    /// multiplied by the queue ahead of the client, clamped to 1..=30 s.
+    pub fn retry_after_secs(&self) -> u32 {
+        let ewma = self.ewma_service_ns.load(Ordering::Relaxed);
+        let inflight = self.inflight.load(Ordering::Relaxed) as u64;
+        let estimate_ns = ewma.saturating_mul(inflight.max(1));
+        estimate_ns.div_ceil(1_000_000_000).clamp(1, 30) as u32
+    }
+
+    /// Counter snapshot as a JSON object body fragment.
+    pub fn snapshot_json(&self) -> String {
+        format!(
+            "\"accepted\":{},\"completed\":{},\"inflight\":{},\"shed\":{},\"errors\":{},\"panics\":{},\"pressure\":\"{}\"",
+            self.accepted.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.inflight.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.panics.load(Ordering::Relaxed),
+            self.pressure().name(),
+        )
+    }
+
+    /// Total shed connections.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Total accepted connections.
+    pub fn accepted_total(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Total completed requests.
+    pub fn completed_total(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Total error responses (4xx/5xx).
+    pub fn errors_total(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Total contained panics.
+    pub fn panics_total(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_tracks_inflight() {
+        let gate = Gate::new(8);
+        assert_eq!(gate.pressure(), Pressure::Normal);
+        for _ in 0..4 {
+            gate.admit();
+        }
+        assert_eq!(gate.pressure(), Pressure::Elevated);
+        for _ in 0..4 {
+            gate.admit();
+        }
+        assert_eq!(gate.pressure(), Pressure::High);
+        for _ in 0..8 {
+            gate.depart(1_000, false);
+        }
+        assert_eq!(gate.pressure(), Pressure::Normal);
+        assert_eq!(gate.completed_total(), 8);
+    }
+
+    #[test]
+    fn retry_after_is_clamped() {
+        let gate = Gate::new(4);
+        assert_eq!(gate.retry_after_secs(), 1);
+        gate.admit();
+        gate.depart(120_000_000_000, false); // 2-minute EWMA seed
+        gate.admit();
+        assert_eq!(gate.retry_after_secs(), 30);
+        gate.depart(1, false);
+    }
+}

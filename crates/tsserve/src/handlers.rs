@@ -1,0 +1,380 @@
+//! Request routing and the TsError → HTTP mapping.
+//!
+//! Status contract (DESIGN.md §8):
+//!
+//! | status | meaning |
+//! |--------|---------|
+//! | 400    | unparsable bytes: bad HTTP, bad JSON, bad field, bad name |
+//! | 404    | unknown path or model |
+//! | 405    | known path, wrong method |
+//! | 408    | slow client evicted (read deadline) |
+//! | 413    | head or body over the size limit |
+//! | 422    | well-formed but invalid series (NaN, ragged, constant, k > n) |
+//! | 500    | numerical failure or contained panic |
+//! | 503    | shed (queue full) or draining — with `Retry-After` |
+//! | 504    | budget tripped: typed partial result, never a hang |
+
+use std::time::Duration;
+
+use kshape::sbd::SbdScratch;
+use tscluster::{cluster_with_ladder, LadderConfig, LadderOptions, LadderRung};
+use tserror::{StopReason, TsError};
+use tsobs::Recorder;
+use tsrun::{Budget, RunControl};
+
+use crate::gate::Pressure;
+use crate::http::{Request, Response};
+use crate::registry::{valid_model_name, Model};
+use crate::server::AppState;
+use crate::wire::{fmt_f64, json_escape, labels_json, push_series_json, FitRequest, SeriesRequest};
+
+/// Routes one parsed request. Infallible by construction: every defect
+/// becomes a typed response.
+pub fn handle(req: &Request, state: &AppState) -> Response {
+    let path = req.path.as_str();
+    let method = req.method.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/v1/models") => list_models(state),
+        ("GET", "/v1/telemetry") => telemetry(state),
+        ("POST", "/v1/normalize") => normalize(req),
+        ("POST", "/admin/drain") => drain(state),
+        ("POST", "/admin/panic") if state.config.panic_probe => {
+            panic!("panic probe requested")
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/models/") {
+                return model_route(method, rest, req, state);
+            }
+            match path {
+                "/healthz" | "/v1/models" | "/v1/telemetry" | "/v1/normalize" | "/admin/drain" => {
+                    Response::error(405, "method_not_allowed", method)
+                }
+                _ => Response::error(404, "not_found", path),
+            }
+        }
+    }
+}
+
+/// Dispatches `/v1/models/{name}` and `/v1/models/{name}/{action}`.
+fn model_route(method: &str, rest: &str, req: &Request, state: &AppState) -> Response {
+    let (name, action) = match rest.split_once('/') {
+        Some((n, a)) => (n, Some(a)),
+        None => (rest, None),
+    };
+    if !valid_model_name(name) {
+        return Response::error(400, "bad_model_name", "model names are [A-Za-z0-9_]{1,64}");
+    }
+    match (method, action) {
+        ("GET", None) => get_model(name, state),
+        ("POST", Some("fit")) => fit(name, req, state),
+        ("POST", Some("assign")) => assign(name, req, state),
+        (_, None | Some("fit") | Some("assign")) => {
+            Response::error(405, "method_not_allowed", method)
+        }
+        _ => Response::error(404, "not_found", &req.path),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    let status = if state.is_draining() {
+        "draining"
+    } else {
+        "ok"
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"{}\",{},\"models\":{}}}",
+            status,
+            state.gate.snapshot_json(),
+            state.registry.len()
+        ),
+    )
+}
+
+fn list_models(state: &AppState) -> Response {
+    let mut body = String::from("{\"models\":[");
+    for (i, name) in state.registry.names().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        if let Some(m) = state.registry.get(name) {
+            body.push_str(&format!(
+                "{{\"name\":\"{}\",\"k\":{},\"m\":{},\"rung\":\"{}\",\"converged\":{}}}",
+                json_escape(name),
+                m.model.k,
+                m.model.m,
+                json_escape(&m.model.rung),
+                m.model.converged
+            ));
+        }
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+fn get_model(name: &str, state: &AppState) -> Response {
+    match state.registry.get(name) {
+        Some(m) => Response::json(200, m.model.to_json()),
+        None => Response::error(404, "unknown_model", name),
+    }
+}
+
+fn telemetry(state: &AppState) -> Response {
+    let mut body = String::new();
+    for line in state.telemetry.lines() {
+        body.push_str(&line);
+        body.push('\n');
+    }
+    Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        retry_after: None,
+        body: body.into_bytes(),
+    }
+}
+
+fn drain(state: &AppState) -> Response {
+    state.begin_drain();
+    Response::json(200, "{\"draining\":true}".to_string())
+}
+
+fn normalize(req: &Request) -> Response {
+    let parsed = match SeriesRequest::parse(&req.body) {
+        Ok(p) => p,
+        Err(detail) => return Response::error(400, "bad_request", &detail),
+    };
+    match z_normalize_all(&parsed.series) {
+        Ok(normalized) => {
+            let mut body = String::from("{\"series\":");
+            push_series_json(&mut body, &normalized);
+            body.push('}');
+            Response::json(200, body)
+        }
+        Err(e) => ts_error_response(&e),
+    }
+}
+
+/// `POST /v1/models/{name}/fit` — z-normalize, fit through the
+/// degradation ladder under a wall budget, persist, publish.
+fn fit(name: &str, req: &Request, state: &AppState) -> Response {
+    let parsed = match FitRequest::parse(&req.body) {
+        Ok(p) => p,
+        Err(detail) => return Response::error(400, "bad_request", &detail),
+    };
+    let normalized = match z_normalize_all(&parsed.series) {
+        Ok(n) => n,
+        Err(e) => return ts_error_response(&e),
+    };
+
+    let pressure = state.gate.pressure();
+    // Under High pressure start at the cheapest rung so the fit's
+    // latency stays bounded while the burst lasts; otherwise honor the
+    // requested rung (default: full k-Shape). Elevated pressure keeps
+    // k-Shape — descend_on_stop turns a budget trip into a descent
+    // instead of an error either way.
+    let start = match (parsed.start, pressure) {
+        (Some(explicit), _) => explicit,
+        (None, Pressure::High) => LadderRung::KAvg,
+        (None, _) => LadderRung::KShape,
+    };
+    state
+        .telemetry
+        .counter(&format!("serve.fit.pressure.{}", pressure.name()), 1);
+
+    let deadline = state.clamp_deadline(parsed.deadline_ms);
+    let config = LadderConfig {
+        k: parsed.k,
+        max_iter: parsed.max_iter,
+        seed: parsed.seed,
+        start,
+        descend_on_stop: true,
+        rung_wall_fraction: 0.5,
+        ..LadderConfig::default()
+    };
+    let opts = LadderOptions {
+        config,
+        budget: Some(Budget::unlimited().with_deadline(deadline)),
+        cancel: None,
+        recorder: Some(&state.telemetry),
+    };
+
+    let outcome = match cluster_with_ladder(&normalized, &opts) {
+        Ok(o) => o,
+        Err(e) => return ts_error_response(&e),
+    };
+
+    let m = outcome.centroids.first().map_or(0, Vec::len);
+    let model = Model {
+        name: name.to_string(),
+        k: parsed.k,
+        m,
+        rung: outcome.rung.name().to_string(),
+        converged: outcome.converged,
+        iterations: outcome.iterations,
+        centroids: outcome.centroids,
+    };
+    let descents: Vec<String> = outcome
+        .descents
+        .iter()
+        .map(|d| format!("\"{}\"", d.rung.name()))
+        .collect();
+    match state.registry.insert(model) {
+        Ok(prepared) => Response::json(
+            200,
+            format!(
+                "{{\"model\":\"{}\",\"k\":{},\"m\":{},\"rung\":\"{}\",\"converged\":{},\"iterations\":{},\"descents\":[{}],\"labels\":{}}}",
+                json_escape(name),
+                prepared.model.k,
+                prepared.model.m,
+                json_escape(&prepared.model.rung),
+                prepared.model.converged,
+                prepared.model.iterations,
+                descents.join(","),
+                labels_json(&outcome.labels)
+            ),
+        ),
+        Err(detail) => Response::error(500, "persist_failed", &detail),
+    }
+}
+
+/// `POST /v1/models/{name}/assign` — nearest shape centroid per series
+/// via the cached-spectra kernel, under a wall budget charged per
+/// series.
+fn assign(name: &str, req: &Request, state: &AppState) -> Response {
+    let Some(model) = state.registry.get(name) else {
+        return Response::error(404, "unknown_model", name);
+    };
+    let parsed = match SeriesRequest::parse(&req.body) {
+        Ok(p) => p,
+        Err(detail) => return Response::error(400, "bad_request", &detail),
+    };
+    let m = model.model.m;
+    let deadline = state.clamp_deadline(parsed.deadline_ms);
+    let ctrl = RunControl::from_parts(Some(Budget::unlimited().with_deadline(deadline)), None);
+
+    let mut labels = Vec::with_capacity(parsed.series.len());
+    let mut distances = Vec::with_capacity(parsed.series.len());
+    let mut scratch = SbdScratch::default();
+    for (i, series) in parsed.series.iter().enumerate() {
+        if let Err(reason) = ctrl.charge(m as u64) {
+            return ts_error_response(&RunControl::stop_error(labels, i, reason));
+        }
+        if series.len() != m {
+            return ts_error_response(&TsError::LengthMismatch {
+                expected: m,
+                found: series.len(),
+                series: i,
+            });
+        }
+        let z = match tsdata::normalize::try_z_normalize_series(series, i) {
+            Ok(z) => z,
+            Err(e) => return ts_error_response(&e),
+        };
+        let (label, dist) = model.assign_one(&z, &mut scratch);
+        labels.push(label);
+        distances.push(dist);
+    }
+    state
+        .telemetry
+        .counter("serve.assign.series", labels.len() as u64);
+
+    let mut body = format!(
+        "{{\"model\":\"{}\",\"labels\":{},\"distances\":[",
+        json_escape(name),
+        labels_json(&labels)
+    );
+    for (i, d) in distances.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&fmt_f64(*d));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// Z-normalizes every series, mapping the first defect to its typed
+/// error.
+fn z_normalize_all(series: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, TsError> {
+    series
+        .iter()
+        .enumerate()
+        .map(|(i, x)| tsdata::normalize::try_z_normalize_series(x, i))
+        .collect()
+}
+
+/// Maps a [`TsError`] to its HTTP response. Budget trips become a 504
+/// carrying the typed partial result; invalid inputs are 422;
+/// numerical failures are 500.
+pub fn ts_error_response(err: &TsError) -> Response {
+    match err {
+        TsError::Stopped {
+            labels,
+            iterations,
+            reason,
+        } => Response::json(
+            504,
+            format!(
+                "{{\"error\":\"stopped\",\"reason\":\"{}\",\"iterations\":{},\"partial_labels\":{}}}",
+                stop_reason_name(*reason),
+                iterations,
+                labels_json(labels)
+            ),
+        ),
+        TsError::NumericalFailure { .. } => {
+            Response::error(500, "numerical_failure", &err.to_string())
+        }
+        _ => Response::error(422, "invalid_input", &err.to_string()),
+    }
+}
+
+/// Stable lowercase name for a [`StopReason`].
+pub fn stop_reason_name(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::Deadline => "deadline",
+        StopReason::Cancelled => "cancelled",
+        StopReason::IterationCap => "iteration_cap",
+        StopReason::CostCap => "cost_cap",
+    }
+}
+
+impl AppState {
+    /// Clamps a requested deadline to the configured ceiling, applying
+    /// the default when absent.
+    fn clamp_deadline(&self, requested_ms: Option<u64>) -> Duration {
+        let ms = requested_ms
+            .unwrap_or(self.config.default_deadline_ms)
+            .clamp(1, self.config.max_deadline_ms);
+        Duration::from_millis(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopped_maps_to_typed_504() {
+        let err = TsError::stopped(vec![0, 1, 0], 2, StopReason::Deadline);
+        let r = ts_error_response(&err);
+        assert_eq!(r.status, 504);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"reason\":\"deadline\""));
+        assert!(body.contains("\"partial_labels\":[0,1,0]"));
+    }
+
+    #[test]
+    fn invalid_input_maps_to_422() {
+        let err = TsError::NonFinite {
+            series: 3,
+            index: 7,
+        };
+        assert_eq!(ts_error_response(&err).status, 422);
+        let err = TsError::NumericalFailure {
+            context: "x".into(),
+        };
+        assert_eq!(ts_error_response(&err).status, 500);
+    }
+}

@@ -1,0 +1,304 @@
+//! Hand-rolled HTTP/1.1 request reading and response writing over
+//! blocking `TcpStream`s.
+//!
+//! The parser is deliberately minimal — method, path, `Content-Length`
+//! body — but strict about the failure modes a server must survive:
+//! oversized heads and bodies are rejected with typed errors before
+//! buffering them, chunked transfer encoding is refused, and every read
+//! is polled against a per-request wall deadline so a slow-loris client
+//! (drip-feeding bytes to pin a worker) is evicted with a 408 instead of
+//! holding the connection forever.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::wire::json_escape;
+
+/// Poll quantum for blocking reads: short enough that the wall deadline
+/// is enforced with millisecond slack, long enough not to spin.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Byte and time limits applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the head (request line + headers), bytes.
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted, bytes.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for receiving the complete request.
+    pub read_deadline: Duration,
+}
+
+/// A parsed request: method, path (query string stripped), raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path without the query string.
+    pub path: String,
+    /// Raw body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Every variant except
+/// [`HttpError::Disconnected`] maps to a typed HTTP error response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed bytes: bad request line, bad header, truncated stream,
+    /// or an unsupported transfer encoding.
+    BadRequest(String),
+    /// Head or declared body exceeds the configured limit.
+    TooLarge(&'static str),
+    /// The read deadline elapsed before the request completed
+    /// (slow-loris eviction).
+    SlowClient,
+    /// The peer vanished before sending anything; no response possible.
+    Disconnected,
+}
+
+impl HttpError {
+    /// The error as an HTTP response, or `None` when the peer is gone.
+    pub fn into_response(self) -> Option<Response> {
+        match self {
+            HttpError::BadRequest(detail) => Some(Response::error(400, "bad_request", &detail)),
+            HttpError::TooLarge(what) => Some(Response::error(413, "too_large", what)),
+            HttpError::SlowClient => Some(Response::error(
+                408,
+                "slow_client",
+                "read deadline exceeded; connection evicted",
+            )),
+            HttpError::Disconnected => None,
+        }
+    }
+}
+
+/// Reads one complete request, enforcing `limits`.
+///
+/// Sends `100 Continue` when the client asked for it (curl does for
+/// bodies over 1 KiB) so well-behaved clients do not stall.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + limits.read_deadline;
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::TooLarge("request head exceeds limit"));
+        }
+        read_some(stream, &mut buf, deadline)?;
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+
+    let mut content_length: usize = 0;
+    let mut expects_continue = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::BadRequest(
+                "chunked transfer encoding is not supported".into(),
+            ));
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expects_continue = true;
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::TooLarge("request body exceeds limit"));
+    }
+    if expects_continue && content_length > 0 {
+        let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    let body_start = head_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        read_some(stream, &mut body, deadline)?;
+    }
+    body.truncate(content_length);
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        body,
+    })
+}
+
+/// One polled read into `buf`, honouring `deadline`.
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    deadline: Instant,
+) -> Result<(), HttpError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if Instant::now() >= deadline {
+            return Err(HttpError::SlowClient);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    HttpError::Disconnected
+                } else {
+                    HttpError::BadRequest("connection closed mid-request".into())
+                });
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                return Ok(());
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpError::Disconnected),
+        }
+    }
+}
+
+/// Index of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response about to be written. Always `Connection: close` —
+/// one request per connection keeps worker accounting and eviction
+/// trivially correct under chaos.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Optional `Retry-After` header (seconds), set on shed 503s.
+    pub retry_after: Option<u32>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given body.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            retry_after: None,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A typed JSON error: `{"error":code,"detail":detail}`.
+    pub fn error(status: u16, code: &str, detail: &str) -> Response {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(code),
+                json_escape(detail)
+            ),
+        )
+    }
+
+    /// Adds a `Retry-After` header.
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u32) -> Response {
+        self.retry_after = Some(secs);
+        self
+    }
+
+    /// Writes status line, headers, and body to `stream`.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn error_responses_are_typed() {
+        let r = HttpError::TooLarge("body").into_response().unwrap();
+        assert_eq!(r.status, 413);
+        assert!(String::from_utf8(r.body).unwrap().contains("too_large"));
+        assert!(HttpError::Disconnected.into_response().is_none());
+    }
+
+    #[test]
+    fn status_texts_cover_emitted_codes() {
+        for code in [200, 400, 404, 405, 408, 413, 422, 500, 503, 504] {
+            assert_ne!(status_text(code), "Response");
+        }
+    }
+}

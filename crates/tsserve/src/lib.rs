@@ -1,0 +1,57 @@
+//! `tsserve` — a zero-dependency HTTP/1.1 clustering server that
+//! survives overload, slow clients, corrupt bytes, and kills.
+//!
+//! Built entirely on `std::net` with a hand-rolled bounded thread pool
+//! (the workspace's hermetic-build policy holds: no async runtime, no
+//! HTTP crate). The endpoints expose the repository's clustering stack
+//! over the wire:
+//!
+//! * `POST /v1/normalize` — z-normalize series (paper §3.1),
+//! * `POST /v1/models/{name}/fit` — fit a k-Shape model through the
+//!   degradation ladder under a per-request wall budget,
+//! * `POST /v1/models/{name}/assign` — nearest shape centroid via the
+//!   cached-spectra SBD hot path,
+//! * `GET /v1/models`, `GET /v1/models/{name}`, `GET /healthz`,
+//!   `GET /v1/telemetry`, `POST /admin/drain`.
+//!
+//! Robustness properties (exercised end-to-end by `tests/serve.rs`):
+//!
+//! * **Admission control** — a bounded accept queue; beyond capacity,
+//!   connections are shed with `503 + Retry-After`, never queued
+//!   without bound.
+//! * **Deadlines** — every fit/assign runs under a [`tsrun::Budget`]
+//!   wall deadline tripped at the library's cooperative poll points; a
+//!   stuck fit returns a typed partial result (HTTP 504) instead of
+//!   hanging.
+//! * **Slow-loris eviction** — socket reads are polled against a
+//!   per-request deadline; drip-feeding clients get a 408.
+//! * **Panic isolation** — every request runs under `catch_unwind`
+//!   (twice: handler level and pool backstop); a panicking request
+//!   costs one 500, not the process.
+//! * **Degradation** — under pressure, fits start lower on the
+//!   [`tscluster::ladder`] and budget trips descend k-Shape →
+//!   SBD-medoid → k-AVG instead of erroring.
+//! * **Kill-safety** — models persist through the atomic
+//!   [`tsexperiments::CheckpointStore`] writes; a `kill -9`'d server
+//!   warm-starts and serves bit-identical assignments without
+//!   refitting.
+//! * **Graceful drain** — `POST /admin/drain` stops accepting,
+//!   finishes in-flight requests, and flushes telemetry.
+
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod handlers;
+pub mod http;
+pub mod loadgen;
+pub mod pool;
+pub mod registry;
+pub mod server;
+pub mod telemetry;
+pub mod wire;
+
+pub use gate::{Gate, Pressure};
+pub use pool::BoundedPool;
+pub use registry::{Model, ModelRegistry, PreparedModel};
+pub use server::{AppState, ServeConfig, ServeSummary, Server, ServerHandle};
+pub use telemetry::RingTelemetry;

@@ -1,0 +1,258 @@
+//! A minimal HTTP load generator and raw-socket client, used by the
+//! `serve` bench group, the chaos acceptance suite, and CI.
+//!
+//! Latencies are recorded per request in nanoseconds so
+//! `tsbench::Record::from_latency_samples` can report true per-event
+//! p50/p95/p99.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Sends one HTTP/1.1 request and returns `(status, body)`.
+///
+/// The connection is closed after the exchange (`Connection: close`),
+/// matching the server's one-request-per-connection model.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    raw_exchange_on(stream, &request_bytes(method, path, body), timeout).and_then(parse_response)
+}
+
+/// Serializes a request with `Content-Length` and `Connection: close`.
+pub fn request_bytes(method: &str, path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: tsserve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Writes arbitrary bytes and reads until EOF — the raw client used to
+/// inject corrupt or truncated streams.
+pub fn raw_exchange(addr: SocketAddr, bytes: &[u8], timeout: Duration) -> std::io::Result<Vec<u8>> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    raw_exchange_on(stream, bytes, timeout)
+}
+
+fn raw_exchange_on(
+    mut stream: TcpStream,
+    bytes: &[u8],
+    timeout: Duration,
+) -> std::io::Result<Vec<u8>> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(bytes)?;
+    let deadline = Instant::now() + timeout;
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "response deadline elapsed",
+            ));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(out),
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Interim 100 Continue responses keep the socket open;
+                // only give up at the overall deadline.
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                // A reset after a full response is a normal close race.
+                if out.is_empty() {
+                    return Err(e);
+                }
+                return Ok(out);
+            }
+        }
+    }
+}
+
+/// Parses `(status, body)` out of a raw HTTP response, skipping any
+/// interim `100 Continue`.
+pub fn parse_response(raw: Vec<u8>) -> std::io::Result<(u16, String)> {
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let mut rest = text.as_str();
+    loop {
+        let head_end = rest.find("\r\n\r\n").ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "truncated response")
+        })?;
+        let head = &rest[..head_end];
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let body = &rest[head_end + 4..];
+        if status == 100 {
+            rest = body;
+            continue;
+        }
+        return Ok((status, body.to_string()));
+    }
+}
+
+/// One load-generation run: `clients` threads, each issuing
+/// `requests_per_client` identical requests back to back.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Target server.
+    pub addr: SocketAddr,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// HTTP method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Request body.
+    pub body: String,
+    /// Per-request timeout.
+    pub timeout: Duration,
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Per-request wall latency, nanoseconds (successful exchanges only).
+    pub latencies_ns: Vec<f64>,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 503 responses (shed or draining).
+    pub shed: u64,
+    /// Other 4xx responses.
+    pub client_errors: u64,
+    /// 5xx responses (including 504 budget trips).
+    pub server_errors: u64,
+    /// Requests that failed at the transport layer.
+    pub transport_errors: u64,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Total requests attempted.
+    pub fn total(&self) -> u64 {
+        self.ok + self.shed + self.client_errors + self.server_errors + self.transport_errors
+    }
+
+    /// Completed requests per second over the run.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.ok as f64 / secs
+    }
+
+    /// Fraction of requests shed (503).
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / total as f64
+    }
+
+    /// Fraction of requests failing for reasons other than shedding.
+    pub fn error_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.client_errors + self.server_errors + self.transport_errors) as f64 / total as f64
+    }
+}
+
+/// Drives the target with `spec` and aggregates the outcomes.
+pub fn drive(spec: &LoadSpec) -> LoadReport {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..spec.clients.max(1))
+        .map(|_| {
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut report = LoadReport::default();
+                for _ in 0..spec.requests_per_client {
+                    let t0 = Instant::now();
+                    match http_request(
+                        spec.addr,
+                        &spec.method,
+                        &spec.path,
+                        &spec.body,
+                        spec.timeout,
+                    ) {
+                        Ok((status, _body)) => {
+                            report.latencies_ns.push(t0.elapsed().as_nanos() as f64);
+                            match status {
+                                200..=299 => report.ok += 1,
+                                503 => report.shed += 1,
+                                400..=499 => report.client_errors += 1,
+                                _ => report.server_errors += 1,
+                            }
+                        }
+                        Err(_) => report.transport_errors += 1,
+                    }
+                }
+                report
+            })
+        })
+        .collect();
+
+    let mut merged = LoadReport::default();
+    for handle in handles {
+        if let Ok(part) = handle.join() {
+            merged.latencies_ns.extend(part.latencies_ns);
+            merged.ok += part.ok;
+            merged.shed += part.shed;
+            merged.client_errors += part.client_errors;
+            merged.server_errors += part.server_errors;
+            merged.transport_errors += part.transport_errors;
+        }
+    }
+    merged.elapsed = started.elapsed();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parsing_skips_interim_continue() {
+        let raw =
+            b"HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok".to_vec();
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+    }
+
+    #[test]
+    fn report_rates() {
+        let report = LoadReport {
+            ok: 6,
+            shed: 2,
+            server_errors: 1,
+            client_errors: 1,
+            ..LoadReport::default()
+        };
+        assert_eq!(report.total(), 10);
+        assert!((report.shed_rate() - 0.2).abs() < 1e-12);
+        assert!((report.error_rate() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! `tsserve` binary: flag parsing and the run loop.
+//!
+//! ```text
+//! tsserve [--addr 127.0.0.1:7878] [--workers N] [--queue N]
+//!         [--checkpoint-dir DIR] [--deadline-ms N] [--max-deadline-ms N]
+//!         [--read-deadline-ms N] [--panic-probe]
+//! ```
+
+use std::time::Duration;
+
+use tsserve::{ServeConfig, Server};
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = take("--addr"),
+            "--workers" => config.workers = parse(&take("--workers"), "--workers"),
+            "--queue" => config.queue_depth = parse(&take("--queue"), "--queue"),
+            "--checkpoint-dir" => {
+                config.checkpoint_dir = Some(std::path::PathBuf::from(take("--checkpoint-dir")))
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = parse(&take("--deadline-ms"), "--deadline-ms")
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline_ms = parse(&take("--max-deadline-ms"), "--max-deadline-ms")
+            }
+            "--read-deadline-ms" => {
+                config.read_deadline =
+                    Duration::from_millis(parse(&take("--read-deadline-ms"), "--read-deadline-ms"))
+            }
+            "--panic-probe" => config.panic_probe = true,
+            "--help" | "-h" => {
+                println!(
+                    "tsserve: k-Shape clustering server\n\
+                     flags: --addr A --workers N --queue N --checkpoint-dir DIR\n\
+                     \x20      --deadline-ms N --max-deadline-ms N --read-deadline-ms N\n\
+                     \x20      --panic-probe"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Machine-readable so scripts can scrape the bound address.
+    println!("tsserve listening on {}", server.addr());
+    match server.run() {
+        Ok(summary) => {
+            println!(
+                "{{\"accepted\":{},\"completed\":{},\"shed\":{},\"errors\":{},\"panics\":{},\"models\":{}}}",
+                summary.accepted,
+                summary.completed,
+                summary.shed,
+                summary.errors,
+                summary.panics,
+                summary.models
+            );
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {value:?} for {flag}");
+        std::process::exit(2);
+    })
+}

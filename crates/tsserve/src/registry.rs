@@ -1,0 +1,373 @@
+//! Fitted-model registry with kill-safe persistence.
+//!
+//! Every fitted model is serialized to JSON (floats via shortest
+//! round-trip formatting) and written through
+//! [`tsexperiments::CheckpointStore::store_named`] — an atomic
+//! write-then-rename — under `model__<name>.json`. On startup
+//! [`ModelRegistry::warm_start`] reloads every artifact, quarantining
+//! corrupt files, so a `kill -9`'d server restarts and serves
+//! bit-identical assignments without refitting.
+//!
+//! In memory each model carries its [`SbdPlan`] and the prepared
+//! spectra of its centroids, so assignment reuses the cached-spectra
+//! hot path: one forward FFT for the query, one conjugate multiply +
+//! half-size inverse per centroid.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use kshape::sbd::{PreparedSeries, SbdPlan, SbdScratch};
+use tsexperiments::checkpoint::LoadOutcome;
+use tsexperiments::CheckpointStore;
+use tsobs::JsonValue;
+
+use crate::wire::{json_escape, push_series_json};
+
+/// Checkpoint-name prefix for persisted models.
+const MODEL_PREFIX: &str = "model__";
+
+/// Is `name` a legal model name? Restricted to `[A-Za-z0-9_]{1,64}` so
+/// names survive the checkpoint store's filename sanitization without
+/// collisions.
+pub fn valid_model_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// A fitted clustering model: the shape centroids plus fit provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Registry name.
+    pub name: String,
+    /// Number of clusters.
+    pub k: usize,
+    /// Series length the model was fitted on.
+    pub m: usize,
+    /// Ladder rung that produced the centroids (its
+    /// [`tscluster::LadderRung::name`]).
+    pub rung: String,
+    /// Whether the producing rung converged before its iteration cap.
+    pub converged: bool,
+    /// Refinement iterations executed.
+    pub iterations: usize,
+    /// One centroid per cluster, each of length `m`.
+    pub centroids: Vec<Vec<f64>>,
+}
+
+impl Model {
+    /// Serializes the model as its persistence payload.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.k * self.m * 20);
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"k\":{},\"m\":{},\"rung\":\"{}\",\"converged\":{},\"iterations\":{},\"centroids\":",
+            json_escape(&self.name),
+            self.k,
+            self.m,
+            json_escape(&self.rung),
+            self.converged,
+            self.iterations,
+        ));
+        push_series_json(&mut out, &self.centroids);
+        out.push('}');
+        out
+    }
+
+    /// Parses and validates a persistence payload. `None` on any
+    /// structural or numerical defect — the caller quarantines the file.
+    pub fn from_json(text: &str) -> Option<Model> {
+        let obj = tsobs::parse_json(text).ok()?;
+        let name = obj.get("name")?.as_str()?.to_string();
+        if !valid_model_name(&name) {
+            return None;
+        }
+        let k = obj.get("k")?.as_uint()? as usize;
+        let m = obj.get("m")?.as_uint()? as usize;
+        let rung = obj.get("rung")?.as_str()?.to_string();
+        tscluster::LadderRung::from_name(&rung)?;
+        let converged = match obj.get("converged")? {
+            JsonValue::Bool(b) => *b,
+            _ => return None,
+        };
+        let iterations = obj.get("iterations")?.as_uint()? as usize;
+        let JsonValue::Arr(rows) = obj.get("centroids")? else {
+            return None;
+        };
+        if k == 0 || m == 0 || rows.len() != k {
+            return None;
+        }
+        let mut centroids = Vec::with_capacity(k);
+        for row in rows {
+            let JsonValue::Arr(vals) = row else {
+                return None;
+            };
+            if vals.len() != m {
+                return None;
+            }
+            let mut c = Vec::with_capacity(m);
+            for v in vals {
+                let x = v.as_num()?;
+                if !x.is_finite() {
+                    return None;
+                }
+                c.push(x);
+            }
+            centroids.push(c);
+        }
+        Some(Model {
+            name,
+            k,
+            m,
+            rung,
+            converged,
+            iterations,
+            centroids,
+        })
+    }
+}
+
+/// A model plus its cached FFT plan and prepared centroid spectra.
+#[derive(Debug)]
+pub struct PreparedModel {
+    /// The underlying model.
+    pub model: Model,
+    plan: SbdPlan,
+    prepared: Vec<PreparedSeries>,
+}
+
+impl PreparedModel {
+    /// Prepares `model` for assignment (one forward FFT per centroid,
+    /// done once here).
+    pub fn new(model: Model) -> tserror::TsResult<PreparedModel> {
+        let plan = SbdPlan::try_new(model.m)?;
+        let prepared = model.centroids.iter().map(|c| plan.prepare(c)).collect();
+        Ok(PreparedModel {
+            model,
+            plan,
+            prepared,
+        })
+    }
+
+    /// Nearest centroid for an already z-normalized query of length
+    /// `m`: `(label, sbd_distance)`.
+    pub fn assign_one(&self, query: &[f64], scratch: &mut SbdScratch) -> (usize, f64) {
+        debug_assert_eq!(query.len(), self.model.m);
+        let q = self.plan.prepare(query);
+        let mut best = (0usize, f64::INFINITY);
+        for (idx, centroid) in self.prepared.iter().enumerate() {
+            let (dist, _shift) = self.plan.sbd_spectra(&q, centroid, scratch);
+            if dist < best.1 {
+                best = (idx, dist);
+            }
+        }
+        best
+    }
+}
+
+/// Outcome of [`ModelRegistry::warm_start`].
+#[derive(Debug, Default)]
+pub struct WarmStart {
+    /// Names of the models loaded, sorted.
+    pub loaded: Vec<String>,
+    /// Artifacts quarantined (corrupt bytes) or rejected (bad payload).
+    pub rejected: usize,
+}
+
+/// Thread-safe registry of prepared models backed by a
+/// [`CheckpointStore`].
+pub struct ModelRegistry {
+    store: CheckpointStore,
+    models: RwLock<HashMap<String, Arc<PreparedModel>>>,
+}
+
+impl ModelRegistry {
+    /// A registry persisting through `store` (which may be disabled —
+    /// then models live only in memory).
+    pub fn new(store: CheckpointStore) -> ModelRegistry {
+        ModelRegistry {
+            store,
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Reloads every persisted model. Corrupt files are quarantined by
+    /// the store (`*.json.corrupt`) and counted, never served.
+    pub fn warm_start(&self) -> WarmStart {
+        let mut out = WarmStart::default();
+        for artifact in self.store.list_named(MODEL_PREFIX) {
+            let (model, outcome) = self.store.load_named(&artifact, Model::from_json);
+            match (model, outcome) {
+                (Some(model), LoadOutcome::Hit) => match PreparedModel::new(model) {
+                    Ok(prepared) => {
+                        out.loaded.push(prepared.model.name.clone());
+                        self.put(prepared);
+                    }
+                    Err(_) => out.rejected += 1,
+                },
+                (_, LoadOutcome::Quarantined) => out.rejected += 1,
+                _ => out.rejected += 1,
+            }
+        }
+        out.loaded.sort();
+        out
+    }
+
+    /// Validates, prepares, persists, and publishes a fitted model.
+    /// The write is atomic (`store_named`), so a kill mid-store leaves
+    /// either the old artifact or the new one — never a torn file.
+    pub fn insert(&self, model: Model) -> Result<Arc<PreparedModel>, String> {
+        let payload = model.to_json();
+        let name = model.name.clone();
+        let prepared = PreparedModel::new(model).map_err(|e| format!("model rejected: {e}"))?;
+        self.store
+            .store_named(&format!("{MODEL_PREFIX}{name}"), &payload)
+            .map_err(|e| format!("persist failed: {e}"))?;
+        let arc = Arc::new(prepared);
+        self.models
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    fn put(&self, prepared: PreparedModel) {
+        self.models
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(prepared.model.name.clone(), Arc::new(prepared));
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedModel>> {
+        self.models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Sorted model names.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> Model {
+        Model {
+            name: "demo".into(),
+            k: 2,
+            m: 4,
+            rung: "k-Shape".into(),
+            converged: true,
+            iterations: 3,
+            centroids: vec![vec![0.1, 0.2, -0.3, 0.0], vec![1.0, -1.0, 0.5, -0.5]],
+        }
+    }
+
+    #[test]
+    fn model_json_round_trips_exactly() {
+        let model = sample_model();
+        let json = model.to_json();
+        let back = Model::from_json(&json).unwrap();
+        assert_eq!(back, model);
+        // Bit-identical floats and a byte-identical re-serialization:
+        // the warm-start contract.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn from_json_rejects_defects() {
+        let model = sample_model();
+        let good = model.to_json();
+        assert!(Model::from_json(&good.replace("\"k\":2", "\"k\":3")).is_none());
+        assert!(Model::from_json(&good.replace("0.2", "\"x\"")).is_none());
+        assert!(Model::from_json("{\"name\":\"demo\"}").is_none());
+        assert!(Model::from_json("not json").is_none());
+        assert!(Model::from_json(&good.replace("k-Shape", "mystery")).is_none());
+    }
+
+    #[test]
+    fn model_names_are_restricted() {
+        assert!(valid_model_name("prices_2024"));
+        assert!(!valid_model_name(""));
+        assert!(!valid_model_name("a/b"));
+        assert!(!valid_model_name("dash-ed"));
+        assert!(!valid_model_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn registry_round_trip_and_warm_start() {
+        let dir = std::env::temp_dir().join(format!(
+            "tsserve-registry-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ModelRegistry::new(CheckpointStore::new(&dir));
+        registry.insert(sample_model()).unwrap();
+        assert_eq!(registry.names(), vec!["demo".to_string()]);
+
+        // Fresh registry over the same dir: warm start finds the model.
+        let reborn = ModelRegistry::new(CheckpointStore::new(&dir));
+        let warm = reborn.warm_start();
+        assert_eq!(warm.loaded, vec!["demo".to_string()]);
+        assert_eq!(warm.rejected, 0);
+        let m = reborn.get("demo").unwrap();
+        assert_eq!(m.model, sample_model());
+
+        // Assignment agrees between original and warm-started copies.
+        let query = vec![0.9, -0.9, 0.4, -0.4];
+        let mut scratch = SbdScratch::default();
+        let a = registry
+            .get("demo")
+            .unwrap()
+            .assign_one(&query, &mut scratch);
+        let b = m.assign_one(&query, &mut scratch);
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_quarantines_corrupt_artifacts() {
+        let dir = std::env::temp_dir().join(format!("tsserve-quarantine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir);
+        store
+            .store_named("model__good", &sample_model().to_json())
+            .unwrap();
+        store
+            .store_named("model__bad", "{\"name\":\"bad\",")
+            .unwrap();
+        let registry = ModelRegistry::new(CheckpointStore::new(&dir));
+        let warm = registry.warm_start();
+        assert_eq!(warm.loaded, vec!["demo".to_string()]);
+        assert_eq!(warm.rejected, 1);
+        assert!(dir.join("model__bad.json.corrupt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

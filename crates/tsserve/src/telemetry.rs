@@ -1,0 +1,126 @@
+//! A bounded in-memory telemetry ring implementing [`tsobs::Recorder`].
+//!
+//! Every event is serialized to its JSONL line immediately (the same
+//! schema as [`tsobs::JsonlSink`]) and pushed into a capped ring;
+//! the oldest lines fall off under sustained load so telemetry can
+//! never exhaust memory. `GET /v1/telemetry` snapshots the ring, and
+//! drain flushes it to disk next to the model checkpoints.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tsobs::{Event, IterationEvent, Recorder};
+
+/// Bounded ring of serialized JSONL telemetry lines.
+#[derive(Debug)]
+pub struct RingTelemetry {
+    lines: Mutex<VecDeque<String>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl RingTelemetry {
+    /// A ring holding at most `capacity` lines.
+    pub fn new(capacity: usize) -> RingTelemetry {
+        RingTelemetry {
+            lines: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, line: String) {
+        let mut lines = self
+            .lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if lines.len() == self.capacity {
+            lines.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        lines.push_back(line);
+    }
+
+    /// Snapshot of the buffered lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Lines evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Writes the buffered lines to `path` as JSONL (used by drain).
+    pub fn flush_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut out = String::new();
+        for line in self.lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+}
+
+impl Recorder for RingTelemetry {
+    fn counter(&self, name: &str, delta: u64) {
+        self.push(
+            Event::Counter {
+                name: name.to_string(),
+                delta,
+            }
+            .to_json_line(),
+        );
+    }
+
+    fn histogram(&self, name: &str, value: u64) {
+        self.push(
+            Event::Histogram {
+                name: name.to_string(),
+                value,
+                bucket: tsobs::log2_bucket(value),
+            }
+            .to_json_line(),
+        );
+    }
+
+    fn span(&self, name: &str, nanos: u64) {
+        self.push(
+            Event::Span {
+                name: name.to_string(),
+                ns: nanos,
+            }
+            .to_json_line(),
+        );
+    }
+
+    fn iteration(&self, event: &IterationEvent) {
+        self.push(Event::Iteration(*event).to_json_line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let ring = RingTelemetry::new(3);
+        for i in 0..5 {
+            ring.counter("serve.test", i);
+        }
+        let lines = ring.lines();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert!(lines[0].contains("\"delta\":2"));
+        for line in &lines {
+            tsobs::validate_event_line(line).unwrap();
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! JSON wire format: request body parsing (via [`tsobs::parse_json`])
+//! and response serialization.
+//!
+//! Floats are serialized with Rust's `{:?}` formatting — the shortest
+//! decimal that round-trips to the identical bits — and parsed back with
+//! `str::parse::<f64>`, so a model persisted as JSON and reloaded after
+//! a kill produces bit-identical assignments (the warm-start
+//! contract in DESIGN.md §8).
+
+use tscluster::LadderRung;
+use tsobs::JsonValue;
+
+/// Escapes `s` as the body of a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number that parses back bit-identically
+/// (`{:?}` is shortest-round-trip). Non-finite values — which the
+/// validated payloads never contain — degrade to `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Appends `[[..],[..]]` for a series set.
+pub fn push_series_json(out: &mut String, series: &[Vec<f64>]) {
+    out.push('[');
+    for (i, row) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&fmt_f64(*v));
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+/// `[0,1,2]` for a label vector.
+pub fn labels_json(labels: &[usize]) -> String {
+    let mut out = String::with_capacity(2 + labels.len() * 2);
+    out.push('[');
+    for (i, l) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&l.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// Parses the request body as a JSON object.
+pub fn parse_body(body: &[u8]) -> Result<JsonValue, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let v = tsobs::parse_json(text)?;
+    match v {
+        JsonValue::Obj(_) => Ok(v),
+        _ => Err("body must be a JSON object".to_string()),
+    }
+}
+
+/// Extracts the `"series"` field: a non-empty array of arrays of
+/// numbers. NaN and infinity are unrepresentable in JSON, so every
+/// parsed value is finite by construction — corrupt numeric bytes
+/// surface as a parse error (HTTP 400), not a poisoned fit.
+pub fn parse_series(obj: &JsonValue) -> Result<Vec<Vec<f64>>, String> {
+    let JsonValue::Arr(rows) = obj
+        .get("series")
+        .ok_or_else(|| "missing field \"series\"".to_string())?
+    else {
+        return Err("\"series\" must be an array of arrays".to_string());
+    };
+    if rows.is_empty() {
+        return Err("\"series\" must not be empty".to_string());
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let JsonValue::Arr(vals) = row else {
+            return Err(format!("series[{i}] must be an array of numbers"));
+        };
+        let mut parsed = Vec::with_capacity(vals.len());
+        for v in vals {
+            let Some(x) = v.as_num() else {
+                return Err(format!("series[{i}] contains a non-numeric value"));
+            };
+            parsed.push(x);
+        }
+        out.push(parsed);
+    }
+    Ok(out)
+}
+
+/// Optional `u64` field with a default.
+fn uint_or(obj: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None | Some(JsonValue::Null) => Ok(default),
+        Some(v) => v
+            .as_uint()
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+/// Body of `POST /v1/models/{name}/fit`.
+#[derive(Debug)]
+pub struct FitRequest {
+    /// Raw input series (z-normalized server-side).
+    pub series: Vec<Vec<f64>>,
+    /// Number of clusters.
+    pub k: usize,
+    /// RNG seed (default 42).
+    pub seed: u64,
+    /// Per-rung iteration cap (default 100).
+    pub max_iter: usize,
+    /// Requested wall deadline in ms, clamped by the server config.
+    pub deadline_ms: Option<u64>,
+    /// Explicit starting rung, overriding the pressure-based choice.
+    pub start: Option<LadderRung>,
+}
+
+impl FitRequest {
+    /// Parses and validates a fit body.
+    pub fn parse(body: &[u8]) -> Result<FitRequest, String> {
+        let obj = parse_body(body)?;
+        let series = parse_series(&obj)?;
+        let k = obj
+            .get("k")
+            .ok_or_else(|| "missing field \"k\"".to_string())?
+            .as_uint()
+            .ok_or_else(|| "\"k\" must be a positive integer".to_string())?;
+        if k == 0 {
+            return Err("\"k\" must be at least 1".to_string());
+        }
+        let start = match obj.get("start") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| "\"start\" must be a rung name".to_string())?;
+                Some(LadderRung::from_name(name).ok_or_else(|| format!("unknown rung {name:?}"))?)
+            }
+        };
+        let deadline_ms = match obj.get("deadline_ms") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_uint()
+                    .ok_or_else(|| "\"deadline_ms\" must be a non-negative integer".to_string())?,
+            ),
+        };
+        Ok(FitRequest {
+            series,
+            k: k as usize,
+            seed: uint_or(&obj, "seed", 42)?,
+            max_iter: uint_or(&obj, "max_iter", 100)? as usize,
+            deadline_ms,
+            start,
+        })
+    }
+}
+
+/// Body of `POST /v1/models/{name}/assign` and `POST /v1/normalize`.
+#[derive(Debug)]
+pub struct SeriesRequest {
+    /// Raw input series.
+    pub series: Vec<Vec<f64>>,
+    /// Requested wall deadline in ms, clamped by the server config.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SeriesRequest {
+    /// Parses an assign/normalize body.
+    pub fn parse(body: &[u8]) -> Result<SeriesRequest, String> {
+        let obj = parse_body(body)?;
+        let series = parse_series(&obj)?;
+        let deadline_ms = match obj.get("deadline_ms") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_uint()
+                    .ok_or_else(|| "\"deadline_ms\" must be a non-negative integer".to_string())?,
+            ),
+        };
+        Ok(SeriesRequest {
+            series,
+            deadline_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_bit_identically() {
+        for v in [
+            0.1 + 0.2,
+            -1.5e-300,
+            std::f64::consts::PI,
+            1.0,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = fmt_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn fit_request_parses_and_validates() {
+        let ok = FitRequest::parse(
+            br#"{"series":[[1.0,2.0],[3.0,4.5]],"k":2,"seed":7,"start":"SBD-medoid"}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.k, 2);
+        assert_eq!(ok.seed, 7);
+        assert_eq!(ok.start, Some(LadderRung::SbdMedoid));
+        assert_eq!(ok.series[1], vec![3.0, 4.5]);
+
+        assert!(FitRequest::parse(br#"{"series":[[1.0]],"k":0}"#).is_err());
+        assert!(FitRequest::parse(br#"{"series":[],"k":1}"#).is_err());
+        assert!(FitRequest::parse(br#"{"series":[[NaN]],"k":1}"#).is_err());
+        assert!(FitRequest::parse(b"\xff\xfe").is_err());
+    }
+
+    #[test]
+    fn series_json_serializes() {
+        let mut out = String::new();
+        push_series_json(&mut out, &[vec![1.0, 0.5], vec![-2.0]]);
+        assert_eq!(out, "[[1.0,0.5],[-2.0]]");
+        assert_eq!(labels_json(&[0, 2, 1]), "[0,2,1]");
+    }
+}

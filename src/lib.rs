@@ -19,6 +19,7 @@ pub use tslinalg;
 pub use tsobs;
 pub use tsrand;
 pub use tsrun;
+pub use tsserve;
 
 /// The everyday surface of the workspace in one import.
 ///
@@ -47,7 +48,9 @@ pub mod prelude {
     };
     pub use tscluster::kmeans::{kmeans_with, KMeansConfig, KMeansOptions, KMeansResult};
     pub use tscluster::ksc::{ksc_with, KscConfig, KscOptions, KscResult};
-    pub use tscluster::ladder::{cluster_with_ladder, LadderConfig, LadderOutcome, LadderRung};
+    pub use tscluster::ladder::{
+        cluster_with_ladder, LadderConfig, LadderOptions, LadderOutcome, LadderRung,
+    };
     pub use tscluster::matrix::{DissimilarityMatrix, MatrixConfig, MatrixOptions};
     pub use tscluster::pam::{pam_with, PamConfig, PamOptions, PamResult};
     pub use tscluster::spectral::{

@@ -415,11 +415,10 @@ tscheck::props! {
 use std::time::Duration;
 use tsrun::{retry_with_reseed, Budget, CancelToken, RunControl};
 
-/// Draws a random execution control: any combination of a microsecond
-/// deadline, a tiny iteration cap, a small cost quota, and a (possibly
-/// already fired) cancel token. Stride 1 so the deadline clock is
-/// consulted on every poll — maximally hostile.
-fn random_control(g: &mut Gen) -> RunControl {
+/// Draws the raw ingredients of a hostile execution control: an optional
+/// budget mixing a microsecond deadline, a tiny iteration cap, and a
+/// small cost quota, plus a (possibly already fired) cancel token.
+fn random_parts(g: &mut Gen) -> (Option<Budget>, Option<CancelToken>) {
     let mut budget = Budget::unlimited();
     if g.f64_in(0.0..1.0) < 0.4 {
         budget = budget.with_deadline(Duration::from_micros(g.u64_in(0..800)));
@@ -439,7 +438,19 @@ fn random_control(g: &mut Gen) -> RunControl {
     } else {
         None
     };
-    RunControl::new(budget, cancel).with_clock_stride(1)
+    let budget = if budget.is_unlimited() {
+        None
+    } else {
+        Some(budget)
+    };
+    (budget, cancel)
+}
+
+/// Arms the random parts as a `RunControl` with stride 1 so the deadline
+/// clock is consulted on every poll — maximally hostile.
+fn random_control(g: &mut Gen) -> RunControl {
+    let (budget, cancel) = random_parts(g);
+    RunControl::from_parts(budget, cancel).with_clock_stride(1)
 }
 
 /// The stop contract shared by every budgeted clusterer.
@@ -593,9 +604,17 @@ tscheck::props! {
             max_iter: 10,
             seed: g.u64_in(0..1 << 32),
             max_attempts_per_rung: 2,
+            descend_on_stop: g.f64_in(0.0..1.0) < 0.5,
             ..Default::default()
         };
-        match tscluster::cluster_with_ladder(&series, &config, &random_control(g)) {
+        let (budget, cancel) = random_parts(g);
+        let opts = tscluster::LadderOptions {
+            config,
+            budget,
+            cancel,
+            recorder: None,
+        };
+        match tscluster::cluster_with_ladder(&series, &opts) {
             Ok(outcome) => {
                 assert!(!(nf || ragged), "corrupt input must not cluster");
                 assert_eq!(outcome.labels.len(), n);

@@ -227,3 +227,56 @@ fn stale_checkpoints_from_another_config_are_recomputed() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Satellite for the serving PR: deadline accuracy under contention.
+/// N pool-style worker threads share ONE `RunControl` with a ~50 ms
+/// wall deadline, each charging work-proportional cost in a tight
+/// loop. Every thread must observe the trip and stop within 2× the
+/// deadline — the strided clock check is per-control, not per-thread,
+/// so one thread's CAS-elected clock read must fan out to all of them.
+#[test]
+fn shared_deadline_stops_all_contending_workers_within_two_x() {
+    use std::sync::Arc;
+
+    let workers = 8;
+    let deadline = Duration::from_millis(50);
+    let ctrl = Arc::new(RunControl::new(
+        Budget::unlimited().with_deadline(deadline),
+        None,
+    ));
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let ctrl = Arc::clone(&ctrl);
+            std::thread::spawn(move || {
+                let mut acc = 0.0f64;
+                let mut charges = 0u64;
+                loop {
+                    // ~64 cost units of real floating-point work per
+                    // charge, like a distance kernel would do.
+                    for t in 0..64 {
+                        acc += ((w * 64 + t) as f64 * 0.001).sin();
+                    }
+                    charges += 1;
+                    if let Err(reason) = ctrl.charge(64) {
+                        return (reason, start.elapsed(), charges, acc);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (reason, elapsed, charges, _acc) = handle.join().unwrap();
+        assert_eq!(reason, StopReason::Deadline);
+        assert!(charges > 0, "worker stopped before doing any work");
+        assert!(
+            elapsed < deadline * 2,
+            "worker stopped after {elapsed:?}, over 2x the {deadline:?} deadline"
+        );
+    }
+    // The control's clock was actually strided, not per-charge: total
+    // cost across workers dwarfs the stride.
+    assert!(ctrl.cost_spent() > 1024, "suspiciously little work charged");
+}
