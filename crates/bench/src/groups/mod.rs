@@ -15,6 +15,7 @@ pub mod kshape_group;
 pub mod scalability;
 pub mod serve_group;
 pub mod shape_extraction;
+pub mod stream_group;
 pub mod tsobs_group;
 pub mod tsrun_group;
 
@@ -33,6 +34,7 @@ pub const GROUP_NAMES: &[&str] = &[
     "tsrun",
     "tsobs",
     "serve",
+    "stream",
 ];
 
 /// Dispatches a group by name.
@@ -50,6 +52,7 @@ pub fn run_group(name: &str, quick: bool) -> Option<Group> {
         "tsrun" => Some(tsrun_group::run(quick)),
         "tsobs" => Some(tsobs_group::run(quick)),
         "serve" => Some(serve_group::run(quick)),
+        "stream" => Some(stream_group::run(quick)),
         _ => None,
     }
 }

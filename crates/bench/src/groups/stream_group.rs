@@ -1,0 +1,184 @@
+//! The `stream` group — hot-path timings for the online k-Shape engine,
+//! committed to `BENCH_stream.json` and gated in CI.
+//!
+//! Three paths matter for an unbounded feed:
+//!
+//! * `push_latency/<k>x<m>` — the steady-state assign path (z-normalize,
+//!   cached-spectra SBD against every centroid, running-stats fold).
+//!   This is per-arrival cost, so it bounds sustainable feed rate.
+//! * `quarantine_latency/<k>x<m>` — the rejection path for invalidating
+//!   faults. Quarantine must be *cheaper* than an assign: a dirty feed
+//!   should not be able to slow the engine down.
+//! * `stream_drift_recovery` — wall-clock from the first post-regime-
+//!   change arrival until the drift-triggered reseed completes (median
+//!   detection + evidence countdown + windowed refit). Each sample is
+//!   one full injected-drift episode on a fresh engine.
+//!
+//! Scalar (unit in the name, per the tsbench convention):
+//!
+//! * `push_throughput_rps` — steady-state arrivals/s from the same
+//!   samples that built `push_latency`.
+
+use std::time::Instant;
+
+use kshape::{DriftConfig, PushOutcome, StreamConfig, StreamKShape};
+use tsbench::{Group, Record};
+use tsdata::corrupt::{corrupt_stream_series, FaultKind, StreamFault};
+use tsrand::{Rng, StdRng};
+
+/// A clean arrival whose frequency identifies its class; random phase
+/// exercises SBD shift alignment on every push.
+fn sine_arrival(class: usize, m: usize, rng: &mut StdRng) -> Vec<f64> {
+    let freq = (3 * class + 2) as f64;
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    (0..m)
+        .map(|t| {
+            let x = std::f64::consts::TAU * freq * t as f64 / m as f64 + phase;
+            x.sin() + 0.05 * rng.gen_range(-1.0..1.0)
+        })
+        .collect()
+}
+
+/// The post-drift regime: a square wave at a shifted frequency, far from
+/// both sine classes in SBD.
+fn square_arrival(class: usize, m: usize, rng: &mut StdRng) -> Vec<f64> {
+    let freq = (4 * class + 3) as f64;
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    (0..m)
+        .map(|t| {
+            let x = std::f64::consts::TAU * freq * t as f64 / m as f64 + phase;
+            let base = if x.sin() >= 0.0 { 1.0 } else { -1.0 };
+            base + 0.05 * rng.gen_range(-1.0..1.0)
+        })
+        .collect()
+}
+
+/// Builds a bootstrapped engine fed with clean arrivals.
+fn bootstrapped_engine(k: usize, m: usize, seed: u64, rng: &mut StdRng) -> StreamKShape {
+    let config = StreamConfig::new(k, m)
+        .with_seed(seed)
+        .with_warmup(8 * k)
+        .with_refresh_every(32);
+    let mut engine = StreamKShape::new(config).expect("valid stream config");
+    for i in 0..8 * k {
+        engine.push(&sine_arrival(i % k, m, rng));
+    }
+    assert!(
+        engine.stats().bootstrapped,
+        "bench engine failed to bootstrap"
+    );
+    engine
+}
+
+/// Runs the `stream` group.
+///
+/// # Panics
+///
+/// Panics when the engine fails to bootstrap or an injected drift
+/// episode never triggers a reseed — a broken detector must fail the
+/// bench run loudly rather than record a vacuous timing.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("stream");
+
+    let (k, m) = if quick { (2, 32) } else { (3, 64) };
+    let pushes = if quick { 200 } else { 2_000 };
+    let mut rng = StdRng::seed_from_u64(0x5EED_57BE);
+
+    // Steady-state assign path. Arrivals are pre-generated so the timed
+    // region is the engine alone, not the generator.
+    let mut engine = bootstrapped_engine(k, m, 42, &mut rng);
+    let arrivals: Vec<Vec<f64>> = (0..pushes)
+        .map(|i| sine_arrival(i % k, m, &mut rng))
+        .collect();
+    let mut push_ns = Vec::with_capacity(pushes);
+    let t0 = Instant::now();
+    for x in &arrivals {
+        let t = Instant::now();
+        let outcome = engine.push(x);
+        push_ns.push(t.elapsed().as_nanos() as f64);
+        assert!(
+            matches!(outcome, PushOutcome::Assigned(_)),
+            "clean steady-state arrival was not assigned"
+        );
+    }
+    let total_secs = t0.elapsed().as_secs_f64();
+    g.push_record(Record::from_latency_samples(
+        &format!("push_latency/{k}x{m}"),
+        push_ns,
+    ));
+    g.push_record(Record::from_scalar(
+        "push_throughput_rps",
+        pushes as f64 / total_secs,
+    ));
+
+    // Quarantine path: invalidating faults must be rejected quickly.
+    let faults = [
+        StreamFault::Series(FaultKind::NanRun),
+        StreamFault::Series(FaultKind::MissingGap),
+        StreamFault::Series(FaultKind::Truncate),
+    ];
+    let corrupted: Vec<Vec<f64>> = (0..pushes.min(500))
+        .map(|i| {
+            let mut x = sine_arrival(i % k, m, &mut rng);
+            corrupt_stream_series(&mut x, faults[i % faults.len()], &mut rng);
+            x
+        })
+        .collect();
+    let mut quarantine_ns = Vec::with_capacity(corrupted.len());
+    for x in &corrupted {
+        let t = Instant::now();
+        let outcome = engine.push(x);
+        quarantine_ns.push(t.elapsed().as_nanos() as f64);
+        assert!(
+            matches!(outcome, PushOutcome::Quarantined(_)),
+            "invalidating fault was not quarantined"
+        );
+    }
+    g.push_record(Record::from_latency_samples(
+        &format!("quarantine_latency/{k}x{m}"),
+        quarantine_ns,
+    ));
+
+    // Drift recovery: one sample per injected-drift episode. The clock
+    // starts at the first post-change arrival and stops when the assign
+    // that carried the reseed returns.
+    let episodes = if quick { 2 } else { 5 };
+    let mut recovery_ns = Vec::with_capacity(episodes);
+    for ep in 0..episodes {
+        let mut config = StreamConfig::new(2, m)
+            .with_seed(1_000 + ep as u64)
+            .with_warmup(32)
+            .with_window_capacity(160)
+            .with_refresh_every(8);
+        config.drift = DriftConfig {
+            short_window: 32,
+            long_window: 128,
+            threshold: 4.0,
+            cooldown: 10_000,
+        };
+        let mut engine = StreamKShape::new(config).expect("valid drift config");
+        for i in 0..200 {
+            engine.push(&sine_arrival(i % 2, m, &mut rng));
+        }
+        assert!(engine.stats().bootstrapped);
+        let t = Instant::now();
+        let mut reseeded = false;
+        for i in 0..600 {
+            if let PushOutcome::Assigned(a) = engine.push(&square_arrival(i % 2, m, &mut rng)) {
+                if a.reseeded {
+                    reseeded = true;
+                    break;
+                }
+            }
+        }
+        assert!(reseeded, "drift episode {ep} never triggered a reseed");
+        recovery_ns.push(t.elapsed().as_nanos() as f64);
+    }
+    g.push_record(Record::from_latency_samples(
+        "stream_drift_recovery",
+        recovery_ns,
+    ));
+
+    g
+}

@@ -286,8 +286,16 @@ impl KShape {
     ///   so callers can still consume the best-effort result.
     #[deprecated(since = "0.1.0", note = "use KShape::fit_with with KShapeOptions")]
     pub fn try_fit(&self, series: &[Vec<f64>]) -> TsResult<KShapeResult> {
-        #[allow(deprecated)]
-        self.try_fit_with_control(series, &RunControl::unlimited())
+        let (result, shifted) = self.fit_core(series, &RunControl::unlimited(), Obs::none())?;
+        if result.converged {
+            Ok(result)
+        } else {
+            Err(TsError::NotConverged {
+                labels: result.labels,
+                iterations: result.iterations,
+                shifted,
+            })
+        }
     }
 
     /// Budget- and cancellation-aware variant of [`KShape::try_fit`].
@@ -619,9 +627,6 @@ fn centroid_shift(prev: &[Vec<f64>], next: &[Vec<f64>]) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated triplet stays covered until it is removed.
-    #![allow(deprecated)]
-
     use super::{KShape, KShapeConfig, KShapeOptions, KShapeResult};
     use crate::extraction::EigenMethod;
     use crate::init::InitStrategy;
@@ -657,6 +662,14 @@ mod tests {
         (series, truth)
     }
 
+    fn fit(cfg: KShapeConfig, series: &[Vec<f64>]) -> KShapeResult {
+        KShape::fit_with(series, &KShapeOptions::from(cfg)).expect("clean input")
+    }
+
+    fn fit_k(k: usize, series: &[Vec<f64>]) -> KShapeResult {
+        KShape::fit_with(series, &KShapeOptions::new(k)).expect("clean input")
+    }
+
     fn cluster_agreement(result: &KShapeResult, truth: &[usize]) -> bool {
         // Check whether labels equal truth up to cluster renaming (k=2).
         let direct = result.labels.iter().zip(truth.iter()).all(|(a, b)| a == b);
@@ -671,12 +684,14 @@ mod tests {
     #[test]
     fn recovers_two_shape_classes() {
         let (series, truth) = two_class_data();
-        let result = KShape::new(KShapeConfig {
-            k: 2,
-            seed: 7,
-            ..Default::default()
-        })
-        .fit(&series);
+        let result = fit(
+            KShapeConfig {
+                k: 2,
+                seed: 7,
+                ..Default::default()
+            },
+            &series,
+        );
         assert!(result.converged, "did not converge");
         assert!(
             cluster_agreement(&result, &truth),
@@ -688,7 +703,7 @@ mod tests {
     #[test]
     fn result_invariants() {
         let (series, _) = two_class_data();
-        let result = KShape::with_k(2).fit(&series);
+        let result = fit_k(2, &series);
         assert_eq!(result.labels.len(), series.len());
         assert_eq!(result.centroids.len(), 2);
         assert!(result.labels.iter().all(|&l| l < 2));
@@ -704,18 +719,22 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let (series, _) = two_class_data();
-        let a = KShape::new(KShapeConfig {
-            k: 2,
-            seed: 3,
-            ..Default::default()
-        })
-        .fit(&series);
-        let b = KShape::new(KShapeConfig {
-            k: 2,
-            seed: 3,
-            ..Default::default()
-        })
-        .fit(&series);
+        let a = fit(
+            KShapeConfig {
+                k: 2,
+                seed: 3,
+                ..Default::default()
+            },
+            &series,
+        );
+        let b = fit(
+            KShapeConfig {
+                k: 2,
+                seed: 3,
+                ..Default::default()
+            },
+            &series,
+        );
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.iterations, b.iterations);
     }
@@ -724,12 +743,14 @@ mod tests {
     fn k_equals_n_puts_every_series_alone() {
         let (series, _) = two_class_data();
         let n = series.len();
-        let result = KShape::new(KShapeConfig {
-            k: n,
-            seed: 1,
-            ..Default::default()
-        })
-        .fit(&series);
+        let result = fit(
+            KShapeConfig {
+                k: n,
+                seed: 1,
+                ..Default::default()
+            },
+            &series,
+        );
         let mut sorted = result.labels.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -740,7 +761,7 @@ mod tests {
     #[test]
     fn k_equals_one_is_single_cluster() {
         let (series, _) = two_class_data();
-        let result = KShape::with_k(1).fit(&series);
+        let result = fit_k(1, &series);
         assert!(result.labels.iter().all(|&l| l == 0));
         assert!(result.converged);
     }
@@ -748,140 +769,62 @@ mod tests {
     #[test]
     fn plus_plus_init_also_recovers_classes() {
         let (series, truth) = two_class_data();
-        let result = KShape::new(KShapeConfig {
-            k: 2,
-            seed: 11,
-            init: InitStrategy::PlusPlus,
-            ..Default::default()
-        })
-        .fit(&series);
+        let result = fit(
+            KShapeConfig {
+                k: 2,
+                seed: 11,
+                init: InitStrategy::PlusPlus,
+                ..Default::default()
+            },
+            &series,
+        );
         assert!(cluster_agreement(&result, &truth));
     }
 
     #[test]
     fn power_eigen_matches_full_on_easy_data() {
         let (series, truth) = two_class_data();
-        let result = KShape::new(KShapeConfig {
-            k: 2,
-            seed: 7,
-            eigen: EigenMethod::Power,
-            ..Default::default()
-        })
-        .fit(&series);
+        let result = fit(
+            KShapeConfig {
+                k: 2,
+                seed: 7,
+                eigen: EigenMethod::Power,
+                ..Default::default()
+            },
+            &series,
+        );
         assert!(cluster_agreement(&result, &truth));
     }
 
     #[test]
     fn max_iter_one_terminates_unconverged_or_lucky() {
         let (series, _) = two_class_data();
-        let result = KShape::new(KShapeConfig {
-            k: 2,
-            seed: 5,
-            max_iter: 1,
-            ..Default::default()
-        })
-        .fit(&series);
+        let result = fit(
+            KShapeConfig {
+                k: 2,
+                seed: 5,
+                max_iter: 1,
+                ..Default::default()
+            },
+            &series,
+        );
         assert_eq!(result.iterations, 1);
     }
 
     #[test]
-    #[should_panic(expected = "k must not exceed")]
-    fn rejects_k_larger_than_n() {
-        let _ = KShape::with_k(5).fit(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one series")]
-    fn rejects_empty_input() {
-        let _ = KShape::with_k(1).fit(&[]);
-    }
-
-    #[test]
-    #[should_panic(expected = "equal length")]
-    fn rejects_ragged_input() {
-        let _ = KShape::with_k(1).fit(&[vec![1.0, 2.0], vec![1.0]]);
-    }
-
-    #[test]
-    fn try_fit_matches_fit_on_clean_data() {
+    fn fit_with_is_deterministic_for_fixed_seed() {
         let (series, _) = two_class_data();
         let cfg = KShapeConfig {
             k: 2,
             seed: 7,
             ..Default::default()
         };
-        let a = KShape::new(cfg).fit(&series);
-        let b = KShape::new(cfg).try_fit(&series).expect("clean data");
+        let a = fit(cfg, &series);
+        let b = fit(cfg, &series);
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.iterations, b.iterations);
         assert_eq!(a.centroids, b.centroids);
-    }
-
-    #[test]
-    fn try_fit_reports_typed_errors() {
-        use tserror::TsError;
-        let ks = KShape::with_k(3);
-        assert!(matches!(ks.try_fit(&[]), Err(TsError::EmptyInput)));
-        assert!(matches!(
-            ks.try_fit(&[vec![1.0, 2.0], vec![2.0, 1.0]]),
-            Err(TsError::InvalidK { k: 3, n: 2 })
-        ));
-        assert!(matches!(
-            KShape::with_k(1).try_fit(&[vec![1.0, 2.0], vec![1.0]]),
-            Err(TsError::LengthMismatch {
-                expected: 2,
-                found: 1,
-                series: 1
-            })
-        ));
-        assert!(matches!(
-            KShape::with_k(1).try_fit(&[vec![1.0, f64::NAN]]),
-            Err(TsError::NonFinite {
-                series: 0,
-                index: 1
-            })
-        ));
-    }
-
-    #[test]
-    fn try_fit_reports_not_converged_with_diagnostics() {
-        use tserror::TsError;
-        let (series, _) = two_class_data();
-        // max_iter 0 can never converge; the diagnostics still carry a
-        // full labeling.
-        let err = KShape::new(KShapeConfig {
-            k: 2,
-            seed: 5,
-            max_iter: 0,
-            ..Default::default()
-        })
-        .try_fit(&series)
-        .expect_err("cannot converge in zero iterations");
-        match err {
-            TsError::NotConverged {
-                labels, iterations, ..
-            } => {
-                assert_eq!(labels.len(), series.len());
-                assert_eq!(iterations, 0);
-            }
-            other => panic!("unexpected error {other:?}"),
-        }
-    }
-
-    #[test]
-    fn fit_with_matches_deprecated_fit() {
-        let (series, _) = two_class_data();
-        let cfg = KShapeConfig {
-            k: 2,
-            seed: 7,
-            ..Default::default()
-        };
-        let old = KShape::new(cfg).fit(&series);
-        let new = KShape::fit_with(&series, &KShapeOptions::from(cfg)).expect("clean data");
-        assert_eq!(old.labels, new.labels);
-        assert_eq!(old.iterations, new.iterations);
-        assert_eq!(old.centroids, new.centroids);
-        assert_eq!(old.inertia.to_bits(), new.inertia.to_bits());
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
     }
 
     #[test]
@@ -905,6 +848,21 @@ mod tests {
         assert!(matches!(
             KShape::fit_with(&[vec![1.0, 2.0], vec![2.0, 1.0]], &opts),
             Err(TsError::InvalidK { k: 3, n: 2 })
+        ));
+        assert!(matches!(
+            KShape::fit_with(&[vec![1.0, 2.0], vec![1.0]], &KShapeOptions::new(1)),
+            Err(TsError::LengthMismatch {
+                expected: 2,
+                found: 1,
+                series: 1
+            })
+        ));
+        assert!(matches!(
+            KShape::fit_with(&[vec![1.0, f64::NAN]], &KShapeOptions::new(1)),
+            Err(TsError::NonFinite {
+                series: 0,
+                index: 1
+            })
         ));
     }
 

@@ -54,10 +54,15 @@ pub mod ncc;
 pub mod sbd;
 pub mod sbd_unequal;
 pub mod spectra;
+pub mod stream;
 pub mod validity;
 
 pub use algorithm::{KShape, KShapeConfig, KShapeOptions, KShapeResult};
 pub use extraction::{shape_extraction, try_shape_extraction};
 pub use sbd::{sbd, try_sbd, CacheStats, Sbd, SbdResult};
 pub use spectra::SpectraEngine;
+pub use stream::{
+    Assignment, Decay, DriftConfig, PushOutcome, QuarantineReason, ReseedFit, ReseedRequest,
+    Reseeder, StreamConfig, StreamKShape, StreamStats,
+};
 pub use tserror::{TsError, TsResult};

@@ -220,8 +220,16 @@ pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
 /// [`TsError::NotConverged`].
 #[deprecated(since = "0.1.0", note = "use kdba_with with KDbaOptions")]
 pub fn try_kdba(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<KDbaResult> {
-    #[allow(deprecated)]
-    try_kdba_with_control(series, config, &RunControl::unlimited())
+    let (result, shifted) = kdba_core(series, config, &RunControl::unlimited(), Obs::none())?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
 }
 
 /// Budget- and cancellation-aware [`try_kdba`]: every DTW computation
@@ -379,9 +387,7 @@ fn kdba_core(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated triplet stays covered on purpose until removal.
-    #![allow(deprecated)]
-    use super::{dba_average, dba_refine, kdba, kdba_with, KDbaConfig, KDbaOptions};
+    use super::{dba_average, dba_refine, kdba_with, KDbaConfig, KDbaOptions};
     use tsdist::dtw::dtw_distance;
 
     fn bump(m: usize, center: f64) -> Vec<f64> {
@@ -448,14 +454,12 @@ mod tests {
             let neg: Vec<f64> = bump(40, 28.0 + j as f64).iter().map(|v| -v).collect();
             series.push(neg);
         }
-        let r = kdba(
-            &series,
-            &KDbaConfig {
-                k: 2,
-                seed: 4,
-                ..Default::default()
-            },
-        );
+        let cfg = KDbaConfig {
+            k: 2,
+            seed: 4,
+            ..Default::default()
+        };
+        let r = kdba_with(&series, &KDbaOptions::from(cfg)).expect("separable data");
         for i in (0..series.len()).step_by(2) {
             assert_eq!(r.labels[i], r.labels[0], "labels {:?}", r.labels);
             assert_eq!(r.labels[i + 1], r.labels[1], "labels {:?}", r.labels);
@@ -466,16 +470,14 @@ mod tests {
     #[test]
     fn kdba_respects_window_config() {
         let series: Vec<Vec<f64>> = (0..6).map(|j| bump(32, 12.0 + j as f64)).collect();
-        let r = kdba(
-            &series,
-            &KDbaConfig {
-                k: 2,
-                seed: 1,
-                window: Some(3),
-                max_iter: 10,
-                ..Default::default()
-            },
-        );
+        let cfg = KDbaConfig {
+            k: 2,
+            seed: 1,
+            window: Some(3),
+            max_iter: 10,
+            ..Default::default()
+        };
+        let r = kdba_with(&series, &KDbaOptions::from(cfg)).expect("clean input");
         assert_eq!(r.labels.len(), 6);
         assert!(r.iterations <= 10);
     }
@@ -488,7 +490,7 @@ mod tests {
 
     #[test]
     fn try_variants_match_and_report_typed_errors() {
-        use super::{try_dba_average, try_dba_refine, try_kdba};
+        use super::{try_dba_average, try_dba_refine};
         use tserror::TsError;
         let x = bump(24, 10.0);
         let members: Vec<&[f64]> = vec![&x];
@@ -512,20 +514,20 @@ mod tests {
             })
         ));
         assert!(matches!(
-            try_kdba(&[], &KDbaConfig::default()),
+            kdba_with(&[], &KDbaOptions::from(KDbaConfig::default())),
             Err(TsError::EmptyInput)
         ));
         assert!(matches!(
-            try_kdba(
+            kdba_with(
                 std::slice::from_ref(&x),
-                &KDbaConfig {
+                &KDbaOptions::from(KDbaConfig {
                     k: 3,
                     ..Default::default()
-                }
+                })
             ),
             Err(TsError::InvalidK { k: 3, n: 1 })
         ));
-        // Clean, separable data converges and matches the panicking API.
+        // Clean, separable data converges.
         let mut series = Vec::new();
         for j in 0..4 {
             series.push(bump(32, 10.0 + j as f64));
@@ -537,9 +539,9 @@ mod tests {
             seed: 4,
             ..Default::default()
         };
-        let p = kdba(&series, &cfg);
-        let t = try_kdba(&series, &cfg).expect("clean data converges");
-        assert_eq!(p.labels, t.labels);
+        let t = kdba_with(&series, &KDbaOptions::from(cfg)).expect("clean data converges");
+        assert!(t.converged);
+        assert_eq!(t.labels.len(), series.len());
     }
 
     #[test]
@@ -555,7 +557,7 @@ mod tests {
             seed: 4,
             ..Default::default()
         };
-        let old = kdba(&series, &cfg);
+        let old = kdba_with(&series, &KDbaOptions::from(cfg)).expect("clean input");
         let sink = tsobs::MemorySink::new();
         let new =
             kdba_with(&series, &KDbaOptions::from(cfg).with_recorder(&sink)).expect("clean input");

@@ -128,8 +128,17 @@ pub fn try_fuzzy_cmeans<D: Distance + ?Sized>(
     dist: &D,
     config: &FuzzyConfig,
 ) -> TsResult<FuzzyResult> {
-    #[allow(deprecated)]
-    try_fuzzy_cmeans_with_control(series, dist, config, &RunControl::unlimited())
+    let (result, shifted) =
+        fuzzy_core(series, dist, config, &RunControl::unlimited(), Obs::none())?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
 }
 
 /// Budget- and cancellation-aware [`try_fuzzy_cmeans`]: the previously
@@ -315,11 +324,13 @@ fn fuzzy_core<D: Distance + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated triplet stays covered on purpose until removal.
-    #![allow(deprecated)]
-    use super::{fuzzy_cmeans, fuzzy_cmeans_with, FuzzyConfig, FuzzyOptions};
+    use super::{fuzzy_cmeans_with, FuzzyConfig, FuzzyOptions, FuzzyResult};
     use kshape::sbd::Sbd;
-    use tsdist::EuclideanDistance;
+    use tsdist::{Distance, EuclideanDistance};
+
+    fn fit<D: Distance + ?Sized>(series: &[Vec<f64>], dist: &D, cfg: FuzzyConfig) -> FuzzyResult {
+        fuzzy_cmeans_with(series, dist, &FuzzyOptions::from(cfg)).expect("clean input")
+    }
 
     fn blobs() -> Vec<Vec<f64>> {
         let mut out = Vec::new();
@@ -332,7 +343,7 @@ mod tests {
 
     #[test]
     fn memberships_are_row_stochastic() {
-        let r = fuzzy_cmeans(&blobs(), &EuclideanDistance, &FuzzyConfig::default());
+        let r = fit(&blobs(), &EuclideanDistance, FuzzyConfig::default());
         for row in &r.memberships {
             let s: f64 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-9, "row sum {s}");
@@ -344,10 +355,10 @@ mod tests {
 
     #[test]
     fn hardened_labels_separate_blobs() {
-        let r = fuzzy_cmeans(
+        let r = fit(
             &blobs(),
             &EuclideanDistance,
-            &FuzzyConfig {
+            FuzzyConfig {
                 seed: 3,
                 ..Default::default()
             },
@@ -362,10 +373,10 @@ mod tests {
 
     #[test]
     fn memberships_are_confident_on_separated_data() {
-        let r = fuzzy_cmeans(
+        let r = fit(
             &blobs(),
             &EuclideanDistance,
-            &FuzzyConfig {
+            FuzzyConfig {
                 seed: 1,
                 ..Default::default()
             },
@@ -380,10 +391,10 @@ mod tests {
         // A point exactly between two clusters ends with ~50/50 membership.
         let mut series = blobs();
         series.push(vec![4.0, 4.0]);
-        let r = fuzzy_cmeans(
+        let r = fit(
             &series,
             &EuclideanDistance,
-            &FuzzyConfig {
+            FuzzyConfig {
                 seed: 2,
                 ..Default::default()
             },
@@ -406,10 +417,10 @@ mod tests {
             let neg: Vec<f64> = bump(32.0 + j as f64).iter().map(|v| -v).collect();
             series.push(tsdata::normalize::z_normalize(&neg));
         }
-        let r = fuzzy_cmeans(
+        let r = fit(
             &series,
             &Sbd::new(),
-            &FuzzyConfig {
+            FuzzyConfig {
                 seed: 5,
                 ..Default::default()
             },
@@ -422,58 +433,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fuzziness must exceed 1")]
     fn rejects_bad_fuzzifier() {
-        let _ = fuzzy_cmeans(
-            &blobs(),
-            &EuclideanDistance,
-            &FuzzyConfig {
-                fuzziness: 1.0,
-                ..Default::default()
-            },
-        );
+        assert!(matches!(
+            fuzzy_cmeans_with(
+                &blobs(),
+                &EuclideanDistance,
+                &FuzzyOptions::from(FuzzyConfig {
+                    fuzziness: 1.0,
+                    ..Default::default()
+                })
+            ),
+            Err(tserror::TsError::NumericalFailure { .. })
+        ));
     }
 
     #[test]
-    fn try_variant_matches_and_reports_typed_errors() {
-        use super::try_fuzzy_cmeans;
+    fn options_api_reports_typed_errors() {
         use tserror::TsError;
         let series = blobs();
-        let cfg = FuzzyConfig {
+        let opts = FuzzyOptions::from(FuzzyConfig {
             seed: 3,
             ..Default::default()
-        };
-        let a = fuzzy_cmeans(&series, &EuclideanDistance, &cfg);
-        let b = try_fuzzy_cmeans(&series, &EuclideanDistance, &cfg).expect("clean data");
-        assert_eq!(a.labels, b.labels);
+        });
         assert!(matches!(
-            try_fuzzy_cmeans(&[], &EuclideanDistance, &cfg),
+            fuzzy_cmeans_with(&[], &EuclideanDistance, &opts),
             Err(TsError::EmptyInput)
         ));
         assert!(matches!(
-            try_fuzzy_cmeans(
+            fuzzy_cmeans_with(
                 &series,
                 &EuclideanDistance,
-                &FuzzyConfig {
-                    fuzziness: 1.0,
-                    ..Default::default()
-                }
-            ),
-            Err(TsError::NumericalFailure { .. })
-        ));
-        assert!(matches!(
-            try_fuzzy_cmeans(
-                &series,
-                &EuclideanDistance,
-                &FuzzyConfig {
+                &FuzzyOptions::from(FuzzyConfig {
                     k: series.len() + 1,
                     ..Default::default()
-                }
+                })
             ),
             Err(TsError::InvalidK { .. })
         ));
         assert!(matches!(
-            try_fuzzy_cmeans(&[vec![1.0, f64::NAN]], &EuclideanDistance, &cfg),
+            fuzzy_cmeans_with(&[vec![1.0, f64::NAN]], &EuclideanDistance, &opts),
             Err(TsError::NonFinite {
                 series: 0,
                 index: 1
@@ -488,7 +486,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let old = fuzzy_cmeans(&series, &EuclideanDistance, &cfg);
+        let old = fit(&series, &EuclideanDistance, cfg);
         let sink = tsobs::MemorySink::new();
         let new = fuzzy_cmeans_with(
             &series,

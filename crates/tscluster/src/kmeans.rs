@@ -130,8 +130,17 @@ pub fn try_kmeans<D: Distance + ?Sized>(
     dist: &D,
     config: &KMeansConfig,
 ) -> TsResult<KMeansResult> {
-    #[allow(deprecated)]
-    try_kmeans_with_control(series, dist, config, &RunControl::unlimited())
+    let (result, shifted) =
+        kmeans_core(series, dist, config, &RunControl::unlimited(), Obs::none())?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
 }
 
 /// Budget- and cancellation-aware [`try_kmeans`]: the Lloyd loop polls
@@ -278,10 +287,12 @@ pub(crate) fn kmeans_core<D: Distance + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated triplet stays covered on purpose until removal.
-    #![allow(deprecated)]
-    use super::{kmeans, kmeans_with, KMeansConfig, KMeansOptions};
+    use super::{kmeans_with, KMeansConfig, KMeansOptions, KMeansResult};
     use tsdist::EuclideanDistance;
+
+    fn fit(series: &[Vec<f64>], cfg: KMeansConfig) -> KMeansResult {
+        kmeans_with(series, &EuclideanDistance, &KMeansOptions::from(cfg)).expect("clean input")
+    }
 
     fn two_blobs() -> Vec<Vec<f64>> {
         let mut out = Vec::new();
@@ -296,10 +307,9 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let series = two_blobs();
-        let r = kmeans(
+        let r = fit(
             &series,
-            &EuclideanDistance,
-            &KMeansConfig {
+            KMeansConfig {
                 k: 2,
                 seed: 3,
                 ..Default::default()
@@ -317,10 +327,9 @@ mod tests {
     #[test]
     fn centroids_are_means_of_members() {
         let series = two_blobs();
-        let r = kmeans(
+        let r = fit(
             &series,
-            &EuclideanDistance,
-            &KMeansConfig {
+            KMeansConfig {
                 k: 2,
                 seed: 3,
                 ..Default::default()
@@ -343,19 +352,17 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let series = two_blobs();
-        let r1 = kmeans(
+        let r1 = fit(
             &series,
-            &EuclideanDistance,
-            &KMeansConfig {
+            KMeansConfig {
                 k: 1,
                 seed: 1,
                 ..Default::default()
             },
         );
-        let r2 = kmeans(
+        let r2 = fit(
             &series,
-            &EuclideanDistance,
-            &KMeansConfig {
+            KMeansConfig {
                 k: 2,
                 seed: 1,
                 ..Default::default()
@@ -372,18 +379,17 @@ mod tests {
             seed: 9,
             ..Default::default()
         };
-        let a = kmeans(&series, &EuclideanDistance, &cfg);
-        let b = kmeans(&series, &EuclideanDistance, &cfg);
+        let a = fit(&series, cfg);
+        let b = fit(&series, cfg);
         assert_eq!(a.labels, b.labels);
     }
 
     #[test]
     fn k_equals_n() {
         let series = two_blobs();
-        let r = kmeans(
+        let r = fit(
             &series,
-            &EuclideanDistance,
-            &KMeansConfig {
+            KMeansConfig {
                 k: series.len(),
                 seed: 2,
                 ..Default::default()
@@ -396,99 +402,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must not exceed")]
     fn rejects_k_too_large() {
-        let _ = kmeans(
-            &[vec![1.0]],
-            &EuclideanDistance,
-            &KMeansConfig {
-                k: 2,
-                ..Default::default()
-            },
-        );
-    }
-
-    #[test]
-    fn try_kmeans_matches_fit_on_clean_data() {
-        use super::try_kmeans;
-        let series = two_blobs();
-        let cfg = KMeansConfig {
-            k: 2,
-            seed: 3,
-            ..Default::default()
-        };
-        let a = kmeans(&series, &EuclideanDistance, &cfg);
-        let b = try_kmeans(&series, &EuclideanDistance, &cfg).expect("clean data converges");
-        assert_eq!(a.labels, b.labels);
-        assert!((a.inertia - b.inertia).abs() < 1e-12);
-    }
-
-    #[test]
-    fn try_kmeans_reports_typed_errors() {
-        use super::try_kmeans;
-        use tserror::TsError;
-        let cfg = KMeansConfig::default();
         assert!(matches!(
-            try_kmeans(&[], &EuclideanDistance, &cfg),
+            kmeans_with(&[vec![1.0]], &EuclideanDistance, &KMeansOptions::new(2)),
+            Err(tserror::TsError::InvalidK { k: 2, n: 1 })
+        ));
+    }
+
+    #[test]
+    fn kmeans_with_reports_typed_errors() {
+        use tserror::TsError;
+        let opts = KMeansOptions::new(2);
+        assert!(matches!(
+            kmeans_with(&[], &EuclideanDistance, &opts),
             Err(TsError::EmptyInput)
         ));
         assert!(matches!(
-            try_kmeans(&[vec![1.0], vec![1.0, 2.0]], &EuclideanDistance, &cfg),
+            kmeans_with(&[vec![1.0], vec![1.0, 2.0]], &EuclideanDistance, &opts),
             Err(TsError::LengthMismatch { series: 1, .. })
         ));
         assert!(matches!(
-            try_kmeans(&[vec![1.0, f64::NAN]], &EuclideanDistance, &cfg),
+            kmeans_with(&[vec![1.0, f64::NAN]], &EuclideanDistance, &opts),
             Err(TsError::NonFinite {
                 series: 0,
                 index: 1
             })
         ));
-        assert!(matches!(
-            try_kmeans(
-                &[vec![1.0]],
-                &EuclideanDistance,
-                &KMeansConfig {
-                    k: 2,
-                    ..Default::default()
-                }
-            ),
-            Err(TsError::InvalidK { k: 2, n: 1 })
-        ));
-        // Iteration cap of zero can never converge.
-        let series = two_blobs();
-        match try_kmeans(
-            &series,
-            &EuclideanDistance,
-            &KMeansConfig {
-                k: 2,
-                max_iter: 0,
-                seed: 3,
-            },
-        ) {
-            Err(TsError::NotConverged {
-                labels, iterations, ..
-            }) => {
-                assert_eq!(labels.len(), series.len());
-                assert_eq!(iterations, 0);
-            }
-            other => panic!("expected NotConverged, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn kmeans_with_matches_deprecated_api() {
-        let series = two_blobs();
-        let cfg = KMeansConfig {
-            k: 2,
-            seed: 3,
-            ..Default::default()
-        };
-        let old = kmeans(&series, &EuclideanDistance, &cfg);
-        let new = kmeans_with(&series, &EuclideanDistance, &KMeansOptions::from(cfg))
-            .expect("clean input");
-        assert_eq!(old.labels, new.labels);
-        assert_eq!(old.iterations, new.iterations);
-        assert!(new.converged);
     }
 
     #[test]

@@ -329,8 +329,16 @@ pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
 /// [`TsError::NotConverged`].
 #[deprecated(since = "0.1.0", note = "use ksc_with with KscOptions")]
 pub fn try_ksc(series: &[Vec<f64>], config: &KscConfig) -> TsResult<KscResult> {
-    #[allow(deprecated)]
-    try_ksc_with_control(series, config, &RunControl::unlimited())
+    let (result, shifted) = ksc_core(series, config, &RunControl::unlimited(), Obs::none())?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
 }
 
 /// Budget- and cancellation-aware [`try_ksc`]: the refinement loop polls
@@ -476,9 +484,7 @@ fn ksc_core(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated triplet stays covered on purpose until removal.
-    #![allow(deprecated)]
-    use super::{ksc, ksc_centroid, ksc_with, KscConfig, KscDistance, KscOptions};
+    use super::{ksc_centroid, ksc_with, KscConfig, KscDistance, KscOptions};
     use tsdist::Distance;
 
     fn bump(m: usize, center: f64) -> Vec<f64> {
@@ -537,14 +543,12 @@ mod tests {
                 .collect();
             series.push(b);
         }
-        let r = ksc(
-            &series,
-            &KscConfig {
-                k: 2,
-                seed: 2,
-                ..Default::default()
-            },
-        );
+        let cfg = KscConfig {
+            k: 2,
+            seed: 2,
+            ..Default::default()
+        };
+        let r = ksc_with(&series, &KscOptions::from(cfg)).expect("clean input");
         for i in (0..series.len()).step_by(2) {
             assert_eq!(r.labels[i], r.labels[0], "labels {:?}", r.labels);
             assert_eq!(r.labels[i + 1], r.labels[1], "labels {:?}", r.labels);
@@ -602,7 +606,7 @@ mod tests {
 
     #[test]
     fn try_variants_match_and_report_typed_errors() {
-        use super::{try_ksc, try_ksc_centroid};
+        use super::try_ksc_centroid;
         use tserror::TsError;
         let x = bump(32, 16.0);
         let y = tsdata::distort::shift_zero_pad(&x, 3);
@@ -630,17 +634,17 @@ mod tests {
             Err(TsError::LengthMismatch { .. })
         ));
         assert!(matches!(
-            try_ksc(
+            ksc_with(
                 std::slice::from_ref(&x),
-                &KscConfig {
+                &KscOptions::from(KscConfig {
                     k: 2,
                     ..Default::default()
-                }
+                })
             ),
             Err(TsError::InvalidK { k: 2, n: 1 })
         ));
         assert!(matches!(
-            try_ksc(&[], &KscConfig::default()),
+            ksc_with(&[], &KscOptions::from(KscConfig::default())),
             Err(TsError::EmptyInput)
         ));
     }
@@ -659,7 +663,7 @@ mod tests {
             seed: 2,
             ..Default::default()
         };
-        let old = ksc(&series, &cfg);
+        let old = ksc_with(&series, &KscOptions::from(cfg)).expect("clean input");
         let sink = tsobs::MemorySink::new();
         let new =
             ksc_with(&series, &KscOptions::from(cfg).with_recorder(&sink)).expect("clean input");

@@ -71,6 +71,7 @@ pub mod matrix;
 pub mod options;
 pub mod pam;
 pub mod spectral;
+pub mod stream;
 
 pub use dba::{kdba_with, KDbaConfig, KDbaResult};
 pub use fuzzy::{fuzzy_cmeans_with, FuzzyConfig, FuzzyResult};
@@ -87,7 +88,5 @@ pub use options::{
 };
 pub use pam::{pam_with, PamConfig, PamResult};
 pub use spectral::{spectral_cluster_with, SpectralConfig, SpectralResult};
+pub use stream::LadderReseeder;
 pub use tserror::{TsError, TsResult};
-
-#[allow(deprecated)]
-pub use kmeans::{kmeans, try_kmeans};

@@ -113,8 +113,16 @@ pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult
 /// or [`TsError::NotConverged`].
 #[deprecated(since = "0.1.0", note = "use pam_with with PamOptions")]
 pub fn try_pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> TsResult<PamResult> {
-    #[allow(deprecated)]
-    try_pam_with_control(matrix, k, max_iter, &RunControl::unlimited())
+    let (result, shifted) = pam_core(matrix, k, max_iter, &RunControl::unlimited(), Obs::none())?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: result.iterations,
+            shifted,
+        })
+    }
 }
 
 /// Budget- and cancellation-aware [`try_pam`]: BUILD polls `ctrl` per
@@ -317,11 +325,13 @@ fn pam_core(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated triplet stays covered on purpose until removal.
-    #![allow(deprecated)]
-    use super::{pam, pam_with, PamOptions};
+    use super::{pam_with, PamOptions, PamResult};
     use crate::matrix::DissimilarityMatrix;
     use tsdist::EuclideanDistance;
+
+    fn fit(m: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult {
+        pam_with(m, &PamOptions::new(k).with_max_iter(max_iter)).expect("clean matrix")
+    }
 
     fn blob_series() -> Vec<Vec<f64>> {
         let mut out = Vec::new();
@@ -336,7 +346,7 @@ mod tests {
     fn separates_blobs() {
         let s = blob_series();
         let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
-        let r = pam(&m, 2, 100);
+        let r = fit(&m, 2, 100);
         assert!(r.converged);
         for i in (0..s.len()).step_by(2) {
             assert_eq!(r.labels[i], r.labels[0]);
@@ -349,7 +359,7 @@ mod tests {
     fn medoids_are_members_of_their_clusters() {
         let s = blob_series();
         let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
-        let r = pam(&m, 2, 100);
+        let r = fit(&m, 2, 100);
         for (j, &med) in r.medoids.iter().enumerate() {
             assert_eq!(r.labels[med], j, "medoid {med} not in its own cluster");
         }
@@ -359,7 +369,7 @@ mod tests {
     fn k_equals_n_gives_zero_cost() {
         let s = blob_series();
         let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
-        let r = pam(&m, s.len(), 100);
+        let r = fit(&m, s.len(), 100);
         assert!(r.cost < 1e-12);
     }
 
@@ -368,7 +378,7 @@ mod tests {
         // Points on a line; the median point is the 1-medoid.
         let s: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64]).collect();
         let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
-        let r = pam(&m, 1, 100);
+        let r = fit(&m, 1, 100);
         assert_eq!(r.medoids, vec![3]);
     }
 
@@ -376,8 +386,8 @@ mod tests {
     fn deterministic() {
         let s = blob_series();
         let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
-        let a = pam(&m, 2, 100);
-        let b = pam(&m, 2, 100);
+        let a = fit(&m, 2, 100);
+        let b = fit(&m, 2, 100);
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.medoids, b.medoids);
     }
@@ -398,7 +408,7 @@ mod tests {
             vec![10.0],
         ];
         let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
-        let r = pam(&m, 2, 100);
+        let r = fit(&m, 2, 100);
         assert!(r.converged);
         // Exhaustive: no pair of medoids beats the found cost.
         let n = s.len();
@@ -418,55 +428,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must not exceed")]
     fn rejects_k_too_large() {
         let m = DissimilarityMatrix::compute(&[vec![1.0]], &EuclideanDistance);
-        let _ = pam(&m, 2, 10);
+        assert!(matches!(
+            pam_with(&m, &PamOptions::new(2)),
+            Err(tserror::TsError::InvalidK { k: 2, n: 1 })
+        ));
     }
 
     #[test]
-    fn try_pam_matches_and_reports_typed_errors() {
-        use super::try_pam;
+    fn options_api_reports_typed_errors() {
         use tserror::TsError;
         let s = blob_series();
         let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
-        let a = pam(&m, 2, 100);
-        let b = try_pam(&m, 2, 100).expect("clean matrix converges");
-        assert_eq!(a.labels, b.labels);
-        assert_eq!(a.medoids, b.medoids);
         assert!(matches!(
-            try_pam(&m, 0, 100),
+            pam_with(&m, &PamOptions::new(0)),
             Err(TsError::InvalidK { k: 0, .. })
         ));
         assert!(matches!(
-            try_pam(&m, s.len() + 1, 100),
+            pam_with(&m, &PamOptions::new(s.len() + 1)),
             Err(TsError::InvalidK { .. })
         ));
         let corrupt = DissimilarityMatrix::from_full(2, vec![0.0, f64::NAN, f64::NAN, 0.0]);
         assert!(matches!(
-            try_pam(&corrupt, 1, 100),
+            pam_with(&corrupt, &PamOptions::new(1)),
             Err(TsError::NonFinite {
                 series: 0,
                 index: 1
             })
         ));
         // A SWAP cap of zero cannot certify a local optimum.
-        match try_pam(&m, 2, 0) {
-            Err(TsError::NotConverged {
-                labels, iterations, ..
-            }) => {
-                assert_eq!(labels.len(), s.len());
-                assert_eq!(iterations, 0);
-            }
-            other => panic!("expected NotConverged, got {other:?}"),
-        }
+        let capped = pam_with(&m, &PamOptions::new(2).with_max_iter(0)).expect("cap is Ok");
+        assert!(!capped.converged);
+        assert_eq!(capped.iterations, 0);
+        assert_eq!(capped.labels.len(), s.len());
     }
 
     #[test]
     fn pam_with_matches_and_emits_telemetry() {
         let s = blob_series();
         let m = DissimilarityMatrix::compute(&s, &EuclideanDistance);
-        let old = pam(&m, 2, 100);
+        let old = fit(&m, 2, 100);
         let sink = tsobs::MemorySink::new();
         let new = pam_with(&m, &PamOptions::new(2).with_recorder(&sink)).expect("clean matrix");
         assert_eq!(old.labels, new.labels);

@@ -243,8 +243,16 @@ pub fn try_spectral_cluster(
     matrix: &DissimilarityMatrix,
     config: &SpectralConfig,
 ) -> TsResult<SpectralResult> {
-    #[allow(deprecated)]
-    try_spectral_cluster_with_control(matrix, config, &RunControl::unlimited())
+    let (result, shifted) = spectral_core(matrix, config, &RunControl::unlimited(), Obs::none())?;
+    if result.converged {
+        Ok(result)
+    } else {
+        Err(TsError::NotConverged {
+            labels: result.labels,
+            iterations: config.max_iter,
+            shifted,
+        })
+    }
 }
 
 /// Budget- and cancellation-aware [`try_spectral_cluster`]: the control
@@ -420,14 +428,16 @@ fn embedding_kmeans(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated triplet stays covered on purpose until removal.
-    #![allow(deprecated)]
     use super::{
-        median_bandwidth, spectral_cluster, spectral_cluster_with, spectral_embedding,
-        SpectralConfig, SpectralOptions,
+        median_bandwidth, spectral_cluster_with, spectral_embedding, SpectralConfig,
+        SpectralOptions, SpectralResult,
     };
     use crate::matrix::DissimilarityMatrix;
     use tsdist::EuclideanDistance;
+
+    fn fit(m: &DissimilarityMatrix, cfg: SpectralConfig) -> SpectralResult {
+        spectral_cluster_with(m, &SpectralOptions::from(cfg)).expect("clean matrix")
+    }
 
     fn two_blob_matrix() -> DissimilarityMatrix {
         let mut series = Vec::new();
@@ -464,9 +474,9 @@ mod tests {
     #[test]
     fn separates_blobs() {
         let m = two_blob_matrix();
-        let r = spectral_cluster(
+        let r = fit(
             &m,
-            &SpectralConfig {
+            SpectralConfig {
                 k: 2,
                 seed: 1,
                 ..Default::default()
@@ -490,9 +500,9 @@ mod tests {
             series.push(vec![6.0 * theta.cos(), 6.0 * theta.sin()]);
         }
         let m = DissimilarityMatrix::compute(&series, &EuclideanDistance);
-        let r = spectral_cluster(
+        let r = fit(
             &m,
-            &SpectralConfig {
+            SpectralConfig {
                 k: 2,
                 seed: 3,
                 sigma: Some(0.8),
@@ -514,8 +524,8 @@ mod tests {
             seed: 5,
             ..Default::default()
         };
-        let a = spectral_cluster(&m, &cfg);
-        let b = spectral_cluster(&m, &cfg);
+        let a = fit(&m, cfg);
+        let b = fit(&m, cfg);
         assert_eq!(a.labels, b.labels);
     }
 
@@ -527,19 +537,10 @@ mod tests {
     }
 
     #[test]
-    fn try_variants_match_and_report_typed_errors() {
-        use super::{try_spectral_cluster, try_spectral_embedding};
+    fn options_api_reports_typed_errors() {
+        use super::try_spectral_embedding;
         use tserror::TsError;
         let m = two_blob_matrix();
-        let cfg = SpectralConfig {
-            k: 2,
-            seed: 1,
-            ..Default::default()
-        };
-        let a = spectral_cluster(&m, &cfg);
-        let b = try_spectral_cluster(&m, &cfg).expect("clean matrix converges");
-        assert_eq!(a.labels, b.labels);
-        assert_eq!(a.sigma, b.sigma);
         assert!(matches!(
             try_spectral_embedding(&m, 0, None),
             Err(TsError::InvalidK { k: 0, .. })
@@ -550,12 +551,12 @@ mod tests {
         ));
         let corrupt = DissimilarityMatrix::from_full(2, vec![0.0, 1.0, 1.0, f64::NAN]);
         assert!(matches!(
-            try_spectral_cluster(
+            spectral_cluster_with(
                 &corrupt,
-                &SpectralConfig {
+                &SpectralOptions::from(SpectralConfig {
                     k: 1,
                     ..Default::default()
-                }
+                })
             ),
             Err(TsError::NonFinite {
                 series: 1,
@@ -576,7 +577,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         };
-        let old = spectral_cluster(&m, &cfg);
+        let old = fit(&m, cfg);
         let sink = tsobs::MemorySink::new();
         let new = spectral_cluster_with(&m, &SpectralOptions::from(cfg).with_recorder(&sink))
             .expect("clean matrix");

@@ -1,0 +1,161 @@
+//! Degradation-ladder reseeder for the streaming k-Shape engine.
+//!
+//! [`kshape::stream::StreamKShape`] self-heals from drift by refitting
+//! over its recent window through a pluggable
+//! [`Reseeder`](kshape::stream::Reseeder). The default reseeder is batch
+//! k-Shape; [`LadderReseeder`] upgrades that to the full degradation
+//! ladder ([`crate::cluster_with_ladder`]), so a reseed under pressure —
+//! a tight budget mid-overload — descends to SBD-medoid or `k-AVG+ED`
+//! instead of failing and leaving the stream on stale centroids.
+//!
+//! Medoid and mean rungs return raw (or merely averaged) series as
+//! centroids; the stream engine z-normalizes whatever a reseeder returns
+//! before installing, so every rung's output is a valid stream centroid.
+
+use kshape::stream::{ReseedFit, ReseedRequest, Reseeder};
+use tserror::TsResult;
+
+use crate::ladder::{cluster_with_ladder, LadderOptions, LadderRung};
+
+/// A [`Reseeder`] backed by the degradation ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct LadderReseeder {
+    /// Rung to start from (descends from here under pressure).
+    pub start: LadderRung,
+    /// Whether budget/cancel stops descend instead of erroring out.
+    pub descend_on_stop: bool,
+}
+
+impl Default for LadderReseeder {
+    fn default() -> Self {
+        LadderReseeder {
+            start: LadderRung::KShape,
+            descend_on_stop: true,
+        }
+    }
+}
+
+impl Reseeder for LadderReseeder {
+    fn reseed(&mut self, req: &ReseedRequest<'_>) -> TsResult<ReseedFit> {
+        let mut opts = LadderOptions::new(req.k)
+            .with_seed(req.seed)
+            .with_max_iter(req.max_iter)
+            .with_start(self.start)
+            .with_descend_on_stop(self.descend_on_stop);
+        if let Some(b) = req.budget {
+            opts = opts.with_budget(b);
+        }
+        let outcome = cluster_with_ladder(req.window, &opts)?;
+        Ok(ReseedFit {
+            labels: outcome.labels,
+            centroids: outcome.centroids,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "ladder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshape::stream::{PushOutcome, StreamConfig, StreamKShape};
+    use tsrand::{Rng, StdRng};
+    use tsrun::Budget;
+
+    fn two_class_series(i: usize, m: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..m)
+            .map(|t| {
+                let x = t as f64 / m as f64 * std::f64::consts::TAU;
+                let base = if i.is_multiple_of(2) {
+                    (2.0 * x).sin()
+                } else {
+                    (3.0 * x).cos()
+                };
+                base + 0.1 * rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ladder_reseeder_bootstraps_the_stream() {
+        let config = StreamConfig::new(2, 32).with_warmup(12).with_seed(5);
+        let mut engine = StreamKShape::new(config).unwrap();
+        engine.set_reseeder(Box::new(LadderReseeder::default()));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut bootstrapped = false;
+        for i in 0..80 {
+            match engine.push(&two_class_series(i, 32, &mut rng)) {
+                PushOutcome::Bootstrapped { labels } => {
+                    bootstrapped = true;
+                    assert_eq!(labels.len(), 12);
+                }
+                PushOutcome::Quarantined(r) => panic!("unexpected quarantine {r:?}"),
+                _ => {}
+            }
+        }
+        assert!(bootstrapped);
+        for c in engine.centroids() {
+            assert!(c.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn medoid_rung_centroids_are_z_normalized_on_install() {
+        // Starting the ladder at SBD-medoid returns raw member series as
+        // centroids; the stream engine must z-normalize them before
+        // installing.
+        let config = StreamConfig::new(2, 32).with_warmup(12).with_seed(5);
+        let mut engine = StreamKShape::new(config).unwrap();
+        engine.set_reseeder(Box::new(LadderReseeder {
+            start: LadderRung::SbdMedoid,
+            descend_on_stop: true,
+        }));
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..40 {
+            // Offset + amplitude keep raw series far from z-normalized.
+            let x: Vec<f64> = two_class_series(i, 32, &mut rng)
+                .into_iter()
+                .map(|v| 10.0 + 5.0 * v)
+                .collect();
+            engine.push(&x);
+        }
+        assert!(engine.stats().bootstrapped);
+        for c in engine.centroids() {
+            assert!(c.iter().all(|v| v.is_finite()));
+            let m = c.len() as f64;
+            let mean: f64 = c.iter().sum::<f64>() / m;
+            let var: f64 = c.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / m;
+            assert!(mean.abs() < 1e-9, "mean {mean}");
+            assert!((var.sqrt() - 1.0).abs() < 1e-9, "std {}", var.sqrt());
+        }
+    }
+
+    #[test]
+    fn starved_budget_never_panics_and_stays_pre_bootstrap() {
+        // A cost budget too small for even the cheapest rung fails every
+        // reseed attempt; the engine keeps buffering (bounded) and
+        // retries — no panic, no partial state.
+        let config = StreamConfig::new(2, 32).with_warmup(12).with_seed(5);
+        let mut engine = StreamKShape::new(config).unwrap();
+        engine.set_reseeder(Box::new(LadderReseeder::default()));
+        engine.set_refresh_budget(Some(Budget::unlimited().with_cost_cap(1)));
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..40 {
+            match engine.push(&two_class_series(i, 32, &mut rng)) {
+                PushOutcome::Buffered { .. } => {}
+                other => panic!("expected Buffered under starved budget, got {other:?}"),
+            }
+        }
+        assert!(!engine.stats().bootstrapped);
+        assert_eq!(engine.stats().fits, 0);
+        // Lifting the budget heals the stream on the next arrival.
+        engine.set_refresh_budget(None);
+        let outcome = engine.push(&two_class_series(40, 32, &mut rng));
+        assert!(
+            matches!(outcome, PushOutcome::Bootstrapped { .. }),
+            "{outcome:?}"
+        );
+    }
+}

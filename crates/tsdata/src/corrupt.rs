@@ -280,11 +280,169 @@ pub fn corrupt_collection<R: Rng>(
     hit
 }
 
+/// A fault that can hit one arrival of a *stream* of series: either a
+/// sample-level corruption ([`FaultKind`]) of the decoded values, or a
+/// byte-level corruption ([`ByteFault`]) of the series' wire
+/// representation (little-endian `f64`s), decoded back into samples.
+///
+/// This is the composition the streaming chaos suite sweeps: every way a
+/// live feed can poison an arrival, expressed as one enum so a single
+/// property can assert the engine's quarantine contract over all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFault {
+    /// Corrupt the decoded samples (see [`FaultKind`]).
+    Series(FaultKind),
+    /// Corrupt the little-endian `f64` byte stream carrying the series,
+    /// then re-decode. A [`ByteFault::MidStreamStall`] delivers only the
+    /// prefix before the stall point (the rest never arrives); a trailing
+    /// partial `f64` is dropped, as a framed reader would drop it.
+    Bytes(ByteFault),
+}
+
+impl StreamFault {
+    /// All stream faults, for exhaustive sweeps.
+    pub const ALL: [StreamFault; 9] = [
+        StreamFault::Series(FaultKind::NanRun),
+        StreamFault::Series(FaultKind::MissingGap),
+        StreamFault::Series(FaultKind::Flatline),
+        StreamFault::Series(FaultKind::Spike),
+        StreamFault::Series(FaultKind::Truncate),
+        StreamFault::Bytes(ByteFault::Truncate),
+        StreamFault::Bytes(ByteFault::BitFlip),
+        StreamFault::Bytes(ByteFault::GarbagePrefix),
+        StreamFault::Bytes(ByteFault::MidStreamStall),
+    ];
+
+    /// Whether this fault *can only* produce a contract-violating arrival
+    /// (shortened / lengthened series or non-finite samples), so a
+    /// streaming consumer must answer with a typed quarantine.
+    ///
+    /// [`ByteFault::BitFlip`] is deliberately *not* in this set: a bit
+    /// flip may land in a mantissa and yield a finite, full-length —
+    /// merely wrong — series that a robust consumer must still accept.
+    /// Neither is [`ByteFault::GarbagePrefix`]: a prepend that is not a
+    /// multiple of 8 re-frames the stream at the same decoded length
+    /// with garbled but possibly finite samples. Byte truncation and a
+    /// mid-stream stall always shorten the decoded series.
+    #[must_use]
+    pub fn invalidates(self) -> bool {
+        match self {
+            StreamFault::Series(kind) => kind.invalidates(),
+            StreamFault::Bytes(ByteFault::Truncate | ByteFault::MidStreamStall) => true,
+            StreamFault::Bytes(_) => false,
+        }
+    }
+}
+
+/// Applies one [`StreamFault`] to a single arrival in place.
+///
+/// Byte faults round-trip the samples through their little-endian `f64`
+/// encoding: corrupt the bytes, drop any trailing partial chunk (and, for
+/// [`ByteFault::MidStreamStall`], everything after the stall point —
+/// that is what a framed reader ever sees of a stalled sender), decode
+/// back. Deterministic via the caller's RNG.
+pub fn corrupt_stream_series<R: Rng>(x: &mut Vec<f64>, fault: StreamFault, rng: &mut R) {
+    match fault {
+        StreamFault::Series(kind) => corrupt_series(x, kind, rng),
+        StreamFault::Bytes(kind) => {
+            let mut bytes: Vec<u8> = x.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let report = corrupt_bytes(&mut bytes, kind, rng);
+            if let Some(at) = report.stall_at {
+                bytes.truncate(at);
+            }
+            x.clear();
+            x.extend(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+            );
+        }
+    }
+}
+
+/// A corruption schedule over a stream: each arrival is hit with
+/// probability `p`, drawing its fault uniformly from `faults`.
+#[derive(Debug, Clone)]
+pub struct StreamFaultSchedule {
+    /// Faults to draw from (uniformly). Empty disables corruption.
+    pub faults: Vec<StreamFault>,
+    /// Per-arrival corruption probability, clamped to `[0, 1]`.
+    pub p: f64,
+}
+
+impl StreamFaultSchedule {
+    /// A schedule over the given faults.
+    #[must_use]
+    pub fn new(faults: Vec<StreamFault>, p: f64) -> Self {
+        StreamFaultSchedule { faults, p }
+    }
+
+    /// A schedule over every fault kind ([`StreamFault::ALL`]).
+    #[must_use]
+    pub fn all(p: f64) -> Self {
+        StreamFaultSchedule::new(StreamFault::ALL.to_vec(), p)
+    }
+
+    /// Maybe corrupts one arrival in place, returning the fault applied
+    /// (`None` when this arrival was left clean).
+    pub fn apply<R: Rng>(&self, x: &mut Vec<f64>, rng: &mut R) -> Option<StreamFault> {
+        if self.faults.is_empty() || !rng.gen_bool(self.p.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let fault = self.faults[rng.gen_range(0..self.faults.len())];
+        corrupt_stream_series(x, fault, rng);
+        Some(fault)
+    }
+}
+
+/// Iterator adapter applying a [`StreamFaultSchedule`] to a feed of
+/// series — the composition helper behind the streaming chaos props.
+///
+/// Yields `(series, Option<StreamFault>)` so the harness knows exactly
+/// which arrivals were hit and with what, and can hold the consumer to
+/// the right contract per arrival (typed quarantine for invalid input,
+/// finite acceptance for degraded-but-valid input).
+#[derive(Debug)]
+pub struct CorruptFeed<I, R> {
+    inner: I,
+    schedule: StreamFaultSchedule,
+    rng: R,
+}
+
+impl<I, R> Iterator for CorruptFeed<I, R>
+where
+    I: Iterator<Item = Vec<f64>>,
+    R: Rng,
+{
+    type Item = (Vec<f64>, Option<StreamFault>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut series = self.inner.next()?;
+        let fault = self.schedule.apply(&mut series, &mut self.rng);
+        Some((series, fault))
+    }
+}
+
+/// Wraps a feed of series with a deterministic corruption schedule (see
+/// [`CorruptFeed`]).
+pub fn corrupt_feed<I, R>(inner: I, schedule: StreamFaultSchedule, rng: R) -> CorruptFeed<I, R>
+where
+    I: Iterator<Item = Vec<f64>>,
+    R: Rng,
+{
+    CorruptFeed {
+        inner,
+        schedule,
+        rng,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::{
-        corrupt_bytes, corrupt_collection, corrupt_series, flatline, missing_gap, nan_run, spike,
-        truncate, truncate_checkpoint, ByteFault, FaultKind,
+        corrupt_bytes, corrupt_collection, corrupt_feed, corrupt_series, corrupt_stream_series,
+        flatline, missing_gap, nan_run, spike, truncate, truncate_checkpoint, ByteFault, FaultKind,
+        StreamFault, StreamFaultSchedule,
     };
     use tsrand::StdRng;
 
@@ -520,6 +678,119 @@ mod tests {
                 }
                 FaultKind::Truncate => assert!(x.len() < 16, "{kind:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn stream_fault_covers_both_families() {
+        assert_eq!(
+            StreamFault::ALL.len(),
+            FaultKind::ALL.len() + ByteFault::ALL.len()
+        );
+        // Invalidation classification: series faults inherit FaultKind's;
+        // only the byte faults that always change the decoded length
+        // (Truncate, MidStreamStall) are guaranteed-invalid. BitFlip keeps
+        // the length and may stay finite; GarbagePrefix with a non-multiple
+        // of 8 prepended keeps the length too (chunks_exact drops the tail).
+        for fault in StreamFault::ALL {
+            let expected = match fault {
+                StreamFault::Series(kind) => kind.invalidates(),
+                StreamFault::Bytes(ByteFault::Truncate | ByteFault::MidStreamStall) => true,
+                StreamFault::Bytes(_) => false,
+            };
+            assert_eq!(fault.invalidates(), expected, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_series_byte_faults_change_shape_or_values() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            for kind in ByteFault::ALL {
+                let mut x = ramp(32);
+                corrupt_stream_series(&mut x, StreamFault::Bytes(kind), &mut rng);
+                match kind {
+                    // Dropped tail bytes leave a partial f64 that the
+                    // framed decode discards: strictly shorter series.
+                    ByteFault::Truncate | ByteFault::MidStreamStall => {
+                        assert!(x.len() < 32, "{kind:?}: {}", x.len());
+                        // The surviving prefix decodes to the original
+                        // samples when it lands on an 8-byte boundary.
+                        assert!(x.iter().zip(ramp(32)).all(|(a, b)| *a == b));
+                    }
+                    // 16 garbage bytes prepend two bogus "samples" and
+                    // shift every real sample's byte alignment.
+                    ByteFault::GarbagePrefix => {
+                        assert!(x.len() >= 32, "{kind:?}");
+                    }
+                    ByteFault::BitFlip => assert_eq!(x.len(), 32),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_series_series_faults_match_corrupt_series() {
+        // The Series arm must delegate verbatim.
+        for kind in FaultKind::ALL {
+            let mut via_stream = ramp(24);
+            let mut direct = ramp(24);
+            corrupt_stream_series(
+                &mut via_stream,
+                StreamFault::Series(kind),
+                &mut StdRng::seed_from_u64(5),
+            );
+            corrupt_series(&mut direct, kind, &mut StdRng::seed_from_u64(5));
+            assert_eq!(via_stream.len(), direct.len(), "{kind:?}");
+            for (a, b) in via_stream.iter().zip(&direct) {
+                assert!(a == b || (a.is_nan() && b.is_nan()), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_and_feed_are_deterministic_and_labelled() {
+        let feed = |seed: u64| {
+            let clean: Vec<Vec<f64>> = (0..64).map(|_| ramp(16)).collect();
+            corrupt_feed(
+                clean.into_iter(),
+                StreamFaultSchedule::all(0.3),
+                StdRng::seed_from_u64(seed),
+            )
+            .collect::<Vec<_>>()
+        };
+        let a = feed(9);
+        let b = feed(9);
+        assert_eq!(a.len(), 64);
+        for ((xa, fa), (xb, fb)) in a.iter().zip(&b) {
+            assert_eq!(fa, fb);
+            assert_eq!(xa.len(), xb.len());
+            for (va, vb) in xa.iter().zip(xb) {
+                assert!(va == vb || (va.is_nan() && vb.is_nan()));
+            }
+        }
+        // ~30% corruption rate: some hit, some clean, labels honest.
+        let hit = a.iter().filter(|(_, f)| f.is_some()).count();
+        assert!(hit > 0 && hit < 64, "hit {hit}/64");
+        for (x, fault) in &a {
+            if fault.is_none() {
+                assert_eq!(x.len(), 16);
+                assert!(x.iter().all(|v| v.is_finite()));
+            }
+        }
+        // p = 0 and an empty fault list both disable corruption.
+        let clean: Vec<Vec<f64>> = (0..8).map(|_| ramp(4)).collect();
+        for schedule in [
+            StreamFaultSchedule::all(0.0),
+            StreamFaultSchedule::new(Vec::new(), 1.0),
+        ] {
+            let out: Vec<_> = corrupt_feed(
+                clean.clone().into_iter(),
+                schedule,
+                StdRng::seed_from_u64(1),
+            )
+            .collect();
+            assert!(out.iter().all(|(x, f)| f.is_none() && x.len() == 4));
         }
     }
 }

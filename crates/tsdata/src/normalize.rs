@@ -97,7 +97,11 @@ pub fn try_z_normalize_series(x: &[f64], series: usize) -> TsResult<Vec<f64>> {
     }
     ensure_finite(x, series)?;
     let sigma = std_dev(x);
-    if sigma <= 0.0 {
+    // A non-finite sigma means the variance overflowed f64 (samples near
+    // ±MAX): every z-score collapses to 0, i.e. the output would be
+    // constant — report it as such instead of returning an all-zero
+    // series that later divides by a zero norm.
+    if sigma <= 0.0 || !sigma.is_finite() {
         return Err(TsError::ConstantSeries { series });
     }
     let mu = mean(x);
@@ -231,6 +235,13 @@ mod tests {
         assert_eq!(
             try_z_normalize_series(&[4.0, 4.0], 7),
             Err(TsError::ConstantSeries { series: 7 })
+        );
+        // Finite-but-huge samples overflow the variance to infinity;
+        // the z-scores would all collapse to 0 (a constant output), so
+        // the result is the same typed error, never an all-zero vector.
+        assert_eq!(
+            try_z_normalize_series(&[f64::MAX, 1.0, -2.0, 3.0], 5),
+            Err(TsError::ConstantSeries { series: 5 })
         );
         assert_eq!(
             try_z_normalize_series(&[f64::INFINITY], 3),

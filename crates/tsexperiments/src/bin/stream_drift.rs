@@ -1,0 +1,66 @@
+//! Streaming-drift acceptance run: a drifting, partially corrupted feed
+//! through the online k-Shape engine, with kill-safe checkpoints.
+//!
+//! Prints exactly one line to stdout — the [`StreamDriftReport`] JSON —
+//! which is fully deterministic in the configuration (no wall-clock
+//! values), so
+//!
+//! ```text
+//! KSHAPE_CHECKPOINT_DIR=ck stream_drift > a.txt   # killed half-way
+//! KSHAPE_CHECKPOINT_DIR=ck stream_drift > a.txt   # resumed
+//! stream_drift > b.txt                            # uninterrupted
+//! diff a.txt b.txt                                # byte-identical
+//! ```
+//!
+//! holds. CI runs exactly this SIGKILL→resume protocol and additionally
+//! gates on `quarantine_leaks == 0`, `nan_centroid_values == 0`,
+//! `reseeds >= 1`, and a bounded `recovery_arrivals`.
+//!
+//! Environment knobs (all optional): `KSHAPE_STREAM_N`,
+//! `KSHAPE_STREAM_ROTATE_AT`, `KSHAPE_STREAM_SEED`,
+//! `KSHAPE_STREAM_CKPT_EVERY`, plus `KSHAPE_CHECKPOINT_DIR` to enable
+//! checkpointing.
+
+use tsexperiments::stream_eval::{run_stream_drift, StreamDriftConfig, StreamDriftReport};
+use tsexperiments::CheckpointStore;
+
+fn env_usize(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("{var}={raw} is not a usize")),
+        Err(_) => default,
+    }
+}
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| panic!("{var}={raw} is not a u64")),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let defaults = StreamDriftConfig::default();
+    let n = env_usize("KSHAPE_STREAM_N", defaults.n);
+    let cfg = StreamDriftConfig {
+        n,
+        rotate_at: env_usize("KSHAPE_STREAM_ROTATE_AT", n / 2),
+        seed: env_u64("KSHAPE_STREAM_SEED", defaults.seed),
+        checkpoint_every: env_usize("KSHAPE_STREAM_CKPT_EVERY", defaults.checkpoint_every),
+        ..defaults
+    };
+    let store = CheckpointStore::from_env();
+    eprintln!(
+        "stream_drift: n={} rotate_at={} corrupt_p={} seed={} checkpoints {}",
+        cfg.n,
+        cfg.rotate_at,
+        cfg.corrupt_p,
+        cfg.seed,
+        if store.is_enabled() { "on" } else { "off" },
+    );
+    let report: StreamDriftReport = run_stream_drift(&cfg, &store);
+    println!("{}", report.to_json());
+}

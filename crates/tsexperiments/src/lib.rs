@@ -34,6 +34,7 @@ pub mod checkpoint;
 pub mod cluster_eval;
 pub mod config;
 pub mod dist_eval;
+pub mod stream_eval;
 pub mod variants;
 
 pub use checkpoint::CheckpointStore;

@@ -1,0 +1,443 @@
+//! Streaming-drift evaluation: a synthetic unbounded feed whose cluster
+//! shapes rotate mid-stream, with a configurable fraction of arrivals
+//! corrupted by [`tsdata::corrupt::StreamFault`]s.
+//!
+//! The feed is *regenerable by arrival index*: every arrival derives its
+//! RNG from `(seed, index)` alone, so a run killed at any point and
+//! resumed from a [`CheckpointStore`] replays the identical suffix and
+//! produces byte-identical labels — the property CI's SIGKILL→resume
+//! protocol diffs (see the `stream_drift` binary).
+//!
+//! The report answers the acceptance questions directly: quarantine
+//! leaks (an invalidating fault that was not quarantined — must be 0),
+//! reseed count and drift-recovery latency in arrivals, and the
+//! post-recovery Rand index of the stream labels against a fresh batch
+//! k-Shape fit on the same clean window.
+
+use kshape::{PushOutcome, StreamConfig, StreamKShape};
+use tsdata::corrupt::{StreamFault, StreamFaultSchedule};
+use tseval::rand_index;
+use tsrand::{Rng, StdRng};
+
+use crate::checkpoint::CheckpointStore;
+
+/// Artifact name of the per-arrival label journal (written first).
+pub const LABELS_ARTIFACT: &str = "stream_labels";
+/// Artifact name of the engine checkpoint (written after the labels, so
+/// a kill between the two writes leaves labels ahead of the engine —
+/// resume truncates them back to the engine's arrival count).
+pub const ENGINE_ARTIFACT: &str = "stream_engine";
+
+/// Label-journal code for a quarantined arrival.
+pub const CODE_QUARANTINED: i64 = -1;
+/// Label-journal code for an arrival buffered before bootstrap.
+pub const CODE_BUFFERED: i64 = -2;
+/// Flag OR-ed onto a label code when that arrival triggered a reseed.
+pub const RESEED_FLAG: i64 = 1 << 32;
+
+/// Scenario knobs for [`run_stream_drift`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamDriftConfig {
+    /// Total arrivals in the feed.
+    pub n: usize,
+    /// Series length.
+    pub m: usize,
+    /// Number of clusters (and of ground-truth shape classes).
+    pub k: usize,
+    /// Arrival index at which every class swaps to a new shape.
+    pub rotate_at: usize,
+    /// Per-arrival corruption probability (over all `StreamFault`s).
+    pub corrupt_p: f64,
+    /// Base seed; each arrival re-derives its RNG from `(seed, index)`.
+    pub seed: u64,
+    /// Checkpoint cadence in arrivals (0 disables checkpointing even
+    /// when the store is enabled).
+    pub checkpoint_every: usize,
+}
+
+impl Default for StreamDriftConfig {
+    fn default() -> Self {
+        StreamDriftConfig {
+            n: 10_000,
+            m: 64,
+            k: 3,
+            rotate_at: 5_000,
+            corrupt_p: 0.05,
+            seed: 2015,
+            checkpoint_every: 1_000,
+        }
+    }
+}
+
+/// What a drifting-feed run produced. Every field is deterministic in
+/// `StreamDriftConfig` alone — no wall-clock values — so the report of a
+/// killed-and-resumed run diffs byte-identical against an uninterrupted
+/// one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDriftReport {
+    /// Total arrivals pushed.
+    pub arrivals: u64,
+    /// Arrivals accepted (assigned or buffered).
+    pub accepted: u64,
+    /// Arrivals quarantined with a typed reason.
+    pub quarantined: u64,
+    /// Invalidating faults that were **not** quarantined. Must be 0.
+    pub quarantine_leaks: u64,
+    /// Drift-triggered reseeds over the whole feed.
+    pub reseeds: u64,
+    /// Centroid refreshes from the streaming sufficient statistics.
+    pub refreshes: u64,
+    /// Non-finite values in the final centroids. Must be 0.
+    pub nan_centroid_values: usize,
+    /// Arrivals between the rotation and the first reseed after it
+    /// (−1 when no reseed fired post-rotation).
+    pub recovery_arrivals: i64,
+    /// Rand index of the stream labels on the clean post-recovery
+    /// window, against ground truth.
+    pub stream_rand: f64,
+    /// Rand index of a fresh batch k-Shape fit on the same window.
+    pub batch_rand: f64,
+    /// FNV-1a hash over the per-arrival label journal.
+    pub labels_fnv: u64,
+}
+
+impl StreamDriftReport {
+    /// Stable single-line JSON rendering (fixed key order, shortest
+    /// round-trip floats) for CI diffing.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"arrivals\":{},\"accepted\":{},\"quarantined\":{},",
+                "\"quarantine_leaks\":{},\"reseeds\":{},\"refreshes\":{},",
+                "\"nan_centroid_values\":{},\"recovery_arrivals\":{},",
+                "\"stream_rand\":{:?},\"batch_rand\":{:?},\"labels_fnv\":\"{:#018x}\"}}"
+            ),
+            self.arrivals,
+            self.accepted,
+            self.quarantined,
+            self.quarantine_leaks,
+            self.reseeds,
+            self.refreshes,
+            self.nan_centroid_values,
+            self.recovery_arrivals,
+            self.stream_rand,
+            self.batch_rand,
+            self.labels_fnv,
+        )
+    }
+}
+
+/// RNG for one arrival, derived from the base seed and the arrival index
+/// only — the property that makes the feed replayable from any resume
+/// point.
+#[must_use]
+pub fn arrival_rng(seed: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One clean arrival: class `class` is a noisy periodic shape drawn from
+/// a waveform family (sine / square / sawtooth) at a class-specific
+/// frequency. After rotation every class moves to the *next* family and
+/// jumps `k` frequency steps, which changes the shape itself — SBD is
+/// shift-invariant, so a mere phase rotation would be invisible to the
+/// drift detector, but a family/frequency change is not.
+#[must_use]
+pub fn class_series(class: usize, k: usize, rotated: bool, m: usize, rng: &mut StdRng) -> Vec<f64> {
+    let family = if rotated { class + 1 } else { class };
+    let freq = (2 + class + if rotated { k } else { 0 }) as f64;
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    (0..m)
+        .map(|t| {
+            let x = std::f64::consts::TAU * freq * t as f64 / m as f64 + phase;
+            let base = match family % 3 {
+                0 => x.sin(),
+                1 => {
+                    if x.sin() >= 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                _ => 2.0 * (x / std::f64::consts::TAU).fract() - 1.0,
+            };
+            base + 0.1 * rng.gen_range(-1.0..1.0)
+        })
+        .collect()
+}
+
+/// One generated arrival: ground-truth class, the (possibly corrupted)
+/// samples, and the fault that was applied, if any.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Ground-truth shape class.
+    pub class: usize,
+    /// The samples handed to the engine.
+    pub series: Vec<f64>,
+    /// The corruption applied, when the schedule fired.
+    pub fault: Option<StreamFault>,
+}
+
+/// Regenerates arrival `index` of the configured feed.
+#[must_use]
+pub fn generate_arrival(cfg: &StreamDriftConfig, index: u64) -> Arrival {
+    let mut rng = arrival_rng(cfg.seed, index);
+    let class = rng.gen_range(0..cfg.k);
+    let rotated = (index as usize) >= cfg.rotate_at;
+    let mut series = class_series(class, cfg.k, rotated, cfg.m, &mut rng);
+    let schedule = StreamFaultSchedule::all(cfg.corrupt_p);
+    let fault = schedule.apply(&mut series, &mut rng);
+    Arrival {
+        class,
+        series,
+        fault,
+    }
+}
+
+/// FNV-1a over the label journal (little-endian i64 codes).
+#[must_use]
+pub fn labels_fnv(labels: &[i64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for code in labels {
+        for byte in code.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn labels_to_json(labels: &[i64]) -> String {
+    let mut out = String::with_capacity(labels.len() * 3 + 2);
+    out.push('[');
+    for (i, code) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&code.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn labels_from_json(text: &str) -> Option<Vec<i64>> {
+    let inner = text.trim().strip_prefix('[')?.strip_suffix(']')?;
+    if inner.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|tok| tok.trim().parse().ok())
+        .collect()
+}
+
+/// The streaming engine configuration used by the drift scenario.
+#[must_use]
+pub fn stream_config(cfg: &StreamDriftConfig) -> StreamConfig {
+    StreamConfig::new(cfg.k, cfg.m)
+        .with_seed(cfg.seed)
+        .with_warmup((8 * cfg.k).max(cfg.k + 1))
+}
+
+/// Runs the drifting-feed scenario, checkpointing through `store` when
+/// enabled, and resuming from a prior checkpoint when one is present.
+///
+/// The label journal is written **before** the engine artifact at every
+/// checkpoint, so a kill between the two leaves the journal ahead — on
+/// resume it is truncated back to the engine's arrival count and the
+/// suffix is regenerated, which makes the final journal independent of
+/// where (or whether) the run was killed.
+///
+/// # Panics
+///
+/// Panics if the scenario configuration produces an invalid
+/// [`StreamConfig`] (e.g. `k == 0`), or if a checkpoint write fails.
+#[must_use]
+pub fn run_stream_drift(cfg: &StreamDriftConfig, store: &CheckpointStore) -> StreamDriftReport {
+    // Resume: engine first (the authoritative cursor), then the journal,
+    // truncated to the engine's arrival count.
+    let (resumed_engine, _) = store.load_named(ENGINE_ARTIFACT, StreamKShape::from_json);
+    let (mut engine, mut labels) = match resumed_engine {
+        Some(engine) => {
+            let (journal, _) = store.load_named(LABELS_ARTIFACT, labels_from_json);
+            let arrivals = engine.stats().arrivals as usize;
+            match journal {
+                Some(mut journal) if journal.len() >= arrivals => {
+                    journal.truncate(arrivals);
+                    (engine, journal)
+                }
+                // Journal missing or behind the engine: the checkpoint
+                // pair is unusable — start fresh.
+                _ => (
+                    StreamKShape::new(stream_config(cfg)).expect("valid stream config"),
+                    Vec::new(),
+                ),
+            }
+        }
+        None => (
+            StreamKShape::new(stream_config(cfg)).expect("valid stream config"),
+            Vec::new(),
+        ),
+    };
+
+    let start = labels.len();
+    for i in start..cfg.n {
+        let arrival = generate_arrival(cfg, i as u64);
+        let outcome = engine.push(&arrival.series);
+        let code = match outcome {
+            PushOutcome::Quarantined(_) => CODE_QUARANTINED,
+            PushOutcome::Buffered { .. } => CODE_BUFFERED,
+            PushOutcome::Bootstrapped { ref labels } => {
+                *labels.last().expect("bootstrap labels non-empty") as i64
+            }
+            PushOutcome::Assigned(a) => {
+                let mut code = a.label as i64;
+                if a.reseeded {
+                    code |= RESEED_FLAG;
+                }
+                code
+            }
+        };
+        labels.push(code);
+        if cfg.checkpoint_every > 0 && (i + 1) % cfg.checkpoint_every == 0 {
+            store
+                .store_named(LABELS_ARTIFACT, &labels_to_json(&labels))
+                .expect("label journal write");
+            store
+                .store_named(ENGINE_ARTIFACT, &engine.to_json())
+                .expect("engine checkpoint write");
+        }
+    }
+
+    // Derived metrics come from a replay over the journal, never from
+    // in-loop counters, so they are identical whether or not the run was
+    // killed and resumed part-way.
+    let mut quarantine_leaks = 0u64;
+    let mut first_reseed_after_rotate: Option<usize> = None;
+    let eval_from = cfg.rotate_at + cfg.n.saturating_sub(cfg.rotate_at) / 2;
+    let mut eval_series: Vec<Vec<f64>> = Vec::new();
+    let mut eval_truth: Vec<usize> = Vec::new();
+    let mut eval_stream: Vec<usize> = Vec::new();
+    for (i, &code) in labels.iter().enumerate() {
+        let arrival = generate_arrival(cfg, i as u64);
+        if arrival.fault.is_some_and(StreamFault::invalidates) && code != CODE_QUARANTINED {
+            quarantine_leaks += 1;
+        }
+        if i >= cfg.rotate_at
+            && code >= 0
+            && code & RESEED_FLAG != 0
+            && first_reseed_after_rotate.is_none()
+        {
+            first_reseed_after_rotate = Some(i);
+        }
+        if i >= eval_from && arrival.fault.is_none() && code >= 0 {
+            eval_series.push(arrival.series);
+            eval_truth.push(arrival.class);
+            eval_stream.push((code & ((1 << 32) - 1)) as usize);
+        }
+    }
+
+    // A feed cut short of the rotation (e.g. a killed run evaluated
+    // before resume) has no post-recovery window to score.
+    let (stream_rand, batch_rand) = if eval_series.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        let batch_config = kshape::KShapeConfig {
+            k: cfg.k,
+            max_iter: 30,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        let batch = kshape::multi::try_fit_best(&batch_config, &eval_series, 3)
+            .expect("clean eval window fits");
+        (
+            rand_index(&eval_stream, &eval_truth),
+            rand_index(&batch.labels, &eval_truth),
+        )
+    };
+
+    let stats = engine.stats();
+    let nan_centroid_values = engine
+        .centroids()
+        .iter()
+        .flat_map(|c| c.iter())
+        .filter(|v| !v.is_finite())
+        .count();
+    StreamDriftReport {
+        arrivals: stats.arrivals,
+        accepted: stats.accepted,
+        quarantined: stats.quarantined,
+        quarantine_leaks,
+        reseeds: stats.reseeds,
+        refreshes: stats.refreshes,
+        nan_centroid_values,
+        recovery_arrivals: first_reseed_after_rotate.map_or(-1, |i| (i - cfg.rotate_at) as i64),
+        stream_rand,
+        batch_rand,
+        labels_fnv: labels_fnv(&labels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> StreamDriftConfig {
+        StreamDriftConfig {
+            n: 1_200,
+            m: 32,
+            k: 2,
+            rotate_at: 600,
+            corrupt_p: 0.05,
+            seed: 9,
+            checkpoint_every: 0,
+        }
+    }
+
+    #[test]
+    fn feed_is_regenerable_by_index() {
+        let cfg = small();
+        for i in [0u64, 17, 599, 600, 1_199] {
+            let a = generate_arrival(&cfg, i);
+            let b = generate_arrival(&cfg, i);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.series, b.series);
+            assert_eq!(a.fault, b.fault);
+        }
+    }
+
+    #[test]
+    fn rotation_changes_the_shape_not_just_the_phase() {
+        let cfg = small();
+        let mut rng = arrival_rng(cfg.seed, 1);
+        let before = class_series(0, cfg.k, false, cfg.m, &mut rng);
+        let after = class_series(0, cfg.k, true, cfg.m, &mut rng);
+        let d = kshape::sbd(&before, &after).dist;
+        assert!(d > 0.2, "rotation must move the shape, SBD {d}");
+    }
+
+    #[test]
+    fn small_drift_run_meets_the_acceptance_contract() {
+        let report = run_stream_drift(&small(), &CheckpointStore::disabled());
+        assert_eq!(report.arrivals, 1_200);
+        assert_eq!(report.quarantine_leaks, 0, "invalidating fault leaked");
+        assert_eq!(report.nan_centroid_values, 0);
+        assert!(report.reseeds >= 1, "drift never triggered a reseed");
+        assert!(report.recovery_arrivals >= 0, "no post-rotation reseed");
+        assert!(
+            report.stream_rand >= report.batch_rand - 0.05,
+            "stream Rand {} not within 5% of batch {}",
+            report.stream_rand,
+            report.batch_rand,
+        );
+    }
+
+    #[test]
+    fn journal_roundtrips_and_hash_is_stable() {
+        let labels = vec![3, CODE_QUARANTINED, CODE_BUFFERED, RESEED_FLAG | 1];
+        let json = labels_to_json(&labels);
+        assert_eq!(labels_from_json(&json), Some(labels.clone()));
+        assert_eq!(labels_fnv(&labels), labels_fnv(&labels));
+        assert_ne!(labels_fnv(&labels), labels_fnv(&labels[..3]));
+    }
+}

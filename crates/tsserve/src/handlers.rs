@@ -26,7 +26,10 @@ use crate::gate::Pressure;
 use crate::http::{Request, Response};
 use crate::registry::{valid_model_name, Model};
 use crate::server::AppState;
-use crate::wire::{fmt_f64, json_escape, labels_json, push_series_json, FitRequest, SeriesRequest};
+use crate::wire::{
+    fmt_f64, json_escape, labels_json, push_series_json, FitRequest, SeriesRequest,
+    StreamCreateRequest,
+};
 
 /// Routes one parsed request. Infallible by construction: every defect
 /// becomes a typed response.
@@ -42,14 +45,17 @@ pub fn handle(req: &Request, state: &AppState) -> Response {
         ("POST", "/admin/panic") if state.config.panic_probe => {
             panic!("panic probe requested")
         }
+        ("GET", "/v1/streams") => list_streams(state),
         _ => {
             if let Some(rest) = path.strip_prefix("/v1/models/") {
                 return model_route(method, rest, req, state);
             }
+            if let Some(rest) = path.strip_prefix("/v1/streams/") {
+                return stream_route(method, rest, req, state);
+            }
             match path {
-                "/healthz" | "/v1/models" | "/v1/telemetry" | "/v1/normalize" | "/admin/drain" => {
-                    Response::error(405, "method_not_allowed", method)
-                }
+                "/healthz" | "/v1/models" | "/v1/telemetry" | "/v1/normalize" | "/admin/drain"
+                | "/v1/streams" => Response::error(405, "method_not_allowed", method),
                 _ => Response::error(404, "not_found", path),
             }
         }
@@ -74,6 +80,158 @@ fn model_route(method: &str, rest: &str, req: &Request, state: &AppState) -> Res
         }
         _ => Response::error(404, "not_found", &req.path),
     }
+}
+
+/// Dispatches `/v1/streams/{name}` and `/v1/streams/{name}/push`.
+fn stream_route(method: &str, rest: &str, req: &Request, state: &AppState) -> Response {
+    let (name, action) = match rest.split_once('/') {
+        Some((n, a)) => (n, Some(a)),
+        None => (rest, None),
+    };
+    if !valid_model_name(name) {
+        return Response::error(
+            400,
+            "bad_stream_name",
+            "stream names are [A-Za-z0-9_]{1,64}",
+        );
+    }
+    match (method, action) {
+        ("GET", None) => stream_stats(name, state),
+        ("POST", None) => stream_create(name, req, state),
+        ("POST", Some("push")) => stream_push(name, req, state),
+        (_, None | Some("push")) => Response::error(405, "method_not_allowed", method),
+        _ => Response::error(404, "not_found", &req.path),
+    }
+}
+
+fn list_streams(state: &AppState) -> Response {
+    let mut body = String::from("{\"streams\":[");
+    for (i, name) in state.streams.names().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("\"{}\"", json_escape(name)));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+fn stream_stats_json(name: &str, entry: &crate::streams::StreamEntry) -> String {
+    let s = entry.engine.stats();
+    let c = entry.engine.config();
+    format!(
+        "{{\"stream\":\"{}\",\"k\":{},\"m\":{},\"arrivals\":{},\"accepted\":{},\"quarantined\":{},\"fits\":{},\"reseeds\":{},\"refreshes\":{},\"degenerate_refreshes\":{},\"bootstrapped\":{},\"pending\":{}}}",
+        json_escape(name),
+        c.k,
+        c.m,
+        s.arrivals,
+        s.accepted,
+        s.quarantined,
+        s.fits,
+        s.reseeds,
+        s.refreshes,
+        s.degenerate_refreshes,
+        s.bootstrapped,
+        s.pending,
+    )
+}
+
+fn stream_stats(name: &str, state: &AppState) -> Response {
+    let Some(entry) = state.streams.get(name) else {
+        return Response::error(404, "unknown_stream", name);
+    };
+    let entry = entry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    Response::json(200, stream_stats_json(name, &entry))
+}
+
+/// `POST /v1/streams/{name}` — create a streaming engine.
+fn stream_create(name: &str, req: &Request, state: &AppState) -> Response {
+    let parsed = match StreamCreateRequest::parse(&req.body) {
+        Ok(p) => p,
+        Err(detail) => return Response::error(400, "bad_request", &detail),
+    };
+    match state.streams.create(name, parsed.config) {
+        Ok(()) => {
+            state.telemetry.counter("serve.stream.created", 1);
+            Response::json(200, format!("{{\"stream\":\"{}\"}}", json_escape(name)))
+        }
+        Err(crate::streams::CreateError::Exists) => Response::error(409, "stream_exists", name),
+        Err(crate::streams::CreateError::Invalid(detail)) => {
+            Response::error(422, "invalid_config", &detail)
+        }
+    }
+}
+
+/// `POST /v1/streams/{name}/push` — ingest a batch of arrivals. The
+/// body is parsed *lossily* (JSON `null` → NaN), so a producer
+/// reporting lost samples gets a per-arrival typed quarantine instead of
+/// a whole-batch 400. Byte-level garbage still fails the JSON parse
+/// (400), and a mid-stream stall is evicted by the read deadline (408)
+/// before this handler runs.
+fn stream_push(name: &str, req: &Request, state: &AppState) -> Response {
+    let body = match crate::wire::parse_body(&req.body) {
+        Ok(b) => b,
+        Err(detail) => return Response::error(400, "bad_request", &detail),
+    };
+    let series = match crate::wire::parse_series_lossy(&body) {
+        Ok(s) => s,
+        Err(detail) => return Response::error(400, "bad_request", &detail),
+    };
+    let obs = tsobs::Obs::from_option(Some(&state.telemetry as &dyn Recorder));
+    let Some(outcomes) = state.streams.push_batch(name, &series, obs) else {
+        return Response::error(404, "unknown_stream", name);
+    };
+    state
+        .telemetry
+        .counter("serve.stream.push.series", outcomes.len() as u64);
+
+    let mut out = String::from("{\"outcomes\":[");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match o {
+            kshape::stream::PushOutcome::Buffered { pending } => {
+                out.push_str(&format!(
+                    "{{\"status\":\"buffered\",\"pending\":{pending}}}"
+                ));
+            }
+            kshape::stream::PushOutcome::Bootstrapped { labels } => {
+                out.push_str(&format!(
+                    "{{\"status\":\"bootstrapped\",\"labels\":{}}}",
+                    labels_json(labels)
+                ));
+            }
+            kshape::stream::PushOutcome::Assigned(a) => {
+                out.push_str(&format!(
+                    "{{\"status\":\"assigned\",\"label\":{},\"dist\":{},\"shift\":{},\"refreshed\":{},\"reseeded\":{}}}",
+                    a.label,
+                    fmt_f64(a.dist),
+                    a.shift,
+                    a.refreshed,
+                    a.reseeded,
+                ));
+            }
+            kshape::stream::PushOutcome::Quarantined(reason) => {
+                out.push_str(&format!(
+                    "{{\"status\":\"quarantined\",\"reason\":\"{}\"}}",
+                    reason.name()
+                ));
+            }
+        }
+    }
+    out.push_str("],\"stats\":");
+    {
+        let entry = state.streams.get(name).expect("stream exists");
+        let entry = entry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        out.push_str(&stream_stats_json(name, &entry));
+    }
+    out.push('}');
+    Response::json(200, out)
 }
 
 fn healthz(state: &AppState) -> Response {

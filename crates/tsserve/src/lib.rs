@@ -47,6 +47,7 @@ pub mod loadgen;
 pub mod pool;
 pub mod registry;
 pub mod server;
+pub mod streams;
 pub mod telemetry;
 pub mod wire;
 

@@ -3,7 +3,8 @@
 //! ```text
 //! tsserve [--addr 127.0.0.1:7878] [--workers N] [--queue N]
 //!         [--checkpoint-dir DIR] [--deadline-ms N] [--max-deadline-ms N]
-//!         [--read-deadline-ms N] [--panic-probe]
+//!         [--read-deadline-ms N] [--stream-checkpoint-every N]
+//!         [--panic-probe]
 //! ```
 
 use std::time::Duration;
@@ -41,12 +42,18 @@ fn main() {
                     Duration::from_millis(parse(&take("--read-deadline-ms"), "--read-deadline-ms"))
             }
             "--panic-probe" => config.panic_probe = true,
+            "--stream-checkpoint-every" => {
+                config.stream_checkpoint_every = parse(
+                    &take("--stream-checkpoint-every"),
+                    "--stream-checkpoint-every",
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "tsserve: k-Shape clustering server\n\
                      flags: --addr A --workers N --queue N --checkpoint-dir DIR\n\
                      \x20      --deadline-ms N --max-deadline-ms N --read-deadline-ms N\n\
-                     \x20      --panic-probe"
+                     \x20      --stream-checkpoint-every N --panic-probe"
                 );
                 return;
             }

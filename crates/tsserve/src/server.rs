@@ -22,6 +22,7 @@ use crate::gate::Gate;
 use crate::http::{self, Limits, Response};
 use crate::pool::BoundedPool;
 use crate::registry::ModelRegistry;
+use crate::streams::StreamRegistry;
 use crate::telemetry::RingTelemetry;
 
 /// Accept-loop poll quantum while idle or draining.
@@ -55,6 +56,9 @@ pub struct ServeConfig {
     pub telemetry_capacity: usize,
     /// Enables `POST /admin/panic` (worker panic-isolation probe).
     pub panic_probe: bool,
+    /// Streaming checkpoint cadence, accepted arrivals per stream
+    /// (0 = only on drain).
+    pub stream_checkpoint_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +76,7 @@ impl Default for ServeConfig {
             checkpoint_dir: None,
             telemetry_capacity: 4096,
             panic_probe: false,
+            stream_checkpoint_every: 64,
         }
     }
 }
@@ -84,6 +89,8 @@ pub struct AppState {
     pub gate: Gate,
     /// Fitted models (kill-safe via the checkpoint store).
     pub registry: ModelRegistry,
+    /// Streaming engines (kill-safe via the checkpoint store).
+    pub streams: StreamRegistry,
     /// Bounded telemetry ring (the per-request recorder).
     pub telemetry: RingTelemetry,
     draining: AtomicBool,
@@ -137,19 +144,28 @@ impl Server {
             Some(dir) => CheckpointStore::new(dir),
             None => CheckpointStore::disabled(),
         };
-        let registry = ModelRegistry::new(store);
+        let registry = ModelRegistry::new(store.clone());
         let warm = registry.warm_start();
+        let streams = StreamRegistry::new(store, config.stream_checkpoint_every);
+        let stream_warm = streams.warm_start();
         let telemetry = RingTelemetry::new(config.telemetry_capacity);
         if !warm.loaded.is_empty() {
             telemetry.counter("serve.warm_start.models", warm.loaded.len() as u64);
         }
-        if warm.rejected > 0 {
-            telemetry.counter("serve.warm_start.rejected", warm.rejected as u64);
+        if !stream_warm.loaded.is_empty() {
+            telemetry.counter("serve.warm_start.streams", stream_warm.loaded.len() as u64);
+        }
+        if warm.rejected + stream_warm.rejected > 0 {
+            telemetry.counter(
+                "serve.warm_start.rejected",
+                (warm.rejected + stream_warm.rejected) as u64,
+            );
         }
         let capacity = config.workers + config.queue_depth;
         let state = Arc::new(AppState {
             gate: Gate::new(capacity),
             registry,
+            streams,
             telemetry,
             config,
             draining: AtomicBool::new(false),
@@ -222,8 +238,12 @@ impl Server {
         }
 
         // Drain: stop accepting (listener closes with self), finish
-        // every in-flight and queued request, then flush telemetry.
+        // every in-flight and queued request, checkpoint every stream,
+        // then flush telemetry.
         let pool_panics = pool.shutdown();
+        state
+            .streams
+            .persist_all(tsobs::Obs::from_option(Some(&state.telemetry)));
         if let Some(dir) = &state.config.checkpoint_dir {
             let _ = std::fs::create_dir_all(dir);
             let _ = state.telemetry.flush_to(&dir.join("telemetry.jsonl"));

@@ -1,0 +1,339 @@
+//! Streaming ingest: named [`StreamKShape`] engines with kill-safe
+//! checkpointing.
+//!
+//! Each stream is an online k-Shape engine behind a mutex; arrivals are
+//! pushed through `POST /v1/streams/{name}/push` and each one returns a
+//! typed outcome (assigned / buffered / bootstrapped / quarantined).
+//! Every `checkpoint_every` accepted arrivals the engine's full state is
+//! serialized through [`CheckpointStore::store_named`] (atomic
+//! write-then-rename) under `stream__<name>.json`, so a `kill -9`
+//! restarts the server at the last checkpoint with byte-identical
+//! sufficient statistics — replaying the arrivals after the checkpoint
+//! reproduces the exact labels the dead process would have emitted.
+//!
+//! Backpressure is inherited from the server: ingest requests pass the
+//! same bounded pool and admission gate as fit/assign, so a flood of
+//! arrivals sheds with `503 + Retry-After` instead of buffering without
+//! bound, and the engine's own window capacity bounds per-stream memory.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use kshape::stream::{PushOutcome, StreamConfig, StreamKShape};
+use tsexperiments::checkpoint::LoadOutcome;
+use tsexperiments::CheckpointStore;
+use tsobs::Obs;
+
+use crate::registry::valid_model_name;
+
+/// Checkpoint-name prefix for persisted streams.
+const STREAM_PREFIX: &str = "stream__";
+
+/// One registered stream: the engine plus its checkpoint debt.
+pub struct StreamEntry {
+    /// The online engine.
+    pub engine: StreamKShape,
+    /// Accepted arrivals since the last persisted checkpoint.
+    pub dirty: u64,
+}
+
+/// Outcome of [`StreamRegistry::warm_start`].
+#[derive(Debug, Default)]
+pub struct StreamWarmStart {
+    /// Names of the streams loaded, sorted.
+    pub loaded: Vec<String>,
+    /// Artifacts quarantined (corrupt bytes) or rejected (bad payload).
+    pub rejected: usize,
+}
+
+/// Why a stream could not be created.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CreateError {
+    /// A stream with this name already exists.
+    Exists,
+    /// The configuration failed validation.
+    Invalid(String),
+}
+
+/// Thread-safe registry of streaming engines backed by a
+/// [`CheckpointStore`].
+pub struct StreamRegistry {
+    store: CheckpointStore,
+    checkpoint_every: u64,
+    streams: RwLock<HashMap<String, Arc<Mutex<StreamEntry>>>>,
+}
+
+impl StreamRegistry {
+    /// A registry persisting through `store`, checkpointing each stream
+    /// every `checkpoint_every` accepted arrivals (0 disables periodic
+    /// checkpoints; streams then persist only on drain).
+    pub fn new(store: CheckpointStore, checkpoint_every: u64) -> StreamRegistry {
+        StreamRegistry {
+            store,
+            checkpoint_every,
+            streams: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Reloads every persisted stream. Corrupt artifacts are quarantined
+    /// by the store (`*.json.corrupt`) and counted, never resumed.
+    pub fn warm_start(&self) -> StreamWarmStart {
+        let mut out = StreamWarmStart::default();
+        for artifact in self.store.list_named(STREAM_PREFIX) {
+            let Some(name) = artifact.strip_prefix(STREAM_PREFIX).map(str::to_string) else {
+                out.rejected += 1;
+                continue;
+            };
+            let (engine, outcome) = self.store.load_named(&artifact, StreamKShape::from_json);
+            match (engine, outcome) {
+                (Some(engine), LoadOutcome::Hit) if valid_model_name(&name) => {
+                    out.loaded.push(name.clone());
+                    self.put(name, engine);
+                }
+                _ => out.rejected += 1,
+            }
+        }
+        out.loaded.sort();
+        out
+    }
+
+    fn put(&self, name: String, engine: StreamKShape) {
+        self.streams
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(name, Arc::new(Mutex::new(StreamEntry { engine, dirty: 0 })));
+    }
+
+    /// Creates and persists a new stream.
+    ///
+    /// # Errors
+    ///
+    /// [`CreateError::Exists`] on a name collision,
+    /// [`CreateError::Invalid`] for a config that fails validation or a
+    /// checkpoint that cannot be written.
+    pub fn create(&self, name: &str, config: StreamConfig) -> Result<(), CreateError> {
+        let engine = StreamKShape::new(config).map_err(|e| CreateError::Invalid(e.to_string()))?;
+        let mut streams = self
+            .streams
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if streams.contains_key(name) {
+            return Err(CreateError::Exists);
+        }
+        self.store
+            .store_named(&format!("{STREAM_PREFIX}{name}"), &engine.to_json())
+            .map_err(|e| CreateError::Invalid(format!("persist failed: {e}")))?;
+        streams.insert(
+            name.to_string(),
+            Arc::new(Mutex::new(StreamEntry { engine, dirty: 0 })),
+        );
+        Ok(())
+    }
+
+    /// Looks up a stream by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Mutex<StreamEntry>>> {
+        self.streams
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Sorted stream names.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .streams
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered streams.
+    pub fn len(&self) -> usize {
+        self.streams
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no streams are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes a batch of arrivals into `name`, checkpointing when the
+    /// accepted-arrival debt reaches the cadence. Returns `None` for an
+    /// unknown stream.
+    pub fn push_batch(
+        &self,
+        name: &str,
+        series: &[Vec<f64>],
+        obs: Obs<'_>,
+    ) -> Option<Vec<PushOutcome>> {
+        let entry = self.get(name)?;
+        let mut entry = entry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut outcomes = Vec::with_capacity(series.len());
+        for x in series {
+            let outcome = entry.engine.push_with(x, obs);
+            if !matches!(outcome, PushOutcome::Quarantined(_)) {
+                entry.dirty += 1;
+            }
+            outcomes.push(outcome);
+        }
+        if self.checkpoint_every > 0 && entry.dirty >= self.checkpoint_every {
+            self.persist_locked(name, &mut entry, obs);
+        }
+        Some(outcomes)
+    }
+
+    /// Persists one stream immediately (used at drain).
+    pub fn persist(&self, name: &str, obs: Obs<'_>) -> bool {
+        let Some(entry) = self.get(name) else {
+            return false;
+        };
+        let mut entry = entry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.persist_locked(name, &mut entry, obs)
+    }
+
+    /// Persists every stream (drain path).
+    pub fn persist_all(&self, obs: Obs<'_>) {
+        for name in self.names() {
+            self.persist(&name, obs);
+        }
+    }
+
+    fn persist_locked(&self, name: &str, entry: &mut StreamEntry, obs: Obs<'_>) -> bool {
+        match self
+            .store
+            .store_named(&format!("{STREAM_PREFIX}{name}"), &entry.engine.to_json())
+        {
+            Ok(()) => {
+                entry.dirty = 0;
+                obs.counter("serve.stream.checkpoint", 1);
+                true
+            }
+            Err(_) => {
+                obs.counter("serve.stream.checkpoint_failed", 1);
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshape::stream::Decay;
+
+    fn test_config() -> StreamConfig {
+        StreamConfig::new(2, 16)
+            .with_warmup(8)
+            .with_window_capacity(32)
+            .with_refresh_every(4)
+    }
+
+    fn wave(i: usize) -> Vec<f64> {
+        (0..16)
+            .map(|t| {
+                let x = t as f64 / 16.0 * std::f64::consts::TAU;
+                if i.is_multiple_of(2) {
+                    (2.0 * x).sin() + 0.01 * (i as f64)
+                } else {
+                    (3.0 * x).cos() - 0.01 * (i as f64)
+                }
+            })
+            .collect()
+    }
+
+    fn temp_store(tag: &str) -> (CheckpointStore, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("tsserve-streams-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (CheckpointStore::new(&dir), dir)
+    }
+
+    #[test]
+    fn create_push_and_duplicate_rejection() {
+        let (store, dir) = temp_store("basic");
+        let reg = StreamRegistry::new(store, 4);
+        assert!(reg.create("s1", test_config()).is_ok());
+        assert_eq!(reg.create("s1", test_config()), Err(CreateError::Exists));
+        assert!(matches!(
+            reg.create("bad", StreamConfig::new(0, 16)),
+            Err(CreateError::Invalid(_))
+        ));
+        let batch: Vec<Vec<f64>> = (0..20).map(wave).collect();
+        let outcomes = reg.push_batch("s1", &batch, Obs::none()).unwrap();
+        assert_eq!(outcomes.len(), 20);
+        assert!(reg.push_batch("missing", &batch, Obs::none()).is_none());
+        assert!(dir.join("stream__s1.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_resumes_byte_identically_and_quarantines_corruption() {
+        let (store, dir) = temp_store("resume");
+        let reg = StreamRegistry::new(store.clone(), 1);
+        reg.create(
+            "s1",
+            test_config().with_decay(Decay::Windowed { window: 8 }),
+        )
+        .unwrap();
+        let batch: Vec<Vec<f64>> = (0..30).map(wave).collect();
+        reg.push_batch("s1", &batch, Obs::none()).unwrap();
+        let snapshot = {
+            let entry = reg.get("s1").unwrap();
+            let entry = entry.lock().unwrap();
+            entry.engine.to_json()
+        };
+
+        // "kill -9": a fresh registry over the same dir resumes the
+        // checkpoint byte-identically (cadence 1 ⇒ checkpoint is current).
+        let reborn = StreamRegistry::new(store.clone(), 1);
+        let warm = reborn.warm_start();
+        assert_eq!(warm.loaded, vec!["s1".to_string()]);
+        assert_eq!(warm.rejected, 0);
+        {
+            let entry = reborn.get("s1").unwrap();
+            let entry = entry.lock().unwrap();
+            assert_eq!(entry.engine.to_json(), snapshot);
+        }
+        // Both continue identically.
+        let more: Vec<Vec<f64>> = (30..40).map(wave).collect();
+        let a = reg.push_batch("s1", &more, Obs::none()).unwrap();
+        let b = reborn.push_batch("s1", &more, Obs::none()).unwrap();
+        assert_eq!(a, b);
+
+        // A corrupt artifact quarantines instead of resuming.
+        store.store_named("stream__broken", "{\"v\":1,").unwrap();
+        let third = StreamRegistry::new(store, 1);
+        let warm = third.warm_start();
+        assert_eq!(warm.loaded, vec!["s1".to_string()]);
+        assert_eq!(warm.rejected, 1);
+        assert!(dir.join("stream__broken.json.corrupt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_arrivals_do_not_advance_checkpoint_debt() {
+        let (store, dir) = temp_store("debt");
+        let reg = StreamRegistry::new(store, 1_000_000);
+        reg.create("s1", test_config()).unwrap();
+        let junk = vec![vec![f64::NAN; 16]; 5];
+        let outcomes = reg.push_batch("s1", &junk, Obs::none()).unwrap();
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, PushOutcome::Quarantined(_))));
+        let entry = reg.get("s1").unwrap();
+        assert_eq!(entry.lock().unwrap().dirty, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

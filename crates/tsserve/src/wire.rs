@@ -112,6 +112,41 @@ pub fn parse_series(obj: &JsonValue) -> Result<Vec<Vec<f64>>, String> {
     Ok(out)
 }
 
+/// Like [`parse_series`], but *lossy*: a JSON `null` sample decodes to
+/// NaN instead of rejecting the request. This is the ingest-side escape
+/// hatch — a streaming producer that lost samples mid-series reports the
+/// holes as `null`, and the engine answers with a typed per-arrival
+/// quarantine rather than a whole-batch 400.
+pub fn parse_series_lossy(obj: &JsonValue) -> Result<Vec<Vec<f64>>, String> {
+    let JsonValue::Arr(rows) = obj
+        .get("series")
+        .ok_or_else(|| "missing field \"series\"".to_string())?
+    else {
+        return Err("\"series\" must be an array of arrays".to_string());
+    };
+    if rows.is_empty() {
+        return Err("\"series\" must not be empty".to_string());
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let JsonValue::Arr(vals) = row else {
+            return Err(format!("series[{i}] must be an array of numbers or nulls"));
+        };
+        let mut parsed = Vec::with_capacity(vals.len());
+        for v in vals {
+            match v {
+                JsonValue::Null => parsed.push(f64::NAN),
+                _ => match v.as_num() {
+                    Some(x) => parsed.push(x),
+                    None => return Err(format!("series[{i}] contains a non-numeric value")),
+                },
+            }
+        }
+        out.push(parsed);
+    }
+    Ok(out)
+}
+
 /// Optional `u64` field with a default.
 fn uint_or(obj: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
     match obj.get(key) {
@@ -207,6 +242,79 @@ impl SeriesRequest {
     }
 }
 
+/// Body of `POST /v1/streams/{name}` (stream creation).
+#[derive(Debug)]
+pub struct StreamCreateRequest {
+    /// The validated-later stream configuration.
+    pub config: kshape::stream::StreamConfig,
+}
+
+impl StreamCreateRequest {
+    /// Parses a stream-creation body. `k` and `m` are required; every
+    /// other knob is optional and defaults through
+    /// [`kshape::stream::StreamConfig::new`]. The engine's own
+    /// `validate()` runs at creation, so this parser only rejects
+    /// malformed JSON and types.
+    pub fn parse(body: &[u8]) -> Result<StreamCreateRequest, String> {
+        use kshape::stream::{Decay, StreamConfig};
+        let obj = parse_body(body)?;
+        let k = obj
+            .get("k")
+            .ok_or_else(|| "missing field \"k\"".to_string())?
+            .as_uint()
+            .ok_or_else(|| "\"k\" must be a positive integer".to_string())?
+            as usize;
+        let m = obj
+            .get("m")
+            .ok_or_else(|| "missing field \"m\"".to_string())?
+            .as_uint()
+            .ok_or_else(|| "\"m\" must be a positive integer".to_string())?
+            as usize;
+        if k == 0 || m == 0 {
+            return Err("\"k\" and \"m\" must be at least 1".to_string());
+        }
+        let mut config = StreamConfig::new(k, m);
+        config.seed = uint_or(&obj, "seed", config.seed)?;
+        config.max_iter = uint_or(&obj, "max_iter", config.max_iter as u64)? as usize;
+        config.refresh_every =
+            uint_or(&obj, "refresh_every", config.refresh_every as u64)? as usize;
+        let warmup = uint_or(&obj, "warmup", config.warmup as u64)? as usize;
+        config.warmup = warmup;
+        config.window_capacity = uint_or(
+            &obj,
+            "window_capacity",
+            config.window_capacity.max(warmup) as u64,
+        )? as usize;
+        config.decay = match obj.get("decay") {
+            None | Some(JsonValue::Null) => config.decay,
+            Some(v) => {
+                let kind = v
+                    .get("kind")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| "\"decay.kind\" must be a string".to_string())?;
+                match kind {
+                    "append_only" => Decay::AppendOnly,
+                    "exponential" => Decay::Exponential {
+                        lambda: v
+                            .get("lambda")
+                            .and_then(JsonValue::as_num)
+                            .ok_or_else(|| "\"decay.lambda\" must be a number".to_string())?,
+                    },
+                    "windowed" => Decay::Windowed {
+                        window: v
+                            .get("window")
+                            .and_then(JsonValue::as_uint)
+                            .ok_or_else(|| "\"decay.window\" must be an integer".to_string())?
+                            as usize,
+                    },
+                    other => return Err(format!("unknown decay kind {other:?}")),
+                }
+            }
+        };
+        Ok(StreamCreateRequest { config })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +349,40 @@ mod tests {
         assert!(FitRequest::parse(br#"{"series":[],"k":1}"#).is_err());
         assert!(FitRequest::parse(br#"{"series":[[NaN]],"k":1}"#).is_err());
         assert!(FitRequest::parse(b"\xff\xfe").is_err());
+    }
+
+    #[test]
+    fn lossy_series_decodes_null_as_nan() {
+        let obj = parse_body(br#"{"series":[[1.0,null,3.0],[null]]}"#).unwrap();
+        let strict = parse_series(&obj);
+        assert!(strict.is_err(), "strict parser rejects null samples");
+        let lossy = parse_series_lossy(&obj).unwrap();
+        assert_eq!(lossy[0][0], 1.0);
+        assert!(lossy[0][1].is_nan());
+        assert_eq!(lossy[0][2], 3.0);
+        assert!(lossy[1][0].is_nan());
+        assert!(parse_series_lossy(&parse_body(br#"{"series":[["x"]]}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn stream_create_request_parses() {
+        let req = StreamCreateRequest::parse(
+            br#"{"k":3,"m":64,"seed":9,"warmup":20,"decay":{"kind":"exponential","lambda":0.95}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.config.k, 3);
+        assert_eq!(req.config.m, 64);
+        assert_eq!(req.config.seed, 9);
+        assert_eq!(req.config.warmup, 20);
+        assert!(matches!(
+            req.config.decay,
+            kshape::stream::Decay::Exponential { lambda } if (lambda - 0.95).abs() < 1e-12
+        ));
+        assert!(StreamCreateRequest::parse(br#"{"k":2}"#).is_err());
+        assert!(StreamCreateRequest::parse(br#"{"k":0,"m":8}"#).is_err());
+        assert!(
+            StreamCreateRequest::parse(br#"{"k":2,"m":8,"decay":{"kind":"mystery"}}"#).is_err()
+        );
     }
 
     #[test]

@@ -14,11 +14,6 @@
 //! `TSCHECK_SEED=0x... cargo test --test chaos`. CI pins three seeds so
 //! the corruption space is explored beyond the default stream.
 
-// This suite deliberately keeps hammering the deprecated `try_*` /
-// `*_with_control` wrappers: they stay public until removal, so they
-// must stay panic-free under corruption too.
-#![allow(deprecated)]
-
 use tscheck::Gen;
 use tsdata::corrupt::{corrupt_collection, FaultKind};
 use tsdata::dataset::Dataset;
@@ -94,8 +89,7 @@ tscheck::props! {
         let (nf, ragged) = inject(g, &mut series, &FaultKind::ALL);
         let k = g.usize_in(1..5);
         let config = kshape::KShapeConfig { k, max_iter: 15, seed: g.u64_in(0..1 << 32), ..Default::default() };
-        let outcome = kshape::KShape::new(config)
-            .try_fit(&series)
+        let outcome = kshape::KShape::fit_with(&series, &kshape::KShapeOptions::from(config))
             .map(|r| (r.labels, r.centroids));
         assert_clustering_contract(&outcome, n, k, nf || ragged);
     }
@@ -152,35 +146,32 @@ tscheck::props! {
         let k = g.usize_in(1..4);
         let seed = g.u64_in(0..1 << 32);
 
-        let km = tscluster::try_kmeans(
+        let km = tscluster::kmeans::kmeans_with(
             &series,
             &tsdist::EuclideanDistance,
-            &tscluster::KMeansConfig { k, max_iter: 15, seed },
+            &tscluster::kmeans::KMeansOptions::from(
+                tscluster::KMeansConfig { k, max_iter: 15, seed },
+            ),
         )
         .map(|r| (r.labels, r.centroids));
         assert_clustering_contract(&km, n, k, corrupt);
 
-        let fz = tscluster::fuzzy::try_fuzzy_cmeans(
+        let fz = tscluster::fuzzy::fuzzy_cmeans_with(
             &series,
             &tsdist::EuclideanDistance,
-            &tscluster::fuzzy::FuzzyConfig { k, fuzziness: 2.0, max_iter: 15, tol: 1e-6, seed },
+            &tscluster::fuzzy::FuzzyOptions::from(
+                tscluster::fuzzy::FuzzyConfig { k, fuzziness: 2.0, max_iter: 15, tol: 1e-6, seed },
+            ),
         );
-        match fz {
-            Ok(r) => {
-                assert!(!corrupt);
-                assert!(r.labels.iter().all(|&l| l < k));
-                for row in &r.memberships {
-                    assert!(row.iter().all(|v| v.is_finite()), "NaN membership");
-                }
-                for c in &r.centroids {
-                    assert!(c.iter().all(|v| v.is_finite()));
-                }
+        if let Ok(r) = fz {
+            assert!(!corrupt);
+            assert!(r.labels.iter().all(|&l| l < k));
+            for row in &r.memberships {
+                assert!(row.iter().all(|v| v.is_finite()), "NaN membership");
             }
-            Err(TsError::NotConverged { labels, .. }) => {
-                assert!(!corrupt);
-                assert_eq!(labels.len(), n);
+            for c in &r.centroids {
+                assert!(c.iter().all(|v| v.is_finite()));
             }
-            Err(_) => {}
         }
     }
 
@@ -194,22 +185,24 @@ tscheck::props! {
         let k = g.usize_in(1..4);
         let seed = g.u64_in(0..1 << 32);
 
-        let ksc = tscluster::ksc::try_ksc(
+        let ksc = tscluster::ksc::ksc_with(
             &series,
-            &tscluster::ksc::KscConfig { k, max_iter: 8, seed },
+            &tscluster::ksc::KscOptions::from(
+                tscluster::ksc::KscConfig { k, max_iter: 8, seed },
+            ),
         )
         .map(|r| (r.labels, r.centroids));
         assert_clustering_contract(&ksc, n, k, corrupt);
 
-        let kdba = tscluster::dba::try_kdba(
+        let kdba = tscluster::dba::kdba_with(
             &series,
-            &tscluster::dba::KDbaConfig {
+            &tscluster::dba::KDbaOptions::from(tscluster::dba::KDbaConfig {
                 k,
                 max_iter: 5,
                 seed,
                 refinements_per_iter: 1,
                 window: Some(3),
-            },
+            }),
         )
         .map(|r| (r.labels, r.centroids));
         assert_clustering_contract(&kdba, n, k, corrupt);
@@ -233,40 +226,36 @@ tscheck::props! {
         );
         let k = g.usize_in(1..4);
 
-        if let Ok(r) = tscluster::pam::try_pam(&matrix, k, 10) {
+        if let Ok(r) = tscluster::pam::pam_with(
+            &matrix,
+            &tscluster::pam::PamOptions::new(k).with_max_iter(10),
+        ) {
             assert!(!nf, "NaN matrix must not PAM-cluster");
             assert!(r.labels.iter().all(|&l| l < k));
             assert_eq!(r.medoids.len(), k);
         }
 
-        if let Ok(labels) = tscluster::hierarchical::try_hierarchical_cluster(
+        if let Ok(labels) = tscluster::hierarchical::hierarchical_cluster_with(
             &matrix,
-            tscluster::Linkage::Average,
-            k,
+            &tscluster::hierarchical::HierarchicalOptions::new(k)
+                .with_linkage(tscluster::Linkage::Average),
         ) {
             assert!(!nf);
             assert!(labels.iter().all(|&l| l < k));
         }
 
-        let sp = tscluster::spectral::try_spectral_cluster(
+        let sp = tscluster::spectral::spectral_cluster_with(
             &matrix,
-            &tscluster::spectral::SpectralConfig {
+            &tscluster::spectral::SpectralOptions::from(tscluster::spectral::SpectralConfig {
                 k,
                 max_iter: 10,
                 seed: g.u64_in(0..1 << 32),
                 sigma: None,
-            },
+            }),
         );
-        match sp {
-            Ok(r) => {
-                assert!(!nf);
-                assert!(r.labels.iter().all(|&l| l < k));
-            }
-            Err(TsError::NotConverged { labels, .. }) => {
-                assert!(!nf);
-                assert!(labels.iter().all(|&l| l < k));
-            }
-            Err(_) => {}
+        if let Ok(r) = sp {
+            assert!(!nf);
+            assert!(r.labels.iter().all(|&l| l < k));
         }
     }
 
@@ -490,52 +479,67 @@ tscheck::props! {
         let k = g.usize_in(2..4);
         let seed = g.u64_in(0..1 << 32);
 
+        let (budget, cancel) = random_parts(g);
         assert_stop_contract(
-            kshape::KShape::new(kshape::KShapeConfig {
-                k, max_iter: 10, seed, ..Default::default()
+            kshape::KShape::fit_with(&series, &kshape::KShapeOptions {
+                config: kshape::KShapeConfig {
+                    k, max_iter: 10, seed, ..Default::default()
+                },
+                budget, cancel, recorder: None,
             })
-            .try_fit_with_control(&series, &random_control(g))
             .map(|r| r.labels),
             n, k, "k-Shape",
         );
+        let (budget, cancel) = random_parts(g);
         assert_stop_contract(
-            tscluster::kmeans::try_kmeans_with_control(
+            tscluster::kmeans::kmeans_with(
                 &series,
                 &tsdist::EuclideanDistance,
-                &tscluster::KMeansConfig { k, max_iter: 10, seed },
-                &random_control(g),
+                &tscluster::kmeans::KMeansOptions {
+                    config: tscluster::KMeansConfig { k, max_iter: 10, seed },
+                    budget, cancel, recorder: None,
+                },
             )
             .map(|r| r.labels),
             n, k, "k-AVG",
         );
+        let (budget, cancel) = random_parts(g);
         assert_stop_contract(
-            tscluster::dba::try_kdba_with_control(
+            tscluster::dba::kdba_with(
                 &series,
-                &tscluster::dba::KDbaConfig {
-                    k, max_iter: 5, seed, refinements_per_iter: 1, window: Some(m / 4),
+                &tscluster::dba::KDbaOptions {
+                    config: tscluster::dba::KDbaConfig {
+                        k, max_iter: 5, seed, refinements_per_iter: 1, window: Some(m / 4),
+                    },
+                    budget, cancel, recorder: None,
                 },
-                &random_control(g),
             )
             .map(|r| r.labels),
             n, k, "k-DBA",
         );
+        let (budget, cancel) = random_parts(g);
         assert_stop_contract(
-            tscluster::ksc::try_ksc_with_control(
+            tscluster::ksc::ksc_with(
                 &series,
-                &tscluster::ksc::KscConfig { k, max_iter: 5, seed },
-                &random_control(g),
+                &tscluster::ksc::KscOptions {
+                    config: tscluster::ksc::KscConfig { k, max_iter: 5, seed },
+                    budget, cancel, recorder: None,
+                },
             )
             .map(|r| r.labels),
             n, k, "KSC",
         );
+        let (budget, cancel) = random_parts(g);
         assert_stop_contract(
-            tscluster::fuzzy::try_fuzzy_cmeans_with_control(
+            tscluster::fuzzy::fuzzy_cmeans_with(
                 &series,
                 &tsdist::EuclideanDistance,
-                &tscluster::fuzzy::FuzzyConfig {
-                    k, fuzziness: 2.0, max_iter: 10, tol: 1e-4, seed,
+                &tscluster::fuzzy::FuzzyOptions {
+                    config: tscluster::fuzzy::FuzzyConfig {
+                        k, fuzziness: 2.0, max_iter: 10, tol: 1e-4, seed,
+                    },
+                    budget, cancel, recorder: None,
                 },
-                &random_control(g),
             )
             .map(|r| r.labels),
             n, k, "fuzzy c-means",
@@ -559,28 +563,43 @@ tscheck::props! {
         match build {
             Ok(matrix) => {
                 // …and so is everything consuming it.
+                let (budget, cancel) = random_parts(g);
                 assert_stop_contract(
-                    tscluster::pam::try_pam_with_control(&matrix, k, 10, &random_control(g))
-                        .map(|r| r.labels),
+                    tscluster::pam::pam_with(
+                        &matrix,
+                        &tscluster::pam::PamOptions {
+                            config: tscluster::pam::PamConfig { k, max_iter: 10 },
+                            budget, cancel, recorder: None,
+                        },
+                    )
+                    .map(|r| r.labels),
                     n, k, "PAM",
                 );
+                let (budget, cancel) = random_parts(g);
                 assert_stop_contract(
-                    tscluster::spectral::try_spectral_cluster_with_control(
+                    tscluster::spectral::spectral_cluster_with(
                         &matrix,
-                        &tscluster::spectral::SpectralConfig {
-                            k, max_iter: 10, seed, sigma: None,
+                        &tscluster::spectral::SpectralOptions {
+                            config: tscluster::spectral::SpectralConfig {
+                                k, max_iter: 10, seed, sigma: None,
+                            },
+                            budget, cancel, recorder: None,
                         },
-                        &random_control(g),
                     )
                     .map(|r| r.labels),
                     n, k, "spectral",
                 );
+                let (budget, cancel) = random_parts(g);
                 assert_stop_contract(
-                    tscluster::hierarchical::try_hierarchical_cluster_with_control(
+                    tscluster::hierarchical::hierarchical_cluster_with(
                         &matrix,
-                        tscluster::Linkage::Average,
-                        k,
-                        &random_control(g),
+                        &tscluster::hierarchical::HierarchicalOptions {
+                            config: tscluster::hierarchical::HierarchicalConfig {
+                                k,
+                                linkage: tscluster::Linkage::Average,
+                            },
+                            budget, cancel, recorder: None,
+                        },
                     ),
                     n, k, "hierarchical",
                 );

@@ -1,0 +1,115 @@
+//! Streaming acceptance suite: the full drifting-feed scenario from the
+//! robustness milestone, end to end.
+//!
+//! A 10k-arrival synthetic feed whose cluster shapes rotate mid-stream,
+//! with ~5% of arrivals corrupted by [`tsdata::corrupt::StreamFault`]s,
+//! must: complete without panics, quarantine every invalidating fault
+//! (zero leaks), keep every centroid value finite, answer the rotation
+//! with at least one drift-triggered reseed, and recover a post-rotation
+//! Rand index within 5% of a fresh batch k-Shape fit on the same clean
+//! window. Killing the run mid-stream and resuming from the checkpoint
+//! pair must reproduce the uninterrupted run byte-for-byte.
+
+use tsexperiments::stream_eval::{
+    run_stream_drift, StreamDriftConfig, StreamDriftReport, LABELS_ARTIFACT,
+};
+use tsexperiments::CheckpointStore;
+
+fn acceptance_config() -> StreamDriftConfig {
+    StreamDriftConfig::default() // 10k arrivals, rotate at 5k, 5% corrupt
+}
+
+fn assert_acceptance(report: &StreamDriftReport) {
+    assert_eq!(report.arrivals, 10_000);
+    assert!(
+        report.quarantined > 0,
+        "5% corruption must quarantine some arrivals"
+    );
+    assert_eq!(
+        report.quarantine_leaks, 0,
+        "invalidating fault escaped quarantine"
+    );
+    assert_eq!(report.nan_centroid_values, 0, "NaN leaked into a centroid");
+    assert!(report.reseeds >= 1, "rotation must trigger a reseed");
+    assert!(
+        (0..=1_000).contains(&report.recovery_arrivals),
+        "drift recovery took {} arrivals",
+        report.recovery_arrivals,
+    );
+    assert!(
+        report.stream_rand >= report.batch_rand - 0.05,
+        "stream Rand {} not within 5% of batch {}",
+        report.stream_rand,
+        report.batch_rand,
+    );
+}
+
+#[test]
+fn drifting_corrupt_feed_meets_the_acceptance_contract() {
+    let report = run_stream_drift(&acceptance_config(), &CheckpointStore::disabled());
+    assert_acceptance(&report);
+}
+
+/// A smaller feed for the byte-identity protocols — replay determinism
+/// does not need the full 10k acceptance scenario.
+fn resume_config() -> StreamDriftConfig {
+    StreamDriftConfig {
+        n: 3_000,
+        rotate_at: 1_500,
+        checkpoint_every: 500,
+        ..acceptance_config()
+    }
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_to_an_uninterrupted_run() {
+    let cfg = resume_config();
+    let uninterrupted = run_stream_drift(&cfg, &CheckpointStore::disabled());
+
+    let dir = std::env::temp_dir().join(format!("kshape-stream-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir);
+
+    // "Kill" mid-recovery: run only 1 800 arrivals (the rotation is at
+    // 1 500), leaving the last checkpoint pair at arrival 1 500.
+    let killed = StreamDriftConfig { n: 1_800, ..cfg };
+    let _ = run_stream_drift(&killed, &store);
+
+    // Resume from the checkpoint and finish the full feed.
+    let resumed = run_stream_drift(&cfg, &store);
+    assert_eq!(resumed, uninterrupted, "resumed run diverged");
+    assert_eq!(resumed.labels_fnv, uninterrupted.labels_fnv);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_ahead_of_the_engine_is_truncated_on_resume() {
+    let cfg = resume_config();
+    let uninterrupted = run_stream_drift(&cfg, &CheckpointStore::disabled());
+
+    let dir = std::env::temp_dir().join(format!("kshape-stream-truncate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir);
+
+    let killed = StreamDriftConfig { n: 1_000, ..cfg };
+    let _ = run_stream_drift(&killed, &store);
+
+    // The journal is written before the engine at every checkpoint, so a
+    // kill between the two writes leaves the journal ahead. Forge that
+    // state: append bogus labels past the engine's arrival count.
+    let (journal, _) = store.load_named(LABELS_ARTIFACT, |s| Some(s.to_string()));
+    let journal = journal.expect("journal artifact present");
+    let forged = format!("{},7,7,7]", journal.trim_end_matches(']'));
+    store
+        .store_named(LABELS_ARTIFACT, &forged)
+        .expect("forged journal write");
+
+    let resumed = run_stream_drift(&cfg, &store);
+    assert_eq!(
+        resumed, uninterrupted,
+        "stale journal suffix leaked into the resumed run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,213 @@
+//! Chaos property suite for the online k-Shape engine: every corrupted
+//! arrival — series-level faults *and* framed-byte faults — must come
+//! back as a typed [`kshape::PushOutcome::Quarantined`] or a finite
+//! accept, **never** a panic and **never** a NaN in centroids or
+//! distances. Drift injection must trigger exactly one reseed, and a
+//! checkpoint taken mid-chaos must resume byte-identically.
+//!
+//! Driven by `tscheck`: rerun a failing case with
+//! `TSCHECK_SEED=0x... cargo test --test stream_chaos`. CI pins three
+//! seeds so the corruption space is explored beyond the default stream.
+
+use kshape::{DriftConfig, PushOutcome, StreamConfig, StreamKShape};
+use tscheck::Gen;
+use tsdata::corrupt::{corrupt_stream_series, StreamFault, StreamFaultSchedule};
+use tsrand::{Rng, StdRng};
+
+/// A clean arrival for shape class `class`: a noisy sine whose frequency
+/// identifies the class (random phase exercises SBD shift alignment).
+fn clean_arrival(class: usize, m: usize, rng: &mut StdRng) -> Vec<f64> {
+    let freq = (3 * class + 2) as f64;
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    (0..m)
+        .map(|t| {
+            let x = std::f64::consts::TAU * freq * t as f64 / m as f64 + phase;
+            x.sin() + 0.05 * rng.gen_range(-1.0..1.0)
+        })
+        .collect()
+}
+
+/// A square-wave arrival at a shifted frequency — the post-drift regime
+/// in the reseed property. Same-frequency sine→square is only an
+/// ~0.1-SBD step; the frequency jump makes the regime change decisive
+/// (and distinct from both pre-drift classes).
+fn square_arrival(class: usize, m: usize, rng: &mut StdRng) -> Vec<f64> {
+    let freq = (4 * class + 3) as f64;
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    (0..m)
+        .map(|t| {
+            let x = std::f64::consts::TAU * freq * t as f64 / m as f64 + phase;
+            let base = if x.sin() >= 0.0 { 1.0 } else { -1.0 };
+            base + 0.05 * rng.gen_range(-1.0..1.0)
+        })
+        .collect()
+}
+
+/// Builds an engine and feeds clean arrivals until it has bootstrapped.
+fn bootstrapped_engine(g: &mut Gen, k: usize, m: usize) -> (StreamKShape, StdRng) {
+    let config = StreamConfig::new(k, m)
+        .with_seed(g.u64_in(0..1 << 32))
+        .with_warmup(4 * k)
+        .with_refresh_every(8);
+    let mut engine = StreamKShape::new(config).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(g.u64_in(0..u64::MAX));
+    for i in 0..(8 * k).max(24) {
+        let x = clean_arrival(i % k, m, &mut rng);
+        engine.push(&x);
+    }
+    assert!(engine.stats().bootstrapped, "clean feed must bootstrap");
+    (engine, rng)
+}
+
+/// The chaos invariants every engine must satisfy at any point.
+fn assert_engine_invariants(engine: &StreamKShape, k: usize) {
+    let stats = engine.stats();
+    assert_eq!(stats.accepted + stats.quarantined, stats.arrivals);
+    assert!(engine.centroids().len() <= k);
+    for c in engine.centroids() {
+        assert!(
+            c.iter().all(|v| v.is_finite()),
+            "NaN leaked into a centroid"
+        );
+    }
+}
+
+tscheck::props! {
+    /// Every fault kind, pushed repeatedly into a live engine: an
+    /// invalidating fault must come back quarantined with a typed
+    /// reason; a degrading fault must be accepted finite or quarantined
+    /// — and the centroids stay finite throughout.
+    #[cases(16)]
+    fn every_fault_kind_is_quarantined_or_absorbed(g) {
+        let k = g.usize_in(2..4);
+        let m = g.usize_in(16..48);
+        let (mut engine, mut rng) = bootstrapped_engine(g, k, m);
+        for fault in StreamFault::ALL {
+            for rep in 0..3 {
+                let mut x = clean_arrival(rep % k, m, &mut rng);
+                corrupt_stream_series(&mut x, fault, &mut rng);
+                match engine.push(&x) {
+                    PushOutcome::Quarantined(reason) => {
+                        // Typed reason, engine untouched; nothing else
+                        // to check beyond the reason being nameable.
+                        let _ = reason.name();
+                    }
+                    PushOutcome::Assigned(a) => {
+                        assert!(
+                            !fault.invalidates(),
+                            "{fault:?} must be quarantined, was assigned"
+                        );
+                        assert!(a.label < k, "label {} out of range", a.label);
+                        assert!(a.dist.is_finite(), "{fault:?} produced NaN distance");
+                    }
+                    other => panic!("bootstrapped engine returned {other:?}"),
+                }
+                assert_engine_invariants(&engine, k);
+            }
+        }
+    }
+
+    /// A long feed under a random fault schedule: no invalidating fault
+    /// may slip through (leak count must be 0), counters must add up,
+    /// and the engine must keep assigning finite labels.
+    #[cases(10)]
+    fn random_fault_schedule_never_leaks(g) {
+        let k = g.usize_in(2..4);
+        let m = g.usize_in(16..40);
+        let (mut engine, mut rng) = bootstrapped_engine(g, k, m);
+        let schedule = StreamFaultSchedule::all(g.f64_in(0.05..0.5));
+        let mut leaks = 0u64;
+        for i in 0..200 {
+            let mut x = clean_arrival(i % k, m, &mut rng);
+            let fault = schedule.apply(&mut x, &mut rng);
+            let outcome = engine.push(&x);
+            let quarantined = matches!(outcome, PushOutcome::Quarantined(_));
+            if fault.is_some_and(StreamFault::invalidates) && !quarantined {
+                leaks += 1;
+            }
+        }
+        assert_eq!(leaks, 0, "invalidating faults escaped quarantine");
+        assert_engine_invariants(&engine, k);
+    }
+
+    /// A regime change injected into a stable stream triggers exactly
+    /// one reseed: detection arms an evidence countdown, the reseed
+    /// fires once, and the cooldown (sized past the end of the feed)
+    /// suppresses any second firing.
+    #[cases(8)]
+    fn drift_injection_triggers_exactly_one_reseed(g) {
+        // m = 64 keeps SBD's integer-shift alignment residue small; at
+        // m = 32 a clean freq-2 sine mis-aligned by half a sample already
+        // scores dist² ~0.05, which fattens the stable-distance tail and
+        // lets a 16-sample median occasionally cross the ratio test.
+        // 32/128 median windows average that tail away.
+        let m = 64;
+        let mut config = StreamConfig::new(2, m)
+            .with_seed(g.u64_in(0..1 << 32))
+            .with_warmup(32)
+            .with_window_capacity(160)
+            .with_refresh_every(8);
+        config.drift = DriftConfig {
+            short_window: 32,
+            long_window: 128,
+            threshold: 4.0,
+            cooldown: 10_000,
+        };
+        let mut engine = StreamKShape::new(config).expect("valid config");
+        let mut rng = StdRng::seed_from_u64(g.u64_in(0..u64::MAX));
+        for i in 0..200 {
+            let x = clean_arrival(i % 2, m, &mut rng);
+            engine.push(&x);
+        }
+        assert_eq!(engine.stats().reseeds, 0, "stable regime reseeded");
+        let mut reseed_events = 0;
+        for i in 0..300 {
+            let x = square_arrival(i % 2, m, &mut rng);
+            if let PushOutcome::Assigned(a) = engine.push(&x) {
+                if a.reseeded {
+                    reseed_events += 1;
+                }
+            }
+        }
+        assert_eq!(reseed_events, 1, "one drift event, one reseed");
+        assert_eq!(engine.stats().reseeds, 1);
+        assert_engine_invariants(&engine, 2);
+    }
+
+    /// Checkpointing mid-chaos and resuming must be byte-identical: the
+    /// resumed engine replays an identical faulted suffix to identical
+    /// outcomes and an identical next checkpoint.
+    #[cases(8)]
+    fn checkpoint_resume_is_byte_identical_under_faults(g) {
+        let k = g.usize_in(2..4);
+        let m = g.usize_in(16..40);
+        let (mut original, mut rng) = bootstrapped_engine(g, k, m);
+        let schedule = StreamFaultSchedule::all(g.f64_in(0.1..0.4));
+        for i in 0..100 {
+            let mut x = clean_arrival(i % k, m, &mut rng);
+            schedule.apply(&mut x, &mut rng);
+            original.push(&x);
+        }
+        let snapshot = original.to_json();
+        let mut resumed = StreamKShape::from_json(&snapshot).expect("checkpoint parses");
+        assert_eq!(resumed.to_json(), snapshot, "roundtrip not byte-identical");
+
+        // Pre-generate the suffix so both engines see identical bytes.
+        let suffix: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let mut x = clean_arrival(i % k, m, &mut rng);
+                schedule.apply(&mut x, &mut rng);
+                x
+            })
+            .collect();
+        for x in &suffix {
+            assert_eq!(original.push(x), resumed.push(x), "outcomes diverged");
+        }
+        assert_eq!(
+            original.to_json(),
+            resumed.to_json(),
+            "post-suffix checkpoints diverged"
+        );
+        assert_engine_invariants(&resumed, k);
+    }
+}
