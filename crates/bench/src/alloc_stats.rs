@@ -1,0 +1,50 @@
+//! A counting [`GlobalAlloc`] shim for the bench binary.
+//!
+//! The `scale` group reports allocations-per-fit for the in-memory
+//! nested-`Vec` path versus the contiguous [`tsdata::store::SeriesStore`]
+//! data plane. Counting happens in the allocator itself, so the numbers
+//! include every transitive allocation a fit performs — spectra, scratch
+//! buffers, centroid clones — not just the ones the caller can see.
+//!
+//! Only the `bench` *binary* installs this allocator (via
+//! `#[global_allocator]` in `main.rs`); library unit tests run on the
+//! system allocator and [`allocation_count`] stays at zero there, which
+//! the group treats as "counter not installed" rather than an error.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through allocator that counts `alloc`/`realloc` calls.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`, adding only a relaxed
+// atomic increment; layout contracts are forwarded unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+/// Total `alloc`/`alloc_zeroed`/`realloc` calls since process start, or
+/// zero when the counting allocator is not installed.
+#[must_use]
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

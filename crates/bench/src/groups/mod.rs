@@ -13,6 +13,7 @@ pub mod eigen;
 pub mod fft;
 pub mod kshape_group;
 pub mod scalability;
+pub mod scale_group;
 pub mod serve_group;
 pub mod shape_extraction;
 pub mod stream_group;
@@ -29,6 +30,7 @@ pub const GROUP_NAMES: &[&str] = &[
     "shape_extraction",
     "clustering",
     "scalability",
+    "scale",
     "ablation",
     "kshape",
     "tsrun",
@@ -47,6 +49,7 @@ pub fn run_group(name: &str, quick: bool) -> Option<Group> {
         "shape_extraction" => Some(shape_extraction::run(quick)),
         "clustering" => Some(clustering::run(quick)),
         "scalability" => Some(scalability::run(quick)),
+        "scale" => Some(scale_group::run(quick)),
         "ablation" => Some(ablation::run(quick)),
         "kshape" => Some(kshape_group::run(quick)),
         "tsrun" => Some(tsrun_group::run(quick)),
@@ -101,9 +104,14 @@ mod tests {
             let g = run_group(name, true).expect(name);
             assert!(!g.records().is_empty(), "group {name} recorded nothing");
             for r in g.records() {
-                // Scalar records (unit in the name, e.g. a shed *rate*)
-                // may legitimately be zero; timings must not be.
-                let scalar = r.name.ends_with("_rate") || r.name.ends_with("_rps");
+                // Scalar records (unit in the name, e.g. a shed *rate*,
+                // or the `scale` group's allocation counters, which read
+                // zero unless the bench binary's counting allocator is
+                // installed) may legitimately be zero; timings must not be.
+                let scalar = r.name.ends_with("_rate")
+                    || r.name.ends_with("_rps")
+                    || r.name.ends_with("_ratio")
+                    || r.name.ends_with("_allocs");
                 if scalar {
                     assert!(r.median_ns >= 0.0, "{name}/{} is negative", r.name);
                 } else {

@@ -1,0 +1,142 @@
+//! Scale group: the contiguous data plane versus the nested-`Vec` idiom.
+//!
+//! Two comparisons back the PR-9 data-plane claim:
+//!
+//! * **Assignment throughput** — one cold assignment sweep (3 shape
+//!   centroids over z-normalized CBF) through the streaming
+//!   [`kshape::assign_store`] row-view path, against the pre-store
+//!   nested-`Vec` idiom of a [`SbdPlan::sbd_prepared`] sweep that
+//!   re-FFTs each row once per centroid and allocates an alignment
+//!   buffer per pair. `assign_speedup_ratio` is the baseline/streaming
+//!   median ratio; CI gates it at ≥ 1.2× on the `n10000_m128` cell.
+//! * **Allocator pressure** — allocations for one full k-Shape fit via
+//!   the in-memory `KShape::fit_with` versus the out-of-core
+//!   [`kshape::fit_store`] over a resident [`SeriesStore`], measured by
+//!   the counting allocator the bench binary installs
+//!   (`crate::alloc_stats`). Under `cargo test` the counter is not
+//!   installed and both `_allocs` records legitimately read zero.
+
+use std::hint::black_box;
+
+use tsbench::{Group, Record};
+
+use crate::alloc_stats::allocation_count;
+use crate::cbf_series;
+use kshape::sbd::{PreparedSeries, SbdPlan};
+use kshape::{assign_store, fit_store, KShape, KShapeOptions};
+use tsdata::store::{ElemType, SeriesStore};
+
+/// The pre-store assignment idiom: prepared centroid spectra, raw rows,
+/// one `sbd_prepared` kernel (row FFT + alignment allocation) per pair.
+fn nested_vec_assign(
+    plan: &SbdPlan,
+    cents: &[PreparedSeries],
+    series: &[Vec<f64>],
+    labels: &mut [usize],
+    dists: &mut [f64],
+) {
+    for (i, row) in series.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut best_j = 0usize;
+        for (j, c) in cents.iter().enumerate() {
+            let d = plan.sbd_prepared(c, row).dist;
+            if d < best {
+                best = d;
+                best_j = j;
+            }
+        }
+        labels[i] = best_j;
+        dists[i] = best;
+    }
+}
+
+/// Runs the `scale` group.
+///
+/// # Panics
+///
+/// Panics if the deterministic CBF workload fails to fit or assign —
+/// the bench inputs are clean by construction.
+#[must_use]
+pub fn run(quick: bool) -> Group {
+    let mut g = Group::new("scale").with_config(super::macro_config(quick));
+    let (n, m) = if quick { (300, 64) } else { (10_000, 128) };
+    let cell = format!("n{n}_m{m}");
+
+    let series = cbf_series(n, m, 5);
+    let store = SeriesStore::from_rows(&series, ElemType::F64).expect("resident store");
+
+    // Realistic centroids: a short k-Shape fit on a prefix of the data.
+    let seed_rows = &series[..n.min(300)];
+    let opts = KShapeOptions::new(3).with_seed(1).with_max_iter(5);
+    let centroids = KShape::fit_with(seed_rows, &opts)
+        .expect("seed fit on clean CBF")
+        .centroids;
+
+    let plan = SbdPlan::new(m);
+    let cents: Vec<PreparedSeries> = centroids.iter().map(|c| plan.prepare(c)).collect();
+    let mut labels = vec![0usize; n];
+    let mut dists = vec![0.0f64; n];
+
+    // Both paths must agree exactly before we time them: same kernels,
+    // same strict-< first-minimum tie rule.
+    nested_vec_assign(&plan, &cents, &series, &mut labels, &mut dists);
+    let truth = labels.clone();
+    assign_store(&store, &centroids, &mut labels, &mut dists).expect("streaming assign");
+    assert_eq!(truth, labels, "assignment paths disagree");
+
+    g.bench(&format!("assign/nested_vec/{cell}"), || {
+        nested_vec_assign(
+            &plan,
+            black_box(&cents),
+            black_box(&series),
+            &mut labels,
+            &mut dists,
+        );
+        labels[0]
+    });
+    g.bench(&format!("assign/series_store/{cell}"), || {
+        assign_store(
+            black_box(&store),
+            black_box(&centroids),
+            &mut labels,
+            &mut dists,
+        )
+        .expect("streaming assign")
+    });
+
+    let median = |name: &str| {
+        g.records()
+            .iter()
+            .find(|r| r.name.contains(name))
+            .map_or(0.0, |r| r.median_ns)
+    };
+    let (base, stream) = (median("nested_vec"), median("series_store"));
+    let ratio = if stream > 0.0 { base / stream } else { 0.0 };
+    g.push_record(Record::from_scalar("assign_speedup_ratio", ratio));
+
+    // Allocator pressure: one full fit per path on a smaller cell so the
+    // counter deltas reflect steady-state hot-loop behavior, not the
+    // one-time dataset build.
+    let (fit_n, fit_m) = if quick { (60, 48) } else { (600, 128) };
+    let fit_series = cbf_series(fit_n, fit_m, 5);
+    let fit_store_data = SeriesStore::from_rows(&fit_series, ElemType::F64).expect("fit store");
+    let fit_opts = KShapeOptions::new(3).with_seed(1).with_max_iter(10);
+
+    let before = allocation_count();
+    let r1 = KShape::fit_with(&fit_series, &fit_opts).expect("in-memory fit");
+    let in_memory_allocs = allocation_count() - before;
+    let before = allocation_count();
+    let r2 = fit_store(&fit_store_data, &fit_opts).expect("streaming fit");
+    let store_allocs = allocation_count() - before;
+    black_box((r1.iterations, r2.iterations));
+
+    g.push_record(Record::from_scalar(
+        "in_memory_fit_allocs",
+        in_memory_allocs as f64,
+    ));
+    g.push_record(Record::from_scalar(
+        "series_store_fit_allocs",
+        store_allocs as f64,
+    ));
+    g
+}

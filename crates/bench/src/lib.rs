@@ -4,6 +4,7 @@ use tsdata::generators::{cbf, GenParams};
 use tsdata::normalize::z_normalize_in_place;
 use tsrand::StdRng;
 
+pub mod alloc_stats;
 pub mod groups;
 
 /// A deterministic z-normalized pseudo-random series of length `m`.

@@ -21,6 +21,12 @@ use std::process::ExitCode;
 
 use bench::groups::{run_group, GROUP_NAMES};
 
+// Counting pass-through allocator so the `scale` group can report
+// allocations-per-fit. Binary only: library tests stay on the system
+// allocator and the counters read zero there.
+#[global_allocator]
+static GLOBAL: bench::alloc_stats::CountingAlloc = bench::alloc_stats::CountingAlloc;
+
 fn usage() -> String {
     format!(
         "usage: bench <group>... [--quick] [--out <dir>]\n\

@@ -377,6 +377,14 @@ impl KShape {
         // exactly the centroid that refinement aligns the member to.
         let mut shifts = vec![0isize; n];
         let mut shifted = 0usize;
+        // Armed-only: per-cluster squared centroid movement, filled in at
+        // each centroid write so the iteration event can report how far
+        // the centroids moved without snapshotting (cloning) the full set.
+        let mut deltas = if obs.is_armed() {
+            Some(vec![0.0f64; cfg.k])
+        } else {
+            None
+        };
         while iterations < cfg.max_iter {
             // Outer-loop poll point: cancellation, deadline, and the
             // budget's own iteration cap (independent of cfg.max_iter).
@@ -384,13 +392,6 @@ impl KShape {
                 return Err(RunControl::stop_error(labels, iterations, reason));
             }
             iterations += 1;
-            // Armed-only: snapshot the centroids so the iteration event
-            // can report how far they moved this round.
-            let prev_centroids = if obs.is_armed() {
-                Some(centroids.clone())
-            } else {
-                None
-            };
 
             // ----- Refinement step: recompute centroids. -----
             let refine_span = obs.span("kshape.refinement");
@@ -401,6 +402,7 @@ impl KShape {
                 &mut centroids,
                 &dists,
                 &shifts,
+                deltas.as_deref_mut(),
                 ctrl,
                 obs,
             ) {
@@ -426,9 +428,12 @@ impl KShape {
                 // All armed-only reads: nothing here feeds back into the
                 // refinement state.
                 let inertia_now: f64 = dists.iter().map(|d| d * d).sum();
-                let shift = prev_centroids
+                // Summing the per-cluster write-site deltas in ascending
+                // cluster order reproduces the historical clone-and-diff
+                // telemetry bit for bit.
+                let shift = deltas
                     .as_deref()
-                    .map_or(f64::NAN, |prev| centroid_shift(prev, &centroids));
+                    .map_or(f64::NAN, |d| d.iter().sum::<f64>().sqrt());
                 obs.iteration(&IterationEvent {
                     algorithm: "kshape",
                     iter: iterations - 1,
@@ -481,6 +486,7 @@ impl KShape {
         centroids: &mut [Vec<f64>],
         dists: &[f64],
         shifts: &[isize],
+        mut deltas: Option<&mut [f64]>,
         ctrl: &RunControl,
         obs: Obs<'_>,
     ) -> Result<(), StopReason> {
@@ -493,16 +499,29 @@ impl KShape {
         if engine.threads() <= 1 || k < 2 {
             for j in 0..k {
                 ctrl.poll()?;
-                match refinement_task(j, series, labels, centroids, dists, shifts, obs) {
+                match refinement_task(
+                    j,
+                    series,
+                    labels,
+                    centroids,
+                    dists,
+                    shifts,
+                    deltas.as_deref_mut(),
+                    obs,
+                ) {
                     None => continue,
                     Some((members, member_shifts)) => {
                         let members_len = members.len();
-                        centroids[j] = extract_aligned(
+                        let next = extract_aligned(
                             &members,
                             member_shifts.as_deref(),
                             cfg.eigen,
                             engine.plan(),
                         );
+                        if let Some(d) = deltas.as_deref_mut() {
+                            d[j] = l2_delta_sq(&centroids[j], &next);
+                        }
+                        centroids[j] = next;
                         ctrl.charge((members_len * m + m * m) as u64)?;
                     }
                 }
@@ -514,7 +533,16 @@ impl KShape {
         let mut tasks: Vec<(usize, RefinementTask<'_>)> = Vec::with_capacity(k);
         for j in 0..k {
             ctrl.poll()?;
-            if let Some(task) = refinement_task(j, series, labels, centroids, dists, shifts, obs) {
+            if let Some(task) = refinement_task(
+                j,
+                series,
+                labels,
+                centroids,
+                dists,
+                shifts,
+                deltas.as_deref_mut(),
+                obs,
+            ) {
                 tasks.push((j, task));
             }
         }
@@ -550,6 +578,9 @@ impl KShape {
         });
         let mut charges: Vec<(usize, u64)> = Vec::with_capacity(tasks.len());
         for (j, members_len, centroid) in extracted.into_iter().flatten() {
+            if let Some(d) = deltas.as_deref_mut() {
+                d[j] = l2_delta_sq(&centroids[j], &centroid);
+            }
             centroids[j] = centroid;
             charges.push((j, (members_len * m + m * m) as u64));
         }
@@ -570,6 +601,7 @@ type RefinementTask<'s> = (Vec<&'s [f64]>, Option<Vec<isize>>);
 /// (reseeded in place, historical side effects preserved), otherwise the
 /// member snapshot plus their cached alignment shifts (`None` shifts for an
 /// all-zero centroid — the initial state — which skips alignment).
+#[allow(clippy::too_many_arguments)]
 fn refinement_task<'s>(
     j: usize,
     series: &'s [Vec<f64>],
@@ -577,6 +609,7 @@ fn refinement_task<'s>(
     centroids: &mut [Vec<f64>],
     dists: &[f64],
     shifts: &[isize],
+    deltas: Option<&mut [f64]>,
     obs: Obs<'_>,
 ) -> Option<RefinementTask<'s>> {
     let idx: Vec<usize> = labels
@@ -594,7 +627,11 @@ fn refinement_task<'s>(
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map_or(0, |(i, _)| i);
         labels[worst] = j;
-        centroids[j] = tsdata::normalize::z_normalize(&series[worst]);
+        let next = tsdata::normalize::z_normalize(&series[worst]);
+        if let Some(d) = deltas {
+            d[j] = l2_delta_sq(&centroids[j], &next);
+        }
+        centroids[j] = next;
         obs.counter("kshape.empty_cluster_reseeds", 1);
         return None;
     }
@@ -610,19 +647,17 @@ fn refinement_task<'s>(
     Some((members, member_shifts))
 }
 
-/// Aggregate L2 distance between two centroid sets — telemetry only,
-/// computed exclusively on the armed path.
-fn centroid_shift(prev: &[Vec<f64>], next: &[Vec<f64>]) -> f64 {
+/// Squared L2 distance between one cluster's outgoing and incoming
+/// centroid — telemetry only, computed exclusively on the armed path at
+/// each centroid write. Each cluster is written exactly once per
+/// refinement pass, so summing these per-cluster values in ascending
+/// cluster order and taking the square root reproduces the historical
+/// clone-the-whole-set-and-diff shift value bit for bit.
+pub(crate) fn l2_delta_sq(prev: &[f64], next: &[f64]) -> f64 {
     prev.iter()
         .zip(next.iter())
-        .map(|(a, b)| {
-            a.iter()
-                .zip(b.iter())
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-        })
+        .map(|(x, y)| (x - y) * (x - y))
         .sum::<f64>()
-        .sqrt()
 }
 
 #[cfg(test)]

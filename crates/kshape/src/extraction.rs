@@ -16,7 +16,7 @@
 //! reference implementation we keep the orientation closer to the cluster
 //! members, and z-normalize the result.
 
-use tsdata::distort::shift_zero_pad;
+use tsdata::distort::shift_zero_pad_into;
 use tsdata::normalize::z_normalize_in_place;
 use tserror::{ensure_finite, TsError, TsResult};
 use tslinalg::dominant::try_dominant_symmetric_eigen;
@@ -151,14 +151,16 @@ pub(crate) fn extract_aligned(
     let m = members[0].len();
 
     // Aligned, row-centered member matrix B = X'·Q, where Q = I − (1/m)·O
-    // simply removes each row's mean. Then M = Qᵀ S Q = Bᵀ B.
+    // simply removes each row's mean. Then M = Qᵀ S Q = Bᵀ B. One aligned
+    // scratch row is reused across members — no per-member allocation.
     let mut b = Matrix::zeros(n, m);
     let mut aligned_sum = vec![0.0; m];
+    let mut aligned = vec![0.0; m];
     for (r, member) in members.iter().enumerate() {
-        let aligned = match shifts {
-            Some(sh) => shift_zero_pad(member, sh[r]),
-            None => member.to_vec(),
-        };
+        match shifts {
+            Some(sh) => shift_zero_pad_into(member, sh[r], &mut aligned),
+            None => aligned.copy_from_slice(member),
+        }
         for (acc, v) in aligned_sum.iter_mut().zip(aligned.iter()) {
             *acc += v;
         }
@@ -239,6 +241,115 @@ pub(crate) fn extract_aligned(
         centroid = sbd_medoid(members, plan);
     }
     centroid
+}
+
+/// Streaming shape-extraction state for one cluster: the primal matrix
+/// `M = Σᵣ (alignedᵣ − mean·1)(alignedᵣ − mean·1)ᵀ` accumulated one
+/// member at a time, plus the aligned sum used for sign orientation.
+///
+/// This is the out-of-core twin of [`extract_aligned`]'s primal path
+/// (`n ≥ m`): instead of materializing the full n×m matrix `B` — which
+/// is exactly the footprint an out-of-core fit cannot afford — each
+/// aligned member row rank-one-updates the m×m Gram directly and is then
+/// forgotten. Memory is O(m²) per cluster regardless of member count,
+/// and for the same member rows in the same order the accumulated `M`,
+/// `aligned_sum`, and extracted eigenvector match the primal path's
+/// floating-point operations one for one.
+///
+/// Unlike [`try_shape_extraction`], the degenerate-eigenvector case
+/// cannot fall back to the SBD-medoid (that requires revisiting every
+/// member — a full extra pass); [`GramAccumulator::extract`] returns
+/// `None` instead and the caller picks its own fallback (the
+/// out-of-core fit keeps the previous centroid). This is the one
+/// documented divergence from the in-RAM path, reachable only on
+/// degenerate clusters (e.g. all members constant).
+#[derive(Debug, Clone)]
+pub struct GramAccumulator {
+    mat: Matrix,
+    aligned_sum: Vec<f64>,
+    count: usize,
+    centered: Vec<f64>,
+}
+
+impl GramAccumulator {
+    /// Empty accumulator for series of length `m`.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        GramAccumulator {
+            mat: Matrix::zeros(m, m),
+            aligned_sum: vec![0.0; m],
+            count: 0,
+            centered: vec![0.0; m],
+        }
+    }
+
+    /// Resets to the empty state without releasing buffers.
+    pub fn clear(&mut self) {
+        self.mat.fill(0.0);
+        self.aligned_sum.fill(0.0);
+        self.count = 0;
+    }
+
+    /// Members folded in so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Folds one member row, already aligned toward the cluster's
+    /// reference centroid (or raw when the reference is all-zero —
+    /// the same skip-alignment rule as [`try_shape_extraction`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligned.len()` differs from the accumulator's `m`.
+    pub fn push_aligned(&mut self, aligned: &[f64]) {
+        let m = self.aligned_sum.len();
+        assert_eq!(aligned.len(), m, "member length must match accumulator");
+        for (acc, v) in self.aligned_sum.iter_mut().zip(aligned.iter()) {
+            *acc += v;
+        }
+        let mean = aligned.iter().sum::<f64>() / m as f64;
+        for (o, v) in self.centered.iter_mut().zip(aligned.iter()) {
+            *o = v - mean;
+        }
+        self.mat.rank_one_update(&self.centered, 1.0);
+        self.count += 1;
+    }
+
+    /// Extracts the centroid from the accumulated Gram: the dominant
+    /// eigenvector of `M`, sign-oriented toward the aligned sum,
+    /// z-normalized — identical math to [`extract_aligned`]'s primal
+    /// path. Returns `None` for an empty accumulator or a degenerate
+    /// (non-finite / all-zero) eigenvector; the caller chooses the
+    /// fallback.
+    #[must_use]
+    pub fn extract(&self, method: EigenMethod) -> Option<Vec<f64>> {
+        if self.count == 0 {
+            return None;
+        }
+        let m = self.aligned_sum.len();
+        let mut centroid = match method {
+            EigenMethod::Full => try_dominant_symmetric_eigen(&self.mat)
+                .map_or_else(|_| vec![f64::NAN; m], |e| e.vector),
+            EigenMethod::Power => power_iteration(&self.mat, 200, 1e-12).vector,
+        };
+        let dot: f64 = centroid
+            .iter()
+            .zip(self.aligned_sum.iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        if dot < 0.0 {
+            for v in &mut centroid {
+                *v = -*v;
+            }
+        }
+        z_normalize_in_place(&mut centroid);
+        if centroid.iter().any(|v| !v.is_finite()) || centroid.iter().all(|&v| v == 0.0) {
+            return None;
+        }
+        Some(centroid)
+    }
 }
 
 /// The z-normalized member minimizing total SBD to the other members

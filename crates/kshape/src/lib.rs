@@ -11,6 +11,9 @@
 //! * [`extraction`] — **shape extraction** (Algorithm 2): the cluster
 //!   centroid as the maximizer of the Rayleigh quotient of `M = QᵀSQ`,
 //! * [`algorithm`] — the **k-Shape** clustering algorithm (Algorithm 3),
+//! * [`outofcore`] — the same refinement loop streamed over a
+//!   [`tsdata::store::SeriesView`] row source with working memory
+//!   independent of `n` (Figure 12 scale),
 //! * [`init`] — random and k-shape++-style initializations,
 //! * [`multi`] — multi-restart driver selecting the best run by objective,
 //! * [`sbd_unequal`] — SBD across different lengths (footnote 3) and the
@@ -51,6 +54,7 @@ pub mod extraction;
 pub mod init;
 pub mod multi;
 pub mod ncc;
+pub mod outofcore;
 pub mod sbd;
 pub mod sbd_unequal;
 pub mod spectra;
@@ -58,7 +62,8 @@ pub mod stream;
 pub mod validity;
 
 pub use algorithm::{KShape, KShapeConfig, KShapeOptions, KShapeResult};
-pub use extraction::{shape_extraction, try_shape_extraction};
+pub use extraction::{shape_extraction, try_shape_extraction, GramAccumulator};
+pub use outofcore::{assign_store, fit_store};
 pub use sbd::{sbd, try_sbd, CacheStats, Sbd, SbdResult};
 pub use spectra::SpectraEngine;
 pub use stream::{

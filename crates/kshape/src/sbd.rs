@@ -258,6 +258,24 @@ impl SbdPlan {
         }
     }
 
+    /// [`Self::prepare_with`] into a caller-owned [`PreparedSeries`] slot —
+    /// the fully allocation-free variant for streaming sweeps that prepare
+    /// one row at a time from an out-of-core store, where a per-row
+    /// spectrum allocation would dominate the pass. The slot's spectrum
+    /// buffer is resized once and reused forever after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the plan length.
+    pub fn prepare_into(&self, x: &[f64], slot: &mut PreparedSeries, scratch: &mut Vec<Complex>) {
+        assert_eq!(x.len(), self.m, "series length must match plan");
+        slot.spectrum.clear();
+        slot.spectrum
+            .resize(self.plan.spectrum_len(), Complex::ZERO);
+        self.plan.rfft_into(x, &mut slot.spectrum, scratch);
+        slot.energy = autocorr0(x);
+    }
+
     /// Precomputes the half-spectrum of a series *no longer than* the plan
     /// length, zero-padded on the right — the unequal-length counterpart
     /// of [`Self::prepare`].
@@ -429,6 +447,16 @@ pub struct PreparedSeries {
 }
 
 impl PreparedSeries {
+    /// An empty slot for [`SbdPlan::prepare_into`]: no spectrum buffer
+    /// yet (allocated to the plan's size on first use), zero energy.
+    #[must_use]
+    pub fn empty() -> Self {
+        PreparedSeries {
+            spectrum: Vec::new(),
+            energy: 0.0,
+        }
+    }
+
     /// The series energy `R₀(x, x) = Σ x_i²` captured at preparation time.
     #[inline]
     #[must_use]

@@ -29,7 +29,8 @@
 //! more than one worker a budget trip can leave a different partial
 //! prefix computed, exactly as in `tscluster::matrix`.
 
-use tserror::{validate_series_set, StopReason, TsResult};
+use tsdata::store::SeriesView;
+use tserror::{ensure_finite, validate_series_set, StopReason, TsError, TsResult};
 use tsrun::RunControl;
 
 use crate::sbd::{PreparedSeries, SbdPlan, SbdScratch};
@@ -63,12 +64,30 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// Borrowing the series keeps the engine allocation-light: the only owned
 /// state is one packed half-spectrum ([`PreparedSeries`]) per series and
 /// the shared [`SbdPlan`].
-#[derive(Debug)]
-pub struct SpectraEngine<'a> {
+///
+/// The engine is generic over its row source: any
+/// [`SeriesView`] — the legacy `[Vec<f64>]` slice (the default type
+/// parameter, so existing `SpectraEngine<'_>` signatures are unchanged
+/// and bit-identical), or a contiguous
+/// [`SeriesStore`](tsdata::store::SeriesStore) via
+/// [`SpectraEngine::from_view`]. Rows are only read during construction;
+/// every sweep afterwards runs on the cached spectra.
+pub struct SpectraEngine<'a, V: SeriesView + ?Sized = [Vec<f64>]> {
     plan: SbdPlan,
-    series: &'a [Vec<f64>],
+    view: &'a V,
+    n: usize,
     spectra: Vec<PreparedSeries>,
     threads: usize,
+}
+
+impl<'a, V: SeriesView + ?Sized> std::fmt::Debug for SpectraEngine<'a, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpectraEngine")
+            .field("n", &self.n)
+            .field("m", &self.plan.series_len())
+            .field("threads", &self.threads)
+            .finish()
+    }
 }
 
 impl<'a> SpectraEngine<'a> {
@@ -118,22 +137,102 @@ impl<'a> SpectraEngine<'a> {
         }
         SpectraEngine {
             plan,
-            series,
+            view: series,
+            n,
             spectra,
             threads,
         }
+    }
+}
+
+impl<'a, V: SeriesView + ?Sized> SpectraEngine<'a, V> {
+    /// Builds the cache over any [`SeriesView`] — the row-borrowing
+    /// seam that lets contiguous and spilled [`SeriesStore`] tiers feed
+    /// the same batched sweeps as nested `Vec<Vec<f64>>`.
+    ///
+    /// Rows are fetched through the view's borrow-or-copy contract
+    /// (resident `f64` stores hand out direct slices; `f32`/spilled rows
+    /// stage through a per-worker scratch) and validated for finiteness
+    /// as they are transformed. Parallel preparation uses the same fixed
+    /// contiguous chunking as the slice path, so spectra are
+    /// bit-identical for every thread count and — for views that expose
+    /// the same `f64` rows — bit-identical to [`SpectraEngine::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`tserror::TsError::EmptyInput`] for an empty view,
+    /// [`tserror::TsError::NonFinite`] for a bad row, or
+    /// [`tserror::TsError::CorruptData`] from a spilled tier.
+    ///
+    /// [`SeriesStore`]: tsdata::store::SeriesStore
+    pub fn from_view(view: &'a V, threads: usize) -> TsResult<Self> {
+        let n = view.n_series();
+        let m = view.series_len();
+        if n == 0 || m == 0 {
+            return Err(TsError::EmptyInput);
+        }
+        let threads = resolve_threads(threads);
+        let plan = SbdPlan::new(m);
+        let workers = worker_count(threads, n);
+        let prep_range = |lo: usize, hi: usize| -> TsResult<Vec<PreparedSeries>> {
+            let mut rows = Vec::new();
+            let mut scratch = Vec::new();
+            let mut out = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                let row = view.try_row(i, &mut rows)?;
+                ensure_finite(row, i)?;
+                out.push(plan.prepare_with(row, &mut scratch));
+            }
+            Ok(out)
+        };
+        let mut spectra = Vec::with_capacity(n);
+        if workers <= 1 {
+            spectra = prep_range(0, n)?;
+        } else {
+            let chunk = n.div_ceil(workers);
+            let mut parts: Vec<TsResult<Vec<PreparedSeries>>> = Vec::with_capacity(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .step_by(chunk)
+                    .map(|lo| {
+                        let prep = &prep_range;
+                        scope.spawn(move || prep(lo, (lo + chunk).min(n)))
+                    })
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("spectrum worker panicked"));
+                }
+            });
+            // First error in chunk order wins, like serial validation.
+            for part in parts {
+                spectra.extend(part?);
+            }
+        }
+        Ok(SpectraEngine {
+            plan,
+            view,
+            n,
+            spectra,
+            threads,
+        })
+    }
+
+    /// The underlying row source.
+    #[must_use]
+    pub fn view(&self) -> &'a V {
+        self.view
     }
 
     /// Number of cached series.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.series.len()
+        self.n
     }
 
     /// True when no series are cached.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.series.is_empty()
+        self.n == 0
     }
 
     /// The shared SBD plan (series length, padded FFT size).
@@ -152,7 +251,7 @@ impl<'a> SpectraEngine<'a> {
     /// serial path) — telemetry material for `kshape.parallel.chunks`.
     #[must_use]
     pub fn chunk_count(&self) -> usize {
-        worker_count(self.threads, self.series.len())
+        worker_count(self.threads, self.n)
     }
 
     /// The cached half-spectrum of series `i`.
@@ -218,7 +317,7 @@ impl<'a> SpectraEngine<'a> {
         shifts: &mut [isize],
         ctrl: &RunControl,
     ) -> Result<usize, StopReason> {
-        let n = self.series.len();
+        let n = self.n;
         let pair_cost = (cents.len() * self.plan.series_len()) as u64;
         let workers = worker_count(self.threads, n);
         if workers <= 1 {
@@ -285,7 +384,7 @@ impl<'a> SpectraEngine<'a> {
     /// Distances of every series to one prepared reference, written to
     /// `out` — the k-shape++ seeding sweep over cached spectra.
     pub(crate) fn distances_to(&self, reference: &PreparedSeries, out: &mut [f64]) {
-        let n = self.series.len();
+        let n = self.n;
         let workers = worker_count(self.threads, n);
         if workers <= 1 {
             let mut scratch = SbdScratch::default();
@@ -329,7 +428,7 @@ impl<'a> SpectraEngine<'a> {
     /// `iterations` = pairs completed (empty labels: a partial matrix has
     /// no labeling).
     pub fn try_matrix_with_control(&self, ctrl: &RunControl) -> TsResult<Vec<f64>> {
-        let n = self.series.len();
+        let n = self.n;
         let pair_cost = self.plan.series_len() as u64;
         let mut data = vec![0.0f64; n * n];
         let workers = worker_count(self.threads, n);

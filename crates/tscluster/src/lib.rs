@@ -69,6 +69,7 @@ pub mod ksc;
 pub mod ladder;
 pub mod matrix;
 pub mod options;
+pub mod outofcore;
 pub mod pam;
 pub mod spectral;
 pub mod stream;
@@ -86,6 +87,7 @@ pub use options::{
     FuzzyOptions, HierarchicalOptions, KDbaOptions, KMeansOptions, KscOptions, MatrixOptions,
     PamOptions, SpectralOptions,
 };
+pub use outofcore::kmeans_store;
 pub use pam::{pam_with, PamConfig, PamResult};
 pub use spectral::{spectral_cluster_with, SpectralConfig, SpectralResult};
 pub use stream::LadderReseeder;

@@ -1,0 +1,274 @@
+//! Out-of-core k-means (the scalable `k-AVG` baseline) streamed over a
+//! [`SeriesView`] row source.
+//!
+//! The Figure-12 runtime comparison pits k-Shape against `k-AVG+ED` at
+//! dataset sizes where neither side may hold `n` uncompressed rows in
+//! RAM. [`kmeans_store`] is the Lloyd iteration of
+//! [`crate::kmeans::kmeans_with`] restructured the same way
+//! `kshape::outofcore::fit_store` restructures k-Shape: one streaming
+//! row pass per iteration that *fuses* assignment with the running
+//! per-cluster sums the next refinement's arithmetic means need.
+//! Working memory is `O(k·m)` regardless of the row count.
+//!
+//! Over an in-memory slice view this is floating-point-identical to
+//! `kmeans_with` — same initial assignment, same ascending-row sum
+//! accumulation, same reseed rule, same tie-breaking — which the tests
+//! pin down bit for bit. The only divergence appears on spilled `f32`
+//! stores, where rows were narrowed on write.
+
+use tsdata::store::SeriesView;
+use tsdist::Distance;
+use tserror::{ensure_k, TsError, TsResult};
+use tsobs::IterationEvent;
+use tsrand::StdRng;
+use tsrun::RunControl;
+
+use crate::kmeans::KMeansResult;
+use crate::options::KMeansOptions;
+use kshape::init::random_assignment;
+
+/// Streaming Lloyd iteration over any [`SeriesView`] with a pluggable
+/// assignment distance — the out-of-core counterpart of
+/// [`crate::kmeans::kmeans_with`].
+///
+/// # Errors
+///
+/// * [`TsError::EmptyInput`] when the view holds no rows;
+/// * [`TsError::InvalidK`] unless `1 <= k <= n`;
+/// * [`TsError::Stopped`] when the attached budget or cancellation
+///   trips (carrying the best labeling so far);
+/// * [`TsError::CorruptData`] if a spilled segment fails validation
+///   mid-stream.
+pub fn kmeans_store<V: SeriesView + ?Sized, D: Distance + ?Sized>(
+    view: &V,
+    dist: &D,
+    opts: &KMeansOptions<'_>,
+) -> TsResult<KMeansResult> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let config = &opts.config;
+    let n = view.n_series();
+    let m = view.series_len();
+    if n == 0 || m == 0 {
+        return Err(TsError::EmptyInput);
+    }
+    ensure_k(config.k, n)?;
+    let k = config.k;
+    let fit_span = obs.span("kmeans.ooc.fit");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut labels = random_assignment(n, k, &mut rng);
+    let mut centroids = vec![vec![0.0f64; m]; k];
+    let mut dists = vec![0.0f64; n];
+    let mut row_scratch: Vec<f64> = Vec::new();
+
+    // Fused accumulation state: the per-cluster element sums and member
+    // counts the next refinement turns into arithmetic means. Pass 0
+    // seeds them from the initial random assignment; every later
+    // assignment sweep refills them as it relabels rows.
+    let mut sums = vec![vec![0.0f64; m]; k];
+    let mut counts = vec![0usize; k];
+    for (i, &label) in labels.iter().enumerate() {
+        let row = view.try_row(i, &mut row_scratch)?;
+        counts[label] += 1;
+        for (acc, v) in sums[label].iter_mut().zip(row.iter()) {
+            *acc += v;
+        }
+    }
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let pair_cost = dist.cost_hint(m);
+    // Armed-only per-cluster squared centroid movement, accumulated at
+    // each centroid write instead of cloning the previous set.
+    let mut deltas = if obs.is_armed() {
+        Some(vec![0.0f64; k])
+    } else {
+        None
+    };
+    while iterations < config.max_iter {
+        if let Err(reason) = ctrl.check_iteration(iterations) {
+            return Err(RunControl::stop_error(labels, iterations, reason));
+        }
+        iterations += 1;
+        if let Some(d) = deltas.as_deref_mut() {
+            d.fill(0.0);
+        }
+
+        // Refinement: arithmetic means from the accumulated sums.
+        for j in 0..k {
+            if counts[j] == 0 {
+                // Re-seed an empty cluster with the worst-served row.
+                obs.counter("kmeans.empty_cluster_reseeds", 1);
+                let worst = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map_or(0, |(i, _)| i);
+                let row = view.try_row(worst, &mut row_scratch)?;
+                if let Some(d) = deltas.as_deref_mut() {
+                    d[j] = l2_delta_sq(&centroids[j], row);
+                }
+                centroids[j].copy_from_slice(row);
+                labels[worst] = j;
+            } else {
+                let inv = 1.0 / counts[j] as f64;
+                if let Some(d) = deltas.as_deref_mut() {
+                    d[j] = centroids[j]
+                        .iter()
+                        .zip(sums[j].iter())
+                        .map(|(c, s)| {
+                            let next = s * inv;
+                            (c - next) * (c - next)
+                        })
+                        .sum();
+                }
+                for (c, s) in centroids[j].iter_mut().zip(sums[j].iter()) {
+                    *c = s * inv;
+                }
+            }
+        }
+
+        // Fused assignment sweep: relabel each row and fold it into its
+        // new cluster's sums for the next refinement.
+        for s in &mut sums {
+            s.iter_mut().for_each(|v| *v = 0.0);
+        }
+        counts.iter_mut().for_each(|c| *c = 0);
+        let mut changed = 0usize;
+        for i in 0..n {
+            if let Err(reason) = ctrl.charge(k as u64 * pair_cost) {
+                return Err(RunControl::stop_error(labels, iterations - 1, reason));
+            }
+            let row = view.try_row(i, &mut row_scratch)?;
+            let mut best = f64::INFINITY;
+            let mut best_j = labels[i];
+            for (j, c) in centroids.iter().enumerate() {
+                let d = dist.dist(row, c);
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            dists[i] = best;
+            if best_j != labels[i] {
+                labels[i] = best_j;
+                changed += 1;
+            }
+            counts[best_j] += 1;
+            for (acc, v) in sums[best_j].iter_mut().zip(row.iter()) {
+                *acc += v;
+            }
+        }
+        if obs.is_armed() {
+            let shift = deltas
+                .as_deref()
+                .map_or(f64::NAN, |d| d.iter().sum::<f64>().sqrt());
+            obs.iteration(&IterationEvent {
+                algorithm: "kmeans-ooc",
+                iter: iterations - 1,
+                inertia: dists.iter().map(|d| d * d).sum(),
+                moved: changed,
+                centroid_shift: shift,
+            });
+        }
+        if changed == 0 {
+            converged = true;
+            break;
+        }
+    }
+
+    obs.counter("kmeans.iterations", iterations as u64);
+    fit_span.end();
+    ctrl.report_cost(obs);
+    Ok(KMeansResult {
+        labels,
+        centroids,
+        iterations,
+        converged,
+        inertia: dists.iter().map(|d| d * d).sum(),
+    })
+}
+
+/// Squared L2 distance between one cluster's outgoing and incoming
+/// centroid — telemetry only, armed path only.
+fn l2_delta_sq(prev: &[f64], next: &[f64]) -> f64 {
+    prev.iter()
+        .zip(next.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::kmeans_store;
+    use crate::kmeans::kmeans_with;
+    use crate::options::KMeansOptions;
+    use tsdata::store::{ElemType, SeriesStore, SpillConfig};
+    use tsdist::EuclideanDistance;
+    use tserror::TsError;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for j in 0..6 {
+            let eps = j as f64 * 0.01;
+            out.push(vec![0.0 + eps, 0.1, 0.2 - eps, 0.1]);
+            out.push(vec![9.0 - eps, 9.1, 9.2 + eps, 9.1]);
+        }
+        out
+    }
+
+    #[test]
+    fn slice_view_is_bit_identical_to_in_memory_kmeans() {
+        let series = two_blobs();
+        let opts = KMeansOptions::new(2).with_seed(7);
+        let a = kmeans_with(&series, &EuclideanDistance, &opts).expect("in-memory");
+        let b = kmeans_store(&series[..], &EuclideanDistance, &opts).expect("streaming");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+    }
+
+    #[test]
+    fn spilled_store_matches_resident() {
+        let series = two_blobs();
+        let resident = SeriesStore::from_rows(&series, ElemType::F64).expect("build");
+        let dir = std::env::temp_dir().join(format!("ooc_kmeans_spill_{}", std::process::id()));
+        let mut spilled = SeriesStore::spilled(
+            4,
+            ElemType::F64,
+            SpillConfig::new(&dir)
+                .rows_per_segment(3)
+                .resident_segments(1),
+        )
+        .expect("spill tier");
+        for row in &series {
+            spilled.push_row(row).expect("push");
+        }
+        let opts = KMeansOptions::new(2).with_seed(7);
+        let a = kmeans_store(&resident, &EuclideanDistance, &opts).expect("resident");
+        let b = kmeans_store(&spilled, &EuclideanDistance, &opts).expect("spilled");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+    }
+
+    #[test]
+    fn typed_errors_for_bad_input() {
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert!(matches!(
+            kmeans_store(&empty[..], &EuclideanDistance, &KMeansOptions::new(1)),
+            Err(TsError::EmptyInput)
+        ));
+        let series = two_blobs();
+        assert!(matches!(
+            kmeans_store(
+                &series[..],
+                &EuclideanDistance,
+                &KMeansOptions::new(series.len() + 1)
+            ),
+            Err(TsError::InvalidK { .. })
+        ));
+    }
+}

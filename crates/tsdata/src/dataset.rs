@@ -6,6 +6,7 @@
 //! clustering experiments fuse the two halves, as the paper does.
 
 use crate::normalize::{try_z_normalize_series, z_normalize_in_place};
+use crate::store::{ElemType, SeriesStore};
 use tserror::{TsError, TsResult};
 
 /// Tally of per-series outcomes from [`Dataset::try_z_normalize`], so
@@ -159,6 +160,45 @@ impl Dataset {
         }
         self.series.extend(other.series.iter().cloned());
         self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Converts the series into a contiguous [`SeriesStore`]
+    /// (labels stay on the dataset; stores are label-free).
+    ///
+    /// Lossless for [`ElemType::F64`] — [`Dataset::from_store`] round-trips
+    /// bit-identically. [`ElemType::F32`] narrows samples to single
+    /// precision (see `ElemType` docs for when that is safe).
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::EmptyInput`] for an empty dataset, plus everything
+    /// [`SeriesStore::push_row`] reports (ragged or non-finite rows).
+    pub fn to_store(&self, elem: ElemType) -> TsResult<SeriesStore> {
+        SeriesStore::from_rows(&self.series, elem)
+    }
+
+    /// Rebuilds a dataset from a [`SeriesStore`] and its labels — the
+    /// inverse of [`Dataset::to_store`] (bit-identical for `f64` stores).
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::LengthMismatch`] if `labels.len() != store.n_series()`
+    /// (reported with `series = labels.len()`), or
+    /// [`TsError::CorruptData`] from a spilled store whose segments fail
+    /// validation.
+    pub fn from_store(
+        name: impl Into<String>,
+        store: &SeriesStore,
+        labels: Vec<usize>,
+    ) -> TsResult<Dataset> {
+        if labels.len() != store.n_series() {
+            return Err(TsError::LengthMismatch {
+                expected: store.n_series(),
+                found: labels.len(),
+                series: labels.len(),
+            });
+        }
+        Ok(Dataset::new(name, store.to_rows()?, labels))
     }
 }
 

@@ -20,8 +20,22 @@ pub fn scale_translate(x: &mut [f64], a: f64, b: f64) {
 /// (pads zeros at the front).
 #[must_use]
 pub fn shift_zero_pad(x: &[f64], s: isize) -> Vec<f64> {
+    let mut out = vec![0.0; x.len()];
+    shift_zero_pad_into(x, s, &mut out);
+    out
+}
+
+/// [`shift_zero_pad`] into a caller-owned buffer — the allocation-free
+/// variant for hot loops that align one member at a time (k-Shape
+/// refinement, streaming shape extraction).
+///
+/// # Panics
+///
+/// Panics if `out.len() != x.len()`.
+pub fn shift_zero_pad_into(x: &[f64], s: isize, out: &mut [f64]) {
     let m = x.len();
-    let mut out = vec![0.0; m];
+    assert_eq!(out.len(), m, "shift output length must match input");
+    out.fill(0.0);
     if s >= 0 {
         let s = (s as usize).min(m);
         out[s..].copy_from_slice(&x[..m - s]);
@@ -29,7 +43,6 @@ pub fn shift_zero_pad(x: &[f64], s: isize) -> Vec<f64> {
         let s = ((-s) as usize).min(m);
         out[..m - s].copy_from_slice(&x[s..]);
     }
-    out
 }
 
 /// Circularly rotates a sequence by `s` positions (positive = delay).

@@ -14,11 +14,13 @@
 //! parameters for `m = 128` (`a ∈ [16, 32]`, `b − a ∈ [32, 96]`) are scaled
 //! proportionally for other lengths.
 
+use tserror::TsResult;
 use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::distort::gaussian;
 use crate::generators::GenParams;
+use crate::store::SeriesStore;
 
 /// CBF class identifiers.
 pub const CLASSES: [&str; 3] = ["cylinder", "bell", "funnel"];
@@ -80,10 +82,42 @@ pub fn generate<R: Rng>(params: &GenParams, rng: &mut R) -> Dataset {
     Dataset::new("cbf", series, labels)
 }
 
+/// Streams a CBF dataset directly into a [`SeriesStore`] — the
+/// out-of-core twin of [`generate`]: identical RNG consumption, identical
+/// class-major row order, identical sample values, but no nested-Vec
+/// materialization (each row exists transiently before being pushed into
+/// the contiguous — possibly spilled — buffer). Returns the class label
+/// per row.
+///
+/// Rows are pushed raw; call [`SeriesStore::z_normalize_in_place`]
+/// afterwards for fit-ready data.
+///
+/// # Errors
+///
+/// Everything [`SeriesStore::push_row`] reports (a `store` whose
+/// `series_len() != params.len` yields `LengthMismatch`; spill write
+/// failures yield `CorruptData`).
+pub fn generate_into<R: Rng>(
+    params: &GenParams,
+    store: &mut SeriesStore,
+    rng: &mut R,
+) -> TsResult<Vec<usize>> {
+    let mut labels = Vec::with_capacity(3 * params.n_per_class);
+    for class in 0..3 {
+        for _ in 0..params.n_per_class {
+            let row = generate_one(class, params.len, rng);
+            store.push_row(&row)?;
+            labels.push(class);
+        }
+    }
+    Ok(labels)
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{generate, generate_one};
+    use super::{generate, generate_into, generate_one};
     use crate::generators::GenParams;
+    use crate::store::{ElemType, SeriesStore};
     use tsrand::StdRng;
 
     #[test]
@@ -139,6 +173,20 @@ mod tests {
         funnel_slope /= trials as f64;
         assert!(bell_slope > 0.3, "bell slope {bell_slope}");
         assert!(funnel_slope < -0.3, "funnel slope {funnel_slope}");
+    }
+
+    #[test]
+    fn generate_into_matches_generate_bit_for_bit() {
+        let params = GenParams {
+            n_per_class: 5,
+            len: 64,
+            ..GenParams::default()
+        };
+        let nested = generate(&params, &mut StdRng::seed_from_u64(9));
+        let mut store = SeriesStore::new(64, ElemType::F64);
+        let labels = generate_into(&params, &mut store, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(labels, nested.labels);
+        assert_eq!(store.to_rows().unwrap(), nested.series);
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! separable by measures that tolerate phase variation — the same property
 //! the original Two Patterns dataset stresses.
 
+use tserror::TsResult;
 use tsrand::Rng;
 
 use crate::dataset::Dataset;
 use crate::generators::GenParams;
+use crate::store::SeriesStore;
 
 /// The four event-order classes.
 pub const CLASSES: [&str; 4] = ["up-up", "up-down", "down-up", "down-down"];
@@ -77,10 +79,35 @@ pub fn generate<R: Rng>(params: &GenParams, rng: &mut R) -> Dataset {
     Dataset::new("two-patterns", series, labels)
 }
 
+/// Streams a Two-Patterns dataset directly into a [`SeriesStore`] — the
+/// out-of-core twin of [`generate`] (identical RNG consumption, order,
+/// and values; no nested-Vec materialization). Returns the class label
+/// per row. Rows are pushed raw; z-normalize the store afterwards.
+///
+/// # Errors
+///
+/// Everything [`SeriesStore::push_row`] reports.
+pub fn generate_into<R: Rng>(
+    params: &GenParams,
+    store: &mut SeriesStore,
+    rng: &mut R,
+) -> TsResult<Vec<usize>> {
+    let mut labels = Vec::with_capacity(4 * params.n_per_class);
+    for class in 0..4 {
+        for _ in 0..params.n_per_class {
+            let row = generate_one(class, params.len, params.noise, rng);
+            store.push_row(&row)?;
+            labels.push(class);
+        }
+    }
+    Ok(labels)
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{generate, generate_one};
+    use super::{generate, generate_into, generate_one};
     use crate::generators::GenParams;
+    use crate::store::{ElemType, SeriesStore};
     use tsrand::StdRng;
 
     #[test]
@@ -114,6 +141,21 @@ mod tests {
             let second_half: f64 = s[64..].iter().sum();
             assert!(first_half > 0.0 && second_half < 0.0);
         }
+    }
+
+    #[test]
+    fn generate_into_matches_generate_bit_for_bit() {
+        let params = GenParams {
+            n_per_class: 4,
+            len: 64,
+            noise: 0.3,
+            ..GenParams::default()
+        };
+        let nested = generate(&params, &mut StdRng::seed_from_u64(11));
+        let mut store = SeriesStore::new(64, ElemType::F64);
+        let labels = generate_into(&params, &mut store, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(labels, nested.labels);
+        assert_eq!(store.to_rows().unwrap(), nested.series);
     }
 
     #[test]

@@ -26,8 +26,10 @@ pub mod features;
 pub mod generators;
 pub mod normalize;
 pub mod reduce;
+pub mod store;
 pub mod ucr;
 
 pub use collection::{synthetic_collection, CollectionSpec};
 pub use dataset::{Dataset, NormalizeReport, SplitDataset};
 pub use normalize::{try_z_normalize, z_normalize};
+pub use store::{ElemType, SeriesStore, SeriesView, SpillConfig, SpillStats};

@@ -118,6 +118,16 @@ pub enum TsError {
         /// (a measure of how far from a fixed point the run stopped).
         shifted: usize,
     },
+    /// Persisted bytes (a spill segment, a checkpoint artifact) failed
+    /// structural validation on read — torn write, bit flip, wrong magic,
+    /// checksum mismatch — or the backing file could not be read or
+    /// written at all. The artifact must be discarded or regenerated; its
+    /// contents must never be interpreted as data.
+    CorruptData {
+        /// Which artifact failed and what check (or I/O operation)
+        /// rejected it.
+        context: String,
+    },
     /// Execution control (a `tsrun` budget or cancel token) stopped the
     /// run before it finished. This is a *partial result*, not a crash:
     /// the best labeling observed so far and the amount of work done ride
@@ -193,6 +203,9 @@ impl std::fmt::Display for TsError {
             ),
             TsError::NumericalFailure { context } => {
                 write!(f, "numerical failure: {context}")
+            }
+            TsError::CorruptData { context } => {
+                write!(f, "corrupt data: {context}")
             }
             TsError::NotConverged {
                 iterations,

@@ -6,9 +6,29 @@
 //! within a constant factor, helped by needing fewer iterations); k-Shape's
 //! O(m²)/O(m³) centroid cost shows once `m` grows toward `n`.
 //!
-//! Scales are reduced from the paper's 100k×128 to laptop sizes; override
-//! with `KSHAPE_FIG12_MAX_N` / `KSHAPE_FIG12_N` if desired.
+//! # Modes
+//!
+//! * **no arguments** — the historical in-memory laptop-scale sweep
+//!   (unchanged output; `KSHAPE_FIG12_MAX_N` / `KSHAPE_FIG12_N` /
+//!   `KSHAPE_MAX_ITER` still apply);
+//! * `--shard --dir D [--workers W] [--n LIST] [--m LIST]
+//!   [--max-iter I]` — the out-of-core sharded sweep at Figure-12 scale
+//!   (`n` up to 10⁵–10⁶): the `(method, n, m)` grid is fanned over `W`
+//!   worker *processes*, one process per cell so each cell's peak RSS
+//!   (`VmHWM`) is measured in isolation. Cells are claimed by atomic
+//!   claim files and stored through atomic checkpoint writes, so the
+//!   sweep survives `kill -9` of workers or the coordinator and resumes
+//!   where it stopped — the deterministic merged report on stdout is
+//!   byte-identical to an uninterrupted run's. Timings and RSS go to
+//!   stderr;
+//! * `--cell METHOD:NxM --dir D [--max-iter I]` — compute one cell in
+//!   this process (the coordinator spawns these);
+//! * `--merge --dir D` — print the deterministic merged report only;
+//! * `--gate-rss --dir D` — exit non-zero if any stored cell peaked at
+//!   or above the nested-`Vec` materialization budget.
 
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
 use std::time::Instant;
 
 use kshape::{KShape, KShapeOptions};
@@ -17,6 +37,11 @@ use tsdata::generators::cbf;
 use tsdata::normalize::z_normalize_in_place;
 use tsdist::EuclideanDistance;
 use tseval::tables::TextTable;
+use tsexperiments::scale::{
+    merged_report, nested_vec_budget_bytes, run_cell, try_claim, CellResult, ScaleCell,
+    ScaleConfig, METHODS,
+};
+use tsexperiments::CheckpointStore;
 use tsrand::StdRng;
 
 fn cbf_series(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
@@ -55,7 +80,8 @@ fn env(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn main() {
+/// The historical single-process in-memory sweep (CI smoke path).
+fn legacy_main() {
     let max_iter = env("KSHAPE_MAX_ITER", 30);
     let max_n = env("KSHAPE_FIG12_MAX_N", 9000);
     let fixed_n = env("KSHAPE_FIG12_N", 1800);
@@ -93,4 +119,281 @@ fn main() {
     println!("{}", table.render());
     println!("Expected shape: linear growth in n for both; super-linear in m for k-Shape");
     println!("(its refinement step is O(m^2)/O(m^3)) once m approaches n.");
+}
+
+/// Minimal flag parser for the sharded modes.
+struct Args {
+    dir: Option<PathBuf>,
+    cell: Option<String>,
+    workers: usize,
+    n_list: Vec<usize>,
+    m_list: Vec<usize>,
+    max_iter: usize,
+    shard: bool,
+    merge: bool,
+    gate_rss: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: None,
+        cell: None,
+        workers: 2,
+        n_list: vec![10_000, 30_000, 100_000],
+        m_list: vec![128],
+        max_iter: 30,
+        shard: false,
+        merge: false,
+        gate_rss: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usize_list =
+        |v: &str| -> Vec<usize> { v.split(',').filter_map(|s| s.trim().parse().ok()).collect() };
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        let mut take = |name: &str| -> String {
+            i += 1;
+            argv.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--shard" => args.shard = true,
+            "--merge" => args.merge = true,
+            "--gate-rss" => args.gate_rss = true,
+            "--dir" => args.dir = Some(PathBuf::from(take("--dir"))),
+            "--cell" => args.cell = Some(take("--cell")),
+            "--workers" => args.workers = take("--workers").parse().unwrap_or(2).max(1),
+            "--n" => args.n_list = usize_list(&take("--n")),
+            "--m" => args.m_list = usize_list(&take("--m")),
+            "--max-iter" => args.max_iter = take("--max-iter").parse().unwrap_or(30),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Parses `METHOD:NxM` (e.g. `kshape:100000x128`).
+fn parse_cell(spec: &str) -> Option<ScaleCell> {
+    let (method, grid) = spec.split_once(':')?;
+    let (n, m) = grid.split_once('x')?;
+    Some(ScaleCell {
+        method: method.to_string(),
+        n: n.parse().ok()?,
+        m: m.parse().ok()?,
+    })
+}
+
+/// Child mode: compute one cell, store it atomically, report to stderr.
+fn cell_main(spec: &str, dir: &PathBuf, max_iter: usize) -> i32 {
+    let Some(cell) = parse_cell(spec) else {
+        eprintln!("bad cell spec {spec:?} (expected METHOD:NxM)");
+        return 2;
+    };
+    let spill = dir.join(format!("spill-{}", std::process::id()));
+    let mut cfg = ScaleConfig::new(spill);
+    cfg.max_iter = max_iter;
+    match run_cell(&cell, &cfg) {
+        Ok(result) => {
+            let store = CheckpointStore::new(dir);
+            if let Err(e) = store.store_named(&cell.name(), &result.to_json()) {
+                eprintln!("{}: store failed: {e}", cell.name());
+                return 1;
+            }
+            let budget = nested_vec_budget_bytes(cell.n, cell.m);
+            eprintln!(
+                "{}: wall={}ms peak_rss={}KiB budget={}KiB",
+                cell.name(),
+                result.wall_ms,
+                result.peak_rss_kb,
+                budget / 1024,
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", cell.name());
+            1
+        }
+    }
+}
+
+/// Coordinator: fan the grid over worker processes with claim files,
+/// retry cells whose workers die, then merge.
+fn shard_main(args: &Args) -> i32 {
+    let dir = args.dir.clone().expect("--shard requires --dir");
+    let store = CheckpointStore::new(&dir);
+    let exe = std::env::current_exe().expect("own path");
+    let mut pending: Vec<ScaleCell> = Vec::new();
+    for method in METHODS {
+        for &n in &args.n_list {
+            for &m in &args.m_list {
+                pending.push(ScaleCell {
+                    method: method.to_string(),
+                    n,
+                    m,
+                });
+            }
+        }
+    }
+    let total = pending.len();
+    // (child, cell, claim) triples for in-flight workers.
+    let mut running: Vec<(
+        std::process::Child,
+        ScaleCell,
+        tsexperiments::scale::ClaimGuard,
+    )> = Vec::new();
+    let mut attempts = std::collections::HashMap::<String, usize>::new();
+    let mut failed: Vec<String> = Vec::new();
+    loop {
+        // Reap finished workers; a dead worker's cell is retried (its
+        // next claim wins because the claim was released here, or was
+        // left stale if *we* were killed — the resume run breaks it).
+        let mut i = 0;
+        while i < running.len() {
+            match running[i].0.try_wait() {
+                Ok(Some(status)) => {
+                    let (_, cell, claim) = running.swap_remove(i);
+                    claim.release();
+                    let done = store.load_named(&cell.name(), CellResult::from_json).0;
+                    if status.success() && done.is_some() {
+                        eprintln!("[{}] cell {} done", done_count(&store, total), cell.name());
+                    } else {
+                        let tries = attempts.entry(cell.name()).or_insert(0);
+                        *tries += 1;
+                        if *tries < 3 {
+                            eprintln!("cell {} failed (attempt {tries}); retrying", cell.name());
+                            pending.push(cell);
+                        } else {
+                            eprintln!("cell {} failed {tries} times; giving up", cell.name());
+                            failed.push(cell.name());
+                        }
+                    }
+                }
+                Ok(None) => i += 1,
+                Err(e) => {
+                    eprintln!("wait failed: {e}");
+                    i += 1;
+                }
+            }
+        }
+        // Fill free worker slots.
+        while running.len() < args.workers {
+            let Some(cell) = pending.pop() else { break };
+            if store
+                .load_named(&cell.name(), CellResult::from_json)
+                .0
+                .is_some()
+            {
+                continue; // resumed: already computed
+            }
+            match try_claim(&dir, &cell.name()) {
+                Ok(Some(claim)) => {
+                    let child = Command::new(&exe)
+                        .arg("--cell")
+                        .arg(format!("{}:{}x{}", cell.method, cell.n, cell.m))
+                        .arg("--dir")
+                        .arg(&dir)
+                        .arg("--max-iter")
+                        .arg(args.max_iter.to_string())
+                        .stdout(Stdio::null())
+                        .spawn();
+                    match child {
+                        Ok(child) => running.push((child, cell, claim)),
+                        Err(e) => {
+                            eprintln!("spawn failed for {}: {e}", cell.name());
+                            claim.release();
+                            failed.push(cell.name());
+                        }
+                    }
+                }
+                Ok(None) => {
+                    // Another live coordinator owns it; skip — the merge
+                    // below only covers what finished.
+                    eprintln!("cell {} claimed elsewhere; skipping", cell.name());
+                }
+                Err(e) => {
+                    eprintln!("claim failed for {}: {e}", cell.name());
+                    failed.push(cell.name());
+                }
+            }
+        }
+        if running.is_empty() && pending.is_empty() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    print!("{}", merged_report(&store));
+    if failed.is_empty() {
+        0
+    } else {
+        eprintln!("{} cell(s) permanently failed", failed.len());
+        1
+    }
+}
+
+fn done_count(store: &CheckpointStore, total: usize) -> String {
+    format!("{}/{}", store.list_named("fig12__").len(), total)
+}
+
+/// RSS gate: every stored cell must have peaked below the nested-`Vec`
+/// materialization budget for its size.
+fn gate_rss_main(dir: &PathBuf) -> i32 {
+    let store = CheckpointStore::new(dir);
+    let mut bad = 0usize;
+    let mut seen = 0usize;
+    for name in store.list_named("fig12__") {
+        let Some(cell) = store.load_named(&name, CellResult::from_json).0 else {
+            continue;
+        };
+        seen += 1;
+        let budget = nested_vec_budget_bytes(cell.n, cell.m);
+        let peak = cell.peak_rss_kb * 1024;
+        let verdict = if peak == 0 {
+            "no-procfs"
+        } else if peak < budget {
+            "ok"
+        } else {
+            bad += 1;
+            "OVER BUDGET"
+        };
+        eprintln!(
+            "{name}: peak_rss={}KiB budget={}KiB [{verdict}]",
+            cell.peak_rss_kb,
+            budget / 1024
+        );
+    }
+    if seen == 0 {
+        eprintln!("no cells under {}", dir.display());
+        return 1;
+    }
+    i32::from(bad > 0)
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(spec) = &args.cell {
+        let dir = args.dir.clone().expect("--cell requires --dir");
+        std::process::exit(cell_main(spec, &dir, args.max_iter));
+    }
+    if args.shard {
+        std::process::exit(shard_main(&args));
+    }
+    if args.merge {
+        let dir = args.dir.clone().expect("--merge requires --dir");
+        print!("{}", merged_report(&CheckpointStore::new(&dir)));
+        return;
+    }
+    if args.gate_rss {
+        let dir = args.dir.clone().expect("--gate-rss requires --dir");
+        std::process::exit(gate_rss_main(&dir));
+    }
+    legacy_main();
 }

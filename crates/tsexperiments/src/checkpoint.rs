@@ -289,7 +289,7 @@ fn sanitize(s: &str) -> String {
 
 /// Minimal JSON string escaping for the two characters our writer could
 /// ever need to protect.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
@@ -310,7 +310,7 @@ fn unescape(s: &str) -> String {
 
 /// Extracts `"key":"value"` from a flat JSON object, handling escaped
 /// quotes/backslashes inside the value.
-fn json_str_field(text: &str, key: &str) -> Option<String> {
+pub(crate) fn json_str_field(text: &str, key: &str) -> Option<String> {
     let marker = format!("\"{key}\":\"");
     let start = text.find(&marker)? + marker.len();
     let rest = &text[start..];
@@ -330,7 +330,7 @@ fn json_str_field(text: &str, key: &str) -> Option<String> {
 }
 
 /// Extracts `"key":<number>` from a flat JSON object.
-fn json_f64_field(text: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_f64_field(text: &str, key: &str) -> Option<f64> {
     let marker = format!("\"{key}\":");
     let start = text.find(&marker)? + marker.len();
     let rest = &text[start..];

@@ -34,8 +34,10 @@ pub mod checkpoint;
 pub mod cluster_eval;
 pub mod config;
 pub mod dist_eval;
+pub mod scale;
 pub mod stream_eval;
 pub mod variants;
 
 pub use checkpoint::CheckpointStore;
 pub use config::ExperimentConfig;
+pub use scale::{CellResult, ScaleCell, ScaleConfig};

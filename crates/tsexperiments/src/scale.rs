@@ -1,0 +1,635 @@
+//! Sharded Figure-12 scale sweep: out-of-core cells, kill-safe claims,
+//! and a deterministic merged report.
+//!
+//! The paper's Figure 12 measures runtime at `n` up to 10⁵–10⁶ series —
+//! sizes where a single in-process sweep is fragile (one OOM or CI
+//! timeout loses hours) and where peak RSS is itself a result worth
+//! recording. This module breaks the `(method, n, m)` grid into
+//! independent **cells**, each computed by a dedicated worker *process*
+//! so its `/proc/self/status` `VmHWM` is an honest per-cell peak-RSS
+//! measurement, and coordinates them with two disk protocols:
+//!
+//! * **claims** — a worker owns a cell by atomically creating
+//!   `<cell>.claim` (`O_CREAT|O_EXCL`) containing its PID. A claim
+//!   whose PID no longer exists (`/proc/<pid>` gone — the worker was
+//!   `kill -9`ed) is *stale* and silently broken. Two racing claimants
+//!   are arbitrated by the filesystem: exactly one `create_new` wins;
+//! * **results** — finished cells go through
+//!   [`CheckpointStore::store_named`]'s atomic tmp-then-rename write,
+//!   so a kill mid-write never leaves a half-written cell.
+//!
+//! The merged report ([`merged_report`]) covers only the deterministic
+//! fields (labels hash, inertia, iteration count) — never wall time or
+//! RSS — so a sweep that was killed and resumed merges to **byte
+//! identical** output against an uninterrupted one. The CI `scale` job
+//! enforces exactly that, plus the peak-RSS budget
+//! ([`nested_vec_budget_bytes`]): every out-of-core cell must peak
+//! below what merely *materializing* the dataset as `Vec<Vec<f64>>`
+//! would cost.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use kshape::{KShapeOptions, TsResult};
+use tscluster::kmeans_store;
+use tscluster::options::KMeansOptions;
+use tsdata::generators::{cbf, GenParams};
+use tsdata::store::{ElemType, SeriesStore, SpillConfig};
+use tsdist::EuclideanDistance;
+use tsrand::StdRng;
+
+use crate::checkpoint::{escape, json_f64_field, json_str_field, CheckpointStore};
+
+/// The two Figure-12 contestants, in report order.
+pub const METHODS: [&str; 2] = ["kavg", "kshape"];
+
+/// One `(method, n, m)` grid point of the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleCell {
+    /// `"kshape"` (out-of-core k-Shape) or `"kavg"` (streaming k-AVG+ED).
+    pub method: String,
+    /// Number of series.
+    pub n: usize,
+    /// Series length.
+    pub m: usize,
+}
+
+impl ScaleCell {
+    /// The checkpoint artifact name for this cell.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("fig12__{}__n{}_m{}", self.method, self.n, self.m)
+    }
+}
+
+/// Knobs shared by every cell of one sweep. Everything here affects
+/// results, so coordinator and workers must agree on it.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// RNG seed for the CBF data (Figure 12 uses one dataset per size).
+    pub data_seed: u64,
+    /// RNG seed for the initial cluster assignment.
+    pub fit_seed: u64,
+    /// Refinement iteration cap.
+    pub max_iter: usize,
+    /// Cluster count (CBF has 3 classes).
+    pub k: usize,
+    /// Directory for this worker's spill segments (wiped on drop).
+    pub spill_dir: PathBuf,
+}
+
+impl ScaleConfig {
+    /// Figure-12 defaults (data seed 7, fit seed 1, `k = 3`,
+    /// `max_iter = 30`) spilling under `spill_dir`.
+    #[must_use]
+    pub fn new(spill_dir: impl Into<PathBuf>) -> Self {
+        ScaleConfig {
+            data_seed: 7,
+            fit_seed: 1,
+            max_iter: 30,
+            k: 3,
+            spill_dir: spill_dir.into(),
+        }
+    }
+}
+
+/// One finished cell: the deterministic fit fingerprint plus the two
+/// measurements (wall clock, peak RSS) that vary run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Method label (see [`METHODS`]).
+    pub method: String,
+    /// Number of series.
+    pub n: usize,
+    /// Series length.
+    pub m: usize,
+    /// Refinement iterations executed.
+    pub iterations: usize,
+    /// Whether memberships converged before the cap.
+    pub converged: bool,
+    /// Final sum of squared assignment distances.
+    pub inertia: f64,
+    /// FNV-1a-64 over the label vector — the cheap determinism witness.
+    pub labels_hash: u64,
+    /// Wall-clock milliseconds for the fit (excluded from the merge).
+    pub wall_ms: u64,
+    /// Process peak RSS in KiB from `VmHWM` (excluded from the merge).
+    pub peak_rss_kb: u64,
+}
+
+impl CellResult {
+    /// Serializes to the flat in-tree JSON object format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"method\":\"{}\",\"n\":{},\"m\":{},\"iterations\":{},\
+             \"converged\":{},\"inertia\":{:?},\"labels_hash\":\"{:016x}\",\
+             \"wall_ms\":{},\"peak_rss_kb\":{}}}\n",
+            escape(&self.method),
+            self.n,
+            self.m,
+            self.iterations,
+            self.converged,
+            self.inertia,
+            self.labels_hash,
+            self.wall_ms,
+            self.peak_rss_kb,
+        )
+    }
+
+    /// Parses the flat JSON format; `None` on anything malformed (the
+    /// checkpoint layer quarantines such files).
+    #[must_use]
+    pub fn from_json(text: &str) -> Option<CellResult> {
+        let trimmed = text.trim();
+        if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+            return None;
+        }
+        let as_usize = |key: &str| -> Option<usize> {
+            let v = json_f64_field(text, key)?;
+            (v.is_finite() && v >= 0.0 && v.fract() == 0.0).then_some(v as usize)
+        };
+        let converged = if text.contains("\"converged\":true") {
+            true
+        } else if text.contains("\"converged\":false") {
+            false
+        } else {
+            return None;
+        };
+        let inertia = json_f64_field(text, "inertia")?;
+        if !inertia.is_finite() || inertia < 0.0 {
+            return None;
+        }
+        Some(CellResult {
+            method: json_str_field(text, "method")?,
+            n: as_usize("n")?,
+            m: as_usize("m")?,
+            iterations: as_usize("iterations")?,
+            converged,
+            inertia,
+            labels_hash: u64::from_str_radix(&json_str_field(text, "labels_hash")?, 16).ok()?,
+            wall_ms: as_usize("wall_ms")? as u64,
+            peak_rss_kb: as_usize("peak_rss_kb")? as u64,
+        })
+    }
+
+    /// The deterministic merge line: everything except timing and RSS.
+    #[must_use]
+    pub fn merge_line(&self) -> String {
+        format!(
+            "{} n={} m={} iterations={} converged={} inertia={:?} labels=0x{:016x}",
+            self.method,
+            self.n,
+            self.m,
+            self.iterations,
+            self.converged,
+            self.inertia,
+            self.labels_hash,
+        )
+    }
+}
+
+/// FNV-1a-64 over the label vector (labels as little-endian `u64`s).
+#[must_use]
+pub fn labels_hash(labels: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in labels {
+        for b in (l as u64).to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Streams a z-normalized CBF dataset of exactly `n` series of length
+/// `m` into a spilled [`SeriesStore`] — never holding more than the
+/// spill tier's resident window in memory.
+///
+/// Row order and RNG consumption match the in-memory Figure-12 feeder
+/// (class-major, truncated at `n`), so in-RAM and out-of-core runs
+/// cluster identical data. When `n` is a multiple of 3 the streaming
+/// generator writer ([`cbf::generate_into`]) is used directly.
+///
+/// # Errors
+///
+/// Propagates spill-tier I/O failures as [`kshape::TsError::CorruptData`].
+pub fn cbf_store(n: usize, m: usize, seed: u64, spill: SpillConfig) -> TsResult<SeriesStore> {
+    let mut store = SeriesStore::spilled(m, ElemType::F64, spill)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    if n.is_multiple_of(3) {
+        let params = GenParams {
+            n_per_class: n / 3,
+            len: m,
+            ..GenParams::default()
+        };
+        cbf::generate_into(&params, &mut store, &mut rng)?;
+    } else {
+        let per_class = n.div_ceil(3);
+        'outer: for class in 0..3 {
+            for _ in 0..per_class {
+                if store.n_series() == n {
+                    break 'outer;
+                }
+                store.push_row(&cbf::generate_one(class, m, &mut rng))?;
+            }
+        }
+    }
+    store.z_normalize_in_place()?;
+    Ok(store)
+}
+
+/// Computes one cell end to end: generate the spilled CBF dataset, run
+/// the cell's out-of-core method, fingerprint the labels, and capture
+/// wall clock plus this process's peak RSS. Meant to run in a dedicated
+/// worker process so the RSS reading belongs to this cell alone.
+///
+/// # Errors
+///
+/// Propagates generator, spill, and fit errors; an unknown method is
+/// reported as [`kshape::TsError::NumericalFailure`].
+pub fn run_cell(cell: &ScaleCell, cfg: &ScaleConfig) -> TsResult<CellResult> {
+    let spill = SpillConfig::new(&cfg.spill_dir);
+    let store = cbf_store(cell.n, cell.m, cfg.data_seed, spill)?;
+    let t = Instant::now();
+    let (labels, iterations, converged, inertia) = match cell.method.as_str() {
+        "kshape" => {
+            let opts = KShapeOptions::new(cfg.k)
+                .with_seed(cfg.fit_seed)
+                .with_max_iter(cfg.max_iter);
+            let fit = kshape::fit_store(&store, &opts)?;
+            (fit.labels, fit.iterations, fit.converged, fit.inertia)
+        }
+        "kavg" => {
+            let opts = KMeansOptions::new(cfg.k)
+                .with_seed(cfg.fit_seed)
+                .with_max_iter(cfg.max_iter);
+            let fit = kmeans_store(&store, &EuclideanDistance, &opts)?;
+            (fit.labels, fit.iterations, fit.converged, fit.inertia)
+        }
+        other => {
+            return Err(kshape::TsError::NumericalFailure {
+                context: format!("unknown scale method {other:?} (expected kshape or kavg)"),
+            })
+        }
+    };
+    let wall_ms = t.elapsed().as_millis() as u64;
+    Ok(CellResult {
+        method: cell.method.clone(),
+        n: cell.n,
+        m: cell.m,
+        iterations,
+        converged,
+        inertia,
+        labels_hash: labels_hash(&labels),
+        wall_ms,
+        peak_rss_kb: peak_rss_kb(),
+    })
+}
+
+/// This process's peak resident set size in KiB (`VmHWM` from
+/// `/proc/self/status`); `0` where procfs is unavailable.
+#[must_use]
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix("VmHWM:")?;
+            rest.trim().trim_end_matches("kB").trim().parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// The bytes a nested `Vec<Vec<f64>>` materialization of the dataset
+/// would occupy: `m · 8` payload plus ~72 bytes of per-row overhead
+/// (outer `Vec` triple, allocation header, rounding). The CI peak-RSS
+/// gate requires every out-of-core cell to stay *below* this — the
+/// whole point of the data plane is to beat the naive footprint.
+#[must_use]
+pub fn nested_vec_budget_bytes(n: usize, m: usize) -> u64 {
+    (n as u64) * ((m as u64) * 8 + 72)
+}
+
+/// A held claim on one cell; [`ClaimGuard::release`] (or drop) removes
+/// the claim file. A `kill -9` skips both, leaving a claim whose PID is
+/// dead — the next [`try_claim`] detects and breaks it.
+#[derive(Debug)]
+pub struct ClaimGuard {
+    path: PathBuf,
+}
+
+impl ClaimGuard {
+    /// Removes the claim file, surrendering the cell.
+    pub fn release(self) {
+        // Drop does the removal.
+    }
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Attempts to claim `name` under `dir` by atomically creating
+/// `<name>.claim` containing this process's PID.
+///
+/// Returns `Ok(Some(guard))` when the claim was won, `Ok(None)` when a
+/// *live* process holds it. A claim held by a dead PID (the holder was
+/// killed) is broken and re-contested — the filesystem's `O_EXCL`
+/// arbitration guarantees at most one winner even when several workers
+/// break the same stale claim simultaneously.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than the expected
+/// `AlreadyExists`.
+pub fn try_claim(dir: &Path, name: &str) -> io::Result<Option<ClaimGuard>> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.claim"));
+    for attempt in 0..2 {
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(file) => {
+                use std::io::Write;
+                let mut file = file;
+                write!(file, "{}", std::process::id())?;
+                file.sync_all()?;
+                return Ok(Some(ClaimGuard { path }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let holder: Option<u32> = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok());
+                let alive = holder.is_some_and(pid_alive);
+                if alive || attempt == 1 {
+                    return Ok(None);
+                }
+                // Stale (dead or unparsable holder): break it and
+                // re-contest once.
+                let _ = fs::remove_file(&path);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Whether a PID currently exists (procfs check; conservatively `true`
+/// where procfs is unavailable, so claims are never broken blindly).
+fn pid_alive(pid: u32) -> bool {
+    if !Path::new("/proc").is_dir() {
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Loads every stored `fig12__*` cell and renders the deterministic
+/// merged report: one [`CellResult::merge_line`] per cell, sorted by
+/// `(method, n, m)`, excluding wall time and RSS. Two sweeps over the
+/// same grid and seeds produce byte-identical reports regardless of
+/// worker count, kill/resume history, or cell completion order.
+#[must_use]
+pub fn merged_report(store: &CheckpointStore) -> String {
+    let mut cells: Vec<CellResult> = store
+        .list_named("fig12__")
+        .iter()
+        .filter_map(|name| store.load_named(name, CellResult::from_json).0)
+        .collect();
+    cells.sort_by(|a, b| {
+        a.method
+            .cmp(&b.method)
+            .then(a.n.cmp(&b.n))
+            .then(a.m.cmp(&b.m))
+    });
+    let mut out = String::from("figure 12 scale sweep (deterministic merge)\n");
+    for c in &cells {
+        out.push_str(&c.merge_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{
+        cbf_store, labels_hash, merged_report, nested_vec_budget_bytes, peak_rss_kb, run_cell,
+        try_claim, CellResult, ScaleCell, ScaleConfig,
+    };
+    use crate::checkpoint::CheckpointStore;
+    use tsdata::store::SpillConfig;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsexp_scale_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn result() -> CellResult {
+        CellResult {
+            method: "kshape".into(),
+            n: 3000,
+            m: 128,
+            iterations: 12,
+            converged: true,
+            inertia: 0.123_456_789_012_345_68,
+            labels_hash: 0xdead_beef_cafe_f00d,
+            wall_ms: 1234,
+            peak_rss_kb: 45678,
+        }
+    }
+
+    #[test]
+    fn cell_result_json_roundtrip_is_exact() {
+        let r = result();
+        let parsed = CellResult::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.inertia.to_bits(), r.inertia.to_bits());
+    }
+
+    #[test]
+    fn malformed_cells_are_rejected() {
+        let r = result();
+        let json = r.to_json();
+        assert!(CellResult::from_json(&json[..json.len() - 3]).is_none());
+        assert!(CellResult::from_json(&json.replace("true", "maybe")).is_none());
+        assert!(CellResult::from_json(&json.replace(":0.12", ":NaN0.12")).is_none());
+        assert!(CellResult::from_json("").is_none());
+    }
+
+    #[test]
+    fn labels_hash_is_order_sensitive_and_stable() {
+        let a = labels_hash(&[0, 1, 2, 1, 0]);
+        let b = labels_hash(&[0, 1, 2, 1, 0]);
+        let c = labels_hash(&[1, 0, 2, 1, 0]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(labels_hash(&[]), labels_hash(&[0]));
+    }
+
+    #[test]
+    fn claims_arbitrate_and_break_stale_holders() {
+        let dir = temp_dir("claims");
+        // Win a fresh claim; a second claimant loses while we hold it
+        // (our PID is alive).
+        let guard = try_claim(&dir, "cell_a").expect("io").expect("claimed");
+        assert!(try_claim(&dir, "cell_a").expect("io").is_none());
+        guard.release();
+        // Released: claimable again.
+        let guard = try_claim(&dir, "cell_a").expect("io").expect("reclaimed");
+        drop(guard);
+        // A claim from a dead PID is stale and gets broken.
+        std::fs::write(dir.join("cell_b.claim"), "4294967294").expect("plant");
+        assert!(try_claim(&dir, "cell_b").expect("io").is_some());
+        // An unparsable claim is also stale.
+        std::fs::write(dir.join("cell_c.claim"), "not-a-pid").expect("plant");
+        assert!(try_claim(&dir, "cell_c").expect("io").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_cell_is_deterministic_and_spills() {
+        let dir = temp_dir("runcell");
+        let cell = ScaleCell {
+            method: "kshape".into(),
+            n: 60,
+            m: 32,
+        };
+        let a = run_cell(&cell, &ScaleConfig::new(dir.join("s1"))).expect("fit a");
+        let b = run_cell(&cell, &ScaleConfig::new(dir.join("s2"))).expect("fit b");
+        assert_eq!(a.labels_hash, b.labels_hash);
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.n, 60);
+        // The kavg method runs on the same store shape.
+        let kavg = run_cell(
+            &ScaleCell {
+                method: "kavg".into(),
+                n: 60,
+                m: 32,
+            },
+            &ScaleConfig::new(dir.join("s3")),
+        )
+        .expect("kavg fit");
+        assert_eq!(kavg.method, "kavg");
+        assert!(kavg.inertia.is_finite());
+        // Unknown methods are typed errors.
+        assert!(run_cell(
+            &ScaleCell {
+                method: "pam".into(),
+                n: 9,
+                m: 32
+            },
+            &ScaleConfig::new(dir.join("s4"))
+        )
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cbf_store_matches_in_memory_feeder_row_order() {
+        use tsdata::normalize::z_normalize_in_place;
+        use tsdata::store::SeriesView;
+        use tsrand::StdRng;
+        let dir = temp_dir("cbfeq");
+        // n divisible by 3 exercises generate_into; 20 exercises the
+        // truncating path. Both must match the legacy in-memory feeder.
+        for n in [21usize, 20] {
+            let store =
+                cbf_store(n, 32, 7, SpillConfig::new(dir.join(format!("n{n}")))).expect("store");
+            let mut rng = StdRng::seed_from_u64(7);
+            let per_class = n.div_ceil(3);
+            let mut expected = Vec::new();
+            'outer: for class in 0..3 {
+                for _ in 0..per_class {
+                    if expected.len() == n {
+                        break 'outer;
+                    }
+                    let mut s = tsdata::generators::cbf::generate_one(class, 32, &mut rng);
+                    z_normalize_in_place(&mut s);
+                    expected.push(s);
+                }
+            }
+            assert_eq!(store.n_series(), n);
+            let mut scratch = Vec::new();
+            for (i, want) in expected.iter().enumerate() {
+                let got = store.try_row(i, &mut scratch).expect("row");
+                assert_eq!(got, want.as_slice(), "row {i} (n = {n})");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merged_report_is_sorted_and_deterministic() {
+        let dir = temp_dir("merge");
+        let store = CheckpointStore::new(&dir);
+        let mut b = result();
+        b.method = "kavg".into();
+        b.wall_ms = 9999; // timing must not leak into the merge
+        let a = result();
+        store
+            .store_named(
+                &ScaleCell {
+                    method: b.method.clone(),
+                    n: b.n,
+                    m: b.m,
+                }
+                .name(),
+                &b.to_json(),
+            )
+            .expect("store");
+        store
+            .store_named(
+                &ScaleCell {
+                    method: a.method.clone(),
+                    n: a.n,
+                    m: a.m,
+                }
+                .name(),
+                &a.to_json(),
+            )
+            .expect("store");
+        let report = merged_report(&store);
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("kavg "), "{report}");
+        assert!(lines[2].starts_with("kshape "), "{report}");
+        assert!(!report.contains("9999"), "wall time leaked: {report}");
+        // A different wall/RSS reading merges identically.
+        let mut b2 = b.clone();
+        b2.wall_ms = 1;
+        b2.peak_rss_kb = 2;
+        store
+            .store_named(
+                &ScaleCell {
+                    method: b2.method.clone(),
+                    n: b2.n,
+                    m: b2.m,
+                }
+                .name(),
+                &b2.to_json(),
+            )
+            .expect("store");
+        assert_eq!(merged_report(&store), report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rss_budget_and_probe_are_sane() {
+        assert_eq!(nested_vec_budget_bytes(1000, 128), 1000 * (128 * 8 + 72));
+        // On Linux the probe reads a positive VmHWM; elsewhere 0.
+        let rss = peak_rss_kb();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 0);
+        }
+    }
+}

@@ -115,6 +115,13 @@ impl Matrix {
         &self.data
     }
 
+    /// Sets every element to `value` — lets long-lived accumulator
+    /// matrices (streaming Gram updates) reset without reallocating.
+    #[inline]
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
     /// Returns the transpose.
     #[must_use]
     pub fn transpose(&self) -> Matrix {

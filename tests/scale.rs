@@ -1,0 +1,189 @@
+//! Scale-tier integration properties for the contiguous data plane
+//! (PR 9): spilled segments under byte-level fault injection, and the
+//! `f32` storage tier against the `f64` reference fit.
+//!
+//! * Spill chaos: a sealed segment hit by a [`ByteFault`] (torn write,
+//!   bit rot, garbage prefix) must surface as a typed
+//!   [`TsError::CorruptData`] on the next cold read — never a panic,
+//!   never a silently wrong row. Rows that still read `Ok` must be
+//!   bit-identical to the clean data.
+//! * Narrowing tolerance: storing rows as `f32` perturbs each sample by
+//!   at most one part in 2²⁴, which shifts SBD distances in the ~1e-7
+//!   range. On well-separated CBF classes that can only flip rows that
+//!   sit near a cluster boundary, so the property demands ≥ 95% label
+//!   agreement (under the best cluster relabeling) with the `f64` fit
+//!   rather than bit equality — and a deterministic companion test pins
+//!   exact agreement on a cleanly separated workload.
+//!
+//! Driven by `tscheck`: rerun a failing case with
+//! `TSCHECK_SEED=0x... cargo test --test scale`.
+
+use kshape::{fit_store, KShapeOptions};
+use tsdata::corrupt::{corrupt_bytes, ByteFault};
+use tsdata::generators::cbf;
+use tsdata::normalize::z_normalize_in_place;
+use tsdata::store::{ElemType, SeriesStore, SeriesView, SpillConfig};
+use tserror::TsError;
+use tsrand::StdRng;
+
+/// Class-major z-normalized CBF rows: `per` series of each of the 3
+/// classes, in class order.
+fn cbf_rows(per: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(3 * per);
+    for class in 0..3 {
+        for _ in 0..per {
+            let mut s = cbf::generate_one(class, m, &mut rng);
+            z_normalize_in_place(&mut s);
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// A fresh spill directory unique to this test case.
+fn spill_dir(tag: &str, case: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("scale_it_{tag}_{}_{case:016x}", std::process::id()))
+}
+
+/// Fraction of rows on which two labelings agree under the best of the
+/// six relabelings of three clusters.
+fn best_agreement_k3(a: &[usize], b: &[usize]) -> f64 {
+    const PERMS: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    let n = a.len();
+    let mut best = 0usize;
+    for perm in PERMS {
+        let hits = a
+            .iter()
+            .zip(b.iter())
+            .filter(|&(&x, &y)| perm[x] == y)
+            .count();
+        best = best.max(hits);
+    }
+    best as f64 / n as f64
+}
+
+tscheck::props! {
+    #[cases(16)]
+    fn corrupted_spill_segments_surface_typed_errors(g) {
+        let m = g.usize_in(8..24);
+        let per_seg = g.usize_in(2..5);
+        let n = g.usize_in(3 * per_seg..6 * per_seg);
+        let mut rng = StdRng::seed_from_u64(g.u64_in(0..u64::MAX));
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut s = cbf::generate_one(i % 3, m.max(8), &mut rng);
+                z_normalize_in_place(&mut s);
+                s
+            })
+            .collect();
+        let m = rows[0].len();
+
+        let dir = spill_dir("chaos", g.case_seed());
+        let mut store = SeriesStore::spilled(
+            m,
+            ElemType::F64,
+            SpillConfig::new(&dir).rows_per_segment(per_seg).resident_segments(1),
+        )
+        .expect("spill tier");
+        for row in &rows {
+            store.push_row(row).expect("clean push");
+        }
+        let paths = store.spill_segment_paths();
+        assert!(paths.len() >= 2, "need several sealed segments");
+
+        // Warm pass: every row reads back clean before corruption.
+        let mut scratch = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let got = store.try_row(i, &mut scratch).expect("clean read");
+            assert_eq!(got, row.as_slice());
+        }
+
+        // Fault one sealed segment on disk.
+        let target = g.usize_in(0..paths.len());
+        let kind = ByteFault::ALL[g.usize_in(0..ByteFault::ALL.len())];
+        let clean_bytes = std::fs::read(&paths[target]).expect("read segment");
+        let mut bytes = clean_bytes.clone();
+        corrupt_bytes(&mut bytes, kind, &mut rng);
+        let changed = bytes != clean_bytes;
+        std::fs::write(&paths[target], &bytes).expect("write fault");
+
+        // Evict the target from the one-segment resident window by
+        // touching a row that lives in a different segment.
+        let other_seg = (target + 1) % paths.len();
+        let _ = store.try_row(other_seg * per_seg, &mut scratch);
+
+        // Contract: every read is Ok-with-clean-bits or a typed
+        // CorruptData — never a panic, never a garbage row.
+        let mut saw_corrupt = false;
+        for (i, row) in rows.iter().enumerate() {
+            match store.try_row(i, &mut scratch) {
+                Ok(got) => assert_eq!(got, row.as_slice(), "garbage row {i} after {kind:?}"),
+                Err(TsError::CorruptData { .. }) => saw_corrupt = true,
+                Err(other) => panic!("row {i}: expected CorruptData, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            saw_corrupt, changed,
+            "{kind:?} changed bytes: {changed}, but corrupt reads: {saw_corrupt}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cases(8)]
+    fn f32_and_f64_fits_agree_on_separated_cbf(g) {
+        let per = g.usize_in(8..14);
+        let m = g.usize_in(32..64);
+        let rows = cbf_rows(per, m, g.u64_in(0..1 << 32));
+        let wide = SeriesStore::from_rows(&rows, ElemType::F64).expect("f64 store");
+        let narrow = SeriesStore::from_rows(&rows, ElemType::F32).expect("f32 store");
+
+        let opts = KShapeOptions::new(3)
+            .with_seed(g.u64_in(0..1 << 16))
+            .with_max_iter(30);
+        let a = fit_store(&wide, &opts).expect("f64 fit");
+        let b = fit_store(&narrow, &opts).expect("f32 fit");
+
+        let agreement = best_agreement_k3(&a.labels, &b.labels);
+        assert!(
+            agreement >= 0.95,
+            "f32 narrowing moved {:.1}% of labels (tolerance: 5%)",
+            (1.0 - agreement) * 100.0
+        );
+    }
+}
+
+/// Deterministic companion to the property above: on a cleanly separated
+/// workload (three crisp shape classes, mild phase jitter) the `f32` and
+/// `f64` fits must agree exactly, not just within tolerance.
+#[test]
+fn f32_and_f64_fits_are_identical_on_crisp_classes() {
+    let m = 48usize;
+    let mut rows = Vec::new();
+    for s in 0..8usize {
+        let up: Vec<f64> = (0..m).map(|i| ((i + s) % m) as f64).collect();
+        let down: Vec<f64> = (0..m).map(|i| (m - 1 - (i + s) % m) as f64).collect();
+        let spike: Vec<f64> = (0..m)
+            .map(|i| if (i + s) % m == m / 2 { 5.0 } else { 0.0 })
+            .collect();
+        for raw in [up, down, spike] {
+            let mut z = raw;
+            z_normalize_in_place(&mut z);
+            rows.push(z);
+        }
+    }
+    let wide = SeriesStore::from_rows(&rows, ElemType::F64).expect("f64 store");
+    let narrow = SeriesStore::from_rows(&rows, ElemType::F32).expect("f32 store");
+    let opts = KShapeOptions::new(3).with_seed(11).with_max_iter(50);
+    let a = fit_store(&wide, &opts).expect("f64 fit");
+    let b = fit_store(&narrow, &opts).expect("f32 fit");
+    assert_eq!(a.labels, b.labels);
+    assert!(a.converged && b.converged);
+}
