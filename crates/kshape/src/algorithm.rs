@@ -14,7 +14,7 @@
 //! paper) is reached. Complexity per iteration is
 //! `O(max{n·k·m·log m, n·m², k·m³})`, linear in the number of series `n`.
 
-use tserror::{ensure_k, validate_series_set, StopReason, TsError, TsResult};
+use tserror::{ensure_k, validate_series_set, StopReason, TsResult};
 use tsobs::{IterationEvent, Obs, Recorder};
 use tsrand::StdRng;
 use tsrun::{Budget, CancelToken, RunControl};
@@ -41,6 +41,14 @@ pub struct KShapeConfig {
     /// Results are bit-identical for every value — see
     /// [`crate::spectra`] for the determinism contract.
     pub threads: usize,
+    /// Channels per series sample frame. `1` (the default) is the
+    /// classic univariate fit. For `channels > 1` each input row holds
+    /// `channels · m` samples channel-major (all of channel 0, then
+    /// channel 1, …) and SBD becomes the summed per-channel NCC with one
+    /// shared alignment shift; the fit routes through the shape-aware
+    /// [`crate::outofcore::fit_store`] engine, which supports
+    /// [`InitStrategy::Random`] only.
+    pub channels: usize,
 }
 
 impl Default for KShapeConfig {
@@ -52,12 +60,14 @@ impl Default for KShapeConfig {
             init: InitStrategy::Random,
             eigen: EigenMethod::Full,
             threads: 0,
+            channels: 1,
         }
     }
 }
 
 /// Unified options for [`KShape::fit_with`] — the single entry point
-/// that replaces the `fit` / `try_fit` / `try_fit_with_control` triplet.
+/// (the historical `fit` / `try_fit` / `try_fit_with_control` triplet
+/// has been removed).
 ///
 /// Algorithm knobs mirror [`KShapeConfig`]; execution control
 /// ([`Budget`], [`CancelToken`]) and telemetry ([`Recorder`]) ride along
@@ -148,6 +158,15 @@ impl<'a> KShapeOptions<'a> {
         self
     }
 
+    /// Sets the channel count per series (see
+    /// [`KShapeConfig::channels`]). Rows must hold `channels · m`
+    /// channel-major samples.
+    #[must_use]
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.config.channels = channels;
+        self
+    }
+
     /// Attaches an execution budget.
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> Self {
@@ -226,45 +245,35 @@ impl KShape {
         &self.config
     }
 
-    /// Clusters `series` into `k` groups (Algorithm 3).
-    ///
-    /// Inputs are expected to be z-normalized (the paper z-normalizes all
-    /// data up front); the algorithm still works on raw data because SBD
-    /// itself is scale invariant, but centroids assume centered members.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `series` is empty, ragged, contains non-finite samples,
-    /// or `k` is 0 or exceeds the number of series. Use
-    /// [`KShape::fit_with`] to receive these conditions as typed
-    /// [`TsError`]s instead.
-    #[deprecated(since = "0.1.0", note = "use KShape::fit_with with KShapeOptions")]
-    #[must_use]
-    pub fn fit(&self, series: &[Vec<f64>]) -> KShapeResult {
-        self.fit_core(series, &RunControl::unlimited(), Obs::none())
-            .unwrap_or_else(|e| panic!("{e}"))
-            .0
-    }
-
     /// Clusters `series` under a unified options object (Algorithm 3) —
-    /// the single entry point replacing the deprecated
-    /// [`KShape::fit`] / [`KShape::try_fit`] /
-    /// [`KShape::try_fit_with_control`] triplet.
+    /// the single entry point (the historical `fit` / `try_fit` /
+    /// `try_fit_with_control` triplet has been removed).
     ///
-    /// Unlike `try_fit`, hitting the iteration cap is *not* an error
-    /// here: the returned [`KShapeResult`] carries `converged: false`
-    /// and the best-effort labeling, which is what nearly every caller
-    /// of the old API reconstructed from the [`TsError::NotConverged`]
-    /// payload anyway.
+    /// Hitting the iteration cap is *not* an error: the returned
+    /// [`KShapeResult`] carries `converged: false` and the best-effort
+    /// labeling.
+    ///
+    /// With [`KShapeConfig::channels`]` > 1` each row holds
+    /// `channels · m` channel-major samples and the fit runs through the
+    /// shape-aware out-of-core engine under the summed per-channel NCC.
     ///
     /// # Errors
     ///
     /// * [`TsError::EmptyInput`], [`TsError::LengthMismatch`], or
-    ///   [`TsError::NonFinite`] for malformed `series`;
+    ///   [`TsError::NonFinite`] for malformed `series` (for multichannel
+    ///   fits, a row length not divisible by `channels` is a
+    ///   [`TsError::LengthMismatch`]);
     /// * [`TsError::InvalidK`] unless `1 <= k <= series.len()`;
+    /// * [`TsError::NumericalFailure`] for a multichannel fit with an
+    ///   initialization other than [`InitStrategy::Random`];
     /// * [`TsError::Stopped`] when the options' budget trips or the
     ///   token is cancelled (carrying the best labeling so far).
     pub fn fit_with(series: &[Vec<f64>], opts: &KShapeOptions<'_>) -> TsResult<KShapeResult> {
+        if opts.config.channels != 1 {
+            validate_series_set(series)?;
+            let view = tsdata::store::ChannelView::new(series, opts.config.channels)?;
+            return crate::outofcore::fit_store(&view, opts);
+        }
         let ctrl = opts.control();
         let obs = opts.obs();
         let (result, _shifted) = KShape::new(opts.config).fit_core(series, &ctrl, obs)?;
@@ -272,70 +281,9 @@ impl KShape {
         Ok(result)
     }
 
-    /// Fallible variant of [`KShape::fit`]: validates the input once up
-    /// front and never panics.
-    ///
-    /// # Errors
-    ///
-    /// * [`TsError::EmptyInput`], [`TsError::LengthMismatch`], or
-    ///   [`TsError::NonFinite`] for malformed `series`;
-    /// * [`TsError::InvalidK`] unless `1 <= k <= series.len()`;
-    /// * [`TsError::NotConverged`] when memberships are still changing at
-    ///   `max_iter` — the error carries the final labeling, the iteration
-    ///   count, and how many series shifted cluster in the last iteration,
-    ///   so callers can still consume the best-effort result.
-    #[deprecated(since = "0.1.0", note = "use KShape::fit_with with KShapeOptions")]
-    pub fn try_fit(&self, series: &[Vec<f64>]) -> TsResult<KShapeResult> {
-        let (result, shifted) = self.fit_core(series, &RunControl::unlimited(), Obs::none())?;
-        if result.converged {
-            Ok(result)
-        } else {
-            Err(TsError::NotConverged {
-                labels: result.labels,
-                iterations: result.iterations,
-                shifted,
-            })
-        }
-    }
-
-    /// Budget- and cancellation-aware variant of [`KShape::try_fit`].
-    ///
-    /// The refinement loop polls `ctrl` once per outer iteration
-    /// ([`RunControl::check_iteration`]) and charges cost proportional to
-    /// the SBD work of every assignment sweep, so a wall-clock deadline is
-    /// detected mid-fit rather than after the fact.
-    ///
-    /// # Errors
-    ///
-    /// Everything [`KShape::try_fit`] reports, plus
-    /// [`TsError::Stopped`] carrying the best labeling so far, the
-    /// iterations completed, and the [`tserror::StopReason`] when the
-    /// budget trips or the token is cancelled.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use KShape::fit_with with KShapeOptions { budget, cancel, .. }"
-    )]
-    pub fn try_fit_with_control(
-        &self,
-        series: &[Vec<f64>],
-        ctrl: &RunControl,
-    ) -> TsResult<KShapeResult> {
-        let (result, shifted) = self.fit_core(series, ctrl, Obs::none())?;
-        if result.converged {
-            Ok(result)
-        } else {
-            Err(TsError::NotConverged {
-                labels: result.labels,
-                iterations: result.iterations,
-                shifted,
-            })
-        }
-    }
-
-    /// Validated k-Shape refinement loop shared by [`KShape::fit_with`]
-    /// and the deprecated wrappers. Returns the result plus the number of
-    /// series that changed cluster in the final iteration (0 when
-    /// converged).
+    /// Validated k-Shape refinement loop behind [`KShape::fit_with`].
+    /// Returns the result plus the number of series that changed cluster
+    /// in the final iteration (0 when converged).
     ///
     /// Telemetry contract: everything recorded through `obs` is
     /// read-only — an armed recorder never changes labels, centroids, or
@@ -898,6 +846,30 @@ mod tests {
                 series: 0,
                 index: 1
             })
+        ));
+    }
+
+    #[test]
+    fn fit_with_channels_clusters_channel_major_rows() {
+        let (series, truth) = two_class_data();
+        let rows: Vec<Vec<f64>> = series.iter().map(|s| s.repeat(2)).collect();
+        let opts = KShapeOptions::new(2).with_seed(7).with_channels(2);
+        let fit = KShape::fit_with(&rows, &opts).expect("multichannel fit");
+        let direct = fit.labels.iter().zip(truth.iter()).all(|(a, b)| a == b);
+        let flipped = fit
+            .labels
+            .iter()
+            .zip(truth.iter())
+            .all(|(a, b)| *a == 1 - *b);
+        assert!(direct || flipped, "labels {:?}", fit.labels);
+        for c in &fit.centroids {
+            assert_eq!(c.len(), 2 * 64);
+        }
+        // A row length not divisible by the channel count is a typed error.
+        let bad = vec![vec![0.0; 63]; 4];
+        assert!(matches!(
+            KShape::fit_with(&bad, &KShapeOptions::new(2).with_channels(2)),
+            Err(tserror::TsError::LengthMismatch { .. })
         ));
     }
 

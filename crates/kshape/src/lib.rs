@@ -44,8 +44,12 @@
 //! ```
 //!
 //! Budgets, cancellation, and telemetry all ride on the same options
-//! object (see [`KShapeOptions`]); the `fit` / `try_fit` /
-//! `try_fit_with_control` triplet is deprecated in its favor.
+//! object (see [`KShapeOptions`]), which is the only fit entry point —
+//! the legacy `fit` / `try_fit` / `try_fit_with_control` triplet has
+//! been removed. Distances follow the same convention through
+//! [`Sbd::distance`] with [`SbdOptions`], which dispatches equal-length,
+//! unequal-length, rescaled, and multichannel (summed per-channel NCC)
+//! SBD from one call.
 
 #![warn(missing_docs)]
 
@@ -64,7 +68,7 @@ pub mod validity;
 pub use algorithm::{KShape, KShapeConfig, KShapeOptions, KShapeResult};
 pub use extraction::{shape_extraction, try_shape_extraction, GramAccumulator};
 pub use outofcore::{assign_store, fit_store};
-pub use sbd::{sbd, try_sbd, CacheStats, Sbd, SbdResult};
+pub use sbd::{sbd, try_sbd, CacheStats, Sbd, SbdOptions, SbdResult};
 pub use spectra::SpectraEngine;
 pub use stream::{
     Assignment, Decay, DriftConfig, PushOutcome, QuarantineReason, ReseedFit, ReseedRequest,

@@ -17,7 +17,7 @@ use crate::algorithm::{KShape, KShapeConfig, KShapeResult};
 /// # Panics
 ///
 /// Panics if `n_restarts == 0` or on invalid clustering input (see
-/// [`KShape::fit`]).
+/// [`KShape::fit_with`]).
 #[must_use]
 pub fn fit_restarts(
     config: &KShapeConfig,
@@ -37,7 +37,7 @@ pub fn fit_restarts(
 /// # Errors
 ///
 /// [`TsError::EmptyInput`] when `n_restarts == 0`, plus every validation
-/// error of [`KShape::try_fit`].
+/// error of [`KShape::fit_with`].
 pub fn try_fit_restarts(
     config: &KShapeConfig,
     series: &[Vec<f64>],

@@ -47,6 +47,7 @@ use tsdata::distort::shift_zero_pad_into;
 use tsdata::normalize::z_normalize;
 use tsdata::store::SeriesView;
 use tserror::{ensure_k, TsError, TsResult};
+use tsfft::correlate::autocorr0;
 use tsobs::IterationEvent;
 use tsrand::StdRng;
 use tsrun::RunControl;
@@ -55,16 +56,22 @@ use crate::algorithm::{l2_delta_sq, KShapeOptions, KShapeResult};
 use crate::extraction::GramAccumulator;
 use crate::init::{random_assignment, InitStrategy};
 use crate::sbd::{PreparedSeries, SbdPlan, SbdScratch};
+use crate::sbd_unequal::{place_into_frame, unequal_dist_shift};
 
 /// Clusters the rows of `view` into `k` groups with working memory
 /// independent of the row count — the out-of-core counterpart of
 /// [`crate::KShape::fit_with`].
 ///
 /// Accepts any [`SeriesView`]: a resident or spilled
-/// [`SeriesStore`](tsdata::store::SeriesStore) (either element width) or
-/// a `[Vec<f64>]` slice. Budget, cancellation, and telemetry ride on the
-/// same [`KShapeOptions`] as the in-memory fit; cost is charged at the
-/// same `k·m` rate per row so a deadline trips mid-sweep.
+/// [`SeriesStore`](tsdata::store::SeriesStore) (either element width), a
+/// `[Vec<f64>]` slice, a multichannel
+/// [`ChannelView`](tsdata::store::ChannelView) (rows clustered under
+/// summed per-channel NCC with one shared shift), or a variable-length
+/// [`RaggedStore`](tsdata::store::RaggedStore) (rows compared to the
+/// max-length centroid frame through the unequal-length SBD of paper
+/// footnote 3). Budget, cancellation, and telemetry ride on the same
+/// [`KShapeOptions`] as the in-memory fit; cost is charged at the same
+/// `k·channels·m` rate per row so a deadline trips mid-sweep.
 ///
 /// # Errors
 ///
@@ -73,7 +80,8 @@ use crate::sbd::{PreparedSeries, SbdPlan, SbdScratch};
 /// * [`TsError::NumericalFailure`] for
 ///   [`InitStrategy::PlusPlus`] — the k-shape++ seeding needs the full
 ///   in-memory spectrum cache, which is the one thing this path exists
-///   to avoid;
+///   to avoid — and for views reporting zero channels or combining
+///   ragged rows with multiple channels;
 /// * [`TsError::Stopped`] when the budget trips or the token cancels
 ///   (carrying the best labeling so far);
 /// * [`TsError::CorruptData`] if a spilled segment fails validation
@@ -98,23 +106,37 @@ pub fn fit_store<V: SeriesView + ?Sized>(
                 .into(),
         });
     }
+    if view.is_ragged() {
+        return fit_store_ragged(view, opts);
+    }
+    let c = view.channels();
+    if c == 0 {
+        return Err(TsError::NumericalFailure {
+            context: "view reports zero channels".into(),
+        });
+    }
     let k = cfg.k;
     let fit_span = obs.span("kshape.ooc.fit");
     let plan = SbdPlan::new(m);
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut labels = random_assignment(n, k, &mut rng);
-    let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; k];
-    let mut grams: Vec<GramAccumulator> = (0..k).map(|_| GramAccumulator::new(m)).collect();
+    // Centroids are channel-major (`c·m` samples); each (cluster,
+    // channel) pair accumulates its own `m×m` Gram because the shared
+    // winning shift aligns every channel but the Rayleigh extraction is
+    // per channel.
+    let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; c * m]; k];
+    let mut grams: Vec<GramAccumulator> = (0..k * c).map(|_| GramAccumulator::new(m)).collect();
     let mut dists = vec![0.0f64; n];
 
     // Every per-row buffer is hoisted out of the sweep: the row staging
-    // area, the FFT scratch, the prepared-spectrum slot, and the aligned
-    // copy. The assignment loop below allocates nothing.
+    // area, the FFT scratch, the prepared-spectrum slots (one per
+    // channel), and the aligned copy. The assignment loop below
+    // allocates nothing.
     let mut row_scratch: Vec<f64> = Vec::new();
     let mut fft_scratch = Vec::new();
     let mut sbd_scratch = SbdScratch::default();
-    let mut prepared = PreparedSeries::empty();
+    let mut prepared: Vec<PreparedSeries> = (0..c).map(|_| PreparedSeries::empty()).collect();
     let mut aligned = vec![0.0f64; m];
 
     // Pass 0: fold every row, unaligned, into its initial cluster's Gram.
@@ -122,7 +144,9 @@ pub fn fit_store<V: SeriesView + ?Sized>(
     // same rule the in-memory first refinement applies.
     for (i, &label) in labels.iter().enumerate() {
         let row = view.try_row(i, &mut row_scratch)?;
-        grams[label].push_aligned(row);
+        for (ch, chunk) in row.chunks_exact(m).enumerate() {
+            grams[label * c + ch].push_aligned(chunk);
+        }
     }
 
     let mut iterations = 0usize;
@@ -145,11 +169,11 @@ pub fn fit_store<V: SeriesView + ?Sized>(
 
         // ----- Refinement: extract centroids from the Grams. -----
         let refine_span = obs.span("kshape.ooc.refinement");
-        for (j, gram) in grams.iter().enumerate() {
+        for j in 0..k {
             if let Err(reason) = ctrl.poll() {
                 return Err(RunControl::stop_error(labels, iterations - 1, reason));
             }
-            let next = if gram.count() == 0 {
+            let next = if grams[j * c].count() == 0 {
                 // Re-seed an empty cluster with the row currently
                 // worst-served by its own centroid.
                 let worst = dists
@@ -160,16 +184,28 @@ pub fn fit_store<V: SeriesView + ?Sized>(
                 labels[worst] = j;
                 obs.counter("kshape.empty_cluster_reseeds", 1);
                 let row = view.try_row(worst, &mut row_scratch)?;
-                Some(z_normalize(row))
-            } else {
-                let next = gram.extract(cfg.eigen);
-                if let Err(reason) = ctrl.charge((gram.count() * m + m * m) as u64) {
-                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
+                let mut seeded = Vec::with_capacity(c * m);
+                for chunk in row.chunks_exact(m) {
+                    seeded.extend_from_slice(&z_normalize(chunk));
                 }
-                // None = degenerate eigenvector: keep the previous
-                // centroid (the documented divergence from the
-                // in-memory SBD-medoid fallback).
-                next
+                Some(seeded)
+            } else {
+                let mut parts: Vec<f64> = Vec::with_capacity(c * m);
+                let mut complete = true;
+                for gram in &grams[j * c..(j + 1) * c] {
+                    let part = gram.extract(cfg.eigen);
+                    if let Err(reason) = ctrl.charge((gram.count() * m + m * m) as u64) {
+                        return Err(RunControl::stop_error(labels, iterations - 1, reason));
+                    }
+                    match part {
+                        Some(v) => parts.extend_from_slice(&v),
+                        None => complete = false,
+                    }
+                }
+                // None = degenerate eigenvector (in any channel): keep
+                // the previous centroid (the documented divergence from
+                // the in-memory SBD-medoid fallback).
+                complete.then_some(parts)
             };
             if let Some(next) = next {
                 if let Some(d) = deltas.as_deref_mut() {
@@ -182,9 +218,193 @@ pub fn fit_store<V: SeriesView + ?Sized>(
 
         // ----- Fused assignment sweep: one streaming row pass. -----
         let assign_span = obs.span("kshape.ooc.assignment");
+        // Channel-major centroid spectra: `cents[j*c..(j+1)*c]` is
+        // cluster j, matching the per-channel layout of `prepared`.
         let cents: Vec<PreparedSeries> = centroids
             .iter()
-            .map(|c| plan.prepare_with(c, &mut fft_scratch))
+            .flat_map(|cent| cent.chunks_exact(m))
+            .map(|chunk| plan.prepare_with(chunk, &mut fft_scratch))
+            .collect();
+        obs.counter("sbd.spectra.centroid_ffts", (k * c) as u64);
+        for gram in &mut grams {
+            gram.clear();
+        }
+        let mut changed = 0usize;
+        let pair_cost = (k * c * m) as u64;
+        for i in 0..n {
+            if let Err(reason) = ctrl.charge(pair_cost) {
+                return Err(RunControl::stop_error(labels, iterations - 1, reason));
+            }
+            let row = view.try_row(i, &mut row_scratch)?;
+            for (ch, chunk) in row.chunks_exact(m).enumerate() {
+                plan.prepare_into(chunk, &mut prepared[ch], &mut fft_scratch);
+            }
+            let mut best = f64::INFINITY;
+            let mut best_j = 0usize;
+            let mut best_shift = 0isize;
+            for j in 0..k {
+                // x = centroid, y = series: the shift aligns the row
+                // *toward* the centroid, which is exactly what the Gram
+                // it is about to join needs.
+                let (d, s) =
+                    plan.sbd_spectra_multi(&cents[j * c..(j + 1) * c], &prepared, &mut sbd_scratch);
+                if d < best {
+                    best = d;
+                    best_j = j;
+                    best_shift = s;
+                }
+            }
+            if labels[i] != best_j {
+                changed += 1;
+                labels[i] = best_j;
+            }
+            dists[i] = best;
+            for (ch, chunk) in row.chunks_exact(m).enumerate() {
+                shift_zero_pad_into(chunk, best_shift, &mut aligned);
+                grams[best_j * c + ch].push_aligned(&aligned);
+            }
+        }
+        obs.counter("sbd.spectra.series_ffts", (n * c) as u64);
+        obs.counter("sbd.spectra.pair_sweeps", (n * k) as u64);
+        assign_span.end();
+        if obs.is_armed() {
+            let inertia_now: f64 = dists.iter().map(|d| d * d).sum();
+            let shift = deltas
+                .as_deref()
+                .map_or(f64::NAN, |d| d.iter().sum::<f64>().sqrt());
+            obs.iteration(&IterationEvent {
+                algorithm: "kshape-ooc",
+                iter: iterations - 1,
+                inertia: inertia_now,
+                moved: changed,
+                centroid_shift: shift,
+            });
+        }
+        if changed == 0 {
+            converged = true;
+            break;
+        }
+    }
+    obs.counter("kshape.iterations", iterations as u64);
+    fit_span.end();
+    ctrl.report_cost(obs);
+
+    let inertia = dists.iter().map(|d| d * d).sum();
+    Ok(KShapeResult {
+        labels,
+        centroids,
+        iterations,
+        converged,
+        inertia,
+    })
+}
+
+/// The variable-length counterpart of [`fit_store`]: rows keep their
+/// native lengths and are compared to a shared max-length centroid frame
+/// through the unequal-length SBD (paper footnote 3).
+///
+/// The centroid frame is `m_ref = view.series_len()` — the view's
+/// declared maximum row length — and one [`SbdPlan`] sized for `m_ref`
+/// serves every pair, so the padded FFT covers the full `m_ref + len − 1`
+/// lag range of any row. A row's winning alignment places it *into* the
+/// frame at the winning offset (zero-filled elsewhere), which is exactly
+/// the member matrix the frame-sized Gram wants, so refinement is
+/// unchanged from the fixed-length path.
+fn fit_store_ragged<V: SeriesView + ?Sized>(
+    view: &V,
+    opts: &KShapeOptions<'_>,
+) -> TsResult<KShapeResult> {
+    let ctrl = opts.control();
+    let obs = opts.obs();
+    let cfg = &opts.config;
+    let n = view.n_series();
+    let m = view.series_len();
+    if view.channels() != 1 {
+        return Err(TsError::NumericalFailure {
+            context: "ragged multichannel views are unsupported: pad rows to a fixed \
+                      length before stacking channels"
+                .into(),
+        });
+    }
+    let k = cfg.k;
+    let fit_span = obs.span("kshape.ooc.fit");
+    let plan = SbdPlan::new(m);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut labels = random_assignment(n, k, &mut rng);
+    let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; k];
+    let mut grams: Vec<GramAccumulator> = (0..k).map(|_| GramAccumulator::new(m)).collect();
+    let mut dists = vec![0.0f64; n];
+
+    let mut row_scratch: Vec<f64> = Vec::new();
+    let mut sbd_scratch = SbdScratch::default();
+    let mut cc: Vec<f64> = Vec::new();
+    let mut aligned = vec![0.0f64; m];
+
+    // Pass 0: each row enters its initial cluster's Gram left-anchored
+    // and zero-padded to the reference frame — the ragged analogue of
+    // the unaligned first fold.
+    for (i, &label) in labels.iter().enumerate() {
+        let row = view.try_row(i, &mut row_scratch)?;
+        place_into_frame(row, 0, &mut aligned);
+        grams[label].push_aligned(&aligned);
+    }
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut deltas = if obs.is_armed() {
+        Some(vec![0.0f64; k])
+    } else {
+        None
+    };
+    while iterations < cfg.max_iter {
+        if let Err(reason) = ctrl.check_iteration(iterations) {
+            return Err(RunControl::stop_error(labels, iterations, reason));
+        }
+        iterations += 1;
+        if let Some(d) = deltas.as_deref_mut() {
+            d.fill(0.0);
+        }
+
+        // ----- Refinement: identical to the fixed-length path. -----
+        let refine_span = obs.span("kshape.ooc.refinement");
+        for (j, gram) in grams.iter().enumerate() {
+            if let Err(reason) = ctrl.poll() {
+                return Err(RunControl::stop_error(labels, iterations - 1, reason));
+            }
+            let next = if gram.count() == 0 {
+                let worst = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map_or(0, |(i, _)| i);
+                labels[worst] = j;
+                obs.counter("kshape.empty_cluster_reseeds", 1);
+                let row = view.try_row(worst, &mut row_scratch)?;
+                let mut seeded = vec![0.0; m];
+                place_into_frame(&z_normalize(row), 0, &mut seeded);
+                Some(seeded)
+            } else {
+                let next = gram.extract(cfg.eigen);
+                if let Err(reason) = ctrl.charge((gram.count() * m + m * m) as u64) {
+                    return Err(RunControl::stop_error(labels, iterations - 1, reason));
+                }
+                next
+            };
+            if let Some(next) = next {
+                if let Some(d) = deltas.as_deref_mut() {
+                    d[j] = l2_delta_sq(&centroids[j], &next);
+                }
+                centroids[j] = next;
+            }
+        }
+        refine_span.end();
+
+        // ----- Assignment: unequal-length SBD against the frame. -----
+        let assign_span = obs.span("kshape.ooc.assignment");
+        let cents: Vec<(PreparedSeries, f64)> = centroids
+            .iter()
+            .map(|cent| (plan.prepare_padded(cent), autocorr0(cent)))
             .collect();
         obs.counter("sbd.spectra.centroid_ffts", k as u64);
         for gram in &mut grams {
@@ -197,15 +417,25 @@ pub fn fit_store<V: SeriesView + ?Sized>(
                 return Err(RunControl::stop_error(labels, iterations - 1, reason));
             }
             let row = view.try_row(i, &mut row_scratch)?;
-            plan.prepare_into(row, &mut prepared, &mut fft_scratch);
+            let ny = row.len();
+            let y_r0 = autocorr0(row);
+            let py = plan.prepare_padded(row);
             let mut best = f64::INFINITY;
             let mut best_j = 0usize;
             let mut best_shift = 0isize;
-            for (j, c) in cents.iter().enumerate() {
-                // x = centroid, y = series: the shift aligns the row
-                // *toward* the centroid, which is exactly what the Gram
-                // it is about to join needs.
-                let (d, s) = plan.sbd_spectra(c, &prepared, &mut sbd_scratch);
+            for (j, (px, x_r0)) in cents.iter().enumerate() {
+                // x = centroid (full frame), y = the native-length row.
+                let (d, s) = unequal_dist_shift(
+                    &plan,
+                    px,
+                    m,
+                    *x_r0,
+                    &py,
+                    ny,
+                    y_r0,
+                    &mut cc,
+                    &mut sbd_scratch,
+                );
                 if d < best {
                     best = d;
                     best_j = j;
@@ -217,7 +447,7 @@ pub fn fit_store<V: SeriesView + ?Sized>(
                 labels[i] = best_j;
             }
             dists[i] = best;
-            shift_zero_pad_into(row, best_shift, &mut aligned);
+            place_into_frame(row, best_shift, &mut aligned);
             grams[best_j].push_aligned(&aligned);
         }
         obs.counter("sbd.spectra.series_ffts", n as u64);
@@ -266,11 +496,19 @@ pub fn fit_store<V: SeriesView + ?Sized>(
 /// [`crate::SpectraEngine`]'s cached `assign` on the same rows and
 /// centroids.
 ///
+/// Multichannel views dispatch through the summed per-channel NCC
+/// (centroids must hold `channels·m` channel-major samples); ragged
+/// views compare each native-length row to the max-length centroid
+/// frame through the unequal-length SBD.
+///
 /// # Errors
 ///
 /// * [`TsError::EmptyInput`] for no rows or no centroids;
 /// * [`TsError::LengthMismatch`] when `labels`/`dists` lengths differ
-///   from the row count, or a centroid's length differs from the view's;
+///   from the row count, or a centroid's sample count differs from the
+///   view's `channels·m`;
+/// * [`TsError::NumericalFailure`] for views reporting zero channels or
+///   combining ragged rows with multiple channels;
 /// * [`TsError::CorruptData`] if a spilled segment fails validation
 ///   mid-stream.
 pub fn assign_store<V: SeriesView + ?Sized>(
@@ -284,6 +522,15 @@ pub fn assign_store<V: SeriesView + ?Sized>(
     if n == 0 || m == 0 || centroids.is_empty() {
         return Err(TsError::EmptyInput);
     }
+    let ragged = view.is_ragged();
+    let c = view.channels();
+    if c == 0 || (ragged && c != 1) {
+        return Err(TsError::NumericalFailure {
+            context: "view must report at least one channel, and ragged views are \
+                      single-channel"
+                .into(),
+        });
+    }
     for found in [labels.len(), dists.len()] {
         if found != n {
             return Err(TsError::LengthMismatch {
@@ -293,32 +540,75 @@ pub fn assign_store<V: SeriesView + ?Sized>(
             });
         }
     }
-    for (j, c) in centroids.iter().enumerate() {
-        if c.len() != m {
+    for (j, cent) in centroids.iter().enumerate() {
+        if cent.len() != c * m {
             return Err(TsError::LengthMismatch {
-                expected: m,
-                found: c.len(),
+                expected: c * m,
+                found: cent.len(),
                 series: j,
             });
         }
     }
     let plan = SbdPlan::new(m);
-    let mut fft_scratch = Vec::new();
     let mut sbd_scratch = SbdScratch::default();
     let mut row_scratch: Vec<f64> = Vec::new();
-    let mut prepared = PreparedSeries::empty();
+    let mut changed = 0usize;
+    if ragged {
+        let mut cc: Vec<f64> = Vec::new();
+        let cents: Vec<(PreparedSeries, f64)> = centroids
+            .iter()
+            .map(|cent| (plan.prepare_padded(cent), autocorr0(cent)))
+            .collect();
+        for i in 0..n {
+            let row = view.try_row(i, &mut row_scratch)?;
+            let ny = row.len();
+            let y_r0 = autocorr0(row);
+            let py = plan.prepare_padded(row);
+            let mut best = f64::INFINITY;
+            let mut best_j = 0usize;
+            for (j, (px, x_r0)) in cents.iter().enumerate() {
+                let (d, _) = unequal_dist_shift(
+                    &plan,
+                    px,
+                    m,
+                    *x_r0,
+                    &py,
+                    ny,
+                    y_r0,
+                    &mut cc,
+                    &mut sbd_scratch,
+                );
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            if labels[i] != best_j {
+                changed += 1;
+                labels[i] = best_j;
+            }
+            dists[i] = best;
+        }
+        return Ok(changed);
+    }
+    let mut fft_scratch = Vec::new();
+    let mut prepared: Vec<PreparedSeries> = (0..c).map(|_| PreparedSeries::empty()).collect();
     let cents: Vec<PreparedSeries> = centroids
         .iter()
-        .map(|c| plan.prepare_with(c, &mut fft_scratch))
+        .flat_map(|cent| cent.chunks_exact(m))
+        .map(|chunk| plan.prepare_with(chunk, &mut fft_scratch))
         .collect();
-    let mut changed = 0usize;
+    let k = centroids.len();
     for i in 0..n {
         let row = view.try_row(i, &mut row_scratch)?;
-        plan.prepare_into(row, &mut prepared, &mut fft_scratch);
+        for (ch, chunk) in row.chunks_exact(m).enumerate() {
+            plan.prepare_into(chunk, &mut prepared[ch], &mut fft_scratch);
+        }
         let mut best = f64::INFINITY;
         let mut best_j = 0usize;
-        for (j, c) in cents.iter().enumerate() {
-            let (d, _) = plan.sbd_spectra(c, &prepared, &mut sbd_scratch);
+        for j in 0..k {
+            let (d, _) =
+                plan.sbd_spectra_multi(&cents[j * c..(j + 1) * c], &prepared, &mut sbd_scratch);
             if d < best {
                 best = d;
                 best_j = j;
@@ -340,7 +630,7 @@ mod tests {
     use crate::init::InitStrategy;
     use crate::spectra::SpectraEngine;
     use tsdata::normalize::z_normalize;
-    use tsdata::store::{ElemType, SeriesStore, SpillConfig};
+    use tsdata::store::{ChannelView, ElemType, RaggedStore, SeriesStore, SpillConfig};
     use tserror::TsError;
     use tsrun::RunControl;
 
@@ -511,6 +801,106 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert!(changed > 0);
+    }
+
+    #[test]
+    fn one_channel_view_is_bit_identical_to_the_slice_path() {
+        let (series, _) = two_class_data();
+        let opts = KShapeOptions::new(2).with_seed(7);
+        let a = fit_store(&series[..], &opts).expect("slice fit");
+        let view = ChannelView::new(&series[..], 1).expect("view");
+        let b = fit_store(&view, &opts).expect("channel-view fit");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn three_channel_rows_cluster_end_to_end() {
+        let (series, truth) = two_class_data();
+        // Each row stacks its class shape three times channel-major, so
+        // the summed per-channel NCC sees three consistent votes for
+        // the same alignment.
+        let rows: Vec<Vec<f64>> = series.iter().map(|s| s.repeat(3)).collect();
+        let view = ChannelView::new(&rows[..], 3).expect("view");
+        let opts = KShapeOptions::new(2).with_seed(7);
+        let fit = fit_store(&view, &opts).expect("multichannel fit");
+        assert!(agrees(&fit.labels, &truth), "labels {:?}", fit.labels);
+        for c in &fit.centroids {
+            assert_eq!(c.len(), 3 * 64);
+        }
+        // A fresh assignment sweep over the fitted centroids is a fixed
+        // point of the converged fit.
+        let mut labels = fit.labels.clone();
+        let mut dists = vec![0.0f64; rows.len()];
+        let changed = assign_store(&view, &fit.centroids, &mut labels, &mut dists).expect("assign");
+        assert_eq!(changed, 0);
+        assert_eq!(labels, fit.labels);
+    }
+
+    /// Two shape classes at native lengths 48..=62: a narrow bump versus
+    /// a two-period sine, both z-normalized per row.
+    fn ragged_two_class_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for j in 0..8usize {
+            let len = 48 + 2 * j;
+            let a: Vec<f64> = (0..len)
+                .map(|i| (-((i as f64 - 14.0 - 1.5 * j as f64) / 2.5).powi(2)).exp())
+                .collect();
+            let b: Vec<f64> = (0..len)
+                .map(|i| (i as f64 * std::f64::consts::TAU * 2.0 / len as f64).sin())
+                .collect();
+            rows.push(z_normalize(&a));
+            truth.push(0);
+            rows.push(z_normalize(&b));
+            truth.push(1);
+        }
+        (rows, truth)
+    }
+
+    #[test]
+    fn ragged_rows_cluster_end_to_end() {
+        let (rows, truth) = ragged_two_class_data();
+        let store = RaggedStore::from_rows(&rows).expect("store");
+        let opts = KShapeOptions::new(2).with_seed(7);
+        let fit = fit_store(&store, &opts).expect("ragged fit");
+        assert!(fit.converged);
+        assert!(agrees(&fit.labels, &truth), "labels {:?}", fit.labels);
+        for c in &fit.centroids {
+            assert_eq!(c.len(), store.max_len());
+        }
+        let mut labels = fit.labels.clone();
+        let mut dists = vec![0.0f64; rows.len()];
+        let changed =
+            assign_store(&store, &fit.centroids, &mut labels, &mut dists).expect("assign");
+        assert_eq!(changed, 0);
+    }
+
+    #[test]
+    fn ragged_resident_and_spilled_fits_are_bit_identical() {
+        let (rows, _) = ragged_two_class_data();
+        let resident = RaggedStore::from_rows(&rows).expect("resident");
+        let dir = std::env::temp_dir().join(format!("ooc_ragged_spill_{}", std::process::id()));
+        let mut spilled = RaggedStore::spilled(
+            ElemType::F64,
+            SpillConfig::new(&dir)
+                .rows_per_segment(3)
+                .resident_segments(1),
+        )
+        .expect("spill tier");
+        for row in &rows {
+            spilled.push_row(row).expect("push");
+        }
+        let opts = KShapeOptions::new(2).with_seed(7);
+        let a = fit_store(&resident, &opts).expect("resident fit");
+        let b = fit_store(&spilled, &opts).expect("spilled fit");
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+        assert_eq!(a.centroids, b.centroids);
+        assert!(spilled.spill_stats().expect("stats").sealed_segments > 0);
     }
 
     #[test]

@@ -182,6 +182,9 @@ pub struct SbdPlan {
 pub struct SbdScratch {
     corr: Vec<f64>,
     fft: Vec<Complex>,
+    /// Cross-channel correlation accumulator for
+    /// [`SbdPlan::sbd_spectra_multi`].
+    acc: Vec<f64>,
 }
 
 impl SbdPlan {
@@ -410,6 +413,74 @@ impl SbdPlan {
         (1.0 - best / denom, shift)
     }
 
+    /// Multichannel SBD over per-channel cached spectra: the distance is
+    /// `1 − max_w Σ_ch CC_w(x_ch, y_ch) / √(Σ_ch R₀(x_ch) · Σ_ch R₀(y_ch))`
+    /// — summed per-channel cross-correlation under one shared shift,
+    /// normalized by the summed channel energies.
+    ///
+    /// `x` and `y` are per-channel [`PreparedSeries`] slices of equal
+    /// length (one entry per channel, every channel at the plan length).
+    /// With a single channel this dispatches to [`Self::sbd_spectra`], so
+    /// the univariate result is **bit-identical** — the compatibility
+    /// guarantee the shape-aware engines rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel counts differ or are zero.
+    #[must_use]
+    pub fn sbd_spectra_multi(
+        &self,
+        x: &[PreparedSeries],
+        y: &[PreparedSeries],
+        scratch: &mut SbdScratch,
+    ) -> (f64, isize) {
+        assert_eq!(x.len(), y.len(), "channel counts must match");
+        assert!(!x.is_empty(), "at least one channel required");
+        if x.len() == 1 {
+            return self.sbd_spectra(&x[0], &y[0], scratch);
+        }
+        let ex: f64 = x.iter().map(PreparedSeries::energy).sum();
+        let ey: f64 = y.iter().map(PreparedSeries::energy).sum();
+        let denom = (ex * ey).sqrt();
+        if denom == 0.0 {
+            let both_zero = ex == 0.0 && ey == 0.0;
+            return (if both_zero { 0.0 } else { 1.0 }, 0);
+        }
+        scratch.acc.clear();
+        scratch.acc.resize(self.padded, 0.0);
+        for (cx, cy) in x.iter().zip(y.iter()) {
+            scratch.corr.resize(self.padded, 0.0);
+            self.plan.correlate_spectra_into(
+                &cx.spectrum,
+                &cy.spectrum,
+                &mut scratch.corr,
+                &mut scratch.fft,
+            );
+            for (a, &c) in scratch.acc.iter_mut().zip(scratch.corr.iter()) {
+                *a += c;
+            }
+        }
+        // Same unwrapped-lag peak scan and tie-breaking as sbd_spectra,
+        // over the channel-summed correlation.
+        let (m, n) = (self.m, self.padded);
+        let mut best = f64::NEG_INFINITY;
+        let mut best_idx = 0usize;
+        for (i, &v) in scratch.acc[n - (m - 1)..].iter().enumerate() {
+            if v > best {
+                best = v;
+                best_idx = i;
+            }
+        }
+        for (i, &v) in scratch.acc[..m].iter().enumerate() {
+            if v > best {
+                best = v;
+                best_idx = i + (m - 1);
+            }
+        }
+        let shift = best_idx as isize - (m as isize - 1);
+        (1.0 - best / denom, shift)
+    }
+
     /// Raw cross-correlation sequence `CC_w(x, y)` of two prepared series,
     /// written to `out` in unwrapped lag order `−(m−1)..=(m−1)` (length
     /// `2m − 1`) — the batched counterpart of
@@ -600,6 +671,56 @@ impl CacheStats {
     }
 }
 
+/// Shape options for the unified [`Sbd::distance`] entry point, following
+/// the workspace's borrowed-options-object convention
+/// (`KShapeOptions`-style): one struct carries every shape knob, and the
+/// entry dispatches equal-length, unequal-length, rescaled, and
+/// multichannel SBD internally.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SbdOptions {
+    /// Channel count both inputs are interpreted with (channel-major
+    /// layout, see `tsdata::store::RowShape`). Default 1 — univariate.
+    pub channels: usize,
+    /// For univariate inputs of *different* lengths: `true` stretches the
+    /// shorter to the longer with linear interpolation first (the paper's
+    /// Section 2.2 uniform-scaling invariance), `false` (default)
+    /// compares them directly over the padded `nx + ny − 1` lag range.
+    /// Irrelevant when the lengths match.
+    pub rescale: bool,
+}
+
+impl Default for SbdOptions {
+    fn default() -> Self {
+        SbdOptions {
+            channels: 1,
+            rescale: false,
+        }
+    }
+}
+
+impl SbdOptions {
+    /// Univariate defaults (`channels = 1`, no rescaling).
+    #[must_use]
+    pub fn new() -> Self {
+        SbdOptions::default()
+    }
+
+    /// Sets the channel count.
+    #[must_use]
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Enables uniform-scaling rescaling for unequal univariate lengths.
+    #[must_use]
+    pub fn with_rescale(mut self, rescale: bool) -> Self {
+        self.rescale = rescale;
+        self
+    }
+}
+
 /// SBD as a [`Distance`] implementation, pluggable into the generic 1-NN
 /// and clustering machinery.
 ///
@@ -701,6 +822,98 @@ impl Sbd {
             return Ok(plan.sbd_prepared(&plan.prepare(x), y));
         }
         Ok(crate::sbd_unequal::unequal_with_plan(&plan, x, y))
+    }
+
+    /// The unified shape-aware SBD entry point: dispatches equal-length,
+    /// unequal-length (padded lags or uniform-scaling rescale), and
+    /// multichannel SBD from one call, all through the bounded plan
+    /// cache.
+    ///
+    /// With the default [`SbdOptions`] this is exactly the cached
+    /// univariate kernel (bit-identical to [`Sbd::try_sbd_unequal`]).
+    /// With `channels = c > 1`, both inputs are read channel-major
+    /// (`c · m` samples), the distance is the summed per-channel NCC of
+    /// [`SbdPlan::sbd_spectra_multi`], and `aligned` holds `y` with every
+    /// channel shifted by the shared optimal lag.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::EmptyInput`] when either input is empty,
+    /// [`TsError::NonFinite`] on bad samples,
+    /// [`TsError::LengthMismatch`] when a length is not a multiple of
+    /// `channels` or multichannel inputs differ in length, and
+    /// [`TsError::NumericalFailure`] for `channels == 0`.
+    pub fn distance(&self, x: &[f64], y: &[f64], opts: &SbdOptions) -> TsResult<SbdResult> {
+        if opts.channels == 0 {
+            return Err(TsError::NumericalFailure {
+                context: "SbdOptions.channels must be at least 1".into(),
+            });
+        }
+        if x.is_empty() || y.is_empty() {
+            return Err(TsError::EmptyInput);
+        }
+        tserror::ensure_finite(x, 0)?;
+        tserror::ensure_finite(y, 1)?;
+        let c = opts.channels;
+        if c == 1 {
+            if opts.rescale && x.len() != y.len() {
+                // Uniform-scaling invariance: stretch the shorter input,
+                // then compare at equal length through the cached plan.
+                let target = x.len().max(y.len());
+                let stretched;
+                let (xr, yr): (&[f64], &[f64]) = if x.len() == target {
+                    stretched = tsdata::distort::resample(y, target);
+                    (x, &stretched)
+                } else {
+                    stretched = tsdata::distort::resample(x, target);
+                    (&stretched, y)
+                };
+                let plan = self.cached.get_or_insert(target, || SbdPlan::new(target));
+                return Ok(plan.sbd_prepared(&plan.prepare(xr), yr));
+            }
+            let m = x.len().max(y.len());
+            let plan = self.cached.get_or_insert(m, || SbdPlan::new(m));
+            if x.len() == y.len() {
+                return Ok(plan.sbd_prepared(&plan.prepare(x), y));
+            }
+            return Ok(crate::sbd_unequal::unequal_with_plan(&plan, x, y));
+        }
+        if !x.len().is_multiple_of(c) {
+            return Err(TsError::LengthMismatch {
+                expected: c,
+                found: x.len(),
+                series: 0,
+            });
+        }
+        if y.len() != x.len() {
+            return Err(TsError::LengthMismatch {
+                expected: x.len(),
+                found: y.len(),
+                series: 1,
+            });
+        }
+        let m = x.len() / c;
+        let plan = self.cached.get_or_insert(m, || SbdPlan::new(m));
+        let mut fft_scratch = Vec::new();
+        let px: Vec<PreparedSeries> = x
+            .chunks_exact(m)
+            .map(|ch| plan.prepare_with(ch, &mut fft_scratch))
+            .collect();
+        let py: Vec<PreparedSeries> = y
+            .chunks_exact(m)
+            .map(|ch| plan.prepare_with(ch, &mut fft_scratch))
+            .collect();
+        let mut scratch = SbdScratch::default();
+        let (dist, shift) = plan.sbd_spectra_multi(&px, &py, &mut scratch);
+        let mut aligned = Vec::with_capacity(x.len());
+        for ch in y.chunks_exact(m) {
+            aligned.extend_from_slice(&tsdata::distort::shift_zero_pad(ch, shift));
+        }
+        Ok(SbdResult {
+            dist,
+            shift,
+            aligned,
+        })
     }
 
     /// Bluestein-based SBD with a cached chirp plan (the `SBD-NoPow2`
@@ -1028,6 +1241,137 @@ mod tests {
             let _ = b.dist(&x, &x);
             assert!(b.cached_plan_count() <= SBD_PLAN_CACHE_CAP);
         }
+    }
+
+    #[test]
+    fn distance_univariate_is_bit_identical_to_cached_kernel() {
+        use super::SbdOptions;
+        let d = Sbd::new();
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.23).sin()).collect();
+        let y: Vec<f64> = (0..48).map(|i| (i as f64 * 0.23 + 0.9).cos()).collect();
+        let short: Vec<f64> = y[10..31].to_vec();
+        let opts = SbdOptions::new();
+        // Equal lengths.
+        let a = d.distance(&x, &y, &opts).unwrap();
+        let b = d.try_sbd_unequal(&x, &y).unwrap();
+        assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+        assert_eq!(a.shift, b.shift);
+        assert_eq!(a.aligned, b.aligned);
+        // Unequal lengths route through the padded-plan path.
+        let a = d.distance(&x, &short, &opts).unwrap();
+        let b = d.try_sbd_unequal(&x, &short).unwrap();
+        assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+        assert_eq!(a.shift, b.shift);
+        // Rescale stretches the shorter input first.
+        let r = d
+            .distance(&x, &short, &SbdOptions::new().with_rescale(true))
+            .unwrap();
+        assert_eq!(r.aligned.len(), 48);
+        assert!((0.0..=2.0 + 1e-9).contains(&r.dist));
+    }
+
+    #[test]
+    fn distance_multichannel_is_summed_per_channel_ncc() {
+        use super::SbdOptions;
+        use tsfft::correlate::cross_correlate_naive;
+        let mut next = lcg(41);
+        let (c, m) = (3usize, 24usize);
+        let x: Vec<f64> = (0..c * m).map(|_| next()).collect();
+        let y: Vec<f64> = (0..c * m).map(|_| next()).collect();
+        let d = Sbd::new();
+        let got = d
+            .distance(&x, &y, &SbdOptions::new().with_channels(c))
+            .unwrap();
+        // Reference: naive per-channel cross-correlation, summed across
+        // channels, normalized by summed energies.
+        let mut summed = vec![0.0f64; 2 * m - 1];
+        let (mut ex, mut ey) = (0.0f64, 0.0f64);
+        for ch in 0..c {
+            let xc = &x[ch * m..(ch + 1) * m];
+            let yc = &y[ch * m..(ch + 1) * m];
+            ex += super::autocorr0(xc);
+            ey += super::autocorr0(yc);
+            for (s, v) in summed.iter_mut().zip(cross_correlate_naive(xc, yc)) {
+                *s += v;
+            }
+        }
+        let denom = (ex * ey).sqrt();
+        let (best_idx, best) = summed
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        let want_dist = 1.0 - best / denom;
+        let want_shift = best_idx as isize - (m as isize - 1);
+        assert!(
+            (got.dist - want_dist).abs() < 1e-9,
+            "{} vs {want_dist}",
+            got.dist
+        );
+        assert_eq!(got.shift, want_shift);
+        // Symmetric in its arguments.
+        let rev = d
+            .distance(&y, &x, &SbdOptions::new().with_channels(c))
+            .unwrap();
+        assert!((got.dist - rev.dist).abs() < 1e-9);
+        // Aligned output shifts every channel by the shared lag.
+        assert_eq!(got.aligned.len(), c * m);
+        for ch in 0..c {
+            let want = tsdata::distort::shift_zero_pad(&y[ch * m..(ch + 1) * m], got.shift);
+            assert_eq!(&got.aligned[ch * m..(ch + 1) * m], &want[..]);
+        }
+    }
+
+    #[test]
+    fn distance_single_channel_multi_kernel_is_bit_identical() {
+        use super::{SbdOptions, SbdScratch};
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.19).sin()).collect();
+        let y: Vec<f64> = (0..32).map(|i| (i as f64 * 0.19 + 0.3).cos()).collect();
+        let plan = SbdPlan::new(32);
+        let (px, py) = (plan.prepare(&x), plan.prepare(&y));
+        let mut scratch = SbdScratch::default();
+        let uni = plan.sbd_spectra(&px, &py, &mut scratch);
+        let multi = plan.sbd_spectra_multi(
+            std::slice::from_ref(&px),
+            std::slice::from_ref(&py),
+            &mut scratch,
+        );
+        assert_eq!(uni.0.to_bits(), multi.0.to_bits());
+        assert_eq!(uni.1, multi.1);
+        // And through the options entry with channels = 1.
+        let d = Sbd::new();
+        let a = d.distance(&x, &y, &SbdOptions::new()).unwrap();
+        assert_eq!(a.dist.to_bits(), uni.0.to_bits());
+    }
+
+    #[test]
+    fn distance_rejects_bad_shapes() {
+        use super::SbdOptions;
+        use tserror::TsError;
+        let d = Sbd::new();
+        let x = vec![1.0; 6];
+        assert!(matches!(
+            d.distance(&x, &x, &SbdOptions::new().with_channels(0)),
+            Err(TsError::NumericalFailure { .. })
+        ));
+        assert!(matches!(
+            d.distance(&[], &x, &SbdOptions::new()),
+            Err(TsError::EmptyInput)
+        ));
+        // Length not divisible by the channel count.
+        assert!(matches!(
+            d.distance(&x[..5], &x[..5], &SbdOptions::new().with_channels(2)),
+            Err(TsError::LengthMismatch { .. })
+        ));
+        // Multichannel inputs must agree in total length.
+        assert!(matches!(
+            d.distance(&x, &x[..4], &SbdOptions::new().with_channels(2)),
+            Err(TsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            d.distance(&[1.0, f64::NAN], &[1.0, 2.0], &SbdOptions::new()),
+            Err(TsError::NonFinite { .. })
+        ));
     }
 
     /// The `CacheStats` accessor makes hit/miss/eviction behaviour

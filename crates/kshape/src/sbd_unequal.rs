@@ -18,6 +18,12 @@
 //! differ in sampling duration), [`sbd_rescaled`] first stretches the
 //! shorter sequence to the longer one's length and then applies the
 //! equal-length SBD.
+//!
+//! The free functions in this module are **deprecated**: the unified
+//! shape-aware entry [`crate::sbd::Sbd::distance`] dispatches
+//! equal-length, unequal-length, rescaled, and multichannel SBD from one
+//! call through the bounded plan cache. They remain as thin wrappers for
+//! existing call sites.
 
 use tsdata::distort::resample;
 use tserror::{ensure_finite, TsError, TsResult};
@@ -35,11 +41,16 @@ use crate::sbd::{try_sbd, SbdPlan, SbdResult, SbdScratch};
 /// Panics if either sequence is empty or contains non-finite samples. See
 /// [`try_sbd_unequal`] for the fallible variant.
 #[must_use]
+#[deprecated(
+    since = "0.1.0",
+    note = "use Sbd::distance with SbdOptions — it shares the bounded plan cache"
+)]
 pub fn sbd_unequal(x: &[f64], y: &[f64]) -> SbdResult {
     assert!(
         !x.is_empty() && !y.is_empty(),
         "SBD requires non-empty sequences"
     );
+    #[allow(deprecated)]
     try_sbd_unequal(x, y).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -49,6 +60,10 @@ pub fn sbd_unequal(x: &[f64], y: &[f64]) -> SbdResult {
 ///
 /// [`TsError::EmptyInput`] when either sequence is empty,
 /// [`TsError::NonFinite`] on NaN/infinite samples.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Sbd::distance with SbdOptions — it shares the bounded plan cache"
+)]
 pub fn try_sbd_unequal(x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
     if x.is_empty() || y.is_empty() {
         return Err(TsError::EmptyInput);
@@ -68,9 +83,9 @@ pub fn try_sbd_unequal(x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
 /// transform work routes through the plan's real-FFT spectrum machinery —
 /// there is no private pad-and-transform path left in this module.
 pub(crate) fn unequal_with_plan(plan: &SbdPlan, x: &[f64], y: &[f64]) -> SbdResult {
-    let denom = (autocorr0(x) * autocorr0(y)).sqrt();
-    if denom == 0.0 {
-        let both_zero = autocorr0(x) == 0.0 && autocorr0(y) == 0.0;
+    let (x_r0, y_r0) = (autocorr0(x), autocorr0(y));
+    if (x_r0 * y_r0).sqrt() == 0.0 {
+        let both_zero = x_r0 == 0.0 && y_r0 == 0.0;
         let mut aligned = y.to_vec();
         aligned.resize(x.len(), 0.0);
         return SbdResult {
@@ -83,25 +98,62 @@ pub(crate) fn unequal_with_plan(plan: &SbdPlan, x: &[f64], y: &[f64]) -> SbdResu
     let (px, py) = (plan.prepare_padded(x), plan.prepare_padded(y));
     let mut scratch = SbdScratch::default();
     let mut cc = Vec::new();
-    plan.cross_correlate_padded(&px, nx, &py, ny, &mut cc, &mut scratch);
+    let (dist, shift) =
+        unequal_dist_shift(plan, &px, nx, x_r0, &py, ny, y_r0, &mut cc, &mut scratch);
+    let mut aligned = vec![0.0; nx];
+    place_into_frame(y, shift, &mut aligned);
+    SbdResult {
+        dist,
+        shift,
+        aligned,
+    }
+}
+
+/// Distance-and-shift core of [`unequal_with_plan`] over already-padded
+/// spectra, with every buffer caller-owned and no aligned copy built.
+///
+/// The out-of-core ragged sweep calls this once per `(row, centroid)`
+/// pair — centroid spectra and autocorrelations are hoisted per
+/// iteration, the row's per sweep — and materializes the aligned frame
+/// only for the winning centroid via [`place_into_frame`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn unequal_dist_shift(
+    plan: &SbdPlan,
+    px: &crate::sbd::PreparedSeries,
+    nx: usize,
+    x_r0: f64,
+    py: &crate::sbd::PreparedSeries,
+    ny: usize,
+    y_r0: f64,
+    cc: &mut Vec<f64>,
+    scratch: &mut SbdScratch,
+) -> (f64, isize) {
+    let denom = (x_r0 * y_r0).sqrt();
+    if denom == 0.0 {
+        let both_zero = x_r0 == 0.0 && y_r0 == 0.0;
+        return (if both_zero { 0.0 } else { 1.0 }, 0);
+    }
+    plan.cross_correlate_padded(px, nx, py, ny, cc, scratch);
     let (best_idx, best) = cc
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty correlation");
     let shift = best_idx as isize - (ny as isize - 1);
-    // Place y into an x-length frame at offset `shift`.
-    let mut aligned = vec![0.0; nx];
+    (1.0 - best / denom, shift)
+}
+
+/// Places `y` into the (possibly longer) frame `out` at offset `shift`,
+/// zero-filling everything `y` does not cover — the alignment rule of
+/// [`unequal_with_plan`], shared with the out-of-core ragged Gram fold.
+pub(crate) fn place_into_frame(y: &[f64], shift: isize, out: &mut [f64]) {
+    let n = out.len();
+    out.fill(0.0);
     for (l, &v) in y.iter().enumerate() {
         let t = l as isize + shift;
-        if (0..nx as isize).contains(&t) {
-            aligned[t as usize] = v;
+        if (0..n as isize).contains(&t) {
+            out[t as usize] = v;
         }
-    }
-    SbdResult {
-        dist: 1.0 - best / denom,
-        shift,
-        aligned,
     }
 }
 
@@ -114,11 +166,16 @@ pub(crate) fn unequal_with_plan(plan: &SbdPlan, x: &[f64], y: &[f64]) -> SbdResu
 /// Panics if either sequence is empty or contains non-finite samples. See
 /// [`try_sbd_rescaled`] for the fallible variant.
 #[must_use]
+#[deprecated(
+    since = "0.1.0",
+    note = "use Sbd::distance with SbdOptions::new().with_rescale(true)"
+)]
 pub fn sbd_rescaled(x: &[f64], y: &[f64]) -> SbdResult {
     assert!(
         !x.is_empty() && !y.is_empty(),
         "SBD requires non-empty sequences"
     );
+    #[allow(deprecated)]
     try_sbd_rescaled(x, y).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -127,6 +184,10 @@ pub fn sbd_rescaled(x: &[f64], y: &[f64]) -> SbdResult {
 /// # Errors
 ///
 /// [`TsError::EmptyInput`] or [`TsError::NonFinite`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use Sbd::distance with SbdOptions::new().with_rescale(true)"
+)]
 pub fn try_sbd_rescaled(x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
     if x.is_empty() || y.is_empty() {
         return Err(TsError::EmptyInput);
@@ -147,6 +208,7 @@ pub fn try_sbd_rescaled(x: &[f64], y: &[f64]) -> TsResult<SbdResult> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::{sbd_rescaled, sbd_unequal};
     use crate::sbd::sbd;

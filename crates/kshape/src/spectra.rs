@@ -76,6 +76,9 @@ pub struct SpectraEngine<'a, V: SeriesView + ?Sized = [Vec<f64>]> {
     plan: SbdPlan,
     view: &'a V,
     n: usize,
+    /// Collection-wide channel count; spectra are stored channel-major
+    /// per series (`spectra[i·channels + ch]`).
+    channels: usize,
     spectra: Vec<PreparedSeries>,
     threads: usize,
 }
@@ -85,6 +88,7 @@ impl<'a, V: SeriesView + ?Sized> std::fmt::Debug for SpectraEngine<'a, V> {
         f.debug_struct("SpectraEngine")
             .field("n", &self.n)
             .field("m", &self.plan.series_len())
+            .field("channels", &self.channels)
             .field("threads", &self.threads)
             .finish()
     }
@@ -139,6 +143,7 @@ impl<'a> SpectraEngine<'a> {
             plan,
             view: series,
             n,
+            channels: 1,
             spectra,
             threads,
         }
@@ -158,18 +163,36 @@ impl<'a, V: SeriesView + ?Sized> SpectraEngine<'a, V> {
     /// bit-identical for every thread count and — for views that expose
     /// the same `f64` rows — bit-identical to [`SpectraEngine::new`].
     ///
+    /// Multichannel views cache one half-spectrum **per channel** per
+    /// series (channel-major, `n · channels` entries); every sweep then
+    /// scores pairs with the summed per-channel NCC kernel
+    /// ([`SbdPlan::sbd_spectra_multi`]), which dispatches to the plain
+    /// univariate kernel when `channels = 1` — so single-channel views
+    /// remain bit-identical to the pre-shape-redesign engine.
+    ///
     /// # Errors
     ///
     /// [`tserror::TsError::EmptyInput`] for an empty view,
-    /// [`tserror::TsError::NonFinite`] for a bad row, or
-    /// [`tserror::TsError::CorruptData`] from a spilled tier.
+    /// [`tserror::TsError::NonFinite`] for a bad row,
+    /// [`tserror::TsError::CorruptData`] from a spilled tier, or
+    /// [`tserror::TsError::NumericalFailure`] for a ragged view (the
+    /// cached-spectrum sweep needs one fixed length; ragged collections
+    /// route through `kshape::fit_store`'s padded-plan path).
     ///
     /// [`SeriesStore`]: tsdata::store::SeriesStore
     pub fn from_view(view: &'a V, threads: usize) -> TsResult<Self> {
         let n = view.n_series();
         let m = view.series_len();
+        let channels = view.channels();
         if n == 0 || m == 0 {
             return Err(TsError::EmptyInput);
+        }
+        if view.is_ragged() {
+            return Err(TsError::NumericalFailure {
+                context: "SpectraEngine requires fixed-length rows; \
+                          ragged views route through fit_store"
+                    .into(),
+            });
         }
         let threads = resolve_threads(threads);
         let plan = SbdPlan::new(m);
@@ -177,15 +200,17 @@ impl<'a, V: SeriesView + ?Sized> SpectraEngine<'a, V> {
         let prep_range = |lo: usize, hi: usize| -> TsResult<Vec<PreparedSeries>> {
             let mut rows = Vec::new();
             let mut scratch = Vec::new();
-            let mut out = Vec::with_capacity(hi - lo);
+            let mut out = Vec::with_capacity((hi - lo) * channels);
             for i in lo..hi {
                 let row = view.try_row(i, &mut rows)?;
                 ensure_finite(row, i)?;
-                out.push(plan.prepare_with(row, &mut scratch));
+                for ch in row.chunks_exact(m) {
+                    out.push(plan.prepare_with(ch, &mut scratch));
+                }
             }
             Ok(out)
         };
-        let mut spectra = Vec::with_capacity(n);
+        let mut spectra = Vec::with_capacity(n * channels);
         if workers <= 1 {
             spectra = prep_range(0, n)?;
         } else {
@@ -212,6 +237,7 @@ impl<'a, V: SeriesView + ?Sized> SpectraEngine<'a, V> {
             plan,
             view,
             n,
+            channels,
             spectra,
             threads,
         })
@@ -254,40 +280,72 @@ impl<'a, V: SeriesView + ?Sized> SpectraEngine<'a, V> {
         worker_count(self.threads, self.n)
     }
 
-    /// The cached half-spectrum of series `i`.
+    /// Collection-wide channel count the engine was built with.
     #[must_use]
-    pub fn spectrum(&self, i: usize) -> &PreparedSeries {
-        &self.spectra[i]
+    pub fn channels(&self) -> usize {
+        self.channels
     }
 
-    /// Transforms one centroid set — `k` forward rFFTs, once per
-    /// iteration. `k` is small, so this stays serial.
+    /// The cached half-spectrum of series `i` (its first channel when
+    /// the view is multichannel — see [`Self::spectra_of`]).
+    #[must_use]
+    pub fn spectrum(&self, i: usize) -> &PreparedSeries {
+        &self.spectra[i * self.channels]
+    }
+
+    /// The per-channel cached half-spectra of series `i`
+    /// (`channels` entries, channel-major).
+    #[must_use]
+    pub fn spectra_of(&self, i: usize) -> &[PreparedSeries] {
+        &self.spectra[i * self.channels..(i + 1) * self.channels]
+    }
+
+    /// Transforms one centroid set — `k · channels` forward rFFTs, once
+    /// per iteration. Each centroid row holds `channels · m` samples,
+    /// channel-major; the result is the matching channel-major spectrum
+    /// layout (`k · channels` entries). `k` is small, so this stays
+    /// serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a centroid's length is not `channels · m`.
     #[must_use]
     pub fn prepare_centroids(&self, centroids: &[Vec<f64>]) -> Vec<PreparedSeries> {
+        let m = self.plan.series_len();
         let mut scratch = Vec::new();
-        centroids
-            .iter()
-            .map(|c| self.plan.prepare_with(c, &mut scratch))
-            .collect()
+        let mut out = Vec::with_capacity(centroids.len() * self.channels);
+        for c in centroids {
+            assert_eq!(
+                c.len(),
+                self.channels * m,
+                "centroid length must be channels·m"
+            );
+            for ch in c.chunks_exact(m) {
+                out.push(self.plan.prepare_with(ch, &mut scratch));
+            }
+        }
+        out
     }
 
     /// Nearest centroid of series `i`: `(distance, centroid index,
-    /// alignment shift)`, first minimum winning ties.
+    /// alignment shift)`, first minimum winning ties. `cents` holds
+    /// `k · channels` prepared spectra, channel-major per centroid.
     fn nearest(
         &self,
         cents: &[PreparedSeries],
         i: usize,
         scratch: &mut SbdScratch,
     ) -> (f64, usize, isize) {
-        let sp = &self.spectra[i];
+        let c = self.channels;
+        let sp = self.spectra_of(i);
         let mut best = f64::INFINITY;
         let mut best_j = 0usize;
         let mut best_shift = 0isize;
-        for (j, c) in cents.iter().enumerate() {
+        for (j, cent) in cents.chunks_exact(c).enumerate() {
             // Argument order matters: x = centroid, y = series, so the
             // shift aligns the series *toward* the centroid — exactly
             // what the next refinement's shape extraction consumes.
-            let (d, s) = self.plan.sbd_spectra(c, sp, scratch);
+            let (d, s) = self.plan.sbd_spectra_multi(cent, sp, scratch);
             if d < best {
                 best = d;
                 best_j = j;
@@ -383,7 +441,10 @@ impl<'a, V: SeriesView + ?Sized> SpectraEngine<'a, V> {
 
     /// Distances of every series to one prepared reference, written to
     /// `out` — the k-shape++ seeding sweep over cached spectra.
+    /// Univariate only (seeding runs on the slice path, which always has
+    /// `channels = 1`).
     pub(crate) fn distances_to(&self, reference: &PreparedSeries, out: &mut [f64]) {
+        debug_assert_eq!(self.channels, 1, "seeding sweep is univariate");
         let n = self.n;
         let workers = worker_count(self.threads, n);
         if workers <= 1 {
@@ -443,7 +504,7 @@ impl<'a, V: SeriesView + ?Sized> SpectraEngine<'a, V> {
                     }
                     data[i * n + j] = self
                         .plan
-                        .sbd_spectra(&self.spectra[i], &self.spectra[j], &mut scratch)
+                        .sbd_spectra_multi(self.spectra_of(i), self.spectra_of(j), &mut scratch)
                         .0;
                     done += 1;
                 }
@@ -464,7 +525,11 @@ impl<'a, V: SeriesView + ?Sized> SpectraEngine<'a, V> {
                                 }
                                 *slot = self
                                     .plan
-                                    .sbd_spectra(&self.spectra[i], &self.spectra[j], &mut scratch)
+                                    .sbd_spectra_multi(
+                                        self.spectra_of(i),
+                                        self.spectra_of(j),
+                                        &mut scratch,
+                                    )
                                     .0;
                                 counted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             }

@@ -159,8 +159,13 @@ impl Default for DriftConfig {
 pub struct StreamConfig {
     /// Number of clusters.
     pub k: usize,
-    /// Series length every arrival must have.
+    /// Per-channel series length every arrival must have.
     pub m: usize,
+    /// Channels per arrival (default 1). An arrival is `m * channels`
+    /// samples in channel-major order (all of channel 0, then channel 1,
+    /// …); its declared shape comes from this configuration, never from
+    /// whatever happened to arrive first.
+    pub channels: usize,
     /// Base RNG seed; all fit seeds derive deterministically from it.
     pub seed: u64,
     /// Forgetting policy for the sufficient statistics.
@@ -191,6 +196,7 @@ impl StreamConfig {
         StreamConfig {
             k,
             m,
+            channels: 1,
             seed: 42,
             decay: Decay::AppendOnly,
             refresh_every: 32,
@@ -201,6 +207,20 @@ impl StreamConfig {
             drift: DriftConfig::default(),
             reseed_attempts: 3,
         }
+    }
+
+    /// Sets the channel count (channel-major arrivals of
+    /// `m * channels` samples).
+    #[must_use]
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Samples per arrival: `m * channels`.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.m * self.channels
     }
 
     /// Sets the base seed.
@@ -278,6 +298,9 @@ impl StreamConfig {
         if self.m < 2 {
             return bad(format!("stream config: series length m={} < 2", self.m));
         }
+        if self.channels == 0 {
+            return bad("stream config: channels must be >= 1".to_string());
+        }
         if self.warmup < self.k {
             return Err(TsError::InvalidK {
                 k: self.k,
@@ -339,6 +362,15 @@ pub enum QuarantineReason {
         /// Length actually received.
         found: usize,
     },
+    /// The arrival's sample count is a whole number of channels of the
+    /// configured length `m`, but not the *configured* number of
+    /// channels. Counts are channels, not samples.
+    WrongChannels {
+        /// Configured channel count.
+        expected: usize,
+        /// Channel count actually received (`len / m`).
+        found: usize,
+    },
     /// A sample was NaN or infinite.
     NonFinite {
         /// Index of the first offending sample.
@@ -355,6 +387,7 @@ impl QuarantineReason {
         match self {
             QuarantineReason::Empty => "empty",
             QuarantineReason::WrongLength { .. } => "wrong_length",
+            QuarantineReason::WrongChannels { .. } => "wrong_channels",
             QuarantineReason::NonFinite { .. } => "non_finite",
             QuarantineReason::Constant => "constant",
         }
@@ -366,6 +399,13 @@ impl QuarantineReason {
         match self {
             QuarantineReason::Empty => TsError::EmptyInput,
             QuarantineReason::WrongLength { expected, found } => TsError::LengthMismatch {
+                expected,
+                found,
+                series,
+            },
+            // Channel counts ride the length-mismatch shape; the unit is
+            // channels instead of samples.
+            QuarantineReason::WrongChannels { expected, found } => TsError::LengthMismatch {
                 expected,
                 found,
                 series,
@@ -444,6 +484,10 @@ pub struct ReseedRequest<'a> {
     pub window: &'a [Vec<f64>],
     /// Number of clusters to fit.
     pub k: usize,
+    /// Channels per window row (rows are `channels * m` samples,
+    /// channel-major). Reseeders that only understand flat rows may
+    /// ignore this; the engine re-normalizes per channel on install.
+    pub channels: usize,
     /// Deterministically derived seed for this fit.
     pub seed: u64,
     /// Iteration cap.
@@ -500,6 +544,7 @@ impl Reseeder for KShapeReseeder {
             let mut first_err = None;
             for restart in 0u64..3 {
                 let mut opts = KShapeOptions::new(req.k)
+                    .with_channels(req.channels)
                     .with_seed(seed.wrapping_add(restart.wrapping_mul(0x9E37_79B9)))
                     .with_max_iter(req.max_iter);
                 if let Some(b) = req.budget {
@@ -815,18 +860,29 @@ impl StreamKShape {
             };
         }
 
-        // Steady state: assign via cached centroid spectra.
-        let prep = self.plan.prepare_with(&z, &mut self.fft_scratch);
+        // Steady state: assign via cached per-channel centroid spectra.
+        let m = self.config.m;
+        let c = self.config.channels;
+        let mut preps = Vec::with_capacity(c);
+        for chunk in z.chunks_exact(m) {
+            preps.push(self.plan.prepare_with(chunk, &mut self.fft_scratch));
+        }
         let mut best = (0usize, f64::INFINITY, 0isize);
-        for (j, cent) in self.centroid_spectra.iter().enumerate() {
-            let (dist, shift) = self.plan.sbd_spectra(cent, &prep, &mut self.scratch);
+        for j in 0..self.config.k {
+            let (dist, shift) = self.plan.sbd_spectra_multi(
+                &self.centroid_spectra[j * c..(j + 1) * c],
+                &preps,
+                &mut self.scratch,
+            );
             if dist < best.1 {
                 best = (j, dist, shift);
             }
         }
         let (label, dist, shift) = best;
-        let aligned = shift_zero_pad(&z, shift);
-        self.clusters[label].fold(&aligned, self.config.decay);
+        for (ch, chunk) in z.chunks_exact(m).enumerate() {
+            let aligned = shift_zero_pad(chunk, shift);
+            self.clusters[label * c + ch].fold(&aligned, self.config.decay);
+        }
         self.drift_ring.push_back(dist * dist);
         while self.drift_ring.len() > self.config.drift.long_window {
             self.drift_ring.pop_front();
@@ -862,23 +918,42 @@ impl StreamKShape {
         })
     }
 
-    /// Validates and z-normalizes one arrival.
+    /// Validates and z-normalizes one arrival (per channel).
+    ///
+    /// The expected shape is always the *configured* `m * channels` —
+    /// never inferred from earlier arrivals — so one malformed first
+    /// push can never redefine what the stream accepts.
     fn admit(&self, series: &[f64]) -> Result<Vec<f64>, QuarantineReason> {
         if series.is_empty() {
             return Err(QuarantineReason::Empty);
         }
-        if series.len() != self.config.m {
+        let expected = self.config.samples();
+        if series.len() != expected {
+            if self.config.channels > 1 && series.len().is_multiple_of(self.config.m) {
+                return Err(QuarantineReason::WrongChannels {
+                    expected: self.config.channels,
+                    found: series.len() / self.config.m,
+                });
+            }
             return Err(QuarantineReason::WrongLength {
-                expected: self.config.m,
+                expected,
                 found: series.len(),
             });
         }
-        match try_z_normalize_series(series, 0) {
-            Ok(z) => Ok(z),
-            Err(TsError::NonFinite { index, .. }) => Err(QuarantineReason::NonFinite { index }),
-            Err(TsError::ConstantSeries { .. }) => Err(QuarantineReason::Constant),
-            Err(_) => Err(QuarantineReason::Empty),
+        let mut z = Vec::with_capacity(expected);
+        for (ch, chunk) in series.chunks_exact(self.config.m).enumerate() {
+            match try_z_normalize_series(chunk, 0) {
+                Ok(zc) => z.extend_from_slice(&zc),
+                Err(TsError::NonFinite { index, .. }) => {
+                    return Err(QuarantineReason::NonFinite {
+                        index: ch * self.config.m + index,
+                    })
+                }
+                Err(TsError::ConstantSeries { .. }) => return Err(QuarantineReason::Constant),
+                Err(_) => return Err(QuarantineReason::Empty),
+            }
         }
+        Ok(z)
     }
 
     /// Mean of the newest `n` ring entries (`None` when fewer exist).
@@ -939,13 +1014,21 @@ impl StreamKShape {
         } else {
             None
         };
+        let c = self.config.channels;
         let mut spectra_dirty = false;
         for j in 0..self.config.k {
-            if ctrl.poll().is_err() || ctrl.charge((m * m) as u64).is_err() {
+            if ctrl.poll().is_err() || ctrl.charge((c * m * m) as u64).is_err() {
                 obs.counter("stream.refresh.budget_stop", 1);
                 break;
             }
-            if let Some(centroid) = self.clusters[j].extract(self.config.eigen) {
+            // All channels must extract cleanly; a degenerate channel
+            // keeps the cluster's whole previous centroid so channels
+            // never desynchronize.
+            let parts: Option<Vec<Vec<f64>>> = (0..c)
+                .map(|ch| self.clusters[j * c + ch].extract(self.config.eigen))
+                .collect();
+            if let Some(parts) = parts {
+                let centroid = parts.concat();
                 if centroid != self.centroids[j] {
                     self.centroids[j] = centroid;
                     spectra_dirty = true;
@@ -1031,6 +1114,7 @@ impl StreamKShape {
         let req = ReseedRequest {
             window: &window,
             k: self.config.k,
+            channels: self.config.channels,
             seed,
             max_iter: self.config.max_iter,
             budget: self.refresh_budget,
@@ -1038,7 +1122,10 @@ impl StreamKShape {
         let fit = self.reseeder.reseed(&req)?;
         if fit.centroids.len() != self.config.k
             || fit.labels.len() != window.len()
-            || fit.centroids.iter().any(|c| c.len() != self.config.m)
+            || fit
+                .centroids
+                .iter()
+                .any(|c| c.len() != self.config.samples())
             || fit.labels.iter().any(|&l| l >= self.config.k)
             || fit
                 .centroids
@@ -1054,12 +1141,14 @@ impl StreamKShape {
         }
         self.fits += 1;
         let mut centroids = fit.centroids;
-        for c in &mut centroids {
-            z_normalize_in_place(c);
+        for cent in &mut centroids {
+            for chunk in cent.chunks_exact_mut(self.config.m) {
+                z_normalize_in_place(chunk);
+            }
         }
         self.centroids = centroids;
         self.rebuild_spectra();
-        self.clusters = (0..self.config.k)
+        self.clusters = (0..self.config.k * self.config.channels)
             .map(|_| ClusterStats::empty(self.config.m))
             .collect();
         // The drift ring restarts EMPTY: seeding it with the window's
@@ -1070,13 +1159,22 @@ impl StreamKShape {
         // after a fit. The detector re-arms once 2×short_window genuine
         // out-of-sample distances have accumulated.
         self.drift_ring.clear();
+        let m = self.config.m;
+        let c = self.config.channels;
         for (x, &label) in window.iter().zip(&fit.labels) {
-            let prep = self.plan.prepare_with(x, &mut self.fft_scratch);
-            let (_, shift) =
-                self.plan
-                    .sbd_spectra(&self.centroid_spectra[label], &prep, &mut self.scratch);
-            let aligned = shift_zero_pad(x, shift);
-            self.clusters[label].fold(&aligned, self.config.decay);
+            let mut preps = Vec::with_capacity(c);
+            for chunk in x.chunks_exact(m) {
+                preps.push(self.plan.prepare_with(chunk, &mut self.fft_scratch));
+            }
+            let (_, shift) = self.plan.sbd_spectra_multi(
+                &self.centroid_spectra[label * c..(label + 1) * c],
+                &preps,
+                &mut self.scratch,
+            );
+            for (ch, chunk) in x.chunks_exact(m).enumerate() {
+                let aligned = shift_zero_pad(chunk, shift);
+                self.clusters[label * c + ch].fold(&aligned, self.config.decay);
+            }
         }
         self.since_refresh = 0;
         obs.counter("stream.fit", 1);
@@ -1084,11 +1182,14 @@ impl StreamKShape {
     }
 
     fn rebuild_spectra(&mut self) {
-        self.centroid_spectra = self
-            .centroids
-            .iter()
-            .map(|c| self.plan.prepare_with(c, &mut self.fft_scratch))
-            .collect();
+        let m = self.config.m;
+        let mut spectra = Vec::with_capacity(self.centroids.len() * self.config.channels);
+        for cent in &self.centroids {
+            for chunk in cent.chunks_exact(m) {
+                spectra.push(self.plan.prepare_with(chunk, &mut self.fft_scratch));
+            }
+        }
+        self.centroid_spectra = spectra;
     }
 
     // ---- checkpoint serialization ------------------------------------
@@ -1141,10 +1242,15 @@ impl StreamKShape {
 
     fn push_config_json(&self, out: &mut String) {
         let c = &self.config;
+        out.push_str(&format!("{{\"k\":{},\"m\":{}", c.k, c.m));
+        // Emitted only when multichannel so univariate checkpoints stay
+        // byte-identical to the pre-channels format (and old checkpoints
+        // keep loading: the parser defaults a missing key to 1).
+        if c.channels != 1 {
+            out.push_str(&format!(",\"channels\":{}", c.channels));
+        }
         out.push_str(&format!(
-            "{{\"k\":{},\"m\":{},\"seed\":\"{}\",\"decay\":{{\"kind\":\"{}\"",
-            c.k,
-            c.m,
+            ",\"seed\":\"{}\",\"decay\":{{\"kind\":\"{}\"",
             c.seed,
             c.decay.kind_name()
         ));
@@ -1187,12 +1293,15 @@ impl StreamKShape {
         config.validate().ok()?;
         let m = config.m;
         let k = config.k;
+        // Rows span all channels; per-channel statistics stay m-sized.
+        let samples = config.samples();
+        let stat_count = k * config.channels;
 
         let bootstrapped = match v.get("bootstrapped")? {
             JsonValue::Bool(b) => *b,
             _ => return None,
         };
-        let centroids = parse_rows(v.get("centroids")?, Some(m))?;
+        let centroids = parse_rows(v.get("centroids")?, Some(samples))?;
         if bootstrapped && centroids.len() != k {
             return None;
         }
@@ -1202,7 +1311,7 @@ impl StreamKShape {
         let JsonValue::Arr(cluster_vals) = v.get("clusters")? else {
             return None;
         };
-        if bootstrapped && cluster_vals.len() != k {
+        if bootstrapped && cluster_vals.len() != stat_count {
             return None;
         }
         let mut clusters = Vec::with_capacity(cluster_vals.len());
@@ -1223,8 +1332,9 @@ impl StreamKShape {
                 members,
             });
         }
-        let recent: VecDeque<Vec<f64>> =
-            parse_rows(v.get("recent")?, Some(m))?.into_iter().collect();
+        let recent: VecDeque<Vec<f64>> = parse_rows(v.get("recent")?, Some(samples))?
+            .into_iter()
+            .collect();
         if recent.len() > config.window_capacity {
             return None;
         }
@@ -1340,6 +1450,10 @@ fn parse_config(v: &JsonValue) -> Option<StreamConfig> {
     Some(StreamConfig {
         k: v.get("k")?.as_uint()? as usize,
         m: v.get("m")?.as_uint()? as usize,
+        channels: match v.get("channels") {
+            Some(cv) => cv.as_uint()? as usize,
+            None => 1,
+        },
         seed,
         decay,
         refresh_every: v.get("refresh_every")?.as_uint()? as usize,
@@ -1671,5 +1785,137 @@ mod tests {
             "budget stop froze centroids"
         );
         assert!(sink.counter_total("stream.refresh.budget_stop") > 0);
+    }
+
+    #[test]
+    fn quarantine_shape_comes_from_config_not_first_arrival() {
+        // The declared shape is the configuration's, permanently: a
+        // malformed *first* arrival must not redefine what the stream
+        // accepts, and `expected` always reports the configured shape.
+        let mut engine = StreamKShape::new(small_config()).unwrap();
+        for _ in 0..2 {
+            match engine.push(&vec![1.0; 40]) {
+                PushOutcome::Quarantined(QuarantineReason::WrongLength { expected, found }) => {
+                    assert_eq!(
+                        expected, 32,
+                        "expected length is config.m, not a prior arrival"
+                    );
+                    assert_eq!(found, 40);
+                }
+                other => panic!("expected wrong_length, got {other:?}"),
+            }
+        }
+
+        let mut mc = StreamKShape::new(small_config().with_channels(2)).unwrap();
+        // First arrival carries 3 channels of the right per-channel
+        // length; later pushes must still be judged against the
+        // configured 2 channels (64 samples).
+        match mc.push(&vec![1.0; 96]) {
+            PushOutcome::Quarantined(QuarantineReason::WrongChannels { expected, found }) => {
+                assert_eq!((expected, found), (2, 3));
+            }
+            other => panic!("expected wrong_channels, got {other:?}"),
+        }
+        match mc.push(&vec![1.0; 96]) {
+            PushOutcome::Quarantined(QuarantineReason::WrongChannels { expected, .. }) => {
+                assert_eq!(
+                    expected, 2,
+                    "declared channels survive a malformed first arrival"
+                );
+            }
+            other => panic!("expected wrong_channels, got {other:?}"),
+        }
+        // Not a whole number of channels: reported as a sample-count
+        // mismatch against the full configured frame.
+        match mc.push(&vec![1.0; 70]) {
+            PushOutcome::Quarantined(QuarantineReason::WrongLength { expected, found }) => {
+                assert_eq!((expected, found), (64, 70));
+            }
+            other => panic!("expected wrong_length, got {other:?}"),
+        }
+        assert_eq!(mc.stats().quarantined, 3);
+        assert_eq!(mc.stats().accepted, 0);
+    }
+
+    fn feed_mc(engine: &mut StreamKShape, n: usize, seed: u64) -> Vec<PushOutcome> {
+        // Channel-major two-channel arrivals: channel 0 is the class
+        // shape, channel 1 the same shape phase-shifted, so both
+        // channels carry consistent class evidence.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let mut x = if i % 2 == 0 {
+                    sine(32, 0.0, 0.1, &mut rng)
+                } else {
+                    square(32, 0.1, &mut rng)
+                };
+                let ch1 = if i % 2 == 0 {
+                    sine(32, 0.7, 0.1, &mut rng)
+                } else {
+                    square(32, 0.1, &mut rng)
+                };
+                x.extend_from_slice(&ch1);
+                engine.push(&x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multichannel_stream_bootstraps_and_separates_classes() {
+        let mut engine = StreamKShape::new(small_config().with_channels(2)).unwrap();
+        let outcomes = feed_mc(&mut engine, 80, 11);
+        assert!(outcomes
+            .iter()
+            .any(|o| matches!(o, PushOutcome::Bootstrapped { .. })));
+        for c in engine.centroids() {
+            assert_eq!(c.len(), 64, "centroids span both channels");
+            assert!(c.iter().all(|v| v.is_finite()));
+        }
+        // Steady-state labels must separate the two classes.
+        let mut labels = [Vec::new(), Vec::new()];
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..20 {
+            let mut x = if i % 2 == 0 {
+                sine(32, 0.0, 0.05, &mut rng)
+            } else {
+                square(32, 0.05, &mut rng)
+            };
+            let ch1 = if i % 2 == 0 {
+                sine(32, 0.7, 0.05, &mut rng)
+            } else {
+                square(32, 0.05, &mut rng)
+            };
+            x.extend_from_slice(&ch1);
+            match engine.push(&x) {
+                PushOutcome::Assigned(a) => labels[i % 2].push(a.label),
+                other => panic!("expected assignment, got {other:?}"),
+            }
+        }
+        assert!(labels[0].windows(2).all(|w| w[0] == w[1]));
+        assert!(labels[1].windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(
+            labels[0][0], labels[1][0],
+            "classes land in different clusters"
+        );
+    }
+
+    #[test]
+    fn multichannel_checkpoint_round_trips_and_univariate_format_is_unchanged() {
+        // Univariate checkpoints never mention channels — the
+        // pre-redesign byte format is preserved exactly.
+        let mut uni = StreamKShape::new(small_config()).unwrap();
+        feed(&mut uni, 40, 3);
+        assert!(!uni.to_json().contains("\"channels\""));
+
+        let mut engine = StreamKShape::new(small_config().with_channels(2)).unwrap();
+        feed_mc(&mut engine, 50, 11);
+        let snap = engine.to_json();
+        assert!(snap.contains("\"channels\":2"));
+        let mut resumed = StreamKShape::from_json(&snap).expect("well-formed checkpoint");
+        assert_eq!(resumed.config().channels, 2);
+        let a = feed_mc(&mut engine, 10, 55);
+        let b = feed_mc(&mut resumed, 10, 55);
+        assert_eq!(a, b, "resumed engine replays identically");
+        assert_eq!(engine.to_json(), resumed.to_json());
     }
 }

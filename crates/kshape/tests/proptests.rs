@@ -4,8 +4,7 @@
 use kshape::extraction::{shape_extraction, EigenMethod};
 use kshape::ncc::{ncc, ncc_max, ncc_max_prepared, ncc_prepared, NccVariant};
 use kshape::sbd::{sbd, sbd_with, CorrMethod, SbdPlan, SbdScratch};
-use kshape::sbd_unequal::sbd_unequal;
-use kshape::{KShape, KShapeConfig, KShapeOptions};
+use kshape::{KShape, KShapeConfig, KShapeOptions, Sbd, SbdOptions};
 use tscheck::Gen;
 use tsdata::normalize::z_normalize;
 
@@ -169,10 +168,11 @@ tscheck::props! {
     fn unequal_plan_path_is_symmetric_and_bounded(g) {
         let x = g.vec_f64(2..40, -100.0..100.0);
         let y = g.vec_f64(2..40, -100.0..100.0);
-        let d = sbd_unequal(&x, &y);
+        let s = Sbd::new();
+        let d = s.distance(&x, &y, &SbdOptions::new()).expect("finite input");
         assert!((-1e-9..=2.0 + 1e-9).contains(&d.dist));
         assert_eq!(d.aligned.len(), x.len());
-        let d2 = sbd_unequal(&y, &x);
+        let d2 = s.distance(&y, &x, &SbdOptions::new()).expect("finite input");
         assert!((d.dist - d2.dist).abs() < 1e-9);
     }
 }

@@ -178,9 +178,8 @@ pub struct KDbaResult {
 /// centroid refinement, and optional budget / cancellation / telemetry
 /// riding on [`KDbaOptions`].
 ///
-/// Unlike the deprecated [`try_kdba`], hitting the iteration cap is
-/// *not* an error: the returned [`KDbaResult`] carries
-/// `converged: false`.
+/// Hitting the iteration cap is *not* an error: the returned
+/// [`KDbaResult`] carries `converged: false`.
 ///
 /// # Errors
 ///
@@ -193,70 +192,6 @@ pub fn kdba_with(series: &[Vec<f64>], opts: &KDbaOptions<'_>) -> TsResult<KDbaRe
     let (result, _shifted) = kdba_core(series, &opts.config, &ctrl, obs)?;
     ctrl.report_cost(obs);
     Ok(result)
-}
-
-/// Runs k-DBA: k-means with DTW assignment and DBA centroid refinement.
-///
-/// # Panics
-///
-/// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
-/// `k > n`. See [`kdba_with`] for the fallible options-based variant.
-#[deprecated(since = "0.1.0", note = "use kdba_with with KDbaOptions")]
-#[must_use]
-pub fn kdba(series: &[Vec<f64>], config: &KDbaConfig) -> KDbaResult {
-    kdba_core(series, config, &RunControl::unlimited(), Obs::none())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .0
-}
-
-/// Fallible k-DBA: validates once up front and reports a typed error
-/// instead of panicking. Hitting the iteration cap without membership
-/// convergence is reported as [`TsError::NotConverged`].
-///
-/// # Errors
-///
-/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
-/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
-/// [`TsError::NotConverged`].
-#[deprecated(since = "0.1.0", note = "use kdba_with with KDbaOptions")]
-pub fn try_kdba(series: &[Vec<f64>], config: &KDbaConfig) -> TsResult<KDbaResult> {
-    let (result, shifted) = kdba_core(series, config, &RunControl::unlimited(), Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
-}
-
-/// Budget- and cancellation-aware [`try_kdba`]: every DTW computation
-/// (both the DBA alignments and the assignment sweep) charges the banded
-/// DTW cost, so a deadline on a large dataset trips within a bounded
-/// amount of quadratic work.
-///
-/// # Errors
-///
-/// Everything [`try_kdba`] reports, plus [`TsError::Stopped`] carrying
-/// the current labeling and completed iteration count.
-#[deprecated(since = "0.1.0", note = "use kdba_with with KDbaOptions")]
-pub fn try_kdba_with_control(
-    series: &[Vec<f64>],
-    config: &KDbaConfig,
-    ctrl: &RunControl,
-) -> TsResult<KDbaResult> {
-    let (result, shifted) = kdba_core(series, config, ctrl, Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
 }
 
 /// Shared k-DBA iteration: returns the result plus the number of series

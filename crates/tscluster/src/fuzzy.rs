@@ -70,9 +70,8 @@ pub struct FuzzyResult {
 /// Runs fuzzy c-means through the unified options object, with optional
 /// budget / cancellation / telemetry riding on [`FuzzyOptions`].
 ///
-/// Unlike the deprecated [`try_fuzzy_cmeans`], hitting the iteration
-/// cap is *not* an error: the returned [`FuzzyResult`] carries
-/// `converged: false`.
+/// Hitting the iteration cap is *not* an error: the returned
+/// [`FuzzyResult`] carries `converged: false`.
 ///
 /// # Errors
 ///
@@ -90,85 +89,6 @@ pub fn fuzzy_cmeans_with<D: Distance + ?Sized>(
     let (result, _shifted) = fuzzy_core(series, dist, &opts.config, &ctrl, obs)?;
     ctrl.report_cost(obs);
     Ok(result)
-}
-
-/// Runs fuzzy c-means.
-///
-/// # Panics
-///
-/// Panics if `series` is empty, ragged, or non-finite, `k` is 0 or
-/// exceeds `n`, or `fuzziness <= 1`. See [`fuzzy_cmeans_with`] for the
-/// fallible options-based variant.
-#[deprecated(since = "0.1.0", note = "use fuzzy_cmeans_with with FuzzyOptions")]
-#[must_use]
-pub fn fuzzy_cmeans<D: Distance + ?Sized>(
-    series: &[Vec<f64>],
-    dist: &D,
-    config: &FuzzyConfig,
-) -> FuzzyResult {
-    fuzzy_core(series, dist, config, &RunControl::unlimited(), Obs::none())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .0
-}
-
-/// Fallible fuzzy c-means: validates once up front and reports a typed
-/// error instead of panicking. Hitting the iteration cap while the
-/// membership change stays above tolerance is reported as
-/// [`TsError::NotConverged`] carrying the hardened labels.
-///
-/// # Errors
-///
-/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
-/// [`TsError::NonFinite`], [`TsError::InvalidK`],
-/// [`TsError::NumericalFailure`] (a fuzzifier `<= 1`), or
-/// [`TsError::NotConverged`].
-#[deprecated(since = "0.1.0", note = "use fuzzy_cmeans_with with FuzzyOptions")]
-pub fn try_fuzzy_cmeans<D: Distance + ?Sized>(
-    series: &[Vec<f64>],
-    dist: &D,
-    config: &FuzzyConfig,
-) -> TsResult<FuzzyResult> {
-    let (result, shifted) =
-        fuzzy_core(series, dist, config, &RunControl::unlimited(), Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
-}
-
-/// Budget- and cancellation-aware [`try_fuzzy_cmeans`]: the previously
-/// unbounded-feeling refinement loop polls `ctrl` once per iteration and
-/// charges [`Distance::cost_hint`] per centroid comparison in the
-/// membership update.
-///
-/// # Errors
-///
-/// Everything [`try_fuzzy_cmeans`] reports, plus [`TsError::Stopped`]
-/// when the control trips; the error carries labels hardened from the
-/// *current* membership matrix (argmax per row) and the completed
-/// iteration count.
-#[deprecated(since = "0.1.0", note = "use fuzzy_cmeans_with with FuzzyOptions")]
-pub fn try_fuzzy_cmeans_with_control<D: Distance + ?Sized>(
-    series: &[Vec<f64>],
-    dist: &D,
-    config: &FuzzyConfig,
-    ctrl: &RunControl,
-) -> TsResult<FuzzyResult> {
-    let (result, shifted) = fuzzy_core(series, dist, config, ctrl, Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
 }
 
 /// Hardens a membership matrix: argmax membership per row.

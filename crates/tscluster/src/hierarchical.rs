@@ -310,62 +310,6 @@ pub fn hierarchical_cluster_with(
     Ok(labels)
 }
 
-/// Convenience: agglomerates and cuts to `k` clusters in one call.
-///
-/// # Panics
-///
-/// Panics on the same inputs as [`agglomerate`] and [`Dendrogram::cut`].
-/// See [`try_hierarchical_cluster`] for the fallible variant.
-#[deprecated(
-    since = "0.1.0",
-    note = "use hierarchical_cluster_with with HierarchicalOptions"
-)]
-#[must_use]
-pub fn hierarchical_cluster(
-    matrix: &DissimilarityMatrix,
-    linkage: Linkage,
-    k: usize,
-) -> Vec<usize> {
-    agglomerate(matrix, linkage).cut(k)
-}
-
-/// Fallible convenience: agglomerates and cuts in one call, never panics.
-///
-/// # Errors
-///
-/// [`TsError::EmptyInput`], [`TsError::NonFinite`], or
-/// [`TsError::InvalidK`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use hierarchical_cluster_with with HierarchicalOptions"
-)]
-pub fn try_hierarchical_cluster(
-    matrix: &DissimilarityMatrix,
-    linkage: Linkage,
-    k: usize,
-) -> TsResult<Vec<usize>> {
-    try_agglomerate(matrix, linkage)?.try_cut(k)
-}
-
-/// Budget- and cancellation-aware [`try_hierarchical_cluster`].
-///
-/// # Errors
-///
-/// Everything [`try_hierarchical_cluster`] reports, plus
-/// [`TsError::Stopped`] from [`try_agglomerate_with_control`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use hierarchical_cluster_with with HierarchicalOptions"
-)]
-pub fn try_hierarchical_cluster_with_control(
-    matrix: &DissimilarityMatrix,
-    linkage: Linkage,
-    k: usize,
-    ctrl: &RunControl,
-) -> TsResult<Vec<usize>> {
-    try_agglomerate_with_control(matrix, linkage, ctrl)?.try_cut(k)
-}
-
 #[cfg(test)]
 mod tests {
     use super::{agglomerate, hierarchical_cluster_with, HierarchicalOptions, Linkage};

@@ -10,7 +10,7 @@ use tsrand::StdRng;
 
 use kshape::init::random_assignment;
 use tsdist::Distance;
-use tserror::{ensure_k, validate_series_set, TsError, TsResult};
+use tserror::{ensure_k, validate_series_set, TsResult};
 use tsobs::{IterationEvent, Obs};
 use tsrun::RunControl;
 
@@ -57,9 +57,9 @@ pub struct KMeansResult {
 /// centroids, the given assignment distance, and optional budget /
 /// cancellation / telemetry riding on [`KMeansOptions`].
 ///
-/// Unlike the deprecated [`try_kmeans`], hitting the iteration cap is
-/// *not* an error: the returned [`KMeansResult`] carries
-/// `converged: false` and the caller inspects the flag.
+/// Hitting the iteration cap is *not* an error: the returned
+/// [`KMeansResult`] carries `converged: false` and the caller inspects
+/// the flag.
 ///
 /// # Example
 ///
@@ -93,82 +93,6 @@ pub fn kmeans_with<D: Distance + ?Sized>(
     let (result, _shifted) = kmeans_core(series, dist, &opts.config, &ctrl, obs)?;
     ctrl.report_cost(obs);
     Ok(result)
-}
-
-/// Runs k-means with arithmetic-mean centroids and the given assignment
-/// distance.
-///
-/// # Panics
-///
-/// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
-/// `k > n`. See [`kmeans_with`] for the fallible options-based variant.
-#[deprecated(since = "0.1.0", note = "use kmeans_with with KMeansOptions")]
-#[must_use]
-pub fn kmeans<D: Distance + ?Sized>(
-    series: &[Vec<f64>],
-    dist: &D,
-    config: &KMeansConfig,
-) -> KMeansResult {
-    kmeans_core(series, dist, config, &RunControl::unlimited(), Obs::none())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .0
-}
-
-/// Fallible k-means: validates once up front and reports a typed error
-/// instead of panicking. Hitting the iteration cap without membership
-/// convergence is reported as [`TsError::NotConverged`] carrying the final
-/// labeling.
-///
-/// # Errors
-///
-/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
-/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
-/// [`TsError::NotConverged`].
-#[deprecated(since = "0.1.0", note = "use kmeans_with with KMeansOptions")]
-pub fn try_kmeans<D: Distance + ?Sized>(
-    series: &[Vec<f64>],
-    dist: &D,
-    config: &KMeansConfig,
-) -> TsResult<KMeansResult> {
-    let (result, shifted) =
-        kmeans_core(series, dist, config, &RunControl::unlimited(), Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
-}
-
-/// Budget- and cancellation-aware [`try_kmeans`]: the Lloyd loop polls
-/// `ctrl` once per iteration and charges [`Distance::cost_hint`] per
-/// centroid comparison in the assignment sweep.
-///
-/// # Errors
-///
-/// Everything [`try_kmeans`] reports, plus [`TsError::Stopped`] when the
-/// control trips; the error carries the current labeling and the number
-/// of completed iterations.
-#[deprecated(since = "0.1.0", note = "use kmeans_with with KMeansOptions")]
-pub fn try_kmeans_with_control<D: Distance + ?Sized>(
-    series: &[Vec<f64>],
-    dist: &D,
-    config: &KMeansConfig,
-    ctrl: &RunControl,
-) -> TsResult<KMeansResult> {
-    let (result, shifted) = kmeans_core(series, dist, config, ctrl, Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
 }
 
 /// Shared Lloyd iteration: returns the result plus the number of series

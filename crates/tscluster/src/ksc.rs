@@ -287,9 +287,8 @@ pub struct KscResult {
 /// object, with optional budget / cancellation / telemetry riding on
 /// [`KscOptions`].
 ///
-/// Unlike the deprecated [`try_ksc`], hitting the iteration cap is
-/// *not* an error: the returned [`KscResult`] carries
-/// `converged: false`.
+/// Hitting the iteration cap is *not* an error: the returned
+/// [`KscResult`] carries `converged: false`.
 ///
 /// # Errors
 ///
@@ -302,70 +301,6 @@ pub fn ksc_with(series: &[Vec<f64>], opts: &KscOptions<'_>) -> TsResult<KscResul
     let (result, _shifted) = ksc_core(series, &opts.config, &ctrl, obs)?;
     ctrl.report_cost(obs);
     Ok(result)
-}
-
-/// Runs K-Spectral Centroid clustering.
-///
-/// # Panics
-///
-/// Panics if `series` is empty, ragged, or non-finite, `k == 0`, or
-/// `k > n`. See [`ksc_with`] for the fallible options-based variant.
-#[deprecated(since = "0.1.0", note = "use ksc_with with KscOptions")]
-#[must_use]
-pub fn ksc(series: &[Vec<f64>], config: &KscConfig) -> KscResult {
-    ksc_core(series, config, &RunControl::unlimited(), Obs::none())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .0
-}
-
-/// Fallible KSC clustering: validates once up front and reports a typed
-/// error instead of panicking. Hitting the iteration cap without
-/// membership convergence is reported as [`TsError::NotConverged`].
-///
-/// # Errors
-///
-/// [`TsError::EmptyInput`], [`TsError::LengthMismatch`],
-/// [`TsError::NonFinite`], [`TsError::InvalidK`], or
-/// [`TsError::NotConverged`].
-#[deprecated(since = "0.1.0", note = "use ksc_with with KscOptions")]
-pub fn try_ksc(series: &[Vec<f64>], config: &KscConfig) -> TsResult<KscResult> {
-    let (result, shifted) = ksc_core(series, config, &RunControl::unlimited(), Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
-}
-
-/// Budget- and cancellation-aware [`try_ksc`]: the refinement loop polls
-/// `ctrl` per iteration, charges the O(m log m + m) shift-scan cost per
-/// assignment comparison, and charges the eigen-decomposition work per
-/// centroid extraction.
-///
-/// # Errors
-///
-/// Everything [`try_ksc`] reports, plus [`TsError::Stopped`] carrying the
-/// current labeling and completed iteration count.
-#[deprecated(since = "0.1.0", note = "use ksc_with with KscOptions")]
-pub fn try_ksc_with_control(
-    series: &[Vec<f64>],
-    config: &KscConfig,
-    ctrl: &RunControl,
-) -> TsResult<KscResult> {
-    let (result, shifted) = ksc_core(series, config, ctrl, Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
 }
 
 /// Shared KSC iteration: returns the result plus the number of series that

@@ -11,7 +11,7 @@
 //!   exchange lowers the total cost, until no improving swap exists.
 
 use crate::matrix::DissimilarityMatrix;
-use tserror::{ensure_k, TsError, TsResult};
+use tserror::{ensure_k, TsResult};
 use tsobs::{IterationEvent, Obs};
 use tsrun::RunControl;
 
@@ -54,8 +54,8 @@ pub struct PamResult {
 /// Runs PAM through the unified options object, with optional budget /
 /// cancellation / telemetry riding on [`PamOptions`].
 ///
-/// Unlike the deprecated [`try_pam`], hitting the SWAP cap is *not* an
-/// error: the returned [`PamResult`] carries `converged: false`.
+/// Hitting the SWAP cap is *not* an error: the returned [`PamResult`]
+/// carries `converged: false`.
 ///
 /// # Example
 ///
@@ -84,74 +84,6 @@ pub fn pam_with(matrix: &DissimilarityMatrix, opts: &PamOptions<'_>) -> TsResult
     let (result, _shifted) = pam_core(matrix, opts.config.k, opts.config.max_iter, &ctrl, obs)?;
     ctrl.report_cost(obs);
     Ok(result)
-}
-
-/// Runs PAM on a dissimilarity matrix.
-///
-/// Deterministic: BUILD greedily selects seeds, SWAP applies best-improving
-/// exchanges. `max_iter` caps SWAP passes (the paper uses 100).
-///
-/// # Panics
-///
-/// Panics if `k == 0`, `k > n`, or the matrix holds non-finite entries.
-/// See [`pam_with`] for the fallible options-based variant.
-#[deprecated(since = "0.1.0", note = "use pam_with with PamOptions")]
-#[must_use]
-pub fn pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> PamResult {
-    pam_core(matrix, k, max_iter, &RunControl::unlimited(), Obs::none())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .0
-}
-
-/// Fallible PAM: validates the matrix once up front and reports a typed
-/// error instead of panicking. Hitting the SWAP cap while improving swaps
-/// remain is reported as [`TsError::NotConverged`].
-///
-/// # Errors
-///
-/// [`TsError::InvalidK`], [`TsError::NonFinite`] (a corrupt matrix entry),
-/// or [`TsError::NotConverged`].
-#[deprecated(since = "0.1.0", note = "use pam_with with PamOptions")]
-pub fn try_pam(matrix: &DissimilarityMatrix, k: usize, max_iter: usize) -> TsResult<PamResult> {
-    let (result, shifted) = pam_core(matrix, k, max_iter, &RunControl::unlimited(), Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
-}
-
-/// Budget- and cancellation-aware [`try_pam`]: BUILD polls `ctrl` per
-/// greedy seed (charging the O(n²) candidate scan) and each SWAP sweep
-/// counts as one iteration charging its O(k²n²) exchange evaluation.
-///
-/// # Errors
-///
-/// Everything [`try_pam`] reports, plus [`TsError::Stopped`] when the
-/// control trips; the error carries the nearest-medoid labels for the
-/// medoids chosen so far (empty during the first BUILD step) and the
-/// completed SWAP iteration count.
-#[deprecated(since = "0.1.0", note = "use pam_with with PamOptions")]
-pub fn try_pam_with_control(
-    matrix: &DissimilarityMatrix,
-    k: usize,
-    max_iter: usize,
-    ctrl: &RunControl,
-) -> TsResult<PamResult> {
-    let (result, shifted) = pam_core(matrix, k, max_iter, ctrl, Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: result.iterations,
-            shifted,
-        })
-    }
 }
 
 /// Nearest-chosen-medoid assignment for a (possibly partial) medoid set.

@@ -190,9 +190,8 @@ pub struct SpectralResult {
 /// object, with optional budget / cancellation / telemetry riding on
 /// [`SpectralOptions`].
 ///
-/// Unlike the deprecated [`try_spectral_cluster`], a non-converged
-/// embedding k-means is *not* an error: the returned [`SpectralResult`]
-/// carries `converged: false`.
+/// A non-converged embedding k-means is *not* an error: the returned
+/// [`SpectralResult`] carries `converged: false`.
 ///
 /// # Errors
 ///
@@ -207,84 +206,6 @@ pub fn spectral_cluster_with(
     let (result, _shifted) = spectral_core(matrix, &opts.config, &ctrl, obs)?;
     ctrl.report_cost(obs);
     Ok(result)
-}
-
-/// Runs normalized spectral clustering on a dissimilarity matrix.
-///
-/// # Panics
-///
-/// Panics if the matrix is empty or non-finite, or `k` is 0 or exceeds
-/// `n`. See [`spectral_cluster_with`] for the fallible options-based
-/// variant.
-#[deprecated(
-    since = "0.1.0",
-    note = "use spectral_cluster_with with SpectralOptions"
-)]
-#[must_use]
-pub fn spectral_cluster(matrix: &DissimilarityMatrix, config: &SpectralConfig) -> SpectralResult {
-    spectral_core(matrix, config, &RunControl::unlimited(), Obs::none())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .0
-}
-
-/// Fallible spectral clustering: validates once up front and reports a
-/// typed error instead of panicking. A non-converged embedding k-means is
-/// reported as [`TsError::NotConverged`].
-///
-/// # Errors
-///
-/// Everything [`try_spectral_embedding`] reports, plus
-/// [`TsError::NotConverged`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use spectral_cluster_with with SpectralOptions"
-)]
-pub fn try_spectral_cluster(
-    matrix: &DissimilarityMatrix,
-    config: &SpectralConfig,
-) -> TsResult<SpectralResult> {
-    let (result, shifted) = spectral_core(matrix, config, &RunControl::unlimited(), Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: config.max_iter,
-            shifted,
-        })
-    }
-}
-
-/// Budget- and cancellation-aware [`try_spectral_cluster`]: the control
-/// is polled before the O(n³) eigen decomposition (charging its cost) and
-/// once per embedding k-means iteration, replacing the previously
-/// uncontrolled refinement loop.
-///
-/// # Errors
-///
-/// Everything [`try_spectral_cluster`] reports, plus [`TsError::Stopped`]
-/// when the control trips; the error carries the current embedding
-/// labeling (empty if stopped before the embedding was built) and the
-/// completed k-means iteration count.
-#[deprecated(
-    since = "0.1.0",
-    note = "use spectral_cluster_with with SpectralOptions"
-)]
-pub fn try_spectral_cluster_with_control(
-    matrix: &DissimilarityMatrix,
-    config: &SpectralConfig,
-    ctrl: &RunControl,
-) -> TsResult<SpectralResult> {
-    let (result, shifted) = spectral_core(matrix, config, ctrl, Obs::none())?;
-    if result.converged {
-        Ok(result)
-    } else {
-        Err(TsError::NotConverged {
-            labels: result.labels,
-            iterations: config.max_iter,
-            shifted,
-        })
-    }
 }
 
 /// Shared pipeline: returns the result plus the number of rows that

@@ -225,23 +225,7 @@ pub fn one_nn_accuracy_with<D: Distance + ?Sized>(
     Ok(acc)
 }
 
-/// Budget- and cancellation-aware 1-NN accuracy.
-///
-/// # Errors
-///
-/// As [`one_nn_accuracy_with`].
-#[deprecated(since = "0.1.0", note = "use one_nn_accuracy_with with NnOptions")]
-pub fn try_one_nn_accuracy_with_control<D: Distance + ?Sized>(
-    dist: &D,
-    train: &Dataset,
-    test: &Dataset,
-    ctrl: &tsrun::RunControl,
-) -> TsResult<f64> {
-    one_nn_core(dist, train, test, ctrl, tsobs::Obs::none())
-}
-
-/// Shared instrumented scan behind [`one_nn_accuracy_with`] and the
-/// deprecated control-only wrapper.
+/// Shared instrumented scan behind [`one_nn_accuracy_with`].
 fn one_nn_core<D: Distance + ?Sized>(
     dist: &D,
     train: &Dataset,

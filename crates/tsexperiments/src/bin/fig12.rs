@@ -22,7 +22,10 @@
 //!   byte-identical to an uninterrupted run's. Timings and RSS go to
 //!   stderr;
 //! * `--cell METHOD:NxM --dir D [--max-iter I]` — compute one cell in
-//!   this process (the coordinator spawns these);
+//!   this process (the coordinator spawns these). Besides the grid
+//!   methods, `kshape_ragged` (variable-length rows) and `kshape_mc3`
+//!   (3-channel rows) are accepted here — shape-aware cells that never
+//!   join the sharded grid or its merged report;
 //! * `--merge --dir D` — print the deterministic merged report only;
 //! * `--gate-rss --dir D` — exit non-zero if any stored cell peaked at
 //!   or above the nested-`Vec` materialization budget.

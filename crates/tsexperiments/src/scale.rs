@@ -36,7 +36,7 @@ use kshape::{KShapeOptions, TsResult};
 use tscluster::kmeans_store;
 use tscluster::options::KMeansOptions;
 use tsdata::generators::{cbf, GenParams};
-use tsdata::store::{ElemType, SeriesStore, SpillConfig};
+use tsdata::store::{ChannelView, ElemType, RaggedStore, SeriesStore, SpillConfig};
 use tsdist::EuclideanDistance;
 use tsrand::StdRng;
 
@@ -241,10 +241,71 @@ pub fn cbf_store(n: usize, m: usize, seed: u64, spill: SpillConfig) -> TsResult<
     Ok(store)
 }
 
+/// Streams a variable-length CBF dataset into a spilled
+/// [`RaggedStore`]: `n` series of class `i % 3` whose lengths cycle
+/// deterministically over `[3m/4, m]`, z-normalized per row.
+///
+/// This feeds the `kshape_ragged` cell — reachable only through an
+/// explicit `--cell` selection, never part of [`METHODS`], so the
+/// univariate Figure-12 grid and its merged report stay untouched.
+///
+/// # Errors
+///
+/// Propagates spill-tier I/O failures as [`kshape::TsError::CorruptData`].
+pub fn cbf_ragged_store(
+    n: usize,
+    m: usize,
+    seed: u64,
+    spill: SpillConfig,
+) -> TsResult<RaggedStore> {
+    let mut store = RaggedStore::spilled(ElemType::F64, spill)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = m / 4 + 1;
+    for i in 0..n {
+        let len = 3 * m / 4 + i % span;
+        store.push_row(&cbf::generate_one(i % 3, len, &mut rng))?;
+    }
+    store.z_normalize_in_place()?;
+    Ok(store)
+}
+
+/// Streams a 3-channel CBF dataset: `n` channel-major rows of `3 * m`
+/// samples (class `i % 3`, three independent draws per row, each
+/// channel z-normalized independently — the shape-aware contract).
+///
+/// Feeds the `kshape_mc3` cell; like [`cbf_ragged_store`] it is only
+/// reachable through an explicit `--cell` selection.
+///
+/// # Errors
+///
+/// Propagates spill-tier I/O failures as [`kshape::TsError::CorruptData`].
+pub fn cbf_mc3_store(n: usize, m: usize, seed: u64, spill: SpillConfig) -> TsResult<SeriesStore> {
+    let mut store = SeriesStore::spilled(3 * m, ElemType::F64, spill)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row = Vec::with_capacity(3 * m);
+    for i in 0..n {
+        row.clear();
+        for _ch in 0..3 {
+            let z = tsdata::normalize::try_z_normalize_series(
+                &cbf::generate_one(i % 3, m, &mut rng),
+                i,
+            )?;
+            row.extend_from_slice(&z);
+        }
+        store.push_row(&row)?;
+    }
+    Ok(store)
+}
+
 /// Computes one cell end to end: generate the spilled CBF dataset, run
 /// the cell's out-of-core method, fingerprint the labels, and capture
 /// wall clock plus this process's peak RSS. Meant to run in a dedicated
 /// worker process so the RSS reading belongs to this cell alone.
+///
+/// Besides the two [`METHODS`] grid contestants, two shape-aware
+/// methods are accepted for explicitly selected cells: `kshape_ragged`
+/// (variable-length rows through the unequal-length SBD path) and
+/// `kshape_mc3` (3-channel rows through the summed per-channel NCC).
 ///
 /// # Errors
 ///
@@ -252,30 +313,50 @@ pub fn cbf_store(n: usize, m: usize, seed: u64, spill: SpillConfig) -> TsResult<
 /// reported as [`kshape::TsError::NumericalFailure`].
 pub fn run_cell(cell: &ScaleCell, cfg: &ScaleConfig) -> TsResult<CellResult> {
     let spill = SpillConfig::new(&cfg.spill_dir);
-    let store = cbf_store(cell.n, cell.m, cfg.data_seed, spill)?;
-    let t = Instant::now();
-    let (labels, iterations, converged, inertia) = match cell.method.as_str() {
+    let kshape_opts = KShapeOptions::new(cfg.k)
+        .with_seed(cfg.fit_seed)
+        .with_max_iter(cfg.max_iter);
+    let (labels, iterations, converged, inertia, wall_ms) = match cell.method.as_str() {
         "kshape" => {
-            let opts = KShapeOptions::new(cfg.k)
-                .with_seed(cfg.fit_seed)
-                .with_max_iter(cfg.max_iter);
-            let fit = kshape::fit_store(&store, &opts)?;
-            (fit.labels, fit.iterations, fit.converged, fit.inertia)
+            let store = cbf_store(cell.n, cell.m, cfg.data_seed, spill)?;
+            let t = Instant::now();
+            let fit = kshape::fit_store(&store, &kshape_opts)?;
+            let wall_ms = t.elapsed().as_millis() as u64;
+            (fit.labels, fit.iterations, fit.converged, fit.inertia, wall_ms)
         }
         "kavg" => {
+            let store = cbf_store(cell.n, cell.m, cfg.data_seed, spill)?;
             let opts = KMeansOptions::new(cfg.k)
                 .with_seed(cfg.fit_seed)
                 .with_max_iter(cfg.max_iter);
+            let t = Instant::now();
             let fit = kmeans_store(&store, &EuclideanDistance, &opts)?;
-            (fit.labels, fit.iterations, fit.converged, fit.inertia)
+            let wall_ms = t.elapsed().as_millis() as u64;
+            (fit.labels, fit.iterations, fit.converged, fit.inertia, wall_ms)
+        }
+        "kshape_ragged" => {
+            let store = cbf_ragged_store(cell.n, cell.m, cfg.data_seed, spill)?;
+            let t = Instant::now();
+            let fit = kshape::fit_store(&store, &kshape_opts)?;
+            let wall_ms = t.elapsed().as_millis() as u64;
+            (fit.labels, fit.iterations, fit.converged, fit.inertia, wall_ms)
+        }
+        "kshape_mc3" => {
+            let store = cbf_mc3_store(cell.n, cell.m, cfg.data_seed, spill)?;
+            let view = ChannelView::new(&store, 3)?;
+            let t = Instant::now();
+            let fit = kshape::fit_store(&view, &kshape_opts)?;
+            let wall_ms = t.elapsed().as_millis() as u64;
+            (fit.labels, fit.iterations, fit.converged, fit.inertia, wall_ms)
         }
         other => {
             return Err(kshape::TsError::NumericalFailure {
-                context: format!("unknown scale method {other:?} (expected kshape or kavg)"),
+                context: format!(
+                    "unknown scale method {other:?} (expected kshape, kavg, kshape_ragged, or kshape_mc3)"
+                ),
             })
         }
     };
-    let wall_ms = t.elapsed().as_millis() as u64;
     Ok(CellResult {
         method: cell.method.clone(),
         n: cell.n,
@@ -531,6 +612,27 @@ mod tests {
             &ScaleConfig::new(dir.join("s4"))
         )
         .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shape_aware_cells_cluster_end_to_end_and_deterministically() {
+        let dir = temp_dir("shapecells");
+        for method in ["kshape_ragged", "kshape_mc3"] {
+            let cell = ScaleCell {
+                method: method.into(),
+                n: 45,
+                m: 32,
+            };
+            let a = run_cell(&cell, &ScaleConfig::new(dir.join(format!("{method}_a"))))
+                .expect("shape-aware fit a");
+            let b = run_cell(&cell, &ScaleConfig::new(dir.join(format!("{method}_b"))))
+                .expect("shape-aware fit b");
+            assert_eq!(a.labels_hash, b.labels_hash, "{method} determinism");
+            assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+            assert!(a.inertia.is_finite());
+            assert_eq!(a.n, 45);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

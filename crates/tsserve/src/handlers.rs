@@ -368,6 +368,7 @@ fn fit(name: &str, req: &Request, state: &AppState) -> Response {
         name: name.to_string(),
         k: parsed.k,
         m,
+        channels: 1,
         rung: outcome.rung.name().to_string(),
         converged: outcome.converged,
         iterations: outcome.iterations,
@@ -409,6 +410,8 @@ fn assign(name: &str, req: &Request, state: &AppState) -> Response {
         Err(detail) => return Response::error(400, "bad_request", &detail),
     };
     let m = model.model.m;
+    // The declared query frame is the model's, channel-major.
+    let frame = model.model.channels * m;
     let deadline = state.clamp_deadline(parsed.deadline_ms);
     let ctrl = RunControl::from_parts(Some(Budget::unlimited().with_deadline(deadline)), None);
 
@@ -416,17 +419,17 @@ fn assign(name: &str, req: &Request, state: &AppState) -> Response {
     let mut distances = Vec::with_capacity(parsed.series.len());
     let mut scratch = SbdScratch::default();
     for (i, series) in parsed.series.iter().enumerate() {
-        if let Err(reason) = ctrl.charge(m as u64) {
+        if let Err(reason) = ctrl.charge(frame as u64) {
             return ts_error_response(&RunControl::stop_error(labels, i, reason));
         }
-        if series.len() != m {
+        if series.len() != frame {
             return ts_error_response(&TsError::LengthMismatch {
-                expected: m,
+                expected: frame,
                 found: series.len(),
                 series: i,
             });
         }
-        let z = match tsdata::normalize::try_z_normalize_series(series, i) {
+        let z = match z_normalize_frame(series, m, i) {
             Ok(z) => z,
             Err(e) => return ts_error_response(&e),
         };
@@ -451,6 +454,19 @@ fn assign(name: &str, req: &Request, state: &AppState) -> Response {
     }
     body.push_str("]}");
     Response::json(200, body)
+}
+
+/// Z-normalizes one channel-major query frame per channel of length
+/// `m` (the plain series path when the frame is a single channel).
+fn z_normalize_frame(series: &[f64], m: usize, idx: usize) -> Result<Vec<f64>, TsError> {
+    if series.len() == m {
+        return tsdata::normalize::try_z_normalize_series(series, idx);
+    }
+    let mut z = Vec::with_capacity(series.len());
+    for chunk in series.chunks_exact(m) {
+        z.extend_from_slice(&tsdata::normalize::try_z_normalize_series(chunk, idx)?);
+    }
+    Ok(z)
 }
 
 /// Z-normalizes every series, mapping the first defect to its typed

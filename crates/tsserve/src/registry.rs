@@ -42,8 +42,11 @@ pub struct Model {
     pub name: String,
     /// Number of clusters.
     pub k: usize,
-    /// Series length the model was fitted on.
+    /// Per-channel series length the model was fitted on.
     pub m: usize,
+    /// Channels per series (default 1). Centroids and queries are
+    /// `channels * m` samples in channel-major order.
+    pub channels: usize,
     /// Ladder rung that produced the centroids (its
     /// [`tscluster::LadderRung::name`]).
     pub rung: String,
@@ -58,12 +61,21 @@ pub struct Model {
 impl Model {
     /// Serializes the model as its persistence payload.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 + self.k * self.m * 20);
+        let mut out = String::with_capacity(64 + self.k * self.channels * self.m * 20);
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"k\":{},\"m\":{},\"rung\":\"{}\",\"converged\":{},\"iterations\":{},\"centroids\":",
+            "{{\"name\":\"{}\",\"k\":{},\"m\":{}",
             json_escape(&self.name),
             self.k,
             self.m,
+        ));
+        // Only multichannel models mention channels, so univariate
+        // artifacts keep the pre-redesign byte format (and old artifacts
+        // parse: a missing key defaults to 1).
+        if self.channels != 1 {
+            out.push_str(&format!(",\"channels\":{}", self.channels));
+        }
+        out.push_str(&format!(
+            ",\"rung\":\"{}\",\"converged\":{},\"iterations\":{},\"centroids\":",
             json_escape(&self.rung),
             self.converged,
             self.iterations,
@@ -83,6 +95,13 @@ impl Model {
         }
         let k = obj.get("k")?.as_uint()? as usize;
         let m = obj.get("m")?.as_uint()? as usize;
+        let channels = match obj.get("channels") {
+            Some(v) => v.as_uint()? as usize,
+            None => 1,
+        };
+        if channels == 0 {
+            return None;
+        }
         let rung = obj.get("rung")?.as_str()?.to_string();
         tscluster::LadderRung::from_name(&rung)?;
         let converged = match obj.get("converged")? {
@@ -101,10 +120,10 @@ impl Model {
             let JsonValue::Arr(vals) = row else {
                 return None;
             };
-            if vals.len() != m {
+            if vals.len() != channels * m {
                 return None;
             }
-            let mut c = Vec::with_capacity(m);
+            let mut c = Vec::with_capacity(channels * m);
             for v in vals {
                 let x = v.as_num()?;
                 if !x.is_finite() {
@@ -118,6 +137,7 @@ impl Model {
             name,
             k,
             m,
+            channels,
             rung,
             converged,
             iterations,
@@ -136,11 +156,16 @@ pub struct PreparedModel {
 }
 
 impl PreparedModel {
-    /// Prepares `model` for assignment (one forward FFT per centroid,
-    /// done once here).
+    /// Prepares `model` for assignment (one forward FFT per centroid
+    /// channel, done once here).
     pub fn new(model: Model) -> tserror::TsResult<PreparedModel> {
         let plan = SbdPlan::try_new(model.m)?;
-        let prepared = model.centroids.iter().map(|c| plan.prepare(c)).collect();
+        let prepared = model
+            .centroids
+            .iter()
+            .flat_map(|c| c.chunks_exact(model.m))
+            .map(|chunk| plan.prepare(chunk))
+            .collect();
         Ok(PreparedModel {
             model,
             plan,
@@ -148,14 +173,20 @@ impl PreparedModel {
         })
     }
 
-    /// Nearest centroid for an already z-normalized query of length
-    /// `m`: `(label, sbd_distance)`.
+    /// Nearest centroid for an already z-normalized channel-major query
+    /// of length `channels * m`: `(label, sbd_distance)`.
     pub fn assign_one(&self, query: &[f64], scratch: &mut SbdScratch) -> (usize, f64) {
-        debug_assert_eq!(query.len(), self.model.m);
-        let q = self.plan.prepare(query);
+        debug_assert_eq!(query.len(), self.model.channels * self.model.m);
+        let c = self.model.channels;
+        let q: Vec<PreparedSeries> = query
+            .chunks_exact(self.model.m)
+            .map(|chunk| self.plan.prepare(chunk))
+            .collect();
         let mut best = (0usize, f64::INFINITY);
-        for (idx, centroid) in self.prepared.iter().enumerate() {
-            let (dist, _shift) = self.plan.sbd_spectra(&q, centroid, scratch);
+        for idx in 0..self.model.k {
+            let (dist, _shift) =
+                self.plan
+                    .sbd_spectra_multi(&q, &self.prepared[idx * c..(idx + 1) * c], scratch);
             if dist < best.1 {
                 best = (idx, dist);
             }
@@ -282,10 +313,57 @@ mod tests {
             name: "demo".into(),
             k: 2,
             m: 4,
+            channels: 1,
             rung: "k-Shape".into(),
             converged: true,
             iterations: 3,
             centroids: vec![vec![0.1, 0.2, -0.3, 0.0], vec![1.0, -1.0, 0.5, -0.5]],
+        }
+    }
+
+    fn sample_mc_model() -> Model {
+        Model {
+            name: "demo_mc".into(),
+            k: 2,
+            m: 4,
+            channels: 2,
+            rung: "k-Shape".into(),
+            converged: true,
+            iterations: 3,
+            centroids: vec![
+                vec![0.1, 0.2, -0.3, 0.0, 0.4, -0.4, 0.2, -0.2],
+                vec![1.0, -1.0, 0.5, -0.5, -1.0, 1.0, -0.5, 0.5],
+            ],
+        }
+    }
+
+    #[test]
+    fn univariate_model_json_never_mentions_channels() {
+        // Old artifacts must keep loading and new univariate artifacts
+        // must keep the old byte format.
+        let json = sample_model().to_json();
+        assert!(!json.contains("\"channels\""));
+        assert_eq!(Model::from_json(&json).unwrap().channels, 1);
+    }
+
+    #[test]
+    fn multichannel_model_round_trips_and_assigns() {
+        let model = sample_mc_model();
+        let json = model.to_json();
+        assert!(json.contains("\"channels\":2"));
+        let back = Model::from_json(&json).unwrap();
+        assert_eq!(back, model);
+        assert_eq!(back.to_json(), json);
+        // Wrong per-row width is a structural defect.
+        assert!(Model::from_json(&json.replace("\"channels\":2", "\"channels\":3")).is_none());
+
+        let prepared = PreparedModel::new(model.clone()).unwrap();
+        let mut scratch = SbdScratch::default();
+        // Each centroid is its own nearest neighbour.
+        for (j, cent) in model.centroids.iter().enumerate() {
+            let (label, dist) = prepared.assign_one(cent, &mut scratch);
+            assert_eq!(label, j);
+            assert!(dist < 1e-9, "self-distance {dist} for centroid {j}");
         }
     }
 

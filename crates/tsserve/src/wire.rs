@@ -274,6 +274,7 @@ impl StreamCreateRequest {
             return Err("\"k\" and \"m\" must be at least 1".to_string());
         }
         let mut config = StreamConfig::new(k, m);
+        config.channels = uint_or(&obj, "channels", config.channels as u64)? as usize;
         config.seed = uint_or(&obj, "seed", config.seed)?;
         config.max_iter = uint_or(&obj, "max_iter", config.max_iter as u64)? as usize;
         config.refresh_every =

@@ -120,10 +120,11 @@ tscheck::props! {
         let mut series = clean_series(g, 2, m);
         let _ = inject(g, &mut series, &FaultKind::ALL);
         let (x, y) = (series[0].clone(), series[1].clone());
+        let s = kshape::Sbd::new();
         let outcomes = [
             kshape::sbd::try_sbd(&x, &y),
-            kshape::sbd_unequal::try_sbd_unequal(&x, &y),
-            kshape::sbd_unequal::try_sbd_rescaled(&x, &y),
+            s.distance(&x, &y, &kshape::SbdOptions::new()),
+            s.distance(&x, &y, &kshape::SbdOptions::new().with_rescale(true)),
         ];
         for res in outcomes.into_iter().flatten() {
             assert!(res.dist.is_finite(), "SBD emitted non-finite distance");
@@ -132,7 +133,7 @@ tscheck::props! {
         }
         if x.iter().any(|v| !v.is_finite()) {
             assert!(kshape::sbd::try_sbd(&x, &y).is_err());
-            assert!(kshape::sbd_unequal::try_sbd_unequal(&x, &y).is_err());
+            assert!(s.distance(&x, &y, &kshape::SbdOptions::new()).is_err());
         }
     }
 

@@ -126,7 +126,9 @@ fn uniform_scaling_handled_by_rescaled_sbd() {
     // (Section 2.2): the same beat sampled at half the rate.
     let long = z_normalize(&wavy(128, 3.0, 0.4));
     let short = tsdata::distort::resample(&long, 64);
-    let r = kshape::sbd_unequal::sbd_rescaled(&long, &short);
+    let r = kshape::Sbd::new()
+        .distance(&long, &short, &kshape::SbdOptions::new().with_rescale(true))
+        .expect("clean input");
     assert!(r.dist < 0.01, "rescaled SBD {}", r.dist);
 }
 
